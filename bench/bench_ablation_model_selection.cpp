@@ -1,0 +1,95 @@
+/// bench_ablation_model_selection — "Physics Matters": TD vs RD.
+///
+/// Ref. [15], the device model the paper builds on, argued that
+/// Trapping/Detrapping beats the classic Reaction-Diffusion picture
+/// because only TD explains *recovery*.  This ablation reruns that
+/// argument on the virtual campaign: both models fit the accelerated
+/// stress data almost equally well (a power law mimics a log over two
+/// decades), but RD's universal recovery curve is condition-blind — it
+/// cannot produce the spread the four sleep conditions measure, which is
+/// the very effect the paper engineers.
+
+#include <cmath>
+#include <cstdio>
+
+#include "ash/bti/reaction_diffusion.h"
+#include "ash/core/metrics.h"
+#include "ash/core/model_fit.h"
+#include "ash/util/constants.h"
+#include "ash/util/table.h"
+#include "common.h"
+
+int main() {
+  using namespace ash;
+  bench::print_banner(
+      "Ablation L — model selection: Trapping/Detrapping vs Reaction-"
+      "Diffusion",
+      "stress data cannot separate the models; recovery data rejects RD");
+
+  const auto campaign = bench::run_paper_campaign();
+
+  // --- Stress-side fits: both models vs the measured AS110DC24 curve.
+  const auto& chip2 = campaign.chip(2);
+  const auto dtd = core::delay_change_series(
+      chip2.log.delay_series("AS110DC24"), chip2.fresh_delay_s);
+  const auto td_fit = core::ModelFitter().fit_stress(dtd);
+  const auto rd_fit = bti::fit_rd_stress(dtd, bti::RdParameters{}, true);
+
+  Table s({"model", "law", "fit R^2 (stress)"});
+  s.add_row({"TD (ref [15], this paper)",
+             "beta*ln(1 + C t)", fmt_fixed(td_fit.r_squared, 4)});
+  s.add_row({"RD (classic)",
+             strformat("A*t^%.3f", rd_fit.time_exponent),
+             fmt_fixed(rd_fit.r_squared, 4)});
+  std::printf("%s\n", s.render().c_str());
+
+  // --- Recovery-side predictions vs the four measured conditions.
+  bti::RdParameters rd_params;
+  const bti::RdModel rd(rd_params);
+  const bti::ClosedFormModel td(
+      bti::ClosedFormParameters::from_td(bti::default_td_parameters()));
+
+  struct Case {
+    const char* label;
+    int chip;
+    const char* phase;
+    bti::OperatingCondition cond;
+  };
+  const Case cases[] = {
+      {"R20Z6 (20C, 0V)", 2, "R20Z6", bti::recovery(0.0, 20.0)},
+      {"AR20N6 (20C, -0.3V)", 3, "AR20N6", bti::recovery(-0.3, 20.0)},
+      {"AR110Z6 (110C, 0V)", 4, "AR110Z6", bti::recovery(0.0, 110.0)},
+      {"AR110N6 (110C, -0.3V)", 5, "AR110N6", bti::recovery(-0.3, 110.0)},
+  };
+
+  Table r({"condition", "measured remaining @6 h", "TD prediction",
+           "RD prediction"});
+  double rd_worst_error = 0.0;
+  double td_worst_error = 0.0;
+  for (const auto& c : cases) {
+    const auto& run = campaign.chip(c.chip);
+    const auto delay = run.log.delay_series(c.phase);
+    const double measured = (delay.back().value - run.fresh_delay_s) /
+                            (delay.front().value - run.fresh_delay_s);
+    const double td_pred =
+        td.remaining_fraction(hours(24.0), hours(6.0), c.cond);
+    const double rd_pred = rd.remaining_fraction(hours(24.0), hours(6.0));
+    td_worst_error = std::max(td_worst_error, std::abs(td_pred - measured));
+    rd_worst_error = std::max(rd_worst_error, std::abs(rd_pred - measured));
+    r.add_row({c.label, fmt_percent(measured, 0), fmt_percent(td_pred, 0),
+               fmt_percent(rd_pred, 0)});
+  }
+  std::printf("%s\n", r.render().c_str());
+
+  Table v({"verdict", "TD", "RD"});
+  v.add_row({"worst |prediction - measurement|",
+             fmt_percent(td_worst_error, 0), fmt_percent(rd_worst_error, 0)});
+  v.add_row({"explains condition dependence?", "yes",
+             "no (universal curve)"});
+  std::printf("%s\n", v.render().c_str());
+  std::printf(
+      "reading: this is why the paper's Sec. 3 starts from the TD model —\n"
+      "an accelerated-self-healing technique is only *designable* under a\n"
+      "physics whose recovery responds to voltage and temperature knobs.\n");
+  return 0;
+}

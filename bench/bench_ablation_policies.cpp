@@ -1,0 +1,51 @@
+/// bench_ablation_policies — ablation for Sec. 2.2's proactive-vs-reactive
+/// argument.
+///
+/// Races the four single-device recovery policies over a 5-year mission and
+/// reports lifetime, availability, average aging and recovery-event counts
+/// — quantifying the paper's qualitative claims: passive sleep barely
+/// helps; reactive recovery works but operates more aged and trips at
+/// unpredictable times; proactive recovery keeps the device refreshed.
+
+#include <cstdio>
+
+#include "ash/core/lifetime.h"
+#include "ash/util/table.h"
+#include "common.h"
+
+int main() {
+  using namespace ash;
+  bench::print_banner(
+      "Ablation A — recovery scheduling policies (Sec. 2.2)",
+      "proactive > reactive > passive > none on aging; reactive runs aged");
+
+  Table t({"policy", "lifetime (days)", "availability", "recovery events",
+           "mean aging (mV)", "worst aging (mV)", "permanent (mV)"});
+  for (const auto policy :
+       {core::Policy::kNoRecovery, core::Policy::kPassiveSleep,
+        core::Policy::kReactive, core::Policy::kProactive}) {
+    core::LifetimeConfig cfg;
+    cfg.policy = policy;
+    cfg.horizon_s = 5.0 * 365.25 * 86400.0;
+    cfg.margin_delta_vth_v = 9.5e-3;
+    const auto r = simulate_lifetime(cfg);
+    double mean_mv = 0.0;
+    for (const auto& s : r.trace.samples()) mean_mv += s.value;
+    mean_mv = mean_mv / static_cast<double>(r.trace.size()) * 1e3;
+    t.add_row({to_string(policy),
+               r.margin_exceeded
+                   ? fmt_fixed(r.time_to_margin_s / 86400.0, 0)
+                   : ">" + fmt_fixed(cfg.horizon_s / 86400.0, 0),
+               fmt_percent(r.availability, 1),
+               strformat("%d", r.recovery_events), fmt_fixed(mean_mv, 2),
+               fmt_fixed(r.worst_delta_vth_v * 1e3, 2),
+               fmt_fixed(r.end_permanent_v * 1e3, 2)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "reading: proactive and reactive both survive the horizon, but the\n"
+      "reactive device spends its life near the high-water mark (higher\n"
+      "mean aging => worse expected performance/power, the paper's point),\n"
+      "while passive sleep gives up availability for little healing.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+/// bench_fig5_wearout_temperature — reproduces Figure 5 of the paper.
+///
+/// "Accelerated wearout with 110 degC and 100 degC for 1 day": measured
+/// delay change over time for chips 5 (110 degC) and 4 (100 degC), with
+/// the extracted first-order model (Eq. (10)) overlaid.  Shape: fast
+/// initial degradation, then logarithmic slowing; higher temperature
+/// degrades more; model tracks measurement.
+
+#include <cstdio>
+
+#include "ash/core/model_fit.h"
+#include "ash/util/constants.h"
+#include "ash/util/table.h"
+#include "common.h"
+
+int main() {
+  using namespace ash;
+  bench::print_banner(
+      "Figure 5 — accelerated wearout at 110 vs 100 degC (24 h DC)",
+      "log-like delay growth; 110 degC > 100 degC; model matches measurement");
+
+  const auto campaign = bench::run_paper_campaign();
+  const auto d110 = bench::delay_change_ns(campaign.chip(5), "AS110DC24");
+  const auto d100 = bench::delay_change_ns(campaign.chip(4), "AS100DC24");
+
+  const core::ModelFitter fitter;
+  const auto fit110 = fitter.fit_stress(
+      d110.mapped([](double ns) { return ns * 1e-9; }));
+  const auto fit100 = fitter.fit_stress(
+      d100.mapped([](double ns) { return ns * 1e-9; }));
+
+  Table t({"time (h)", "110C meas (ns)", "110C model (ns)", "100C meas (ns)",
+           "100C model (ns)"});
+  for (double h : {0.5, 1.0, 3.0, 6.0, 12.0, 18.0, 24.0}) {
+    t.add_row({fmt_fixed(h, 1), fmt_fixed(d110.at(hours(h)), 2),
+               fmt_fixed(fit110.delta_td(hours(h)) * 1e9, 2),
+               fmt_fixed(d100.at(hours(h)), 2),
+               fmt_fixed(fit100.delta_td(hours(h)) * 1e9, 2)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  Table s({"metric", "paper", "measured"});
+  s.add_row({"delay change @110C, 24 h", "~2.2% of Td0",
+             fmt_fixed(d110.back().value, 2) + " ns"});
+  s.add_row({"100C/110C end ratio", "~0.77 (Table 2)",
+             fmt_fixed(d100.back().value / d110.back().value, 2)});
+  s.add_row({"model fit R^2 (110C)", "close match",
+             fmt_fixed(fit110.r_squared, 4)});
+  s.add_row({"model fit R^2 (100C)", "close match",
+             fmt_fixed(fit100.r_squared, 4)});
+  std::printf("%s\n", s.render().c_str());
+
+  std::vector<double> v110;
+  std::vector<double> v100;
+  const Series r110 = d110.resampled(64);
+  const Series r100 = d100.resampled(64);
+  for (const auto& p : r110.samples()) v110.push_back(p.value);
+  for (const auto& p : r100.samples()) v100.push_back(p.value);
+  std::printf("%s\n", ascii_chart({"110C measurement", "100C measurement"},
+                                  {v110, v100})
+                          .c_str());
+  return 0;
+}

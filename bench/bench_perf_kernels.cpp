@@ -1,0 +1,96 @@
+/// bench_perf_kernels — google-benchmark timings of the simulator kernels.
+///
+/// Not a paper figure: this measures the library's own hot paths so
+/// regressions in simulation throughput are visible.  Covered kernels:
+/// trap-ensemble evolution, closed-form ager segments, RO delay
+/// evaluation, full-chip aging steps, thermal steady-state solves and a
+/// multi-core scheduling interval.
+
+#include <benchmark/benchmark.h>
+
+#include "ash/bti/closed_form.h"
+#include "ash/bti/trap_ensemble.h"
+#include "ash/fpga/chip.h"
+#include "ash/mc/system.h"
+#include "ash/util/constants.h"
+
+namespace {
+
+using namespace ash;
+
+void BM_TrapEnsembleEvolve(benchmark::State& state) {
+  bti::TrapEnsemble e(bti::default_td_parameters(), 1);
+  const auto cond = bti::dc_stress(1.2, 110.0);
+  for (auto _ : state) {
+    e.evolve(cond, 60.0);
+    benchmark::DoNotOptimize(e.delta_vth());
+  }
+}
+BENCHMARK(BM_TrapEnsembleEvolve);
+
+void BM_TrapEnsembleDeltaVth(benchmark::State& state) {
+  bti::TrapEnsemble e(bti::default_td_parameters(), 1);
+  e.evolve(bti::dc_stress(1.2, 110.0), hours(24.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.delta_vth());
+  }
+}
+BENCHMARK(BM_TrapEnsembleDeltaVth);
+
+void BM_ClosedFormAgerCycle(benchmark::State& state) {
+  bti::ClosedFormAger ager(
+      bti::ClosedFormParameters::from_td(bti::default_td_parameters()));
+  const auto stress = bti::dc_stress(1.2, 110.0);
+  const auto heal = bti::recovery(-0.3, 110.0);
+  for (auto _ : state) {
+    ager.evolve(stress, hours(24.0));
+    ager.evolve(heal, hours(6.0));
+    benchmark::DoNotOptimize(ager.delta_vth());
+  }
+}
+BENCHMARK(BM_ClosedFormAgerCycle);
+
+void BM_RingOscillatorFrequency(benchmark::State& state) {
+  fpga::ChipConfig cc;
+  cc.ro_stages = static_cast<int>(state.range(0));
+  fpga::FpgaChip chip(cc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chip.ro_frequency_hz(1.2, celsius(20.0)));
+  }
+}
+BENCHMARK(BM_RingOscillatorFrequency)->Arg(15)->Arg(75);
+
+void BM_ChipEvolveDcHour(benchmark::State& state) {
+  fpga::ChipConfig cc;
+  cc.ro_stages = static_cast<int>(state.range(0));
+  fpga::FpgaChip chip(cc);
+  const auto cond = bti::dc_stress(1.2, 110.0);
+  for (auto _ : state) {
+    chip.evolve(fpga::RoMode::kDcFrozen, cond, hours(1.0));
+  }
+}
+BENCHMARK(BM_ChipEvolveDcHour)->Arg(15)->Arg(75);
+
+void BM_ThermalSteadyState(benchmark::State& state) {
+  const mc::Floorplan fp;
+  const mc::ThermalModel model(fp, mc::ThermalConfig{});
+  std::vector<double> powers(static_cast<std::size_t>(fp.node_count()), 8.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.solve_steady_state(powers));
+  }
+}
+BENCHMARK(BM_ThermalSteadyState);
+
+void BM_MulticoreSimMonth(benchmark::State& state) {
+  mc::SystemConfig cfg;
+  cfg.horizon_s = 30.0 * 86400.0;
+  for (auto _ : state) {
+    mc::HeaterAwareCircadianScheduler scheduler;
+    benchmark::DoNotOptimize(mc::simulate_system(cfg, scheduler));
+  }
+}
+BENCHMARK(BM_MulticoreSimMonth);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+/// bench_table2_delay_change — reproduces Table 2 of the paper.
+///
+/// "Delay change (%) for different temperature conditions": end-of-stress
+/// frequency/delay degradation for the accelerated-stress cases.
+/// Paper values: AS110DC24 ~2.2 %, AS100DC24 ~1.7 %, AS110AC24 ~1.1 %.
+
+#include <cstdio>
+
+#include "ash/util/table.h"
+#include "common.h"
+
+int main() {
+  using namespace ash;
+  bench::print_banner(
+      "Table 2 — delay change (%) per stress condition (24 h)",
+      "110C DC ~2.2%; 100C DC ~1.7%; 110C AC ~1.1%");
+
+  const auto campaign = bench::run_paper_campaign();
+  struct Row {
+    const char* case_label;
+    int chip;
+    const char* phase;
+    const char* paper;
+  };
+  const Row rows[] = {
+      {"AS110DC24", 2, "AS110DC24", "~2.2%"},
+      {"AS110DC24 (chip 3)", 3, "AS110DC24", "~2.2%"},
+      {"AS110DC24 (chip 5)", 5, "AS110DC24", "~2.2%"},
+      {"AS100DC24", 4, "AS100DC24", "~1.7%"},
+      {"AS110AC24", 1, "AS110AC24", "~1.1%"},
+  };
+
+  Table t({"case", "chip", "paper", "measured"});
+  double dc110 = 0.0;
+  double dc100 = 0.0;
+  for (const auto& r : rows) {
+    const auto deg = bench::degradation_percent(campaign.chip(r.chip), r.phase);
+    if (std::string(r.case_label) == "AS110DC24") dc110 = deg.back().value;
+    if (std::string(r.case_label) == "AS100DC24") dc100 = deg.back().value;
+    t.add_row({r.case_label, strformat("%d", r.chip), r.paper,
+               fmt_fixed(deg.back().value, 2) + "%"});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  Table s({"derived", "paper", "measured"});
+  s.add_row({"100C/110C ratio", "~0.77", fmt_fixed(dc100 / dc110, 2)});
+  std::printf("%s\n", s.render().c_str());
+  return 0;
+}

@@ -1,0 +1,72 @@
+/// bench_table3_extracted_parameters — reproduces Table 3 of the paper.
+///
+/// "Extracted parameters": Eq. (10)'s fitting parameters (amplitude beta*A
+/// and C = 1/tau) extracted from the measured stress curves, plus the
+/// recovery-law parameters (acceleration, permanent ratio) from the
+/// recovery curves — exactly the procedure the paper uses to overlay its
+/// model on Figures 5–8.
+
+#include <cstdio>
+
+#include "ash/core/metrics.h"
+#include "ash/core/model_fit.h"
+#include "ash/util/constants.h"
+#include "ash/util/table.h"
+#include "common.h"
+
+int main() {
+  using namespace ash;
+  bench::print_banner(
+      "Table 3 — extracted model parameters (Eq. (10) / Eq. (11) fits)",
+      "first-order model parameters extracted from measurement");
+
+  const auto campaign = bench::run_paper_campaign();
+  const core::ModelFitter fitter;
+
+  std::printf("--- stress law: DeltaTd(t) = amplitude * ln(1 + C t) ---\n");
+  Table t({"case", "chip", "amplitude (ns)", "C (1/s)", "RMSE (ps)", "R^2"});
+  struct StressRow {
+    const char* phase;
+    int chip;
+  };
+  for (const auto& r : {StressRow{"AS110DC24", 2}, StressRow{"AS110DC24", 5},
+                        StressRow{"AS100DC24", 4}, StressRow{"AS110AC24", 1}}) {
+    const auto series = bench::delay_change_ns(campaign.chip(r.chip), r.phase)
+                            .mapped([](double ns) { return ns * 1e-9; });
+    const auto fit = fitter.fit_stress(series);
+    t.add_row({r.phase, strformat("%d", r.chip),
+               fmt_fixed(fit.amplitude_s * 1e9, 3),
+               strformat("%.2e", 1.0 / fit.tau_s),
+               fmt_fixed(fit.rmse_s * 1e12, 1), fmt_fixed(fit.r_squared, 4)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf(
+      "--- recovery law: remaining = perm + (1-perm) ... (Eq. (11)) ---\n");
+  Table r({"case", "chip", "acceleration AF", "permanent ratio", "R^2"});
+  struct RecRow {
+    const char* phase;
+    int chip;
+  };
+  const bti::ClosedFormModel prior(fitter.priors());
+  for (const auto& rr : {RecRow{"R20Z6", 2}, RecRow{"AR20N6", 3},
+                         RecRow{"AR110Z6", 4}, RecRow{"AR110N6", 5}}) {
+    const auto& run = campaign.chip(rr.chip);
+    const auto remaining = core::delay_change_series(
+        run.log.delay_series(rr.phase), run.fresh_delay_s);
+    const double afc =
+        rr.chip == 4 ? prior.capture_acceleration(1.2, celsius(100.0)) : 1.0;
+    const auto fit = fitter.fit_recovery(remaining, hours(24.0) * afc);
+    r.add_row({rr.phase, strformat("%d", rr.chip),
+               strformat("%.1f", fit.acceleration),
+               fmt_fixed(fit.permanent_ratio, 3),
+               fmt_fixed(fit.r_squared, 4)});
+  }
+  std::printf("%s\n", r.render().c_str());
+
+  std::printf(
+      "note: the calibrated generative constants are tau_stress = 120 s,\n"
+      "AF(110C) ~ 28, AF(-0.3V) ~ 15, permanent ratio 0.04 — the fits\n"
+      "should land near these up to counter noise and saturation.\n");
+  return 0;
+}

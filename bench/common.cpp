@@ -1,0 +1,61 @@
+#include "common.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "ash/core/metrics.h"
+
+namespace ash::bench {
+
+const ChipRun& Campaign::chip(int id) const {
+  for (const auto& c : chips) {
+    if (c.chip_id == id) return c;
+  }
+  throw std::out_of_range("Campaign::chip: unknown chip id");
+}
+
+Campaign run_paper_campaign(int stages) {
+  Campaign campaign;
+  tb::ExperimentRunner runner{tb::RunnerConfig{}};
+  for (const auto& test_case : tb::paper_campaign()) {
+    fpga::ChipConfig cc;
+    cc.chip_id = test_case.chip_id;
+    cc.seed = 0x40A0 + static_cast<std::uint64_t>(test_case.chip_id);
+    cc.ro_stages = stages;
+    fpga::FpgaChip chip(cc);
+
+    ChipRun run;
+    run.chip_id = test_case.chip_id;
+    run.log = runner.run(chip, test_case);
+    run.fresh_delay_s = run.log.records().front().delay_s;
+    run.fresh_frequency_hz = run.log.records().front().frequency_hz;
+    campaign.chips.push_back(std::move(run));
+  }
+  return campaign;
+}
+
+Series delay_change_ns(const ChipRun& run, const std::string& phase) {
+  const Series delay = run.log.delay_series(phase);
+  return core::delay_change_series(delay, run.fresh_delay_s)
+      .mapped([](double v) { return v * 1e9; });
+}
+
+Series degradation_percent(const ChipRun& run, const std::string& phase) {
+  const Series freq = run.log.frequency_series(phase);
+  return core::frequency_degradation_series(freq, run.fresh_frequency_hz)
+      .mapped([](double v) { return v * 100.0; });
+}
+
+Series recovered_delay_ns(const ChipRun& run, const std::string& phase) {
+  return core::recovered_delay_series(run.log.delay_series(phase))
+      .mapped([](double v) { return v * 1e9; });
+}
+
+void print_banner(const std::string& name, const std::string& paper_claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", name.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace ash::bench

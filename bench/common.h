@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file common.h
+/// Shared infrastructure for the figure/table reproduction benches.
+///
+/// Every bench binary regenerates one table or figure of the paper from a
+/// fresh run of the virtual lab and prints PAPER vs MEASURED rows, so the
+/// output is directly comparable to the publication.  `run_paper_campaign`
+/// executes the exact Table 1 schedule on the five virtual chips.
+
+#include <string>
+#include <vector>
+
+#include "ash/fpga/chip.h"
+#include "ash/tb/data_log.h"
+#include "ash/tb/experiment_runner.h"
+#include "ash/tb/test_case.h"
+#include "ash/util/series.h"
+
+namespace ash::bench {
+
+/// One chip's campaign outcome.
+struct ChipRun {
+  int chip_id = 0;
+  tb::DataLog log;
+  /// First measurement of the campaign (the fresh reference, as in the
+  /// paper: all later metrics are relative to it).
+  double fresh_delay_s = 0.0;
+  double fresh_frequency_hz = 0.0;
+};
+
+/// The whole five-chip campaign.
+struct Campaign {
+  std::vector<ChipRun> chips;
+
+  const ChipRun& chip(int id) const;
+};
+
+/// Run the Table 1 campaign on five virtual chips (75-stage ROs).
+/// `stages` can be reduced for quick runs.
+Campaign run_paper_campaign(int stages = 75);
+
+/// DeltaTd(t) series (in ns) for one phase of a chip run, relative to the
+/// chip's fresh delay.
+Series delay_change_ns(const ChipRun& run, const std::string& phase);
+
+/// Frequency-degradation (%) series for one phase.
+Series degradation_percent(const ChipRun& run, const std::string& phase);
+
+/// Recovered-delay series (Eq. (16)) in ns for a recovery phase.
+Series recovered_delay_ns(const ChipRun& run, const std::string& phase);
+
+/// Banner printed at the top of every bench.
+void print_banner(const std::string& name, const std::string& paper_claim);
+
+}  // namespace ash::bench

@@ -1,0 +1,54 @@
+/// quickstart — the five-minute tour of libash.
+///
+/// Builds one virtual 40 nm FPGA chip, stresses it for 24 hours the way the
+/// paper does (DC, 110 degC, 1.2 V), then deeply rejuvenates it for 6 hours
+/// (110 degC, -0.3 V — the paper's best case, alpha = 4) and prints what a
+/// ring-oscillator measurement sees at each step.
+///
+/// Build & run:
+///   cmake -B build -G Ninja && cmake --build build
+///   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "ash/bti/condition.h"
+#include "ash/fpga/chip.h"
+#include "ash/util/constants.h"
+
+int main() {
+  using namespace ash;
+
+  // One chip of the virtual family.  Everything is deterministic in the
+  // seed: rerunning reproduces the exact numbers below.
+  fpga::ChipConfig config;
+  config.chip_id = 1;
+  config.seed = 2026;
+  fpga::FpgaChip chip(config);
+
+  const double vdd = 1.2;
+  const double room = celsius(20.0);
+  const double fresh_hz = chip.ro_frequency_hz(vdd, room);
+  std::printf("fresh RO frequency      : %.3f MHz (CUT delay %.1f ns)\n",
+              fresh_hz / 1e6, chip.cut_delay_s(vdd, room) * 1e9);
+
+  // Accelerated wearout: freeze the ring (DC stress) in the hot chamber.
+  chip.evolve(fpga::RoMode::kDcFrozen, bti::dc_stress(1.2, 110.0),
+              hours(24.0));
+  const double stressed_hz = chip.ro_frequency_hz(vdd, room);
+  std::printf("after 24 h DC @110 degC : %.3f MHz (degraded %.2f %%)\n",
+              stressed_hz / 1e6, 100.0 * (1.0 - stressed_hz / fresh_hz));
+
+  // Accelerated self-healing: sleep is an *active* recovery period —
+  // negative bias plus heat, for only a quarter of the stress time.
+  chip.evolve(fpga::RoMode::kSleep, bti::recovery(-0.3, 110.0), hours(6.0));
+  const double healed_hz = chip.ro_frequency_hz(vdd, room);
+  const double recovered =
+      (healed_hz - stressed_hz) / (fresh_hz - stressed_hz);
+  std::printf("after 6 h deep sleep    : %.3f MHz (recovered %.0f %% of the "
+              "damage)\n",
+              healed_hz / 1e6, 100.0 * recovered);
+
+  std::printf("\nThat is the paper's headline: a stressed chip back to within"
+              "\n~90%% of its original margin in 1/4 of the stress time.\n");
+  return 0;
+}

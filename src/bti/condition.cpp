@@ -1,0 +1,31 @@
+#include "ash/bti/condition.h"
+
+#include "ash/util/constants.h"
+#include "ash/util/table.h"
+
+namespace ash::bti {
+
+std::string OperatingCondition::describe() const {
+  return strformat("%.2fV/%.1fC/duty=%.2f", voltage_v,
+                   to_celsius(temperature_k), gate_stress_duty);
+}
+
+OperatingCondition dc_stress(double voltage_v, double temp_c) {
+  return {.voltage_v = voltage_v,
+          .temperature_k = celsius(temp_c),
+          .gate_stress_duty = 1.0};
+}
+
+OperatingCondition ac_stress(double voltage_v, double temp_c, double duty) {
+  return {.voltage_v = voltage_v,
+          .temperature_k = celsius(temp_c),
+          .gate_stress_duty = duty};
+}
+
+OperatingCondition recovery(double voltage_v, double temp_c) {
+  return {.voltage_v = voltage_v,
+          .temperature_k = celsius(temp_c),
+          .gate_stress_duty = 0.0};
+}
+
+}  // namespace ash::bti

@@ -1,0 +1,54 @@
+#include "ash/bti/electromigration.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "ash/util/constants.h"
+
+namespace ash::bti {
+
+void EmParameters::validate() const {
+  if (ea_ev < 0.0 || current_exponent <= 0.0 || ref_temp_k <= 0.0 ||
+      drift_rate_per_s <= 0.0 || failure_drift <= 0.0) {
+    throw std::invalid_argument("EmParameters: out of domain");
+  }
+}
+
+EmInterconnect::EmInterconnect(const EmParameters& params) : params_(params) {
+  params_.validate();
+}
+
+double EmInterconnect::drift_rate(double current_density_ratio,
+                                  double temp_k) const {
+  if (current_density_ratio < 0.0) {
+    throw std::invalid_argument("EmInterconnect: negative current density");
+  }
+  if (temp_k <= 0.0) {
+    throw std::invalid_argument("EmInterconnect: non-positive temperature");
+  }
+  if (current_density_ratio == 0.0) return 0.0;
+  const double arrhenius = std::exp(
+      -(params_.ea_ev / kBoltzmannEv) * (1.0 / temp_k - 1.0 / params_.ref_temp_k));
+  return params_.drift_rate_per_s *
+         std::pow(current_density_ratio, params_.current_exponent) *
+         arrhenius;
+}
+
+void EmInterconnect::evolve(double current_density_ratio, double temp_k,
+                            double dt_s) {
+  if (dt_s < 0.0) {
+    throw std::invalid_argument("EmInterconnect: negative dt");
+  }
+  drift_ += drift_rate(current_density_ratio, temp_k) * dt_s;
+}
+
+double EmInterconnect::time_to_failure_s(double current_density_ratio,
+                                         double temp_k) const {
+  const double rate = drift_rate(current_density_ratio, temp_k);
+  if (rate <= 0.0) return std::numeric_limits<double>::infinity();
+  const double remaining = params_.failure_drift - drift_;
+  return remaining <= 0.0 ? 0.0 : remaining / rate;
+}
+
+}  // namespace ash::bti

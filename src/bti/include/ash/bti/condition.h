@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file condition.h
+/// Operating conditions for BTI stress and recovery phases.
+///
+/// The paper's experimental "knobs" (Sec. 4.1) are voltage, time,
+/// temperature, switching activity and the active/sleep ratio alpha.  An
+/// `OperatingCondition` captures the first three plus activity; schedules
+/// (ash::tb) sequence conditions over time, and alpha emerges from the
+/// schedule.
+
+#include <string>
+
+namespace ash::bti {
+
+/// Which BTI flavour a transistor experiences.  NBTI: PMOS under negative
+/// gate-source bias.  PBTI: NMOS under positive bias (significant at
+/// high-k/metal-gate nodes, Sec. 1 of the paper).
+enum class StressType { kNbti, kPbti };
+
+/// Gate bias condition of one interval, from the device's point of view.
+///
+/// `gate_stress_duty` is the fraction of the interval during which the gate
+/// sees full stress bias:
+///   * 1.0  — DC stress (input static, gate biased the whole time);
+///   * ~0.5 — AC stress (input switching; the paper observes AC degradation
+///            is about half of DC because each half-cycle of stress is
+///            followed by a recovery half-cycle);
+///   * 0.0  — recovery / sleep (no stress at all).
+struct OperatingCondition {
+  /// Supply/gate magnitude in volts.  1.2 V is nominal for the 40 nm parts;
+  /// recovery uses 0 V (power gated) or -0.3 V (active reverse bias).
+  double voltage_v = 1.2;
+
+  /// Junction temperature in kelvin.
+  double temperature_k = 293.15;
+
+  /// Fraction of time under stress bias within this interval, in [0, 1].
+  double gate_stress_duty = 0.0;
+
+  /// True when any stress is applied during the interval.
+  bool is_stressing() const { return gate_stress_duty > 0.0; }
+
+  /// Human-readable summary, e.g. "1.20V/110.0C/duty=1.00".
+  std::string describe() const;
+};
+
+/// Convenience constructors mirroring the paper's test vocabulary.
+/// Temperatures are given in degrees Celsius as in Table 1.
+OperatingCondition dc_stress(double voltage_v, double temp_c);
+OperatingCondition ac_stress(double voltage_v, double temp_c,
+                             double duty = 0.5);
+OperatingCondition recovery(double voltage_v, double temp_c);
+
+}  // namespace ash::bti

@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file parameters.h
+/// Calibration constants of the stochastic Trapping/Detrapping (TD) model.
+///
+/// The paper builds on the device-level TD model of Velamala et al.
+/// (DAC'12, ref. [15]): threshold-voltage shift is carried by oxide traps
+/// that capture carriers under stress and emit them during recovery, with
+/// capture/emission time constants spread over many decades.  The
+/// log-uniform spread of time constants is what produces the measured
+/// DeltaVth ~ A*phi*log(1 + C*t) stress law (Eq. (1)) and the
+/// fast-then-logarithmic recovery law (Eq. (3)).
+///
+/// `TdParameters` gathers every physical constant with the calibration
+/// rationale next to it.  Defaults are calibrated so that the virtual 40 nm
+/// FPGA reproduces the paper's headline measurements (see DESIGN.md §5):
+///   * 24 h DC stress @110 degC/1.2 V  => ~2.2 % RO frequency degradation;
+///   * same @100 degC                  => ~1.7 %;
+///   * AC stress                       => about half of DC;
+///   * 6 h recovery (alpha = 4) @110 degC/-0.3 V => back to >=90 % of the
+///     original margin.
+
+#include <cstdint>
+
+namespace ash::bti {
+
+/// All constants of the trap-ensemble model.  A value-semantic bag; pass by
+/// const& and treat as immutable after validation.
+struct TdParameters {
+  // --- Trap population -----------------------------------------------------
+  /// Number of traps simulated per device (per transistor gate oxide).
+  /// Enough for a smooth log(1+Ct) aggregate without noisy steps.
+  int traps_per_device = 160;
+
+  /// Mean per-trap threshold-voltage contribution in volts (exponentially
+  /// distributed).  Sets the overall DeltaVth magnitude:
+  /// traps_per_device * delta_vth_mean_v bounds the fully-trapped shift.
+  /// Calibrated so 24 h of reference DC stress shifts Vth by ~37 mV, which
+  /// the RO delay model maps to the paper's ~2.2 % frequency degradation.
+  double delta_vth_mean_v = 765e-6;
+
+  /// Capture time constants are log-uniform over
+  /// [tau_capture_min_s, tau_capture_max_s] *at the stress reference
+  /// condition* (1.2 V, 110 degC).  The 120 s floor reproduces the
+  /// measured curve shape at the paper's 20-minute sampling cadence
+  /// (~50 % of the 24 h damage lands in the first hour, ~65 % by 3 h,
+  /// Fig. 4); faster traps live in fast equilibrium and are invisible to
+  /// gated RO measurements.
+  double tau_capture_min_s = 120.0;
+  double tau_capture_max_s = 1e10;
+
+  /// Emission constant: tau_e = rho * tau_c with log10(rho) ~ N(mu, sigma).
+  /// rho >> 1 encodes "recovery is slower than degradation" (Sec. 3.1);
+  /// the spread keeps recovery log-like rather than a single exponential.
+  /// rho also sets the AC-stress equilibrium (capture racing the concurrent
+  /// emission of the unbiased half-cycles): at rho ~ 7 with the 0.37 eV
+  /// emission barrier, a device under 50 % duty at 110 degC reaches ~0.27x
+  /// the DC shift, which — combined with DC stress aging only one of the
+  /// two RO transition paths — lands the *measured* AC/DC frequency-
+  /// degradation ratio at the paper's "about half" (Fig. 4).
+  double emission_ratio_log10_mu = 0.83;
+  double emission_ratio_log10_sigma = 0.25;
+
+  /// Fraction of traps whose damage is irreversible (interface states that
+  /// never anneal at these temperatures).  Bounds the best achievable
+  /// recovery — the paper reports chips return to *within 90 %* of the
+  /// original margin, never fully fresh.
+  double permanent_fraction = 0.04;
+
+  // --- Capture kinetics (stress acceleration) -------------------------------
+  /// Reference stress condition at which tau_capture_* are specified.
+  double stress_ref_voltage_v = 1.2;
+  double stress_ref_temp_k = 383.15;  // 110 degC
+
+  /// Oxide-field acceleration of capture: rate *= exp(Bv*(V - Vref)).
+  /// 3.5 /V gives ~2x per 200 mV overdrive, typical of 40 nm NBTI data.
+  double capture_field_accel_per_v = 3.5;
+
+  /// Mean/spread of the capture activation energy in eV (Arrhenius rate
+  /// factor exp(-Ea/k * (1/T - 1/Tref))).
+  double capture_ea_mean_ev = 0.20;
+  double capture_ea_sigma_ev = 0.05;
+
+  /// Below this gate magnitude no capture occurs at all: recovery at 0 V or
+  /// negative bias only emits.
+  double capture_threshold_voltage_v = 0.6;
+
+  // --- Equilibrium occupancy amplitude (Eq. (2)'s phi) ----------------------
+  /// Under stress, the equilibrium trapped fraction is
+  ///   phi(V, T) = clamp(amp_k * exp(-(amp_e0_ev - amp_b_ev_per_v*V)/(k*T)))
+  /// which reproduces the multiplicative exp(-E0/kT)*exp(B*V/kT) amplitude
+  /// of Eq. (2): occupancy of a trap level depends on the Fermi-level
+  /// alignment set by field and temperature.  Calibrated so
+  /// phi(1.2 V, 383 K) ~ 0.75 and phi(1.2 V, 373 K)/phi(1.2 V, 383 K) ~ 0.77
+  /// (the measured 1.7 % / 2.2 % ratio of Table 2).
+  double amp_k = 1.23e4;
+  double amp_e0_ev = 0.44;
+  double amp_b_ev_per_v = 0.10;
+
+  // --- Emission kinetics (recovery acceleration) ----------------------------
+  /// Reference recovery condition at which tau_e is specified: passive
+  /// recovery, power gated at room temperature (the R20Z6 baseline case).
+  double recovery_ref_voltage_v = 0.0;
+  double recovery_ref_temp_k = 293.15;  // 20 degC
+
+  /// Emission activation energy (eV): 110 degC vs 20 degC accelerates
+  /// emission by exp(Ea/k*(1/293-1/383)) ~ 31x at 0.37 eV.  Because the
+  /// measurable trap spectrum spans only ~2.9 decades at the 24 h stress
+  /// point, that modest factor is enough for AR110Z6 (temperature alone)
+  /// to reach ~90 % recovery in one quarter of the stress time — while the
+  /// same constant keeps the AC-stress equilibrium consistent with Fig. 4.
+  double emission_ea_mean_ev = 0.37;
+  double emission_ea_sigma_ev = 0.05;
+
+  /// Negative-gate boost of emission (field-assisted detrapping):
+  /// rate *= exp(Br * max(0, -V)).  10 /V makes the paper's "modest"
+  /// -0.3 V worth ~20x, letting AR20N6 (negative bias alone, room
+  /// temperature) reach ~87 % recovery (Fig. 6a) — slightly less than
+  /// temperature alone, matching the Fig. 8 ordering.
+  double emission_neg_bias_accel_per_v = 10.0;
+
+  // --- Safety limits ---------------------------------------------------------
+  /// Lateral pn-junction breakdown limit (Sec. 6.1 challenge (1)): the
+  /// library refuses recovery conditions more negative than this.
+  double min_safe_voltage_v = -0.5;
+  /// Chip ceases to function above this temperature; the paper chose 100
+  /// and 110 degC as "above the upper [rated] limit but not too high".
+  double max_safe_temp_k = 273.15 + 125.0;
+
+  /// Throws std::invalid_argument with a descriptive message if any
+  /// constant is out of its physical domain.
+  void validate() const;
+};
+
+/// The default-calibrated parameter set for the 40 nm FPGA reproduction.
+const TdParameters& default_td_parameters();
+
+}  // namespace ash::bti

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file trap.h
+/// A single oxide trap and its two-state occupancy kinetics.
+///
+/// The TD model's elementary object: a trap captures a carrier under stress
+/// (raising |Vth| by `delta_vth_v`) and emits it during recovery.  The
+/// library tracks the *expected* occupancy p in [0, 1] (the mean-field of
+/// the underlying telegraph process), which evolves under piecewise-constant
+/// conditions by the exact linear-ODE solution — no time-step error, so a
+/// 24-hour stress phase is one update.
+
+#include <cmath>
+
+namespace ash::bti {
+
+/// Immutable physical identity of one trap plus its mutable occupancy.
+struct Trap {
+  /// Threshold-voltage contribution when occupied (volts).
+  double delta_vth_v = 0.0;
+  /// Capture time constant at the stress reference condition (seconds).
+  double tau_capture_s = 1.0;
+  /// Emission time constant at the passive-recovery reference (seconds).
+  double tau_emission_s = 1.0;
+  /// Activation energy of the capture process (eV).
+  double capture_ea_ev = 0.2;
+  /// Activation energy of the emission process (eV).
+  double emission_ea_ev = 0.6;
+  /// Irreversible trap: once filled it never emits (interface damage).
+  bool permanent = false;
+
+  /// Expected occupancy in [0, 1].
+  double occupancy = 0.0;
+};
+
+/// Advance one trap by dt seconds under constant effective rates.
+///
+/// Dynamics: dp/dt = rc * (phi - p) - re * p, where
+///   rc  — effective capture rate (1/s), already duty- and
+///         acceleration-scaled by the caller;
+///   re  — effective emission rate (1/s), zero for permanent traps;
+///   phi — equilibrium trapped amplitude (Eq. (2)); capture drives p toward
+///         phi, not 1, which gives the model its multiplicative
+///         voltage/temperature amplitude.
+///
+/// Exact solution over the interval:
+///   p(dt) = p_inf + (p0 - p_inf) * exp(-(rc + re) * dt),
+///   p_inf = rc * phi / (rc + re).
+inline void evolve_trap(Trap& trap, double rc, double re, double phi,
+                        double dt_s) {
+  if (trap.permanent) re = 0.0;
+  const double lambda = rc + re;
+  if (lambda <= 0.0 || dt_s <= 0.0) return;
+  const double p_inf = rc * phi / lambda;
+  const double x = lambda * dt_s;
+  // exp underflows harmlessly for large x; short-circuit to avoid the call.
+  const double decay = x > 700.0 ? 0.0 : std::exp(-x);
+  trap.occupancy = p_inf + (trap.occupancy - p_inf) * decay;
+}
+
+}  // namespace ash::bti

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file trap_ensemble.h
+/// The stochastic Trapping/Detrapping model: an ensemble of oxide traps per
+/// device.
+///
+/// This is the ground-truth physics layer of the reproduction (the stand-in
+/// for the paper's actual 40 nm silicon).  Its macroscopic behaviour —
+/// log(1+Ct) stress growth, amplitude ∝ phi(V,T), fast-then-log partial
+/// recovery, AC ≈ ½ DC — *emerges* from the microscopic trap kinetics; the
+/// paper's closed-form Eqs. (1)–(4) are then fit against it exactly as the
+/// authors fit their equations against chip measurements.
+
+#include <cstdint>
+#include <vector>
+
+#include "ash/bti/condition.h"
+#include "ash/bti/parameters.h"
+#include "ash/bti/trap.h"
+
+namespace ash::bti {
+
+/// Ensemble of traps belonging to one transistor's gate oxide.
+///
+/// Value-semantic: copying an ensemble snapshots the full degradation state
+/// (used by the what-if planner).  Deterministic: the trap population is a
+/// pure function of (parameters, seed).
+class TrapEnsemble {
+ public:
+  /// Build a fresh (unstressed) device.  `seed` individualizes the trap
+  /// population — two devices with different seeds age statistically alike
+  /// but not identically, which is how chip-to-chip variation on aging
+  /// enters the virtual fabric.
+  TrapEnsemble(const TdParameters& params, std::uint64_t seed);
+
+  /// Advance the device by dt seconds under a constant operating condition.
+  /// Stress intervals capture (and, for AC duty < 1, concurrently emit
+  /// during the unbiased half-cycles); recovery intervals only emit, at a
+  /// rate accelerated by temperature and negative bias.
+  void evolve(const OperatingCondition& condition, double dt_s);
+
+  /// Current threshold-voltage shift (volts): sum of occupied trap
+  /// contributions.
+  double delta_vth() const;
+
+  /// Shift carried by permanent (never-recoverable) traps only.
+  double permanent_delta_vth() const;
+
+  /// Upper bound on the shift if every trap were occupied.
+  double max_delta_vth() const;
+
+  /// Restore the factory-fresh state (all traps empty).
+  void reset();
+
+  int trap_count() const { return static_cast<int>(traps_.size()); }
+  const TdParameters& parameters() const { return params_; }
+
+  /// Snapshot / restore of the mutable state (occupancies), for
+  /// checkpointing long campaigns.  `set_occupancies` requires a vector of
+  /// exactly trap_count() values in [0, 1].
+  std::vector<double> occupancies() const;
+  void set_occupancies(const std::vector<double>& occ);
+
+ private:
+  TdParameters params_;
+  std::vector<Trap> traps_;
+};
+
+}  // namespace ash::bti

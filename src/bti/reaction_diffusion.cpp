@@ -1,0 +1,99 @@
+#include "ash/bti/reaction_diffusion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "ash/util/constants.h"
+#include "ash/util/optimize.h"
+#include "ash/util/stats.h"
+
+namespace ash::bti {
+
+void RdParameters::validate() const {
+  if (amplitude_ref_v <= 0.0 || time_exponent <= 0.0 || time_exponent >= 1.0 ||
+      xi <= 0.0 || stress_ref_temp_k <= 0.0) {
+    throw std::invalid_argument("RdParameters: out of domain");
+  }
+}
+
+RdModel::RdModel(RdParameters params) : params_(params) {
+  params_.validate();
+}
+
+double RdModel::amplitude(double voltage_v, double temp_k) const {
+  auto amp = [&](double v, double t) {
+    return std::exp(-(params_.e0_ev - params_.b_ev_per_v * v) /
+                    (kBoltzmannEv * t));
+  };
+  return params_.amplitude_ref_v * amp(voltage_v, temp_k) /
+         amp(params_.stress_ref_voltage_v, params_.stress_ref_temp_k);
+}
+
+double RdModel::stress_delta_vth(double t_s,
+                                 const OperatingCondition& c) const {
+  if (t_s <= 0.0 || !c.is_stressing()) return 0.0;
+  const double duty = std::clamp(c.gate_stress_duty, 0.0, 1.0);
+  return amplitude(c.voltage_v, c.temperature_k) *
+         std::pow(t_s * duty, params_.time_exponent);
+}
+
+double RdModel::remaining_fraction(double t1_s, double t2_s) const {
+  if (t1_s <= 0.0) return 1.0;
+  if (t2_s <= 0.0) return 1.0;
+  // The universal back-diffusion curve: depends on t2/t1 only.
+  return 1.0 / (1.0 + std::sqrt(params_.xi * t2_s / t1_s));
+}
+
+RdStressFit fit_rd_stress(const ash::Series& delay_change,
+                          const RdParameters& params, bool fit_exponent) {
+  if (delay_change.size() < 4) {
+    throw std::invalid_argument("fit_rd_stress: need at least 4 samples");
+  }
+  const auto residual = [&](double amp, double n) {
+    double acc = 0.0;
+    for (const auto& s : delay_change.samples()) {
+      const double model = s.t > 0.0 ? amp * std::pow(s.t, n) : 0.0;
+      acc += (s.value - model) * (s.value - model);
+    }
+    return acc;
+  };
+
+  // Amplitude has a closed-form LS solution for fixed n.
+  const auto best_amp = [&](double n) {
+    double num = 0.0;
+    double den = 0.0;
+    for (const auto& s : delay_change.samples()) {
+      if (s.t <= 0.0) continue;
+      const double x = std::pow(s.t, n);
+      num += x * s.value;
+      den += x * x;
+    }
+    return den > 0.0 ? num / den : 0.0;
+  };
+
+  RdStressFit fit;
+  if (fit_exponent) {
+    const double n = golden_section(
+        [&](double cand) { return residual(best_amp(cand), cand); }, 0.02,
+        0.6, 1e-6);
+    fit.time_exponent = n;
+  } else {
+    fit.time_exponent = params.time_exponent;
+  }
+  fit.amplitude = best_amp(fit.time_exponent);
+
+  std::vector<double> obs;
+  std::vector<double> mod;
+  for (const auto& s : delay_change.samples()) {
+    obs.push_back(s.value);
+    mod.push_back(s.t > 0.0
+                      ? fit.amplitude * std::pow(s.t, fit.time_exponent)
+                      : 0.0);
+  }
+  fit.r_squared = r_squared(obs, mod);
+  return fit;
+}
+
+}  // namespace ash::bti

@@ -1,0 +1,130 @@
+#include "ash/bti/trap_ensemble.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ash/bti/acceleration.h"
+#include "ash/util/constants.h"
+#include "ash/util/random.h"
+
+namespace ash::bti {
+
+TrapEnsemble::TrapEnsemble(const TdParameters& params, std::uint64_t seed)
+    : params_(params) {
+  params_.validate();
+  Rng rng(seed);
+  traps_.reserve(static_cast<std::size_t>(params_.traps_per_device));
+  for (int i = 0; i < params_.traps_per_device; ++i) {
+    Trap t;
+    t.delta_vth_v = rng.exponential(params_.delta_vth_mean_v);
+    t.tau_capture_s =
+        rng.loguniform(params_.tau_capture_min_s, params_.tau_capture_max_s);
+    const double rho = std::pow(
+        10.0, rng.normal(params_.emission_ratio_log10_mu,
+                         params_.emission_ratio_log10_sigma));
+    t.tau_emission_s = rho * t.tau_capture_s;
+    t.capture_ea_ev = std::max(
+        0.0, rng.normal(params_.capture_ea_mean_ev, params_.capture_ea_sigma_ev));
+    t.emission_ea_ev =
+        std::max(0.0, rng.normal(params_.emission_ea_mean_ev,
+                                 params_.emission_ea_sigma_ev));
+    t.permanent = rng.bernoulli(params_.permanent_fraction);
+    traps_.push_back(t);
+  }
+}
+
+void TrapEnsemble::evolve(const OperatingCondition& c, double dt_s) {
+  if (dt_s < 0.0) {
+    throw std::invalid_argument("TrapEnsemble::evolve: negative dt");
+  }
+  if (dt_s == 0.0) return;
+  if (c.voltage_v < params_.min_safe_voltage_v) {
+    throw std::invalid_argument(
+        "TrapEnsemble::evolve: voltage below pn-junction breakdown limit");
+  }
+  if (c.temperature_k > params_.max_safe_temp_k) {
+    throw std::invalid_argument(
+        "TrapEnsemble::evolve: temperature above functional limit");
+  }
+  const double duty = std::clamp(c.gate_stress_duty, 0.0, 1.0);
+
+  // Gate bias seen during the *unstressed* fraction of the interval: a
+  // recovery interval applies its own (possibly negative) bias; the
+  // off-phase of an AC stress interval is simply unbiased.
+  const double emission_bias_v = duty == 0.0 ? c.voltage_v : 0.0;
+
+  // Amplitude and per-Ea Arrhenius exponents are condition-level constants;
+  // hoist everything that does not depend on the individual trap.
+  const double phi =
+      duty > 0.0 ? occupancy_amplitude(params_, c.voltage_v, c.temperature_k)
+                 : 0.0;
+  const double capture_field =
+      c.voltage_v >= params_.capture_threshold_voltage_v
+          ? std::exp(params_.capture_field_accel_per_v *
+                     (c.voltage_v - params_.stress_ref_voltage_v))
+          : 0.0;
+  const double capture_arr_x =
+      (1.0 / c.temperature_k - 1.0 / params_.stress_ref_temp_k) / kBoltzmannEv;
+  const double emission_bias_boost = std::exp(
+      params_.emission_neg_bias_accel_per_v * std::max(0.0, -emission_bias_v));
+  const double emission_arr_x =
+      (1.0 / c.temperature_k - 1.0 / params_.recovery_ref_temp_k) /
+      kBoltzmannEv;
+
+  for (Trap& t : traps_) {
+    const double af_c = capture_field * std::exp(-t.capture_ea_ev * capture_arr_x);
+    const double af_e =
+        emission_bias_boost * std::exp(-t.emission_ea_ev * emission_arr_x);
+    const double rc = duty * af_c / t.tau_capture_s;
+    const double re = (1.0 - duty) * af_e / t.tau_emission_s;
+    evolve_trap(t, rc, re, phi, dt_s);
+  }
+}
+
+double TrapEnsemble::delta_vth() const {
+  double acc = 0.0;
+  for (const Trap& t : traps_) acc += t.occupancy * t.delta_vth_v;
+  return acc;
+}
+
+double TrapEnsemble::permanent_delta_vth() const {
+  double acc = 0.0;
+  for (const Trap& t : traps_) {
+    if (t.permanent) acc += t.occupancy * t.delta_vth_v;
+  }
+  return acc;
+}
+
+double TrapEnsemble::max_delta_vth() const {
+  double acc = 0.0;
+  for (const Trap& t : traps_) acc += t.delta_vth_v;
+  return acc;
+}
+
+void TrapEnsemble::reset() {
+  for (Trap& t : traps_) t.occupancy = 0.0;
+}
+
+std::vector<double> TrapEnsemble::occupancies() const {
+  std::vector<double> occ;
+  occ.reserve(traps_.size());
+  for (const Trap& t : traps_) occ.push_back(t.occupancy);
+  return occ;
+}
+
+void TrapEnsemble::set_occupancies(const std::vector<double>& occ) {
+  if (occ.size() != traps_.size()) {
+    throw std::invalid_argument(
+        "TrapEnsemble::set_occupancies: size mismatch");
+  }
+  for (std::size_t i = 0; i < occ.size(); ++i) {
+    if (occ[i] < 0.0 || occ[i] > 1.0) {
+      throw std::invalid_argument(
+          "TrapEnsemble::set_occupancies: occupancy outside [0, 1]");
+    }
+    traps_[i].occupancy = occ[i];
+  }
+}
+
+}  // namespace ash::bti

@@ -1,0 +1,72 @@
+#include "ash/core/circadian.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ash::core {
+
+std::vector<CircadianPoint> explore_circadian(
+    const CircadianSweepConfig& config) {
+  if (config.periods_s.empty() || config.alphas.empty()) {
+    throw std::invalid_argument("CircadianSweepConfig: empty grids");
+  }
+  std::vector<CircadianPoint> out;
+  out.reserve(config.periods_s.size() * config.alphas.size());
+  for (double period : config.periods_s) {
+    for (double alpha : config.alphas) {
+      LifetimeConfig lc;
+      lc.mission = config.mission;
+      lc.policy = Policy::kProactive;
+      lc.knobs = config.knobs;
+      lc.knobs.active_sleep_ratio = alpha;
+      lc.cycle_period_s = period;
+      lc.horizon_s = config.horizon_s;
+      // A margin far above reach: we want the trajectory, not censoring.
+      lc.margin_delta_vth_v = 1.0;
+      lc.model = config.model;
+      const LifetimeResult r = simulate_lifetime(lc);
+
+      CircadianPoint p;
+      p.cycle_period_s = period;
+      p.alpha = alpha;
+      p.availability = r.availability;
+      p.worst_delta_vth_v = r.worst_delta_vth_v;
+      p.end_permanent_v = r.end_permanent_v;
+      double mean = 0.0;
+      for (const auto& s : r.trace.samples()) mean += s.value;
+      p.mean_delta_vth_v = mean / static_cast<double>(r.trace.size());
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<CircadianPoint> pareto_schedules(
+    std::vector<CircadianPoint> points) {
+  std::vector<CircadianPoint> frontier;
+  for (const auto& candidate : points) {
+    bool dominated = false;
+    for (const auto& other : points) {
+      const bool strictly_better =
+          (other.availability > candidate.availability &&
+           other.worst_delta_vth_v <= candidate.worst_delta_vth_v) ||
+          (other.availability >= candidate.availability &&
+           other.worst_delta_vth_v < candidate.worst_delta_vth_v);
+      if (strictly_better) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) frontier.push_back(candidate);
+  }
+  std::sort(frontier.begin(), frontier.end(),
+            [](const CircadianPoint& a, const CircadianPoint& b) {
+              if (a.availability != b.availability) {
+                return a.availability < b.availability;
+              }
+              return a.worst_delta_vth_v < b.worst_delta_vth_v;
+            });
+  return frontier;
+}
+
+}  // namespace ash::core

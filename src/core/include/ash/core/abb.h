@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file abb.h
+/// Adaptive body-bias (ABB) baseline — the "accept, track, adapt" school
+/// the paper positions itself against (refs. [9]-[11]; Qi & Stan's "NBTI
+/// Resilient Circuits Using Adaptive Body Biasing" among them).
+///
+/// ABB compensates aging-induced Vth drift with forward body bias: the
+/// device keeps meeting timing, but "adaptation is no panacea since aging
+/// fundamentally worsens the system metrics" (Sec. 1) — every millivolt of
+/// compensation is paid in exponentially growing subthreshold leakage, and
+/// the bias range eventually runs out.  `run_abb_study` quantifies exactly
+/// that against a no-mitigation arm and an accelerated-self-healing arm.
+
+#include "ash/bti/closed_form.h"
+#include "ash/util/series.h"
+
+namespace ash::core {
+
+/// Study configuration.
+struct AbbConfig {
+  /// Mission operating point.
+  double supply_v = 1.2;
+  double temp_c = 80.0;
+  double activity_duty = 0.5;
+  /// Fraction of Vth drift one volt of forward body bias cancels (the
+  /// body-effect coefficient), and the available bias range.
+  double body_effect = 0.25;
+  double max_body_bias_v = 0.45;
+  /// Subthreshold slope factor n * vT (volts): leakage multiplies by
+  /// exp(delta_vth_compensated / subthreshold_swing_v).
+  double subthreshold_swing_v = 0.039;
+  /// ABB controller period (re-tune cadence) — also the self-healing arm's
+  /// cycle period.
+  double cycle_period_s = 30.0 * 3600.0;
+  /// Self-healing arm: alpha and sleep conditions.
+  double alpha = 4.0;
+  double sleep_voltage_v = -0.3;
+  double sleep_temp_c = 110.0;
+  /// Horizon.
+  double horizon_s = 5.0 * 365.25 * 86400.0;
+  /// Device model.
+  bti::ClosedFormParameters model =
+      bti::ClosedFormParameters::from_td(bti::default_td_parameters());
+};
+
+/// One arm's outcome.
+struct AbbArm {
+  /// Uncompensated Vth drift at the end of the horizon (volts).
+  double end_delta_vth_v = 0.0;
+  /// Residual (post-compensation) drift the timing path actually sees.
+  double end_residual_vth_v = 0.0;
+  /// Final applied body bias (ABB arm only).
+  double end_body_bias_v = 0.0;
+  /// True once the controller hit its bias rail (compensation exhausted).
+  bool bias_exhausted = false;
+  /// Time-average leakage-power multiplier relative to fresh.
+  double mean_leakage_ratio = 1.0;
+  /// Work availability (1 for ABB/no-mitigation; alpha/(1+alpha) for the
+  /// self-healing arm).
+  double availability = 1.0;
+  /// Residual-drift trace for plotting.
+  Series residual_trace;
+};
+
+/// All three arms.
+struct AbbStudy {
+  AbbArm none;          ///< no mitigation
+  AbbArm abb;           ///< perfect-tracking adaptive body bias
+  AbbArm self_healing;  ///< proactive accelerated recovery
+};
+
+/// Leakage multiplier for a given compensated Vth reduction.
+double leakage_ratio(const AbbConfig& config, double vth_reduction_v);
+
+/// Run the three-arm study.
+AbbStudy run_abb_study(const AbbConfig& config);
+
+}  // namespace ash::core

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file circadian.h
+/// Virtual circadian rhythm explorer — the paper's closing future-work
+/// item: "exploring the prospect of periodic deep rejuvenation on a
+/// periodic schedule and developing a virtual circadian rhythm ...  Since
+/// the time before the next scheduled deep rejuvenation is known in
+/// advance, there is a good opportunity for ... cross-layer optimization."
+///
+/// `explore_circadian` sweeps the schedule space (cycle period x alpha)
+/// under a fixed mission profile and reports, per candidate schedule, the
+/// aging metrics a designer trades against availability: the worst-case
+/// DeltaVth the design must margin for, the time-average aging (expected
+/// performance/power), and the permanent-wear end state.
+/// `pareto_schedules` then filters the sweep to the availability-vs-margin
+/// Pareto frontier — the menu of defensible design points.
+
+#include <vector>
+
+#include "ash/core/lifetime.h"
+
+namespace ash::core {
+
+/// One candidate schedule's outcome.
+struct CircadianPoint {
+  double cycle_period_s = 0.0;
+  double alpha = 0.0;           ///< active/sleep ratio
+  double availability = 0.0;    ///< alpha/(1+alpha)
+  double worst_delta_vth_v = 0.0;
+  double mean_delta_vth_v = 0.0;
+  double end_permanent_v = 0.0;
+};
+
+/// Sweep configuration.
+struct CircadianSweepConfig {
+  MissionProfile mission;
+  RejuvenationKnobs knobs;  ///< voltage/temperature of the deep sleep
+  /// Candidate cycle periods (seconds) and alphas.
+  std::vector<double> periods_s = {6.0 * 3600.0, 24.0 * 3600.0,
+                                   72.0 * 3600.0, 168.0 * 3600.0};
+  std::vector<double> alphas = {2.0, 4.0, 8.0, 16.0};
+  /// Horizon over which each schedule is evaluated.
+  double horizon_s = 3.0 * 365.25 * 86400.0;
+  bti::ClosedFormParameters model =
+      bti::ClosedFormParameters::from_td(bti::default_td_parameters());
+};
+
+/// Evaluate every (period, alpha) candidate.
+std::vector<CircadianPoint> explore_circadian(
+    const CircadianSweepConfig& config);
+
+/// Availability-vs-worst-aging Pareto frontier of a sweep result, sorted
+/// by ascending availability.  A point survives if no other point has both
+/// higher availability and lower worst-case aging.
+std::vector<CircadianPoint> pareto_schedules(
+    std::vector<CircadianPoint> points);
+
+}  // namespace ash::core

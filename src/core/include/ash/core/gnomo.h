@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file gnomo.h
+/// GNOMO baseline — Gupta & Sapatnekar, "Greater-than-NOMinal Vdd
+/// Operation for BTI mitigation" (ref. [12] of the paper).
+///
+/// GNOMO finishes the same work faster at a boosted supply and then idles
+/// (passively unstressed) for the rest of the period: less stress *time*,
+/// at the cost of higher stress *voltage* and quadratically higher dynamic
+/// energy.  The paper positions accelerated self-healing against exactly
+/// this class of during-operation mitigation, so the library ships it as a
+/// first-class baseline: `run_gnomo_study` races three strategies —
+/// always-on nominal, GNOMO, and nominal + accelerated-recovery sleep —
+/// over the same work-per-period schedule and horizon.
+
+#include "ash/bti/closed_form.h"
+
+namespace ash::core {
+
+/// Study configuration.
+struct GnomoConfig {
+  double nominal_v = 1.2;
+  /// GNOMO's boosted supply (must exceed nominal).
+  double boost_v = 1.32;
+  /// Threshold used by the first-order frequency model f ~ (V - Vth)/V.
+  double vth_v = 0.4;
+  /// Work period and the fraction of it the workload occupies at nominal
+  /// speed (utilization < 1 leaves slack both strategies exploit).
+  double period_s = 30.0 * 3600.0;
+  double utilization = 0.8;
+  /// Die temperature while computing.
+  double temp_c = 80.0;
+  /// Idle/ambient temperature (GNOMO idles passively at 0 V).
+  double idle_temp_c = 45.0;
+  /// Accelerated-recovery sleep conditions for the self-healing arm.
+  double recovery_voltage_v = -0.3;
+  double recovery_temp_c = 110.0;
+  /// Study horizon.
+  double horizon_s = 2.0 * 365.25 * 86400.0;
+  /// Device model.
+  bti::ClosedFormParameters model =
+      bti::ClosedFormParameters::from_td(bti::default_td_parameters());
+};
+
+/// Outcome of one strategy arm.
+struct StrategyOutcome {
+  double end_delta_vth_v = 0.0;
+  double permanent_v = 0.0;
+  /// Dynamic energy per period, relative to the always-on nominal arm.
+  double energy_ratio = 1.0;
+  /// Fraction of each period spent stressed.
+  double stress_duty = 1.0;
+};
+
+/// All three arms.
+struct GnomoStudy {
+  StrategyOutcome nominal;       ///< always-on at nominal Vdd
+  StrategyOutcome gnomo;         ///< boosted + passive idle
+  StrategyOutcome self_healing;  ///< nominal + accelerated-recovery sleep
+};
+
+/// Frequency ratio f(boost)/f(nominal) of the first-order delay model.
+double gnomo_speedup(const GnomoConfig& config);
+
+/// Run the three-arm study.  Throws std::invalid_argument on bad configs.
+GnomoStudy run_gnomo_study(const GnomoConfig& config);
+
+}  // namespace ash::core

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file lifetime.h
+/// Long-horizon scheduling study: proactive vs. reactive vs. passive
+/// recovery (Sec. 2.2 of the paper) and the Fig. 9 wearout-vs-accelerated-
+/// recovery cycles.
+///
+/// The simulator evolves a `bti::ClosedFormAger` (O(1) per schedule
+/// segment) through years of mission time under one of four policies and
+/// reports the metrics the paper argues about: time-to-margin lifetime,
+/// availability (active fraction), worst-case and end-state aging, and the
+/// number/predictability of recovery events.
+
+#include <string>
+
+#include "ash/bti/closed_form.h"
+#include "ash/util/series.h"
+
+namespace ash::core {
+
+/// Recovery scheduling policy (Sec. 2.2).
+enum class Policy {
+  /// Never sleeps; ages continuously (the design-for-EOL baseline).
+  kNoRecovery,
+  /// Sleeps on the proactive schedule, but sleep is mere inactivity:
+  /// power-gated at ambient temperature (the pre-paper status quo).
+  kPassiveSleep,
+  /// Sleeps only when aging crosses a threshold fraction of the margin,
+  /// then applies accelerated recovery until a low-water mark.
+  kReactive,
+  /// Scheduled (circadian) accelerated recovery ahead of any threshold.
+  kProactive,
+};
+
+/// Printable policy name.
+std::string to_string(Policy policy);
+
+/// Accelerated-recovery knob settings (the paper's sleep conditions).
+struct RejuvenationKnobs {
+  double voltage_v = -0.3;
+  double temp_c = 110.0;
+  /// alpha — active/sleep time ratio of the proactive schedule.
+  double active_sleep_ratio = 4.0;
+};
+
+/// Mission-mode operating point.
+struct MissionProfile {
+  double supply_v = 1.2;
+  double temp_c = 80.0;
+  /// Switching activity of mission workloads.
+  double activity_duty = 0.5;
+};
+
+/// Full study configuration.
+struct LifetimeConfig {
+  MissionProfile mission;
+  Policy policy = Policy::kProactive;
+  RejuvenationKnobs knobs;
+  /// Ambient (idle) temperature for passive sleep.
+  double passive_sleep_temp_c = 45.0;
+  /// One active+sleep cycle of the proactive/passive schedules (seconds).
+  double cycle_period_s = 30.0 * 3600.0;
+  /// Reactive policy: start recovery at this fraction of the margin...
+  double reactive_high_water = 0.9;
+  /// ...and return to service at this fraction.
+  double reactive_low_water = 0.3;
+  /// Aging budget: the DeltaVth the design margins for (volts).
+  double margin_delta_vth_v = 25e-3;
+  /// Simulated horizon (seconds).
+  double horizon_s = 10.0 * 365.25 * 86400.0;
+  /// Points in the recorded trace.
+  int trace_points = 400;
+  /// Device model.
+  bti::ClosedFormParameters model =
+      bti::ClosedFormParameters::from_td(bti::default_td_parameters());
+};
+
+/// Study outcome.
+struct LifetimeResult {
+  /// First time the *active* device exceeds the margin; horizon_s + cycle
+  /// if never exceeded (right-censored).
+  double time_to_margin_s = 0.0;
+  bool margin_exceeded = false;
+  /// Fraction of the horizon spent active (throughput proxy).
+  double availability = 1.0;
+  /// Number of recovery episodes taken.
+  int recovery_events = 0;
+  double worst_delta_vth_v = 0.0;
+  double end_delta_vth_v = 0.0;
+  double end_permanent_v = 0.0;
+  /// DeltaVth(t) trace for plotting (Fig. 9 style).
+  Series trace;
+};
+
+/// Run the study.  Throws std::invalid_argument on nonsensical configs.
+LifetimeResult simulate_lifetime(const LifetimeConfig& config);
+
+}  // namespace ash::core

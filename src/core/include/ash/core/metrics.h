@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file metrics.h
+/// The paper's evaluation metrics.
+///
+/// * **Delay change**  DeltaTd(t) = Td(t) - Td(fresh)  — Figures 5 and 8.
+/// * **Frequency degradation**  1 - f(t)/f(fresh)      — Figure 4.
+/// * **Recovered delay** (Eq. (16))
+///     RD(t2) = Td(t1) - Td(t2) = DeltaTd(t1) - DeltaTd(t2),
+///   measured from the end of the stress phase — Figures 6 and 7.  The
+///   paper uses RD because fresh frequencies differ chip to chip.
+/// * **Recovered fraction**  RD(t2) / DeltaTd(t1): "bring stressed chips
+///   back to within 90 % of their original margin" = recovered fraction
+///   >= 0.9.
+/// * **Design-margin-relaxed parameter** (Table 4): RD(t2) / M where the
+///   design margin M = guardband_factor * DeltaTd(t1) is the delay
+///   guardband a designer budgets against end-of-stress aging.  With the
+///   conventional 25 % guardband (factor 1.25), a 90 % recovered fraction
+///   reads as a 72 % margin-relaxed parameter — reproducing both of the
+///   paper's headline numbers from one consistent definition.
+
+#include "ash/util/series.h"
+
+namespace ash::core {
+
+/// DeltaTd(t) series from a measured delay series and the fresh baseline
+/// delay (seconds).
+Series delay_change_series(const Series& delay, double fresh_delay_s);
+
+/// Fractional frequency degradation series: 1 - f(t)/f_fresh.
+Series frequency_degradation_series(const Series& frequency,
+                                    double fresh_frequency_hz);
+
+/// Recovered delay (Eq. (16)) from the delay series of a recovery phase:
+/// RD(t2) = Td(phase start) - Td(t2).  Precondition: non-empty.
+Series recovered_delay_series(const Series& recovery_delay);
+
+/// Fraction of the stress-phase damage recovered by the end of the
+/// recovery series: RD(end) / DeltaTd(t1), where DeltaTd(t1) =
+/// Td(recovery start) - fresh delay.  Clamped to [0, 1.05] (counter noise
+/// can push slightly past 1).
+double recovered_fraction(const Series& recovery_delay, double fresh_delay_s);
+
+/// Margin bookkeeping for the design-margin-relaxed parameter.
+struct MarginSpec {
+  /// M = guardband_factor * DeltaTd(stress end).  1.25 = designing with a
+  /// 25 % cushion above the accelerated-stress end-of-life shift.
+  double guardband_factor = 1.25;
+};
+
+/// Design-margin-relaxed parameter (Table 4): RD(end) / M.
+double design_margin_relaxed(const Series& recovery_delay,
+                             double fresh_delay_s,
+                             const MarginSpec& spec = {});
+
+}  // namespace ash::core

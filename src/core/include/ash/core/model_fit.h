@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file model_fit.h
+/// Parameter extraction — "beta, A and C are fitting parameters and can be
+/// extracted from measurement results" (Eq. (10)) — and the recovery-law
+/// fit used for the model overlays of Figures 5–8.  Table 3 of the paper
+/// is the output of exactly this procedure run on the measured campaign.
+
+#include "ash/bti/closed_form.h"
+#include "ash/util/series.h"
+
+namespace ash::core {
+
+/// Fitted stress law: DeltaTd(t) = amplitude * ln(1 + t / tau) — Eq. (10)
+/// with beta*A folded into one amplitude and C = 1/tau.
+struct StressFit {
+  double amplitude_s = 0.0;  ///< beta*A, in seconds of delay per ln-unit
+  double tau_s = 0.0;        ///< 1/C
+  double rmse_s = 0.0;       ///< residual against the fitted series
+  double r_squared = 0.0;    ///< goodness of fit
+  bool converged = false;
+
+  /// Evaluate the fitted law at stress time t.
+  double delta_td(double t_s) const;
+};
+
+/// Fitted recovery law: remaining(t2) = perm + (1 - perm) *
+/// max(0, 1 - ln(1 + AF * t2 / tau_r) / denom), the shape of Eq. (11).
+struct RecoveryFit {
+  double acceleration = 1.0;   ///< AF — fitted emission acceleration
+  double permanent_ratio = 0.0;  ///< unrecoverable share
+  double tau_recovery_s = 1.0;   ///< fixed from the model prior
+  double denom_ln = 1.0;         ///< ln(1 + t1_equiv/tau_s), fixed from data
+  double rmse_s = 0.0;
+  double r_squared = 0.0;
+  bool converged = false;
+
+  /// Remaining fraction of the stress damage after t2 of recovery.
+  double remaining_fraction(double t2_s) const;
+};
+
+/// Extracts closed-form parameters from measured series, exactly as the
+/// paper extracts Table 3 from its chip measurements.
+class ModelFitter {
+ public:
+  /// `priors` anchor the constants the data cannot identify (tau_recovery,
+  /// reference conditions); defaults derive from the calibrated TD set.
+  explicit ModelFitter(bti::ClosedFormParameters priors =
+                           bti::ClosedFormParameters::from_td(
+                               bti::default_td_parameters()));
+
+  /// Fit the stress law to a DeltaTd-vs-time series (seconds vs seconds).
+  /// Requires >= 4 samples spanning a non-trivial time range.
+  StressFit fit_stress(const Series& delay_change) const;
+
+  /// Fit the recovery law to a DeltaTd-vs-time series taken during a
+  /// recovery phase (t = 0 at the start of recovery; first value is the
+  /// end-of-stress damage).  `t1_equiv_s` is the stress-phase duration in
+  /// stress-reference-equivalent seconds.
+  RecoveryFit fit_recovery(const Series& delay_change, double t1_equiv_s) const;
+
+  const bti::ClosedFormParameters& priors() const { return priors_; }
+
+ private:
+  bti::ClosedFormParameters priors_;
+};
+
+}  // namespace ash::core

@@ -1,0 +1,160 @@
+#include "ash/core/lifetime.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ash/util/constants.h"
+
+namespace ash::core {
+
+namespace {
+
+void validate(const LifetimeConfig& c) {
+  if (c.cycle_period_s <= 0.0) {
+    throw std::invalid_argument("LifetimeConfig: cycle period must be > 0");
+  }
+  if (c.knobs.active_sleep_ratio <= 0.0) {
+    throw std::invalid_argument("LifetimeConfig: alpha must be > 0");
+  }
+  if (c.margin_delta_vth_v <= 0.0) {
+    throw std::invalid_argument("LifetimeConfig: margin must be > 0");
+  }
+  if (c.horizon_s <= 0.0) {
+    throw std::invalid_argument("LifetimeConfig: horizon must be > 0");
+  }
+  if (c.reactive_low_water >= c.reactive_high_water ||
+      c.reactive_low_water < 0.0 || c.reactive_high_water > 1.0) {
+    throw std::invalid_argument("LifetimeConfig: bad reactive thresholds");
+  }
+  if (c.trace_points < 2) {
+    throw std::invalid_argument("LifetimeConfig: need >= 2 trace points");
+  }
+}
+
+}  // namespace
+
+std::string to_string(Policy policy) {
+  switch (policy) {
+    case Policy::kNoRecovery: return "no-recovery";
+    case Policy::kPassiveSleep: return "passive-sleep";
+    case Policy::kReactive: return "reactive";
+    case Policy::kProactive: return "proactive";
+  }
+  return "?";
+}
+
+LifetimeResult simulate_lifetime(const LifetimeConfig& config) {
+  validate(config);
+
+  bti::ClosedFormAger ager(config.model);
+  const bti::OperatingCondition active = bti::ac_stress(
+      config.mission.supply_v, config.mission.temp_c,
+      config.mission.activity_duty);
+  const bti::OperatingCondition accel_sleep =
+      bti::recovery(config.knobs.voltage_v, config.knobs.temp_c);
+  const bti::OperatingCondition passive_sleep =
+      bti::recovery(0.0, config.passive_sleep_temp_c);
+
+  const double alpha = config.knobs.active_sleep_ratio;
+  const double active_span = config.cycle_period_s * alpha / (1.0 + alpha);
+  const double sleep_span = config.cycle_period_s - active_span;
+
+  LifetimeResult result;
+  result.trace.set_name(to_string(config.policy));
+
+  double t = 0.0;
+  double active_time = 0.0;
+  const double trace_every =
+      config.horizon_s / static_cast<double>(config.trace_points - 1);
+  double next_trace = 0.0;
+
+  const auto record = [&](double now) {
+    while (next_trace <= now + 1e-9 && next_trace <= config.horizon_s + 1e-9) {
+      result.trace.append(next_trace, ager.delta_vth());
+      next_trace += trace_every;
+    }
+    result.worst_delta_vth_v =
+        std::max(result.worst_delta_vth_v, ager.delta_vth());
+    if (!result.margin_exceeded &&
+        ager.delta_vth() >= config.margin_delta_vth_v) {
+      result.margin_exceeded = true;
+      result.time_to_margin_s = now;
+    }
+  };
+
+  // Step granularity: fine enough to catch threshold crossings, coarse
+  // enough that decade horizons stay cheap.
+  const double step = std::min(active_span, config.cycle_period_s / 8.0);
+
+  bool recovering = false;  // reactive-policy state
+  record(0.0);
+  while (t < config.horizon_s) {
+    switch (config.policy) {
+      case Policy::kNoRecovery: {
+        const double dt = std::min(step, config.horizon_s - t);
+        ager.evolve(active, dt);
+        t += dt;
+        active_time += dt;
+        record(t);
+        break;
+      }
+      case Policy::kPassiveSleep:
+      case Policy::kProactive: {
+        const auto& sleep_cond = config.policy == Policy::kProactive
+                                     ? accel_sleep
+                                     : passive_sleep;
+        const double dt_a = std::min(active_span, config.horizon_s - t);
+        ager.evolve(active, dt_a);
+        t += dt_a;
+        active_time += dt_a;
+        record(t);
+        if (t >= config.horizon_s) break;
+        const double dt_s = std::min(sleep_span, config.horizon_s - t);
+        ager.evolve(sleep_cond, dt_s);
+        t += dt_s;
+        ++result.recovery_events;
+        record(t);
+        break;
+      }
+      case Policy::kReactive: {
+        const double dt = std::min(step, config.horizon_s - t);
+        if (!recovering) {
+          ager.evolve(active, dt);
+          active_time += dt;
+          t += dt;
+          record(t);
+          if (ager.delta_vth() >=
+              config.reactive_high_water * config.margin_delta_vth_v) {
+            recovering = true;
+            ++result.recovery_events;
+          }
+        } else {
+          ager.evolve(accel_sleep, dt);
+          t += dt;
+          record(t);
+          const double floor_v = ager.permanent_delta_vth();
+          const double target =
+              config.reactive_low_water * config.margin_delta_vth_v;
+          // Stop recovering at the low-water mark, or when permanent damage
+          // makes further sleep pointless.
+          if (ager.delta_vth() <= std::max(target, floor_v * 1.02)) {
+            recovering = false;
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  if (!result.margin_exceeded) {
+    // Right-censored: report one cycle past the horizon.
+    result.time_to_margin_s = config.horizon_s + config.cycle_period_s;
+  }
+  result.availability = active_time / config.horizon_s;
+  result.end_delta_vth_v = ager.delta_vth();
+  result.end_permanent_v = ager.permanent_delta_vth();
+  return result;
+}
+
+}  // namespace ash::core

@@ -1,0 +1,56 @@
+#include "ash/core/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace ash::core {
+
+Series delay_change_series(const Series& delay, double fresh_delay_s) {
+  return delay.mapped([fresh_delay_s](double d) { return d - fresh_delay_s; });
+}
+
+Series frequency_degradation_series(const Series& frequency,
+                                    double fresh_frequency_hz) {
+  if (fresh_frequency_hz <= 0.0) {
+    throw std::invalid_argument(
+        "frequency_degradation_series: non-positive fresh frequency");
+  }
+  return frequency.mapped(
+      [fresh_frequency_hz](double f) { return 1.0 - f / fresh_frequency_hz; });
+}
+
+Series recovered_delay_series(const Series& recovery_delay) {
+  if (recovery_delay.empty()) {
+    throw std::invalid_argument("recovered_delay_series: empty series");
+  }
+  const double start = recovery_delay.front().value;
+  return recovery_delay.mapped([start](double d) { return start - d; });
+}
+
+double recovered_fraction(const Series& recovery_delay,
+                          double fresh_delay_s) {
+  if (recovery_delay.empty()) {
+    throw std::invalid_argument("recovered_fraction: empty series");
+  }
+  const double stressed = recovery_delay.front().value;
+  const double damage = stressed - fresh_delay_s;
+  if (damage <= 0.0) {
+    throw std::invalid_argument(
+        "recovered_fraction: recovery series starts at or below fresh delay");
+  }
+  const double rd = stressed - recovery_delay.back().value;
+  return std::clamp(rd / damage, 0.0, 1.05);
+}
+
+double design_margin_relaxed(const Series& recovery_delay,
+                             double fresh_delay_s, const MarginSpec& spec) {
+  if (spec.guardband_factor <= 0.0) {
+    throw std::invalid_argument(
+        "design_margin_relaxed: guardband factor must be positive");
+  }
+  return recovered_fraction(recovery_delay, fresh_delay_s) /
+         spec.guardband_factor;
+}
+
+}  // namespace ash::core

@@ -1,0 +1,139 @@
+#include "ash/core/model_fit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "ash/util/optimize.h"
+#include "ash/util/stats.h"
+
+namespace ash::core {
+
+namespace {
+
+std::vector<double> values_of(const Series& s) {
+  std::vector<double> out;
+  out.reserve(s.size());
+  for (const auto& sample : s.samples()) out.push_back(sample.value);
+  return out;
+}
+
+}  // namespace
+
+double StressFit::delta_td(double t_s) const {
+  return amplitude_s * std::log1p(t_s / tau_s);
+}
+
+double RecoveryFit::remaining_fraction(double t2_s) const {
+  if (denom_ln <= 0.0) return 1.0;
+  const double recovered = std::min(
+      1.0, std::log1p(acceleration * std::max(0.0, t2_s) / tau_recovery_s) /
+               denom_ln);
+  return permanent_ratio + (1.0 - permanent_ratio) * (1.0 - recovered);
+}
+
+ModelFitter::ModelFitter(bti::ClosedFormParameters priors)
+    : priors_(priors) {
+  priors_.validate();
+}
+
+StressFit ModelFitter::fit_stress(const Series& delay_change) const {
+  if (delay_change.size() < 4) {
+    throw std::invalid_argument("fit_stress: need at least 4 samples");
+  }
+  const auto observed = values_of(delay_change);
+
+  // Linear prefit of the amplitude for the prior tau: DeltaTd is linear in
+  // ln(1 + t/tau), so an amplitude-only least squares seeds the simplex.
+  const double tau0 = priors_.tau_stress_s;
+  double num = 0.0;
+  double den = 0.0;
+  for (const auto& s : delay_change.samples()) {
+    const double x = std::log1p(s.t / tau0);
+    num += x * s.value;
+    den += x * x;
+  }
+  const double amp0 = den > 0.0 ? num / den : 1e-9;
+
+  // Refine (amplitude, log10 tau) jointly.
+  const Objective cost = [&](const std::vector<double>& p) {
+    const double amp = p[0];
+    const double tau = std::pow(10.0, p[1]);
+    if (amp <= 0.0 || tau <= 0.0 || !std::isfinite(tau)) return 1e30;
+    double acc = 0.0;
+    for (const auto& s : delay_change.samples()) {
+      const double model = amp * std::log1p(s.t / tau);
+      acc += (s.value - model) * (s.value - model);
+    }
+    return acc;
+  };
+  const auto result =
+      nelder_mead(cost, {std::max(amp0, 1e-15), std::log10(tau0)});
+
+  StressFit fit;
+  fit.amplitude_s = result.x[0];
+  fit.tau_s = std::pow(10.0, result.x[1]);
+  fit.converged = result.converged;
+  std::vector<double> model;
+  model.reserve(delay_change.size());
+  for (const auto& s : delay_change.samples()) model.push_back(fit.delta_td(s.t));
+  fit.rmse_s = rmse(observed, model);
+  fit.r_squared = r_squared(observed, model);
+  return fit;
+}
+
+RecoveryFit ModelFitter::fit_recovery(const Series& delay_change,
+                                      double t1_equiv_s) const {
+  if (delay_change.size() < 4) {
+    throw std::invalid_argument("fit_recovery: need at least 4 samples");
+  }
+  if (t1_equiv_s <= 0.0) {
+    throw std::invalid_argument("fit_recovery: non-positive stress time");
+  }
+  const double d0 = delay_change.front().value;
+  if (d0 <= 0.0) {
+    throw std::invalid_argument(
+        "fit_recovery: series must start at a positive delay change");
+  }
+
+  RecoveryFit fit;
+  fit.tau_recovery_s = priors_.tau_recovery_s;
+  fit.denom_ln = std::log1p(t1_equiv_s / priors_.tau_stress_s);
+
+  // Fit (log10 acceleration, permanent ratio) against the normalized
+  // remaining fraction.
+  const double tau_r = fit.tau_recovery_s;
+  const double denom = fit.denom_ln;
+  const Objective cost = [&](const std::vector<double>& p) {
+    const double af = std::pow(10.0, p[0]);
+    const double perm = p[1];
+    if (!std::isfinite(af) || perm < 0.0 || perm >= 1.0) return 1e30;
+    double acc = 0.0;
+    for (const auto& s : delay_change.samples()) {
+      const double recovered =
+          std::min(1.0, std::log1p(af * s.t / tau_r) / denom);
+      const double model = perm + (1.0 - perm) * (1.0 - recovered);
+      const double obs = s.value / d0;
+      acc += (obs - model) * (obs - model);
+    }
+    return acc;
+  };
+  const auto result = nelder_mead(cost, {2.0, priors_.permanent_ratio});
+
+  fit.acceleration = std::pow(10.0, result.x[0]);
+  fit.permanent_ratio = std::clamp(result.x[1], 0.0, 0.999);
+  fit.converged = result.converged;
+
+  std::vector<double> observed;
+  std::vector<double> model;
+  for (const auto& s : delay_change.samples()) {
+    observed.push_back(s.value);
+    model.push_back(d0 * fit.remaining_fraction(s.t));
+  }
+  fit.rmse_s = rmse(observed, model);
+  fit.r_squared = r_squared(observed, model);
+  return fit;
+}
+
+}  // namespace ash::core

@@ -1,0 +1,63 @@
+#include "ash/core/statistical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ash/util/random.h"
+#include "ash/util/stats.h"
+
+namespace ash::core {
+
+double PopulationResult::margin_at(double percentile) const {
+  if (per_chip_margin_v.empty()) {
+    throw std::logic_error("PopulationResult: empty population");
+  }
+  return ash::percentile(per_chip_margin_v, percentile);
+}
+
+PopulationResult simulate_population(const PopulationConfig& config) {
+  if (config.chips < 1) {
+    throw std::invalid_argument("PopulationConfig: need >= 1 chip");
+  }
+  if (config.amplitude_sigma < 0.0 || config.permanent_sigma < 0.0) {
+    throw std::invalid_argument("PopulationConfig: negative sigma");
+  }
+
+  PopulationResult result;
+  result.per_chip_margin_v.reserve(static_cast<std::size_t>(config.chips));
+  for (int i = 0; i < config.chips; ++i) {
+    Rng rng(derive_seed(config.seed, static_cast<std::uint64_t>(i)));
+    bti::ClosedFormParameters chip_model = config.model;
+    chip_model.beta_ref_v *=
+        std::exp(rng.normal(0.0, config.amplitude_sigma));
+    chip_model.permanent_ratio = std::min(
+        0.5, chip_model.permanent_ratio *
+                 std::exp(rng.normal(0.0, config.permanent_sigma)));
+
+    LifetimeConfig lc;
+    lc.mission = config.mission;
+    lc.policy = config.policy;
+    lc.knobs = config.knobs;
+    lc.cycle_period_s = config.cycle_period_s;
+    lc.horizon_s = config.horizon_s;
+    // Non-reactive policies are schedule-driven: disable the margin so the
+    // run is never censored.  Reactive needs a real threshold to react to.
+    lc.margin_delta_vth_v =
+        config.policy == Policy::kReactive ? config.reactive_margin_v : 1.0;
+    lc.trace_points = 2;          // keep memory flat; worst is tracked anyway
+    lc.model = chip_model;
+    const LifetimeResult r = simulate_lifetime(lc);
+    result.per_chip_margin_v.push_back(r.worst_delta_vth_v);
+  }
+
+  std::sort(result.per_chip_margin_v.begin(), result.per_chip_margin_v.end());
+  result.mean_v = mean(result.per_chip_margin_v);
+  result.p50_v = result.margin_at(50.0);
+  result.p95_v = result.margin_at(95.0);
+  result.p99_v = result.margin_at(99.0);
+  result.worst_v = result.per_chip_margin_v.back();
+  return result;
+}
+
+}  // namespace ash::core

@@ -1,0 +1,36 @@
+#include "ash/fpga/chip.h"
+
+#include <cmath>
+#include <vector>
+
+#include "ash/util/random.h"
+
+namespace ash::fpga {
+
+namespace {
+
+double draw_corner(const ChipConfig& c) {
+  Rng rng(derive_seed(c.seed, 0xC0));
+  return std::exp(rng.normal(0.0, c.chip_corner_sigma));
+}
+
+std::vector<double> draw_stage_scales(const ChipConfig& c, double corner) {
+  Rng rng(derive_seed(c.seed, 0x57));
+  std::vector<double> scales;
+  scales.reserve(static_cast<std::size_t>(c.ro_stages));
+  for (int i = 0; i < c.ro_stages; ++i) {
+    scales.push_back(corner * std::exp(rng.normal(0.0, c.stage_mismatch_sigma)));
+  }
+  return scales;
+}
+
+}  // namespace
+
+FpgaChip::FpgaChip(const ChipConfig& config)
+    : config_(config),
+      corner_scale_(draw_corner(config)),
+      ro_(config.ro_stages, draw_stage_scales(config, corner_scale_),
+          config.delay, config.td, derive_seed(config.seed, 0xA6),
+          config.pbti_amplitude_ratio) {}
+
+}  // namespace ash::fpga

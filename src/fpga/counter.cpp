@@ -1,0 +1,47 @@
+#include "ash/fpga/counter.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ash::fpga {
+
+FrequencyCounter::FrequencyCounter(const CounterConfig& config, Rng rng)
+    : config_(config), rng_(rng) {
+  if (config_.f_ref_hz <= 0.0 || config_.gate_ref_periods <= 0 ||
+      config_.bits <= 0 || config_.bits > 31 ||
+      config_.noise_counts_sigma < 0.0) {
+    throw std::invalid_argument("FrequencyCounter: bad configuration");
+  }
+}
+
+double FrequencyCounter::resolution_hz() const {
+  return 2.0 * config_.f_ref_hz / static_cast<double>(config_.gate_ref_periods);
+}
+
+double FrequencyCounter::max_unwrapped_frequency_hz() const {
+  const double max_counts = std::pow(2.0, config_.bits) - 1.0;
+  return max_counts * resolution_hz();
+}
+
+CounterReading FrequencyCounter::measure(double true_frequency_hz) {
+  if (true_frequency_hz <= 0.0) {
+    throw std::invalid_argument("FrequencyCounter: non-positive frequency");
+  }
+  // Ideal accumulated count over the gate: f_osc/(2 f_ref) per ref period.
+  const double gate_s =
+      static_cast<double>(config_.gate_ref_periods) / config_.f_ref_hz;
+  const double ideal = true_frequency_hz * gate_s / 2.0;
+  const double noisy = ideal + rng_.normal(0.0, config_.noise_counts_sigma);
+  const double quantized = std::max(0.0, std::floor(noisy + 0.5));
+
+  CounterReading r;
+  r.counts = quantized;
+  const auto mask =
+      (std::uint32_t{1} << static_cast<unsigned>(config_.bits)) - 1u;
+  r.raw_counts = static_cast<std::uint32_t>(quantized) & mask;
+  r.frequency_hz = quantized / gate_s * 2.0;
+  r.delay_s = r.frequency_hz > 0.0 ? 1.0 / (2.0 * r.frequency_hz) : 0.0;
+  return r;
+}
+
+}  // namespace ash::fpga

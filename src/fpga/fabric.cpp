@@ -1,0 +1,231 @@
+#include "ash/fpga/fabric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ash/util/random.h"
+
+namespace ash::fpga {
+
+Fabric::Fabric(Netlist netlist, const FabricConfig& config)
+    : netlist_(std::move(netlist)), config_(config) {
+  netlist_.validate();
+  topo_ = netlist_.topological_order();
+
+  Rng mismatch_rng(derive_seed(config_.seed, 0x515));
+  luts_.reserve(netlist_.nodes.size());
+  routings_.reserve(netlist_.nodes.size());
+  for (std::size_t i = 0; i < netlist_.nodes.size(); ++i) {
+    const auto& node = netlist_.nodes[i];
+    const double scale =
+        std::exp(mismatch_rng.normal(0.0, config_.mismatch_sigma));
+    const std::uint64_t node_seed =
+        derive_seed(config_.seed, static_cast<std::uint64_t>(i) + 1);
+    luts_.emplace_back(node.config, scale, config_.td,
+                       derive_seed(node_seed, 0),
+                       config_.pbti_amplitude_ratio);
+    routings_.emplace_back(scale, config_.td, derive_seed(node_seed, 1),
+                           config_.pbti_amplitude_ratio);
+    instance_index_[node.name] = i;
+  }
+}
+
+std::size_t Fabric::index_of(const std::string& instance) const {
+  const auto it = instance_index_.find(instance);
+  if (it == instance_index_.end()) {
+    throw std::out_of_range("Fabric: unknown instance '" + instance + "'");
+  }
+  return it->second;
+}
+
+const PassTransistorLut2& Fabric::lut_of(const std::string& instance) const {
+  return luts_[index_of(instance)];
+}
+
+const RoutingBlock& Fabric::routing_of(const std::string& instance) const {
+  return routings_[index_of(instance)];
+}
+
+NetValues Fabric::evaluate(const NetValues& primary_inputs) const {
+  NetValues values;
+  for (const auto& pi : netlist_.primary_inputs) {
+    const auto it = primary_inputs.find(pi);
+    if (it == primary_inputs.end()) {
+      throw std::invalid_argument("Fabric::evaluate: missing input '" + pi +
+                                  "'");
+    }
+    values[pi] = it->second;
+  }
+  for (std::size_t idx : topo_) {
+    const auto& node = netlist_.nodes[idx];
+    const bool in0 = values.at(node.inputs[0]);
+    const bool in1 = values.at(node.inputs[1]);
+    values[node.output] = luts_[idx].evaluate(in0, in1);
+  }
+  return values;
+}
+
+void Fabric::age_static(const NetValues& primary_inputs,
+                        const bti::OperatingCondition& env, double dt_s) {
+  const NetValues values = evaluate(primary_inputs);
+  for (std::size_t idx : topo_) {
+    const auto& node = netlist_.nodes[idx];
+    const bool in0 = values.at(node.inputs[0]);
+    const bool in1 = values.at(node.inputs[1]);
+    luts_[idx].age_static(in0, in1, env, dt_s);
+    routings_[idx].age_static(values.at(node.output), env, dt_s);
+  }
+}
+
+void Fabric::age_toggling(const bti::OperatingCondition& env, double dt_s) {
+  for (std::size_t i = 0; i < luts_.size(); ++i) {
+    luts_[i].age_toggling(env, dt_s);
+    routings_[i].age_toggling(env, dt_s);
+  }
+}
+
+NetProbabilities Fabric::propagate_probabilities(
+    const NetProbabilities& primary_input_probs) const {
+  NetProbabilities p;
+  for (const auto& pi : netlist_.primary_inputs) {
+    const auto it = primary_input_probs.find(pi);
+    if (it == primary_input_probs.end()) {
+      throw std::invalid_argument(
+          "Fabric::propagate_probabilities: missing input '" + pi + "'");
+    }
+    if (it->second < 0.0 || it->second > 1.0) {
+      throw std::invalid_argument(
+          "Fabric::propagate_probabilities: probability out of range for '" +
+          pi + "'");
+    }
+    p[pi] = it->second;
+  }
+  for (std::size_t idx : topo_) {
+    const auto& node = netlist_.nodes[idx];
+    const double p0 = p.at(node.inputs[0]);
+    const double p1 = p.at(node.inputs[1]);
+    // Exact over the LUT's truth table under the independent-signal
+    // approximation.
+    double p_out = 0.0;
+    for (int in1 = 0; in1 <= 1; ++in1) {
+      for (int in0 = 0; in0 <= 1; ++in0) {
+        if (!luts_[idx].evaluate(in0 != 0, in1 != 0)) continue;
+        p_out += (in0 != 0 ? p0 : 1.0 - p0) * (in1 != 0 ? p1 : 1.0 - p1);
+      }
+    }
+    p[node.output] = p_out;
+  }
+  return p;
+}
+
+void Fabric::age_probabilistic(const NetProbabilities& primary_input_probs,
+                               const bti::OperatingCondition& env,
+                               double dt_s) {
+  const NetProbabilities p = propagate_probabilities(primary_input_probs);
+  for (std::size_t idx : topo_) {
+    const auto& node = netlist_.nodes[idx];
+    const double p0 = p.at(node.inputs[0]);
+    const double p1 = p.at(node.inputs[1]);
+
+    // Per-device stress probability: sum the input-combination weights in
+    // which the bias analysis marks the device stressed.
+    double stress_prob[kLutDeviceCount] = {};
+    for (int in1 = 0; in1 <= 1; ++in1) {
+      for (int in0 = 0; in0 <= 1; ++in0) {
+        const double w =
+            (in0 != 0 ? p0 : 1.0 - p0) * (in1 != 0 ? p1 : 1.0 - p1);
+        if (w == 0.0) continue;
+        for (int d : luts_[idx].stressed_devices(in0 != 0, in1 != 0)) {
+          stress_prob[d] += w;
+        }
+      }
+    }
+    for (int d = 0; d < kLutDeviceCount; ++d) {
+      bti::OperatingCondition dev_env = env;
+      dev_env.gate_stress_duty =
+          env.gate_stress_duty * stress_prob[d];
+      if (dev_env.gate_stress_duty == 0.0) dev_env.voltage_v = 0.0;
+      luts_[idx].device(d).evolve(dev_env, dt_s);
+    }
+
+    // Routing devices: stressed while the carried net sits at the value
+    // that turns them on.
+    const double p_net = p.at(node.output);
+    const double routing_prob[kRoutingDeviceCount] = {
+        p_net,        // R1N: input 1
+        1.0 - p_net,  // R1P: input 0
+        1.0 - p_net,  // R2N: input (!net) = 1
+        p_net,        // R2P
+    };
+    for (int d = 0; d < kRoutingDeviceCount; ++d) {
+      bti::OperatingCondition dev_env = env;
+      dev_env.gate_stress_duty = env.gate_stress_duty * routing_prob[d];
+      if (dev_env.gate_stress_duty == 0.0) dev_env.voltage_v = 0.0;
+      routings_[idx].device(d).evolve(dev_env, dt_s);
+    }
+  }
+}
+
+void Fabric::age_sleep(const bti::OperatingCondition& env, double dt_s) {
+  for (std::size_t i = 0; i < luts_.size(); ++i) {
+    luts_[i].age_sleep(env, dt_s);
+    routings_[i].age_sleep(env, dt_s);
+  }
+}
+
+TimingReport Fabric::timing(double vdd_v, double temp_k) const {
+  // Worst-case per-node delay over the four input combinations: a
+  // vector-independent STA bound at the current aging state.
+  std::vector<double> node_delay(luts_.size(), 0.0);
+  for (std::size_t i = 0; i < luts_.size(); ++i) {
+    double worst = 0.0;
+    for (int in1 = 0; in1 <= 1; ++in1) {
+      for (int in0 = 0; in0 <= 1; ++in0) {
+        const bool out = luts_[i].evaluate(in0 != 0, in1 != 0);
+        const double d =
+            luts_[i].path_delay(in0 != 0, in1 != 0, config_.delay, vdd_v,
+                                temp_k) +
+            routings_[i].path_delay(out, config_.delay, vdd_v, temp_k);
+        worst = std::max(worst, d);
+      }
+    }
+    node_delay[i] = worst;
+  }
+
+  // Arrival-time propagation (primary inputs arrive at t = 0).
+  std::unordered_map<std::string, double> arrival;
+  std::unordered_map<std::string, std::size_t> producer;
+  for (const auto& pi : netlist_.primary_inputs) arrival[pi] = 0.0;
+  for (std::size_t idx : topo_) {
+    const auto& node = netlist_.nodes[idx];
+    const double in_arrival = std::max(arrival.at(node.inputs[0]),
+                                       arrival.at(node.inputs[1]));
+    arrival[node.output] = in_arrival + node_delay[idx];
+    producer[node.output] = idx;
+  }
+
+  TimingReport report;
+  for (const auto& po : netlist_.primary_outputs) {
+    report.arrival_s[po] = arrival.at(po);
+    if (arrival.at(po) >= report.worst_arrival_s) {
+      report.worst_arrival_s = arrival.at(po);
+      report.critical_output = po;
+    }
+  }
+
+  // Backtrace the critical path: at each node follow the later input.
+  std::string net = report.critical_output;
+  while (producer.find(net) != producer.end()) {
+    const std::size_t idx = producer.at(net);
+    const auto& node = netlist_.nodes[idx];
+    report.critical_path.push_back(node.name);
+    net = arrival.at(node.inputs[0]) >= arrival.at(node.inputs[1])
+              ? node.inputs[0]
+              : node.inputs[1];
+  }
+  std::reverse(report.critical_path.begin(), report.critical_path.end());
+  return report;
+}
+
+}  // namespace ash::fpga

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file chip.h
+/// A virtual 40 nm FPGA chip: the ring-oscillator CUT plus process
+/// variation.
+///
+/// The paper's campaign uses five individual chips of the same family whose
+/// fresh RO frequencies differ chip-to-chip ("the initial RO frequencies
+/// for different fresh chips differ due to variations") — which is why its
+/// recovery analysis uses the *recovered delay* metric (Eq. (16)) instead
+/// of absolute frequency.  `FpgaChip` reproduces that: a global chip corner
+/// plus per-stage mismatch, both drawn deterministically from the chip
+/// seed.
+
+#include <cstdint>
+
+#include "ash/bti/condition.h"
+#include "ash/bti/parameters.h"
+#include "ash/fpga/delay.h"
+#include "ash/fpga/ring_oscillator.h"
+
+namespace ash::fpga {
+
+/// Construction parameters of one chip.
+struct ChipConfig {
+  /// Chip number as in Table 1 (1..5 in the paper's campaign).
+  int chip_id = 1;
+  /// Root seed; every trap, mismatch draw and noise stream of this chip
+  /// derives from it.
+  std::uint64_t seed = 0x5eedu;
+  /// Ring oscillator length (the paper's CUT uses 75 LUT inverters).
+  int ro_stages = 75;
+  /// Sigma of the global (chip corner) lognormal delay factor.
+  double chip_corner_sigma = 0.03;
+  /// Sigma of per-stage lognormal mismatch.
+  double stage_mismatch_sigma = 0.05;
+  /// Electrical delay model.
+  DelayParams delay;
+  /// Device physics (defaults to the calibrated 40 nm parameter set).
+  bti::TdParameters td = bti::default_td_parameters();
+  /// PBTI (NMOS) aging amplitude relative to NBTI (PMOS); 1 = the paper's
+  /// high-k-era calibration, < 1 for SiON-era technologies (Sec. 1).
+  double pbti_amplitude_ratio = 1.0;
+};
+
+/// One chip under test.
+class FpgaChip {
+ public:
+  explicit FpgaChip(const ChipConfig& config);
+
+  int id() const { return config_.chip_id; }
+  const ChipConfig& config() const { return config_; }
+
+  /// The CUT.
+  const RingOscillator& ro() const { return ro_; }
+  RingOscillator& ro() { return ro_; }
+
+  /// True RO frequency at the given measurement supply/temperature.
+  double ro_frequency_hz(double vdd_v, double temp_k) const {
+    return ro_.frequency_hz(vdd_v, temp_k);
+  }
+
+  /// True CUT delay (one-way traversal average), Td = 1/(2 f_osc).
+  double cut_delay_s(double vdd_v, double temp_k) const {
+    return ro_.period_s(vdd_v, temp_k) / 2.0;
+  }
+
+  /// Age the chip for dt seconds.
+  void evolve(RoMode mode, const bti::OperatingCondition& env, double dt_s) {
+    ro_.evolve(mode, env, dt_s);
+  }
+
+  /// The chip-corner delay factor actually drawn (diagnostics/tests).
+  double chip_corner_scale() const { return corner_scale_; }
+
+ private:
+  ChipConfig config_;
+  double corner_scale_;
+  RingOscillator ro_;
+};
+
+}  // namespace ash::fpga

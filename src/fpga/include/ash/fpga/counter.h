@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file counter.h
+/// The 16-bit frequency counter of Fig. 3 and the measurement transfer
+/// function of Eqs. (14)–(15).
+///
+/// The counter accumulates RO edges while gated by the external reference
+/// clock: over one reference period the count is Cout = f_osc / (2 f_ref),
+/// i.e. f_osc = 2 * Cout * f_ref (Eq. (14)) and the CUT delay is
+/// Td = 1 / (2 f_osc) = 1 / (4 Cout f_ref) (Eq. (15)).  Gating over several
+/// reference periods trades measurement time for resolution; the paper
+/// reports +/-5-count repeatability, which we model as Gaussian counting
+/// noise plus the inherent quantization.
+
+#include <cstdint>
+
+#include "ash/util/random.h"
+
+namespace ash::fpga {
+
+/// Counter configuration.
+struct CounterConfig {
+  /// External reference clock (the paper uses 500 Hz).
+  double f_ref_hz = 500.0;
+  /// Number of reference periods per gated measurement.
+  int gate_ref_periods = 16;
+  /// Counter width; the hardware wraps past 2^bits - 1.
+  int bits = 16;
+  /// Standard deviation of the counting noise in counts (gate jitter,
+  /// metastability of the sampled ripple counter).  The paper's +/-5-count
+  /// bound corresponds to ~1.7 counts sigma (3-sigma).
+  double noise_counts_sigma = 1.7;
+};
+
+/// One gated measurement.
+struct CounterReading {
+  /// Raw (possibly wrapped) register value after the gate closes.
+  std::uint32_t raw_counts = 0;
+  /// Total accumulated counts across the gate (unwrapped estimate).
+  double counts = 0.0;
+  /// Inferred oscillator frequency, Eq. (14) generalized to the gate span.
+  double frequency_hz = 0.0;
+  /// Inferred CUT delay, Eq. (15).
+  double delay_s = 0.0;
+};
+
+/// Simulated gated frequency counter.  Deterministic given its RNG state.
+class FrequencyCounter {
+ public:
+  FrequencyCounter(const CounterConfig& config, Rng rng);
+
+  const CounterConfig& config() const { return config_; }
+
+  /// Measure a true oscillator frequency.  Applies gating, counting noise
+  /// and 16-bit wraparound.  Throws std::invalid_argument for non-positive
+  /// frequencies.
+  CounterReading measure(double true_frequency_hz);
+
+  /// Frequency resolution of one gate step (Hz per count).
+  double resolution_hz() const;
+
+  /// Highest frequency measurable without register wrap at this gate.
+  double max_unwrapped_frequency_hz() const;
+
+ private:
+  CounterConfig config_;
+  Rng rng_;
+};
+
+}  // namespace ash::fpga

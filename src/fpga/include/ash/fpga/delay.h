@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file delay.h
+/// First-order gate-delay model — Eq. (5) of the paper and its
+/// BTI sensitivity (Eq. (6)).
+///
+/// Propagation delay of a segment driven by one transistor:
+///   td ~ CL * Vdd / Id ~ Vdd / (Vdd - Vth)        (Eq. (5), alpha = 1)
+/// normalized so that td(vdd_nominal, DeltaVth = 0) == td0.  The
+/// linearization DeltaTd ~ td0 * DeltaVth / (Vdd - Vth) (Eq. (6)) is what
+/// the paper works with; we keep the full expression, which reduces to
+/// Eq. (6) for small shifts and additionally supports supply scaling for
+/// the GNOMO baseline.
+
+#include <stdexcept>
+
+namespace ash::fpga {
+
+/// Electrical constants of the delay model, shared by every segment of a
+/// chip.
+struct DelayParams {
+  /// Nominal core supply (the 40 nm parts run at 1.2 V).
+  double vdd_nominal_v = 1.2;
+  /// Fresh threshold voltage magnitude.
+  double vth0_v = 0.4;
+  /// Optional linear temperature coefficient of delay (fractional per K).
+  /// Default 0: the paper's methodology compares readings taken under
+  /// identical environmental conditions, so aging is the only delay driver;
+  /// enable this to study temperature-sensitive measurement instead.
+  double temp_coeff_per_k = 0.0;
+  /// Reference temperature for the temperature coefficient.
+  double temp_ref_k = 293.15;
+};
+
+/// True if a gate with threshold shift `dvth_v` still switches at supply
+/// `vdd_v` (needs headroom above threshold).
+inline bool is_functional(const DelayParams& p, double vdd_v, double dvth_v) {
+  return vdd_v - p.vth0_v - dvth_v > 0.05;
+}
+
+/// Delay of a segment with fresh delay td0 (measured at nominal supply and
+/// reference temperature) for the given threshold shift, supply and
+/// temperature.  Throws std::domain_error if the gate has no overdrive left
+/// (the circuit would simply stop oscillating).
+inline double segment_delay(const DelayParams& p, double td0_s, double dvth_v,
+                            double vdd_v, double temp_k) {
+  if (!is_functional(p, vdd_v, dvth_v)) {
+    throw std::domain_error(
+        "segment_delay: no gate overdrive (circuit not functional)");
+  }
+  const double fresh_factor = p.vdd_nominal_v / (p.vdd_nominal_v - p.vth0_v);
+  const double aged_factor = vdd_v / (vdd_v - p.vth0_v - dvth_v);
+  const double temp_factor =
+      1.0 + p.temp_coeff_per_k * (temp_k - p.temp_ref_k);
+  return td0_s * (aged_factor / fresh_factor) * temp_factor;
+}
+
+}  // namespace ash::fpga

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file routing.h
+/// Routing block between LUTs — "all the routing elements between LUT
+/// blocks" (Sec. 3.2).
+///
+/// Modeled as a two-inverter repeater (signal restoration through the
+/// programmable interconnect): devices R1N/R1P (first inverter) and
+/// R2N/R2P (second inverter).  Net non-inverting, so a ring of
+/// LUT-inverters + routing keeps odd inversion parity.  Stress follows the
+/// same ON-device rule as the LUT buffer: input 1 stresses the NMOS,
+/// input 0 stresses the PMOS.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ash/bti/condition.h"
+#include "ash/bti/parameters.h"
+#include "ash/fpga/delay.h"
+#include "ash/fpga/transistor.h"
+
+namespace ash::fpga {
+
+/// Indices of the four devices of one routing block.
+enum RoutingDevice : int {
+  kR1N = 0,
+  kR1P,
+  kR2N,
+  kR2P,
+  kRoutingDeviceCount
+};
+
+/// One routing block with per-device BTI state.
+class RoutingBlock {
+ public:
+  RoutingBlock(double delay_scale, const bti::TdParameters& params,
+               std::uint64_t seed, double pbti_amplitude_ratio = 1.0);
+
+  /// Devices on the timed path when the block carries logic value `v`:
+  /// the ON driver of each inverter stage.
+  std::array<int, 2> conducting_path(bool v) const;
+
+  /// Devices under BTI stress when the block statically carries `v`
+  /// (identical to the conducting path — the ON device is the stressed
+  /// device).
+  std::vector<int> stressed_devices(bool v) const;
+
+  /// Propagation delay through the block for input value `v`.
+  double path_delay(bool v, const DelayParams& dp, double vdd_v,
+                    double temp_k) const;
+
+  /// DC aging with a static carried value.
+  void age_static(bool v, const bti::OperatingCondition& env, double dt_s);
+  /// AC aging (toggling value): all devices at the condition's duty.
+  void age_toggling(const bti::OperatingCondition& env, double dt_s);
+  /// Sleep/recovery aging: all devices at the recovery bias.
+  void age_sleep(const bti::OperatingCondition& env, double dt_s);
+
+  const Transistor& device(int index) const {
+    return devices_.at(static_cast<std::size_t>(index));
+  }
+  Transistor& device(int index) {
+    return devices_.at(static_cast<std::size_t>(index));
+  }
+
+ private:
+  std::vector<Transistor> devices_;
+};
+
+}  // namespace ash::fpga

@@ -1,0 +1,97 @@
+#include "ash/fpga/ring_oscillator.h"
+
+#include <stdexcept>
+
+#include "ash/util/random.h"
+
+namespace ash::fpga {
+
+RingOscillator::RingOscillator(int stages,
+                               const std::vector<double>& delay_scales,
+                               const DelayParams& delay_params,
+                               const bti::TdParameters& td_params,
+                               std::uint64_t seed,
+                               double pbti_amplitude_ratio)
+    : delay_params_(delay_params) {
+  if (stages < 3 || stages % 2 == 0) {
+    throw std::invalid_argument(
+        "RingOscillator: stage count must be odd and >= 3");
+  }
+  if (delay_scales.size() != static_cast<std::size_t>(stages)) {
+    throw std::invalid_argument(
+        "RingOscillator: one delay scale per stage required");
+  }
+  stages_.reserve(static_cast<std::size_t>(stages));
+  for (int i = 0; i < stages; ++i) {
+    const std::uint64_t stage_seed =
+        derive_seed(seed, static_cast<std::uint64_t>(i));
+    stages_.push_back(RoStage{
+        PassTransistorLut2(inverter_config(),
+                           delay_scales[static_cast<std::size_t>(i)],
+                           td_params, derive_seed(stage_seed, 0),
+                           pbti_amplitude_ratio),
+        RoutingBlock(delay_scales[static_cast<std::size_t>(i)], td_params,
+                     derive_seed(stage_seed, 1), pbti_amplitude_ratio)});
+  }
+}
+
+double RingOscillator::traversal_delay_s(bool in0_phase, double vdd_v,
+                                         double temp_k) const {
+  // As the edge propagates, consecutive stages see alternating input
+  // values; `in0_phase` fixes the value at stage 0.
+  double total = 0.0;
+  bool in0 = in0_phase;
+  for (const auto& s : stages_) {
+    total += s.lut.path_delay(in0, /*in1=*/true, delay_params_, vdd_v, temp_k);
+    const bool out = s.lut.evaluate(in0, true);
+    total += s.routing.path_delay(out, delay_params_, vdd_v, temp_k);
+    in0 = out;
+  }
+  return total;
+}
+
+double RingOscillator::period_s(double vdd_v, double temp_k) const {
+  return traversal_delay_s(false, vdd_v, temp_k) +
+         traversal_delay_s(true, vdd_v, temp_k);
+}
+
+double RingOscillator::frequency_hz(double vdd_v, double temp_k) const {
+  return 1.0 / period_s(vdd_v, temp_k);
+}
+
+void RingOscillator::evolve(RoMode mode, const bti::OperatingCondition& env,
+                            double dt_s) {
+  switch (mode) {
+    case RoMode::kAcOscillating: {
+      bti::OperatingCondition ac = env;
+      if (ac.gate_stress_duty <= 0.0) ac.gate_stress_duty = 0.5;
+      for (auto& s : stages_) {
+        s.lut.age_toggling(ac, dt_s);
+        s.routing.age_toggling(ac, dt_s);
+      }
+      break;
+    }
+    case RoMode::kDcFrozen: {
+      bti::OperatingCondition dc = env;
+      dc.gate_stress_duty = 1.0;
+      for (int i = 0; i < stage_count(); ++i) {
+        auto& s = stages_[static_cast<std::size_t>(i)];
+        const bool in0 = dc_input_of_stage(i);
+        s.lut.age_static(in0, /*in1=*/true, dc, dt_s);
+        s.routing.age_static(s.lut.evaluate(in0, true), dc, dt_s);
+      }
+      break;
+    }
+    case RoMode::kSleep: {
+      bti::OperatingCondition sleep = env;
+      sleep.gate_stress_duty = 0.0;
+      for (auto& s : stages_) {
+        s.lut.age_sleep(sleep, dt_s);
+        s.routing.age_sleep(sleep, dt_s);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace ash::fpga

@@ -1,0 +1,48 @@
+#include "ash/mc/floorplan.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ash::mc {
+
+Floorplan::Floorplan(int columns) : columns_(columns) {
+  if (columns < 2) {
+    throw std::invalid_argument("Floorplan: need at least 2 columns");
+  }
+  adjacency_.resize(static_cast<std::size_t>(node_count()));
+  const auto connect = [&](int a, int b) {
+    adjacency_[static_cast<std::size_t>(a)].push_back(b);
+    adjacency_[static_cast<std::size_t>(b)].push_back(a);
+  };
+  for (int core = 0; core < core_count(); ++core) {
+    const int r = row_of(core);
+    const int c = col_of(core);
+    if (c + 1 < columns_) connect(core, core + 1);          // right neighbour
+    if (r == 0) connect(core, core + columns_);             // row below
+    if (r == 1) connect(core, cache_node());                // L3 underneath
+  }
+  return;
+}
+
+NodeKind Floorplan::kind(int node) const {
+  return node == cache_node() ? NodeKind::kCache : NodeKind::kCore;
+}
+
+const std::vector<int>& Floorplan::neighbors(int node) const {
+  return adjacency_.at(static_cast<std::size_t>(node));
+}
+
+bool Floorplan::adjacent(int a, int b) const {
+  const auto& n = neighbors(a);
+  return std::find(n.begin(), n.end(), b) != n.end();
+}
+
+int Floorplan::core_neighbor_count(int core) const {
+  int count = 0;
+  for (int n : neighbors(core)) {
+    if (n != cache_node()) ++count;
+  }
+  return count;
+}
+
+}  // namespace ash::mc

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file floorplan.h
+/// Multi-core floorplan — the Fig. 10 layout: two rows of four cores over a
+/// shared L3 cache slice.
+///
+/// The floorplan supplies the adjacency structure the "on-chip heater" idea
+/// depends on: a sleeping core bordered by active neighbours is heated by
+/// them through the lateral thermal conductances, accelerating its
+/// recovery during sleep.
+
+#include <cstddef>
+#include <vector>
+
+namespace ash::mc {
+
+/// Node kinds of the thermal network.
+enum class NodeKind { kCore, kCache };
+
+/// The Fig. 10 grid: cores 0..3 on the top row, 4..7 on the bottom row,
+/// node 8 is the shared L3 adjacent to the whole bottom row.
+class Floorplan {
+ public:
+  /// Build the standard 2 x `columns` core grid + L3 (default 8 cores).
+  explicit Floorplan(int columns = 4);
+
+  int core_count() const { return 2 * columns_; }
+  int node_count() const { return core_count() + 1; }
+  int cache_node() const { return core_count(); }
+  int columns() const { return columns_; }
+
+  NodeKind kind(int node) const;
+
+  /// Grid coordinates of a core (row 0 = top).
+  int row_of(int core) const { return core / columns_; }
+  int col_of(int core) const { return core % columns_; }
+
+  /// Nodes thermally adjacent to `node` (4-neighbourhood on the core grid;
+  /// the L3 couples to every bottom-row core).
+  const std::vector<int>& neighbors(int node) const;
+
+  /// True if the two nodes share a lateral boundary.
+  bool adjacent(int a, int b) const;
+
+  /// Number of *core* neighbours of a core (2 for corners, 3 for edges on
+  /// the 2x4 grid).
+  int core_neighbor_count(int core) const;
+
+ private:
+  int columns_;
+  std::vector<std::vector<int>> adjacency_;
+};
+
+}  // namespace ash::mc

@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file scheduler.h
+/// Sleep/rejuvenation scheduling policies for the multi-core system
+/// (Sec. 6.2 of the paper).
+///
+/// A scheduler decides, per interval, which cores run the workload and
+/// which sleep — and whether sleep is passive (power-gated) or an active
+/// rejuvenation (negative bias; heat arrives for free from the active
+/// neighbours).  Shipped policies:
+///   * `AllActiveScheduler`       — never sleeps (design-for-EOL baseline);
+///   * `RoundRobinSleepScheduler` — rotates a contiguous block of sleepers
+///     (the naive energy-saving policy), passive or rejuvenating;
+///   * `HeaterAwareCircadianScheduler` — rotates sleepers chosen to
+///     maximize active-neighbour count (the paper's "on-chip heaters"),
+///     tie-breaking toward the most-aged cores;
+///   * `ReactiveScheduler` — sleeps cores only once their aging crosses a
+///     threshold.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ash/mc/floorplan.h"
+
+namespace ash::mc {
+
+/// Mode of one core for one interval.
+enum class CoreMode { kActive, kSleepPassive, kSleepRejuvenate };
+
+/// Per-interval decision: one mode per core.
+using Assignment = std::vector<CoreMode>;
+
+/// What a scheduler sees when deciding.
+struct SchedulerContext {
+  int interval_index = 0;
+  /// Cores the workload demands this interval.
+  int cores_needed = 0;
+  /// Current per-core threshold shift (volts).
+  std::vector<double> delta_vth;
+  const Floorplan* floorplan = nullptr;
+};
+
+/// Scheduling policy interface.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual std::string name() const = 0;
+  /// Must return exactly core_count() modes with at least `cores_needed`
+  /// active cores (the system validates).
+  virtual Assignment assign(const SchedulerContext& context) = 0;
+};
+
+/// Baseline: everything always runs.
+class AllActiveScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "all-active"; }
+  Assignment assign(const SchedulerContext& context) override;
+};
+
+/// Rotating contiguous sleeper block.
+class RoundRobinSleepScheduler final : public Scheduler {
+ public:
+  explicit RoundRobinSleepScheduler(bool rejuvenate)
+      : rejuvenate_(rejuvenate) {}
+  std::string name() const override {
+    return rejuvenate_ ? "round-robin-rejuvenate" : "round-robin-passive";
+  }
+  Assignment assign(const SchedulerContext& context) override;
+
+ private:
+  bool rejuvenate_;
+};
+
+/// Circadian rotation with heater-aware placement: every core gets its
+/// sleep turn (staleness-driven), aged cores jump the queue on ties, and
+/// sleepers are kept non-adjacent so each is surrounded by active heaters.
+/// Stateful: tracks when each core last slept.
+class HeaterAwareCircadianScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "heater-aware-circadian"; }
+  Assignment assign(const SchedulerContext& context) override;
+
+ private:
+  std::vector<int> last_slept_;  ///< interval index of each core's last sleep
+};
+
+/// Threshold-triggered recovery.
+class ReactiveScheduler final : public Scheduler {
+ public:
+  explicit ReactiveScheduler(double threshold_v) : threshold_v_(threshold_v) {}
+  std::string name() const override { return "reactive"; }
+  Assignment assign(const SchedulerContext& context) override;
+
+ private:
+  double threshold_v_;
+};
+
+/// Count of active cores in an assignment.
+int active_count(const Assignment& assignment);
+
+}  // namespace ash::mc

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file system.h
+/// The multi-core self-healing system simulator (Fig. 10 study).
+///
+/// Per scheduling interval: the policy assigns core modes; the thermal
+/// model turns the resulting power map into a temperature field; every
+/// core's BTI state advances under its own (voltage, temperature, duty)
+/// condition.  Sleeping cores bordered by active neighbours therefore
+/// recover at elevated temperature *for free* — the "on-chip heater"
+/// effect the paper proposes.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ash/bti/closed_form.h"
+#include "ash/mc/scheduler.h"
+#include "ash/mc/thermal.h"
+#include "ash/mc/workload.h"
+#include "ash/util/series.h"
+
+namespace ash::mc {
+
+/// System/study configuration.
+struct SystemConfig {
+  int columns = 4;  ///< 2 x columns cores (Fig. 10 uses 4)
+  ThermalConfig thermal;
+  /// Electrical power per node by mode (watts).
+  double active_power_w = 12.0;
+  double sleep_power_w = 0.5;
+  double cache_power_w = 3.0;
+  /// Negative rail used by rejuvenating sleep.
+  double rejuvenation_bias_v = -0.3;
+  /// Mission operating point of active cores.
+  double mission_supply_v = 1.2;
+  double activity_duty = 0.5;
+  /// Workload demand: active cores required every interval.
+  int cores_needed = 6;
+  /// Scheduling interval and study horizon (seconds).
+  double interval_s = 6.0 * 3600.0;
+  double horizon_s = 3.0 * 365.25 * 86400.0;
+  /// Aging budget per core (volts of DeltaVth).
+  double margin_delta_vth_v = 12e-3;
+  /// Thermal design power cap (watts); violations are counted.
+  double tdp_w = 90.0;
+  /// Points in the recorded worst-core trace.
+  int trace_points = 200;
+  /// Device model.
+  bti::ClosedFormParameters model =
+      bti::ClosedFormParameters::from_td(bti::default_td_parameters());
+};
+
+/// Study outcome for one scheduler.
+struct SystemResult {
+  std::string scheduler;
+  /// Core-seconds of work delivered.
+  double throughput_core_s = 0.0;
+  /// First time any core's aging crossed the margin (right-censored at
+  /// horizon + interval when never).
+  double time_to_first_margin_s = 0.0;
+  bool margin_exceeded = false;
+  /// Per-core end-state aging (volts).
+  std::vector<double> end_delta_vth_v;
+  /// Per-core permanent (unrecoverable) end-state aging — the fairness
+  /// observable: rotation should spread irreversible wear evenly.
+  std::vector<double> end_permanent_v;
+  double worst_end_delta_vth_v = 0.0;
+  double mean_end_delta_vth_v = 0.0;
+  /// Time-average temperature of *sleeping* cores (degC) — the heater
+  /// effect's direct observable.  NaN when no core ever slept.
+  double mean_sleep_temp_c = 0.0;
+  /// Hottest node temperature seen (degC).
+  double max_temp_c = 0.0;
+  /// Fraction of core-intervals spent sleeping.
+  double sleep_share = 0.0;
+  /// Number of intervals whose total power exceeded the TDP.
+  int tdp_violations = 0;
+  /// Worst-core DeltaVth over time.
+  Series worst_trace;
+};
+
+/// Run one scheduler over the horizon with constant demand
+/// (config.cores_needed every interval).
+SystemResult simulate_system(const SystemConfig& config, Scheduler& scheduler);
+
+/// Run one scheduler against a time-varying workload.  Demand is clamped
+/// to [0, core_count] per interval; config.cores_needed is ignored.
+SystemResult simulate_system(const SystemConfig& config, Scheduler& scheduler,
+                             const Workload& workload);
+
+}  // namespace ash::mc

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file thermal.h
+/// Lumped RC thermal network over the floorplan.
+///
+/// Each floorplan node is a thermal node with a vertical conductance to the
+/// heat sink (at ambient) and lateral conductances to its neighbours.  The
+/// scheduler operates on intervals (minutes to hours) that dwarf silicon
+/// thermal time constants (~ms–s), so the per-interval temperature field is
+/// the steady-state solution of
+///     G * T = P + g_sink * T_ambient
+/// which `solve_steady_state` computes by direct linear solve.  A transient
+/// `step` (explicit Euler over the same network, with per-node heat
+/// capacity) is provided for sub-second studies and for validating that the
+/// steady state is the transient's fixed point.
+
+#include <vector>
+
+#include "ash/mc/floorplan.h"
+
+namespace ash::mc {
+
+/// Thermal network constants.
+struct ThermalConfig {
+  /// Heat-sink (ambient) temperature, degC.
+  double ambient_c = 45.0;
+  /// Vertical conductance of a core node to the sink (W/K).
+  double core_to_sink_w_per_k = 0.25;
+  /// Vertical conductance of the L3 node to the sink (W/K).
+  double cache_to_sink_w_per_k = 1.0;
+  /// Lateral conductance between adjacent nodes (W/K).  Large relative to
+  /// the vertical path: neighbour heating is strong, which is what makes
+  /// the "on-chip heater" scheme work.
+  double lateral_w_per_k = 0.8;
+  /// Per-node heat capacity (J/K), for the transient integrator.
+  double heat_capacity_j_per_k = 50.0;
+};
+
+/// The assembled network.
+class ThermalModel {
+ public:
+  ThermalModel(const Floorplan& floorplan, const ThermalConfig& config);
+
+  /// Steady-state node temperatures (degC) for the given per-node powers
+  /// (watts).  `powers.size()` must equal the floorplan node count.
+  std::vector<double> solve_steady_state(
+      const std::vector<double>& powers) const;
+
+  /// One explicit-Euler transient step from `temps` under `powers`;
+  /// dt must satisfy the stability bound (checked).
+  std::vector<double> step(const std::vector<double>& temps,
+                           const std::vector<double>& powers,
+                           double dt_s) const;
+
+  /// Largest stable Euler step for this network.
+  double max_stable_dt_s() const;
+
+  const ThermalConfig& config() const { return config_; }
+  const Floorplan& floorplan() const { return *floorplan_; }
+
+ private:
+  double sink_conductance(int node) const;
+
+  const Floorplan* floorplan_;
+  ThermalConfig config_;
+};
+
+}  // namespace ash::mc

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file workload.h
+/// Time-varying core demand for the multi-core simulator.
+///
+/// The paper's circadian framing invites the obvious system-level synergy:
+/// real datacenter/edge workloads already *have* a circadian rhythm, so
+/// deep-rejuvenation sleep can ride the demand valleys instead of stealing
+/// throughput.  A `Workload` maps simulation time to the number of cores
+/// the work demands; the system simulator guarantees the scheduler honours
+/// it every interval.
+
+#include <cstdint>
+
+#include "ash/util/random.h"
+
+namespace ash::mc {
+
+/// Demand source interface.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  /// Cores demanded for the interval starting at t_s.  Must be within
+  /// [0, core_count]; the system clamps and validates.
+  virtual int cores_needed(long interval_index, double t_s) const = 0;
+};
+
+/// Fixed demand (the default behaviour of SystemConfig::cores_needed).
+class ConstantWorkload final : public Workload {
+ public:
+  explicit ConstantWorkload(int cores) : cores_(cores) {}
+  int cores_needed(long, double) const override { return cores_; }
+
+ private:
+  int cores_;
+};
+
+/// Day/night demand: `day_cores` during the daytime window of each period,
+/// `night_cores` otherwise.
+class DiurnalWorkload final : public Workload {
+ public:
+  DiurnalWorkload(int day_cores, int night_cores,
+                  double period_s = 24.0 * 3600.0,
+                  double day_fraction = 0.58)
+      : day_cores_(day_cores),
+        night_cores_(night_cores),
+        period_s_(period_s),
+        day_fraction_(day_fraction) {}
+
+  int cores_needed(long, double t_s) const override {
+    const double phase = t_s - period_s_ * static_cast<long>(t_s / period_s_);
+    return phase < day_fraction_ * period_s_ ? day_cores_ : night_cores_;
+  }
+
+  double period_s() const { return period_s_; }
+
+ private:
+  int day_cores_;
+  int night_cores_;
+  double period_s_;
+  double day_fraction_;
+};
+
+/// Random demand between [lo, hi] cores, redrawn per interval from a
+/// seeded stream (deterministic: the draw depends only on the interval
+/// index, not call order).
+class BurstyWorkload final : public Workload {
+ public:
+  BurstyWorkload(int lo, int hi, std::uint64_t seed = 0xB0)
+      : lo_(lo), hi_(hi), seed_(seed) {}
+
+  int cores_needed(long interval_index, double) const override {
+    Rng rng(derive_seed(seed_, static_cast<std::uint64_t>(interval_index)));
+    return lo_ + static_cast<int>(
+                     rng.uniform_index(static_cast<std::uint64_t>(hi_ - lo_ + 1)));
+  }
+
+ private:
+  int lo_;
+  int hi_;
+  std::uint64_t seed_;
+};
+
+}  // namespace ash::mc

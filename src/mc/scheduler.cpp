@@ -1,0 +1,124 @@
+#include "ash/mc/scheduler.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace ash::mc {
+
+namespace {
+
+int validate_context(const SchedulerContext& ctx) {
+  if (ctx.floorplan == nullptr) {
+    throw std::invalid_argument("SchedulerContext: missing floorplan");
+  }
+  const int n = ctx.floorplan->core_count();
+  if (ctx.cores_needed < 0 || ctx.cores_needed > n) {
+    throw std::invalid_argument("SchedulerContext: cores_needed out of range");
+  }
+  if (ctx.delta_vth.size() != static_cast<std::size_t>(n)) {
+    throw std::invalid_argument("SchedulerContext: delta_vth size mismatch");
+  }
+  return n;
+}
+
+}  // namespace
+
+int active_count(const Assignment& assignment) {
+  return static_cast<int>(
+      std::count(assignment.begin(), assignment.end(), CoreMode::kActive));
+}
+
+Assignment AllActiveScheduler::assign(const SchedulerContext& ctx) {
+  const int n = validate_context(ctx);
+  return Assignment(static_cast<std::size_t>(n), CoreMode::kActive);
+}
+
+Assignment RoundRobinSleepScheduler::assign(const SchedulerContext& ctx) {
+  const int n = validate_context(ctx);
+  const int sleepers = n - ctx.cores_needed;
+  Assignment out(static_cast<std::size_t>(n), CoreMode::kActive);
+  const CoreMode sleep_mode =
+      rejuvenate_ ? CoreMode::kSleepRejuvenate : CoreMode::kSleepPassive;
+  // Contiguous block starting at a rotating offset: every core gets its
+  // turn, but sleepers cluster (adjacent sleepers shade each other from
+  // the neighbour heat — the naive policy's weakness).
+  const int start = sleepers > 0 ? (ctx.interval_index * sleepers) % n : 0;
+  for (int k = 0; k < sleepers; ++k) {
+    out[static_cast<std::size_t>((start + k) % n)] = sleep_mode;
+  }
+  return out;
+}
+
+Assignment HeaterAwareCircadianScheduler::assign(const SchedulerContext& ctx) {
+  const int n = validate_context(ctx);
+  const int sleepers = n - ctx.cores_needed;
+  Assignment out(static_cast<std::size_t>(n), CoreMode::kActive);
+  if (last_slept_.size() != static_cast<std::size_t>(n)) {
+    last_slept_.assign(static_cast<std::size_t>(n), -1);
+  }
+  if (sleepers <= 0) return out;
+
+  // Score: staleness (intervals since last sleep) drives the circadian
+  // rotation; aging breaks ties so the neediest core jumps the queue.
+  // Placement: greedy picks skip cores adjacent to already-chosen sleepers
+  // (so every sleeper keeps its active heaters), falling back to adjacency
+  // only when the grid leaves no spread-out choice.
+  std::vector<bool> sleeping(static_cast<std::size_t>(n), false);
+  for (int pick = 0; pick < sleepers; ++pick) {
+    int best = -1;
+    double best_score = -1e300;
+    for (int allow_adjacent = 0; allow_adjacent <= 1 && best < 0;
+         ++allow_adjacent) {
+      for (int core = 0; core < n; ++core) {
+        if (sleeping[static_cast<std::size_t>(core)]) continue;
+        bool next_to_sleeper = false;
+        for (int nb : ctx.floorplan->neighbors(core)) {
+          if (nb != ctx.floorplan->cache_node() &&
+              sleeping[static_cast<std::size_t>(nb)]) {
+            next_to_sleeper = true;
+          }
+        }
+        if (next_to_sleeper && allow_adjacent == 0) continue;
+        const double staleness = static_cast<double>(
+            ctx.interval_index - last_slept_[static_cast<std::size_t>(core)]);
+        const double aging_mv =
+            ctx.delta_vth[static_cast<std::size_t>(core)] / 1e-3;
+        const double score = 8.0 * staleness + aging_mv;
+        if (score > best_score) {
+          best_score = score;
+          best = core;
+        }
+      }
+    }
+    sleeping[static_cast<std::size_t>(best)] = true;
+    last_slept_[static_cast<std::size_t>(best)] = ctx.interval_index;
+    out[static_cast<std::size_t>(best)] = CoreMode::kSleepRejuvenate;
+  }
+  return out;
+}
+
+Assignment ReactiveScheduler::assign(const SchedulerContext& ctx) {
+  const int n = validate_context(ctx);
+  const int max_sleepers = n - ctx.cores_needed;
+  Assignment out(static_cast<std::size_t>(n), CoreMode::kActive);
+  if (max_sleepers <= 0) return out;
+
+  // Most-aged cores above the threshold sleep, up to the demand cap.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return ctx.delta_vth[static_cast<std::size_t>(a)] >
+           ctx.delta_vth[static_cast<std::size_t>(b)];
+  });
+  int slept = 0;
+  for (int core : order) {
+    if (slept >= max_sleepers) break;
+    if (ctx.delta_vth[static_cast<std::size_t>(core)] < threshold_v_) break;
+    out[static_cast<std::size_t>(core)] = CoreMode::kSleepRejuvenate;
+    ++slept;
+  }
+  return out;
+}
+
+}  // namespace ash::mc

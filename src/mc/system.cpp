@@ -1,0 +1,159 @@
+#include "ash/mc/system.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ash::mc {
+
+namespace {
+
+void validate(const SystemConfig& c) {
+  if (c.cores_needed < 0 || c.cores_needed > 2 * c.columns) {
+    throw std::invalid_argument("SystemConfig: cores_needed out of range");
+  }
+  if (c.interval_s <= 0.0 || c.horizon_s < c.interval_s) {
+    throw std::invalid_argument("SystemConfig: bad interval/horizon");
+  }
+  if (c.margin_delta_vth_v <= 0.0) {
+    throw std::invalid_argument("SystemConfig: margin must be positive");
+  }
+  if (c.active_power_w < c.sleep_power_w) {
+    throw std::invalid_argument(
+        "SystemConfig: active power below sleep power");
+  }
+  if (c.trace_points < 2) {
+    throw std::invalid_argument("SystemConfig: need >= 2 trace points");
+  }
+}
+
+}  // namespace
+
+SystemResult simulate_system(const SystemConfig& config,
+                             Scheduler& scheduler) {
+  const ConstantWorkload workload(config.cores_needed);
+  return simulate_system(config, scheduler, workload);
+}
+
+SystemResult simulate_system(const SystemConfig& config, Scheduler& scheduler,
+                             const Workload& workload) {
+  validate(config);
+  const Floorplan floorplan(config.columns);
+  const ThermalModel thermal(floorplan, config.thermal);
+  const int cores = floorplan.core_count();
+
+  std::vector<bti::ClosedFormAger> agers(
+      static_cast<std::size_t>(cores), bti::ClosedFormAger(config.model));
+
+  SystemResult result;
+  result.scheduler = scheduler.name();
+  result.worst_trace.set_name(scheduler.name());
+
+  const auto intervals =
+      static_cast<long>(config.horizon_s / config.interval_s);
+  const long trace_every =
+      std::max<long>(1, intervals / (config.trace_points - 1));
+
+  double sleep_temp_sum = 0.0;
+  long sleep_core_intervals = 0;
+  long core_intervals = 0;
+
+  for (long k = 0; k < intervals; ++k) {
+    const double t_now = static_cast<double>(k) * config.interval_s;
+    const int demand = std::clamp(workload.cores_needed(k, t_now), 0, cores);
+    SchedulerContext ctx;
+    ctx.interval_index = static_cast<int>(k);
+    ctx.cores_needed = demand;
+    ctx.floorplan = &floorplan;
+    ctx.delta_vth.reserve(static_cast<std::size_t>(cores));
+    for (const auto& a : agers) ctx.delta_vth.push_back(a.delta_vth());
+
+    const Assignment assignment = scheduler.assign(ctx);
+    if (static_cast<int>(assignment.size()) != cores) {
+      throw std::runtime_error("simulate_system: bad assignment size");
+    }
+    if (active_count(assignment) < demand) {
+      throw std::runtime_error(
+          "simulate_system: scheduler starved the workload");
+    }
+
+    // Power map and temperature field.
+    std::vector<double> powers(static_cast<std::size_t>(cores) + 1,
+                               config.cache_power_w);
+    double total_power = config.cache_power_w;
+    for (int i = 0; i < cores; ++i) {
+      const double p = assignment[static_cast<std::size_t>(i)] ==
+                               CoreMode::kActive
+                           ? config.active_power_w
+                           : config.sleep_power_w;
+      powers[static_cast<std::size_t>(i)] = p;
+      total_power += p;
+    }
+    if (total_power > config.tdp_w) ++result.tdp_violations;
+    const std::vector<double> temps = thermal.solve_steady_state(powers);
+
+    // Evolve every core under its own condition.
+    for (int i = 0; i < cores; ++i) {
+      const double t_c = temps[static_cast<std::size_t>(i)];
+      result.max_temp_c = std::max(result.max_temp_c, t_c);
+      ++core_intervals;
+      bti::OperatingCondition cond;
+      switch (assignment[static_cast<std::size_t>(i)]) {
+        case CoreMode::kActive:
+          cond = bti::ac_stress(config.mission_supply_v, t_c,
+                                config.activity_duty);
+          result.throughput_core_s += config.interval_s;
+          break;
+        case CoreMode::kSleepPassive:
+          cond = bti::recovery(0.0, t_c);
+          sleep_temp_sum += t_c;
+          ++sleep_core_intervals;
+          break;
+        case CoreMode::kSleepRejuvenate:
+          cond = bti::recovery(config.rejuvenation_bias_v, t_c);
+          sleep_temp_sum += t_c;
+          ++sleep_core_intervals;
+          break;
+      }
+      agers[static_cast<std::size_t>(i)].evolve(cond, config.interval_s);
+    }
+
+    // Margin bookkeeping and trace.
+    double worst = 0.0;
+    for (const auto& a : agers) worst = std::max(worst, a.delta_vth());
+    if (!result.margin_exceeded && worst >= config.margin_delta_vth_v) {
+      result.margin_exceeded = true;
+      result.time_to_first_margin_s =
+          static_cast<double>(k + 1) * config.interval_s;
+    }
+    if (k % trace_every == 0 || k + 1 == intervals) {
+      result.worst_trace.append(static_cast<double>(k + 1) * config.interval_s,
+                                worst);
+    }
+  }
+
+  if (!result.margin_exceeded) {
+    result.time_to_first_margin_s = config.horizon_s + config.interval_s;
+  }
+  for (const auto& a : agers) {
+    result.end_delta_vth_v.push_back(a.delta_vth());
+    result.end_permanent_v.push_back(a.permanent_delta_vth());
+  }
+  result.worst_end_delta_vth_v =
+      *std::max_element(result.end_delta_vth_v.begin(),
+                        result.end_delta_vth_v.end());
+  double sum = 0.0;
+  for (double v : result.end_delta_vth_v) sum += v;
+  result.mean_end_delta_vth_v = sum / static_cast<double>(cores);
+  result.mean_sleep_temp_c =
+      sleep_core_intervals > 0
+          ? sleep_temp_sum / static_cast<double>(sleep_core_intervals)
+          : std::nan("");
+  result.sleep_share = core_intervals > 0
+                           ? static_cast<double>(sleep_core_intervals) /
+                                 static_cast<double>(core_intervals)
+                           : 0.0;
+  return result;
+}
+
+}  // namespace ash::mc

@@ -1,0 +1,89 @@
+#include "ash/mc/thermal.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ash/util/optimize.h"
+
+namespace ash::mc {
+
+ThermalModel::ThermalModel(const Floorplan& floorplan,
+                           const ThermalConfig& config)
+    : floorplan_(&floorplan), config_(config) {
+  if (config_.core_to_sink_w_per_k <= 0.0 ||
+      config_.cache_to_sink_w_per_k <= 0.0 || config_.lateral_w_per_k < 0.0 ||
+      config_.heat_capacity_j_per_k <= 0.0) {
+    throw std::invalid_argument("ThermalConfig: non-physical conductances");
+  }
+}
+
+double ThermalModel::sink_conductance(int node) const {
+  return floorplan_->kind(node) == NodeKind::kCache
+             ? config_.cache_to_sink_w_per_k
+             : config_.core_to_sink_w_per_k;
+}
+
+std::vector<double> ThermalModel::solve_steady_state(
+    const std::vector<double>& powers) const {
+  const int n = floorplan_->node_count();
+  if (powers.size() != static_cast<std::size_t>(n)) {
+    throw std::invalid_argument("solve_steady_state: power vector size");
+  }
+  // Assemble G (row-major) and the RHS.
+  std::vector<double> g(static_cast<std::size_t>(n * n), 0.0);
+  std::vector<double> rhs(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    double diag = sink_conductance(i);
+    for (int j : floorplan_->neighbors(i)) {
+      diag += config_.lateral_w_per_k;
+      g[static_cast<std::size_t>(i * n + j)] -= config_.lateral_w_per_k;
+    }
+    g[static_cast<std::size_t>(i * n + i)] = diag;
+    rhs[static_cast<std::size_t>(i)] =
+        powers[static_cast<std::size_t>(i)] +
+        sink_conductance(i) * config_.ambient_c;
+  }
+  return solve_linear(std::move(g), std::move(rhs));
+}
+
+std::vector<double> ThermalModel::step(const std::vector<double>& temps,
+                                       const std::vector<double>& powers,
+                                       double dt_s) const {
+  const int n = floorplan_->node_count();
+  if (temps.size() != static_cast<std::size_t>(n) ||
+      powers.size() != static_cast<std::size_t>(n)) {
+    throw std::invalid_argument("step: vector size");
+  }
+  if (dt_s <= 0.0 || dt_s > max_stable_dt_s()) {
+    throw std::invalid_argument("step: dt outside the stable range");
+  }
+  std::vector<double> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double ti = temps[static_cast<std::size_t>(i)];
+    double flux = powers[static_cast<std::size_t>(i)] -
+                  sink_conductance(i) * (ti - config_.ambient_c);
+    for (int j : floorplan_->neighbors(i)) {
+      flux -= config_.lateral_w_per_k *
+              (ti - temps[static_cast<std::size_t>(j)]);
+    }
+    out[static_cast<std::size_t>(i)] =
+        ti + dt_s * flux / config_.heat_capacity_j_per_k;
+  }
+  return out;
+}
+
+double ThermalModel::max_stable_dt_s() const {
+  // Explicit Euler is stable for dt < 2*C/g_max; use a conservative bound
+  // from the worst-case diagonal conductance.
+  double g_max = 0.0;
+  const int n = floorplan_->node_count();
+  for (int i = 0; i < n; ++i) {
+    const double g = sink_conductance(i) +
+                     config_.lateral_w_per_k *
+                         static_cast<double>(floorplan_->neighbors(i).size());
+    g_max = std::max(g_max, g);
+  }
+  return config_.heat_capacity_j_per_k / g_max;
+}
+
+}  // namespace ash::mc

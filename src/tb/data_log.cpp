@@ -1,0 +1,96 @@
+#include "ash/tb/data_log.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "ash/util/csv.h"
+#include "ash/util/table.h"
+
+namespace ash::tb {
+
+void DataLog::append(const DataLog& other) {
+  records_.insert(records_.end(), other.records_.begin(),
+                  other.records_.end());
+}
+
+std::vector<SampleRecord> DataLog::phase_records(
+    const std::string& phase) const {
+  std::vector<SampleRecord> out;
+  for (const auto& r : records_) {
+    if (r.phase == phase) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<std::string> DataLog::phases() const {
+  std::vector<std::string> out;
+  for (const auto& r : records_) {
+    if (std::find(out.begin(), out.end(), r.phase) == out.end()) {
+      out.push_back(r.phase);
+    }
+  }
+  return out;
+}
+
+Series DataLog::delay_series(const std::string& phase) const {
+  Series s(phase + ":delay");
+  for (const auto& r : phase_records(phase)) s.append(r.t_phase_s, r.delay_s);
+  return s;
+}
+
+Series DataLog::frequency_series(const std::string& phase) const {
+  Series s(phase + ":frequency");
+  for (const auto& r : phase_records(phase)) {
+    s.append(r.t_phase_s, r.frequency_hz);
+  }
+  return s;
+}
+
+void DataLog::write_csv(std::ostream& os) const {
+  write_csv_row(os, {"test_case", "chip_id", "phase", "t_campaign_s",
+                     "t_phase_s", "chamber_c", "supply_v", "counts",
+                     "frequency_hz", "delay_s"});
+  for (const auto& r : records_) {
+    write_csv_row(os, {r.test_case, strformat("%d", r.chip_id), r.phase,
+                       strformat("%.6f", r.t_campaign_s),
+                       strformat("%.6f", r.t_phase_s),
+                       strformat("%.6f", r.chamber_c),
+                       strformat("%.6f", r.supply_v),
+                       strformat("%.6f", r.counts),
+                       strformat("%.6f", r.frequency_hz),
+                       strformat("%.9e", r.delay_s)});
+  }
+}
+
+DataLog DataLog::read_csv(std::istream& is) {
+  const CsvDocument doc = ash::read_csv(is);
+  DataLog log;
+  const auto col = [&](const char* name) { return doc.column(name); };
+  const std::size_t c_case = col("test_case");
+  const std::size_t c_chip = col("chip_id");
+  const std::size_t c_phase = col("phase");
+  const std::size_t c_tc = col("t_campaign_s");
+  const std::size_t c_tp = col("t_phase_s");
+  const std::size_t c_temp = col("chamber_c");
+  const std::size_t c_v = col("supply_v");
+  const std::size_t c_counts = col("counts");
+  const std::size_t c_f = col("frequency_hz");
+  const std::size_t c_d = col("delay_s");
+  for (const auto& row : doc.rows) {
+    SampleRecord r;
+    r.test_case = row[c_case];
+    r.chip_id = std::stoi(row[c_chip]);
+    r.phase = row[c_phase];
+    r.t_campaign_s = std::stod(row[c_tc]);
+    r.t_phase_s = std::stod(row[c_tp]);
+    r.chamber_c = std::stod(row[c_temp]);
+    r.supply_v = std::stod(row[c_v]);
+    r.counts = std::stod(row[c_counts]);
+    r.frequency_hz = std::stod(row[c_f]);
+    r.delay_s = std::stod(row[c_d]);
+    log.add(std::move(r));
+  }
+  return log;
+}
+
+}  // namespace ash::tb

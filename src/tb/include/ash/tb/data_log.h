@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file data_log.h
+/// Campaign sample log.  Every measurement the runner takes lands here with
+/// full provenance (case, chip, phase, schedule time, environment), so the
+/// analysis layer (ash::core metrics, the figure benches and the CSV
+/// exports) can slice it any way the paper does.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ash/util/series.h"
+
+namespace ash::tb {
+
+/// One logged measurement.
+struct SampleRecord {
+  std::string test_case;   ///< e.g. "chip5"
+  int chip_id = 0;
+  std::string phase;       ///< Table 1 label, e.g. "AR110N6"
+  double t_campaign_s = 0.0;  ///< time since the campaign started
+  double t_phase_s = 0.0;     ///< time since the current phase started
+  double chamber_c = 0.0;     ///< chamber temperature at the sample
+  double supply_v = 0.0;      ///< phase supply setpoint
+  double counts = 0.0;        ///< averaged counter output
+  double frequency_hz = 0.0;  ///< Eq. (14)
+  double delay_s = 0.0;       ///< Eq. (15)
+};
+
+/// Append-only sample log with slicing helpers.
+class DataLog {
+ public:
+  void add(SampleRecord record) { records_.push_back(std::move(record)); }
+  void append(const DataLog& other);
+
+  bool empty() const { return records_.empty(); }
+  std::size_t size() const { return records_.size(); }
+  const std::vector<SampleRecord>& records() const { return records_; }
+
+  /// All records of one phase label, in log order.
+  std::vector<SampleRecord> phase_records(const std::string& phase) const;
+
+  /// Distinct phase labels in first-appearance order.
+  std::vector<std::string> phases() const;
+
+  /// Delay-vs-phase-time series for one phase (seconds vs seconds).
+  Series delay_series(const std::string& phase) const;
+
+  /// Frequency-vs-phase-time series for one phase.
+  Series frequency_series(const std::string& phase) const;
+
+  /// Write all records as CSV (header + rows).
+  void write_csv(std::ostream& os) const;
+
+  /// Parse a log previously produced by write_csv.
+  static DataLog read_csv(std::istream& is);
+
+ private:
+  std::vector<SampleRecord> records_;
+};
+
+}  // namespace ash::tb

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file experiment_runner.h
+/// Drives a TestCase on a chip inside the virtual lab.
+///
+/// The runner owns the instruments (thermal chamber, DC supply, measurement
+/// rig) and reproduces the paper's measurement procedure:
+///   * the chamber ramps to each phase's setpoint before the phase clock
+///     starts (instant by default for idealized reproduction);
+///   * during DC stress the RO is frozen and "enabled only every 20 minutes
+///     for data recording" — each sample wakes the ring at the nominal
+///     supply for the gated count (<3 s of AC overhead, which the runner
+///     faithfully applies as aging);
+///   * during sleep the RO "wakes up every 30 minutes for data sampling",
+///     which briefly interrupts recovery the same way;
+///   * every logged value passes through the counter model (quantization +
+///     counting noise + averaging), never the true frequency.
+
+#include <cstdint>
+
+#include "ash/fpga/chip.h"
+#include "ash/tb/data_log.h"
+#include "ash/tb/measurement.h"
+#include "ash/tb/power_supply.h"
+#include "ash/tb/test_case.h"
+#include "ash/tb/thermal_chamber.h"
+
+namespace ash::tb {
+
+/// Runner configuration.
+struct RunnerConfig {
+  MeasurementConfig measurement;
+  ChamberConfig chamber;
+  SupplyConfig supply;
+  /// Supply applied while sampling (the RO cannot oscillate at 0/-0.3 V).
+  double measurement_vdd_v = 1.2;
+  /// true: chamber reaches each setpoint instantly (idealized, default for
+  /// the paper-reproduction benches); false: finite ramp, during which the
+  /// chip ages under the phase's mode at the instantaneous temperature.
+  bool instant_chamber = true;
+  /// Root seed for instrument noise; vary to model run-to-run noise.
+  std::uint64_t seed = 0x99;
+};
+
+/// The virtual lab operator.
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(const RunnerConfig& config);
+
+  /// Run the full schedule on the chip, mutating its aging state, and
+  /// return the sample log.
+  DataLog run(fpga::FpgaChip& chip, const TestCase& test_case);
+
+  const RunnerConfig& config() const { return config_; }
+
+ private:
+  RunnerConfig config_;
+};
+
+}  // namespace ash::tb

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file measurement.h
+/// The measurement rig: clock generator + gated counter + reading
+/// averaging.
+///
+/// "A clock generator provides the external clock source for the counter"
+/// (Sec. 4.3); "the output of the counter is read from a certain time range
+/// that has stable values" (Sec. 4.2) — i.e. several gated readings are
+/// taken and averaged.  The rig owns the only non-determinism of a
+/// measurement (counting noise and reference-clock ppm error), so chip
+/// state and measurement state stay cleanly separated.
+
+#include <cstdint>
+
+#include "ash/fpga/counter.h"
+#include "ash/util/random.h"
+
+namespace ash::tb {
+
+/// Reference clock source with a static calibration error.
+struct ClockGenerator {
+  double nominal_hz = 500.0;
+  /// Parts-per-million frequency error of this particular instrument.
+  double error_ppm = 0.0;
+
+  double actual_hz() const { return nominal_hz * (1.0 + error_ppm * 1e-6); }
+};
+
+/// Rig configuration.
+struct MeasurementConfig {
+  ClockGenerator clock;
+  fpga::CounterConfig counter;
+  /// Readings averaged per logged sample.
+  int readings_per_sample = 4;
+  std::uint64_t seed = 0x5A17;
+};
+
+/// One averaged measurement.
+struct Measurement {
+  double counts = 0.0;        ///< mean gated counts
+  double frequency_hz = 0.0;  ///< inferred oscillator frequency (Eq. 14)
+  double delay_s = 0.0;       ///< inferred CUT delay (Eq. 15)
+};
+
+/// Averaging frequency-measurement rig.
+class MeasurementRig {
+ public:
+  explicit MeasurementRig(const MeasurementConfig& config);
+
+  /// Measure a true RO frequency: `readings_per_sample` gated counts are
+  /// taken and averaged.  The counter believes the clock is nominal, so a
+  /// ppm clock error biases the inferred frequency accordingly.
+  Measurement measure(double true_frequency_hz);
+
+  const MeasurementConfig& config() const { return config_; }
+
+  /// Wall-clock seconds one averaged sample occupies (the RO must run for
+  /// this long — the paper's <3 s "data sampling overhead").
+  double sample_duration_s() const;
+
+ private:
+  MeasurementConfig config_;
+  fpga::FrequencyCounter counter_;
+};
+
+}  // namespace ash::tb

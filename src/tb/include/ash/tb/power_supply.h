@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file power_supply.h
+/// Virtual bench DC supply — "core voltage is provided by a DC power supply
+/// and its nominal value is 1.2 V" (Sec. 4.3).  Supports the negative rail
+/// used during accelerated recovery (-0.3 V) and enforces the safety
+/// interlocks of Sec. 6.1: the lateral pn-junction breakdown bound on
+/// negative bias and an absolute maximum rating on the positive side.
+
+#include <cstdint>
+
+#include "ash/util/ou_noise.h"
+#include "ash/util/random.h"
+
+namespace ash::tb {
+
+/// Supply construction parameters.
+struct SupplyConfig {
+  double nominal_v = 1.2;
+  /// Most negative programmable output (breakdown interlock).
+  double min_v = -0.5;
+  /// Absolute maximum rating of the DUT core rail.
+  double max_v = 1.5;
+  /// Output ripple: stationary sigma (volts) and correlation time.
+  double ripple_sigma_v = 1e-3;
+  double ripple_tau_s = 5.0;
+  std::uint64_t seed = 0xF00D;
+};
+
+/// A programmable DC supply with ripple.
+class PowerSupply {
+ public:
+  explicit PowerSupply(const SupplyConfig& config);
+
+  /// Program the output.  Throws std::out_of_range outside the interlock
+  /// window [min_v, max_v].
+  void set_voltage(double volts);
+  double setpoint_v() const { return setpoint_v_; }
+
+  /// Instantaneous output including ripple.
+  double output_v() const { return setpoint_v_ + ripple_.value(); }
+
+  /// Advance ripple state.
+  void advance(double dt_s);
+
+  const SupplyConfig& config() const { return config_; }
+
+ private:
+  SupplyConfig config_;
+  double setpoint_v_;
+  OrnsteinUhlenbeck ripple_;
+};
+
+}  // namespace ash::tb

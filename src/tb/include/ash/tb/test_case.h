@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file test_case.h
+/// Encoding of the paper's accelerated test schedule — Table 1.
+///
+/// A `TestCase` is a named sequence of phases run on one chip; a phase
+/// fixes the RO mode (AC stress / DC stress / sleep), supply voltage,
+/// chamber setpoint, duration and sampling cadence.  `paper_campaign()`
+/// returns the exact five-chip campaign of Table 1, including the 2-hour
+/// room-temperature burn-in the paper applies to every chip first and the
+/// re-stress (AS110DC48 -> AR110N12) appended to chip 5.
+
+#include <string>
+#include <vector>
+
+#include "ash/fpga/ring_oscillator.h"
+
+namespace ash::tb {
+
+/// One schedule segment.
+struct Phase {
+  /// Case label as in Table 1, e.g. "AS110DC24" or "AR110N6".
+  std::string label;
+  /// RO operating mode during the phase.
+  fpga::RoMode mode = fpga::RoMode::kDcFrozen;
+  /// Core supply during the phase (volts).
+  double supply_v = 1.2;
+  /// Chamber setpoint (degC).
+  double chamber_c = 20.0;
+  /// Phase duration (seconds).
+  double duration_s = 0.0;
+  /// Sampling cadence (seconds between logged measurements); 0 disables
+  /// sampling inside the phase (endpoints are always logged).
+  double sample_every_s = 0.0;
+  /// AC-stress duty (ignored for DC/sleep).
+  double ac_duty = 0.5;
+};
+
+/// A named sequence of phases bound to a chip number.
+struct TestCase {
+  std::string name;
+  int chip_id = 1;
+  std::vector<Phase> phases;
+
+  /// Total scheduled duration (seconds).
+  double total_duration_s() const;
+};
+
+/// Phase builders mirroring Table 1's vocabulary.  Temperatures in degC,
+/// durations in hours (as printed in the table).
+Phase burn_in_phase();
+Phase ac_stress_phase(std::string label, double temp_c, double hours,
+                      double sample_every_min = 20.0);
+Phase dc_stress_phase(std::string label, double temp_c, double hours,
+                      double sample_every_min = 20.0);
+Phase recovery_phase(std::string label, double voltage_v, double temp_c,
+                     double hours, double sample_every_min = 30.0);
+
+/// The exact Table 1 campaign: one TestCase per chip (chip 5 carries the
+/// re-stress extension).  Every case starts with the 2 h/20 degC/1.2 V
+/// burn-in baseline.
+std::vector<TestCase> paper_campaign();
+
+/// Convenience lookups into `paper_campaign()` by Table 1 case label;
+/// throws std::out_of_range for unknown labels.
+TestCase campaign_case(const std::string& phase_label);
+
+}  // namespace ash::tb

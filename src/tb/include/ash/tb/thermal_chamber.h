@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file thermal_chamber.h
+/// Virtual thermal chamber — the paper's chips "are heated up or cooled
+/// down by a thermal chamber, which allows temperature fluctuation of
+/// +/-0.3 degC" (Sec. 4.3).
+///
+/// The chamber tracks a setpoint with a finite ramp rate and wanders around
+/// it with a mean-reverting (Ornstein–Uhlenbeck) error whose 3-sigma band
+/// matches the published +/-0.3 degC tolerance.
+
+#include <cstdint>
+
+#include "ash/util/ou_noise.h"
+#include "ash/util/random.h"
+
+namespace ash::tb {
+
+/// Chamber construction parameters.
+struct ChamberConfig {
+  /// Initial temperature (degC).
+  double initial_c = 20.0;
+  /// Ramp rate toward a new setpoint (degC per second).  The default
+  /// corresponds to a typical bench chamber (~3 degC/min); set to a huge
+  /// value for idealized instant-setpoint experiments.
+  double ramp_c_per_s = 3.0 / 60.0;
+  /// Stationary sigma of the fluctuation (degC): 0.1 -> +/-0.3 at 3 sigma.
+  double fluctuation_sigma_c = 0.1;
+  /// Correlation time of the fluctuation (seconds).
+  double fluctuation_tau_s = 120.0;
+  /// Noise stream seed.
+  std::uint64_t seed = 0xCAFE;
+};
+
+/// A setpoint-tracking chamber with realistic fluctuation.
+class ThermalChamber {
+ public:
+  explicit ThermalChamber(const ChamberConfig& config);
+
+  /// Command a new setpoint (degC).  The chamber ramps toward it.
+  void set_target_c(double target_c) { target_c_ = target_c; }
+  double target_c() const { return target_c_; }
+
+  /// Current chamber temperature (degC), including fluctuation.
+  double temperature_c() const { return base_c_ + noise_.value(); }
+  /// Same in kelvin.
+  double temperature_k() const;
+
+  /// True once the ramp has reached the setpoint (fluctuation aside).
+  bool at_target() const { return base_c_ == target_c_; }
+
+  /// Seconds of ramping still needed to reach the setpoint.
+  double seconds_to_target() const;
+
+  /// Advance chamber state by dt seconds.
+  void advance(double dt_s);
+
+ private:
+  ChamberConfig config_;
+  double base_c_;
+  double target_c_;
+  OrnsteinUhlenbeck noise_;
+};
+
+}  // namespace ash::tb

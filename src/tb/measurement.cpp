@@ -1,0 +1,51 @@
+#include "ash/tb/measurement.h"
+
+#include <stdexcept>
+
+namespace ash::tb {
+
+namespace {
+
+fpga::CounterConfig actual_counter_config(const MeasurementConfig& c) {
+  fpga::CounterConfig cc = c.counter;
+  // The counter hardware is gated by the *actual* reference clock.
+  cc.f_ref_hz = c.clock.actual_hz();
+  return cc;
+}
+
+}  // namespace
+
+MeasurementRig::MeasurementRig(const MeasurementConfig& config)
+    : config_(config), counter_(actual_counter_config(config), Rng(config.seed)) {
+  if (config_.readings_per_sample <= 0) {
+    throw std::invalid_argument(
+        "MeasurementRig: readings_per_sample must be positive");
+  }
+}
+
+double MeasurementRig::sample_duration_s() const {
+  const double gate_s = static_cast<double>(config_.counter.gate_ref_periods) /
+                        config_.clock.actual_hz();
+  return gate_s * static_cast<double>(config_.readings_per_sample);
+}
+
+Measurement MeasurementRig::measure(double true_frequency_hz) {
+  double counts = 0.0;
+  for (int i = 0; i < config_.readings_per_sample; ++i) {
+    counts += counter_.measure(true_frequency_hz).counts;
+  }
+  counts /= static_cast<double>(config_.readings_per_sample);
+
+  // Frequency inference uses the *nominal* reference (the experimenter's
+  // belief), Eq. (14): f_osc = 2 * Cout * f_ref / gate_periods.
+  const double gate_s_believed =
+      static_cast<double>(config_.counter.gate_ref_periods) /
+      config_.clock.nominal_hz;
+  Measurement m;
+  m.counts = counts;
+  m.frequency_hz = 2.0 * counts / gate_s_believed;
+  m.delay_s = m.frequency_hz > 0.0 ? 1.0 / (2.0 * m.frequency_hz) : 0.0;
+  return m;
+}
+
+}  // namespace ash::tb

@@ -1,0 +1,32 @@
+#include "ash/tb/power_supply.h"
+
+#include <stdexcept>
+
+namespace ash::tb {
+
+PowerSupply::PowerSupply(const SupplyConfig& config)
+    : config_(config),
+      setpoint_v_(config.nominal_v),
+      ripple_(config.ripple_sigma_v, config.ripple_tau_s, Rng(config.seed)) {
+  if (config_.min_v >= config_.max_v || config_.ripple_sigma_v < 0.0 ||
+      config_.ripple_tau_s <= 0.0) {
+    throw std::invalid_argument("PowerSupply: bad configuration");
+  }
+}
+
+void PowerSupply::set_voltage(double volts) {
+  if (volts < config_.min_v || volts > config_.max_v) {
+    throw std::out_of_range(
+        "PowerSupply::set_voltage: outside interlock window");
+  }
+  setpoint_v_ = volts;
+}
+
+void PowerSupply::advance(double dt_s) {
+  if (dt_s < 0.0) {
+    throw std::invalid_argument("PowerSupply::advance: negative dt");
+  }
+  ripple_.advance(dt_s);
+}
+
+}  // namespace ash::tb

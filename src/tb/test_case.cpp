@@ -1,0 +1,111 @@
+#include "ash/tb/test_case.h"
+
+#include <stdexcept>
+
+#include "ash/util/constants.h"
+
+namespace ash::tb {
+
+double TestCase::total_duration_s() const {
+  double total = 0.0;
+  for (const auto& p : phases) total += p.duration_s;
+  return total;
+}
+
+Phase burn_in_phase() {
+  // "As a baseline all chips are stressed at 20 degC and 1.2 V for 2 hours
+  // initially" — normal operation, so AC.
+  Phase p;
+  p.label = "BURNIN";
+  p.mode = fpga::RoMode::kAcOscillating;
+  p.supply_v = 1.2;
+  p.chamber_c = 20.0;
+  p.duration_s = hours(2.0);
+  p.sample_every_s = 20.0 * 60.0;
+  return p;
+}
+
+Phase ac_stress_phase(std::string label, double temp_c, double hrs,
+                      double sample_every_min) {
+  Phase p;
+  p.label = std::move(label);
+  p.mode = fpga::RoMode::kAcOscillating;
+  p.supply_v = 1.2;
+  p.chamber_c = temp_c;
+  p.duration_s = hours(hrs);
+  p.sample_every_s = sample_every_min * 60.0;
+  return p;
+}
+
+Phase dc_stress_phase(std::string label, double temp_c, double hrs,
+                      double sample_every_min) {
+  Phase p;
+  p.label = std::move(label);
+  p.mode = fpga::RoMode::kDcFrozen;
+  p.supply_v = 1.2;
+  p.chamber_c = temp_c;
+  p.duration_s = hours(hrs);
+  p.sample_every_s = sample_every_min * 60.0;
+  return p;
+}
+
+Phase recovery_phase(std::string label, double voltage_v, double temp_c,
+                     double hrs, double sample_every_min) {
+  Phase p;
+  p.label = std::move(label);
+  p.mode = fpga::RoMode::kSleep;
+  p.supply_v = voltage_v;
+  p.chamber_c = temp_c;
+  p.duration_s = hours(hrs);
+  p.sample_every_s = sample_every_min * 60.0;
+  return p;
+}
+
+std::vector<TestCase> paper_campaign() {
+  std::vector<TestCase> campaign;
+
+  // Chip 1: accelerated AC stress only.
+  campaign.push_back(
+      {"chip1", 1, {burn_in_phase(), ac_stress_phase("AS110AC24", 110.0, 24.0)}});
+
+  // Chip 2: DC stress, then passive recovery (power gated, room temp).
+  campaign.push_back({"chip2",
+                      2,
+                      {burn_in_phase(), dc_stress_phase("AS110DC24", 110.0, 24.0),
+                       recovery_phase("R20Z6", 0.0, 20.0, 6.0)}});
+
+  // Chip 3: DC stress, then negative-voltage recovery at room temperature.
+  campaign.push_back({"chip3",
+                      3,
+                      {burn_in_phase(), dc_stress_phase("AS110DC24", 110.0, 24.0),
+                       recovery_phase("AR20N6", -0.3, 20.0, 6.0)}});
+
+  // Chip 4: 100 degC DC stress, then high-temperature recovery at 0 V.
+  campaign.push_back({"chip4",
+                      4,
+                      {burn_in_phase(), dc_stress_phase("AS100DC24", 100.0, 24.0),
+                       recovery_phase("AR110Z6", 0.0, 110.0, 6.0)}});
+
+  // Chip 5: DC stress + combined-knob recovery, then re-stressed for 48 h
+  // and recovered for 12 h — same active/sleep ratio, different stress.
+  campaign.push_back({"chip5",
+                      5,
+                      {burn_in_phase(), dc_stress_phase("AS110DC24", 110.0, 24.0),
+                       recovery_phase("AR110N6", -0.3, 110.0, 6.0),
+                       dc_stress_phase("AS110DC48", 110.0, 48.0),
+                       recovery_phase("AR110N12", -0.3, 110.0, 12.0)}});
+
+  return campaign;
+}
+
+TestCase campaign_case(const std::string& phase_label) {
+  for (const auto& tc : paper_campaign()) {
+    for (const auto& p : tc.phases) {
+      if (p.label == phase_label) return tc;
+    }
+  }
+  throw std::out_of_range("campaign_case: unknown Table 1 label '" +
+                          phase_label + "'");
+}
+
+}  // namespace ash::tb

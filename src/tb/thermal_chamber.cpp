@@ -1,0 +1,45 @@
+#include "ash/tb/thermal_chamber.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ash/util/constants.h"
+
+namespace ash::tb {
+
+ThermalChamber::ThermalChamber(const ChamberConfig& config)
+    : config_(config),
+      base_c_(config.initial_c),
+      target_c_(config.initial_c),
+      noise_(config.fluctuation_sigma_c, config.fluctuation_tau_s,
+             Rng(config.seed)) {
+  if (config_.ramp_c_per_s <= 0.0 || config_.fluctuation_sigma_c < 0.0 ||
+      config_.fluctuation_tau_s <= 0.0) {
+    throw std::invalid_argument("ThermalChamber: bad configuration");
+  }
+}
+
+double ThermalChamber::temperature_k() const {
+  return celsius(temperature_c());
+}
+
+double ThermalChamber::seconds_to_target() const {
+  return std::abs(target_c_ - base_c_) / config_.ramp_c_per_s;
+}
+
+void ThermalChamber::advance(double dt_s) {
+  if (dt_s < 0.0) {
+    throw std::invalid_argument("ThermalChamber::advance: negative dt");
+  }
+  const double max_step = config_.ramp_c_per_s * dt_s;
+  const double error = target_c_ - base_c_;
+  if (std::abs(error) <= max_step) {
+    base_c_ = target_c_;
+  } else {
+    base_c_ += std::copysign(max_step, error);
+  }
+  noise_.advance(dt_s);
+}
+
+}  // namespace ash::tb

@@ -1,0 +1,105 @@
+#include "ash/util/csv.h"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace ash {
+
+std::size_t CsvDocument::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw std::out_of_range("CsvDocument: no column named '" + name + "'");
+}
+
+std::string csv_escape(const std::string& cell) {
+  const bool needs_quoting =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void write_csv_row(std::ostream& os, const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) os << ',';
+    os << csv_escape(cells[i]);
+  }
+  os << '\n';
+}
+
+CsvDocument read_csv(std::istream& is) {
+  CsvDocument doc;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+  };
+  auto end_row = [&] {
+    end_cell();
+    if (doc.header.empty()) {
+      doc.header = std::move(row);
+    } else {
+      doc.rows.push_back(std::move(row));
+    }
+    row.clear();
+    row_has_content = false;
+  };
+
+  char c = 0;
+  while (is.get(c)) {
+    if (in_quotes) {
+      if (c == '"') {
+        if (is.peek() == '"') {
+          is.get(c);
+          cell.push_back('"');
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell.push_back(c);
+      }
+      row_has_content = true;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case ',':
+        end_cell();
+        row_has_content = true;
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        if (row_has_content || !cell.empty() || !row.empty()) end_row();
+        break;
+      default:
+        cell.push_back(c);
+        row_has_content = true;
+        break;
+    }
+  }
+  if (row_has_content || !cell.empty() || !row.empty()) end_row();
+
+  for (const auto& r : doc.rows) {
+    if (r.size() != doc.header.size()) {
+      throw std::runtime_error("read_csv: ragged row");
+    }
+  }
+  return doc;
+}
+
+}  // namespace ash

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file constants.h
+/// Physical constants and unit helpers used throughout libash.
+///
+/// All BTI physics in this library works in the (eV, K, s, V) unit system:
+/// energies in electron-volts, temperatures in kelvin, times in seconds and
+/// voltages in volts.  Delays are in seconds (helpers for ns exist in
+/// units.h).
+
+namespace ash {
+
+/// Boltzmann constant in eV/K.  The TD-model acceleration factors
+/// (Eq. (2)/(4) of the paper) are expressed as exp(-E0 / (k T)) with E0 in
+/// eV, so this is the only flavour of k the library needs.
+inline constexpr double kBoltzmannEv = 8.617333262e-5;
+
+/// Absolute zero offset: T[K] = T[degC] + kCelsiusToKelvin.
+inline constexpr double kCelsiusToKelvin = 273.15;
+
+/// Convert degrees Celsius to kelvin.
+constexpr double celsius(double deg_c) { return deg_c + kCelsiusToKelvin; }
+
+/// Convert kelvin to degrees Celsius.
+constexpr double to_celsius(double kelvin) { return kelvin - kCelsiusToKelvin; }
+
+/// Seconds in one hour / one day; the paper quotes all schedules in hours.
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kSecondsPerDay = 24.0 * kSecondsPerHour;
+
+/// Convert hours to seconds (the internal time unit).
+constexpr double hours(double h) { return h * kSecondsPerHour; }
+
+/// Convert seconds to hours (for reporting).
+constexpr double to_hours(double s) { return s / kSecondsPerHour; }
+
+}  // namespace ash

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file csv.h
+/// Minimal CSV emission/ingestion for experiment logs.  The virtual lab
+/// (`ash::tb::DataLog`) records every RO-frequency sample of a campaign; the
+/// examples dump these to CSV for offline plotting, and tests round-trip
+/// them.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ash {
+
+/// One parsed CSV document: a header row plus data rows of equal width.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column; throws std::out_of_range if absent.
+  std::size_t column(const std::string& name) const;
+};
+
+/// Quote a cell if it contains a comma, quote or newline (RFC 4180 style).
+std::string csv_escape(const std::string& cell);
+
+/// Write one CSV row (escaping each cell) terminated by '\n'.
+void write_csv_row(std::ostream& os, const std::vector<std::string>& cells);
+
+/// Parse a complete CSV document from a stream.  Handles quoted cells with
+/// embedded commas/newlines/doubled quotes.  The first row is the header.
+CsvDocument read_csv(std::istream& is);
+
+}  // namespace ash

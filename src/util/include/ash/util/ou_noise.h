@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file ou_noise.h
+/// Ornstein–Uhlenbeck process used to model slowly-wandering physical
+/// disturbances: the thermal chamber's +/-0.3 degC fluctuation around its
+/// setpoint and supply-voltage ripple.  An OU process is the natural choice
+/// because chamber temperature error is mean-reverting and temporally
+/// correlated — white noise would let consecutive samples jump unphysically.
+
+#include <cmath>
+
+#include "ash/util/random.h"
+
+namespace ash {
+
+/// Mean-reverting Gaussian process
+///   dx = -(x/tau) dt + sigma_stat * sqrt(2/tau) dW
+/// with stationary standard deviation `sigma_stat` and correlation time
+/// `tau` seconds.  `advance(dt)` uses the exact discrete-time solution, so
+/// any step size is unbiased.
+class OrnsteinUhlenbeck {
+ public:
+  OrnsteinUhlenbeck(double sigma_stationary, double correlation_time_s,
+                    Rng rng)
+      : sigma_(sigma_stationary), tau_(correlation_time_s), rng_(rng) {}
+
+  /// Current deviation from the mean.
+  double value() const { return x_; }
+
+  /// Advance the process by dt seconds and return the new value.
+  double advance(double dt) {
+    const double decay = std::exp(-dt / tau_);
+    const double stddev = sigma_ * std::sqrt(1.0 - decay * decay);
+    x_ = x_ * decay + rng_.normal(0.0, stddev);
+    return x_;
+  }
+
+  /// Stationary standard deviation.
+  double sigma() const { return sigma_; }
+  /// Correlation time in seconds.
+  double tau() const { return tau_; }
+
+ private:
+  double sigma_;
+  double tau_;
+  Rng rng_;
+  double x_ = 0.0;
+};
+
+}  // namespace ash

@@ -1,0 +1,135 @@
+#pragma once
+
+/// \file random.h
+/// Deterministic random-number utilities.
+///
+/// Every stochastic object in libash (trap ensembles, process variation,
+/// measurement noise, thermal-chamber fluctuation, workloads) is seeded
+/// explicitly so that experiments — like the hardware campaign in the paper,
+/// which reuses the *same five chips* across test cases — are exactly
+/// reproducible.  `Rng` wraps a SplitMix64-seeded xoshiro256** generator;
+/// `derive_seed` provides stable stream splitting (chip 3's LUT 17 always
+/// sees the same randomness regardless of construction order).
+
+#include <cstdint>
+#include <cmath>
+#include <limits>
+
+namespace ash {
+
+/// SplitMix64 step; used both as a seed scrambler and for seed derivation.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Derive a child seed from a parent seed and a stream index.  Used to give
+/// every chip / transistor / trap its own independent, order-insensitive
+/// random stream.
+constexpr std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t stream) {
+  std::uint64_t s = parent ^ (0x632be59bd9b4e019ULL * (stream + 1));
+  return splitmix64(s);
+}
+
+/// Small, fast, high-quality PRNG (xoshiro256**), value-semantic and
+/// trivially copyable so simulation state snapshots capture RNG state too.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    std::uint64_t sm = seed;
+    for (auto& w : state_) w = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n) {
+    // Lemire's multiply-shift rejection-free approximation is fine here —
+    // these draws parameterize physics, not cryptography.
+    return static_cast<std::uint64_t>(uniform() * static_cast<double>(n));
+  }
+
+  /// Standard normal via Box–Muller (uses two uniforms per pair; the spare
+  /// is cached).
+  double normal() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u1 = 0.0;
+    do {
+      u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 6.283185307179586 * u2;
+    spare_ = r * std::sin(theta);
+    has_spare_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double sigma) { return mean + sigma * normal(); }
+
+  /// Log-normal: exp(N(mu, sigma)) where mu/sigma act in log space.
+  double lognormal(double mu_log, double sigma_log) {
+    return std::exp(normal(mu_log, sigma_log));
+  }
+
+  /// Exponential with the given mean (mean > 0).
+  double exponential(double mean) {
+    double u = 0.0;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Log-uniform over [lo, hi] (both > 0): uniform in log space.  This is
+  /// the distribution of trap time constants that produces the log(1+Ct)
+  /// BTI law.
+  double loguniform(double lo, double hi) {
+    return std::exp(uniform(std::log(lo), std::log(hi)));
+  }
+
+  /// Bernoulli draw with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace ash

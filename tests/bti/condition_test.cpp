@@ -1,0 +1,48 @@
+#include "ash/bti/condition.h"
+
+#include <gtest/gtest.h>
+
+#include "ash/util/constants.h"
+
+namespace ash::bti {
+namespace {
+
+TEST(Condition, DcStressBuilder) {
+  const auto c = dc_stress(1.2, 110.0);
+  EXPECT_DOUBLE_EQ(c.voltage_v, 1.2);
+  EXPECT_DOUBLE_EQ(c.temperature_k, celsius(110.0));
+  EXPECT_DOUBLE_EQ(c.gate_stress_duty, 1.0);
+  EXPECT_TRUE(c.is_stressing());
+}
+
+TEST(Condition, AcStressBuilderDefaultsToHalfDuty) {
+  const auto c = ac_stress(1.2, 110.0);
+  EXPECT_DOUBLE_EQ(c.gate_stress_duty, 0.5);
+  const auto c2 = ac_stress(1.2, 110.0, 0.3);
+  EXPECT_DOUBLE_EQ(c2.gate_stress_duty, 0.3);
+}
+
+TEST(Condition, RecoveryBuilderIsUnstressed) {
+  const auto c = recovery(-0.3, 110.0);
+  EXPECT_DOUBLE_EQ(c.voltage_v, -0.3);
+  EXPECT_DOUBLE_EQ(c.gate_stress_duty, 0.0);
+  EXPECT_FALSE(c.is_stressing());
+}
+
+TEST(Condition, DescribeIsHumanReadable) {
+  EXPECT_EQ(dc_stress(1.2, 110.0).describe(), "1.20V/110.0C/duty=1.00");
+  EXPECT_EQ(recovery(-0.3, 20.0).describe(), "-0.30V/20.0C/duty=0.00");
+}
+
+TEST(Constants, TemperatureConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(celsius(0.0), 273.15);
+  EXPECT_DOUBLE_EQ(to_celsius(celsius(110.0)), 110.0);
+}
+
+TEST(Constants, TimeHelpers) {
+  EXPECT_DOUBLE_EQ(hours(24.0), 86400.0);
+  EXPECT_DOUBLE_EQ(to_hours(kSecondsPerDay), 24.0);
+}
+
+}  // namespace
+}  // namespace ash::bti

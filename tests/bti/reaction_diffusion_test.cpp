@@ -1,0 +1,116 @@
+#include "ash/bti/reaction_diffusion.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ash/bti/trap_ensemble.h"
+#include "ash/util/constants.h"
+
+namespace ash::bti {
+namespace {
+
+RdModel make_model() { return RdModel(RdParameters{}); }
+
+TEST(RdModel, StressFollowsPowerLaw) {
+  const auto m = make_model();
+  const auto cond = dc_stress(1.2, 110.0);
+  const double d1 = m.stress_delta_vth(1e3, cond);
+  const double d2 = m.stress_delta_vth(64e3, cond);
+  // t^(1/6): a 64x time stretch doubles the shift.
+  EXPECT_NEAR(d2 / d1, 2.0, 1e-9);
+}
+
+TEST(RdModel, AmplitudeNormalizedAtReference) {
+  const RdParameters p;
+  const RdModel m(p);
+  EXPECT_NEAR(m.amplitude(p.stress_ref_voltage_v, p.stress_ref_temp_k),
+              p.amplitude_ref_v, 1e-15);
+  EXPECT_LT(m.amplitude(1.2, celsius(100.0)), p.amplitude_ref_v);
+}
+
+TEST(RdModel, RecoveryIsTheUniversalCurve) {
+  const auto m = make_model();
+  // remaining depends only on t2/t1.
+  EXPECT_DOUBLE_EQ(m.remaining_fraction(100.0, 25.0),
+                   m.remaining_fraction(400.0, 100.0));
+  // At t2 = t1/4, xi = 0.5: 1/(1 + sqrt(0.125)) ~ 0.739.
+  EXPECT_NEAR(m.remaining_fraction(hours(24.0), hours(6.0)),
+              1.0 / (1.0 + std::sqrt(0.5 * 0.25)), 1e-12);
+}
+
+TEST(RdModel, RecoveryMonotoneAndBounded) {
+  const auto m = make_model();
+  double prev = 1.0;
+  for (double t2 = 60.0; t2 < hours(100.0); t2 *= 3.0) {
+    const double rem = m.remaining_fraction(hours(24.0), t2);
+    EXPECT_LT(rem, prev);
+    EXPECT_GT(rem, 0.0);
+    prev = rem;
+  }
+}
+
+TEST(RdModel, ValidatesParameters) {
+  RdParameters bad;
+  bad.time_exponent = 0.0;
+  EXPECT_THROW(RdModel{bad}, std::invalid_argument);
+  bad = RdParameters{};
+  bad.xi = -1.0;
+  EXPECT_THROW(RdModel{bad}, std::invalid_argument);
+}
+
+TEST(RdFit, RecoversKnownPowerLaw) {
+  Series s("synthetic");
+  for (double t = 600.0; t <= hours(24.0); t += hours(0.5)) {
+    s.append(t, 2e-10 * std::pow(t, 1.0 / 6.0));
+  }
+  const auto fit = fit_rd_stress(s, RdParameters{}, /*fit_exponent=*/true);
+  EXPECT_NEAR(fit.time_exponent, 1.0 / 6.0, 0.01);
+  EXPECT_NEAR(fit.amplitude, 2e-10, 2e-12);
+  EXPECT_GT(fit.r_squared, 0.9999);
+}
+
+TEST(RdFit, FitsTdGeneratedStressDataTolerably) {
+  // The "Physics Matters" setup: over two decades of accelerated stress,
+  // a power law can mimic the log law well enough that stress data alone
+  // cannot reject RD...
+  TrapEnsemble e(default_td_parameters(), 4);
+  Series s("ensemble");
+  double t = 0.0;
+  const auto cond = dc_stress(1.2, 110.0);
+  for (int i = 0; i < 48; ++i) {
+    e.evolve(cond, hours(0.5));
+    t += hours(0.5);
+    s.append(t, e.delta_vth());
+  }
+  const auto fit = fit_rd_stress(s, RdParameters{}, true);
+  EXPECT_GT(fit.r_squared, 0.95);
+}
+
+TEST(RdVsTd, RecoveryConditionsSeparateTheModels) {
+  // ...but recovery data rejects RD: the measured remaining fraction
+  // spreads hugely across sleep conditions while RD predicts one number.
+  const auto rd = make_model();
+  const double rd_prediction =
+      rd.remaining_fraction(hours(24.0), hours(6.0));
+
+  double remaining[4] = {};
+  const OperatingCondition conds[] = {recovery(0.0, 20.0),
+                                      recovery(-0.3, 20.0),
+                                      recovery(0.0, 110.0),
+                                      recovery(-0.3, 110.0)};
+  for (int i = 0; i < 4; ++i) {
+    TrapEnsemble e(default_td_parameters(), 4);
+    e.evolve(dc_stress(1.2, 110.0), hours(24.0));
+    const double damage = e.delta_vth();
+    e.evolve(conds[i], hours(6.0));
+    remaining[i] = e.delta_vth() / damage;
+  }
+  // RD can at best match one of the four conditions; the accelerated ones
+  // sit far below its universal prediction.
+  EXPECT_GT(rd_prediction - remaining[3], 0.4);
+  EXPECT_GT(remaining[0] - remaining[3], 0.25);
+}
+
+}  // namespace
+}  // namespace ash::bti

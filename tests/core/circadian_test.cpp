@@ -1,0 +1,95 @@
+#include "ash/core/circadian.h"
+
+#include <gtest/gtest.h>
+
+namespace ash::core {
+namespace {
+
+CircadianSweepConfig quick_sweep() {
+  CircadianSweepConfig c;
+  c.horizon_s = 1.0 * 365.25 * 86400.0;
+  c.periods_s = {6.0 * 3600.0, 24.0 * 3600.0, 72.0 * 3600.0};
+  c.alphas = {2.0, 4.0, 8.0};
+  return c;
+}
+
+TEST(Circadian, SweepCoversTheFullGrid) {
+  const auto points = explore_circadian(quick_sweep());
+  EXPECT_EQ(points.size(), 9u);
+}
+
+TEST(Circadian, AvailabilityMatchesAlpha) {
+  for (const auto& p : explore_circadian(quick_sweep())) {
+    EXPECT_NEAR(p.availability, p.alpha / (1.0 + p.alpha), 0.02);
+  }
+}
+
+TEST(Circadian, MoreSleepMeansLessAging) {
+  const auto points = explore_circadian(quick_sweep());
+  // At fixed period, higher alpha (less sleep) => more mean aging.
+  for (std::size_t i = 0; i < points.size(); i += 3) {
+    EXPECT_LE(points[i].mean_delta_vth_v,
+              points[i + 1].mean_delta_vth_v + 1e-9);
+    EXPECT_LE(points[i + 1].mean_delta_vth_v,
+              points[i + 2].mean_delta_vth_v + 1e-9);
+  }
+}
+
+TEST(Circadian, ShorterCyclesBoundTheWorstCaseTighter) {
+  const auto points = explore_circadian(quick_sweep());
+  // At fixed alpha = 4 (index 1 within each period group), the 6 h cycle's
+  // worst-case aging is below the 72 h cycle's: less damage accrues per
+  // active span before the next heal.
+  const auto& short_cycle = points[1];   // period 6 h, alpha 4
+  const auto& long_cycle = points[7];    // period 72 h, alpha 4
+  EXPECT_LT(short_cycle.worst_delta_vth_v, long_cycle.worst_delta_vth_v);
+}
+
+TEST(Circadian, PermanentWearIsScheduleInsensitive) {
+  // Permanent damage tracks cumulative active exposure, which is equal for
+  // equal alpha — and close across alphas at these horizons.
+  const auto points = explore_circadian(quick_sweep());
+  double lo = 1e9;
+  double hi = 0.0;
+  for (const auto& p : points) {
+    lo = std::min(lo, p.end_permanent_v);
+    hi = std::max(hi, p.end_permanent_v);
+  }
+  EXPECT_GT(lo, 0.0);
+  EXPECT_LT(hi / lo, 1.5);
+}
+
+TEST(Circadian, ParetoFrontierIsMonotone) {
+  const auto frontier = pareto_schedules(explore_circadian(quick_sweep()));
+  ASSERT_GE(frontier.size(), 2u);
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GE(frontier[i].availability, frontier[i - 1].availability);
+    // Along the frontier, buying availability costs worst-case margin.
+    EXPECT_GE(frontier[i].worst_delta_vth_v,
+              frontier[i - 1].worst_delta_vth_v - 1e-12);
+  }
+}
+
+TEST(Circadian, ParetoPointsAreNotDominated) {
+  const auto all = explore_circadian(quick_sweep());
+  const auto frontier = pareto_schedules(all);
+  for (const auto& f : frontier) {
+    for (const auto& p : all) {
+      const bool dominates =
+          (p.availability > f.availability &&
+           p.worst_delta_vth_v <= f.worst_delta_vth_v) ||
+          (p.availability >= f.availability &&
+           p.worst_delta_vth_v < f.worst_delta_vth_v);
+      EXPECT_FALSE(dominates);
+    }
+  }
+}
+
+TEST(Circadian, RejectsEmptyGrids) {
+  CircadianSweepConfig bad = quick_sweep();
+  bad.alphas.clear();
+  EXPECT_THROW(explore_circadian(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ash::core

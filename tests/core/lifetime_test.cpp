@@ -1,0 +1,151 @@
+#include "ash/core/lifetime.h"
+
+#include <gtest/gtest.h>
+
+#include "ash/util/constants.h"
+
+namespace ash::core {
+namespace {
+
+LifetimeConfig base_config(Policy policy) {
+  LifetimeConfig c;
+  c.policy = policy;
+  c.horizon_s = 2.0 * 365.25 * 86400.0;  // 2 years keeps tests quick
+  return c;
+}
+
+TEST(Lifetime, PolicyNamesArePrintable) {
+  EXPECT_EQ(to_string(Policy::kNoRecovery), "no-recovery");
+  EXPECT_EQ(to_string(Policy::kProactive), "proactive");
+  EXPECT_EQ(to_string(Policy::kReactive), "reactive");
+  EXPECT_EQ(to_string(Policy::kPassiveSleep), "passive-sleep");
+}
+
+TEST(Lifetime, NoRecoveryAgesMonotonically) {
+  const auto r = simulate_lifetime(base_config(Policy::kNoRecovery));
+  EXPECT_TRUE(r.trace.is_non_decreasing(1e-6));
+  EXPECT_DOUBLE_EQ(r.availability, 1.0);
+  EXPECT_EQ(r.recovery_events, 0);
+}
+
+TEST(Lifetime, ProactiveKeepsAverageAgingFarBelowBaseline) {
+  // The log-time law means the *peak* (end of each active span) refills
+  // quickly; the headline benefit shows in the time-average aging level —
+  // the system spends most of its life "refreshed" (Sec. 2.2).
+  const auto none = simulate_lifetime(base_config(Policy::kNoRecovery));
+  const auto pro = simulate_lifetime(base_config(Policy::kProactive));
+  double mean_none = 0.0;
+  double mean_pro = 0.0;
+  for (const auto& s : none.trace.samples()) mean_none += s.value;
+  for (const auto& s : pro.trace.samples()) mean_pro += s.value;
+  mean_none /= static_cast<double>(none.trace.size());
+  mean_pro /= static_cast<double>(pro.trace.size());
+  EXPECT_LT(mean_pro, mean_none * 0.75);
+  // And the worst-case point is also (more mildly) reduced.
+  EXPECT_LT(pro.worst_delta_vth_v, none.worst_delta_vth_v);
+}
+
+TEST(Lifetime, ProactiveBeatsPassiveSleepAtEqualAvailability) {
+  // Same schedule, different sleep *conditions* — the paper's core claim.
+  const auto passive = simulate_lifetime(base_config(Policy::kPassiveSleep));
+  const auto pro = simulate_lifetime(base_config(Policy::kProactive));
+  EXPECT_NEAR(pro.availability, passive.availability, 1e-9);
+  EXPECT_LT(pro.end_delta_vth_v, passive.end_delta_vth_v);
+}
+
+TEST(Lifetime, ProactiveExtendsTimeToMargin) {
+  auto cfg_none = base_config(Policy::kNoRecovery);
+  auto cfg_pro = base_config(Policy::kProactive);
+  // Pick a margin above the proactive per-cycle refill peak but well below
+  // the baseline's end-of-horizon aging.
+  cfg_none.margin_delta_vth_v = cfg_pro.margin_delta_vth_v = 9e-3;
+  const auto none = simulate_lifetime(cfg_none);
+  const auto pro = simulate_lifetime(cfg_pro);
+  // The baseline trips the margin inside the horizon; the proactive
+  // schedule keeps the device below it for the whole (right-censored)
+  // horizon — an unbounded lifetime extension at this margin.
+  EXPECT_TRUE(none.margin_exceeded);
+  EXPECT_FALSE(pro.margin_exceeded);
+  EXPECT_GT(pro.time_to_margin_s, 1.5 * none.time_to_margin_s);
+}
+
+TEST(Lifetime, ReactiveTriggersOnlyWhenNeeded) {
+  auto cfg = base_config(Policy::kReactive);
+  cfg.margin_delta_vth_v = 9e-3;
+  const auto r = simulate_lifetime(cfg);
+  EXPECT_GT(r.recovery_events, 0);
+  // Reactive keeps the worst case near the high-water mark.
+  EXPECT_LT(r.worst_delta_vth_v, cfg.margin_delta_vth_v * 1.1);
+  // It sleeps less than the proactive 1/(1+alpha) budget...
+  EXPECT_GT(r.availability, 0.8);
+}
+
+TEST(Lifetime, ReactiveOperatesMoreAgedThanProactive) {
+  // Sec. 2.2: reactive "operates more time in an aged/stress mode" — its
+  // average aging level exceeds proactive's.
+  auto cfg_r = base_config(Policy::kReactive);
+  auto cfg_p = base_config(Policy::kProactive);
+  cfg_r.margin_delta_vth_v = cfg_p.margin_delta_vth_v = 9e-3;
+  const auto reactive = simulate_lifetime(cfg_r);
+  const auto proactive = simulate_lifetime(cfg_p);
+  double mean_r = 0.0;
+  double mean_p = 0.0;
+  for (const auto& s : reactive.trace.samples()) mean_r += s.value;
+  for (const auto& s : proactive.trace.samples()) mean_p += s.value;
+  mean_r /= static_cast<double>(reactive.trace.size());
+  mean_p /= static_cast<double>(proactive.trace.size());
+  EXPECT_GT(mean_r, mean_p);
+}
+
+TEST(Lifetime, PermanentDamageSurvivesAllPolicies) {
+  const auto pro = simulate_lifetime(base_config(Policy::kProactive));
+  EXPECT_GT(pro.end_permanent_v, 0.0);
+  EXPECT_GE(pro.end_delta_vth_v, pro.end_permanent_v * 0.99);
+}
+
+TEST(Lifetime, PermanentDamageDoesNotBlowUpUnderCycling) {
+  // Regression guard for the permanent-envelope bug: cycling must not
+  // accumulate more permanent damage than never-recovered operation.
+  const auto none = simulate_lifetime(base_config(Policy::kNoRecovery));
+  const auto pro = simulate_lifetime(base_config(Policy::kProactive));
+  EXPECT_LE(pro.end_permanent_v, none.end_permanent_v * 1.05);
+}
+
+TEST(Lifetime, AvailabilityMatchesAlpha) {
+  auto cfg = base_config(Policy::kProactive);
+  cfg.knobs.active_sleep_ratio = 4.0;
+  const auto r = simulate_lifetime(cfg);
+  EXPECT_NEAR(r.availability, 0.8, 0.01);
+}
+
+TEST(Lifetime, LargerAlphaMeansMoreAging) {
+  auto lo = base_config(Policy::kProactive);
+  auto hi = base_config(Policy::kProactive);
+  lo.knobs.active_sleep_ratio = 2.0;
+  hi.knobs.active_sleep_ratio = 16.0;
+  const auto r_lo = simulate_lifetime(lo);
+  const auto r_hi = simulate_lifetime(hi);
+  EXPECT_LT(r_lo.end_delta_vth_v, r_hi.end_delta_vth_v);
+  EXPECT_LT(r_lo.availability, r_hi.availability);
+}
+
+TEST(Lifetime, TraceSpansHorizon) {
+  const auto r = simulate_lifetime(base_config(Policy::kProactive));
+  EXPECT_NEAR(r.trace.t_begin(), 0.0, 1.0);
+  EXPECT_GT(r.trace.t_end(), 0.95 * base_config(Policy::kProactive).horizon_s);
+}
+
+TEST(Lifetime, ValidatesConfig) {
+  auto bad = base_config(Policy::kProactive);
+  bad.cycle_period_s = 0.0;
+  EXPECT_THROW(simulate_lifetime(bad), std::invalid_argument);
+  bad = base_config(Policy::kProactive);
+  bad.margin_delta_vth_v = -1.0;
+  EXPECT_THROW(simulate_lifetime(bad), std::invalid_argument);
+  bad = base_config(Policy::kReactive);
+  bad.reactive_low_water = 0.95;
+  EXPECT_THROW(simulate_lifetime(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ash::core

@@ -1,0 +1,95 @@
+#include "ash/core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ash::core {
+namespace {
+
+Series recovery_delay_example() {
+  // Fresh delay 150 ns, stressed to 153 ns, recovering to 150.3 ns.
+  Series s("recovery");
+  s.append(0.0, 153e-9);
+  s.append(3600.0, 151e-9);
+  s.append(7200.0, 150.5e-9);
+  s.append(21600.0, 150.3e-9);
+  return s;
+}
+
+TEST(Metrics, DelayChangeSubtractsBaseline) {
+  Series d("delay");
+  d.append(0.0, 150e-9);
+  d.append(10.0, 152e-9);
+  const auto dc = delay_change_series(d, 150e-9);
+  EXPECT_DOUBLE_EQ(dc[0].value, 0.0);
+  EXPECT_NEAR(dc[1].value, 2e-9, 1e-18);
+}
+
+TEST(Metrics, FrequencyDegradationFraction) {
+  Series f("freq");
+  f.append(0.0, 3.3e6);
+  f.append(10.0, 3.3e6 * 0.978);
+  const auto deg = frequency_degradation_series(f, 3.3e6);
+  EXPECT_DOUBLE_EQ(deg[0].value, 0.0);
+  EXPECT_NEAR(deg[1].value, 0.022, 1e-12);
+}
+
+TEST(Metrics, FrequencyDegradationRejectsBadBaseline) {
+  Series f("freq");
+  f.append(0.0, 1.0);
+  EXPECT_THROW(frequency_degradation_series(f, 0.0), std::invalid_argument);
+}
+
+TEST(Metrics, RecoveredDelayIsEquation16) {
+  const auto rd = recovered_delay_series(recovery_delay_example());
+  EXPECT_DOUBLE_EQ(rd[0].value, 0.0);
+  EXPECT_NEAR(rd[1].value, 2e-9, 1e-18);
+  EXPECT_NEAR(rd.back().value, 2.7e-9, 1e-18);
+  EXPECT_TRUE(rd.is_non_decreasing(1e-15));
+}
+
+TEST(Metrics, RecoveredDelayRejectsEmpty) {
+  EXPECT_THROW(recovered_delay_series(Series{}), std::invalid_argument);
+}
+
+TEST(Metrics, RecoveredFractionAgainstFreshBaseline) {
+  // Damage = 3 ns, recovered 2.7 ns -> 90 %.
+  const double frac =
+      recovered_fraction(recovery_delay_example(), /*fresh=*/150e-9);
+  EXPECT_NEAR(frac, 0.9, 1e-9);
+}
+
+TEST(Metrics, RecoveredFractionClampsNoiseOvershoot) {
+  Series s("noisy");
+  s.append(0.0, 153e-9);
+  s.append(10.0, 149.5e-9);  // counter noise below fresh
+  EXPECT_LE(recovered_fraction(s, 150e-9), 1.05);
+}
+
+TEST(Metrics, RecoveredFractionRejectsUnstressedSeries) {
+  Series s("flat");
+  s.append(0.0, 150e-9);
+  s.append(10.0, 150e-9);
+  EXPECT_THROW(recovered_fraction(s, 150e-9), std::invalid_argument);
+}
+
+TEST(Metrics, MarginRelaxedIsRecoveredOverGuardband) {
+  // 90 % recovered with a 1.25x guardband -> 72 %: the paper's two headline
+  // numbers from one definition.
+  const double relaxed =
+      design_margin_relaxed(recovery_delay_example(), 150e-9);
+  EXPECT_NEAR(relaxed, 0.72, 1e-9);
+}
+
+TEST(Metrics, MarginRelaxedHonorsCustomGuardband) {
+  MarginSpec spec;
+  spec.guardband_factor = 1.0;
+  const double relaxed =
+      design_margin_relaxed(recovery_delay_example(), 150e-9, spec);
+  EXPECT_NEAR(relaxed, 0.9, 1e-9);
+  spec.guardband_factor = 0.0;
+  EXPECT_THROW(design_margin_relaxed(recovery_delay_example(), 150e-9, spec),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ash::core

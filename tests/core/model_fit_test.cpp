@@ -1,0 +1,141 @@
+#include "ash/core/model_fit.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ash/bti/trap_ensemble.h"
+#include "ash/util/constants.h"
+#include "ash/util/random.h"
+
+namespace ash::core {
+namespace {
+
+/// Synthetic stress series from a known law (optionally noisy).
+Series synthetic_stress(double amplitude_s, double tau_s, double noise_s,
+                        std::uint64_t seed = 5) {
+  Rng rng(seed);
+  Series s("synthetic");
+  for (double t = 0.0; t <= hours(24.0); t += hours(0.5)) {
+    const double v = amplitude_s * std::log1p(t / tau_s) +
+                     (noise_s > 0.0 ? rng.normal(0.0, noise_s) : 0.0);
+    s.append(t, v);
+  }
+  return s;
+}
+
+TEST(ModelFitter, RecoversKnownStressLawExactly) {
+  const ModelFitter fitter;
+  const auto fit = fitter.fit_stress(synthetic_stress(2e-9, 1e-3, 0.0));
+  EXPECT_NEAR(fit.amplitude_s, 2e-9, 2e-11);
+  EXPECT_GT(fit.r_squared, 0.9999);
+  EXPECT_LT(fit.rmse_s, 1e-12);
+}
+
+TEST(ModelFitter, ToleratesMeasurementNoise) {
+  const ModelFitter fitter;
+  // Noise comparable to the counter quantization (~0.05 ns).
+  const auto fit = fitter.fit_stress(synthetic_stress(2e-9, 1e-3, 5e-11));
+  EXPECT_NEAR(fit.amplitude_s, 2e-9, 1.5e-10);
+  EXPECT_GT(fit.r_squared, 0.98);
+}
+
+TEST(ModelFitter, FittedLawInterpolatesAndExtrapolates) {
+  const ModelFitter fitter;
+  const auto fit = fitter.fit_stress(synthetic_stress(2e-9, 1e-3, 0.0));
+  EXPECT_NEAR(fit.delta_td(hours(12.0)), 2e-9 * std::log1p(hours(12.0) / 1e-3),
+              1e-11);
+}
+
+TEST(ModelFitter, StressFitRejectsTinySeries) {
+  Series s("tiny");
+  s.append(0.0, 0.0);
+  s.append(1.0, 1e-9);
+  EXPECT_THROW(ModelFitter().fit_stress(s), std::invalid_argument);
+}
+
+TEST(ModelFitter, FitsEnsembleStressWithGoodR2) {
+  // The Table 3 scenario: extract the law from 'measured' (simulated)
+  // device data.
+  bti::TrapEnsemble e(bti::default_td_parameters(), 3);
+  const auto cond = bti::dc_stress(1.2, 110.0);
+  Series s("ensemble");
+  double t = 0.0;
+  s.append(0.0, 0.0);
+  for (int i = 0; i < 48; ++i) {
+    e.evolve(cond, hours(0.5));
+    t += hours(0.5);
+    s.append(t, e.delta_vth());
+  }
+  const auto fit = ModelFitter().fit_stress(s);
+  EXPECT_GT(fit.r_squared, 0.98);
+  EXPECT_GT(fit.amplitude_s, 0.0);
+}
+
+Series synthetic_recovery(double d0, double af, double perm, double tau_r,
+                          double denom) {
+  Series s("rec");
+  for (double t = 0.0; t <= hours(6.0); t += hours(0.25)) {
+    const double recovered = std::min(1.0, std::log1p(af * t / tau_r) / denom);
+    s.append(t, d0 * (perm + (1.0 - perm) * (1.0 - recovered)));
+  }
+  return s;
+}
+
+TEST(ModelFitter, RecoversKnownRecoveryLaw) {
+  // af = 5 keeps the 6 h synthetic series comfortably below saturation
+  // (saturated series cannot identify the acceleration — anything above
+  // the cap fits).
+  const ModelFitter fitter;
+  const auto& priors = fitter.priors();
+  const double t1 = hours(24.0);
+  const double denom = std::log1p(t1 / priors.tau_stress_s);
+  const auto series =
+      synthetic_recovery(3e-9, 5.0, 0.06, priors.tau_recovery_s, denom);
+  const auto fit = fitter.fit_recovery(series, t1);
+  EXPECT_NEAR(std::log10(fit.acceleration), std::log10(5.0), 0.15);
+  EXPECT_NEAR(fit.permanent_ratio, 0.06, 0.03);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(ModelFitter, RecoveryFitOrdersConditionsByAcceleration) {
+  const ModelFitter fitter;
+  const auto& priors = fitter.priors();
+  const double t1 = hours(24.0);
+  const double denom = std::log1p(t1 / priors.tau_stress_s);
+  const auto fast = fitter.fit_recovery(
+      synthetic_recovery(3e-9, 30.0, 0.06, priors.tau_recovery_s, denom), t1);
+  const auto slow = fitter.fit_recovery(
+      synthetic_recovery(3e-9, 0.3, 0.06, priors.tau_recovery_s, denom), t1);
+  EXPECT_GT(fast.acceleration, slow.acceleration * 10.0);
+}
+
+TEST(ModelFitter, RecoveryFitValidatesInput) {
+  const ModelFitter fitter;
+  Series bad("bad");
+  bad.append(0.0, 0.0);  // starts at zero damage
+  bad.append(1.0, 0.0);
+  bad.append(2.0, 0.0);
+  bad.append(3.0, 0.0);
+  EXPECT_THROW(fitter.fit_recovery(bad, hours(24.0)), std::invalid_argument);
+  Series ok("ok");
+  ok.append(0.0, 1e-9);
+  ok.append(1.0, 0.9e-9);
+  ok.append(2.0, 0.8e-9);
+  ok.append(3.0, 0.75e-9);
+  EXPECT_THROW(fitter.fit_recovery(ok, 0.0), std::invalid_argument);
+}
+
+TEST(ModelFitter, RemainingFractionWithinBounds) {
+  RecoveryFit fit;
+  fit.acceleration = 1e4;
+  fit.permanent_ratio = 0.06;
+  fit.tau_recovery_s = 2.0;
+  fit.denom_ln = 18.0;
+  EXPECT_NEAR(fit.remaining_fraction(0.0), 1.0, 1e-12);
+  EXPECT_GE(fit.remaining_fraction(1e12), 0.06 - 1e-12);
+  EXPECT_LE(fit.remaining_fraction(1e12), 0.06 + 1e-12);
+}
+
+}  // namespace
+}  // namespace ash::core

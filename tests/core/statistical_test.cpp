@@ -1,0 +1,80 @@
+#include "ash/core/statistical.h"
+
+#include <gtest/gtest.h>
+
+namespace ash::core {
+namespace {
+
+PopulationConfig quick(Policy policy) {
+  PopulationConfig c;
+  c.chips = 40;
+  c.policy = policy;
+  c.horizon_s = 1.0 * 365.25 * 86400.0;
+  return c;
+}
+
+TEST(Statistical, PercentilesAreOrdered) {
+  const auto r = simulate_population(quick(Policy::kNoRecovery));
+  EXPECT_LE(r.p50_v, r.p95_v);
+  EXPECT_LE(r.p95_v, r.p99_v);
+  EXPECT_LE(r.p99_v, r.worst_v);
+  EXPECT_GT(r.p50_v, 0.0);
+  EXPECT_EQ(r.per_chip_margin_v.size(), 40u);
+}
+
+TEST(Statistical, DeterministicUnderSeed) {
+  const auto a = simulate_population(quick(Policy::kNoRecovery));
+  const auto b = simulate_population(quick(Policy::kNoRecovery));
+  EXPECT_DOUBLE_EQ(a.p99_v, b.p99_v);
+  auto cfg = quick(Policy::kNoRecovery);
+  cfg.seed = 999;
+  const auto c = simulate_population(cfg);
+  EXPECT_NE(a.p99_v, c.p99_v);
+}
+
+TEST(Statistical, ZeroSigmaCollapsesTheDistribution) {
+  auto cfg = quick(Policy::kNoRecovery);
+  cfg.amplitude_sigma = 0.0;
+  cfg.permanent_sigma = 0.0;
+  const auto r = simulate_population(cfg);
+  EXPECT_NEAR(r.worst_v, r.per_chip_margin_v.front(), 1e-12);
+}
+
+TEST(Statistical, HealingCompressesTheTail) {
+  // The population-level payoff: proactive recovery cuts the p99 design
+  // margin, not just the median.
+  const auto none = simulate_population(quick(Policy::kNoRecovery));
+  const auto pro = simulate_population(quick(Policy::kProactive));
+  EXPECT_LT(pro.p99_v, none.p99_v * 0.8);
+  EXPECT_LT(pro.p50_v, none.p50_v);
+  // Absolute tail spread also shrinks: less reversible damage to vary.
+  EXPECT_LT(pro.p99_v - pro.p50_v, none.p99_v - none.p50_v);
+}
+
+TEST(Statistical, WiderAmplitudeSpreadWidensTheTail) {
+  auto narrow = quick(Policy::kNoRecovery);
+  narrow.amplitude_sigma = 0.02;
+  auto wide = quick(Policy::kNoRecovery);
+  wide.amplitude_sigma = 0.3;
+  const auto rn = simulate_population(narrow);
+  const auto rw = simulate_population(wide);
+  EXPECT_GT(rw.p99_v / rw.p50_v, rn.p99_v / rn.p50_v);
+}
+
+TEST(Statistical, MarginAtArbitraryPercentile) {
+  const auto r = simulate_population(quick(Policy::kNoRecovery));
+  EXPECT_LE(r.margin_at(10.0), r.margin_at(90.0));
+  EXPECT_DOUBLE_EQ(r.margin_at(100.0), r.worst_v);
+}
+
+TEST(Statistical, ValidatesConfig) {
+  auto bad = quick(Policy::kProactive);
+  bad.chips = 0;
+  EXPECT_THROW(simulate_population(bad), std::invalid_argument);
+  bad = quick(Policy::kProactive);
+  bad.amplitude_sigma = -0.1;
+  EXPECT_THROW(simulate_population(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ash::core

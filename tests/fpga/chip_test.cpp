@@ -1,0 +1,86 @@
+#include "ash/fpga/chip.h"
+
+#include <gtest/gtest.h>
+
+#include "ash/util/constants.h"
+
+namespace ash::fpga {
+namespace {
+
+constexpr double kVdd = 1.2;
+const double kRoomK = celsius(20.0);
+
+ChipConfig config_for(int id) {
+  ChipConfig c;
+  c.chip_id = id;
+  c.seed = 1000 + static_cast<std::uint64_t>(id);
+  return c;
+}
+
+TEST(Chip, FreshFrequenciesDifferAcrossChips) {
+  // The paper: "the initial RO frequencies for different fresh chips differ
+  // due to variations" — motivation for the recovered-delay metric.
+  const FpgaChip a(config_for(1));
+  const FpgaChip b(config_for(2));
+  EXPECT_NE(a.ro_frequency_hz(kVdd, kRoomK), b.ro_frequency_hz(kVdd, kRoomK));
+  // But they are the same part: within a few percent of each other.
+  EXPECT_NEAR(a.ro_frequency_hz(kVdd, kRoomK) / b.ro_frequency_hz(kVdd, kRoomK),
+              1.0, 0.2);
+}
+
+TEST(Chip, SameSeedIsSameChip) {
+  const FpgaChip a(config_for(1));
+  const FpgaChip b(config_for(1));
+  EXPECT_DOUBLE_EQ(a.ro_frequency_hz(kVdd, kRoomK),
+                   b.ro_frequency_hz(kVdd, kRoomK));
+}
+
+TEST(Chip, CornerScaleIsPlausible) {
+  const FpgaChip a(config_for(1));
+  EXPECT_GT(a.chip_corner_scale(), 0.85);
+  EXPECT_LT(a.chip_corner_scale(), 1.15);
+}
+
+TEST(Chip, CutDelayMatchesHalfPeriod) {
+  const FpgaChip a(config_for(1));
+  EXPECT_DOUBLE_EQ(a.cut_delay_s(kVdd, kRoomK),
+                   0.5 / a.ro_frequency_hz(kVdd, kRoomK));
+}
+
+TEST(Chip, EvolveForwardsToRing) {
+  FpgaChip a(config_for(1));
+  const double fresh = a.ro_frequency_hz(kVdd, kRoomK);
+  a.evolve(RoMode::kDcFrozen, bti::dc_stress(1.2, 110.0), hours(24.0));
+  EXPECT_LT(a.ro_frequency_hz(kVdd, kRoomK), fresh);
+}
+
+TEST(Chip, AgingIsIndependentOfChipIdentity) {
+  // Two different chips degrade by a similar *fraction* even though their
+  // absolute frequencies differ.
+  FpgaChip a(config_for(1));
+  FpgaChip b(config_for(2));
+  const double fa = a.ro_frequency_hz(kVdd, kRoomK);
+  const double fb = b.ro_frequency_hz(kVdd, kRoomK);
+  a.evolve(RoMode::kDcFrozen, bti::dc_stress(1.2, 110.0), hours(24.0));
+  b.evolve(RoMode::kDcFrozen, bti::dc_stress(1.2, 110.0), hours(24.0));
+  const double da = 1.0 - a.ro_frequency_hz(kVdd, kRoomK) / fa;
+  const double db = 1.0 - b.ro_frequency_hz(kVdd, kRoomK) / fb;
+  EXPECT_NEAR(da / db, 1.0, 0.2);
+}
+
+TEST(Chip, TemperatureCoefficientOptInAffectsFrequency) {
+  ChipConfig c = config_for(1);
+  c.delay.temp_coeff_per_k = 1.2e-3;
+  const FpgaChip chip(c);
+  EXPECT_LT(chip.ro_frequency_hz(kVdd, celsius(110.0)),
+            chip.ro_frequency_hz(kVdd, celsius(20.0)));
+}
+
+TEST(Chip, DefaultMeasurementIsTemperatureInsensitive) {
+  const FpgaChip chip(config_for(1));
+  EXPECT_DOUBLE_EQ(chip.ro_frequency_hz(kVdd, celsius(110.0)),
+                   chip.ro_frequency_hz(kVdd, celsius(20.0)));
+}
+
+}  // namespace
+}  // namespace ash::fpga

@@ -1,0 +1,114 @@
+#include "ash/fpga/counter.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ash/util/stats.h"
+
+namespace ash::fpga {
+namespace {
+
+FrequencyCounter make_counter(CounterConfig c = {}, std::uint64_t seed = 1) {
+  return FrequencyCounter(c, Rng(seed));
+}
+
+TEST(Counter, ResolutionMatchesGateLength) {
+  CounterConfig c;
+  c.f_ref_hz = 500.0;
+  c.gate_ref_periods = 16;
+  const auto counter = make_counter(c);
+  // 2 * 500 / 16 = 62.5 Hz per count.
+  EXPECT_DOUBLE_EQ(counter.resolution_hz(), 62.5);
+}
+
+TEST(Counter, Equation14RoundTripsWithoutNoise) {
+  CounterConfig c;
+  c.noise_counts_sigma = 0.0;
+  auto counter = make_counter(c);
+  // Pick a frequency that is an exact multiple of the resolution.
+  const double f = 3.3e6;
+  const auto r = counter.measure(f);
+  EXPECT_NEAR(r.frequency_hz, f, counter.resolution_hz());
+  EXPECT_NEAR(r.delay_s, 1.0 / (2.0 * f), 1e-11);
+}
+
+TEST(Counter, Equation15DelayFromCounts) {
+  CounterConfig c;
+  c.noise_counts_sigma = 0.0;
+  c.gate_ref_periods = 1;
+  auto counter = make_counter(c);
+  const auto r = counter.measure(3.3e6);
+  // Td = 1/(4 * Cout * fref), Eq. (15), for a single reference period.
+  EXPECT_NEAR(r.delay_s, 1.0 / (4.0 * r.counts * c.f_ref_hz), 1e-15);
+}
+
+TEST(Counter, PaperOperatingPointFitsIn16Bits) {
+  CounterConfig c;  // 500 Hz, 16 periods, 16 bits
+  auto counter = make_counter(c);
+  const auto r = counter.measure(3.33e6);
+  // ~3.33e6 * (16/500) / 2 = ~53 280 counts < 65 535: no wrap.
+  EXPECT_EQ(static_cast<double>(r.raw_counts), r.counts);
+  EXPECT_LT(r.raw_counts, 65536u);
+}
+
+TEST(Counter, WrapsPastSixteenBits) {
+  CounterConfig c;
+  c.noise_counts_sigma = 0.0;
+  c.gate_ref_periods = 64;  // 4x the gate -> counts exceed 2^16
+  auto counter = make_counter(c);
+  const auto r = counter.measure(3.33e6);
+  EXPECT_GT(r.counts, 65535.0);
+  EXPECT_EQ(r.raw_counts, static_cast<std::uint32_t>(r.counts) & 0xFFFFu);
+  EXPECT_GT(3.33e6, counter.max_unwrapped_frequency_hz());
+}
+
+TEST(Counter, NoiseMatchesConfiguredSigma) {
+  CounterConfig c;
+  c.noise_counts_sigma = 1.7;
+  auto counter = make_counter(c, 99);
+  std::vector<double> counts;
+  for (int i = 0; i < 20000; ++i) counts.push_back(counter.measure(3.3e6).counts);
+  // Quantization adds ~1/12 variance on top of the Gaussian noise.
+  EXPECT_NEAR(ash::stddev(counts), 1.7, 0.25);
+}
+
+TEST(Counter, RepeatabilityMatchesPaperBound) {
+  // The paper quotes +/-5 counts; with sigma = 1.7 essentially all readings
+  // sit within that band.
+  auto counter = make_counter({}, 7);
+  const double f = 3.3e6;
+  double lo = 1e18;
+  double hi = -1e18;
+  for (int i = 0; i < 1000; ++i) {
+    const double counts = counter.measure(f).counts;
+    lo = std::min(lo, counts);
+    hi = std::max(hi, counts);
+  }
+  EXPECT_LE(hi - lo, 12.0);
+  EXPECT_GE(hi - lo, 2.0);  // noise actually present
+}
+
+TEST(Counter, RejectsBadConfigAndInput) {
+  CounterConfig bad;
+  bad.f_ref_hz = 0.0;
+  EXPECT_THROW(make_counter(bad), std::invalid_argument);
+  bad = {};
+  bad.bits = 40;
+  EXPECT_THROW(make_counter(bad), std::invalid_argument);
+  auto counter = make_counter();
+  EXPECT_THROW(counter.measure(0.0), std::invalid_argument);
+  EXPECT_THROW(counter.measure(-1.0), std::invalid_argument);
+}
+
+TEST(Counter, LongerGateImprovesRelativeResolution) {
+  CounterConfig coarse;
+  coarse.gate_ref_periods = 1;
+  CounterConfig fine;
+  fine.gate_ref_periods = 32;
+  EXPECT_GT(make_counter(coarse).resolution_hz(),
+            make_counter(fine).resolution_hz());
+}
+
+}  // namespace
+}  // namespace ash::fpga

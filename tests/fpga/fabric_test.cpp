@@ -1,0 +1,201 @@
+#include "ash/fpga/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include "ash/util/constants.h"
+#include "ash/util/table.h"
+
+namespace ash::fpga {
+namespace {
+
+Fabric make_fabric(Netlist nl, std::uint64_t seed = 1) {
+  FabricConfig c;
+  c.seed = seed;
+  return Fabric(std::move(nl), c);
+}
+
+const double kRoom = celsius(20.0);
+
+// --- Functional evaluation -------------------------------------------------
+
+TEST(Fabric, AdderComputesCorrectSumsExhaustively) {
+  auto fab = make_fabric(ripple_carry_adder(3));
+  for (int a = 0; a < 8; ++a) {
+    for (int b = 0; b < 8; ++b) {
+      for (int cin = 0; cin <= 1; ++cin) {
+        NetValues in;
+        in["cin"] = cin != 0;
+        for (int i = 0; i < 3; ++i) {
+          in[strformat("a%d", i)] = (a >> i) & 1;
+          in[strformat("b%d", i)] = (b >> i) & 1;
+        }
+        const auto out = fab.evaluate(in);
+        int sum = 0;
+        for (int i = 0; i < 3; ++i) {
+          if (out.at(strformat("s%d", i))) sum |= 1 << i;
+        }
+        if (out.at("cout")) sum |= 1 << 3;
+        EXPECT_EQ(sum, a + b + cin) << a << "+" << b << "+" << cin;
+      }
+    }
+  }
+}
+
+TEST(Fabric, C17MatchesGateLevelTruth) {
+  auto fab = make_fabric(c17());
+  // Reference: n22 = !(n10 & n16), etc.  Check all 32 input vectors
+  // against a direct NAND evaluation.
+  for (int v = 0; v < 32; ++v) {
+    const bool n1 = v & 1, n2 = v & 2, n3 = v & 4, n6 = v & 8, n7 = v & 16;
+    NetValues in{{"n1", n1}, {"n2", n2}, {"n3", n3}, {"n6", n6}, {"n7", n7}};
+    const auto out = fab.evaluate(in);
+    const bool n10 = !(n1 && n3);
+    const bool n11 = !(n3 && n6);
+    const bool n16 = !(n2 && n11);
+    const bool n19 = !(n11 && n7);
+    EXPECT_EQ(out.at("n22"), !(n10 && n16)) << v;
+    EXPECT_EQ(out.at("n23"), !(n16 && n19)) << v;
+  }
+}
+
+TEST(Fabric, ChainInvertsByParity) {
+  auto odd = make_fabric(inverter_chain(5));
+  auto even = make_fabric(inverter_chain(6));
+  EXPECT_EQ(odd.evaluate({{"in", true}}).at("out"), false);
+  EXPECT_EQ(even.evaluate({{"in", true}}).at("out"), true);
+}
+
+TEST(Fabric, EvaluateRequiresAllInputs) {
+  auto fab = make_fabric(c17());
+  EXPECT_THROW(fab.evaluate({{"n1", true}}), std::invalid_argument);
+}
+
+TEST(Fabric, UnknownInstanceLookupThrows) {
+  auto fab = make_fabric(c17());
+  EXPECT_THROW(fab.lut_of("nope"), std::out_of_range);
+}
+
+// --- Timing ---------------------------------------------------------------
+
+TEST(Fabric, FreshTimingScalesWithLogicDepth) {
+  auto shallow = make_fabric(inverter_chain(3), 7);
+  auto deep = make_fabric(inverter_chain(9), 7);
+  const double t3 = shallow.timing(1.2, kRoom).worst_arrival_s;
+  const double t9 = deep.timing(1.2, kRoom).worst_arrival_s;
+  EXPECT_NEAR(t9 / t3, 3.0, 0.4);  // mismatch-limited
+}
+
+TEST(Fabric, CriticalPathCoversTheChain) {
+  auto fab = make_fabric(inverter_chain(4));
+  const auto report = fab.timing(1.2, kRoom);
+  ASSERT_EQ(report.critical_path.size(), 4u);
+  EXPECT_EQ(report.critical_path.front(), "u0");
+  EXPECT_EQ(report.critical_path.back(), "u3");
+  EXPECT_EQ(report.critical_output, "out");
+}
+
+TEST(Fabric, AdderCriticalPathIsTheCarryChain) {
+  auto fab = make_fabric(ripple_carry_adder(4));
+  const auto report = fab.timing(1.2, kRoom);
+  // Worst arrival is cout or the top sum bit; its path traverses roughly
+  // 2 LUT levels per bit.
+  EXPECT_GE(report.critical_path.size(), 5u);
+  EXPECT_TRUE(report.critical_output == "cout" ||
+              report.critical_output == "s3");
+  // Every primary output has an arrival.
+  EXPECT_EQ(report.arrival_s.size(), 5u);
+}
+
+TEST(Fabric, AgingSlowsTheDesign) {
+  auto fab = make_fabric(c17());
+  const double fresh = fab.timing(1.2, kRoom).worst_arrival_s;
+  fab.age_toggling(bti::ac_stress(1.2, 110.0), hours(24.0));
+  const double aged = fab.timing(1.2, kRoom).worst_arrival_s;
+  EXPECT_GT(aged, fresh * 1.005);
+}
+
+TEST(Fabric, RejuvenationRestoresTiming) {
+  auto fab = make_fabric(c17());
+  const double fresh = fab.timing(1.2, kRoom).worst_arrival_s;
+  fab.age_toggling(bti::ac_stress(1.2, 110.0), hours(24.0));
+  const double aged = fab.timing(1.2, kRoom).worst_arrival_s;
+  fab.age_sleep(bti::recovery(-0.3, 110.0), hours(6.0));
+  const double healed = fab.timing(1.2, kRoom).worst_arrival_s;
+  EXPECT_LT(healed, fresh + 0.2 * (aged - fresh));
+}
+
+// --- Workload-dependent (DC) aging -----------------------------------------
+
+TEST(Fabric, StaticAgingIsWorkloadDependent) {
+  // Hold a = b = 1 on an AND: the gate's output stays 1; a complementary
+  // workload ages different devices.  The two fabrics must diverge.
+  Netlist nl;
+  nl.name = "and1";
+  nl.primary_inputs = {"a", "b"};
+  nl.nodes = {{"u0", lut_and(), {"a", "b"}, "out"}};
+  nl.primary_outputs = {"out"};
+
+  auto fab_hi = make_fabric(nl, 3);
+  auto fab_lo = make_fabric(nl, 3);
+  const auto env = bti::dc_stress(1.2, 110.0);
+  fab_hi.age_static({{"a", true}, {"b", true}}, env, hours(24.0));
+  fab_lo.age_static({{"a", false}, {"b", false}}, env, hours(24.0));
+
+  // Different devices aged: compare the per-device shift patterns.
+  bool any_different = false;
+  for (int d = 0; d < kLutDeviceCount; ++d) {
+    if (std::abs(fab_hi.lut_of("u0").device(d).delta_vth() -
+                 fab_lo.lut_of("u0").device(d).delta_vth()) > 1e-4) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Fabric, StaticAgingOnlyTouchesSensitizedDevices) {
+  auto fab = make_fabric(inverter_chain(2), 5);
+  fab.age_static({{"in", true}}, bti::dc_stress(1.2, 110.0), hours(24.0));
+  // u0 sees in0 = 1 (inverter: stressed set includes M1, M5); its
+  // complementary-path pass device M2 stays fresh.
+  EXPECT_GT(fab.lut_of("u0").device(kM1).delta_vth(), 1e-3);
+  EXPECT_DOUBLE_EQ(fab.lut_of("u0").device(kM2).delta_vth(), 0.0);
+  // u1 sees in0 = 0: M1 fresh, buffer NMOS (M7) stressed.
+  EXPECT_DOUBLE_EQ(fab.lut_of("u1").device(kM1).delta_vth(), 0.0);
+  EXPECT_GT(fab.lut_of("u1").device(kM7).delta_vth(), 1e-3);
+}
+
+TEST(Fabric, SkewedWorkloadShiftsTheCriticalPath) {
+  // Two parallel buffers into an AND; age one branch only — it must end
+  // up on the critical path.
+  Netlist nl;
+  nl.name = "y";
+  nl.primary_inputs = {"a", "b"};
+  nl.nodes = {{"left", lut_buf_a(), {"a", "a"}, "l"},
+              {"right", lut_buf_a(), {"b", "b"}, "r"},
+              {"join", lut_and(), {"l", "r"}, "out"}};
+  nl.primary_outputs = {"out"};
+  FabricConfig cfg;
+  cfg.seed = 11;
+  cfg.mismatch_sigma = 0.0;  // identical branches before aging
+  Fabric fab(nl, cfg);
+
+  // DC workload that sensitizes only the left branch's 0-passing devices:
+  // a = 0 stresses 'left' harder than b = 1 stresses 'right'.
+  fab.age_static({{"a", false}, {"b", true}}, bti::dc_stress(1.2, 110.0),
+                 hours(48.0));
+  const auto report = fab.timing(1.2, kRoom);
+  ASSERT_EQ(report.critical_path.size(), 2u);
+  EXPECT_EQ(report.critical_path.front(), "left");
+}
+
+TEST(Fabric, DeterministicForSameSeed) {
+  auto a = make_fabric(c17(), 99);
+  auto b = make_fabric(c17(), 99);
+  a.age_toggling(bti::ac_stress(1.2, 110.0), hours(5.0));
+  b.age_toggling(bti::ac_stress(1.2, 110.0), hours(5.0));
+  EXPECT_DOUBLE_EQ(a.timing(1.2, kRoom).worst_arrival_s,
+                   b.timing(1.2, kRoom).worst_arrival_s);
+}
+
+}  // namespace
+}  // namespace ash::fpga

@@ -1,0 +1,137 @@
+/// Property sweep over all 16 LUT configurations: the structural
+/// invariants of the bias-derived stress analysis must hold for *every*
+/// function a 2-LUT can implement, not just the paper's inverter example.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "ash/fpga/lut.h"
+#include "ash/util/constants.h"
+
+namespace ash::fpga {
+namespace {
+
+LutConfig config_from_bits(int bits) {
+  LutConfig c{};
+  for (int i = 0; i < 4; ++i) c[static_cast<std::size_t>(i)] = (bits >> i) & 1;
+  return c;
+}
+
+class LutConfigSweep : public ::testing::TestWithParam<int> {
+ protected:
+  PassTransistorLut2 make() const {
+    return PassTransistorLut2(config_from_bits(GetParam()), 1.0,
+                              bti::default_td_parameters(), 17);
+  }
+};
+
+TEST_P(LutConfigSweep, StressSetIsAPureFunctionOfInputs) {
+  auto lut = make();
+  for (int in1 = 0; in1 <= 1; ++in1) {
+    for (int in0 = 0; in0 <= 1; ++in0) {
+      const auto before = lut.stressed_devices(in0 != 0, in1 != 0);
+      lut.age_static(in0 != 0, in1 != 0, bti::dc_stress(1.2, 110.0),
+                     hours(4.0));
+      EXPECT_EQ(before, lut.stressed_devices(in0 != 0, in1 != 0));
+    }
+  }
+}
+
+TEST_P(LutConfigSweep, ExactlyTwoBufferDevicesAlwaysStressed) {
+  const auto lut = make();
+  for (int in1 = 0; in1 <= 1; ++in1) {
+    for (int in0 = 0; in0 <= 1; ++in0) {
+      const auto stressed = lut.stressed_devices(in0 != 0, in1 != 0);
+      int buffer_devices = 0;
+      for (int d : stressed) {
+        if (d == kM7 || d == kM8 || d == kM9 || d == kM10) ++buffer_devices;
+      }
+      EXPECT_EQ(buffer_devices, 2);
+      // One per buffer stage, of opposite polarity.
+      const bool t = lut.evaluate(in0 != 0, in1 != 0);
+      EXPECT_TRUE(std::count(stressed.begin(), stressed.end(),
+                             t ? kM7 : kM8) == 1);
+      EXPECT_TRUE(std::count(stressed.begin(), stressed.end(),
+                             t ? kM10 : kM9) == 1);
+    }
+  }
+}
+
+TEST_P(LutConfigSweep, PassStressRequiresAConductingZero) {
+  const auto lut = make();
+  const auto config = config_from_bits(GetParam());
+  for (int in1 = 0; in1 <= 1; ++in1) {
+    for (int in0 = 0; in0 <= 1; ++in0) {
+      const auto stressed = lut.stressed_devices(in0 != 0, in1 != 0);
+      // Level-2 device stressed implies the selected branch carries a 0,
+      // i.e. the tree output is 0.
+      const bool t = lut.evaluate(in0 != 0, in1 != 0);
+      const bool m5 = std::count(stressed.begin(), stressed.end(), kM5) > 0;
+      const bool m6 = std::count(stressed.begin(), stressed.end(), kM6) > 0;
+      if (in1 != 0) {
+        EXPECT_FALSE(m6);
+        EXPECT_EQ(m5, !t);
+      } else {
+        EXPECT_FALSE(m5);
+        EXPECT_EQ(m6, !t);
+      }
+      // Level-1 stress requires the passed config bit to be 0.
+      if (std::count(stressed.begin(), stressed.end(), kM1) > 0) {
+        EXPECT_TRUE(in0 != 0 && !config[3]);
+      }
+      if (std::count(stressed.begin(), stressed.end(), kM4) > 0) {
+        EXPECT_TRUE(in0 == 0 && !config[0]);
+      }
+    }
+  }
+}
+
+TEST_P(LutConfigSweep, ConductingPathIsOnSelectedBranch) {
+  const auto lut = make();
+  for (int in1 = 0; in1 <= 1; ++in1) {
+    for (int in0 = 0; in0 <= 1; ++in0) {
+      const auto path = lut.conducting_path(in0 != 0, in1 != 0);
+      if (in1 != 0) {
+        EXPECT_TRUE(path[0] == kM1 || path[0] == kM2);
+        EXPECT_EQ(path[1], kM5);
+      } else {
+        EXPECT_TRUE(path[0] == kM3 || path[0] == kM4);
+        EXPECT_EQ(path[1], kM6);
+      }
+    }
+  }
+}
+
+TEST_P(LutConfigSweep, FreshDelayIsInputIndependentAndPositive) {
+  const auto lut = make();
+  const DelayParams dp;
+  const double d = lut.path_delay(false, false, dp, 1.2, celsius(20.0));
+  EXPECT_GT(d, 0.0);
+  for (int in1 = 0; in1 <= 1; ++in1) {
+    for (int in0 = 0; in0 <= 1; ++in0) {
+      EXPECT_NEAR(lut.path_delay(in0 != 0, in1 != 0, dp, 1.2, celsius(20.0)),
+                  d, 1e-15);
+    }
+  }
+}
+
+TEST_P(LutConfigSweep, DcAgingNeverTouchesUnstressedDevices) {
+  auto lut = make();
+  const auto stressed = lut.stressed_devices(true, false);
+  lut.age_static(true, false, bti::dc_stress(1.2, 110.0), hours(24.0));
+  for (int d = 0; d < kLutDeviceCount; ++d) {
+    const bool is_stressed =
+        std::count(stressed.begin(), stressed.end(), d) > 0;
+    if (is_stressed) {
+      EXPECT_GT(lut.device(d).delta_vth(), 0.0) << "device " << d;
+    } else {
+      EXPECT_DOUBLE_EQ(lut.device(d).delta_vth(), 0.0) << "device " << d;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, LutConfigSweep, ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace ash::fpga

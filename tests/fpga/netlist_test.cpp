@@ -1,0 +1,121 @@
+#include "ash/fpga/netlist.h"
+
+#include <gtest/gtest.h>
+
+namespace ash::fpga {
+namespace {
+
+Netlist two_gate() {
+  Netlist nl;
+  nl.name = "two_gate";
+  nl.primary_inputs = {"a", "b"};
+  nl.nodes = {{"u0", lut_and(), {"a", "b"}, "n0"},
+              {"u1", lut_not_a(), {"n0", "n0"}, "out"}};
+  nl.primary_outputs = {"out"};
+  return nl;
+}
+
+TEST(Netlist, ValidNetlistPassesValidation) {
+  EXPECT_NO_THROW(two_gate().validate());
+  EXPECT_NO_THROW(c17().validate());
+  EXPECT_NO_THROW(inverter_chain(5).validate());
+  EXPECT_NO_THROW(ripple_carry_adder(4).validate());
+}
+
+TEST(Netlist, RejectsUndrivenInputNet) {
+  auto nl = two_gate();
+  nl.nodes[0].inputs[1] = "ghost";
+  EXPECT_THROW(nl.validate(), std::invalid_argument);
+}
+
+TEST(Netlist, RejectsMultiplyDrivenNet) {
+  auto nl = two_gate();
+  nl.nodes.push_back({"u2", lut_or(), {"a", "b"}, "n0"});
+  EXPECT_THROW(nl.validate(), std::invalid_argument);
+}
+
+TEST(Netlist, RejectsDuplicateInstanceNames) {
+  auto nl = two_gate();
+  nl.nodes.push_back({"u0", lut_or(), {"a", "b"}, "n9"});
+  EXPECT_THROW(nl.validate(), std::invalid_argument);
+}
+
+TEST(Netlist, RejectsUndrivenPrimaryOutput) {
+  auto nl = two_gate();
+  nl.primary_outputs.push_back("nowhere");
+  EXPECT_THROW(nl.validate(), std::invalid_argument);
+}
+
+TEST(Netlist, RejectsMissingOutputs) {
+  auto nl = two_gate();
+  nl.primary_outputs.clear();
+  EXPECT_THROW(nl.validate(), std::invalid_argument);
+}
+
+TEST(Netlist, RejectsCombinationalCycle) {
+  Netlist nl;
+  nl.name = "loop";
+  nl.primary_inputs = {"a"};
+  nl.nodes = {{"u0", lut_and(), {"a", "n1"}, "n0"},
+              {"u1", lut_or(), {"n0", "a"}, "n1"}};
+  nl.primary_outputs = {"n1"};
+  EXPECT_THROW(nl.validate(), std::invalid_argument);
+}
+
+TEST(Netlist, TopologicalOrderRespectsDependencies) {
+  const auto nl = c17();
+  const auto order = nl.topological_order();
+  ASSERT_EQ(order.size(), nl.nodes.size());
+  // Producer of each input net must appear before its user.
+  std::unordered_map<std::string, std::size_t> position;
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    position[nl.nodes[order[pos]].output] = pos;
+  }
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    for (const auto& in : nl.nodes[order[pos]].inputs) {
+      const auto it = position.find(in);
+      if (it != position.end()) {
+        EXPECT_LT(it->second, pos);
+      }
+    }
+  }
+}
+
+TEST(Netlist, GeneratorShapesAreRight) {
+  const auto chain = inverter_chain(7);
+  EXPECT_EQ(chain.nodes.size(), 7u);
+  EXPECT_EQ(chain.primary_outputs.front(), "out");
+
+  const auto adder = ripple_carry_adder(4);
+  EXPECT_EQ(adder.nodes.size(), 20u);               // 5 LUTs per bit
+  EXPECT_EQ(adder.primary_inputs.size(), 9u);       // cin + 2*4
+  EXPECT_EQ(adder.primary_outputs.size(), 5u);      // s0..s3 + cout
+
+  const auto iscas = c17();
+  EXPECT_EQ(iscas.nodes.size(), 6u);
+  EXPECT_EQ(iscas.primary_outputs.size(), 2u);
+}
+
+TEST(Netlist, GeneratorsRejectBadSizes) {
+  EXPECT_THROW(inverter_chain(0), std::invalid_argument);
+  EXPECT_THROW(ripple_carry_adder(0), std::invalid_argument);
+}
+
+TEST(LutLibrary, TruthTablesAreCorrect) {
+  // config[2*in1 + in0]
+  EXPECT_TRUE(lut_and()[3]);
+  EXPECT_FALSE(lut_and()[1]);
+  EXPECT_TRUE(lut_or()[1]);
+  EXPECT_FALSE(lut_or()[0]);
+  EXPECT_TRUE(lut_xor()[1]);
+  EXPECT_FALSE(lut_xor()[3]);
+  EXPECT_FALSE(lut_nand()[3]);
+  EXPECT_TRUE(lut_nand()[0]);
+  EXPECT_TRUE(lut_xnor()[0]);
+  EXPECT_TRUE(lut_not_a()[0]);
+  EXPECT_FALSE(lut_not_a()[1]);
+  EXPECT_TRUE(lut_buf_a()[1]);
+}
+
+}  // namespace
+}  // namespace ash::fpga

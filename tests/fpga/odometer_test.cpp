@@ -1,0 +1,102 @@
+#include "ash/fpga/odometer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ash/util/constants.h"
+
+namespace ash::fpga {
+namespace {
+
+SiliconOdometer make_odometer(std::uint64_t seed = 0x0D0) {
+  OdometerConfig c;
+  c.seed = seed;
+  return SiliconOdometer(c);
+}
+
+const double kRoom = celsius(20.0);
+
+TEST(Odometer, FreshSensorReadsNearZero) {
+  auto odo = make_odometer();
+  const auto r = odo.read(kRoom);
+  // Counter quantization only: well below 0.1 %.
+  EXPECT_NEAR(r.degradation_estimate, 0.0, 1e-3);
+}
+
+TEST(Odometer, CalibrationCancelsStaticMismatch) {
+  // The two mirrors are deliberately mismatched; the fresh differential
+  // must still read ~0 thanks to the t = 0 calibration.
+  OdometerConfig c;
+  c.mismatch_sigma = 0.05;
+  SiliconOdometer odo(c);
+  EXPECT_NEAR(odo.read(kRoom).degradation_estimate, 0.0, 1.5e-3);
+}
+
+TEST(Odometer, TracksTrueDegradationUnderStress) {
+  auto odo = make_odometer();
+  odo.mission(bti::dc_stress(1.2, 110.0), hours(24.0));
+  const double truth = odo.true_degradation(kRoom);
+  const auto r = odo.read(kRoom);
+  ASSERT_GT(truth, 0.01);
+  EXPECT_NEAR(r.degradation_estimate, truth, 0.25 * truth);
+}
+
+TEST(Odometer, EstimateGrowsWithStressTime) {
+  auto odo = make_odometer();
+  odo.mission(bti::dc_stress(1.2, 110.0), hours(2.0));
+  const double early = odo.read(kRoom).degradation_estimate;
+  odo.mission(bti::dc_stress(1.2, 110.0), hours(22.0));
+  const double late = odo.read(kRoom).degradation_estimate;
+  EXPECT_GT(late, early);
+}
+
+TEST(Odometer, ReferenceMirrorStaysNearlyFresh) {
+  auto odo = make_odometer();
+  odo.mission(bti::dc_stress(1.2, 110.0), hours(24.0));
+  const auto r = odo.read(kRoom);
+  // If the reference aged with the mirror, the differential would read ~0.
+  EXPECT_GT(r.degradation_estimate, 0.01);
+}
+
+TEST(Odometer, SensorHealsWithTheFabric) {
+  auto odo = make_odometer();
+  odo.mission(bti::dc_stress(1.2, 110.0), hours(24.0));
+  const double stressed = odo.read(kRoom).degradation_estimate;
+  odo.sleep(bti::recovery(-0.3, 110.0), hours(6.0));
+  const double healed = odo.read(kRoom).degradation_estimate;
+  EXPECT_LT(healed, 0.3 * stressed);
+}
+
+TEST(Odometer, RepeatedReadsBarelyDisturbTheSensor) {
+  // 1000 reads = ~32 s of cumulative AC at room conditions: the estimate
+  // drift must stay below the counter noise floor.
+  auto odo = make_odometer();
+  for (int i = 0; i < 1000; ++i) odo.read(kRoom);
+  EXPECT_EQ(odo.reads_taken(), 1001 - 1);
+  EXPECT_NEAR(odo.read(kRoom).degradation_estimate, 0.0, 2e-3);
+}
+
+TEST(Odometer, DifferentialCancelsTemperatureOfTheRead) {
+  // Enable the delay temperature coefficient: absolute frequencies move
+  // with the read temperature, but the differential estimate must not.
+  OdometerConfig c;
+  c.delay.temp_coeff_per_k = 1.2e-3;
+  SiliconOdometer odo(c);
+  odo.mission(bti::dc_stress(1.2, 110.0), hours(24.0));
+  const double cold = odo.read(celsius(20.0)).degradation_estimate;
+  const double hot = odo.read(celsius(110.0)).degradation_estimate;
+  EXPECT_NEAR(cold, hot, 0.15 * cold);
+}
+
+TEST(Odometer, DeterministicForSameSeed) {
+  auto a = make_odometer(7);
+  auto b = make_odometer(7);
+  a.mission(bti::dc_stress(1.2, 110.0), hours(5.0));
+  b.mission(bti::dc_stress(1.2, 110.0), hours(5.0));
+  EXPECT_DOUBLE_EQ(a.read(kRoom).degradation_estimate,
+                   b.read(kRoom).degradation_estimate);
+}
+
+}  // namespace
+}  // namespace ash::fpga

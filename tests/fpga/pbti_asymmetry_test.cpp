@@ -1,0 +1,90 @@
+/// Tests for the NBTI/PBTI asymmetry knob (Sec. 1 of the paper: PBTI was
+/// negligible before high-k gates; the calibrated default treats them
+/// alike at the 40 nm node).
+
+#include <gtest/gtest.h>
+
+#include "ash/fpga/chip.h"
+#include "ash/fpga/lut.h"
+#include "ash/util/constants.h"
+
+namespace ash::fpga {
+namespace {
+
+const double kRoom = celsius(20.0);
+
+TEST(PbtiAsymmetry, RatioScalesNmosParametersOnly) {
+  const auto& base = bti::default_td_parameters();
+  const auto nmos = td_for_device(DeviceType::kNmos, base, 0.3);
+  const auto pmos = td_for_device(DeviceType::kPmos, base, 0.3);
+  EXPECT_NEAR(nmos.delta_vth_mean_v, base.delta_vth_mean_v * 0.3, 1e-12);
+  EXPECT_DOUBLE_EQ(pmos.delta_vth_mean_v, base.delta_vth_mean_v);
+}
+
+TEST(PbtiAsymmetry, UnityRatioIsIdentity) {
+  const auto& base = bti::default_td_parameters();
+  const auto nmos = td_for_device(DeviceType::kNmos, base, 1.0);
+  EXPECT_DOUBLE_EQ(nmos.delta_vth_mean_v, base.delta_vth_mean_v);
+}
+
+TEST(PbtiAsymmetry, WeakPbtiSparesNmosDevices) {
+  // SiON-era ratio: the PBTI-stressed pass devices age far less, the
+  // NBTI-stressed buffer PMOS is untouched by the knob.
+  PassTransistorLut2 strong(inverter_config(), 1.0,
+                            bti::default_td_parameters(), 7, 1.0);
+  PassTransistorLut2 weak(inverter_config(), 1.0,
+                          bti::default_td_parameters(), 7, 0.2);
+  strong.age_static(true, true, bti::dc_stress(1.2, 110.0), hours(24.0));
+  weak.age_static(true, true, bti::dc_stress(1.2, 110.0), hours(24.0));
+  // M1 (NMOS pass, PBTI) shrinks by ~the ratio.
+  EXPECT_NEAR(weak.device(kM1).delta_vth() / strong.device(kM1).delta_vth(),
+              0.2, 0.08);
+  // M8 (PMOS buffer, NBTI) is statistically unchanged (same seed => same
+  // trap population, ratio does not touch PMOS).
+  EXPECT_DOUBLE_EQ(weak.device(kM8).delta_vth(),
+                   strong.device(kM8).delta_vth());
+}
+
+TEST(PbtiAsymmetry, WeakPbtiReducesRoDegradation) {
+  ChipConfig hk;
+  hk.seed = 5;
+  hk.ro_stages = 15;
+  ChipConfig sion = hk;
+  sion.pbti_amplitude_ratio = 0.3;
+  FpgaChip chip_hk(hk);
+  FpgaChip chip_sion(sion);
+  const double f_hk = chip_hk.ro_frequency_hz(1.2, kRoom);
+  const double f_sion = chip_sion.ro_frequency_hz(1.2, kRoom);
+  chip_hk.evolve(RoMode::kDcFrozen, bti::dc_stress(1.2, 110.0), hours(24.0));
+  chip_sion.evolve(RoMode::kDcFrozen, bti::dc_stress(1.2, 110.0),
+                   hours(24.0));
+  const double deg_hk = 1.0 - chip_hk.ro_frequency_hz(1.2, kRoom) / f_hk;
+  const double deg_sion =
+      1.0 - chip_sion.ro_frequency_hz(1.2, kRoom) / f_sion;
+  EXPECT_LT(deg_sion, 0.75 * deg_hk);
+  EXPECT_GT(deg_sion, 0.2 * deg_hk);  // the NBTI share remains
+}
+
+TEST(PbtiAsymmetry, RejectsNonPositiveRatio) {
+  EXPECT_THROW(PassTransistorLut2(inverter_config(), 1.0,
+                                  bti::default_td_parameters(), 1, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(PassTransistorLut2(inverter_config(), 1.0,
+                                  bti::default_td_parameters(), 1, -1.0),
+               std::invalid_argument);
+}
+
+TEST(PbtiAsymmetry, HighKWorseThanUnityIsAllowed) {
+  // "Rapidly becoming an important reliability issue": ratios above 1
+  // model PBTI-dominant stacks.
+  PassTransistorLut2 lut(inverter_config(), 1.0,
+                         bti::default_td_parameters(), 7, 1.5);
+  lut.age_static(true, true, bti::dc_stress(1.2, 110.0), hours(24.0));
+  PassTransistorLut2 base(inverter_config(), 1.0,
+                          bti::default_td_parameters(), 7, 1.0);
+  base.age_static(true, true, bti::dc_stress(1.2, 110.0), hours(24.0));
+  EXPECT_GT(lut.device(kM1).delta_vth(), base.device(kM1).delta_vth());
+}
+
+}  // namespace
+}  // namespace ash::fpga

@@ -1,0 +1,131 @@
+#include "ash/fpga/ring_oscillator.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ash/util/constants.h"
+
+namespace ash::fpga {
+namespace {
+
+RingOscillator make_ro(int stages = 75, std::uint64_t seed = 1) {
+  return RingOscillator(stages, std::vector<double>(static_cast<std::size_t>(stages), 1.0),
+                        DelayParams{}, bti::default_td_parameters(), seed);
+}
+
+constexpr double kVdd = 1.2;
+const double kRoomK = celsius(20.0);
+
+TEST(RingOscillator, FreshFrequencyNearDesignPoint) {
+  const auto ro = make_ro();
+  // 75 stages x 2 ns, period 300 ns -> ~3.33 MHz.
+  EXPECT_NEAR(ro.frequency_hz(kVdd, kRoomK), 3.333e6, 0.05e6);
+}
+
+TEST(RingOscillator, RejectsEvenOrTinyRings) {
+  EXPECT_THROW(make_ro(74), std::invalid_argument);
+  EXPECT_THROW(make_ro(1), std::invalid_argument);
+}
+
+TEST(RingOscillator, RejectsMismatchedScaleVector) {
+  EXPECT_THROW(RingOscillator(75, std::vector<double>(10, 1.0), DelayParams{},
+                              bti::default_td_parameters(), 1),
+               std::invalid_argument);
+}
+
+TEST(RingOscillator, PeriodIsSumOfBothTraversals) {
+  const auto ro = make_ro();
+  EXPECT_DOUBLE_EQ(ro.period_s(kVdd, kRoomK),
+                   ro.traversal_delay_s(false, kVdd, kRoomK) +
+                       ro.traversal_delay_s(true, kVdd, kRoomK));
+}
+
+TEST(RingOscillator, LowerSupplyOscillatesSlower) {
+  const auto ro = make_ro();
+  EXPECT_LT(ro.frequency_hz(1.0, kRoomK), ro.frequency_hz(1.2, kRoomK));
+}
+
+TEST(RingOscillator, DcStress24hDegradesFrequencyLikeThePaper) {
+  // Table 2 / Fig. 4: 24 h DC @110 C -> ~2.2 % frequency degradation.
+  auto ro = make_ro();
+  const double fresh = ro.frequency_hz(kVdd, kRoomK);
+  ro.evolve(RoMode::kDcFrozen, bti::dc_stress(1.2, 110.0), hours(24.0));
+  const double degradation = 1.0 - ro.frequency_hz(kVdd, kRoomK) / fresh;
+  EXPECT_GT(degradation, 0.015);
+  EXPECT_LT(degradation, 0.030);
+}
+
+TEST(RingOscillator, AcStressIsAboutHalfOfDc) {
+  // Fig. 4's headline shape at the circuit level.
+  auto dc = make_ro(75, 3);
+  auto ac = make_ro(75, 3);
+  const double fresh_dc = dc.frequency_hz(kVdd, kRoomK);
+  const double fresh_ac = ac.frequency_hz(kVdd, kRoomK);
+  dc.evolve(RoMode::kDcFrozen, bti::dc_stress(1.2, 110.0), hours(24.0));
+  ac.evolve(RoMode::kAcOscillating, bti::ac_stress(1.2, 110.0), hours(24.0));
+  const double deg_dc = 1.0 - dc.frequency_hz(kVdd, kRoomK) / fresh_dc;
+  const double deg_ac = 1.0 - ac.frequency_hz(kVdd, kRoomK) / fresh_ac;
+  const double ratio = deg_ac / deg_dc;
+  EXPECT_GT(ratio, 0.35);
+  EXPECT_LT(ratio, 0.70);
+}
+
+TEST(RingOscillator, StressAt100CDegradesLessThan110C) {
+  auto hot = make_ro(75, 5);
+  auto warm = make_ro(75, 5);
+  const double fresh = hot.frequency_hz(kVdd, kRoomK);
+  hot.evolve(RoMode::kDcFrozen, bti::dc_stress(1.2, 110.0), hours(24.0));
+  warm.evolve(RoMode::kDcFrozen, bti::dc_stress(1.2, 100.0), hours(24.0));
+  const double deg_hot = 1.0 - hot.frequency_hz(kVdd, kRoomK) / fresh;
+  const double deg_warm = 1.0 - warm.frequency_hz(kVdd, kRoomK) / fresh;
+  EXPECT_LT(deg_warm, deg_hot);
+  // Table 2 ratio ~ 1.7 / 2.2 = 0.77.
+  EXPECT_NEAR(deg_warm / deg_hot, 0.77, 0.12);
+}
+
+TEST(RingOscillator, AcceleratedSleepRecoversMostOfTheDegradation) {
+  auto ro = make_ro();
+  const double fresh = ro.frequency_hz(kVdd, kRoomK);
+  ro.evolve(RoMode::kDcFrozen, bti::dc_stress(1.2, 110.0), hours(24.0));
+  const double stressed = ro.frequency_hz(kVdd, kRoomK);
+  ro.evolve(RoMode::kSleep, bti::recovery(-0.3, 110.0), hours(6.0));
+  const double healed = ro.frequency_hz(kVdd, kRoomK);
+  const double recovered_share = (healed - stressed) / (fresh - stressed);
+  EXPECT_GT(recovered_share, 0.80);
+  EXPECT_LT(recovered_share, 1.001);
+}
+
+TEST(RingOscillator, PassiveSleepRecoversLess) {
+  auto active = make_ro(75, 7);
+  auto passive = make_ro(75, 7);
+  const auto stress_then = [&](RingOscillator& ro,
+                               const bti::OperatingCondition& rec) {
+    ro.evolve(RoMode::kDcFrozen, bti::dc_stress(1.2, 110.0), hours(24.0));
+    ro.evolve(RoMode::kSleep, rec, hours(6.0));
+    return ro.frequency_hz(kVdd, kRoomK);
+  };
+  const double f_active = stress_then(active, bti::recovery(-0.3, 110.0));
+  const double f_passive = stress_then(passive, bti::recovery(0.0, 20.0));
+  EXPECT_GT(f_active, f_passive);
+}
+
+TEST(RingOscillator, DcInputAlternatesAcrossStages) {
+  EXPECT_TRUE(RingOscillator::dc_input_of_stage(0));
+  EXPECT_FALSE(RingOscillator::dc_input_of_stage(1));
+  EXPECT_TRUE(RingOscillator::dc_input_of_stage(2));
+}
+
+TEST(RingOscillator, VariationScalesShiftFrequency) {
+  const int n = 75;
+  const RingOscillator nominal = make_ro(n, 9);
+  const RingOscillator slow(n, std::vector<double>(n, 1.05), DelayParams{},
+                            bti::default_td_parameters(), 9);
+  EXPECT_NEAR(nominal.frequency_hz(kVdd, kRoomK) /
+                  slow.frequency_hz(kVdd, kRoomK),
+              1.05, 1e-9);
+}
+
+}  // namespace
+}  // namespace ash::fpga

@@ -1,0 +1,81 @@
+#include "ash/fpga/routing.h"
+
+#include <gtest/gtest.h>
+
+#include "ash/util/constants.h"
+
+namespace ash::fpga {
+namespace {
+
+RoutingBlock make_block(std::uint64_t seed = 1) {
+  return RoutingBlock(1.0, bti::default_td_parameters(), seed);
+}
+
+TEST(Routing, ConductingPathForValueOne) {
+  const auto rb = make_block();
+  const auto path = rb.conducting_path(true);
+  EXPECT_EQ(path[0], kR1N);
+  EXPECT_EQ(path[1], kR2P);
+}
+
+TEST(Routing, ConductingPathForValueZero) {
+  const auto rb = make_block();
+  const auto path = rb.conducting_path(false);
+  EXPECT_EQ(path[0], kR1P);
+  EXPECT_EQ(path[1], kR2N);
+}
+
+TEST(Routing, StressedDevicesAreTheConductingOnes) {
+  const auto rb = make_block();
+  for (bool v : {false, true}) {
+    const auto path = rb.conducting_path(v);
+    const auto stressed = rb.stressed_devices(v);
+    ASSERT_EQ(stressed.size(), 2u);
+    EXPECT_EQ(stressed[0], path[0]);
+    EXPECT_EQ(stressed[1], path[1]);
+  }
+}
+
+TEST(Routing, FreshDelayIsTwoSegments) {
+  const auto rb = make_block();
+  const DelayParams dp;
+  EXPECT_NEAR(rb.path_delay(true, dp, 1.2, celsius(20.0)), 0.8e-9, 1e-15);
+}
+
+TEST(Routing, StaticAgingOnlyAffectsCarriedValuePath) {
+  auto rb = make_block();
+  rb.age_static(true, bti::dc_stress(1.2, 110.0), hours(24.0));
+  EXPECT_GT(rb.device(kR1N).delta_vth(), 0.0);
+  EXPECT_GT(rb.device(kR2P).delta_vth(), 0.0);
+  EXPECT_DOUBLE_EQ(rb.device(kR1P).delta_vth(), 0.0);
+  EXPECT_DOUBLE_EQ(rb.device(kR2N).delta_vth(), 0.0);
+}
+
+TEST(Routing, AgedPathSlowsDown) {
+  auto rb = make_block();
+  const DelayParams dp;
+  const double fresh = rb.path_delay(true, dp, 1.2, celsius(20.0));
+  rb.age_static(true, bti::dc_stress(1.2, 110.0), hours(24.0));
+  EXPECT_GT(rb.path_delay(true, dp, 1.2, celsius(20.0)), fresh * 1.01);
+  // The complementary path is untouched.
+  EXPECT_NEAR(rb.path_delay(false, dp, 1.2, celsius(20.0)), 0.8e-9, 1e-15);
+}
+
+TEST(Routing, SleepHealsAgedDevices) {
+  auto rb = make_block();
+  rb.age_static(true, bti::dc_stress(1.2, 110.0), hours(24.0));
+  const double aged = rb.device(kR1N).delta_vth();
+  rb.age_sleep(bti::recovery(-0.3, 110.0), hours(6.0));
+  EXPECT_LT(rb.device(kR1N).delta_vth(), aged * 0.2);
+}
+
+TEST(Routing, DeviceTypesAlternate) {
+  const auto rb = make_block();
+  EXPECT_EQ(rb.device(kR1N).type(), DeviceType::kNmos);
+  EXPECT_EQ(rb.device(kR1P).type(), DeviceType::kPmos);
+  EXPECT_EQ(rb.device(kR2N).type(), DeviceType::kNmos);
+  EXPECT_EQ(rb.device(kR2P).type(), DeviceType::kPmos);
+}
+
+}  // namespace
+}  // namespace ash::fpga

@@ -1,0 +1,69 @@
+#include "ash/mc/floorplan.h"
+
+#include <gtest/gtest.h>
+
+namespace ash::mc {
+namespace {
+
+TEST(Floorplan, DefaultIsEightCoresPlusCache) {
+  const Floorplan fp;
+  EXPECT_EQ(fp.core_count(), 8);
+  EXPECT_EQ(fp.node_count(), 9);
+  EXPECT_EQ(fp.cache_node(), 8);
+  EXPECT_EQ(fp.kind(0), NodeKind::kCore);
+  EXPECT_EQ(fp.kind(8), NodeKind::kCache);
+}
+
+TEST(Floorplan, GridCoordinates) {
+  const Floorplan fp;
+  EXPECT_EQ(fp.row_of(0), 0);
+  EXPECT_EQ(fp.row_of(3), 0);
+  EXPECT_EQ(fp.row_of(4), 1);
+  EXPECT_EQ(fp.col_of(5), 1);
+}
+
+TEST(Floorplan, AdjacencyIsSymmetric) {
+  const Floorplan fp;
+  for (int a = 0; a < fp.node_count(); ++a) {
+    for (int b : fp.neighbors(a)) {
+      EXPECT_TRUE(fp.adjacent(b, a)) << a << " " << b;
+    }
+  }
+}
+
+TEST(Floorplan, NoSelfOrDiagonalAdjacency) {
+  const Floorplan fp;
+  EXPECT_FALSE(fp.adjacent(0, 0));
+  EXPECT_FALSE(fp.adjacent(0, 5));  // diagonal
+  EXPECT_FALSE(fp.adjacent(0, 2));  // two apart in a row
+}
+
+TEST(Floorplan, CoreGridFourNeighbourhood) {
+  const Floorplan fp;
+  EXPECT_TRUE(fp.adjacent(0, 1));   // row neighbours
+  EXPECT_TRUE(fp.adjacent(0, 4));   // column neighbours
+  EXPECT_TRUE(fp.adjacent(2, 6));
+}
+
+TEST(Floorplan, CacheTouchesBottomRowOnly) {
+  const Floorplan fp;
+  for (int c = 0; c < 4; ++c) EXPECT_FALSE(fp.adjacent(c, fp.cache_node()));
+  for (int c = 4; c < 8; ++c) EXPECT_TRUE(fp.adjacent(c, fp.cache_node()));
+}
+
+TEST(Floorplan, CoreNeighborCounts) {
+  const Floorplan fp;
+  EXPECT_EQ(fp.core_neighbor_count(0), 2);  // corner
+  EXPECT_EQ(fp.core_neighbor_count(1), 3);  // edge
+  EXPECT_EQ(fp.core_neighbor_count(5), 3);  // bottom edge (cache excluded)
+}
+
+TEST(Floorplan, ScalesToWiderGrids) {
+  const Floorplan fp(6);
+  EXPECT_EQ(fp.core_count(), 12);
+  EXPECT_TRUE(fp.adjacent(5, 11));
+  EXPECT_THROW(Floorplan{1}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ash::mc

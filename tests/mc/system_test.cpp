@@ -1,0 +1,154 @@
+#include "ash/mc/system.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ash::mc {
+namespace {
+
+SystemConfig quick_config() {
+  SystemConfig c;
+  c.horizon_s = 0.5 * 365.25 * 86400.0;  // half a year keeps tests fast
+  return c;
+}
+
+TEST(System, AllActiveNeverSleeps) {
+  AllActiveScheduler s;
+  const auto r = simulate_system(quick_config(), s);
+  EXPECT_DOUBLE_EQ(r.sleep_share, 0.0);
+  EXPECT_TRUE(std::isnan(r.mean_sleep_temp_c));
+  EXPECT_GT(r.worst_end_delta_vth_v, 0.0);
+}
+
+TEST(System, ThroughputAccountsActiveCores) {
+  const auto cfg = quick_config();
+  AllActiveScheduler all;
+  HeaterAwareCircadianScheduler circadian;
+  const auto r_all = simulate_system(cfg, all);
+  const auto r_cir = simulate_system(cfg, circadian);
+  // All-active delivers 8/6 of the demanded throughput.
+  EXPECT_NEAR(r_all.throughput_core_s / r_cir.throughput_core_s, 8.0 / 6.0,
+              1e-6);
+}
+
+TEST(System, SleepingCoresAreHeatedByNeighbors) {
+  // The Fig. 10 claim, measured: sleeping cores sit way above the 45 degC
+  // ambient because the active neighbours heat them.
+  HeaterAwareCircadianScheduler s;
+  const auto r = simulate_system(quick_config(), s);
+  EXPECT_GT(r.mean_sleep_temp_c, 62.0);
+  EXPECT_GT(r.sleep_share, 0.2);
+  EXPECT_LT(r.sleep_share, 0.3);  // 2 of 8 cores
+}
+
+TEST(System, CircadianRejuvenationBeatsNoSleepOnAging) {
+  const auto cfg = quick_config();
+  AllActiveScheduler all;
+  HeaterAwareCircadianScheduler circadian;
+  const auto r_all = simulate_system(cfg, all);
+  const auto r_cir = simulate_system(cfg, circadian);
+  EXPECT_LT(r_cir.mean_end_delta_vth_v, r_all.mean_end_delta_vth_v);
+}
+
+TEST(System, RejuvenatingSleepBeatsPassiveSleep) {
+  // With generous sleep budgets the neighbour heat alone heals everything
+  // a nap can heal; the negative rail's edge shows when naps are scarce
+  // relative to the accumulated damage.
+  auto cfg = quick_config();
+  cfg.cores_needed = 7;  // one sleeper: 42 h active between 6 h naps
+  RoundRobinSleepScheduler passive(/*rejuvenate=*/false);
+  RoundRobinSleepScheduler active(/*rejuvenate=*/true);
+  const auto r_passive = simulate_system(cfg, passive);
+  const auto r_active = simulate_system(cfg, active);
+  EXPECT_LT(r_active.mean_end_delta_vth_v, r_passive.mean_end_delta_vth_v);
+}
+
+TEST(System, CircadianExtendsTimeToMargin) {
+  auto cfg = quick_config();
+  cfg.horizon_s = 2.0 * 365.25 * 86400.0;
+  // Margin above the first-day log-law front-loading but below the
+  // baseline's end-of-horizon aging, so only the baseline trips it.
+  cfg.margin_delta_vth_v = 9e-3;
+  AllActiveScheduler all;
+  HeaterAwareCircadianScheduler circadian;
+  const auto r_all = simulate_system(cfg, all);
+  const auto r_cir = simulate_system(cfg, circadian);
+  // Baseline trips the margin inside the horizon; the circadian schedule
+  // survives the whole (right-censored) horizon.
+  ASSERT_TRUE(r_all.margin_exceeded);
+  EXPECT_FALSE(r_cir.margin_exceeded);
+  EXPECT_GT(r_cir.time_to_first_margin_s, r_all.time_to_first_margin_s);
+}
+
+TEST(System, TdpIsRespectedWhenCoresSleep) {
+  auto cfg = quick_config();
+  // 8 x 12 W + 3 W cache = 99 W > 90 W TDP; sleeping 2 cores brings it to
+  // 76 W.
+  AllActiveScheduler all;
+  HeaterAwareCircadianScheduler circadian;
+  const auto r_all = simulate_system(cfg, all);
+  const auto r_cir = simulate_system(cfg, circadian);
+  EXPECT_GT(r_all.tdp_violations, 0);
+  EXPECT_EQ(r_cir.tdp_violations, 0);
+}
+
+TEST(System, PermanentWearIsFairUnderRotation) {
+  // Instantaneous end-state aging depends on who slept last; the fairness
+  // observable is the irreversible wear, which rotation must spread evenly.
+  HeaterAwareCircadianScheduler s;
+  const auto r = simulate_system(quick_config(), s);
+  double lo = 1e9;
+  double hi = 0.0;
+  for (double v : r.end_permanent_v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(lo, 0.0);
+  EXPECT_LT(hi / lo, 1.3);
+}
+
+TEST(System, WorstTraceIsRecorded) {
+  HeaterAwareCircadianScheduler s;
+  const auto cfg = quick_config();
+  const auto r = simulate_system(cfg, s);
+  EXPECT_GE(r.worst_trace.size(), 50u);
+  EXPECT_LE(r.worst_trace.t_end(), cfg.horizon_s + cfg.interval_s);
+}
+
+TEST(System, MaxTempStaysPhysical) {
+  AllActiveScheduler s;
+  const auto r = simulate_system(quick_config(), s);
+  EXPECT_GT(r.max_temp_c, 60.0);
+  EXPECT_LT(r.max_temp_c, 120.0);
+}
+
+TEST(System, StarvingSchedulerIsRejected) {
+  class Starver final : public Scheduler {
+   public:
+    std::string name() const override { return "starver"; }
+    Assignment assign(const SchedulerContext& ctx) override {
+      return Assignment(
+          static_cast<std::size_t>(ctx.floorplan->core_count()),
+          CoreMode::kSleepPassive);
+    }
+  };
+  Starver s;
+  EXPECT_THROW(simulate_system(quick_config(), s), std::runtime_error);
+}
+
+TEST(System, ValidatesConfig) {
+  auto bad = quick_config();
+  bad.cores_needed = 99;
+  AllActiveScheduler s;
+  EXPECT_THROW(simulate_system(bad, s), std::invalid_argument);
+  bad = quick_config();
+  bad.interval_s = 0.0;
+  EXPECT_THROW(simulate_system(bad, s), std::invalid_argument);
+  bad = quick_config();
+  bad.active_power_w = 0.1;
+  EXPECT_THROW(simulate_system(bad, s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ash::mc

@@ -1,0 +1,126 @@
+#include "ash/mc/thermal.h"
+
+#include <gtest/gtest.h>
+
+namespace ash::mc {
+namespace {
+
+const Floorplan& fp() {
+  static const Floorplan instance;
+  return instance;
+}
+
+ThermalModel model(ThermalConfig c = {}) { return ThermalModel(fp(), c); }
+
+std::vector<double> zero_powers() {
+  return std::vector<double>(static_cast<std::size_t>(fp().node_count()), 0.0);
+}
+
+TEST(Thermal, NoPowerSitsAtAmbient) {
+  const auto temps = model().solve_steady_state(zero_powers());
+  for (double t : temps) EXPECT_NEAR(t, 45.0, 1e-9);
+}
+
+TEST(Thermal, PowerBalanceHolds) {
+  // Total heat in == total heat out through the sink conductances.
+  ThermalConfig cfg;
+  const auto m = model(cfg);
+  auto powers = zero_powers();
+  powers[0] = 10.0;
+  powers[5] = 7.0;
+  powers[8] = 3.0;
+  const auto temps = m.solve_steady_state(powers);
+  double out_flux = 0.0;
+  for (int i = 0; i < fp().node_count(); ++i) {
+    const double g = fp().kind(i) == NodeKind::kCache
+                         ? cfg.cache_to_sink_w_per_k
+                         : cfg.core_to_sink_w_per_k;
+    out_flux += g * (temps[static_cast<std::size_t>(i)] - cfg.ambient_c);
+  }
+  EXPECT_NEAR(out_flux, 20.0, 1e-9);
+}
+
+TEST(Thermal, HeatedNodeIsHottest) {
+  auto powers = zero_powers();
+  powers[2] = 12.0;
+  const auto temps = model().solve_steady_state(powers);
+  for (int i = 0; i < fp().node_count(); ++i) {
+    if (i != 2) {
+      EXPECT_LT(temps[static_cast<std::size_t>(i)], temps[2]);
+    }
+  }
+}
+
+TEST(Thermal, NeighborsOfAHotCoreAreWarm) {
+  // The on-chip heater effect: a powered-off node adjacent to hot nodes
+  // sits well above ambient.
+  auto powers = zero_powers();
+  for (int i = 0; i < 8; ++i) powers[static_cast<std::size_t>(i)] = 12.0;
+  powers[2] = 0.5;  // core 2 sleeps amid active neighbours
+  const auto temps = model().solve_steady_state(powers);
+  EXPECT_GT(temps[2], 65.0);
+  EXPECT_LT(temps[2], temps[1]);
+}
+
+TEST(Thermal, SleeperBetweenActivesBeatsCornerSleeper) {
+  // Placement matters: a sleeper with three active core neighbours runs
+  // hotter than a corner sleeper with two.
+  auto powers_mid = zero_powers();
+  for (int i = 0; i < 8; ++i) powers_mid[static_cast<std::size_t>(i)] = 12.0;
+  powers_mid[1] = 0.5;  // edge core: 3 core neighbours
+  auto powers_corner = powers_mid;
+  powers_corner[1] = 12.0;
+  powers_corner[0] = 0.5;  // corner core: 2 core neighbours
+  const auto t_mid = model().solve_steady_state(powers_mid);
+  const auto t_corner = model().solve_steady_state(powers_corner);
+  EXPECT_GT(t_mid[1], t_corner[0]);
+}
+
+TEST(Thermal, LateralConductanceSpreadsHeat) {
+  ThermalConfig isolated;
+  isolated.lateral_w_per_k = 0.0;
+  ThermalConfig coupled;
+  auto powers = zero_powers();
+  powers[0] = 12.0;
+  const auto t_iso = model(isolated).solve_steady_state(powers);
+  const auto t_cpl = model(coupled).solve_steady_state(powers);
+  // Without lateral coupling the neighbour stays at ambient and the hot
+  // node runs hotter.
+  EXPECT_NEAR(t_iso[1], 45.0, 1e-9);
+  EXPECT_GT(t_cpl[1], 50.0);
+  EXPECT_GT(t_iso[0], t_cpl[0]);
+}
+
+TEST(Thermal, TransientConvergesToSteadyState) {
+  const auto m = model();
+  auto powers = zero_powers();
+  powers[3] = 10.0;
+  powers[6] = 10.0;
+  const auto target = m.solve_steady_state(powers);
+  std::vector<double> temps(static_cast<std::size_t>(fp().node_count()), 45.0);
+  const double dt = 0.5 * m.max_stable_dt_s();
+  for (int i = 0; i < 20000; ++i) temps = m.step(temps, powers, dt);
+  for (int i = 0; i < fp().node_count(); ++i) {
+    EXPECT_NEAR(temps[static_cast<std::size_t>(i)],
+                target[static_cast<std::size_t>(i)], 0.01);
+  }
+}
+
+TEST(Thermal, StepRejectsUnstableDt) {
+  const auto m = model();
+  std::vector<double> temps(static_cast<std::size_t>(fp().node_count()), 45.0);
+  EXPECT_THROW(m.step(temps, zero_powers(), 10.0 * m.max_stable_dt_s()),
+               std::invalid_argument);
+  EXPECT_THROW(m.step(temps, zero_powers(), 0.0), std::invalid_argument);
+}
+
+TEST(Thermal, ValidatesInputs) {
+  EXPECT_THROW(model().solve_steady_state(std::vector<double>(3, 0.0)),
+               std::invalid_argument);
+  ThermalConfig bad;
+  bad.core_to_sink_w_per_k = 0.0;
+  EXPECT_THROW(model(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ash::mc

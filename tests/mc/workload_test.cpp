@@ -1,0 +1,105 @@
+#include "ash/mc/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "ash/mc/system.h"
+
+namespace ash::mc {
+namespace {
+
+TEST(Workload, ConstantAlwaysReturnsTheSame) {
+  const ConstantWorkload w(5);
+  EXPECT_EQ(w.cores_needed(0, 0.0), 5);
+  EXPECT_EQ(w.cores_needed(1000, 9e9), 5);
+}
+
+TEST(Workload, DiurnalDayNightPattern) {
+  const DiurnalWorkload w(/*day=*/8, /*night=*/3);
+  // Day: first 58 % of each 24 h period.
+  EXPECT_EQ(w.cores_needed(0, 0.0), 8);
+  EXPECT_EQ(w.cores_needed(0, 10.0 * 3600.0), 8);
+  EXPECT_EQ(w.cores_needed(0, 20.0 * 3600.0), 3);
+  // Next day repeats.
+  EXPECT_EQ(w.cores_needed(0, 24.0 * 3600.0 + 1.0), 8);
+  EXPECT_EQ(w.cores_needed(0, 24.0 * 3600.0 + 20.0 * 3600.0), 3);
+}
+
+TEST(Workload, BurstyIsDeterministicPerInterval) {
+  const BurstyWorkload w(2, 7, 42);
+  const int first = w.cores_needed(3, 0.0);
+  EXPECT_EQ(w.cores_needed(3, 0.0), first);  // call-order independent
+  EXPECT_GE(first, 2);
+  EXPECT_LE(first, 7);
+  // Different intervals vary.
+  bool any_different = false;
+  for (long k = 0; k < 50; ++k) {
+    if (w.cores_needed(k, 0.0) != first) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Workload, BurstyCoversItsRange) {
+  const BurstyWorkload w(0, 3, 7);
+  int lo = 99;
+  int hi = -1;
+  for (long k = 0; k < 500; ++k) {
+    const int c = w.cores_needed(k, 0.0);
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  EXPECT_EQ(lo, 0);
+  EXPECT_EQ(hi, 3);
+}
+
+SystemConfig quick_config() {
+  SystemConfig c;
+  c.horizon_s = 60.0 * 86400.0;  // two months
+  return c;
+}
+
+TEST(WorkloadSystem, DiurnalDemandCreatesMoreSleepThanPeakDemand) {
+  HeaterAwareCircadianScheduler s1;
+  HeaterAwareCircadianScheduler s2;
+  const auto cfg = quick_config();
+  const DiurnalWorkload diurnal(8, 3);
+  const ConstantWorkload peak(8);
+  const auto r_diurnal = simulate_system(cfg, s1, diurnal);
+  const auto r_peak = simulate_system(cfg, s2, peak);
+  EXPECT_GT(r_diurnal.sleep_share, 0.15);
+  EXPECT_LT(r_peak.sleep_share, 0.01);
+  EXPECT_LT(r_diurnal.mean_end_delta_vth_v, r_peak.mean_end_delta_vth_v);
+}
+
+TEST(WorkloadSystem, ThroughputTracksDemand) {
+  HeaterAwareCircadianScheduler s;
+  auto cfg = quick_config();
+  // Hourly intervals avoid aliasing the 58 % day fraction.
+  cfg.interval_s = 3600.0;
+  const DiurnalWorkload diurnal(8, 3);
+  const auto r = simulate_system(cfg, s, diurnal);
+  // Expected mean demand: (14 day-hours * 8 + 10 night-hours * 3) / 24.
+  const double mean_active = r.throughput_core_s / cfg.horizon_s;
+  EXPECT_NEAR(mean_active, (14.0 * 8.0 + 10.0 * 3.0) / 24.0, 0.25);
+}
+
+TEST(WorkloadSystem, DemandIsClampedToCoreCount) {
+  HeaterAwareCircadianScheduler s;
+  const ConstantWorkload absurd(999);
+  const auto r = simulate_system(quick_config(), s, absurd);
+  // Clamped to 8 cores: everything runs, nothing breaks.
+  EXPECT_DOUBLE_EQ(r.sleep_share, 0.0);
+}
+
+TEST(WorkloadSystem, ConstantOverloadMatchesTwoArgOverload) {
+  HeaterAwareCircadianScheduler s1;
+  HeaterAwareCircadianScheduler s2;
+  const auto cfg = quick_config();
+  const ConstantWorkload w(cfg.cores_needed);
+  const auto a = simulate_system(cfg, s1);
+  const auto b = simulate_system(cfg, s2, w);
+  EXPECT_DOUBLE_EQ(a.mean_end_delta_vth_v, b.mean_end_delta_vth_v);
+  EXPECT_DOUBLE_EQ(a.throughput_core_s, b.throughput_core_s);
+}
+
+}  // namespace
+}  // namespace ash::mc

@@ -1,0 +1,90 @@
+#include "ash/tb/data_log.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace ash::tb {
+namespace {
+
+SampleRecord record(const std::string& phase, double t_phase, double delay) {
+  SampleRecord r;
+  r.test_case = "chip2";
+  r.chip_id = 2;
+  r.phase = phase;
+  r.t_campaign_s = 1000.0 + t_phase;
+  r.t_phase_s = t_phase;
+  r.chamber_c = 110.0;
+  r.supply_v = 1.2;
+  r.counts = 3300.0;
+  r.frequency_hz = 1.0 / (2.0 * delay);
+  r.delay_s = delay;
+  return r;
+}
+
+DataLog sample_log() {
+  DataLog log;
+  log.add(record("AS110DC24", 0.0, 150e-9));
+  log.add(record("AS110DC24", 3600.0, 151e-9));
+  log.add(record("R20Z6", 0.0, 151e-9));
+  log.add(record("R20Z6", 1800.0, 150.5e-9));
+  return log;
+}
+
+TEST(DataLog, PhasesInFirstAppearanceOrder) {
+  const auto log = sample_log();
+  const auto phases = log.phases();
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0], "AS110DC24");
+  EXPECT_EQ(phases[1], "R20Z6");
+}
+
+TEST(DataLog, PhaseRecordsFilter) {
+  const auto log = sample_log();
+  EXPECT_EQ(log.phase_records("AS110DC24").size(), 2u);
+  EXPECT_EQ(log.phase_records("R20Z6").size(), 2u);
+  EXPECT_TRUE(log.phase_records("NOPE").empty());
+}
+
+TEST(DataLog, DelaySeriesUsesPhaseTime) {
+  const auto s = sample_log().delay_series("AS110DC24");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[0].t, 0.0);
+  EXPECT_DOUBLE_EQ(s[1].t, 3600.0);
+  EXPECT_DOUBLE_EQ(s[1].value, 151e-9);
+}
+
+TEST(DataLog, FrequencySeriesConsistentWithDelay) {
+  const auto log = sample_log();
+  const auto f = log.frequency_series("R20Z6");
+  const auto d = log.delay_series("R20Z6");
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    EXPECT_NEAR(f[i].value, 1.0 / (2.0 * d[i].value), 1.0);
+  }
+}
+
+TEST(DataLog, CsvRoundTrip) {
+  const auto log = sample_log();
+  std::ostringstream os;
+  log.write_csv(os);
+  std::istringstream is(os.str());
+  const auto back = DataLog::read_csv(is);
+  ASSERT_EQ(back.size(), log.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back.records()[i].phase, log.records()[i].phase);
+    EXPECT_EQ(back.records()[i].chip_id, log.records()[i].chip_id);
+    EXPECT_NEAR(back.records()[i].delay_s, log.records()[i].delay_s, 1e-15);
+    EXPECT_NEAR(back.records()[i].frequency_hz,
+                log.records()[i].frequency_hz, 1e-3);
+  }
+}
+
+TEST(DataLog, AppendMergesLogs) {
+  auto a = sample_log();
+  const auto b = sample_log();
+  a.append(b);
+  EXPECT_EQ(a.size(), 8u);
+}
+
+}  // namespace
+}  // namespace ash::tb

@@ -1,0 +1,161 @@
+#include "ash/tb/experiment_runner.h"
+
+#include <gtest/gtest.h>
+
+#include "ash/util/constants.h"
+
+namespace ash::tb {
+namespace {
+
+/// A small chip (15 stages) keeps these tests fast; physics is per-device,
+/// so the behaviour matches the 75-stage CUT up to averaging noise.
+fpga::FpgaChip small_chip(int id = 2) {
+  fpga::ChipConfig c;
+  c.chip_id = id;
+  c.seed = 42 + static_cast<std::uint64_t>(id);
+  c.ro_stages = 15;
+  return fpga::FpgaChip(c);
+}
+
+/// A compressed stress+recovery schedule (hours instead of days).
+TestCase short_case() {
+  TestCase tc;
+  tc.name = "short";
+  tc.chip_id = 2;
+  tc.phases = {dc_stress_phase("STRESS", 110.0, 2.0, /*sample min=*/30.0),
+               recovery_phase("RECOVER", -0.3, 110.0, 0.5, 10.0)};
+  return tc;
+}
+
+TEST(ExperimentRunner, LogsExpectedSampleCount) {
+  auto chip = small_chip();
+  ExperimentRunner runner{RunnerConfig{}};
+  const auto log = runner.run(chip, short_case());
+  // STRESS: sample at 0 plus every 30 min over 2 h -> 5 samples.
+  EXPECT_EQ(log.phase_records("STRESS").size(), 5u);
+  // RECOVER: sample at 0 plus every 10 min over 30 min -> 4 samples.
+  EXPECT_EQ(log.phase_records("RECOVER").size(), 4u);
+}
+
+TEST(ExperimentRunner, StressDegradesMeasuredFrequency) {
+  auto chip = small_chip();
+  ExperimentRunner runner{RunnerConfig{}};
+  const auto log = runner.run(chip, short_case());
+  const auto f = log.frequency_series("STRESS");
+  EXPECT_LT(f.back().value, f.front().value);
+}
+
+TEST(ExperimentRunner, RecoveryRaisesMeasuredFrequency) {
+  auto chip = small_chip();
+  ExperimentRunner runner{RunnerConfig{}};
+  const auto log = runner.run(chip, short_case());
+  const auto f = log.frequency_series("RECOVER");
+  EXPECT_GT(f.back().value, f.front().value);
+}
+
+TEST(ExperimentRunner, PhaseTimeRestartsPerPhase) {
+  auto chip = small_chip();
+  ExperimentRunner runner{RunnerConfig{}};
+  const auto log = runner.run(chip, short_case());
+  EXPECT_DOUBLE_EQ(log.phase_records("STRESS").front().t_phase_s, 0.0);
+  EXPECT_DOUBLE_EQ(log.phase_records("RECOVER").front().t_phase_s, 0.0);
+  // Campaign time keeps increasing monotonically.
+  double prev = -1.0;
+  for (const auto& r : log.records()) {
+    EXPECT_GE(r.t_campaign_s, prev);
+    prev = r.t_campaign_s;
+  }
+}
+
+TEST(ExperimentRunner, RecordsEnvironmentPerSample) {
+  auto chip = small_chip();
+  ExperimentRunner runner{RunnerConfig{}};
+  const auto log = runner.run(chip, short_case());
+  for (const auto& r : log.phase_records("STRESS")) {
+    EXPECT_NEAR(r.chamber_c, 110.0, 0.5);
+    EXPECT_DOUBLE_EQ(r.supply_v, 1.2);
+  }
+  for (const auto& r : log.phase_records("RECOVER")) {
+    EXPECT_DOUBLE_EQ(r.supply_v, -0.3);
+  }
+}
+
+TEST(ExperimentRunner, DeterministicForSameSeeds) {
+  auto chip_a = small_chip();
+  auto chip_b = small_chip();
+  ExperimentRunner runner_a{RunnerConfig{}};
+  ExperimentRunner runner_b{RunnerConfig{}};
+  const auto log_a = runner_a.run(chip_a, short_case());
+  const auto log_b = runner_b.run(chip_b, short_case());
+  ASSERT_EQ(log_a.size(), log_b.size());
+  for (std::size_t i = 0; i < log_a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(log_a.records()[i].frequency_hz,
+                     log_b.records()[i].frequency_hz);
+  }
+}
+
+TEST(ExperimentRunner, InstrumentNoiseSeedChangesReadings) {
+  auto chip_a = small_chip();
+  auto chip_b = small_chip();
+  RunnerConfig ca;
+  RunnerConfig cb;
+  cb.seed = 12345;
+  const auto log_a = ExperimentRunner(ca).run(chip_a, short_case());
+  const auto log_b = ExperimentRunner(cb).run(chip_b, short_case());
+  bool any_different = false;
+  for (std::size_t i = 0; i < log_a.size(); ++i) {
+    if (log_a.records()[i].counts != log_b.records()[i].counts) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(ExperimentRunner, FiniteChamberRampDelaysTheCampaignClock) {
+  // Stress at 110 degC followed by room-temperature recovery: the cooldown
+  // (90 degC at 3 degC/min = 30 min) precedes the recovery phase clock.
+  TestCase tc;
+  tc.name = "ramped";
+  tc.chip_id = 2;
+  tc.phases = {dc_stress_phase("STRESS", 110.0, 2.0, 30.0),
+               recovery_phase("R20", 0.0, 20.0, 0.5, 10.0)};
+  auto instant_chip = small_chip();
+  auto ramped_chip = small_chip();
+  RunnerConfig instant;
+  RunnerConfig ramped;
+  ramped.instant_chamber = false;
+  const auto log_i = ExperimentRunner(instant).run(instant_chip, tc);
+  const auto log_r = ExperimentRunner(ramped).run(ramped_chip, tc);
+  EXPECT_GT(log_r.records().back().t_campaign_s,
+            log_i.records().back().t_campaign_s + 1000.0);
+  // The recovery phase starts only once the chamber reached ~20 degC.
+  EXPECT_NEAR(log_r.phase_records("R20").front().chamber_c, 20.0, 1.0);
+}
+
+TEST(ExperimentRunner, MeasurementsAreQuantizedCounts) {
+  auto chip = small_chip();
+  ExperimentRunner runner{RunnerConfig{}};
+  const auto log = runner.run(chip, short_case());
+  for (const auto& r : log.records()) {
+    // Averaged over 4 readings: counts land on quarter-integers.
+    const double q = r.counts * 4.0;
+    EXPECT_NEAR(q, std::round(q), 1e-9);
+  }
+}
+
+TEST(ExperimentRunner, UnsampledPhaseStillLogsEndpoints) {
+  TestCase tc;
+  tc.name = "endpoints";
+  tc.chip_id = 1;
+  Phase p = dc_stress_phase("NOSAMPLES", 110.0, 1.0);
+  p.sample_every_s = 0.0;
+  tc.phases = {p};
+  auto chip = small_chip(1);
+  const auto log = ExperimentRunner(RunnerConfig{}).run(chip, tc);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_DOUBLE_EQ(log.records()[0].t_phase_s, 0.0);
+  EXPECT_DOUBLE_EQ(log.records()[1].t_phase_s, hours(1.0));
+}
+
+}  // namespace
+}  // namespace ash::tb

@@ -1,0 +1,78 @@
+#include "ash/tb/measurement.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ash/util/stats.h"
+
+namespace ash::tb {
+namespace {
+
+TEST(MeasurementRig, RecoversTrueFrequencyOnAverage) {
+  MeasurementConfig c;
+  MeasurementRig rig(c);
+  const double f = 3.3e6;
+  std::vector<double> fs;
+  for (int i = 0; i < 2000; ++i) fs.push_back(rig.measure(f).frequency_hz);
+  EXPECT_NEAR(mean(fs), f, 100.0);
+}
+
+TEST(MeasurementRig, AveragingReducesSpread) {
+  MeasurementConfig one;
+  one.readings_per_sample = 1;
+  MeasurementConfig many;
+  many.readings_per_sample = 16;
+  MeasurementRig rig1(one);
+  MeasurementRig rig16(many);
+  std::vector<double> s1;
+  std::vector<double> s16;
+  for (int i = 0; i < 2000; ++i) {
+    s1.push_back(rig1.measure(3.3e6).frequency_hz);
+    s16.push_back(rig16.measure(3.3e6).frequency_hz);
+  }
+  EXPECT_GT(stddev(s1), 2.5 * stddev(s16));
+}
+
+TEST(MeasurementRig, ClockErrorBiasesInference) {
+  MeasurementConfig c;
+  c.clock.error_ppm = 1000.0;  // reference runs 0.1 % fast
+  c.counter.noise_counts_sigma = 0.0;
+  MeasurementRig rig(c);
+  const double f = 3.2e6;
+  // A fast reference opens the gate for less wall time than believed, so
+  // the inferred frequency reads low by ~0.1 %.
+  const double inferred = rig.measure(f).frequency_hz;
+  EXPECT_NEAR(inferred / f, 1.0 - 1e-3, 2e-4);
+}
+
+TEST(MeasurementRig, DelayIsHalfInversePeriod) {
+  MeasurementConfig c;
+  c.counter.noise_counts_sigma = 0.0;
+  MeasurementRig rig(c);
+  const auto m = rig.measure(3.3e6);
+  EXPECT_NEAR(m.delay_s, 1.0 / (2.0 * m.frequency_hz), 1e-18);
+}
+
+TEST(MeasurementRig, SampleDurationIsUnderPaperOverheadBudget) {
+  // 16 ref periods x 4 readings at 500 Hz = 128 ms << 3 s budget.
+  MeasurementRig rig{MeasurementConfig{}};
+  EXPECT_LT(rig.sample_duration_s(), 3.0);
+  EXPECT_GT(rig.sample_duration_s(), 0.0);
+}
+
+TEST(MeasurementRig, RejectsNonPositiveReadingCount) {
+  MeasurementConfig c;
+  c.readings_per_sample = 0;
+  EXPECT_THROW(MeasurementRig{c}, std::invalid_argument);
+}
+
+TEST(ClockGenerator, ActualFrequencyAppliesPpm) {
+  ClockGenerator clk;
+  clk.nominal_hz = 500.0;
+  clk.error_ppm = 2000.0;
+  EXPECT_DOUBLE_EQ(clk.actual_hz(), 501.0);
+}
+
+}  // namespace
+}  // namespace ash::tb

@@ -1,0 +1,58 @@
+#include "ash/tb/power_supply.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ash/util/stats.h"
+
+namespace ash::tb {
+namespace {
+
+TEST(PowerSupply, StartsAtNominal) {
+  const PowerSupply psu{SupplyConfig{}};
+  EXPECT_DOUBLE_EQ(psu.setpoint_v(), 1.2);
+}
+
+TEST(PowerSupply, ProgramsWithinInterlockWindow) {
+  PowerSupply psu{SupplyConfig{}};
+  EXPECT_NO_THROW(psu.set_voltage(-0.3));
+  EXPECT_DOUBLE_EQ(psu.setpoint_v(), -0.3);
+  EXPECT_NO_THROW(psu.set_voltage(0.0));
+  EXPECT_NO_THROW(psu.set_voltage(1.4));
+}
+
+TEST(PowerSupply, BreakdownInterlockRejectsDeepNegative) {
+  // Sec. 6.1: the negative voltage "must be at the level below the lateral
+  // pn-junction breakdown voltage" — the interlock enforces it.
+  PowerSupply psu{SupplyConfig{}};
+  EXPECT_THROW(psu.set_voltage(-0.6), std::out_of_range);
+  EXPECT_THROW(psu.set_voltage(2.0), std::out_of_range);
+  EXPECT_DOUBLE_EQ(psu.setpoint_v(), 1.2);  // unchanged after rejection
+}
+
+TEST(PowerSupply, RippleIsSmallAndZeroMean) {
+  PowerSupply psu{SupplyConfig{}};
+  std::vector<double> vs;
+  for (int i = 0; i < 5000; ++i) {
+    psu.advance(10.0);
+    vs.push_back(psu.output_v());
+  }
+  EXPECT_NEAR(mean(vs), 1.2, 1e-3);
+  EXPECT_NEAR(stddev(vs), 1e-3, 3e-4);
+}
+
+TEST(PowerSupply, RejectsBadConfig) {
+  SupplyConfig bad;
+  bad.min_v = 2.0;
+  bad.max_v = 1.0;
+  EXPECT_THROW(PowerSupply{bad}, std::invalid_argument);
+}
+
+TEST(PowerSupply, NegativeDtRejected) {
+  PowerSupply psu{SupplyConfig{}};
+  EXPECT_THROW(psu.advance(-1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ash::tb

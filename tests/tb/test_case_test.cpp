@@ -1,0 +1,114 @@
+#include "ash/tb/test_case.h"
+
+#include <gtest/gtest.h>
+
+#include "ash/util/constants.h"
+
+namespace ash::tb {
+namespace {
+
+TEST(PaperCampaign, HasFiveChips) {
+  const auto campaign = paper_campaign();
+  ASSERT_EQ(campaign.size(), 5u);
+  for (std::size_t i = 0; i < campaign.size(); ++i) {
+    EXPECT_EQ(campaign[i].chip_id, static_cast<int>(i) + 1);
+  }
+}
+
+TEST(PaperCampaign, EveryChipStartsWithBurnIn) {
+  for (const auto& tc : paper_campaign()) {
+    ASSERT_FALSE(tc.phases.empty());
+    EXPECT_EQ(tc.phases.front().label, "BURNIN");
+    EXPECT_EQ(tc.phases.front().chamber_c, 20.0);
+    EXPECT_DOUBLE_EQ(tc.phases.front().supply_v, 1.2);
+    EXPECT_DOUBLE_EQ(tc.phases.front().duration_s, hours(2.0));
+  }
+}
+
+TEST(PaperCampaign, Table1RowsPresent) {
+  // Every Table 1 case label must exist somewhere in the campaign.
+  for (const char* label :
+       {"AS110AC24", "AS110DC24", "AS100DC24", "AS110DC48", "R20Z6", "AR20N6",
+        "AR110Z6", "AR110N6", "AR110N12"}) {
+    EXPECT_NO_THROW(campaign_case(label)) << label;
+  }
+  EXPECT_THROW(campaign_case("NOPE"), std::out_of_range);
+}
+
+TEST(PaperCampaign, Chip1IsAcStressOnly) {
+  const auto tc = campaign_case("AS110AC24");
+  EXPECT_EQ(tc.chip_id, 1);
+  ASSERT_EQ(tc.phases.size(), 2u);
+  EXPECT_EQ(tc.phases[1].mode, fpga::RoMode::kAcOscillating);
+  EXPECT_EQ(tc.phases[1].chamber_c, 110.0);
+  EXPECT_DOUBLE_EQ(tc.phases[1].duration_s, hours(24.0));
+}
+
+TEST(PaperCampaign, RecoveryConditionsMatchTable1) {
+  struct Expect {
+    const char* label;
+    double v;
+    double t_c;
+    double hours_;
+  };
+  for (const auto& e : std::initializer_list<Expect>{
+           {"R20Z6", 0.0, 20.0, 6.0},
+           {"AR20N6", -0.3, 20.0, 6.0},
+           {"AR110Z6", 0.0, 110.0, 6.0},
+           {"AR110N6", -0.3, 110.0, 6.0},
+           {"AR110N12", -0.3, 110.0, 12.0}}) {
+    const auto tc = campaign_case(e.label);
+    bool found = false;
+    for (const auto& p : tc.phases) {
+      if (p.label != e.label) continue;
+      found = true;
+      EXPECT_EQ(p.mode, fpga::RoMode::kSleep) << e.label;
+      EXPECT_DOUBLE_EQ(p.supply_v, e.v) << e.label;
+      EXPECT_DOUBLE_EQ(p.chamber_c, e.t_c) << e.label;
+      EXPECT_DOUBLE_EQ(p.duration_s, hours(e.hours_)) << e.label;
+    }
+    EXPECT_TRUE(found) << e.label;
+  }
+}
+
+TEST(PaperCampaign, ActiveSleepRatioIsFourForBothChip5Rounds) {
+  const auto tc = campaign_case("AR110N12");
+  double stress24 = 0.0;
+  double rec6 = 0.0;
+  double stress48 = 0.0;
+  double rec12 = 0.0;
+  for (const auto& p : tc.phases) {
+    if (p.label == "AS110DC24") stress24 = p.duration_s;
+    if (p.label == "AR110N6") rec6 = p.duration_s;
+    if (p.label == "AS110DC48") stress48 = p.duration_s;
+    if (p.label == "AR110N12") rec12 = p.duration_s;
+  }
+  EXPECT_DOUBLE_EQ(stress24 / rec6, 4.0);
+  EXPECT_DOUBLE_EQ(stress48 / rec12, 4.0);
+}
+
+TEST(PaperCampaign, SamplingCadencesMatchSection4) {
+  const auto tc = campaign_case("AR110N6");
+  for (const auto& p : tc.phases) {
+    if (p.label == "AS110DC24") {
+      EXPECT_DOUBLE_EQ(p.sample_every_s, 20.0 * 60.0);  // every 20 minutes
+    }
+    if (p.label == "AR110N6") {
+      EXPECT_DOUBLE_EQ(p.sample_every_s, 30.0 * 60.0);  // every 30 minutes
+    }
+  }
+}
+
+TEST(TestCase, TotalDurationSumsPhases) {
+  const auto tc = campaign_case("R20Z6");
+  EXPECT_DOUBLE_EQ(tc.total_duration_s(), hours(2.0 + 24.0 + 6.0));
+}
+
+TEST(PhaseBuilders, StressPhasesUseNominalSupply) {
+  EXPECT_DOUBLE_EQ(dc_stress_phase("x", 110.0, 1.0).supply_v, 1.2);
+  EXPECT_DOUBLE_EQ(ac_stress_phase("x", 110.0, 1.0).supply_v, 1.2);
+  EXPECT_DOUBLE_EQ(ac_stress_phase("x", 110.0, 1.0).ac_duty, 0.5);
+}
+
+}  // namespace
+}  // namespace ash::tb

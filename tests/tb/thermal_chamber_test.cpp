@@ -1,0 +1,93 @@
+#include "ash/tb/thermal_chamber.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ash/util/constants.h"
+#include "ash/util/stats.h"
+
+namespace ash::tb {
+namespace {
+
+TEST(ThermalChamber, StartsAtInitialTemperature) {
+  ChamberConfig c;
+  c.initial_c = 20.0;
+  const ThermalChamber chamber(c);
+  EXPECT_NEAR(chamber.temperature_c(), 20.0, 0.5);
+  EXPECT_TRUE(chamber.at_target());
+}
+
+TEST(ThermalChamber, RampsTowardSetpointAtConfiguredRate) {
+  ChamberConfig c;
+  c.initial_c = 20.0;
+  c.ramp_c_per_s = 0.05;  // 3 degC/min
+  ThermalChamber chamber(c);
+  chamber.set_target_c(110.0);
+  EXPECT_FALSE(chamber.at_target());
+  EXPECT_NEAR(chamber.seconds_to_target(), 90.0 / 0.05, 1e-9);
+  chamber.advance(60.0);
+  EXPECT_NEAR(chamber.temperature_c(), 23.0, 0.5);
+  chamber.advance(1e5);
+  EXPECT_TRUE(chamber.at_target());
+  EXPECT_NEAR(chamber.temperature_c(), 110.0, 0.5);
+}
+
+TEST(ThermalChamber, NeverOvershootsSetpointBase) {
+  ChamberConfig c;
+  c.initial_c = 20.0;
+  c.ramp_c_per_s = 1.0;
+  ThermalChamber chamber(c);
+  chamber.set_target_c(25.0);
+  chamber.advance(100.0);
+  EXPECT_TRUE(chamber.at_target());
+  chamber.set_target_c(20.0);  // cool back down
+  chamber.advance(2.0);
+  EXPECT_NEAR(chamber.temperature_c(), 23.0, 0.5);
+}
+
+TEST(ThermalChamber, FluctuationStaysWithinPaperBand) {
+  // +/-0.3 degC: our OU sigma of 0.1 keeps essentially all samples inside.
+  ChamberConfig c;
+  c.initial_c = 110.0;
+  ThermalChamber chamber(c);
+  std::vector<double> temps;
+  for (int i = 0; i < 5000; ++i) {
+    chamber.advance(60.0);
+    temps.push_back(chamber.temperature_c());
+  }
+  EXPECT_NEAR(mean(temps), 110.0, 0.02);
+  EXPECT_NEAR(stddev(temps), 0.1, 0.02);
+  EXPECT_GT(percentile(temps, 0.1), 110.0 - 0.5);
+  EXPECT_LT(percentile(temps, 99.9), 110.0 + 0.5);
+}
+
+TEST(ThermalChamber, KelvinConversion) {
+  ChamberConfig c;
+  c.initial_c = 20.0;
+  c.fluctuation_sigma_c = 0.0;
+  const ThermalChamber chamber(c);
+  EXPECT_DOUBLE_EQ(chamber.temperature_k(), celsius(20.0));
+}
+
+TEST(ThermalChamber, RejectsBadConfigAndNegativeDt) {
+  ChamberConfig c;
+  c.ramp_c_per_s = 0.0;
+  EXPECT_THROW(ThermalChamber{c}, std::invalid_argument);
+  ThermalChamber ok{ChamberConfig{}};
+  EXPECT_THROW(ok.advance(-1.0), std::invalid_argument);
+}
+
+TEST(ThermalChamber, SameSeedSameTrajectory) {
+  ChamberConfig c;
+  ThermalChamber a(c);
+  ThermalChamber b(c);
+  for (int i = 0; i < 100; ++i) {
+    a.advance(10.0);
+    b.advance(10.0);
+    EXPECT_DOUBLE_EQ(a.temperature_c(), b.temperature_c());
+  }
+}
+
+}  // namespace
+}  // namespace ash::tb

@@ -1,0 +1,87 @@
+#include "ash/util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace ash {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"Case", "Value"});
+  t.add_row({"AS110DC24", "2.2%"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Case"), std::string::npos);
+  EXPECT_NE(out.find("AS110DC24"), std::string::npos);
+  EXPECT_NE(out.find("2.2%"), std::string::npos);
+}
+
+TEST(Table, ColumnWidthTracksWidestCell) {
+  Table t({"A"});
+  t.add_row({"a-very-long-cell"});
+  const std::string out = t.render();
+  // Every rendered line must be equally wide (a rectangular table).
+  std::size_t expected = out.find('\n');
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, expected);
+    pos = next + 1;
+  }
+}
+
+TEST(Table, RuleInsertsSeparator) {
+  Table t({"A"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // Header rule (=), outer rules and the inner rule: at least 4 '+' lines.
+  int plus_lines = 0;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    if (out[pos] == '+') ++plus_lines;
+    pos = out.find('\n', pos);
+    if (pos == std::string::npos) break;
+    ++pos;
+  }
+  EXPECT_GE(plus_lines, 4);
+}
+
+TEST(Table, AlignmentPadsCorrectSide) {
+  Table t({"L", "R"});
+  t.set_align(0, Align::kLeft);
+  t.set_align(1, Align::kRight);
+  t.add_row({"x", "y"});
+  t.add_row({"longer", "widest-cell"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| x      |"), std::string::npos);
+  EXPECT_NE(out.find("|           y |"), std::string::npos);
+}
+
+TEST(Strformat, FormatsLikePrintf) {
+  EXPECT_EQ(strformat("%d-%s", 7, "ok"), "7-ok");
+  EXPECT_EQ(strformat("%.3f", 1.23456), "1.235");
+  EXPECT_EQ(strformat("empty"), "empty");
+}
+
+TEST(FmtHelpers, FixedAndPercent) {
+  EXPECT_EQ(fmt_fixed(2.236, 2), "2.24");
+  EXPECT_EQ(fmt_percent(0.0224, 1), "2.2%");
+  EXPECT_EQ(fmt_percent(0.724, 1), "72.4%");
+}
+
+TEST(AsciiChart, ProducesLegendAndMarks) {
+  const std::string chart =
+      ascii_chart({"dc", "ac"}, {{0.0, 1.0, 2.0}, {0.0, 0.5, 1.0}}, 32, 8);
+  EXPECT_NE(chart.find("[*] dc"), std::string::npos);
+  EXPECT_NE(chart.find("[o] ac"), std::string::npos);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find('o'), std::string::npos);
+}
+
+TEST(AsciiChart, HandlesFlatSeries) {
+  const std::string chart = ascii_chart({"flat"}, {{1.0, 1.0, 1.0}}, 16, 4);
+  EXPECT_FALSE(chart.empty());
+}
+
+}  // namespace
+}  // namespace ash

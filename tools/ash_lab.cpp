@@ -1,0 +1,197 @@
+/// ash_lab — command-line front end to the virtual aging laboratory.
+///
+/// Subcommands:
+///   campaign  — run the paper's Table 1 five-chip campaign, CSV per chip
+///       ash_lab campaign [--stages 75] [--out DIR] [--seed N]
+///   stress    — one stress + recovery experiment on one chip
+///       ash_lab stress [--stages 75] [--seed N] [--temp 110] [--hours 24]
+///                      [--mode dc|ac] [--rec-volts -0.3] [--rec-temp 110]
+///                      [--rec-hours 6] [--checkpoint FILE]
+///   plan      — cheapest sleep conditions for a recovery target
+///       ash_lab plan [--target 0.9] [--budget-hours 6] [--stress-hours 24]
+///   multicore — schedule comparison on the 8-core system
+///       ash_lab multicore [--years 2] [--cores 6] [--margin-mv 9]
+///
+/// Everything is deterministic under --seed; exit status is non-zero on
+/// usage errors.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "ash/core/metrics.h"
+#include "ash/core/planner.h"
+#include "ash/fpga/checkpoint.h"
+#include "ash/fpga/chip.h"
+#include "ash/mc/system.h"
+#include "ash/tb/experiment_runner.h"
+#include "ash/tb/test_case.h"
+#include "ash/util/constants.h"
+#include "ash/util/flags.h"
+#include "ash/util/table.h"
+
+namespace {
+
+using namespace ash;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ash_lab <campaign|stress|plan|multicore> [--flags]\n"
+               "see the header of tools/ash_lab.cpp for flag lists\n");
+  return 2;
+}
+
+int cmd_campaign(const Flags& flags) {
+  flags.check_known({"stages", "out", "seed"});
+  const int stages = flags.get("stages", 75);
+  const std::string out_dir = flags.get("out", std::string("."));
+  const auto seed = static_cast<std::uint64_t>(flags.get("seed", 0x40A0));
+
+  tb::ExperimentRunner runner{tb::RunnerConfig{}};
+  Table summary({"chip", "samples", "fresh f (MHz)", "worst degradation"});
+  for (const auto& tc : tb::paper_campaign()) {
+    fpga::ChipConfig cc;
+    cc.chip_id = tc.chip_id;
+    cc.seed = seed + static_cast<std::uint64_t>(tc.chip_id);
+    cc.ro_stages = stages;
+    fpga::FpgaChip chip(cc);
+    const auto log = runner.run(chip, tc);
+
+    const std::string path =
+        out_dir + "/campaign_chip" + std::to_string(tc.chip_id) + ".csv";
+    std::ofstream os(path);
+    if (!os) {
+      std::fprintf(stderr, "ash_lab: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    log.write_csv(os);
+
+    const double fresh = log.records().front().frequency_hz;
+    double worst = 0.0;
+    for (const auto& r : log.records()) {
+      worst = std::max(worst, 1.0 - r.frequency_hz / fresh);
+    }
+    summary.add_row({strformat("%d", tc.chip_id),
+                     strformat("%zu", log.size()),
+                     fmt_fixed(fresh / 1e6, 3), fmt_percent(worst, 2)});
+    std::printf("wrote %s\n", path.c_str());
+  }
+  std::printf("%s", summary.render().c_str());
+  return 0;
+}
+
+int cmd_stress(const Flags& flags) {
+  flags.check_known({"stages", "seed", "temp", "hours", "mode", "rec-volts",
+                     "rec-temp", "rec-hours", "checkpoint"});
+  fpga::ChipConfig cc;
+  cc.seed = static_cast<std::uint64_t>(flags.get("seed", 1));
+  cc.ro_stages = flags.get("stages", 75);
+  fpga::FpgaChip chip(cc);
+
+  const double room = celsius(20.0);
+  const double fresh = chip.ro_frequency_hz(1.2, room);
+  std::printf("fresh: %.4f MHz\n", fresh / 1e6);
+
+  const std::string mode = flags.get("mode", std::string("dc"));
+  if (mode != "dc" && mode != "ac") {
+    std::fprintf(stderr, "ash_lab: --mode must be dc or ac\n");
+    return 2;
+  }
+  const double stress_temp = flags.get("temp", 110.0);
+  const double stress_h = flags.get("hours", 24.0);
+  chip.evolve(mode == "dc" ? fpga::RoMode::kDcFrozen
+                           : fpga::RoMode::kAcOscillating,
+              mode == "dc" ? bti::dc_stress(1.2, stress_temp)
+                           : bti::ac_stress(1.2, stress_temp),
+              hours(stress_h));
+  const double stressed = chip.ro_frequency_hz(1.2, room);
+  std::printf("after %.1f h %s stress @%.0f degC: %.4f MHz (-%.2f%%)\n",
+              stress_h, mode.c_str(), stress_temp, stressed / 1e6,
+              100.0 * (1.0 - stressed / fresh));
+
+  const double rec_h = flags.get("rec-hours", 6.0);
+  if (rec_h > 0.0) {
+    const double rec_v = flags.get("rec-volts", -0.3);
+    const double rec_t = flags.get("rec-temp", 110.0);
+    chip.evolve(fpga::RoMode::kSleep, bti::recovery(rec_v, rec_t),
+                hours(rec_h));
+    const double healed = chip.ro_frequency_hz(1.2, room);
+    std::printf(
+        "after %.1f h recovery @%+.2f V/%.0f degC: %.4f MHz (recovered "
+        "%.0f%%)\n",
+        rec_h, rec_v, rec_t, healed / 1e6,
+        100.0 * (healed - stressed) / (fresh - stressed));
+  }
+
+  const std::string ckpt = flags.get("checkpoint", std::string());
+  if (!ckpt.empty()) {
+    std::ofstream os(ckpt);
+    if (!os) {
+      std::fprintf(stderr, "ash_lab: cannot write %s\n", ckpt.c_str());
+      return 1;
+    }
+    fpga::save_checkpoint(os, chip);
+    std::printf("checkpoint written to %s\n", ckpt.c_str());
+  }
+  return 0;
+}
+
+int cmd_plan(const Flags& flags) {
+  flags.check_known({"target", "budget-hours", "stress-hours"});
+  core::PlannerConfig cfg;
+  cfg.target_recovered_fraction = flags.get("target", 0.9);
+  cfg.max_sleep_s = hours(flags.get("budget-hours", 6.0));
+  cfg.t1_equiv_s = hours(flags.get("stress-hours", 24.0));
+  const auto plan = core::plan_recovery(cfg);
+  if (!plan.feasible) {
+    std::printf("no feasible plan: target %.0f%% within %.1f h\n",
+                cfg.target_recovered_fraction * 100.0,
+                to_hours(cfg.max_sleep_s));
+    return 1;
+  }
+  std::printf(
+      "cheapest plan: sleep %.2f h at %.1f degC, %+.2f V (achieves %.1f%%)\n",
+      to_hours(plan.sleep_s), plan.temp_c, plan.voltage_v,
+      plan.achieved_fraction * 100.0);
+  return 0;
+}
+
+int cmd_multicore(const Flags& flags) {
+  flags.check_known({"years", "cores", "margin-mv"});
+  mc::SystemConfig cfg;
+  cfg.horizon_s = flags.get("years", 2.0) * 365.25 * 86400.0;
+  cfg.cores_needed = flags.get("cores", 6);
+  cfg.margin_delta_vth_v = flags.get("margin-mv", 9.0) * 1e-3;
+
+  mc::AllActiveScheduler all;
+  mc::HeaterAwareCircadianScheduler circadian;
+  Table t({"policy", "mean aging (mV)", "lifetime (days)"});
+  for (mc::Scheduler* s : {static_cast<mc::Scheduler*>(&all),
+                           static_cast<mc::Scheduler*>(&circadian)}) {
+    const auto r = simulate_system(cfg, *s);
+    t.add_row({r.scheduler, fmt_fixed(r.mean_end_delta_vth_v * 1e3, 2),
+               r.margin_exceeded
+                   ? fmt_fixed(r.time_to_first_margin_s / 86400.0, 0)
+                   : ">" + fmt_fixed(cfg.horizon_s / 86400.0, 0)});
+  }
+  std::printf("%s", t.render().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Flags flags(argc, argv);
+    if (flags.positional().empty()) return usage();
+    const std::string& cmd = flags.positional().front();
+    if (cmd == "campaign") return cmd_campaign(flags);
+    if (cmd == "stress") return cmd_stress(flags);
+    if (cmd == "plan") return cmd_plan(flags);
+    if (cmd == "multicore") return cmd_multicore(flags);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ash_lab: %s\n", e.what());
+    return 2;
+  }
+}
