@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_abb.dir/bench_ablation_abb.cpp.o"
+  "CMakeFiles/bench_ablation_abb.dir/bench_ablation_abb.cpp.o.d"
+  "bench_ablation_abb"
+  "bench_ablation_abb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_abb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_circadian.dir/bench_ablation_circadian.cpp.o"
+  "CMakeFiles/bench_ablation_circadian.dir/bench_ablation_circadian.cpp.o.d"
+  "bench_ablation_circadian"
+  "bench_ablation_circadian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_circadian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

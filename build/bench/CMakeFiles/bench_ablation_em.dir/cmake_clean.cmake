@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_em.dir/bench_ablation_em.cpp.o"
+  "CMakeFiles/bench_ablation_em.dir/bench_ablation_em.cpp.o.d"
+  "bench_ablation_em"
+  "bench_ablation_em.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_em.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pbti.dir/bench_ablation_pbti.cpp.o"
+  "CMakeFiles/bench_ablation_pbti.dir/bench_ablation_pbti.cpp.o.d"
+  "bench_ablation_pbti"
+  "bench_ablation_pbti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pbti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_statistical.dir/bench_ablation_statistical.cpp.o"
+  "CMakeFiles/bench_ablation_statistical.dir/bench_ablation_statistical.cpp.o.d"
+  "bench_ablation_statistical"
+  "bench_ablation_statistical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_statistical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_behavior.dir/bench_fig1_behavior.cpp.o"
+  "CMakeFiles/bench_fig1_behavior.dir/bench_fig1_behavior.cpp.o.d"
+  "bench_fig1_behavior"
+  "bench_fig1_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

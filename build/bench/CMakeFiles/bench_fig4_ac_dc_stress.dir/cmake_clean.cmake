@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_ac_dc_stress.dir/bench_fig4_ac_dc_stress.cpp.o"
+  "CMakeFiles/bench_fig4_ac_dc_stress.dir/bench_fig4_ac_dc_stress.cpp.o.d"
+  "bench_fig4_ac_dc_stress"
+  "bench_fig4_ac_dc_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_ac_dc_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

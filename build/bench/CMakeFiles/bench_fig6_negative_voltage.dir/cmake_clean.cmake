@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_negative_voltage.dir/bench_fig6_negative_voltage.cpp.o"
+  "CMakeFiles/bench_fig6_negative_voltage.dir/bench_fig6_negative_voltage.cpp.o.d"
+  "bench_fig6_negative_voltage"
+  "bench_fig6_negative_voltage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_negative_voltage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

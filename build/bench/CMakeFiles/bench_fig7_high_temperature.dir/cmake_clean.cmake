@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_high_temperature.dir/bench_fig7_high_temperature.cpp.o"
+  "CMakeFiles/bench_fig7_high_temperature.dir/bench_fig7_high_temperature.cpp.o.d"
+  "bench_fig7_high_temperature"
+  "bench_fig7_high_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_high_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

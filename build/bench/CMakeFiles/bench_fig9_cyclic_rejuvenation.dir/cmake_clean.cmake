@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_cyclic_rejuvenation.dir/bench_fig9_cyclic_rejuvenation.cpp.o"
+  "CMakeFiles/bench_fig9_cyclic_rejuvenation.dir/bench_fig9_cyclic_rejuvenation.cpp.o.d"
+  "bench_fig9_cyclic_rejuvenation"
+  "bench_fig9_cyclic_rejuvenation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_cyclic_rejuvenation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

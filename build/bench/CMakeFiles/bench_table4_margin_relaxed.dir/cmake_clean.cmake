@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_margin_relaxed.dir/bench_table4_margin_relaxed.cpp.o"
+  "CMakeFiles/bench_table4_margin_relaxed.dir/bench_table4_margin_relaxed.cpp.o.d"
+  "bench_table4_margin_relaxed"
+  "bench_table4_margin_relaxed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_margin_relaxed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

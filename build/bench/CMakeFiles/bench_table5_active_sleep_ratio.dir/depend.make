@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table5_active_sleep_ratio.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aging_aware_timing.dir/aging_aware_timing.cpp.o"
+  "CMakeFiles/aging_aware_timing.dir/aging_aware_timing.cpp.o.d"
+  "aging_aware_timing"
+  "aging_aware_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aging_aware_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_aging_campaign.dir/fpga_aging_campaign.cpp.o"
+  "CMakeFiles/fpga_aging_campaign.dir/fpga_aging_campaign.cpp.o.d"
+  "fpga_aging_campaign"
+  "fpga_aging_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_aging_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

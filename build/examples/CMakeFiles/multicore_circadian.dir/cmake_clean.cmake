@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicore_circadian.dir/multicore_circadian.cpp.o"
+  "CMakeFiles/multicore_circadian.dir/multicore_circadian.cpp.o.d"
+  "multicore_circadian"
+  "multicore_circadian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicore_circadian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_policy_explorer.dir/recovery_policy_explorer.cpp.o"
+  "CMakeFiles/recovery_policy_explorer.dir/recovery_policy_explorer.cpp.o.d"
+  "recovery_policy_explorer"
+  "recovery_policy_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_policy_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

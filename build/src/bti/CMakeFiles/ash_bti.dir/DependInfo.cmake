@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bti/acceleration.cpp" "src/bti/CMakeFiles/ash_bti.dir/acceleration.cpp.o" "gcc" "src/bti/CMakeFiles/ash_bti.dir/acceleration.cpp.o.d"
+  "/root/repo/src/bti/closed_form.cpp" "src/bti/CMakeFiles/ash_bti.dir/closed_form.cpp.o" "gcc" "src/bti/CMakeFiles/ash_bti.dir/closed_form.cpp.o.d"
+  "/root/repo/src/bti/condition.cpp" "src/bti/CMakeFiles/ash_bti.dir/condition.cpp.o" "gcc" "src/bti/CMakeFiles/ash_bti.dir/condition.cpp.o.d"
+  "/root/repo/src/bti/electromigration.cpp" "src/bti/CMakeFiles/ash_bti.dir/electromigration.cpp.o" "gcc" "src/bti/CMakeFiles/ash_bti.dir/electromigration.cpp.o.d"
+  "/root/repo/src/bti/parameters.cpp" "src/bti/CMakeFiles/ash_bti.dir/parameters.cpp.o" "gcc" "src/bti/CMakeFiles/ash_bti.dir/parameters.cpp.o.d"
+  "/root/repo/src/bti/reaction_diffusion.cpp" "src/bti/CMakeFiles/ash_bti.dir/reaction_diffusion.cpp.o" "gcc" "src/bti/CMakeFiles/ash_bti.dir/reaction_diffusion.cpp.o.d"
+  "/root/repo/src/bti/trap_ensemble.cpp" "src/bti/CMakeFiles/ash_bti.dir/trap_ensemble.cpp.o" "gcc" "src/bti/CMakeFiles/ash_bti.dir/trap_ensemble.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ash_bti.dir/acceleration.cpp.o"
+  "CMakeFiles/ash_bti.dir/acceleration.cpp.o.d"
+  "CMakeFiles/ash_bti.dir/closed_form.cpp.o"
+  "CMakeFiles/ash_bti.dir/closed_form.cpp.o.d"
+  "CMakeFiles/ash_bti.dir/condition.cpp.o"
+  "CMakeFiles/ash_bti.dir/condition.cpp.o.d"
+  "CMakeFiles/ash_bti.dir/electromigration.cpp.o"
+  "CMakeFiles/ash_bti.dir/electromigration.cpp.o.d"
+  "CMakeFiles/ash_bti.dir/parameters.cpp.o"
+  "CMakeFiles/ash_bti.dir/parameters.cpp.o.d"
+  "CMakeFiles/ash_bti.dir/reaction_diffusion.cpp.o"
+  "CMakeFiles/ash_bti.dir/reaction_diffusion.cpp.o.d"
+  "CMakeFiles/ash_bti.dir/trap_ensemble.cpp.o"
+  "CMakeFiles/ash_bti.dir/trap_ensemble.cpp.o.d"
+  "libash_bti.a"
+  "libash_bti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ash_bti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/abb.cpp" "src/core/CMakeFiles/ash_core.dir/abb.cpp.o" "gcc" "src/core/CMakeFiles/ash_core.dir/abb.cpp.o.d"
+  "/root/repo/src/core/circadian.cpp" "src/core/CMakeFiles/ash_core.dir/circadian.cpp.o" "gcc" "src/core/CMakeFiles/ash_core.dir/circadian.cpp.o.d"
+  "/root/repo/src/core/gnomo.cpp" "src/core/CMakeFiles/ash_core.dir/gnomo.cpp.o" "gcc" "src/core/CMakeFiles/ash_core.dir/gnomo.cpp.o.d"
+  "/root/repo/src/core/lifetime.cpp" "src/core/CMakeFiles/ash_core.dir/lifetime.cpp.o" "gcc" "src/core/CMakeFiles/ash_core.dir/lifetime.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/ash_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/ash_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/model_fit.cpp" "src/core/CMakeFiles/ash_core.dir/model_fit.cpp.o" "gcc" "src/core/CMakeFiles/ash_core.dir/model_fit.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/core/CMakeFiles/ash_core.dir/planner.cpp.o" "gcc" "src/core/CMakeFiles/ash_core.dir/planner.cpp.o.d"
+  "/root/repo/src/core/statistical.cpp" "src/core/CMakeFiles/ash_core.dir/statistical.cpp.o" "gcc" "src/core/CMakeFiles/ash_core.dir/statistical.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tb/CMakeFiles/ash_tb.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/ash_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/bti/CMakeFiles/ash_bti.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

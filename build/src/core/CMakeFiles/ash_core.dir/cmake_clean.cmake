@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ash_core.dir/abb.cpp.o"
+  "CMakeFiles/ash_core.dir/abb.cpp.o.d"
+  "CMakeFiles/ash_core.dir/circadian.cpp.o"
+  "CMakeFiles/ash_core.dir/circadian.cpp.o.d"
+  "CMakeFiles/ash_core.dir/gnomo.cpp.o"
+  "CMakeFiles/ash_core.dir/gnomo.cpp.o.d"
+  "CMakeFiles/ash_core.dir/lifetime.cpp.o"
+  "CMakeFiles/ash_core.dir/lifetime.cpp.o.d"
+  "CMakeFiles/ash_core.dir/metrics.cpp.o"
+  "CMakeFiles/ash_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/ash_core.dir/model_fit.cpp.o"
+  "CMakeFiles/ash_core.dir/model_fit.cpp.o.d"
+  "CMakeFiles/ash_core.dir/planner.cpp.o"
+  "CMakeFiles/ash_core.dir/planner.cpp.o.d"
+  "CMakeFiles/ash_core.dir/statistical.cpp.o"
+  "CMakeFiles/ash_core.dir/statistical.cpp.o.d"
+  "libash_core.a"
+  "libash_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ash_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/checkpoint.cpp" "src/fpga/CMakeFiles/ash_fpga.dir/checkpoint.cpp.o" "gcc" "src/fpga/CMakeFiles/ash_fpga.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/fpga/chip.cpp" "src/fpga/CMakeFiles/ash_fpga.dir/chip.cpp.o" "gcc" "src/fpga/CMakeFiles/ash_fpga.dir/chip.cpp.o.d"
+  "/root/repo/src/fpga/counter.cpp" "src/fpga/CMakeFiles/ash_fpga.dir/counter.cpp.o" "gcc" "src/fpga/CMakeFiles/ash_fpga.dir/counter.cpp.o.d"
+  "/root/repo/src/fpga/fabric.cpp" "src/fpga/CMakeFiles/ash_fpga.dir/fabric.cpp.o" "gcc" "src/fpga/CMakeFiles/ash_fpga.dir/fabric.cpp.o.d"
+  "/root/repo/src/fpga/lut.cpp" "src/fpga/CMakeFiles/ash_fpga.dir/lut.cpp.o" "gcc" "src/fpga/CMakeFiles/ash_fpga.dir/lut.cpp.o.d"
+  "/root/repo/src/fpga/netlist.cpp" "src/fpga/CMakeFiles/ash_fpga.dir/netlist.cpp.o" "gcc" "src/fpga/CMakeFiles/ash_fpga.dir/netlist.cpp.o.d"
+  "/root/repo/src/fpga/odometer.cpp" "src/fpga/CMakeFiles/ash_fpga.dir/odometer.cpp.o" "gcc" "src/fpga/CMakeFiles/ash_fpga.dir/odometer.cpp.o.d"
+  "/root/repo/src/fpga/ring_oscillator.cpp" "src/fpga/CMakeFiles/ash_fpga.dir/ring_oscillator.cpp.o" "gcc" "src/fpga/CMakeFiles/ash_fpga.dir/ring_oscillator.cpp.o.d"
+  "/root/repo/src/fpga/routing.cpp" "src/fpga/CMakeFiles/ash_fpga.dir/routing.cpp.o" "gcc" "src/fpga/CMakeFiles/ash_fpga.dir/routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bti/CMakeFiles/ash_bti.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

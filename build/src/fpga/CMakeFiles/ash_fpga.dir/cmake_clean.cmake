@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ash_fpga.dir/checkpoint.cpp.o"
+  "CMakeFiles/ash_fpga.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/ash_fpga.dir/chip.cpp.o"
+  "CMakeFiles/ash_fpga.dir/chip.cpp.o.d"
+  "CMakeFiles/ash_fpga.dir/counter.cpp.o"
+  "CMakeFiles/ash_fpga.dir/counter.cpp.o.d"
+  "CMakeFiles/ash_fpga.dir/fabric.cpp.o"
+  "CMakeFiles/ash_fpga.dir/fabric.cpp.o.d"
+  "CMakeFiles/ash_fpga.dir/lut.cpp.o"
+  "CMakeFiles/ash_fpga.dir/lut.cpp.o.d"
+  "CMakeFiles/ash_fpga.dir/netlist.cpp.o"
+  "CMakeFiles/ash_fpga.dir/netlist.cpp.o.d"
+  "CMakeFiles/ash_fpga.dir/odometer.cpp.o"
+  "CMakeFiles/ash_fpga.dir/odometer.cpp.o.d"
+  "CMakeFiles/ash_fpga.dir/ring_oscillator.cpp.o"
+  "CMakeFiles/ash_fpga.dir/ring_oscillator.cpp.o.d"
+  "CMakeFiles/ash_fpga.dir/routing.cpp.o"
+  "CMakeFiles/ash_fpga.dir/routing.cpp.o.d"
+  "libash_fpga.a"
+  "libash_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ash_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

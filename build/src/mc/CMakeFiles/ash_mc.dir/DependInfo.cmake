@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mc/floorplan.cpp" "src/mc/CMakeFiles/ash_mc.dir/floorplan.cpp.o" "gcc" "src/mc/CMakeFiles/ash_mc.dir/floorplan.cpp.o.d"
+  "/root/repo/src/mc/scheduler.cpp" "src/mc/CMakeFiles/ash_mc.dir/scheduler.cpp.o" "gcc" "src/mc/CMakeFiles/ash_mc.dir/scheduler.cpp.o.d"
+  "/root/repo/src/mc/system.cpp" "src/mc/CMakeFiles/ash_mc.dir/system.cpp.o" "gcc" "src/mc/CMakeFiles/ash_mc.dir/system.cpp.o.d"
+  "/root/repo/src/mc/thermal.cpp" "src/mc/CMakeFiles/ash_mc.dir/thermal.cpp.o" "gcc" "src/mc/CMakeFiles/ash_mc.dir/thermal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ash_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bti/CMakeFiles/ash_bti.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ash_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tb/CMakeFiles/ash_tb.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/ash_fpga.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ash_mc.dir/floorplan.cpp.o"
+  "CMakeFiles/ash_mc.dir/floorplan.cpp.o.d"
+  "CMakeFiles/ash_mc.dir/scheduler.cpp.o"
+  "CMakeFiles/ash_mc.dir/scheduler.cpp.o.d"
+  "CMakeFiles/ash_mc.dir/system.cpp.o"
+  "CMakeFiles/ash_mc.dir/system.cpp.o.d"
+  "CMakeFiles/ash_mc.dir/thermal.cpp.o"
+  "CMakeFiles/ash_mc.dir/thermal.cpp.o.d"
+  "libash_mc.a"
+  "libash_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ash_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tb/data_log.cpp" "src/tb/CMakeFiles/ash_tb.dir/data_log.cpp.o" "gcc" "src/tb/CMakeFiles/ash_tb.dir/data_log.cpp.o.d"
+  "/root/repo/src/tb/experiment_runner.cpp" "src/tb/CMakeFiles/ash_tb.dir/experiment_runner.cpp.o" "gcc" "src/tb/CMakeFiles/ash_tb.dir/experiment_runner.cpp.o.d"
+  "/root/repo/src/tb/measurement.cpp" "src/tb/CMakeFiles/ash_tb.dir/measurement.cpp.o" "gcc" "src/tb/CMakeFiles/ash_tb.dir/measurement.cpp.o.d"
+  "/root/repo/src/tb/power_supply.cpp" "src/tb/CMakeFiles/ash_tb.dir/power_supply.cpp.o" "gcc" "src/tb/CMakeFiles/ash_tb.dir/power_supply.cpp.o.d"
+  "/root/repo/src/tb/test_case.cpp" "src/tb/CMakeFiles/ash_tb.dir/test_case.cpp.o" "gcc" "src/tb/CMakeFiles/ash_tb.dir/test_case.cpp.o.d"
+  "/root/repo/src/tb/thermal_chamber.cpp" "src/tb/CMakeFiles/ash_tb.dir/thermal_chamber.cpp.o" "gcc" "src/tb/CMakeFiles/ash_tb.dir/thermal_chamber.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fpga/CMakeFiles/ash_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/bti/CMakeFiles/ash_bti.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

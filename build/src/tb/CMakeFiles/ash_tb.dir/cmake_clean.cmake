@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ash_tb.dir/data_log.cpp.o"
+  "CMakeFiles/ash_tb.dir/data_log.cpp.o.d"
+  "CMakeFiles/ash_tb.dir/experiment_runner.cpp.o"
+  "CMakeFiles/ash_tb.dir/experiment_runner.cpp.o.d"
+  "CMakeFiles/ash_tb.dir/measurement.cpp.o"
+  "CMakeFiles/ash_tb.dir/measurement.cpp.o.d"
+  "CMakeFiles/ash_tb.dir/power_supply.cpp.o"
+  "CMakeFiles/ash_tb.dir/power_supply.cpp.o.d"
+  "CMakeFiles/ash_tb.dir/test_case.cpp.o"
+  "CMakeFiles/ash_tb.dir/test_case.cpp.o.d"
+  "CMakeFiles/ash_tb.dir/thermal_chamber.cpp.o"
+  "CMakeFiles/ash_tb.dir/thermal_chamber.cpp.o.d"
+  "libash_tb.a"
+  "libash_tb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ash_tb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ash_util.dir/csv.cpp.o"
+  "CMakeFiles/ash_util.dir/csv.cpp.o.d"
+  "CMakeFiles/ash_util.dir/flags.cpp.o"
+  "CMakeFiles/ash_util.dir/flags.cpp.o.d"
+  "CMakeFiles/ash_util.dir/optimize.cpp.o"
+  "CMakeFiles/ash_util.dir/optimize.cpp.o.d"
+  "CMakeFiles/ash_util.dir/series.cpp.o"
+  "CMakeFiles/ash_util.dir/series.cpp.o.d"
+  "CMakeFiles/ash_util.dir/stats.cpp.o"
+  "CMakeFiles/ash_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ash_util.dir/table.cpp.o"
+  "CMakeFiles/ash_util.dir/table.cpp.o.d"
+  "libash_util.a"
+  "libash_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ash_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libash_util.a"
+)

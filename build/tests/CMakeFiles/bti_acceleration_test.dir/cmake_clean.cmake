@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bti_acceleration_test.dir/bti/acceleration_test.cpp.o"
+  "CMakeFiles/bti_acceleration_test.dir/bti/acceleration_test.cpp.o.d"
+  "bti_acceleration_test"
+  "bti_acceleration_test.pdb"
+  "bti_acceleration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bti_acceleration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bti_closed_form_test.dir/bti/closed_form_test.cpp.o"
+  "CMakeFiles/bti_closed_form_test.dir/bti/closed_form_test.cpp.o.d"
+  "bti_closed_form_test"
+  "bti_closed_form_test.pdb"
+  "bti_closed_form_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bti_closed_form_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

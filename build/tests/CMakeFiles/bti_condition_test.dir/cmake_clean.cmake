@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bti_condition_test.dir/bti/condition_test.cpp.o"
+  "CMakeFiles/bti_condition_test.dir/bti/condition_test.cpp.o.d"
+  "bti_condition_test"
+  "bti_condition_test.pdb"
+  "bti_condition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bti_condition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

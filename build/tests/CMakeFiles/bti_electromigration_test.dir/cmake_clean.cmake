@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bti_electromigration_test.dir/bti/electromigration_test.cpp.o"
+  "CMakeFiles/bti_electromigration_test.dir/bti/electromigration_test.cpp.o.d"
+  "bti_electromigration_test"
+  "bti_electromigration_test.pdb"
+  "bti_electromigration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bti_electromigration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bti_ensemble_test.dir/bti/trap_ensemble_test.cpp.o"
+  "CMakeFiles/bti_ensemble_test.dir/bti/trap_ensemble_test.cpp.o.d"
+  "bti_ensemble_test"
+  "bti_ensemble_test.pdb"
+  "bti_ensemble_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bti_ensemble_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bti_property_sweep_test.dir/bti/property_sweep_test.cpp.o"
+  "CMakeFiles/bti_property_sweep_test.dir/bti/property_sweep_test.cpp.o.d"
+  "bti_property_sweep_test"
+  "bti_property_sweep_test.pdb"
+  "bti_property_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bti_property_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

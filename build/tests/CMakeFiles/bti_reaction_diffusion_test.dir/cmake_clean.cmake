@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bti_reaction_diffusion_test.dir/bti/reaction_diffusion_test.cpp.o"
+  "CMakeFiles/bti_reaction_diffusion_test.dir/bti/reaction_diffusion_test.cpp.o.d"
+  "bti_reaction_diffusion_test"
+  "bti_reaction_diffusion_test.pdb"
+  "bti_reaction_diffusion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bti_reaction_diffusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

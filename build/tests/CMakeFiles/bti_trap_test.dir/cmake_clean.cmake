@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bti_trap_test.dir/bti/trap_test.cpp.o"
+  "CMakeFiles/bti_trap_test.dir/bti/trap_test.cpp.o.d"
+  "bti_trap_test"
+  "bti_trap_test.pdb"
+  "bti_trap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bti_trap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_abb_test.dir/core/abb_test.cpp.o"
+  "CMakeFiles/core_abb_test.dir/core/abb_test.cpp.o.d"
+  "core_abb_test"
+  "core_abb_test.pdb"
+  "core_abb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_abb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_circadian_test.dir/core/circadian_test.cpp.o"
+  "CMakeFiles/core_circadian_test.dir/core/circadian_test.cpp.o.d"
+  "core_circadian_test"
+  "core_circadian_test.pdb"
+  "core_circadian_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_circadian_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

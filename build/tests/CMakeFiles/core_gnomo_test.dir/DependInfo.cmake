@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/gnomo_test.cpp" "tests/CMakeFiles/core_gnomo_test.dir/core/gnomo_test.cpp.o" "gcc" "tests/CMakeFiles/core_gnomo_test.dir/core/gnomo_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ash_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bti/CMakeFiles/ash_bti.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/ash_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/tb/CMakeFiles/ash_tb.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ash_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/ash_mc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_gnomo_test.dir/core/gnomo_test.cpp.o"
+  "CMakeFiles/core_gnomo_test.dir/core/gnomo_test.cpp.o.d"
+  "core_gnomo_test"
+  "core_gnomo_test.pdb"
+  "core_gnomo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_gnomo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

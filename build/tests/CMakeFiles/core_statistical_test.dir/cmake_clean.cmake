@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_statistical_test.dir/core/statistical_test.cpp.o"
+  "CMakeFiles/core_statistical_test.dir/core/statistical_test.cpp.o.d"
+  "core_statistical_test"
+  "core_statistical_test.pdb"
+  "core_statistical_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_statistical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

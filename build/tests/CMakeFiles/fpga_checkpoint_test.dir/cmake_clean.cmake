@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_checkpoint_test.dir/fpga/checkpoint_test.cpp.o"
+  "CMakeFiles/fpga_checkpoint_test.dir/fpga/checkpoint_test.cpp.o.d"
+  "fpga_checkpoint_test"
+  "fpga_checkpoint_test.pdb"
+  "fpga_checkpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_chip_test.dir/fpga/chip_test.cpp.o"
+  "CMakeFiles/fpga_chip_test.dir/fpga/chip_test.cpp.o.d"
+  "fpga_chip_test"
+  "fpga_chip_test.pdb"
+  "fpga_chip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_chip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_counter_test.dir/fpga/counter_test.cpp.o"
+  "CMakeFiles/fpga_counter_test.dir/fpga/counter_test.cpp.o.d"
+  "fpga_counter_test"
+  "fpga_counter_test.pdb"
+  "fpga_counter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_counter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_delay_test.dir/fpga/delay_test.cpp.o"
+  "CMakeFiles/fpga_delay_test.dir/fpga/delay_test.cpp.o.d"
+  "fpga_delay_test"
+  "fpga_delay_test.pdb"
+  "fpga_delay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_delay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_fabric_test.dir/fpga/fabric_test.cpp.o"
+  "CMakeFiles/fpga_fabric_test.dir/fpga/fabric_test.cpp.o.d"
+  "fpga_fabric_test"
+  "fpga_fabric_test.pdb"
+  "fpga_fabric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_fabric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_lut_property_sweep_test.dir/fpga/lut_property_sweep_test.cpp.o"
+  "CMakeFiles/fpga_lut_property_sweep_test.dir/fpga/lut_property_sweep_test.cpp.o.d"
+  "fpga_lut_property_sweep_test"
+  "fpga_lut_property_sweep_test.pdb"
+  "fpga_lut_property_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_lut_property_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

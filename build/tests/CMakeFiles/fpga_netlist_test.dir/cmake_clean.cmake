@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_netlist_test.dir/fpga/netlist_test.cpp.o"
+  "CMakeFiles/fpga_netlist_test.dir/fpga/netlist_test.cpp.o.d"
+  "fpga_netlist_test"
+  "fpga_netlist_test.pdb"
+  "fpga_netlist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_netlist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_odometer_test.dir/fpga/odometer_test.cpp.o"
+  "CMakeFiles/fpga_odometer_test.dir/fpga/odometer_test.cpp.o.d"
+  "fpga_odometer_test"
+  "fpga_odometer_test.pdb"
+  "fpga_odometer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_odometer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

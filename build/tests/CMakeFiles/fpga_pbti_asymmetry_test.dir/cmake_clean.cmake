@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_pbti_asymmetry_test.dir/fpga/pbti_asymmetry_test.cpp.o"
+  "CMakeFiles/fpga_pbti_asymmetry_test.dir/fpga/pbti_asymmetry_test.cpp.o.d"
+  "fpga_pbti_asymmetry_test"
+  "fpga_pbti_asymmetry_test.pdb"
+  "fpga_pbti_asymmetry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_pbti_asymmetry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_probabilistic_aging_test.dir/fpga/probabilistic_aging_test.cpp.o"
+  "CMakeFiles/fpga_probabilistic_aging_test.dir/fpga/probabilistic_aging_test.cpp.o.d"
+  "fpga_probabilistic_aging_test"
+  "fpga_probabilistic_aging_test.pdb"
+  "fpga_probabilistic_aging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_probabilistic_aging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fpga_probabilistic_aging_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_ring_oscillator_test.dir/fpga/ring_oscillator_test.cpp.o"
+  "CMakeFiles/fpga_ring_oscillator_test.dir/fpga/ring_oscillator_test.cpp.o.d"
+  "fpga_ring_oscillator_test"
+  "fpga_ring_oscillator_test.pdb"
+  "fpga_ring_oscillator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_ring_oscillator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_routing_test.dir/fpga/routing_test.cpp.o"
+  "CMakeFiles/fpga_routing_test.dir/fpga/routing_test.cpp.o.d"
+  "fpga_routing_test"
+  "fpga_routing_test.pdb"
+  "fpga_routing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_model_validation_test.dir/integration/model_validation_test.cpp.o"
+  "CMakeFiles/integration_model_validation_test.dir/integration/model_validation_test.cpp.o.d"
+  "integration_model_validation_test"
+  "integration_model_validation_test.pdb"
+  "integration_model_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_model_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

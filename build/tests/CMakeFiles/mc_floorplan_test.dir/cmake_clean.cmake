@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_floorplan_test.dir/mc/floorplan_test.cpp.o"
+  "CMakeFiles/mc_floorplan_test.dir/mc/floorplan_test.cpp.o.d"
+  "mc_floorplan_test"
+  "mc_floorplan_test.pdb"
+  "mc_floorplan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_floorplan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

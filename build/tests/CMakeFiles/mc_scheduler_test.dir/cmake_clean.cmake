@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_scheduler_test.dir/mc/scheduler_test.cpp.o"
+  "CMakeFiles/mc_scheduler_test.dir/mc/scheduler_test.cpp.o.d"
+  "mc_scheduler_test"
+  "mc_scheduler_test.pdb"
+  "mc_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

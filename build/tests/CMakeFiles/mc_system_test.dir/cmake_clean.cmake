@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_system_test.dir/mc/system_test.cpp.o"
+  "CMakeFiles/mc_system_test.dir/mc/system_test.cpp.o.d"
+  "mc_system_test"
+  "mc_system_test.pdb"
+  "mc_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_thermal_test.dir/mc/thermal_test.cpp.o"
+  "CMakeFiles/mc_thermal_test.dir/mc/thermal_test.cpp.o.d"
+  "mc_thermal_test"
+  "mc_thermal_test.pdb"
+  "mc_thermal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_thermal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

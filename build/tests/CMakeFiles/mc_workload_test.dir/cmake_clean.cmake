@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_workload_test.dir/mc/workload_test.cpp.o"
+  "CMakeFiles/mc_workload_test.dir/mc/workload_test.cpp.o.d"
+  "mc_workload_test"
+  "mc_workload_test.pdb"
+  "mc_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_data_log_test.dir/tb/data_log_test.cpp.o"
+  "CMakeFiles/tb_data_log_test.dir/tb/data_log_test.cpp.o.d"
+  "tb_data_log_test"
+  "tb_data_log_test.pdb"
+  "tb_data_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_data_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_experiment_runner_test.dir/tb/experiment_runner_test.cpp.o"
+  "CMakeFiles/tb_experiment_runner_test.dir/tb/experiment_runner_test.cpp.o.d"
+  "tb_experiment_runner_test"
+  "tb_experiment_runner_test.pdb"
+  "tb_experiment_runner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_experiment_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

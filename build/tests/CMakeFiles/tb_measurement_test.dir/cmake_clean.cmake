@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_measurement_test.dir/tb/measurement_test.cpp.o"
+  "CMakeFiles/tb_measurement_test.dir/tb/measurement_test.cpp.o.d"
+  "tb_measurement_test"
+  "tb_measurement_test.pdb"
+  "tb_measurement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_measurement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_power_supply_test.dir/tb/power_supply_test.cpp.o"
+  "CMakeFiles/tb_power_supply_test.dir/tb/power_supply_test.cpp.o.d"
+  "tb_power_supply_test"
+  "tb_power_supply_test.pdb"
+  "tb_power_supply_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_power_supply_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

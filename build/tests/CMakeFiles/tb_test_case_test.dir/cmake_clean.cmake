@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_test_case_test.dir/tb/test_case_test.cpp.o"
+  "CMakeFiles/tb_test_case_test.dir/tb/test_case_test.cpp.o.d"
+  "tb_test_case_test"
+  "tb_test_case_test.pdb"
+  "tb_test_case_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_test_case_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tb_test_case_test.
+# This may be replaced when dependencies are built.

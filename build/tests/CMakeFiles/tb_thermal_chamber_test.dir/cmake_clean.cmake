@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_thermal_chamber_test.dir/tb/thermal_chamber_test.cpp.o"
+  "CMakeFiles/tb_thermal_chamber_test.dir/tb/thermal_chamber_test.cpp.o.d"
+  "tb_thermal_chamber_test"
+  "tb_thermal_chamber_test.pdb"
+  "tb_thermal_chamber_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_thermal_chamber_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

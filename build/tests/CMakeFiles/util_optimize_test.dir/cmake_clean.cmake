@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_optimize_test.dir/util/optimize_test.cpp.o"
+  "CMakeFiles/util_optimize_test.dir/util/optimize_test.cpp.o.d"
+  "util_optimize_test"
+  "util_optimize_test.pdb"
+  "util_optimize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_optimize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_series_test.dir/util/series_test.cpp.o"
+  "CMakeFiles/util_series_test.dir/util/series_test.cpp.o.d"
+  "util_series_test"
+  "util_series_test.pdb"
+  "util_series_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_series_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

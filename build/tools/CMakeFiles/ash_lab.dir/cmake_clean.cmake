@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ash_lab.dir/ash_lab.cpp.o"
+  "CMakeFiles/ash_lab.dir/ash_lab.cpp.o.d"
+  "ash_lab"
+  "ash_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ash_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
