@@ -1,0 +1,165 @@
+/// bench_ablation_faults — the Table 4 headline under a dirty lab.
+///
+/// Runs the chip-5 schedule head (burn-in, 24 h DC stress, 6 h accelerated
+/// recovery) in an ideal lab, then under the representative fault plan —
+/// once with the fault-tolerant campaign runner (retries, robust reading
+/// estimator, watchdog + checkpoint rewind) and once with a naive runner
+/// (single-shot samples, plain mean, no plausibility checks).  Because a
+/// single fault scenario can be lucky for either side, the dirty-lab pair
+/// is swept over several fault seeds; the tolerant runner should stay
+/// within ~2 % of the ideal margin-relaxed value on every scenario, while
+/// the naive runner drifts further on average and in the worst case.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "ash/core/metrics.h"
+#include "ash/tb/fault.h"
+#include "ash/util/table.h"
+#include "common.h"
+
+namespace {
+
+using namespace ash;
+
+constexpr int kStages = 75;
+constexpr int kFaultSeeds = 10;
+
+tb::TestCase chip5_head() {
+  tb::TestCase tc = tb::campaign_case("AR110N6");  // the chip-5 schedule
+  tc.phases.resize(3);  // BURNIN, AS110DC24, AR110N6
+  return tc;
+}
+
+tb::CampaignResult run_lab(const tb::RunnerConfig& config) {
+  fpga::ChipConfig cc;
+  cc.chip_id = 5;
+  cc.seed = 0x40A0 + 5;
+  cc.ro_stages = kStages;
+  fpga::FpgaChip chip(cc);
+  return tb::ExperimentRunner(config).run_campaign(chip, chip5_head());
+}
+
+double margin_relaxed(const tb::DataLog& log) {
+  double fresh_delay = 0.0;
+  for (const auto& r : log.records()) {
+    if (r.usable()) {
+      fresh_delay = r.delay_s;
+      break;
+    }
+  }
+  return core::design_margin_relaxed(log.delay_series("AR110N6"),
+                                     fresh_delay);
+}
+
+std::vector<double> usable_delays(const tb::DataLog& log) {
+  std::vector<double> out;
+  for (const auto& r : log.records()) {
+    if (r.usable()) out.push_back(r.delay_s);
+  }
+  return out;
+}
+
+/// Worst fractional per-sample delay error of a lab's trajectory against
+/// the ideal lab's, index-aligned.  The margin headline only looks at the
+/// endpoints of the recovery series; this is what the rest of the campaign
+/// data — everything a recovery-dynamics fit would consume — looks like.
+double worst_sample_error(const tb::DataLog& log, const tb::DataLog& ideal) {
+  const auto a = usable_delays(log);
+  const auto b = usable_delays(ideal);
+  const std::size_t n = std::min(a.size(), b.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    worst = std::max(worst, std::abs(a[i] / b[i] - 1.0));
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ash;
+  bench::print_banner(
+      "Ablation — fault injection vs. fault tolerance (Table 4 headline)",
+      "tolerant runner reproduces the 72.4% margin-relaxed headline at the "
+      "instrument-noise floor under a representative dirty lab and keeps "
+      "the whole recovery trajectory clean; a naive runner records "
+      "corrupted samples every campaign and risks the headline itself");
+
+  const auto ideal = run_lab(tb::RunnerConfig{});
+  const double m_ideal = margin_relaxed(ideal.log);
+
+  // Noise floor: the same ideal lab with reseeded instrument noise.  Any
+  // dirty-lab deviation of this size is indistinguishable from an honest
+  // re-run of the campaign.
+  tb::RunnerConfig reseeded;
+  reseeded.seed = derive_seed(reseeded.seed, 1);
+  const auto reseeded_run = run_lab(reseeded);
+  const double noise_floor =
+      std::abs(margin_relaxed(reseeded_run.log) - m_ideal);
+  const double floor_traj = worst_sample_error(reseeded_run.log, ideal.log);
+
+  Table t({"fault seed", "lab", "margin relaxed", "|delta| vs ideal",
+           "worst sample err", "usable", "phase aborts"});
+  double sum_tol = 0.0;
+  double sum_naive = 0.0;
+  double worst_tol = 0.0;
+  double worst_naive = 0.0;
+  double traj_tol = 0.0;
+  double traj_naive = 0.0;
+  tb::FaultReport faults_tol;
+  tb::FaultReport faults_naive;
+  for (int k = 0; k < kFaultSeeds; ++k) {
+    tb::FaultPlan plan = tb::FaultPlan::representative();
+    plan.seed = derive_seed(plan.seed, static_cast<std::uint64_t>(k));
+    const auto tolerant = run_lab(tb::tolerant_runner_config(plan));
+    const auto naive = run_lab(tb::naive_runner_config(plan));
+    faults_tol.merge(tolerant.faults);
+    faults_naive.merge(naive.faults);
+
+    const struct {
+      const char* label;
+      const tb::CampaignResult* result;
+      double* sum;
+      double* worst;
+      double* traj;
+    } rows[] = {{"tolerant", &tolerant, &sum_tol, &worst_tol, &traj_tol},
+                {"naive", &naive, &sum_naive, &worst_naive, &traj_naive}};
+    for (const auto& row : rows) {
+      const double m = margin_relaxed(row.result->log);
+      const double delta = std::abs(m - m_ideal);
+      const double traj = worst_sample_error(row.result->log, ideal.log);
+      *row.sum += delta;
+      *row.worst = std::max(*row.worst, delta);
+      *row.traj += traj;
+      const auto yield = core::campaign_yield(row.result->log);
+      t.add_row({strformat("%d", k), row.label, fmt_percent(m, 1),
+                 fmt_percent(delta, 2), fmt_percent(traj, 2),
+                 fmt_percent(yield.usable_fraction(), 1),
+                 strformat("%d", row.result->faults.phase_aborts)});
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  Table s({"lab", "mean |delta margin|", "worst |delta margin|",
+           "mean worst sample err"});
+  s.add_row({"reseeded ideal (noise floor)", fmt_percent(noise_floor, 2),
+             fmt_percent(noise_floor, 2),
+             fmt_percent(floor_traj, 2)});
+  s.add_row({"tolerant", fmt_percent(sum_tol / kFaultSeeds, 2),
+             fmt_percent(worst_tol, 2),
+             fmt_percent(traj_tol / kFaultSeeds, 2)});
+  s.add_row({"naive", fmt_percent(sum_naive / kFaultSeeds, 2),
+             fmt_percent(worst_naive, 2),
+             fmt_percent(traj_naive / kFaultSeeds, 2)});
+  std::printf("ideal-lab margin relaxed: %s\n\n%s\n",
+              fmt_percent(m_ideal, 1).c_str(), s.render().c_str());
+
+  std::printf("tolerant (all scenarios) %s",
+              faults_tol.render().c_str());
+  std::printf("naive    (all scenarios) %s",
+              faults_naive.render().c_str());
+  return 0;
+}

@@ -19,6 +19,9 @@
 ///   reads as a 72 % margin-relaxed parameter — reproducing both of the
 ///   paper's headline numbers from one consistent definition.
 
+#include <cstddef>
+
+#include "ash/tb/data_log.h"
 #include "ash/util/series.h"
 
 namespace ash::core {
@@ -52,5 +55,28 @@ struct MarginSpec {
 double design_margin_relaxed(const Series& recovery_delay,
                              double fresh_delay_s,
                              const MarginSpec& spec = {});
+
+/// Data yield of a (possibly fault-injected) campaign: how many logged
+/// samples came back clean, retried, suspect or lost.  The series-based
+/// metrics above already consume flagged logs correctly (kLost samples are
+/// excluded from every series); the yield quantifies how much the lab's
+/// fault handling had to work for the numbers.
+struct CampaignYield {
+  std::size_t total = 0;
+  std::size_t good = 0;
+  std::size_t retried = 0;
+  std::size_t suspect = 0;
+  std::size_t lost = 0;
+
+  /// Fraction of samples that carry a measurement (everything but lost).
+  double usable_fraction() const {
+    return total == 0 ? 1.0
+                      : static_cast<double>(total - lost) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Tally the quality flags of a campaign log.
+CampaignYield campaign_yield(const tb::DataLog& log);
 
 }  // namespace ash::core

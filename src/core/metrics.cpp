@@ -53,4 +53,14 @@ double design_margin_relaxed(const Series& recovery_delay,
          spec.guardband_factor;
 }
 
+CampaignYield campaign_yield(const tb::DataLog& log) {
+  CampaignYield y;
+  y.total = log.size();
+  y.good = log.count_quality(tb::SampleQuality::kGood);
+  y.retried = log.count_quality(tb::SampleQuality::kRetried);
+  y.suspect = log.count_quality(tb::SampleQuality::kSuspect);
+  y.lost = log.count_quality(tb::SampleQuality::kLost);
+  return y;
+}
+
 }  // namespace ash::core

@@ -158,4 +158,26 @@ void load_checkpoint(std::istream& is, Fabric& fabric) {
   read(is, "fabric", mutable_ensembles_of(fabric));
 }
 
+std::string checkpoint_string(const FpgaChip& chip) {
+  std::ostringstream os;
+  save_checkpoint(os, chip);
+  return os.str();
+}
+
+void restore_checkpoint(const std::string& state, FpgaChip& chip) {
+  std::istringstream is(state);
+  load_checkpoint(is, chip);
+}
+
+std::string read_embedded_checkpoint(std::istream& is) {
+  std::string out;
+  std::string line;
+  while (std::getline(is, line)) {
+    out += line;
+    out += '\n';
+    if (line == "end") return out;
+  }
+  fail("embedded checkpoint truncated (no trailer)");
+}
+
 }  // namespace ash::fpga

@@ -16,6 +16,7 @@
 /// mismatch is detected and rejected.
 
 #include <iosfwd>
+#include <string>
 
 #include "ash/fpga/chip.h"
 #include "ash/fpga/fabric.h"
@@ -37,5 +38,17 @@ void save_checkpoint(std::ostream& os, const Fabric& fabric);
 void load_checkpoint(std::istream& is, RingOscillator& ro);
 void load_checkpoint(std::istream& is, FpgaChip& chip);
 void load_checkpoint(std::istream& is, Fabric& fabric);
+
+/// String-form convenience used by in-memory snapshotting (the fault-
+/// tolerant campaign runner snapshots the chip at every phase boundary so a
+/// watchdog abort or a killed campaign can rewind to a known-good state).
+std::string checkpoint_string(const FpgaChip& chip);
+void restore_checkpoint(const std::string& state, FpgaChip& chip);
+
+/// Read one embedded checkpoint document (header through "end" trailer)
+/// from a stream without interpreting it — used by container formats that
+/// store a chip checkpoint inside a larger file.  Throws std::runtime_error
+/// on a truncated stream.
+std::string read_embedded_checkpoint(std::istream& is);
 
 }  // namespace ash::fpga

@@ -2,11 +2,31 @@
 
 #include <algorithm>
 #include <ostream>
+#include <stdexcept>
 
 #include "ash/util/csv.h"
 #include "ash/util/table.h"
 
 namespace ash::tb {
+
+const char* to_string(SampleQuality quality) {
+  switch (quality) {
+    case SampleQuality::kGood: return "good";
+    case SampleQuality::kRetried: return "retried";
+    case SampleQuality::kSuspect: return "suspect";
+    case SampleQuality::kLost: return "lost";
+  }
+  return "unknown";
+}
+
+SampleQuality parse_sample_quality(const std::string& name) {
+  if (name == "good") return SampleQuality::kGood;
+  if (name == "retried") return SampleQuality::kRetried;
+  if (name == "suspect") return SampleQuality::kSuspect;
+  if (name == "lost") return SampleQuality::kLost;
+  throw std::invalid_argument("parse_sample_quality: unknown quality '" +
+                              name + "'");
+}
 
 void DataLog::append(const DataLog& other) {
   records_.insert(records_.end(), other.records_.begin(),
@@ -32,16 +52,26 @@ std::vector<std::string> DataLog::phases() const {
   return out;
 }
 
+std::size_t DataLog::count_quality(SampleQuality quality) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.quality == quality) ++n;
+  }
+  return n;
+}
+
 Series DataLog::delay_series(const std::string& phase) const {
   Series s(phase + ":delay");
-  for (const auto& r : phase_records(phase)) s.append(r.t_phase_s, r.delay_s);
+  for (const auto& r : phase_records(phase)) {
+    if (r.usable()) s.append(r.t_phase_s, r.delay_s);
+  }
   return s;
 }
 
 Series DataLog::frequency_series(const std::string& phase) const {
   Series s(phase + ":frequency");
   for (const auto& r : phase_records(phase)) {
-    s.append(r.t_phase_s, r.frequency_hz);
+    if (r.usable()) s.append(r.t_phase_s, r.frequency_hz);
   }
   return s;
 }
@@ -49,7 +79,7 @@ Series DataLog::frequency_series(const std::string& phase) const {
 void DataLog::write_csv(std::ostream& os) const {
   write_csv_row(os, {"test_case", "chip_id", "phase", "t_campaign_s",
                      "t_phase_s", "chamber_c", "supply_v", "counts",
-                     "frequency_hz", "delay_s"});
+                     "frequency_hz", "delay_s", "quality", "retries"});
   for (const auto& r : records_) {
     write_csv_row(os, {r.test_case, strformat("%d", r.chip_id), r.phase,
                        strformat("%.6f", r.t_campaign_s),
@@ -58,7 +88,8 @@ void DataLog::write_csv(std::ostream& os) const {
                        strformat("%.6f", r.supply_v),
                        strformat("%.6f", r.counts),
                        strformat("%.6f", r.frequency_hz),
-                       strformat("%.9e", r.delay_s)});
+                       strformat("%.9e", r.delay_s), to_string(r.quality),
+                       strformat("%d", r.retries)});
   }
 }
 
@@ -76,6 +107,15 @@ DataLog DataLog::read_csv(std::istream& is) {
   const std::size_t c_counts = col("counts");
   const std::size_t c_f = col("frequency_hz");
   const std::size_t c_d = col("delay_s");
+  // Quality columns are optional so logs written before fault tolerance
+  // still load (they are all-good by construction).
+  const auto optional_col = [&](const char* name) -> long {
+    const auto it = std::find(doc.header.begin(), doc.header.end(), name);
+    if (it == doc.header.end()) return -1;
+    return it - doc.header.begin();
+  };
+  const long c_q = optional_col("quality");
+  const long c_r = optional_col("retries");
   for (const auto& row : doc.rows) {
     SampleRecord r;
     r.test_case = row[c_case];
@@ -88,6 +128,8 @@ DataLog DataLog::read_csv(std::istream& is) {
     r.counts = std::stod(row[c_counts]);
     r.frequency_hz = std::stod(row[c_f]);
     r.delay_s = std::stod(row[c_d]);
+    if (c_q >= 0) r.quality = parse_sample_quality(row[c_q]);
+    if (c_r >= 0) r.retries = std::stoi(row[c_r]);
     log.add(std::move(r));
   }
   return log;

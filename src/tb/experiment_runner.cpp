@@ -1,9 +1,18 @@
 #include "ash/tb/experiment_runner.h"
 
 #include <algorithm>
+#include <cmath>
+#include <deque>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
 
+#include "ash/fpga/checkpoint.h"
 #include "ash/util/constants.h"
 #include "ash/util/random.h"
+#include "ash/util/stats.h"
 
 namespace ash::tb {
 
@@ -29,102 +38,412 @@ bti::OperatingCondition phase_condition(const Phase& phase, double supply_v,
   return env;
 }
 
+/// How one sample attempt or phase attempt concluded.
+enum class SampleStatus { kAccepted, kTripped, kKilled };
+
+/// One campaign execution (fresh or resumed).  Owns the campaign clock, the
+/// merged log/report and the phase attempt machinery.
+class CampaignEngine {
+ public:
+  CampaignEngine(const RunnerConfig& config, fpga::FpgaChip& chip,
+                 const TestCase& test_case)
+      : cfg_(config), chip_(chip), tc_(test_case) {}
+
+  CampaignResult run(const CampaignCheckpoint& from) {
+    fpga::restore_checkpoint(from.chip_state, chip_);
+    t_campaign_ = from.t_campaign_s;
+    log_ = from.log;
+    report_ = from.faults;
+
+    CampaignResult result;
+    result.checkpoint = from;
+
+    for (int pi = from.next_phase;
+         pi < static_cast<int>(tc_.phases.size()); ++pi) {
+      const double prev_c =
+          pi == from.next_phase ? from.chamber_c : tc_.phases[pi - 1].chamber_c;
+      if (kill_due() || !run_phase(pi, prev_c)) {
+        // Killed: roll the chip (and clock) back to the last boundary so
+        // the caller's chip matches the resumable checkpoint.
+        fpga::restore_checkpoint(result.checkpoint.chip_state, chip_);
+        result.log = result.checkpoint.log;
+        result.faults = result.checkpoint.faults;
+        result.completed = false;
+        return result;
+      }
+      result.checkpoint.next_phase = pi + 1;
+      result.checkpoint.t_campaign_s = t_campaign_;
+      result.checkpoint.chamber_c = tc_.phases[pi].chamber_c;
+      result.checkpoint.chip_state = fpga::checkpoint_string(chip_);
+      result.checkpoint.log = log_;
+      result.checkpoint.faults = report_;
+    }
+    result.log = log_;
+    result.faults = report_;
+    result.completed = true;
+    return result;
+  }
+
+ private:
+  bool kill_due() const {
+    return cfg_.abort_at_campaign_s >= 0.0 &&
+           t_campaign_ >= cfg_.abort_at_campaign_s;
+  }
+
+  /// Run every attempt of one phase.  Returns false when the kill switch
+  /// fired (the current attempt's work is discarded; the chip is left
+  /// mid-attempt and the caller restores the boundary checkpoint).
+  bool run_phase(int phase_index, double prev_chamber_c) {
+    const Phase& phase = tc_.phases[static_cast<std::size_t>(phase_index)];
+    // Phase-start snapshot: the rewind target for watchdog aborts.
+    const std::string snapshot = fpga::checkpoint_string(chip_);
+    const double t_phase_start = t_campaign_;
+
+    const int max_attempts =
+        cfg_.watchdog.enabled ? std::max(1, cfg_.watchdog.max_phase_attempts)
+                              : 1;
+
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      if (attempt > 0) {
+        fpga::restore_checkpoint(snapshot, chip_);
+        t_campaign_ = t_phase_start;
+      }
+      const SampleStatus status =
+          run_attempt(phase, phase_index, attempt,
+                      /*allow_trip=*/attempt + 1 < max_attempts,
+                      prev_chamber_c);
+      if (status == SampleStatus::kKilled) return false;
+      if (status == SampleStatus::kAccepted) return true;
+      // kTripped: the attempt merged its report already; go around.
+    }
+    return true;  // unreachable: the last attempt cannot trip
+  }
+
+  /// Run one attempt of a phase.  On kAccepted the attempt's samples and
+  /// report have been merged into the campaign log/report.
+  SampleStatus run_attempt(const Phase& phase, int phase_index, int attempt,
+                           bool allow_trip, double prev_chamber_c) {
+    FaultReport attempt_report;
+    FaultInjector faults(cfg_.fault_plan, phase_index, attempt,
+                         phase.duration_s, &attempt_report);
+
+    // Instruments are per-attempt: their noise streams derive from
+    // (seed, phase, attempt), so a rewound phase re-runs with fresh noise
+    // and a resumed campaign replays bit-identically.
+    const std::uint64_t attempt_stream = derive_seed(
+        derive_seed(cfg_.seed, static_cast<std::uint64_t>(phase_index)),
+        static_cast<std::uint64_t>(attempt));
+
+    ChamberConfig chamber_cfg = cfg_.chamber;
+    chamber_cfg.seed = derive_seed(attempt_stream, 1);
+    chamber_cfg.initial_c = prev_chamber_c;
+    if (cfg_.instant_chamber) chamber_cfg.ramp_c_per_s = 1e9;
+    ThermalChamber chamber(chamber_cfg);
+    chamber.set_target_c(phase.chamber_c);
+
+    SupplyConfig supply_cfg = cfg_.supply;
+    supply_cfg.seed = derive_seed(attempt_stream, 2);
+    PowerSupply supply(supply_cfg);
+    supply.set_voltage(phase.supply_v);
+
+    MeasurementConfig rig_cfg = cfg_.measurement;
+    rig_cfg.seed = derive_seed(attempt_stream, 3);
+    // A reference-clock jump is a systematic calibration bias this phase.
+    rig_cfg.clock.error_ppm += faults.clock_offset_ppm();
+    MeasurementRig rig(rig_cfg);
+
+    DataLog attempt_log;
+    int consecutive_implausible = 0;
+    bool degraded = false;
+    std::deque<double> recent_freqs;
+
+    // Truth corruption saturates at the hardware's own limits: the chamber
+    // over-temperature cutout caps an excursion, and the supply interlocks
+    // cap a glitched output.
+    const auto faulted_temp_c = [&](double base_c, double t_phase) {
+      const double excursed = base_c + faults.chamber_offset_c(t_phase);
+      const double ceiling =
+          std::max(base_c, cfg_.fault_plan.chamber.excursion_ceiling_c);
+      return std::min(excursed, ceiling);
+    };
+    const auto faulted_supply_v = [&](double base_v, double t_phase) {
+      return std::clamp(base_v + faults.supply_offset_v(t_phase),
+                        cfg_.supply.min_v, cfg_.supply.max_v);
+    };
+
+    // Age the chip for `step` seconds under the phase's mode.  Fault
+    // offsets (excursion, glitch) apply only inside the phase body.
+    const auto age = [&](double step, bool in_body, double t_phase) {
+      double temp_k = chamber.temperature_k();
+      double supply_out = supply.output_v();
+      if (in_body) {
+        temp_k = celsius(faulted_temp_c(chamber.temperature_c(), t_phase));
+        supply_out = faulted_supply_v(supply_out, t_phase);
+      }
+      const auto env = phase_condition(phase, supply_out, temp_k);
+      chip_.evolve(phase.mode, env, step);
+      chamber.advance(step);
+      supply.advance(step);
+      t_campaign_ += step;
+    };
+
+    // One logged sample, including retries.  kAccepted means a record was
+    // added (possibly flagged); t_phase advances across retry backoffs.
+    const auto take_sample = [&](double& t_phase) -> SampleStatus {
+      int retries = 0;
+      double backoff = cfg_.retry.backoff_s;
+      for (;;) {
+        if (kill_due()) return SampleStatus::kKilled;
+
+        const double true_temp_c =
+            faulted_temp_c(chamber.temperature_c(), t_phase);
+        const double true_temp_k = celsius(true_temp_c);
+        const double meas_vdd =
+            faulted_supply_v(cfg_.measurement_vdd_v, t_phase);
+
+        // Waking the RO for the gated count is itself a short AC stress at
+        // the measurement supply (the paper's <3 s sampling overhead).  In
+        // AC stress mode the ring is already running; the overhead is then
+        // just part of the stress.
+        const double overhead = rig.sample_duration_s();
+        if (phase.mode != fpga::RoMode::kAcOscillating) {
+          bti::OperatingCondition meas_env;
+          meas_env.voltage_v = meas_vdd;
+          meas_env.temperature_k = true_temp_k;
+          meas_env.gate_stress_duty = 0.5;
+          chip_.evolve(fpga::RoMode::kAcOscillating, meas_env, overhead);
+        }
+        Measurement m =
+            rig.measure(chip_.ro_frequency_hz(meas_vdd, true_temp_k), &faults);
+        const bool comm_ok = !faults.comm_lost();
+        const bool valid = comm_ok && m.valid();
+        const double reported_c =
+            faults.reported_chamber_c(true_temp_c, t_phase);
+
+        bool implausible = false;
+        if (cfg_.watchdog.enabled && valid) {
+          if (std::abs(reported_c - phase.chamber_c) >
+              cfg_.watchdog.max_chamber_error_c) {
+            implausible = true;
+          }
+          if (!recent_freqs.empty()) {
+            const double med = median(
+                std::vector<double>(recent_freqs.begin(), recent_freqs.end()));
+            if (med > 0.0 &&
+                std::abs(m.frequency_hz - med) / med >
+                    cfg_.watchdog.max_frequency_deviation) {
+              implausible = true;
+            }
+          }
+        }
+
+        const auto record = [&](SampleQuality quality) {
+          SampleRecord r;
+          r.test_case = tc_.name;
+          r.chip_id = chip_.id();
+          r.phase = phase.label;
+          r.t_campaign_s = t_campaign_;
+          r.t_phase_s = t_phase;
+          r.chamber_c = reported_c;
+          r.supply_v = phase.supply_v;
+          r.counts = m.counts;
+          r.frequency_hz = m.frequency_hz;
+          r.delay_s = m.delay_s;
+          r.quality = quality;
+          r.retries = retries;
+          attempt_log.add(r);
+        };
+
+        if (valid && !implausible) {
+          record(retries == 0 ? SampleQuality::kGood : SampleQuality::kRetried);
+          if (retries > 0) attempt_report.samples_retried++;
+          consecutive_implausible = 0;
+          recent_freqs.push_back(m.frequency_hz);
+          while (static_cast<int>(recent_freqs.size()) > cfg_.watchdog.window &&
+                 !recent_freqs.empty()) {
+            recent_freqs.pop_front();
+          }
+          return SampleStatus::kAccepted;
+        }
+
+        if (retries < cfg_.retry.max_sample_retries) {
+          // Bounded backoff *in simulated time*: the lab waits, the chip
+          // keeps aging in the phase's mode, and the sample grid shifts.
+          age(backoff, /*in_body=*/true, t_phase);
+          t_phase += backoff;
+          backoff *= cfg_.retry.backoff_multiplier;
+          ++retries;
+          continue;
+        }
+
+        // Retries exhausted: graceful degradation — keep the sample,
+        // flagged, rather than dropping it.
+        if (valid) {
+          record(SampleQuality::kSuspect);
+          attempt_report.samples_suspect++;
+          if (cfg_.watchdog.enabled) {
+            ++consecutive_implausible;
+            if (consecutive_implausible >= cfg_.watchdog.trip_after) {
+              if (allow_trip) return SampleStatus::kTripped;
+              degraded = true;
+            }
+          }
+        } else {
+          m = Measurement{};  // no data came back: log zeros
+          record(SampleQuality::kLost);
+          attempt_report.samples_lost++;
+        }
+        return SampleStatus::kAccepted;
+      }
+    };
+
+    // Stabilize the chamber before the phase clock starts; the chip keeps
+    // aging in the phase's mode at the instantaneous temperature.  The
+    // ramp is outside the fault-event windows.
+    while (!chamber.at_target()) {
+      if (kill_due()) return SampleStatus::kKilled;
+      const double step = std::min(60.0, chamber.seconds_to_target());
+      age(step, /*in_body=*/false, 0.0);
+    }
+
+    // Sample cadence: a reading at t = 0, every sample_every_s, and at the
+    // phase end (retry backoffs shift the grid).
+    double t_phase = 0.0;
+    SampleStatus status = take_sample(t_phase);
+    while (status == SampleStatus::kAccepted && t_phase < phase.duration_s) {
+      if (kill_due()) {
+        status = SampleStatus::kKilled;
+        break;
+      }
+      double step = phase.duration_s - t_phase;
+      if (phase.sample_every_s > 0.0) {
+        step = std::min(step, phase.sample_every_s);
+      }
+      age(step, /*in_body=*/true, t_phase);
+      t_phase += step;
+      status = take_sample(t_phase);
+    }
+
+    if (status == SampleStatus::kKilled) return status;
+    if (status == SampleStatus::kTripped) {
+      attempt_report.phase_aborts++;
+      attempt_report.samples_discarded +=
+          static_cast<int>(attempt_log.size());
+      // The discarded samples leave the log, so their per-sample handling
+      // tallies leave the report too; injected-event counts stay (the
+      // faults really happened, the rewind just erased their damage).
+      attempt_report.samples_retried = 0;
+      attempt_report.samples_suspect = 0;
+      attempt_report.samples_lost = 0;
+      report_.merge(attempt_report);
+      return status;
+    }
+    if (degraded) attempt_report.phases_degraded++;
+    report_.merge(attempt_report);
+    log_.append(attempt_log);
+    return SampleStatus::kAccepted;
+  }
+
+  const RunnerConfig& cfg_;
+  fpga::FpgaChip& chip_;
+  const TestCase& tc_;
+  DataLog log_;
+  FaultReport report_;
+  double t_campaign_ = 0.0;
+};
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("campaign checkpoint: " + what);
+}
+
 }  // namespace
+
+void CampaignCheckpoint::save(std::ostream& os) const {
+  os << "ash-campaign v1\n";
+  os << "next_phase " << next_phase << "\n";
+  os.precision(17);
+  os << "t_campaign " << t_campaign_s << "\n";
+  os << "chamber_c " << chamber_c << "\n";
+  os << "faults " << faults.serialize() << "\n";
+  os << "chip\n" << chip_state;  // the fpga checkpoint ends with "end\n"
+  os << "log\n";
+  log.write_csv(os);
+}
+
+CampaignCheckpoint CampaignCheckpoint::load(std::istream& is) {
+  CampaignCheckpoint ckpt;
+  std::string line;
+  if (!std::getline(is, line) || line != "ash-campaign v1") {
+    fail("bad header");
+  }
+  const auto keyed_line = [&](const char* key) -> std::string {
+    if (!std::getline(is, line)) fail("truncated stream");
+    std::istringstream row(line);
+    std::string got;
+    row >> got;
+    if (got != key) fail(std::string("expected '") + key + "' line");
+    std::string rest;
+    std::getline(row, rest);
+    return rest;
+  };
+  ckpt.next_phase = std::stoi(keyed_line("next_phase"));
+  ckpt.t_campaign_s = std::stod(keyed_line("t_campaign"));
+  ckpt.chamber_c = std::stod(keyed_line("chamber_c"));
+  ckpt.faults = FaultReport::deserialize(keyed_line("faults"));
+  if (!std::getline(is, line) || line != "chip") fail("expected 'chip' line");
+  ckpt.chip_state = fpga::read_embedded_checkpoint(is);
+  if (!std::getline(is, line) || line != "log") fail("expected 'log' line");
+  ckpt.log = DataLog::read_csv(is);
+  return ckpt;
+}
 
 ExperimentRunner::ExperimentRunner(const RunnerConfig& config)
     : config_(config) {}
 
 DataLog ExperimentRunner::run(fpga::FpgaChip& chip,
                               const TestCase& test_case) {
-  // Per-run instrument instances so a runner can serve several campaigns
-  // without noise-state crosstalk.
-  ChamberConfig chamber_cfg = config_.chamber;
-  chamber_cfg.seed = derive_seed(config_.seed, 1);
-  if (config_.instant_chamber) chamber_cfg.ramp_c_per_s = 1e9;
-  if (!test_case.phases.empty()) {
-    chamber_cfg.initial_c = test_case.phases.front().chamber_c;
-  }
-  ThermalChamber chamber(chamber_cfg);
+  return run_campaign(chip, test_case).log;
+}
 
-  SupplyConfig supply_cfg = config_.supply;
-  supply_cfg.seed = derive_seed(config_.seed, 2);
-  PowerSupply supply(supply_cfg);
+CampaignResult ExperimentRunner::run_campaign(fpga::FpgaChip& chip,
+                                              const TestCase& test_case) {
+  CampaignCheckpoint start;
+  start.next_phase = 0;
+  start.t_campaign_s = 0.0;
+  start.chamber_c = test_case.phases.empty()
+                        ? config_.chamber.initial_c
+                        : test_case.phases.front().chamber_c;
+  start.chip_state = fpga::checkpoint_string(chip);
+  return CampaignEngine(config_, chip, test_case).run(start);
+}
 
-  MeasurementConfig rig_cfg = config_.measurement;
-  rig_cfg.seed = derive_seed(config_.seed, 3);
-  MeasurementRig rig(rig_cfg);
+CampaignResult ExperimentRunner::run_campaign(fpga::FpgaChip& chip,
+                                              const TestCase& test_case,
+                                              const CampaignCheckpoint& from) {
+  return CampaignEngine(config_, chip, test_case).run(from);
+}
 
-  DataLog log;
-  double t_campaign = 0.0;
+RunnerConfig tolerant_runner_config(const FaultPlan& plan) {
+  RunnerConfig config;
+  config.fault_plan = plan;
+  // One extra gated reading per sample and a 25 % trimmed mean over them:
+  // the min and max readings are discarded, so a single outlier or dropped
+  // reading costs a little gate time instead of corrupting the sample,
+  // while the surviving readings still average down the gated counter's
+  // quantization (a plain median would keep a full-LSB error).
+  config.measurement.readings_per_sample = 5;
+  config.measurement.estimator = RobustEstimator::kTrimmedMean;
+  config.measurement.trim_fraction = 0.25;
+  return config;
+}
 
-  const auto take_sample = [&](const Phase& phase, double t_phase) {
-    const double temp_k = chamber.temperature_k();
-    // Waking the RO for the gated count is itself a short AC stress at the
-    // measurement supply (the paper's <3 s sampling overhead).  In AC
-    // stress mode the ring is already running; the overhead is then just
-    // part of the stress.
-    const double overhead = rig.sample_duration_s();
-    if (phase.mode != fpga::RoMode::kAcOscillating) {
-      bti::OperatingCondition meas_env;
-      meas_env.voltage_v = config_.measurement_vdd_v;
-      meas_env.temperature_k = temp_k;
-      meas_env.gate_stress_duty = 0.5;
-      chip.evolve(fpga::RoMode::kAcOscillating, meas_env, overhead);
-    }
-    const Measurement m =
-        rig.measure(chip.ro_frequency_hz(config_.measurement_vdd_v, temp_k));
-
-    SampleRecord r;
-    r.test_case = test_case.name;
-    r.chip_id = chip.id();
-    r.phase = phase.label;
-    r.t_campaign_s = t_campaign;
-    r.t_phase_s = t_phase;
-    r.chamber_c = chamber.temperature_c();
-    r.supply_v = phase.supply_v;
-    r.counts = m.counts;
-    r.frequency_hz = m.frequency_hz;
-    r.delay_s = m.delay_s;
-    log.add(r);
-  };
-
-  for (const auto& phase : test_case.phases) {
-    supply.set_voltage(phase.supply_v);
-    chamber.set_target_c(phase.chamber_c);
-
-    // Stabilize the chamber before the phase clock starts; the chip keeps
-    // aging in the phase's mode at the instantaneous temperature.
-    while (!chamber.at_target()) {
-      const double step = std::min(60.0, chamber.seconds_to_target());
-      const auto env =
-          phase_condition(phase, supply.output_v(), chamber.temperature_k());
-      chip.evolve(phase.mode, env, step);
-      chamber.advance(step);
-      supply.advance(step);
-      t_campaign += step;
-    }
-
-    // Sample cadence: a reading at t = 0, every sample_every_s, and at the
-    // phase end.
-    double t_phase = 0.0;
-    take_sample(phase, t_phase);
-    while (t_phase < phase.duration_s) {
-      double step = phase.duration_s - t_phase;
-      if (phase.sample_every_s > 0.0) {
-        step = std::min(step, phase.sample_every_s);
-      }
-      const auto env =
-          phase_condition(phase, supply.output_v(), chamber.temperature_k());
-      chip.evolve(phase.mode, env, step);
-      chamber.advance(step);
-      supply.advance(step);
-      t_phase += step;
-      t_campaign += step;
-      take_sample(phase, t_phase);
-    }
-  }
-
-  return log;
+RunnerConfig naive_runner_config(const FaultPlan& plan) {
+  RunnerConfig config;
+  config.fault_plan = plan;
+  config.watchdog.enabled = false;
+  config.retry.max_sample_retries = 0;
+  config.measurement.estimator = RobustEstimator::kMean;
+  return config;
 }
 
 }  // namespace ash::tb

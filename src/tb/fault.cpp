@@ -1,0 +1,225 @@
+#include "ash/tb/fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace ash::tb {
+
+bool FaultPlan::ideal() const {
+  return chamber.excursion_probability == 0.0 &&
+         chamber.sensor_stuck_probability == 0.0 &&
+         chamber.sensor_drift_c_per_hour == 0.0 &&
+         supply.glitches_per_day == 0.0 &&
+         rig.dropped_reading_probability == 0.0 &&
+         rig.outlier_probability == 0.0 && rig.clock_jump_probability == 0.0 &&
+         comm.loss_probability == 0.0;
+}
+
+FaultPlan FaultPlan::none() { return {}; }
+
+FaultPlan FaultPlan::representative() {
+  FaultPlan p;
+  p.chamber.excursion_probability = 1.0;
+  p.chamber.excursion_magnitude_c = 30.0;
+  p.chamber.excursion_duration_s = 5400.0;
+  p.chamber.sensor_stuck_probability = 0.1;
+  p.supply.glitches_per_day = 0.25;
+  p.rig.dropped_reading_probability = 0.01;
+  p.rig.outlier_probability = 0.01;
+  p.comm.loss_probability = 0.005;
+  return p;
+}
+
+FaultPlan FaultPlan::harsh() {
+  FaultPlan p;
+  p.chamber.excursion_probability = 1.0;
+  p.chamber.excursion_magnitude_c = 40.0;
+  p.chamber.excursion_duration_s = 10800.0;
+  p.chamber.sensor_stuck_probability = 0.5;
+  p.chamber.sensor_drift_c_per_hour = 0.5;
+  p.supply.glitches_per_day = 2.0;
+  p.supply.glitch_delta_v = -0.25;
+  p.supply.glitch_duration_s = 600.0;
+  p.rig.dropped_reading_probability = 0.05;
+  p.rig.outlier_probability = 0.05;
+  p.rig.clock_jump_probability = 0.25;
+  p.rig.clock_jump_ppm = 300.0;
+  p.comm.loss_probability = 0.03;
+  return p;
+}
+
+FaultPlan FaultPlan::by_name(const std::string& name) {
+  if (name == "none") return none();
+  if (name == "representative") return representative();
+  if (name == "harsh") return harsh();
+  throw std::invalid_argument(
+      "FaultPlan::by_name: unknown preset '" + name +
+      "' (expected none|representative|harsh)");
+}
+
+bool FaultReport::clean() const { return *this == FaultReport{}; }
+
+void FaultReport::merge(const FaultReport& other) {
+  chamber_excursions += other.chamber_excursions;
+  sensor_faults += other.sensor_faults;
+  supply_glitches += other.supply_glitches;
+  clock_jumps += other.clock_jumps;
+  readings_dropped += other.readings_dropped;
+  outlier_readings += other.outlier_readings;
+  comm_losses += other.comm_losses;
+  samples_retried += other.samples_retried;
+  samples_suspect += other.samples_suspect;
+  samples_lost += other.samples_lost;
+  phase_aborts += other.phase_aborts;
+  phases_degraded += other.phases_degraded;
+  samples_discarded += other.samples_discarded;
+}
+
+std::string FaultReport::render() const {
+  std::ostringstream os;
+  os << "fault report:\n"
+     << "  injected: " << chamber_excursions << " chamber excursion(s), "
+     << sensor_faults << " sensor fault(s), " << supply_glitches
+     << " supply glitch(es), " << clock_jumps << " clock jump(s)\n"
+     << "  encountered: " << readings_dropped << " dropped reading(s), "
+     << outlier_readings << " outlier reading(s), " << comm_losses
+     << " comm loss(es)\n"
+     << "  handled: " << samples_retried << " sample(s) retried, "
+     << samples_suspect << " flagged suspect, " << samples_lost
+     << " lost, " << phase_aborts << " phase abort(s) ("
+     << samples_discarded << " sample(s) discarded), " << phases_degraded
+     << " phase(s) degraded\n";
+  return os.str();
+}
+
+std::string FaultReport::serialize() const {
+  std::ostringstream os;
+  os << chamber_excursions << ' ' << sensor_faults << ' ' << supply_glitches
+     << ' ' << clock_jumps << ' ' << readings_dropped << ' '
+     << outlier_readings << ' ' << comm_losses << ' ' << samples_retried
+     << ' ' << samples_suspect << ' ' << samples_lost << ' ' << phase_aborts
+     << ' ' << phases_degraded << ' ' << samples_discarded;
+  return os.str();
+}
+
+FaultReport FaultReport::deserialize(const std::string& line) {
+  std::istringstream is(line);
+  FaultReport r;
+  if (!(is >> r.chamber_excursions >> r.sensor_faults >> r.supply_glitches >>
+        r.clock_jumps >> r.readings_dropped >> r.outlier_readings >>
+        r.comm_losses >> r.samples_retried >> r.samples_suspect >>
+        r.samples_lost >> r.phase_aborts >> r.phases_degraded >>
+        r.samples_discarded)) {
+    throw std::runtime_error("FaultReport::deserialize: malformed line");
+  }
+  return r;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, int phase_index,
+                             int attempt, double phase_duration_s,
+                             FaultReport* report)
+    : plan_(plan),
+      rng_(derive_seed(
+          derive_seed(plan.seed, static_cast<std::uint64_t>(phase_index)),
+          static_cast<std::uint64_t>(attempt))),
+      report_(report) {
+  const double recur =
+      std::pow(std::clamp(plan_.event_recurrence, 0.0, 1.0), attempt);
+  const double duration = std::max(phase_duration_s, 0.0);
+
+  // Event windows start anywhere in the phase body and may overhang its
+  // end: a controller runaway does not resolve itself just because the
+  // schedule says the phase is over, so the samples taken at the end of a
+  // phase — the ones the recovery metrics hinge on — are fair game.
+  if (rng_.bernoulli(plan_.chamber.excursion_probability * recur)) {
+    const double len = std::min(plan_.chamber.excursion_duration_s, duration);
+    excursion_begin_s_ = rng_.uniform(0.0, duration);
+    excursion_end_s_ = excursion_begin_s_ + len;
+    excursion_ = len > 0.0;
+    if (excursion_ && report_) report_->chamber_excursions++;
+  }
+
+  if (rng_.bernoulli(plan_.chamber.sensor_stuck_probability * recur)) {
+    const double len =
+        std::min(plan_.chamber.sensor_stuck_duration_s, duration);
+    stuck_begin_s_ = rng_.uniform(0.0, duration);
+    stuck_end_s_ = stuck_begin_s_ + len;
+    sensor_stuck_ = len > 0.0;
+    if (sensor_stuck_ && report_) report_->sensor_faults++;
+  }
+
+  const double p_glitch =
+      std::min(plan_.supply.glitches_per_day * duration / 86400.0, 1.0) *
+      recur;
+  if (rng_.bernoulli(p_glitch)) {
+    const double len = std::min(plan_.supply.glitch_duration_s, duration);
+    glitch_begin_s_ = rng_.uniform(0.0, duration);
+    glitch_end_s_ = glitch_begin_s_ + len;
+    glitch_ = len > 0.0;
+    if (glitch_ && report_) report_->supply_glitches++;
+  }
+
+  if (rng_.bernoulli(plan_.rig.clock_jump_probability * recur)) {
+    clock_offset_ppm_ =
+        (rng_.bernoulli(0.5) ? 1.0 : -1.0) * plan_.rig.clock_jump_ppm;
+    if (report_) report_->clock_jumps++;
+  }
+}
+
+double FaultInjector::chamber_offset_c(double t_phase_s) const {
+  if (excursion_ && t_phase_s >= excursion_begin_s_ &&
+      t_phase_s < excursion_end_s_) {
+    return plan_.chamber.excursion_magnitude_c;
+  }
+  return 0.0;
+}
+
+double FaultInjector::supply_offset_v(double t_phase_s) const {
+  if (glitch_ && t_phase_s >= glitch_begin_s_ && t_phase_s < glitch_end_s_) {
+    return plan_.supply.glitch_delta_v;
+  }
+  return 0.0;
+}
+
+double FaultInjector::reported_chamber_c(double true_c, double t_phase_s) {
+  const double reported =
+      true_c + plan_.chamber.sensor_drift_c_per_hour * (t_phase_s / 3600.0);
+  if (sensor_stuck_ && t_phase_s >= stuck_begin_s_ &&
+      t_phase_s < stuck_end_s_) {
+    if (!stuck_engaged_) {
+      stuck_value_c_ = have_last_reported_ ? last_reported_c_ : reported;
+      stuck_engaged_ = true;
+    }
+    return stuck_value_c_;
+  }
+  have_last_reported_ = true;
+  last_reported_c_ = reported;
+  return reported;
+}
+
+bool FaultInjector::reading_dropped() {
+  const bool fired = rng_.bernoulli(plan_.rig.dropped_reading_probability);
+  if (fired && report_) report_->readings_dropped++;
+  return fired;
+}
+
+bool FaultInjector::reading_outlier() {
+  const bool fired = rng_.bernoulli(plan_.rig.outlier_probability);
+  if (fired && report_) report_->outlier_readings++;
+  return fired;
+}
+
+double FaultInjector::corrupt_counts(double counts) {
+  return counts *
+         rng_.uniform(plan_.rig.outlier_factor_lo, plan_.rig.outlier_factor_hi);
+}
+
+bool FaultInjector::comm_lost() {
+  const bool fired = rng_.bernoulli(plan_.comm.loss_probability);
+  if (fired && report_) report_->comm_losses++;
+  return fired;
+}
+
+}  // namespace ash::tb

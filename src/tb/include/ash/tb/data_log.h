@@ -14,6 +14,21 @@
 
 namespace ash::tb {
 
+/// Per-sample data quality, assigned by the fault-tolerant runner.  Faulty
+/// samples are flagged, never silently dropped: the log keeps the full
+/// campaign story while `delay_series`/`frequency_series` exclude records
+/// that carry no measurement (kLost).
+enum class SampleQuality {
+  kGood = 0,     ///< clean first-attempt measurement
+  kRetried = 1,  ///< clean measurement obtained after >= 1 retry
+  kSuspect = 2,  ///< measured, but implausible (kept and flagged)
+  kLost = 3,     ///< retries exhausted, no data (value fields are zero)
+};
+
+const char* to_string(SampleQuality quality);
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+SampleQuality parse_sample_quality(const std::string& name);
+
 /// One logged measurement.
 struct SampleRecord {
   std::string test_case;   ///< e.g. "chip5"
@@ -21,11 +36,16 @@ struct SampleRecord {
   std::string phase;       ///< Table 1 label, e.g. "AR110N6"
   double t_campaign_s = 0.0;  ///< time since the campaign started
   double t_phase_s = 0.0;     ///< time since the current phase started
-  double chamber_c = 0.0;     ///< chamber temperature at the sample
+  double chamber_c = 0.0;     ///< *reported* chamber temperature (sensor)
   double supply_v = 0.0;      ///< phase supply setpoint
   double counts = 0.0;        ///< averaged counter output
   double frequency_hz = 0.0;  ///< Eq. (14)
   double delay_s = 0.0;       ///< Eq. (15)
+  SampleQuality quality = SampleQuality::kGood;
+  int retries = 0;            ///< measurement attempts beyond the first
+
+  /// True when the record carries a usable measurement (not kLost).
+  bool usable() const { return quality != SampleQuality::kLost; }
 };
 
 /// Append-only sample log with slicing helpers.
@@ -44,10 +64,15 @@ class DataLog {
   /// Distinct phase labels in first-appearance order.
   std::vector<std::string> phases() const;
 
+  /// Number of records carrying the given quality flag.
+  std::size_t count_quality(SampleQuality quality) const;
+
   /// Delay-vs-phase-time series for one phase (seconds vs seconds).
+  /// Records without a usable measurement (kLost) are excluded; flagged but
+  /// measured records (kRetried/kSuspect) are included.
   Series delay_series(const std::string& phase) const;
 
-  /// Frequency-vs-phase-time series for one phase.
+  /// Frequency-vs-phase-time series for one phase (same quality rules).
   Series frequency_series(const std::string& phase) const;
 
   /// Write all records as CSV (header + rows).

@@ -15,17 +15,68 @@
 ///     which briefly interrupts recovery the same way;
 ///   * every logged value passes through the counter model (quantization +
 ///     counting noise + averaging), never the true frequency.
+///
+/// On top of the ideal procedure the runner is a *fault-tolerant campaign
+/// operator*: with a non-ideal `FaultPlan` it retries failed samples with
+/// bounded backoff in simulated time (retries cost aging — the RO must wake
+/// again), rejects outlier readings through the rig's robust estimator,
+/// aborts a phase whose readings stay implausible (watchdog) and rewinds it
+/// from a chip checkpoint, and annotates every logged sample with a quality
+/// flag instead of silently dropping data.  Determinism contract: instrument
+/// noise and fault draws derive from (seed, phase index, attempt), so the
+/// same configuration replays bit-identically — including across a campaign
+/// kill + checkpoint resume.
 
 #include <cstdint>
+#include <iosfwd>
+#include <string>
 
 #include "ash/fpga/chip.h"
 #include "ash/tb/data_log.h"
+#include "ash/tb/fault.h"
 #include "ash/tb/measurement.h"
 #include "ash/tb/power_supply.h"
 #include "ash/tb/test_case.h"
 #include "ash/tb/thermal_chamber.h"
 
 namespace ash::tb {
+
+/// Per-sample retry policy.  A sample attempt can fail outright (chip link
+/// lost, every gated reading dropped) or come back implausible (watchdog
+/// checks); either way the runner waits out a backoff *in simulated time* —
+/// the chip keeps aging in the phase's mode — and measures again, paying the
+/// AC measurement overhead once more.
+struct RetryPolicy {
+  /// Measurement attempts beyond the first (0 = naive single-shot lab).
+  int max_sample_retries = 3;
+  /// First backoff (simulated seconds) before a retry.
+  double backoff_s = 30.0;
+  /// Multiplier on the backoff after each failed retry.
+  double backoff_multiplier = 2.0;
+};
+
+/// Phase watchdog: declares a sample implausible when the reported chamber
+/// temperature strays from the setpoint or the inferred frequency jumps
+/// away from the recent history, and aborts the phase after too many
+/// consecutive implausible samples.  An aborted phase is rewound — chip
+/// state restored from the phase-start checkpoint, campaign clock rolled
+/// back — and re-run as a fresh attempt with fresh instrument/fault seeds.
+/// The last allowed attempt always runs to completion; samples that would
+/// have tripped it are kept and flagged kSuspect (graceful degradation).
+struct WatchdogConfig {
+  bool enabled = true;
+  /// Max |reported chamber - setpoint| tolerated (degC).
+  double max_chamber_error_c = 5.0;
+  /// Max relative deviation of a sample's frequency from the running
+  /// median of recently accepted samples of the same phase attempt.
+  double max_frequency_deviation = 0.05;
+  /// Number of recent accepted samples in that running median.
+  int window = 5;
+  /// Consecutive implausible samples (after retries) that trip the phase.
+  int trip_after = 2;
+  /// Total attempts per phase (first run + watchdog re-runs).
+  int max_phase_attempts = 3;
+};
 
 /// Runner configuration.
 struct RunnerConfig {
@@ -39,7 +90,46 @@ struct RunnerConfig {
   /// chip ages under the phase's mode at the instantaneous temperature.
   bool instant_chamber = true;
   /// Root seed for instrument noise; vary to model run-to-run noise.
-  std::uint64_t seed = 0x99;
+  /// Per-phase/per-attempt instrument streams derive from it.
+  std::uint64_t seed = default_seed(SeedStream::kRunner);
+  /// Fault scenario injected into the campaign (default: ideal lab).
+  FaultPlan fault_plan;
+  RetryPolicy retry;
+  WatchdogConfig watchdog;
+  /// Simulated-time kill switch: when >= 0, the campaign stops once the
+  /// campaign clock reaches this value (mid-phase work of the current
+  /// attempt is discarded) and the result carries completed == false plus a
+  /// resumable checkpoint.  Models an operator stopping the lab.
+  double abort_at_campaign_s = -1.0;
+};
+
+/// Resumable campaign state at a phase boundary.  Serializes as a versioned
+/// text document embedding the fpga chip checkpoint and the sample log CSV.
+struct CampaignCheckpoint {
+  /// Index of the next phase to run (== phase count when complete).
+  int next_phase = 0;
+  double t_campaign_s = 0.0;
+  /// Chamber base temperature at the boundary (the previous setpoint).
+  double chamber_c = 0.0;
+  /// fpga::checkpoint document of the chip's aging state.
+  std::string chip_state;
+  DataLog log;
+  FaultReport faults;
+
+  void save(std::ostream& os) const;
+  /// Throws std::runtime_error on malformed input.
+  static CampaignCheckpoint load(std::istream& is);
+};
+
+/// Outcome of a campaign (or a resumed tail of one).
+struct CampaignResult {
+  DataLog log;
+  FaultReport faults;
+  /// False when the abort_at_campaign_s kill switch fired first.
+  bool completed = true;
+  /// State at the last completed phase boundary — the resume point when
+  /// !completed, the final state otherwise.
+  CampaignCheckpoint checkpoint;
 };
 
 /// The virtual lab operator.
@@ -48,13 +138,35 @@ class ExperimentRunner {
   explicit ExperimentRunner(const RunnerConfig& config);
 
   /// Run the full schedule on the chip, mutating its aging state, and
-  /// return the sample log.
+  /// return the sample log.  Convenience wrapper over run_campaign.
   DataLog run(fpga::FpgaChip& chip, const TestCase& test_case);
+
+  /// Run the full schedule with fault injection and tolerance policies.
+  CampaignResult run_campaign(fpga::FpgaChip& chip,
+                              const TestCase& test_case);
+
+  /// Resume a killed campaign from a checkpoint.  `chip` must be
+  /// constructed with the same parameters as the original run; its aging
+  /// state is overwritten from the checkpoint.  With identical runner
+  /// configuration the resumed tail replays bit-identically to the
+  /// uninterrupted campaign.
+  CampaignResult run_campaign(fpga::FpgaChip& chip,
+                              const TestCase& test_case,
+                              const CampaignCheckpoint& from);
 
   const RunnerConfig& config() const { return config_; }
 
  private:
   RunnerConfig config_;
 };
+
+/// Preset: a lab that expects `plan` and defends against it — robust
+/// (median) reading estimator with one extra reading per sample, retries,
+/// watchdog with checkpoint rewind.
+RunnerConfig tolerant_runner_config(const FaultPlan& plan);
+
+/// Preset: the same dirty lab run naively — single-shot samples, plain
+/// mean over readings, no plausibility checks, no rewinds.
+RunnerConfig naive_runner_config(const FaultPlan& plan);
 
 }  // namespace ash::tb

@@ -1,0 +1,206 @@
+#pragma once
+
+/// \file fault.h
+/// Deterministic fault injection for the virtual lab.
+///
+/// Month-long accelerated campaigns on real hardware are never clean:
+/// chambers overshoot their setpoints, supplies droop, counter readings get
+/// dropped or come back as garbage, and the chip link flakes out.  A
+/// `FaultPlan` describes such a dirty lab as a seeded scenario; a
+/// `FaultInjector` replays one phase attempt of it bit-exactly.  The
+/// experiment runner consults the injector at every step, so the same plan
+/// and seed always produce the same corrupted campaign — fault-handling
+/// code paths are as reproducible as the ideal ones.
+///
+/// Two kinds of corruption are distinguished:
+///   * **truth corruption** (setpoint excursions, supply glitches) changes
+///     what the chip physically experiences — aging really is different;
+///   * **sensor corruption** (stuck/drifting chamber sensor, dropped or
+///     outlier readings, clock jumps, lost chip communication) changes only
+///     what the lab *records*.
+///
+/// Phase-level events are transient: when the runner's watchdog aborts and
+/// re-runs a phase, each event recurs with its probability scaled by
+/// `event_recurrence` per attempt — re-running a ruined session later
+/// rarely hits the same glitch again.
+
+#include <cstdint>
+#include <string>
+
+#include "ash/util/random.h"
+
+namespace ash::tb {
+
+/// Thermal-chamber faults.
+struct ChamberFaults {
+  /// Probability that a phase suffers a setpoint excursion (controller
+  /// runaway): the *actual* chamber temperature overshoots the phase
+  /// setpoint for a window of the phase body.
+  double excursion_probability = 0.0;
+  /// Excursion amplitude (degC above setpoint).
+  double excursion_magnitude_c = 30.0;
+  /// Excursion window length (seconds, clipped to the phase duration).
+  double excursion_duration_s = 5400.0;
+  /// Hardware ceiling of the chamber: an excursion saturates here no
+  /// matter how far the runaway controller pushes (real chambers have an
+  /// over-temperature cutout; the chip model also has a functional limit).
+  double excursion_ceiling_c = 120.0;
+  /// Probability that the chamber's *sensor* sticks for a window of the
+  /// phase: the reported temperature freezes at its last value while the
+  /// chamber itself keeps regulating.
+  double sensor_stuck_probability = 0.0;
+  /// Length of a stuck-sensor window (seconds).
+  double sensor_stuck_duration_s = 3600.0;
+  /// Slow calibration drift of the *reported* temperature (degC per hour
+  /// of phase time); the chamber itself is unaffected.
+  double sensor_drift_c_per_hour = 0.0;
+};
+
+/// DC-supply faults.
+struct SupplyFaults {
+  /// Expected droop/brownout events per simulated day; each phase draws at
+  /// most one event with probability min(1, rate * phase_duration / day).
+  double glitches_per_day = 0.0;
+  /// Depth of the droop (volts added to the programmed output; negative).
+  double glitch_delta_v = -0.15;
+  /// Glitch duration (seconds).
+  double glitch_duration_s = 120.0;
+};
+
+/// Measurement-rig faults.
+struct RigFaults {
+  /// Probability that one gated counter reading is dropped outright (the
+  /// rig then averages over the remaining readings of the sample).
+  double dropped_reading_probability = 0.0;
+  /// Probability that one gated reading comes back corrupted (counter
+  /// glitch / readback bus error): counts are scaled by a factor drawn
+  /// uniformly from [outlier_factor_lo, outlier_factor_hi].
+  double outlier_probability = 0.0;
+  double outlier_factor_lo = 1.5;
+  double outlier_factor_hi = 4.0;
+  /// Probability that a phase runs with the reference clock jumped off
+  /// calibration by +/- clock_jump_ppm (a systematic bias for the phase).
+  double clock_jump_probability = 0.0;
+  double clock_jump_ppm = 200.0;
+};
+
+/// Chip-communication faults.
+struct CommFaults {
+  /// Probability that one sample attempt loses the chip link entirely: the
+  /// measurement happens (the RO wakes and ages) but no data comes back.
+  double loss_probability = 0.0;
+};
+
+/// A complete, seeded fault scenario.  Default-constructed = ideal lab.
+struct FaultPlan {
+  ChamberFaults chamber;
+  SupplyFaults supply;
+  RigFaults rig;
+  CommFaults comm;
+  /// Per-attempt scale factor on phase-event probabilities after a
+  /// watchdog abort (transient faults rarely recur on a re-run).
+  double event_recurrence = 0.25;
+  /// Root seed of every fault draw, independent of instrument noise.
+  std::uint64_t seed = default_seed(SeedStream::kFaultPlan);
+
+  /// True when every fault channel is disabled.
+  bool ideal() const;
+
+  /// Presets.  "representative" is the acceptance scenario: ~1 % dropped
+  /// readings, one chamber excursion per phase, ~one supply glitch per
+  /// multi-day campaign.  "harsh" cranks every channel up.
+  static FaultPlan none();
+  static FaultPlan representative();
+  static FaultPlan harsh();
+  /// Preset lookup by name ("none" | "representative" | "harsh"); throws
+  /// std::invalid_argument for unknown names.
+  static FaultPlan by_name(const std::string& name);
+};
+
+/// End-of-run tally of injected events and the runner's responses.
+struct FaultReport {
+  // Injected environment/instrument events.
+  int chamber_excursions = 0;
+  int sensor_faults = 0;
+  int supply_glitches = 0;
+  int clock_jumps = 0;
+  // Reading/sample-level faults encountered.
+  int readings_dropped = 0;
+  int outlier_readings = 0;
+  int comm_losses = 0;
+  // Runner responses.
+  int samples_retried = 0;   ///< samples that needed at least one retry
+  int samples_suspect = 0;   ///< kept but implausible (flagged kSuspect)
+  int samples_lost = 0;      ///< retries exhausted with no data (kLost)
+  int phase_aborts = 0;      ///< watchdog trips that rewound a phase
+  int phases_degraded = 0;   ///< phases accepted with the watchdog tripped
+  int samples_discarded = 0; ///< samples thrown away by phase rewinds
+
+  /// True when nothing was injected and nothing had to be handled.
+  bool clean() const;
+  /// Field-wise sum.
+  void merge(const FaultReport& other);
+  /// Multi-line human-readable summary.
+  std::string render() const;
+  /// One-line serialization (fixed-order integers) and its inverse.
+  std::string serialize() const;
+  static FaultReport deserialize(const std::string& line);
+
+  bool operator==(const FaultReport&) const = default;
+};
+
+/// Fault state of one phase attempt.  Every draw derives from
+/// (plan.seed, phase_index, attempt), so identical plans replay
+/// bit-identically and a watchdog re-run (attempt + 1) sees fresh,
+/// recurrence-scaled events.  Event windows live on the phase-body clock
+/// and may overhang the end of the phase (a runaway controller does not
+/// stop because the schedule says so); the pre-phase chamber
+/// stabilization ramp is fault-free.
+class FaultInjector {
+ public:
+  /// `report` (optional) is incremented as events are drawn and faults
+  /// fire; it must outlive the injector.
+  FaultInjector(const FaultPlan& plan, int phase_index, int attempt,
+                double phase_duration_s, FaultReport* report = nullptr);
+
+  // --- truth corruption (changes what the chip experiences) ---
+  /// Chamber temperature offset during an excursion (degC; 0 outside).
+  double chamber_offset_c(double t_phase_s) const;
+  /// Supply voltage offset during a glitch (volts; 0 outside).
+  double supply_offset_v(double t_phase_s) const;
+  /// Reference-clock calibration jump for this phase (ppm).
+  double clock_offset_ppm() const { return clock_offset_ppm_; }
+
+  // --- sensor corruption (changes only what is recorded) ---
+  /// The chamber temperature the lab writes into the log for a sample at
+  /// t_phase, given the true (possibly excursed) temperature.  Stateful:
+  /// a stuck-sensor window freezes the last reported value.
+  double reported_chamber_c(double true_c, double t_phase_s);
+
+  // --- per-reading / per-sample stochastic faults (consume RNG state) ---
+  bool reading_dropped();
+  bool reading_outlier();
+  double corrupt_counts(double counts);
+  bool comm_lost();
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  FaultReport* report_;
+  bool excursion_ = false;
+  double excursion_begin_s_ = 0.0;
+  double excursion_end_s_ = 0.0;
+  bool glitch_ = false;
+  double glitch_begin_s_ = 0.0;
+  double glitch_end_s_ = 0.0;
+  double clock_offset_ppm_ = 0.0;
+  bool sensor_stuck_ = false;
+  double stuck_begin_s_ = 0.0;
+  double stuck_end_s_ = 0.0;
+  bool stuck_engaged_ = false;
+  double stuck_value_c_ = 0.0;
+  bool have_last_reported_ = false;
+  double last_reported_c_ = 0.0;
+};
+
+}  // namespace ash::tb

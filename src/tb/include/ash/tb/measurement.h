@@ -15,8 +15,11 @@
 
 #include "ash/fpga/counter.h"
 #include "ash/util/random.h"
+#include "ash/util/stats.h"
 
 namespace ash::tb {
+
+class FaultInjector;
 
 /// Reference clock source with a static calibration error.
 struct ClockGenerator {
@@ -31,16 +34,27 @@ struct ClockGenerator {
 struct MeasurementConfig {
   ClockGenerator clock;
   fpga::CounterConfig counter;
-  /// Readings averaged per logged sample.
+  /// Readings combined per logged sample.
   int readings_per_sample = 4;
-  std::uint64_t seed = 0x5A17;
+  /// How the readings of one sample are combined.  kMean reproduces the
+  /// paper's plain averaging; kMedian / kTrimmedMean reject outlier
+  /// readings injected by a dirty lab.
+  RobustEstimator estimator = RobustEstimator::kMean;
+  /// Fraction trimmed from each tail for kTrimmedMean.
+  double trim_fraction = 0.25;
+  std::uint64_t seed = default_seed(SeedStream::kMeasurement);
 };
 
-/// One averaged measurement.
+/// One combined measurement.
 struct Measurement {
-  double counts = 0.0;        ///< mean gated counts
+  double counts = 0.0;        ///< robust location of the gated counts
   double frequency_hz = 0.0;  ///< inferred oscillator frequency (Eq. 14)
   double delay_s = 0.0;       ///< inferred CUT delay (Eq. 15)
+  int readings_taken = 0;     ///< gated readings attempted
+  int readings_used = 0;      ///< readings that survived (not dropped)
+
+  /// False when every reading of the sample was lost.
+  bool valid() const { return readings_used > 0; }
 };
 
 /// Averaging frequency-measurement rig.
@@ -49,9 +63,13 @@ class MeasurementRig {
   explicit MeasurementRig(const MeasurementConfig& config);
 
   /// Measure a true RO frequency: `readings_per_sample` gated counts are
-  /// taken and averaged.  The counter believes the clock is nominal, so a
-  /// ppm clock error biases the inferred frequency accordingly.
-  Measurement measure(double true_frequency_hz);
+  /// taken and combined by the configured estimator.  The counter believes
+  /// the clock is nominal, so a ppm clock error biases the inferred
+  /// frequency accordingly.  With a fault injector, individual readings may
+  /// be dropped or corrupted; a returned measurement with no surviving
+  /// readings has valid() == false and zero values.
+  Measurement measure(double true_frequency_hz,
+                      FaultInjector* faults = nullptr);
 
   const MeasurementConfig& config() const { return config_; }
 

@@ -24,7 +24,7 @@ struct SupplyConfig {
   /// Output ripple: stationary sigma (volts) and correlation time.
   double ripple_sigma_v = 1e-3;
   double ripple_tau_s = 5.0;
-  std::uint64_t seed = 0xF00D;
+  std::uint64_t seed = default_seed(SeedStream::kSupply);
 };
 
 /// A programmable DC supply with ripple.

@@ -29,7 +29,7 @@ struct ChamberConfig {
   /// Correlation time of the fluctuation (seconds).
   double fluctuation_tau_s = 120.0;
   /// Noise stream seed.
-  std::uint64_t seed = 0xCAFE;
+  std::uint64_t seed = default_seed(SeedStream::kChamber);
 };
 
 /// A setpoint-tracking chamber with realistic fluctuation.

@@ -1,6 +1,9 @@
 #include "ash/tb/measurement.h"
 
 #include <stdexcept>
+#include <vector>
+
+#include "ash/tb/fault.h"
 
 namespace ash::tb {
 
@@ -29,21 +32,34 @@ double MeasurementRig::sample_duration_s() const {
   return gate_s * static_cast<double>(config_.readings_per_sample);
 }
 
-Measurement MeasurementRig::measure(double true_frequency_hz) {
-  double counts = 0.0;
+Measurement MeasurementRig::measure(double true_frequency_hz,
+                                    FaultInjector* faults) {
+  std::vector<double> readings;
+  readings.reserve(static_cast<std::size_t>(config_.readings_per_sample));
+  Measurement m;
   for (int i = 0; i < config_.readings_per_sample; ++i) {
-    counts += counter_.measure(true_frequency_hz).counts;
+    // The counter is gated either way: a dropped reading still costs its
+    // gate time (and counter RNG state), the data just never arrives.
+    double counts = counter_.measure(true_frequency_hz).counts;
+    ++m.readings_taken;
+    if (faults != nullptr) {
+      if (faults->reading_dropped()) continue;
+      if (faults->reading_outlier()) counts = faults->corrupt_counts(counts);
+    }
+    readings.push_back(counts);
   }
-  counts /= static_cast<double>(config_.readings_per_sample);
+  m.readings_used = static_cast<int>(readings.size());
+  if (readings.empty()) return m;  // valid() == false, zero values
+
+  m.counts =
+      robust_location(readings, config_.estimator, config_.trim_fraction);
 
   // Frequency inference uses the *nominal* reference (the experimenter's
   // belief), Eq. (14): f_osc = 2 * Cout * f_ref / gate_periods.
   const double gate_s_believed =
       static_cast<double>(config_.counter.gate_ref_periods) /
       config_.clock.nominal_hz;
-  Measurement m;
-  m.counts = counts;
-  m.frequency_hz = 2.0 * counts / gate_s_believed;
+  m.frequency_hz = 2.0 * m.counts / gate_s_believed;
   m.delay_s = m.frequency_hz > 0.0 ? 1.0 / (2.0 * m.frequency_hz) : 0.0;
   return m;
 }

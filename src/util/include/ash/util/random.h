@@ -33,6 +33,27 @@ constexpr std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t stream) 
   return splitmix64(s);
 }
 
+/// Root seed of the library's default randomness.  Every default instrument
+/// seed is split off this one value (below), so no two instruments ever
+/// share a raw seed by accident.
+inline constexpr std::uint64_t kDefaultSeedRoot = 0xA5E1F0A11ABC0DE5ULL;
+
+/// Named default seed streams.  One entry per stochastic subsystem that has
+/// a seed default; instruments constructed with library defaults draw from
+/// provably distinct streams of `kDefaultSeedRoot`.
+enum class SeedStream : std::uint64_t {
+  kRunner = 1,       ///< ExperimentRunner root (instruments re-derive per phase)
+  kMeasurement = 2,  ///< MeasurementRig counting noise
+  kChamber = 3,      ///< ThermalChamber fluctuation
+  kSupply = 4,       ///< PowerSupply ripple
+  kFaultPlan = 5,    ///< FaultInjector event/corruption draws
+};
+
+/// The default seed of one named stream.
+constexpr std::uint64_t default_seed(SeedStream stream) {
+  return derive_seed(kDefaultSeedRoot, static_cast<std::uint64_t>(stream));
+}
+
 /// Small, fast, high-quality PRNG (xoshiro256**), value-semantic and
 /// trivially copyable so simulation state snapshots capture RNG state too.
 class Rng {

@@ -27,6 +27,28 @@ double percentile(std::vector<double> xs, double p);
 /// Median (50th percentile).
 double median(std::vector<double> xs);
 
+/// Symmetrically trimmed mean: drop the lowest and highest
+/// floor(trim_fraction * n) values, average the rest.  trim_fraction in
+/// [0, 0.5); at 0 this is the plain mean.  Precondition: non-empty.
+double trimmed_mean(std::vector<double> xs, double trim_fraction);
+
+/// Median absolute deviation (raw, no consistency factor): median(|x - median|).
+/// The robust spread estimate used for outlier screening.  Precondition:
+/// non-empty.
+double median_abs_deviation(std::vector<double> xs);
+
+/// Location estimators selectable by the measurement pipeline.  The mean is
+/// the classical (fault-sensitive) choice; the median and trimmed mean
+/// reject gross outliers such as corrupted counter readings.
+enum class RobustEstimator { kMean, kMedian, kTrimmedMean };
+
+const char* to_string(RobustEstimator estimator);
+
+/// Apply the chosen location estimator.  `trim_fraction` only matters for
+/// kTrimmedMean.  Precondition: non-empty.
+double robust_location(std::vector<double> xs, RobustEstimator estimator,
+                       double trim_fraction = 0.25);
+
 /// Root-mean-square error between two equal-length spans.
 double rmse(std::span<const double> a, std::span<const double> b);
 

@@ -43,6 +43,50 @@ double percentile(std::vector<double> xs, double p) {
 
 double median(std::vector<double> xs) { return percentile(std::move(xs), 50.0); }
 
+double trimmed_mean(std::vector<double> xs, double trim_fraction) {
+  assert(!xs.empty());
+  trim_fraction = std::clamp(trim_fraction, 0.0, 0.4999);
+  const auto drop = static_cast<std::size_t>(
+      trim_fraction * static_cast<double>(xs.size()));
+  std::sort(xs.begin(), xs.end());
+  const std::span<const double> kept(xs.data() + drop,
+                                     xs.size() - 2 * drop);
+  return mean(kept);
+}
+
+double median_abs_deviation(std::vector<double> xs) {
+  assert(!xs.empty());
+  const double m = median(xs);
+  for (auto& x : xs) x = std::abs(x - m);
+  return median(std::move(xs));
+}
+
+const char* to_string(RobustEstimator estimator) {
+  switch (estimator) {
+    case RobustEstimator::kMean:
+      return "mean";
+    case RobustEstimator::kMedian:
+      return "median";
+    case RobustEstimator::kTrimmedMean:
+      return "trimmed-mean";
+  }
+  return "?";
+}
+
+double robust_location(std::vector<double> xs, RobustEstimator estimator,
+                       double trim_fraction) {
+  assert(!xs.empty());
+  switch (estimator) {
+    case RobustEstimator::kMean:
+      return mean(xs);
+    case RobustEstimator::kMedian:
+      return median(std::move(xs));
+    case RobustEstimator::kTrimmedMean:
+      return trimmed_mean(std::move(xs), trim_fraction);
+  }
+  return mean(xs);
+}
+
 double rmse(std::span<const double> a, std::span<const double> b) {
   assert(a.size() == b.size() && !a.empty());
   double acc = 0.0;

@@ -1,0 +1,137 @@
+/// Acceptance test for the fault-injection layer: under the representative
+/// dirty-lab plan (one chamber excursion per phase, ~1 % dropped readings,
+/// occasional supply glitches and comm losses), the fault-tolerant campaign
+/// runner must still reproduce the paper's Table 4 headline — the best-case
+/// design-margin-relaxed parameter — within 2 percentage points of the
+/// ideal-lab value, while a naive runner (no retries, no robust estimator,
+/// no watchdog) deviates more.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ash/core/metrics.h"
+#include "ash/fpga/chip.h"
+#include "ash/tb/experiment_runner.h"
+#include "ash/tb/fault.h"
+#include "ash/tb/test_case.h"
+
+namespace {
+
+using namespace ash;
+
+/// First three phases of the chip-5 schedule: burn-in, the 24 h DC stress
+/// and the best-case accelerated recovery (110 degC, -0.3 V) whose
+/// margin-relaxed parameter is the 72.4 % headline.
+tb::TestCase chip5_head() {
+  tb::TestCase tc = tb::campaign_case("AR110N6");
+  tc.phases.resize(3);
+  return tc;
+}
+
+fpga::FpgaChip paper_chip() {
+  fpga::ChipConfig cc;
+  cc.chip_id = 5;
+  cc.seed = 0x40A0 + 5;
+  cc.ro_stages = 15;  // per-device physics; smaller RO keeps the test fast
+  return fpga::FpgaChip(cc);
+}
+
+/// Worst fractional per-sample delay error against the ideal-lab log,
+/// index-aligned over usable records.  The margin headline only reads the
+/// recovery-series endpoints; this covers everything else a downstream
+/// recovery-dynamics fit would consume.
+double worst_sample_error(const tb::DataLog& log, const tb::DataLog& ideal) {
+  std::vector<double> a;
+  std::vector<double> b;
+  for (const auto& r : log.records()) {
+    if (r.usable()) a.push_back(r.delay_s);
+  }
+  for (const auto& r : ideal.records()) {
+    if (r.usable()) b.push_back(r.delay_s);
+  }
+  double worst = 0.0;
+  for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+    worst = std::max(worst, std::abs(a[i] / b[i] - 1.0));
+  }
+  return worst;
+}
+
+double margin_relaxed(const tb::DataLog& log) {
+  double fresh_delay = 0.0;
+  for (const auto& r : log.records()) {
+    if (r.usable()) {
+      fresh_delay = r.delay_s;
+      break;
+    }
+  }
+  return core::design_margin_relaxed(log.delay_series("AR110N6"),
+                                     fresh_delay);
+}
+
+TEST(FaultTolerance, TolerantRunnerReproducesHeadlineUnderFaults) {
+  const auto tc = chip5_head();
+  const auto plan = tb::FaultPlan::representative();
+
+  auto ideal_chip = paper_chip();
+  const auto ideal =
+      tb::ExperimentRunner(tb::RunnerConfig{}).run_campaign(ideal_chip, tc);
+
+  auto tolerant_chip = paper_chip();
+  const auto tolerant = tb::ExperimentRunner(tb::tolerant_runner_config(plan))
+                            .run_campaign(tolerant_chip, tc);
+
+  auto naive_chip = paper_chip();
+  const auto naive = tb::ExperimentRunner(tb::naive_runner_config(plan))
+                         .run_campaign(naive_chip, tc);
+
+  const double m_ideal = margin_relaxed(ideal.log);
+  const double m_tolerant = margin_relaxed(tolerant.log);
+  const double m_naive = margin_relaxed(naive.log);
+
+  // The ideal lab reproduces the Table 4 ballpark (the precise window is
+  // asserted by paper_headlines_test on the full 75-stage chip).
+  EXPECT_GT(m_ideal, 0.6);
+  EXPECT_LT(m_ideal, 0.85);
+
+  // Acceptance criterion: tolerant lab within 2 points of ideal...
+  EXPECT_LE(std::abs(m_tolerant - m_ideal), 0.02)
+      << "tolerant=" << m_tolerant << " ideal=" << m_ideal;
+  // ...and strictly closer than the naive lab under identical faults.
+  EXPECT_GT(std::abs(m_naive - m_ideal), std::abs(m_tolerant - m_ideal))
+      << "naive=" << m_naive << " tolerant=" << m_tolerant
+      << " ideal=" << m_ideal;
+
+  // Beyond the endpoint-robust headline: the tolerant runner's whole
+  // recovery trajectory stays within a couple of percent of the ideal
+  // lab's, while the naive runner writes outlier readings straight into
+  // its log (a single corrupted gated count shifts a sample's delay by
+  // tens of percent).
+  const double traj_tolerant = worst_sample_error(tolerant.log, ideal.log);
+  const double traj_naive = worst_sample_error(naive.log, ideal.log);
+  EXPECT_LT(traj_tolerant, 0.02) << "tolerant trajectory off ideal";
+  EXPECT_GT(traj_naive, 0.05) << "naive log should contain corrupt samples";
+  EXPECT_GT(traj_naive, traj_tolerant);
+
+  // The dirty lab really was dirty, and the tolerant runner really worked.
+  EXPECT_FALSE(tolerant.faults.clean());
+  EXPECT_FALSE(naive.faults.clean());
+}
+
+TEST(FaultTolerance, FaultReportAccountsForEveryFlaggedSample) {
+  const auto tc = chip5_head();
+  auto chip = paper_chip();
+  const auto result =
+      tb::ExperimentRunner(tb::tolerant_runner_config(
+                               tb::FaultPlan::representative()))
+          .run_campaign(chip, tc);
+  const auto yield = core::campaign_yield(result.log);
+  EXPECT_EQ(yield.total, result.log.size());
+  EXPECT_EQ(static_cast<int>(yield.retried), result.faults.samples_retried);
+  EXPECT_EQ(static_cast<int>(yield.suspect), result.faults.samples_suspect);
+  EXPECT_EQ(static_cast<int>(yield.lost), result.faults.samples_lost);
+}
+
+}  // namespace

@@ -86,5 +86,67 @@ TEST(DataLog, AppendMergesLogs) {
   EXPECT_EQ(a.size(), 8u);
 }
 
+TEST(DataLog, QualityFlagsRoundTripThroughCsv) {
+  auto log = sample_log();
+  auto flagged = record("R20Z6", 2400.0, 150.2e-9);
+  flagged.quality = SampleQuality::kRetried;
+  flagged.retries = 2;
+  log.add(flagged);
+  auto lost = record("R20Z6", 3000.0, 0.0);
+  lost.quality = SampleQuality::kLost;
+  lost.counts = 0.0;
+  lost.frequency_hz = 0.0;
+  lost.retries = 3;
+  log.add(lost);
+
+  std::ostringstream os;
+  log.write_csv(os);
+  std::istringstream is(os.str());
+  const auto back = DataLog::read_csv(is);
+  ASSERT_EQ(back.size(), log.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back.records()[i].quality, log.records()[i].quality);
+    EXPECT_EQ(back.records()[i].retries, log.records()[i].retries);
+  }
+  EXPECT_EQ(back.count_quality(SampleQuality::kRetried), 1u);
+  EXPECT_EQ(back.count_quality(SampleQuality::kLost), 1u);
+}
+
+TEST(DataLog, SeriesSkipLostSamplesButKeepFlaggedOnes) {
+  auto log = sample_log();
+  auto suspect = record("R20Z6", 2400.0, 150.2e-9);
+  suspect.quality = SampleQuality::kSuspect;
+  log.add(suspect);
+  auto lost = record("R20Z6", 3000.0, 0.0);
+  lost.quality = SampleQuality::kLost;
+  log.add(lost);
+
+  EXPECT_EQ(log.phase_records("R20Z6").size(), 4u);  // nothing dropped
+  EXPECT_EQ(log.delay_series("R20Z6").size(), 3u);   // lost excluded
+  EXPECT_EQ(log.frequency_series("R20Z6").size(), 3u);
+}
+
+TEST(DataLog, ReadsLegacyCsvWithoutQualityColumns) {
+  // Logs written before fault tolerance carry no quality/retries columns;
+  // they load as all-good.
+  const std::string legacy =
+      "test_case,chip_id,phase,t_campaign_s,t_phase_s,chamber_c,supply_v,"
+      "counts,frequency_hz,delay_s\n"
+      "chip2,2,AS110DC24,1000.0,0.0,110.0,1.2,3300.0,3300000.0,1.5e-7\n";
+  std::istringstream is(legacy);
+  const auto log = DataLog::read_csv(is);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.records()[0].quality, SampleQuality::kGood);
+  EXPECT_EQ(log.records()[0].retries, 0);
+}
+
+TEST(SampleQuality, NamesRoundTrip) {
+  for (const auto q : {SampleQuality::kGood, SampleQuality::kRetried,
+                       SampleQuality::kSuspect, SampleQuality::kLost}) {
+    EXPECT_EQ(parse_sample_quality(to_string(q)), q);
+  }
+  EXPECT_THROW(parse_sample_quality("fine"), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace ash::tb

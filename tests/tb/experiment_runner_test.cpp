@@ -132,6 +132,48 @@ TEST(ExperimentRunner, FiniteChamberRampDelaysTheCampaignClock) {
   EXPECT_NEAR(log_r.phase_records("R20").front().chamber_c, 20.0, 1.0);
 }
 
+TEST(ExperimentRunner, FiniteRampAgesChipAtIntermediateTemperatures) {
+  // A cold DC soak followed by a hot DC phase.  With a finite ramp the
+  // chip spends the 30-minute climb (20 -> 110 degC at 3 degC/min) under
+  // DC stress at the instantaneous temperature, so by the first hot sample
+  // it is more aged than with an instant chamber — but less aged than if
+  // it had spent that half hour at the full 110 degC.
+  TestCase tc;
+  tc.name = "ramp-aging";
+  tc.chip_id = 2;
+  tc.phases = {dc_stress_phase("LOW", 20.0, 2.0, 60.0),
+               dc_stress_phase("HIGH", 110.0, 1.0, 30.0)};
+
+  TestCase tc_hold = tc;
+  tc_hold.phases.insert(tc_hold.phases.begin() + 1,
+                        dc_stress_phase("HOLD110", 110.0, 0.5, 0.0));
+
+  RunnerConfig instant;
+  RunnerConfig ramped;
+  ramped.instant_chamber = false;
+
+  auto chip_i = small_chip();
+  auto chip_r = small_chip();
+  auto chip_h = small_chip();
+  const double d_instant = ExperimentRunner(instant)
+                               .run(chip_i, tc)
+                               .phase_records("HIGH")
+                               .front()
+                               .delay_s;
+  const double d_ramped = ExperimentRunner(ramped)
+                              .run(chip_r, tc)
+                              .phase_records("HIGH")
+                              .front()
+                              .delay_s;
+  const double d_hold = ExperimentRunner(instant)
+                            .run(chip_h, tc_hold)
+                            .phase_records("HIGH")
+                            .front()
+                            .delay_s;
+  EXPECT_LT(d_instant, d_ramped);
+  EXPECT_LT(d_ramped, d_hold);
+}
+
 TEST(ExperimentRunner, MeasurementsAreQuantizedCounts) {
   auto chip = small_chip();
   ExperimentRunner runner{RunnerConfig{}};

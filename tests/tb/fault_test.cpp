@@ -1,0 +1,256 @@
+#include "ash/tb/fault.h"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "ash/core/metrics.h"
+#include "ash/tb/experiment_runner.h"
+#include "ash/tb/test_case.h"
+#include "ash/util/constants.h"
+
+namespace ash::tb {
+namespace {
+
+fpga::FpgaChip small_chip(int id = 2) {
+  fpga::ChipConfig c;
+  c.chip_id = id;
+  c.seed = 42 + static_cast<std::uint64_t>(id);
+  c.ro_stages = 15;
+  return fpga::FpgaChip(c);
+}
+
+TestCase short_case() {
+  TestCase tc;
+  tc.name = "short";
+  tc.chip_id = 2;
+  tc.phases = {dc_stress_phase("STRESS", 110.0, 2.0, /*sample min=*/30.0),
+               recovery_phase("RECOVER", -0.3, 110.0, 0.5, 10.0)};
+  return tc;
+}
+
+void expect_logs_identical(const DataLog& a, const DataLog& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& ra = a.records()[i];
+    const auto& rb = b.records()[i];
+    EXPECT_EQ(ra.phase, rb.phase) << "record " << i;
+    EXPECT_EQ(ra.quality, rb.quality) << "record " << i;
+    EXPECT_EQ(ra.retries, rb.retries) << "record " << i;
+    EXPECT_EQ(ra.t_campaign_s, rb.t_campaign_s) << "record " << i;
+    EXPECT_EQ(ra.t_phase_s, rb.t_phase_s) << "record " << i;
+    EXPECT_EQ(ra.chamber_c, rb.chamber_c) << "record " << i;
+    EXPECT_EQ(ra.counts, rb.counts) << "record " << i;
+    EXPECT_EQ(ra.frequency_hz, rb.frequency_hz) << "record " << i;
+    EXPECT_EQ(ra.delay_s, rb.delay_s) << "record " << i;
+  }
+}
+
+TEST(FaultPlan, PresetsAndLookup) {
+  EXPECT_TRUE(FaultPlan::none().ideal());
+  EXPECT_TRUE(FaultPlan{}.ideal());
+  EXPECT_FALSE(FaultPlan::representative().ideal());
+  EXPECT_FALSE(FaultPlan::harsh().ideal());
+  EXPECT_TRUE(FaultPlan::by_name("none").ideal());
+  EXPECT_FALSE(FaultPlan::by_name("representative").ideal());
+  EXPECT_THROW(FaultPlan::by_name("imaginary"), std::invalid_argument);
+}
+
+TEST(FaultReport, SerializeRoundTripsAndMerges) {
+  FaultReport r;
+  r.chamber_excursions = 2;
+  r.readings_dropped = 17;
+  r.samples_lost = 3;
+  r.phase_aborts = 1;
+  EXPECT_FALSE(r.clean());
+  EXPECT_TRUE(FaultReport{}.clean());
+  EXPECT_EQ(FaultReport::deserialize(r.serialize()), r);
+
+  FaultReport sum = r;
+  sum.merge(r);
+  EXPECT_EQ(sum.chamber_excursions, 4);
+  EXPECT_EQ(sum.readings_dropped, 34);
+  EXPECT_THROW(FaultReport::deserialize("1 2 three"), std::runtime_error);
+}
+
+TEST(FaultInjector, DeterministicPerPhaseAndAttempt) {
+  const auto plan = FaultPlan::harsh();
+  FaultInjector a(plan, /*phase=*/1, /*attempt=*/0, 7200.0);
+  FaultInjector b(plan, 1, 0, 7200.0);
+  for (double t : {0.0, 600.0, 3000.0, 7000.0}) {
+    EXPECT_EQ(a.chamber_offset_c(t), b.chamber_offset_c(t));
+    EXPECT_EQ(a.supply_offset_v(t), b.supply_offset_v(t));
+  }
+  EXPECT_EQ(a.clock_offset_ppm(), b.clock_offset_ppm());
+  // The same phase re-run as a later attempt draws a different scenario
+  // stream (probabilities are also recurrence-scaled).
+  FaultInjector c(plan, 1, 1, 7200.0);
+  bool any_differs = false;
+  for (double t = 0.0; t < 7200.0; t += 60.0) {
+    if (a.chamber_offset_c(t) != c.chamber_offset_c(t) ||
+        a.supply_offset_v(t) != c.supply_offset_v(t)) {
+      any_differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_differs || a.clock_offset_ppm() != c.clock_offset_ppm());
+}
+
+TEST(FaultInjector, ExcursionGuaranteedAtUnitProbability) {
+  FaultPlan plan;
+  plan.chamber.excursion_probability = 1.0;
+  plan.chamber.excursion_magnitude_c = 25.0;
+  plan.chamber.excursion_duration_s = 1000.0;
+  FaultReport report;
+  FaultInjector inj(plan, 0, 0, 7200.0, &report);
+  EXPECT_EQ(report.chamber_excursions, 1);
+  double peak = 0.0;
+  for (double t = 0.0; t < 7200.0; t += 10.0) {
+    peak = std::max(peak, inj.chamber_offset_c(t));
+  }
+  EXPECT_DOUBLE_EQ(peak, 25.0);
+}
+
+TEST(FaultTolerantRunner, IdenticalPlanAndSeedReplayBitIdentically) {
+  RunnerConfig config = tolerant_runner_config(FaultPlan::harsh());
+  auto chip_a = small_chip();
+  auto chip_b = small_chip();
+  const auto ra = ExperimentRunner(config).run_campaign(chip_a, short_case());
+  const auto rb = ExperimentRunner(config).run_campaign(chip_b, short_case());
+  expect_logs_identical(ra.log, rb.log);
+  EXPECT_EQ(ra.faults, rb.faults);
+  EXPECT_EQ(ra.checkpoint.chip_state, rb.checkpoint.chip_state);
+}
+
+TEST(FaultTolerantRunner, HarshLabActuallyFlagsSamples) {
+  RunnerConfig config = tolerant_runner_config(FaultPlan::harsh());
+  auto chip = small_chip();
+  const auto result = ExperimentRunner(config).run_campaign(chip, short_case());
+  EXPECT_FALSE(result.faults.clean());
+  // Flagged samples stay in the log; the series skip only lost ones.
+  EXPECT_EQ(result.log.size(),
+            result.log.count_quality(SampleQuality::kGood) +
+                result.log.count_quality(SampleQuality::kRetried) +
+                result.log.count_quality(SampleQuality::kSuspect) +
+                result.log.count_quality(SampleQuality::kLost));
+}
+
+TEST(FaultTolerantRunner, WatchdogAbortsAndRewindsOnPersistentExcursion) {
+  FaultPlan plan;
+  plan.chamber.excursion_probability = 1.0;
+  plan.chamber.excursion_magnitude_c = 30.0;
+  plan.chamber.excursion_duration_s = 5400.0;
+  RunnerConfig config = tolerant_runner_config(plan);
+  auto chip = small_chip();
+  const auto result = ExperimentRunner(config).run_campaign(chip, short_case());
+  // Attempt 0 of each phase is guaranteed an excursion far beyond the
+  // 5 degC plausibility band, spanning several consecutive samples.
+  EXPECT_GE(result.faults.phase_aborts, 1);
+  EXPECT_GT(result.faults.samples_discarded, 0);
+  EXPECT_TRUE(result.completed);
+  // The discarded attempts never reach the final log.
+  for (const auto& r : result.log.records()) {
+    EXPECT_NE(r.quality, SampleQuality::kLost);
+  }
+}
+
+TEST(NaiveRunner, LosesEverySampleWhenAllReadingsDrop) {
+  FaultPlan plan;
+  plan.rig.dropped_reading_probability = 1.0;
+  RunnerConfig config = naive_runner_config(plan);
+  auto chip = small_chip();
+  const auto result = ExperimentRunner(config).run_campaign(chip, short_case());
+  // Graceful degradation: nothing is silently dropped — every scheduled
+  // sample is logged, flagged kLost, and excluded from the series.
+  EXPECT_GT(result.log.size(), 0u);
+  EXPECT_EQ(result.log.count_quality(SampleQuality::kLost), result.log.size());
+  EXPECT_TRUE(result.log.delay_series("STRESS").empty());
+  EXPECT_EQ(core::campaign_yield(result.log).usable_fraction(), 0.0);
+}
+
+TEST(FaultTolerantRunner, RetriesRecoverSamplesAndCostSimulatedTime) {
+  FaultPlan plan;
+  plan.comm.loss_probability = 0.4;  // frequent, but retries get through
+  RunnerConfig tolerant = tolerant_runner_config(plan);
+  auto chip_a = small_chip();
+  const auto faulty =
+      ExperimentRunner(tolerant).run_campaign(chip_a, short_case());
+  ASSERT_GT(faulty.faults.samples_retried, 0);
+  for (const auto& r : faulty.log.records()) {
+    if (r.quality == SampleQuality::kRetried) {
+      EXPECT_GT(r.retries, 0);
+      EXPECT_GT(r.frequency_hz, 0.0);
+    }
+  }
+  // Backoffs run on the simulated clock, so the dirty campaign finishes
+  // later than the same schedule in a clean lab.
+  auto chip_b = small_chip();
+  const auto clean = ExperimentRunner(tolerant_runner_config(FaultPlan::none()))
+                         .run_campaign(chip_b, short_case());
+  EXPECT_GT(faulty.log.records().back().t_campaign_s,
+            clean.log.records().back().t_campaign_s);
+}
+
+TEST(CampaignCheckpoint, KillAndResumeReplaysBitIdentically) {
+  const auto tc = short_case();
+  RunnerConfig config = tolerant_runner_config(FaultPlan::representative());
+
+  auto chip_ref = small_chip();
+  const auto reference =
+      ExperimentRunner(config).run_campaign(chip_ref, tc);
+  ASSERT_TRUE(reference.completed);
+
+  // Kill the campaign mid-way through the second phase...
+  RunnerConfig killed_cfg = config;
+  killed_cfg.abort_at_campaign_s = hours(2.0) + 600.0;
+  auto chip_kill = small_chip();
+  const auto killed =
+      ExperimentRunner(killed_cfg).run_campaign(chip_kill, tc);
+  EXPECT_FALSE(killed.completed);
+  EXPECT_EQ(killed.checkpoint.next_phase, 1);
+  EXPECT_LT(killed.log.size(), reference.log.size());
+
+  // ...and resume from the checkpoint on a freshly constructed chip.
+  auto chip_resume = small_chip();
+  const auto resumed = ExperimentRunner(config).run_campaign(
+      chip_resume, tc, killed.checkpoint);
+  ASSERT_TRUE(resumed.completed);
+  expect_logs_identical(resumed.log, reference.log);
+  EXPECT_EQ(resumed.faults, reference.faults);
+  EXPECT_EQ(resumed.checkpoint.chip_state, reference.checkpoint.chip_state);
+}
+
+TEST(CampaignCheckpoint, SaveLoadStreamRoundTrip) {
+  RunnerConfig config = tolerant_runner_config(FaultPlan::representative());
+  config.abort_at_campaign_s = hours(1.0);
+  auto chip = small_chip();
+  const auto killed = ExperimentRunner(config).run_campaign(chip, short_case());
+  ASSERT_FALSE(killed.completed);
+
+  std::stringstream stream;
+  killed.checkpoint.save(stream);
+  const auto loaded = CampaignCheckpoint::load(stream);
+
+  EXPECT_EQ(loaded.next_phase, killed.checkpoint.next_phase);
+  EXPECT_DOUBLE_EQ(loaded.t_campaign_s, killed.checkpoint.t_campaign_s);
+  EXPECT_DOUBLE_EQ(loaded.chamber_c, killed.checkpoint.chamber_c);
+  EXPECT_EQ(loaded.chip_state, killed.checkpoint.chip_state);
+  EXPECT_EQ(loaded.faults, killed.checkpoint.faults);
+  ASSERT_EQ(loaded.log.size(), killed.checkpoint.log.size());
+  for (std::size_t i = 0; i < loaded.log.size(); ++i) {
+    EXPECT_EQ(loaded.log.records()[i].quality,
+              killed.checkpoint.log.records()[i].quality);
+    // CSV keeps 6 decimals on times / 9 significant digits on delays.
+    EXPECT_NEAR(loaded.log.records()[i].t_campaign_s,
+                killed.checkpoint.log.records()[i].t_campaign_s, 1e-5);
+    EXPECT_NEAR(loaded.log.records()[i].delay_s,
+                killed.checkpoint.log.records()[i].delay_s, 1e-15);
+  }
+
+  std::istringstream garbage("not a checkpoint\n");
+  EXPECT_THROW(CampaignCheckpoint::load(garbage), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ash::tb

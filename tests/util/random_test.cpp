@@ -26,6 +26,24 @@ TEST(Rng, DifferentSeedsDiverge) {
   EXPECT_LT(equal, 3);
 }
 
+TEST(SeedStreams, DefaultSeedsAreDistinctDerivedStreams) {
+  const std::vector<SeedStream> streams{
+      SeedStream::kRunner, SeedStream::kMeasurement, SeedStream::kChamber,
+      SeedStream::kSupply, SeedStream::kFaultPlan};
+  std::vector<std::uint64_t> seeds;
+  for (const auto s : streams) seeds.push_back(default_seed(s));
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    // Derived, never the raw root or a raw literal.
+    EXPECT_NE(seeds[i], kDefaultSeedRoot);
+    EXPECT_EQ(seeds[i],
+              derive_seed(kDefaultSeedRoot,
+                          static_cast<std::uint64_t>(streams[i])));
+    for (std::size_t j = i + 1; j < seeds.size(); ++j) {
+      EXPECT_NE(seeds[i], seeds[j]);
+    }
+  }
+}
+
 TEST(Rng, UniformStaysInUnitInterval) {
   Rng rng(7);
   for (int i = 0; i < 10000; ++i) {

@@ -95,6 +95,36 @@ TEST(RunningStats, MatchesBatchStatistics) {
   EXPECT_DOUBLE_EQ(rs.max(), 9.0);
 }
 
+TEST(Stats, TrimmedMeanDropsTails) {
+  const std::vector<double> xs{100.0, 1.0, 2.0, 3.0, -50.0};
+  // 20 % trim on n=5 drops one value per tail: mean of {1, 2, 3}.
+  EXPECT_DOUBLE_EQ(trimmed_mean(xs, 0.2), 2.0);
+  // Zero trim is the plain mean.
+  EXPECT_DOUBLE_EQ(trimmed_mean(xs, 0.0), mean(xs));
+}
+
+TEST(Stats, MedianAbsDeviationIgnoresOneOutlier) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 1000.0};
+  EXPECT_DOUBLE_EQ(median_abs_deviation(xs), 1.0);
+}
+
+TEST(Stats, RobustLocationSelectsEstimator) {
+  const std::vector<double> xs{10.0, 11.0, 12.0, 13.0, 1000.0};
+  EXPECT_DOUBLE_EQ(robust_location(xs, RobustEstimator::kMean), mean(xs));
+  EXPECT_DOUBLE_EQ(robust_location(xs, RobustEstimator::kMedian), 12.0);
+  // 25 % trim on n=5 drops one from each tail.
+  EXPECT_DOUBLE_EQ(robust_location(xs, RobustEstimator::kTrimmedMean, 0.25),
+                   12.0);
+  // The robust estimators shrug off the outlier; the mean cannot.
+  EXPECT_GT(robust_location(xs, RobustEstimator::kMean), 200.0);
+}
+
+TEST(Stats, RobustEstimatorNames) {
+  EXPECT_STREQ(to_string(RobustEstimator::kMean), "mean");
+  EXPECT_STREQ(to_string(RobustEstimator::kMedian), "median");
+  EXPECT_STREQ(to_string(RobustEstimator::kTrimmedMean), "trimmed-mean");
+}
+
 TEST(RunningStats, VarianceOfFewSamplesIsZero) {
   RunningStats rs;
   EXPECT_DOUBLE_EQ(rs.variance(), 0.0);

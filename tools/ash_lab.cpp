@@ -3,6 +3,8 @@
 /// Subcommands:
 ///   campaign  — run the paper's Table 1 five-chip campaign, CSV per chip
 ///       ash_lab campaign [--stages 75] [--out DIR] [--seed N]
+///                        [--fault-plan none|representative|harsh]
+///                        [--retry N] [--no-watchdog]
 ///   stress    — one stress + recovery experiment on one chip
 ///       ash_lab stress [--stages 75] [--seed N] [--temp 110] [--hours 24]
 ///                      [--mode dc|ac] [--rec-volts -0.3] [--rec-temp 110]
@@ -42,20 +44,34 @@ int usage() {
 }
 
 int cmd_campaign(const Flags& flags) {
-  flags.check_known({"stages", "out", "seed"});
+  flags.check_known(
+      {"stages", "out", "seed", "fault-plan", "retry", "no-watchdog"});
   const int stages = flags.get("stages", 75);
   const std::string out_dir = flags.get("out", std::string("."));
   const auto seed = static_cast<std::uint64_t>(flags.get("seed", 0x40A0));
+  const auto plan =
+      tb::FaultPlan::by_name(flags.get("fault-plan", std::string("none")));
 
-  tb::ExperimentRunner runner{tb::RunnerConfig{}};
-  Table summary({"chip", "samples", "fresh f (MHz)", "worst degradation"});
+  tb::RunnerConfig rc =
+      plan.ideal() ? tb::RunnerConfig{} : tb::tolerant_runner_config(plan);
+  if (flags.has("retry")) {
+    rc.retry.max_sample_retries = flags.get("retry", 3);
+  }
+  if (flags.get("no-watchdog", false)) rc.watchdog.enabled = false;
+
+  tb::ExperimentRunner runner{rc};
+  tb::FaultReport total_faults;
+  Table summary({"chip", "samples", "usable", "fresh f (MHz)",
+                 "worst degradation"});
   for (const auto& tc : tb::paper_campaign()) {
     fpga::ChipConfig cc;
     cc.chip_id = tc.chip_id;
     cc.seed = seed + static_cast<std::uint64_t>(tc.chip_id);
     cc.ro_stages = stages;
     fpga::FpgaChip chip(cc);
-    const auto log = runner.run(chip, tc);
+    const auto result = runner.run_campaign(chip, tc);
+    const auto& log = result.log;
+    total_faults.merge(result.faults);
 
     const std::string path =
         out_dir + "/campaign_chip" + std::to_string(tc.chip_id) + ".csv";
@@ -66,17 +82,27 @@ int cmd_campaign(const Flags& flags) {
     }
     log.write_csv(os);
 
-    const double fresh = log.records().front().frequency_hz;
+    double fresh = 0.0;
+    for (const auto& r : log.records()) {
+      if (r.usable()) {
+        fresh = r.frequency_hz;
+        break;
+      }
+    }
     double worst = 0.0;
     for (const auto& r : log.records()) {
+      if (!r.usable() || fresh <= 0.0) continue;
       worst = std::max(worst, 1.0 - r.frequency_hz / fresh);
     }
+    const auto yield = core::campaign_yield(log);
     summary.add_row({strformat("%d", tc.chip_id),
                      strformat("%zu", log.size()),
+                     fmt_percent(yield.usable_fraction(), 1),
                      fmt_fixed(fresh / 1e6, 3), fmt_percent(worst, 2)});
     std::printf("wrote %s\n", path.c_str());
   }
   std::printf("%s", summary.render().c_str());
+  if (!total_faults.clean()) std::printf("%s", total_faults.render().c_str());
   return 0;
 }
 
