@@ -40,6 +40,13 @@ struct OdometerConfig {
   bti::TdParameters td = bti::default_td_parameters();
   /// Supply used for reads.
   double read_vdd_v = 1.2;
+  /// Probability that a read attempt returns no data (scan-chain /
+  /// readback bus failure).  The oscillators still wake and age — a
+  /// dropped read is never free — but the reading comes back invalid
+  /// with a NaN estimate.  Consumers (the multi-core telemetry path)
+  /// must tolerate such readings; `mc::CoreFaultPlan` models the same
+  /// channel at fleet scale.
+  double read_dropout_probability = 0.0;
 };
 
 /// One sensor reading.
@@ -47,8 +54,11 @@ struct OdometerReading {
   double stressed_hz = 0.0;
   double reference_hz = 0.0;
   /// Estimated fractional frequency degradation of the stressed mirror,
-  /// already normalized by the t = 0 calibration.
+  /// already normalized by the t = 0 calibration.  NaN when the read
+  /// dropped.
   double degradation_estimate = 0.0;
+  /// False when the readback failed; the frequency fields are then zero.
+  bool valid = true;
 };
 
 /// Two-oscillator differential aging sensor.
@@ -72,7 +82,8 @@ class SiliconOdometer {
   /// Ground truth for tests: the stressed mirror's true degradation.
   double true_degradation(double temp_k) const;
 
-  /// Number of reads taken so far.
+  /// Number of reads taken so far (dropped reads included: they age the
+  /// oscillators too).
   int reads_taken() const { return reads_; }
 
  private:
@@ -81,6 +92,7 @@ class SiliconOdometer {
   RingOscillator reference_;
   FrequencyCounter counter_stressed_;
   FrequencyCounter counter_reference_;
+  Rng dropout_rng_;  ///< read-path failure draws, split from config.seed
   double calibration_ratio_ = 1.0;  ///< f_s/f_r at t = 0 (mismatch cancel)
   double fresh_stressed_hz_ = 0.0;
   int reads_ = 0;

@@ -30,7 +30,8 @@ SiliconOdometer::SiliconOdometer(const OdometerConfig& config)
                              derive_seed(config.seed, 3)),
                  config.delay, config.td, derive_seed(config.seed, 4)),
       counter_stressed_(config.counter, Rng(derive_seed(config.seed, 5))),
-      counter_reference_(config.counter, Rng(derive_seed(config.seed, 6))) {
+      counter_reference_(config.counter, Rng(derive_seed(config.seed, 6))),
+      dropout_rng_(derive_seed(config.seed, 7)) {
   // Factory calibration: record the fresh frequency ratio so the
   // differential readout cancels the static mismatch.
   const double t0 = config_.delay.temp_ref_k;
@@ -70,6 +71,16 @@ OdometerReading SiliconOdometer::read(double temp_k) {
   stressed_.evolve(RoMode::kAcOscillating, read_env, gate_s);
   reference_.evolve(RoMode::kAcOscillating, read_env, gate_s);
   ++reads_;
+
+  // Readback failure: the rings already spun (and aged), but no counts
+  // come home.  The caller gets an invalid reading, not a crash.
+  if (config_.read_dropout_probability > 0.0 &&
+      dropout_rng_.bernoulli(config_.read_dropout_probability)) {
+    OdometerReading r;
+    r.degradation_estimate = std::nan("");
+    r.valid = false;
+    return r;
+  }
 
   OdometerReading r;
   r.stressed_hz =

@@ -1,0 +1,256 @@
+#include "ash/mc/fault.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace ash::mc {
+
+namespace {
+
+constexpr double kSecondsPerDay = 86400.0;
+constexpr double kSecondsPerYear = 365.25 * kSecondsPerDay;
+
+/// Probability of at least one event over dt at a constant hazard rate.
+double hazard_probability(double events_per_s, double dt_s) {
+  if (events_per_s <= 0.0) return 0.0;
+  return 1.0 - std::exp(-events_per_s * dt_s);
+}
+
+}  // namespace
+
+bool CoreFaultPlan::ideal() const {
+  return transient_per_core_day == 0.0 && random_death_per_core_year == 0.0 &&
+         wear_death_per_core_year == 0.0 && stuck_rail_per_core_year == 0.0 &&
+         sensor_noise_v == 0.0 && sensor_dropout_probability == 0.0 &&
+         sensor_stuck_probability == 0.0;
+}
+
+CoreFaultPlan CoreFaultPlan::none() { return {}; }
+
+CoreFaultPlan CoreFaultPlan::representative() {
+  CoreFaultPlan p;
+  p.transient_per_core_day = 0.01;
+  p.random_death_per_core_year = 0.2;
+  p.wear_death_per_core_year = 0.5;
+  p.stuck_rail_per_core_year = 0.08;
+  p.sensor_noise_v = 0.5e-3;
+  p.sensor_dropout_probability = 0.02;
+  p.sensor_stuck_probability = 0.002;
+  return p;
+}
+
+CoreFaultPlan CoreFaultPlan::harsh() {
+  CoreFaultPlan p;
+  p.transient_per_core_day = 0.1;
+  p.random_death_per_core_year = 0.5;
+  p.wear_death_per_core_year = 2.0;
+  p.stuck_rail_per_core_year = 0.3;
+  p.sensor_noise_v = 1.5e-3;
+  p.sensor_dropout_probability = 0.08;
+  p.sensor_stuck_probability = 0.01;
+  p.sensor_stuck_intervals = 16;
+  return p;
+}
+
+CoreFaultPlan CoreFaultPlan::by_name(const std::string& name) {
+  if (name == "none") return none();
+  if (name == "representative") return representative();
+  if (name == "harsh") return harsh();
+  throw std::invalid_argument("CoreFaultPlan::by_name: unknown preset '" +
+                              name + "' (expected none|representative|harsh)");
+}
+
+bool ReliabilityReport::clean() const {
+  // Margin bookkeeping is a mission statistic (recorded even on an ideal
+  // run), not a fault: ignore it in the comparison.
+  ReliabilityReport zero;
+  zero.healthy_margin_exceeded = healthy_margin_exceeded;
+  zero.healthy_time_to_first_margin_s = healthy_time_to_first_margin_s;
+  return *this == zero;
+}
+
+bool ReliabilityReport::accounted() const {
+  return cores_quarantined >= permanent_deaths &&
+         rails_flagged >= stuck_rails &&
+         telemetry_rejections >= sensor_dropouts;
+}
+
+void ReliabilityReport::merge(const ReliabilityReport& other) {
+  transient_faults += other.transient_faults;
+  permanent_deaths += other.permanent_deaths;
+  wear_deaths += other.wear_deaths;
+  stuck_rails += other.stuck_rails;
+  sensor_dropouts += other.sensor_dropouts;
+  sensor_stuck_windows += other.sensor_stuck_windows;
+  cores_quarantined += other.cores_quarantined;
+  margin_quarantines += other.margin_quarantines;
+  quarantine_releases += other.quarantine_releases;
+  rails_flagged += other.rails_flagged;
+  rail_downgrades += other.rail_downgrades;
+  telemetry_rejections += other.telemetry_rejections;
+  assignments_repaired += other.assignments_repaired;
+  failovers += other.failovers;
+  thermal_trips += other.thermal_trips;
+  core_intervals_lost += other.core_intervals_lost;
+  deficit_core_intervals += other.deficit_core_intervals;
+  healthy_margin_exceeded =
+      healthy_margin_exceeded || other.healthy_margin_exceeded;
+  // 0 means "not recorded"; otherwise the earlier crossing wins.
+  if (other.healthy_time_to_first_margin_s > 0.0) {
+    healthy_time_to_first_margin_s =
+        healthy_time_to_first_margin_s > 0.0
+            ? std::min(healthy_time_to_first_margin_s,
+                       other.healthy_time_to_first_margin_s)
+            : other.healthy_time_to_first_margin_s;
+  }
+}
+
+std::string ReliabilityReport::render() const {
+  std::ostringstream os;
+  os << "reliability report:\n"
+     << "  injected: " << transient_faults << " transient fault(s), "
+     << permanent_deaths << " core death(s) (" << wear_deaths
+     << " wearout), " << stuck_rails << " stuck rail(s), " << sensor_dropouts
+     << " sensor dropout(s), " << sensor_stuck_windows
+     << " stuck-sensor window(s)\n"
+     << "  responses: " << cores_quarantined << " quarantine(s) ("
+     << margin_quarantines << " for margin, " << quarantine_releases
+     << " released), " << rails_flagged << " rail(s) flagged ("
+     << rail_downgrades << " downgrade(s)), " << telemetry_rejections
+     << " telemetry rejection(s), " << assignments_repaired
+     << " assignment(s) repaired (" << failovers << " failover(s)), "
+     << thermal_trips << " thermal trip(s)\n"
+     << "  outcomes: " << core_intervals_lost << " core-interval(s) lost, "
+     << deficit_core_intervals << " core-interval(s) of demand deficit, "
+     << "healthy fleet margin "
+     << (healthy_margin_exceeded ? "EXCEEDED" : "held") << "\n";
+  return os.str();
+}
+
+CoreFaultModel::CoreFaultModel(const CoreFaultPlan& plan, int core_count,
+                               double interval_s, ReliabilityReport* report)
+    : plan_(plan),
+      core_count_(core_count),
+      interval_s_(interval_s),
+      report_(report),
+      cores_(static_cast<std::size_t>(core_count)) {
+  if (core_count <= 0) {
+    throw std::invalid_argument("CoreFaultModel: core_count must be positive");
+  }
+  if (interval_s <= 0.0) {
+    throw std::invalid_argument("CoreFaultModel: interval must be positive");
+  }
+}
+
+void CoreFaultModel::begin_interval(long interval_index,
+                                    const std::vector<double>& true_delta_vth) {
+  if (true_delta_vth.size() != static_cast<std::size_t>(core_count_)) {
+    throw std::invalid_argument(
+        "CoreFaultModel::begin_interval: delta_vth size mismatch");
+  }
+  for (int i = 0; i < core_count_; ++i) {
+    auto& c = cores_[static_cast<std::size_t>(i)];
+    // Every (core, interval) pair owns an independent derived stream, so
+    // the fault history replays bit-identically regardless of how many
+    // draws any single interval consumes.
+    c.rng = Rng(derive_seed(derive_seed(plan_.seed, static_cast<std::uint64_t>(i)),
+                            static_cast<std::uint64_t>(interval_index)));
+    c.transient = false;
+    if (c.dead) continue;
+
+    // Permanent death: constant extrinsic hazard plus the wearout hazard
+    // driven by the core's true aging.
+    const double dv = true_delta_vth[static_cast<std::size_t>(i)];
+    double wear_rate = 0.0;
+    if (plan_.wear_death_per_core_year > 0.0 && dv > 0.0 &&
+        plan_.wear_death_ref_v > 0.0) {
+      wear_rate = plan_.wear_death_per_core_year / kSecondsPerYear *
+                  std::pow(dv / plan_.wear_death_ref_v, plan_.wear_death_shape);
+    }
+    const double random_rate = plan_.random_death_per_core_year / kSecondsPerYear;
+    const double p_death =
+        hazard_probability(random_rate + wear_rate, interval_s_);
+    if (c.rng.bernoulli(p_death)) {
+      c.dead = true;
+      // Attribute the death to whichever hazard dominated the draw.
+      c.died_of_wear =
+          random_rate + wear_rate > 0.0 &&
+          c.rng.bernoulli(wear_rate / (random_rate + wear_rate));
+      if (report_) {
+        report_->permanent_deaths++;
+        if (c.died_of_wear) report_->wear_deaths++;
+      }
+      continue;  // dead cores draw nothing further
+    }
+
+    if (c.rng.bernoulli(hazard_probability(
+            plan_.transient_per_core_day / kSecondsPerDay, interval_s_))) {
+      c.transient = true;
+      if (report_) report_->transient_faults++;
+    }
+
+    if (!c.rail_stuck &&
+        c.rng.bernoulli(hazard_probability(
+            plan_.stuck_rail_per_core_year / kSecondsPerYear, interval_s_))) {
+      c.rail_stuck = true;
+      if (report_) report_->stuck_rails++;
+    }
+
+    if (c.stuck_left > 0) {
+      --c.stuck_left;
+    } else if (c.rng.bernoulli(plan_.sensor_stuck_probability)) {
+      c.stuck_left = plan_.sensor_stuck_intervals;
+      c.stuck_value_v =
+          dv + c.rng.normal(0.0, plan_.sensor_noise_v);  // freeze at entry
+      if (report_) report_->sensor_stuck_windows++;
+    }
+  }
+}
+
+bool CoreFaultModel::dead(int core) const {
+  return cores_[static_cast<std::size_t>(core)].dead;
+}
+
+bool CoreFaultModel::transient_faulted(int core) const {
+  return cores_[static_cast<std::size_t>(core)].transient;
+}
+
+bool CoreFaultModel::rail_stuck(int core) const {
+  return cores_[static_cast<std::size_t>(core)].rail_stuck;
+}
+
+int CoreFaultModel::alive_count() const {
+  int alive = 0;
+  for (const auto& c : cores_) alive += c.dead ? 0 : 1;
+  return alive;
+}
+
+CoreStatus CoreFaultModel::status(int core) const {
+  const auto& c = cores_[static_cast<std::size_t>(core)];
+  CoreStatus s;
+  s.responsive = !c.dead && !c.transient;
+  s.rail_ok = !c.rail_stuck;
+  return s;
+}
+
+double CoreFaultModel::measured_delta_vth(int core, double true_v) {
+  auto& c = cores_[static_cast<std::size_t>(core)];
+  if (c.dead) return std::nan("");
+  if (c.rng.bernoulli(plan_.sensor_dropout_probability)) {
+    if (report_) report_->sensor_dropouts++;
+    return std::nan("");
+  }
+  if (c.stuck_left > 0) return c.stuck_value_v;
+  return true_v + c.rng.normal(0.0, plan_.sensor_noise_v);
+}
+
+CoreMode CoreFaultModel::effective_mode(int core, CoreMode commanded) const {
+  const auto& c = cores_[static_cast<std::size_t>(core)];
+  if (c.rail_stuck && commanded == CoreMode::kSleepRejuvenate) {
+    return CoreMode::kSleepPassive;
+  }
+  return commanded;
+}
+
+}  // namespace ash::mc

@@ -1,0 +1,179 @@
+#pragma once
+
+/// \file fault.h
+/// Deterministic core-level fault injection for the multi-core runtime.
+///
+/// The Fig. 10 study assumes a pristine fleet: every core healthy forever,
+/// every scheduler reading ground-truth aging.  Real self-healing managers
+/// live with core failures, flaky rejuvenation rails and noisy wear
+/// telemetry — the RAMP-style lifetime-reliability literature treats core
+/// loss as the first-class event.  A `CoreFaultPlan` describes such a
+/// hostile fleet as a seeded scenario (mirroring `tb/fault.h` for the
+/// single-chip lab); a `CoreFaultModel` replays it bit-exactly: every draw
+/// derives from `(plan.seed, core, interval)` via splitmix seed-splitting,
+/// so the same plan always produces the same fault history regardless of
+/// call order, and a re-run with the same scheduler reproduces the same
+/// `ReliabilityReport`.
+///
+/// Fault channels:
+///   * **transient core fault** — a machine-check / soft-error storm: the
+///     core delivers no work for one interval and misses its heartbeat,
+///     then recovers by itself;
+///   * **permanent core death** — the core goes dark for good.  Two
+///     hazards: a constant extrinsic rate, and a wearout hazard that grows
+///     with the core's true `delta_vth` (aging-correlated death, the
+///     reason self-healing also extends *fleet* survival);
+///   * **stuck rejuvenation rail** — the negative-rail charge pump fails
+///     permanently: the core can still power-gate (passive sleep) but a
+///     commanded `kSleepRejuvenate` silently degrades to passive.  The
+///     rail power-good monitor (`CoreStatus::rail_ok`) exposes it;
+///   * **sensor corruption** — additive noise on every odometer reading,
+///     dropped readings (NaN), and stuck windows that freeze the reported
+///     value (the measured telemetry repeats bit-identically, which is how
+///     a manager can detect the freeze).  Dead cores read NaN.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ash/mc/scheduler.h"
+#include "ash/util/random.h"
+
+namespace ash::mc {
+
+/// A complete, seeded core-fault scenario.  Default-constructed = ideal
+/// fleet (no faults, exact telemetry).
+struct CoreFaultPlan {
+  /// Expected transient faults per core-day.
+  double transient_per_core_day = 0.0;
+  /// Constant extrinsic death hazard (expected deaths per core-year).
+  double random_death_per_core_year = 0.0;
+  /// Wearout death hazard at `delta_vth == wear_death_ref_v` (per
+  /// core-year); scales as (delta_vth / ref)^shape below and above it.
+  double wear_death_per_core_year = 0.0;
+  double wear_death_ref_v = 12e-3;
+  double wear_death_shape = 2.0;
+  /// Rejuvenation-rail failure hazard (expected failures per core-year).
+  double stuck_rail_per_core_year = 0.0;
+  /// Aging-sensor corruption: gaussian noise sigma (volts) on every
+  /// reading, per-reading dropout probability (NaN), and per-interval
+  /// probability of entering a stuck window of `sensor_stuck_intervals`.
+  double sensor_noise_v = 0.0;
+  double sensor_dropout_probability = 0.0;
+  double sensor_stuck_probability = 0.0;
+  int sensor_stuck_intervals = 8;
+  /// Root seed of every fault draw, independent of the BTI physics.
+  std::uint64_t seed = default_seed(SeedStream::kCoreFaultPlan);
+
+  /// True when every fault channel is disabled.
+  bool ideal() const;
+
+  /// Presets.  "representative" is the acceptance scenario: at least one
+  /// permanent core death over the Fig. 10 horizon, a stuck rail or two,
+  /// ~0.5 mV sensor noise with occasional dropouts.  "harsh" cranks every
+  /// channel up.
+  static CoreFaultPlan none();
+  static CoreFaultPlan representative();
+  static CoreFaultPlan harsh();
+  /// Preset lookup by name ("none" | "representative" | "harsh"); throws
+  /// std::invalid_argument for unknown names.
+  static CoreFaultPlan by_name(const std::string& name);
+};
+
+/// End-of-run tally: injected faults, the reliability manager's responses,
+/// and the mission-level outcomes.  Shared between the fault model (which
+/// writes the injections), the `ReliabilityManager` (responses) and the
+/// fault-aware `simulate_system` (outcomes) the way `tb::FaultReport` is
+/// shared across the virtual lab.
+struct ReliabilityReport {
+  // --- injected (the fault plan's doing) ---
+  int transient_faults = 0;
+  int permanent_deaths = 0;
+  int wear_deaths = 0;  ///< subset of permanent_deaths from the wearout hazard
+  int stuck_rails = 0;
+  int sensor_dropouts = 0;
+  int sensor_stuck_windows = 0;
+  // --- manager responses ---
+  int cores_quarantined = 0;    ///< quarantine events (dead or margin)
+  int margin_quarantines = 0;   ///< subset: aging-budget quarantines
+  int quarantine_releases = 0;  ///< healed cores returned to service
+  int rails_flagged = 0;        ///< stuck rails detected and marked passive-only
+  int rail_downgrades = 0;      ///< rejuvenate commands rewritten to passive
+  int telemetry_rejections = 0; ///< NaN/stuck readings replaced by the filter
+  int assignments_repaired = 0; ///< illegal scheduler outputs repaired
+  int failovers = 0;            ///< spare cores woken to cover repairs
+  int thermal_trips = 0;        ///< sustained over-temperature force-sleeps
+  // --- outcomes ---
+  long core_intervals_lost = 0;    ///< active assignments that delivered nothing
+  long deficit_core_intervals = 0; ///< demanded-but-undelivered core-intervals
+  bool healthy_margin_exceeded = false;
+  /// First margin crossing of the *healthy* (alive) fleet; right-censored
+  /// at horizon + interval when it never crossed.
+  double healthy_time_to_first_margin_s = 0.0;
+
+  /// True when nothing was injected and nothing had to be handled.
+  bool clean() const;
+  /// Every injected fault is matched by a manager response: deaths
+  /// quarantined, stuck rails flagged passive-only, dropped readings
+  /// absorbed by the telemetry filter.  (A death in the final detection
+  /// window of a run can legitimately still be pending.)
+  bool accounted() const;
+  /// Field-wise sum (mission outcomes take the worse of the two).
+  void merge(const ReliabilityReport& other);
+  /// Multi-line human-readable summary.
+  std::string render() const;
+
+  bool operator==(const ReliabilityReport&) const = default;
+};
+
+/// Live fault state of one mission.  `begin_interval` must be called once
+/// per interval, in order, before querying the per-core accessors; the
+/// wearout hazard consumes the fleet's true aging.  All draws derive from
+/// `(plan.seed, core, interval)`, so two missions with the same plan and
+/// the same scheduler trajectory are bit-identical.
+class CoreFaultModel {
+ public:
+  /// `report` (optional) is incremented as faults fire; it must outlive
+  /// the model.
+  CoreFaultModel(const CoreFaultPlan& plan, int core_count, double interval_s,
+                 ReliabilityReport* report = nullptr);
+
+  /// Draw this interval's faults.  `true_delta_vth` (size core_count)
+  /// feeds the aging-correlated death hazard.
+  void begin_interval(long interval_index,
+                      const std::vector<double>& true_delta_vth);
+
+  bool dead(int core) const;
+  bool transient_faulted(int core) const;  ///< this interval only
+  bool rail_stuck(int core) const;
+  int alive_count() const;
+
+  /// Heartbeat + rail power-good as the manager observes them.
+  CoreStatus status(int core) const;
+  /// The odometer reading the scheduler receives for `core` given the
+  /// true aging: noisy, possibly frozen by a stuck window, NaN when the
+  /// reading dropped or the core is dead.
+  double measured_delta_vth(int core, double true_v);
+  /// Truth-level mode the core experiences for a commanded mode (a stuck
+  /// rail downgrades rejuvenating sleep to passive).
+  CoreMode effective_mode(int core, CoreMode commanded) const;
+
+ private:
+  struct CoreState {
+    bool dead = false;
+    bool died_of_wear = false;
+    bool transient = false;    // this interval
+    bool rail_stuck = false;
+    int stuck_left = 0;        // remaining stuck-sensor intervals
+    double stuck_value_v = 0.0;
+    Rng rng{0};                // re-derived every interval
+  };
+
+  CoreFaultPlan plan_;
+  int core_count_;
+  double interval_s_;
+  ReliabilityReport* report_;
+  std::vector<CoreState> cores_;
+};
+
+}  // namespace ash::mc

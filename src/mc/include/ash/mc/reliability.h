@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file reliability.h
+/// The reliability manager: a fault-tolerance layer between the system
+/// loop and any scheduling policy.
+///
+/// `ReliabilityManager` wraps a `Scheduler` and makes the Fig. 10 loop
+/// survive the faults of `mc/fault.h`.  It sees only what a real fleet
+/// manager sees — heartbeats, rail power-good signals, noisy odometer
+/// telemetry, last interval's temperatures — and from those it:
+///
+///   * **filters telemetry**: NaN readings and bit-identical repeats
+///     (a frozen sensor) are rejected and replaced by a per-core EMA
+///     estimate, so the inner policy never sorts on NaN or stale values;
+///   * **monitors health with hysteresis**: a core is declared failed
+///     only after `fail_after_intervals` consecutive missed heartbeats,
+///     so one-interval transients don't trigger quarantine;
+///   * **quarantines**: failed cores are force-slept permanently; cores
+///     whose filtered aging blows past the margin are pulled from service
+///     for deep rejuvenation and released once healed (both thresholds
+///     hysteretic);
+///   * **fails over**: when the repaired assignment starves the (clamped)
+///     demand, healthy sleepers are woken, least-aged first;
+///   * **degrades gracefully**: demand beyond the healthy capacity is
+///     clamped and the deficit recorded, never thrown;
+///   * **guards thermals**: a core over the emergency temperature for
+///     `thermal_trip_intervals` consecutive intervals is force-slept for
+///     a cooldown window;
+///   * **repairs illegal scheduler output** (wrong size, quarantined
+///     cores marked active, starved demand) and counts every repair in
+///     the shared `ReliabilityReport` instead of crashing the study.
+
+#include <string>
+#include <vector>
+
+#include "ash/mc/fault.h"
+#include "ash/mc/scheduler.h"
+
+namespace ash::mc {
+
+/// Tunables of the reliability layer.
+struct ReliabilityConfig {
+  /// Consecutive missed heartbeats before a core is declared failed.
+  int fail_after_intervals = 2;
+  /// Aging budget the margin quarantine protects (volts of DeltaVth);
+  /// match SystemConfig::margin_delta_vth_v.
+  double margin_delta_vth_v = 12e-3;
+  /// Margin-quarantine hysteresis, as fractions of the margin: enter
+  /// above, release below.  The enter fraction sits *above* 1 on purpose:
+  /// the manager rescues a core that has already blown its budget (so
+  /// lifetime statistics stay honest) rather than pre-empting the margin
+  /// crossing itself.
+  double quarantine_enter_frac = 1.05;
+  double quarantine_release_frac = 0.7;
+  /// EMA weight of a fresh accepted reading in the telemetry filter.
+  double telemetry_ema_alpha = 0.3;
+  /// Thermal emergency guard: force-sleep after this many consecutive
+  /// intervals above the emergency temperature, for `cooldown` intervals.
+  double emergency_temp_c = 100.0;
+  int thermal_trip_intervals = 3;
+  int thermal_cooldown_intervals = 4;
+};
+
+/// Scheduler wrapper implementing the policies above.  Stateful across
+/// intervals (filters, streaks, quarantine set); construct one per
+/// mission.
+class ReliabilityManager final : public Scheduler {
+ public:
+  /// `report` (optional) receives the manager's response counters; it
+  /// must outlive the manager.  `inner` must outlive it too.
+  ReliabilityManager(Scheduler& inner, ReliabilityConfig config = {},
+                     ReliabilityReport* report = nullptr);
+
+  std::string name() const override;
+  Assignment assign(const SchedulerContext& context) override;
+
+  /// Introspection for tests and benches.
+  bool quarantined(int core) const;
+  bool passive_only(int core) const;
+  int healthy_count() const;
+  /// Filtered (NaN-free) telemetry the inner scheduler last saw.
+  const std::vector<double>& filtered_delta_vth() const { return filtered_; }
+
+ private:
+  struct CoreHealth {
+    int missed_heartbeats = 0;
+    bool failed = false;          // heartbeat quarantine (permanent)
+    bool margin_quarantined = false;
+    bool passive_only = false;    // rail flagged stuck
+    double last_raw = 0.0;        // for frozen-sensor detection
+    bool have_last_raw = false;
+    bool have_filtered = false;   // EMA seeded by the first accepted reading
+    int overtemp_streak = 0;
+    int cooldown_left = 0;
+  };
+
+  void ensure_size(int n);
+  void update_health(const SchedulerContext& ctx, int n);
+  bool available(const CoreHealth& h) const;
+
+  Scheduler* inner_;
+  ReliabilityConfig config_;
+  ReliabilityReport* report_;
+  std::vector<CoreHealth> health_;
+  std::vector<double> filtered_;
+};
+
+}  // namespace ash::mc

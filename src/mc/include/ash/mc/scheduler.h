@@ -31,14 +31,44 @@ enum class CoreMode { kActive, kSleepPassive, kSleepRejuvenate };
 /// Per-interval decision: one mode per core.
 using Assignment = std::vector<CoreMode>;
 
+/// Per-core health observables beyond the aging telemetry: the heartbeat
+/// (did the core respond this interval) and the rejuvenation-rail
+/// power-good monitor.  Real fleet managers see exactly these signals —
+/// not ground truth — and must infer core death and rail failure from
+/// them.
+struct CoreStatus {
+  bool responsive = true;  ///< heartbeat answered this interval
+  bool rail_ok = true;     ///< negative-rail (rejuvenation) power-good
+};
+
 /// What a scheduler sees when deciding.
+///
+/// `delta_vth` is *measured* odometer telemetry, not ground truth: entries
+/// may be noisy, stuck at a stale value, or NaN (dropped reading, dead
+/// core).  Schedulers must tolerate NaN entries; the `ReliabilityManager`
+/// wrapper additionally filters the stream before its inner policy sees
+/// it.  `status` and `temp_c` may be empty (ideal lab, hand-built
+/// contexts): empty means all-healthy / no thermal history.
 struct SchedulerContext {
   int interval_index = 0;
-  /// Cores the workload demands this interval.
+  /// Cores granted to the workload this interval (already clamped to the
+  /// core count by `set_demand`).
   int cores_needed = 0;
-  /// Current per-core threshold shift (volts).
+  /// Demand the clamp could not grant (requested - cores_needed).
+  int demand_deficit = 0;
+  /// Measured per-core threshold shift (volts); NaN = no reading.
   std::vector<double> delta_vth;
+  /// Per-core health observables; empty = assume all healthy.
+  std::vector<CoreStatus> status;
+  /// Previous-interval core temperatures (degC); empty on the first
+  /// interval or when the caller has no thermal model.
+  std::vector<double> temp_c;
   const Floorplan* floorplan = nullptr;
+
+  /// Record the workload's demand, clamped to [0, core_count]; the
+  /// overhang lands in `demand_deficit` instead of poisoning schedulers
+  /// with an unsatisfiable target.  Requires `floorplan` to be set.
+  void set_demand(int requested);
 };
 
 /// Scheduling policy interface.
@@ -47,7 +77,7 @@ class Scheduler {
   virtual ~Scheduler() = default;
   virtual std::string name() const = 0;
   /// Must return exactly core_count() modes with at least `cores_needed`
-  /// active cores (the system validates).
+  /// active cores (the system counts any shortfall as demand deficit).
   virtual Assignment assign(const SchedulerContext& context) = 0;
 };
 

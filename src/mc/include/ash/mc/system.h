@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "ash/bti/closed_form.h"
+#include "ash/mc/fault.h"
 #include "ash/mc/scheduler.h"
 #include "ash/mc/thermal.h"
 #include "ash/mc/workload.h"
@@ -54,10 +55,16 @@ struct SystemConfig {
 /// Study outcome for one scheduler.
 struct SystemResult {
   std::string scheduler;
-  /// Core-seconds of work delivered.
+  /// Core-seconds of work *delivered* (an active assignment on a dead or
+  /// transient-faulted core delivers nothing).
   double throughput_core_s = 0.0;
-  /// First time any core's aging crossed the margin (right-censored at
-  /// horizon + interval when never).
+  /// Core-seconds of demand the fleet could not deliver: workload demand
+  /// beyond the core count, starved assignments, and (under faults) work
+  /// dispatched to cores that failed to do it.  The system records the
+  /// shortfall instead of aborting the study.
+  double demand_deficit_core_s = 0.0;
+  /// First time any *alive* core's aging crossed the margin
+  /// (right-censored at horizon + interval when never).
   double time_to_first_margin_s = 0.0;
   bool margin_exceeded = false;
   /// Per-core end-state aging (volts).
@@ -85,8 +92,27 @@ struct SystemResult {
 SystemResult simulate_system(const SystemConfig& config, Scheduler& scheduler);
 
 /// Run one scheduler against a time-varying workload.  Demand is clamped
-/// to [0, core_count] per interval; config.cores_needed is ignored.
+/// to [0, core_count] per interval (the overhang is recorded as deficit);
+/// config.cores_needed is ignored.
 SystemResult simulate_system(const SystemConfig& config, Scheduler& scheduler,
                              const Workload& workload);
+
+/// Fault-aware study: the scheduler sees *measured* odometer telemetry
+/// (noisy/stuck/NaN per the plan) plus heartbeat and rail status, cores
+/// die and glitch per the plan, and the run never aborts — lost work and
+/// unmet demand are accounted instead.  Wrap the scheduler in a
+/// `ReliabilityManager` sharing the same `report` to get quarantine,
+/// failover and repair; pass a raw scheduler to measure how an unmanaged
+/// policy degrades.  `report` (optional) receives injected-fault counts
+/// and mission outcomes; margin bookkeeping covers the alive fleet.
+SystemResult simulate_system(const SystemConfig& config, Scheduler& scheduler,
+                             const Workload& workload,
+                             const CoreFaultPlan& plan,
+                             ReliabilityReport* report = nullptr);
+
+/// Fault-aware study with constant demand (config.cores_needed).
+SystemResult simulate_system(const SystemConfig& config, Scheduler& scheduler,
+                             const CoreFaultPlan& plan,
+                             ReliabilityReport* report = nullptr);
 
 }  // namespace ash::mc

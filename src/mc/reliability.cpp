@@ -1,0 +1,218 @@
+#include "ash/mc/reliability.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace ash::mc {
+
+ReliabilityManager::ReliabilityManager(Scheduler& inner,
+                                       ReliabilityConfig config,
+                                       ReliabilityReport* report)
+    : inner_(&inner), config_(config), report_(report) {
+  if (config_.fail_after_intervals < 1 || config_.thermal_trip_intervals < 1) {
+    throw std::invalid_argument(
+        "ReliabilityConfig: detection windows must be >= 1 interval");
+  }
+  if (config_.margin_delta_vth_v <= 0.0 ||
+      config_.quarantine_release_frac >= config_.quarantine_enter_frac) {
+    throw std::invalid_argument(
+        "ReliabilityConfig: margin hysteresis must satisfy release < enter");
+  }
+  if (config_.telemetry_ema_alpha <= 0.0 || config_.telemetry_ema_alpha > 1.0) {
+    throw std::invalid_argument(
+        "ReliabilityConfig: telemetry_ema_alpha must be in (0, 1]");
+  }
+}
+
+std::string ReliabilityManager::name() const {
+  return "reliability(" + inner_->name() + ")";
+}
+
+void ReliabilityManager::ensure_size(int n) {
+  if (health_.size() != static_cast<std::size_t>(n)) {
+    health_.assign(static_cast<std::size_t>(n), CoreHealth{});
+    filtered_.assign(static_cast<std::size_t>(n), 0.0);
+  }
+}
+
+bool ReliabilityManager::available(const CoreHealth& h) const {
+  return !h.failed && !h.margin_quarantined && h.cooldown_left == 0;
+}
+
+void ReliabilityManager::update_health(const SchedulerContext& ctx, int n) {
+  for (int i = 0; i < n; ++i) {
+    auto& h = health_[static_cast<std::size_t>(i)];
+    const CoreStatus st = i < static_cast<int>(ctx.status.size())
+                              ? ctx.status[static_cast<std::size_t>(i)]
+                              : CoreStatus{};
+
+    // Rail power-good: once the monitor reports a stuck rail, the core is
+    // passive-only for good (charge pumps don't heal).
+    if (!st.rail_ok && !h.passive_only) {
+      h.passive_only = true;
+      if (report_) report_->rails_flagged++;
+    }
+
+    // Heartbeat with hysteresis: one missed beat is a transient; a streak
+    // is a dead core.
+    if (!st.responsive) {
+      ++h.missed_heartbeats;
+      if (!h.failed && h.missed_heartbeats >= config_.fail_after_intervals) {
+        h.failed = true;
+        if (report_) report_->cores_quarantined++;
+      }
+    } else {
+      h.missed_heartbeats = 0;
+    }
+
+    // Telemetry filter: reject NaN and bit-identical repeats (a frozen
+    // sensor — with live noise two honest readings never repeat exactly),
+    // fold accepted readings into a per-core EMA.
+    const double raw = ctx.delta_vth[static_cast<std::size_t>(i)];
+    bool reject = std::isnan(raw);
+    if (!reject && h.have_last_raw && raw == h.last_raw) reject = true;
+    if (!std::isnan(raw)) {
+      h.last_raw = raw;
+      h.have_last_raw = true;
+    }
+    if (reject) {
+      if (report_) report_->telemetry_rejections++;
+    } else if (!h.have_filtered) {
+      filtered_[static_cast<std::size_t>(i)] = raw;
+      h.have_filtered = true;
+    } else {
+      const double a = config_.telemetry_ema_alpha;
+      filtered_[static_cast<std::size_t>(i)] =
+          (1.0 - a) * filtered_[static_cast<std::size_t>(i)] + a * raw;
+    }
+
+    // Margin quarantine (hysteresis): a core past its aging budget is
+    // pulled from service for deep rejuvenation and released once healed.
+    if (!h.failed) {
+      const double f = filtered_[static_cast<std::size_t>(i)];
+      if (!h.margin_quarantined &&
+          f >= config_.quarantine_enter_frac * config_.margin_delta_vth_v) {
+        h.margin_quarantined = true;
+        if (report_) {
+          report_->margin_quarantines++;
+          report_->cores_quarantined++;
+        }
+      } else if (h.margin_quarantined &&
+                 f <= config_.quarantine_release_frac *
+                          config_.margin_delta_vth_v) {
+        h.margin_quarantined = false;
+        if (report_) report_->quarantine_releases++;
+      }
+    }
+
+    // Thermal emergency guard: sustained over-temperature trips a forced
+    // cooldown sleep.
+    if (h.cooldown_left > 0) {
+      --h.cooldown_left;
+      h.overtemp_streak = 0;
+    } else if (i < static_cast<int>(ctx.temp_c.size()) &&
+               ctx.temp_c[static_cast<std::size_t>(i)] >
+                   config_.emergency_temp_c) {
+      if (++h.overtemp_streak >= config_.thermal_trip_intervals) {
+        h.cooldown_left = config_.thermal_cooldown_intervals;
+        h.overtemp_streak = 0;
+        if (report_) report_->thermal_trips++;
+      }
+    } else {
+      h.overtemp_streak = 0;
+    }
+  }
+}
+
+int ReliabilityManager::healthy_count() const {
+  int healthy = 0;
+  for (const auto& h : health_) healthy += available(h) ? 1 : 0;
+  return healthy;
+}
+
+bool ReliabilityManager::quarantined(int core) const {
+  const auto& h = health_[static_cast<std::size_t>(core)];
+  return h.failed || h.margin_quarantined;
+}
+
+bool ReliabilityManager::passive_only(int core) const {
+  return health_[static_cast<std::size_t>(core)].passive_only;
+}
+
+Assignment ReliabilityManager::assign(const SchedulerContext& ctx) {
+  if (ctx.floorplan == nullptr) {
+    throw std::invalid_argument("ReliabilityManager: missing floorplan");
+  }
+  const int n = ctx.floorplan->core_count();
+  if (ctx.delta_vth.size() != static_cast<std::size_t>(n)) {
+    throw std::invalid_argument("ReliabilityManager: delta_vth size mismatch");
+  }
+  ensure_size(n);
+  update_health(ctx, n);
+
+  // Graceful degradation: demand beyond the healthy capacity is clamped
+  // for the inner policy; the shortfall stays visible as deficit.
+  const int healthy = healthy_count();
+  const int granted = std::min(std::clamp(ctx.cores_needed, 0, n), healthy);
+
+  SchedulerContext inner_ctx = ctx;
+  inner_ctx.delta_vth = filtered_;  // sanitized, never NaN
+  inner_ctx.demand_deficit = ctx.demand_deficit + (ctx.cores_needed - granted);
+  inner_ctx.cores_needed = granted;
+
+  Assignment out = inner_->assign(inner_ctx);
+  bool repaired = false;
+  if (static_cast<int>(out.size()) != n) {
+    out.assign(static_cast<std::size_t>(n), CoreMode::kActive);
+    repaired = true;
+  }
+
+  // Enforce quarantine, cooldown and rail limitations on the assignment.
+  for (int i = 0; i < n; ++i) {
+    auto& h = health_[static_cast<std::size_t>(i)];
+    auto& mode = out[static_cast<std::size_t>(i)];
+    if (h.failed || h.cooldown_left > 0) {
+      if (mode == CoreMode::kActive) repaired = true;
+      mode = CoreMode::kSleepPassive;
+    } else if (h.margin_quarantined) {
+      if (mode == CoreMode::kActive) repaired = true;
+      mode = h.passive_only ? CoreMode::kSleepPassive
+                            : CoreMode::kSleepRejuvenate;
+    }
+    if (h.passive_only && mode == CoreMode::kSleepRejuvenate) {
+      mode = CoreMode::kSleepPassive;
+      if (report_) report_->rail_downgrades++;
+    }
+  }
+
+  // Spare-core failover: if the enforcement (or a starving inner policy)
+  // dropped the active count below the granted demand, wake healthy
+  // sleepers, least-aged first.
+  int active = active_count(out);
+  if (active < granted) {
+    repaired = true;
+    std::vector<int> spares;
+    for (int i = 0; i < n; ++i) {
+      if (out[static_cast<std::size_t>(i)] != CoreMode::kActive &&
+          available(health_[static_cast<std::size_t>(i)])) {
+        spares.push_back(i);
+      }
+    }
+    std::sort(spares.begin(), spares.end(), [&](int a, int b) {
+      return filtered_[static_cast<std::size_t>(a)] <
+             filtered_[static_cast<std::size_t>(b)];
+    });
+    for (int core : spares) {
+      if (active >= granted) break;
+      out[static_cast<std::size_t>(core)] = CoreMode::kActive;
+      ++active;
+      if (report_) report_->failovers++;
+    }
+  }
+  if (repaired && report_) report_->assignments_repaired++;
+  return out;
+}
+
+}  // namespace ash::mc

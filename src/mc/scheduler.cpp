@@ -1,6 +1,7 @@
 #include "ash/mc/scheduler.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <stdexcept>
 
@@ -13,16 +14,36 @@ int validate_context(const SchedulerContext& ctx) {
     throw std::invalid_argument("SchedulerContext: missing floorplan");
   }
   const int n = ctx.floorplan->core_count();
-  if (ctx.cores_needed < 0 || ctx.cores_needed > n) {
-    throw std::invalid_argument("SchedulerContext: cores_needed out of range");
-  }
   if (ctx.delta_vth.size() != static_cast<std::size_t>(n)) {
     throw std::invalid_argument("SchedulerContext: delta_vth size mismatch");
   }
   return n;
 }
 
+/// Demand a policy can actually satisfy.  Out-of-range demand is clamped,
+/// never thrown: an overloaded fleet should degrade (and let the system
+/// account the deficit), not crash the study.
+int satisfiable_demand(const SchedulerContext& ctx, int n) {
+  return std::clamp(ctx.cores_needed, 0, n);
+}
+
+/// Telemetry entry with NaN (dropped reading, dead core) treated as "no
+/// evidence of aging": poisoned entries must not propagate into scores or
+/// sort comparators, where NaN breaks strict weak ordering.
+double telemetry_or_zero(const SchedulerContext& ctx, int core) {
+  const double v = ctx.delta_vth[static_cast<std::size_t>(core)];
+  return std::isnan(v) ? 0.0 : v;
+}
+
 }  // namespace
+
+void SchedulerContext::set_demand(int requested) {
+  if (floorplan == nullptr) {
+    throw std::invalid_argument("SchedulerContext::set_demand: set floorplan first");
+  }
+  cores_needed = std::clamp(requested, 0, floorplan->core_count());
+  demand_deficit = std::max(0, requested - cores_needed);
+}
 
 int active_count(const Assignment& assignment) {
   return static_cast<int>(
@@ -36,7 +57,7 @@ Assignment AllActiveScheduler::assign(const SchedulerContext& ctx) {
 
 Assignment RoundRobinSleepScheduler::assign(const SchedulerContext& ctx) {
   const int n = validate_context(ctx);
-  const int sleepers = n - ctx.cores_needed;
+  const int sleepers = n - satisfiable_demand(ctx, n);
   Assignment out(static_cast<std::size_t>(n), CoreMode::kActive);
   const CoreMode sleep_mode =
       rejuvenate_ ? CoreMode::kSleepRejuvenate : CoreMode::kSleepPassive;
@@ -52,7 +73,7 @@ Assignment RoundRobinSleepScheduler::assign(const SchedulerContext& ctx) {
 
 Assignment HeaterAwareCircadianScheduler::assign(const SchedulerContext& ctx) {
   const int n = validate_context(ctx);
-  const int sleepers = n - ctx.cores_needed;
+  const int sleepers = n - satisfiable_demand(ctx, n);
   Assignment out(static_cast<std::size_t>(n), CoreMode::kActive);
   if (last_slept_.size() != static_cast<std::size_t>(n)) {
     last_slept_.assign(static_cast<std::size_t>(n), -1);
@@ -82,8 +103,9 @@ Assignment HeaterAwareCircadianScheduler::assign(const SchedulerContext& ctx) {
         if (next_to_sleeper && allow_adjacent == 0) continue;
         const double staleness = static_cast<double>(
             ctx.interval_index - last_slept_[static_cast<std::size_t>(core)]);
-        const double aging_mv =
-            ctx.delta_vth[static_cast<std::size_t>(core)] / 1e-3;
+        // NaN telemetry scores as unaged: a core with no reading still
+        // takes its circadian turn, it just never jumps the queue.
+        const double aging_mv = telemetry_or_zero(ctx, core) / 1e-3;
         const double score = 8.0 * staleness + aging_mv;
         if (score > best_score) {
           best_score = score;
@@ -91,6 +113,7 @@ Assignment HeaterAwareCircadianScheduler::assign(const SchedulerContext& ctx) {
         }
       }
     }
+    if (best < 0) break;  // defensive: no pickable core left
     sleeping[static_cast<std::size_t>(best)] = true;
     last_slept_[static_cast<std::size_t>(best)] = ctx.interval_index;
     out[static_cast<std::size_t>(best)] = CoreMode::kSleepRejuvenate;
@@ -100,21 +123,23 @@ Assignment HeaterAwareCircadianScheduler::assign(const SchedulerContext& ctx) {
 
 Assignment ReactiveScheduler::assign(const SchedulerContext& ctx) {
   const int n = validate_context(ctx);
-  const int max_sleepers = n - ctx.cores_needed;
+  const int max_sleepers = n - satisfiable_demand(ctx, n);
   Assignment out(static_cast<std::size_t>(n), CoreMode::kActive);
   if (max_sleepers <= 0) return out;
 
   // Most-aged cores above the threshold sleep, up to the demand cap.
+  // Sorting on raw telemetry would hand NaN to the comparator (undefined
+  // strict-weak-ordering), so poisoned entries sort as unaged and never
+  // trigger the reactive threshold.
   std::vector<int> order(static_cast<std::size_t>(n));
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](int a, int b) {
-    return ctx.delta_vth[static_cast<std::size_t>(a)] >
-           ctx.delta_vth[static_cast<std::size_t>(b)];
+    return telemetry_or_zero(ctx, a) > telemetry_or_zero(ctx, b);
   });
   int slept = 0;
   for (int core : order) {
     if (slept >= max_sleepers) break;
-    if (ctx.delta_vth[static_cast<std::size_t>(core)] < threshold_v_) break;
+    if (telemetry_or_zero(ctx, core) < threshold_v_) break;
     out[static_cast<std::size_t>(core)] = CoreMode::kSleepRejuvenate;
     ++slept;
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 namespace ash::mc {
@@ -27,20 +28,21 @@ void validate(const SystemConfig& c) {
   }
 }
 
-}  // namespace
-
-SystemResult simulate_system(const SystemConfig& config,
-                             Scheduler& scheduler) {
-  const ConstantWorkload workload(config.cores_needed);
-  return simulate_system(config, scheduler, workload);
-}
-
-SystemResult simulate_system(const SystemConfig& config, Scheduler& scheduler,
-                             const Workload& workload) {
+/// One loop serves both the ideal and the fault-aware studies: with no
+/// fault model the telemetry is exact truth and every core lives forever,
+/// so the ideal path reproduces the original simulator bit-for-bit.
+SystemResult run(const SystemConfig& config, Scheduler& scheduler,
+                 const Workload& workload, const CoreFaultPlan* plan,
+                 ReliabilityReport* report) {
   validate(config);
   const Floorplan floorplan(config.columns);
   const ThermalModel thermal(floorplan, config.thermal);
   const int cores = floorplan.core_count();
+
+  std::optional<CoreFaultModel> faults;
+  if (plan != nullptr) {
+    faults.emplace(*plan, cores, config.interval_s, report);
+  }
 
   std::vector<bti::ClosedFormAger> agers(
       static_cast<std::size_t>(cores), bti::ClosedFormAger(config.model));
@@ -57,52 +59,88 @@ SystemResult simulate_system(const SystemConfig& config, Scheduler& scheduler,
   double sleep_temp_sum = 0.0;
   long sleep_core_intervals = 0;
   long core_intervals = 0;
+  std::vector<double> prev_core_temps;  // empty on the first interval
+  std::vector<double> true_vth(static_cast<std::size_t>(cores), 0.0);
 
   for (long k = 0; k < intervals; ++k) {
     const double t_now = static_cast<double>(k) * config.interval_s;
-    const int demand = std::clamp(workload.cores_needed(k, t_now), 0, cores);
+    const int requested = workload.cores_needed(k, t_now);
+
+    for (int i = 0; i < cores; ++i) {
+      true_vth[static_cast<std::size_t>(i)] =
+          agers[static_cast<std::size_t>(i)].delta_vth();
+    }
+    if (faults) faults->begin_interval(k, true_vth);
+
     SchedulerContext ctx;
     ctx.interval_index = static_cast<int>(k);
-    ctx.cores_needed = demand;
     ctx.floorplan = &floorplan;
+    ctx.set_demand(requested);
+    ctx.temp_c = prev_core_temps;
     ctx.delta_vth.reserve(static_cast<std::size_t>(cores));
-    for (const auto& a : agers) ctx.delta_vth.push_back(a.delta_vth());
+    if (faults) {
+      ctx.status.reserve(static_cast<std::size_t>(cores));
+      for (int i = 0; i < cores; ++i) {
+        ctx.delta_vth.push_back(faults->measured_delta_vth(
+            i, true_vth[static_cast<std::size_t>(i)]));
+        ctx.status.push_back(faults->status(i));
+      }
+    } else {
+      ctx.delta_vth = true_vth;
+    }
 
     const Assignment assignment = scheduler.assign(ctx);
     if (static_cast<int>(assignment.size()) != cores) {
       throw std::runtime_error("simulate_system: bad assignment size");
     }
-    if (active_count(assignment) < demand) {
-      throw std::runtime_error(
-          "simulate_system: scheduler starved the workload");
-    }
 
-    // Power map and temperature field.
+    // Power map and temperature field.  Dead cores are dark silicon.
     std::vector<double> powers(static_cast<std::size_t>(cores) + 1,
                                config.cache_power_w);
     double total_power = config.cache_power_w;
     for (int i = 0; i < cores; ++i) {
-      const double p = assignment[static_cast<std::size_t>(i)] ==
-                               CoreMode::kActive
-                           ? config.active_power_w
-                           : config.sleep_power_w;
+      double p = assignment[static_cast<std::size_t>(i)] == CoreMode::kActive
+                     ? config.active_power_w
+                     : config.sleep_power_w;
+      if (faults && faults->dead(i)) p = 0.0;
       powers[static_cast<std::size_t>(i)] = p;
       total_power += p;
     }
     if (total_power > config.tdp_w) ++result.tdp_violations;
     const std::vector<double> temps = thermal.solve_steady_state(powers);
+    prev_core_temps.assign(temps.begin(), temps.begin() + cores);
 
     // Evolve every core under its own condition.
+    int delivered = 0;
     for (int i = 0; i < cores; ++i) {
       const double t_c = temps[static_cast<std::size_t>(i)];
       result.max_temp_c = std::max(result.max_temp_c, t_c);
       ++core_intervals;
+      if (faults && faults->dead(i)) {
+        // Dark: no power, no work, no aging; the state is frozen at death.
+        if (assignment[static_cast<std::size_t>(i)] == CoreMode::kActive &&
+            report != nullptr) {
+          report->core_intervals_lost++;
+        }
+        continue;
+      }
+      const CoreMode mode =
+          faults ? faults->effective_mode(
+                       i, assignment[static_cast<std::size_t>(i)])
+                 : assignment[static_cast<std::size_t>(i)];
       bti::OperatingCondition cond;
-      switch (assignment[static_cast<std::size_t>(i)]) {
+      switch (mode) {
         case CoreMode::kActive:
           cond = bti::ac_stress(config.mission_supply_v, t_c,
                                 config.activity_duty);
-          result.throughput_core_s += config.interval_s;
+          // A transient-faulted core is powered and stressed but does no
+          // useful work that interval.
+          if (faults && faults->transient_faulted(i)) {
+            if (report != nullptr) report->core_intervals_lost++;
+          } else {
+            ++delivered;
+            result.throughput_core_s += config.interval_s;
+          }
           break;
         case CoreMode::kSleepPassive:
           cond = bti::recovery(0.0, t_c);
@@ -118,9 +156,21 @@ SystemResult simulate_system(const SystemConfig& config, Scheduler& scheduler,
       agers[static_cast<std::size_t>(i)].evolve(cond, config.interval_s);
     }
 
-    // Margin bookkeeping and trace.
+    // Demand shortfall: whatever of the *requested* demand was not
+    // actually delivered this interval (overload, starvation, faults).
+    const int deficit = std::max(0, requested - delivered);
+    if (deficit > 0) {
+      result.demand_deficit_core_s +=
+          static_cast<double>(deficit) * config.interval_s;
+      if (report != nullptr) report->deficit_core_intervals += deficit;
+    }
+
+    // Margin bookkeeping and trace over the alive fleet.
     double worst = 0.0;
-    for (const auto& a : agers) worst = std::max(worst, a.delta_vth());
+    for (int i = 0; i < cores; ++i) {
+      if (faults && faults->dead(i)) continue;
+      worst = std::max(worst, agers[static_cast<std::size_t>(i)].delta_vth());
+    }
     if (!result.margin_exceeded && worst >= config.margin_delta_vth_v) {
       result.margin_exceeded = true;
       result.time_to_first_margin_s =
@@ -153,7 +203,38 @@ SystemResult simulate_system(const SystemConfig& config, Scheduler& scheduler,
                            ? static_cast<double>(sleep_core_intervals) /
                                  static_cast<double>(core_intervals)
                            : 0.0;
+  if (report != nullptr) {
+    report->healthy_margin_exceeded = result.margin_exceeded;
+    report->healthy_time_to_first_margin_s = result.time_to_first_margin_s;
+  }
   return result;
+}
+
+}  // namespace
+
+SystemResult simulate_system(const SystemConfig& config,
+                             Scheduler& scheduler) {
+  const ConstantWorkload workload(config.cores_needed);
+  return run(config, scheduler, workload, nullptr, nullptr);
+}
+
+SystemResult simulate_system(const SystemConfig& config, Scheduler& scheduler,
+                             const Workload& workload) {
+  return run(config, scheduler, workload, nullptr, nullptr);
+}
+
+SystemResult simulate_system(const SystemConfig& config, Scheduler& scheduler,
+                             const Workload& workload,
+                             const CoreFaultPlan& plan,
+                             ReliabilityReport* report) {
+  return run(config, scheduler, workload, &plan, report);
+}
+
+SystemResult simulate_system(const SystemConfig& config, Scheduler& scheduler,
+                             const CoreFaultPlan& plan,
+                             ReliabilityReport* report) {
+  const ConstantWorkload workload(config.cores_needed);
+  return run(config, scheduler, workload, &plan, report);
 }
 
 }  // namespace ash::mc

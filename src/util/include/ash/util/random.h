@@ -47,6 +47,7 @@ enum class SeedStream : std::uint64_t {
   kChamber = 3,      ///< ThermalChamber fluctuation
   kSupply = 4,       ///< PowerSupply ripple
   kFaultPlan = 5,    ///< FaultInjector event/corruption draws
+  kCoreFaultPlan = 6,  ///< mc::CoreFaultModel core-fault draws
 };
 
 /// The default seed of one named stream.

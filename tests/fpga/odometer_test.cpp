@@ -89,6 +89,40 @@ TEST(Odometer, DifferentialCancelsTemperatureOfTheRead) {
   EXPECT_NEAR(cold, hot, 0.15 * cold);
 }
 
+TEST(Odometer, ReadDropoutsAreInvalidNaNButStillAge) {
+  OdometerConfig c;
+  c.read_dropout_probability = 0.3;
+  SiliconOdometer odo(c);
+  int dropped = 0;
+  const int reads = 400;
+  for (int i = 0; i < reads; ++i) {
+    const auto r = odo.read(kRoom);
+    if (!r.valid) {
+      ++dropped;
+      EXPECT_TRUE(std::isnan(r.degradation_estimate));
+      EXPECT_DOUBLE_EQ(r.stressed_hz, 0.0);
+    } else {
+      EXPECT_FALSE(std::isnan(r.degradation_estimate));
+    }
+  }
+  // ~30% of reads drop (binomial, +-5 sigma), and every attempt — dropped
+  // or not — spun the rings.
+  EXPECT_NEAR(dropped, 0.3 * reads, 5.0 * std::sqrt(reads * 0.3 * 0.7));
+  EXPECT_EQ(odo.reads_taken(), reads);
+}
+
+TEST(Odometer, DropoutsAreOffByDefaultAndSeedDeterministic) {
+  auto odo = make_odometer();
+  for (int i = 0; i < 200; ++i) EXPECT_TRUE(odo.read(kRoom).valid);
+  OdometerConfig c;
+  c.read_dropout_probability = 0.2;
+  SiliconOdometer a(c);
+  SiliconOdometer b(c);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.read(kRoom).valid, b.read(kRoom).valid) << "read " << i;
+  }
+}
+
 TEST(Odometer, DeterministicForSameSeed) {
   auto a = make_odometer(7);
   auto b = make_odometer(7);

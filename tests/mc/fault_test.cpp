@@ -1,0 +1,275 @@
+#include "ash/mc/fault.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ash::mc {
+namespace {
+
+constexpr double kIntervalS = 6.0 * 3600.0;
+
+std::vector<double> flat_truth(double v = 5e-3) {
+  return std::vector<double>(8, v);
+}
+
+TEST(CoreFaultPlan, PresetsByName) {
+  EXPECT_TRUE(CoreFaultPlan::by_name("none").ideal());
+  EXPECT_FALSE(CoreFaultPlan::by_name("representative").ideal());
+  EXPECT_FALSE(CoreFaultPlan::by_name("harsh").ideal());
+  EXPECT_THROW(CoreFaultPlan::by_name("nope"), std::invalid_argument);
+  // Harsh dominates representative on every hazard.
+  const auto rep = CoreFaultPlan::representative();
+  const auto harsh = CoreFaultPlan::harsh();
+  EXPECT_GT(harsh.transient_per_core_day, rep.transient_per_core_day);
+  EXPECT_GT(harsh.random_death_per_core_year, rep.random_death_per_core_year);
+  EXPECT_GT(harsh.sensor_dropout_probability, rep.sensor_dropout_probability);
+}
+
+TEST(CoreFaultPlan, DefaultIsIdeal) {
+  CoreFaultPlan p;
+  EXPECT_TRUE(p.ideal());
+  p.sensor_noise_v = 1e-3;
+  EXPECT_FALSE(p.ideal());
+}
+
+TEST(CoreFaultModel, ValidatesArguments) {
+  EXPECT_THROW(CoreFaultModel(CoreFaultPlan{}, 0, kIntervalS),
+               std::invalid_argument);
+  EXPECT_THROW(CoreFaultModel(CoreFaultPlan{}, 8, 0.0), std::invalid_argument);
+  CoreFaultModel m(CoreFaultPlan{}, 8, kIntervalS);
+  EXPECT_THROW(m.begin_interval(0, std::vector<double>(3, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(CoreFaultModel, IdealPlanIsTransparent) {
+  ReliabilityReport report;
+  CoreFaultModel m(CoreFaultPlan::none(), 8, kIntervalS, &report);
+  const auto truth = flat_truth();
+  for (long k = 0; k < 50; ++k) {
+    m.begin_interval(k, truth);
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_FALSE(m.dead(i));
+      EXPECT_TRUE(m.status(i).responsive);
+      EXPECT_TRUE(m.status(i).rail_ok);
+      EXPECT_DOUBLE_EQ(m.measured_delta_vth(i, truth[static_cast<std::size_t>(i)]),
+                       truth[static_cast<std::size_t>(i)]);
+      EXPECT_EQ(m.effective_mode(i, CoreMode::kSleepRejuvenate),
+                CoreMode::kSleepRejuvenate);
+    }
+  }
+  EXPECT_EQ(m.alive_count(), 8);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(CoreFaultModel, SameSeedReplaysBitIdentically) {
+  const auto plan = CoreFaultPlan::harsh();
+  ReliabilityReport ra;
+  ReliabilityReport rb;
+  CoreFaultModel a(plan, 8, kIntervalS, &ra);
+  CoreFaultModel b(plan, 8, kIntervalS, &rb);
+  const long intervals = 400;
+  for (long k = 0; k < intervals; ++k) {
+    // Aging trajectory rises over the run so the wearout hazard engages.
+    const auto truth = flat_truth(1e-3 + 10e-3 * static_cast<double>(k) /
+                                             static_cast<double>(intervals));
+    a.begin_interval(k, truth);
+    b.begin_interval(k, truth);
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_EQ(a.dead(i), b.dead(i)) << "core " << i << " interval " << k;
+      ASSERT_EQ(a.transient_faulted(i), b.transient_faulted(i));
+      ASSERT_EQ(a.rail_stuck(i), b.rail_stuck(i));
+      const double ma =
+          a.measured_delta_vth(i, truth[static_cast<std::size_t>(i)]);
+      const double mb =
+          b.measured_delta_vth(i, truth[static_cast<std::size_t>(i)]);
+      // NaN == NaN is false; compare the bit pattern of the channel.
+      ASSERT_EQ(std::isnan(ma), std::isnan(mb));
+      if (!std::isnan(ma)) {
+        ASSERT_DOUBLE_EQ(ma, mb);
+      }
+    }
+  }
+  EXPECT_EQ(ra, rb);
+  EXPECT_FALSE(ra.clean());  // harsh over 100 days must inject something
+}
+
+TEST(CoreFaultModel, SeedChangesTheHistory) {
+  auto plan = CoreFaultPlan::harsh();
+  ReliabilityReport ra;
+  CoreFaultModel a(plan, 8, kIntervalS, &ra);
+  plan.seed ^= 0x9E3779B97F4A7C15ull;
+  ReliabilityReport rb;
+  CoreFaultModel b(plan, 8, kIntervalS, &rb);
+  const auto truth = flat_truth();
+  for (long k = 0; k < 400; ++k) {
+    a.begin_interval(k, truth);
+    b.begin_interval(k, truth);
+    for (int i = 0; i < 8; ++i) {
+      a.measured_delta_vth(i, truth[static_cast<std::size_t>(i)]);
+      b.measured_delta_vth(i, truth[static_cast<std::size_t>(i)]);
+    }
+  }
+  EXPECT_NE(ra, rb);
+}
+
+TEST(CoreFaultModel, DeadCoresStayDeadAndReadNaN) {
+  auto plan = CoreFaultPlan::none();
+  plan.random_death_per_core_year = 50.0;  // deaths come quickly
+  ReliabilityReport report;
+  CoreFaultModel m(plan, 8, kIntervalS, &report);
+  const auto truth = flat_truth();
+  int first_dead = -1;
+  for (long k = 0; k < 200 && first_dead < 0; ++k) {
+    m.begin_interval(k, truth);
+    for (int i = 0; i < 8; ++i) {
+      if (m.dead(i)) {
+        first_dead = i;
+        break;
+      }
+    }
+  }
+  ASSERT_GE(first_dead, 0) << "hazard of 50/core-year produced no death";
+  EXPECT_FALSE(m.status(first_dead).responsive);
+  EXPECT_TRUE(std::isnan(m.measured_delta_vth(first_dead, 5e-3)));
+  EXPECT_LT(m.alive_count(), 8);
+  const int deaths_so_far = report.permanent_deaths;
+  // Death is permanent: the core never comes back.
+  m.begin_interval(500, truth);
+  EXPECT_TRUE(m.dead(first_dead));
+  EXPECT_GE(report.permanent_deaths, deaths_so_far);
+}
+
+TEST(CoreFaultModel, WearHazardPrefersAgedCores) {
+  // With only the wearout channel enabled, deaths should concentrate on
+  // the aged half of the fleet.
+  auto plan = CoreFaultPlan::none();
+  plan.wear_death_per_core_year = 20.0;
+  plan.wear_death_ref_v = 12e-3;
+  std::vector<double> truth(8, 0.5e-3);
+  for (int i = 4; i < 8; ++i) truth[static_cast<std::size_t>(i)] = 15e-3;
+  ReliabilityReport report;
+  CoreFaultModel m(plan, 8, kIntervalS, &report);
+  for (long k = 0; k < 400; ++k) m.begin_interval(k, truth);
+  int young_dead = 0;
+  int old_dead = 0;
+  for (int i = 0; i < 8; ++i) {
+    (i < 4 ? young_dead : old_dead) += m.dead(i) ? 1 : 0;
+  }
+  EXPECT_GT(old_dead, young_dead);
+  EXPECT_EQ(report.wear_deaths, young_dead + old_dead);
+}
+
+TEST(CoreFaultModel, StuckRailDowngradesRejuvenationOnly) {
+  auto plan = CoreFaultPlan::none();
+  plan.stuck_rail_per_core_year = 80.0;
+  ReliabilityReport report;
+  CoreFaultModel m(plan, 8, kIntervalS, &report);
+  const auto truth = flat_truth();
+  int stuck = -1;
+  for (long k = 0; k < 200 && stuck < 0; ++k) {
+    m.begin_interval(k, truth);
+    for (int i = 0; i < 8; ++i) {
+      if (m.rail_stuck(i)) {
+        stuck = i;
+        break;
+      }
+    }
+  }
+  ASSERT_GE(stuck, 0);
+  EXPECT_FALSE(m.status(stuck).rail_ok);
+  EXPECT_TRUE(m.status(stuck).responsive);  // the core itself is fine
+  EXPECT_EQ(m.effective_mode(stuck, CoreMode::kSleepRejuvenate),
+            CoreMode::kSleepPassive);
+  EXPECT_EQ(m.effective_mode(stuck, CoreMode::kActive), CoreMode::kActive);
+  EXPECT_EQ(m.effective_mode(stuck, CoreMode::kSleepPassive),
+            CoreMode::kSleepPassive);
+  EXPECT_GE(report.stuck_rails, 1);
+}
+
+TEST(CoreFaultModel, StuckSensorRepeatsBitIdentically) {
+  auto plan = CoreFaultPlan::none();
+  plan.sensor_noise_v = 0.5e-3;
+  plan.sensor_stuck_probability = 1.0;  // freeze immediately
+  plan.sensor_stuck_intervals = 4;
+  ReliabilityReport report;
+  CoreFaultModel m(plan, 8, kIntervalS, &report);
+  m.begin_interval(0, flat_truth(2e-3));
+  const double frozen = m.measured_delta_vth(0, 2e-3);
+  for (long k = 1; k <= 3; ++k) {
+    // Truth moves; the frozen reading must not.
+    m.begin_interval(k, flat_truth(2e-3 + 1e-3 * static_cast<double>(k)));
+    EXPECT_DOUBLE_EQ(m.measured_delta_vth(0, 2e-3 + 1e-3 * static_cast<double>(k)),
+                     frozen);
+  }
+  EXPECT_GE(report.sensor_stuck_windows, 1);
+}
+
+TEST(CoreFaultModel, SensorNoiseIsUnbiased) {
+  auto plan = CoreFaultPlan::none();
+  plan.sensor_noise_v = 0.5e-3;
+  CoreFaultModel m(plan, 8, kIntervalS);
+  const double truth = 6e-3;
+  double sum = 0.0;
+  int count = 0;
+  for (long k = 0; k < 500; ++k) {
+    m.begin_interval(k, flat_truth(truth));
+    for (int i = 0; i < 8; ++i) {
+      sum += m.measured_delta_vth(i, truth);
+      ++count;
+    }
+  }
+  // 4000 samples at sigma 0.5 mV: the mean sits within ~4 sigma/sqrt(n).
+  EXPECT_NEAR(sum / count, truth, 4.0 * 0.5e-3 / std::sqrt(4000.0));
+}
+
+TEST(ReliabilityReport, MergeSumsAndTakesEarliestMargin) {
+  ReliabilityReport a;
+  a.permanent_deaths = 1;
+  a.cores_quarantined = 1;
+  a.healthy_margin_exceeded = true;
+  a.healthy_time_to_first_margin_s = 5000.0;
+  ReliabilityReport b;
+  b.permanent_deaths = 2;
+  b.telemetry_rejections = 7;
+  b.healthy_time_to_first_margin_s = 3000.0;
+  a.merge(b);
+  EXPECT_EQ(a.permanent_deaths, 3);
+  EXPECT_EQ(a.telemetry_rejections, 7);
+  EXPECT_TRUE(a.healthy_margin_exceeded);
+  EXPECT_DOUBLE_EQ(a.healthy_time_to_first_margin_s, 3000.0);
+  // 0 means "never recorded" and must not clobber a real crossing.
+  ReliabilityReport c;
+  a.merge(c);
+  EXPECT_DOUBLE_EQ(a.healthy_time_to_first_margin_s, 3000.0);
+}
+
+TEST(ReliabilityReport, AccountedMatchesResponsesToInjections) {
+  ReliabilityReport r;
+  EXPECT_TRUE(r.accounted());  // vacuously
+  r.permanent_deaths = 2;
+  EXPECT_FALSE(r.accounted());
+  r.cores_quarantined = 2;
+  EXPECT_TRUE(r.accounted());
+  r.stuck_rails = 1;
+  EXPECT_FALSE(r.accounted());
+  r.rails_flagged = 1;
+  r.sensor_dropouts = 5;
+  r.telemetry_rejections = 4;
+  EXPECT_FALSE(r.accounted());
+  r.telemetry_rejections = 9;
+  EXPECT_TRUE(r.accounted());
+}
+
+TEST(ReliabilityReport, RenderMentionsTheHeadlines) {
+  ReliabilityReport r;
+  r.permanent_deaths = 3;
+  r.healthy_margin_exceeded = true;
+  const auto text = r.render();
+  EXPECT_NE(text.find("3 core death(s)"), std::string::npos);
+  EXPECT_NE(text.find("EXCEEDED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ash::mc

@@ -1,0 +1,339 @@
+#include "ash/mc/reliability.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ash/mc/system.h"
+
+namespace ash::mc {
+namespace {
+
+constexpr double kYearS = 365.25 * 86400.0;
+
+/// Inner-policy probe: records the sanitized context the manager hands
+/// down and optionally returns a canned assignment.
+class StubScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "stub"; }
+  Assignment assign(const SchedulerContext& ctx) override {
+    last_ctx = ctx;
+    ++calls;
+    if (!canned.empty()) return canned;
+    const int n = ctx.floorplan->core_count();
+    Assignment a(static_cast<std::size_t>(n), CoreMode::kActive);
+    for (int i = 0; i < n - ctx.cores_needed; ++i) {
+      a[static_cast<std::size_t>(n - 1 - i)] = CoreMode::kSleepRejuvenate;
+    }
+    return a;
+  }
+  Assignment canned;
+  SchedulerContext last_ctx;
+  int calls = 0;
+};
+
+/// Context with slightly drifting readings so the frozen-sensor detector
+/// never fires by accident.
+SchedulerContext context(int interval, int need = 6, double aging = 2e-3) {
+  static const Floorplan fp;
+  SchedulerContext ctx;
+  ctx.interval_index = interval;
+  ctx.cores_needed = need;
+  ctx.floorplan = &fp;
+  ctx.delta_vth.resize(8);
+  for (int i = 0; i < 8; ++i) {
+    ctx.delta_vth[static_cast<std::size_t>(i)] =
+        aging + 1e-6 * interval + 1e-7 * i;
+  }
+  ctx.status.assign(8, CoreStatus{});
+  return ctx;
+}
+
+TEST(ReliabilityManager, ValidatesConfig) {
+  StubScheduler stub;
+  ReliabilityConfig bad;
+  bad.fail_after_intervals = 0;
+  EXPECT_THROW(ReliabilityManager(stub, bad), std::invalid_argument);
+  bad = ReliabilityConfig{};
+  bad.quarantine_release_frac = 1.2;  // >= enter
+  EXPECT_THROW(ReliabilityManager(stub, bad), std::invalid_argument);
+  bad = ReliabilityConfig{};
+  bad.telemetry_ema_alpha = 0.0;
+  EXPECT_THROW(ReliabilityManager(stub, bad), std::invalid_argument);
+}
+
+TEST(ReliabilityManager, NameWrapsInner) {
+  StubScheduler stub;
+  ReliabilityManager m(stub);
+  EXPECT_EQ(m.name(), "reliability(stub)");
+}
+
+TEST(ReliabilityManager, FiltersNaNBeforeTheInnerPolicy) {
+  StubScheduler stub;
+  ReliabilityReport report;
+  ReliabilityManager m(stub, {}, &report);
+  m.assign(context(0));
+  auto ctx = context(1);
+  ctx.delta_vth[0] = std::nan("");
+  m.assign(ctx);
+  ASSERT_EQ(stub.calls, 2);
+  for (double v : stub.last_ctx.delta_vth) EXPECT_FALSE(std::isnan(v));
+  // The NaN core's estimate held at the last good filtered value.
+  EXPECT_NEAR(stub.last_ctx.delta_vth[0], 2e-3, 1e-4);
+  EXPECT_EQ(report.telemetry_rejections, 1);
+}
+
+TEST(ReliabilityManager, RejectsFrozenSensorReadings) {
+  StubScheduler stub;
+  ReliabilityReport report;
+  ReliabilityManager m(stub, {}, &report);
+  auto ctx = context(0);
+  m.assign(ctx);
+  // Bit-identical repeat on every core: all eight rejected as frozen.
+  m.assign(ctx);
+  EXPECT_EQ(report.telemetry_rejections, 8);
+  // Honest drift is accepted again.
+  m.assign(context(2));
+  EXPECT_EQ(report.telemetry_rejections, 8);
+}
+
+TEST(ReliabilityManager, HeartbeatQuarantineNeedsAStreak) {
+  StubScheduler stub;
+  ReliabilityReport report;
+  ReliabilityManager m(stub, {}, &report);  // fail_after_intervals = 2
+  auto ctx = context(0);
+  ctx.status[3].responsive = false;  // one blip: a transient
+  m.assign(ctx);
+  EXPECT_FALSE(m.quarantined(3));
+  auto ctx1 = context(1);
+  m.assign(ctx1);  // heartbeat back: streak resets
+  auto ctx2 = context(2);
+  ctx2.status[3].responsive = false;
+  m.assign(ctx2);
+  EXPECT_FALSE(m.quarantined(3));
+  auto ctx3 = context(3);
+  ctx3.status[3].responsive = false;  // second consecutive miss: dead
+  const auto out = m.assign(ctx3);
+  EXPECT_TRUE(m.quarantined(3));
+  EXPECT_EQ(out[3], CoreMode::kSleepPassive);
+  EXPECT_EQ(report.cores_quarantined, 1);
+}
+
+TEST(ReliabilityManager, QuarantineThenFailoverKeepsDemandWhole) {
+  StubScheduler stub;
+  // Inner policy insists on sleeping cores 6 and 7.
+  stub.canned.assign(8, CoreMode::kActive);
+  stub.canned[6] = CoreMode::kSleepRejuvenate;
+  stub.canned[7] = CoreMode::kSleepRejuvenate;
+  ReliabilityReport report;
+  ReliabilityManager m(stub, {}, &report);
+  for (int k = 0; k < 2; ++k) {
+    auto ctx = context(k);
+    ctx.status[0].responsive = false;
+    m.assign(ctx);
+  }
+  ASSERT_TRUE(m.quarantined(0));
+  auto ctx = context(2);
+  ctx.status[0].responsive = false;
+  const auto out = m.assign(ctx);
+  // Core 0 is forced out; a spare sleeper is woken to keep 6 cores active.
+  EXPECT_EQ(out[0], CoreMode::kSleepPassive);
+  EXPECT_EQ(active_count(out), 6);
+  EXPECT_GE(report.failovers, 1);
+  EXPECT_GE(report.assignments_repaired, 1);
+  EXPECT_EQ(m.healthy_count(), 7);
+}
+
+TEST(ReliabilityManager, MarginQuarantineEntersHighReleasesLow) {
+  StubScheduler stub;
+  ReliabilityReport report;
+  ReliabilityManager m(stub, {}, &report);  // margin 12 mV, enter 1.05x
+  auto hot = context(0);
+  hot.delta_vth[2] = 20e-3;  // way past 12.6 mV entry
+  const auto out = m.assign(hot);
+  EXPECT_TRUE(m.quarantined(2));
+  EXPECT_EQ(out[2], CoreMode::kSleepRejuvenate);  // deep rejuvenation
+  EXPECT_EQ(report.margin_quarantines, 1);
+  // Healing: feed low readings until the EMA sinks under 0.7 x margin.
+  bool released = false;
+  for (int k = 1; k < 40 && !released; ++k) {
+    auto cool = context(k);
+    cool.delta_vth[2] = 1e-3 + 1e-6 * k;
+    m.assign(cool);
+    released = !m.quarantined(2);
+  }
+  EXPECT_TRUE(released);
+  EXPECT_EQ(report.quarantine_releases, 1);
+}
+
+TEST(ReliabilityManager, StuckRailMeansPassiveOnly) {
+  StubScheduler stub;
+  stub.canned.assign(8, CoreMode::kActive);
+  stub.canned[5] = CoreMode::kSleepRejuvenate;
+  ReliabilityReport report;
+  ReliabilityManager m(stub, {}, &report);
+  auto ctx = context(0, 7);
+  ctx.status[5].rail_ok = false;
+  const auto out = m.assign(ctx);
+  EXPECT_TRUE(m.passive_only(5));
+  EXPECT_EQ(out[5], CoreMode::kSleepPassive);  // rejuvenate downgraded
+  EXPECT_EQ(report.rails_flagged, 1);
+  EXPECT_GE(report.rail_downgrades, 1);
+  // Flagged once, not every interval.
+  m.assign(context(1, 7));
+  EXPECT_EQ(report.rails_flagged, 1);
+}
+
+TEST(ReliabilityManager, ThermalGuardTripsAfterSustainedOvertemp) {
+  StubScheduler stub;
+  ReliabilityConfig cfg;
+  cfg.thermal_trip_intervals = 3;
+  cfg.thermal_cooldown_intervals = 2;
+  ReliabilityReport report;
+  ReliabilityManager m(stub, cfg, &report);
+  int k = 0;
+  for (; k < 2; ++k) {
+    auto ctx = context(k);
+    ctx.temp_c.assign(8, 80.0);
+    ctx.temp_c[1] = 110.0;
+    const auto out = m.assign(ctx);
+    EXPECT_EQ(out[1], CoreMode::kActive) << "tripped too early";
+  }
+  auto ctx = context(k++);
+  ctx.temp_c.assign(8, 80.0);
+  ctx.temp_c[1] = 110.0;
+  auto out = m.assign(ctx);  // third consecutive over-temp: trip
+  EXPECT_EQ(out[1], CoreMode::kSleepPassive);
+  EXPECT_EQ(report.thermal_trips, 1);
+  // Cooldown holds for the configured window even at normal temperature.
+  ctx = context(k++);
+  ctx.temp_c.assign(8, 70.0);
+  out = m.assign(ctx);
+  EXPECT_EQ(out[1], CoreMode::kSleepPassive);
+  ctx = context(k++);
+  ctx.temp_c.assign(8, 70.0);
+  out = m.assign(ctx);
+  EXPECT_EQ(out[1], CoreMode::kActive);  // back in service
+  EXPECT_EQ(report.thermal_trips, 1);
+}
+
+TEST(ReliabilityManager, RepairsWrongSizedInnerOutput) {
+  StubScheduler stub;
+  stub.canned.assign(3, CoreMode::kActive);  // wrong size
+  ReliabilityReport report;
+  ReliabilityManager m(stub, {}, &report);
+  const auto out = m.assign(context(0));
+  EXPECT_EQ(out.size(), 8u);
+  EXPECT_GE(report.assignments_repaired, 1);
+}
+
+TEST(ReliabilityManager, ClampsDemandToHealthyCapacity) {
+  StubScheduler stub;
+  ReliabilityManager m(stub);
+  auto ctx = context(0);
+  ctx.cores_needed = 99;
+  m.assign(ctx);
+  EXPECT_EQ(stub.last_ctx.cores_needed, 8);
+  EXPECT_EQ(stub.last_ctx.demand_deficit, 91);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-aware system integration (the acceptance scenario).
+// ---------------------------------------------------------------------------
+
+// Fig. 10 study under faults.  The margin sits at 8 mV rather than the
+// ideal-study 9 mV: permanent deaths turn cores into dark silicon, the
+// fleet runs cooler, and by two years even the all-active survivors stay
+// under 9 mV — 8 mV restores a margin both policies can reach so their
+// time-to-first-margin ordering is observable.
+SystemConfig fig10_config() {
+  SystemConfig cfg;
+  cfg.horizon_s = 2.0 * kYearS;
+  cfg.margin_delta_vth_v = 8e-3;
+  return cfg;
+}
+
+ReliabilityConfig fig10_reliability() {
+  ReliabilityConfig cfg;
+  cfg.margin_delta_vth_v = 8e-3;
+  return cfg;
+}
+
+TEST(FaultAwareSystem, IdealPlanReproducesTheIdealRun) {
+  auto cfg = fig10_config();
+  cfg.horizon_s = 0.25 * kYearS;  // keep it quick
+  HeaterAwareCircadianScheduler a;
+  HeaterAwareCircadianScheduler b;
+  const auto ideal = simulate_system(cfg, a);
+  ReliabilityReport report;
+  const auto faulted = simulate_system(cfg, b, CoreFaultPlan::none(), &report);
+  EXPECT_DOUBLE_EQ(faulted.throughput_core_s, ideal.throughput_core_s);
+  EXPECT_DOUBLE_EQ(faulted.worst_end_delta_vth_v, ideal.worst_end_delta_vth_v);
+  EXPECT_DOUBLE_EQ(faulted.demand_deficit_core_s, 0.0);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(FaultAwareSystem, DefaultSeedKillsACoreMidMission) {
+  const auto plan = CoreFaultPlan::representative();
+  HeaterAwareCircadianScheduler inner;
+  ReliabilityReport report;
+  ReliabilityManager managed(inner, fig10_reliability(), &report);
+  const auto r = simulate_system(fig10_config(), managed, plan, &report);
+  EXPECT_GE(report.permanent_deaths, 1);
+  // The whole horizon completed: delivered + deficit == demanded.
+  const double demanded = 6.0 * std::floor(2.0 * kYearS / (6.0 * 3600.0)) *
+                          6.0 * 3600.0;
+  EXPECT_NEAR(r.throughput_core_s + r.demand_deficit_core_s, demanded, 1.0);
+  // Every injected fault was met by a manager response.
+  EXPECT_TRUE(report.accounted()) << report.render();
+}
+
+TEST(FaultAwareSystem, ManagedCircadianOutlivesManagedAllActive) {
+  const auto plan = CoreFaultPlan::representative();
+  const auto cfg = fig10_config();
+
+  AllActiveScheduler all_inner;
+  ReliabilityReport all_report;
+  ReliabilityManager all_managed(all_inner, fig10_reliability(), &all_report);
+  const auto r_all = simulate_system(cfg, all_managed, plan, &all_report);
+
+  HeaterAwareCircadianScheduler cir_inner;
+  ReliabilityReport cir_report;
+  ReliabilityManager cir_managed(cir_inner, fig10_reliability(), &cir_report);
+  const auto r_cir = simulate_system(cfg, cir_managed, plan, &cir_report);
+
+  // The all-active fleet blows the aging budget mid-mission even with the
+  // manager (quarantine enters only after the crossing, by design); the
+  // heater-aware circadian fleet holds out months longer.
+  EXPECT_TRUE(r_all.margin_exceeded);
+  EXPECT_GT(r_cir.time_to_first_margin_s, r_all.time_to_first_margin_s);
+  EXPECT_TRUE(all_report.accounted()) << all_report.render();
+  EXPECT_TRUE(cir_report.accounted()) << cir_report.render();
+}
+
+TEST(FaultAwareSystem, UnmanagedFleetDegradesUnderTheSamePlan) {
+  const auto plan = CoreFaultPlan::representative();
+  const auto cfg = fig10_config();
+
+  HeaterAwareCircadianScheduler raw;
+  ReliabilityReport raw_report;
+  const auto r_raw = simulate_system(cfg, raw, plan, &raw_report);
+
+  HeaterAwareCircadianScheduler inner;
+  ReliabilityReport managed_report;
+  ReliabilityManager managed(inner, fig10_reliability(), &managed_report);
+  const auto r_managed = simulate_system(cfg, managed, plan, &managed_report);
+
+  // The raw policy keeps scheduling dead cores (it cannot see heartbeats),
+  // so work is lost every interval after the first death; the manager
+  // fails over instead.
+  EXPECT_GE(raw_report.permanent_deaths, 1);
+  EXPECT_GT(raw_report.core_intervals_lost, 0);
+  EXPECT_GT(r_raw.demand_deficit_core_s, r_managed.demand_deficit_core_s);
+  EXPECT_GT(r_managed.throughput_core_s, r_raw.throughput_core_s);
+  EXPECT_FALSE(raw_report.accounted());
+}
+
+}  // namespace
+}  // namespace ash::mc

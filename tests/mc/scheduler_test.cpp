@@ -1,5 +1,6 @@
 #include "ash/mc/scheduler.h"
 
+#include <cmath>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -130,11 +131,70 @@ TEST(Schedulers, ValidateContext) {
   SchedulerContext bad;
   bad.floorplan = nullptr;
   EXPECT_THROW(s.assign(bad), std::invalid_argument);
-  auto ctx = context(0, 99);
-  EXPECT_THROW(s.assign(ctx), std::invalid_argument);
   auto ctx2 = context(0, 6);
   ctx2.delta_vth.resize(3);
   EXPECT_THROW(s.assign(ctx2), std::invalid_argument);
+}
+
+TEST(Schedulers, OverloadedDemandIsClampedNotThrown) {
+  // Demand beyond the core count degrades gracefully: every core runs and
+  // the overhang is the caller's deficit, not an exception.
+  RoundRobinSleepScheduler rr(/*rejuvenate=*/true);
+  auto ctx = context(0, 6);
+  ctx.cores_needed = 99;
+  EXPECT_EQ(active_count(rr.assign(ctx)), 8);
+  HeaterAwareCircadianScheduler h;
+  EXPECT_EQ(active_count(h.assign(ctx)), 8);
+  ReactiveScheduler reactive(1e-6);
+  EXPECT_EQ(active_count(reactive.assign(ctx)), 8);
+}
+
+TEST(SchedulerContext, SetDemandClampsAndRecordsDeficit) {
+  static const Floorplan fp;
+  SchedulerContext ctx;
+  ctx.floorplan = &fp;
+  ctx.set_demand(11);
+  EXPECT_EQ(ctx.cores_needed, 8);
+  EXPECT_EQ(ctx.demand_deficit, 3);
+  ctx.set_demand(-2);
+  EXPECT_EQ(ctx.cores_needed, 0);
+  EXPECT_EQ(ctx.demand_deficit, 0);
+  ctx.set_demand(5);
+  EXPECT_EQ(ctx.cores_needed, 5);
+  EXPECT_EQ(ctx.demand_deficit, 0);
+  SchedulerContext no_fp;
+  EXPECT_THROW(no_fp.set_demand(4), std::invalid_argument);
+}
+
+TEST(Schedulers, TolerateNaNTelemetry) {
+  // Poisoned telemetry (dropped odometer readings, dead cores) must not
+  // propagate NaN into scores or sort comparators.
+  std::vector<double> poisoned(8, std::nan(""));
+  poisoned[2] = 4e-3;
+  HeaterAwareCircadianScheduler h;
+  const auto a = h.assign(context(0, 6, poisoned));
+  EXPECT_EQ(active_count(a), 6);
+  ReactiveScheduler reactive(1e-3);
+  const auto b = reactive.assign(context(0, 6, poisoned));
+  // The only finite reading is above threshold: it sleeps; the NaN cores
+  // are treated as unaged and must not be chosen reactively.
+  EXPECT_EQ(active_count(b), 7);
+  EXPECT_EQ(b[2], CoreMode::kSleepRejuvenate);
+  for (int i = 0; i < 8; ++i) {
+    if (i != 2) EXPECT_EQ(b[static_cast<std::size_t>(i)], CoreMode::kActive);
+  }
+}
+
+TEST(Schedulers, AllNaNTelemetryStillSchedules) {
+  const std::vector<double> poisoned(8, std::nan(""));
+  HeaterAwareCircadianScheduler h;
+  for (int k = 0; k < 8; ++k) {
+    const auto a = h.assign(context(k, 6, poisoned));
+    EXPECT_EQ(active_count(a), 6) << "interval " << k;
+  }
+  ReactiveScheduler reactive(1e-3);
+  const auto b = reactive.assign(context(0, 6, poisoned));
+  EXPECT_EQ(active_count(b), 8);  // no evidence of aging: nobody sleeps
 }
 
 TEST(Schedulers, NamesAreDistinct) {

@@ -123,7 +123,9 @@ TEST(System, MaxTempStaysPhysical) {
   EXPECT_LT(r.max_temp_c, 120.0);
 }
 
-TEST(System, StarvingSchedulerIsRejected) {
+TEST(System, StarvingSchedulerIsAccountedNotRejected) {
+  // A scheduler that starves the workload no longer aborts the study: the
+  // undelivered demand is recorded as deficit and throughput is zero.
   class Starver final : public Scheduler {
    public:
     std::string name() const override { return "starver"; }
@@ -134,7 +136,19 @@ TEST(System, StarvingSchedulerIsRejected) {
     }
   };
   Starver s;
-  EXPECT_THROW(simulate_system(quick_config(), s), std::runtime_error);
+  const auto cfg = quick_config();
+  const auto r = simulate_system(cfg, s);
+  EXPECT_DOUBLE_EQ(r.throughput_core_s, 0.0);
+  const double demanded =
+      static_cast<double>(cfg.cores_needed) *
+      std::floor(cfg.horizon_s / cfg.interval_s) * cfg.interval_s;
+  EXPECT_DOUBLE_EQ(r.demand_deficit_core_s, demanded);
+}
+
+TEST(System, IdealRunHasNoDeficit) {
+  AllActiveScheduler s;
+  const auto r = simulate_system(quick_config(), s);
+  EXPECT_DOUBLE_EQ(r.demand_deficit_core_s, 0.0);
 }
 
 TEST(System, ValidatesConfig) {

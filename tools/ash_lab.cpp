@@ -13,6 +13,12 @@
 ///       ash_lab plan [--target 0.9] [--budget-hours 6] [--stress-hours 24]
 ///   multicore — schedule comparison on the 8-core system
 ///       ash_lab multicore [--years 2] [--cores 6] [--margin-mv 9]
+///                         [--fault-plan none|representative|harsh]
+///                         [--fault-seed N] [--raw]
+///       With a fault plan, each policy runs behind the reliability
+///       manager (quarantine, failover, telemetry filtering) and the
+///       fault/response report is printed; --raw drops the manager to
+///       show how an unmanaged policy degrades.
 ///
 /// Everything is deterministic under --seed; exit status is non-zero on
 /// usage errors.
@@ -25,6 +31,7 @@
 #include "ash/core/planner.h"
 #include "ash/fpga/checkpoint.h"
 #include "ash/fpga/chip.h"
+#include "ash/mc/reliability.h"
 #include "ash/mc/system.h"
 #include "ash/tb/experiment_runner.h"
 #include "ash/tb/test_case.h"
@@ -183,24 +190,45 @@ int cmd_plan(const Flags& flags) {
 }
 
 int cmd_multicore(const Flags& flags) {
-  flags.check_known({"years", "cores", "margin-mv"});
+  flags.check_known(
+      {"years", "cores", "margin-mv", "fault-plan", "fault-seed", "raw"});
   mc::SystemConfig cfg;
   cfg.horizon_s = flags.get("years", 2.0) * 365.25 * 86400.0;
   cfg.cores_needed = flags.get("cores", 6);
   cfg.margin_delta_vth_v = flags.get("margin-mv", 9.0) * 1e-3;
 
+  auto plan =
+      mc::CoreFaultPlan::by_name(flags.get("fault-plan", std::string("none")));
+  if (flags.has("fault-seed")) {
+    plan.seed = static_cast<std::uint64_t>(flags.get("fault-seed", 0));
+  }
+  const bool raw = flags.get("raw", false);
+
   mc::AllActiveScheduler all;
   mc::HeaterAwareCircadianScheduler circadian;
-  Table t({"policy", "mean aging (mV)", "lifetime (days)"});
+  mc::ReliabilityReport total;
+  Table t({"policy", "mean aging (mV)", "lifetime (days)",
+           "deficit (core-days)", "core deaths"});
   for (mc::Scheduler* s : {static_cast<mc::Scheduler*>(&all),
                            static_cast<mc::Scheduler*>(&circadian)}) {
-    const auto r = simulate_system(cfg, *s);
+    mc::ReliabilityConfig rel;
+    rel.margin_delta_vth_v = cfg.margin_delta_vth_v;
+    mc::ReliabilityReport report;
+    mc::ReliabilityManager managed(*s, rel, &report);
+    mc::Scheduler& policy =
+        plan.ideal() || raw ? *s : static_cast<mc::Scheduler&>(managed);
+    const auto r = plan.ideal() ? simulate_system(cfg, policy)
+                                : simulate_system(cfg, policy, plan, &report);
     t.add_row({r.scheduler, fmt_fixed(r.mean_end_delta_vth_v * 1e3, 2),
                r.margin_exceeded
                    ? fmt_fixed(r.time_to_first_margin_s / 86400.0, 0)
-                   : ">" + fmt_fixed(cfg.horizon_s / 86400.0, 0)});
+                   : ">" + fmt_fixed(cfg.horizon_s / 86400.0, 0),
+               fmt_fixed(r.demand_deficit_core_s / 86400.0, 1),
+               strformat("%d", report.permanent_deaths)});
+    total.merge(report);
   }
   std::printf("%s", t.render().c_str());
+  if (!plan.ideal()) std::printf("\n%s", total.render().c_str());
   return 0;
 }
 
