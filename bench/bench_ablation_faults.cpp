@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "ash/core/metrics.h"
+#include "ash/obs/metrics.h"
 #include "ash/tb/fault.h"
 #include "ash/util/table.h"
 #include "common.h"
@@ -161,5 +162,11 @@ int main() {
               faults_tol.render().c_str());
   std::printf("naive    (all scenarios) %s",
               faults_naive.render().c_str());
+
+  // Machine-readable end-of-run dump (one line, key=value) for CI diffing.
+  obs::Registry registry;
+  faults_tol.publish(registry, "tolerant.");
+  faults_naive.publish(registry, "naive.");
+  std::printf("metrics: %s\n", registry.snapshot().one_line().c_str());
   return 0;
 }

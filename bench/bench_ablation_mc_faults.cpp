@@ -19,6 +19,7 @@
 
 #include "ash/mc/reliability.h"
 #include "ash/mc/system.h"
+#include "ash/obs/metrics.h"
 #include "ash/util/table.h"
 #include "common.h"
 
@@ -64,6 +65,7 @@ int main() {
                                    "reliability(all-active)",
                                    "circadian (unmanaged)"};
   Tally tally[kVariants];
+  mc::ReliabilityReport merged[kVariants];
   int circadian_outlives = 0;
 
   for (int trial = 0; trial < kSeeds; ++trial) {
@@ -91,6 +93,7 @@ int main() {
       t.deficit_core_days_sum += r.demand_deficit_core_s / kDayS;
       t.lost_intervals += report.core_intervals_lost;
       t.accounted += report.accounted() ? 1 : 0;
+      merged[v].merge(report);
     }
     if (ttm[kManagedCircadian] > ttm[kManagedAllActive]) ++circadian_outlives;
   }
@@ -122,5 +125,14 @@ int main() {
                  tally[kRawCircadian].deficit_core_days_sum / kSeeds,
                  tally[kManagedCircadian].deficit_core_days_sum / kSeeds)});
   std::printf("%s\n", s.render().c_str());
+
+  // Machine-readable end-of-run dump (one line, key=value) for CI diffing.
+  obs::Registry registry;
+  const char* prefixes[kVariants] = {"managed_circadian.",
+                                     "managed_all_active.", "raw_circadian."};
+  for (int v = 0; v < kVariants; ++v) {
+    merged[v].publish(registry, prefixes[v]);
+  }
+  std::printf("metrics: %s\n", registry.snapshot().one_line().c_str());
   return 0;
 }

@@ -8,10 +8,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "ash/bti/closed_form.h"
 #include "ash/bti/trap_ensemble.h"
 #include "ash/fpga/chip.h"
 #include "ash/mc/system.h"
+#include "ash/obs/profile.h"
 #include "ash/util/constants.h"
 
 namespace {
@@ -93,4 +96,17 @@ BENCHMARK(BM_MulticoreSimMonth);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+/// BENCHMARK_MAIN() plus the ash::obs profile: the same run that times the
+/// kernels also aggregates the in-library kernel timers, so the share
+/// breakdown (where does a multicore month actually go?) prints alongside
+/// the google-benchmark numbers.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ash::obs::enable_profiling(true);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::printf("\nin-library kernel profile (aggregated over all runs):\n%s",
+              ash::obs::profile_table().c_str());
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "ash/bti/acceleration.h"
+#include "ash/obs/profile.h"
 #include "ash/util/constants.h"
 #include "ash/util/random.h"
 
@@ -35,6 +36,7 @@ TrapEnsemble::TrapEnsemble(const TdParameters& params, std::uint64_t seed)
 }
 
 void TrapEnsemble::evolve(const OperatingCondition& c, double dt_s) {
+  const obs::ScopedKernelTimer timer(obs::Kernel::kTrapEnsembleEvolve);
   if (dt_s < 0.0) {
     throw std::invalid_argument("TrapEnsemble::evolve: negative dt");
   }

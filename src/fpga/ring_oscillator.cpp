@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "ash/obs/profile.h"
 #include "ash/util/random.h"
 
 namespace ash::fpga {
@@ -51,6 +52,7 @@ double RingOscillator::traversal_delay_s(bool in0_phase, double vdd_v,
 }
 
 double RingOscillator::period_s(double vdd_v, double temp_k) const {
+  const obs::ScopedKernelTimer timer(obs::Kernel::kRoDelayEval);
   return traversal_delay_s(false, vdd_v, temp_k) +
          traversal_delay_s(true, vdd_v, temp_k);
 }

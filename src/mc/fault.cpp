@@ -4,6 +4,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "ash/obs/metrics.h"
+#include "ash/obs/trace.h"
+
 namespace ash::mc {
 
 namespace {
@@ -15,6 +18,11 @@ constexpr double kSecondsPerYear = 365.25 * kSecondsPerDay;
 double hazard_probability(double events_per_s, double dt_s) {
   if (events_per_s <= 0.0) return 0.0;
   return 1.0 - std::exp(-events_per_s * dt_s);
+}
+
+void trace_core_fault(const char* channel, int core) {
+  obs::instant(obs::EventKind::kFaultInjected, channel, "mc.fault",
+               {{"core", std::to_string(core)}});
 }
 
 }  // namespace
@@ -128,6 +136,34 @@ std::string ReliabilityReport::render() const {
   return os.str();
 }
 
+void ReliabilityReport::publish(obs::Registry& registry,
+                                const std::string& prefix) const {
+  const auto set = [&](const char* name, long value) {
+    registry.counter(prefix + name).set(static_cast<std::uint64_t>(value));
+  };
+  set("transient_faults", transient_faults);
+  set("permanent_deaths", permanent_deaths);
+  set("wear_deaths", wear_deaths);
+  set("stuck_rails", stuck_rails);
+  set("sensor_dropouts", sensor_dropouts);
+  set("sensor_stuck_windows", sensor_stuck_windows);
+  set("cores_quarantined", cores_quarantined);
+  set("margin_quarantines", margin_quarantines);
+  set("quarantine_releases", quarantine_releases);
+  set("rails_flagged", rails_flagged);
+  set("rail_downgrades", rail_downgrades);
+  set("telemetry_rejections", telemetry_rejections);
+  set("assignments_repaired", assignments_repaired);
+  set("failovers", failovers);
+  set("thermal_trips", thermal_trips);
+  set("core_intervals_lost", core_intervals_lost);
+  set("deficit_core_intervals", deficit_core_intervals);
+  registry.gauge(prefix + "healthy_margin_exceeded")
+      .set(healthy_margin_exceeded ? 1.0 : 0.0);
+  registry.gauge(prefix + "healthy_time_to_first_margin_s")
+      .set(healthy_time_to_first_margin_s);
+}
+
 CoreFaultModel::CoreFaultModel(const CoreFaultPlan& plan, int core_count,
                                double interval_s, ReliabilityReport* report)
     : plan_(plan),
@@ -181,6 +217,10 @@ void CoreFaultModel::begin_interval(long interval_index,
         report_->permanent_deaths++;
         if (c.died_of_wear) report_->wear_deaths++;
       }
+      if (obs::tracing()) {
+        trace_core_fault(
+            c.died_of_wear ? "core.death.wearout" : "core.death.random", i);
+      }
       continue;  // dead cores draw nothing further
     }
 
@@ -188,6 +228,7 @@ void CoreFaultModel::begin_interval(long interval_index,
             plan_.transient_per_core_day / kSecondsPerDay, interval_s_))) {
       c.transient = true;
       if (report_) report_->transient_faults++;
+      if (obs::tracing()) trace_core_fault("core.transient", i);
     }
 
     if (!c.rail_stuck &&
@@ -195,6 +236,7 @@ void CoreFaultModel::begin_interval(long interval_index,
             plan_.stuck_rail_per_core_year / kSecondsPerYear, interval_s_))) {
       c.rail_stuck = true;
       if (report_) report_->stuck_rails++;
+      if (obs::tracing()) trace_core_fault("core.rail_stuck", i);
     }
 
     if (c.stuck_left > 0) {
@@ -204,6 +246,7 @@ void CoreFaultModel::begin_interval(long interval_index,
       c.stuck_value_v =
           dv + c.rng.normal(0.0, plan_.sensor_noise_v);  // freeze at entry
       if (report_) report_->sensor_stuck_windows++;
+      if (obs::tracing()) trace_core_fault("sensor.stuck_window", i);
     }
   }
 }
@@ -239,6 +282,7 @@ double CoreFaultModel::measured_delta_vth(int core, double true_v) {
   if (c.dead) return std::nan("");
   if (c.rng.bernoulli(plan_.sensor_dropout_probability)) {
     if (report_) report_->sensor_dropouts++;
+    if (obs::tracing()) trace_core_fault("sensor.dropout", core);
     return std::nan("");
   }
   if (c.stuck_left > 0) return c.stuck_value_v;

@@ -39,6 +39,10 @@
 #include "ash/mc/scheduler.h"
 #include "ash/util/random.h"
 
+namespace ash::obs {
+class Registry;
+}  // namespace ash::obs
+
 namespace ash::mc {
 
 /// A complete, seeded core-fault scenario.  Default-constructed = ideal
@@ -122,6 +126,12 @@ struct ReliabilityReport {
   void merge(const ReliabilityReport& other);
   /// Multi-line human-readable summary.
   std::string render() const;
+
+  /// Set one `prefix`-named counter/gauge per field in `registry` from this
+  /// report's final tallies, so a metrics snapshot and the report can never
+  /// disagree.
+  void publish(obs::Registry& registry,
+               const std::string& prefix = "mc.rel.") const;
 
   bool operator==(const ReliabilityReport&) const = default;
 };

@@ -5,7 +5,17 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "ash/obs/trace.h"
+
 namespace ash::mc {
+
+namespace {
+
+void trace_response(obs::EventKind kind, const char* name, int core) {
+  obs::instant(kind, name, "mc.reliability", {{"core", std::to_string(core)}});
+}
+
+}  // namespace
 
 ReliabilityManager::ReliabilityManager(Scheduler& inner,
                                        ReliabilityConfig config,
@@ -53,6 +63,9 @@ void ReliabilityManager::update_health(const SchedulerContext& ctx, int n) {
     if (!st.rail_ok && !h.passive_only) {
       h.passive_only = true;
       if (report_) report_->rails_flagged++;
+      if (obs::tracing()) {
+        trace_response(obs::EventKind::kFaultDetected, "rail.flagged", i);
+      }
     }
 
     // Heartbeat with hysteresis: one missed beat is a transient; a streak
@@ -62,6 +75,10 @@ void ReliabilityManager::update_health(const SchedulerContext& ctx, int n) {
       if (!h.failed && h.missed_heartbeats >= config_.fail_after_intervals) {
         h.failed = true;
         if (report_) report_->cores_quarantined++;
+        if (obs::tracing()) {
+          trace_response(obs::EventKind::kQuarantine, "quarantine.heartbeat",
+                         i);
+        }
       }
     } else {
       h.missed_heartbeats = 0;
@@ -99,11 +116,18 @@ void ReliabilityManager::update_health(const SchedulerContext& ctx, int n) {
           report_->margin_quarantines++;
           report_->cores_quarantined++;
         }
+        if (obs::tracing()) {
+          trace_response(obs::EventKind::kQuarantine, "quarantine.margin", i);
+        }
       } else if (h.margin_quarantined &&
                  f <= config_.quarantine_release_frac *
                           config_.margin_delta_vth_v) {
         h.margin_quarantined = false;
         if (report_) report_->quarantine_releases++;
+        if (obs::tracing()) {
+          trace_response(obs::EventKind::kQuarantineRelease,
+                         "quarantine.release", i);
+        }
       }
     }
 
@@ -119,6 +143,9 @@ void ReliabilityManager::update_health(const SchedulerContext& ctx, int n) {
         h.cooldown_left = config_.thermal_cooldown_intervals;
         h.overtemp_streak = 0;
         if (report_) report_->thermal_trips++;
+        if (obs::tracing()) {
+          trace_response(obs::EventKind::kFaultDetected, "thermal.trip", i);
+        }
       }
     } else {
       h.overtemp_streak = 0;
@@ -209,6 +236,9 @@ Assignment ReliabilityManager::assign(const SchedulerContext& ctx) {
       out[static_cast<std::size_t>(core)] = CoreMode::kActive;
       ++active;
       if (report_) report_->failovers++;
+      if (obs::tracing()) {
+        trace_response(obs::EventKind::kFailover, "failover.wake_spare", core);
+      }
     }
   }
   if (repaired && report_) report_->assignments_repaired++;

@@ -5,6 +5,9 @@
 #include <optional>
 #include <stdexcept>
 
+#include "ash/obs/profile.h"
+#include "ash/obs/trace.h"
+
 namespace ash::mc {
 
 namespace {
@@ -51,6 +54,11 @@ SystemResult run(const SystemConfig& config, Scheduler& scheduler,
   result.scheduler = scheduler.name();
   result.worst_trace.set_name(scheduler.name());
 
+  obs::set_sim_now(0.0);
+  obs::Span run_span(obs::EventKind::kRun, scheduler.name(), "mc.system");
+  run_span.arg("cores", std::to_string(cores));
+  run_span.arg("faulted", plan != nullptr ? "yes" : "no");
+
   const auto intervals =
       static_cast<long>(config.horizon_s / config.interval_s);
   const long trace_every =
@@ -63,7 +71,9 @@ SystemResult run(const SystemConfig& config, Scheduler& scheduler,
   std::vector<double> true_vth(static_cast<std::size_t>(cores), 0.0);
 
   for (long k = 0; k < intervals; ++k) {
+    const obs::ScopedKernelTimer interval_timer(obs::Kernel::kMcInterval);
     const double t_now = static_cast<double>(k) * config.interval_s;
+    obs::set_sim_now(t_now);
     const int requested = workload.cores_needed(k, t_now);
 
     for (int i = 0; i < cores; ++i) {
@@ -107,7 +117,12 @@ SystemResult run(const SystemConfig& config, Scheduler& scheduler,
       total_power += p;
     }
     if (total_power > config.tdp_w) ++result.tdp_violations;
-    const std::vector<double> temps = thermal.solve_steady_state(powers);
+    std::vector<double> temps;
+    {
+      const obs::ScopedKernelTimer thermal_timer(
+          obs::Kernel::kMcThermalSolve);
+      temps = thermal.solve_steady_state(powers);
+    }
     prev_core_temps.assign(temps.begin(), temps.begin() + cores);
 
     // Evolve every core under its own condition.
@@ -181,6 +196,7 @@ SystemResult run(const SystemConfig& config, Scheduler& scheduler,
                                 worst);
     }
   }
+  obs::set_sim_now(static_cast<double>(intervals) * config.interval_s);
 
   if (!result.margin_exceeded) {
     result.time_to_first_margin_s = config.horizon_s + config.interval_s;

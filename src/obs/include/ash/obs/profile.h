@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file profile.h
+/// Scoped kernel timers aggregated per hot-path kernel.
+///
+/// The ROADMAP north star ("as fast as the hardware allows") needs to
+/// know where simulated wall-clock time actually goes before any perf PR
+/// can be honest.  Each instrumented kernel owns one fixed slot — an
+/// atomic (calls, nanoseconds) pair — so recording is two relaxed
+/// fetch_adds and *checking* whether to record is a single relaxed load:
+/// with profiling off (the default) a `ScopedKernelTimer` costs one load
+/// and a predictable branch, no clock reads (enforced by
+/// tests/obs/overhead_test.cpp).
+///
+/// Enable with `enable_profiling(true)` (or `ash_lab --profile` /
+/// `bench_perf_kernels`), read back with `profile_snapshot()` or the
+/// rendered `profile_table()`.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ash::obs {
+
+/// Instrumented kernels.  Keep `to_string` in sync when extending.
+enum class Kernel : int {
+  kTrapEnsembleEvolve = 0,  ///< bti: one trap-ensemble aging step
+  kRoDelayEval,             ///< fpga: one RO period/frequency evaluation
+  kTbPhaseAttempt,          ///< tb: one phase attempt of a campaign
+  kMcInterval,              ///< mc: one scheduling interval (whole body)
+  kMcThermalSolve,          ///< mc: one steady-state thermal solve
+  kCount,                   // sentinel
+};
+
+const char* to_string(Kernel kernel);
+
+inline constexpr int kKernelCount = static_cast<int>(Kernel::kCount);
+
+namespace detail {
+struct KernelSlot {
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> total_ns{0};
+};
+inline std::atomic<bool> g_profiling{false};
+inline std::array<KernelSlot, kKernelCount> g_kernel_slots{};
+
+inline std::uint64_t profile_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace detail
+
+inline bool profiling() {
+  return detail::g_profiling.load(std::memory_order_relaxed);
+}
+
+void enable_profiling(bool on);
+void reset_profile();
+
+/// RAII per-kernel timer.  Free (one relaxed load + branch) when
+/// profiling is off at construction.
+class ScopedKernelTimer {
+ public:
+  explicit ScopedKernelTimer(Kernel kernel) {
+    if (profiling()) {
+      kernel_ = kernel;
+      begin_ns_ = detail::profile_now_ns();
+      active_ = true;
+    }
+  }
+  ScopedKernelTimer(const ScopedKernelTimer&) = delete;
+  ScopedKernelTimer& operator=(const ScopedKernelTimer&) = delete;
+  ~ScopedKernelTimer() {
+    if (active_) {
+      auto& slot = detail::g_kernel_slots[static_cast<std::size_t>(kernel_)];
+      slot.calls.fetch_add(1, std::memory_order_relaxed);
+      slot.total_ns.fetch_add(detail::profile_now_ns() - begin_ns_,
+                              std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  bool active_ = false;
+  Kernel kernel_ = Kernel::kTrapEnsembleEvolve;
+  std::uint64_t begin_ns_ = 0;
+};
+
+/// One kernel's aggregate.
+struct KernelProfile {
+  Kernel kernel = Kernel::kTrapEnsembleEvolve;
+  std::uint64_t calls = 0;
+  std::uint64_t total_ns = 0;
+};
+
+/// Aggregates of every kernel that recorded at least one call.
+std::vector<KernelProfile> profile_snapshot();
+
+/// Rendered per-kernel table (calls, total ms, ns/call, share of the
+/// instrumented total) — what `ash_lab --profile` prints.
+std::string profile_table();
+
+}  // namespace ash::obs

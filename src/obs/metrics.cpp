@@ -1,0 +1,183 @@
+#include "ash/obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "ash/util/table.h"
+
+namespace ash::obs {
+
+Histogram::Histogram(HistogramOptions options) : options_(options) {
+  if (!(options_.min > 0.0) || !(options_.max > options_.min) ||
+      options_.buckets_per_decade < 1) {
+    throw std::invalid_argument(
+        "HistogramOptions: need 0 < min < max and buckets_per_decade >= 1");
+  }
+  log10_min_ = std::log10(options_.min);
+  const double decades = std::log10(options_.max) - log10_min_;
+  const int n = static_cast<int>(
+      std::ceil(decades * options_.buckets_per_decade - 1e-9));
+  buckets_ = std::vector<std::atomic<std::uint64_t>>(
+      static_cast<std::size_t>(std::max(1, n)));
+}
+
+int Histogram::bucket_index(double value) const {
+  if (!(value > options_.min)) return 0;  // also catches NaN
+  const int idx = static_cast<int>(
+      std::floor((std::log10(value) - log10_min_) *
+                 options_.buckets_per_decade));
+  return std::clamp(idx, 0, bucket_count() - 1);
+}
+
+double Histogram::bucket_lower_bound(int i) const {
+  return std::pow(
+      10.0, log10_min_ + static_cast<double>(i) / options_.buckets_per_decade);
+}
+
+void Histogram::observe(double value) {
+  buckets_[static_cast<std::size_t>(bucket_index(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Relaxed CAS accumulate (atomic<double>::fetch_add is C++20 but spotty
+  // across standard libraries; the loop is equivalent and portable).
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) out.push_back(b.load(std::memory_order_relaxed));
+  return out;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               HistogramOptions options) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(options))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramData d;
+    d.name = name;
+    d.count = h->count();
+    d.sum = h->sum();
+    d.options = h->options();
+    d.buckets = h->bucket_counts();
+    snap.histograms.push_back(std::move(d));
+  }
+  return snap;
+}
+
+void Registry::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  for (const auto& [k, v] : counters) {
+    if (k == name) return v;
+  }
+  return 0;
+}
+
+double MetricsSnapshot::gauge(std::string_view name) const {
+  for (const auto& [k, v] : gauges) {
+    if (k == name) return v;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+std::string MetricsSnapshot::one_line() const {
+  std::ostringstream os;
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ' ';
+    first = false;
+  };
+  for (const auto& [k, v] : counters) {
+    sep();
+    os << k << '=' << v;
+  }
+  for (const auto& [k, v] : gauges) {
+    sep();
+    os << k << '=' << strformat("%g", v);
+  }
+  for (const auto& h : histograms) {
+    sep();
+    os << h.name << ".count=" << h.count << ' ' << h.name
+       << ".sum=" << strformat("%g", h.sum);
+  }
+  return os.str();
+}
+
+void MetricsSnapshot::write(std::ostream& os) const {
+  for (const auto& [k, v] : counters) os << k << '=' << v << '\n';
+  for (const auto& [k, v] : gauges) {
+    os << k << '=' << strformat("%.9g", v) << '\n';
+  }
+  for (const auto& h : histograms) {
+    os << h.name << ".count=" << h.count << '\n';
+    os << h.name << ".sum=" << strformat("%.9g", h.sum) << '\n';
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;  // sparse: only occupied buckets
+      os << h.name << ".bucket" << i << '=' << h.buckets[i] << '\n';
+    }
+  }
+}
+
+std::string MetricsSnapshot::render() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace ash::obs

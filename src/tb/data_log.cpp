@@ -25,7 +25,7 @@ SampleQuality parse_sample_quality(const std::string& name) {
   if (name == "suspect") return SampleQuality::kSuspect;
   if (name == "lost") return SampleQuality::kLost;
   throw std::invalid_argument("parse_sample_quality: unknown quality '" +
-                              name + "'");
+                              name + "' (expected good|retried|suspect|lost)");
 }
 
 void DataLog::append(const DataLog& other) {

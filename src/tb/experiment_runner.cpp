@@ -10,9 +10,12 @@
 #include <vector>
 
 #include "ash/fpga/checkpoint.h"
+#include "ash/obs/profile.h"
+#include "ash/obs/trace.h"
 #include "ash/util/constants.h"
 #include "ash/util/random.h"
 #include "ash/util/stats.h"
+#include "ash/util/table.h"
 
 namespace ash::tb {
 
@@ -58,10 +61,21 @@ class CampaignEngine {
     CampaignResult result;
     result.checkpoint = from;
 
+    obs::set_sim_now(t_campaign_);
+    obs::Span run_span(obs::EventKind::kRun, tc_.name, "tb.campaign");
+    run_span.arg("chip", std::to_string(chip_.id()));
+    run_span.arg("phases", std::to_string(tc_.phases.size()));
+
     for (int pi = from.next_phase;
          pi < static_cast<int>(tc_.phases.size()); ++pi) {
       const double prev_c =
           pi == from.next_phase ? from.chamber_c : tc_.phases[pi - 1].chamber_c;
+      if (obs::tracing()) {
+        obs::instant(
+            obs::EventKind::kPhaseTransition,
+            tc_.phases[static_cast<std::size_t>(pi)].label, "tb.campaign",
+            {{"phase_index", std::to_string(pi)}});
+      }
       if (kill_due() || !run_phase(pi, prev_c)) {
         // Killed: roll the chip (and clock) back to the last boundary so
         // the caller's chip matches the resumable checkpoint.
@@ -77,6 +91,13 @@ class CampaignEngine {
       result.checkpoint.chip_state = fpga::checkpoint_string(chip_);
       result.checkpoint.log = log_;
       result.checkpoint.faults = report_;
+      if (obs::tracing()) {
+        obs::instant(obs::EventKind::kCheckpointSave,
+                     tc_.phases[static_cast<std::size_t>(pi)].label,
+                     "tb.campaign",
+                     {{"next_phase", std::to_string(pi + 1)},
+                      {"samples", std::to_string(log_.size())}});
+      }
     }
     result.log = log_;
     result.faults = report_;
@@ -107,6 +128,12 @@ class CampaignEngine {
       if (attempt > 0) {
         fpga::restore_checkpoint(snapshot, chip_);
         t_campaign_ = t_phase_start;
+        obs::set_sim_now(t_campaign_);
+        if (obs::tracing()) {
+          obs::instant(obs::EventKind::kCheckpointRewind, phase.label,
+                       "tb.campaign",
+                       {{"attempt", std::to_string(attempt)}});
+        }
       }
       const SampleStatus status =
           run_attempt(phase, phase_index, attempt,
@@ -123,6 +150,13 @@ class CampaignEngine {
   /// report have been merged into the campaign log/report.
   SampleStatus run_attempt(const Phase& phase, int phase_index, int attempt,
                            bool allow_trip, double prev_chamber_c) {
+    const obs::ScopedKernelTimer timer(obs::Kernel::kTbPhaseAttempt);
+    obs::set_sim_now(t_campaign_);
+    obs::Span phase_span(obs::EventKind::kPhase, phase.label, "tb.phase");
+    phase_span.arg("attempt", std::to_string(attempt));
+    phase_span.arg("chamber_c", fmt_fixed(phase.chamber_c, 1));
+    phase_span.arg("supply_v", fmt_fixed(phase.supply_v, 3));
+
     FaultReport attempt_report;
     FaultInjector faults(cfg_.fault_plan, phase_index, attempt,
                          phase.duration_s, &attempt_report);
@@ -185,6 +219,7 @@ class CampaignEngine {
       chamber.advance(step);
       supply.advance(step);
       t_campaign_ += step;
+      obs::set_sim_now(t_campaign_);
     };
 
     // One logged sample, including retries.  kAccepted means a record was
@@ -252,6 +287,14 @@ class CampaignEngine {
           r.quality = quality;
           r.retries = retries;
           attempt_log.add(r);
+          if (obs::tracing()) {
+            obs::instant(obs::EventKind::kMeasurement, phase.label,
+                         "tb.sample",
+                         {{"quality", to_string(quality)},
+                          {"retries", std::to_string(retries)},
+                          {"frequency_hz", strformat("%.6g", m.frequency_hz)},
+                          {"chamber_c", fmt_fixed(reported_c, 2)}});
+          }
         };
 
         if (valid && !implausible) {
@@ -267,6 +310,14 @@ class CampaignEngine {
         }
 
         if (retries < cfg_.retry.max_sample_retries) {
+          if (obs::tracing()) {
+            obs::instant(obs::EventKind::kRetry, phase.label, "tb.sample",
+                         {{"retry", std::to_string(retries + 1)},
+                          {"backoff_s", fmt_fixed(backoff, 1)},
+                          {"reason", !comm_ok        ? "comm_lost"
+                                     : !m.valid()    ? "invalid_reading"
+                                                     : "implausible"}});
+          }
           // Bounded backoff *in simulated time*: the lab waits, the chip
           // keeps aging in the phase's mode, and the sample grid shifts.
           age(backoff, /*in_body=*/true, t_phase);
@@ -284,6 +335,14 @@ class CampaignEngine {
           if (cfg_.watchdog.enabled) {
             ++consecutive_implausible;
             if (consecutive_implausible >= cfg_.watchdog.trip_after) {
+              if (obs::tracing()) {
+                obs::instant(
+                    obs::EventKind::kFaultDetected, "watchdog.trip",
+                    "tb.watchdog",
+                    {{"phase", phase.label},
+                     {"consecutive", std::to_string(consecutive_implausible)},
+                     {"action", allow_trip ? "abort_phase" : "degrade"}});
+              }
               if (allow_trip) return SampleStatus::kTripped;
               degraded = true;
             }

@@ -5,7 +5,24 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "ash/obs/metrics.h"
+#include "ash/obs/trace.h"
+#include "ash/util/table.h"
+
 namespace ash::tb {
+
+namespace {
+
+/// Window faults are drawn at attempt start but fire later (phase-relative
+/// window); the instant records when the draw happened, the args say when
+/// the fault bites.
+void trace_injection(const char* channel,
+                     std::vector<std::pair<std::string, std::string>> args) {
+  obs::instant(obs::EventKind::kFaultInjected, channel, "tb.fault",
+               std::move(args));
+}
+
+}  // namespace
 
 bool FaultPlan::ideal() const {
   return chamber.excursion_probability == 0.0 &&
@@ -139,6 +156,13 @@ FaultInjector::FaultInjector(const FaultPlan& plan, int phase_index,
     excursion_end_s_ = excursion_begin_s_ + len;
     excursion_ = len > 0.0;
     if (excursion_ && report_) report_->chamber_excursions++;
+    if (excursion_ && obs::tracing()) {
+      trace_injection("chamber.excursion",
+                      {{"begin_s", fmt_fixed(excursion_begin_s_, 0)},
+                       {"end_s", fmt_fixed(excursion_end_s_, 0)},
+                       {"magnitude_c",
+                        fmt_fixed(plan_.chamber.excursion_magnitude_c, 1)}});
+    }
   }
 
   if (rng_.bernoulli(plan_.chamber.sensor_stuck_probability * recur)) {
@@ -148,6 +172,11 @@ FaultInjector::FaultInjector(const FaultPlan& plan, int phase_index,
     stuck_end_s_ = stuck_begin_s_ + len;
     sensor_stuck_ = len > 0.0;
     if (sensor_stuck_ && report_) report_->sensor_faults++;
+    if (sensor_stuck_ && obs::tracing()) {
+      trace_injection("chamber.sensor_stuck",
+                      {{"begin_s", fmt_fixed(stuck_begin_s_, 0)},
+                       {"end_s", fmt_fixed(stuck_end_s_, 0)}});
+    }
   }
 
   const double p_glitch =
@@ -159,12 +188,22 @@ FaultInjector::FaultInjector(const FaultPlan& plan, int phase_index,
     glitch_end_s_ = glitch_begin_s_ + len;
     glitch_ = len > 0.0;
     if (glitch_ && report_) report_->supply_glitches++;
+    if (glitch_ && obs::tracing()) {
+      trace_injection("supply.glitch",
+                      {{"begin_s", fmt_fixed(glitch_begin_s_, 0)},
+                       {"end_s", fmt_fixed(glitch_end_s_, 0)},
+                       {"delta_v", fmt_fixed(plan_.supply.glitch_delta_v, 3)}});
+    }
   }
 
   if (rng_.bernoulli(plan_.rig.clock_jump_probability * recur)) {
     clock_offset_ppm_ =
         (rng_.bernoulli(0.5) ? 1.0 : -1.0) * plan_.rig.clock_jump_ppm;
     if (report_) report_->clock_jumps++;
+    if (obs::tracing()) {
+      trace_injection("rig.clock_jump",
+                      {{"offset_ppm", fmt_fixed(clock_offset_ppm_, 1)}});
+    }
   }
 }
 
@@ -202,12 +241,14 @@ double FaultInjector::reported_chamber_c(double true_c, double t_phase_s) {
 bool FaultInjector::reading_dropped() {
   const bool fired = rng_.bernoulli(plan_.rig.dropped_reading_probability);
   if (fired && report_) report_->readings_dropped++;
+  if (fired && obs::tracing()) trace_injection("rig.reading_dropped", {});
   return fired;
 }
 
 bool FaultInjector::reading_outlier() {
   const bool fired = rng_.bernoulli(plan_.rig.outlier_probability);
   if (fired && report_) report_->outlier_readings++;
+  if (fired && obs::tracing()) trace_injection("rig.outlier", {});
   return fired;
 }
 
@@ -219,7 +260,38 @@ double FaultInjector::corrupt_counts(double counts) {
 bool FaultInjector::comm_lost() {
   const bool fired = rng_.bernoulli(plan_.comm.loss_probability);
   if (fired && report_) report_->comm_losses++;
+  if (fired && obs::tracing()) trace_injection("comm.loss", {});
   return fired;
+}
+
+void FaultReport::publish(obs::Registry& registry,
+                          const std::string& prefix) const {
+  registry.counter(prefix + "chamber_excursions")
+      .set(static_cast<std::uint64_t>(chamber_excursions));
+  registry.counter(prefix + "sensor_faults")
+      .set(static_cast<std::uint64_t>(sensor_faults));
+  registry.counter(prefix + "supply_glitches")
+      .set(static_cast<std::uint64_t>(supply_glitches));
+  registry.counter(prefix + "clock_jumps")
+      .set(static_cast<std::uint64_t>(clock_jumps));
+  registry.counter(prefix + "readings_dropped")
+      .set(static_cast<std::uint64_t>(readings_dropped));
+  registry.counter(prefix + "outlier_readings")
+      .set(static_cast<std::uint64_t>(outlier_readings));
+  registry.counter(prefix + "comm_losses")
+      .set(static_cast<std::uint64_t>(comm_losses));
+  registry.counter(prefix + "samples_retried")
+      .set(static_cast<std::uint64_t>(samples_retried));
+  registry.counter(prefix + "samples_suspect")
+      .set(static_cast<std::uint64_t>(samples_suspect));
+  registry.counter(prefix + "samples_lost")
+      .set(static_cast<std::uint64_t>(samples_lost));
+  registry.counter(prefix + "phase_aborts")
+      .set(static_cast<std::uint64_t>(phase_aborts));
+  registry.counter(prefix + "phases_degraded")
+      .set(static_cast<std::uint64_t>(phases_degraded));
+  registry.counter(prefix + "samples_discarded")
+      .set(static_cast<std::uint64_t>(samples_discarded));
 }
 
 }  // namespace ash::tb

@@ -29,6 +29,10 @@
 
 #include "ash/util/random.h"
 
+namespace ash::obs {
+class Registry;
+}  // namespace ash::obs
+
 namespace ash::tb {
 
 /// Thermal-chamber faults.
@@ -145,6 +149,13 @@ struct FaultReport {
   /// One-line serialization (fixed-order integers) and its inverse.
   std::string serialize() const;
   static FaultReport deserialize(const std::string& line);
+
+  /// Set one `prefix`-named counter per field in `registry` from this
+  /// report's final tallies.  Because the counters are *set* from the same
+  /// integers the report carries, the metrics snapshot and the report can
+  /// never disagree.
+  void publish(obs::Registry& registry,
+               const std::string& prefix = "tb.fault.") const;
 
   bool operator==(const FaultReport&) const = default;
 };

@@ -148,5 +148,45 @@ TEST(SampleQuality, NamesRoundTrip) {
   EXPECT_THROW(parse_sample_quality("fine"), std::invalid_argument);
 }
 
+TEST(SampleQuality, ParseErrorNamesTokenAndExpectedSet) {
+  try {
+    parse_sample_quality("suspct");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'suspct'"), std::string::npos) << what;
+    EXPECT_NE(what.find("good|retried|suspect|lost"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(DataLog, AllFourQualitiesRoundTripExactly) {
+  // Regression guard for the full quality vocabulary in one log: every
+  // SampleQuality value and its retry count must survive export -> import
+  // bit-for-bit, in order.
+  DataLog log;
+  const SampleQuality qualities[] = {
+      SampleQuality::kGood, SampleQuality::kRetried, SampleQuality::kSuspect,
+      SampleQuality::kLost};
+  int retries = 0;
+  for (const auto q : qualities) {
+    auto r = record("AS110DC24", 600.0 * retries, 150e-9);
+    r.quality = q;
+    r.retries = retries++;
+    log.add(r);
+  }
+
+  std::ostringstream os;
+  log.write_csv(os);
+  std::istringstream is(os.str());
+  const auto back = DataLog::read_csv(is);
+  ASSERT_EQ(back.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(back.records()[i].quality, qualities[i]) << "record " << i;
+    EXPECT_EQ(back.records()[i].retries, static_cast<int>(i))
+        << "record " << i;
+  }
+}
+
 }  // namespace
 }  // namespace ash::tb

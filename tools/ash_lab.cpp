@@ -11,6 +11,10 @@
 ///                      [--rec-hours 6] [--checkpoint FILE]
 ///   plan      — cheapest sleep conditions for a recovery target
 ///       ash_lab plan [--target 0.9] [--budget-hours 6] [--stress-hours 24]
+///   chipN     — run ONE Table 1 chip of the paper campaign (chip1..chip5)
+///       ash_lab chip5 [--stages 75] [--out DIR] [--seed N]
+///                     [--fault-plan none|representative|harsh]
+///                     [--retry N] [--no-watchdog]
 ///   multicore — schedule comparison on the 8-core system
 ///       ash_lab multicore [--years 2] [--cores 6] [--margin-mv 9]
 ///                         [--fault-plan none|representative|harsh]
@@ -19,6 +23,13 @@
 ///       manager (quarantine, failover, telemetry filtering) and the
 ///       fault/response report is printed; --raw drops the manager to
 ///       show how an unmanaged policy degrades.
+///
+/// Observability flags, valid with every subcommand:
+///   --trace FILE    record a trace of the run; written as Chrome
+///                   trace-event JSON (open in Perfetto / chrome://tracing)
+///                   or as JSONL when FILE ends in .jsonl
+///   --metrics FILE  write the end-of-run metrics snapshot (key=value lines)
+///   --profile       print the per-kernel profile table on exit
 ///
 /// Everything is deterministic under --seed; exit status is non-zero on
 /// usage errors.
@@ -33,6 +44,9 @@
 #include "ash/fpga/chip.h"
 #include "ash/mc/reliability.h"
 #include "ash/mc/system.h"
+#include "ash/obs/metrics.h"
+#include "ash/obs/profile.h"
+#include "ash/obs/trace.h"
 #include "ash/tb/experiment_runner.h"
 #include "ash/tb/test_case.h"
 #include "ash/util/constants.h"
@@ -44,29 +58,46 @@ namespace {
 using namespace ash;
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: ash_lab <campaign|stress|plan|multicore> [--flags]\n"
-               "see the header of tools/ash_lab.cpp for flag lists\n");
+  std::fprintf(
+      stderr,
+      "usage: ash_lab <campaign|chip1..chip5|stress|plan|multicore> "
+      "[--flags]\n"
+      "observability: --trace FILE --metrics FILE --profile\n"
+      "see the header of tools/ash_lab.cpp for flag lists\n");
   return 2;
 }
 
+/// Flags every subcommand accepts (handled globally in main).
+const std::vector<std::string> kObsFlags = {"trace", "metrics", "profile"};
+
+std::vector<std::string> with_obs(std::vector<std::string> known) {
+  known.insert(known.end(), kObsFlags.begin(), kObsFlags.end());
+  return known;
+}
+
+/// Shared campaign runner setup for `campaign` and `chipN`.
+tb::RunnerConfig campaign_runner_config(const Flags& flags,
+                                        const tb::FaultPlan& plan) {
+  tb::RunnerConfig rc =
+      plan.ideal() ? tb::RunnerConfig{} : tb::tolerant_runner_config(plan);
+  rc.fault_plan = plan;
+  if (flags.has("retry")) {
+    rc.retry.max_sample_retries = flags.get("retry", 3);
+  }
+  if (flags.get("no-watchdog", false)) rc.watchdog.enabled = false;
+  return rc;
+}
+
 int cmd_campaign(const Flags& flags) {
-  flags.check_known(
-      {"stages", "out", "seed", "fault-plan", "retry", "no-watchdog"});
+  flags.check_known(with_obs(
+      {"stages", "out", "seed", "fault-plan", "retry", "no-watchdog"}));
   const int stages = flags.get("stages", 75);
   const std::string out_dir = flags.get("out", std::string("."));
   const auto seed = static_cast<std::uint64_t>(flags.get("seed", 0x40A0));
   const auto plan =
       tb::FaultPlan::by_name(flags.get("fault-plan", std::string("none")));
 
-  tb::RunnerConfig rc =
-      plan.ideal() ? tb::RunnerConfig{} : tb::tolerant_runner_config(plan);
-  if (flags.has("retry")) {
-    rc.retry.max_sample_retries = flags.get("retry", 3);
-  }
-  if (flags.get("no-watchdog", false)) rc.watchdog.enabled = false;
-
-  tb::ExperimentRunner runner{rc};
+  tb::ExperimentRunner runner{campaign_runner_config(flags, plan)};
   tb::FaultReport total_faults;
   Table summary({"chip", "samples", "usable", "fresh f (MHz)",
                  "worst degradation"});
@@ -110,12 +141,60 @@ int cmd_campaign(const Flags& flags) {
   }
   std::printf("%s", summary.render().c_str());
   if (!total_faults.clean()) std::printf("%s", total_faults.render().c_str());
+  total_faults.publish(obs::registry());
+  return 0;
+}
+
+/// Run ONE chip of the Table 1 campaign (`ash_lab chip5 ...`) — the
+/// single-chip acceptance path for tracing a Fig. 9-style run.
+int cmd_chip(const Flags& flags, const std::string& name) {
+  flags.check_known(with_obs(
+      {"stages", "out", "seed", "fault-plan", "retry", "no-watchdog"}));
+  const tb::TestCase* tc = nullptr;
+  const auto campaign = tb::paper_campaign();
+  for (const auto& candidate : campaign) {
+    if (candidate.name == name) tc = &candidate;
+  }
+  if (tc == nullptr) {
+    std::fprintf(stderr, "ash_lab: unknown chip '%s' (chip1..chip%zu)\n",
+                 name.c_str(), campaign.size());
+    return 2;
+  }
+
+  const auto plan =
+      tb::FaultPlan::by_name(flags.get("fault-plan", std::string("none")));
+  tb::ExperimentRunner runner{campaign_runner_config(flags, plan)};
+
+  fpga::ChipConfig cc;
+  cc.chip_id = tc->chip_id;
+  cc.seed = static_cast<std::uint64_t>(flags.get("seed", 0x40A0)) +
+            static_cast<std::uint64_t>(tc->chip_id);
+  cc.ro_stages = flags.get("stages", 75);
+  fpga::FpgaChip chip(cc);
+
+  const auto result = runner.run_campaign(chip, *tc);
+  const std::string path = flags.get("out", std::string(".")) +
+                           "/campaign_chip" + std::to_string(tc->chip_id) +
+                           ".csv";
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "ash_lab: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  result.log.write_csv(os);
+  std::printf("wrote %s (%zu samples, %s)\n", path.c_str(), result.log.size(),
+              result.completed ? "completed" : "aborted");
+  if (!result.faults.clean()) {
+    std::printf("%s", result.faults.render().c_str());
+  }
+  result.faults.publish(obs::registry());
   return 0;
 }
 
 int cmd_stress(const Flags& flags) {
-  flags.check_known({"stages", "seed", "temp", "hours", "mode", "rec-volts",
-                     "rec-temp", "rec-hours", "checkpoint"});
+  flags.check_known(with_obs({"stages", "seed", "temp", "hours", "mode",
+                              "rec-volts", "rec-temp", "rec-hours",
+                              "checkpoint"}));
   fpga::ChipConfig cc;
   cc.seed = static_cast<std::uint64_t>(flags.get("seed", 1));
   cc.ro_stages = flags.get("stages", 75);
@@ -170,7 +249,7 @@ int cmd_stress(const Flags& flags) {
 }
 
 int cmd_plan(const Flags& flags) {
-  flags.check_known({"target", "budget-hours", "stress-hours"});
+  flags.check_known(with_obs({"target", "budget-hours", "stress-hours"}));
   core::PlannerConfig cfg;
   cfg.target_recovered_fraction = flags.get("target", 0.9);
   cfg.max_sleep_s = hours(flags.get("budget-hours", 6.0));
@@ -190,8 +269,8 @@ int cmd_plan(const Flags& flags) {
 }
 
 int cmd_multicore(const Flags& flags) {
-  flags.check_known(
-      {"years", "cores", "margin-mv", "fault-plan", "fault-seed", "raw"});
+  flags.check_known(with_obs(
+      {"years", "cores", "margin-mv", "fault-plan", "fault-seed", "raw"}));
   mc::SystemConfig cfg;
   cfg.horizon_s = flags.get("years", 2.0) * 365.25 * 86400.0;
   cfg.cores_needed = flags.get("cores", 6);
@@ -229,22 +308,66 @@ int cmd_multicore(const Flags& flags) {
   }
   std::printf("%s", t.render().c_str());
   if (!plan.ideal()) std::printf("\n%s", total.render().c_str());
+  total.publish(obs::registry());
   return 0;
+}
+
+int dispatch(const std::string& cmd, const Flags& flags) {
+  if (cmd == "campaign") return cmd_campaign(flags);
+  if (cmd == "stress") return cmd_stress(flags);
+  if (cmd == "plan") return cmd_plan(flags);
+  if (cmd == "multicore") return cmd_multicore(flags);
+  if (cmd.rfind("chip", 0) == 0) return cmd_chip(flags, cmd);
+  return usage();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::TraceBuffer trace;
   try {
     const Flags flags(argc, argv);
     if (flags.positional().empty()) return usage();
-    const std::string& cmd = flags.positional().front();
-    if (cmd == "campaign") return cmd_campaign(flags);
-    if (cmd == "stress") return cmd_stress(flags);
-    if (cmd == "plan") return cmd_plan(flags);
-    if (cmd == "multicore") return cmd_multicore(flags);
-    return usage();
+
+    const std::string trace_path = flags.get("trace", std::string());
+    const std::string metrics_path = flags.get("metrics", std::string());
+    const bool profile = flags.get("profile", false);
+    if (!trace_path.empty()) obs::set_trace_sink(&trace);
+    if (profile) obs::enable_profiling(true);
+
+    const int rc = dispatch(flags.positional().front(), flags);
+    obs::set_trace_sink(nullptr);
+
+    if (!trace_path.empty()) {
+      std::ofstream os(trace_path);
+      if (!os) {
+        std::fprintf(stderr, "ash_lab: cannot write %s\n", trace_path.c_str());
+        return 1;
+      }
+      const bool jsonl = trace_path.size() >= 6 &&
+                         trace_path.rfind(".jsonl") == trace_path.size() - 6;
+      if (jsonl) {
+        trace.write_jsonl(os);
+      } else {
+        trace.write_chrome_json(os);
+      }
+      std::printf("trace: %zu event(s) written to %s\n", trace.size(),
+                  trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream os(metrics_path);
+      if (!os) {
+        std::fprintf(stderr, "ash_lab: cannot write %s\n",
+                     metrics_path.c_str());
+        return 1;
+      }
+      obs::registry().snapshot().write(os);
+      std::printf("metrics written to %s\n", metrics_path.c_str());
+    }
+    if (profile) std::printf("%s", obs::profile_table().c_str());
+    return rc;
   } catch (const std::exception& e) {
+    obs::set_trace_sink(nullptr);
     std::fprintf(stderr, "ash_lab: %s\n", e.what());
     return 2;
   }
