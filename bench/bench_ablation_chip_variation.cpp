@@ -16,6 +16,7 @@
 #include "ash/tb/test_case.h"
 #include "ash/util/stats.h"
 #include "ash/util/table.h"
+#include "ash/util/thread_pool.h"
 #include "common.h"
 
 int main() {
@@ -31,27 +32,42 @@ int main() {
                tb::dc_stress_phase("AS110DC24", 110.0, 24.0),
                tb::recovery_phase("AR110N6", -0.3, 110.0, 6.0)};
 
-  std::vector<double> fresh_mhz;
-  std::vector<double> degradation_pct;
-  std::vector<double> recovered_pct;
-  tb::ExperimentRunner runner{tb::RunnerConfig{}};
-  for (int i = 0; i < kChips; ++i) {
+  // Chips are independent: fan the population out over a worker pool (each
+  // task owns its chip, test case copy and runner) and collect the metrics
+  // in chip order, so the statistics below see the same value sequence as
+  // the serial loop.
+  struct ChipMetrics {
+    double fresh_mhz;
+    double degradation_pct;
+    double recovered_pct;
+  };
+  util::ThreadPool pool(util::recommended_pool_size(kChips));
+  const auto metrics = pool.parallel_for(kChips, [&](int i) {
     fpga::ChipConfig cc;
     cc.chip_id = i + 1;
     cc.seed = 0x7A0 + static_cast<std::uint64_t>(i);
     cc.ro_stages = 25;  // smaller CUT: more per-chip spread, faster run
     fpga::FpgaChip chip(cc);
-    tc.chip_id = cc.chip_id;
-    const auto log = runner.run(chip, tc);
+    tb::TestCase my_tc = tc;
+    my_tc.chip_id = cc.chip_id;
+    tb::ExperimentRunner runner{tb::RunnerConfig{}};
+    const auto log = runner.run(chip, my_tc);
     const double fresh_hz = log.records().front().frequency_hz;
     const double fresh_delay = log.records().front().delay_s;
     const auto stress_f = log.frequency_series("AS110DC24");
-    fresh_mhz.push_back(fresh_hz / 1e6);
-    degradation_pct.push_back(100.0 *
-                              (1.0 - stress_f.back().value / fresh_hz));
-    recovered_pct.push_back(
+    return ChipMetrics{
+        fresh_hz / 1e6,
+        100.0 * (1.0 - stress_f.back().value / fresh_hz),
         100.0 * core::recovered_fraction(log.delay_series("AR110N6"),
-                                         fresh_delay));
+                                         fresh_delay)};
+  });
+  std::vector<double> fresh_mhz;
+  std::vector<double> degradation_pct;
+  std::vector<double> recovered_pct;
+  for (const auto& m : metrics) {
+    fresh_mhz.push_back(m.fresh_mhz);
+    degradation_pct.push_back(m.degradation_pct);
+    recovered_pct.push_back(m.recovered_pct);
   }
 
   const auto row = [&](const char* name, std::vector<double> xs) {

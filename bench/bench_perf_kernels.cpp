@@ -8,13 +8,20 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "ash/bti/closed_form.h"
 #include "ash/bti/trap_ensemble.h"
 #include "ash/fpga/chip.h"
 #include "ash/mc/system.h"
 #include "ash/obs/profile.h"
+#include "ash/tb/experiment_runner.h"
+#include "ash/tb/test_case.h"
 #include "ash/util/constants.h"
 
 namespace {
@@ -94,13 +101,166 @@ void BM_MulticoreSimMonth(benchmark::State& state) {
 }
 BENCHMARK(BM_MulticoreSimMonth);
 
+double wall_ms(const std::chrono::steady_clock::time_point begin,
+               const std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double, std::milli>(end - begin).count();
+}
+
+/// `--json` mode: run a fixed, deterministic workload with the in-library
+/// kernel timers on and emit machine-readable numbers for the CI
+/// perf-smoke gate (tools/check_perf_regression.py).  The workload covers
+/// the three regimes that matter: the steady-state trap kernel (rate-cache
+/// hits), the chip-5 runner campaign (chamber noise defeats the cache —
+/// the honest end-to-end number) and a fixed-condition drive of the same
+/// chip (cache-friendly end-to-end).
+int run_json_mode(const std::string& path) {
+  using clock = std::chrono::steady_clock;
+  using namespace ash;
+  obs::enable_profiling(true);
+  obs::reset_profile();
+
+  // Steady-state trap kernel: one condition, repeated steps.
+  {
+    bti::TrapEnsemble e(bti::default_td_parameters(), 1);
+    const auto cond = bti::dc_stress(1.2, 110.0);
+    for (int i = 0; i < 200000; ++i) e.evolve(cond, 60.0);
+    benchmark::DoNotOptimize(e.delta_vth());
+  }
+
+  // Repeated RO reads at a fixed operating point (cached path delays).
+  {
+    fpga::ChipConfig cc;
+    cc.ro_stages = 75;
+    fpga::FpgaChip chip(cc);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+      sum += chip.ro_frequency_hz(1.2, celsius(20.0));
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+
+  // End-to-end chip-5 campaign through the full instrument stack.
+  const tb::TestCase tc = tb::paper_campaign().at(4);
+  double campaign_ms = 0.0;
+  {
+    fpga::ChipConfig cc;
+    cc.chip_id = tc.chip_id;
+    cc.seed = 0x40A0 + static_cast<std::uint64_t>(tc.chip_id);
+    cc.ro_stages = 75;
+    fpga::FpgaChip chip(cc);
+    tb::ExperimentRunner runner{tb::RunnerConfig{}};
+    const auto t0 = clock::now();
+    const auto result = runner.run_campaign(chip, tc);
+    campaign_ms = wall_ms(t0, clock::now());
+    benchmark::DoNotOptimize(result.log.size());
+  }
+
+  // The same chip schedule driven at fixed per-phase conditions (no
+  // chamber noise): what the trap kernel does when the rate cache can
+  // actually hit.
+  double fixed_drive_ms = 0.0;
+  {
+    fpga::ChipConfig cc;
+    cc.chip_id = tc.chip_id;
+    cc.seed = 0x40A0 + static_cast<std::uint64_t>(tc.chip_id);
+    cc.ro_stages = 75;
+    fpga::FpgaChip chip(cc);
+    const auto t0 = clock::now();
+    for (const auto& phase : tc.phases) {
+      bti::OperatingCondition cond;
+      cond.voltage_v = phase.supply_v;
+      cond.temperature_k = celsius(phase.chamber_c);
+      cond.gate_stress_duty =
+          phase.mode == fpga::RoMode::kAcOscillating ? phase.ac_duty
+          : phase.mode == fpga::RoMode::kDcFrozen    ? 1.0
+                                                     : 0.0;
+      const int steps = std::max(
+          1, phase.sample_every_s > 0.0
+                 ? static_cast<int>(phase.duration_s / phase.sample_every_s)
+                 : 1);
+      const double dt = phase.duration_s / steps;
+      for (int s = 0; s < steps; ++s) {
+        chip.evolve(phase.mode, cond, dt);
+        // Read at the nominal measurement rail (sleep phases bias the
+        // core below threshold; the counter always runs at 1.2 V).
+        benchmark::DoNotOptimize(
+            chip.ro_frequency_hz(1.2, cond.temperature_k));
+      }
+    }
+    fixed_drive_ms = wall_ms(t0, clock::now());
+  }
+
+  // One multicore month exercises the mc.* kernel split.
+  {
+    mc::SystemConfig cfg;
+    cfg.horizon_s = 30.0 * 86400.0;
+    mc::HeaterAwareCircadianScheduler scheduler;
+    benchmark::DoNotOptimize(mc::simulate_system(cfg, scheduler));
+  }
+
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "bench_perf_kernels: cannot write %s\n",
+                 path.c_str());
+    return 1;
+  }
+  os << "{\n  \"kernels\": [\n";
+  const auto profiles = obs::profile_snapshot();
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const auto& p = profiles[i];
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "    {\"name\": \"%s\", \"calls\": %llu, \"total_ns\": "
+                  "%llu, \"ns_per_call\": %.1f}%s\n",
+                  obs::to_string(p.kernel),
+                  static_cast<unsigned long long>(p.calls),
+                  static_cast<unsigned long long>(p.total_ns),
+                  static_cast<double>(p.total_ns) /
+                      static_cast<double>(p.calls),
+                  i + 1 < profiles.size() ? "," : "");
+    os << line;
+  }
+  char tail[160];
+  std::snprintf(tail, sizeof(tail),
+                "  ],\n  \"chip5_campaign_wall_ms\": %.1f,\n"
+                "  \"chip5_fixed_drive_wall_ms\": %.1f\n}\n",
+                campaign_ms, fixed_drive_ms);
+  os << tail;
+  std::printf("wrote %s\n%s", path.c_str(), obs::profile_table().c_str());
+  std::printf("chip5 campaign: %.1f ms   fixed drive: %.1f ms\n",
+              campaign_ms, fixed_drive_ms);
+  return 0;
+}
+
 }  // namespace
 
 /// BENCHMARK_MAIN() plus the ash::obs profile: the same run that times the
 /// kernels also aggregates the in-library kernel timers, so the share
 /// breakdown (where does a multicore month actually go?) prints alongside
-/// the google-benchmark numbers.
+/// the google-benchmark numbers.  `--json FILE` (default
+/// BENCH_kernels.json) switches to the fixed CI workload instead; the
+/// custom flag is stripped before benchmark::Initialize sees it.
 int main(int argc, char** argv) {
+  std::string json_path;
+  bool json_mode = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json_mode = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_mode = true;
+      json_path = arg.substr(7);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  if (json_mode) {
+    return run_json_mode(json_path.empty() ? "BENCH_kernels.json"
+                                           : json_path);
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ash::obs::enable_profiling(true);

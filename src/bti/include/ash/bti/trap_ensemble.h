@@ -10,13 +10,24 @@
 /// recovery, AC ≈ ½ DC — *emerges* from the microscopic trap kinetics; the
 /// paper's closed-form Eqs. (1)–(4) are then fit against it exactly as the
 /// authors fit their equations against chip measurements.
+///
+/// Performance architecture (DESIGN.md Sec. 8): the trap population is
+/// stored structure-of-arrays so the per-step occupancy sweep touches only
+/// the two arrays it needs, and the per-condition rate constants (two
+/// exponentials and two divisions per trap in the naive formulation) are
+/// memoized in a small per-ensemble `RateCache` keyed on the operating
+/// condition.  Campaigns apply the same handful of conditions for millions
+/// of steps, so the steady-state cost of `evolve` is one fused
+/// multiply-add sweep over the ensemble — no `exp()` at all when the
+/// (condition, dt) pair repeats.  All cached values are computed with the
+/// exact expression order of the original per-trap loop, so trajectories
+/// stay bit-identical (enforced by tests/perf/golden_trajectory_test.cpp).
 
 #include <cstdint>
 #include <vector>
 
 #include "ash/bti/condition.h"
 #include "ash/bti/parameters.h"
-#include "ash/bti/trap.h"
 
 namespace ash::bti {
 
@@ -39,8 +50,9 @@ class TrapEnsemble {
   /// rate accelerated by temperature and negative bias.
   void evolve(const OperatingCondition& condition, double dt_s);
 
-  /// Current threshold-voltage shift (volts): sum of occupied trap
-  /// contributions.
+  /// Current threshold-voltage shift (volts): dot product of occupancies
+  /// and per-trap contributions.  Cached between state changes, so
+  /// repeated reads after the same aging step are O(1).
   double delta_vth() const;
 
   /// Shift carried by permanent (never-recoverable) traps only.
@@ -52,18 +64,121 @@ class TrapEnsemble {
   /// Restore the factory-fresh state (all traps empty).
   void reset();
 
-  int trap_count() const { return static_cast<int>(traps_.size()); }
+  int trap_count() const { return static_cast<int>(occupancy_.size()); }
   const TdParameters& parameters() const { return params_; }
 
   /// Snapshot / restore of the mutable state (occupancies), for
   /// checkpointing long campaigns.  `set_occupancies` requires a vector of
-  /// exactly trap_count() values in [0, 1].
+  /// exactly trap_count() values in [0, 1], and — like `evolve` and
+  /// `reset` — invalidates every cached derived quantity (the delta_vth
+  /// dot product here, delay caches in the fpga layer via the version
+  /// counter), so a checkpoint rewind is immediately visible to readers.
   std::vector<double> occupancies() const;
   void set_occupancies(const std::vector<double>& occ);
 
+  /// Monotonic state-change counter: bumped by every `evolve` (with
+  /// dt > 0), `set_occupancies` and `reset`.  Higher layers (fpga delay
+  /// caches) use it as a cheap dirty flag: equal versions guarantee the
+  /// occupancies — and anything derived from them — are unchanged.
+  std::uint64_t state_version() const { return version_; }
+
  private:
+  /// Per-condition memo: everything of the exact occupancy update
+  ///   p' = p_inf + (p - p_inf) * exp(-lambda * dt)
+  /// that does not depend on dt (lambda, p_inf), plus the decay factors
+  /// for the most recent dt.  Traps with lambda <= 0 store p_inf = 0 and
+  /// decay = 1, which leaves their occupancy bit-exactly unchanged —
+  /// the branch-free equivalent of the old early return.
+  struct RateEntry {
+    double voltage_v = 0.0;
+    double temperature_k = 0.0;
+    double duty = 0.0;
+    bool valid = false;
+    std::vector<double> lambda;
+    std::vector<double> p_inf;
+    double decay_dt_s = -1.0;
+    std::vector<double> decay;
+  };
+
+  /// Per-temperature memo of the per-trap Arrhenius factors
+  /// exp(-Ea_i * arr_x).  The condition's voltage and duty enter the rate
+  /// formulas only through scalars, so these arrays are reusable across
+  /// conditions sharing a temperature — which the testbench produces
+  /// naturally (a measurement wake and the following aging step read the
+  /// same chamber state).
+  struct FactorCache {
+    struct Slot {
+      double arr_x = 0.0;
+      bool valid = false;
+      std::vector<double> f;
+    };
+    static constexpr int kSlots = 2;
+    Slot slots[kSlots];
+    int next = 0;
+  };
+
+  /// Condition-level scalars of the rate formulas, hoisted out of the
+  /// per-trap loops.
+  struct CondScalars {
+    double duty;
+    double phi;
+    double capture_field;
+    double capture_arr_x;
+    double emission_bias_boost;
+    double emission_arr_x;
+  };
+  CondScalars scalars_for(const OperatingCondition& condition) const;
+
+  /// Factors exp(-ea[i] * arr_x) for the whole population, memoized.
+  const double* arrhenius_factors(FactorCache& cache,
+                                  const std::vector<double>& ea_ev,
+                                  double arr_x);
+
+  /// Cache miss on a *recurring* condition: compute rates + decay into the
+  /// memo entry and advance occupancies in one fused pass.
+  void fill_and_step(RateEntry& entry, const OperatingCondition& condition,
+                     double dt_s);
+  /// Condition hit, new dt: recompute decay factors and advance.
+  void refill_decay_and_step(RateEntry& entry, double dt_s);
+  /// Cache miss on a *one-shot* condition (e.g. a drifting chamber
+  /// temperature, where every interval is unique): advance occupancies
+  /// without writing any memo arrays — the rate/decay values live only in
+  /// registers, which roughly halves the memory traffic of a miss.
+  void transient_step(const OperatingCondition& condition, double dt_s);
+
   TdParameters params_;
-  std::vector<Trap> traps_;
+
+  // --- trap population, structure-of-arrays ------------------------------
+  std::vector<double> delta_vth_v_;
+  std::vector<double> tau_capture_s_;
+  std::vector<double> tau_emission_s_;
+  std::vector<double> capture_ea_ev_;
+  std::vector<double> emission_ea_ev_;
+  std::vector<std::uint8_t> permanent_;
+  std::vector<double> occupancy_;
+
+  // --- caches ------------------------------------------------------------
+  /// Small round-robin condition cache; campaigns cycle through a handful
+  /// of (stress, recovery, measurement) conditions.
+  static constexpr int kRateCacheSlots = 6;
+  std::vector<RateEntry> rate_cache_;
+  int rate_cache_next_ = 0;
+
+  /// Temperature-keyed Arrhenius factor memos (capture and emission use
+  /// different reference temperatures, hence separate caches).
+  FactorCache capture_factors_;
+  FactorCache emission_factors_;
+
+  /// Key of the most recent one-shot miss: a condition missing twice in a
+  /// row is recurring and gets promoted into the rate cache.
+  double last_miss_voltage_ = 0.0;
+  double last_miss_temp_ = 0.0;
+  double last_miss_duty_ = 0.0;
+  bool last_miss_valid_ = false;
+
+  std::uint64_t version_ = 0;
+  mutable double cached_delta_vth_ = 0.0;
+  mutable std::uint64_t cached_delta_version_ = ~std::uint64_t{0};
 };
 
 }  // namespace ash::bti

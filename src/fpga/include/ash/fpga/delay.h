@@ -12,6 +12,7 @@
 /// Eq. (6) for small shifts and additionally supports supply scaling for
 /// the GNOMO baseline.
 
+#include <cstdint>
 #include <stdexcept>
 
 namespace ash::fpga {
@@ -54,5 +55,44 @@ inline double segment_delay(const DelayParams& p, double td0_s, double dvth_v,
       1.0 + p.temp_coeff_per_k * (temp_k - p.temp_ref_k);
   return td0_s * (aged_factor / fresh_factor) * temp_factor;
 }
+
+/// Memo slot for one conducting-path delay (DESIGN.md Sec. 8).  The delay
+/// of a path is a pure function of (DelayParams, Vdd, T, aging state of the
+/// path's devices); `stamp` is the sum of the devices' ensemble state
+/// versions, so any `evolve`, `set_occupancies` or `reset` anywhere on the
+/// path invalidates the slot without the cache holding back-pointers.
+/// A hit returns the previously computed double verbatim, so cached reads
+/// are bit-identical to recomputation.
+struct PathDelayCache {
+  double vdd_nominal_v = 0.0;
+  double vth0_v = 0.0;
+  double temp_coeff_per_k = 0.0;
+  double temp_ref_k = 0.0;
+  double vdd_v = 0.0;
+  double temp_k = 0.0;
+  std::uint64_t stamp = 0;
+  bool valid = false;
+  double delay_s = 0.0;
+
+  bool matches(const DelayParams& p, double vdd, double temp,
+               std::uint64_t s) const {
+    return valid && stamp == s && vdd_v == vdd && temp_k == temp &&
+           vdd_nominal_v == p.vdd_nominal_v && vth0_v == p.vth0_v &&
+           temp_coeff_per_k == p.temp_coeff_per_k && temp_ref_k == p.temp_ref_k;
+  }
+
+  void store(const DelayParams& p, double vdd, double temp, std::uint64_t s,
+             double delay) {
+    vdd_nominal_v = p.vdd_nominal_v;
+    vth0_v = p.vth0_v;
+    temp_coeff_per_k = p.temp_coeff_per_k;
+    temp_ref_k = p.temp_ref_k;
+    vdd_v = vdd;
+    temp_k = temp;
+    stamp = s;
+    valid = true;
+    delay_s = delay;
+  }
+};
 
 }  // namespace ash::fpga

@@ -100,7 +100,10 @@ class PassTransistorLut2 {
   /// order: level-1 pass, level-2 pass, stage-1 driver, stage-2 driver.
   std::array<int, 4> conducting_path(bool in0, bool in1) const;
 
-  /// Delay of the conducting path for the given inputs (seconds).
+  /// Delay of the conducting path for the given inputs (seconds).  Cached
+  /// per input vector: repeated reads between aging steps cost four
+  /// version loads instead of four trap-ensemble walks, and a hit returns
+  /// the previously computed value bit-for-bit.
   double path_delay(bool in0, bool in1, const DelayParams& dp, double vdd_v,
                     double temp_k) const;
 
@@ -131,6 +134,8 @@ class PassTransistorLut2 {
  private:
   LutConfig config_;
   std::vector<Transistor> devices_;
+  /// One memo slot per input vector, indexed 2*in1 + in0 (see delay.h).
+  mutable std::array<PathDelayCache, 4> path_cache_{};
 };
 
 }  // namespace ash::fpga

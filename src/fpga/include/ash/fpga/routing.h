@@ -46,7 +46,8 @@ class RoutingBlock {
   /// device).
   std::vector<int> stressed_devices(bool v) const;
 
-  /// Propagation delay through the block for input value `v`.
+  /// Propagation delay through the block for input value `v`.  Cached per
+  /// carried value with version-stamp invalidation (see delay.h).
   double path_delay(bool v, const DelayParams& dp, double vdd_v,
                     double temp_k) const;
 
@@ -66,6 +67,8 @@ class RoutingBlock {
 
  private:
   std::vector<Transistor> devices_;
+  /// One memo slot per carried logic value (see delay.h).
+  mutable std::array<PathDelayCache, 2> path_cache_{};
 };
 
 }  // namespace ash::fpga

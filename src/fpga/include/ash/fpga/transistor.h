@@ -71,8 +71,13 @@ class Transistor {
   /// Variation-adjusted fresh segment delay.
   double fresh_delay_s() const { return delay_s_; }
 
-  /// Current BTI threshold shift magnitude (volts).
+  /// Current BTI threshold shift magnitude (volts).  O(1) between aging
+  /// steps — the ensemble caches the dot product.
   double delta_vth() const { return ensemble_.delta_vth(); }
+
+  /// Monotonic aging-state counter of the underlying ensemble; delay
+  /// caches use it as a dirty flag (see lut.h / routing.h).
+  std::uint64_t state_version() const { return ensemble_.state_version(); }
 
   /// Which BTI flavour stresses this device.
   bti::StressType stress_type() const {

@@ -106,11 +106,21 @@ std::vector<int> PassTransistorLut2::stressed_on_poi(bool in0,
 double PassTransistorLut2::path_delay(bool in0, bool in1,
                                       const DelayParams& dp, double vdd_v,
                                       double temp_k) const {
+  const auto path = conducting_path(in0, in1);
+  std::uint64_t stamp = 0;
+  for (int idx : path) {
+    stamp += devices_[static_cast<std::size_t>(idx)].state_version();
+  }
+  PathDelayCache& cache =
+      path_cache_[static_cast<std::size_t>(2 * (in1 ? 1 : 0) + (in0 ? 1 : 0))];
+  if (cache.matches(dp, vdd_v, temp_k, stamp)) return cache.delay_s;
+
   double total = 0.0;
-  for (int idx : conducting_path(in0, in1)) {
+  for (int idx : path) {
     const Transistor& d = devices_[static_cast<std::size_t>(idx)];
     total += segment_delay(dp, d.fresh_delay_s(), d.delta_vth(), vdd_v, temp_k);
   }
+  cache.store(dp, vdd_v, temp_k, stamp, total);
   return total;
 }
 

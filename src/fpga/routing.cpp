@@ -53,11 +53,20 @@ std::vector<int> RoutingBlock::stressed_devices(bool v) const {
 
 double RoutingBlock::path_delay(bool v, const DelayParams& dp, double vdd_v,
                                 double temp_k) const {
+  const auto path = conducting_path(v);
+  std::uint64_t stamp = 0;
+  for (int idx : path) {
+    stamp += devices_[static_cast<std::size_t>(idx)].state_version();
+  }
+  PathDelayCache& cache = path_cache_[v ? 1 : 0];
+  if (cache.matches(dp, vdd_v, temp_k, stamp)) return cache.delay_s;
+
   double total = 0.0;
-  for (int idx : conducting_path(v)) {
+  for (int idx : path) {
     const Transistor& d = devices_[static_cast<std::size_t>(idx)];
     total += segment_delay(dp, d.fresh_delay_s(), d.delta_vth(), vdd_v, temp_k);
   }
+  cache.store(dp, vdd_v, temp_k, stamp, total);
   return total;
 }
 

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <optional>
 #include <stdexcept>
 
 #include "ash/obs/profile.h"
 #include "ash/obs/trace.h"
+#include "ash/util/thread_pool.h"
 
 namespace ash::mc {
 
@@ -70,36 +72,51 @@ SystemResult run(const SystemConfig& config, Scheduler& scheduler,
   std::vector<double> prev_core_temps;  // empty on the first interval
   std::vector<double> true_vth(static_cast<std::size_t>(cores), 0.0);
 
+  // Aging fan-out: each core's ager is independent, so the evolve calls
+  // can run on a pool while every order-dependent accumulator above stays
+  // serial.  The default (aging_threads = 1) is inline mode — the exact
+  // serial code path.
+  util::ThreadPool aging_pool(config.aging_threads);
+  std::vector<bti::OperatingCondition> conds(static_cast<std::size_t>(cores));
+  std::vector<std::uint8_t> should_age(static_cast<std::size_t>(cores), 0);
+
   for (long k = 0; k < intervals; ++k) {
     const obs::ScopedKernelTimer interval_timer(obs::Kernel::kMcInterval);
     const double t_now = static_cast<double>(k) * config.interval_s;
     obs::set_sim_now(t_now);
     const int requested = workload.cores_needed(k, t_now);
 
-    for (int i = 0; i < cores; ++i) {
-      true_vth[static_cast<std::size_t>(i)] =
-          agers[static_cast<std::size_t>(i)].delta_vth();
-    }
-    if (faults) faults->begin_interval(k, true_vth);
-
     SchedulerContext ctx;
-    ctx.interval_index = static_cast<int>(k);
-    ctx.floorplan = &floorplan;
-    ctx.set_demand(requested);
-    ctx.temp_c = prev_core_temps;
-    ctx.delta_vth.reserve(static_cast<std::size_t>(cores));
-    if (faults) {
-      ctx.status.reserve(static_cast<std::size_t>(cores));
+    {
+      const obs::ScopedKernelTimer fault_timer(obs::Kernel::kMcFaultSample);
       for (int i = 0; i < cores; ++i) {
-        ctx.delta_vth.push_back(faults->measured_delta_vth(
-            i, true_vth[static_cast<std::size_t>(i)]));
-        ctx.status.push_back(faults->status(i));
+        true_vth[static_cast<std::size_t>(i)] =
+            agers[static_cast<std::size_t>(i)].delta_vth();
       }
-    } else {
-      ctx.delta_vth = true_vth;
+      if (faults) faults->begin_interval(k, true_vth);
+
+      ctx.interval_index = static_cast<int>(k);
+      ctx.floorplan = &floorplan;
+      ctx.set_demand(requested);
+      ctx.temp_c = prev_core_temps;
+      ctx.delta_vth.reserve(static_cast<std::size_t>(cores));
+      if (faults) {
+        ctx.status.reserve(static_cast<std::size_t>(cores));
+        for (int i = 0; i < cores; ++i) {
+          ctx.delta_vth.push_back(faults->measured_delta_vth(
+              i, true_vth[static_cast<std::size_t>(i)]));
+          ctx.status.push_back(faults->status(i));
+        }
+      } else {
+        ctx.delta_vth = true_vth;
+      }
     }
 
-    const Assignment assignment = scheduler.assign(ctx);
+    Assignment assignment;
+    {
+      const obs::ScopedKernelTimer sched_timer(obs::Kernel::kMcSchedDecide);
+      assignment = scheduler.assign(ctx);
+    }
     if (static_cast<int>(assignment.size()) != cores) {
       throw std::runtime_error("simulate_system: bad assignment size");
     }
@@ -125,12 +142,15 @@ SystemResult run(const SystemConfig& config, Scheduler& scheduler,
     }
     prev_core_temps.assign(temps.begin(), temps.begin() + cores);
 
-    // Evolve every core under its own condition.
+    // Evolve every core under its own condition.  Bookkeeping (serial,
+    // order-dependent accumulators) first; the independent evolve calls
+    // then fan out over the pool.
     int delivered = 0;
     for (int i = 0; i < cores; ++i) {
       const double t_c = temps[static_cast<std::size_t>(i)];
       result.max_temp_c = std::max(result.max_temp_c, t_c);
       ++core_intervals;
+      should_age[static_cast<std::size_t>(i)] = 0;
       if (faults && faults->dead(i)) {
         // Dark: no power, no work, no aging; the state is frozen at death.
         if (assignment[static_cast<std::size_t>(i)] == CoreMode::kActive &&
@@ -168,7 +188,24 @@ SystemResult run(const SystemConfig& config, Scheduler& scheduler,
           ++sleep_core_intervals;
           break;
       }
-      agers[static_cast<std::size_t>(i)].evolve(cond, config.interval_s);
+      conds[static_cast<std::size_t>(i)] = cond;
+      should_age[static_cast<std::size_t>(i)] = 1;
+    }
+    if (aging_pool.size() == 0) {
+      for (int i = 0; i < cores; ++i) {
+        if (should_age[static_cast<std::size_t>(i)]) {
+          agers[static_cast<std::size_t>(i)].evolve(
+              conds[static_cast<std::size_t>(i)], config.interval_s);
+        }
+      }
+    } else {
+      aging_pool.parallel_for(cores, [&](int i) {
+        if (should_age[static_cast<std::size_t>(i)]) {
+          agers[static_cast<std::size_t>(i)].evolve(
+              conds[static_cast<std::size_t>(i)], config.interval_s);
+        }
+        return 0;
+      });
     }
 
     // Demand shortfall: whatever of the *requested* demand was not
@@ -181,6 +218,7 @@ SystemResult run(const SystemConfig& config, Scheduler& scheduler,
     }
 
     // Margin bookkeeping and trace over the alive fleet.
+    const obs::ScopedKernelTimer telemetry_timer(obs::Kernel::kMcTelemetry);
     double worst = 0.0;
     for (int i = 0; i < cores; ++i) {
       if (faults && faults->dead(i)) continue;

@@ -32,6 +32,9 @@ enum class Kernel : int {
   kTbPhaseAttempt,          ///< tb: one phase attempt of a campaign
   kMcInterval,              ///< mc: one scheduling interval (whole body)
   kMcThermalSolve,          ///< mc: one steady-state thermal solve
+  kMcSchedDecide,           ///< mc: one scheduler policy decision
+  kMcFaultSample,           ///< mc: fault sampling + telemetry corruption
+  kMcTelemetry,             ///< mc: margin bookkeeping + trace recording
   kCount,                   // sentinel
 };
 

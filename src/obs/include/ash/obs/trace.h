@@ -29,6 +29,7 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -104,6 +105,48 @@ class TraceBuffer final : public TraceSink {
  private:
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
+};
+
+/// Serialize one event as a single JSONL line (shared by `TraceBuffer`
+/// and `TraceWriter`, and handy for ad-hoc tooling).
+void write_jsonl_line(std::ostream& os, const TraceEvent& event);
+
+/// Streaming JSONL sink: events flush to disk in bounded chunks instead
+/// of accumulating for the whole run.  A three-year mc mission emits an
+/// event stream whose in-memory form dwarfs the simulator state;
+/// `TraceWriter` caps resident trace memory at `flush_every` events
+/// regardless of mission length (pinned by tests/obs/trace_writer_test).
+/// Thread-safe like every sink; the destructor flushes the tail.
+class TraceWriter final : public TraceSink {
+ public:
+  /// Opens `path` for writing (truncates).  `flush_every` is the buffered
+  /// event count that triggers a chunk write; clamped to >= 1.
+  explicit TraceWriter(const std::string& path, std::size_t flush_every = 256);
+  ~TraceWriter() override;
+
+  void record(TraceEvent event) override;
+
+  /// Write out any buffered events now.
+  void flush();
+
+  /// False when the underlying stream failed (e.g. unwritable path).
+  bool ok() const;
+
+  /// Events already written to the stream (excludes the buffered tail).
+  std::uint64_t events_written() const;
+  /// High-water mark of the in-memory buffer — the bounded-memory
+  /// observable: stays <= flush_every however long the run.
+  std::size_t max_buffered() const;
+
+ private:
+  void flush_locked();
+
+  mutable std::mutex mu_;
+  std::unique_ptr<std::ofstream> os_;
+  std::size_t flush_every_;
+  std::vector<TraceEvent> buffer_;
+  std::uint64_t written_ = 0;
+  std::size_t max_buffered_ = 0;
 };
 
 namespace detail {

@@ -11,6 +11,9 @@ const char* to_string(Kernel kernel) {
     case Kernel::kTbPhaseAttempt: return "tb.runner.phase_attempt";
     case Kernel::kMcInterval: return "mc.system.interval";
     case Kernel::kMcThermalSolve: return "mc.thermal.solve";
+    case Kernel::kMcSchedDecide: return "mc.sched.decide";
+    case Kernel::kMcFaultSample: return "mc.fault.sample";
+    case Kernel::kMcTelemetry: return "mc.telemetry";
     case Kernel::kCount: break;
   }
   return "unknown";

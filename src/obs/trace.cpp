@@ -1,7 +1,9 @@
 #include "ash/obs/trace.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
+#include <fstream>
 #include <ostream>
 
 #include "ash/util/table.h"
@@ -184,22 +186,69 @@ void TraceBuffer::write_chrome_json(std::ostream& os) const {
   os << "\n]}\n";
 }
 
+void write_jsonl_line(std::ostream& os, const TraceEvent& e) {
+  os << "{\"kind\":\"" << to_string(e.kind) << "\",\"name\":\""
+     << json_escape(e.name) << "\",\"cat\":\"" << json_escape(e.category)
+     << "\",\"span\":" << (e.span ? "true" : "false")
+     << ",\"depth\":" << e.depth
+     << ",\"sim_begin_s\":" << strformat("%.6f", e.sim_begin_s)
+     << ",\"sim_end_s\":" << strformat("%.6f", e.sim_end_s)
+     << ",\"wall_begin_ns\":" << strformat("%" PRIu64, e.wall_begin_ns)
+     << ",\"wall_end_ns\":" << strformat("%" PRIu64, e.wall_end_ns);
+  for (const auto& [k, v] : e.args) {
+    os << ",\"" << json_escape(k) << "\":\"" << json_escape(v) << "\"";
+  }
+  os << "}\n";
+}
+
 void TraceBuffer::write_jsonl(std::ostream& os) const {
   const std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& e : events_) {
-    os << "{\"kind\":\"" << to_string(e.kind) << "\",\"name\":\""
-       << json_escape(e.name) << "\",\"cat\":\"" << json_escape(e.category)
-       << "\",\"span\":" << (e.span ? "true" : "false")
-       << ",\"depth\":" << e.depth
-       << ",\"sim_begin_s\":" << strformat("%.6f", e.sim_begin_s)
-       << ",\"sim_end_s\":" << strformat("%.6f", e.sim_end_s)
-       << ",\"wall_begin_ns\":" << strformat("%" PRIu64, e.wall_begin_ns)
-       << ",\"wall_end_ns\":" << strformat("%" PRIu64, e.wall_end_ns);
-    for (const auto& [k, v] : e.args) {
-      os << ",\"" << json_escape(k) << "\":\"" << json_escape(v) << "\"";
-    }
-    os << "}\n";
-  }
+  for (const auto& e : events_) write_jsonl_line(os, e);
+}
+
+TraceWriter::TraceWriter(const std::string& path, std::size_t flush_every)
+    : os_(std::make_unique<std::ofstream>(path, std::ios::trunc)),
+      flush_every_(std::max<std::size_t>(1, flush_every)) {
+  buffer_.reserve(flush_every_);
+}
+
+TraceWriter::~TraceWriter() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  flush_locked();
+}
+
+void TraceWriter::record(TraceEvent event) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  buffer_.push_back(std::move(event));
+  max_buffered_ = std::max(max_buffered_, buffer_.size());
+  if (buffer_.size() >= flush_every_) flush_locked();
+}
+
+void TraceWriter::flush() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  flush_locked();
+}
+
+void TraceWriter::flush_locked() {
+  for (const auto& e : buffer_) write_jsonl_line(*os_, e);
+  written_ += buffer_.size();
+  buffer_.clear();
+  os_->flush();
+}
+
+bool TraceWriter::ok() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return os_->good();
+}
+
+std::uint64_t TraceWriter::events_written() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return written_;
+}
+
+std::size_t TraceWriter::max_buffered() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return max_buffered_;
 }
 
 }  // namespace ash::obs

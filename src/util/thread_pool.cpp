@@ -1,0 +1,47 @@
+#include "ash/util/thread_pool.h"
+
+#include <algorithm>
+
+namespace ash::util {
+
+ThreadPool::ThreadPool(int threads) {
+  int n = threads;
+  if (n == 0) {
+    n = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  if (n <= 1) return;  // inline mode
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // packaged_task: exceptions land in the caller's future
+  }
+}
+
+int recommended_pool_size(int task_count) {
+  const int cores = static_cast<int>(std::thread::hardware_concurrency());
+  return std::max(0, std::min(task_count, cores));
+}
+
+}  // namespace ash::util

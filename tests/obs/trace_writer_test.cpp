@@ -1,0 +1,129 @@
+/// TraceWriter: the streaming JSONL sink must cap resident trace memory
+/// at its chunk size however long the mission, write every event it was
+/// handed, and produce the same lines the buffering sink would.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ash/mc/fault.h"
+#include "ash/mc/reliability.h"
+#include "ash/mc/scheduler.h"
+#include "ash/mc/system.h"
+#include "ash/obs/trace.h"
+
+namespace {
+
+using namespace ash;
+
+class SinkGuard {
+ public:
+  explicit SinkGuard(obs::TraceSink* sink) { obs::set_trace_sink(sink); }
+  ~SinkGuard() { obs::set_trace_sink(nullptr); }
+};
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream is(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+obs::TraceEvent make_event(int i) {
+  obs::TraceEvent e;
+  e.kind = obs::EventKind::kMeasurement;
+  e.name = "sample-" + std::to_string(i);
+  e.category = "test";
+  e.sim_begin_s = e.sim_end_s = static_cast<double>(i);
+  e.args.emplace_back("index", std::to_string(i));
+  return e;
+}
+
+TEST(TraceWriter, ChunkedFlushBoundsTheBufferAndWritesEverything) {
+  const std::string path = temp_path("trace_writer_chunks.jsonl");
+  constexpr std::size_t kChunk = 16;
+  constexpr int kEvents = 1000;
+  {
+    obs::TraceWriter writer(path, kChunk);
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < kEvents; ++i) writer.record(make_event(i));
+    EXPECT_LE(writer.max_buffered(), kChunk);
+    // 1000 = 62 full chunks + a 8-event tail still buffered.
+    EXPECT_EQ(writer.events_written(), (kEvents / kChunk) * kChunk);
+  }  // destructor flushes the tail
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kEvents));
+  EXPECT_NE(lines.front().find("\"name\":\"sample-0\""), std::string::npos);
+  EXPECT_NE(lines.back().find("\"name\":\"sample-999\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceWriter, MatchesTraceBufferJsonlByteForByte) {
+  const std::string path = temp_path("trace_writer_equiv.jsonl");
+  obs::TraceBuffer buffer;
+  {
+    obs::TraceWriter writer(path, 7);  // odd chunk: exercises the tail
+    for (int i = 0; i < 100; ++i) {
+      auto e = make_event(i);
+      buffer.record(e);
+      writer.record(std::move(e));
+    }
+  }
+  std::ostringstream expected;
+  buffer.write_jsonl(expected);
+  std::ifstream is(path);
+  std::ostringstream actual;
+  actual << is.rdbuf();
+  EXPECT_EQ(actual.str(), expected.str());
+  std::remove(path.c_str());
+}
+
+TEST(TraceWriter, ReportsUnwritablePath) {
+  obs::TraceWriter writer("/nonexistent-dir/trace.jsonl");
+  EXPECT_FALSE(writer.ok());
+}
+
+TEST(TraceWriter, LongMcMissionStreamsWithBoundedMemory) {
+  const std::string path = temp_path("trace_writer_mission.jsonl");
+  constexpr std::size_t kChunk = 64;
+  std::uint64_t written = 0;
+  {
+    obs::TraceWriter writer(path, kChunk);
+    SinkGuard guard(&writer);
+
+    mc::SystemConfig cfg;
+    cfg.horizon_s = 365.25 * 86400.0;  // one year: 1461 intervals
+    mc::HeaterAwareCircadianScheduler policy;
+    mc::ReliabilityConfig rel;
+    rel.margin_delta_vth_v = cfg.margin_delta_vth_v;
+    mc::ReliabilityReport report;
+    mc::ReliabilityManager managed(policy, rel, &report);
+    const auto result = mc::simulate_system(
+        cfg, managed, mc::CoreFaultPlan::harsh(), &report);
+    ASSERT_GT(result.throughput_core_s, 0.0);
+
+    writer.flush();
+    written = writer.events_written();
+    // The mission must actually have traced (faults, quarantines, the run
+    // span) and the writer must never have held more than one chunk.
+    EXPECT_GT(written, kChunk);
+    EXPECT_LE(writer.max_buffered(), kChunk);
+    EXPECT_TRUE(writer.ok());
+  }
+  const auto lines = read_lines(path);
+  EXPECT_EQ(lines.size(), written);
+  EXPECT_NE(lines.back().find("\"kind\":\"run\""), std::string::npos)
+      << "run span should close last";
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,127 @@
+/// Bit-exactness regression guard for the hot-kernel overhaul.
+///
+/// The SoA trap kernel, the per-condition rate cache and the path-delay
+/// memoization are all pure refactors: they may not change the physics.
+/// This test replays the chip-5 Fig. 9 campaign (the paper's longest
+/// schedule: burn-in, 24 h DC stress, 6 h combined-knob recovery, 48 h
+/// re-stress, 12 h recovery) and compares every sampled delta_vth — plus
+/// the fault-tolerant runner's logged delays — against golden values
+/// captured from the pre-refactor AoS implementation, to 1 ulp.
+///
+/// If this test fails after an *intentional* physics change, regenerate
+/// tests/perf/golden_chip5_data.h with the collection logic below.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "ash/fpga/chip.h"
+#include "ash/tb/experiment_runner.h"
+#include "ash/tb/test_case.h"
+#include "ash/util/constants.h"
+#include "golden_chip5_data.h"
+
+namespace ash {
+namespace {
+
+double stage_delta_vth(const fpga::RoStage& s) {
+  double acc = 0.0;
+  for (int d = 0; d < fpga::kLutDeviceCount; ++d) {
+    acc += s.lut.device(d).delta_vth();
+  }
+  for (int d = 0; d < fpga::kRoutingDeviceCount; ++d) {
+    acc += s.routing.device(d).delta_vth();
+  }
+  return acc;
+}
+
+double chip_delta_vth(const fpga::FpgaChip& chip) {
+  double acc = 0.0;
+  for (int i = 0; i < chip.ro().stage_count(); ++i) {
+    acc += stage_delta_vth(chip.ro().stage(i));
+  }
+  return acc;
+}
+
+fpga::ChipConfig chip5_config() {
+  fpga::ChipConfig cc;
+  cc.chip_id = 5;
+  cc.seed = 0x40A0 + 5;  // ash_lab chip5 default
+  cc.ro_stages = 75;
+  return cc;
+}
+
+double from_bits(std::uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+/// Distance in representable doubles (0 = bit-identical).  Signs never
+/// differ here (all golden values are positive shifts/delays).
+std::uint64_t ulp_distance(double a, double b) {
+  std::uint64_t ia;
+  std::uint64_t ib;
+  std::memcpy(&ia, &a, sizeof ia);
+  std::memcpy(&ib, &b, sizeof ib);
+  return ia > ib ? ia - ib : ib - ia;
+}
+
+template <std::size_t N>
+void expect_matches(const std::uint64_t (&golden)[N],
+                    const std::vector<double>& actual, const char* what) {
+  ASSERT_EQ(N, actual.size()) << what << ": sample count changed";
+  for (std::size_t i = 0; i < N; ++i) {
+    const double expected = from_bits(golden[i]);
+    EXPECT_LE(ulp_distance(expected, actual[i]), 1u)
+        << what << "[" << i << "]: expected " << expected << ", got "
+        << actual[i];
+  }
+}
+
+TEST(GoldenTrajectory, Chip5ManualDriveMatchesPreRefactorBits) {
+  const tb::TestCase tc = tb::paper_campaign().at(4);
+  ASSERT_EQ(tc.name, "chip5");
+
+  fpga::FpgaChip chip(chip5_config());
+  std::vector<double> trajectory;
+  std::vector<double> stage_sums;
+  for (const auto& phase : tc.phases) {
+    bti::OperatingCondition cond;
+    cond.voltage_v = phase.supply_v;
+    cond.temperature_k = celsius(phase.chamber_c);
+    const int steps =
+        std::max(1, static_cast<int>(phase.duration_s / phase.sample_every_s));
+    const double dt = phase.duration_s / steps;
+    for (int s = 0; s < steps; ++s) {
+      chip.evolve(phase.mode, cond, dt);
+      trajectory.push_back(chip_delta_vth(chip));
+    }
+    for (int i : {0, 37, 74}) {
+      stage_sums.push_back(stage_delta_vth(chip.ro().stage(i)));
+    }
+  }
+
+  expect_matches(golden::kChip5DeltaVthTrajectoryBits, trajectory,
+                 "delta_vth trajectory");
+  expect_matches(golden::kChip5StageSumBits, stage_sums, "stage sums");
+}
+
+TEST(GoldenTrajectory, Chip5RunnerCampaignMatchesPreRefactorBits) {
+  const tb::TestCase tc = tb::paper_campaign().at(4);
+  fpga::FpgaChip chip(chip5_config());
+  tb::ExperimentRunner runner{tb::RunnerConfig{}};
+  const auto result = runner.run_campaign(chip, tc);
+  ASSERT_TRUE(result.completed);
+
+  std::vector<double> log_delays;
+  for (const auto& r : result.log.records()) {
+    log_delays.push_back(r.delay_s);
+  }
+  expect_matches(golden::kChip5LogDelayBits, log_delays, "logged delays");
+}
+
+}  // namespace
+}  // namespace ash

@@ -1,0 +1,119 @@
+// Parallel fan-outs must be bit-identical to the serial loops they
+// replace (DESIGN.md Sec. 8): every task owns its chip/runner/ager, the
+// pool only schedules, and results merge in index order.  These tests
+// pin that contract with an explicit 4-worker pool (the CI box may be
+// single-core, where the default pool degenerates to inline mode and
+// would not exercise the cross-thread path at all).
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ash/fpga/chip.h"
+#include "ash/mc/scheduler.h"
+#include "ash/mc/system.h"
+#include "ash/tb/experiment_runner.h"
+#include "ash/tb/test_case.h"
+#include "ash/util/thread_pool.h"
+
+namespace {
+
+using namespace ash;
+
+bool bit_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+// A short three-chip campaign: burn-in + 2 h DC stress + 1 h recovery
+// per chip, enough phases to exercise instruments, chamber settling and
+// the trap kernel without Table-1 runtimes.
+std::vector<tb::TestCase> mini_campaign() {
+  std::vector<tb::TestCase> cases;
+  for (int chip = 1; chip <= 3; ++chip) {
+    tb::TestCase tc;
+    tc.name = "mini";
+    tc.chip_id = chip;
+    tc.phases = {tb::burn_in_phase(),
+                 tb::dc_stress_phase("AS110DC2", 110.0, 2.0),
+                 tb::recovery_phase("AR110N1", -0.3, 110.0, 1.0)};
+    cases.push_back(tc);
+  }
+  return cases;
+}
+
+tb::DataLog run_one(const tb::TestCase& tc) {
+  fpga::ChipConfig cc;
+  cc.chip_id = tc.chip_id;
+  cc.seed = 0x5150 + static_cast<std::uint64_t>(tc.chip_id);
+  cc.ro_stages = 25;
+  fpga::FpgaChip chip(cc);
+  tb::ExperimentRunner runner{tb::RunnerConfig{}};
+  return runner.run(chip, tc);
+}
+
+TEST(ParallelCampaign, FiveChipFanOutMatchesSerialBitForBit) {
+  const auto cases = mini_campaign();
+
+  std::vector<tb::DataLog> serial;
+  for (const auto& tc : cases) serial.push_back(run_one(tc));
+
+  util::ThreadPool pool(4);
+  ASSERT_EQ(pool.size(), 4) << "pool must actually spawn workers";
+  const auto parallel = pool.parallel_for(
+      static_cast<int>(cases.size()),
+      [&](int i) { return run_one(cases[static_cast<std::size_t>(i)]); });
+
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t c = 0; c < serial.size(); ++c) {
+    const auto& s = serial[c].records();
+    const auto& p = parallel[c].records();
+    ASSERT_EQ(s.size(), p.size()) << "chip " << c + 1;
+    for (std::size_t r = 0; r < s.size(); ++r) {
+      EXPECT_TRUE(bit_equal(s[r].delay_s, p[r].delay_s))
+          << "chip " << c + 1 << " record " << r;
+      EXPECT_TRUE(bit_equal(s[r].frequency_hz, p[r].frequency_hz))
+          << "chip " << c + 1 << " record " << r;
+      EXPECT_TRUE(bit_equal(s[r].t_campaign_s, p[r].t_campaign_s))
+          << "chip " << c + 1 << " record " << r;
+    }
+  }
+}
+
+mc::SystemResult run_mc(int aging_threads) {
+  mc::SystemConfig cfg;
+  cfg.horizon_s = 30.0 * 86400.0;  // 30 days: 120 intervals
+  cfg.aging_threads = aging_threads;
+  mc::HeaterAwareCircadianScheduler sched;
+  return mc::simulate_system(cfg, sched);
+}
+
+TEST(ParallelCampaign, McAgingFanOutMatchesSerialBitForBit) {
+  const auto serial = run_mc(1);
+  const auto parallel = run_mc(4);
+
+  ASSERT_EQ(serial.end_delta_vth_v.size(), parallel.end_delta_vth_v.size());
+  for (std::size_t i = 0; i < serial.end_delta_vth_v.size(); ++i) {
+    EXPECT_TRUE(
+        bit_equal(serial.end_delta_vth_v[i], parallel.end_delta_vth_v[i]))
+        << "core " << i;
+    EXPECT_TRUE(
+        bit_equal(serial.end_permanent_v[i], parallel.end_permanent_v[i]))
+        << "core " << i;
+  }
+  EXPECT_TRUE(bit_equal(serial.worst_end_delta_vth_v,
+                        parallel.worst_end_delta_vth_v));
+  EXPECT_TRUE(bit_equal(serial.mean_end_delta_vth_v,
+                        parallel.mean_end_delta_vth_v));
+  EXPECT_TRUE(
+      bit_equal(serial.throughput_core_s, parallel.throughput_core_s));
+  ASSERT_EQ(serial.worst_trace.size(), parallel.worst_trace.size());
+  for (std::size_t i = 0; i < serial.worst_trace.size(); ++i) {
+    EXPECT_TRUE(bit_equal(serial.worst_trace[i].value,
+                          parallel.worst_trace[i].value))
+        << "trace point " << i;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,87 @@
+#include "ash/util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace ash::util {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResults) {
+  ThreadPool pool(2);
+  auto a = pool.submit([] { return 40; });
+  auto b = pool.submit([] { return 2; });
+  EXPECT_EQ(a.get() + b.get(), 42);
+}
+
+TEST(ThreadPool, InlineModeRunsOnCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 0);
+  const auto caller = std::this_thread::get_id();
+  auto fut = pool.submit([caller] { return std::this_thread::get_id() == caller; });
+  EXPECT_TRUE(fut.get());
+}
+
+TEST(ThreadPool, ParallelForPreservesIndexOrder) {
+  ThreadPool pool(4);
+  const auto results = pool.parallel_for(64, [](int i) { return i * i; });
+  ASSERT_EQ(results.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(results[static_cast<std::size_t>(i)], i * i);
+}
+
+TEST(ThreadPool, ParallelForMatchesSerialBitForBit) {
+  // The determinism contract: a floating-point reduction over
+  // parallel_for results (ordered by index) equals the serial loop's.
+  auto work = [](int i) {
+    double acc = 1.0;
+    for (int k = 0; k < 1000; ++k) acc += 1.0 / (i + k + 1.0);
+    return acc;
+  };
+  std::vector<double> serial;
+  for (int i = 0; i < 32; ++i) serial.push_back(work(i));
+
+  ThreadPool pool(4);
+  const auto parallel = pool.parallel_for(32, work);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel[i], serial[i]);  // exact, not approximate
+  }
+  EXPECT_EQ(std::accumulate(parallel.begin(), parallel.end(), 0.0),
+            std::accumulate(serial.begin(), serial.end(), 0.0));
+}
+
+TEST(ThreadPool, ExceptionsPropagateAndPoolSurvives) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(8,
+                        [](int i) -> int {
+                          if (i == 3) throw std::runtime_error("task 3");
+                          return i;
+                        }),
+      std::runtime_error);
+  // The pool is still usable afterwards.
+  EXPECT_EQ(pool.parallel_for(4, [](int i) { return i; }).size(), 4u);
+}
+
+TEST(ThreadPool, ManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 500; ++i) {
+    futs.push_back(pool.submit([&count] { count.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPool, RecommendedPoolSizeBounds) {
+  EXPECT_GE(recommended_pool_size(5), 0);
+  EXPECT_LE(recommended_pool_size(5), 5);
+  EXPECT_EQ(recommended_pool_size(0), 0);
+}
+
+}  // namespace
+}  // namespace ash::util

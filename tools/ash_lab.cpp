@@ -36,6 +36,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "ash/core/metrics.h"
@@ -52,6 +53,7 @@
 #include "ash/util/constants.h"
 #include "ash/util/flags.h"
 #include "ash/util/table.h"
+#include "ash/util/thread_pool.h"
 
 namespace {
 
@@ -89,25 +91,42 @@ tb::RunnerConfig campaign_runner_config(const Flags& flags,
 }
 
 int cmd_campaign(const Flags& flags) {
-  flags.check_known(with_obs(
-      {"stages", "out", "seed", "fault-plan", "retry", "no-watchdog"}));
+  flags.check_known(with_obs({"stages", "out", "seed", "fault-plan", "retry",
+                              "no-watchdog", "jobs"}));
   const int stages = flags.get("stages", 75);
   const std::string out_dir = flags.get("out", std::string("."));
   const auto seed = static_cast<std::uint64_t>(flags.get("seed", 0x40A0));
   const auto plan =
       tb::FaultPlan::by_name(flags.get("fault-plan", std::string("none")));
 
-  tb::ExperimentRunner runner{campaign_runner_config(flags, plan)};
+  // The five chips of the Table-1 campaign are fully independent: each
+  // task owns its chip and its ExperimentRunner (instrument noise streams
+  // are seeded per (runner seed, phase, attempt), so per-task runners
+  // reproduce the serial run's logs bit-for-bit).  All I/O and the
+  // fault-report merge stay on this thread, in chip order.
+  const auto cases = tb::paper_campaign();
+  const tb::RunnerConfig runner_cfg = campaign_runner_config(flags, plan);
+  const int jobs = flags.get("jobs", 0);
+  util::ThreadPool pool(jobs != 0 ? jobs : util::recommended_pool_size(
+                                               static_cast<int>(cases.size())));
+  auto results = pool.parallel_for(
+      static_cast<int>(cases.size()), [&](int i) {
+        const auto& tc = cases[static_cast<std::size_t>(i)];
+        fpga::ChipConfig cc;
+        cc.chip_id = tc.chip_id;
+        cc.seed = seed + static_cast<std::uint64_t>(tc.chip_id);
+        cc.ro_stages = stages;
+        fpga::FpgaChip chip(cc);
+        tb::ExperimentRunner runner{runner_cfg};
+        return runner.run_campaign(chip, tc);
+      });
+
   tb::FaultReport total_faults;
   Table summary({"chip", "samples", "usable", "fresh f (MHz)",
                  "worst degradation"});
-  for (const auto& tc : tb::paper_campaign()) {
-    fpga::ChipConfig cc;
-    cc.chip_id = tc.chip_id;
-    cc.seed = seed + static_cast<std::uint64_t>(tc.chip_id);
-    cc.ro_stages = stages;
-    fpga::FpgaChip chip(cc);
-    const auto result = runner.run_campaign(chip, tc);
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    const auto& tc = cases[ci];
+    const auto& result = results[ci];
     const auto& log = result.log;
     total_faults.merge(result.faults);
 
@@ -269,8 +288,8 @@ int cmd_plan(const Flags& flags) {
 }
 
 int cmd_multicore(const Flags& flags) {
-  flags.check_known(with_obs(
-      {"years", "cores", "margin-mv", "fault-plan", "fault-seed", "raw"}));
+  flags.check_known(with_obs({"years", "cores", "margin-mv", "fault-plan",
+                              "fault-seed", "raw", "jobs"}));
   mc::SystemConfig cfg;
   cfg.horizon_s = flags.get("years", 2.0) * 365.25 * 86400.0;
   cfg.cores_needed = flags.get("cores", 6);
@@ -283,28 +302,44 @@ int cmd_multicore(const Flags& flags) {
   }
   const bool raw = flags.get("raw", false);
 
-  mc::AllActiveScheduler all;
-  mc::HeaterAwareCircadianScheduler circadian;
+  // The two scheduling policies run against independent virtual systems;
+  // fan them out and merge reports in policy order.
+  struct PolicyOutcome {
+    mc::SystemResult result;
+    mc::ReliabilityReport report;
+  };
+  const int jobs = flags.get("jobs", 0);
+  util::ThreadPool pool(jobs != 0 ? jobs : util::recommended_pool_size(2));
+  auto outcomes = pool.parallel_for(2, [&](int i) {
+    mc::AllActiveScheduler all;
+    mc::HeaterAwareCircadianScheduler circadian;
+    mc::Scheduler& base =
+        i == 0 ? static_cast<mc::Scheduler&>(all)
+               : static_cast<mc::Scheduler&>(circadian);
+    mc::ReliabilityConfig rel;
+    rel.margin_delta_vth_v = cfg.margin_delta_vth_v;
+    PolicyOutcome out;
+    mc::ReliabilityManager managed(base, rel, &out.report);
+    mc::Scheduler& policy =
+        plan.ideal() || raw ? base : static_cast<mc::Scheduler&>(managed);
+    out.result = plan.ideal()
+                     ? simulate_system(cfg, policy)
+                     : simulate_system(cfg, policy, plan, &out.report);
+    return out;
+  });
+
   mc::ReliabilityReport total;
   Table t({"policy", "mean aging (mV)", "lifetime (days)",
            "deficit (core-days)", "core deaths"});
-  for (mc::Scheduler* s : {static_cast<mc::Scheduler*>(&all),
-                           static_cast<mc::Scheduler*>(&circadian)}) {
-    mc::ReliabilityConfig rel;
-    rel.margin_delta_vth_v = cfg.margin_delta_vth_v;
-    mc::ReliabilityReport report;
-    mc::ReliabilityManager managed(*s, rel, &report);
-    mc::Scheduler& policy =
-        plan.ideal() || raw ? *s : static_cast<mc::Scheduler&>(managed);
-    const auto r = plan.ideal() ? simulate_system(cfg, policy)
-                                : simulate_system(cfg, policy, plan, &report);
+  for (const auto& out : outcomes) {
+    const auto& r = out.result;
     t.add_row({r.scheduler, fmt_fixed(r.mean_end_delta_vth_v * 1e3, 2),
                r.margin_exceeded
                    ? fmt_fixed(r.time_to_first_margin_s / 86400.0, 0)
                    : ">" + fmt_fixed(cfg.horizon_s / 86400.0, 0),
                fmt_fixed(r.demand_deficit_core_s / 86400.0, 1),
-               strformat("%d", report.permanent_deaths)});
-    total.merge(report);
+               strformat("%d", out.report.permanent_deaths)});
+    total.merge(out.report);
   }
   std::printf("%s", t.render().c_str());
   if (!plan.ideal()) std::printf("\n%s", total.render().c_str());
@@ -325,6 +360,7 @@ int dispatch(const std::string& cmd, const Flags& flags) {
 
 int main(int argc, char** argv) {
   obs::TraceBuffer trace;
+  std::unique_ptr<obs::TraceWriter> trace_writer;
   try {
     const Flags flags(argc, argv);
     if (flags.positional().empty()) return usage();
@@ -332,25 +368,46 @@ int main(int argc, char** argv) {
     const std::string trace_path = flags.get("trace", std::string());
     const std::string metrics_path = flags.get("metrics", std::string());
     const bool profile = flags.get("profile", false);
-    if (!trace_path.empty()) obs::set_trace_sink(&trace);
+    const bool jsonl = trace_path.size() >= 6 &&
+                       trace_path.rfind(".jsonl") == trace_path.size() - 6;
+    if (!trace_path.empty()) {
+      if (jsonl) {
+        // JSONL streams to disk as the run goes — a long mission's trace
+        // never has to fit in memory.  Chrome JSON needs the whole event
+        // list for its enclosing array, so it keeps the buffering sink.
+        trace_writer = std::make_unique<obs::TraceWriter>(trace_path);
+        if (!trace_writer->ok()) {
+          std::fprintf(stderr, "ash_lab: cannot write %s\n",
+                       trace_path.c_str());
+          return 1;
+        }
+        obs::set_trace_sink(trace_writer.get());
+      } else {
+        obs::set_trace_sink(&trace);
+      }
+    }
     if (profile) obs::enable_profiling(true);
 
     const int rc = dispatch(flags.positional().front(), flags);
     obs::set_trace_sink(nullptr);
 
-    if (!trace_path.empty()) {
+    if (trace_writer) {
+      trace_writer->flush();
+      if (!trace_writer->ok()) {
+        std::fprintf(stderr, "ash_lab: cannot write %s\n", trace_path.c_str());
+        return 1;
+      }
+      std::printf("trace: %llu event(s) streamed to %s\n",
+                  static_cast<unsigned long long>(
+                      trace_writer->events_written()),
+                  trace_path.c_str());
+    } else if (!trace_path.empty()) {
       std::ofstream os(trace_path);
       if (!os) {
         std::fprintf(stderr, "ash_lab: cannot write %s\n", trace_path.c_str());
         return 1;
       }
-      const bool jsonl = trace_path.size() >= 6 &&
-                         trace_path.rfind(".jsonl") == trace_path.size() - 6;
-      if (jsonl) {
-        trace.write_jsonl(os);
-      } else {
-        trace.write_chrome_json(os);
-      }
+      trace.write_chrome_json(os);
       std::printf("trace: %zu event(s) written to %s\n", trace.size(),
                   trace_path.c_str());
     }

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Gate the CI perf-smoke job on the trap-kernel hot path.
+
+Compares a fresh ``bench_perf_kernels --json`` run against the checked-in
+baseline (bench/baselines/BENCH_kernels.json) and fails when the
+``bti.trap_ensemble.evolve`` ns/call regressed beyond the allowed factor.
+The 2x default absorbs runner-to-runner noise (shared CI boxes easily
+drift +/-50%) while still catching the class of regression this PR's
+refactor guards against — an accidental return to per-step exp() evaluation
+is a >5x hit.
+
+Usage: check_perf_regression.py CURRENT.json [BASELINE.json] [--factor F]
+Exit codes: 0 ok, 1 regression, 2 bad input.
+"""
+
+import json
+import sys
+
+KERNEL = "bti.trap_ensemble.evolve"
+DEFAULT_BASELINE = "bench/baselines/BENCH_kernels.json"
+DEFAULT_FACTOR = 2.0
+
+
+def ns_per_call(path: str) -> float:
+    with open(path) as f:
+        doc = json.load(f)
+    for k in doc.get("kernels", []):
+        if k.get("name") == KERNEL:
+            return float(k["ns_per_call"])
+    raise KeyError(f"{path}: no kernel named {KERNEL!r}")
+
+
+def main(argv: list[str]) -> int:
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    factor = DEFAULT_FACTOR
+    for a in argv[1:]:
+        if a.startswith("--factor="):
+            factor = float(a.split("=", 1)[1])
+    if not args:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    current_path = args[0]
+    baseline_path = args[1] if len(args) > 1 else DEFAULT_BASELINE
+
+    try:
+        current = ns_per_call(current_path)
+        baseline = ns_per_call(baseline_path)
+    except (OSError, ValueError, KeyError) as err:
+        print(f"check_perf_regression: {err}", file=sys.stderr)
+        return 2
+
+    ratio = current / baseline if baseline > 0 else float("inf")
+    verdict = "OK" if ratio <= factor else "REGRESSION"
+    print(
+        f"{KERNEL}: current {current:.0f} ns/call, baseline "
+        f"{baseline:.0f} ns/call, ratio {ratio:.2f}x "
+        f"(limit {factor:.2f}x) -> {verdict}"
+    )
+    return 0 if ratio <= factor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
