@@ -30,7 +30,7 @@ int main() {
   for (double alpha : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
     const double t2 = t1 / alpha;
     const double rec =
-        1.0 - model.remaining_fraction(t1, t2, bti::recovery(-0.3, 110.0));
+        1.0 - model.remaining_fraction(Seconds{t1}, Seconds{t2}, bti::recovery(Volts{-0.3}, Celsius{110.0}));
     a.add_row({fmt_fixed(alpha, 0), fmt_fixed(to_hours(t2), 1),
                fmt_percent(rec, 1)});
   }
@@ -40,7 +40,7 @@ int main() {
   Table v({"sleep voltage (V)", "recovered fraction"});
   for (double volt : {0.0, -0.1, -0.2, -0.3, -0.4}) {
     const double rec = 1.0 - model.remaining_fraction(
-                                 t1, hours(6.0), bti::recovery(volt, 20.0));
+                                 Seconds{t1}, Seconds{hours(6.0)}, bti::recovery(Volts{volt}, Celsius{20.0}));
     v.add_row({fmt_fixed(volt, 1), fmt_percent(rec, 1)});
   }
   std::printf("%s\n", v.render().c_str());
@@ -49,7 +49,7 @@ int main() {
   Table temp({"sleep temp (degC)", "recovered fraction"});
   for (double t_c : {20.0, 45.0, 65.0, 85.0, 100.0, 110.0}) {
     const double rec = 1.0 - model.remaining_fraction(
-                                 t1, hours(6.0), bti::recovery(0.0, t_c));
+                                 Seconds{t1}, Seconds{hours(6.0)}, bti::recovery(Volts{0.0}, Celsius{t_c}));
     temp.add_row({fmt_fixed(t_c, 0), fmt_percent(rec, 1)});
   }
   std::printf("%s\n", temp.render().c_str());

@@ -29,8 +29,8 @@ int main() {
   tb::TestCase tc;
   tc.name = "variation";
   tc.phases = {tb::burn_in_phase(),
-               tb::dc_stress_phase("AS110DC24", 110.0, 24.0),
-               tb::recovery_phase("AR110N6", -0.3, 110.0, 6.0)};
+               tb::dc_stress_phase("AS110DC24", Celsius{110.0}, units::hours(24.0)),
+               tb::recovery_phase("AR110N6", Volts{-0.3}, Celsius{110.0}, units::hours(6.0))};
 
   // Chips are independent: fan the population out over a worker pool (each
   // task owns its chip, test case copy and runner) and collect the metrics

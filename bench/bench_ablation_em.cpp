@@ -47,8 +47,8 @@ int main() {
         bti::ClosedFormParameters::from_td(bti::default_td_parameters()));
     bti::EmInterconnect em{bti::EmParameters{}};
 
-    const auto active = bti::ac_stress(1.2, mission_temp_c);
-    const auto sleep = bti::recovery(p.sleep_v, p.sleep_temp_c);
+    const auto active = bti::ac_stress(Volts{1.2}, Celsius{mission_temp_c});
+    const auto sleep = bti::recovery(Volts{p.sleep_v}, Celsius{p.sleep_temp_c});
     const double active_span =
         p.alpha > 0.0 ? cycle * p.alpha / (1.0 + p.alpha) : cycle;
     const double sleep_span = cycle - active_span;
@@ -56,23 +56,23 @@ int main() {
     double bti_hit_s = -1.0;
     double em_hit_s = -1.0;
     for (double t_now = 0.0; t_now < horizon; t_now += cycle) {
-      bti_ager.evolve(active, active_span);
-      em.evolve(1.0, celsius(mission_temp_c), active_span);
+      bti_ager.evolve(active, Seconds{active_span});
+      em.evolve(1.0, Kelvin{celsius(mission_temp_c)}, Seconds{active_span});
       if (bti_hit_s < 0.0 && bti_ager.delta_vth() >= bti_margin_v) {
         bti_hit_s = t_now + active_span;
       }
       if (em_hit_s < 0.0 && em.failed()) em_hit_s = t_now + active_span;
       if (p.alpha > 0.0) {
-        bti_ager.evolve(sleep, sleep_span);
+        bti_ager.evolve(sleep, Seconds{sleep_span});
         // Power-gated: zero current through the interconnect, whatever the
         // rejuvenation temperature.
-        em.evolve(0.0, celsius(p.sleep_temp_c), sleep_span);
+        em.evolve(0.0, Kelvin{celsius(p.sleep_temp_c)}, Seconds{sleep_span});
       }
     }
 
     const double em_life_y =
-        em.time_to_failure_s(p.alpha > 0.0 ? p.alpha / (1.0 + p.alpha) : 1.0,
-                             celsius(mission_temp_c)) /
+        em.time_to_failure(p.alpha > 0.0 ? p.alpha / (1.0 + p.alpha) : 1.0,
+                             Kelvin{celsius(mission_temp_c)}).value() /
         kYear;
     const auto fmt_hit = [&](double hit) {
       return hit < 0.0 ? ">" + fmt_fixed(horizon / kYear, 0) + " y"

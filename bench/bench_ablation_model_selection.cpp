@@ -56,10 +56,10 @@ int main() {
     bti::OperatingCondition cond;
   };
   const Case cases[] = {
-      {"R20Z6 (20C, 0V)", 2, "R20Z6", bti::recovery(0.0, 20.0)},
-      {"AR20N6 (20C, -0.3V)", 3, "AR20N6", bti::recovery(-0.3, 20.0)},
-      {"AR110Z6 (110C, 0V)", 4, "AR110Z6", bti::recovery(0.0, 110.0)},
-      {"AR110N6 (110C, -0.3V)", 5, "AR110N6", bti::recovery(-0.3, 110.0)},
+      {"R20Z6 (20C, 0V)", 2, "R20Z6", bti::recovery(Volts{0.0}, Celsius{20.0})},
+      {"AR20N6 (20C, -0.3V)", 3, "AR20N6", bti::recovery(Volts{-0.3}, Celsius{20.0})},
+      {"AR110Z6 (110C, 0V)", 4, "AR110Z6", bti::recovery(Volts{0.0}, Celsius{110.0})},
+      {"AR110N6 (110C, -0.3V)", 5, "AR110N6", bti::recovery(Volts{-0.3}, Celsius{110.0})},
   };
 
   Table r({"condition", "measured remaining @6 h", "TD prediction",
@@ -72,8 +72,8 @@ int main() {
     const double measured = (delay.back().value - run.fresh_delay_s) /
                             (delay.front().value - run.fresh_delay_s);
     const double td_pred =
-        td.remaining_fraction(hours(24.0), hours(6.0), c.cond);
-    const double rd_pred = rd.remaining_fraction(hours(24.0), hours(6.0));
+        td.remaining_fraction(Seconds{hours(24.0)}, Seconds{hours(6.0)}, c.cond);
+    const double rd_pred = rd.remaining_fraction(Seconds{hours(24.0)}, Seconds{hours(6.0)});
     td_worst_error = std::max(td_worst_error, std::abs(td_pred - measured));
     rd_worst_error = std::max(rd_worst_error, std::abs(rd_pred - measured));
     r.add_row({c.label, fmt_percent(measured, 0), fmt_percent(td_pred, 0),

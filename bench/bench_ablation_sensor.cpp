@@ -29,10 +29,10 @@ int main() {
   fpga::SiliconOdometer odo{fpga::OdometerConfig{}};
   double elapsed = 0.0;
   for (double target_h : {1.0, 3.0, 6.0, 12.0, 24.0, 48.0}) {
-    odo.mission(bti::dc_stress(1.2, 110.0), hours(target_h) - elapsed);
+    odo.mission(bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(target_h) - elapsed});
     elapsed = hours(target_h);
-    const double truth = odo.true_degradation(room);
-    const auto r = odo.read(room);
+    const double truth = odo.true_degradation(Kelvin{room});
+    const auto r = odo.read(Kelvin{room});
     t.add_row({fmt_fixed(target_h, 0), fmt_percent(truth, 2),
                fmt_percent(r.degradation_estimate, 2),
                fmt_fixed((r.degradation_estimate - truth) * 100.0, 3)});
@@ -42,7 +42,7 @@ int main() {
   std::printf("--- read-noise statistics (fixed aging state) ---\n");
   std::vector<double> reads;
   for (int i = 0; i < 400; ++i) {
-    reads.push_back(odo.read(room).degradation_estimate * 100.0);
+    reads.push_back(odo.read(Kelvin{room}).degradation_estimate * 100.0);
   }
   Table n({"statistic", "value"});
   n.add_row({"mean estimate (%)", fmt_fixed(mean(reads), 3)});
@@ -54,9 +54,9 @@ int main() {
   std::printf("--- sensor tracks recovery too ---\n");
   Table h({"phase", "sensor estimate"});
   h.add_row({"after 48 h stress", fmt_percent(reads.back() / 100.0, 2)});
-  odo.sleep(bti::recovery(-0.3, 110.0), hours(12.0));
+  odo.sleep(bti::recovery(Volts{-0.3}, Celsius{110.0}), Seconds{hours(12.0)});
   h.add_row({"after 12 h deep rejuvenation",
-             fmt_percent(odo.read(room).degradation_estimate, 2)});
+             fmt_percent(odo.read(Kelvin{room}).degradation_estimate, 2)});
   std::printf("%s\n", h.render().c_str());
 
   std::printf(

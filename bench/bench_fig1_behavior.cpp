@@ -26,8 +26,8 @@ int main() {
   params.delta_vth_mean_v *= params.traps_per_device / 4000.0;
   params.traps_per_device = 4000;
   bti::TrapEnsemble device(params, 1);
-  const auto stress = bti::dc_stress(1.2, 110.0);
-  const auto rest = bti::recovery(0.0, 20.0);
+  const auto stress = bti::dc_stress(Volts{1.2}, Celsius{110.0});
+  const auto rest = bti::recovery(Volts{0.0}, Celsius{20.0});
 
   Series trace("dvth");
   std::vector<double> cycle_end_mv;
@@ -35,13 +35,13 @@ int main() {
   const double step = hours(0.25);
   for (int cycle = 0; cycle < 2; ++cycle) {
     for (double s = 0.0; s < hours(8.0); s += step) {
-      device.evolve(stress, step);
+      device.evolve(stress, Seconds{step});
       t += step;
       trace.append(t, device.delta_vth() * 1e3);
     }
     const double peak = device.delta_vth() * 1e3;
     for (double s = 0.0; s < hours(8.0); s += step) {
-      device.evolve(rest, step);
+      device.evolve(rest, Seconds{step});
       t += step;
       trace.append(t, device.delta_vth() * 1e3);
     }

@@ -35,7 +35,7 @@ CaseData make_case(const ash::bench::Campaign& campaign, int chip,
   // Chip 4 stressed at 100 degC: convert to reference-equivalent time.
   const bti::ClosedFormModel prior_model(fitter.priors());
   const double afc =
-      chip == 4 ? prior_model.capture_acceleration(1.2, celsius(100.0)) : 1.0;
+      chip == 4 ? prior_model.capture_acceleration(Volts{1.2}, Kelvin{celsius(100.0)}) : 1.0;
   c.fit = fitter.fit_recovery(remaining, hours(24.0) * afc);
   return c;
 }

@@ -27,10 +27,10 @@ int main() {
     bti::OperatingCondition cond;
   };
   const Case cases[] = {
-      {"110C & -0.3V", 5, "AR110N6", bti::recovery(-0.3, 110.0)},
-      {"110C & 0V", 4, "AR110Z6", bti::recovery(0.0, 110.0)},
-      {"20C & -0.3V", 3, "AR20N6", bti::recovery(-0.3, 20.0)},
-      {"20C & 0V", 2, "R20Z6", bti::recovery(0.0, 20.0)},
+      {"110C & -0.3V", 5, "AR110N6", bti::recovery(Volts{-0.3}, Celsius{110.0})},
+      {"110C & 0V", 4, "AR110Z6", bti::recovery(Volts{0.0}, Celsius{110.0})},
+      {"20C & -0.3V", 3, "AR20N6", bti::recovery(Volts{-0.3}, Celsius{20.0})},
+      {"20C & 0V", 2, "R20Z6", bti::recovery(Volts{0.0}, Celsius{20.0})},
   };
 
   const bti::ClosedFormModel model(
@@ -45,7 +45,7 @@ int main() {
         delay.mapped([&](double d) { return (d - run.fresh_delay_s) * 1e9; }));
     t1_equiv.push_back(
         c.chip == 4 ? hours(24.0) * model.capture_acceleration(
-                                        1.2, celsius(100.0))
+                                        Volts{1.2}, Kelvin{celsius(100.0)})
                     : hours(24.0));
   }
 
@@ -57,7 +57,7 @@ int main() {
       const double d0 = measured[i].front().value;
       row.push_back(fmt_fixed(measured[i].at(hours(h)), 2));
       row.push_back(fmt_fixed(
-          d0 * model.remaining_fraction(t1_equiv[i], hours(h), cases[i].cond),
+          d0 * model.remaining_fraction(Seconds{t1_equiv[i]}, Seconds{hours(h)}, cases[i].cond),
           2));
     }
     t.add_row(row);

@@ -27,8 +27,8 @@ int main() {
   params.delta_vth_mean_v *= params.traps_per_device / 4000.0;
   params.traps_per_device = 4000;
   bti::TrapEnsemble device(params, 9);
-  const auto stress = bti::dc_stress(1.2, 110.0);
-  const auto heal = bti::recovery(-0.3, 110.0);
+  const auto stress = bti::dc_stress(Volts{1.2}, Celsius{110.0});
+  const auto heal = bti::recovery(Volts{-0.3}, Celsius{110.0});
 
   Series trace("dvth_mv");
   Table t({"cycle", "peak DeltaVth (mV)", "post-recovery (mV)",
@@ -38,13 +38,13 @@ int main() {
   std::vector<double> residue;
   for (int cycle = 1; cycle <= 4; ++cycle) {
     for (double s = 0.0; s < hours(24.0); s += step) {
-      device.evolve(stress, step);
+      device.evolve(stress, Seconds{step});
       now += step;
       trace.append(now, device.delta_vth() * 1e3);
     }
     const double peak = device.delta_vth() * 1e3;
     for (double s = 0.0; s < hours(6.0); s += step) {
-      device.evolve(heal, step);
+      device.evolve(heal, Seconds{step});
       now += step;
       trace.append(now, device.delta_vth() * 1e3);
     }

@@ -30,9 +30,9 @@ using namespace ash;
 
 void BM_TrapEnsembleEvolve(benchmark::State& state) {
   bti::TrapEnsemble e(bti::default_td_parameters(), 1);
-  const auto cond = bti::dc_stress(1.2, 110.0);
+  const auto cond = bti::dc_stress(Volts{1.2}, Celsius{110.0});
   for (auto _ : state) {
-    e.evolve(cond, 60.0);
+    e.evolve(cond, Seconds{60.0});
     benchmark::DoNotOptimize(e.delta_vth());
   }
 }
@@ -40,7 +40,7 @@ BENCHMARK(BM_TrapEnsembleEvolve);
 
 void BM_TrapEnsembleDeltaVth(benchmark::State& state) {
   bti::TrapEnsemble e(bti::default_td_parameters(), 1);
-  e.evolve(bti::dc_stress(1.2, 110.0), hours(24.0));
+  e.evolve(bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
   for (auto _ : state) {
     benchmark::DoNotOptimize(e.delta_vth());
   }
@@ -50,11 +50,11 @@ BENCHMARK(BM_TrapEnsembleDeltaVth);
 void BM_ClosedFormAgerCycle(benchmark::State& state) {
   bti::ClosedFormAger ager(
       bti::ClosedFormParameters::from_td(bti::default_td_parameters()));
-  const auto stress = bti::dc_stress(1.2, 110.0);
-  const auto heal = bti::recovery(-0.3, 110.0);
+  const auto stress = bti::dc_stress(Volts{1.2}, Celsius{110.0});
+  const auto heal = bti::recovery(Volts{-0.3}, Celsius{110.0});
   for (auto _ : state) {
-    ager.evolve(stress, hours(24.0));
-    ager.evolve(heal, hours(6.0));
+    ager.evolve(stress, Seconds{hours(24.0)});
+    ager.evolve(heal, Seconds{hours(6.0)});
     benchmark::DoNotOptimize(ager.delta_vth());
   }
 }
@@ -65,7 +65,7 @@ void BM_RingOscillatorFrequency(benchmark::State& state) {
   cc.ro_stages = static_cast<int>(state.range(0));
   fpga::FpgaChip chip(cc);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(chip.ro_frequency_hz(1.2, celsius(20.0)));
+    benchmark::DoNotOptimize(chip.ro_frequency_hz(Volts{1.2}, Kelvin{celsius(20.0)}));
   }
 }
 BENCHMARK(BM_RingOscillatorFrequency)->Arg(15)->Arg(75);
@@ -74,9 +74,9 @@ void BM_ChipEvolveDcHour(benchmark::State& state) {
   fpga::ChipConfig cc;
   cc.ro_stages = static_cast<int>(state.range(0));
   fpga::FpgaChip chip(cc);
-  const auto cond = bti::dc_stress(1.2, 110.0);
+  const auto cond = bti::dc_stress(Volts{1.2}, Celsius{110.0});
   for (auto _ : state) {
-    chip.evolve(fpga::RoMode::kDcFrozen, cond, hours(1.0));
+    chip.evolve(fpga::RoMode::kDcFrozen, cond, Seconds{hours(1.0)});
   }
 }
 BENCHMARK(BM_ChipEvolveDcHour)->Arg(15)->Arg(75);
@@ -122,8 +122,8 @@ int run_json_mode(const std::string& path) {
   // Steady-state trap kernel: one condition, repeated steps.
   {
     bti::TrapEnsemble e(bti::default_td_parameters(), 1);
-    const auto cond = bti::dc_stress(1.2, 110.0);
-    for (int i = 0; i < 200000; ++i) e.evolve(cond, 60.0);
+    const auto cond = bti::dc_stress(Volts{1.2}, Celsius{110.0});
+    for (int i = 0; i < 200000; ++i) e.evolve(cond, Seconds{60.0});
     benchmark::DoNotOptimize(e.delta_vth());
   }
 
@@ -134,7 +134,7 @@ int run_json_mode(const std::string& path) {
     fpga::FpgaChip chip(cc);
     double sum = 0.0;
     for (int i = 0; i < 20000; ++i) {
-      sum += chip.ro_frequency_hz(1.2, celsius(20.0));
+      sum += chip.ro_frequency_hz(Volts{1.2}, Kelvin{celsius(20.0)});
     }
     benchmark::DoNotOptimize(sum);
   }
@@ -180,11 +180,11 @@ int run_json_mode(const std::string& path) {
                  : 1);
       const double dt = phase.duration_s / steps;
       for (int s = 0; s < steps; ++s) {
-        chip.evolve(phase.mode, cond, dt);
+        chip.evolve(phase.mode, cond, Seconds{dt});
         // Read at the nominal measurement rail (sleep phases bias the
         // core below threshold; the counter always runs at 1.2 V).
         benchmark::DoNotOptimize(
-            chip.ro_frequency_hz(1.2, cond.temperature_k));
+            chip.ro_frequency_hz(Volts{1.2}, Kelvin{cond.temperature_k}));
       }
     }
     fixed_drive_ms = wall_ms(t0, clock::now());

@@ -55,7 +55,7 @@ int main() {
     const auto remaining = core::delay_change_series(
         run.log.delay_series(rr.phase), run.fresh_delay_s);
     const double afc =
-        rr.chip == 4 ? prior.capture_acceleration(1.2, celsius(100.0)) : 1.0;
+        rr.chip == 4 ? prior.capture_acceleration(Volts{1.2}, Kelvin{celsius(100.0)}) : 1.0;
     const auto fit = fitter.fit_recovery(remaining, hours(24.0) * afc);
     r.add_row({rr.phase, strformat("%d", rr.chip),
                strformat("%.1f", fit.acceleration),

@@ -29,7 +29,7 @@ std::string path_string(const std::vector<std::string>& path) {
 }
 
 void report(const char* label, const ash::fpga::Fabric& fab, double fresh_s) {
-  const auto t = fab.timing(1.2, ash::celsius(60.0));
+  const auto t = fab.timing(ash::Volts{1.2}, ash::Kelvin{ash::celsius(60.0)});
   std::printf("%-28s worst arrival %7.3f ns (%+5.2f%%)  critical: %s via %s\n",
               label, t.worst_arrival_s * 1e9,
               100.0 * (t.worst_arrival_s / fresh_s - 1.0),
@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
   fpga::FabricConfig cfg;
   cfg.seed = 7;
   fpga::Fabric fab(fpga::ripple_carry_adder(4), cfg);
-  const double fresh = fab.timing(1.2, celsius(60.0)).worst_arrival_s;
+  const double fresh = fab.timing(Volts{1.2}, Kelvin{celsius(60.0)}).worst_arrival_s;
   report("fresh", fab, fresh);
 
   // A biased mission workload at 60 degC: operand A is a live data path
@@ -57,16 +57,16 @@ int main(int argc, char** argv) {
     parked[strformat("a%d", i)] = false;
     parked[strformat("b%d", i)] = (0xA >> i) & 1;
   }
-  const auto active = bti::ac_stress(1.2, 60.0);
-  const auto idle_dc = bti::dc_stress(1.2, 60.0);
+  const auto active = bti::ac_stress(Volts{1.2}, Celsius{60.0});
+  const auto idle_dc = bti::dc_stress(Volts{1.2}, Celsius{60.0});
   for (int h = 0; h < static_cast<int>(days * 24.0); h += 2) {
-    fab.age_toggling(active, hours(1.0));
-    fab.age_static(parked, idle_dc, hours(1.0));
+    fab.age_toggling(active, Seconds{hours(1.0)});
+    fab.age_static(parked, idle_dc, Seconds{hours(1.0)});
   }
   report(strformat("after %.0f days of mission", days).c_str(), fab, fresh);
 
   // One scheduled deep-rejuvenation sleep: 110 degC, -0.3 V, 6 h.
-  fab.age_sleep(bti::recovery(-0.3, 110.0), hours(6.0));
+  fab.age_sleep(bti::recovery(Volts{-0.3}, Celsius{110.0}), Seconds{hours(6.0)});
   report("after one 6 h deep sleep", fab, fresh);
 
   std::printf(
@@ -74,14 +74,14 @@ int main(int argc, char** argv) {
       "sensitized devices only):\n");
   Table t({"output", "fresh (ns)", "aged (ns)", "healed (ns)"});
   fpga::Fabric fresh_fab(fpga::ripple_carry_adder(4), cfg);
-  const auto fresh_t = fresh_fab.timing(1.2, celsius(60.0));
-  const auto healed_t = fab.timing(1.2, celsius(60.0));
+  const auto fresh_t = fresh_fab.timing(Volts{1.2}, Kelvin{celsius(60.0)});
+  const auto healed_t = fab.timing(Volts{1.2}, Kelvin{celsius(60.0)});
   fpga::Fabric aged_fab(fpga::ripple_carry_adder(4), cfg);
   for (int h = 0; h < static_cast<int>(days * 24.0); h += 2) {
-    aged_fab.age_toggling(active, hours(1.0));
-    aged_fab.age_static(parked, idle_dc, hours(1.0));
+    aged_fab.age_toggling(active, Seconds{hours(1.0)});
+    aged_fab.age_static(parked, idle_dc, Seconds{hours(1.0)});
   }
-  const auto aged_t = aged_fab.timing(1.2, celsius(60.0));
+  const auto aged_t = aged_fab.timing(Volts{1.2}, Kelvin{celsius(60.0)});
   for (const auto& po : fab.netlist().primary_outputs) {
     t.add_row({po, fmt_fixed(fresh_t.arrival_s.at(po) * 1e9, 3),
                fmt_fixed(aged_t.arrival_s.at(po) * 1e9, 3),

@@ -7,31 +7,33 @@
 
 namespace ash::bti {
 
-double arrhenius_factor(double ea_ev, double temp_k, double ref_temp_k) {
+double arrhenius_factor(double ea_ev, Kelvin temp, Kelvin ref_temp) {
+  const double temp_k = temp.value();
+  const double ref_temp_k = ref_temp.value();
   return std::exp(-(ea_ev / kBoltzmannEv) * (1.0 / temp_k - 1.0 / ref_temp_k));
 }
 
-double capture_acceleration(const TdParameters& p, double ea_ev,
-                            double voltage_v, double temp_k) {
+double capture_acceleration(const TdParameters& p, double ea_ev, Volts voltage,
+                            Kelvin temp) {
+  const double voltage_v = voltage.value();
   if (voltage_v < p.capture_threshold_voltage_v) return 0.0;
   const double field =
       std::exp(p.capture_field_accel_per_v * (voltage_v - p.stress_ref_voltage_v));
-  return field * arrhenius_factor(ea_ev, temp_k, p.stress_ref_temp_k);
+  return field * arrhenius_factor(ea_ev, temp, Kelvin{p.stress_ref_temp_k});
 }
 
 double emission_acceleration(const TdParameters& p, double ea_ev,
-                             double voltage_v, double temp_k) {
-  const double neg_overdrive = std::max(0.0, -voltage_v);
+                             Volts voltage, Kelvin temp) {
+  const double neg_overdrive = std::max(0.0, -voltage.value());
   const double bias = std::exp(p.emission_neg_bias_accel_per_v * neg_overdrive);
-  return bias * arrhenius_factor(ea_ev, temp_k, p.recovery_ref_temp_k);
+  return bias * arrhenius_factor(ea_ev, temp, Kelvin{p.recovery_ref_temp_k});
 }
 
-double occupancy_amplitude(const TdParameters& p, double voltage_v,
-                           double temp_k) {
+double occupancy_amplitude(const TdParameters& p, Volts voltage, Kelvin temp) {
   const double effective_barrier_ev =
-      p.amp_e0_ev - p.amp_b_ev_per_v * voltage_v;
+      p.amp_e0_ev - p.amp_b_ev_per_v * voltage.value();
   const double phi =
-      p.amp_k * std::exp(-effective_barrier_ev / (kBoltzmannEv * temp_k));
+      p.amp_k * std::exp(-effective_barrier_ev / (kBoltzmannEv * temp.value()));
   return std::clamp(phi, 0.0, 1.0);
 }
 

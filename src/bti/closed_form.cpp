@@ -30,8 +30,8 @@ ClosedFormParameters ClosedFormParameters::from_td(const TdParameters& td) {
       static_cast<double>(td.traps_per_device) * td.delta_vth_mean_v;
   const double spectrum_ln =
       std::log(td.tau_capture_max_s / td.tau_capture_min_s);
-  const double phi_ref = occupancy_amplitude(td, td.stress_ref_voltage_v,
-                                             td.stress_ref_temp_k);
+  const double phi_ref = occupancy_amplitude(td, Volts{td.stress_ref_voltage_v},
+                                             Kelvin{td.stress_ref_temp_k});
   p.beta_ref_v = phi_ref * total_v / spectrum_ln;
   p.tau_stress_s = td.tau_capture_min_s;
   p.e0_ev = td.amp_e0_ev;
@@ -69,7 +69,9 @@ ClosedFormModel::ClosedFormModel(ClosedFormParameters params)
   params_.validate();
 }
 
-double ClosedFormModel::beta(double voltage_v, double temp_k) const {
+double ClosedFormModel::beta(Volts voltage, Kelvin temp) const {
+  const double voltage_v = voltage.value();
+  const double temp_k = temp.value();
   auto amplitude = [&](double v, double t) {
     return std::exp(-(params_.e0_ev - params_.b_ev_per_v * v) /
                     (kBoltzmannEv * t));
@@ -78,8 +80,10 @@ double ClosedFormModel::beta(double voltage_v, double temp_k) const {
          amplitude(params_.stress_ref_voltage_v, params_.stress_ref_temp_k);
 }
 
-double ClosedFormModel::emission_acceleration(double voltage_v,
-                                              double temp_k) const {
+double ClosedFormModel::emission_acceleration(Volts voltage,
+                                              Kelvin temp) const {
+  const double voltage_v = voltage.value();
+  const double temp_k = temp.value();
   const double arr =
       std::exp(-(params_.emission_ea_ev / kBoltzmannEv) *
                (1.0 / temp_k - 1.0 / params_.recovery_ref_temp_k));
@@ -88,8 +92,10 @@ double ClosedFormModel::emission_acceleration(double voltage_v,
   return arr * bias;
 }
 
-double ClosedFormModel::capture_acceleration(double voltage_v,
-                                             double temp_k) const {
+double ClosedFormModel::capture_acceleration(Volts voltage,
+                                             Kelvin temp) const {
+  const double voltage_v = voltage.value();
+  const double temp_k = temp.value();
   if (voltage_v < params_.capture_threshold_voltage_v) return 0.0;
   const double field = std::exp(params_.capture_field_accel_per_v *
                                 (voltage_v - params_.stress_ref_voltage_v));
@@ -105,29 +111,32 @@ double ClosedFormModel::ac_amplitude_factor(const OperatingCondition& c) const {
   // During the unbiased fraction of each cycle, fast traps emit at the
   // passive rate accelerated by the (stress) temperature; the equilibrium
   // occupancy is the capture share of the total rate.
-  const double emission_af = emission_acceleration(0.0, c.temperature_k);
+  const double emission_af = emission_acceleration(Volts{0.0}, Kelvin{c.temperature_k});
   const double r =
       ((1.0 - duty) / duty) * emission_af / params_.emission_time_ratio;
   return 1.0 / (1.0 + r);
 }
 
-double ClosedFormModel::stress_delta_vth(double t_s,
+double ClosedFormModel::stress_delta_vth(Seconds t,
                                          const OperatingCondition& c) const {
+  const double t_s = t.value();
   if (t_s <= 0.0 || !c.is_stressing()) return 0.0;
-  const double afc = capture_acceleration(c.voltage_v, c.temperature_k);
+  const double afc = capture_acceleration(Volts{c.voltage_v}, Kelvin{c.temperature_k});
   if (afc <= 0.0) return 0.0;
   const double t_eff = t_s * std::clamp(c.gate_stress_duty, 0.0, 1.0) * afc;
-  const double amp = beta(c.voltage_v, c.temperature_k) * ac_amplitude_factor(c);
+  const double amp = beta(Volts{c.voltage_v}, Kelvin{c.temperature_k}) * ac_amplitude_factor(c);
   return amp * std::log1p(t_eff / params_.tau_stress_s);
 }
 
-double ClosedFormModel::remaining_fraction(double t1_equiv_s, double t2_s,
+double ClosedFormModel::remaining_fraction(Seconds t1_equiv, Seconds t2,
                                            const OperatingCondition& c) const {
+  const double t1_equiv_s = t1_equiv.value();
+  const double t2_s = t2.value();
   if (t1_equiv_s <= 0.0) return 1.0;
   const double denom = std::log1p(t1_equiv_s / params_.tau_stress_s);
   if (denom <= 0.0) return 1.0;
   const double q =
-      emission_acceleration(c.voltage_v, c.temperature_k) * std::max(0.0, t2_s);
+      emission_acceleration(Volts{c.voltage_v}, Kelvin{c.temperature_k}) * std::max(0.0, t2_s);
   const double recovered =
       std::min(1.0, std::log1p(q / params_.tau_recovery_s) / denom);
   return params_.permanent_ratio + (1.0 - params_.permanent_ratio) *
@@ -149,7 +158,7 @@ double ClosedFormAger::equivalent_stress_time(double beta_v) const {
 
 void ClosedFormAger::advance_stress(const OperatingCondition& c, double dt_s) {
   in_recovery_episode_ = false;
-  const double afc = model_.capture_acceleration(c.voltage_v, c.temperature_k);
+  const double afc = model_.capture_acceleration(Volts{c.voltage_v}, Kelvin{c.temperature_k});
   if (afc <= 0.0) {
     // Biased below the capture threshold: the stressed fraction does
     // nothing; the unbiased fraction passively recovers at 0 V.
@@ -160,7 +169,7 @@ void ClosedFormAger::advance_stress(const OperatingCondition& c, double dt_s) {
     in_recovery_episode_ = false;
     return;
   }
-  const double amp = model_.beta(c.voltage_v, c.temperature_k) *
+  const double amp = model_.beta(Volts{c.voltage_v}, Kelvin{c.temperature_k}) *
                      model_.ac_amplitude_factor(c);
   if (amp <= 0.0) return;
   const double tau_s = model_.parameters().tau_stress_s;
@@ -197,14 +206,15 @@ void ClosedFormAger::advance_recovery(const OperatingCondition& c,
     episode_denom_ln_ = std::max(spectrum_ln_, 1e-12);
   }
   episode_passive_s_ +=
-      dt_s * model_.emission_acceleration(c.voltage_v, c.temperature_k);
+      dt_s * model_.emission_acceleration(Volts{c.voltage_v}, Kelvin{c.temperature_k});
   const double recovered = std::min(
       1.0, std::log1p(episode_passive_s_ / model_.parameters().tau_recovery_s) /
                episode_denom_ln_);
   reversible_v_ = episode_start_reversible_v_ * (1.0 - recovered);
 }
 
-void ClosedFormAger::evolve(const OperatingCondition& c, double dt_s) {
+void ClosedFormAger::evolve(const OperatingCondition& c, Seconds dt) {
+  const double dt_s = dt.value();
   if (dt_s < 0.0) {
     throw std::invalid_argument("ClosedFormAger::evolve: negative dt");
   }

@@ -10,21 +10,21 @@ std::string OperatingCondition::describe() const {
                    to_celsius(temperature_k), gate_stress_duty);
 }
 
-OperatingCondition dc_stress(double voltage_v, double temp_c) {
-  return {.voltage_v = voltage_v,
-          .temperature_k = celsius(temp_c),
+OperatingCondition dc_stress(Volts voltage, Celsius temp) {
+  return {.voltage_v = voltage.value(),
+          .temperature_k = units::to_kelvin(temp).value(),
           .gate_stress_duty = 1.0};
 }
 
-OperatingCondition ac_stress(double voltage_v, double temp_c, double duty) {
-  return {.voltage_v = voltage_v,
-          .temperature_k = celsius(temp_c),
+OperatingCondition ac_stress(Volts voltage, Celsius temp, double duty) {
+  return {.voltage_v = voltage.value(),
+          .temperature_k = units::to_kelvin(temp).value(),
           .gate_stress_duty = duty};
 }
 
-OperatingCondition recovery(double voltage_v, double temp_c) {
-  return {.voltage_v = voltage_v,
-          .temperature_k = celsius(temp_c),
+OperatingCondition recovery(Volts voltage, Celsius temp) {
+  return {.voltage_v = voltage.value(),
+          .temperature_k = units::to_kelvin(temp).value(),
           .gate_stress_duty = 0.0};
 }
 

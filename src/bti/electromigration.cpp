@@ -20,7 +20,8 @@ EmInterconnect::EmInterconnect(const EmParameters& params) : params_(params) {
 }
 
 double EmInterconnect::drift_rate(double current_density_ratio,
-                                  double temp_k) const {
+                                  Kelvin temp) const {
+  const double temp_k = temp.value();
   if (current_density_ratio < 0.0) {
     throw std::invalid_argument("EmInterconnect: negative current density");
   }
@@ -35,20 +36,20 @@ double EmInterconnect::drift_rate(double current_density_ratio,
          arrhenius;
 }
 
-void EmInterconnect::evolve(double current_density_ratio, double temp_k,
-                            double dt_s) {
-  if (dt_s < 0.0) {
+void EmInterconnect::evolve(double current_density_ratio, Kelvin temp,
+                            Seconds dt) {
+  if (dt.value() < 0.0) {
     throw std::invalid_argument("EmInterconnect: negative dt");
   }
-  drift_ += drift_rate(current_density_ratio, temp_k) * dt_s;
+  drift_ += drift_rate(current_density_ratio, temp) * dt.value();
 }
 
-double EmInterconnect::time_to_failure_s(double current_density_ratio,
-                                         double temp_k) const {
-  const double rate = drift_rate(current_density_ratio, temp_k);
-  if (rate <= 0.0) return std::numeric_limits<double>::infinity();
+Seconds EmInterconnect::time_to_failure(double current_density_ratio,
+                                        Kelvin temp) const {
+  const double rate = drift_rate(current_density_ratio, temp);
+  if (rate <= 0.0) return Seconds{std::numeric_limits<double>::infinity()};
   const double remaining = params_.failure_drift - drift_;
-  return remaining <= 0.0 ? 0.0 : remaining / rate;
+  return Seconds{remaining <= 0.0 ? 0.0 : remaining / rate};
 }
 
 }  // namespace ash::bti

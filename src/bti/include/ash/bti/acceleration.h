@@ -9,30 +9,30 @@
 /// layers agree on the physics by construction.
 
 #include "ash/bti/parameters.h"
+#include "ash/util/units.h"
 
 namespace ash::bti {
 
 /// Arrhenius rate multiplier between temperature T and reference Tref for a
 /// process with activation energy ea_ev:
 ///   exp(-(ea/k) * (1/T - 1/Tref))  — >1 for T > Tref.
-double arrhenius_factor(double ea_ev, double temp_k, double ref_temp_k);
+double arrhenius_factor(double ea_ev, Kelvin temp, Kelvin ref_temp);
 
 /// Capture-rate multiplier at (V, T) relative to the stress reference
 /// condition: oxide-field exponential x Arrhenius.  Returns 0 when the gate
 /// magnitude is below the capture threshold (no capture during sleep).
-double capture_acceleration(const TdParameters& p, double ea_ev,
-                            double voltage_v, double temp_k);
+double capture_acceleration(const TdParameters& p, double ea_ev, Volts voltage,
+                            Kelvin temp);
 
 /// Emission-rate multiplier at (V, T) relative to the passive-recovery
 /// reference: Arrhenius x negative-bias boost.  This is the quantitative
 /// heart of "accelerated self-healing": at 110 degC and -0.3 V the default
 /// calibration yields a multiplier of several hundred.
 double emission_acceleration(const TdParameters& p, double ea_ev,
-                             double voltage_v, double temp_k);
+                             Volts voltage, Kelvin temp);
 
 /// Equilibrium trapped-fraction amplitude phi(V, T) in [0, 1] — Eq. (2)'s
 /// multiplicative amplitude.  Only meaningful under stress bias.
-double occupancy_amplitude(const TdParameters& p, double voltage_v,
-                           double temp_k);
+double occupancy_amplitude(const TdParameters& p, Volts voltage, Kelvin temp);
 
 }  // namespace ash::bti

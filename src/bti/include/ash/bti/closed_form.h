@@ -17,6 +17,7 @@
 
 #include "ash/bti/condition.h"
 #include "ash/bti/parameters.h"
+#include "ash/util/units.h"
 
 namespace ash::bti {
 
@@ -83,14 +84,14 @@ class ClosedFormModel {
   const ClosedFormParameters& parameters() const { return params_; }
 
   /// Amplitude beta(V, T) in volts per ln-unit.
-  double beta(double voltage_v, double temp_k) const;
+  double beta(Volts voltage, Kelvin temp) const;
 
   /// Emission acceleration factor AFe(V, T) relative to passive recovery.
-  double emission_acceleration(double voltage_v, double temp_k) const;
+  double emission_acceleration(Volts voltage, Kelvin temp) const;
 
   /// Capture (stress-time) acceleration factor AFc(V, T) relative to the
   /// stress reference; 0 below the capture threshold voltage.
-  double capture_acceleration(double voltage_v, double temp_k) const;
+  double capture_acceleration(Volts voltage, Kelvin temp) const;
 
   /// Amplitude de-rating for AC operation (duty < 1): capture racing the
   /// concurrent emission of the unbiased half-cycles.  1 for DC.
@@ -98,13 +99,13 @@ class ClosedFormModel {
 
   /// DeltaVth after stressing a fresh device for t_s seconds (Eq. (1)).
   /// `duty` scales the effective stress time (AC operation).
-  double stress_delta_vth(double t_s, const OperatingCondition& c) const;
+  double stress_delta_vth(Seconds t, const OperatingCondition& c) const;
 
   /// Fraction of a stress phase's DeltaVth remaining after recovering for
   /// t2_s seconds under `c`, given the stress phase lasted t1_equiv_s at
   /// the *stress reference* condition (Eq. (3) rearranged).  In
   /// [permanent_ratio, 1].
-  double remaining_fraction(double t1_equiv_s, double t2_s,
+  double remaining_fraction(Seconds t1_equiv, Seconds t2,
                             const OperatingCondition& c) const;
 
  private:
@@ -125,7 +126,7 @@ class ClosedFormAger {
   /// Advance by dt seconds under the given condition.  Stress intervals
   /// (duty > 0) accrue damage along the log law; recovery intervals heal
   /// the reversible part along the recovery law.
-  void evolve(const OperatingCondition& c, double dt_s);
+  void evolve(const OperatingCondition& c, Seconds dt);
 
   /// Current total threshold-voltage shift (volts).
   double delta_vth() const { return reversible_v_ + permanent_v_; }

@@ -11,6 +11,8 @@
 
 #include <string>
 
+#include "ash/util/units.h"
+
 namespace ash::bti {
 
 /// Which BTI flavour a transistor experiences.  NBTI: PMOS under negative
@@ -47,9 +49,8 @@ struct OperatingCondition {
 
 /// Convenience constructors mirroring the paper's test vocabulary.
 /// Temperatures are given in degrees Celsius as in Table 1.
-OperatingCondition dc_stress(double voltage_v, double temp_c);
-OperatingCondition ac_stress(double voltage_v, double temp_c,
-                             double duty = 0.5);
-OperatingCondition recovery(double voltage_v, double temp_c);
+OperatingCondition dc_stress(Volts voltage, Celsius temp);
+OperatingCondition ac_stress(Volts voltage, Celsius temp, double duty = 0.5);
+OperatingCondition recovery(Volts voltage, Celsius temp);
 
 }  // namespace ash::bti

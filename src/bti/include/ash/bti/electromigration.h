@@ -19,6 +19,7 @@
 /// interconnect segment; the segment fails (void) past `failure_drift`.
 
 #include "ash/bti/parameters.h"
+#include "ash/util/units.h"
 
 namespace ash::bti {
 
@@ -51,7 +52,7 @@ class EmInterconnect {
   /// Accumulate EM damage over dt seconds at the given current-density
   /// ratio (J/J_ref; 0 when power-gated, ~1 at nominal switching, >1 for
   /// overdriven GNOMO-style operation) and metal temperature.
-  void evolve(double current_density_ratio, double temp_k, double dt_s);
+  void evolve(double current_density_ratio, Kelvin temp, Seconds dt);
 
   /// Fractional resistance increase accumulated so far.
   double drift() const { return drift_; }
@@ -61,10 +62,10 @@ class EmInterconnect {
 
   /// Remaining-life estimate (seconds) if operated at the given condition
   /// from now on; infinity when J = 0.
-  double time_to_failure_s(double current_density_ratio, double temp_k) const;
+  Seconds time_to_failure(double current_density_ratio, Kelvin temp) const;
 
   /// Instantaneous drift rate (1/s) at a condition.
-  double drift_rate(double current_density_ratio, double temp_k) const;
+  double drift_rate(double current_density_ratio, Kelvin temp) const;
 
   const EmParameters& parameters() const { return params_; }
 

@@ -17,6 +17,7 @@
 
 #include "ash/bti/condition.h"
 #include "ash/util/series.h"
+#include "ash/util/units.h"
 
 namespace ash::bti {
 
@@ -49,15 +50,15 @@ class RdModel {
   const RdParameters& parameters() const { return params_; }
 
   /// Amplitude at (V, T), normalized to amplitude_ref_v at the reference.
-  double amplitude(double voltage_v, double temp_k) const;
+  double amplitude(Volts voltage, Kelvin temp) const;
 
   /// DeltaVth after stressing a fresh device for t_s seconds.
-  double stress_delta_vth(double t_s, const OperatingCondition& c) const;
+  double stress_delta_vth(Seconds t, const OperatingCondition& c) const;
 
   /// Fraction of the stress damage remaining after t2_s of recovery
   /// following a t1_s stress.  NOTE: deliberately independent of the
   /// recovery condition — that is the RD physics under test.
-  double remaining_fraction(double t1_s, double t2_s) const;
+  double remaining_fraction(Seconds t1, Seconds t2) const;
 
  private:
   RdParameters params_;

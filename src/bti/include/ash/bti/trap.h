@@ -12,6 +12,8 @@
 
 #include <cmath>
 
+#include "ash/util/units.h"
+
 namespace ash::bti {
 
 /// Immutable physical identity of one trap plus its mutable occupancy.
@@ -46,9 +48,11 @@ struct Trap {
 /// Exact solution over the interval:
 ///   p(dt) = p_inf + (p0 - p_inf) * exp(-(rc + re) * dt),
 ///   p_inf = rc * phi / (rc + re).
-inline void evolve_trap(Trap& trap, double rc, double re, double phi,
-                        double dt_s) {
-  if (trap.permanent) re = 0.0;
+inline void evolve_trap(Trap& trap, Hertz capture_rate, Hertz emission_rate,
+                        double phi, Seconds dt) {
+  const double rc = capture_rate.value();
+  const double re = trap.permanent ? 0.0 : emission_rate.value();
+  const double dt_s = dt.value();
   const double lambda = rc + re;
   if (lambda <= 0.0 || dt_s <= 0.0) return;
   const double p_inf = rc * phi / lambda;

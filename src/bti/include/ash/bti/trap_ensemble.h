@@ -48,7 +48,7 @@ class TrapEnsemble {
   /// Stress intervals capture (and, for AC duty < 1, concurrently emit
   /// during the unbiased half-cycles); recovery intervals only emit, at a
   /// rate accelerated by temperature and negative bias.
-  void evolve(const OperatingCondition& condition, double dt_s);
+  void evolve(const OperatingCondition& condition, Seconds dt);
 
   /// Current threshold-voltage shift (volts): dot product of occupancies
   /// and per-trap contributions.  Cached between state changes, so

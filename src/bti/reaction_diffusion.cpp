@@ -22,7 +22,9 @@ RdModel::RdModel(RdParameters params) : params_(params) {
   params_.validate();
 }
 
-double RdModel::amplitude(double voltage_v, double temp_k) const {
+double RdModel::amplitude(Volts voltage, Kelvin temp) const {
+  const double voltage_v = voltage.value();
+  const double temp_k = temp.value();
   auto amp = [&](double v, double t) {
     return std::exp(-(params_.e0_ev - params_.b_ev_per_v * v) /
                     (kBoltzmannEv * t));
@@ -31,15 +33,18 @@ double RdModel::amplitude(double voltage_v, double temp_k) const {
          amp(params_.stress_ref_voltage_v, params_.stress_ref_temp_k);
 }
 
-double RdModel::stress_delta_vth(double t_s,
+double RdModel::stress_delta_vth(Seconds t,
                                  const OperatingCondition& c) const {
+  const double t_s = t.value();
   if (t_s <= 0.0 || !c.is_stressing()) return 0.0;
   const double duty = std::clamp(c.gate_stress_duty, 0.0, 1.0);
-  return amplitude(c.voltage_v, c.temperature_k) *
+  return amplitude(Volts{c.voltage_v}, Kelvin{c.temperature_k}) *
          std::pow(t_s * duty, params_.time_exponent);
 }
 
-double RdModel::remaining_fraction(double t1_s, double t2_s) const {
+double RdModel::remaining_fraction(Seconds t1, Seconds t2) const {
+  const double t1_s = t1.value();
+  const double t2_s = t2.value();
   if (t1_s <= 0.0) return 1.0;
   if (t2_s <= 0.0) return 1.0;
   // The universal back-diffusion curve: depends on t2/t1 only.

@@ -75,7 +75,8 @@ TrapEnsemble::CondScalars TrapEnsemble::scalars_for(
   // Amplitude and per-Ea Arrhenius exponents are condition-level constants,
   // hoisted out of the per-trap loops.
   s.phi = s.duty > 0.0
-              ? occupancy_amplitude(params_, c.voltage_v, c.temperature_k)
+              ? occupancy_amplitude(params_, Volts{c.voltage_v},
+                                    Kelvin{c.temperature_k})
               : 0.0;
   s.capture_field =
       c.voltage_v >= params_.capture_threshold_voltage_v
@@ -221,8 +222,9 @@ void TrapEnsemble::refill_decay_and_step(RateEntry& e, double dt_s) {
   e.decay_dt_s = dt_s;
 }
 
-void TrapEnsemble::evolve(const OperatingCondition& c, double dt_s) {
+void TrapEnsemble::evolve(const OperatingCondition& c, Seconds dt) {
   const obs::ScopedKernelTimer timer(obs::Kernel::kTrapEnsembleEvolve);
+  const double dt_s = dt.value();
   if (dt_s < 0.0) {
     throw std::invalid_argument("TrapEnsemble::evolve: negative dt");
   }

@@ -32,8 +32,8 @@ double leakage_ratio(const AbbConfig& config, double vth_reduction_v) {
 
 AbbStudy run_abb_study(const AbbConfig& c) {
   validate(c);
-  const auto active = bti::ac_stress(c.supply_v, c.temp_c, c.activity_duty);
-  const auto sleep = bti::recovery(c.sleep_voltage_v, c.sleep_temp_c);
+  const auto active = bti::ac_stress(Volts{c.supply_v}, Celsius{c.temp_c}, c.activity_duty);
+  const auto sleep = bti::recovery(Volts{c.sleep_voltage_v}, Celsius{c.sleep_temp_c});
   const double active_span = c.cycle_period_s * c.alpha / (1.0 + c.alpha);
   const double sleep_span = c.cycle_period_s - active_span;
   const auto cycles = static_cast<long>(c.horizon_s / c.cycle_period_s);
@@ -56,13 +56,13 @@ AbbStudy run_abb_study(const AbbConfig& c) {
     const double t_end = static_cast<double>(k + 1) * c.cycle_period_s;
 
     // Arm 1: no mitigation — full drift hits the timing path.
-    ager_none.evolve(active, c.cycle_period_s);
+    ager_none.evolve(active, Seconds{c.cycle_period_s});
     study.none.residual_trace.append(t_end, ager_none.delta_vth());
     leak_none += 1.0;
 
     // Arm 2: ABB — runs continuously; each cycle the controller re-tunes
     // the body bias to cancel the measured drift (perfect tracking).
-    ager_abb.evolve(active, c.cycle_period_s);
+    ager_abb.evolve(active, Seconds{c.cycle_period_s});
     const double needed_bias =
         ager_abb.delta_vth() / c.body_effect;
     bias = std::min(needed_bias, c.max_body_bias_v);
@@ -73,8 +73,8 @@ AbbStudy run_abb_study(const AbbConfig& c) {
     leak_abb += leakage_ratio(c, compensated);
 
     // Arm 3: accelerated self-healing — the drift itself is removed.
-    ager_heal.evolve(active, active_span);
-    ager_heal.evolve(sleep, sleep_span);
+    ager_heal.evolve(active, Seconds{active_span});
+    ager_heal.evolve(sleep, Seconds{sleep_span});
     study.self_healing.residual_trace.append(t_end, ager_heal.delta_vth());
     leak_heal += 1.0;  // no Vth compensation => fresh-like leakage
   }

@@ -46,25 +46,25 @@ GnomoStudy run_gnomo_study(const GnomoConfig& c) {
   bti::ClosedFormAger gnomo(c.model);
   bti::ClosedFormAger heal(c.model);
 
-  const auto busy_nom = bti::ac_stress(c.nominal_v, c.temp_c);
-  const auto busy_boost = bti::ac_stress(c.boost_v, c.temp_c);
-  const auto idle = bti::recovery(0.0, c.idle_temp_c);
+  const auto busy_nom = bti::ac_stress(Volts{c.nominal_v}, Celsius{c.temp_c});
+  const auto busy_boost = bti::ac_stress(Volts{c.boost_v}, Celsius{c.temp_c});
+  const auto idle = bti::recovery(Volts{0.0}, Celsius{c.idle_temp_c});
   const auto rejuvenate =
-      bti::recovery(c.recovery_voltage_v, c.recovery_temp_c);
+      bti::recovery(Volts{c.recovery_voltage_v}, Celsius{c.recovery_temp_c});
 
   const auto cycles = static_cast<long>(c.horizon_s / c.period_s);
   for (long i = 0; i < cycles; ++i) {
     // Arm 1: always-on — stressed the whole period (spare time still runs
     // background work at nominal, the design-for-EOL assumption).
-    nominal.evolve(busy_nom, c.period_s);
+    nominal.evolve(busy_nom, Seconds{c.period_s});
 
     // Arm 2: GNOMO — same work at boost, then passive idle.
-    gnomo.evolve(busy_boost, busy_boost_s);
-    gnomo.evolve(idle, c.period_s - busy_boost_s);
+    gnomo.evolve(busy_boost, Seconds{busy_boost_s});
+    gnomo.evolve(idle, Seconds{c.period_s - busy_boost_s});
 
     // Arm 3: self-healing — same work at nominal, then accelerated sleep.
-    heal.evolve(busy_nom, busy_nominal_s);
-    heal.evolve(rejuvenate, c.period_s - busy_nominal_s);
+    heal.evolve(busy_nom, Seconds{busy_nominal_s});
+    heal.evolve(rejuvenate, Seconds{c.period_s - busy_nominal_s});
   }
 
   GnomoStudy study;

@@ -49,12 +49,12 @@ LifetimeResult simulate_lifetime(const LifetimeConfig& config) {
 
   bti::ClosedFormAger ager(config.model);
   const bti::OperatingCondition active = bti::ac_stress(
-      config.mission.supply_v, config.mission.temp_c,
+      Volts{config.mission.supply_v}, Celsius{config.mission.temp_c},
       config.mission.activity_duty);
-  const bti::OperatingCondition accel_sleep =
-      bti::recovery(config.knobs.voltage_v, config.knobs.temp_c);
+  const bti::OperatingCondition accel_sleep = bti::recovery(
+      Volts{config.knobs.voltage_v}, Celsius{config.knobs.temp_c});
   const bti::OperatingCondition passive_sleep =
-      bti::recovery(0.0, config.passive_sleep_temp_c);
+      bti::recovery(Volts{0.0}, Celsius{config.passive_sleep_temp_c});
 
   const double alpha = config.knobs.active_sleep_ratio;
   const double active_span = config.cycle_period_s * alpha / (1.0 + alpha);
@@ -93,7 +93,7 @@ LifetimeResult simulate_lifetime(const LifetimeConfig& config) {
     switch (config.policy) {
       case Policy::kNoRecovery: {
         const double dt = std::min(step, config.horizon_s - t);
-        ager.evolve(active, dt);
+        ager.evolve(active, Seconds{dt});
         t += dt;
         active_time += dt;
         record(t);
@@ -105,13 +105,13 @@ LifetimeResult simulate_lifetime(const LifetimeConfig& config) {
                                      ? accel_sleep
                                      : passive_sleep;
         const double dt_a = std::min(active_span, config.horizon_s - t);
-        ager.evolve(active, dt_a);
+        ager.evolve(active, Seconds{dt_a});
         t += dt_a;
         active_time += dt_a;
         record(t);
         if (t >= config.horizon_s) break;
         const double dt_s = std::min(sleep_span, config.horizon_s - t);
-        ager.evolve(sleep_cond, dt_s);
+        ager.evolve(sleep_cond, Seconds{dt_s});
         t += dt_s;
         ++result.recovery_events;
         record(t);
@@ -120,7 +120,7 @@ LifetimeResult simulate_lifetime(const LifetimeConfig& config) {
       case Policy::kReactive: {
         const double dt = std::min(step, config.horizon_s - t);
         if (!recovering) {
-          ager.evolve(active, dt);
+          ager.evolve(active, Seconds{dt});
           active_time += dt;
           t += dt;
           record(t);
@@ -130,7 +130,7 @@ LifetimeResult simulate_lifetime(const LifetimeConfig& config) {
             ++result.recovery_events;
           }
         } else {
-          ager.evolve(accel_sleep, dt);
+          ager.evolve(accel_sleep, Seconds{dt});
           t += dt;
           record(t);
           const double floor_v = ager.permanent_delta_vth();

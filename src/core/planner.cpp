@@ -58,10 +58,11 @@ RecoveryPlan plan_recovery(const PlannerConfig& config) {
       const double t_c = config.ambient_c +
                          (config.max_temp_c - config.ambient_c) * ti /
                              config.temp_steps;
-      const auto cond = bti::recovery(v, t_c);
+      const auto cond = bti::recovery(Volts{v}, Celsius{t_c});
       // Feasible at all within the sleep budget?
-      if (model.remaining_fraction(config.t1_equiv_s, config.max_sleep_s,
-                                   cond) > remaining_target) {
+      if (model.remaining_fraction(Seconds{config.t1_equiv_s},
+                                   Seconds{config.max_sleep_s}, cond) >
+          remaining_target) {
         continue;
       }
       // Minimal sleep by bisection (remaining is monotone non-increasing).
@@ -69,8 +70,8 @@ RecoveryPlan plan_recovery(const PlannerConfig& config) {
       double hi = config.max_sleep_s;
       for (int iter = 0; iter < 60; ++iter) {
         const double mid = 0.5 * (lo + hi);
-        if (model.remaining_fraction(config.t1_equiv_s, mid, cond) >
-            remaining_target) {
+        if (model.remaining_fraction(Seconds{config.t1_equiv_s},
+                                     Seconds{mid}, cond) > remaining_target) {
           lo = mid;
         } else {
           hi = mid;
@@ -85,7 +86,8 @@ RecoveryPlan plan_recovery(const PlannerConfig& config) {
         best.sleep_s = sleep;
         best.cost = cost;
         best.achieved_fraction =
-            1.0 - model.remaining_fraction(config.t1_equiv_s, sleep, cond);
+            1.0 - model.remaining_fraction(Seconds{config.t1_equiv_s},
+                                           Seconds{sleep}, cond);
       }
     }
   }

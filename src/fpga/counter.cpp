@@ -23,7 +23,8 @@ double FrequencyCounter::max_unwrapped_frequency_hz() const {
   return max_counts * resolution_hz();
 }
 
-CounterReading FrequencyCounter::measure(double true_frequency_hz) {
+CounterReading FrequencyCounter::measure(Hertz true_frequency) {
+  const double true_frequency_hz = true_frequency.value();
   if (true_frequency_hz <= 0.0) {
     throw std::invalid_argument("FrequencyCounter: non-positive frequency");
   }

@@ -67,21 +67,21 @@ NetValues Fabric::evaluate(const NetValues& primary_inputs) const {
 }
 
 void Fabric::age_static(const NetValues& primary_inputs,
-                        const bti::OperatingCondition& env, double dt_s) {
+                        const bti::OperatingCondition& env, Seconds dt) {
   const NetValues values = evaluate(primary_inputs);
   for (std::size_t idx : topo_) {
     const auto& node = netlist_.nodes[idx];
     const bool in0 = values.at(node.inputs[0]);
     const bool in1 = values.at(node.inputs[1]);
-    luts_[idx].age_static(in0, in1, env, dt_s);
-    routings_[idx].age_static(values.at(node.output), env, dt_s);
+    luts_[idx].age_static(in0, in1, env, dt);
+    routings_[idx].age_static(values.at(node.output), env, dt);
   }
 }
 
-void Fabric::age_toggling(const bti::OperatingCondition& env, double dt_s) {
+void Fabric::age_toggling(const bti::OperatingCondition& env, Seconds dt) {
   for (std::size_t i = 0; i < luts_.size(); ++i) {
-    luts_[i].age_toggling(env, dt_s);
-    routings_[i].age_toggling(env, dt_s);
+    luts_[i].age_toggling(env, dt);
+    routings_[i].age_toggling(env, dt);
   }
 }
 
@@ -121,7 +121,7 @@ NetProbabilities Fabric::propagate_probabilities(
 
 void Fabric::age_probabilistic(const NetProbabilities& primary_input_probs,
                                const bti::OperatingCondition& env,
-                               double dt_s) {
+                               Seconds dt) {
   const NetProbabilities p = propagate_probabilities(primary_input_probs);
   for (std::size_t idx : topo_) {
     const auto& node = netlist_.nodes[idx];
@@ -146,7 +146,7 @@ void Fabric::age_probabilistic(const NetProbabilities& primary_input_probs,
       dev_env.gate_stress_duty =
           env.gate_stress_duty * stress_prob[d];
       if (dev_env.gate_stress_duty == 0.0) dev_env.voltage_v = 0.0;
-      luts_[idx].device(d).evolve(dev_env, dt_s);
+      luts_[idx].device(d).evolve(dev_env, dt);
     }
 
     // Routing devices: stressed while the carried net sits at the value
@@ -162,19 +162,19 @@ void Fabric::age_probabilistic(const NetProbabilities& primary_input_probs,
       bti::OperatingCondition dev_env = env;
       dev_env.gate_stress_duty = env.gate_stress_duty * routing_prob[d];
       if (dev_env.gate_stress_duty == 0.0) dev_env.voltage_v = 0.0;
-      routings_[idx].device(d).evolve(dev_env, dt_s);
+      routings_[idx].device(d).evolve(dev_env, dt);
     }
   }
 }
 
-void Fabric::age_sleep(const bti::OperatingCondition& env, double dt_s) {
+void Fabric::age_sleep(const bti::OperatingCondition& env, Seconds dt) {
   for (std::size_t i = 0; i < luts_.size(); ++i) {
-    luts_[i].age_sleep(env, dt_s);
-    routings_[i].age_sleep(env, dt_s);
+    luts_[i].age_sleep(env, dt);
+    routings_[i].age_sleep(env, dt);
   }
 }
 
-TimingReport Fabric::timing(double vdd_v, double temp_k) const {
+TimingReport Fabric::timing(Volts vdd, Kelvin temp) const {
   // Worst-case per-node delay over the four input combinations: a
   // vector-independent STA bound at the current aging state.
   std::vector<double> node_delay(luts_.size(), 0.0);
@@ -184,9 +184,9 @@ TimingReport Fabric::timing(double vdd_v, double temp_k) const {
       for (int in0 = 0; in0 <= 1; ++in0) {
         const bool out = luts_[i].evaluate(in0 != 0, in1 != 0);
         const double d =
-            luts_[i].path_delay(in0 != 0, in1 != 0, config_.delay, vdd_v,
-                                temp_k) +
-            routings_[i].path_delay(out, config_.delay, vdd_v, temp_k);
+            luts_[i].path_delay(in0 != 0, in1 != 0, config_.delay, vdd,
+                                temp) +
+            routings_[i].path_delay(out, config_.delay, vdd, temp);
         worst = std::max(worst, d);
       }
     }

@@ -56,18 +56,18 @@ class FpgaChip {
   RingOscillator& ro() { return ro_; }
 
   /// True RO frequency at the given measurement supply/temperature.
-  double ro_frequency_hz(double vdd_v, double temp_k) const {
-    return ro_.frequency_hz(vdd_v, temp_k);
+  double ro_frequency_hz(Volts vdd, Kelvin temp) const {
+    return ro_.frequency_hz(vdd, temp);
   }
 
   /// True CUT delay (one-way traversal average), Td = 1/(2 f_osc).
-  double cut_delay_s(double vdd_v, double temp_k) const {
-    return ro_.period_s(vdd_v, temp_k) / 2.0;
+  double cut_delay_s(Volts vdd, Kelvin temp) const {
+    return ro_.period_s(vdd, temp) / 2.0;
   }
 
   /// Age the chip for dt seconds.
-  void evolve(RoMode mode, const bti::OperatingCondition& env, double dt_s) {
-    ro_.evolve(mode, env, dt_s);
+  void evolve(RoMode mode, const bti::OperatingCondition& env, Seconds dt) {
+    ro_.evolve(mode, env, dt);
   }
 
   /// The chip-corner delay factor actually drawn (diagnostics/tests).

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "ash/util/random.h"
+#include "ash/util/units.h"
 
 namespace ash::fpga {
 
@@ -54,7 +55,7 @@ class FrequencyCounter {
   /// Measure a true oscillator frequency.  Applies gating, counting noise
   /// and 16-bit wraparound.  Throws std::invalid_argument for non-positive
   /// frequencies.
-  CounterReading measure(double true_frequency_hz);
+  CounterReading measure(Hertz true_frequency);
 
   /// Frequency resolution of one gate step (Hz per count).
   double resolution_hz() const;

@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "ash/util/units.h"
+
 namespace ash::fpga {
 
 /// Electrical constants of the delay model, shared by every segment of a
@@ -35,17 +37,21 @@ struct DelayParams {
 
 /// True if a gate with threshold shift `dvth_v` still switches at supply
 /// `vdd_v` (needs headroom above threshold).
-inline bool is_functional(const DelayParams& p, double vdd_v, double dvth_v) {
-  return vdd_v - p.vth0_v - dvth_v > 0.05;
+inline bool is_functional(const DelayParams& p, Volts vdd, Volts dvth) {
+  return vdd.value() - p.vth0_v - dvth.value() > 0.05;
 }
 
 /// Delay of a segment with fresh delay td0 (measured at nominal supply and
 /// reference temperature) for the given threshold shift, supply and
 /// temperature.  Throws std::domain_error if the gate has no overdrive left
 /// (the circuit would simply stop oscillating).
-inline double segment_delay(const DelayParams& p, double td0_s, double dvth_v,
-                            double vdd_v, double temp_k) {
-  if (!is_functional(p, vdd_v, dvth_v)) {
+inline double segment_delay(const DelayParams& p, Seconds td0, Volts dvth,
+                            Volts vdd, Kelvin temp) {
+  const double td0_s = td0.value();
+  const double dvth_v = dvth.value();
+  const double vdd_v = vdd.value();
+  const double temp_k = temp.value();
+  if (!is_functional(p, vdd, dvth)) {
     throw std::domain_error(
         "segment_delay: no gate overdrive (circuit not functional)");
   }

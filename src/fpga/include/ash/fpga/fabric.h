@@ -71,10 +71,10 @@ class Fabric {
   /// the stress environment.  Each LUT/routing block stresses exactly the
   /// devices its local input values sensitize.
   void age_static(const NetValues& primary_inputs,
-                  const bti::OperatingCondition& env, double dt_s);
+                  const bti::OperatingCondition& env, Seconds dt);
 
   /// AC aging: all nets toggling at the condition's duty for dt seconds.
-  void age_toggling(const bti::OperatingCondition& env, double dt_s);
+  void age_toggling(const bti::OperatingCondition& env, Seconds dt);
 
   /// Propagate primary-input signal probabilities through the netlist
   /// (independent-signal approximation, exact per LUT over its four input
@@ -90,15 +90,15 @@ class Fabric {
   /// probability 0/1 reproduce age_static; 0.5 everywhere approaches
   /// age_toggling's uniform wear.
   void age_probabilistic(const NetProbabilities& primary_input_probs,
-                         const bti::OperatingCondition& env, double dt_s);
+                         const bti::OperatingCondition& env, Seconds dt);
 
   /// Sleep/rejuvenation: every device sees the recovery bias.
-  void age_sleep(const bti::OperatingCondition& env, double dt_s);
+  void age_sleep(const bti::OperatingCondition& env, Seconds dt);
 
   /// Worst-case (vector-independent) static timing at the current aging
   /// state: per-node delay is the max conducting-path delay over the four
   /// input combinations, arrivals propagate topologically.
-  TimingReport timing(double vdd_v, double temp_k) const;
+  TimingReport timing(Volts vdd, Kelvin temp) const;
 
   /// Access to a node's LUT / routing (by instance name) for inspection.
   const PassTransistorLut2& lut_of(const std::string& instance) const;

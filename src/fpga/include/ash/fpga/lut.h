@@ -104,22 +104,22 @@ class PassTransistorLut2 {
   /// per input vector: repeated reads between aging steps cost four
   /// version loads instead of four trap-ensemble walks, and a hit returns
   /// the previously computed value bit-for-bit.
-  double path_delay(bool in0, bool in1, const DelayParams& dp, double vdd_v,
-                    double temp_k) const;
+  double path_delay(bool in0, bool in1, const DelayParams& dp, Volts vdd,
+                    Kelvin temp) const;
 
   /// Age the LUT under *static* inputs (DC stress): stressed devices see
   /// the stress condition, all others passively anneal (0 V gate) at the
   /// same temperature.
   void age_static(bool in0, bool in1, const bti::OperatingCondition& env,
-                  double dt_s);
+                  Seconds dt);
 
   /// Age the LUT under *toggling* inputs (AC stress / normal oscillation):
   /// every device sees the stress voltage at the given duty.
-  void age_toggling(const bti::OperatingCondition& env, double dt_s);
+  void age_toggling(const bti::OperatingCondition& env, Seconds dt);
 
   /// Age the LUT during a sleep/recovery interval: every device sees the
   /// recovery bias (0 V or negative) at the ambient temperature.
-  void age_sleep(const bti::OperatingCondition& env, double dt_s);
+  void age_sleep(const bti::OperatingCondition& env, Seconds dt);
 
   const Transistor& device(int index) const {
     return devices_.at(static_cast<std::size_t>(index));

@@ -68,19 +68,19 @@ class SiliconOdometer {
 
   /// Expose the stressed mirror to mission conditions for dt seconds; the
   /// reference stays power-gated at the same temperature.
-  void mission(const bti::OperatingCondition& condition, double dt_s);
+  void mission(const bti::OperatingCondition& condition, Seconds dt);
 
   /// Put both oscillators to sleep under recovery conditions (the sensor
   /// heals together with the fabric it mirrors).
-  void sleep(const bti::OperatingCondition& condition, double dt_s);
+  void sleep(const bti::OperatingCondition& condition, Seconds dt);
 
   /// Take a reading at the given die temperature.  Both oscillators run
   /// briefly (the read itself is a tiny AC stress on each), then their
   /// frequencies are counted and the calibrated differential is returned.
-  OdometerReading read(double temp_k);
+  OdometerReading read(Kelvin temp);
 
   /// Ground truth for tests: the stressed mirror's true degradation.
-  double true_degradation(double temp_k) const;
+  double true_degradation(Kelvin temp) const;
 
   /// Number of reads taken so far (dropped reads included: they age the
   /// oscillators too).

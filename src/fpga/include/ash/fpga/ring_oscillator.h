@@ -54,17 +54,17 @@ class RingOscillator {
 
   /// Delay of one full traversal of the ring for the given input phase
   /// (seconds).  The static In1 = 1 of Fig. 2's example is applied.
-  double traversal_delay_s(bool in0_phase, double vdd_v, double temp_k) const;
+  double traversal_delay_s(bool in0_phase, Volts vdd, Kelvin temp) const;
 
   /// Oscillation period: rising + falling traversal.
-  double period_s(double vdd_v, double temp_k) const;
+  double period_s(Volts vdd, Kelvin temp) const;
 
   /// Oscillation frequency f_osc = 1 / period.
-  double frequency_hz(double vdd_v, double temp_k) const;
+  double frequency_hz(Volts vdd, Kelvin temp) const;
 
   /// Age the whole ring for dt seconds.  `env` supplies voltage,
   /// temperature and (for kAcOscillating) the stress duty.
-  void evolve(RoMode mode, const bti::OperatingCondition& env, double dt_s);
+  void evolve(RoMode mode, const bti::OperatingCondition& env, Seconds dt);
 
   const RoStage& stage(int i) const {
     return stages_.at(static_cast<std::size_t>(i));

@@ -48,15 +48,15 @@ class RoutingBlock {
 
   /// Propagation delay through the block for input value `v`.  Cached per
   /// carried value with version-stamp invalidation (see delay.h).
-  double path_delay(bool v, const DelayParams& dp, double vdd_v,
-                    double temp_k) const;
+  double path_delay(bool v, const DelayParams& dp, Volts vdd,
+                    Kelvin temp) const;
 
   /// DC aging with a static carried value.
-  void age_static(bool v, const bti::OperatingCondition& env, double dt_s);
+  void age_static(bool v, const bti::OperatingCondition& env, Seconds dt);
   /// AC aging (toggling value): all devices at the condition's duty.
-  void age_toggling(const bti::OperatingCondition& env, double dt_s);
+  void age_toggling(const bti::OperatingCondition& env, Seconds dt);
   /// Sleep/recovery aging: all devices at the recovery bias.
-  void age_sleep(const bti::OperatingCondition& env, double dt_s);
+  void age_sleep(const bti::OperatingCondition& env, Seconds dt);
 
   const Transistor& device(int index) const {
     return devices_.at(static_cast<std::size_t>(index));

@@ -86,8 +86,8 @@ class Transistor {
   }
 
   /// Advance the device's trap state.
-  void evolve(const bti::OperatingCondition& c, double dt_s) {
-    ensemble_.evolve(c, dt_s);
+  void evolve(const bti::OperatingCondition& c, Seconds dt) {
+    ensemble_.evolve(c, dt);
   }
 
   const bti::TrapEnsemble& ensemble() const { return ensemble_; }

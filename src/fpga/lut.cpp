@@ -104,8 +104,10 @@ std::vector<int> PassTransistorLut2::stressed_on_poi(bool in0,
 }
 
 double PassTransistorLut2::path_delay(bool in0, bool in1,
-                                      const DelayParams& dp, double vdd_v,
-                                      double temp_k) const {
+                                      const DelayParams& dp, Volts vdd,
+                                      Kelvin temp) const {
+  const double vdd_v = vdd.value();
+  const double temp_k = temp.value();
   const auto path = conducting_path(in0, in1);
   std::uint64_t stamp = 0;
   for (int idx : path) {
@@ -118,7 +120,8 @@ double PassTransistorLut2::path_delay(bool in0, bool in1,
   double total = 0.0;
   for (int idx : path) {
     const Transistor& d = devices_[static_cast<std::size_t>(idx)];
-    total += segment_delay(dp, d.fresh_delay_s(), d.delta_vth(), vdd_v, temp_k);
+    total += segment_delay(dp, Seconds{d.fresh_delay_s()}, Volts{d.delta_vth()}, vdd,
+                          temp);
   }
   cache.store(dp, vdd_v, temp_k, stamp, total);
   return total;
@@ -126,7 +129,7 @@ double PassTransistorLut2::path_delay(bool in0, bool in1,
 
 void PassTransistorLut2::age_static(bool in0, bool in1,
                                     const bti::OperatingCondition& env,
-                                    double dt_s) {
+                                    Seconds dt) {
   const auto stressed = stressed_devices(in0, in1);
   bti::OperatingCondition anneal = env;
   anneal.voltage_v = 0.0;
@@ -135,18 +138,18 @@ void PassTransistorLut2::age_static(bool in0, bool in1,
     const bool is_stressed =
         std::find(stressed.begin(), stressed.end(), i) != stressed.end();
     devices_[static_cast<std::size_t>(i)].evolve(is_stressed ? env : anneal,
-                                                 dt_s);
+                                                 dt);
   }
 }
 
 void PassTransistorLut2::age_toggling(const bti::OperatingCondition& env,
-                                      double dt_s) {
-  for (auto& d : devices_) d.evolve(env, dt_s);
+                                      Seconds dt) {
+  for (auto& d : devices_) d.evolve(env, dt);
 }
 
 void PassTransistorLut2::age_sleep(const bti::OperatingCondition& env,
-                                   double dt_s) {
-  for (auto& d : devices_) d.evolve(env, dt_s);
+                                   Seconds dt) {
+  for (auto& d : devices_) d.evolve(env, dt);
 }
 
 double PassTransistorLut2::max_delta_vth() const {

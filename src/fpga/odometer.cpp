@@ -34,32 +34,34 @@ SiliconOdometer::SiliconOdometer(const OdometerConfig& config)
       dropout_rng_(derive_seed(config.seed, 7)) {
   // Factory calibration: record the fresh frequency ratio so the
   // differential readout cancels the static mismatch.
-  const double t0 = config_.delay.temp_ref_k;
-  fresh_stressed_hz_ = stressed_.frequency_hz(config_.read_vdd_v, t0);
+  const Kelvin t0{config_.delay.temp_ref_k};
+  const Volts read_vdd{config_.read_vdd_v};
+  fresh_stressed_hz_ = stressed_.frequency_hz(read_vdd, t0);
   calibration_ratio_ =
-      fresh_stressed_hz_ / reference_.frequency_hz(config_.read_vdd_v, t0);
+      fresh_stressed_hz_ / reference_.frequency_hz(read_vdd, t0);
 }
 
 void SiliconOdometer::mission(const bti::OperatingCondition& condition,
-                              double dt_s) {
+                              Seconds dt) {
   const RoMode mode = condition.gate_stress_duty >= 1.0
                           ? RoMode::kDcFrozen
                           : RoMode::kAcOscillating;
-  stressed_.evolve(mode, condition, dt_s);
+  stressed_.evolve(mode, condition, dt);
   // The reference is power-gated: unbiased at die temperature.
   bti::OperatingCondition gated = condition;
   gated.voltage_v = 0.0;
   gated.gate_stress_duty = 0.0;
-  reference_.evolve(RoMode::kSleep, gated, dt_s);
+  reference_.evolve(RoMode::kSleep, gated, dt);
 }
 
 void SiliconOdometer::sleep(const bti::OperatingCondition& condition,
-                            double dt_s) {
-  stressed_.evolve(RoMode::kSleep, condition, dt_s);
-  reference_.evolve(RoMode::kSleep, condition, dt_s);
+                            Seconds dt) {
+  stressed_.evolve(RoMode::kSleep, condition, dt);
+  reference_.evolve(RoMode::kSleep, condition, dt);
 }
 
-OdometerReading SiliconOdometer::read(double temp_k) {
+OdometerReading SiliconOdometer::read(Kelvin temp) {
+  const double temp_k = temp.value();
   // Each read spins both rings for one gate: a tiny, honest AC stress.
   const double gate_s =
       static_cast<double>(config_.counter.gate_ref_periods) /
@@ -68,8 +70,8 @@ OdometerReading SiliconOdometer::read(double temp_k) {
   read_env.voltage_v = config_.read_vdd_v;
   read_env.temperature_k = temp_k;
   read_env.gate_stress_duty = 0.5;
-  stressed_.evolve(RoMode::kAcOscillating, read_env, gate_s);
-  reference_.evolve(RoMode::kAcOscillating, read_env, gate_s);
+  stressed_.evolve(RoMode::kAcOscillating, read_env, Seconds{gate_s});
+  reference_.evolve(RoMode::kAcOscillating, read_env, Seconds{gate_s});
   ++reads_;
 
   // Readback failure: the rings already spun (and aged), but no counts
@@ -85,11 +87,11 @@ OdometerReading SiliconOdometer::read(double temp_k) {
   OdometerReading r;
   r.stressed_hz =
       counter_stressed_
-          .measure(stressed_.frequency_hz(config_.read_vdd_v, temp_k))
+          .measure(Hertz{stressed_.frequency_hz(Volts{config_.read_vdd_v}, temp)})
           .frequency_hz;
   r.reference_hz =
       counter_reference_
-          .measure(reference_.frequency_hz(config_.read_vdd_v, temp_k))
+          .measure(Hertz{reference_.frequency_hz(Volts{config_.read_vdd_v}, temp)})
           .frequency_hz;
   // Differential readout: the mismatch-calibrated ratio isolates aging of
   // the stressed mirror relative to the protected reference.
@@ -98,9 +100,9 @@ OdometerReading SiliconOdometer::read(double temp_k) {
   return r;
 }
 
-double SiliconOdometer::true_degradation(double temp_k) const {
+double SiliconOdometer::true_degradation(Kelvin temp) const {
   return 1.0 -
-         stressed_.frequency_hz(config_.read_vdd_v, temp_k) /
+         stressed_.frequency_hz(Volts{config_.read_vdd_v}, temp) /
              fresh_stressed_hz_;
 }
 

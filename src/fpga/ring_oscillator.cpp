@@ -36,40 +36,40 @@ RingOscillator::RingOscillator(int stages,
   }
 }
 
-double RingOscillator::traversal_delay_s(bool in0_phase, double vdd_v,
-                                         double temp_k) const {
+double RingOscillator::traversal_delay_s(bool in0_phase, Volts vdd,
+                                         Kelvin temp) const {
   // As the edge propagates, consecutive stages see alternating input
   // values; `in0_phase` fixes the value at stage 0.
   double total = 0.0;
   bool in0 = in0_phase;
   for (const auto& s : stages_) {
-    total += s.lut.path_delay(in0, /*in1=*/true, delay_params_, vdd_v, temp_k);
+    total += s.lut.path_delay(in0, /*in1=*/true, delay_params_, vdd, temp);
     const bool out = s.lut.evaluate(in0, true);
-    total += s.routing.path_delay(out, delay_params_, vdd_v, temp_k);
+    total += s.routing.path_delay(out, delay_params_, vdd, temp);
     in0 = out;
   }
   return total;
 }
 
-double RingOscillator::period_s(double vdd_v, double temp_k) const {
+double RingOscillator::period_s(Volts vdd, Kelvin temp) const {
   const obs::ScopedKernelTimer timer(obs::Kernel::kRoDelayEval);
-  return traversal_delay_s(false, vdd_v, temp_k) +
-         traversal_delay_s(true, vdd_v, temp_k);
+  return traversal_delay_s(false, vdd, temp) +
+         traversal_delay_s(true, vdd, temp);
 }
 
-double RingOscillator::frequency_hz(double vdd_v, double temp_k) const {
-  return 1.0 / period_s(vdd_v, temp_k);
+double RingOscillator::frequency_hz(Volts vdd, Kelvin temp) const {
+  return 1.0 / period_s(vdd, temp);
 }
 
 void RingOscillator::evolve(RoMode mode, const bti::OperatingCondition& env,
-                            double dt_s) {
+                            Seconds dt) {
   switch (mode) {
     case RoMode::kAcOscillating: {
       bti::OperatingCondition ac = env;
       if (ac.gate_stress_duty <= 0.0) ac.gate_stress_duty = 0.5;
       for (auto& s : stages_) {
-        s.lut.age_toggling(ac, dt_s);
-        s.routing.age_toggling(ac, dt_s);
+        s.lut.age_toggling(ac, dt);
+        s.routing.age_toggling(ac, dt);
       }
       break;
     }
@@ -79,8 +79,8 @@ void RingOscillator::evolve(RoMode mode, const bti::OperatingCondition& env,
       for (int i = 0; i < stage_count(); ++i) {
         auto& s = stages_[static_cast<std::size_t>(i)];
         const bool in0 = dc_input_of_stage(i);
-        s.lut.age_static(in0, /*in1=*/true, dc, dt_s);
-        s.routing.age_static(s.lut.evaluate(in0, true), dc, dt_s);
+        s.lut.age_static(in0, /*in1=*/true, dc, dt);
+        s.routing.age_static(s.lut.evaluate(in0, true), dc, dt);
       }
       break;
     }
@@ -88,8 +88,8 @@ void RingOscillator::evolve(RoMode mode, const bti::OperatingCondition& env,
       bti::OperatingCondition sleep = env;
       sleep.gate_stress_duty = 0.0;
       for (auto& s : stages_) {
-        s.lut.age_sleep(sleep, dt_s);
-        s.routing.age_sleep(sleep, dt_s);
+        s.lut.age_sleep(sleep, dt);
+        s.routing.age_sleep(sleep, dt);
       }
       break;
     }

@@ -51,8 +51,10 @@ std::vector<int> RoutingBlock::stressed_devices(bool v) const {
   return {path[0], path[1]};
 }
 
-double RoutingBlock::path_delay(bool v, const DelayParams& dp, double vdd_v,
-                                double temp_k) const {
+double RoutingBlock::path_delay(bool v, const DelayParams& dp, Volts vdd,
+                                Kelvin temp) const {
+  const double vdd_v = vdd.value();
+  const double temp_k = temp.value();
   const auto path = conducting_path(v);
   std::uint64_t stamp = 0;
   for (int idx : path) {
@@ -64,14 +66,15 @@ double RoutingBlock::path_delay(bool v, const DelayParams& dp, double vdd_v,
   double total = 0.0;
   for (int idx : path) {
     const Transistor& d = devices_[static_cast<std::size_t>(idx)];
-    total += segment_delay(dp, d.fresh_delay_s(), d.delta_vth(), vdd_v, temp_k);
+    total += segment_delay(dp, Seconds{d.fresh_delay_s()}, Volts{d.delta_vth()}, vdd,
+                          temp);
   }
   cache.store(dp, vdd_v, temp_k, stamp, total);
   return total;
 }
 
 void RoutingBlock::age_static(bool v, const bti::OperatingCondition& env,
-                              double dt_s) {
+                              Seconds dt) {
   const auto stressed = stressed_devices(v);
   bti::OperatingCondition anneal = env;
   anneal.voltage_v = 0.0;
@@ -79,17 +82,17 @@ void RoutingBlock::age_static(bool v, const bti::OperatingCondition& env,
   for (int i = 0; i < kRoutingDeviceCount; ++i) {
     const bool is_stressed = i == stressed[0] || i == stressed[1];
     devices_[static_cast<std::size_t>(i)].evolve(is_stressed ? env : anneal,
-                                                 dt_s);
+                                                 dt);
   }
 }
 
 void RoutingBlock::age_toggling(const bti::OperatingCondition& env,
-                                double dt_s) {
-  for (auto& d : devices_) d.evolve(env, dt_s);
+                                Seconds dt) {
+  for (auto& d : devices_) d.evolve(env, dt);
 }
 
-void RoutingBlock::age_sleep(const bti::OperatingCondition& env, double dt_s) {
-  for (auto& d : devices_) d.evolve(env, dt_s);
+void RoutingBlock::age_sleep(const bti::OperatingCondition& env, Seconds dt) {
+  for (auto& d : devices_) d.evolve(env, dt);
 }
 
 }  // namespace ash::fpga

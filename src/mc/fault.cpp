@@ -165,16 +165,16 @@ void ReliabilityReport::publish(obs::Registry& registry,
 }
 
 CoreFaultModel::CoreFaultModel(const CoreFaultPlan& plan, int core_count,
-                               double interval_s, ReliabilityReport* report)
+                               Seconds interval, ReliabilityReport* report)
     : plan_(plan),
       core_count_(core_count),
-      interval_s_(interval_s),
+      interval_s_(interval.value()),
       report_(report),
       cores_(static_cast<std::size_t>(core_count)) {
   if (core_count <= 0) {
     throw std::invalid_argument("CoreFaultModel: core_count must be positive");
   }
-  if (interval_s <= 0.0) {
+  if (interval_s_ <= 0.0) {
     throw std::invalid_argument("CoreFaultModel: interval must be positive");
   }
 }
@@ -277,7 +277,8 @@ CoreStatus CoreFaultModel::status(int core) const {
   return s;
 }
 
-double CoreFaultModel::measured_delta_vth(int core, double true_v) {
+double CoreFaultModel::measured_delta_vth(int core, Volts true_delta) {
+  const double true_v = true_delta.value();
   auto& c = cores_[static_cast<std::size_t>(core)];
   if (c.dead) return std::nan("");
   if (c.rng.bernoulli(plan_.sensor_dropout_probability)) {

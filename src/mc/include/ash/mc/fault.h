@@ -38,6 +38,7 @@
 
 #include "ash/mc/scheduler.h"
 #include "ash/util/random.h"
+#include "ash/util/units.h"
 
 namespace ash::obs {
 class Registry;
@@ -145,7 +146,7 @@ class CoreFaultModel {
  public:
   /// `report` (optional) is incremented as faults fire; it must outlive
   /// the model.
-  CoreFaultModel(const CoreFaultPlan& plan, int core_count, double interval_s,
+  CoreFaultModel(const CoreFaultPlan& plan, int core_count, Seconds interval,
                  ReliabilityReport* report = nullptr);
 
   /// Draw this interval's faults.  `true_delta_vth` (size core_count)
@@ -163,7 +164,7 @@ class CoreFaultModel {
   /// The odometer reading the scheduler receives for `core` given the
   /// true aging: noisy, possibly frozen by a stuck window, NaN when the
   /// reading dropped or the core is dead.
-  double measured_delta_vth(int core, double true_v);
+  double measured_delta_vth(int core, Volts true_delta);
   /// Truth-level mode the core experiences for a commanded mode (a stuck
   /// rail downgrades rejuvenating sleep to passive).
   CoreMode effective_mode(int core, CoreMode commanded) const;

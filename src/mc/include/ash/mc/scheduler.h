@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "ash/mc/floorplan.h"
+#include "ash/util/units.h"
 
 namespace ash::mc {
 
@@ -118,7 +119,7 @@ class HeaterAwareCircadianScheduler final : public Scheduler {
 /// Threshold-triggered recovery.
 class ReactiveScheduler final : public Scheduler {
  public:
-  explicit ReactiveScheduler(double threshold_v) : threshold_v_(threshold_v) {}
+  explicit ReactiveScheduler(Volts threshold) : threshold_v_(threshold.value()) {}
   std::string name() const override { return "reactive"; }
   Assignment assign(const SchedulerContext& context) override;
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "ash/mc/floorplan.h"
+#include "ash/util/units.h"
 
 namespace ash::mc {
 
@@ -50,7 +51,7 @@ class ThermalModel {
   /// dt must satisfy the stability bound (checked).
   std::vector<double> step(const std::vector<double>& temps,
                            const std::vector<double>& powers,
-                           double dt_s) const;
+                           Seconds dt) const;
 
   /// Largest stable Euler step for this network.
   double max_stable_dt_s() const;

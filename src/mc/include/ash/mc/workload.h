@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "ash/util/random.h"
+#include "ash/util/units.h"
 
 namespace ash::mc {
 
@@ -22,14 +23,14 @@ class Workload {
   virtual ~Workload() = default;
   /// Cores demanded for the interval starting at t_s.  Must be within
   /// [0, core_count]; the system clamps and validates.
-  virtual int cores_needed(long interval_index, double t_s) const = 0;
+  virtual int cores_needed(long interval_index, Seconds t) const = 0;
 };
 
 /// Fixed demand (the default behaviour of SystemConfig::cores_needed).
 class ConstantWorkload final : public Workload {
  public:
   explicit ConstantWorkload(int cores) : cores_(cores) {}
-  int cores_needed(long, double) const override { return cores_; }
+  int cores_needed(long, Seconds) const override { return cores_; }
 
  private:
   int cores_;
@@ -40,14 +41,15 @@ class ConstantWorkload final : public Workload {
 class DiurnalWorkload final : public Workload {
  public:
   DiurnalWorkload(int day_cores, int night_cores,
-                  double period_s = 24.0 * 3600.0,
+                  Seconds period = units::hours(24.0),
                   double day_fraction = 0.58)
       : day_cores_(day_cores),
         night_cores_(night_cores),
-        period_s_(period_s),
+        period_s_(period.value()),
         day_fraction_(day_fraction) {}
 
-  int cores_needed(long, double t_s) const override {
+  int cores_needed(long, Seconds t) const override {
+    const double t_s = t.value();
     const double phase = t_s - period_s_ * static_cast<long>(t_s / period_s_);
     return phase < day_fraction_ * period_s_ ? day_cores_ : night_cores_;
   }
@@ -69,7 +71,7 @@ class BurstyWorkload final : public Workload {
   BurstyWorkload(int lo, int hi, std::uint64_t seed = 0xB0)
       : lo_(lo), hi_(hi), seed_(seed) {}
 
-  int cores_needed(long interval_index, double) const override {
+  int cores_needed(long interval_index, Seconds) const override {
     Rng rng(derive_seed(seed_, static_cast<std::uint64_t>(interval_index)));
     return lo_ + static_cast<int>(
                      rng.uniform_index(static_cast<std::uint64_t>(hi_ - lo_ + 1)));

@@ -46,7 +46,7 @@ SystemResult run(const SystemConfig& config, Scheduler& scheduler,
 
   std::optional<CoreFaultModel> faults;
   if (plan != nullptr) {
-    faults.emplace(*plan, cores, config.interval_s, report);
+    faults.emplace(*plan, cores, Seconds{config.interval_s}, report);
   }
 
   std::vector<bti::ClosedFormAger> agers(
@@ -84,7 +84,7 @@ SystemResult run(const SystemConfig& config, Scheduler& scheduler,
     const obs::ScopedKernelTimer interval_timer(obs::Kernel::kMcInterval);
     const double t_now = static_cast<double>(k) * config.interval_s;
     obs::set_sim_now(t_now);
-    const int requested = workload.cores_needed(k, t_now);
+    const int requested = workload.cores_needed(k, Seconds{t_now});
 
     SchedulerContext ctx;
     {
@@ -104,7 +104,7 @@ SystemResult run(const SystemConfig& config, Scheduler& scheduler,
         ctx.status.reserve(static_cast<std::size_t>(cores));
         for (int i = 0; i < cores; ++i) {
           ctx.delta_vth.push_back(faults->measured_delta_vth(
-              i, true_vth[static_cast<std::size_t>(i)]));
+              i, Volts{true_vth[static_cast<std::size_t>(i)]}));
           ctx.status.push_back(faults->status(i));
         }
       } else {
@@ -166,8 +166,8 @@ SystemResult run(const SystemConfig& config, Scheduler& scheduler,
       bti::OperatingCondition cond;
       switch (mode) {
         case CoreMode::kActive:
-          cond = bti::ac_stress(config.mission_supply_v, t_c,
-                                config.activity_duty);
+          cond = bti::ac_stress(Volts{config.mission_supply_v},
+                                Celsius{t_c}, config.activity_duty);
           // A transient-faulted core is powered and stressed but does no
           // useful work that interval.
           if (faults && faults->transient_faulted(i)) {
@@ -178,12 +178,12 @@ SystemResult run(const SystemConfig& config, Scheduler& scheduler,
           }
           break;
         case CoreMode::kSleepPassive:
-          cond = bti::recovery(0.0, t_c);
+          cond = bti::recovery(Volts{0.0}, Celsius{t_c});
           sleep_temp_sum += t_c;
           ++sleep_core_intervals;
           break;
         case CoreMode::kSleepRejuvenate:
-          cond = bti::recovery(config.rejuvenation_bias_v, t_c);
+          cond = bti::recovery(Volts{config.rejuvenation_bias_v}, Celsius{t_c});
           sleep_temp_sum += t_c;
           ++sleep_core_intervals;
           break;
@@ -195,14 +195,14 @@ SystemResult run(const SystemConfig& config, Scheduler& scheduler,
       for (int i = 0; i < cores; ++i) {
         if (should_age[static_cast<std::size_t>(i)]) {
           agers[static_cast<std::size_t>(i)].evolve(
-              conds[static_cast<std::size_t>(i)], config.interval_s);
+              conds[static_cast<std::size_t>(i)], Seconds{config.interval_s});
         }
       }
     } else {
       aging_pool.parallel_for(cores, [&](int i) {
         if (should_age[static_cast<std::size_t>(i)]) {
           agers[static_cast<std::size_t>(i)].evolve(
-              conds[static_cast<std::size_t>(i)], config.interval_s);
+              conds[static_cast<std::size_t>(i)], Seconds{config.interval_s});
         }
         return 0;
       });

@@ -48,7 +48,8 @@ std::vector<double> ThermalModel::solve_steady_state(
 
 std::vector<double> ThermalModel::step(const std::vector<double>& temps,
                                        const std::vector<double>& powers,
-                                       double dt_s) const {
+                                       Seconds dt) const {
+  const double dt_s = dt.value();
   const int n = floorplan_->node_count();
   if (temps.size() != static_cast<std::size_t>(n) ||
       powers.size() != static_cast<std::size_t>(n)) {

@@ -159,7 +159,7 @@ class CampaignEngine {
 
     FaultReport attempt_report;
     FaultInjector faults(cfg_.fault_plan, phase_index, attempt,
-                         phase.duration_s, &attempt_report);
+                         Seconds{phase.duration_s}, &attempt_report);
 
     // Instruments are per-attempt: their noise streams derive from
     // (seed, phase, attempt), so a rewound phase re-runs with fresh noise
@@ -173,12 +173,12 @@ class CampaignEngine {
     chamber_cfg.initial_c = prev_chamber_c;
     if (cfg_.instant_chamber) chamber_cfg.ramp_c_per_s = 1e9;
     ThermalChamber chamber(chamber_cfg);
-    chamber.set_target_c(phase.chamber_c);
+    chamber.set_target(Celsius{phase.chamber_c});
 
     SupplyConfig supply_cfg = cfg_.supply;
     supply_cfg.seed = derive_seed(attempt_stream, 2);
     PowerSupply supply(supply_cfg);
-    supply.set_voltage(phase.supply_v);
+    supply.set_voltage(Volts{phase.supply_v});
 
     MeasurementConfig rig_cfg = cfg_.measurement;
     rig_cfg.seed = derive_seed(attempt_stream, 3);
@@ -195,13 +195,13 @@ class CampaignEngine {
     // over-temperature cutout caps an excursion, and the supply interlocks
     // cap a glitched output.
     const auto faulted_temp_c = [&](double base_c, double t_phase) {
-      const double excursed = base_c + faults.chamber_offset_c(t_phase);
+      const double excursed = base_c + faults.chamber_offset_c(Seconds{t_phase});
       const double ceiling =
           std::max(base_c, cfg_.fault_plan.chamber.excursion_ceiling_c);
       return std::min(excursed, ceiling);
     };
     const auto faulted_supply_v = [&](double base_v, double t_phase) {
-      return std::clamp(base_v + faults.supply_offset_v(t_phase),
+      return std::clamp(base_v + faults.supply_offset_v(Seconds{t_phase}),
                         cfg_.supply.min_v, cfg_.supply.max_v);
     };
 
@@ -215,9 +215,9 @@ class CampaignEngine {
         supply_out = faulted_supply_v(supply_out, t_phase);
       }
       const auto env = phase_condition(phase, supply_out, temp_k);
-      chip_.evolve(phase.mode, env, step);
-      chamber.advance(step);
-      supply.advance(step);
+      chip_.evolve(phase.mode, env, Seconds{step});
+      chamber.advance(Seconds{step});
+      supply.advance(Seconds{step});
       t_campaign_ += step;
       obs::set_sim_now(t_campaign_);
     };
@@ -246,14 +246,15 @@ class CampaignEngine {
           meas_env.voltage_v = meas_vdd;
           meas_env.temperature_k = true_temp_k;
           meas_env.gate_stress_duty = 0.5;
-          chip_.evolve(fpga::RoMode::kAcOscillating, meas_env, overhead);
+          chip_.evolve(fpga::RoMode::kAcOscillating, meas_env, Seconds{overhead});
         }
-        Measurement m =
-            rig.measure(chip_.ro_frequency_hz(meas_vdd, true_temp_k), &faults);
+        Measurement m = rig.measure(
+            Hertz{chip_.ro_frequency_hz(Volts{meas_vdd}, Kelvin{true_temp_k})},
+            &faults);
         const bool comm_ok = !faults.comm_lost();
         const bool valid = comm_ok && m.valid();
         const double reported_c =
-            faults.reported_chamber_c(true_temp_c, t_phase);
+            faults.reported_chamber_c(Celsius{true_temp_c}, Seconds{t_phase});
 
         bool implausible = false;
         if (cfg_.watchdog.enabled && valid) {

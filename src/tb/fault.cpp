@@ -135,13 +135,14 @@ FaultReport FaultReport::deserialize(const std::string& line) {
 }
 
 FaultInjector::FaultInjector(const FaultPlan& plan, int phase_index,
-                             int attempt, double phase_duration_s,
+                             int attempt, Seconds phase_duration,
                              FaultReport* report)
     : plan_(plan),
       rng_(derive_seed(
           derive_seed(plan.seed, static_cast<std::uint64_t>(phase_index)),
           static_cast<std::uint64_t>(attempt))),
       report_(report) {
+  const double phase_duration_s = phase_duration.value();
   const double recur =
       std::pow(std::clamp(plan_.event_recurrence, 0.0, 1.0), attempt);
   const double duration = std::max(phase_duration_s, 0.0);
@@ -207,7 +208,8 @@ FaultInjector::FaultInjector(const FaultPlan& plan, int phase_index,
   }
 }
 
-double FaultInjector::chamber_offset_c(double t_phase_s) const {
+double FaultInjector::chamber_offset_c(Seconds t_phase) const {
+  const double t_phase_s = t_phase.value();
   if (excursion_ && t_phase_s >= excursion_begin_s_ &&
       t_phase_s < excursion_end_s_) {
     return plan_.chamber.excursion_magnitude_c;
@@ -215,14 +217,17 @@ double FaultInjector::chamber_offset_c(double t_phase_s) const {
   return 0.0;
 }
 
-double FaultInjector::supply_offset_v(double t_phase_s) const {
+double FaultInjector::supply_offset_v(Seconds t_phase) const {
+  const double t_phase_s = t_phase.value();
   if (glitch_ && t_phase_s >= glitch_begin_s_ && t_phase_s < glitch_end_s_) {
     return plan_.supply.glitch_delta_v;
   }
   return 0.0;
 }
 
-double FaultInjector::reported_chamber_c(double true_c, double t_phase_s) {
+double FaultInjector::reported_chamber_c(Celsius true_temp, Seconds t_phase) {
+  const double true_c = true_temp.value();
+  const double t_phase_s = t_phase.value();
   const double reported =
       true_c + plan_.chamber.sensor_drift_c_per_hour * (t_phase_s / 3600.0);
   if (sensor_stuck_ && t_phase_s >= stuck_begin_s_ &&

@@ -28,6 +28,7 @@
 #include <string>
 
 #include "ash/util/random.h"
+#include "ash/util/units.h"
 
 namespace ash::obs {
 class Registry;
@@ -172,13 +173,13 @@ class FaultInjector {
   /// `report` (optional) is incremented as events are drawn and faults
   /// fire; it must outlive the injector.
   FaultInjector(const FaultPlan& plan, int phase_index, int attempt,
-                double phase_duration_s, FaultReport* report = nullptr);
+                Seconds phase_duration, FaultReport* report = nullptr);
 
   // --- truth corruption (changes what the chip experiences) ---
   /// Chamber temperature offset during an excursion (degC; 0 outside).
-  double chamber_offset_c(double t_phase_s) const;
+  double chamber_offset_c(Seconds t_phase) const;
   /// Supply voltage offset during a glitch (volts; 0 outside).
-  double supply_offset_v(double t_phase_s) const;
+  double supply_offset_v(Seconds t_phase) const;
   /// Reference-clock calibration jump for this phase (ppm).
   double clock_offset_ppm() const { return clock_offset_ppm_; }
 
@@ -186,7 +187,7 @@ class FaultInjector {
   /// The chamber temperature the lab writes into the log for a sample at
   /// t_phase, given the true (possibly excursed) temperature.  Stateful:
   /// a stuck-sensor window freezes the last reported value.
-  double reported_chamber_c(double true_c, double t_phase_s);
+  double reported_chamber_c(Celsius true_c, Seconds t_phase);
 
   // --- per-reading / per-sample stochastic faults (consume RNG state) ---
   bool reading_dropped();

@@ -16,6 +16,7 @@
 #include "ash/fpga/counter.h"
 #include "ash/util/random.h"
 #include "ash/util/stats.h"
+#include "ash/util/units.h"
 
 namespace ash::tb {
 
@@ -68,8 +69,7 @@ class MeasurementRig {
   /// frequency accordingly.  With a fault injector, individual readings may
   /// be dropped or corrupted; a returned measurement with no surviving
   /// readings has valid() == false and zero values.
-  Measurement measure(double true_frequency_hz,
-                      FaultInjector* faults = nullptr);
+  Measurement measure(Hertz true_frequency, FaultInjector* faults = nullptr);
 
   const MeasurementConfig& config() const { return config_; }
 

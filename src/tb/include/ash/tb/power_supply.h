@@ -11,6 +11,7 @@
 
 #include "ash/util/ou_noise.h"
 #include "ash/util/random.h"
+#include "ash/util/units.h"
 
 namespace ash::tb {
 
@@ -34,14 +35,14 @@ class PowerSupply {
 
   /// Program the output.  Throws std::out_of_range outside the interlock
   /// window [min_v, max_v].
-  void set_voltage(double volts);
+  void set_voltage(Volts volts);
   double setpoint_v() const { return setpoint_v_; }
 
   /// Instantaneous output including ripple.
   double output_v() const { return setpoint_v_ + ripple_.value(); }
 
   /// Advance ripple state.
-  void advance(double dt_s);
+  void advance(Seconds dt);
 
   const SupplyConfig& config() const { return config_; }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "ash/fpga/ring_oscillator.h"
+#include "ash/util/units.h"
 
 namespace ash::tb {
 
@@ -46,15 +47,15 @@ struct TestCase {
   double total_duration_s() const;
 };
 
-/// Phase builders mirroring Table 1's vocabulary.  Temperatures in degC,
-/// durations in hours (as printed in the table).
+/// Phase builders mirroring Table 1's vocabulary.  Durations are given as
+/// `units::hours(...)` / `units::minutes(...)` of the printed table values.
 Phase burn_in_phase();
-Phase ac_stress_phase(std::string label, double temp_c, double hours,
-                      double sample_every_min = 20.0);
-Phase dc_stress_phase(std::string label, double temp_c, double hours,
-                      double sample_every_min = 20.0);
-Phase recovery_phase(std::string label, double voltage_v, double temp_c,
-                     double hours, double sample_every_min = 30.0);
+Phase ac_stress_phase(std::string label, Celsius temp, Seconds duration,
+                      Seconds sample_every = units::minutes(20.0));
+Phase dc_stress_phase(std::string label, Celsius temp, Seconds duration,
+                      Seconds sample_every = units::minutes(20.0));
+Phase recovery_phase(std::string label, Volts voltage, Celsius temp,
+                     Seconds duration, Seconds sample_every = units::minutes(30.0));
 
 /// The exact Table 1 campaign: one TestCase per chip (chip 5 carries the
 /// re-stress extension).  Every case starts with the 2 h/20 degC/1.2 V

@@ -13,6 +13,7 @@
 
 #include "ash/util/ou_noise.h"
 #include "ash/util/random.h"
+#include "ash/util/units.h"
 
 namespace ash::tb {
 
@@ -37,8 +38,8 @@ class ThermalChamber {
  public:
   explicit ThermalChamber(const ChamberConfig& config);
 
-  /// Command a new setpoint (degC).  The chamber ramps toward it.
-  void set_target_c(double target_c) { target_c_ = target_c; }
+  /// Command a new setpoint.  The chamber ramps toward it.
+  void set_target(Celsius target) { target_c_ = target.value(); }
   double target_c() const { return target_c_; }
 
   /// Current chamber temperature (degC), including fluctuation.
@@ -52,8 +53,8 @@ class ThermalChamber {
   /// Seconds of ramping still needed to reach the setpoint.
   double seconds_to_target() const;
 
-  /// Advance chamber state by dt seconds.
-  void advance(double dt_s);
+  /// Advance chamber state by dt.
+  void advance(Seconds dt);
 
  private:
   ChamberConfig config_;

@@ -32,7 +32,7 @@ double MeasurementRig::sample_duration_s() const {
   return gate_s * static_cast<double>(config_.readings_per_sample);
 }
 
-Measurement MeasurementRig::measure(double true_frequency_hz,
+Measurement MeasurementRig::measure(Hertz true_frequency,
                                     FaultInjector* faults) {
   std::vector<double> readings;
   readings.reserve(static_cast<std::size_t>(config_.readings_per_sample));
@@ -40,7 +40,7 @@ Measurement MeasurementRig::measure(double true_frequency_hz,
   for (int i = 0; i < config_.readings_per_sample; ++i) {
     // The counter is gated either way: a dropped reading still costs its
     // gate time (and counter RNG state), the data just never arrives.
-    double counts = counter_.measure(true_frequency_hz).counts;
+    double counts = counter_.measure(true_frequency).counts;
     ++m.readings_taken;
     if (faults != nullptr) {
       if (faults->reading_dropped()) continue;

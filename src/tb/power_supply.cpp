@@ -14,19 +14,20 @@ PowerSupply::PowerSupply(const SupplyConfig& config)
   }
 }
 
-void PowerSupply::set_voltage(double volts) {
-  if (volts < config_.min_v || volts > config_.max_v) {
+void PowerSupply::set_voltage(Volts volts) {
+  const double v = volts.value();
+  if (v < config_.min_v || v > config_.max_v) {
     throw std::out_of_range(
         "PowerSupply::set_voltage: outside interlock window");
   }
-  setpoint_v_ = volts;
+  setpoint_v_ = v;
 }
 
-void PowerSupply::advance(double dt_s) {
-  if (dt_s < 0.0) {
+void PowerSupply::advance(Seconds dt) {
+  if (dt.value() < 0.0) {
     throw std::invalid_argument("PowerSupply::advance: negative dt");
   }
-  ripple_.advance(dt_s);
+  ripple_.advance(dt);
 }
 
 }  // namespace ash::tb

@@ -25,39 +25,39 @@ Phase burn_in_phase() {
   return p;
 }
 
-Phase ac_stress_phase(std::string label, double temp_c, double hrs,
-                      double sample_every_min) {
+Phase ac_stress_phase(std::string label, Celsius temp, Seconds duration,
+                      Seconds sample_every) {
   Phase p;
   p.label = std::move(label);
   p.mode = fpga::RoMode::kAcOscillating;
   p.supply_v = 1.2;
-  p.chamber_c = temp_c;
-  p.duration_s = hours(hrs);
-  p.sample_every_s = sample_every_min * 60.0;
+  p.chamber_c = temp.value();
+  p.duration_s = duration.value();
+  p.sample_every_s = sample_every.value();
   return p;
 }
 
-Phase dc_stress_phase(std::string label, double temp_c, double hrs,
-                      double sample_every_min) {
+Phase dc_stress_phase(std::string label, Celsius temp, Seconds duration,
+                      Seconds sample_every) {
   Phase p;
   p.label = std::move(label);
   p.mode = fpga::RoMode::kDcFrozen;
   p.supply_v = 1.2;
-  p.chamber_c = temp_c;
-  p.duration_s = hours(hrs);
-  p.sample_every_s = sample_every_min * 60.0;
+  p.chamber_c = temp.value();
+  p.duration_s = duration.value();
+  p.sample_every_s = sample_every.value();
   return p;
 }
 
-Phase recovery_phase(std::string label, double voltage_v, double temp_c,
-                     double hrs, double sample_every_min) {
+Phase recovery_phase(std::string label, Volts voltage, Celsius temp,
+                     Seconds duration, Seconds sample_every) {
   Phase p;
   p.label = std::move(label);
   p.mode = fpga::RoMode::kSleep;
-  p.supply_v = voltage_v;
-  p.chamber_c = temp_c;
-  p.duration_s = hours(hrs);
-  p.sample_every_s = sample_every_min * 60.0;
+  p.supply_v = voltage.value();
+  p.chamber_c = temp.value();
+  p.duration_s = duration.value();
+  p.sample_every_s = sample_every.value();
   return p;
 }
 
@@ -66,34 +66,34 @@ std::vector<TestCase> paper_campaign() {
 
   // Chip 1: accelerated AC stress only.
   campaign.push_back(
-      {"chip1", 1, {burn_in_phase(), ac_stress_phase("AS110AC24", 110.0, 24.0)}});
+      {"chip1", 1, {burn_in_phase(), ac_stress_phase("AS110AC24", Celsius{110.0}, units::hours(24.0))}});
 
   // Chip 2: DC stress, then passive recovery (power gated, room temp).
   campaign.push_back({"chip2",
                       2,
-                      {burn_in_phase(), dc_stress_phase("AS110DC24", 110.0, 24.0),
-                       recovery_phase("R20Z6", 0.0, 20.0, 6.0)}});
+                      {burn_in_phase(), dc_stress_phase("AS110DC24", Celsius{110.0}, units::hours(24.0)),
+                       recovery_phase("R20Z6", Volts{0.0}, Celsius{20.0}, units::hours(6.0))}});
 
   // Chip 3: DC stress, then negative-voltage recovery at room temperature.
   campaign.push_back({"chip3",
                       3,
-                      {burn_in_phase(), dc_stress_phase("AS110DC24", 110.0, 24.0),
-                       recovery_phase("AR20N6", -0.3, 20.0, 6.0)}});
+                      {burn_in_phase(), dc_stress_phase("AS110DC24", Celsius{110.0}, units::hours(24.0)),
+                       recovery_phase("AR20N6", Volts{-0.3}, Celsius{20.0}, units::hours(6.0))}});
 
   // Chip 4: 100 degC DC stress, then high-temperature recovery at 0 V.
   campaign.push_back({"chip4",
                       4,
-                      {burn_in_phase(), dc_stress_phase("AS100DC24", 100.0, 24.0),
-                       recovery_phase("AR110Z6", 0.0, 110.0, 6.0)}});
+                      {burn_in_phase(), dc_stress_phase("AS100DC24", Celsius{100.0}, units::hours(24.0)),
+                       recovery_phase("AR110Z6", Volts{0.0}, Celsius{110.0}, units::hours(6.0))}});
 
   // Chip 5: DC stress + combined-knob recovery, then re-stressed for 48 h
   // and recovered for 12 h — same active/sleep ratio, different stress.
   campaign.push_back({"chip5",
                       5,
-                      {burn_in_phase(), dc_stress_phase("AS110DC24", 110.0, 24.0),
-                       recovery_phase("AR110N6", -0.3, 110.0, 6.0),
-                       dc_stress_phase("AS110DC48", 110.0, 48.0),
-                       recovery_phase("AR110N12", -0.3, 110.0, 12.0)}});
+                      {burn_in_phase(), dc_stress_phase("AS110DC24", Celsius{110.0}, units::hours(24.0)),
+                       recovery_phase("AR110N6", Volts{-0.3}, Celsius{110.0}, units::hours(6.0)),
+                       dc_stress_phase("AS110DC48", Celsius{110.0}, units::hours(48.0)),
+                       recovery_phase("AR110N12", Volts{-0.3}, Celsius{110.0}, units::hours(12.0))}});
 
   return campaign;
 }

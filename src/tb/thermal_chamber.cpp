@@ -28,7 +28,8 @@ double ThermalChamber::seconds_to_target() const {
   return std::abs(target_c_ - base_c_) / config_.ramp_c_per_s;
 }
 
-void ThermalChamber::advance(double dt_s) {
+void ThermalChamber::advance(Seconds dt) {
+  const double dt_s = dt.value();
   if (dt_s < 0.0) {
     throw std::invalid_argument("ThermalChamber::advance: negative dt");
   }
@@ -39,7 +40,7 @@ void ThermalChamber::advance(double dt_s) {
   } else {
     base_c_ += std::copysign(max_step, error);
   }
-  noise_.advance(dt_s);
+  noise_.advance(Seconds{dt_s});
 }
 
 }  // namespace ash::tb

@@ -10,6 +10,7 @@
 #include <cmath>
 
 #include "ash/util/random.h"
+#include "ash/util/units.h"
 
 namespace ash {
 
@@ -27,9 +28,9 @@ class OrnsteinUhlenbeck {
   /// Current deviation from the mean.
   double value() const { return x_; }
 
-  /// Advance the process by dt seconds and return the new value.
-  double advance(double dt) {
-    const double decay = std::exp(-dt / tau_);
+  /// Advance the process by dt and return the new value.
+  double advance(Seconds dt) {
+    const double decay = std::exp(-dt.value() / tau_);
     const double stddev = sigma_ * std::sqrt(1.0 - decay * decay);
     x_ = x_ * decay + rng_.normal(0.0, stddev);
     return x_;

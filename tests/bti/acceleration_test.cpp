@@ -12,37 +12,37 @@ namespace {
 const TdParameters& P() { return default_td_parameters(); }
 
 TEST(Arrhenius, UnityAtReference) {
-  EXPECT_DOUBLE_EQ(arrhenius_factor(0.6, 383.15, 383.15), 1.0);
+  EXPECT_DOUBLE_EQ(arrhenius_factor(0.6, Kelvin{383.15}, Kelvin{383.15}), 1.0);
 }
 
 TEST(Arrhenius, AcceleratesWithTemperature) {
-  EXPECT_GT(arrhenius_factor(0.6, 393.15, 383.15), 1.0);
-  EXPECT_LT(arrhenius_factor(0.6, 373.15, 383.15), 1.0);
+  EXPECT_GT(arrhenius_factor(0.6, Kelvin{393.15}, Kelvin{383.15}), 1.0);
+  EXPECT_LT(arrhenius_factor(0.6, Kelvin{373.15}, Kelvin{383.15}), 1.0);
 }
 
 TEST(Arrhenius, ZeroActivationEnergyIsTemperatureIndependent) {
-  EXPECT_DOUBLE_EQ(arrhenius_factor(0.0, 500.0, 300.0), 1.0);
+  EXPECT_DOUBLE_EQ(arrhenius_factor(0.0, Kelvin{500.0}, Kelvin{300.0}), 1.0);
 }
 
 TEST(CaptureAcceleration, UnityAtStressReference) {
   EXPECT_NEAR(capture_acceleration(P(), P().capture_ea_mean_ev,
-                                   P().stress_ref_voltage_v,
-                                   P().stress_ref_temp_k),
+                                   Volts{P().stress_ref_voltage_v},
+                                   Kelvin{P().stress_ref_temp_k}),
               1.0, 1e-12);
 }
 
 TEST(CaptureAcceleration, ZeroBelowThresholdVoltage) {
   EXPECT_DOUBLE_EQ(
-      capture_acceleration(P(), 0.2, /*voltage=*/0.0, celsius(110.0)), 0.0);
+      capture_acceleration(P(), 0.2, Volts{/*voltage=*/0.0}, Kelvin{celsius(110.0)}), 0.0);
   EXPECT_DOUBLE_EQ(
-      capture_acceleration(P(), 0.2, /*voltage=*/-0.3, celsius(110.0)), 0.0);
+      capture_acceleration(P(), 0.2, Volts{/*voltage=*/-0.3}, Kelvin{celsius(110.0)}), 0.0);
 }
 
 TEST(CaptureAcceleration, GrowsWithOverdrive) {
   const double nominal =
-      capture_acceleration(P(), 0.2, 1.2, P().stress_ref_temp_k);
+      capture_acceleration(P(), 0.2, Volts{1.2}, Kelvin{P().stress_ref_temp_k});
   const double overdriven =
-      capture_acceleration(P(), 0.2, 1.4, P().stress_ref_temp_k);
+      capture_acceleration(P(), 0.2, Volts{1.4}, Kelvin{P().stress_ref_temp_k});
   EXPECT_GT(overdriven, nominal);
   // exp(3.5 * 0.2) ~ 2.01x for the default field factor.
   EXPECT_NEAR(overdriven / nominal, std::exp(0.2 * P().capture_field_accel_per_v),
@@ -51,7 +51,7 @@ TEST(CaptureAcceleration, GrowsWithOverdrive) {
 
 TEST(EmissionAcceleration, UnityAtPassiveReference) {
   EXPECT_NEAR(emission_acceleration(P(), P().emission_ea_mean_ev,
-                                    /*voltage=*/0.0, P().recovery_ref_temp_k),
+                                    Volts{/*voltage=*/0.0}, Kelvin{P().recovery_ref_temp_k}),
               1.0, 1e-12);
 }
 
@@ -59,35 +59,35 @@ TEST(EmissionAcceleration, HighTemperatureIsAStrongKnob) {
   // ~18x at 0.31 eV — worth ~2.5 decades of extra recovery coverage on the
   // ~2.9-decade measurable spectrum, i.e. most of the reversible damage.
   const double at_110c = emission_acceleration(P(), P().emission_ea_mean_ev,
-                                               0.0, celsius(110.0));
+                                               Volts{0.0}, Kelvin{celsius(110.0)});
   EXPECT_GT(at_110c, 8.0);
   EXPECT_LT(at_110c, 100.0);
 }
 
 TEST(EmissionAcceleration, NegativeBiasIsAStrongKnob) {
   const double at_neg = emission_acceleration(P(), P().emission_ea_mean_ev,
-                                              -0.3, P().recovery_ref_temp_k);
+                                              Volts{-0.3}, Kelvin{P().recovery_ref_temp_k});
   EXPECT_GT(at_neg, 8.0);
   EXPECT_LT(at_neg, 100.0);
 }
 
 TEST(EmissionAcceleration, PositiveBiasDoesNotBoost) {
-  const double passive = emission_acceleration(P(), 0.9, 0.0, celsius(20.0));
-  const double positive = emission_acceleration(P(), 0.9, 0.5, celsius(20.0));
+  const double passive = emission_acceleration(P(), 0.9, Volts{0.0}, Kelvin{celsius(20.0)});
+  const double positive = emission_acceleration(P(), 0.9, Volts{0.5}, Kelvin{celsius(20.0)});
   EXPECT_DOUBLE_EQ(passive, positive);
 }
 
 TEST(EmissionAcceleration, KnobsCompose) {
-  const double t_only = emission_acceleration(P(), 0.9, 0.0, celsius(110.0));
-  const double v_only = emission_acceleration(P(), 0.9, -0.3, celsius(20.0));
-  const double both = emission_acceleration(P(), 0.9, -0.3, celsius(110.0));
+  const double t_only = emission_acceleration(P(), 0.9, Volts{0.0}, Kelvin{celsius(110.0)});
+  const double v_only = emission_acceleration(P(), 0.9, Volts{-0.3}, Kelvin{celsius(20.0)});
+  const double both = emission_acceleration(P(), 0.9, Volts{-0.3}, Kelvin{celsius(110.0)});
   EXPECT_NEAR(both, t_only * v_only, both * 1e-9);
 }
 
 TEST(OccupancyAmplitude, InUnitIntervalAndTemperatureOrdered) {
-  const double at_110 = occupancy_amplitude(P(), 1.2, celsius(110.0));
-  const double at_100 = occupancy_amplitude(P(), 1.2, celsius(100.0));
-  const double at_20 = occupancy_amplitude(P(), 1.2, celsius(20.0));
+  const double at_110 = occupancy_amplitude(P(), Volts{1.2}, Kelvin{celsius(110.0)});
+  const double at_100 = occupancy_amplitude(P(), Volts{1.2}, Kelvin{celsius(100.0)});
+  const double at_20 = occupancy_amplitude(P(), Volts{1.2}, Kelvin{celsius(20.0)});
   EXPECT_GT(at_110, at_100);
   EXPECT_GT(at_100, at_20);
   EXPECT_GT(at_20, 0.0);
@@ -97,14 +97,14 @@ TEST(OccupancyAmplitude, InUnitIntervalAndTemperatureOrdered) {
 TEST(OccupancyAmplitude, CalibratedForTable2Ratio) {
   // Table 2: 24 h DC @100 C -> ~1.7 % vs @110 C -> ~2.2 %; amplitude ratio
   // must land near 1.7/2.2 ~ 0.77.
-  const double ratio = occupancy_amplitude(P(), 1.2, celsius(100.0)) /
-                       occupancy_amplitude(P(), 1.2, celsius(110.0));
+  const double ratio = occupancy_amplitude(P(), Volts{1.2}, Kelvin{celsius(100.0)}) /
+                       occupancy_amplitude(P(), Volts{1.2}, Kelvin{celsius(110.0)});
   EXPECT_NEAR(ratio, 0.77, 0.05);
 }
 
 TEST(OccupancyAmplitude, NearDesignPointValue) {
   // Calibration note in parameters.h: phi(1.2 V, 110 C) ~ 0.75.
-  EXPECT_NEAR(occupancy_amplitude(P(), 1.2, celsius(110.0)), 0.75, 0.08);
+  EXPECT_NEAR(occupancy_amplitude(P(), Volts{1.2}, Kelvin{celsius(110.0)}), 0.75, 0.08);
 }
 
 }  // namespace

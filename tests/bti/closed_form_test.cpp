@@ -14,33 +14,33 @@ ClosedFormParameters params() {
   return ClosedFormParameters::from_td(default_td_parameters());
 }
 
-OperatingCondition ref_stress() { return dc_stress(1.2, 110.0); }
+OperatingCondition ref_stress() { return dc_stress(Volts{1.2}, Celsius{110.0}); }
 
 TEST(ClosedFormModel, FreshDeviceStressStartsAtZero) {
   const ClosedFormModel m(params());
-  EXPECT_DOUBLE_EQ(m.stress_delta_vth(0.0, ref_stress()), 0.0);
+  EXPECT_DOUBLE_EQ(m.stress_delta_vth(Seconds{0.0}, ref_stress()), 0.0);
 }
 
 TEST(ClosedFormModel, StressIsLogarithmicInTime) {
   const ClosedFormModel m(params());
   // For t >> tau_s, DeltaVth(10 t) - DeltaVth(t) == beta * ln(10), constant.
-  const double d1 = m.stress_delta_vth(1e5, ref_stress());
-  const double d2 = m.stress_delta_vth(1e6, ref_stress());
-  const double d3 = m.stress_delta_vth(1e7, ref_stress());
+  const double d1 = m.stress_delta_vth(Seconds{1e5}, ref_stress());
+  const double d2 = m.stress_delta_vth(Seconds{1e6}, ref_stress());
+  const double d3 = m.stress_delta_vth(Seconds{1e7}, ref_stress());
   EXPECT_NEAR(d2 - d1, d3 - d2, (d3 - d2) * 1e-3);
 }
 
 TEST(ClosedFormModel, BetaNormalizedAtReference) {
   const auto p = params();
   const ClosedFormModel m(p);
-  EXPECT_NEAR(m.beta(p.stress_ref_voltage_v, p.stress_ref_temp_k),
+  EXPECT_NEAR(m.beta(Volts{p.stress_ref_voltage_v}, Kelvin{p.stress_ref_temp_k}),
               p.beta_ref_v, 1e-15);
 }
 
 TEST(ClosedFormModel, AmplitudeTemperatureRatioMatchesTable2) {
   const ClosedFormModel m(params());
   const double ratio =
-      m.beta(1.2, celsius(100.0)) / m.beta(1.2, celsius(110.0));
+      m.beta(Volts{1.2}, Kelvin{celsius(100.0)}) / m.beta(Volts{1.2}, Kelvin{celsius(110.0)});
   EXPECT_NEAR(ratio, 0.77, 0.05);
 }
 
@@ -49,9 +49,9 @@ TEST(ClosedFormModel, RemainingFractionBounds) {
   const ClosedFormModel m(p);
   const double t1 = hours(24.0);
   // Immediately after stress: everything remains.
-  EXPECT_NEAR(m.remaining_fraction(t1, 0.0, recovery(0.0, 20.0)), 1.0, 1e-12);
+  EXPECT_NEAR(m.remaining_fraction(Seconds{t1}, Seconds{0.0}, recovery(Volts{0.0}, Celsius{20.0})), 1.0, 1e-12);
   // After an eternity of aggressive recovery: only the permanent part.
-  EXPECT_NEAR(m.remaining_fraction(t1, hours(1e6), recovery(-0.3, 110.0)),
+  EXPECT_NEAR(m.remaining_fraction(Seconds{t1}, Seconds{hours(1e6)}, recovery(Volts{-0.3}, Celsius{110.0})),
               p.permanent_ratio, 1e-9);
 }
 
@@ -60,7 +60,7 @@ TEST(ClosedFormModel, RemainingFractionMonotoneInTime) {
   const double t1 = hours(24.0);
   double prev = 1.0;
   for (double t2 = 60.0; t2 <= hours(6.0); t2 *= 2.0) {
-    const double rem = m.remaining_fraction(t1, t2, recovery(-0.3, 110.0));
+    const double rem = m.remaining_fraction(Seconds{t1}, Seconds{t2}, recovery(Volts{-0.3}, Celsius{110.0}));
     EXPECT_LE(rem, prev);
     prev = rem;
   }
@@ -72,19 +72,19 @@ TEST(ClosedFormModel, RecoveryOrderingMatchesFig8) {
   const ClosedFormModel m(params());
   const double t1 = hours(24.0);
   const double t2 = hours(1.0 / 3.0);
-  const double hot_neg = m.remaining_fraction(t1, t2, recovery(-0.3, 110.0));
-  const double hot = m.remaining_fraction(t1, t2, recovery(0.0, 110.0));
-  const double neg = m.remaining_fraction(t1, t2, recovery(-0.3, 20.0));
-  const double passive = m.remaining_fraction(t1, t2, recovery(0.0, 20.0));
+  const double hot_neg = m.remaining_fraction(Seconds{t1}, Seconds{t2}, recovery(Volts{-0.3}, Celsius{110.0}));
+  const double hot = m.remaining_fraction(Seconds{t1}, Seconds{t2}, recovery(Volts{0.0}, Celsius{110.0}));
+  const double neg = m.remaining_fraction(Seconds{t1}, Seconds{t2}, recovery(Volts{-0.3}, Celsius{20.0}));
+  const double passive = m.remaining_fraction(Seconds{t1}, Seconds{t2}, recovery(Volts{0.0}, Celsius{20.0}));
   EXPECT_LT(hot_neg, hot);
   EXPECT_LT(hot, neg);
   EXPECT_LT(neg, passive);
   // At the 6 h endpoint the ordering is non-strict (saturation).
   const double t6 = hours(6.0);
-  EXPECT_LE(m.remaining_fraction(t1, t6, recovery(-0.3, 110.0)),
-            m.remaining_fraction(t1, t6, recovery(0.0, 110.0)));
-  EXPECT_LE(m.remaining_fraction(t1, t6, recovery(0.0, 110.0)),
-            m.remaining_fraction(t1, t6, recovery(-0.3, 20.0)));
+  EXPECT_LE(m.remaining_fraction(Seconds{t1}, Seconds{t6}, recovery(Volts{-0.3}, Celsius{110.0})),
+            m.remaining_fraction(Seconds{t1}, Seconds{t6}, recovery(Volts{0.0}, Celsius{110.0})));
+  EXPECT_LE(m.remaining_fraction(Seconds{t1}, Seconds{t6}, recovery(Volts{0.0}, Celsius{110.0})),
+            m.remaining_fraction(Seconds{t1}, Seconds{t6}, recovery(Volts{-0.3}, Celsius{20.0})));
 }
 
 TEST(ClosedFormModel, AcceleratedRecoveryHitsHeadline) {
@@ -93,20 +93,20 @@ TEST(ClosedFormModel, AcceleratedRecoveryHitsHeadline) {
   const double t1 = hours(24.0);
   const double t2 = hours(6.0);
   for (const auto& cond :
-       {recovery(-0.3, 110.0), recovery(0.0, 110.0), recovery(-0.3, 20.0)}) {
-    EXPECT_LT(m.remaining_fraction(t1, t2, cond), 0.18)
+       {recovery(Volts{-0.3}, Celsius{110.0}), recovery(Volts{0.0}, Celsius{110.0}), recovery(Volts{-0.3}, Celsius{20.0})}) {
+    EXPECT_LT(m.remaining_fraction(Seconds{t1}, Seconds{t2}, cond), 0.18)
         << cond.describe();
   }
   // Passive recovery is clearly partial.
-  EXPECT_GT(m.remaining_fraction(t1, t2, recovery(0.0, 20.0)), 0.35);
+  EXPECT_GT(m.remaining_fraction(Seconds{t1}, Seconds{t2}, recovery(Volts{0.0}, Celsius{20.0})), 0.35);
 }
 
 TEST(ClosedFormModel, AcAmplitudeFactorMatchesEquilibriumAnalysis) {
   const ClosedFormModel m(params());
-  const double f = m.ac_amplitude_factor(ac_stress(1.2, 110.0));
+  const double f = m.ac_amplitude_factor(ac_stress(Volts{1.2}, Celsius{110.0}));
   EXPECT_GT(f, 0.15);
   EXPECT_LT(f, 0.45);
-  EXPECT_DOUBLE_EQ(m.ac_amplitude_factor(dc_stress(1.2, 110.0)), 1.0);
+  EXPECT_DOUBLE_EQ(m.ac_amplitude_factor(dc_stress(Volts{1.2}, Celsius{110.0})), 1.0);
 }
 
 TEST(ClosedFormModel, MatchesEnsembleDuringStress) {
@@ -118,9 +118,9 @@ TEST(ClosedFormModel, MatchesEnsembleDuringStress) {
   double worst_rel = 0.0;
   double elapsed = 0.0;
   for (int i = 0; i < 24; ++i) {
-    e.evolve(cond, hours(1.0));
+    e.evolve(cond, Seconds{hours(1.0)});
     elapsed += hours(1.0);
-    const double model = m.stress_delta_vth(elapsed, cond);
+    const double model = m.stress_delta_vth(Seconds{elapsed}, cond);
     const double ensemble = e.delta_vth();
     worst_rel = std::max(worst_rel,
                          std::abs(model - ensemble) / std::max(ensemble, 1e-9));
@@ -132,8 +132,8 @@ TEST(ClosedFormAger, MatchesStatelessModelOnSingleStress) {
   const auto p = params();
   ClosedFormAger ager(p);
   const ClosedFormModel m(p);
-  ager.evolve(ref_stress(), hours(24.0));
-  EXPECT_NEAR(ager.delta_vth(), m.stress_delta_vth(hours(24.0), ref_stress()),
+  ager.evolve(ref_stress(), Seconds{hours(24.0)});
+  EXPECT_NEAR(ager.delta_vth(), m.stress_delta_vth(Seconds{hours(24.0)}, ref_stress()),
               ager.delta_vth() * 1e-9);
 }
 
@@ -141,8 +141,8 @@ TEST(ClosedFormAger, SegmentedStressMatchesSingleSegment) {
   const auto p = params();
   ClosedFormAger once(p);
   ClosedFormAger stepped(p);
-  once.evolve(ref_stress(), hours(24.0));
-  for (int i = 0; i < 96; ++i) stepped.evolve(ref_stress(), hours(0.25));
+  once.evolve(ref_stress(), Seconds{hours(24.0)});
+  for (int i = 0; i < 96; ++i) stepped.evolve(ref_stress(), Seconds{hours(0.25)});
   EXPECT_NEAR(once.delta_vth(), stepped.delta_vth(),
               once.delta_vth() * 1e-6);
 }
@@ -151,11 +151,11 @@ TEST(ClosedFormAger, SegmentedRecoveryMatchesSingleSegment) {
   const auto p = params();
   ClosedFormAger once(p);
   ClosedFormAger stepped(p);
-  once.evolve(ref_stress(), hours(24.0));
-  stepped.evolve(ref_stress(), hours(24.0));
-  once.evolve(recovery(-0.3, 110.0), hours(6.0));
+  once.evolve(ref_stress(), Seconds{hours(24.0)});
+  stepped.evolve(ref_stress(), Seconds{hours(24.0)});
+  once.evolve(recovery(Volts{-0.3}, Celsius{110.0}), Seconds{hours(6.0)});
   for (int i = 0; i < 24; ++i) {
-    stepped.evolve(recovery(-0.3, 110.0), hours(0.25));
+    stepped.evolve(recovery(Volts{-0.3}, Celsius{110.0}), Seconds{hours(0.25)});
   }
   EXPECT_NEAR(once.delta_vth(), stepped.delta_vth(),
               std::max(once.delta_vth(), 1e-6) * 1e-6);
@@ -166,12 +166,12 @@ TEST(ClosedFormAger, RecoveryThenRestressRefillsQuickly) {
   // (fast traps refill) — the ager must show accelerated early re-aging.
   const auto p = params();
   ClosedFormAger ager(p);
-  ager.evolve(ref_stress(), hours(24.0));
+  ager.evolve(ref_stress(), Seconds{hours(24.0)});
   const double aged = ager.delta_vth();
-  ager.evolve(recovery(-0.3, 110.0), hours(6.0));
+  ager.evolve(recovery(Volts{-0.3}, Celsius{110.0}), Seconds{hours(6.0)});
   const double healed = ager.delta_vth();
   EXPECT_LT(healed, aged * 0.3);
-  ager.evolve(ref_stress(), hours(1.0));
+  ager.evolve(ref_stress(), Seconds{hours(1.0)});
   const double restressed = ager.delta_vth();
   // One hour of re-stress regains a large chunk of the previous damage —
   // much more than one fresh hour would produce relative to 24 h.
@@ -181,10 +181,10 @@ TEST(ClosedFormAger, RecoveryThenRestressRefillsQuickly) {
 TEST(ClosedFormAger, PermanentPartGrowsAndPersists) {
   const auto p = params();
   ClosedFormAger ager(p);
-  ager.evolve(ref_stress(), hours(24.0));
+  ager.evolve(ref_stress(), Seconds{hours(24.0)});
   const double perm = ager.permanent_delta_vth();
   EXPECT_GT(perm, 0.0);
-  ager.evolve(recovery(-0.3, 110.0), hours(1000.0));
+  ager.evolve(recovery(Volts{-0.3}, Celsius{110.0}), Seconds{hours(1000.0)});
   EXPECT_NEAR(ager.delta_vth(), perm, perm * 1e-6);
   EXPECT_DOUBLE_EQ(ager.permanent_delta_vth(), perm);
 }
@@ -194,14 +194,14 @@ TEST(ClosedFormAger, MatchesEnsembleThroughStressRecoverCycle) {
   ClosedFormAger ager(p);
   TrapEnsemble e(default_td_parameters(), 77);
   const auto s = ref_stress();
-  const auto r = recovery(-0.3, 110.0);
+  const auto r = recovery(Volts{-0.3}, Celsius{110.0});
   double peak = 0.0;
   for (int cycle = 0; cycle < 3; ++cycle) {
-    ager.evolve(s, hours(8.0));
-    e.evolve(s, hours(8.0));
+    ager.evolve(s, Seconds{hours(8.0)});
+    e.evolve(s, Seconds{hours(8.0)});
     peak = std::max(peak, e.delta_vth());
-    ager.evolve(r, hours(2.0));
-    e.evolve(r, hours(2.0));
+    ager.evolve(r, Seconds{hours(2.0)});
+    e.evolve(r, Seconds{hours(2.0)});
   }
   // Post-recovery residues are small numbers; judge agreement against the
   // peak stressed magnitude (what the first-order model is "first order"
@@ -211,7 +211,7 @@ TEST(ClosedFormAger, MatchesEnsembleThroughStressRecoverCycle) {
 
 TEST(ClosedFormAger, ResetRestoresFresh) {
   ClosedFormAger ager(params());
-  ager.evolve(ref_stress(), hours(24.0));
+  ager.evolve(ref_stress(), Seconds{hours(24.0)});
   ager.reset();
   EXPECT_DOUBLE_EQ(ager.delta_vth(), 0.0);
   EXPECT_DOUBLE_EQ(ager.permanent_delta_vth(), 0.0);

@@ -8,7 +8,7 @@ namespace ash::bti {
 namespace {
 
 TEST(Condition, DcStressBuilder) {
-  const auto c = dc_stress(1.2, 110.0);
+  const auto c = dc_stress(Volts{1.2}, Celsius{110.0});
   EXPECT_DOUBLE_EQ(c.voltage_v, 1.2);
   EXPECT_DOUBLE_EQ(c.temperature_k, celsius(110.0));
   EXPECT_DOUBLE_EQ(c.gate_stress_duty, 1.0);
@@ -16,22 +16,22 @@ TEST(Condition, DcStressBuilder) {
 }
 
 TEST(Condition, AcStressBuilderDefaultsToHalfDuty) {
-  const auto c = ac_stress(1.2, 110.0);
+  const auto c = ac_stress(Volts{1.2}, Celsius{110.0});
   EXPECT_DOUBLE_EQ(c.gate_stress_duty, 0.5);
-  const auto c2 = ac_stress(1.2, 110.0, 0.3);
+  const auto c2 = ac_stress(Volts{1.2}, Celsius{110.0}, 0.3);
   EXPECT_DOUBLE_EQ(c2.gate_stress_duty, 0.3);
 }
 
 TEST(Condition, RecoveryBuilderIsUnstressed) {
-  const auto c = recovery(-0.3, 110.0);
+  const auto c = recovery(Volts{-0.3}, Celsius{110.0});
   EXPECT_DOUBLE_EQ(c.voltage_v, -0.3);
   EXPECT_DOUBLE_EQ(c.gate_stress_duty, 0.0);
   EXPECT_FALSE(c.is_stressing());
 }
 
 TEST(Condition, DescribeIsHumanReadable) {
-  EXPECT_EQ(dc_stress(1.2, 110.0).describe(), "1.20V/110.0C/duty=1.00");
-  EXPECT_EQ(recovery(-0.3, 20.0).describe(), "-0.30V/20.0C/duty=0.00");
+  EXPECT_EQ(dc_stress(Volts{1.2}, Celsius{110.0}).describe(), "1.20V/110.0C/duty=1.00");
+  EXPECT_EQ(recovery(Volts{-0.3}, Celsius{20.0}).describe(), "-0.30V/20.0C/duty=0.00");
 }
 
 TEST(Constants, TemperatureConversionsRoundTrip) {

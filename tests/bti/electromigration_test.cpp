@@ -21,7 +21,7 @@ TEST(Em, FreshSegmentHasNoDrift) {
 
 TEST(Em, CalibratedTenYearLifeAtReference) {
   const auto seg = make_segment();
-  const double ttf = seg.time_to_failure_s(1.0, 378.15);
+  const double ttf = seg.time_to_failure(1.0, Kelvin{378.15}).value();
   EXPECT_NEAR(ttf / kYear, 10.0, 0.2);
 }
 
@@ -29,33 +29,33 @@ TEST(Em, NoCurrentNoWear) {
   // The property that makes hot rejuvenation EM-free: power-gated sleep
   // carries no current.
   auto seg = make_segment();
-  seg.evolve(0.0, celsius(110.0), 100.0 * kYear);
+  seg.evolve(0.0, Kelvin{celsius(110.0)}, Seconds{100.0 * kYear});
   EXPECT_DOUBLE_EQ(seg.drift(), 0.0);
-  EXPECT_TRUE(std::isinf(seg.time_to_failure_s(0.0, celsius(110.0))));
+  EXPECT_TRUE(std::isinf(seg.time_to_failure(0.0, Kelvin{celsius(110.0)}).value()));
 }
 
 TEST(Em, DriftIsIrreversible) {
   auto seg = make_segment();
-  seg.evolve(1.0, 378.15, kYear);
+  seg.evolve(1.0, Kelvin{378.15}, Seconds{kYear});
   const double d = seg.drift();
   EXPECT_GT(d, 0.0);
   // "Recovery" conditions (no current, any temperature) never reduce it.
-  seg.evolve(0.0, celsius(110.0), 10.0 * kYear);
+  seg.evolve(0.0, Kelvin{celsius(110.0)}, Seconds{10.0 * kYear});
   EXPECT_DOUBLE_EQ(seg.drift(), d);
 }
 
 TEST(Em, BlackCurrentExponent) {
   const auto seg = make_segment();
-  const double r1 = seg.drift_rate(1.0, 378.15);
-  const double r2 = seg.drift_rate(2.0, 378.15);
+  const double r1 = seg.drift_rate(1.0, Kelvin{378.15});
+  const double r2 = seg.drift_rate(2.0, Kelvin{378.15});
   EXPECT_NEAR(r2 / r1, 4.0, 1e-9);  // n = 2
 }
 
 TEST(Em, ArrheniusTemperatureAcceleration) {
   const auto seg = make_segment();
-  const double cool = seg.drift_rate(1.0, celsius(45.0));
-  const double ref = seg.drift_rate(1.0, 378.15);
-  const double hot = seg.drift_rate(1.0, celsius(125.0));
+  const double cool = seg.drift_rate(1.0, Kelvin{celsius(45.0)});
+  const double ref = seg.drift_rate(1.0, Kelvin{378.15});
+  const double hot = seg.drift_rate(1.0, Kelvin{celsius(125.0)});
   EXPECT_LT(cool, ref);
   EXPECT_GT(hot, ref);
   // 0.9 eV: idle-temperature operation is orders of magnitude gentler.
@@ -64,12 +64,12 @@ TEST(Em, ArrheniusTemperatureAcceleration) {
 
 TEST(Em, FailureThresholdTripsExactly) {
   auto seg = make_segment();
-  const double ttf = seg.time_to_failure_s(1.0, 378.15);
-  seg.evolve(1.0, 378.15, ttf * 0.99);
+  const double ttf = seg.time_to_failure(1.0, Kelvin{378.15}).value();
+  seg.evolve(1.0, Kelvin{378.15}, Seconds{ttf * 0.99});
   EXPECT_FALSE(seg.failed());
-  seg.evolve(1.0, 378.15, ttf * 0.02);
+  seg.evolve(1.0, Kelvin{378.15}, Seconds{ttf * 0.02});
   EXPECT_TRUE(seg.failed());
-  EXPECT_DOUBLE_EQ(seg.time_to_failure_s(1.0, 378.15), 0.0);
+  EXPECT_DOUBLE_EQ(seg.time_to_failure(1.0, Kelvin{378.15}).value(), 0.0);
 }
 
 TEST(Em, DutyCycleExtendsLifeProportionally) {
@@ -78,9 +78,9 @@ TEST(Em, DutyCycleExtendsLifeProportionally) {
   auto always = make_segment();
   auto circadian = make_segment();
   for (int day = 0; day < 365; ++day) {
-    always.evolve(1.0, celsius(80.0), 86400.0);
-    circadian.evolve(1.0, celsius(80.0), 0.8 * 86400.0);
-    circadian.evolve(0.0, celsius(110.0), 0.2 * 86400.0);  // hot sleep: free
+    always.evolve(1.0, Kelvin{celsius(80.0)}, Seconds{86400.0});
+    circadian.evolve(1.0, Kelvin{celsius(80.0)}, Seconds{0.8 * 86400.0});
+    circadian.evolve(0.0, Kelvin{celsius(110.0)}, Seconds{0.2 * 86400.0});  // hot sleep: free
   }
   EXPECT_NEAR(circadian.drift() / always.drift(), 0.8, 1e-9);
 }
@@ -90,9 +90,9 @@ TEST(Em, ValidatesInputs) {
   bad.drift_rate_per_s = 0.0;
   EXPECT_THROW(EmInterconnect{bad}, std::invalid_argument);
   auto seg = make_segment();
-  EXPECT_THROW(seg.evolve(-1.0, 300.0, 1.0), std::invalid_argument);
-  EXPECT_THROW(seg.evolve(1.0, 0.0, 1.0), std::invalid_argument);
-  EXPECT_THROW(seg.evolve(1.0, 300.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(seg.evolve(-1.0, Kelvin{300.0}, Seconds{1.0}), std::invalid_argument);
+  EXPECT_THROW(seg.evolve(1.0, Kelvin{0.0}, Seconds{1.0}), std::invalid_argument);
+  EXPECT_THROW(seg.evolve(1.0, Kelvin{300.0}, Seconds{-1.0}), std::invalid_argument);
 }
 
 }  // namespace

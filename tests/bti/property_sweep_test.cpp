@@ -34,10 +34,10 @@ TEST_P(StressConditionSweep, EnsembleMatchesClosedFormWithin35Percent) {
   const auto [v, t_c] = GetParam();
   TrapEnsemble e(default_td_parameters(), 42);
   const ClosedFormModel m(cf_params());
-  const auto cond = dc_stress(v, t_c);
-  e.evolve(cond, hours(24.0));
+  const auto cond = dc_stress(Volts{v}, Celsius{t_c});
+  e.evolve(cond, Seconds{hours(24.0)});
   const double ens = e.delta_vth();
-  const double cf = m.stress_delta_vth(hours(24.0), cond);
+  const double cf = m.stress_delta_vth(Seconds{hours(24.0)}, cond);
   ASSERT_GT(ens, 0.0);
   EXPECT_NEAR(cf / ens, 1.0, 0.35)
       << "V=" << v << " T=" << t_c << " ens=" << ens << " cf=" << cf;
@@ -46,10 +46,10 @@ TEST_P(StressConditionSweep, EnsembleMatchesClosedFormWithin35Percent) {
 TEST_P(StressConditionSweep, StressIsMonotoneInTime) {
   const auto [v, t_c] = GetParam();
   TrapEnsemble e(default_td_parameters(), 7);
-  const auto cond = dc_stress(v, t_c);
+  const auto cond = dc_stress(Volts{v}, Celsius{t_c});
   double prev = 0.0;
   for (int i = 0; i < 8; ++i) {
-    e.evolve(cond, hours(3.0));
+    e.evolve(cond, Seconds{hours(3.0)});
     EXPECT_GE(e.delta_vth(), prev - 1e-12);
     prev = e.delta_vth();
   }
@@ -59,9 +59,9 @@ TEST_P(StressConditionSweep, ClosedFormAgerTracksStatelessModel) {
   const auto [v, t_c] = GetParam();
   ClosedFormAger ager(cf_params());
   const ClosedFormModel m(cf_params());
-  const auto cond = dc_stress(v, t_c);
-  ager.evolve(cond, hours(24.0));
-  const double stateless = m.stress_delta_vth(hours(24.0), cond);
+  const auto cond = dc_stress(Volts{v}, Celsius{t_c});
+  ager.evolve(cond, Seconds{hours(24.0)});
+  const double stateless = m.stress_delta_vth(Seconds{hours(24.0)}, cond);
   EXPECT_NEAR(ager.delta_vth(), stateless,
               std::max(stateless, 1e-9) * 1e-6);
 }
@@ -91,10 +91,10 @@ class RecoveryConditionSweep
 TEST_P(RecoveryConditionSweep, RecoveryNeverIncreasesShift) {
   const auto [v, t_c] = GetParam();
   TrapEnsemble e(default_td_parameters(), 3);
-  e.evolve(dc_stress(1.2, 110.0), hours(24.0));
+  e.evolve(dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
   double prev = e.delta_vth();
   for (int i = 0; i < 6; ++i) {
-    e.evolve(recovery(v, t_c), hours(1.0));
+    e.evolve(recovery(Volts{v}, Celsius{t_c}), Seconds{hours(1.0)});
     EXPECT_LE(e.delta_vth(), prev + 1e-12);
     prev = e.delta_vth();
   }
@@ -103,9 +103,9 @@ TEST_P(RecoveryConditionSweep, RecoveryNeverIncreasesShift) {
 TEST_P(RecoveryConditionSweep, RecoveryBoundedByPermanentFloor) {
   const auto [v, t_c] = GetParam();
   TrapEnsemble e(default_td_parameters(), 3);
-  e.evolve(dc_stress(1.2, 110.0), hours(24.0));
+  e.evolve(dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
   const double perm = e.permanent_delta_vth();
-  for (int i = 0; i < 20; ++i) e.evolve(recovery(v, t_c), hours(24.0));
+  for (int i = 0; i < 20; ++i) e.evolve(recovery(Volts{v}, Celsius{t_c}), Seconds{hours(24.0)});
   EXPECT_GE(e.delta_vth(), perm * 0.999);
 }
 
@@ -114,7 +114,7 @@ TEST_P(RecoveryConditionSweep, ClosedFormRemainingFractionInBounds) {
   const ClosedFormModel m(cf_params());
   for (double t2_h : {0.1, 1.0, 6.0, 48.0}) {
     const double rem =
-        m.remaining_fraction(hours(24.0), hours(t2_h), recovery(v, t_c));
+        m.remaining_fraction(Seconds{hours(24.0)}, Seconds{hours(t2_h)}, recovery(Volts{v}, Celsius{t_c}));
     EXPECT_GE(rem, m.parameters().permanent_ratio - 1e-12);
     EXPECT_LE(rem, 1.0 + 1e-12);
   }
@@ -124,12 +124,12 @@ TEST_P(RecoveryConditionSweep, EnsembleAndClosedFormAgreeOnRecovery) {
   const auto [v, t_c] = GetParam();
   TrapEnsemble e(default_td_parameters(), 11);
   const ClosedFormModel m(cf_params());
-  e.evolve(dc_stress(1.2, 110.0), hours(24.0));
+  e.evolve(dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
   const double damage = e.delta_vth();
-  e.evolve(recovery(v, t_c), hours(6.0));
+  e.evolve(recovery(Volts{v}, Celsius{t_c}), Seconds{hours(6.0)});
   const double remaining_ens = e.delta_vth() / damage;
   const double remaining_cf =
-      m.remaining_fraction(hours(24.0), hours(6.0), recovery(v, t_c));
+      m.remaining_fraction(Seconds{hours(24.0)}, Seconds{hours(6.0)}, recovery(Volts{v}, Celsius{t_c}));
   // First-order agreement: within 15 percentage points of remaining share.
   EXPECT_NEAR(remaining_ens, remaining_cf, 0.15)
       << "V=" << v << " T=" << t_c;
@@ -158,17 +158,17 @@ TEST_P(DutySweep, ShiftIsMonotoneInDuty) {
   const double duty = GetParam();
   TrapEnsemble lo(default_td_parameters(), 5);
   TrapEnsemble hi(default_td_parameters(), 5);
-  lo.evolve(ac_stress(1.2, 110.0, duty), hours(24.0));
-  hi.evolve(ac_stress(1.2, 110.0, std::min(1.0, duty + 0.2)), hours(24.0));
+  lo.evolve(ac_stress(Volts{1.2}, Celsius{110.0}, duty), Seconds{hours(24.0)});
+  hi.evolve(ac_stress(Volts{1.2}, Celsius{110.0}, std::min(1.0, duty + 0.2)), Seconds{hours(24.0)});
   EXPECT_LE(lo.delta_vth(), hi.delta_vth() + 1e-9);
 }
 
 TEST_P(DutySweep, ClosedFormAcFactorDecreasesWithIdleShare) {
   const double duty = GetParam();
   const ClosedFormModel m(cf_params());
-  const double f1 = m.ac_amplitude_factor(ac_stress(1.2, 110.0, duty));
+  const double f1 = m.ac_amplitude_factor(ac_stress(Volts{1.2}, Celsius{110.0}, duty));
   const double f2 =
-      m.ac_amplitude_factor(ac_stress(1.2, 110.0, std::min(1.0, duty + 0.2)));
+      m.ac_amplitude_factor(ac_stress(Volts{1.2}, Celsius{110.0}, std::min(1.0, duty + 0.2)));
   EXPECT_LE(f1, f2 + 1e-12);
   EXPECT_GT(f1, 0.0);
   EXPECT_LE(f1, 1.0);
@@ -191,14 +191,14 @@ TEST_P(AlphaSweep, SteadyCycleResidueGrowsWithAlpha) {
   const double alpha = GetParam();
   ClosedFormAger a(cf_params());
   ClosedFormAger b(cf_params());
-  const auto stress = dc_stress(1.2, 110.0);
-  const auto heal = recovery(-0.3, 110.0);
+  const auto stress = dc_stress(Volts{1.2}, Celsius{110.0});
+  const auto heal = recovery(Volts{-0.3}, Celsius{110.0});
   const double cycle = hours(30.0);
   for (int i = 0; i < 5; ++i) {
-    a.evolve(stress, cycle * alpha / (1.0 + alpha));
-    a.evolve(heal, cycle / (1.0 + alpha));
-    b.evolve(stress, cycle * (2.0 * alpha) / (1.0 + 2.0 * alpha));
-    b.evolve(heal, cycle / (1.0 + 2.0 * alpha));
+    a.evolve(stress, Seconds{cycle * alpha / (1.0 + alpha)});
+    a.evolve(heal, Seconds{cycle / (1.0 + alpha)});
+    b.evolve(stress, Seconds{cycle * (2.0 * alpha) / (1.0 + 2.0 * alpha)});
+    b.evolve(heal, Seconds{cycle / (1.0 + 2.0 * alpha)});
   }
   // Doubling alpha (less sleep) leaves at least as much residue.
   EXPECT_LE(a.delta_vth(), b.delta_vth() + 1e-9);

@@ -14,9 +14,9 @@ RdModel make_model() { return RdModel(RdParameters{}); }
 
 TEST(RdModel, StressFollowsPowerLaw) {
   const auto m = make_model();
-  const auto cond = dc_stress(1.2, 110.0);
-  const double d1 = m.stress_delta_vth(1e3, cond);
-  const double d2 = m.stress_delta_vth(64e3, cond);
+  const auto cond = dc_stress(Volts{1.2}, Celsius{110.0});
+  const double d1 = m.stress_delta_vth(Seconds{1e3}, cond);
+  const double d2 = m.stress_delta_vth(Seconds{64e3}, cond);
   // t^(1/6): a 64x time stretch doubles the shift.
   EXPECT_NEAR(d2 / d1, 2.0, 1e-9);
 }
@@ -24,18 +24,18 @@ TEST(RdModel, StressFollowsPowerLaw) {
 TEST(RdModel, AmplitudeNormalizedAtReference) {
   const RdParameters p;
   const RdModel m(p);
-  EXPECT_NEAR(m.amplitude(p.stress_ref_voltage_v, p.stress_ref_temp_k),
+  EXPECT_NEAR(m.amplitude(Volts{p.stress_ref_voltage_v}, Kelvin{p.stress_ref_temp_k}),
               p.amplitude_ref_v, 1e-15);
-  EXPECT_LT(m.amplitude(1.2, celsius(100.0)), p.amplitude_ref_v);
+  EXPECT_LT(m.amplitude(Volts{1.2}, Kelvin{celsius(100.0)}), p.amplitude_ref_v);
 }
 
 TEST(RdModel, RecoveryIsTheUniversalCurve) {
   const auto m = make_model();
   // remaining depends only on t2/t1.
-  EXPECT_DOUBLE_EQ(m.remaining_fraction(100.0, 25.0),
-                   m.remaining_fraction(400.0, 100.0));
+  EXPECT_DOUBLE_EQ(m.remaining_fraction(Seconds{100.0}, Seconds{25.0}),
+                   m.remaining_fraction(Seconds{400.0}, Seconds{100.0}));
   // At t2 = t1/4, xi = 0.5: 1/(1 + sqrt(0.125)) ~ 0.739.
-  EXPECT_NEAR(m.remaining_fraction(hours(24.0), hours(6.0)),
+  EXPECT_NEAR(m.remaining_fraction(Seconds{hours(24.0)}, Seconds{hours(6.0)}),
               1.0 / (1.0 + std::sqrt(0.5 * 0.25)), 1e-12);
 }
 
@@ -43,7 +43,7 @@ TEST(RdModel, RecoveryMonotoneAndBounded) {
   const auto m = make_model();
   double prev = 1.0;
   for (double t2 = 60.0; t2 < hours(100.0); t2 *= 3.0) {
-    const double rem = m.remaining_fraction(hours(24.0), t2);
+    const double rem = m.remaining_fraction(Seconds{hours(24.0)}, Seconds{t2});
     EXPECT_LT(rem, prev);
     EXPECT_GT(rem, 0.0);
     prev = rem;
@@ -77,9 +77,9 @@ TEST(RdFit, FitsTdGeneratedStressDataTolerably) {
   TrapEnsemble e(default_td_parameters(), 4);
   Series s("ensemble");
   double t = 0.0;
-  const auto cond = dc_stress(1.2, 110.0);
+  const auto cond = dc_stress(Volts{1.2}, Celsius{110.0});
   for (int i = 0; i < 48; ++i) {
-    e.evolve(cond, hours(0.5));
+    e.evolve(cond, Seconds{hours(0.5)});
     t += hours(0.5);
     s.append(t, e.delta_vth());
   }
@@ -92,18 +92,18 @@ TEST(RdVsTd, RecoveryConditionsSeparateTheModels) {
   // spreads hugely across sleep conditions while RD predicts one number.
   const auto rd = make_model();
   const double rd_prediction =
-      rd.remaining_fraction(hours(24.0), hours(6.0));
+      rd.remaining_fraction(Seconds{hours(24.0)}, Seconds{hours(6.0)});
 
   double remaining[4] = {};
-  const OperatingCondition conds[] = {recovery(0.0, 20.0),
-                                      recovery(-0.3, 20.0),
-                                      recovery(0.0, 110.0),
-                                      recovery(-0.3, 110.0)};
+  const OperatingCondition conds[] = {recovery(Volts{0.0}, Celsius{20.0}),
+                                      recovery(Volts{-0.3}, Celsius{20.0}),
+                                      recovery(Volts{0.0}, Celsius{110.0}),
+                                      recovery(Volts{-0.3}, Celsius{110.0})};
   for (int i = 0; i < 4; ++i) {
     TrapEnsemble e(default_td_parameters(), 4);
-    e.evolve(dc_stress(1.2, 110.0), hours(24.0));
+    e.evolve(dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
     const double damage = e.delta_vth();
-    e.evolve(conds[i], hours(6.0));
+    e.evolve(conds[i], Seconds{hours(6.0)});
     remaining[i] = e.delta_vth() / damage;
   }
   // RD can at best match one of the four conditions; the accelerated ones

@@ -11,21 +11,21 @@ TEST(Trap, CaptureApproachesAmplitudeNotOne) {
   Trap t;
   t.occupancy = 0.0;
   // Pure capture toward phi = 0.75.
-  evolve_trap(t, /*rc=*/1.0, /*re=*/0.0, /*phi=*/0.75, /*dt=*/100.0);
+  evolve_trap(t, Hertz{/*rc=*/1.0}, Hertz{/*re=*/0.0}, /*phi=*/0.75, Seconds{/*dt=*/100.0});
   EXPECT_NEAR(t.occupancy, 0.75, 1e-9);
 }
 
 TEST(Trap, ExactExponentialSolutionAtOneTau) {
   Trap t;
   t.occupancy = 0.0;
-  evolve_trap(t, 1.0, 0.0, 1.0, 1.0);
+  evolve_trap(t, Hertz{1.0}, Hertz{0.0}, 1.0, Seconds{1.0});
   EXPECT_NEAR(t.occupancy, 1.0 - std::exp(-1.0), 1e-12);
 }
 
 TEST(Trap, PureEmissionDecays) {
   Trap t;
   t.occupancy = 0.8;
-  evolve_trap(t, 0.0, 2.0, 0.0, 1.0);
+  evolve_trap(t, Hertz{0.0}, Hertz{2.0}, 0.0, Seconds{1.0});
   EXPECT_NEAR(t.occupancy, 0.8 * std::exp(-2.0), 1e-12);
 }
 
@@ -33,7 +33,7 @@ TEST(Trap, PermanentTrapNeverEmits) {
   Trap t;
   t.permanent = true;
   t.occupancy = 0.6;
-  evolve_trap(t, 0.0, 100.0, 0.0, 1e9);
+  evolve_trap(t, Hertz{0.0}, Hertz{100.0}, 0.0, Seconds{1e9});
   EXPECT_DOUBLE_EQ(t.occupancy, 0.6);
 }
 
@@ -41,7 +41,7 @@ TEST(Trap, PermanentTrapStillCaptures) {
   Trap t;
   t.permanent = true;
   t.occupancy = 0.0;
-  evolve_trap(t, 1.0, 5.0, 0.9, 100.0);  // re is ignored for permanent traps
+  evolve_trap(t, Hertz{1.0}, Hertz{5.0}, 0.9, Seconds{100.0});  // re is ignored for permanent traps
   EXPECT_NEAR(t.occupancy, 0.9, 1e-9);
 }
 
@@ -49,16 +49,16 @@ TEST(Trap, CompetingRatesReachMixedEquilibrium) {
   Trap t;
   t.occupancy = 0.0;
   // rc = re = 1: p_inf = phi/2.
-  evolve_trap(t, 1.0, 1.0, 0.8, 1000.0);
+  evolve_trap(t, Hertz{1.0}, Hertz{1.0}, 0.8, Seconds{1000.0});
   EXPECT_NEAR(t.occupancy, 0.4, 1e-9);
 }
 
 TEST(Trap, ZeroRatesAndZeroDtAreNoOps) {
   Trap t;
   t.occupancy = 0.3;
-  evolve_trap(t, 0.0, 0.0, 1.0, 100.0);
+  evolve_trap(t, Hertz{0.0}, Hertz{0.0}, 1.0, Seconds{100.0});
   EXPECT_DOUBLE_EQ(t.occupancy, 0.3);
-  evolve_trap(t, 1.0, 1.0, 1.0, 0.0);
+  evolve_trap(t, Hertz{1.0}, Hertz{1.0}, 1.0, Seconds{0.0});
   EXPECT_DOUBLE_EQ(t.occupancy, 0.3);
 }
 
@@ -67,7 +67,7 @@ TEST(Trap, EquilibriumDropReleasesExcessOccupancy) {
   // amplitude drops (e.g. stress continues at lower temperature).
   Trap t;
   t.occupancy = 0.9;
-  evolve_trap(t, 1.0, 0.0, 0.5, 1000.0);
+  evolve_trap(t, Hertz{1.0}, Hertz{0.0}, 0.5, Seconds{1000.0});
   EXPECT_NEAR(t.occupancy, 0.5, 1e-9);
 }
 
@@ -76,16 +76,16 @@ TEST(Trap, TwoHalfStepsEqualOneFullStep) {
   Trap a;
   Trap b;
   a.occupancy = b.occupancy = 0.1;
-  evolve_trap(a, 0.7, 0.3, 0.6, 2.0);
-  evolve_trap(b, 0.7, 0.3, 0.6, 1.0);
-  evolve_trap(b, 0.7, 0.3, 0.6, 1.0);
+  evolve_trap(a, Hertz{0.7}, Hertz{0.3}, 0.6, Seconds{2.0});
+  evolve_trap(b, Hertz{0.7}, Hertz{0.3}, 0.6, Seconds{1.0});
+  evolve_trap(b, Hertz{0.7}, Hertz{0.3}, 0.6, Seconds{1.0});
   EXPECT_NEAR(a.occupancy, b.occupancy, 1e-12);
 }
 
 TEST(Trap, HugeExponentDoesNotOverflow) {
   Trap t;
   t.occupancy = 0.0;
-  evolve_trap(t, 1e6, 0.0, 0.5, 1e6);
+  evolve_trap(t, Hertz{1e6}, Hertz{0.0}, 0.5, Seconds{1e6});
   EXPECT_NEAR(t.occupancy, 0.5, 1e-12);
 }
 

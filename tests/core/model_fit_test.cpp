@@ -58,12 +58,12 @@ TEST(ModelFitter, FitsEnsembleStressWithGoodR2) {
   // The Table 3 scenario: extract the law from 'measured' (simulated)
   // device data.
   bti::TrapEnsemble e(bti::default_td_parameters(), 3);
-  const auto cond = bti::dc_stress(1.2, 110.0);
+  const auto cond = bti::dc_stress(Volts{1.2}, Celsius{110.0});
   Series s("ensemble");
   double t = 0.0;
   s.append(0.0, 0.0);
   for (int i = 0; i < 48; ++i) {
-    e.evolve(cond, hours(0.5));
+    e.evolve(cond, Seconds{hours(0.5)});
     t += hours(0.5);
     s.append(t, e.delta_vth());
   }

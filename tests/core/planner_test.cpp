@@ -88,9 +88,9 @@ TEST(Planner, MinimalSleepMeetsTargetTightly) {
   ASSERT_TRUE(plan.feasible);
   // Bisection converges to the minimum: sleeping 10 % less must miss.
   const bti::ClosedFormModel model(cfg.model);
-  const auto cond = bti::recovery(plan.voltage_v, plan.temp_c);
+  const auto cond = bti::recovery(Volts{plan.voltage_v}, Celsius{plan.temp_c});
   const double remaining_short = model.remaining_fraction(
-      cfg.t1_equiv_s, plan.sleep_s * 0.9, cond);
+      Seconds{cfg.t1_equiv_s}, Seconds{plan.sleep_s * 0.9}, cond);
   EXPECT_GT(remaining_short, 1.0 - cfg.target_recovered_fraction - 1e-6);
 }
 

@@ -18,8 +18,8 @@ ChipConfig small_chip_config(std::uint64_t seed = 77) {
 
 TEST(Checkpoint, ChipRoundTripsBitExact) {
   FpgaChip chip(small_chip_config());
-  chip.evolve(RoMode::kDcFrozen, bti::dc_stress(1.2, 110.0), hours(7.0));
-  const double f_before = chip.ro_frequency_hz(1.2, celsius(20.0));
+  chip.evolve(RoMode::kDcFrozen, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(7.0)});
+  const double f_before = chip.ro_frequency_hz(Volts{1.2}, Kelvin{celsius(20.0)});
 
   std::ostringstream os;
   save_checkpoint(os, chip);
@@ -27,44 +27,44 @@ TEST(Checkpoint, ChipRoundTripsBitExact) {
   // A freshly constructed twin restored from the checkpoint matches
   // exactly.
   FpgaChip twin(small_chip_config());
-  EXPECT_NE(twin.ro_frequency_hz(1.2, celsius(20.0)), f_before);
+  EXPECT_NE(twin.ro_frequency_hz(Volts{1.2}, Kelvin{celsius(20.0)}), f_before);
   std::istringstream is(os.str());
   load_checkpoint(is, twin);
-  EXPECT_DOUBLE_EQ(twin.ro_frequency_hz(1.2, celsius(20.0)), f_before);
+  EXPECT_DOUBLE_EQ(twin.ro_frequency_hz(Volts{1.2}, Kelvin{celsius(20.0)}), f_before);
 }
 
 TEST(Checkpoint, ResumedCampaignMatchesUninterruptedRun) {
   // stress 7 h | checkpoint | stress 5 h  ==  stress 12 h straight.
   FpgaChip straight(small_chip_config(3));
-  straight.evolve(RoMode::kDcFrozen, bti::dc_stress(1.2, 110.0), hours(12.0));
+  straight.evolve(RoMode::kDcFrozen, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(12.0)});
 
   FpgaChip first(small_chip_config(3));
-  first.evolve(RoMode::kDcFrozen, bti::dc_stress(1.2, 110.0), hours(7.0));
+  first.evolve(RoMode::kDcFrozen, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(7.0)});
   std::ostringstream os;
   save_checkpoint(os, first);
 
   FpgaChip resumed(small_chip_config(3));
   std::istringstream is(os.str());
   load_checkpoint(is, resumed);
-  resumed.evolve(RoMode::kDcFrozen, bti::dc_stress(1.2, 110.0), hours(5.0));
+  resumed.evolve(RoMode::kDcFrozen, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(5.0)});
 
-  EXPECT_NEAR(resumed.ro_frequency_hz(1.2, celsius(20.0)),
-              straight.ro_frequency_hz(1.2, celsius(20.0)), 1e-3);
+  EXPECT_NEAR(resumed.ro_frequency_hz(Volts{1.2}, Kelvin{celsius(20.0)}),
+              straight.ro_frequency_hz(Volts{1.2}, Kelvin{celsius(20.0)}), 1e-3);
 }
 
 TEST(Checkpoint, FabricRoundTrips) {
   FabricConfig cfg;
   cfg.seed = 5;
   Fabric fab(c17(), cfg);
-  fab.age_toggling(bti::ac_stress(1.2, 110.0), hours(24.0));
-  const double t_before = fab.timing(1.2, celsius(20.0)).worst_arrival_s;
+  fab.age_toggling(bti::ac_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
+  const double t_before = fab.timing(Volts{1.2}, Kelvin{celsius(20.0)}).worst_arrival_s;
 
   std::ostringstream os;
   save_checkpoint(os, fab);
   Fabric twin(c17(), cfg);
   std::istringstream is(os.str());
   load_checkpoint(is, twin);
-  EXPECT_DOUBLE_EQ(twin.timing(1.2, celsius(20.0)).worst_arrival_s, t_before);
+  EXPECT_DOUBLE_EQ(twin.timing(Volts{1.2}, Kelvin{celsius(20.0)}).worst_arrival_s, t_before);
 }
 
 TEST(Checkpoint, RejectsKindMismatch) {
@@ -123,11 +123,11 @@ TEST(Checkpoint, RejectsCorruptedStreams) {
 
 TEST(Checkpoint, FailedLoadLeavesObjectUntouched) {
   FpgaChip chip(small_chip_config());
-  chip.evolve(RoMode::kDcFrozen, bti::dc_stress(1.2, 110.0), hours(3.0));
-  const double f = chip.ro_frequency_hz(1.2, celsius(20.0));
+  chip.evolve(RoMode::kDcFrozen, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(3.0)});
+  const double f = chip.ro_frequency_hz(Volts{1.2}, Kelvin{celsius(20.0)});
   std::istringstream is("ash-checkpoint v1 chip devices=3\nD 1 0.5\n");
   EXPECT_THROW(load_checkpoint(is, chip), std::runtime_error);
-  EXPECT_DOUBLE_EQ(chip.ro_frequency_hz(1.2, celsius(20.0)), f);
+  EXPECT_DOUBLE_EQ(chip.ro_frequency_hz(Volts{1.2}, Kelvin{celsius(20.0)}), f);
 }
 
 }  // namespace

@@ -28,7 +28,7 @@ TEST(Counter, Equation14RoundTripsWithoutNoise) {
   auto counter = make_counter(c);
   // Pick a frequency that is an exact multiple of the resolution.
   const double f = 3.3e6;
-  const auto r = counter.measure(f);
+  const auto r = counter.measure(Hertz{f});
   EXPECT_NEAR(r.frequency_hz, f, counter.resolution_hz());
   EXPECT_NEAR(r.delay_s, 1.0 / (2.0 * f), 1e-11);
 }
@@ -38,7 +38,7 @@ TEST(Counter, Equation15DelayFromCounts) {
   c.noise_counts_sigma = 0.0;
   c.gate_ref_periods = 1;
   auto counter = make_counter(c);
-  const auto r = counter.measure(3.3e6);
+  const auto r = counter.measure(Hertz{3.3e6});
   // Td = 1/(4 * Cout * fref), Eq. (15), for a single reference period.
   EXPECT_NEAR(r.delay_s, 1.0 / (4.0 * r.counts * c.f_ref_hz), 1e-15);
 }
@@ -46,7 +46,7 @@ TEST(Counter, Equation15DelayFromCounts) {
 TEST(Counter, PaperOperatingPointFitsIn16Bits) {
   CounterConfig c;  // 500 Hz, 16 periods, 16 bits
   auto counter = make_counter(c);
-  const auto r = counter.measure(3.33e6);
+  const auto r = counter.measure(Hertz{3.33e6});
   // ~3.33e6 * (16/500) / 2 = ~53 280 counts < 65 535: no wrap.
   EXPECT_EQ(static_cast<double>(r.raw_counts), r.counts);
   EXPECT_LT(r.raw_counts, 65536u);
@@ -57,7 +57,7 @@ TEST(Counter, WrapsPastSixteenBits) {
   c.noise_counts_sigma = 0.0;
   c.gate_ref_periods = 64;  // 4x the gate -> counts exceed 2^16
   auto counter = make_counter(c);
-  const auto r = counter.measure(3.33e6);
+  const auto r = counter.measure(Hertz{3.33e6});
   EXPECT_GT(r.counts, 65535.0);
   EXPECT_EQ(r.raw_counts, static_cast<std::uint32_t>(r.counts) & 0xFFFFu);
   EXPECT_GT(3.33e6, counter.max_unwrapped_frequency_hz());
@@ -68,7 +68,7 @@ TEST(Counter, NoiseMatchesConfiguredSigma) {
   c.noise_counts_sigma = 1.7;
   auto counter = make_counter(c, 99);
   std::vector<double> counts;
-  for (int i = 0; i < 20000; ++i) counts.push_back(counter.measure(3.3e6).counts);
+  for (int i = 0; i < 20000; ++i) counts.push_back(counter.measure(Hertz{3.3e6}).counts);
   // Quantization adds ~1/12 variance on top of the Gaussian noise.
   EXPECT_NEAR(ash::stddev(counts), 1.7, 0.25);
 }
@@ -81,7 +81,7 @@ TEST(Counter, RepeatabilityMatchesPaperBound) {
   double lo = 1e18;
   double hi = -1e18;
   for (int i = 0; i < 1000; ++i) {
-    const double counts = counter.measure(f).counts;
+    const double counts = counter.measure(Hertz{f}).counts;
     lo = std::min(lo, counts);
     hi = std::max(hi, counts);
   }
@@ -97,8 +97,8 @@ TEST(Counter, RejectsBadConfigAndInput) {
   bad.bits = 40;
   EXPECT_THROW(make_counter(bad), std::invalid_argument);
   auto counter = make_counter();
-  EXPECT_THROW(counter.measure(0.0), std::invalid_argument);
-  EXPECT_THROW(counter.measure(-1.0), std::invalid_argument);
+  EXPECT_THROW(counter.measure(Hertz{0.0}), std::invalid_argument);
+  EXPECT_THROW(counter.measure(Hertz{-1.0}), std::invalid_argument);
 }
 
 TEST(Counter, LongerGateImprovesRelativeResolution) {

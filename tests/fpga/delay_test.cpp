@@ -11,12 +11,12 @@ const DelayParams kDefault;
 
 TEST(DelayModel, FreshSegmentAtNominalIsUnscaled) {
   EXPECT_DOUBLE_EQ(
-      segment_delay(kDefault, 1e-9, 0.0, 1.2, celsius(20.0)), 1e-9);
+      segment_delay(kDefault, Seconds{1e-9}, Volts{0.0}, Volts{1.2}, Kelvin{celsius(20.0)}), 1e-9);
 }
 
 TEST(DelayModel, ThresholdShiftSlowsTheSegment) {
-  const double fresh = segment_delay(kDefault, 1e-9, 0.0, 1.2, celsius(20.0));
-  const double aged = segment_delay(kDefault, 1e-9, 30e-3, 1.2, celsius(20.0));
+  const double fresh = segment_delay(kDefault, Seconds{1e-9}, Volts{0.0}, Volts{1.2}, Kelvin{celsius(20.0)});
+  const double aged = segment_delay(kDefault, Seconds{1e-9}, Volts{30e-3}, Volts{1.2}, Kelvin{celsius(20.0)});
   // Eq. (6) linearization: dtd/td ~ dVth/(Vdd - Vth) = 30m/0.8 = 3.75 %.
   EXPECT_NEAR(aged / fresh, 1.0 + 0.03/0.8 * 1.25, 0.01);
   EXPECT_GT(aged, fresh);
@@ -25,44 +25,44 @@ TEST(DelayModel, ThresholdShiftSlowsTheSegment) {
 TEST(DelayModel, LinearizationMatchesEq6ForSmallShifts) {
   const double td0 = 1e-9;
   const double dvth = 1e-3;
-  const double aged = segment_delay(kDefault, td0, dvth, 1.2, celsius(20.0));
+  const double aged = segment_delay(kDefault, Seconds{td0}, Volts{dvth}, Volts{1.2}, Kelvin{celsius(20.0)});
   const double eq6 = td0 * (1.0 + dvth / (1.2 - 0.4));
   EXPECT_NEAR(aged, eq6, td0 * 2e-5);
 }
 
 TEST(DelayModel, LowerSupplyIsSlower) {
-  EXPECT_GT(segment_delay(kDefault, 1e-9, 0.0, 1.0, celsius(20.0)),
-            segment_delay(kDefault, 1e-9, 0.0, 1.2, celsius(20.0)));
+  EXPECT_GT(segment_delay(kDefault, Seconds{1e-9}, Volts{0.0}, Volts{1.0}, Kelvin{celsius(20.0)}),
+            segment_delay(kDefault, Seconds{1e-9}, Volts{0.0}, Volts{1.2}, Kelvin{celsius(20.0)}));
 }
 
 TEST(DelayModel, BoostedSupplyIsFaster) {
-  EXPECT_LT(segment_delay(kDefault, 1e-9, 0.0, 1.32, celsius(20.0)),
-            segment_delay(kDefault, 1e-9, 0.0, 1.2, celsius(20.0)));
+  EXPECT_LT(segment_delay(kDefault, Seconds{1e-9}, Volts{0.0}, Volts{1.32}, Kelvin{celsius(20.0)}),
+            segment_delay(kDefault, Seconds{1e-9}, Volts{0.0}, Volts{1.2}, Kelvin{celsius(20.0)}));
 }
 
 TEST(DelayModel, FunctionalityBoundary) {
-  EXPECT_TRUE(is_functional(kDefault, 1.2, 0.0));
-  EXPECT_TRUE(is_functional(kDefault, 1.2, 0.5));
-  EXPECT_FALSE(is_functional(kDefault, 1.2, 0.76));
-  EXPECT_FALSE(is_functional(kDefault, 0.44, 0.0));
+  EXPECT_TRUE(is_functional(kDefault, Volts{1.2}, Volts{0.0}));
+  EXPECT_TRUE(is_functional(kDefault, Volts{1.2}, Volts{0.5}));
+  EXPECT_FALSE(is_functional(kDefault, Volts{1.2}, Volts{0.76}));
+  EXPECT_FALSE(is_functional(kDefault, Volts{0.44}, Volts{0.0}));
 }
 
 TEST(DelayModel, ThrowsWithoutOverdrive) {
-  EXPECT_THROW(segment_delay(kDefault, 1e-9, 0.8, 1.2, celsius(20.0)),
+  EXPECT_THROW(segment_delay(kDefault, Seconds{1e-9}, Volts{0.8}, Volts{1.2}, Kelvin{celsius(20.0)}),
                std::domain_error);
-  EXPECT_THROW(segment_delay(kDefault, 1e-9, 0.0, 0.3, celsius(20.0)),
+  EXPECT_THROW(segment_delay(kDefault, Seconds{1e-9}, Volts{0.0}, Volts{0.3}, Kelvin{celsius(20.0)}),
                std::domain_error);
 }
 
 TEST(DelayModel, TemperatureCoefficientOptIn) {
   DelayParams tc = kDefault;
   tc.temp_coeff_per_k = 1e-3;
-  const double cold = segment_delay(tc, 1e-9, 0.0, 1.2, celsius(20.0));
-  const double hot = segment_delay(tc, 1e-9, 0.0, 1.2, celsius(110.0));
+  const double cold = segment_delay(tc, Seconds{1e-9}, Volts{0.0}, Volts{1.2}, Kelvin{celsius(20.0)});
+  const double hot = segment_delay(tc, Seconds{1e-9}, Volts{0.0}, Volts{1.2}, Kelvin{celsius(110.0)});
   EXPECT_NEAR(hot / cold, 1.09, 1e-6);
   // Default: temperature-insensitive.
-  EXPECT_DOUBLE_EQ(segment_delay(kDefault, 1e-9, 0.0, 1.2, celsius(110.0)),
-                   segment_delay(kDefault, 1e-9, 0.0, 1.2, celsius(20.0)));
+  EXPECT_DOUBLE_EQ(segment_delay(kDefault, Seconds{1e-9}, Volts{0.0}, Volts{1.2}, Kelvin{celsius(110.0)}),
+                   segment_delay(kDefault, Seconds{1e-9}, Volts{0.0}, Volts{1.2}, Kelvin{celsius(20.0)}));
 }
 
 }  // namespace

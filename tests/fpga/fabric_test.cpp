@@ -80,14 +80,14 @@ TEST(Fabric, UnknownInstanceLookupThrows) {
 TEST(Fabric, FreshTimingScalesWithLogicDepth) {
   auto shallow = make_fabric(inverter_chain(3), 7);
   auto deep = make_fabric(inverter_chain(9), 7);
-  const double t3 = shallow.timing(1.2, kRoom).worst_arrival_s;
-  const double t9 = deep.timing(1.2, kRoom).worst_arrival_s;
+  const double t3 = shallow.timing(Volts{1.2}, Kelvin{kRoom}).worst_arrival_s;
+  const double t9 = deep.timing(Volts{1.2}, Kelvin{kRoom}).worst_arrival_s;
   EXPECT_NEAR(t9 / t3, 3.0, 0.4);  // mismatch-limited
 }
 
 TEST(Fabric, CriticalPathCoversTheChain) {
   auto fab = make_fabric(inverter_chain(4));
-  const auto report = fab.timing(1.2, kRoom);
+  const auto report = fab.timing(Volts{1.2}, Kelvin{kRoom});
   ASSERT_EQ(report.critical_path.size(), 4u);
   EXPECT_EQ(report.critical_path.front(), "u0");
   EXPECT_EQ(report.critical_path.back(), "u3");
@@ -96,7 +96,7 @@ TEST(Fabric, CriticalPathCoversTheChain) {
 
 TEST(Fabric, AdderCriticalPathIsTheCarryChain) {
   auto fab = make_fabric(ripple_carry_adder(4));
-  const auto report = fab.timing(1.2, kRoom);
+  const auto report = fab.timing(Volts{1.2}, Kelvin{kRoom});
   // Worst arrival is cout or the top sum bit; its path traverses roughly
   // 2 LUT levels per bit.
   EXPECT_GE(report.critical_path.size(), 5u);
@@ -108,19 +108,19 @@ TEST(Fabric, AdderCriticalPathIsTheCarryChain) {
 
 TEST(Fabric, AgingSlowsTheDesign) {
   auto fab = make_fabric(c17());
-  const double fresh = fab.timing(1.2, kRoom).worst_arrival_s;
-  fab.age_toggling(bti::ac_stress(1.2, 110.0), hours(24.0));
-  const double aged = fab.timing(1.2, kRoom).worst_arrival_s;
+  const double fresh = fab.timing(Volts{1.2}, Kelvin{kRoom}).worst_arrival_s;
+  fab.age_toggling(bti::ac_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
+  const double aged = fab.timing(Volts{1.2}, Kelvin{kRoom}).worst_arrival_s;
   EXPECT_GT(aged, fresh * 1.005);
 }
 
 TEST(Fabric, RejuvenationRestoresTiming) {
   auto fab = make_fabric(c17());
-  const double fresh = fab.timing(1.2, kRoom).worst_arrival_s;
-  fab.age_toggling(bti::ac_stress(1.2, 110.0), hours(24.0));
-  const double aged = fab.timing(1.2, kRoom).worst_arrival_s;
-  fab.age_sleep(bti::recovery(-0.3, 110.0), hours(6.0));
-  const double healed = fab.timing(1.2, kRoom).worst_arrival_s;
+  const double fresh = fab.timing(Volts{1.2}, Kelvin{kRoom}).worst_arrival_s;
+  fab.age_toggling(bti::ac_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
+  const double aged = fab.timing(Volts{1.2}, Kelvin{kRoom}).worst_arrival_s;
+  fab.age_sleep(bti::recovery(Volts{-0.3}, Celsius{110.0}), Seconds{hours(6.0)});
+  const double healed = fab.timing(Volts{1.2}, Kelvin{kRoom}).worst_arrival_s;
   EXPECT_LT(healed, fresh + 0.2 * (aged - fresh));
 }
 
@@ -137,9 +137,9 @@ TEST(Fabric, StaticAgingIsWorkloadDependent) {
 
   auto fab_hi = make_fabric(nl, 3);
   auto fab_lo = make_fabric(nl, 3);
-  const auto env = bti::dc_stress(1.2, 110.0);
-  fab_hi.age_static({{"a", true}, {"b", true}}, env, hours(24.0));
-  fab_lo.age_static({{"a", false}, {"b", false}}, env, hours(24.0));
+  const auto env = bti::dc_stress(Volts{1.2}, Celsius{110.0});
+  fab_hi.age_static({{"a", true}, {"b", true}}, env, Seconds{hours(24.0)});
+  fab_lo.age_static({{"a", false}, {"b", false}}, env, Seconds{hours(24.0)});
 
   // Different devices aged: compare the per-device shift patterns.
   bool any_different = false;
@@ -154,7 +154,7 @@ TEST(Fabric, StaticAgingIsWorkloadDependent) {
 
 TEST(Fabric, StaticAgingOnlyTouchesSensitizedDevices) {
   auto fab = make_fabric(inverter_chain(2), 5);
-  fab.age_static({{"in", true}}, bti::dc_stress(1.2, 110.0), hours(24.0));
+  fab.age_static({{"in", true}}, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
   // u0 sees in0 = 1 (inverter: stressed set includes M1, M5); its
   // complementary-path pass device M2 stays fresh.
   EXPECT_GT(fab.lut_of("u0").device(kM1).delta_vth(), 1e-3);
@@ -181,9 +181,9 @@ TEST(Fabric, SkewedWorkloadShiftsTheCriticalPath) {
 
   // DC workload that sensitizes only the left branch's 0-passing devices:
   // a = 0 stresses 'left' harder than b = 1 stresses 'right'.
-  fab.age_static({{"a", false}, {"b", true}}, bti::dc_stress(1.2, 110.0),
-                 hours(48.0));
-  const auto report = fab.timing(1.2, kRoom);
+  fab.age_static({{"a", false}, {"b", true}}, bti::dc_stress(Volts{1.2}, Celsius{110.0}),
+                 Seconds{hours(48.0)});
+  const auto report = fab.timing(Volts{1.2}, Kelvin{kRoom});
   ASSERT_EQ(report.critical_path.size(), 2u);
   EXPECT_EQ(report.critical_path.front(), "left");
 }
@@ -191,10 +191,10 @@ TEST(Fabric, SkewedWorkloadShiftsTheCriticalPath) {
 TEST(Fabric, DeterministicForSameSeed) {
   auto a = make_fabric(c17(), 99);
   auto b = make_fabric(c17(), 99);
-  a.age_toggling(bti::ac_stress(1.2, 110.0), hours(5.0));
-  b.age_toggling(bti::ac_stress(1.2, 110.0), hours(5.0));
-  EXPECT_DOUBLE_EQ(a.timing(1.2, kRoom).worst_arrival_s,
-                   b.timing(1.2, kRoom).worst_arrival_s);
+  a.age_toggling(bti::ac_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(5.0)});
+  b.age_toggling(bti::ac_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(5.0)});
+  EXPECT_DOUBLE_EQ(a.timing(Volts{1.2}, Kelvin{kRoom}).worst_arrival_s,
+                   b.timing(Volts{1.2}, Kelvin{kRoom}).worst_arrival_s);
 }
 
 }  // namespace

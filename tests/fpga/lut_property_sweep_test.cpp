@@ -31,8 +31,8 @@ TEST_P(LutConfigSweep, StressSetIsAPureFunctionOfInputs) {
   for (int in1 = 0; in1 <= 1; ++in1) {
     for (int in0 = 0; in0 <= 1; ++in0) {
       const auto before = lut.stressed_devices(in0 != 0, in1 != 0);
-      lut.age_static(in0 != 0, in1 != 0, bti::dc_stress(1.2, 110.0),
-                     hours(4.0));
+      lut.age_static(in0 != 0, in1 != 0, bti::dc_stress(Volts{1.2}, Celsius{110.0}),
+                     Seconds{hours(4.0)});
       EXPECT_EQ(before, lut.stressed_devices(in0 != 0, in1 != 0));
     }
   }
@@ -106,11 +106,11 @@ TEST_P(LutConfigSweep, ConductingPathIsOnSelectedBranch) {
 TEST_P(LutConfigSweep, FreshDelayIsInputIndependentAndPositive) {
   const auto lut = make();
   const DelayParams dp;
-  const double d = lut.path_delay(false, false, dp, 1.2, celsius(20.0));
+  const double d = lut.path_delay(false, false, dp, Volts{1.2}, Kelvin{celsius(20.0)});
   EXPECT_GT(d, 0.0);
   for (int in1 = 0; in1 <= 1; ++in1) {
     for (int in0 = 0; in0 <= 1; ++in0) {
-      EXPECT_NEAR(lut.path_delay(in0 != 0, in1 != 0, dp, 1.2, celsius(20.0)),
+      EXPECT_NEAR(lut.path_delay(in0 != 0, in1 != 0, dp, Volts{1.2}, Kelvin{celsius(20.0)}),
                   d, 1e-15);
     }
   }
@@ -119,7 +119,7 @@ TEST_P(LutConfigSweep, FreshDelayIsInputIndependentAndPositive) {
 TEST_P(LutConfigSweep, DcAgingNeverTouchesUnstressedDevices) {
   auto lut = make();
   const auto stressed = lut.stressed_devices(true, false);
-  lut.age_static(true, false, bti::dc_stress(1.2, 110.0), hours(24.0));
+  lut.age_static(true, false, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
   for (int d = 0; d < kLutDeviceCount; ++d) {
     const bool is_stressed =
         std::count(stressed.begin(), stressed.end(), d) > 0;

@@ -84,7 +84,7 @@ TEST(Lut, Hypothesis1StressSetIsConstantUnderDc) {
   // and after arbitrary aging.
   auto lut = make_lut();
   const auto before = lut.stressed_devices(true, true);
-  lut.age_static(true, true, bti::dc_stress(1.2, 110.0), hours(24.0));
+  lut.age_static(true, true, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
   const auto after = lut.stressed_devices(true, true);
   EXPECT_EQ(before, after);
 }
@@ -145,18 +145,18 @@ TEST(Lut, FreshPathDelayMatchesSegmentSum) {
   const auto lut = make_lut();
   const DelayParams dp;
   // 2 x 0.25 ns pass + 2 x 0.35 ns buffer = 1.2 ns.
-  EXPECT_NEAR(lut.path_delay(true, true, dp, 1.2, celsius(20.0)), 1.2e-9,
+  EXPECT_NEAR(lut.path_delay(true, true, dp, Volts{1.2}, Kelvin{celsius(20.0)}), 1.2e-9,
               1e-15);
 }
 
 TEST(Lut, DelayGrowsOnlyOnStressedPath) {
   auto lut = make_lut();
   const DelayParams dp;
-  const double fresh1 = lut.path_delay(true, true, dp, 1.2, celsius(20.0));
-  const double fresh0 = lut.path_delay(false, true, dp, 1.2, celsius(20.0));
-  lut.age_static(true, true, bti::dc_stress(1.2, 110.0), hours(24.0));
-  const double aged1 = lut.path_delay(true, true, dp, 1.2, celsius(20.0));
-  const double aged0 = lut.path_delay(false, true, dp, 1.2, celsius(20.0));
+  const double fresh1 = lut.path_delay(true, true, dp, Volts{1.2}, Kelvin{celsius(20.0)});
+  const double fresh0 = lut.path_delay(false, true, dp, Volts{1.2}, Kelvin{celsius(20.0)});
+  lut.age_static(true, true, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
+  const double aged1 = lut.path_delay(true, true, dp, Volts{1.2}, Kelvin{celsius(20.0)});
+  const double aged0 = lut.path_delay(false, true, dp, Volts{1.2}, Kelvin{celsius(20.0)});
   EXPECT_GT(aged1, fresh1 * 1.01);  // stressed path clearly slower
   // The complementary path shares only M5 with the stressed set, so it
   // slows a little — but far less than the stressed path.
@@ -166,26 +166,26 @@ TEST(Lut, DelayGrowsOnlyOnStressedPath) {
 
 TEST(Lut, Hypothesis2RecoveryLeavesFreshDevicesFresh) {
   auto lut = make_lut();
-  lut.age_static(true, true, bti::dc_stress(1.2, 110.0), hours(24.0));
+  lut.age_static(true, true, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
   ASSERT_DOUBLE_EQ(lut.device(kM2).delta_vth(), 0.0);
   ASSERT_DOUBLE_EQ(lut.device(kM7).delta_vth(), 0.0);
-  lut.age_sleep(bti::recovery(-0.3, 110.0), hours(6.0));
+  lut.age_sleep(bti::recovery(Volts{-0.3}, Celsius{110.0}), Seconds{hours(6.0)});
   EXPECT_DOUBLE_EQ(lut.device(kM2).delta_vth(), 0.0);
   EXPECT_DOUBLE_EQ(lut.device(kM7).delta_vth(), 0.0);
 }
 
 TEST(Lut, RecoveryHealsStressedDevices) {
   auto lut = make_lut();
-  lut.age_static(true, true, bti::dc_stress(1.2, 110.0), hours(24.0));
+  lut.age_static(true, true, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
   const double stressed = lut.device(kM1).delta_vth();
   ASSERT_GT(stressed, 0.0);
-  lut.age_sleep(bti::recovery(-0.3, 110.0), hours(6.0));
+  lut.age_sleep(bti::recovery(Volts{-0.3}, Celsius{110.0}), Seconds{hours(6.0)});
   EXPECT_LT(lut.device(kM1).delta_vth(), stressed * 0.2);
 }
 
 TEST(Lut, TogglingAgesBothPaths) {
   auto lut = make_lut();
-  lut.age_toggling(bti::ac_stress(1.2, 110.0), hours(24.0));
+  lut.age_toggling(bti::ac_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
   EXPECT_GT(lut.device(kM1).delta_vth(), 0.0);
   EXPECT_GT(lut.device(kM2).delta_vth(), 0.0);
   EXPECT_GT(lut.device(kM7).delta_vth(), 0.0);
@@ -205,7 +205,7 @@ TEST(Lut, DeviceTypesMatchNetlistRoles) {
 TEST(Lut, MaxDeltaVthTracksWorstDevice) {
   auto lut = make_lut();
   EXPECT_DOUBLE_EQ(lut.max_delta_vth(), 0.0);
-  lut.age_static(true, true, bti::dc_stress(1.2, 110.0), hours(24.0));
+  lut.age_static(true, true, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
   EXPECT_GE(lut.max_delta_vth(), lut.device(kM1).delta_vth());
   EXPECT_GT(lut.max_delta_vth(), 0.0);
 }

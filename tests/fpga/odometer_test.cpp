@@ -19,7 +19,7 @@ const double kRoom = celsius(20.0);
 
 TEST(Odometer, FreshSensorReadsNearZero) {
   auto odo = make_odometer();
-  const auto r = odo.read(kRoom);
+  const auto r = odo.read(Kelvin{kRoom});
   // Counter quantization only: well below 0.1 %.
   EXPECT_NEAR(r.degradation_estimate, 0.0, 1e-3);
 }
@@ -30,41 +30,41 @@ TEST(Odometer, CalibrationCancelsStaticMismatch) {
   OdometerConfig c;
   c.mismatch_sigma = 0.05;
   SiliconOdometer odo(c);
-  EXPECT_NEAR(odo.read(kRoom).degradation_estimate, 0.0, 1.5e-3);
+  EXPECT_NEAR(odo.read(Kelvin{kRoom}).degradation_estimate, 0.0, 1.5e-3);
 }
 
 TEST(Odometer, TracksTrueDegradationUnderStress) {
   auto odo = make_odometer();
-  odo.mission(bti::dc_stress(1.2, 110.0), hours(24.0));
-  const double truth = odo.true_degradation(kRoom);
-  const auto r = odo.read(kRoom);
+  odo.mission(bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
+  const double truth = odo.true_degradation(Kelvin{kRoom});
+  const auto r = odo.read(Kelvin{kRoom});
   ASSERT_GT(truth, 0.01);
   EXPECT_NEAR(r.degradation_estimate, truth, 0.25 * truth);
 }
 
 TEST(Odometer, EstimateGrowsWithStressTime) {
   auto odo = make_odometer();
-  odo.mission(bti::dc_stress(1.2, 110.0), hours(2.0));
-  const double early = odo.read(kRoom).degradation_estimate;
-  odo.mission(bti::dc_stress(1.2, 110.0), hours(22.0));
-  const double late = odo.read(kRoom).degradation_estimate;
+  odo.mission(bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(2.0)});
+  const double early = odo.read(Kelvin{kRoom}).degradation_estimate;
+  odo.mission(bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(22.0)});
+  const double late = odo.read(Kelvin{kRoom}).degradation_estimate;
   EXPECT_GT(late, early);
 }
 
 TEST(Odometer, ReferenceMirrorStaysNearlyFresh) {
   auto odo = make_odometer();
-  odo.mission(bti::dc_stress(1.2, 110.0), hours(24.0));
-  const auto r = odo.read(kRoom);
+  odo.mission(bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
+  const auto r = odo.read(Kelvin{kRoom});
   // If the reference aged with the mirror, the differential would read ~0.
   EXPECT_GT(r.degradation_estimate, 0.01);
 }
 
 TEST(Odometer, SensorHealsWithTheFabric) {
   auto odo = make_odometer();
-  odo.mission(bti::dc_stress(1.2, 110.0), hours(24.0));
-  const double stressed = odo.read(kRoom).degradation_estimate;
-  odo.sleep(bti::recovery(-0.3, 110.0), hours(6.0));
-  const double healed = odo.read(kRoom).degradation_estimate;
+  odo.mission(bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
+  const double stressed = odo.read(Kelvin{kRoom}).degradation_estimate;
+  odo.sleep(bti::recovery(Volts{-0.3}, Celsius{110.0}), Seconds{hours(6.0)});
+  const double healed = odo.read(Kelvin{kRoom}).degradation_estimate;
   EXPECT_LT(healed, 0.3 * stressed);
 }
 
@@ -72,9 +72,9 @@ TEST(Odometer, RepeatedReadsBarelyDisturbTheSensor) {
   // 1000 reads = ~32 s of cumulative AC at room conditions: the estimate
   // drift must stay below the counter noise floor.
   auto odo = make_odometer();
-  for (int i = 0; i < 1000; ++i) odo.read(kRoom);
+  for (int i = 0; i < 1000; ++i) odo.read(Kelvin{kRoom});
   EXPECT_EQ(odo.reads_taken(), 1001 - 1);
-  EXPECT_NEAR(odo.read(kRoom).degradation_estimate, 0.0, 2e-3);
+  EXPECT_NEAR(odo.read(Kelvin{kRoom}).degradation_estimate, 0.0, 2e-3);
 }
 
 TEST(Odometer, DifferentialCancelsTemperatureOfTheRead) {
@@ -83,9 +83,9 @@ TEST(Odometer, DifferentialCancelsTemperatureOfTheRead) {
   OdometerConfig c;
   c.delay.temp_coeff_per_k = 1.2e-3;
   SiliconOdometer odo(c);
-  odo.mission(bti::dc_stress(1.2, 110.0), hours(24.0));
-  const double cold = odo.read(celsius(20.0)).degradation_estimate;
-  const double hot = odo.read(celsius(110.0)).degradation_estimate;
+  odo.mission(bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
+  const double cold = odo.read(Kelvin{celsius(20.0)}).degradation_estimate;
+  const double hot = odo.read(Kelvin{celsius(110.0)}).degradation_estimate;
   EXPECT_NEAR(cold, hot, 0.15 * cold);
 }
 
@@ -96,7 +96,7 @@ TEST(Odometer, ReadDropoutsAreInvalidNaNButStillAge) {
   int dropped = 0;
   const int reads = 400;
   for (int i = 0; i < reads; ++i) {
-    const auto r = odo.read(kRoom);
+    const auto r = odo.read(Kelvin{kRoom});
     if (!r.valid) {
       ++dropped;
       EXPECT_TRUE(std::isnan(r.degradation_estimate));
@@ -113,23 +113,23 @@ TEST(Odometer, ReadDropoutsAreInvalidNaNButStillAge) {
 
 TEST(Odometer, DropoutsAreOffByDefaultAndSeedDeterministic) {
   auto odo = make_odometer();
-  for (int i = 0; i < 200; ++i) EXPECT_TRUE(odo.read(kRoom).valid);
+  for (int i = 0; i < 200; ++i) EXPECT_TRUE(odo.read(Kelvin{kRoom}).valid);
   OdometerConfig c;
   c.read_dropout_probability = 0.2;
   SiliconOdometer a(c);
   SiliconOdometer b(c);
   for (int i = 0; i < 200; ++i) {
-    EXPECT_EQ(a.read(kRoom).valid, b.read(kRoom).valid) << "read " << i;
+    EXPECT_EQ(a.read(Kelvin{kRoom}).valid, b.read(Kelvin{kRoom}).valid) << "read " << i;
   }
 }
 
 TEST(Odometer, DeterministicForSameSeed) {
   auto a = make_odometer(7);
   auto b = make_odometer(7);
-  a.mission(bti::dc_stress(1.2, 110.0), hours(5.0));
-  b.mission(bti::dc_stress(1.2, 110.0), hours(5.0));
-  EXPECT_DOUBLE_EQ(a.read(kRoom).degradation_estimate,
-                   b.read(kRoom).degradation_estimate);
+  a.mission(bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(5.0)});
+  b.mission(bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(5.0)});
+  EXPECT_DOUBLE_EQ(a.read(Kelvin{kRoom}).degradation_estimate,
+                   b.read(Kelvin{kRoom}).degradation_estimate);
 }
 
 }  // namespace

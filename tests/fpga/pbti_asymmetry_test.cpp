@@ -34,8 +34,8 @@ TEST(PbtiAsymmetry, WeakPbtiSparesNmosDevices) {
                             bti::default_td_parameters(), 7, 1.0);
   PassTransistorLut2 weak(inverter_config(), 1.0,
                           bti::default_td_parameters(), 7, 0.2);
-  strong.age_static(true, true, bti::dc_stress(1.2, 110.0), hours(24.0));
-  weak.age_static(true, true, bti::dc_stress(1.2, 110.0), hours(24.0));
+  strong.age_static(true, true, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
+  weak.age_static(true, true, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
   // M1 (NMOS pass, PBTI) shrinks by ~the ratio.
   EXPECT_NEAR(weak.device(kM1).delta_vth() / strong.device(kM1).delta_vth(),
               0.2, 0.08);
@@ -53,14 +53,14 @@ TEST(PbtiAsymmetry, WeakPbtiReducesRoDegradation) {
   sion.pbti_amplitude_ratio = 0.3;
   FpgaChip chip_hk(hk);
   FpgaChip chip_sion(sion);
-  const double f_hk = chip_hk.ro_frequency_hz(1.2, kRoom);
-  const double f_sion = chip_sion.ro_frequency_hz(1.2, kRoom);
-  chip_hk.evolve(RoMode::kDcFrozen, bti::dc_stress(1.2, 110.0), hours(24.0));
-  chip_sion.evolve(RoMode::kDcFrozen, bti::dc_stress(1.2, 110.0),
-                   hours(24.0));
-  const double deg_hk = 1.0 - chip_hk.ro_frequency_hz(1.2, kRoom) / f_hk;
+  const double f_hk = chip_hk.ro_frequency_hz(Volts{1.2}, Kelvin{kRoom});
+  const double f_sion = chip_sion.ro_frequency_hz(Volts{1.2}, Kelvin{kRoom});
+  chip_hk.evolve(RoMode::kDcFrozen, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
+  chip_sion.evolve(RoMode::kDcFrozen, bti::dc_stress(Volts{1.2}, Celsius{110.0}),
+                   Seconds{hours(24.0)});
+  const double deg_hk = 1.0 - chip_hk.ro_frequency_hz(Volts{1.2}, Kelvin{kRoom}) / f_hk;
   const double deg_sion =
-      1.0 - chip_sion.ro_frequency_hz(1.2, kRoom) / f_sion;
+      1.0 - chip_sion.ro_frequency_hz(Volts{1.2}, Kelvin{kRoom}) / f_sion;
   EXPECT_LT(deg_sion, 0.75 * deg_hk);
   EXPECT_GT(deg_sion, 0.2 * deg_hk);  // the NBTI share remains
 }
@@ -79,10 +79,10 @@ TEST(PbtiAsymmetry, HighKWorseThanUnityIsAllowed) {
   // model PBTI-dominant stacks.
   PassTransistorLut2 lut(inverter_config(), 1.0,
                          bti::default_td_parameters(), 7, 1.5);
-  lut.age_static(true, true, bti::dc_stress(1.2, 110.0), hours(24.0));
+  lut.age_static(true, true, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
   PassTransistorLut2 base(inverter_config(), 1.0,
                           bti::default_td_parameters(), 7, 1.0);
-  base.age_static(true, true, bti::dc_stress(1.2, 110.0), hours(24.0));
+  base.age_static(true, true, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
   EXPECT_GT(lut.device(kM1).delta_vth(), base.device(kM1).delta_vth());
 }
 

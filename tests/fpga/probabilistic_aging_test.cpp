@@ -69,9 +69,9 @@ TEST(ProbabilisticAging, DegenerateProbabilitiesMatchStaticAging) {
   // duties, same conditions).
   auto prob_fab = make_fabric(and_gate(), 9);
   auto static_fab = make_fabric(and_gate(), 9);
-  const auto env = bti::dc_stress(1.2, 110.0);
-  prob_fab.age_probabilistic({{"a", 1.0}, {"b", 1.0}}, env, hours(24.0));
-  static_fab.age_static({{"a", true}, {"b", true}}, env, hours(24.0));
+  const auto env = bti::dc_stress(Volts{1.2}, Celsius{110.0});
+  prob_fab.age_probabilistic({{"a", 1.0}, {"b", 1.0}}, env, Seconds{hours(24.0)});
+  static_fab.age_static({{"a", true}, {"b", true}}, env, Seconds{hours(24.0)});
   for (int d = 0; d < kLutDeviceCount; ++d) {
     EXPECT_NEAR(prob_fab.lut_of("u0").device(d).delta_vth(),
                 static_fab.lut_of("u0").device(d).delta_vth(), 1e-9)
@@ -88,9 +88,9 @@ TEST(ProbabilisticAging, BiasedInputsAgeAsymmetrically) {
   // a mostly-1 workload stresses the 1-sensitized devices harder.
   auto mostly1 = make_fabric(and_gate(), 3);
   auto mostly0 = make_fabric(and_gate(), 3);
-  const auto env = bti::dc_stress(1.2, 110.0);
-  mostly1.age_probabilistic({{"a", 0.95}, {"b", 0.95}}, env, hours(24.0));
-  mostly0.age_probabilistic({{"a", 0.05}, {"b", 0.05}}, env, hours(24.0));
+  const auto env = bti::dc_stress(Volts{1.2}, Celsius{110.0});
+  mostly1.age_probabilistic({{"a", 0.95}, {"b", 0.95}}, env, Seconds{hours(24.0)});
+  mostly0.age_probabilistic({{"a", 0.05}, {"b", 0.05}}, env, Seconds{hours(24.0)});
   // Routing carries out=AND: mostly 1 vs mostly 0 — R1N vs R1P asymmetry
   // flips between the two workloads.
   EXPECT_GT(mostly1.routing_of("u0").device(kR1N).delta_vth(),
@@ -102,9 +102,9 @@ TEST(ProbabilisticAging, BiasedInputsAgeAsymmetrically) {
 TEST(ProbabilisticAging, IntermediateProbabilitiesAgeBetweenExtremes) {
   auto p50 = make_fabric(and_gate(), 5);
   auto p100 = make_fabric(and_gate(), 5);
-  const auto env = bti::dc_stress(1.2, 110.0);
-  p50.age_probabilistic({{"a", 0.5}, {"b", 0.5}}, env, hours(24.0));
-  p100.age_probabilistic({{"a", 1.0}, {"b", 1.0}}, env, hours(24.0));
+  const auto env = bti::dc_stress(Volts{1.2}, Celsius{110.0});
+  p50.age_probabilistic({{"a", 0.5}, {"b", 0.5}}, env, Seconds{hours(24.0)});
+  p100.age_probabilistic({{"a", 1.0}, {"b", 1.0}}, env, Seconds{hours(24.0)});
   // M1 is stressed only in the (1,1) corner for the AND config... its duty
   // under p=0.5 is a quarter of the p=1 duty, so it ages strictly less.
   const double d50 = p50.lut_of("u0").device(kM1).delta_vth();
@@ -122,14 +122,14 @@ TEST(ProbabilisticAging, TimingDriftFollowsWorkloadBias) {
   FabricConfig cfg;
   cfg.seed = 7;
   Fabric fab(ripple_carry_adder(2), cfg);
-  const double fresh = fab.timing(1.2, celsius(60.0)).worst_arrival_s;
+  const double fresh = fab.timing(Volts{1.2}, Kelvin{celsius(60.0)}).worst_arrival_s;
   NetProbabilities pi{{"cin", 0.1}};
   for (int i = 0; i < 2; ++i) {
     pi["a" + std::to_string(i)] = 0.5;
     pi["b" + std::to_string(i)] = 0.9;
   }
-  fab.age_probabilistic(pi, bti::dc_stress(1.2, 80.0), hours(24.0 * 30));
-  const double aged = fab.timing(1.2, celsius(60.0)).worst_arrival_s;
+  fab.age_probabilistic(pi, bti::dc_stress(Volts{1.2}, Celsius{80.0}), Seconds{hours(24.0 * 30)});
+  const double aged = fab.timing(Volts{1.2}, Kelvin{celsius(60.0)}).worst_arrival_s;
   EXPECT_GT(aged, fresh * 1.001);
 }
 

@@ -39,12 +39,12 @@ TEST(Routing, StressedDevicesAreTheConductingOnes) {
 TEST(Routing, FreshDelayIsTwoSegments) {
   const auto rb = make_block();
   const DelayParams dp;
-  EXPECT_NEAR(rb.path_delay(true, dp, 1.2, celsius(20.0)), 0.8e-9, 1e-15);
+  EXPECT_NEAR(rb.path_delay(true, dp, Volts{1.2}, Kelvin{celsius(20.0)}), 0.8e-9, 1e-15);
 }
 
 TEST(Routing, StaticAgingOnlyAffectsCarriedValuePath) {
   auto rb = make_block();
-  rb.age_static(true, bti::dc_stress(1.2, 110.0), hours(24.0));
+  rb.age_static(true, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
   EXPECT_GT(rb.device(kR1N).delta_vth(), 0.0);
   EXPECT_GT(rb.device(kR2P).delta_vth(), 0.0);
   EXPECT_DOUBLE_EQ(rb.device(kR1P).delta_vth(), 0.0);
@@ -54,18 +54,18 @@ TEST(Routing, StaticAgingOnlyAffectsCarriedValuePath) {
 TEST(Routing, AgedPathSlowsDown) {
   auto rb = make_block();
   const DelayParams dp;
-  const double fresh = rb.path_delay(true, dp, 1.2, celsius(20.0));
-  rb.age_static(true, bti::dc_stress(1.2, 110.0), hours(24.0));
-  EXPECT_GT(rb.path_delay(true, dp, 1.2, celsius(20.0)), fresh * 1.01);
+  const double fresh = rb.path_delay(true, dp, Volts{1.2}, Kelvin{celsius(20.0)});
+  rb.age_static(true, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
+  EXPECT_GT(rb.path_delay(true, dp, Volts{1.2}, Kelvin{celsius(20.0)}), fresh * 1.01);
   // The complementary path is untouched.
-  EXPECT_NEAR(rb.path_delay(false, dp, 1.2, celsius(20.0)), 0.8e-9, 1e-15);
+  EXPECT_NEAR(rb.path_delay(false, dp, Volts{1.2}, Kelvin{celsius(20.0)}), 0.8e-9, 1e-15);
 }
 
 TEST(Routing, SleepHealsAgedDevices) {
   auto rb = make_block();
-  rb.age_static(true, bti::dc_stress(1.2, 110.0), hours(24.0));
+  rb.age_static(true, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
   const double aged = rb.device(kR1N).delta_vth();
-  rb.age_sleep(bti::recovery(-0.3, 110.0), hours(6.0));
+  rb.age_sleep(bti::recovery(Volts{-0.3}, Celsius{110.0}), Seconds{hours(6.0)});
   EXPECT_LT(rb.device(kR1N).delta_vth(), aged * 0.2);
 }
 

@@ -41,8 +41,8 @@ tb::TestCase stress_recover_case(int chip, const char* rec_label,
   tc.name = "validate";
   tc.chip_id = chip;
   tc.phases = {tb::burn_in_phase(),
-               tb::dc_stress_phase("AS110DC24", 110.0, 24.0),
-               tb::recovery_phase(rec_label, rec_v, rec_t, 6.0)};
+               tb::dc_stress_phase("AS110DC24", Celsius{110.0}, units::hours(24.0)),
+               tb::recovery_phase(rec_label, Volts{rec_v}, Celsius{rec_t}, units::hours(6.0))};
   return tc;
 }
 
@@ -109,8 +109,8 @@ TEST(ModelValidation, ClosedFormPredictsCampaignEndpointsBlind) {
   const bti::ClosedFormModel model(
       bti::ClosedFormParameters::from_td(bti::default_td_parameters()));
   const double predicted =
-      1.0 - model.remaining_fraction(hours(24.0), hours(6.0),
-                                     bti::recovery(-0.3, 110.0));
+      1.0 - model.remaining_fraction(Seconds{hours(24.0)}, Seconds{hours(6.0)},
+                                     bti::recovery(Volts{-0.3}, Celsius{110.0}));
   EXPECT_NEAR(measured, predicted, 0.10);
 }
 

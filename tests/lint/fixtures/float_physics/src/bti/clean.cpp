@@ -1,0 +1,1 @@
+double delta_vth_v(double t_s) { return 0.001 * t_s; }

@@ -1,0 +1,1 @@
+float delta_vth_v(float t_s) { return 0.001f * t_s; }

@@ -1,0 +1,4 @@
+double pack(double x) {
+  const float narrowed = static_cast<float>(x);  // ash-lint: allow(float-physics)
+  return static_cast<double>(narrowed);
+}

@@ -1,0 +1,14 @@
+#pragma once
+namespace units {
+struct Seconds { double v; };
+struct Kelvin { double v; };
+}  // namespace units
+double free_fn(units::Kelvin temp);
+class Model {
+ public:
+  void evolve(units::Seconds dt);
+  double delay_s() const { return delay_s_; }  // returns are out of scope
+ private:
+  void advance(double dt_s);  // private helpers may stay raw
+  double delay_s_ = 0.0;      // data members are out of scope
+};

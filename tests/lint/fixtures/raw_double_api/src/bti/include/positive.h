@@ -1,0 +1,8 @@
+#pragma once
+double free_fn(double temp_k);
+class Model {
+ public:
+  void evolve(double dt_s);
+ private:
+  double state_v_ = 0.0;
+};

@@ -1,0 +1,3 @@
+// All randomness flows through the lab's seeded generator.
+struct Rng { unsigned long s; unsigned long next() { return s += 0x9E3779B97F4A7C15ull; } };
+unsigned long draw(Rng& rng) { return rng.next(); }

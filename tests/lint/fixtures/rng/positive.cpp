@@ -1,0 +1,6 @@
+#include <cstdlib>
+#include <random>
+int draw() {
+  std::random_device rd;
+  return static_cast<int>(rd()) + rand();
+}

@@ -1,0 +1,10 @@
+#include <map>
+#include <string>
+#include <vector>
+double total(const std::map<std::string, double>& weights,
+             const std::vector<double>& extra) {
+  double sum = 0.0;
+  for (const auto& kv : weights) sum += kv.second;
+  for (double x : extra) sum += x;
+  return sum;
+}

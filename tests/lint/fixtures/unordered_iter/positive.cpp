@@ -1,0 +1,8 @@
+#include <string>
+#include <unordered_map>
+double total(const std::unordered_map<std::string, double>& weights) {
+  std::unordered_map<std::string, double> scaled = weights;
+  double sum = 0.0;
+  for (const auto& kv : scaled) sum += kv.second;  // order-dependent merge
+  return sum;
+}

@@ -1,0 +1,2 @@
+// Simulated time only: the campaign clock is plain arithmetic.
+double advance(double t_campaign_s, double dt_s) { return t_campaign_s + dt_s; }

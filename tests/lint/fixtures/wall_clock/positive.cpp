@@ -1,0 +1,5 @@
+#include <chrono>
+double now_s() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(t).count();
+}

@@ -35,17 +35,17 @@ TEST(CoreFaultPlan, DefaultIsIdeal) {
 }
 
 TEST(CoreFaultModel, ValidatesArguments) {
-  EXPECT_THROW(CoreFaultModel(CoreFaultPlan{}, 0, kIntervalS),
+  EXPECT_THROW(CoreFaultModel(CoreFaultPlan{}, 0, Seconds{kIntervalS}),
                std::invalid_argument);
-  EXPECT_THROW(CoreFaultModel(CoreFaultPlan{}, 8, 0.0), std::invalid_argument);
-  CoreFaultModel m(CoreFaultPlan{}, 8, kIntervalS);
+  EXPECT_THROW(CoreFaultModel(CoreFaultPlan{}, 8, Seconds{0.0}), std::invalid_argument);
+  CoreFaultModel m(CoreFaultPlan{}, 8, Seconds{kIntervalS});
   EXPECT_THROW(m.begin_interval(0, std::vector<double>(3, 0.0)),
                std::invalid_argument);
 }
 
 TEST(CoreFaultModel, IdealPlanIsTransparent) {
   ReliabilityReport report;
-  CoreFaultModel m(CoreFaultPlan::none(), 8, kIntervalS, &report);
+  CoreFaultModel m(CoreFaultPlan::none(), 8, Seconds{kIntervalS}, &report);
   const auto truth = flat_truth();
   for (long k = 0; k < 50; ++k) {
     m.begin_interval(k, truth);
@@ -53,7 +53,7 @@ TEST(CoreFaultModel, IdealPlanIsTransparent) {
       EXPECT_FALSE(m.dead(i));
       EXPECT_TRUE(m.status(i).responsive);
       EXPECT_TRUE(m.status(i).rail_ok);
-      EXPECT_DOUBLE_EQ(m.measured_delta_vth(i, truth[static_cast<std::size_t>(i)]),
+      EXPECT_DOUBLE_EQ(m.measured_delta_vth(i, Volts{truth[static_cast<std::size_t>(i)]}),
                        truth[static_cast<std::size_t>(i)]);
       EXPECT_EQ(m.effective_mode(i, CoreMode::kSleepRejuvenate),
                 CoreMode::kSleepRejuvenate);
@@ -67,8 +67,8 @@ TEST(CoreFaultModel, SameSeedReplaysBitIdentically) {
   const auto plan = CoreFaultPlan::harsh();
   ReliabilityReport ra;
   ReliabilityReport rb;
-  CoreFaultModel a(plan, 8, kIntervalS, &ra);
-  CoreFaultModel b(plan, 8, kIntervalS, &rb);
+  CoreFaultModel a(plan, 8, Seconds{kIntervalS}, &ra);
+  CoreFaultModel b(plan, 8, Seconds{kIntervalS}, &rb);
   const long intervals = 400;
   for (long k = 0; k < intervals; ++k) {
     // Aging trajectory rises over the run so the wearout hazard engages.
@@ -81,9 +81,9 @@ TEST(CoreFaultModel, SameSeedReplaysBitIdentically) {
       ASSERT_EQ(a.transient_faulted(i), b.transient_faulted(i));
       ASSERT_EQ(a.rail_stuck(i), b.rail_stuck(i));
       const double ma =
-          a.measured_delta_vth(i, truth[static_cast<std::size_t>(i)]);
+          a.measured_delta_vth(i, Volts{truth[static_cast<std::size_t>(i)]});
       const double mb =
-          b.measured_delta_vth(i, truth[static_cast<std::size_t>(i)]);
+          b.measured_delta_vth(i, Volts{truth[static_cast<std::size_t>(i)]});
       // NaN == NaN is false; compare the bit pattern of the channel.
       ASSERT_EQ(std::isnan(ma), std::isnan(mb));
       if (!std::isnan(ma)) {
@@ -98,17 +98,17 @@ TEST(CoreFaultModel, SameSeedReplaysBitIdentically) {
 TEST(CoreFaultModel, SeedChangesTheHistory) {
   auto plan = CoreFaultPlan::harsh();
   ReliabilityReport ra;
-  CoreFaultModel a(plan, 8, kIntervalS, &ra);
+  CoreFaultModel a(plan, 8, Seconds{kIntervalS}, &ra);
   plan.seed ^= 0x9E3779B97F4A7C15ull;
   ReliabilityReport rb;
-  CoreFaultModel b(plan, 8, kIntervalS, &rb);
+  CoreFaultModel b(plan, 8, Seconds{kIntervalS}, &rb);
   const auto truth = flat_truth();
   for (long k = 0; k < 400; ++k) {
     a.begin_interval(k, truth);
     b.begin_interval(k, truth);
     for (int i = 0; i < 8; ++i) {
-      a.measured_delta_vth(i, truth[static_cast<std::size_t>(i)]);
-      b.measured_delta_vth(i, truth[static_cast<std::size_t>(i)]);
+      a.measured_delta_vth(i, Volts{truth[static_cast<std::size_t>(i)]});
+      b.measured_delta_vth(i, Volts{truth[static_cast<std::size_t>(i)]});
     }
   }
   EXPECT_NE(ra, rb);
@@ -118,7 +118,7 @@ TEST(CoreFaultModel, DeadCoresStayDeadAndReadNaN) {
   auto plan = CoreFaultPlan::none();
   plan.random_death_per_core_year = 50.0;  // deaths come quickly
   ReliabilityReport report;
-  CoreFaultModel m(plan, 8, kIntervalS, &report);
+  CoreFaultModel m(plan, 8, Seconds{kIntervalS}, &report);
   const auto truth = flat_truth();
   int first_dead = -1;
   for (long k = 0; k < 200 && first_dead < 0; ++k) {
@@ -132,7 +132,7 @@ TEST(CoreFaultModel, DeadCoresStayDeadAndReadNaN) {
   }
   ASSERT_GE(first_dead, 0) << "hazard of 50/core-year produced no death";
   EXPECT_FALSE(m.status(first_dead).responsive);
-  EXPECT_TRUE(std::isnan(m.measured_delta_vth(first_dead, 5e-3)));
+  EXPECT_TRUE(std::isnan(m.measured_delta_vth(first_dead, Volts{5e-3})));
   EXPECT_LT(m.alive_count(), 8);
   const int deaths_so_far = report.permanent_deaths;
   // Death is permanent: the core never comes back.
@@ -150,7 +150,7 @@ TEST(CoreFaultModel, WearHazardPrefersAgedCores) {
   std::vector<double> truth(8, 0.5e-3);
   for (int i = 4; i < 8; ++i) truth[static_cast<std::size_t>(i)] = 15e-3;
   ReliabilityReport report;
-  CoreFaultModel m(plan, 8, kIntervalS, &report);
+  CoreFaultModel m(plan, 8, Seconds{kIntervalS}, &report);
   for (long k = 0; k < 400; ++k) m.begin_interval(k, truth);
   int young_dead = 0;
   int old_dead = 0;
@@ -165,7 +165,7 @@ TEST(CoreFaultModel, StuckRailDowngradesRejuvenationOnly) {
   auto plan = CoreFaultPlan::none();
   plan.stuck_rail_per_core_year = 80.0;
   ReliabilityReport report;
-  CoreFaultModel m(plan, 8, kIntervalS, &report);
+  CoreFaultModel m(plan, 8, Seconds{kIntervalS}, &report);
   const auto truth = flat_truth();
   int stuck = -1;
   for (long k = 0; k < 200 && stuck < 0; ++k) {
@@ -194,13 +194,13 @@ TEST(CoreFaultModel, StuckSensorRepeatsBitIdentically) {
   plan.sensor_stuck_probability = 1.0;  // freeze immediately
   plan.sensor_stuck_intervals = 4;
   ReliabilityReport report;
-  CoreFaultModel m(plan, 8, kIntervalS, &report);
+  CoreFaultModel m(plan, 8, Seconds{kIntervalS}, &report);
   m.begin_interval(0, flat_truth(2e-3));
-  const double frozen = m.measured_delta_vth(0, 2e-3);
+  const double frozen = m.measured_delta_vth(0, Volts{2e-3});
   for (long k = 1; k <= 3; ++k) {
     // Truth moves; the frozen reading must not.
     m.begin_interval(k, flat_truth(2e-3 + 1e-3 * static_cast<double>(k)));
-    EXPECT_DOUBLE_EQ(m.measured_delta_vth(0, 2e-3 + 1e-3 * static_cast<double>(k)),
+    EXPECT_DOUBLE_EQ(m.measured_delta_vth(0, Volts{2e-3 + 1e-3 * static_cast<double>(k)}),
                      frozen);
   }
   EXPECT_GE(report.sensor_stuck_windows, 1);
@@ -209,14 +209,14 @@ TEST(CoreFaultModel, StuckSensorRepeatsBitIdentically) {
 TEST(CoreFaultModel, SensorNoiseIsUnbiased) {
   auto plan = CoreFaultPlan::none();
   plan.sensor_noise_v = 0.5e-3;
-  CoreFaultModel m(plan, 8, kIntervalS);
+  CoreFaultModel m(plan, 8, Seconds{kIntervalS});
   const double truth = 6e-3;
   double sum = 0.0;
   int count = 0;
   for (long k = 0; k < 500; ++k) {
     m.begin_interval(k, flat_truth(truth));
     for (int i = 0; i < 8; ++i) {
-      sum += m.measured_delta_vth(i, truth);
+      sum += m.measured_delta_vth(i, Volts{truth});
       ++count;
     }
   }

@@ -104,13 +104,13 @@ TEST(HeaterAware, PrefersAgedCores) {
 }
 
 TEST(Reactive, SleepsNothingWhenHealthy) {
-  ReactiveScheduler s(5e-3);
+  ReactiveScheduler s(Volts{5e-3});
   const auto a = s.assign(context(0, 6));
   EXPECT_EQ(active_count(a), 8);
 }
 
 TEST(Reactive, SleepsMostAgedAboveThreshold) {
-  ReactiveScheduler s(5e-3);
+  ReactiveScheduler s(Volts{5e-3});
   std::vector<double> aging{1e-3, 6e-3, 2e-3, 9e-3, 1e-3, 7e-3, 0.0, 0.0};
   const auto a = s.assign(context(0, 6, aging));  // at most 2 sleepers
   EXPECT_EQ(active_count(a), 6);
@@ -120,7 +120,7 @@ TEST(Reactive, SleepsMostAgedAboveThreshold) {
 }
 
 TEST(Reactive, NeverStarvesTheWorkload) {
-  ReactiveScheduler s(1e-6);
+  ReactiveScheduler s(Volts{1e-6});
   std::vector<double> aging(8, 1e-3);  // everyone above threshold
   const auto a = s.assign(context(0, 6, aging));
   EXPECT_EQ(active_count(a), 6);
@@ -145,7 +145,7 @@ TEST(Schedulers, OverloadedDemandIsClampedNotThrown) {
   EXPECT_EQ(active_count(rr.assign(ctx)), 8);
   HeaterAwareCircadianScheduler h;
   EXPECT_EQ(active_count(h.assign(ctx)), 8);
-  ReactiveScheduler reactive(1e-6);
+  ReactiveScheduler reactive(Volts{1e-6});
   EXPECT_EQ(active_count(reactive.assign(ctx)), 8);
 }
 
@@ -174,7 +174,7 @@ TEST(Schedulers, TolerateNaNTelemetry) {
   HeaterAwareCircadianScheduler h;
   const auto a = h.assign(context(0, 6, poisoned));
   EXPECT_EQ(active_count(a), 6);
-  ReactiveScheduler reactive(1e-3);
+  ReactiveScheduler reactive(Volts{1e-3});
   const auto b = reactive.assign(context(0, 6, poisoned));
   // The only finite reading is above threshold: it sleeps; the NaN cores
   // are treated as unaged and must not be chosen reactively.
@@ -192,7 +192,7 @@ TEST(Schedulers, AllNaNTelemetryStillSchedules) {
     const auto a = h.assign(context(k, 6, poisoned));
     EXPECT_EQ(active_count(a), 6) << "interval " << k;
   }
-  ReactiveScheduler reactive(1e-3);
+  ReactiveScheduler reactive(Volts{1e-3});
   const auto b = reactive.assign(context(0, 6, poisoned));
   EXPECT_EQ(active_count(b), 8);  // no evidence of aging: nobody sleeps
 }
@@ -202,7 +202,7 @@ TEST(Schedulers, NamesAreDistinct) {
   RoundRobinSleepScheduler r(true);
   RoundRobinSleepScheduler rp(false);
   HeaterAwareCircadianScheduler h;
-  ReactiveScheduler x(1e-3);
+  ReactiveScheduler x(Volts{1e-3});
   const std::set<std::string> names{a.name(), r.name(), rp.name(), h.name(),
                                     x.name()};
   EXPECT_EQ(names.size(), 5u);

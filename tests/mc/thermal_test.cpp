@@ -99,7 +99,7 @@ TEST(Thermal, TransientConvergesToSteadyState) {
   const auto target = m.solve_steady_state(powers);
   std::vector<double> temps(static_cast<std::size_t>(fp().node_count()), 45.0);
   const double dt = 0.5 * m.max_stable_dt_s();
-  for (int i = 0; i < 20000; ++i) temps = m.step(temps, powers, dt);
+  for (int i = 0; i < 20000; ++i) temps = m.step(temps, powers, Seconds{dt});
   for (int i = 0; i < fp().node_count(); ++i) {
     EXPECT_NEAR(temps[static_cast<std::size_t>(i)],
                 target[static_cast<std::size_t>(i)], 0.01);
@@ -109,9 +109,9 @@ TEST(Thermal, TransientConvergesToSteadyState) {
 TEST(Thermal, StepRejectsUnstableDt) {
   const auto m = model();
   std::vector<double> temps(static_cast<std::size_t>(fp().node_count()), 45.0);
-  EXPECT_THROW(m.step(temps, zero_powers(), 10.0 * m.max_stable_dt_s()),
+  EXPECT_THROW(m.step(temps, zero_powers(), Seconds{10.0 * m.max_stable_dt_s()}),
                std::invalid_argument);
-  EXPECT_THROW(m.step(temps, zero_powers(), 0.0), std::invalid_argument);
+  EXPECT_THROW(m.step(temps, zero_powers(), Seconds{0.0}), std::invalid_argument);
 }
 
 TEST(Thermal, ValidatesInputs) {

@@ -9,31 +9,31 @@ namespace {
 
 TEST(Workload, ConstantAlwaysReturnsTheSame) {
   const ConstantWorkload w(5);
-  EXPECT_EQ(w.cores_needed(0, 0.0), 5);
-  EXPECT_EQ(w.cores_needed(1000, 9e9), 5);
+  EXPECT_EQ(w.cores_needed(0, Seconds{0.0}), 5);
+  EXPECT_EQ(w.cores_needed(1000, Seconds{9e9}), 5);
 }
 
 TEST(Workload, DiurnalDayNightPattern) {
   const DiurnalWorkload w(/*day=*/8, /*night=*/3);
   // Day: first 58 % of each 24 h period.
-  EXPECT_EQ(w.cores_needed(0, 0.0), 8);
-  EXPECT_EQ(w.cores_needed(0, 10.0 * 3600.0), 8);
-  EXPECT_EQ(w.cores_needed(0, 20.0 * 3600.0), 3);
+  EXPECT_EQ(w.cores_needed(0, Seconds{0.0}), 8);
+  EXPECT_EQ(w.cores_needed(0, Seconds{10.0 * 3600.0}), 8);
+  EXPECT_EQ(w.cores_needed(0, Seconds{20.0 * 3600.0}), 3);
   // Next day repeats.
-  EXPECT_EQ(w.cores_needed(0, 24.0 * 3600.0 + 1.0), 8);
-  EXPECT_EQ(w.cores_needed(0, 24.0 * 3600.0 + 20.0 * 3600.0), 3);
+  EXPECT_EQ(w.cores_needed(0, Seconds{24.0 * 3600.0 + 1.0}), 8);
+  EXPECT_EQ(w.cores_needed(0, Seconds{24.0 * 3600.0 + 20.0 * 3600.0}), 3);
 }
 
 TEST(Workload, BurstyIsDeterministicPerInterval) {
   const BurstyWorkload w(2, 7, 42);
-  const int first = w.cores_needed(3, 0.0);
-  EXPECT_EQ(w.cores_needed(3, 0.0), first);  // call-order independent
+  const int first = w.cores_needed(3, Seconds{0.0});
+  EXPECT_EQ(w.cores_needed(3, Seconds{0.0}), first);  // call-order independent
   EXPECT_GE(first, 2);
   EXPECT_LE(first, 7);
   // Different intervals vary.
   bool any_different = false;
   for (long k = 0; k < 50; ++k) {
-    if (w.cores_needed(k, 0.0) != first) any_different = true;
+    if (w.cores_needed(k, Seconds{0.0}) != first) any_different = true;
   }
   EXPECT_TRUE(any_different);
 }
@@ -43,7 +43,7 @@ TEST(Workload, BurstyCoversItsRange) {
   int lo = 99;
   int hi = -1;
   for (long k = 0; k < 500; ++k) {
-    const int c = w.cores_needed(k, 0.0);
+    const int c = w.cores_needed(k, Seconds{0.0});
     lo = std::min(lo, c);
     hi = std::max(hi, c);
   }

@@ -96,7 +96,7 @@ TEST(GoldenTrajectory, Chip5ManualDriveMatchesPreRefactorBits) {
         std::max(1, static_cast<int>(phase.duration_s / phase.sample_every_s));
     const double dt = phase.duration_s / steps;
     for (int s = 0; s < steps; ++s) {
-      chip.evolve(phase.mode, cond, dt);
+      chip.evolve(phase.mode, cond, Seconds{dt});
       trajectory.push_back(chip_delta_vth(chip));
     }
     for (int i : {0, 37, 74}) {

@@ -36,8 +36,8 @@ std::vector<tb::TestCase> mini_campaign() {
     tc.name = "mini";
     tc.chip_id = chip;
     tc.phases = {tb::burn_in_phase(),
-                 tb::dc_stress_phase("AS110DC2", 110.0, 2.0),
-                 tb::recovery_phase("AR110N1", -0.3, 110.0, 1.0)};
+                 tb::dc_stress_phase("AS110DC2", Celsius{110.0}, units::hours(2.0)),
+                 tb::recovery_phase("AR110N1", Volts{-0.3}, Celsius{110.0}, units::hours(1.0))};
     cases.push_back(tc);
   }
   return cases;

@@ -22,8 +22,8 @@ TestCase short_case() {
   TestCase tc;
   tc.name = "short";
   tc.chip_id = 2;
-  tc.phases = {dc_stress_phase("STRESS", 110.0, 2.0, /*sample min=*/30.0),
-               recovery_phase("RECOVER", -0.3, 110.0, 0.5, 10.0)};
+  tc.phases = {dc_stress_phase("STRESS", Celsius{110.0}, units::hours(2.0), units::minutes(/*sample min=*/30.0)),
+               recovery_phase("RECOVER", Volts{-0.3}, Celsius{110.0}, units::hours(0.5), units::minutes(10.0))};
   return tc;
 }
 
@@ -117,8 +117,8 @@ TEST(ExperimentRunner, FiniteChamberRampDelaysTheCampaignClock) {
   TestCase tc;
   tc.name = "ramped";
   tc.chip_id = 2;
-  tc.phases = {dc_stress_phase("STRESS", 110.0, 2.0, 30.0),
-               recovery_phase("R20", 0.0, 20.0, 0.5, 10.0)};
+  tc.phases = {dc_stress_phase("STRESS", Celsius{110.0}, units::hours(2.0), units::minutes(30.0)),
+               recovery_phase("R20", Volts{0.0}, Celsius{20.0}, units::hours(0.5), units::minutes(10.0))};
   auto instant_chip = small_chip();
   auto ramped_chip = small_chip();
   RunnerConfig instant;
@@ -141,12 +141,12 @@ TEST(ExperimentRunner, FiniteRampAgesChipAtIntermediateTemperatures) {
   TestCase tc;
   tc.name = "ramp-aging";
   tc.chip_id = 2;
-  tc.phases = {dc_stress_phase("LOW", 20.0, 2.0, 60.0),
-               dc_stress_phase("HIGH", 110.0, 1.0, 30.0)};
+  tc.phases = {dc_stress_phase("LOW", Celsius{20.0}, units::hours(2.0), units::minutes(60.0)),
+               dc_stress_phase("HIGH", Celsius{110.0}, units::hours(1.0), units::minutes(30.0))};
 
   TestCase tc_hold = tc;
   tc_hold.phases.insert(tc_hold.phases.begin() + 1,
-                        dc_stress_phase("HOLD110", 110.0, 0.5, 0.0));
+                        dc_stress_phase("HOLD110", Celsius{110.0}, units::hours(0.5), units::minutes(0.0)));
 
   RunnerConfig instant;
   RunnerConfig ramped;
@@ -189,7 +189,7 @@ TEST(ExperimentRunner, UnsampledPhaseStillLogsEndpoints) {
   TestCase tc;
   tc.name = "endpoints";
   tc.chip_id = 1;
-  Phase p = dc_stress_phase("NOSAMPLES", 110.0, 1.0);
+  Phase p = dc_stress_phase("NOSAMPLES", Celsius{110.0}, units::hours(1.0));
   p.sample_every_s = 0.0;
   tc.phases = {p};
   auto chip = small_chip(1);

@@ -25,8 +25,8 @@ TestCase short_case() {
   TestCase tc;
   tc.name = "short";
   tc.chip_id = 2;
-  tc.phases = {dc_stress_phase("STRESS", 110.0, 2.0, /*sample min=*/30.0),
-               recovery_phase("RECOVER", -0.3, 110.0, 0.5, 10.0)};
+  tc.phases = {dc_stress_phase("STRESS", Celsius{110.0}, units::hours(2.0), units::minutes(/*sample min=*/30.0)),
+               recovery_phase("RECOVER", Volts{-0.3}, Celsius{110.0}, units::hours(0.5), units::minutes(10.0))};
   return tc;
 }
 
@@ -76,20 +76,20 @@ TEST(FaultReport, SerializeRoundTripsAndMerges) {
 
 TEST(FaultInjector, DeterministicPerPhaseAndAttempt) {
   const auto plan = FaultPlan::harsh();
-  FaultInjector a(plan, /*phase=*/1, /*attempt=*/0, 7200.0);
-  FaultInjector b(plan, 1, 0, 7200.0);
+  FaultInjector a(plan, /*phase=*/1, /*attempt=*/0, Seconds{7200.0});
+  FaultInjector b(plan, 1, 0, Seconds{7200.0});
   for (double t : {0.0, 600.0, 3000.0, 7000.0}) {
-    EXPECT_EQ(a.chamber_offset_c(t), b.chamber_offset_c(t));
-    EXPECT_EQ(a.supply_offset_v(t), b.supply_offset_v(t));
+    EXPECT_EQ(a.chamber_offset_c(Seconds{t}), b.chamber_offset_c(Seconds{t}));
+    EXPECT_EQ(a.supply_offset_v(Seconds{t}), b.supply_offset_v(Seconds{t}));
   }
   EXPECT_EQ(a.clock_offset_ppm(), b.clock_offset_ppm());
   // The same phase re-run as a later attempt draws a different scenario
   // stream (probabilities are also recurrence-scaled).
-  FaultInjector c(plan, 1, 1, 7200.0);
+  FaultInjector c(plan, 1, 1, Seconds{7200.0});
   bool any_differs = false;
   for (double t = 0.0; t < 7200.0; t += 60.0) {
-    if (a.chamber_offset_c(t) != c.chamber_offset_c(t) ||
-        a.supply_offset_v(t) != c.supply_offset_v(t)) {
+    if (a.chamber_offset_c(Seconds{t}) != c.chamber_offset_c(Seconds{t}) ||
+        a.supply_offset_v(Seconds{t}) != c.supply_offset_v(Seconds{t})) {
       any_differs = true;
       break;
     }
@@ -103,11 +103,11 @@ TEST(FaultInjector, ExcursionGuaranteedAtUnitProbability) {
   plan.chamber.excursion_magnitude_c = 25.0;
   plan.chamber.excursion_duration_s = 1000.0;
   FaultReport report;
-  FaultInjector inj(plan, 0, 0, 7200.0, &report);
+  FaultInjector inj(plan, 0, 0, Seconds{7200.0}, &report);
   EXPECT_EQ(report.chamber_excursions, 1);
   double peak = 0.0;
   for (double t = 0.0; t < 7200.0; t += 10.0) {
-    peak = std::max(peak, inj.chamber_offset_c(t));
+    peak = std::max(peak, inj.chamber_offset_c(Seconds{t}));
   }
   EXPECT_DOUBLE_EQ(peak, 25.0);
 }

@@ -14,7 +14,7 @@ TEST(MeasurementRig, RecoversTrueFrequencyOnAverage) {
   MeasurementRig rig(c);
   const double f = 3.3e6;
   std::vector<double> fs;
-  for (int i = 0; i < 2000; ++i) fs.push_back(rig.measure(f).frequency_hz);
+  for (int i = 0; i < 2000; ++i) fs.push_back(rig.measure(Hertz{f}).frequency_hz);
   EXPECT_NEAR(mean(fs), f, 100.0);
 }
 
@@ -28,8 +28,8 @@ TEST(MeasurementRig, AveragingReducesSpread) {
   std::vector<double> s1;
   std::vector<double> s16;
   for (int i = 0; i < 2000; ++i) {
-    s1.push_back(rig1.measure(3.3e6).frequency_hz);
-    s16.push_back(rig16.measure(3.3e6).frequency_hz);
+    s1.push_back(rig1.measure(Hertz{3.3e6}).frequency_hz);
+    s16.push_back(rig16.measure(Hertz{3.3e6}).frequency_hz);
   }
   EXPECT_GT(stddev(s1), 2.5 * stddev(s16));
 }
@@ -42,7 +42,7 @@ TEST(MeasurementRig, ClockErrorBiasesInference) {
   const double f = 3.2e6;
   // A fast reference opens the gate for less wall time than believed, so
   // the inferred frequency reads low by ~0.1 %.
-  const double inferred = rig.measure(f).frequency_hz;
+  const double inferred = rig.measure(Hertz{f}).frequency_hz;
   EXPECT_NEAR(inferred / f, 1.0 - 1e-3, 2e-4);
 }
 
@@ -50,7 +50,7 @@ TEST(MeasurementRig, DelayIsHalfInversePeriod) {
   MeasurementConfig c;
   c.counter.noise_counts_sigma = 0.0;
   MeasurementRig rig(c);
-  const auto m = rig.measure(3.3e6);
+  const auto m = rig.measure(Hertz{3.3e6});
   EXPECT_NEAR(m.delay_s, 1.0 / (2.0 * m.frequency_hz), 1e-18);
 }
 

@@ -16,18 +16,18 @@ TEST(PowerSupply, StartsAtNominal) {
 
 TEST(PowerSupply, ProgramsWithinInterlockWindow) {
   PowerSupply psu{SupplyConfig{}};
-  EXPECT_NO_THROW(psu.set_voltage(-0.3));
+  EXPECT_NO_THROW(psu.set_voltage(Volts{-0.3}));
   EXPECT_DOUBLE_EQ(psu.setpoint_v(), -0.3);
-  EXPECT_NO_THROW(psu.set_voltage(0.0));
-  EXPECT_NO_THROW(psu.set_voltage(1.4));
+  EXPECT_NO_THROW(psu.set_voltage(Volts{0.0}));
+  EXPECT_NO_THROW(psu.set_voltage(Volts{1.4}));
 }
 
 TEST(PowerSupply, BreakdownInterlockRejectsDeepNegative) {
   // Sec. 6.1: the negative voltage "must be at the level below the lateral
   // pn-junction breakdown voltage" — the interlock enforces it.
   PowerSupply psu{SupplyConfig{}};
-  EXPECT_THROW(psu.set_voltage(-0.6), std::out_of_range);
-  EXPECT_THROW(psu.set_voltage(2.0), std::out_of_range);
+  EXPECT_THROW(psu.set_voltage(Volts{-0.6}), std::out_of_range);
+  EXPECT_THROW(psu.set_voltage(Volts{2.0}), std::out_of_range);
   EXPECT_DOUBLE_EQ(psu.setpoint_v(), 1.2);  // unchanged after rejection
 }
 
@@ -35,7 +35,7 @@ TEST(PowerSupply, RippleIsSmallAndZeroMean) {
   PowerSupply psu{SupplyConfig{}};
   std::vector<double> vs;
   for (int i = 0; i < 5000; ++i) {
-    psu.advance(10.0);
+    psu.advance(Seconds{10.0});
     vs.push_back(psu.output_v());
   }
   EXPECT_NEAR(mean(vs), 1.2, 1e-3);
@@ -51,7 +51,7 @@ TEST(PowerSupply, RejectsBadConfig) {
 
 TEST(PowerSupply, NegativeDtRejected) {
   PowerSupply psu{SupplyConfig{}};
-  EXPECT_THROW(psu.advance(-1.0), std::invalid_argument);
+  EXPECT_THROW(psu.advance(Seconds{-1.0}), std::invalid_argument);
 }
 
 }  // namespace

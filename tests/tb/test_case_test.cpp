@@ -105,9 +105,9 @@ TEST(TestCase, TotalDurationSumsPhases) {
 }
 
 TEST(PhaseBuilders, StressPhasesUseNominalSupply) {
-  EXPECT_DOUBLE_EQ(dc_stress_phase("x", 110.0, 1.0).supply_v, 1.2);
-  EXPECT_DOUBLE_EQ(ac_stress_phase("x", 110.0, 1.0).supply_v, 1.2);
-  EXPECT_DOUBLE_EQ(ac_stress_phase("x", 110.0, 1.0).ac_duty, 0.5);
+  EXPECT_DOUBLE_EQ(dc_stress_phase("x", Celsius{110.0}, units::hours(1.0)).supply_v, 1.2);
+  EXPECT_DOUBLE_EQ(ac_stress_phase("x", Celsius{110.0}, units::hours(1.0)).supply_v, 1.2);
+  EXPECT_DOUBLE_EQ(ac_stress_phase("x", Celsius{110.0}, units::hours(1.0)).ac_duty, 0.5);
 }
 
 }  // namespace

@@ -23,12 +23,12 @@ TEST(ThermalChamber, RampsTowardSetpointAtConfiguredRate) {
   c.initial_c = 20.0;
   c.ramp_c_per_s = 0.05;  // 3 degC/min
   ThermalChamber chamber(c);
-  chamber.set_target_c(110.0);
+  chamber.set_target(Celsius{110.0});
   EXPECT_FALSE(chamber.at_target());
   EXPECT_NEAR(chamber.seconds_to_target(), 90.0 / 0.05, 1e-9);
-  chamber.advance(60.0);
+  chamber.advance(Seconds{60.0});
   EXPECT_NEAR(chamber.temperature_c(), 23.0, 0.5);
-  chamber.advance(1e5);
+  chamber.advance(Seconds{1e5});
   EXPECT_TRUE(chamber.at_target());
   EXPECT_NEAR(chamber.temperature_c(), 110.0, 0.5);
 }
@@ -38,11 +38,11 @@ TEST(ThermalChamber, NeverOvershootsSetpointBase) {
   c.initial_c = 20.0;
   c.ramp_c_per_s = 1.0;
   ThermalChamber chamber(c);
-  chamber.set_target_c(25.0);
-  chamber.advance(100.0);
+  chamber.set_target(Celsius{25.0});
+  chamber.advance(Seconds{100.0});
   EXPECT_TRUE(chamber.at_target());
-  chamber.set_target_c(20.0);  // cool back down
-  chamber.advance(2.0);
+  chamber.set_target(Celsius{20.0});  // cool back down
+  chamber.advance(Seconds{2.0});
   EXPECT_NEAR(chamber.temperature_c(), 23.0, 0.5);
 }
 
@@ -53,7 +53,7 @@ TEST(ThermalChamber, FluctuationStaysWithinPaperBand) {
   ThermalChamber chamber(c);
   std::vector<double> temps;
   for (int i = 0; i < 5000; ++i) {
-    chamber.advance(60.0);
+    chamber.advance(Seconds{60.0});
     temps.push_back(chamber.temperature_c());
   }
   EXPECT_NEAR(mean(temps), 110.0, 0.02);
@@ -75,7 +75,7 @@ TEST(ThermalChamber, RejectsBadConfigAndNegativeDt) {
   c.ramp_c_per_s = 0.0;
   EXPECT_THROW(ThermalChamber{c}, std::invalid_argument);
   ThermalChamber ok{ChamberConfig{}};
-  EXPECT_THROW(ok.advance(-1.0), std::invalid_argument);
+  EXPECT_THROW(ok.advance(Seconds{-1.0}), std::invalid_argument);
 }
 
 TEST(ThermalChamber, SameSeedSameTrajectory) {
@@ -83,8 +83,8 @@ TEST(ThermalChamber, SameSeedSameTrajectory) {
   ThermalChamber a(c);
   ThermalChamber b(c);
   for (int i = 0; i < 100; ++i) {
-    a.advance(10.0);
-    b.advance(10.0);
+    a.advance(Seconds{10.0});
+    b.advance(Seconds{10.0});
     EXPECT_DOUBLE_EQ(a.temperature_c(), b.temperature_c());
   }
 }

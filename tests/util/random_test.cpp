@@ -115,22 +115,22 @@ TEST(DeriveSeed, IsStableAndStreamSensitive) {
 TEST(OrnsteinUhlenbeck, StationaryStddevMatches) {
   OrnsteinUhlenbeck ou(/*sigma=*/0.3, /*tau=*/60.0, Rng(23));
   // Warm up past several correlation times, then sample.
-  for (int i = 0; i < 100; ++i) ou.advance(60.0);
+  for (int i = 0; i < 100; ++i) ou.advance(Seconds{60.0});
   std::vector<double> xs;
-  for (int i = 0; i < 20000; ++i) xs.push_back(ou.advance(120.0));
+  for (int i = 0; i < 20000; ++i) xs.push_back(ou.advance(Seconds{120.0}));
   EXPECT_NEAR(mean(xs), 0.0, 0.02);
   EXPECT_NEAR(stddev(xs), 0.3, 0.02);
 }
 
 TEST(OrnsteinUhlenbeck, ConsecutiveSamplesAreCorrelated) {
   OrnsteinUhlenbeck ou(1.0, 100.0, Rng(29));
-  for (int i = 0; i < 50; ++i) ou.advance(100.0);
+  for (int i = 0; i < 50; ++i) ou.advance(Seconds{100.0});
   std::vector<double> a;
   std::vector<double> b;
   double prev = ou.value();
   for (int i = 0; i < 20000; ++i) {
     // Step far smaller than tau: strong positive autocorrelation expected.
-    const double next = ou.advance(5.0);
+    const double next = ou.advance(Seconds{5.0});
     a.push_back(prev);
     b.push_back(next);
     prev = next;

@@ -4,7 +4,7 @@
 ///   campaign  — run the paper's Table 1 five-chip campaign, CSV per chip
 ///       ash_lab campaign [--stages 75] [--out DIR] [--seed N]
 ///                        [--fault-plan none|representative|harsh]
-///                        [--retry N] [--no-watchdog]
+///                        [--retry N] [--no-watchdog] [--jobs N]
 ///   stress    — one stress + recovery experiment on one chip
 ///       ash_lab stress [--stages 75] [--seed N] [--temp 110] [--hours 24]
 ///                      [--mode dc|ac] [--rec-volts -0.3] [--rec-temp 110]
@@ -18,7 +18,10 @@
 ///   multicore — schedule comparison on the 8-core system
 ///       ash_lab multicore [--years 2] [--cores 6] [--margin-mv 9]
 ///                         [--fault-plan none|representative|harsh]
-///                         [--fault-seed N] [--raw]
+///                         [--fault-seed N] [--raw] [--jobs N]
+///       --jobs N sizes both the policy fan-out and each system's per-core
+///       aging pool (mc::SystemConfig::aging_threads); 0 = one thread per
+///       hardware core, absent = serial aging (bit-identical either way).
 ///       With a fault plan, each policy runs behind the reliability
 ///       manager (quarantine, failover, telemetry filtering) and the
 ///       fault/response report is printed; --raw drops the manager to
@@ -37,6 +40,7 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "ash/core/metrics.h"
@@ -220,7 +224,7 @@ int cmd_stress(const Flags& flags) {
   fpga::FpgaChip chip(cc);
 
   const double room = celsius(20.0);
-  const double fresh = chip.ro_frequency_hz(1.2, room);
+  const double fresh = chip.ro_frequency_hz(Volts{1.2}, Kelvin{room});
   std::printf("fresh: %.4f MHz\n", fresh / 1e6);
 
   const std::string mode = flags.get("mode", std::string("dc"));
@@ -232,10 +236,10 @@ int cmd_stress(const Flags& flags) {
   const double stress_h = flags.get("hours", 24.0);
   chip.evolve(mode == "dc" ? fpga::RoMode::kDcFrozen
                            : fpga::RoMode::kAcOscillating,
-              mode == "dc" ? bti::dc_stress(1.2, stress_temp)
-                           : bti::ac_stress(1.2, stress_temp),
-              hours(stress_h));
-  const double stressed = chip.ro_frequency_hz(1.2, room);
+              mode == "dc" ? bti::dc_stress(Volts{1.2}, Celsius{stress_temp})
+                           : bti::ac_stress(Volts{1.2}, Celsius{stress_temp}),
+              Seconds{hours(stress_h)});
+  const double stressed = chip.ro_frequency_hz(Volts{1.2}, Kelvin{room});
   std::printf("after %.1f h %s stress @%.0f degC: %.4f MHz (-%.2f%%)\n",
               stress_h, mode.c_str(), stress_temp, stressed / 1e6,
               100.0 * (1.0 - stressed / fresh));
@@ -244,9 +248,9 @@ int cmd_stress(const Flags& flags) {
   if (rec_h > 0.0) {
     const double rec_v = flags.get("rec-volts", -0.3);
     const double rec_t = flags.get("rec-temp", 110.0);
-    chip.evolve(fpga::RoMode::kSleep, bti::recovery(rec_v, rec_t),
-                hours(rec_h));
-    const double healed = chip.ro_frequency_hz(1.2, room);
+    chip.evolve(fpga::RoMode::kSleep, bti::recovery(Volts{rec_v}, Celsius{rec_t}),
+                Seconds{hours(rec_h)});
+    const double healed = chip.ro_frequency_hz(Volts{1.2}, Kelvin{room});
     std::printf(
         "after %.1f h recovery @%+.2f V/%.0f degC: %.4f MHz (recovered "
         "%.0f%%)\n",
@@ -294,6 +298,10 @@ int cmd_multicore(const Flags& flags) {
   cfg.horizon_s = flags.get("years", 2.0) * 365.25 * 86400.0;
   cfg.cores_needed = flags.get("cores", 6);
   cfg.margin_delta_vth_v = flags.get("margin-mv", 9.0) * 1e-3;
+  // --jobs reaches the per-core aging fan-out inside simulate_system too:
+  // N workers per policy (0 = one per hardware core).  Absent keeps the
+  // serial default; results are bit-identical at any setting.
+  if (flags.has("jobs")) cfg.aging_threads = flags.get("jobs", 0);
 
   auto plan =
       mc::CoreFaultPlan::by_name(flags.get("fault-plan", std::string("none")));
@@ -423,6 +431,12 @@ int main(int argc, char** argv) {
     }
     if (profile) std::printf("%s", obs::profile_table().c_str());
     return rc;
+  } catch (const std::invalid_argument& e) {
+    // Bad or unknown flags (a typo'd --fault-pan must not run a clean
+    // campaign): say what was wrong, show the usage, exit non-zero.
+    obs::set_trace_sink(nullptr);
+    std::fprintf(stderr, "ash_lab: %s\n", e.what());
+    return usage();
   } catch (const std::exception& e) {
     obs::set_trace_sink(nullptr);
     std::fprintf(stderr, "ash_lab: %s\n", e.what());
