@@ -1,0 +1,198 @@
+#include "ash/fleet/checkpoint_store.h"
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <system_error>
+
+#include "ash/util/atomic_file.h"
+#include "ash/util/crc32.h"
+
+namespace ash::fleet {
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'S', 'H', 'F', 'L', 'T', '1', '\n'};
+constexpr std::size_t kHeaderSize = 40;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+std::uint32_t get_u32(std::string_view bytes, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(bytes[at + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(std::string_view bytes, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(bytes[at + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string frame_snapshot(int shard_id, std::uint64_t sequence,
+                           std::string_view payload) {
+  std::string out;
+  out.reserve(kHeaderSize + payload.size());
+  out.append(kMagic, sizeof kMagic);
+  put_u32(out, kSnapshotVersion);
+  put_u32(out, static_cast<std::uint32_t>(shard_id));
+  put_u64(out, sequence);
+  put_u64(out, payload.size());
+  put_u32(out, util::crc32(payload));
+  put_u32(out, util::crc32(out));  // header self-check over bytes 0..35
+  out.append(payload);
+  return out;
+}
+
+DecodedSnapshot decode_snapshot(std::string_view bytes) {
+  if (bytes.size() < kHeaderSize) {
+    throw CorruptSnapshot("snapshot truncated: " +
+                          std::to_string(bytes.size()) +
+                          " bytes, header needs " +
+                          std::to_string(kHeaderSize));
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0) {
+    throw CorruptSnapshot("bad magic: not an ash-fleet snapshot");
+  }
+  const std::uint32_t version = get_u32(bytes, 8);
+  if (version != kSnapshotVersion) {
+    throw CorruptSnapshot("unsupported snapshot version " +
+                          std::to_string(version));
+  }
+  const std::uint32_t header_crc = get_u32(bytes, 36);
+  if (util::crc32(bytes.substr(0, 36)) != header_crc) {
+    throw CorruptSnapshot("header CRC mismatch (header tampered or torn)");
+  }
+  const std::uint64_t payload_size = get_u64(bytes, 24);
+  if (bytes.size() - kHeaderSize != payload_size) {
+    throw CorruptSnapshot(
+        "payload length mismatch: header says " +
+        std::to_string(payload_size) + " bytes, file carries " +
+        std::to_string(bytes.size() - kHeaderSize) +
+        (bytes.size() - kHeaderSize < payload_size ? " (torn write)"
+                                                   : " (trailing garbage)"));
+  }
+  const std::uint32_t payload_crc = get_u32(bytes, 32);
+  if (util::crc32(bytes.substr(kHeaderSize)) != payload_crc) {
+    throw CorruptSnapshot("payload CRC mismatch (bit rot or tampering)");
+  }
+  DecodedSnapshot out;
+  out.shard_id = static_cast<int>(get_u32(bytes, 12));
+  out.sequence = get_u64(bytes, 16);
+  out.payload = std::string(bytes.substr(kHeaderSize));
+  return out;
+}
+
+CheckpointStore::CheckpointStore(std::string directory)
+    : directory_(std::move(directory)) {
+  if (!util::writable_directory(directory_)) {
+    throw std::runtime_error("checkpoint store: '" + directory_ +
+                             "' is not a writable directory");
+  }
+}
+
+std::string CheckpointStore::file_name(int shard_id, std::uint64_t sequence) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "shard-%05d.seq-%010" PRIu64 ".ckpt",
+                shard_id, sequence);
+  return buf;
+}
+
+std::string CheckpointStore::save(int shard_id, std::uint64_t sequence,
+                                  std::string_view payload) const {
+  const std::string path = directory_ + "/" + file_name(shard_id, sequence);
+  util::atomic_write_file(path, frame_snapshot(shard_id, sequence, payload));
+  return path;
+}
+
+std::vector<std::string> CheckpointStore::shard_files(int shard_id) const {
+  // Collect by *parsed* sequence so ordering never depends on readdir
+  // order; the zero-padded names sort the same way, but parsing is the
+  // contract.
+  std::map<std::uint64_t, std::string> by_seq;
+  DIR* d = ::opendir(directory_.c_str());
+  if (d == nullptr) {
+    throw std::runtime_error("checkpoint store: cannot list '" + directory_ +
+                             "'");
+  }
+  char want_prefix[32];
+  std::snprintf(want_prefix, sizeof want_prefix, "shard-%05d.seq-", shard_id);
+  while (dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.rfind(want_prefix, 0) != 0) continue;
+    if (name.size() < 5 || name.substr(name.size() - 5) != ".ckpt") continue;
+    const std::string digits =
+        name.substr(std::strlen(want_prefix),
+                    name.size() - std::strlen(want_prefix) - 5);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    by_seq[std::strtoull(digits.c_str(), nullptr, 10)] =
+        directory_ + "/" + name;
+  }
+  ::closedir(d);
+  std::vector<std::string> out;
+  out.reserve(by_seq.size());
+  for (const auto& [seq, path] : by_seq) out.push_back(path);
+  return out;
+}
+
+std::optional<LoadedSnapshot> CheckpointStore::load_newest_valid(
+    int shard_id) const {
+  const std::vector<std::string> files = shard_files(shard_id);
+  LoadedSnapshot out;
+  for (auto it = files.rbegin(); it != files.rend(); ++it) {
+    std::string bytes;
+    try {
+      bytes = util::read_file(*it);
+    } catch (const std::system_error&) {
+      out.corrupt_skipped++;  // unreadable counts as invalid
+      continue;
+    }
+    try {
+      DecodedSnapshot snap = decode_snapshot(bytes);
+      if (snap.shard_id != shard_id) {
+        out.corrupt_skipped++;  // frame verifies but names another shard
+        continue;
+      }
+      out.sequence = snap.sequence;
+      out.payload = std::move(snap.payload);
+      return out;
+    } catch (const CorruptSnapshot&) {
+      out.corrupt_skipped++;
+    }
+  }
+  return std::nullopt;
+}
+
+void CheckpointStore::prune(int shard_id, std::size_t keep) const {
+  const std::vector<std::string> files = shard_files(shard_id);
+  if (files.size() <= keep) return;
+  for (std::size_t i = 0; i + keep < files.size(); ++i) {
+    ::unlink(files[i].c_str());
+  }
+}
+
+}  // namespace ash::fleet

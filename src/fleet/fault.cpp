@@ -1,0 +1,130 @@
+#include "ash/fleet/fault.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "ash/util/atomic_file.h"
+
+namespace ash::fleet {
+
+const char* to_string(SnapshotCorruption kind) {
+  switch (kind) {
+    case SnapshotCorruption::kFlipBit: return "flip-bit";
+    case SnapshotCorruption::kTruncate: return "truncate";
+    case SnapshotCorruption::kTornHeader: return "torn-header";
+  }
+  return "unknown";
+}
+
+bool FleetFaultPlan::ideal() const {
+  return kill_attempts <= 0 && stall_attempts <= 0 && corrupt_attempts <= 0;
+}
+
+FleetFaultPlan FleetFaultPlan::none() { return {}; }
+
+FleetFaultPlan FleetFaultPlan::kill() {
+  FleetFaultPlan plan;
+  plan.kill_attempts = 1;
+  return plan;
+}
+
+FleetFaultPlan FleetFaultPlan::torn() {
+  FleetFaultPlan plan;
+  plan.kill_attempts = 1;
+  plan.corrupt_attempts = 1;
+  plan.min_phases_before_kill = 2;
+  plan.max_phases_before_kill = 3;
+  return plan;
+}
+
+FleetFaultPlan FleetFaultPlan::full() {
+  FleetFaultPlan plan = torn();
+  // Attempt 0 stalls first; under a tight heartbeat deadline the
+  // supervisor SIGKILLs it mid-stall, before it reaches its own scheduled
+  // kill.  Scheduling kills/corruptions on two attempts guarantees the
+  // corruption path runs no matter how the stall resolves.
+  plan.kill_attempts = 2;
+  plan.corrupt_attempts = 2;
+  plan.stall_attempts = 1;
+  plan.stall_ms = 1500.0;
+  return plan;
+}
+
+FleetFaultPlan FleetFaultPlan::by_name(const std::string& name) {
+  if (name == "none") return none();
+  if (name == "kill") return kill();
+  if (name == "torn") return torn();
+  if (name == "full") return full();
+  throw std::invalid_argument("unknown fleet fault plan '" + name +
+                              "' (none|kill|torn|full)");
+}
+
+FleetFaultAgent::FleetFaultAgent(const FleetFaultPlan& plan, int shard_id,
+                                 int attempt) {
+  // One independent stream per (shard, attempt), mirroring FaultInjector's
+  // (plan seed, phase, attempt) derivation: replays are bit-exact and a
+  // restart (attempt + 1) sees a fresh schedule.
+  Rng rng(derive_seed(derive_seed(plan.seed,
+                                  static_cast<std::uint64_t>(shard_id)),
+                      static_cast<std::uint64_t>(attempt)));
+
+  kill_scheduled_ = attempt < plan.kill_attempts;
+  stall_scheduled_ = attempt < plan.stall_attempts && plan.stall_ms > 0.0;
+  stall_ms_ = plan.stall_ms;
+  corrupt_scheduled_ = kill_scheduled_ && attempt < plan.corrupt_attempts;
+
+  int lo = std::max(1, plan.min_phases_before_kill);
+  int hi = std::max(lo, plan.max_phases_before_kill);
+  // A corrupting death must leave at least one *older* snapshot that nets
+  // forward progress, or the fleet could livelock into quarantine.
+  if (corrupt_scheduled_) lo = std::max(lo, 2);
+  hi = std::max(lo, hi);
+  kill_after_phases_ =
+      lo + static_cast<int>(rng.uniform_index(
+               static_cast<std::uint64_t>(hi - lo + 1)));
+  corruption_kind_ = static_cast<SnapshotCorruption>(rng.uniform_index(3));
+  flip_draw_ = rng();
+  truncate_draw_ = rng();
+}
+
+std::string FleetFaultAgent::corrupted(std::string_view bytes) const {
+  std::string out(bytes);
+  if (out.empty()) return out;
+  switch (corruption_kind_) {
+    case SnapshotCorruption::kFlipBit: {
+      const std::size_t bit = flip_draw_ % (out.size() * 8);
+      out[bit / 8] = static_cast<char>(out[bit / 8] ^ (1u << (bit % 8)));
+      return out;
+    }
+    case SnapshotCorruption::kTruncate: {
+      // Tear somewhere in the payload (keep at least the header so the
+      // length check, not the magic check, has to catch it).
+      const std::size_t lo = std::min<std::size_t>(40, out.size() - 1);
+      out.resize(lo + truncate_draw_ % (out.size() - lo));
+      return out;
+    }
+    case SnapshotCorruption::kTornHeader: {
+      out.resize(truncate_draw_ % std::min<std::size_t>(40, out.size()));
+      return out;
+    }
+  }
+  return out;
+}
+
+void FleetFaultAgent::corrupt_file(const std::string& path) const {
+  const std::string mangled = corrupted(util::read_file(path));
+  // Plain truncating overwrite, no temp file, no fsync: this *is* the torn
+  // write the durable path exists to defend against.
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    throw std::runtime_error("chaos: cannot rewrite '" + path + "'");
+  }
+  os.write(mangled.data(), static_cast<std::streamsize>(mangled.size()));
+  os.flush();
+  if (!os) {
+    throw std::runtime_error("chaos: short rewrite of '" + path + "'");
+  }
+}
+
+}  // namespace ash::fleet

@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file checkpoint_store.h
+/// Durable, corruption-detecting persistence for campaign checkpoints.
+///
+/// `tb::CampaignCheckpoint` serializes as a line-oriented text document —
+/// perfect for diffing, useless for crash safety: a torn write leaves a
+/// prefix that still *looks* like a checkpoint up to the tear.  The fleet
+/// store wraps that text payload in a versioned binary frame,
+///
+///   offset  size  field
+///        0     8  magic "ASHFLT1\n"
+///        8     4  format version (1, little-endian u32)
+///       12     4  shard id (u32)
+///       16     8  sequence number (u64; the campaign's next_phase)
+///       24     8  payload size in bytes (u64)
+///       32     4  CRC-32 of the payload
+///       36     4  CRC-32 of bytes 0..35 (header self-check)
+///       40     …  payload (the CampaignCheckpoint text document)
+///
+/// and persists it with `util::atomic_write_file` (write temp → fsync →
+/// rename → fsync dir), so a snapshot file is either entirely present or
+/// entirely absent.  Defense in depth: even if the filesystem breaks that
+/// promise (or an adversary edits the file), `decode_snapshot` detects
+/// truncation, trailing garbage, header tampering and payload bit-flips,
+/// and `load_newest_valid` falls back to the newest snapshot that still
+/// verifies — recovery never trusts unverified bytes.
+///
+/// One directory holds many shards' snapshots; files are named
+/// `shard-<id>.seq-<sequence>.ckpt` so a directory listing is also a
+/// recovery map.  Sequence numbers are monotone per shard (the campaign
+/// phase index), which makes "newest" well-defined without trusting
+/// mtimes.
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ash::fleet {
+
+/// Frame format version written by this build.
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Thrown by decode_snapshot when a frame fails verification; the message
+/// names the failing check (magic, version, truncation, CRC, ...).
+class CorruptSnapshot : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Encode one snapshot frame (header + CRCs + payload).
+std::string frame_snapshot(int shard_id, std::uint64_t sequence,
+                           std::string_view payload);
+
+/// A verified frame.
+struct DecodedSnapshot {
+  int shard_id = 0;
+  std::uint64_t sequence = 0;
+  std::string payload;
+};
+
+/// Verify and unwrap a frame.  Throws CorruptSnapshot on any violation:
+/// short header, bad magic/version, header CRC mismatch, payload length
+/// mismatch (truncation or trailing garbage) or payload CRC mismatch.
+DecodedSnapshot decode_snapshot(std::string_view bytes);
+
+/// A snapshot recovered from disk, plus how many invalid files were
+/// skipped to reach it (surfaced into the supervision stats).
+struct LoadedSnapshot {
+  std::uint64_t sequence = 0;
+  std::string payload;
+  int corrupt_skipped = 0;
+};
+
+/// Directory of framed snapshots, many shards per directory.
+class CheckpointStore {
+ public:
+  /// The directory must exist and be writable; throws std::runtime_error
+  /// otherwise (checked up front so a typo'd path fails in milliseconds,
+  /// not after hours of campaign).
+  explicit CheckpointStore(std::string directory);
+
+  const std::string& directory() const { return directory_; }
+
+  /// Durably persist one snapshot; returns the file path written.
+  std::string save(int shard_id, std::uint64_t sequence,
+                   std::string_view payload) const;
+
+  /// Newest snapshot of the shard that passes verification, scanning
+  /// sequence numbers downward and skipping corrupt/truncated files.
+  /// nullopt when no file verifies.
+  std::optional<LoadedSnapshot> load_newest_valid(int shard_id) const;
+
+  /// Snapshot file paths of one shard, ascending by sequence (whether or
+  /// not they verify).
+  std::vector<std::string> shard_files(int shard_id) const;
+
+  /// Delete all but the newest `keep` snapshot files of the shard
+  /// (retention for long missions; validity is not consulted).
+  void prune(int shard_id, std::size_t keep) const;
+
+  /// Canonical file name for (shard, sequence).
+  static std::string file_name(int shard_id, std::uint64_t sequence);
+
+ private:
+  std::string directory_;
+};
+
+}  // namespace ash::fleet

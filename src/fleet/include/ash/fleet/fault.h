@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file fault.h
+/// Process-level chaos injection for the fleet supervisor.
+///
+/// The tb/mc layers already inject *simulated* faults (dirty chambers,
+/// dying cores).  A fleet of worker processes fails one layer further out:
+/// workers get SIGKILLed mid-campaign, hang without heartbeating, and the
+/// checkpoint files they just wrote get torn or bit-flipped.  Recovery
+/// from *targeted* corruption is the threat model the wearout-attack
+/// literature motivates — assume the failure is adversarial, not just
+/// unlucky.
+///
+/// `FleetFaultPlan` describes such a hostile environment as a seeded
+/// scenario, mirroring `tb::FaultPlan` / `mc::CoreFaultPlan`: every draw
+/// derives from (plan.seed, shard, attempt) via splitmix streams, so the
+/// same plan replays the same kills, stalls and corruptions bit-exactly —
+/// the whole crash/recover/fall-back path is deterministic and testable
+/// under `ctest -L faults`.
+///
+/// Enactment is worker-side: each worker attempt constructs a
+/// `FleetFaultAgent` and faithfully sabotages itself (kill after N phase
+/// checkpoints, stall without heartbeats, corrupt the newest snapshot file
+/// before dying).  The supervisor has no idea the chaos harness exists —
+/// it sees exactly what a real crash looks like.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "ash/util/random.h"
+
+namespace ash::fleet {
+
+/// How a scheduled corruption mangles the newest snapshot file.
+enum class SnapshotCorruption {
+  kFlipBit = 0,   ///< one bit of the payload flipped (bit rot / tampering)
+  kTruncate,      ///< file cut to a prefix (torn write)
+  kTornHeader,    ///< file cut inside the 40-byte header (worst tear)
+};
+
+const char* to_string(SnapshotCorruption kind);
+
+/// A complete, seeded process-chaos scenario.  Default = no chaos.
+struct FleetFaultPlan {
+  /// Worker attempts 0..kill_attempts-1 of every shard raise SIGKILL on
+  /// themselves after completing a drawn number of phase checkpoints (or
+  /// at the completion boundary, when the shard's campaign is shorter
+  /// than the draw — a scheduled kill always fires).
+  int kill_attempts = 0;
+  /// Range of phase checkpoints a doomed attempt completes before dying
+  /// (>= 1 guarantees forward progress across restarts; when the attempt
+  /// also corrupts, the draw is clamped to >= 2 so the fall-back to the
+  /// previous snapshot still nets one phase per attempt).
+  int min_phases_before_kill = 1;
+  int max_phases_before_kill = 2;
+  /// Worker attempts 0..stall_attempts-1 hang (no heartbeat) for
+  /// `stall_ms` before starting work — the supervisor must detect the
+  /// missed deadline and SIGKILL them.
+  int stall_attempts = 0;
+  double stall_ms = 0.0;
+  /// Worker attempts 0..corrupt_attempts-1 corrupt the newest snapshot
+  /// file (kind drawn per attempt) just before their scheduled death.
+  int corrupt_attempts = 0;
+  /// Root seed of every chaos draw.
+  std::uint64_t seed = default_seed(SeedStream::kFleetFaultPlan);
+
+  /// True when no chaos channel is enabled.
+  bool ideal() const;
+
+  /// Presets.  "kill" SIGKILLs every worker once; "torn" additionally
+  /// corrupts the snapshot it just wrote (forcing fall-back recovery);
+  /// "full" adds a heartbeat stall.  All recover to a bit-identical
+  /// payload; "full" just takes the scenic route.
+  static FleetFaultPlan none();
+  static FleetFaultPlan kill();
+  static FleetFaultPlan torn();
+  static FleetFaultPlan full();
+  /// Lookup by name ("none" | "kill" | "torn" | "full"); throws
+  /// std::invalid_argument for unknown names.
+  static FleetFaultPlan by_name(const std::string& name);
+};
+
+/// The chaos schedule of one (shard, attempt), drawn at construction.
+class FleetFaultAgent {
+ public:
+  FleetFaultAgent(const FleetFaultPlan& plan, int shard_id, int attempt);
+
+  bool kill_scheduled() const { return kill_scheduled_; }
+  /// Phase checkpoints this attempt completes before raising SIGKILL.
+  int kill_after_phases() const { return kill_after_phases_; }
+
+  bool stall_scheduled() const { return stall_scheduled_; }
+  double stall_ms() const { return stall_ms_; }
+
+  bool corrupt_scheduled() const { return corrupt_scheduled_; }
+  SnapshotCorruption corruption_kind() const { return corruption_kind_; }
+
+  /// The scheduled corruption applied to a framed snapshot: returns the
+  /// mangled bytes (pure, for tests).
+  std::string corrupted(std::string_view snapshot_bytes) const;
+
+  /// Overwrite `path` in place with corrupted(file contents) — a
+  /// deliberately non-atomic write, because simulating a torn write with
+  /// the crash-safe path would be cheating.
+  void corrupt_file(const std::string& path) const;
+
+ private:
+  bool kill_scheduled_ = false;
+  int kill_after_phases_ = 0;
+  bool stall_scheduled_ = false;
+  double stall_ms_ = 0.0;
+  bool corrupt_scheduled_ = false;
+  SnapshotCorruption corruption_kind_ = SnapshotCorruption::kFlipBit;
+  std::uint64_t flip_draw_ = 0;     ///< selects the flipped bit
+  std::uint64_t truncate_draw_ = 0; ///< selects the tear point
+};
+
+}  // namespace ash::fleet

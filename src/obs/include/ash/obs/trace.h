@@ -52,6 +52,11 @@ enum class EventKind {
   kFailover,            ///< spare core woken to cover demand
   kCheckpointSave,      ///< campaign state saved at a phase boundary
   kCheckpointRewind,    ///< chip state rewound after a phase abort
+  // Fleet-supervision vocabulary (process-level, emitted by ash::fleet).
+  kHeartbeatMiss,       ///< worker missed its heartbeat deadline
+  kWorkerRestart,       ///< crashed/hung shard worker restarted
+  kBackoff,             ///< supervisor waited out a restart backoff
+  kWorkerQuarantine,    ///< shard quarantined after repeated strikes
 };
 
 const char* to_string(EventKind kind);

@@ -61,6 +61,10 @@ const char* to_string(EventKind kind) {
     case EventKind::kFailover: return "failover";
     case EventKind::kCheckpointSave: return "checkpoint_save";
     case EventKind::kCheckpointRewind: return "checkpoint_rewind";
+    case EventKind::kHeartbeatMiss: return "heartbeat_miss";
+    case EventKind::kWorkerRestart: return "worker_restart";
+    case EventKind::kBackoff: return "backoff";
+    case EventKind::kWorkerQuarantine: return "worker_quarantine";
   }
   return "unknown";
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <deque>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -52,7 +53,7 @@ class CampaignEngine {
                  const TestCase& test_case)
       : cfg_(config), chip_(chip), tc_(test_case) {}
 
-  CampaignResult run(const CampaignCheckpoint& from) {
+  CampaignResult run(const CampaignCheckpoint& from, int max_phases = -1) {
     fpga::restore_checkpoint(from.chip_state, chip_);
     t_campaign_ = from.t_campaign_s;
     log_ = from.log;
@@ -66,8 +67,11 @@ class CampaignEngine {
     run_span.arg("chip", std::to_string(chip_.id()));
     run_span.arg("phases", std::to_string(tc_.phases.size()));
 
-    for (int pi = from.next_phase;
-         pi < static_cast<int>(tc_.phases.size()); ++pi) {
+    const int phase_count = static_cast<int>(tc_.phases.size());
+    const int stop_after =
+        max_phases < 0 ? phase_count
+                       : std::min(phase_count, from.next_phase + max_phases);
+    for (int pi = from.next_phase; pi < stop_after; ++pi) {
       const double prev_c =
           pi == from.next_phase ? from.chamber_c : tc_.phases[pi - 1].chamber_c;
       if (obs::tracing()) {
@@ -101,7 +105,9 @@ class CampaignEngine {
     }
     result.log = log_;
     result.faults = report_;
-    result.completed = true;
+    // A bounded step that stops short of the schedule is not "complete":
+    // the checkpoint is the resume point for the next step.
+    result.completed = result.checkpoint.next_phase >= phase_count;
     return result;
   }
 
@@ -419,42 +425,139 @@ class CampaignEngine {
 }  // namespace
 
 void CampaignCheckpoint::save(std::ostream& os) const {
-  os << "ash-campaign v1\n";
+  os << "ash-campaign v2\n";
   os << "next_phase " << next_phase << "\n";
   os.precision(17);
   os << "t_campaign " << t_campaign_s << "\n";
   os << "chamber_c " << chamber_c << "\n";
   os << "faults " << faults.serialize() << "\n";
   os << "chip\n" << chip_state;  // the fpga checkpoint ends with "end\n"
-  os << "log\n";
+  // v2 declares the record count so a stream cut at a CSV row boundary is
+  // detected as truncation, not silently loaded as a shorter log.
+  os << "log " << log.size() << "\n";
   log.write_csv(os);
 }
 
 CampaignCheckpoint CampaignCheckpoint::load(std::istream& is) {
   CampaignCheckpoint ckpt;
   std::string line;
-  if (!std::getline(is, line) || line != "ash-campaign v1") {
-    fail("bad header");
+
+  // Every failure names the field being parsed and where the stream
+  // stopped, so a truncated or bit-flipped snapshot produces an actionable
+  // error instead of UB (std::stoi on garbage) or a zero-filled state.
+  const auto offset_suffix = [&]() -> std::string {
+    // A failed getline leaves failbit set and tellg() pinned at -1; clear
+    // it (we are about to throw anyway) so the offset of the truncation
+    // point survives into the message.
+    is.clear();
+    const auto pos = is.tellg();  // -1 only on a non-seekable stream
+    if (pos < 0) return "";
+    std::ostringstream os;
+    os << " (stream offset " << pos << ")";
+    return os.str();
+  };
+  const auto fail_field = [&](const std::string& field,
+                              const std::string& detail) {
+    fail("field '" + field + "' " + detail + offset_suffix());
+  };
+
+  if (!std::getline(is, line)) fail("empty stream" + offset_suffix());
+  if (line != "ash-campaign v2") {
+    fail("bad header '" + line.substr(0, 40) + "' (want 'ash-campaign v2')" +
+         offset_suffix());
   }
   const auto keyed_line = [&](const char* key) -> std::string {
-    if (!std::getline(is, line)) fail("truncated stream");
+    if (!std::getline(is, line)) {
+      fail_field(key, "missing: stream truncated");
+    }
     std::istringstream row(line);
     std::string got;
     row >> got;
-    if (got != key) fail(std::string("expected '") + key + "' line");
+    if (got != key) {
+      fail_field(key, "expected, got '" + line.substr(0, 40) + "'");
+    }
     std::string rest;
     std::getline(row, rest);
-    return rest;
+    // Strip the single separating space the writer emits.
+    const auto first = rest.find_first_not_of(' ');
+    return first == std::string::npos ? std::string() : rest.substr(first);
   };
-  ckpt.next_phase = std::stoi(keyed_line("next_phase"));
-  ckpt.t_campaign_s = std::stod(keyed_line("t_campaign"));
-  ckpt.chamber_c = std::stod(keyed_line("chamber_c"));
-  ckpt.faults = FaultReport::deserialize(keyed_line("faults"));
-  if (!std::getline(is, line) || line != "chip") fail("expected 'chip' line");
-  ckpt.chip_state = fpga::read_embedded_checkpoint(is);
-  if (!std::getline(is, line) || line != "log") fail("expected 'log' line");
-  ckpt.log = DataLog::read_csv(is);
+  const auto parse_int = [&](const char* key) -> int {
+    const std::string text = keyed_line(key);
+    std::size_t used = 0;
+    long value = 0;
+    try {
+      value = std::stol(text, &used, 10);
+    } catch (const std::exception&) {
+      fail_field(key, "is not an integer: '" + text.substr(0, 40) + "'");
+    }
+    if (used != text.size() || value < std::numeric_limits<int>::min() ||
+        value > std::numeric_limits<int>::max()) {
+      fail_field(key, "is not an integer: '" + text.substr(0, 40) + "'");
+    }
+    return static_cast<int>(value);
+  };
+  const auto parse_double = [&](const char* key) -> double {
+    const std::string text = keyed_line(key);
+    std::size_t used = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(text, &used);
+    } catch (const std::exception&) {
+      fail_field(key, "is not a number: '" + text.substr(0, 40) + "'");
+    }
+    if (used != text.size() || !std::isfinite(value)) {
+      fail_field(key, "is not a finite number: '" + text.substr(0, 40) + "'");
+    }
+    return value;
+  };
+
+  ckpt.next_phase = parse_int("next_phase");
+  if (ckpt.next_phase < 0) {
+    fail_field("next_phase", "is negative: " + std::to_string(ckpt.next_phase));
+  }
+  ckpt.t_campaign_s = parse_double("t_campaign");
+  ckpt.chamber_c = parse_double("chamber_c");
+  try {
+    ckpt.faults = FaultReport::deserialize(keyed_line("faults"));
+  } catch (const std::runtime_error& e) {
+    fail_field("faults", std::string("malformed: ") + e.what());
+  }
+  if (!std::getline(is, line) || line != "chip") {
+    fail_field("chip", "section missing");
+  }
+  try {
+    ckpt.chip_state = fpga::read_embedded_checkpoint(is);
+  } catch (const std::runtime_error& e) {
+    fail_field("chip", std::string("malformed: ") + e.what());
+  }
+  const int log_size = parse_int("log");
+  if (log_size < 0) {
+    fail_field("log", "has negative record count: " +
+                          std::to_string(log_size));
+  }
+  try {
+    ckpt.log = DataLog::read_csv(is);
+  } catch (const std::exception& e) {
+    fail_field("log", std::string("malformed: ") + e.what());
+  }
+  if (ckpt.log.size() != static_cast<std::size_t>(log_size)) {
+    fail_field("log", "truncated: declared " + std::to_string(log_size) +
+                          " record(s), parsed " +
+                          std::to_string(ckpt.log.size()));
+  }
   return ckpt;
+}
+
+std::string CampaignCheckpoint::serialize() const {
+  std::ostringstream os;
+  save(os);
+  return os.str();
+}
+
+CampaignCheckpoint CampaignCheckpoint::deserialize(const std::string& bytes) {
+  std::istringstream is(bytes);
+  return load(is);
 }
 
 ExperimentRunner::ExperimentRunner(const RunnerConfig& config)
@@ -465,22 +568,30 @@ DataLog ExperimentRunner::run(fpga::FpgaChip& chip,
   return run_campaign(chip, test_case).log;
 }
 
-CampaignResult ExperimentRunner::run_campaign(fpga::FpgaChip& chip,
-                                              const TestCase& test_case) {
+CampaignCheckpoint initial_checkpoint(const fpga::FpgaChip& chip,
+                                      const TestCase& test_case,
+                                      const RunnerConfig& config) {
   CampaignCheckpoint start;
   start.next_phase = 0;
   start.t_campaign_s = 0.0;
   start.chamber_c = test_case.phases.empty()
-                        ? config_.chamber.initial_c
+                        ? config.chamber.initial_c
                         : test_case.phases.front().chamber_c;
   start.chip_state = fpga::checkpoint_string(chip);
-  return CampaignEngine(config_, chip, test_case).run(start);
+  return start;
+}
+
+CampaignResult ExperimentRunner::run_campaign(fpga::FpgaChip& chip,
+                                              const TestCase& test_case) {
+  return CampaignEngine(config_, chip, test_case)
+      .run(initial_checkpoint(chip, test_case, config_));
 }
 
 CampaignResult ExperimentRunner::run_campaign(fpga::FpgaChip& chip,
                                               const TestCase& test_case,
-                                              const CampaignCheckpoint& from) {
-  return CampaignEngine(config_, chip, test_case).run(from);
+                                              const CampaignCheckpoint& from,
+                                              int max_phases) {
+  return CampaignEngine(config_, chip, test_case).run(from, max_phases);
 }
 
 RunnerConfig tolerant_runner_config(const FaultPlan& plan) {

@@ -117,9 +117,26 @@ struct CampaignCheckpoint {
   FaultReport faults;
 
   void save(std::ostream& os) const;
-  /// Throws std::runtime_error on malformed input.
+  /// Throws std::runtime_error on malformed input.  The error message names
+  /// the failing field and the stream offset where parsing stopped, so a
+  /// truncated or corrupted snapshot is diagnosable from the exception
+  /// alone ("field 't_campaign' is not a number: 'garb' (stream offset
+  /// 42)").  Malformed input never yields a partially-filled checkpoint.
   static CampaignCheckpoint load(std::istream& is);
+
+  /// String-form conveniences over save/load, used by the durable fleet
+  /// store (which frames this text document in a CRC32-checked binary
+  /// envelope — see ash/fleet/checkpoint_store.h).
+  std::string serialize() const;
+  static CampaignCheckpoint deserialize(const std::string& bytes);
 };
+
+/// The phase-0 checkpoint of a fresh campaign on `chip` — what
+/// run_campaign(chip, tc) starts from.  Exposed so external schedulers
+/// (the fleet supervisor) can seed a durable store before any phase runs.
+CampaignCheckpoint initial_checkpoint(const fpga::FpgaChip& chip,
+                                      const TestCase& test_case,
+                                      const RunnerConfig& config);
 
 /// Outcome of a campaign (or a resumed tail of one).
 struct CampaignResult {
@@ -150,9 +167,16 @@ class ExperimentRunner {
   /// state is overwritten from the checkpoint.  With identical runner
   /// configuration the resumed tail replays bit-identically to the
   /// uninterrupted campaign.
+  ///
+  /// `max_phases` bounds how many phases this call advances (< 0 = run to
+  /// the end).  A bounded call returns at the next phase boundary with
+  /// `completed` reflecting whether the whole schedule is done — the
+  /// stepping primitive fleet workers use to checkpoint durably between
+  /// phases.
   CampaignResult run_campaign(fpga::FpgaChip& chip,
                               const TestCase& test_case,
-                              const CampaignCheckpoint& from);
+                              const CampaignCheckpoint& from,
+                              int max_phases = -1);
 
   const RunnerConfig& config() const { return config_; }
 

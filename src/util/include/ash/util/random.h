@@ -48,6 +48,7 @@ enum class SeedStream : std::uint64_t {
   kSupply = 4,       ///< PowerSupply ripple
   kFaultPlan = 5,    ///< FaultInjector event/corruption draws
   kCoreFaultPlan = 6,  ///< mc::CoreFaultModel core-fault draws
+  kFleetFaultPlan = 7,  ///< fleet::FleetFaultPlan process-chaos draws
 };
 
 /// The default seed of one named stream.

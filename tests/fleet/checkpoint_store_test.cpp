@@ -1,0 +1,234 @@
+#include "ash/fleet/checkpoint_store.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ash/util/atomic_file.h"
+#include "ash/util/crc32.h"
+
+namespace ash::fleet {
+namespace {
+
+/// mkdtemp fixture: each test gets a private directory.
+class CheckpointStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/ash_ckpt_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    const std::string cmd = "rm -rf '" + dir_ + "'";
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+  }
+  std::string dir_;
+};
+
+/// A payload with embedded NULs, newlines and high bytes — framing must be
+/// 8-bit clean.
+std::string binary_payload() {
+  std::string p = "campaign checkpoint v1\n";
+  p.push_back('\0');
+  p += "\xff\xfe line2\n";
+  p.push_back('\0');
+  return p;
+}
+
+TEST(SnapshotFrame, RoundTripIsBitExact) {
+  const std::string payload = binary_payload();
+  const std::string frame = frame_snapshot(7, 42, payload);
+  const DecodedSnapshot snap = decode_snapshot(frame);
+  EXPECT_EQ(snap.shard_id, 7);
+  EXPECT_EQ(snap.sequence, 42u);
+  EXPECT_EQ(snap.payload, payload);
+}
+
+TEST(SnapshotFrame, EmptyPayloadRoundTrips) {
+  const std::string frame = frame_snapshot(0, 0, "");
+  const DecodedSnapshot snap = decode_snapshot(frame);
+  EXPECT_EQ(snap.payload, "");
+}
+
+TEST(SnapshotFrame, TruncationAtEveryByteBoundaryIsRejected) {
+  // The torn-write acceptance sweep: a frame cut at ANY byte boundary —
+  // mid-magic, mid-header, mid-payload — must be rejected, never decoded
+  // into a partial snapshot.
+  const std::string frame = frame_snapshot(3, 9, binary_payload());
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    EXPECT_THROW(decode_snapshot(frame.substr(0, cut)), CorruptSnapshot)
+        << "prefix of " << cut << " bytes decoded";
+  }
+  EXPECT_NO_THROW(decode_snapshot(frame));
+}
+
+TEST(SnapshotFrame, EveryAppendedGarbageByteIsRejected) {
+  const std::string frame = frame_snapshot(3, 9, binary_payload());
+  EXPECT_THROW(decode_snapshot(frame + 'x'), CorruptSnapshot);
+  EXPECT_THROW(decode_snapshot(frame + frame), CorruptSnapshot);
+}
+
+TEST(SnapshotFrame, EverySingleBitFlipIsRejected) {
+  // CRC32 detects all single-bit errors; sweep every bit of header AND
+  // payload.
+  const std::string frame = frame_snapshot(1, 5, "short payload");
+  for (std::size_t bit = 0; bit < frame.size() * 8; ++bit) {
+    std::string bad = frame;
+    bad[bit / 8] = static_cast<char>(bad[bit / 8] ^ (1u << (bit % 8)));
+    EXPECT_THROW(decode_snapshot(bad), CorruptSnapshot)
+        << "bit " << bit << " flip decoded";
+  }
+}
+
+TEST(SnapshotFrame, ErrorMessagesNameTheFailure) {
+  const std::string frame = frame_snapshot(1, 5, binary_payload());
+  try {
+    decode_snapshot(frame.substr(0, 10));
+    FAIL() << "torn header decoded";
+  } catch (const CorruptSnapshot& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+  }
+  try {
+    decode_snapshot(frame.substr(0, frame.size() - 3));
+    FAIL() << "torn payload decoded";
+  } catch (const CorruptSnapshot& e) {
+    EXPECT_NE(std::string(e.what()).find("torn write"), std::string::npos);
+  }
+  try {
+    decode_snapshot(frame + "zz");
+    FAIL() << "trailing garbage decoded";
+  } catch (const CorruptSnapshot& e) {
+    EXPECT_NE(std::string(e.what()).find("trailing garbage"),
+              std::string::npos);
+  }
+  try {
+    decode_snapshot("not a snapshot at all, but long enough to have a header");
+    FAIL() << "foreign bytes decoded";
+  } catch (const CorruptSnapshot& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
+  }
+}
+
+TEST_F(CheckpointStoreTest, SaveLoadRoundTrip) {
+  const CheckpointStore store(dir_);
+  const std::string payload = binary_payload();
+  store.save(4, 17, payload);
+  const auto loaded = store.load_newest_valid(4);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->sequence, 17u);
+  EXPECT_EQ(loaded->payload, payload);
+  EXPECT_EQ(loaded->corrupt_skipped, 0);
+}
+
+TEST_F(CheckpointStoreTest, MissingDirectoryThrows) {
+  EXPECT_THROW(CheckpointStore(dir_ + "/nope"), std::runtime_error);
+}
+
+TEST_F(CheckpointStoreTest, EmptyStoreLoadsNothing) {
+  const CheckpointStore store(dir_);
+  EXPECT_FALSE(store.load_newest_valid(0).has_value());
+}
+
+TEST_F(CheckpointStoreTest, NewestSequenceWins) {
+  const CheckpointStore store(dir_);
+  store.save(2, 1, "one");
+  store.save(2, 3, "three");
+  store.save(2, 2, "two");
+  const auto loaded = store.load_newest_valid(2);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->sequence, 3u);
+  EXPECT_EQ(loaded->payload, "three");
+}
+
+TEST_F(CheckpointStoreTest, CorruptNewestFallsBackToPreviousValid) {
+  const CheckpointStore store(dir_);
+  store.save(2, 1, "one");
+  store.save(2, 2, "two");
+  const std::string newest = store.save(2, 3, "three");
+  // Tear the newest file mid-payload.
+  const std::string bytes = util::read_file(newest);
+  // Deliberately torn write; the store must reject it, not us.
+  std::ofstream os(newest,  // ash-lint: allow(unchecked-io)
+                   std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 2));
+  os.close();
+  const auto loaded = store.load_newest_valid(2);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->sequence, 2u);
+  EXPECT_EQ(loaded->payload, "two");
+  EXPECT_EQ(loaded->corrupt_skipped, 1);
+}
+
+TEST_F(CheckpointStoreTest, AllCorruptLoadsNothingAndCountsSkips) {
+  const CheckpointStore store(dir_);
+  for (std::uint64_t seq = 1; seq <= 3; ++seq) {
+    const std::string path = store.save(9, seq, "payload");
+    // Deliberate corruption; short writes here are the point.
+    std::ofstream os(path,  // ash-lint: allow(unchecked-io)
+                    std::ios::binary | std::ios::trunc);
+    os << "garbage";
+  }
+  EXPECT_FALSE(store.load_newest_valid(9).has_value());
+}
+
+TEST_F(CheckpointStoreTest, ShardsAreIsolated) {
+  const CheckpointStore store(dir_);
+  store.save(1, 5, "shard one");
+  store.save(2, 9, "shard two");
+  const auto one = store.load_newest_valid(1);
+  const auto two = store.load_newest_valid(2);
+  ASSERT_TRUE(one.has_value());
+  ASSERT_TRUE(two.has_value());
+  EXPECT_EQ(one->payload, "shard one");
+  EXPECT_EQ(two->payload, "shard two");
+  EXPECT_FALSE(store.load_newest_valid(3).has_value());
+}
+
+TEST_F(CheckpointStoreTest, MisfiledFrameIsSkipped) {
+  // A frame that *verifies* but names another shard must not be loaded —
+  // defends against a file copied/renamed into the wrong slot.
+  const CheckpointStore store(dir_);
+  util::atomic_write_file(dir_ + "/" + CheckpointStore::file_name(5, 2),
+                          frame_snapshot(6, 2, "imposter"));
+  store.save(5, 1, "legit");
+  const auto loaded = store.load_newest_valid(5);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->payload, "legit");
+  EXPECT_EQ(loaded->corrupt_skipped, 1);
+}
+
+TEST_F(CheckpointStoreTest, PruneKeepsNewest) {
+  const CheckpointStore store(dir_);
+  for (std::uint64_t seq = 0; seq < 6; ++seq) {
+    store.save(0, seq, "p" + std::to_string(seq));
+  }
+  store.prune(0, 2);
+  const auto files = store.shard_files(0);
+  ASSERT_EQ(files.size(), 2u);
+  const auto loaded = store.load_newest_valid(0);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->sequence, 5u);
+}
+
+TEST_F(CheckpointStoreTest, SaveIsAtomicNoTempFilesRemain) {
+  const CheckpointStore store(dir_);
+  store.save(0, 1, binary_payload());
+  // Only the final name may exist — no .tmp litter from the write path.
+  const auto files = store.shard_files(0);
+  ASSERT_EQ(files.size(), 1u);
+  EXPECT_NE(files[0].find(".ckpt"), std::string::npos);
+}
+
+TEST(CheckpointStoreNames, FileNamesSortBySequence) {
+  EXPECT_EQ(CheckpointStore::file_name(3, 7),
+            "shard-00003.seq-0000000007.ckpt");
+  EXPECT_LT(CheckpointStore::file_name(0, 9),
+            CheckpointStore::file_name(0, 10));
+}
+
+}  // namespace
+}  // namespace ash::fleet

@@ -1,0 +1,127 @@
+#include "ash/fleet/fault.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ash/fleet/checkpoint_store.h"
+
+namespace ash::fleet {
+namespace {
+
+TEST(FleetFaultPlan, DefaultIsIdeal) {
+  EXPECT_TRUE(FleetFaultPlan{}.ideal());
+  EXPECT_TRUE(FleetFaultPlan::none().ideal());
+}
+
+TEST(FleetFaultPlan, PresetsEnableTheirChannels) {
+  EXPECT_FALSE(FleetFaultPlan::kill().ideal());
+  EXPECT_EQ(FleetFaultPlan::kill().corrupt_attempts, 0);
+  EXPECT_GE(FleetFaultPlan::torn().corrupt_attempts, 1);
+  EXPECT_GE(FleetFaultPlan::full().stall_attempts, 1);
+  // full() schedules kills beyond the stall attempt so corruption happens
+  // even when the supervisor kills attempt 0 mid-stall.
+  EXPECT_GT(FleetFaultPlan::full().kill_attempts,
+            FleetFaultPlan::full().stall_attempts);
+}
+
+TEST(FleetFaultPlan, ByNameRoundTripsAndRejectsUnknown) {
+  EXPECT_TRUE(FleetFaultPlan::by_name("none").ideal());
+  EXPECT_EQ(FleetFaultPlan::by_name("kill").kill_attempts, 1);
+  EXPECT_GE(FleetFaultPlan::by_name("torn").corrupt_attempts, 1);
+  EXPECT_GE(FleetFaultPlan::by_name("full").stall_attempts, 1);
+  EXPECT_THROW(FleetFaultPlan::by_name("tornado"), std::invalid_argument);
+}
+
+TEST(FleetFaultAgent, SameSeedSameSchedule) {
+  const FleetFaultPlan plan = FleetFaultPlan::full();
+  for (int shard = 0; shard < 4; ++shard) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      const FleetFaultAgent a(plan, shard, attempt);
+      const FleetFaultAgent b(plan, shard, attempt);
+      EXPECT_EQ(a.kill_scheduled(), b.kill_scheduled());
+      EXPECT_EQ(a.kill_after_phases(), b.kill_after_phases());
+      EXPECT_EQ(a.stall_scheduled(), b.stall_scheduled());
+      EXPECT_EQ(a.corrupt_scheduled(), b.corrupt_scheduled());
+      EXPECT_EQ(a.corruption_kind(), b.corruption_kind());
+      EXPECT_EQ(a.corrupted("some snapshot bytes"),
+                b.corrupted("some snapshot bytes"));
+    }
+  }
+}
+
+TEST(FleetFaultAgent, AttemptsBeyondThePlanAreClean) {
+  const FleetFaultPlan plan = FleetFaultPlan::torn();
+  const FleetFaultAgent late(plan, 0, plan.kill_attempts);
+  EXPECT_FALSE(late.kill_scheduled());
+  EXPECT_FALSE(late.corrupt_scheduled());
+  EXPECT_FALSE(late.stall_scheduled());
+}
+
+TEST(FleetFaultAgent, KillDrawStaysInRange) {
+  FleetFaultPlan plan = FleetFaultPlan::kill();
+  plan.min_phases_before_kill = 1;
+  plan.max_phases_before_kill = 4;
+  for (int shard = 0; shard < 64; ++shard) {
+    const FleetFaultAgent agent(plan, shard, 0);
+    EXPECT_GE(agent.kill_after_phases(), 1);
+    EXPECT_LE(agent.kill_after_phases(), 4);
+  }
+}
+
+TEST(FleetFaultAgent, CorruptingAttemptsKeepAFallbackSnapshot) {
+  // A corrupting death must happen at phase >= 2 so the fall-back to the
+  // previous snapshot still nets one phase per attempt (no livelock).
+  FleetFaultPlan plan = FleetFaultPlan::torn();
+  plan.min_phases_before_kill = 1;
+  plan.max_phases_before_kill = 1;
+  for (int shard = 0; shard < 64; ++shard) {
+    const FleetFaultAgent agent(plan, shard, 0);
+    ASSERT_TRUE(agent.corrupt_scheduled());
+    EXPECT_GE(agent.kill_after_phases(), 2);
+  }
+}
+
+TEST(FleetFaultAgent, EveryCorruptionKindInvalidatesTheFrame) {
+  // Whatever the drawn kind (bit flip, payload tear, header tear), the
+  // mangled frame must fail decode_snapshot — sweep seeds until all three
+  // kinds have been seen.
+  const std::string frame =
+      frame_snapshot(0, 3, "a realistic checkpoint payload, long enough "
+                           "to tear somewhere interesting");
+  bool seen[3] = {false, false, false};
+  for (int shard = 0; shard < 200; ++shard) {
+    FleetFaultPlan plan = FleetFaultPlan::torn();
+    const FleetFaultAgent agent(plan, shard, 0);
+    const std::string bad = agent.corrupted(frame);
+    seen[static_cast<int>(agent.corruption_kind())] = true;
+    EXPECT_NE(bad, frame);
+    EXPECT_THROW(decode_snapshot(bad), CorruptSnapshot)
+        << to_string(agent.corruption_kind());
+  }
+  EXPECT_TRUE(seen[0]);
+  EXPECT_TRUE(seen[1]);
+  EXPECT_TRUE(seen[2]);
+}
+
+TEST(FleetFaultAgent, DifferentShardsDrawDifferentSchedules) {
+  FleetFaultPlan plan = FleetFaultPlan::kill();
+  plan.min_phases_before_kill = 1;
+  plan.max_phases_before_kill = 100;
+  bool diverged = false;
+  const FleetFaultAgent first(plan, 0, 0);
+  for (int shard = 1; shard < 16 && !diverged; ++shard) {
+    diverged = FleetFaultAgent(plan, shard, 0).kill_after_phases() !=
+               first.kill_after_phases();
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(SnapshotCorruptionNames, AreStable) {
+  EXPECT_STREQ(to_string(SnapshotCorruption::kFlipBit), "flip-bit");
+  EXPECT_STREQ(to_string(SnapshotCorruption::kTruncate), "truncate");
+  EXPECT_STREQ(to_string(SnapshotCorruption::kTornHeader), "torn-header");
+}
+
+}  // namespace
+}  // namespace ash::fleet

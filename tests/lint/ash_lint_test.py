@@ -28,6 +28,7 @@ CASES = {
     "unordered-iter": ("unordered_iter", ""),
     "float-physics": ("float_physics", "src/bti"),
     "raw-double-api": ("raw_double_api", "src/bti/include"),
+    "unchecked-io": ("unchecked_io", ""),
 }
 
 HEADER_RULES = {"raw-double-api"}
@@ -122,7 +123,7 @@ class AshLintRepoTest(unittest.TestCase):
         self.assertEqual(
             proc.stdout.split(),
             ["wall-clock", "rng", "unordered-iter", "float-physics",
-             "raw-double-api"])
+             "raw-double-api", "unchecked-io"])
 
 
 if __name__ == "__main__":

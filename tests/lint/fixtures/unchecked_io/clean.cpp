@@ -1,0 +1,14 @@
+// Fixture: the stream state is tested after the write, so a short write
+// surfaces as an error instead of a silent truncation.
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+void dump_results(const std::string& path) {
+  std::ofstream os(path);
+  os << "t_campaign_s,freq_hz\n";
+  os.flush();
+  if (!os) {
+    throw std::runtime_error("short write to " + path);
+  }
+}

@@ -1,0 +1,10 @@
+// Fixture: the stream is written and closed but its state is never
+// examined, so a full disk or torn write would pass silently.
+#include <fstream>
+
+void dump_results(const char* path) {
+  std::ofstream os(path);
+  os << "t_campaign_s,freq_hz\n";
+  os << "0.0,987.6\n";
+  os.close();
+}

@@ -1,0 +1,47 @@
+#include "ash/util/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ash::util {
+namespace {
+
+TEST(Crc32Test, CheckValue) {
+  // The canonical CRC-32/IEEE check value.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyInput) { EXPECT_EQ(crc32(""), 0u); }
+
+TEST(Crc32Test, KnownVectors) {
+  EXPECT_EQ(crc32("a"), 0xE8B7BE43u);
+  EXPECT_EQ(crc32("abc"), 0x352441C2u);
+  EXPECT_EQ(crc32(std::string(1, '\0')), 0xD202EF8Du);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string text = "ash-fleet checkpoint payload, framed and fsynced";
+  Crc32 crc;
+  for (std::size_t split = 0; split <= text.size(); ++split) {
+    Crc32 two;
+    two.update(text.substr(0, split));
+    two.update(text.substr(split));
+    EXPECT_EQ(two.value(), crc32(text)) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, SingleBitFlipChangesValue) {
+  std::string text = "durable";
+  const std::uint32_t clean = crc32(text);
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = text;
+      corrupt[i] = static_cast<char>(corrupt[i] ^ (1 << bit));
+      EXPECT_NE(crc32(corrupt), clean) << "byte " << i << " bit " << bit;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ash::util

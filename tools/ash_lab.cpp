@@ -40,6 +40,7 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -54,6 +55,7 @@
 #include "ash/obs/trace.h"
 #include "ash/tb/experiment_runner.h"
 #include "ash/tb/test_case.h"
+#include "ash/util/atomic_file.h"
 #include "ash/util/constants.h"
 #include "ash/util/flags.h"
 #include "ash/util/table.h"
@@ -218,6 +220,21 @@ int cmd_stress(const Flags& flags) {
   flags.check_known(with_obs({"stages", "seed", "temp", "hours", "mode",
                               "rec-volts", "rec-temp", "rec-hours",
                               "checkpoint"}));
+  // Validate the checkpoint destination *before* simulating anything: a
+  // doomed 24-hour stress run should fail in milliseconds, not after the
+  // work is done.
+  const std::string ckpt = flags.get("checkpoint", std::string());
+  if (!ckpt.empty()) {
+    const std::string dir = util::dirname_of(ckpt);
+    if (!util::writable_directory(dir)) {
+      std::fprintf(stderr,
+                   "ash_lab: --checkpoint %s: directory '%s' is missing or "
+                   "not writable\n",
+                   ckpt.c_str(), dir.c_str());
+      return usage();
+    }
+  }
+
   fpga::ChipConfig cc;
   cc.seed = static_cast<std::uint64_t>(flags.get("seed", 1));
   cc.ro_stages = flags.get("stages", 75);
@@ -258,14 +275,18 @@ int cmd_stress(const Flags& flags) {
         100.0 * (healed - stressed) / (fresh - stressed));
   }
 
-  const std::string ckpt = flags.get("checkpoint", std::string());
   if (!ckpt.empty()) {
-    std::ofstream os(ckpt);
-    if (!os) {
-      std::fprintf(stderr, "ash_lab: cannot write %s\n", ckpt.c_str());
+    // Atomic temp-file + rename: a crash mid-write can tear the temp file,
+    // never a checkpoint someone might later resume from.
+    std::ostringstream doc;
+    fpga::save_checkpoint(doc, chip);
+    try {
+      util::atomic_write_file(ckpt, doc.str());
+    } catch (const std::system_error& e) {
+      std::fprintf(stderr, "ash_lab: cannot write %s: %s\n", ckpt.c_str(),
+                   e.what());
       return 1;
     }
-    fpga::save_checkpoint(os, chip);
     std::printf("checkpoint written to %s\n", ckpt.c_str());
   }
   return 0;

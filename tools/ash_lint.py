@@ -36,6 +36,16 @@ a handful of recognisable source patterns, so we lint for them:
                   Celsius, Hertz).  Private helpers, data members and return
                   values are out of scope (see DESIGN.md sec. 9).
 
+  unchecked-io    A std::ofstream/std::fstream variable whose stream state
+                  is never examined anywhere in the file: no `!s`, no
+                  .fail()/.good()/.bad()/.is_open()/.rdstate(), no
+                  .exceptions() arming, no boolean test.  A full disk or a
+                  torn write then fails silently and the campaign "result"
+                  is garbage; check the stream after writing, or go through
+                  util::atomic_write_file which throws on short writes.
+                  The heuristic is file-scoped by name, so a check of any
+                  same-named stream in the file counts.
+
 Any finding can be suppressed on its line with a trailing
 `// ash-lint: allow(<rule>)` (comma-separate several rules).
 
@@ -66,6 +76,7 @@ RULES = (
     "unordered-iter",
     "float-physics",
     "raw-double-api",
+    "unchecked-io",
 )
 
 
@@ -182,7 +193,12 @@ WALL_CLOCK_PATTERNS = (
     (re.compile(r"(?<![\w:.])clock\s*\(\s*\)"), "clock()"),
 )
 
-WALL_CLOCK_ALLOWED_PREFIXES = ("src/obs/", "bench/", "tests/obs/")
+# src/fleet/ is process supervision: heartbeat deadlines and restart
+# backoffs pace real worker processes, so host time is the correct clock
+# there.  Nothing in fleet feeds the simulated physics (the payload
+# determinism tests pin that).
+WALL_CLOCK_ALLOWED_PREFIXES = ("src/obs/", "src/fleet/", "bench/",
+                               "tests/obs/")
 
 
 def rule_wall_clock(fl: FileLint) -> None:
@@ -377,12 +393,44 @@ def rule_raw_double_api(fl: FileLint) -> None:
         line_no += 1
 
 
+# --------------------------------------------------------------------------
+# Rule: unchecked-io
+# --------------------------------------------------------------------------
+
+# Write-capable file streams only: ostringstream cannot fail meaningfully
+# and ifstream misuse shows up as parse failures downstream.
+WRITE_STREAM_DECL_RE = re.compile(r"\bstd::o?fstream\s+(\w+)\s*[({]")
+STATE_CHECK_TEMPLATES = (
+    r"!\s*{n}\b",                                              # if (!os)
+    r"\b{n}\s*\.\s*(?:fail|good|bad|is_open|rdstate|exceptions)\s*\(",
+    r"\b(?:if|while)\s*\(\s*{n}\s*[)&|]",                      # if (os) ...
+)
+
+
+def rule_unchecked_io(fl: FileLint) -> None:
+    for no, line in enumerate(fl.code_lines, start=1):
+        m = WRITE_STREAM_DECL_RE.search(line)
+        if not m:
+            continue
+        name = re.escape(m.group(1))
+        if any(re.search(t.format(n=name), fl.code)
+               for t in STATE_CHECK_TEMPLATES):
+            continue
+        fl.report(
+            "unchecked-io", no,
+            f"write stream '{m.group(1)}' is never state-checked: a full "
+            "disk or torn write fails silently; test the stream after "
+            f"writing (e.g. `if (!{m.group(1)})`) or use "
+            "util::atomic_write_file")
+
+
 RULE_FUNCS = {
     "wall-clock": rule_wall_clock,
     "rng": rule_rng,
     "unordered-iter": rule_unordered_iter,
     "float-physics": rule_float_physics,
     "raw-double-api": rule_raw_double_api,
+    "unchecked-io": rule_unchecked_io,
 }
 
 
