@@ -18,7 +18,9 @@ const char* to_string(SnapshotCorruption kind) {
 }
 
 bool FleetFaultPlan::ideal() const {
-  return kill_attempts <= 0 && stall_attempts <= 0 && corrupt_attempts <= 0;
+  return kill_attempts <= 0 && stall_attempts <= 0 && corrupt_attempts <= 0 &&
+         proto_drop_attempts <= 0 && proto_truncate_attempts <= 0 &&
+         proto_stall_attempts <= 0 && proto_kill_every <= 0;
 }
 
 FleetFaultPlan FleetFaultPlan::none() { return {}; }
@@ -51,13 +53,28 @@ FleetFaultPlan FleetFaultPlan::full() {
   return plan;
 }
 
+FleetFaultPlan FleetFaultPlan::protocol() {
+  FleetFaultPlan plan;
+  // One sabotaged delivery per channel per request: attempt 0 drops the
+  // connection, attempt 1 tears the frame mid-send, attempt 2 slow-lorises
+  // past the daemon's I/O deadline — attempt 3 is the first honest one, so
+  // a retry budget of a handful always converges.
+  plan.proto_drop_attempts = 1;
+  plan.proto_truncate_attempts = 1;
+  plan.proto_stall_attempts = 1;
+  plan.proto_stall_ms = 400.0;
+  plan.proto_kill_every = 3;
+  return plan;
+}
+
 FleetFaultPlan FleetFaultPlan::by_name(const std::string& name) {
   if (name == "none") return none();
   if (name == "kill") return kill();
   if (name == "torn") return torn();
   if (name == "full") return full();
+  if (name == "protocol") return protocol();
   throw std::invalid_argument("unknown fleet fault plan '" + name +
-                              "' (none|kill|torn|full)");
+                              "' (none|kill|torn|full|protocol)");
 }
 
 FleetFaultAgent::FleetFaultAgent(const FleetFaultPlan& plan, int shard_id,
@@ -110,6 +127,38 @@ std::string FleetFaultAgent::corrupted(std::string_view bytes) const {
     }
   }
   return out;
+}
+
+ProtocolChaosAgent::ProtocolChaosAgent(const FleetFaultPlan& plan,
+                                       int request_index, int attempt) {
+  // One independent stream per (request, attempt), mirroring the
+  // (shard, attempt) derivation of FleetFaultAgent.
+  Rng rng(derive_seed(derive_seed(plan.seed,
+                                  0x50524F544FULL ^ static_cast<std::uint64_t>(
+                                                        request_index)),
+                      static_cast<std::uint64_t>(attempt)));
+
+  // Channels claim successive attempt slots: [0, drop) drop, then
+  // [drop, drop+truncate) truncate, then stalls.  Deterministic per
+  // attempt, so the retry count needed to get through is bounded by the
+  // sum of the channel budgets.
+  const int drop_end = std::max(0, plan.proto_drop_attempts);
+  const int trunc_end = drop_end + std::max(0, plan.proto_truncate_attempts);
+  const int stall_end = trunc_end + std::max(0, plan.proto_stall_attempts);
+  drop_scheduled_ = attempt < drop_end;
+  truncate_scheduled_ = attempt >= drop_end && attempt < trunc_end;
+  stall_scheduled_ = attempt >= trunc_end && attempt < stall_end &&
+                     plan.proto_stall_ms > 0.0;
+  stall_ms_ = plan.proto_stall_ms;
+  kill_daemon_scheduled_ = plan.proto_kill_every > 0 && attempt == 0 &&
+                           request_index > 0 &&
+                           request_index % plan.proto_kill_every == 0;
+  cut_draw_ = rng();
+}
+
+std::size_t ProtocolChaosAgent::cut_point(std::size_t frame_size) const {
+  if (frame_size < 2) return 0;
+  return 1 + static_cast<std::size_t>(cut_draw_ % (frame_size - 1));
 }
 
 void FleetFaultAgent::corrupt_file(const std::string& path) const {

@@ -62,6 +62,24 @@ struct FleetFaultPlan {
   /// Worker attempts 0..corrupt_attempts-1 corrupt the newest snapshot
   /// file (kind drawn per attempt) just before their scheduled death.
   int corrupt_attempts = 0;
+
+  // --- Protocol chaos (enacted client-side by fleet::Client against a
+  // --- resident ash_fleetd; the daemon sees real broken connections).
+  /// Delivery attempts 0..n-1 of every request drop the connection before
+  /// the frame is sent (the daemon sees a silent disconnect).
+  int proto_drop_attempts = 0;
+  /// Following attempts send a drawn prefix of the frame, then disconnect
+  /// mid-frame (the wire analog of a torn snapshot write).
+  int proto_truncate_attempts = 0;
+  /// Following attempts stall for `proto_stall_ms` mid-frame — the
+  /// slow-loris the daemon must evict on its write/read deadline.
+  int proto_stall_attempts = 0;
+  double proto_stall_ms = 0.0;
+  /// SIGKILL the daemon before every Nth request (0 = never); the drill
+  /// harness owns the pid and restarts it from its newest durable
+  /// snapshot.
+  int proto_kill_every = 0;
+
   /// Root seed of every chaos draw.
   std::uint64_t seed = default_seed(SeedStream::kFleetFaultPlan);
 
@@ -71,13 +89,18 @@ struct FleetFaultPlan {
   /// Presets.  "kill" SIGKILLs every worker once; "torn" additionally
   /// corrupts the snapshot it just wrote (forcing fall-back recovery);
   /// "full" adds a heartbeat stall.  All recover to a bit-identical
-  /// payload; "full" just takes the scenic route.
+  /// payload; "full" just takes the scenic route.  "protocol" leaves the
+  /// workers alone and attacks the service wire instead: dropped
+  /// connections, mid-frame truncation, stalled writes and daemon SIGKILL
+  /// between requests — the retrying client still converges to a
+  /// byte-identical transcript.
   static FleetFaultPlan none();
   static FleetFaultPlan kill();
   static FleetFaultPlan torn();
   static FleetFaultPlan full();
-  /// Lookup by name ("none" | "kill" | "torn" | "full"); throws
-  /// std::invalid_argument for unknown names.
+  static FleetFaultPlan protocol();
+  /// Lookup by name ("none" | "kill" | "torn" | "full" | "protocol");
+  /// throws std::invalid_argument for unknown names.
   static FleetFaultPlan by_name(const std::string& name);
 };
 
@@ -114,6 +137,38 @@ class FleetFaultAgent {
   SnapshotCorruption corruption_kind_ = SnapshotCorruption::kFlipBit;
   std::uint64_t flip_draw_ = 0;     ///< selects the flipped bit
   std::uint64_t truncate_draw_ = 0; ///< selects the tear point
+};
+
+/// The wire-chaos schedule of one (request index, delivery attempt),
+/// drawn at construction — the protocol analog of FleetFaultAgent.
+/// Sabotage channels are assigned to successive attempts (drop, then
+/// truncate, then stall) so a bounded retry budget always outlasts the
+/// chaos; the tear/stall offsets are seeded draws per (request, attempt).
+class ProtocolChaosAgent {
+ public:
+  ProtocolChaosAgent(const FleetFaultPlan& plan, int request_index,
+                     int attempt);
+
+  /// Close the connection instead of sending anything.
+  bool drop_scheduled() const { return drop_scheduled_; }
+  /// Send cut_point() bytes of the frame, then close.
+  bool truncate_scheduled() const { return truncate_scheduled_; }
+  /// Send cut_point() bytes, stall stall_ms(), then send the rest.
+  bool stall_scheduled() const { return stall_scheduled_; }
+  double stall_ms() const { return stall_ms_; }
+  /// SIGKILL the daemon (harness hook) before this request goes out.
+  bool kill_daemon_scheduled() const { return kill_daemon_scheduled_; }
+
+  /// Drawn mid-frame offset in [1, frame_size - 1] (0 for an empty frame).
+  std::size_t cut_point(std::size_t frame_size) const;
+
+ private:
+  bool drop_scheduled_ = false;
+  bool truncate_scheduled_ = false;
+  bool stall_scheduled_ = false;
+  double stall_ms_ = 0.0;
+  bool kill_daemon_scheduled_ = false;
+  std::uint64_t cut_draw_ = 0;  ///< selects the mid-frame offset
 };
 
 }  // namespace ash::fleet

@@ -1,0 +1,258 @@
+#pragma once
+
+/// \file protocol.h
+/// Wire protocol of the fleet aging service.
+///
+/// `ash_fleetd` answers queries over a Unix-domain socket; every byte that
+/// arrives on that socket is treated as adversarial (the wearout-attack
+/// literature's threat model, applied to the manager itself).  Messages
+/// travel in binary frames that reuse the PR 6 snapshot discipline —
+/// magic, version, declared length, payload CRC, header self-CRC:
+///
+///   offset  size  field
+///        0     8  magic "ASHFLTQ1"
+///        8     4  format version (1, little-endian u32)
+///       12     4  message type (u32, MessageType)
+///       16     8  request id (u64; echoed verbatim in the response)
+///       24     8  payload size in bytes (u64, <= max_payload)
+///       32     4  CRC-32 of the payload
+///       36     4  CRC-32 of bytes 0..35 (header self-check)
+///       40     …  payload (text document, kMaxFramePayload cap)
+///
+/// `FrameReader` decodes a raw byte stream incrementally and rejects
+/// hostile input at the earliest offset that proves it invalid: a magic
+/// mismatch is rejected at its first wrong byte, an oversized declared
+/// length before any payload is buffered, a tampered header at byte 40, a
+/// truncated or bit-flipped payload when its CRC fails.  A framing error
+/// is not recoverable — the server drops the connection, exactly as
+/// `CheckpointStore` refuses a torn snapshot.
+///
+/// Payloads are line-oriented `key value` text documents (the repo's
+/// checkpoint idiom: diffable, 8-bit-clean inside the CRC envelope).
+/// Doubles are printed with %.17g so every value round-trips bit-exactly —
+/// what makes retried-transcript == undisturbed-transcript a *byte*
+/// comparison.  Quantities cross the wire as strong units (ash::Seconds,
+/// ash::Volts, ash::Celsius): the struct field types are the wire schema.
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "ash/util/units.h"
+
+namespace ash::fleet {
+
+/// Protocol version written by this build.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Hard cap on a frame payload.  A header declaring more is rejected
+/// before any payload byte is buffered — a 16-exabyte declared length must
+/// cost the daemon 40 bytes of memory, not an allocation.
+inline constexpr std::uint64_t kMaxFramePayload = 1u << 20;
+
+/// Size of the fixed frame header.
+inline constexpr std::size_t kFrameHeaderSize = 40;
+
+/// Thrown on any wire-format violation; the message names the failing
+/// check and the byte offset where the input proved invalid.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Message types.  Requests are odd, their responses even (request + 1).
+enum class MessageType : std::uint32_t {
+  kPingRequest = 1,
+  kPingResponse = 2,
+  kMarginRequest = 3,
+  kMarginResponse = 4,
+  kRejuvenationRequest = 5,
+  kRejuvenationResponse = 6,
+  kScheduleSleepRequest = 7,
+  kScheduleSleepResponse = 8,
+  kStatusRequest = 9,
+  kStatusResponse = 10,
+  kErrorResponse = 11,
+};
+
+const char* to_string(MessageType type);
+/// True when `raw` encodes a known MessageType.
+bool known_message_type(std::uint32_t raw);
+
+/// Response status.  kOverloaded is the backpressure signal: the request
+/// was *not* processed and may be retried after a backoff.
+enum class Status : std::uint32_t {
+  kOk = 0,
+  kOverloaded = 1,
+  kBadRequest = 2,
+  kUnknownDevice = 3,
+  kShuttingDown = 4,
+};
+
+const char* to_string(Status status);
+
+/// One decoded, CRC-verified frame.
+struct Frame {
+  MessageType type = MessageType::kErrorResponse;
+  std::uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// Encode one frame (header + CRCs + payload).
+std::string frame_message(MessageType type, std::uint64_t request_id,
+                          std::string_view payload);
+
+/// Verify and unwrap a complete frame held in one buffer.  Throws
+/// ProtocolError on any violation (tests exercise every truncation
+/// boundary and every header bit).
+Frame decode_frame(std::string_view bytes,
+                   std::uint64_t max_payload = kMaxFramePayload);
+
+/// Incremental frame decoder over a byte stream.
+///
+/// feed() appends wire bytes; next() yields verified frames in order.
+/// Either call throws ProtocolError as soon as the buffered prefix cannot
+/// extend to a valid frame; after a throw the reader is poisoned and the
+/// connection must be dropped (resynchronising inside a hostile byte
+/// stream would mean trusting unverified bytes).
+class FrameReader {
+ public:
+  explicit FrameReader(std::uint64_t max_payload = kMaxFramePayload);
+
+  /// Append raw bytes.  Throws ProtocolError on provably-invalid input.
+  void feed(std::string_view bytes);
+
+  /// Next complete verified frame, or nullopt when more bytes are needed.
+  std::optional<Frame> next();
+
+  /// Bytes buffered but not yet consumed by next().
+  std::size_t buffered() const { return buffer_.size(); }
+  bool poisoned() const { return poisoned_; }
+
+ private:
+  void check_prefix();  ///< earliest-offset rejection of the buffered bytes
+
+  std::uint64_t max_payload_;
+  std::string buffer_;
+  bool poisoned_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Request / response payloads.  Strong units are the wire schema; encode()
+// prints canonical text, parse() validates every field and throws
+// ProtocolError naming the offender.
+// ---------------------------------------------------------------------------
+
+/// "Given this duty cycle, when does device X cross its margin?"
+struct MarginRequest {
+  std::uint64_t device_id = 0;
+  /// Queried mission schedule: switching activity duty cycle in [0, 1]...
+  double duty = 0.5;
+  /// ...at this supply and die temperature.
+  Volts vdd{1.2};
+  Celsius temp{80.0};
+  /// Search horizon; the answer is right-censored here.
+  Seconds horizon = units::hours(10.0 * 365.25 * 24.0);
+
+  std::string encode() const;
+  static MarginRequest parse(std::string_view payload);
+};
+
+struct MarginResponse {
+  Status status = Status::kOk;
+  bool crosses = false;
+  /// Time until the device's projected DeltaVth crosses its margin
+  /// (== horizon when !crosses).
+  Seconds time_to_margin{0.0};
+  /// The device's current (odometer-estimated) aging and its margin.
+  Volts delta_vth{0.0};
+  Volts margin{0.0};
+
+  std::string encode() const;
+  static MarginResponse parse(std::string_view payload);
+};
+
+/// "Which shard needs rejuvenation next epoch?" — ranked by the fractional
+/// frequency degradation of each shard's newest durable campaign snapshot.
+struct RejuvenationRequest {
+  /// Length of the upcoming scheduling epoch (informational; echoed).
+  Seconds epoch = units::hours(24.0);
+
+  std::string encode() const;
+  static RejuvenationRequest parse(std::string_view payload);
+};
+
+struct RejuvenationResponse {
+  Status status = Status::kOk;
+  /// False when no shard has a valid snapshot to rank.
+  bool any = false;
+  int shard_id = -1;
+  /// Winner's fractional frequency degradation (0..1).
+  double degradation = 0.0;
+
+  std::string encode() const;
+  static RejuvenationResponse parse(std::string_view payload);
+};
+
+/// Scheduling mutation: book a recovery-sleep window for a device.
+/// (client_id, request id) is the idempotency key — a retrying client can
+/// never double-book the window.
+struct ScheduleSleepRequest {
+  std::uint64_t client_id = 0;
+  std::uint64_t device_id = 0;
+  /// Window start, relative to the service's scheduling epoch.
+  Seconds start{0.0};
+  Seconds duration = units::hours(6.0);
+
+  std::string encode() const;
+  static ScheduleSleepRequest parse(std::string_view payload);
+};
+
+struct ScheduleSleepResponse {
+  Status status = Status::kOk;
+  /// Always true on the wire: a replayed (client, request) rebuilds the
+  /// original acknowledgement byte-for-byte, so a client that retried a
+  /// torn send cannot distinguish its transcript from an undisturbed run.
+  bool newly_applied = false;
+  /// Device's window count after the mutation.
+  std::uint64_t windows = 0;
+
+  std::string encode() const;
+  static ScheduleSleepResponse parse(std::string_view payload);
+};
+
+struct StatusRequest {
+  std::string encode() const;
+  static StatusRequest parse(std::string_view payload);
+};
+
+/// Deterministic service state summary.  Volatile operational tallies
+/// (requests served, evictions) are deliberately absent — they live in the
+/// `fleet.service.*` metrics, so chaos cannot perturb response bytes.
+struct StatusResponse {
+  Status status = Status::kOk;
+  std::uint64_t devices = 0;
+  std::uint64_t windows = 0;
+  /// Durable state sequence (mutations applied since genesis).
+  std::uint64_t sequence = 0;
+  bool draining = false;
+
+  std::string encode() const;
+  static StatusResponse parse(std::string_view payload);
+};
+
+/// Error / load-shed response, usable for any request type.
+struct ErrorResponse {
+  Status status = Status::kBadRequest;
+  std::string message;
+
+  std::string encode() const;
+  static ErrorResponse parse(std::string_view payload);
+};
+
+/// Ping carries no payload; these helpers keep call sites symmetric.
+std::string encode_ping();
+
+}  // namespace ash::fleet

@@ -1,0 +1,210 @@
+#pragma once
+
+/// \file service.h
+/// The resident fleet aging service behind `ash_fleetd` (ROADMAP item 1).
+///
+/// `Service` keeps the fleet substrate resident and answers concurrent
+/// queries over a Unix-domain socket speaking the CRC-framed protocol of
+/// ash/fleet/protocol.h:
+///
+///   * **margin**: "given this duty cycle, when does device X cross its
+///     margin?" — the device's durable odometer estimate projected forward
+///     with `mc::margin_outlook` (the paper's closed-form BTI law);
+///   * **rejuvenation**: "which shard needs rejuvenation next epoch?" —
+///     shards ranked by the fractional frequency degradation of their
+///     newest *valid* durable campaign snapshot (`CheckpointStore`);
+///   * **schedule-sleep**: the one mutation — book a recovery-sleep window
+///     for a device, crash-consistently (see below);
+///   * **status / ping**: deterministic state summary and liveness.
+///
+/// Robustness contract, pinned under `ctest -L faults`:
+///
+///   * every byte off the wire is adversarial — framing violations poison
+///     the connection and it is dropped, exactly as `CheckpointStore`
+///     refuses a torn snapshot;
+///   * per-connection I/O deadlines evict slow-loris clients that park a
+///     half-sent frame or never drain their responses;
+///   * the per-tick request queue is bounded: requests beyond
+///     `max_request_queue` are shed with `Status::kOverloaded` instead of
+///     growing memory — explicit backpressure, never silent latency;
+///   * mutations are **write-ahead**: the state snapshot (including the
+///     idempotency table) is durably saved *before* the acknowledgement is
+///     queued, so a daemon SIGKILLed between apply and ack replays the
+///     original acknowledgement bytes when the client retries — a retrying
+///     client can never double-book a window;
+///   * SIGTERM drains gracefully: stop accepting, answer what is queued,
+///     flush outboxes, persist a final snapshot, exit;
+///   * restart loads the newest valid snapshot, so post-restart answers are
+///     consistent with the last acknowledged state.
+///
+/// Operational tallies are published as `fleet.service.*` metrics through
+/// `ash::obs`; they are deliberately kept out of response payloads so a
+/// chaos-ridden run and an undisturbed run answer with identical bytes.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ash/bti/closed_form.h"
+#include "ash/fleet/checkpoint_store.h"
+#include "ash/fleet/protocol.h"
+#include "ash/util/random.h"
+#include "ash/util/units.h"
+
+namespace ash::obs {
+class Registry;
+}  // namespace ash::obs
+
+namespace ash::fleet {
+
+/// Service tunables.  Timings are host-time milliseconds — serving real
+/// sockets is the one fleet layer that legitimately lives on the wall
+/// clock; nothing here feeds back into the simulated physics.
+struct ServiceConfig {
+  /// Unix-domain socket path the daemon binds (re-created on startup).
+  std::string socket_path;
+  /// Directory for durable service-state snapshots (must exist, writable).
+  std::string state_dir;
+  /// Directory of fleet campaign snapshots the rejuvenation query ranks
+  /// (typically FleetConfig::checkpoint_dir); empty disables the scan.
+  std::string campaign_dir;
+  /// Shard ids 0..shard_count-1 are scanned in `campaign_dir`.
+  int shard_count = 0;
+  /// Devices tracked (ids 0..devices-1).
+  std::uint64_t devices = 64;
+  /// Per-device aging budget (match mc::ReliabilityConfig).
+  Volts margin{12e-3};
+  /// Seed of the per-device aging priors (genesis state).
+  std::uint64_t seed = default_seed(SeedStream::kFleetService);
+  /// Closed-form physics of the margin projection.
+  bti::ClosedFormParameters physics;
+
+  /// Connection cap; clients beyond it are turned away at accept.
+  int max_connections = 64;
+  /// Requests admitted per tick; the rest are shed with kOverloaded.
+  int max_request_queue = 8;
+  /// Per-connection I/O deadline: a connection with a half-read frame or
+  /// an undrained outbox idle this long is evicted (slow-loris defense).
+  int io_timeout_ms = 2000;
+  /// Poll tick; also bounds SIGTERM reaction latency.
+  int poll_interval_ms = 20;
+  /// When nonempty, the drain path writes the metrics snapshot here.
+  std::string metrics_path;
+};
+
+/// One booked recovery-sleep window.
+struct SleepWindow {
+  Seconds start{0.0};
+  Seconds duration{0.0};
+};
+
+/// Durable per-device state.
+struct DeviceAging {
+  /// Odometer-style estimate of the device's current DeltaVth.
+  Volts delta_vth{0.0};
+  std::vector<SleepWindow> windows;
+};
+
+/// One applied mutation, remembered for idempotent replay: a retry of the
+/// same (client, request) gets `windows_after` re-encoded into the exact
+/// acknowledgement bytes the first delivery produced.
+struct AppliedMutation {
+  std::uint64_t client_id = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t windows_after = 0;
+};
+
+/// The service's durable state: a pure function of (genesis config, the
+/// sequence of applied mutations).  Serializes as a line-oriented text
+/// document framed by CheckpointStore — same discipline as campaign
+/// snapshots, same newest-valid recovery.
+struct ServiceState {
+  std::uint64_t sequence = 0;  ///< mutations applied since genesis
+  Volts margin{12e-3};
+  std::vector<DeviceAging> devices;
+  std::vector<AppliedMutation> applied;
+
+  /// Fresh state: per-device aging priors drawn from `seed` (device i's
+  /// DeltaVth uniform in [0, 0.9 * margin] on stream derive_seed(seed, i)).
+  static ServiceState genesis(std::uint64_t device_count, Volts margin,
+                              std::uint64_t seed);
+
+  std::string serialize() const;
+  /// Throws std::runtime_error naming the failing field on malformed
+  /// input; never yields a partially-filled state.
+  static ServiceState deserialize(std::string_view bytes);
+
+  const AppliedMutation* find_applied(std::uint64_t client_id,
+                                      std::uint64_t request_id) const;
+  std::uint64_t total_windows() const;
+};
+
+/// Host-time operational tallies; everything here is timing- and
+/// chaos-dependent, which is exactly why none of it appears in response
+/// payloads.
+struct ServiceStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_rejected = 0;  ///< over max_connections
+  std::uint64_t evictions = 0;             ///< I/O deadline expiries
+  std::uint64_t frame_errors = 0;          ///< poisoned readers dropped
+  std::uint64_t requests = 0;              ///< admitted to the queue
+  std::uint64_t shed = 0;                  ///< load-shed with kOverloaded
+  std::uint64_t responses = 0;
+  std::uint64_t mutations = 0;             ///< newly applied
+  std::uint64_t replays = 0;               ///< idempotent re-acks
+  std::uint64_t snapshots_saved = 0;
+
+  std::string render() const;
+  /// Set one `prefix`-named counter per field (same integers as the
+  /// struct, so report and metrics can never disagree).
+  void publish(obs::Registry& registry,
+               const std::string& prefix = "fleet.service.") const;
+};
+
+/// The resident daemon.  Single-threaded poll loop; concurrency comes
+/// from multiplexing connections, not threads (fork-safe, like the
+/// supervisor it fronts).
+class Service {
+ public:
+  /// Loads the newest valid state snapshot from `state_dir` (genesis when
+  /// none verifies) and durably persists the starting state.  Throws
+  /// std::runtime_error on an unusable state_dir or socket path,
+  /// std::invalid_argument on nonsensical tunables.
+  explicit Service(ServiceConfig config);
+
+  /// Compute the response to one verified request frame, durably applying
+  /// any mutation (write-ahead) before the acknowledgement is returned.
+  /// Never throws on hostile payloads — they earn an ErrorResponse.
+  /// Exposed for in-process tests; run() calls it per admitted request.
+  Frame respond(const Frame& request);
+
+  /// One tick's bounded-queue admission: the first `max_request_queue`
+  /// requests are answered via respond(), the rest shed with a
+  /// kOverloaded ErrorResponse.  Returns responses 1:1 with requests.
+  std::vector<Frame> process_tick(const std::vector<Frame>& requests);
+
+  /// Bind the socket and serve until SIGTERM/SIGINT, then drain: stop
+  /// accepting, flush, persist a final snapshot, publish metrics, return.
+  void run();
+
+  const ServiceConfig& config() const { return config_; }
+  const ServiceState& state() const { return state_; }
+  const ServiceStats& stats() const { return stats_; }
+  bool draining() const { return draining_; }
+
+ private:
+  Frame respond_margin(const Frame& request);
+  Frame respond_rejuvenation(const Frame& request);
+  Frame respond_schedule_sleep(const Frame& request);
+  Frame respond_status(const Frame& request);
+  void save_state();
+
+  ServiceConfig config_;
+  CheckpointStore state_store_;
+  bti::ClosedFormModel model_;
+  ServiceState state_;
+  ServiceStats stats_;
+  bool draining_ = false;
+};
+
+}  // namespace ash::fleet

@@ -1,0 +1,496 @@
+#include "ash/fleet/protocol.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <initializer_list>
+#include <map>
+
+#include "ash/util/crc32.h"
+#include "ash/util/table.h"
+
+namespace ash::fleet {
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'S', 'H', 'F', 'L', 'T', 'Q', '1'};
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+std::uint32_t get_u32(std::string_view bytes, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) |
+        static_cast<unsigned char>(bytes[at + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(std::string_view bytes, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) |
+        static_cast<unsigned char>(bytes[at + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+/// Earliest-offset validation of a (possibly partial) frame prefix.
+/// Returns the total frame size once the header is complete and valid, 0
+/// when more bytes are needed.  Throws ProtocolError at the first byte
+/// that proves the input is not a frame.
+std::uint64_t check_frame_prefix(std::string_view bytes,
+                                 std::uint64_t max_payload) {
+  const std::size_t magic_len = std::min(bytes.size(), sizeof kMagic);
+  if (std::memcmp(bytes.data(), kMagic, magic_len) != 0) {
+    throw ProtocolError("bad magic: not an ash-fleet frame");
+  }
+  if (bytes.size() < 12) return 0;
+  const std::uint32_t version = get_u32(bytes, 8);
+  if (version != kProtocolVersion) {
+    throw ProtocolError("unsupported protocol version " +
+                        std::to_string(version));
+  }
+  if (bytes.size() < 32) return 0;
+  const std::uint64_t payload_size = get_u64(bytes, 24);
+  if (payload_size > max_payload) {
+    throw ProtocolError("declared payload of " + std::to_string(payload_size) +
+                        " bytes exceeds the " + std::to_string(max_payload) +
+                        "-byte cap (hostile length)");
+  }
+  if (bytes.size() < kFrameHeaderSize) return 0;
+  const std::uint32_t header_crc = get_u32(bytes, 36);
+  if (util::crc32(bytes.substr(0, 36)) != header_crc) {
+    throw ProtocolError("header CRC mismatch (tampered or torn header)");
+  }
+  return kFrameHeaderSize + payload_size;
+}
+
+/// Unwrap a frame whose header has already passed check_frame_prefix and
+/// whose `total` bytes are all present.
+Frame finish_frame(std::string_view bytes) {
+  const std::uint32_t payload_crc = get_u32(bytes, 32);
+  if (util::crc32(bytes.substr(kFrameHeaderSize)) != payload_crc) {
+    throw ProtocolError("payload CRC mismatch (bit rot or tampering)");
+  }
+  const std::uint32_t raw_type = get_u32(bytes, 12);
+  if (!known_message_type(raw_type)) {
+    throw ProtocolError("unknown message type " + std::to_string(raw_type));
+  }
+  Frame frame;
+  frame.type = static_cast<MessageType>(raw_type);
+  frame.request_id = get_u64(bytes, 16);
+  frame.payload = std::string(bytes.substr(kFrameHeaderSize));
+  return frame;
+}
+
+// -------------------------------------------------------------------------
+// Text-document payload helpers.
+// -------------------------------------------------------------------------
+
+/// %.17g: the shortest printf format that round-trips every finite double
+/// bit-exactly — transcript comparisons are byte comparisons because of it.
+std::string fmt_double(double v) { return strformat("%.17g", v); }
+
+void put_field(std::string& out, const char* key, const std::string& value) {
+  out += key;
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+/// Strict `key value` document: every key required exactly once, no
+/// unknown keys, every number finite.  Hostile payloads with a valid CRC
+/// (an attacker can compute CRCs) die here, field by field.
+class Doc {
+ public:
+  Doc(std::string_view payload, std::initializer_list<const char*> schema) {
+    std::size_t pos = 0;
+    while (pos < payload.size()) {
+      std::size_t eol = payload.find('\n', pos);
+      if (eol == std::string_view::npos) {
+        throw ProtocolError("payload line without newline terminator");
+      }
+      const std::string_view line = payload.substr(pos, eol - pos);
+      pos = eol + 1;
+      const std::size_t space = line.find(' ');
+      if (space == std::string_view::npos || space == 0) {
+        throw ProtocolError("malformed payload line '" + std::string(line) +
+                            "'");
+      }
+      const std::string key(line.substr(0, space));
+      bool known = false;
+      for (const char* want : schema) known = known || key == want;
+      if (!known) throw ProtocolError("unknown field '" + key + "'");
+      if (!fields_.emplace(key, std::string(line.substr(space + 1))).second) {
+        throw ProtocolError("duplicate field '" + key + "'");
+      }
+    }
+    for (const char* want : schema) {
+      if (fields_.find(want) == fields_.end()) {
+        throw ProtocolError("missing field '" + std::string(want) + "'");
+      }
+    }
+  }
+
+  const std::string& raw(const char* key) const { return fields_.at(key); }
+
+  std::uint64_t get_u64(const char* key) const {
+    const std::string& v = raw(key);
+    if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos) {
+      throw ProtocolError("field '" + std::string(key) +
+                          "' is not an unsigned integer: '" + v + "'");
+    }
+    errno = 0;
+    const std::uint64_t out = std::strtoull(v.c_str(), nullptr, 10);
+    if (errno == ERANGE) {
+      throw ProtocolError("field '" + std::string(key) + "' overflows: '" +
+                          v + "'");
+    }
+    return out;
+  }
+
+  double get_double(const char* key) const {
+    const std::string& v = raw(key);
+    char* end = nullptr;
+    const double out = std::strtod(v.c_str(), &end);
+    if (v.empty() || end != v.c_str() + v.size() || !std::isfinite(out)) {
+      throw ProtocolError("field '" + std::string(key) +
+                          "' is not a finite number: '" + v + "'");
+    }
+    return out;
+  }
+
+  double get_double_in(const char* key, double lo, double hi) const {
+    const double out = get_double(key);
+    if (out < lo || out > hi) {
+      throw ProtocolError("field '" + std::string(key) + "' = " +
+                          fmt_double(out) + " outside [" + fmt_double(lo) +
+                          ", " + fmt_double(hi) + "]");
+    }
+    return out;
+  }
+
+  bool get_bool(const char* key) const {
+    const std::string& v = raw(key);
+    if (v == "0") return false;
+    if (v == "1") return true;
+    throw ProtocolError("field '" + std::string(key) + "' is not 0/1: '" + v +
+                        "'");
+  }
+
+  int get_int(const char* key, int lo, int hi) const {
+    const double v = get_double_in(key, lo, hi);
+    if (v != std::floor(v)) {
+      throw ProtocolError("field '" + std::string(key) +
+                          "' is not an integer: '" + raw(key) + "'");
+    }
+    return static_cast<int>(v);
+  }
+
+ private:
+  std::map<std::string, std::string> fields_;
+};
+
+Status parse_status(const Doc& doc) {
+  const std::string& v = doc.raw("status");
+  if (v == "ok") return Status::kOk;
+  if (v == "overloaded") return Status::kOverloaded;
+  if (v == "bad-request") return Status::kBadRequest;
+  if (v == "unknown-device") return Status::kUnknownDevice;
+  if (v == "shutting-down") return Status::kShuttingDown;
+  throw ProtocolError("unknown status '" + v + "'");
+}
+
+/// A non-negative duration field (hostile negative horizons rejected).
+Seconds get_seconds(const Doc& doc, const char* key) {
+  return Seconds{doc.get_double_in(key, 0.0, 1e18)};
+}
+
+}  // namespace
+
+const char* to_string(MessageType type) {
+  switch (type) {
+    case MessageType::kPingRequest: return "ping-request";
+    case MessageType::kPingResponse: return "ping-response";
+    case MessageType::kMarginRequest: return "margin-request";
+    case MessageType::kMarginResponse: return "margin-response";
+    case MessageType::kRejuvenationRequest: return "rejuvenation-request";
+    case MessageType::kRejuvenationResponse: return "rejuvenation-response";
+    case MessageType::kScheduleSleepRequest: return "schedule-sleep-request";
+    case MessageType::kScheduleSleepResponse: return "schedule-sleep-response";
+    case MessageType::kStatusRequest: return "status-request";
+    case MessageType::kStatusResponse: return "status-response";
+    case MessageType::kErrorResponse: return "error-response";
+  }
+  return "unknown";
+}
+
+bool known_message_type(std::uint32_t raw) {
+  return raw >= static_cast<std::uint32_t>(MessageType::kPingRequest) &&
+         raw <= static_cast<std::uint32_t>(MessageType::kErrorResponse);
+}
+
+const char* to_string(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kOverloaded: return "overloaded";
+    case Status::kBadRequest: return "bad-request";
+    case Status::kUnknownDevice: return "unknown-device";
+    case Status::kShuttingDown: return "shutting-down";
+  }
+  return "unknown";
+}
+
+std::string frame_message(MessageType type, std::uint64_t request_id,
+                          std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw ProtocolError("refusing to frame a " +
+                        std::to_string(payload.size()) + "-byte payload");
+  }
+  std::string out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  out.append(kMagic, sizeof kMagic);
+  put_u32(out, kProtocolVersion);
+  put_u32(out, static_cast<std::uint32_t>(type));
+  put_u64(out, request_id);
+  put_u64(out, payload.size());
+  put_u32(out, util::crc32(payload));
+  put_u32(out, util::crc32(out));  // header self-check over bytes 0..35
+  out.append(payload);
+  return out;
+}
+
+Frame decode_frame(std::string_view bytes, std::uint64_t max_payload) {
+  const std::uint64_t total = check_frame_prefix(bytes, max_payload);
+  if (total == 0) {
+    throw ProtocolError("frame truncated: " + std::to_string(bytes.size()) +
+                        " bytes, header needs " +
+                        std::to_string(kFrameHeaderSize));
+  }
+  if (bytes.size() < total) {
+    throw ProtocolError("frame truncated: header declares " +
+                        std::to_string(total) + " bytes, got " +
+                        std::to_string(bytes.size()) + " (torn write)");
+  }
+  if (bytes.size() > total) {
+    throw ProtocolError("trailing garbage: " +
+                        std::to_string(bytes.size() - total) +
+                        " bytes beyond the declared frame");
+  }
+  return finish_frame(bytes);
+}
+
+FrameReader::FrameReader(std::uint64_t max_payload)
+    : max_payload_(max_payload) {}
+
+void FrameReader::check_prefix() {
+  // Throws at the earliest offset that proves the buffer invalid; a valid
+  // prefix (complete or not) passes silently.
+  (void)check_frame_prefix(buffer_, max_payload_);
+}
+
+void FrameReader::feed(std::string_view bytes) {
+  if (poisoned_) {
+    throw ProtocolError("frame reader poisoned by an earlier violation");
+  }
+  buffer_.append(bytes);
+  try {
+    check_prefix();
+  } catch (const ProtocolError&) {
+    poisoned_ = true;
+    throw;
+  }
+}
+
+std::optional<Frame> FrameReader::next() {
+  if (poisoned_) {
+    throw ProtocolError("frame reader poisoned by an earlier violation");
+  }
+  try {
+    const std::uint64_t total = check_frame_prefix(buffer_, max_payload_);
+    if (total == 0 || buffer_.size() < total) return std::nullopt;
+    Frame frame = finish_frame(std::string_view(buffer_).substr(0, total));
+    buffer_.erase(0, total);
+    return frame;
+  } catch (const ProtocolError&) {
+    poisoned_ = true;
+    throw;
+  }
+}
+
+// -------------------------------------------------------------------------
+// Payload codecs.
+// -------------------------------------------------------------------------
+
+std::string MarginRequest::encode() const {
+  std::string out;
+  put_field(out, "device", std::to_string(device_id));
+  put_field(out, "duty", fmt_double(duty));
+  put_field(out, "vdd_v", fmt_double(vdd.value()));
+  put_field(out, "temp_c", fmt_double(temp.value()));
+  put_field(out, "horizon_s", fmt_double(horizon.value()));
+  return out;
+}
+
+MarginRequest MarginRequest::parse(std::string_view payload) {
+  const Doc doc(payload, {"device", "duty", "vdd_v", "temp_c", "horizon_s"});
+  MarginRequest out;
+  out.device_id = doc.get_u64("device");
+  out.duty = doc.get_double_in("duty", 0.0, 1.0);
+  out.vdd = Volts{doc.get_double_in("vdd_v", -5.0, 5.0)};
+  out.temp = Celsius{doc.get_double_in("temp_c", -273.15, 300.0)};
+  out.horizon = get_seconds(doc, "horizon_s");
+  return out;
+}
+
+std::string MarginResponse::encode() const {
+  std::string out;
+  put_field(out, "status", to_string(status));
+  put_field(out, "crosses", crosses ? "1" : "0");
+  put_field(out, "time_to_margin_s", fmt_double(time_to_margin.value()));
+  put_field(out, "delta_vth_v", fmt_double(delta_vth.value()));
+  put_field(out, "margin_v", fmt_double(margin.value()));
+  return out;
+}
+
+MarginResponse MarginResponse::parse(std::string_view payload) {
+  const Doc doc(payload, {"status", "crosses", "time_to_margin_s",
+                          "delta_vth_v", "margin_v"});
+  MarginResponse out;
+  out.status = parse_status(doc);
+  out.crosses = doc.get_bool("crosses");
+  out.time_to_margin = get_seconds(doc, "time_to_margin_s");
+  out.delta_vth = Volts{doc.get_double("delta_vth_v")};
+  out.margin = Volts{doc.get_double("margin_v")};
+  return out;
+}
+
+std::string RejuvenationRequest::encode() const {
+  std::string out;
+  put_field(out, "epoch_s", fmt_double(epoch.value()));
+  return out;
+}
+
+RejuvenationRequest RejuvenationRequest::parse(std::string_view payload) {
+  const Doc doc(payload, {"epoch_s"});
+  RejuvenationRequest out;
+  out.epoch = get_seconds(doc, "epoch_s");
+  return out;
+}
+
+std::string RejuvenationResponse::encode() const {
+  std::string out;
+  put_field(out, "status", to_string(status));
+  put_field(out, "any", any ? "1" : "0");
+  put_field(out, "shard", std::to_string(shard_id));
+  put_field(out, "degradation", fmt_double(degradation));
+  return out;
+}
+
+RejuvenationResponse RejuvenationResponse::parse(std::string_view payload) {
+  const Doc doc(payload, {"status", "any", "shard", "degradation"});
+  RejuvenationResponse out;
+  out.status = parse_status(doc);
+  out.any = doc.get_bool("any");
+  out.shard_id = doc.get_int("shard", -1, 1 << 20);
+  out.degradation = doc.get_double("degradation");
+  return out;
+}
+
+std::string ScheduleSleepRequest::encode() const {
+  std::string out;
+  put_field(out, "client", std::to_string(client_id));
+  put_field(out, "device", std::to_string(device_id));
+  put_field(out, "start_s", fmt_double(start.value()));
+  put_field(out, "duration_s", fmt_double(duration.value()));
+  return out;
+}
+
+ScheduleSleepRequest ScheduleSleepRequest::parse(std::string_view payload) {
+  const Doc doc(payload, {"client", "device", "start_s", "duration_s"});
+  ScheduleSleepRequest out;
+  out.client_id = doc.get_u64("client");
+  out.device_id = doc.get_u64("device");
+  out.start = get_seconds(doc, "start_s");
+  out.duration = get_seconds(doc, "duration_s");
+  return out;
+}
+
+std::string ScheduleSleepResponse::encode() const {
+  std::string out;
+  put_field(out, "status", to_string(status));
+  put_field(out, "newly_applied", newly_applied ? "1" : "0");
+  put_field(out, "windows", std::to_string(windows));
+  return out;
+}
+
+ScheduleSleepResponse ScheduleSleepResponse::parse(std::string_view payload) {
+  const Doc doc(payload, {"status", "newly_applied", "windows"});
+  ScheduleSleepResponse out;
+  out.status = parse_status(doc);
+  out.newly_applied = doc.get_bool("newly_applied");
+  out.windows = doc.get_u64("windows");
+  return out;
+}
+
+std::string StatusRequest::encode() const { return {}; }
+
+StatusRequest StatusRequest::parse(std::string_view payload) {
+  (void)Doc(payload, {});
+  return {};
+}
+
+std::string StatusResponse::encode() const {
+  std::string out;
+  put_field(out, "status", to_string(status));
+  put_field(out, "devices", std::to_string(devices));
+  put_field(out, "windows", std::to_string(windows));
+  put_field(out, "sequence", std::to_string(sequence));
+  put_field(out, "draining", draining ? "1" : "0");
+  return out;
+}
+
+StatusResponse StatusResponse::parse(std::string_view payload) {
+  const Doc doc(payload,
+                {"status", "devices", "windows", "sequence", "draining"});
+  StatusResponse out;
+  out.status = parse_status(doc);
+  out.devices = doc.get_u64("devices");
+  out.windows = doc.get_u64("windows");
+  out.sequence = doc.get_u64("sequence");
+  out.draining = doc.get_bool("draining");
+  return out;
+}
+
+std::string ErrorResponse::encode() const {
+  std::string out;
+  put_field(out, "status", to_string(status));
+  // The message may contain spaces; it is the whole rest of the line.
+  put_field(out, "message", message.empty() ? "-" : message);
+  return out;
+}
+
+ErrorResponse ErrorResponse::parse(std::string_view payload) {
+  const Doc doc(payload, {"status", "message"});
+  ErrorResponse out;
+  out.status = parse_status(doc);
+  out.message = doc.raw("message");
+  return out;
+}
+
+std::string encode_ping() { return {}; }
+
+}  // namespace ash::fleet

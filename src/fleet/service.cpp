@@ -1,0 +1,636 @@
+#include "ash/fleet/service.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "ash/mc/margin.h"
+#include "ash/obs/metrics.h"
+#include "ash/tb/experiment_runner.h"
+#include "ash/util/atomic_file.h"
+#include "ash/util/syscall.h"
+#include "ash/util/table.h"
+
+namespace ash::fleet {
+
+namespace {
+
+/// The service's durable state lives in the store under this shard id
+/// (its own directory, so it can never collide with campaign shards).
+constexpr int kStateShard = 0;
+
+/// Monotonic host milliseconds for I/O deadlines (supervision-layer wall
+/// clock, never part of the deterministic payload).
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_stop(int) { g_stop = 1; }
+
+std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+// --- ServiceState text document -----------------------------------------
+
+constexpr char kStateHeader[] = "ash-fleet-service v1";
+
+[[noreturn]] void state_error(const std::string& detail) {
+  throw std::runtime_error("service state: " + detail);
+}
+
+std::uint64_t parse_u64_token(std::istringstream& line, const char* field) {
+  std::uint64_t v = 0;
+  if (!(line >> v)) state_error(std::string("field '") + field + "' missing");
+  return v;
+}
+
+double parse_double_token(std::istringstream& line, const char* field) {
+  double v = 0.0;
+  if (!(line >> v) || !std::isfinite(v)) {
+    state_error(std::string("field '") + field + "' not a finite number");
+  }
+  return v;
+}
+
+}  // namespace
+
+ServiceState ServiceState::genesis(std::uint64_t device_count, Volts margin,
+                                   std::uint64_t seed) {
+  ServiceState state;
+  state.margin = margin;
+  state.devices.resize(device_count);
+  for (std::uint64_t i = 0; i < device_count; ++i) {
+    // One independent stream per device: the prior of device i never moves
+    // when the fleet grows (same derivation stability as paper_fleet_shards).
+    Rng rng(derive_seed(seed, i));
+    state.devices[i].delta_vth = Volts{rng.uniform(0.0, 0.9 * margin.value())};
+  }
+  return state;
+}
+
+std::string ServiceState::serialize() const {
+  std::string out = kStateHeader;
+  out += '\n';
+  out += strformat("sequence %llu\n",
+                   static_cast<unsigned long long>(sequence));
+  out += strformat("margin_v %.17g\n", margin.value());
+  out += strformat("devices %llu\n",
+                   static_cast<unsigned long long>(devices.size()));
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    out += strformat("device %llu %.17g\n",
+                     static_cast<unsigned long long>(i),
+                     devices[i].delta_vth.value());
+    for (const SleepWindow& w : devices[i].windows) {
+      out += strformat("window %llu %.17g %.17g\n",
+                       static_cast<unsigned long long>(i), w.start.value(),
+                       w.duration.value());
+    }
+  }
+  for (const AppliedMutation& m : applied) {
+    out += strformat("applied %llu %llu %llu\n",
+                     static_cast<unsigned long long>(m.client_id),
+                     static_cast<unsigned long long>(m.request_id),
+                     static_cast<unsigned long long>(m.windows_after));
+  }
+  out += "end\n";
+  return out;
+}
+
+ServiceState ServiceState::deserialize(std::string_view bytes) {
+  std::istringstream is{std::string(bytes)};
+  std::string line;
+  if (!std::getline(is, line) || line != kStateHeader) {
+    state_error("bad header '" + line + "'");
+  }
+  ServiceState state;
+  bool have_sequence = false, have_margin = false, have_devices = false,
+       ended = false;
+  while (std::getline(is, line)) {
+    if (ended) state_error("content after 'end'");
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "sequence") {
+      state.sequence = parse_u64_token(ls, "sequence");
+      have_sequence = true;
+    } else if (tag == "margin_v") {
+      state.margin = Volts{parse_double_token(ls, "margin_v")};
+      have_margin = true;
+    } else if (tag == "devices") {
+      state.devices.resize(parse_u64_token(ls, "devices"));
+      have_devices = true;
+    } else if (tag == "device") {
+      const std::uint64_t id = parse_u64_token(ls, "device id");
+      if (id >= state.devices.size()) state_error("device id out of range");
+      state.devices[id].delta_vth =
+          Volts{parse_double_token(ls, "device delta_vth")};
+    } else if (tag == "window") {
+      const std::uint64_t id = parse_u64_token(ls, "window device");
+      if (id >= state.devices.size()) state_error("window device out of range");
+      SleepWindow w;
+      w.start = Seconds{parse_double_token(ls, "window start")};
+      w.duration = Seconds{parse_double_token(ls, "window duration")};
+      state.devices[id].windows.push_back(w);
+    } else if (tag == "applied") {
+      AppliedMutation m;
+      m.client_id = parse_u64_token(ls, "applied client");
+      m.request_id = parse_u64_token(ls, "applied request");
+      m.windows_after = parse_u64_token(ls, "applied windows");
+      state.applied.push_back(m);
+    } else if (tag == "end") {
+      ended = true;
+    } else {
+      state_error("unknown line tag '" + tag + "'");
+    }
+  }
+  if (!ended) state_error("missing 'end' (truncated document)");
+  if (!have_sequence || !have_margin || !have_devices) {
+    state_error("missing required field");
+  }
+  return state;
+}
+
+const AppliedMutation* ServiceState::find_applied(
+    std::uint64_t client_id, std::uint64_t request_id) const {
+  for (const AppliedMutation& m : applied) {
+    if (m.client_id == client_id && m.request_id == request_id) return &m;
+  }
+  return nullptr;
+}
+
+std::uint64_t ServiceState::total_windows() const {
+  std::uint64_t n = 0;
+  for (const DeviceAging& d : devices) n += d.windows.size();
+  return n;
+}
+
+// --- ServiceStats --------------------------------------------------------
+
+std::string ServiceStats::render() const {
+  std::string out = "service stats:\n";
+  out += strformat("  connections accepted   %llu (rejected %llu)\n",
+                   static_cast<unsigned long long>(connections_accepted),
+                   static_cast<unsigned long long>(connections_rejected));
+  out += strformat("  evictions              %llu\n",
+                   static_cast<unsigned long long>(evictions));
+  out += strformat("  frame errors           %llu\n",
+                   static_cast<unsigned long long>(frame_errors));
+  out += strformat("  requests               %llu (shed %llu)\n",
+                   static_cast<unsigned long long>(requests),
+                   static_cast<unsigned long long>(shed));
+  out += strformat("  responses              %llu\n",
+                   static_cast<unsigned long long>(responses));
+  out += strformat("  mutations              %llu (replayed %llu)\n",
+                   static_cast<unsigned long long>(mutations),
+                   static_cast<unsigned long long>(replays));
+  out += strformat("  snapshots saved        %llu\n",
+                   static_cast<unsigned long long>(snapshots_saved));
+  return out;
+}
+
+void ServiceStats::publish(obs::Registry& registry,
+                           const std::string& prefix) const {
+  registry.counter(prefix + "connections_accepted").set(connections_accepted);
+  registry.counter(prefix + "connections_rejected").set(connections_rejected);
+  registry.counter(prefix + "evictions").set(evictions);
+  registry.counter(prefix + "frame_errors").set(frame_errors);
+  registry.counter(prefix + "requests").set(requests);
+  registry.counter(prefix + "shed").set(shed);
+  registry.counter(prefix + "responses").set(responses);
+  registry.counter(prefix + "mutations").set(mutations);
+  registry.counter(prefix + "replays").set(replays);
+  registry.counter(prefix + "snapshots_saved").set(snapshots_saved);
+}
+
+// --- Service -------------------------------------------------------------
+
+Service::Service(ServiceConfig config)
+    : config_(std::move(config)),
+      state_store_(config_.state_dir),
+      model_(config_.physics) {
+  if (config_.devices < 1) {
+    throw std::invalid_argument("service: need at least one device");
+  }
+  if (config_.max_request_queue < 1 || config_.max_connections < 1 ||
+      config_.io_timeout_ms < 1 || config_.poll_interval_ms < 1) {
+    throw std::invalid_argument("service: nonsensical limits");
+  }
+  sockaddr_un addr{};
+  if (config_.socket_path.empty() ||
+      config_.socket_path.size() >= sizeof addr.sun_path) {
+    throw std::invalid_argument("service: bad socket path '" +
+                                config_.socket_path + "'");
+  }
+  if (const auto loaded = state_store_.load_newest_valid(kStateShard)) {
+    // Resume exactly where the last acknowledged mutation left us — the
+    // crash-consistency half of the protocol contract.
+    state_ = ServiceState::deserialize(loaded->payload);
+  } else {
+    state_ = ServiceState::genesis(config_.devices, config_.margin,
+                                   config_.seed);
+    save_state();
+  }
+}
+
+void Service::save_state() {
+  state_store_.save(kStateShard, state_.sequence, state_.serialize());
+  state_store_.prune(kStateShard, 16);
+  ++stats_.snapshots_saved;
+}
+
+Frame Service::respond(const Frame& request) {
+  try {
+    switch (request.type) {
+      case MessageType::kPingRequest:
+        if (!request.payload.empty()) {
+          throw ProtocolError("ping carries no payload");
+        }
+        return Frame{MessageType::kPingResponse, request.request_id, {}};
+      case MessageType::kMarginRequest:
+        return respond_margin(request);
+      case MessageType::kRejuvenationRequest:
+        return respond_rejuvenation(request);
+      case MessageType::kScheduleSleepRequest:
+        return respond_schedule_sleep(request);
+      case MessageType::kStatusRequest:
+        return respond_status(request);
+      default:
+        throw ProtocolError(std::string("not a request type: ") +
+                            to_string(request.type));
+    }
+  } catch (const ProtocolError& e) {
+    ErrorResponse err;
+    err.status = Status::kBadRequest;
+    err.message = e.what();
+    return Frame{MessageType::kErrorResponse, request.request_id,
+                 err.encode()};
+  } catch (const std::invalid_argument& e) {
+    ErrorResponse err;
+    err.status = Status::kBadRequest;
+    err.message = e.what();
+    return Frame{MessageType::kErrorResponse, request.request_id,
+                 err.encode()};
+  }
+}
+
+Frame Service::respond_margin(const Frame& request) {
+  const MarginRequest req = MarginRequest::parse(request.payload);
+  if (req.device_id >= state_.devices.size()) {
+    ErrorResponse err;
+    err.status = Status::kUnknownDevice;
+    err.message = strformat("device %llu not tracked (fleet has %llu)",
+                            static_cast<unsigned long long>(req.device_id),
+                            static_cast<unsigned long long>(
+                                state_.devices.size()));
+    return Frame{MessageType::kErrorResponse, request.request_id,
+                 err.encode()};
+  }
+  mc::MarginQuery query;
+  query.delta_vth = state_.devices[req.device_id].delta_vth;
+  query.margin = state_.margin;
+  query.duty = req.duty;
+  query.vdd = req.vdd;
+  query.temp = req.temp;
+  query.horizon = req.horizon;
+  const mc::MarginOutlook outlook = mc::margin_outlook(model_, query);
+  MarginResponse resp;
+  resp.status = Status::kOk;
+  resp.crosses = outlook.crosses;
+  resp.time_to_margin = outlook.time_to_margin;
+  resp.delta_vth = query.delta_vth;
+  resp.margin = query.margin;
+  return Frame{MessageType::kMarginResponse, request.request_id,
+               resp.encode()};
+}
+
+Frame Service::respond_rejuvenation(const Frame& request) {
+  (void)RejuvenationRequest::parse(request.payload);  // validate only
+  RejuvenationResponse resp;
+  resp.status = Status::kOk;
+  if (!config_.campaign_dir.empty() && config_.shard_count > 0) {
+    try {
+      const CheckpointStore campaigns(config_.campaign_dir);
+      for (int sid = 0; sid < config_.shard_count; ++sid) {
+        const auto loaded = campaigns.load_newest_valid(sid);
+        if (!loaded) continue;
+        try {
+          const auto checkpoint =
+              tb::CampaignCheckpoint::deserialize(loaded->payload);
+          const double degradation =
+              checkpoint.log.fractional_degradation();
+          // Strict > keeps the lowest shard id on ties — deterministic.
+          if (!resp.any || degradation > resp.degradation) {
+            resp.any = true;
+            resp.shard_id = sid;
+            resp.degradation = degradation;
+          }
+        } catch (const std::exception&) {
+          continue;  // unreadable snapshot: skip, never crash the query
+        }
+      }
+    } catch (const std::runtime_error&) {
+      // campaign_dir unusable: answer "no shard" rather than fail
+    }
+  }
+  return Frame{MessageType::kRejuvenationResponse, request.request_id,
+               resp.encode()};
+}
+
+Frame Service::respond_schedule_sleep(const Frame& request) {
+  const ScheduleSleepRequest req =
+      ScheduleSleepRequest::parse(request.payload);
+  const auto ack = [&](std::uint64_t windows_after) {
+    ScheduleSleepResponse resp;
+    resp.status = Status::kOk;
+    resp.newly_applied = true;
+    resp.windows = windows_after;
+    return Frame{MessageType::kScheduleSleepResponse, request.request_id,
+                 resp.encode()};
+  };
+  if (const AppliedMutation* m =
+          state_.find_applied(req.client_id, request.request_id)) {
+    // Idempotent replay: the original acknowledgement bytes, rebuilt — a
+    // retrying client cannot double-book and cannot tell it retried.
+    ++stats_.replays;
+    return ack(m->windows_after);
+  }
+  if (req.device_id >= state_.devices.size()) {
+    ErrorResponse err;
+    err.status = Status::kUnknownDevice;
+    err.message = strformat("device %llu not tracked (fleet has %llu)",
+                            static_cast<unsigned long long>(req.device_id),
+                            static_cast<unsigned long long>(
+                                state_.devices.size()));
+    return Frame{MessageType::kErrorResponse, request.request_id,
+                 err.encode()};
+  }
+  DeviceAging& device = state_.devices[req.device_id];
+  device.windows.push_back(SleepWindow{req.start, req.duration});
+  ++state_.sequence;
+  state_.applied.push_back(AppliedMutation{req.client_id, request.request_id,
+                                           device.windows.size()});
+  // Write-ahead: the mutation is durable *before* the ack is queued, so a
+  // SIGKILL in between replays the same ack instead of double-applying.
+  save_state();
+  ++stats_.mutations;
+  return ack(device.windows.size());
+}
+
+Frame Service::respond_status(const Frame& request) {
+  (void)StatusRequest::parse(request.payload);  // validate only
+  StatusResponse resp;
+  resp.status = Status::kOk;
+  resp.devices = state_.devices.size();
+  resp.windows = state_.total_windows();
+  resp.sequence = state_.sequence;
+  resp.draining = draining_;
+  return Frame{MessageType::kStatusResponse, request.request_id,
+               resp.encode()};
+}
+
+std::vector<Frame> Service::process_tick(const std::vector<Frame>& requests) {
+  std::vector<Frame> responses;
+  responses.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (i < static_cast<std::size_t>(config_.max_request_queue)) {
+      ++stats_.requests;
+      responses.push_back(respond(requests[i]));
+    } else {
+      // Bounded queue: explicit load shed, never silent latency or OOM.
+      ++stats_.shed;
+      ErrorResponse err;
+      err.status = Status::kOverloaded;
+      err.message = strformat("request queue full (%d admitted per tick)",
+                              config_.max_request_queue);
+      responses.push_back(Frame{MessageType::kErrorResponse,
+                                requests[i].request_id, err.encode()});
+    }
+    ++stats_.responses;
+  }
+  return responses;
+}
+
+void Service::run() {
+  struct Conn {
+    int fd = -1;
+    FrameReader reader;
+    std::string outbox;
+    double last_io_ms = 0.0;
+    bool dead = false;
+  };
+
+  const int listen_fd = ::socket(
+      AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd < 0) throw std::runtime_error(errno_message("socket"));
+  ::unlink(config_.socket_path.c_str());  // stale path from a SIGKILL
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, config_.socket_path.c_str(),
+               sizeof addr.sun_path - 1);
+  if (util::retry_eintr([&] {
+        return ::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr);
+      }) < 0) {
+    ::close(listen_fd);
+    throw std::runtime_error(errno_message("bind"));
+  }
+  if (util::retry_eintr([&] { return ::listen(listen_fd, 64); }) < 0) {
+    ::close(listen_fd);
+    throw std::runtime_error(errno_message("listen"));
+  }
+
+  // SIGTERM/SIGINT flip the drain flag; no SA_RESTART so poll() wakes.
+  g_stop = 0;
+  struct sigaction stop_action{};
+  stop_action.sa_handler = handle_stop;
+  sigemptyset(&stop_action.sa_mask);
+  struct sigaction old_term{}, old_int{}, old_pipe{};
+  ::sigaction(SIGTERM, &stop_action, &old_term);
+  ::sigaction(SIGINT, &stop_action, &old_int);
+  struct sigaction ignore_pipe{};
+  ignore_pipe.sa_handler = SIG_IGN;
+  sigemptyset(&ignore_pipe.sa_mask);
+  ::sigaction(SIGPIPE, &ignore_pipe, &old_pipe);
+
+  std::vector<Conn> conns;
+  std::vector<pollfd> fds;
+  std::vector<std::pair<std::size_t, Frame>> tick_requests;
+
+  while (g_stop == 0) {
+    fds.clear();
+    fds.push_back(pollfd{listen_fd, POLLIN, 0});
+    for (const Conn& c : conns) {
+      short events = POLLIN;
+      if (!c.outbox.empty()) events |= POLLOUT;
+      fds.push_back(pollfd{c.fd, events, 0});
+    }
+    if (util::retry_eintr([&] {
+          return ::poll(fds.data(), fds.size(), config_.poll_interval_ms);
+        }) < 0) {
+      break;  // unexpected poll failure: drain and exit
+    }
+    const double now = now_ms();
+
+    // Accept everything pending; beyond the cap, turn clients away with
+    // an immediate close (their backoff handles the rest).
+    for (;;) {
+      const int fd = util::retry_eintr([&] {
+        return ::accept4(listen_fd, nullptr, nullptr,
+                         SOCK_NONBLOCK | SOCK_CLOEXEC);
+      });
+      if (fd < 0) break;
+      if (conns.size() >= static_cast<std::size_t>(config_.max_connections)) {
+        ::close(fd);
+        ++stats_.connections_rejected;
+        continue;
+      }
+      Conn conn;
+      conn.fd = fd;
+      conn.last_io_ms = now;
+      conns.push_back(std::move(conn));
+      ++stats_.connections_accepted;
+    }
+
+    // Read: drain every readable connection into its frame reader; a
+    // framing violation poisons the reader and the connection dies —
+    // resynchronising inside a hostile byte stream is not a thing.
+    tick_requests.clear();
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      Conn& c = conns[i];
+      if (c.dead) continue;
+      char buf[65536];
+      for (;;) {
+        const ssize_t n = util::retry_eintr(
+            [&] { return ::recv(c.fd, buf, sizeof buf, 0); });
+        if (n > 0) {
+          c.last_io_ms = now;
+          try {
+            c.reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+          } catch (const ProtocolError&) {
+            ++stats_.frame_errors;
+            c.dead = true;
+            break;
+          }
+          continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        c.dead = true;  // EOF or hard error
+        break;
+      }
+      while (!c.dead) {
+        try {
+          auto frame = c.reader.next();
+          if (!frame) break;
+          tick_requests.emplace_back(i, std::move(*frame));
+        } catch (const ProtocolError&) {
+          ++stats_.frame_errors;
+          c.dead = true;
+        }
+      }
+    }
+
+    // Process this tick's admitted requests; shed the overflow.
+    if (!tick_requests.empty()) {
+      std::vector<Frame> requests;
+      requests.reserve(tick_requests.size());
+      for (auto& [conn_idx, frame] : tick_requests) {
+        requests.push_back(std::move(frame));
+      }
+      const std::vector<Frame> responses = process_tick(requests);
+      for (std::size_t r = 0; r < responses.size(); ++r) {
+        Conn& c = conns[tick_requests[r].first];
+        if (c.dead) continue;
+        c.outbox += frame_message(responses[r].type, responses[r].request_id,
+                                  responses[r].payload);
+      }
+    }
+
+    // Write what fits; a client that never drains hits the deadline below.
+    for (Conn& c : conns) {
+      if (c.dead || c.outbox.empty()) continue;
+      const ssize_t n = util::retry_eintr([&] {
+        return ::send(c.fd, c.outbox.data(), c.outbox.size(), MSG_NOSIGNAL);
+      });
+      if (n > 0) {
+        c.outbox.erase(0, static_cast<std::size_t>(n));
+        c.last_io_ms = now;
+      } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+        c.dead = true;
+      }
+    }
+
+    // Slow-loris eviction: pending work + no byte moved within the
+    // deadline means the peer is stalling us — drop it.
+    for (Conn& c : conns) {
+      if (c.dead) continue;
+      const bool pending = c.reader.buffered() > 0 || !c.outbox.empty();
+      if (pending && now - c.last_io_ms > config_.io_timeout_ms) {
+        c.dead = true;
+        ++stats_.evictions;
+      }
+    }
+
+    for (std::size_t i = conns.size(); i-- > 0;) {
+      if (conns[i].dead) {
+        ::close(conns[i].fd);
+        conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    }
+  }
+
+  // Graceful drain: no new connections, flush what is owed, then persist.
+  draining_ = true;
+  ::close(listen_fd);
+  const double drain_deadline = now_ms() + config_.io_timeout_ms;
+  for (;;) {
+    bool owed = false;
+    for (Conn& c : conns) owed = owed || (!c.dead && !c.outbox.empty());
+    if (!owed || now_ms() > drain_deadline) break;
+    for (Conn& c : conns) {
+      if (c.dead || c.outbox.empty()) continue;
+      const ssize_t n = util::retry_eintr([&] {
+        return ::send(c.fd, c.outbox.data(), c.outbox.size(), MSG_NOSIGNAL);
+      });
+      if (n > 0) {
+        c.outbox.erase(0, static_cast<std::size_t>(n));
+      } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+        c.dead = true;
+      }
+    }
+    pollfd tick{conns.empty() ? -1 : conns.front().fd, POLLOUT, 0};
+    (void)util::retry_eintr([&] { return ::poll(&tick, 1, 10); });
+  }
+  for (Conn& c : conns) ::close(c.fd);
+  conns.clear();
+
+  // The final durable checkpoint of the drain contract.
+  save_state();
+
+  stats_.publish(obs::registry());
+  if (!config_.metrics_path.empty()) {
+    std::ostringstream os;
+    obs::registry().snapshot().write(os);
+    util::atomic_write_file(config_.metrics_path, os.str());
+  }
+
+  ::unlink(config_.socket_path.c_str());
+  ::sigaction(SIGTERM, &old_term, nullptr);
+  ::sigaction(SIGINT, &old_int, nullptr);
+  ::sigaction(SIGPIPE, &old_pipe, nullptr);
+}
+
+}  // namespace ash::fleet

@@ -21,6 +21,7 @@
 #include "ash/obs/metrics.h"
 #include "ash/obs/trace.h"
 #include "ash/util/crc32.h"
+#include "ash/util/syscall.h"
 #include "ash/util/table.h"
 
 namespace ash::fleet {
@@ -43,8 +44,10 @@ std::int64_t now_ms() {
 /// re-advances, so the supervisor can't discover it later by itself).
 void send_byte(int fd, char byte) {
   // A failed write (supervisor gone) is not the worker's problem; it will
-  // be reaped either way.
-  [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  // be reaped either way — but EINTR (a signal mid-write) must not eat a
+  // heartbeat, or a perfectly healthy worker looks hung.
+  [[maybe_unused]] const ssize_t n =
+      util::retry_eintr([&] { return ::write(fd, &byte, 1); });
 }
 
 void heartbeat(int fd) { send_byte(fd, 'h'); }
@@ -340,7 +343,8 @@ FleetReport FleetSupervisor::run() {
     ::close(slot.fd);
     slot.fd = -1;
     int status = 0;
-    (void)::waitpid(slot.pid, &status, 0);
+    (void)util::retry_eintr(
+        [&] { return ::waitpid(slot.pid, &status, 0); });
     slot.pid = -1;
     if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
       finish(slot);
@@ -382,10 +386,11 @@ FleetReport FleetSupervisor::run() {
 
     const int timeout = static_cast<int>(
         std::clamp<std::int64_t>(next_deadline - now, 0, 60'000));
-    const int ready =
-        ::poll(pfds.empty() ? nullptr : pfds.data(),
-               static_cast<nfds_t>(pfds.size()), timeout);
-    if (ready < 0 && errno != EINTR) {
+    const int ready = util::retry_eintr([&] {
+      return ::poll(pfds.empty() ? nullptr : pfds.data(),
+                    static_cast<nfds_t>(pfds.size()), timeout);
+    });
+    if (ready < 0) {
       throw std::runtime_error("fleet supervisor: poll() failed");
     }
 
@@ -395,7 +400,8 @@ FleetReport FleetSupervisor::run() {
       if (slot.state != Slot::State::kRunning) continue;
       if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
         char buf[256];
-        const ssize_t n = ::read(slot.fd, buf, sizeof buf);
+        const ssize_t n = util::retry_eintr(
+            [&] { return ::read(slot.fd, buf, sizeof buf); });
         if (n > 0) {
           slot.last_beat_ms = now_ms();
           for (ssize_t b = 0; b < n; ++b) {
@@ -430,7 +436,8 @@ FleetReport FleetSupervisor::run() {
         ::close(slot.fd);
         slot.fd = -1;
         int status = 0;
-        (void)::waitpid(slot.pid, &status, 0);
+        (void)util::retry_eintr(
+            [&] { return ::waitpid(slot.pid, &status, 0); });
         slot.pid = -1;
         stats.worker_crashes++;
         strike(slot, "hung");

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file margin.h
+/// Margin-crossing projection: "given this duty cycle, when does this
+/// device cross its margin?" — the fleet service's headline query
+/// (ROADMAP item 1), answered with the paper's closed-form BTI law.
+///
+/// The device's *current* aging comes from telemetry (the silicon
+/// odometer via `ReliabilityManager::filtered_delta_vth`, or the fleet
+/// service's durable per-device estimate); the *future* comes from the
+/// stateless `bti::ClosedFormModel`.  The projection inverts the monotone
+/// stress law to find the stress-equivalent age t0 that reproduces the
+/// current DeltaVth under the queried condition, then bisects for the
+/// first instant the projected shift reaches the margin.  Everything is
+/// closed-form + bisection to fixed iteration count — bit-deterministic,
+/// which is what lets two fleet daemons (one chaos-ridden, one not)
+/// answer the same query with identical bytes.
+
+#include "ash/bti/closed_form.h"
+#include "ash/util/units.h"
+
+namespace ash::mc {
+
+/// One margin-crossing question.
+struct MarginQuery {
+  /// Device's current threshold-voltage shift (odometer estimate).
+  Volts delta_vth{0.0};
+  /// Aging budget; default matches ReliabilityConfig::margin_delta_vth_v.
+  Volts margin{12e-3};
+  /// Projected mission schedule: switching duty in [0, 1] at (vdd, temp).
+  double duty = 0.5;
+  Volts vdd{1.2};
+  Celsius temp{80.0};
+  /// Search horizon; the answer is right-censored here.
+  Seconds horizon{10.0 * 365.25 * 24.0 * 3600.0};
+};
+
+/// The projection's answer.
+struct MarginOutlook {
+  /// True when the projected shift reaches the margin within the horizon.
+  bool crosses = false;
+  /// First time the margin is reached (== horizon when !crosses; 0 when
+  /// the device is already past its margin).
+  Seconds time_to_margin{0.0};
+};
+
+/// Project the query forward under the closed-form stress law.  Throws
+/// std::invalid_argument on a malformed query (negative margin/horizon,
+/// duty outside [0, 1], non-finite fields).
+MarginOutlook margin_outlook(const bti::ClosedFormModel& model,
+                             const MarginQuery& query);
+
+}  // namespace ash::mc

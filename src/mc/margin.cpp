@@ -1,0 +1,106 @@
+#include "ash/mc/margin.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ash/bti/condition.h"
+
+namespace ash::mc {
+
+namespace {
+
+/// Fixed-iteration bisection keeps the answer bit-deterministic across
+/// platforms and runs (the fleet protocol's transcript invariant).
+constexpr int kBisectIterations = 200;
+
+/// Largest projection time we ever evaluate: ~3e11 years.  The log law is
+/// still finite there, and any stress-equivalent age beyond it means the
+/// queried condition ages the device too slowly to matter.
+constexpr double kMaxProjectSeconds = 1e19;
+
+void validate(const MarginQuery& q) {
+  const bool finite = std::isfinite(q.delta_vth.value()) &&
+                      std::isfinite(q.margin.value()) &&
+                      std::isfinite(q.duty) && std::isfinite(q.vdd.value()) &&
+                      std::isfinite(q.temp.value()) &&
+                      std::isfinite(q.horizon.value());
+  if (!finite) throw std::invalid_argument("margin query: non-finite field");
+  if (q.margin.value() < 0.0) {
+    throw std::invalid_argument("margin query: negative margin");
+  }
+  if (q.horizon.value() < 0.0) {
+    throw std::invalid_argument("margin query: negative horizon");
+  }
+  if (q.duty < 0.0 || q.duty > 1.0) {
+    throw std::invalid_argument("margin query: duty outside [0, 1]");
+  }
+  if (q.delta_vth.value() < 0.0) {
+    throw std::invalid_argument("margin query: negative delta_vth");
+  }
+}
+
+/// Smallest t in [0, hi] with delta(t) >= target, assuming delta is
+/// monotone nondecreasing and delta(hi) >= target.
+double bisect_first_reach(const bti::ClosedFormModel& model,
+                          const bti::OperatingCondition& c, double target,
+                          double hi) {
+  double lo = 0.0;
+  for (int i = 0; i < kBisectIterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (model.stress_delta_vth(Seconds{mid}, c) >= target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace
+
+MarginOutlook margin_outlook(const bti::ClosedFormModel& model,
+                             const MarginQuery& query) {
+  validate(query);
+
+  MarginOutlook outlook;
+  if (query.delta_vth.value() >= query.margin.value()) {
+    // Already past budget: the crossing is now.
+    outlook.crosses = true;
+    outlook.time_to_margin = Seconds{0.0};
+    return outlook;
+  }
+
+  const bti::OperatingCondition c =
+      query.duty > 0.0 ? bti::ac_stress(query.vdd, query.temp, query.duty)
+                       : bti::recovery(query.vdd, query.temp);
+
+  // Invert the monotone stress law: find the stress-equivalent age t0 that
+  // reproduces the device's current shift under the queried condition.  If
+  // even kMaxProjectSeconds of this condition cannot reproduce it, the
+  // condition ages the device too slowly for any further growth to matter
+  // within a physical horizon.
+  const double ceiling = model.stress_delta_vth(Seconds{kMaxProjectSeconds}, c);
+  if (ceiling < query.margin.value() || ceiling < query.delta_vth.value()) {
+    outlook.crosses = false;
+    outlook.time_to_margin = query.horizon;
+    return outlook;
+  }
+  const double t0 = bisect_first_reach(model, c, query.delta_vth.value(),
+                                       kMaxProjectSeconds);
+
+  // Does the projected shift reach the margin inside the horizon?
+  const double at_horizon =
+      model.stress_delta_vth(Seconds{t0 + query.horizon.value()}, c);
+  if (at_horizon < query.margin.value()) {
+    outlook.crosses = false;
+    outlook.time_to_margin = query.horizon;
+    return outlook;
+  }
+  const double t_cross = bisect_first_reach(model, c, query.margin.value(),
+                                            t0 + query.horizon.value());
+  outlook.crosses = true;
+  outlook.time_to_margin = Seconds{std::max(0.0, t_cross - t0)};
+  return outlook;
+}
+
+}  // namespace ash::mc

@@ -76,6 +76,19 @@ Series DataLog::frequency_series(const std::string& phase) const {
   return s;
 }
 
+double DataLog::fractional_degradation() const {
+  const SampleRecord* first = nullptr;
+  const SampleRecord* last = nullptr;
+  for (const auto& r : records_) {
+    if (!r.usable()) continue;
+    if (first == nullptr) first = &r;
+    last = &r;
+  }
+  if (first == nullptr || first == last) return 0.0;
+  if (first->frequency_hz <= 0.0) return 0.0;
+  return (first->frequency_hz - last->frequency_hz) / first->frequency_hz;
+}
+
 void DataLog::write_csv(std::ostream& os) const {
   write_csv_row(os, {"test_case", "chip_id", "phase", "t_campaign_s",
                      "t_phase_s", "chamber_c", "supply_v", "counts",

@@ -75,6 +75,13 @@ class DataLog {
   /// Frequency-vs-phase-time series for one phase (same quality rules).
   Series frequency_series(const std::string& phase) const;
 
+  /// Fractional frequency degradation over the whole log: (f_first -
+  /// f_last) / f_first across usable records.  Negative when the device
+  /// recovered past its first sample; 0 when fewer than two usable records
+  /// (or a nonpositive first frequency) make the ratio meaningless.  The
+  /// fleet service ranks shards for rejuvenation by this number.
+  double fractional_degradation() const;
+
   /// Write all records as CSV (header + rows).
   void write_csv(std::ostream& os) const;
 

@@ -49,6 +49,7 @@ enum class SeedStream : std::uint64_t {
   kFaultPlan = 5,    ///< FaultInjector event/corruption draws
   kCoreFaultPlan = 6,  ///< mc::CoreFaultModel core-fault draws
   kFleetFaultPlan = 7,  ///< fleet::FleetFaultPlan process-chaos draws
+  kFleetService = 8,  ///< fleet::Service per-device aging priors
 };
 
 /// The default seed of one named stream.

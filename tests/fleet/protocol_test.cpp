@@ -1,0 +1,351 @@
+#include "ash/fleet/protocol.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ash/util/crc32.h"
+#include "ash/util/units.h"
+
+namespace ash::fleet {
+namespace {
+
+/// A payload with embedded NULs, newlines and high bytes — framing must be
+/// 8-bit clean (payload *documents* are text, but the envelope may not
+/// assume so).
+std::string binary_payload() {
+  std::string p = "key value\n";
+  p.push_back('\0');
+  p += "\xff\xfe tail\n";
+  return p;
+}
+
+/// Rewrite the declared payload size at offset 24 and recompute the header
+/// self-CRC so only the *length* lies — the hostile-length attack an
+/// attacker who can compute CRCs would mount.
+std::string with_declared_size(std::string frame, std::uint64_t size) {
+  for (int i = 0; i < 8; ++i) {
+    frame[24 + i] = static_cast<char>((size >> (8 * i)) & 0xFFu);
+  }
+  const std::uint32_t crc = util::crc32(std::string_view(frame).substr(0, 36));
+  for (int i = 0; i < 4; ++i) {
+    frame[36 + i] = static_cast<char>((crc >> (8 * i)) & 0xFFu);
+  }
+  return frame;
+}
+
+TEST(WireFrame, RoundTripIsBitExact) {
+  const std::string payload = binary_payload();
+  const std::string bytes =
+      frame_message(MessageType::kMarginRequest, 71, payload);
+  const Frame frame = decode_frame(bytes);
+  EXPECT_EQ(frame.type, MessageType::kMarginRequest);
+  EXPECT_EQ(frame.request_id, 71u);
+  EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(WireFrame, EmptyPayloadRoundTrips) {
+  const std::string bytes = frame_message(MessageType::kPingRequest, 1, "");
+  const Frame frame = decode_frame(bytes);
+  EXPECT_EQ(frame.type, MessageType::kPingRequest);
+  EXPECT_EQ(frame.payload, "");
+  EXPECT_EQ(bytes.size(), kFrameHeaderSize);
+}
+
+TEST(WireFrame, TruncationAtEveryByteBoundaryIsRejected) {
+  // The torn-write acceptance sweep, identical in spirit to the snapshot
+  // store's: a frame cut at ANY byte boundary — mid-magic, mid-header,
+  // mid-payload — must be rejected, never decoded partially.
+  const std::string bytes =
+      frame_message(MessageType::kScheduleSleepRequest, 9, binary_payload());
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_THROW(decode_frame(bytes.substr(0, cut)), ProtocolError)
+        << "prefix of " << cut << " bytes decoded";
+  }
+  EXPECT_NO_THROW(decode_frame(bytes));
+}
+
+TEST(WireFrame, EverySingleBitFlipIsRejected) {
+  // Sweep every bit of header AND payload; whichever check fires first
+  // (magic, version, length cap, header CRC, payload CRC), the flip must
+  // never survive to a decoded frame.
+  const std::string bytes =
+      frame_message(MessageType::kStatusRequest, 5, "status probe\n");
+  for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+    std::string bad = bytes;
+    bad[bit / 8] = static_cast<char>(bad[bit / 8] ^ (1u << (bit % 8)));
+    EXPECT_THROW(decode_frame(bad), ProtocolError)
+        << "bit " << bit << " flip decoded";
+  }
+}
+
+TEST(WireFrame, TrailingGarbageIsRejected) {
+  const std::string bytes = frame_message(MessageType::kPingRequest, 2, "");
+  EXPECT_THROW(decode_frame(bytes + 'x'), ProtocolError);
+  EXPECT_THROW(decode_frame(bytes + bytes), ProtocolError);
+}
+
+TEST(WireFrame, HostileDeclaredLengthIsRejectedFromHeaderAlone) {
+  // A header declaring a 16-exabyte payload — with a *valid* header CRC —
+  // must be rejected before any payload byte is buffered.
+  const std::string huge = with_declared_size(
+      frame_message(MessageType::kPingRequest, 3, ""), ~std::uint64_t{0});
+  try {
+    decode_frame(huge);
+    FAIL() << "hostile length decoded";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("hostile length"), std::string::npos);
+  }
+  // The incremental reader rejects it as soon as the size field is
+  // complete (offset 32) — it never waits for, or allocates, the payload.
+  FrameReader reader;
+  EXPECT_THROW(reader.feed(huge.substr(0, 32)), ProtocolError);
+  EXPECT_TRUE(reader.poisoned());
+}
+
+TEST(WireFrame, OversizedPayloadRefusesToFrame) {
+  const std::string big(kMaxFramePayload + 1, 'p');
+  EXPECT_THROW(frame_message(MessageType::kPingRequest, 1, big),
+               ProtocolError);
+}
+
+TEST(WireFrame, UnknownMessageTypeIsRejected) {
+  // Type 99 with all CRCs valid: the envelope verifies, the type does not.
+  std::string bytes = frame_message(MessageType::kPingRequest, 4, "");
+  bytes[12] = 99;
+  const std::uint32_t crc = util::crc32(std::string_view(bytes).substr(0, 36));
+  for (int i = 0; i < 4; ++i) {
+    bytes[36 + i] = static_cast<char>((crc >> (8 * i)) & 0xFFu);
+  }
+  try {
+    decode_frame(bytes);
+    FAIL() << "unknown type decoded";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown message type"),
+              std::string::npos);
+  }
+}
+
+TEST(WireFrame, ErrorMessagesNameTheFailure) {
+  const std::string bytes =
+      frame_message(MessageType::kMarginRequest, 6, binary_payload());
+  try {
+    decode_frame(bytes.substr(0, bytes.size() - 2));
+    FAIL() << "torn payload decoded";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("torn write"), std::string::npos);
+  }
+  try {
+    decode_frame(bytes + "zz");
+    FAIL() << "trailing garbage decoded";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("trailing garbage"),
+              std::string::npos);
+  }
+  try {
+    decode_frame("HTTP/1.1 GET / please serve me a margin estimate\r\n");
+    FAIL() << "foreign bytes decoded";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
+  }
+}
+
+TEST(FrameReaderTest, ByteAtATimeStreamYieldsFramesInOrder) {
+  const std::string a = frame_message(MessageType::kPingRequest, 1, "");
+  const std::string b =
+      frame_message(MessageType::kStatusRequest, 2, binary_payload());
+  const std::string wire = a + b;
+  FrameReader reader;
+  std::vector<Frame> frames;
+  for (char byte : wire) {
+    reader.feed(std::string_view(&byte, 1));
+    while (auto frame = reader.next()) frames.push_back(*frame);
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, MessageType::kPingRequest);
+  EXPECT_EQ(frames[0].request_id, 1u);
+  EXPECT_EQ(frames[1].type, MessageType::kStatusRequest);
+  EXPECT_EQ(frames[1].payload, binary_payload());
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameReaderTest, GarbageAtEveryOffsetPoisonsTheReader) {
+  // Corrupt one byte at every offset of a valid frame and stream the
+  // result: the reader must either throw (poisoned) or never yield a
+  // frame — at no offset may corrupt input decode.
+  const std::string good =
+      frame_message(MessageType::kRejuvenationRequest, 8, "epoch_s 86400\n");
+  for (std::size_t at = 0; at < good.size(); ++at) {
+    std::string bad = good;
+    bad[at] = static_cast<char>(bad[at] + 1);
+    FrameReader reader;
+    bool decoded = false;
+    try {
+      reader.feed(bad);
+      decoded = reader.next().has_value();
+    } catch (const ProtocolError&) {
+      EXPECT_TRUE(reader.poisoned()) << "offset " << at;
+    }
+    EXPECT_FALSE(decoded) << "corrupt byte at offset " << at << " decoded";
+  }
+}
+
+TEST(FrameReaderTest, FirstWrongMagicByteIsRejectedImmediately) {
+  FrameReader reader;
+  EXPECT_THROW(reader.feed("G"), ProtocolError);  // 'G' != 'A' at offset 0
+  EXPECT_TRUE(reader.poisoned());
+  EXPECT_THROW(reader.feed("ET"), ProtocolError);  // poisoned stays poisoned
+  EXPECT_THROW(reader.next(), ProtocolError);
+}
+
+TEST(FrameReaderTest, IncompleteFrameIsHeldNotDecoded) {
+  const std::string bytes =
+      frame_message(MessageType::kMarginRequest, 7, binary_payload());
+  FrameReader reader;
+  reader.feed(bytes.substr(0, bytes.size() - 1));
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.buffered(), bytes.size() - 1);
+  reader.feed(bytes.substr(bytes.size() - 1));
+  const auto frame = reader.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, binary_payload());
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs: strong-unit round trips and strict-document rejection.
+// ---------------------------------------------------------------------------
+
+TEST(PayloadCodec, MarginRequestRoundTripsBitExactDoubles) {
+  MarginRequest req;
+  req.device_id = 17;
+  req.duty = 0.1 + 0.2;  // famously not 0.3
+  req.vdd = Volts{1.0 / 3.0};
+  req.temp = Celsius{81.234567890123456};
+  req.horizon = Seconds{3.0e8 + 1.0 / 7.0};
+  const MarginRequest back = MarginRequest::parse(req.encode());
+  EXPECT_EQ(back.device_id, req.device_id);
+  EXPECT_EQ(back.duty, req.duty);  // bit-exact, hence EQ not NEAR
+  EXPECT_EQ(back.vdd.value(), req.vdd.value());
+  EXPECT_EQ(back.temp.value(), req.temp.value());
+  EXPECT_EQ(back.horizon.value(), req.horizon.value());
+  // Canonical encoding: re-encoding the parsed struct reproduces the bytes.
+  EXPECT_EQ(back.encode(), req.encode());
+}
+
+TEST(PayloadCodec, AllResponseTypesRoundTrip) {
+  MarginResponse margin;
+  margin.status = Status::kOk;
+  margin.crosses = true;
+  margin.time_to_margin = Seconds{12345.6789};
+  margin.delta_vth = Volts{7.5e-3};
+  margin.margin = Volts{12e-3};
+  const MarginResponse margin2 = MarginResponse::parse(margin.encode());
+  EXPECT_EQ(margin2.crosses, true);
+  EXPECT_EQ(margin2.time_to_margin.value(), margin.time_to_margin.value());
+
+  RejuvenationResponse rejuv;
+  rejuv.any = true;
+  rejuv.shard_id = 3;
+  rejuv.degradation = 0.0123456789;
+  const RejuvenationResponse rejuv2 =
+      RejuvenationResponse::parse(rejuv.encode());
+  EXPECT_EQ(rejuv2.shard_id, 3);
+  EXPECT_EQ(rejuv2.degradation, rejuv.degradation);
+
+  ScheduleSleepResponse sleep;
+  sleep.newly_applied = true;
+  sleep.windows = 4;
+  const ScheduleSleepResponse sleep2 =
+      ScheduleSleepResponse::parse(sleep.encode());
+  EXPECT_TRUE(sleep2.newly_applied);
+  EXPECT_EQ(sleep2.windows, 4u);
+
+  StatusResponse status;
+  status.devices = 64;
+  status.windows = 9;
+  status.sequence = 42;
+  status.draining = true;
+  const StatusResponse status2 = StatusResponse::parse(status.encode());
+  EXPECT_EQ(status2.sequence, 42u);
+  EXPECT_TRUE(status2.draining);
+
+  ErrorResponse error;
+  error.status = Status::kOverloaded;
+  error.message = "request queue full (8 admitted per tick)";
+  const ErrorResponse error2 = ErrorResponse::parse(error.encode());
+  EXPECT_EQ(error2.status, Status::kOverloaded);
+  EXPECT_EQ(error2.message, error.message);
+}
+
+TEST(PayloadCodec, StrictDocumentRejectsHostileShapes) {
+  const std::string good = MarginRequest().encode();
+  // Missing field.
+  EXPECT_THROW(MarginRequest::parse("device 0\nduty 0.5\n"), ProtocolError);
+  // Unknown field (valid CRC wouldn't save it; the schema is closed).
+  EXPECT_THROW(MarginRequest::parse(good + "evil 1\n"), ProtocolError);
+  // Duplicate field.
+  EXPECT_THROW(MarginRequest::parse(good + "device 0\n"), ProtocolError);
+  // Line without terminator.
+  EXPECT_THROW(MarginRequest::parse("device 0"), ProtocolError);
+  // Empty-key line.
+  EXPECT_THROW(MarginRequest::parse(" 0\n" + good), ProtocolError);
+  // Ping/status requests carry no fields — anything present is hostile.
+  EXPECT_NO_THROW(StatusRequest::parse(""));
+  EXPECT_THROW(StatusRequest::parse("x 1\n"), ProtocolError);
+}
+
+TEST(PayloadCodec, NumericFieldsRejectHostileValues) {
+  auto patched = [&](const std::string& key, const std::string& value) {
+    // Rebuild the document with one field replaced.
+    const std::string lines[] = {"device 3", "duty 0.5", "vdd_v 1.2",
+                                 "temp_c 80", "horizon_s 3600"};
+    std::string out;
+    for (const std::string& line : lines) {
+      const std::string k = line.substr(0, line.find(' '));
+      out += (k == key) ? (k + " " + value) : line;
+      out += '\n';
+    }
+    return out;
+  };
+  // Non-finite numbers.
+  EXPECT_THROW(MarginRequest::parse(patched("duty", "nan")), ProtocolError);
+  EXPECT_THROW(MarginRequest::parse(patched("horizon_s", "inf")),
+               ProtocolError);
+  // Range violations.
+  EXPECT_THROW(MarginRequest::parse(patched("duty", "1.5")), ProtocolError);
+  EXPECT_THROW(MarginRequest::parse(patched("duty", "-0.1")), ProtocolError);
+  EXPECT_THROW(MarginRequest::parse(patched("temp_c", "-400")),
+               ProtocolError);
+  EXPECT_THROW(MarginRequest::parse(patched("horizon_s", "-1")),
+               ProtocolError);
+  // Trailing junk after the number.
+  EXPECT_THROW(MarginRequest::parse(patched("duty", "0.5x")), ProtocolError);
+  // Unsigned-integer fields: sign, overflow, garbage.
+  EXPECT_THROW(MarginRequest::parse(patched("device", "-1")), ProtocolError);
+  EXPECT_THROW(
+      MarginRequest::parse(patched("device", "99999999999999999999999")),
+      ProtocolError);
+  EXPECT_THROW(MarginRequest::parse(patched("device", "0x10")),
+               ProtocolError);
+  // Booleans are strictly 0/1.
+  EXPECT_THROW(ScheduleSleepResponse::parse(
+                   "status ok\nnewly_applied yes\nwindows 1\n"),
+               ProtocolError);
+  // Unknown status string.
+  EXPECT_THROW(ScheduleSleepResponse::parse(
+                   "status weird\nnewly_applied 1\nwindows 1\n"),
+               ProtocolError);
+}
+
+TEST(PayloadCodec, MessageTypeNamesAreStable) {
+  EXPECT_STREQ(to_string(MessageType::kMarginRequest), "margin-request");
+  EXPECT_STREQ(to_string(Status::kOverloaded), "overloaded");
+  EXPECT_TRUE(known_message_type(1));
+  EXPECT_TRUE(known_message_type(11));
+  EXPECT_FALSE(known_message_type(0));
+  EXPECT_FALSE(known_message_type(12));
+}
+
+}  // namespace
+}  // namespace ash::fleet

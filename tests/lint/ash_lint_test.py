@@ -29,6 +29,7 @@ CASES = {
     "float-physics": ("float_physics", "src/bti"),
     "raw-double-api": ("raw_double_api", "src/bti/include"),
     "unchecked-io": ("unchecked_io", ""),
+    "eintr": ("eintr", "src/fleet"),
 }
 
 HEADER_RULES = {"raw-double-api"}
@@ -123,7 +124,7 @@ class AshLintRepoTest(unittest.TestCase):
         self.assertEqual(
             proc.stdout.split(),
             ["wall-clock", "rng", "unordered-iter", "float-physics",
-             "raw-double-api", "unchecked-io"])
+             "raw-double-api", "unchecked-io", "eintr"])
 
 
 if __name__ == "__main__":

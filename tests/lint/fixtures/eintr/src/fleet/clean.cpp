@@ -1,0 +1,24 @@
+// Fixture: every retryable syscall goes through util::retry_eintr, and
+// ::close stays bare — retrying close can close a descriptor the kernel
+// already reused for another connection.
+#include <unistd.h>
+
+namespace util {
+template <class Call>
+auto retry_eintr(Call&& call) -> decltype(call()) {  // fixture stand-in
+  return call();
+}
+}  // namespace util
+
+long drain_heartbeat(int fd) {
+  char byte = 0;
+  return util::retry_eintr([&] { return ::read(fd, &byte, 1); });
+}
+
+long send_heartbeat(int fd) {
+  const char byte = '.';
+  const auto ret = util::retry_eintr(
+      [&] { return ::write(fd, &byte, 1); });
+  ::close(fd);
+  return ret;
+}

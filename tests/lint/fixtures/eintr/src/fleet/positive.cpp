@@ -1,0 +1,16 @@
+// Fixture: a bare blocking syscall in the supervision layer.  A SIGCHLD
+// from a dying worker (or SIGTERM during drain) can interrupt it with
+// EINTR, and this code would treat the spurious failure as a real one —
+// a missed heartbeat, a false worker death.
+#include <sys/wait.h>
+#include <unistd.h>
+
+int drain_heartbeat(int fd) {
+  char byte = 0;
+  return static_cast<int>(::read(fd, &byte, 1));
+}
+
+int reap(int pid) {
+  int status = 0;
+  return static_cast<int>(::waitpid(pid, &status, 0));
+}

@@ -1,0 +1,136 @@
+#include "ash/mc/margin.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "ash/bti/closed_form.h"
+#include "ash/bti/condition.h"
+#include "ash/util/units.h"
+
+namespace ash::mc {
+namespace {
+
+bti::ClosedFormModel model() { return bti::ClosedFormModel({}); }
+
+TEST(MarginOutlook, FreshDeviceUnderHarshStressEventuallyCrosses) {
+  MarginQuery q;
+  q.delta_vth = Volts{0.0};
+  q.margin = Volts{5e-3};  // tight budget
+  q.duty = 1.0;
+  q.vdd = Volts{2.5};  // the paper's accelerated-stress overdrive regime
+  q.temp = Celsius{110.0};
+  q.horizon = Seconds{1e15};
+  const MarginOutlook outlook = margin_outlook(model(), q);
+  EXPECT_TRUE(outlook.crosses);
+  EXPECT_GT(outlook.time_to_margin.value(), 0.0);
+  EXPECT_LT(outlook.time_to_margin.value(), q.horizon.value());
+}
+
+TEST(MarginOutlook, AlreadyPastMarginCrossesImmediately) {
+  MarginQuery q;
+  q.delta_vth = Volts{13e-3};
+  q.margin = Volts{12e-3};
+  const MarginOutlook outlook = margin_outlook(model(), q);
+  EXPECT_TRUE(outlook.crosses);
+  EXPECT_EQ(outlook.time_to_margin.value(), 0.0);
+}
+
+TEST(MarginOutlook, GentleConditionIsRightCensoredAtHorizon) {
+  MarginQuery q;
+  q.delta_vth = Volts{1e-3};
+  q.margin = Volts{12e-3};
+  q.duty = 0.1;
+  q.vdd = Volts{0.9};  // mild use condition
+  q.temp = Celsius{25.0};
+  q.horizon = units::hours(24.0);  // short horizon: no way it crosses
+  const MarginOutlook outlook = margin_outlook(model(), q);
+  EXPECT_FALSE(outlook.crosses);
+  EXPECT_EQ(outlook.time_to_margin.value(), q.horizon.value());
+}
+
+TEST(MarginOutlook, MoreAgedDeviceCrossesSooner) {
+  MarginQuery young;
+  young.delta_vth = Volts{1e-3};
+  young.margin = Volts{8e-3};
+  young.duty = 1.0;
+  young.vdd = Volts{2.5};
+  young.temp = Celsius{110.0};
+  young.horizon = Seconds{1e15};
+  MarginQuery old = young;
+  old.delta_vth = Volts{6e-3};
+  const MarginOutlook young_outlook = margin_outlook(model(), young);
+  const MarginOutlook old_outlook = margin_outlook(model(), old);
+  ASSERT_TRUE(young_outlook.crosses);
+  ASSERT_TRUE(old_outlook.crosses);
+  EXPECT_LT(old_outlook.time_to_margin.value(),
+            young_outlook.time_to_margin.value());
+}
+
+TEST(MarginOutlook, HigherDutyCrossesSooner) {
+  MarginQuery busy;
+  busy.delta_vth = Volts{2e-3};
+  busy.margin = Volts{8e-3};
+  busy.duty = 1.0;
+  busy.vdd = Volts{2.5};
+  busy.temp = Celsius{110.0};
+  busy.horizon = Seconds{1e15};
+  MarginQuery lazy = busy;
+  lazy.duty = 0.25;
+  const MarginOutlook busy_outlook = margin_outlook(model(), busy);
+  const MarginOutlook lazy_outlook = margin_outlook(model(), lazy);
+  ASSERT_TRUE(busy_outlook.crosses);
+  if (lazy_outlook.crosses) {
+    EXPECT_LT(busy_outlook.time_to_margin.value(),
+              lazy_outlook.time_to_margin.value());
+  }
+}
+
+TEST(MarginOutlook, AnswerIsBitDeterministic) {
+  // Two fleet daemons (one chaos-ridden, one not) must answer a margin
+  // query with identical bytes — which requires identical doubles here.
+  MarginQuery q;
+  q.delta_vth = Volts{3.3e-3};
+  q.margin = Volts{12e-3};
+  q.duty = 0.61803398874989484;
+  q.vdd = Volts{2.1};
+  q.temp = Celsius{97.5};
+  q.horizon = Seconds{1e14};
+  const MarginOutlook a = margin_outlook(model(), q);
+  const MarginOutlook b = margin_outlook(model(), q);
+  EXPECT_EQ(a.crosses, b.crosses);
+  EXPECT_EQ(a.time_to_margin.value(), b.time_to_margin.value());
+}
+
+TEST(MarginOutlook, MalformedQueriesThrow) {
+  MarginQuery q;
+  q.duty = 1.5;
+  EXPECT_THROW(margin_outlook(model(), q), std::invalid_argument);
+  q = MarginQuery{};
+  q.duty = -0.1;
+  EXPECT_THROW(margin_outlook(model(), q), std::invalid_argument);
+  q = MarginQuery{};
+  q.margin = Volts{-1e-3};
+  EXPECT_THROW(margin_outlook(model(), q), std::invalid_argument);
+  q = MarginQuery{};
+  q.horizon = Seconds{-1.0};
+  EXPECT_THROW(margin_outlook(model(), q), std::invalid_argument);
+  q = MarginQuery{};
+  q.delta_vth = Volts{std::nan("")};
+  EXPECT_THROW(margin_outlook(model(), q), std::invalid_argument);
+}
+
+TEST(MarginOutlook, ZeroDutyPureRecoveryNeverCrosses) {
+  MarginQuery q;
+  q.delta_vth = Volts{5e-3};
+  q.margin = Volts{12e-3};
+  q.duty = 0.0;  // pure recovery: no stress, no further growth
+  q.horizon = Seconds{1e15};
+  const MarginOutlook outlook = margin_outlook(model(), q);
+  EXPECT_FALSE(outlook.crosses);
+  EXPECT_EQ(outlook.time_to_margin.value(), q.horizon.value());
+}
+
+}  // namespace
+}  // namespace ash::mc

@@ -188,5 +188,45 @@ TEST(DataLog, AllFourQualitiesRoundTripExactly) {
   }
 }
 
+TEST(DataLog, FractionalDegradationFirstToLastUsable) {
+  DataLog log;
+  log.add(record("AS110DC24", 0.0, 150e-9));     // f ~ 3.333 MHz
+  log.add(record("AS110DC24", 3600.0, 153e-9));  // slower = degraded
+  const double f0 = log.records()[0].frequency_hz;
+  const double f1 = log.records()[1].frequency_hz;
+  EXPECT_NEAR(log.fractional_degradation(), (f0 - f1) / f0, 1e-12);
+  EXPECT_GT(log.fractional_degradation(), 0.0);
+}
+
+TEST(DataLog, FractionalDegradationSkipsLostRecords) {
+  DataLog log;
+  log.add(record("AS110DC24", 0.0, 150e-9));
+  auto lost = record("AS110DC24", 1800.0, 0.0);
+  lost.quality = SampleQuality::kLost;
+  lost.frequency_hz = 0.0;
+  log.add(lost);
+  log.add(record("AS110DC24", 3600.0, 152e-9));
+  const double f0 = log.records()[0].frequency_hz;
+  const double f2 = log.records()[2].frequency_hz;
+  EXPECT_NEAR(log.fractional_degradation(), (f0 - f2) / f0, 1e-12);
+}
+
+TEST(DataLog, FractionalDegradationDegenerateCasesAreZero) {
+  DataLog empty;
+  EXPECT_EQ(empty.fractional_degradation(), 0.0);
+  DataLog one;
+  one.add(record("AS110DC24", 0.0, 150e-9));
+  EXPECT_EQ(one.fractional_degradation(), 0.0);  // one usable record
+}
+
+TEST(DataLog, FractionalDegradationNegativeAfterRecovery) {
+  // A device that healed past its first sample reports a negative
+  // degradation — the rejuvenation ranking must prefer others.
+  DataLog log;
+  log.add(record("R20Z6", 0.0, 152e-9));
+  log.add(record("R20Z6", 1800.0, 150e-9));
+  EXPECT_LT(log.fractional_degradation(), 0.0);
+}
+
 }  // namespace
 }  // namespace ash::tb

@@ -1,0 +1,391 @@
+/// ash_fleetd — the resident fleet aging service.
+///
+/// Keeps the fleet substrate resident and answers queries over a
+/// Unix-domain socket speaking the CRC-framed protocol of
+/// ash/fleet/protocol.h (hostile-input-proof: truncated, oversized,
+/// bit-flipped and garbage frames are rejected at the earliest byte that
+/// proves them invalid, and the offending connection is dropped).
+///
+/// Modes:
+///
+///   ash_fleetd serve --socket PATH --state-dir DIR
+///              [--campaign-dir DIR --shards N [--run-fleet --stages N]]
+///              [--devices N] [--margin-mv F] [--seed N] [--queue N]
+///              [--io-timeout-ms N] [--max-conns N] [--metrics FILE]
+///     Run the daemon.  --run-fleet first shards the paper campaign across
+///     supervised worker processes (ash_fleet's machinery) so the
+///     rejuvenation query has durable shard snapshots to rank.  SIGTERM
+///     drains gracefully (final durable state snapshot); SIGKILL is safe —
+///     the next start resumes from the newest snapshot that verifies.
+///
+///   ash_fleetd query --socket PATH (ping|status|margin|rejuvenation|sleep)
+///              [--device N] [--duty F] [--vdd F] [--temp F] [--horizon-h F]
+///              [--start-s F] [--duration-s F] [--client N]
+///     One-shot client call; prints the response payload.
+///
+///   ash_fleetd drill --dir DIR [--requests N] [--devices N] [--shards N]
+///              [--stages N] [--seed N] [--chaos protocol] [--quiet]
+///     The robustness acceptance drill (the CI chaos job runs this under
+///     ASan+UBSan): run the same scripted client session twice — once
+///     undisturbed, once under the protocol chaos preset (dropped
+///     connections, mid-frame tears, stalled writes, daemon SIGKILL +
+///     restart between requests) — and require the two transcripts to be
+///     byte-identical.  Exit 0 on identical transcripts, 1 otherwise.
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ash/fleet/client.h"
+#include "ash/fleet/service.h"
+#include "ash/fleet/supervisor.h"
+#include "ash/util/atomic_file.h"
+#include "ash/util/crc32.h"
+#include "ash/util/flags.h"
+#include "ash/util/syscall.h"
+
+namespace {
+
+using namespace ash;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: ash_fleetd serve --socket PATH --state-dir DIR\n"
+      "                  [--campaign-dir DIR --shards N [--run-fleet "
+      "--stages N]]\n"
+      "                  [--devices N] [--margin-mv F] [--seed N] "
+      "[--queue N]\n"
+      "                  [--io-timeout-ms N] [--max-conns N] "
+      "[--metrics FILE]\n"
+      "       ash_fleetd query --socket PATH "
+      "(ping|status|margin|rejuvenation|sleep)\n"
+      "                  [--device N] [--duty F] [--vdd F] [--temp F] "
+      "[--horizon-h F]\n"
+      "                  [--start-s F] [--duration-s F] [--client N]\n"
+      "       ash_fleetd drill --dir DIR [--requests N] [--devices N]\n"
+      "                  [--shards N] [--stages N] [--seed N] "
+      "[--chaos protocol] [--quiet]\n");
+  return 2;
+}
+
+/// Make DIR/name, failing loudly.
+std::string make_subdir(const std::string& dir, const std::string& name) {
+  const std::string path = dir + "/" + name;
+  const std::string cmd = "mkdir -p '" + path + "'";
+  if (std::system(cmd.c_str()) != 0) {
+    throw std::runtime_error("cannot create directory " + path);
+  }
+  return path;
+}
+
+/// Run the paper campaign sharded across supervised processes so the
+/// rejuvenation query has durable snapshots to rank.
+void run_fleet_campaign(const std::string& campaign_dir, int shards,
+                        int stages, std::uint64_t seed) {
+  fleet::FleetConfig config;
+  config.checkpoint_dir = campaign_dir;
+  config.backoff_initial_ms = 1;
+  config.backoff_max_ms = 50;
+  fleet::FleetSupervisor supervisor(
+      config, fleet::paper_fleet_shards(shards, seed, stages));
+  const fleet::FleetReport report = supervisor.run();
+  if (!report.all_completed()) {
+    std::fprintf(stderr, "ash_fleetd: warning: campaign left %zu shard(s) "
+                         "incomplete; serving anyway\n",
+                 report.shards.size());
+  }
+}
+
+int run_serve(const Flags& flags) {
+  fleet::ServiceConfig config;
+  config.socket_path = flags.get("socket", std::string());
+  config.state_dir = flags.get("state-dir", std::string());
+  config.campaign_dir = flags.get("campaign-dir", std::string());
+  config.shard_count = flags.get("shards", 0);
+  config.devices =
+      static_cast<std::uint64_t>(flags.get("devices", 64));
+  config.margin = Volts{flags.get("margin-mv", 12.0) * 1e-3};
+  if (flags.has("seed")) {
+    config.seed = static_cast<std::uint64_t>(flags.get("seed", 0));
+  }
+  config.max_request_queue = flags.get("queue", 8);
+  config.io_timeout_ms = flags.get("io-timeout-ms", 2000);
+  config.max_connections = flags.get("max-conns", 64);
+  config.metrics_path = flags.get("metrics", std::string());
+  if (config.socket_path.empty() || config.state_dir.empty()) {
+    std::fprintf(stderr, "ash_fleetd: serve needs --socket and --state-dir\n");
+    return usage();
+  }
+  if (!util::writable_directory(config.state_dir)) {
+    std::fprintf(stderr, "ash_fleetd: --state-dir %s: not an existing "
+                         "writable directory\n",
+                 config.state_dir.c_str());
+    return usage();
+  }
+  if (flags.get("run-fleet", false)) {
+    if (config.campaign_dir.empty() || config.shard_count < 1) {
+      std::fprintf(stderr,
+                   "ash_fleetd: --run-fleet needs --campaign-dir and "
+                   "--shards\n");
+      return usage();
+    }
+    run_fleet_campaign(config.campaign_dir, config.shard_count,
+                       flags.get("stages", 11),
+                       static_cast<std::uint64_t>(flags.get("seed", 0x40A0)));
+  }
+  fleet::Service service(config);
+  std::printf("ash_fleetd: serving %llu devices on %s (sequence %llu)\n",
+              static_cast<unsigned long long>(service.state().devices.size()),
+              config.socket_path.c_str(),
+              static_cast<unsigned long long>(service.state().sequence));
+  std::fflush(stdout);
+  service.run();
+  std::printf("%s", service.stats().render().c_str());
+  return 0;
+}
+
+int run_query(const Flags& flags) {
+  const std::string socket_path = flags.get("socket", std::string());
+  if (socket_path.empty() || flags.positional().size() != 2) {
+    std::fprintf(stderr,
+                 "ash_fleetd: query needs --socket and one verb\n");
+    return usage();
+  }
+  fleet::ClientConfig cc;
+  cc.socket_path = socket_path;
+  cc.client_id = static_cast<std::uint64_t>(flags.get("client", 1));
+  fleet::Client client(cc);
+  const std::string& verb = flags.positional()[1];
+  if (verb == "ping") {
+    std::printf("pong: %s\n", client.ping() ? "yes" : "no");
+  } else if (verb == "status") {
+    const auto resp = client.status();
+    std::printf("devices %llu windows %llu sequence %llu draining %d\n",
+                static_cast<unsigned long long>(resp.devices),
+                static_cast<unsigned long long>(resp.windows),
+                static_cast<unsigned long long>(resp.sequence),
+                resp.draining ? 1 : 0);
+  } else if (verb == "margin") {
+    fleet::MarginRequest req;
+    req.device_id = static_cast<std::uint64_t>(flags.get("device", 0));
+    req.duty = flags.get("duty", 0.5);
+    req.vdd = Volts{flags.get("vdd", 1.2)};
+    req.temp = Celsius{flags.get("temp", 80.0)};
+    req.horizon = units::hours(flags.get("horizon-h", 87660.0));
+    const auto resp = client.margin(req);
+    if (resp.crosses) {
+      std::printf("crosses in %.6g h (delta_vth %.4g mV of %.4g mV)\n",
+                  resp.time_to_margin.value() / 3600.0,
+                  resp.delta_vth.value() * 1e3, resp.margin.value() * 1e3);
+    } else {
+      std::printf("holds through the %.6g h horizon (delta_vth %.4g mV of "
+                  "%.4g mV)\n",
+                  req.horizon.value() / 3600.0, resp.delta_vth.value() * 1e3,
+                  resp.margin.value() * 1e3);
+    }
+  } else if (verb == "rejuvenation") {
+    const auto resp = client.rejuvenation(fleet::RejuvenationRequest{});
+    if (resp.any) {
+      std::printf("shard %d (fractional degradation %.6g)\n", resp.shard_id,
+                  resp.degradation);
+    } else {
+      std::printf("no shard has a rankable snapshot\n");
+    }
+  } else if (verb == "sleep") {
+    fleet::ScheduleSleepRequest req;
+    req.device_id = static_cast<std::uint64_t>(flags.get("device", 0));
+    req.start = Seconds{flags.get("start-s", 0.0)};
+    req.duration = Seconds{flags.get("duration-s", 6.0 * 3600.0)};
+    const auto resp = client.schedule_sleep(req);
+    std::printf("booked: device %llu now has %llu window(s)\n",
+                static_cast<unsigned long long>(req.device_id),
+                static_cast<unsigned long long>(resp.windows));
+  } else {
+    std::fprintf(stderr, "ash_fleetd: unknown query verb '%s'\n",
+                 verb.c_str());
+    return usage();
+  }
+  return 0;
+}
+
+/// A forked daemon the drill owns: SIGKILL-able, restartable, drainable.
+class DrillDaemon {
+ public:
+  explicit DrillDaemon(fleet::ServiceConfig config)
+      : config_(std::move(config)) {}
+
+  void start() {
+    pid_ = ::fork();
+    if (pid_ < 0) throw std::runtime_error("drill: fork failed");
+    if (pid_ == 0) {
+      try {
+        fleet::Service service(config_);
+        service.run();
+        std::_Exit(0);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "ash_fleetd[daemon]: %s\n", e.what());
+        std::_Exit(3);
+      }
+    }
+  }
+
+  /// SIGKILL + restart-from-newest-snapshot: the chaos hook.
+  void kill_and_restart() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      int status = 0;
+      (void)util::retry_eintr([&] { return ::waitpid(pid_, &status, 0); });
+      pid_ = -1;
+    }
+    start();
+  }
+
+  /// SIGTERM and reap; returns the daemon's exit status (0 = clean drain).
+  int terminate() {
+    if (pid_ <= 0) return -1;
+    ::kill(pid_, SIGTERM);
+    int status = 0;
+    (void)util::retry_eintr([&] { return ::waitpid(pid_, &status, 0); });
+    pid_ = -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : 128 + WTERMSIG(status);
+  }
+
+ private:
+  fleet::ServiceConfig config_;
+  pid_t pid_ = -1;
+};
+
+/// The scripted query/mutation mix both drill sessions replay.
+std::string run_session(DrillDaemon& daemon, const std::string& socket_path,
+                        const fleet::FleetFaultPlan& chaos, int requests,
+                        int devices, bool quiet) {
+  fleet::ClientConfig cc;
+  cc.socket_path = socket_path;
+  cc.client_id = 42;
+  cc.chaos = chaos;
+  cc.kill_daemon = [&daemon] { daemon.kill_and_restart(); };
+  fleet::Client client(cc);
+  for (int i = 0; i < requests; ++i) {
+    const auto device = static_cast<std::uint64_t>(i % devices);
+    switch (i % 5) {
+      case 0:
+        (void)client.status();
+        break;
+      case 1: {
+        fleet::MarginRequest req;
+        req.device_id = device;
+        req.duty = 0.25 * (1 + i % 3);
+        (void)client.margin(req);
+        break;
+      }
+      case 2: {
+        fleet::ScheduleSleepRequest req;
+        req.device_id = device;
+        req.start = Seconds{3600.0 * i};
+        req.duration = units::hours(6.0);
+        (void)client.schedule_sleep(req);
+        break;
+      }
+      case 3:
+        (void)client.rejuvenation(fleet::RejuvenationRequest{});
+        break;
+      default:
+        (void)client.ping();
+        break;
+    }
+  }
+  (void)client.status();  // final durable-state fingerprint
+  if (!quiet) std::printf("%s", client.stats().render().c_str());
+  return client.transcript();
+}
+
+int run_drill(const Flags& flags) {
+  const std::string dir = flags.get("dir", std::string());
+  if (dir.empty() || !util::writable_directory(dir)) {
+    std::fprintf(stderr,
+                 "ash_fleetd: drill needs --dir (existing writable)\n");
+    return usage();
+  }
+  const int requests = flags.get("requests", 20);
+  const int devices = flags.get("devices", 8);
+  const int shards = flags.get("shards", 2);
+  const int stages = flags.get("stages", 5);
+  const auto seed = static_cast<std::uint64_t>(flags.get("seed", 0x40A0));
+  const bool quiet = flags.get("quiet", false);
+  const fleet::FleetFaultPlan chaos =
+      fleet::FleetFaultPlan::by_name(flags.get("chaos",
+                                               std::string("protocol")));
+
+  std::string transcripts[2];
+  const char* names[2] = {"clean", "chaos"};
+  for (int session = 0; session < 2; ++session) {
+    const std::string root = make_subdir(dir, names[session]);
+    fleet::ServiceConfig config;
+    config.socket_path = root + "/fleetd.sock";
+    config.state_dir = make_subdir(root, "state");
+    config.campaign_dir = make_subdir(root, "campaign");
+    config.shard_count = shards;
+    config.devices = static_cast<std::uint64_t>(devices);
+    config.seed = seed;
+    // Tight I/O deadline so the chaos stall (400 ms) triggers a real
+    // slow-loris eviction; honest requests never park that long.
+    config.io_timeout_ms = 150;
+    run_fleet_campaign(config.campaign_dir, shards, stages, seed);
+    DrillDaemon daemon(config);
+    daemon.start();
+    transcripts[session] = run_session(
+        daemon, config.socket_path,
+        session == 0 ? fleet::FleetFaultPlan::none() : chaos, requests,
+        devices, quiet);
+    const int exit_status = daemon.terminate();
+    if (exit_status != 0) {
+      std::fprintf(stderr, "ash_fleetd: %s daemon exited %d\n",
+                   names[session], exit_status);
+      return 1;
+    }
+  }
+
+  const bool identical = transcripts[0] == transcripts[1];
+  std::printf("clean transcript: %zu bytes crc32 %08x\n",
+              transcripts[0].size(), util::crc32(transcripts[0]));
+  std::printf("chaos transcript: %zu bytes crc32 %08x\n",
+              transcripts[1].size(), util::crc32(transcripts[1]));
+  std::printf("transcripts %s\n",
+              identical ? "identical" : "DIVERGED");
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Flags flags(argc, argv);
+    flags.check_known(
+        {"socket", "state-dir", "campaign-dir", "shards", "run-fleet",
+         "stages", "devices", "margin-mv", "seed", "queue", "io-timeout-ms",
+         "max-conns", "metrics", "device", "duty", "vdd", "temp", "horizon-h",
+         "start-s", "duration-s", "client", "dir", "requests", "chaos",
+         "quiet"});
+    if (flags.positional().empty()) return usage();
+    const std::string& mode = flags.positional()[0];
+    if (mode == "serve") return run_serve(flags);
+    if (mode == "query") return run_query(flags);
+    if (mode == "drill") return run_drill(flags);
+    std::fprintf(stderr, "ash_fleetd: unknown mode '%s'\n", mode.c_str());
+    return usage();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "ash_fleetd: %s\n", e.what());
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ash_fleetd: %s\n", e.what());
+    return 2;
+  }
+}

@@ -46,6 +46,16 @@ a handful of recognisable source patterns, so we lint for them:
                   The heuristic is file-scoped by name, so a check of any
                   same-named stream in the file counts.
 
+  eintr           A bare blocking syscall (::read, ::write, ::poll,
+                  ::waitpid, ::accept/::accept4, ::connect, ::recv,
+                  ::send, ::nanosleep) in src/fleet/, outside a
+                  util::retry_eintr wrapper.  The fleet layer mixes slow
+                  syscalls with real signals (SIGCHLD from dying workers,
+                  SIGTERM during drain), so EINTR is routine there and a
+                  bare call treats the spurious failure as a real one.
+                  ::close is deliberately exempt: retrying close can close
+                  a descriptor the kernel already reused.
+
 Any finding can be suppressed on its line with a trailing
 `// ash-lint: allow(<rule>)` (comma-separate several rules).
 
@@ -77,6 +87,7 @@ RULES = (
     "float-physics",
     "raw-double-api",
     "unchecked-io",
+    "eintr",
 )
 
 
@@ -424,6 +435,38 @@ def rule_unchecked_io(fl: FileLint) -> None:
             "util::atomic_write_file")
 
 
+# --------------------------------------------------------------------------
+# Rule: eintr
+# --------------------------------------------------------------------------
+
+EINTR_SYSCALL_RE = re.compile(
+    r"::(read|write|poll|waitpid|accept4?|connect|recv|send|nanosleep)\s*\(")
+
+# The process/socket layer is the one place slow syscalls meet real
+# signals; everywhere else the repo stays on C++ iostream/filesystem APIs.
+EINTR_SCOPED_PREFIXES = ("src/fleet/",)
+
+
+def rule_eintr(fl: FileLint) -> None:
+    if not fl.rel.startswith(EINTR_SCOPED_PREFIXES):
+        return
+    for no, line in enumerate(fl.code_lines, start=1):
+        m = EINTR_SYSCALL_RE.search(line)
+        if not m:
+            continue
+        # The wrapper and the call usually share a line; clang-format may
+        # push the lambda body one or two lines down.
+        window = fl.code_lines[max(0, no - 3):no]
+        if any("retry_eintr" in w for w in window):
+            continue
+        fl.report(
+            "eintr", no,
+            f"bare ::{m.group(1)}() can fail spuriously with EINTR when a "
+            "signal lands (SIGCHLD from a dying worker, SIGTERM during "
+            "drain); wrap the call in util::retry_eintr "
+            "(ash/util/syscall.h).  ::close stays bare by design")
+
+
 RULE_FUNCS = {
     "wall-clock": rule_wall_clock,
     "rng": rule_rng,
@@ -431,6 +474,7 @@ RULE_FUNCS = {
     "float-physics": rule_float_physics,
     "raw-double-api": rule_raw_double_api,
     "unchecked-io": rule_unchecked_io,
+    "eintr": rule_eintr,
 }
 
 
