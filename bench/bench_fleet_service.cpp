@@ -1,0 +1,169 @@
+/// bench_fleet_service — what request-path telemetry costs.
+///
+/// Forks an `ash_fleetd` daemon twice — instrumented (per-verb latency and
+/// queue-wait histograms, flight recorder on) and bare (no clock reads on
+/// the request path) — and drives the same status/margin/ping mix through
+/// a retrying client.  Reports throughput and client-observed round-trip
+/// quantiles side by side: the instrumented column is the price of
+/// watching the daemon, and it should be noise against socket I/O.
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "ash/fleet/client.h"
+#include "ash/fleet/service.h"
+#include "ash/obs/metrics.h"
+#include "ash/util/syscall.h"
+#include "common.h"
+
+namespace {
+
+using namespace ash;
+
+constexpr int kCalls = 2000;
+
+struct ScenarioRow {
+  std::string name;
+  double wall_s = 0.0;
+  std::uint64_t calls = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+void make_dir(const std::string& path) {
+  const std::string cmd = "mkdir -p '" + path + "'";
+  if (std::system(cmd.c_str()) != 0) {
+    std::fprintf(stderr, "cannot create %s\n", path.c_str());
+    std::exit(1);
+  }
+}
+
+ScenarioRow run_scenario(const std::string& name, const std::string& root,
+                         bool instrument) {
+  const std::string dir = root + "/" + name;
+  make_dir(dir + "/state");
+
+  fleet::ServiceConfig config;
+  config.socket_path = dir + "/fleetd.sock";
+  config.state_dir = dir + "/state";
+  config.devices = 16;
+  config.seed = 0x40A0;
+  config.instrument = instrument;
+  config.flight_recorder_capacity = instrument ? 256 : 0;
+  if (instrument) config.flight_recorder_path = dir + "/flight.txt";
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::fprintf(stderr, "fork failed\n");
+    std::exit(1);
+  }
+  if (pid == 0) {
+    try {
+      fleet::Service service(config);
+      service.run();
+      std::_Exit(0);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench daemon: %s\n", e.what());
+      std::_Exit(3);
+    }
+  }
+
+  ScenarioRow row;
+  row.name = name;
+  {
+    fleet::ClientConfig cc;
+    cc.socket_path = config.socket_path;
+    cc.client_id = 7;
+    fleet::Client client(cc);
+    (void)client.ping();  // connect + daemon warm-up outside the clock
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kCalls; ++i) {
+      switch (i % 3) {
+        case 0:
+          (void)client.status();
+          break;
+        case 1: {
+          fleet::MarginRequest req;
+          req.device_id = static_cast<std::uint64_t>(i % 16);
+          req.duty = 0.5;
+          (void)client.margin(req);
+          break;
+        }
+        default:
+          (void)client.ping();
+          break;
+      }
+    }
+    row.wall_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+    row.calls = client.stats().calls;
+  }
+
+  ::kill(pid, SIGTERM);
+  int status = 0;
+  (void)util::retry_eintr([&] { return ::waitpid(pid, &status, 0); });
+
+  const auto snapshot = obs::registry().snapshot();
+  for (const auto& h : snapshot.histograms) {
+    if (h.name == "fleet.client.rtt_s") {
+      row.p50_ms = h.quantile(0.50) * 1e3;
+      row.p95_ms = h.quantile(0.95) * 1e3;
+      row.p99_ms = h.quantile(0.99) * 1e3;
+    }
+  }
+  obs::registry().clear();  // fresh rtt histogram for the next scenario
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "fleet service telemetry overhead",
+      "instrumented vs bare request path, same client mix over the wire");
+
+  char tmpl[] = "/tmp/ash_bench_fleetd_XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 1;
+  }
+  const std::string root = tmpl;
+
+  const ScenarioRow rows[] = {
+      run_scenario("instrumented", root, true),
+      run_scenario("bare", root, false),
+  };
+
+  std::printf("\n%-14s %8s %10s %9s %9s %9s\n", "scenario", "calls", "req/s",
+              "p50_ms", "p95_ms", "p99_ms");
+  bool ok = true;
+  for (const auto& row : rows) {
+    ok = ok && row.calls == static_cast<std::uint64_t>(kCalls) + 1;
+    std::printf("%-14s %8llu %10.0f %9.3f %9.3f %9.3f\n", row.name.c_str(),
+                static_cast<unsigned long long>(row.calls),
+                row.wall_s > 0.0 ? static_cast<double>(kCalls) / row.wall_s
+                                 : 0.0,
+                row.p50_ms, row.p95_ms, row.p99_ms);
+  }
+
+  const std::string cleanup = "rm -rf '" + root + "'";
+  if (std::system(cleanup.c_str()) != 0) {
+    std::fprintf(stderr, "cleanup of %s failed\n", root.c_str());
+  }
+  if (!ok) {
+    std::fprintf(stderr, "\nFAIL: a scenario dropped calls\n");
+    return 1;
+  }
+  std::printf("\nboth scenarios completed every call; the delta is the "
+              "telemetry bill\n");
+  return 0;
+}

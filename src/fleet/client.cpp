@@ -13,6 +13,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "ash/obs/metrics.h"
 #include "ash/util/syscall.h"
 #include "ash/util/table.h"
 
@@ -61,6 +62,20 @@ std::string ClientStats::render() const {
   return out;
 }
 
+void ClientStats::publish(obs::Registry& registry,
+                          const std::string& prefix) const {
+  registry.counter(prefix + "calls").set(calls);
+  registry.counter(prefix + "attempts").set(attempts);
+  registry.counter(prefix + "reconnects").set(reconnects);
+  registry.counter(prefix + "io_failures").set(io_failures);
+  registry.counter(prefix + "overloaded_retries").set(overloaded_retries);
+  registry.counter(prefix + "chaos.drops").set(drops_injected);
+  registry.counter(prefix + "chaos.truncations").set(truncations_injected);
+  registry.counter(prefix + "chaos.stalls").set(stalls_injected);
+  registry.counter(prefix + "chaos.daemon_kills").set(daemon_kills_injected);
+  registry.gauge(prefix + "backoff_total_ms").set(backoff_total_ms);
+}
+
 Client::Client(ClientConfig config) : config_(std::move(config)) {
   if (config_.max_attempts < 1) {
     throw std::invalid_argument("client: max_attempts must be >= 1");
@@ -70,6 +85,10 @@ Client::Client(ClientConfig config) : config_(std::move(config)) {
       config_.socket_path.size() >= sizeof addr.sun_path) {
     throw std::invalid_argument("client: bad socket path '" +
                                 config_.socket_path + "'");
+  }
+  if (config_.instrument) {
+    rtt_hist_ = &obs::registry().histogram("fleet.client.rtt_s",
+                                           obs::HistogramOptions{1e-6, 1e2, 4});
   }
 }
 
@@ -205,6 +224,7 @@ Frame Client::call(MessageType type, const std::string& payload) {
 
   for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
     ++stats_.attempts;
+    const double rtt_begin_ms = rtt_hist_ != nullptr ? now_ms() : 0.0;
     const ProtocolChaosAgent agent(config_.chaos, req_index, attempt);
 
     if (agent.kill_daemon_scheduled() && config_.kill_daemon) {
@@ -277,6 +297,9 @@ Frame Client::call(MessageType type, const std::string& payload) {
     }
 
     // Completed: canonical request/response bytes enter the transcript.
+    if (rtt_hist_ != nullptr) {
+      rtt_hist_->observe((now_ms() - rtt_begin_ms) * 1e-3);
+    }
     transcript_ += frame;
     transcript_ += frame_message(response.type, response.request_id,
                                  response.payload);
@@ -337,6 +360,79 @@ StatusResponse Client::status() {
   return unwrap<StatusResponse>(
       call(MessageType::kStatusRequest, StatusRequest{}.encode()),
       MessageType::kStatusResponse);
+}
+
+Frame Client::scrape(MessageType type, const std::string& payload) {
+  // Volatile channel: same retry/backoff posture as call(), but no chaos
+  // agent, no request_index_ consumed (chaos streams stay aligned
+  // call-for-call), nothing appended to the transcript, and an id from
+  // the tagged scrape space so transcripted ids never shift.
+  const std::uint64_t id = next_scrape_id_++;
+  const std::string frame = frame_message(type, id, payload);
+  for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    ++stats_.attempts;
+    const double rtt_begin_ms = rtt_hist_ != nullptr ? now_ms() : 0.0;
+    if (!ensure_connected()) {
+      ++stats_.io_failures;
+      backoff(attempt);
+      continue;
+    }
+    if (!send_all(frame)) {
+      disconnect();
+      ++stats_.io_failures;
+      backoff(attempt);
+      continue;
+    }
+    Frame response;
+    if (!read_frame(response, id)) {
+      ++stats_.io_failures;
+      backoff(attempt);
+      continue;
+    }
+    if (response.type == MessageType::kErrorResponse) {
+      try {
+        const ErrorResponse err = ErrorResponse::parse(response.payload);
+        if (retryable_status(err.status)) {
+          ++stats_.overloaded_retries;
+          backoff(attempt);
+          continue;
+        }
+      } catch (const ProtocolError&) {
+        disconnect();
+        ++stats_.io_failures;
+        backoff(attempt);
+        continue;
+      }
+    }
+    if (rtt_hist_ != nullptr) {
+      rtt_hist_->observe((now_ms() - rtt_begin_ms) * 1e-3);
+    }
+    return response;
+  }
+  throw std::runtime_error(strformat(
+      "fleet client: scrape %s (request id %llu) failed after %d attempts",
+      to_string(type), static_cast<unsigned long long>(id),
+      config_.max_attempts));
+}
+
+MetricsResponse Client::metrics(const std::string& prefix) {
+  MetricsRequest request;
+  request.prefix = prefix;
+  return unwrap<MetricsResponse>(
+      scrape(MessageType::kMetricsRequest, request.encode()),
+      MessageType::kMetricsResponse);
+}
+
+ProfileResponse Client::profile() {
+  return unwrap<ProfileResponse>(
+      scrape(MessageType::kProfileRequest, ProfileRequest{}.encode()),
+      MessageType::kProfileResponse);
+}
+
+HealthResponse Client::health() {
+  return unwrap<HealthResponse>(
+      scrape(MessageType::kHealthRequest, HealthRequest{}.encode()),
+      MessageType::kHealthResponse);
 }
 
 std::vector<Frame> Client::burst(MessageType type,

@@ -34,6 +34,11 @@
 #include "ash/fleet/fault.h"
 #include "ash/fleet/protocol.h"
 
+namespace ash::obs {
+class Registry;
+class Histogram;
+}  // namespace ash::obs
+
 namespace ash::fleet {
 
 /// Client tunables (host-time milliseconds).
@@ -54,6 +59,9 @@ struct ClientConfig {
   /// Harness hook for proto_kill_every: SIGKILL the daemon and restart it
   /// from its newest snapshot, synchronously.  Unset = channel disabled.
   std::function<void()> kill_daemon;
+  /// Round-trip latency histogram (`fleet.client.rtt_s`).  Off, the call
+  /// path performs no clock reads for instrumentation.
+  bool instrument = true;
 };
 
 /// Host-time client tallies (never part of the transcript).
@@ -70,7 +78,16 @@ struct ClientStats {
   double backoff_total_ms = 0.0;
 
   std::string render() const;
+  /// Set one `prefix`-named metric per field — the client side of the
+  /// telemetry loop lands in the same registry as the daemon's.
+  void publish(obs::Registry& registry,
+               const std::string& prefix = "fleet.client.") const;
 };
+
+/// Scrape request ids carry the top bit so they can never collide with
+/// the sequential ids of transcripted calls in the daemon's idempotency
+/// table, and never shift them.
+inline constexpr std::uint64_t kScrapeIdBase = std::uint64_t{1} << 63;
 
 /// One connection's worth of client.  Not thread-safe; one per caller.
 class Client {
@@ -103,6 +120,20 @@ class Client {
   std::vector<Frame> burst(MessageType type,
                            const std::vector<std::string>& payloads);
 
+  /// Send one request on the volatile scrape channel and return the
+  /// verified response.  Same retry/backoff machinery as call(), but no
+  /// chaos injection, no chaos stream index consumed, the frames never
+  /// enter the transcript, and the request id comes from a separate
+  /// (high-bit-tagged) counter — a mid-session scrape cannot perturb the
+  /// transcript-identity gate by construction, no matter how the two
+  /// drill sessions interleave their scrapes.
+  Frame scrape(MessageType type, const std::string& payload);
+
+  /// Typed scrape conveniences (throw on terminal error answers).
+  MetricsResponse metrics(const std::string& prefix = "");
+  ProfileResponse profile();
+  HealthResponse health();
+
   /// Canonical (request, response) frame bytes of every completed call.
   const std::string& transcript() const { return transcript_; }
   const ClientStats& stats() const { return stats_; }
@@ -117,9 +148,13 @@ class Client {
   ClientConfig config_;
   int fd_ = -1;
   std::uint64_t next_request_id_ = 1;
+  /// Scrape ids live in their own tagged space so watching a session never
+  /// shifts the ids (hence the bytes) of its transcripted calls.
+  std::uint64_t next_scrape_id_ = kScrapeIdBase;
   int request_index_ = 0;  ///< chaos stream index, one per call()
   std::string transcript_;
   ClientStats stats_;
+  obs::Histogram* rtt_hist_ = nullptr;  ///< null when uninstrumented
 };
 
 }  // namespace ash::fleet

@@ -34,13 +34,20 @@
 /// comparison.  Quantities cross the wire as strong units (ash::Seconds,
 /// ash::Volts, ash::Celsius): the struct field types are the wire schema.
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "ash/util/units.h"
+
+namespace ash::obs {
+class Registry;
+}  // namespace ash::obs
 
 namespace ash::fleet {
 
@@ -55,14 +62,79 @@ inline constexpr std::uint64_t kMaxFramePayload = 1u << 20;
 /// Size of the fixed frame header.
 inline constexpr std::size_t kFrameHeaderSize = 40;
 
-/// Thrown on any wire-format violation; the message names the failing
-/// check and the byte offset where the input proved invalid.
-class ProtocolError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
+/// The earliest check a hostile byte stream failed.  kNone marks payload
+/// *document* errors (valid frame, bad fields) — those are per-request
+/// kBadRequest responses, not framing rejections, and are not tallied.
+enum class ProtocolViolation : std::uint32_t {
+  kNone = 0,
+  kBadMagic,         ///< first wrong magic byte
+  kBadVersion,       ///< unsupported version at offset 8
+  kHostileLength,    ///< declared payload beyond the cap, offset 24
+  kHeaderCrc,        ///< header self-check failed at offset 36
+  kPayloadCrc,       ///< payload CRC mismatch
+  kUnknownType,      ///< CRC-valid frame with an unknown message type
+  kTruncated,        ///< one-shot decode of an incomplete frame
+  kTrailingGarbage,  ///< one-shot decode with bytes past the frame
+  kCount,            // sentinel
 };
 
+const char* to_string(ProtocolViolation violation);
+
+/// Thrown on any wire-format violation; the message names the failing
+/// check and the byte offset where the input proved invalid, and
+/// `violation()` classifies it for the `fleet.protocol.*` tallies.
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what,
+                         ProtocolViolation violation = ProtocolViolation::kNone)
+      : std::runtime_error(what), violation_(violation) {}
+
+  ProtocolViolation violation() const { return violation_; }
+
+ private:
+  ProtocolViolation violation_;
+};
+
+/// Process-global framing tallies: every frame the decoders verify and
+/// every hostile rejection, counted at the single choke point where the
+/// ProtocolError is constructed.  `publish()` mirrors them into an
+/// `obs::Registry` as `fleet.protocol.*` metrics — the byte/bit-sweep test
+/// pins that the metrics and its own rejection bookkeeping are the same
+/// integers (the PR 3 report==metrics discipline, applied to framing).
+class ProtocolTallies {
+ public:
+  void count_decoded() { decoded_.fetch_add(1, std::memory_order_relaxed); }
+  void count(ProtocolViolation violation);
+
+  std::uint64_t decoded() const {
+    return decoded_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rejected(ProtocolViolation violation) const;
+  std::uint64_t rejected_total() const;
+
+  /// Write `<prefix>frames_decoded`, `<prefix>rejected.<class>` and
+  /// `<prefix>rejected.total` counters into `registry`.
+  void publish(obs::Registry& registry,
+               std::string_view prefix = "fleet.protocol.") const;
+
+  /// Zero everything (tests and multi-run tools).
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> decoded_{0};
+  std::array<std::atomic<std::uint64_t>,
+             static_cast<std::size_t>(ProtocolViolation::kCount)>
+      rejected_{};
+};
+
+/// The process-wide tallies every decoder in this process counts into.
+ProtocolTallies& protocol_tallies();
+
 /// Message types.  Requests are odd, their responses even (request + 1).
+/// Types 13+ are the *volatile scrape channel*: their responses carry
+/// operational telemetry that chaos legitimately perturbs, so clients keep
+/// them out of the replay/idempotency and transcript-identity machinery
+/// (12 is left unassigned to preserve the odd/even pairing).
 enum class MessageType : std::uint32_t {
   kPingRequest = 1,
   kPingResponse = 2,
@@ -75,11 +147,20 @@ enum class MessageType : std::uint32_t {
   kStatusRequest = 9,
   kStatusResponse = 10,
   kErrorResponse = 11,
+  kMetricsRequest = 13,
+  kMetricsResponse = 14,
+  kProfileRequest = 15,
+  kProfileResponse = 16,
+  kHealthRequest = 17,
+  kHealthResponse = 18,
 };
 
 const char* to_string(MessageType type);
 /// True when `raw` encodes a known MessageType.
 bool known_message_type(std::uint32_t raw);
+/// True for the volatile scrape channel (metrics/profile/health): excluded
+/// from idempotent replay and from drill transcript comparisons.
+bool volatile_message_type(MessageType type);
 
 /// Response status.  kOverloaded is the backpressure signal: the request
 /// was *not* processed and may be retried after a backoff.
@@ -250,6 +331,78 @@ struct ErrorResponse {
 
   std::string encode() const;
   static ErrorResponse parse(std::string_view payload);
+};
+
+// ---------------------------------------------------------------------------
+// Volatile scrape channel (kMetrics / kProfile / kHealth).  These payloads
+// are operational telemetry — chaos legitimately changes them, so they are
+// served fresh on every call (no replay) and never enter transcripts.
+// ---------------------------------------------------------------------------
+
+/// "Send me your live metrics snapshot", optionally filtered by prefix.
+struct MetricsRequest {
+  /// Keep only metrics whose name starts with this ("" = everything).
+  std::string prefix;
+
+  std::string encode() const;
+  static MetricsRequest parse(std::string_view payload);
+};
+
+/// The snapshot, rendered by `MetricsSnapshot::render()` (`key=value`
+/// lines).  The text block is length-prefixed on the wire because metric
+/// lines use `=` rather than the strict `key value` document grammar.
+struct MetricsResponse {
+  Status status = Status::kOk;
+  std::string text;
+
+  std::string encode() const;
+  static MetricsResponse parse(std::string_view payload);
+};
+
+struct ProfileRequest {
+  std::string encode() const;
+  static ProfileRequest parse(std::string_view payload);
+};
+
+/// One kernel row of the daemon's `obs::profile_snapshot()`.
+struct ProfileEntry {
+  std::string kernel;
+  std::uint64_t calls = 0;
+  std::uint64_t total_ns = 0;
+};
+
+struct ProfileResponse {
+  Status status = Status::kOk;
+  /// Whether kernel profiling is even enabled daemon-side.
+  bool profiling = false;
+  std::vector<ProfileEntry> kernels;
+
+  std::string encode() const;
+  static ProfileResponse parse(std::string_view payload);
+};
+
+struct HealthRequest {
+  std::string encode() const;
+  static HealthRequest parse(std::string_view payload);
+};
+
+/// Liveness summary the dashboard polls: how long the daemon has run (in
+/// poll iterations — its only notion of time), how loaded it is, and how
+/// far its durable snapshot lags the in-memory sequence.
+struct HealthResponse {
+  Status status = Status::kOk;
+  std::uint64_t poll_iterations = 0;
+  std::uint64_t connections = 0;
+  std::uint64_t connections_high_water = 0;
+  std::uint64_t queue_depth_high_water = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t shed = 0;
+  /// Mutations applied since the last durable snapshot write.
+  std::uint64_t snapshot_lag = 0;
+  bool draining = false;
+
+  std::string encode() const;
+  static HealthResponse parse(std::string_view payload);
 };
 
 /// Ping carries no payload; these helpers keep call sites symmetric.

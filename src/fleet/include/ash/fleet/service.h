@@ -41,6 +41,7 @@
 /// `ash::obs`; they are deliberately kept out of response payloads so a
 /// chaos-ridden run and an undisturbed run answer with identical bytes.
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -48,11 +49,13 @@
 #include "ash/bti/closed_form.h"
 #include "ash/fleet/checkpoint_store.h"
 #include "ash/fleet/protocol.h"
+#include "ash/obs/flight_recorder.h"
 #include "ash/util/random.h"
 #include "ash/util/units.h"
 
 namespace ash::obs {
 class Registry;
+class Histogram;
 }  // namespace ash::obs
 
 namespace ash::fleet {
@@ -90,6 +93,19 @@ struct ServiceConfig {
   int poll_interval_ms = 20;
   /// When nonempty, the drain path writes the metrics snapshot here.
   std::string metrics_path;
+
+  /// Request-path instrumentation switch: per-verb latency and queue-wait
+  /// histograms.  Off, the request path performs no clock reads at all
+  /// (null histogram pointers; see obs::ScopedLatencyTimer).
+  bool instrument = true;
+  /// When nonempty, the flight recorder persists here: at every durable
+  /// state checkpoint, periodically from the poll loop, at drain, and
+  /// best-effort from the fatal-signal handler.
+  std::string flight_recorder_path;
+  /// Ring capacity; 0 disables the recorder (record() = one branch).
+  std::size_t flight_recorder_capacity = 256;
+  /// Poll iterations between periodic flight-recorder persists.
+  int flight_flush_every_polls = 64;
 };
 
 /// One booked recovery-sleep window.
@@ -192,18 +208,56 @@ class Service {
   const ServiceStats& stats() const { return stats_; }
   bool draining() const { return draining_; }
 
+  /// Poll-loop liveness tallies behind the kHealthRequest scrape.
+  struct Health {
+    std::uint64_t poll_iterations = 0;
+    std::uint64_t connections = 0;
+    std::uint64_t connections_high_water = 0;
+    std::uint64_t queue_depth_high_water = 0;
+  };
+  const Health& health() const { return health_; }
+
+  /// Mutations applied but not yet durably snapshotted (0 outside of a
+  /// write-ahead window, since save_state runs before every ack).
+  std::uint64_t snapshot_lag() const {
+    return state_.sequence - last_snapshot_sequence_;
+  }
+
+  const obs::FlightRecorder& flight_recorder() const { return recorder_; }
+
+  /// Mirror every volatile tally (service stats, protocol tallies, health)
+  /// into `registry` — what the metrics scrape and the drain-time metrics
+  /// dump both call, so the two channels can never disagree.
+  void publish_volatile(obs::Registry& registry) const;
+
  private:
   Frame respond_margin(const Frame& request);
   Frame respond_rejuvenation(const Frame& request);
   Frame respond_schedule_sleep(const Frame& request);
   Frame respond_status(const Frame& request);
+  Frame respond_metrics(const Frame& request);
+  Frame respond_profile(const Frame& request);
+  Frame respond_health(const Frame& request);
   void save_state();
+  /// Best-effort atomic persist of the flight recorder (no-op when
+  /// unconfigured; persistence failures are swallowed — telemetry must
+  /// never take the daemon down).
+  void persist_flight();
+  /// Latency histogram for a request type (nullptr when uninstrumented).
+  obs::Histogram* latency_histogram(MessageType type) const;
 
   ServiceConfig config_;
   CheckpointStore state_store_;
   bti::ClosedFormModel model_;
   ServiceState state_;
   ServiceStats stats_;
+  Health health_;
+  obs::FlightRecorder recorder_;
+  std::uint64_t last_snapshot_sequence_ = 0;
+  /// Registered once at construction, indexed by the raw request type;
+  /// the request path only ever dereferences (lock-free).
+  std::array<obs::Histogram*, 19> latency_{};
+  obs::Histogram* queue_wait_ = nullptr;
   bool draining_ = false;
 };
 

@@ -8,6 +8,7 @@
 #include <initializer_list>
 #include <map>
 
+#include "ash/obs/metrics.h"
 #include "ash/util/crc32.h"
 #include "ash/util/table.h"
 
@@ -16,6 +17,15 @@ namespace ash::fleet {
 namespace {
 
 constexpr char kMagic[8] = {'A', 'S', 'H', 'F', 'L', 'T', 'Q', '1'};
+
+/// The single choke point for framing rejections: count the violation into
+/// the process-global tallies, then throw.  Payload *document* errors
+/// bypass this (they construct ProtocolError directly with kNone), so the
+/// tallies count framing violations and nothing else.
+[[noreturn]] void reject(ProtocolViolation violation, const std::string& what) {
+  protocol_tallies().count(violation);
+  throw ProtocolError(what, violation);
+}
 
 void put_u32(std::string& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) {
@@ -55,25 +65,27 @@ std::uint64_t check_frame_prefix(std::string_view bytes,
                                  std::uint64_t max_payload) {
   const std::size_t magic_len = std::min(bytes.size(), sizeof kMagic);
   if (std::memcmp(bytes.data(), kMagic, magic_len) != 0) {
-    throw ProtocolError("bad magic: not an ash-fleet frame");
+    reject(ProtocolViolation::kBadMagic, "bad magic: not an ash-fleet frame");
   }
   if (bytes.size() < 12) return 0;
   const std::uint32_t version = get_u32(bytes, 8);
   if (version != kProtocolVersion) {
-    throw ProtocolError("unsupported protocol version " +
-                        std::to_string(version));
+    reject(ProtocolViolation::kBadVersion,
+           "unsupported protocol version " + std::to_string(version));
   }
   if (bytes.size() < 32) return 0;
   const std::uint64_t payload_size = get_u64(bytes, 24);
   if (payload_size > max_payload) {
-    throw ProtocolError("declared payload of " + std::to_string(payload_size) +
-                        " bytes exceeds the " + std::to_string(max_payload) +
-                        "-byte cap (hostile length)");
+    reject(ProtocolViolation::kHostileLength,
+           "declared payload of " + std::to_string(payload_size) +
+               " bytes exceeds the " + std::to_string(max_payload) +
+               "-byte cap (hostile length)");
   }
   if (bytes.size() < kFrameHeaderSize) return 0;
   const std::uint32_t header_crc = get_u32(bytes, 36);
   if (util::crc32(bytes.substr(0, 36)) != header_crc) {
-    throw ProtocolError("header CRC mismatch (tampered or torn header)");
+    reject(ProtocolViolation::kHeaderCrc,
+           "header CRC mismatch (tampered or torn header)");
   }
   return kFrameHeaderSize + payload_size;
 }
@@ -83,16 +95,19 @@ std::uint64_t check_frame_prefix(std::string_view bytes,
 Frame finish_frame(std::string_view bytes) {
   const std::uint32_t payload_crc = get_u32(bytes, 32);
   if (util::crc32(bytes.substr(kFrameHeaderSize)) != payload_crc) {
-    throw ProtocolError("payload CRC mismatch (bit rot or tampering)");
+    reject(ProtocolViolation::kPayloadCrc,
+           "payload CRC mismatch (bit rot or tampering)");
   }
   const std::uint32_t raw_type = get_u32(bytes, 12);
   if (!known_message_type(raw_type)) {
-    throw ProtocolError("unknown message type " + std::to_string(raw_type));
+    reject(ProtocolViolation::kUnknownType,
+           "unknown message type " + std::to_string(raw_type));
   }
   Frame frame;
   frame.type = static_cast<MessageType>(raw_type);
   frame.request_id = get_u64(bytes, 16);
   frame.payload = std::string(bytes.substr(kFrameHeaderSize));
+  protocol_tallies().count_decoded();
   return frame;
 }
 
@@ -204,14 +219,86 @@ class Doc {
   std::map<std::string, std::string> fields_;
 };
 
-Status parse_status(const Doc& doc) {
-  const std::string& v = doc.raw("status");
+Status parse_status_value(std::string_view v) {
   if (v == "ok") return Status::kOk;
   if (v == "overloaded") return Status::kOverloaded;
   if (v == "bad-request") return Status::kBadRequest;
   if (v == "unknown-device") return Status::kUnknownDevice;
   if (v == "shutting-down") return Status::kShuttingDown;
-  throw ProtocolError("unknown status '" + v + "'");
+  throw ProtocolError("unknown status '" + std::string(v) + "'");
+}
+
+Status parse_status(const Doc& doc) { return parse_status_value(doc.raw("status")); }
+
+// --- Scrape-channel codec helpers ----------------------------------------
+// Metrics/profile responses carry grammars the strict Doc cannot express
+// (raw `key=value` text blocks, repeated `kernel` lines), so they parse
+// through an explicit line cursor with the same fail-on-anything-odd
+// posture.
+
+class LineCursor {
+ public:
+  explicit LineCursor(std::string_view payload) : payload_(payload) {}
+
+  std::string_view next_line() {
+    if (pos_ >= payload_.size()) {
+      throw ProtocolError("payload ended before a required line");
+    }
+    const std::size_t eol = payload_.find('\n', pos_);
+    if (eol == std::string_view::npos) {
+      throw ProtocolError("payload line without newline terminator");
+    }
+    const std::string_view line = payload_.substr(pos_, eol - pos_);
+    pos_ = eol + 1;
+    return line;
+  }
+
+  /// Consume exactly `n` raw bytes (the length-prefixed text block).
+  std::string_view take(std::uint64_t n) {
+    if (payload_.size() - pos_ < n) {
+      throw ProtocolError("length-prefixed block truncated");
+    }
+    const std::string_view out = payload_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  void expect_done() const {
+    if (pos_ != payload_.size()) {
+      throw ProtocolError("trailing bytes after the payload document");
+    }
+  }
+
+ private:
+  std::string_view payload_;
+  std::size_t pos_ = 0;
+};
+
+/// `<key> <value>` line → value, throwing when the key is wrong.
+std::string_view expect_key(std::string_view line, const char* key) {
+  const std::size_t key_len = std::strlen(key);
+  if (line.size() < key_len + 1 || line.substr(0, key_len) != key ||
+      line[key_len] != ' ') {
+    throw ProtocolError("expected '" + std::string(key) + "' line, got '" +
+                        std::string(line) + "'");
+  }
+  return line.substr(key_len + 1);
+}
+
+std::uint64_t parse_u64_value(std::string_view v, const char* key) {
+  if (v.empty() ||
+      v.find_first_not_of("0123456789") != std::string_view::npos) {
+    throw ProtocolError("field '" + std::string(key) +
+                        "' is not an unsigned integer: '" + std::string(v) +
+                        "'");
+  }
+  errno = 0;
+  const std::uint64_t out = std::strtoull(std::string(v).c_str(), nullptr, 10);
+  if (errno == ERANGE) {
+    throw ProtocolError("field '" + std::string(key) + "' overflows: '" +
+                        std::string(v) + "'");
+  }
+  return out;
 }
 
 /// A non-negative duration field (hostile negative horizons rejected).
@@ -234,13 +321,106 @@ const char* to_string(MessageType type) {
     case MessageType::kStatusRequest: return "status-request";
     case MessageType::kStatusResponse: return "status-response";
     case MessageType::kErrorResponse: return "error-response";
+    case MessageType::kMetricsRequest: return "metrics-request";
+    case MessageType::kMetricsResponse: return "metrics-response";
+    case MessageType::kProfileRequest: return "profile-request";
+    case MessageType::kProfileResponse: return "profile-response";
+    case MessageType::kHealthRequest: return "health-request";
+    case MessageType::kHealthResponse: return "health-response";
   }
   return "unknown";
 }
 
 bool known_message_type(std::uint32_t raw) {
-  return raw >= static_cast<std::uint32_t>(MessageType::kPingRequest) &&
-         raw <= static_cast<std::uint32_t>(MessageType::kErrorResponse);
+  // 12 is deliberately unassigned (the odd/even request/response pairing
+  // skips over kErrorResponse = 11).
+  return (raw >= static_cast<std::uint32_t>(MessageType::kPingRequest) &&
+          raw <= static_cast<std::uint32_t>(MessageType::kErrorResponse)) ||
+         (raw >= static_cast<std::uint32_t>(MessageType::kMetricsRequest) &&
+          raw <= static_cast<std::uint32_t>(MessageType::kHealthResponse));
+}
+
+bool volatile_message_type(MessageType type) {
+  return static_cast<std::uint32_t>(type) >=
+         static_cast<std::uint32_t>(MessageType::kMetricsRequest);
+}
+
+const char* to_string(ProtocolViolation violation) {
+  switch (violation) {
+    case ProtocolViolation::kNone: return "none";
+    case ProtocolViolation::kBadMagic: return "bad-magic";
+    case ProtocolViolation::kBadVersion: return "bad-version";
+    case ProtocolViolation::kHostileLength: return "hostile-length";
+    case ProtocolViolation::kHeaderCrc: return "header-crc";
+    case ProtocolViolation::kPayloadCrc: return "payload-crc";
+    case ProtocolViolation::kUnknownType: return "unknown-type";
+    case ProtocolViolation::kTruncated: return "truncated";
+    case ProtocolViolation::kTrailingGarbage: return "trailing-garbage";
+    case ProtocolViolation::kCount: break;
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Metric-name suffix for a violation class ([a-z0-9_.]+ discipline).
+const char* metric_suffix(ProtocolViolation violation) {
+  switch (violation) {
+    case ProtocolViolation::kBadMagic: return "bad_magic";
+    case ProtocolViolation::kBadVersion: return "bad_version";
+    case ProtocolViolation::kHostileLength: return "hostile_length";
+    case ProtocolViolation::kHeaderCrc: return "header_crc";
+    case ProtocolViolation::kPayloadCrc: return "payload_crc";
+    case ProtocolViolation::kUnknownType: return "unknown_type";
+    case ProtocolViolation::kTruncated: return "truncated";
+    case ProtocolViolation::kTrailingGarbage: return "trailing_garbage";
+    case ProtocolViolation::kNone:
+    case ProtocolViolation::kCount: break;
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+void ProtocolTallies::count(ProtocolViolation violation) {
+  rejected_[static_cast<std::size_t>(violation)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::uint64_t ProtocolTallies::rejected(ProtocolViolation violation) const {
+  return rejected_[static_cast<std::size_t>(violation)].load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t ProtocolTallies::rejected_total() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 1; i < rejected_.size(); ++i) {
+    total += rejected_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void ProtocolTallies::publish(obs::Registry& registry,
+                              std::string_view prefix) const {
+  const std::string p(prefix);
+  registry.counter(p + "frames_decoded").set(decoded());
+  for (std::size_t i = 1;
+       i < static_cast<std::size_t>(ProtocolViolation::kCount); ++i) {
+    const auto violation = static_cast<ProtocolViolation>(i);
+    registry.counter(p + "rejected." + metric_suffix(violation))
+        .set(rejected(violation));
+  }
+  registry.counter(p + "rejected.total").set(rejected_total());
+}
+
+void ProtocolTallies::reset() {
+  decoded_.store(0, std::memory_order_relaxed);
+  for (auto& r : rejected_) r.store(0, std::memory_order_relaxed);
+}
+
+ProtocolTallies& protocol_tallies() {
+  static ProtocolTallies tallies;
+  return tallies;
 }
 
 const char* to_string(Status status) {
@@ -276,19 +456,20 @@ std::string frame_message(MessageType type, std::uint64_t request_id,
 Frame decode_frame(std::string_view bytes, std::uint64_t max_payload) {
   const std::uint64_t total = check_frame_prefix(bytes, max_payload);
   if (total == 0) {
-    throw ProtocolError("frame truncated: " + std::to_string(bytes.size()) +
-                        " bytes, header needs " +
-                        std::to_string(kFrameHeaderSize));
+    reject(ProtocolViolation::kTruncated,
+           "frame truncated: " + std::to_string(bytes.size()) +
+               " bytes, header needs " + std::to_string(kFrameHeaderSize));
   }
   if (bytes.size() < total) {
-    throw ProtocolError("frame truncated: header declares " +
-                        std::to_string(total) + " bytes, got " +
-                        std::to_string(bytes.size()) + " (torn write)");
+    reject(ProtocolViolation::kTruncated,
+           "frame truncated: header declares " + std::to_string(total) +
+               " bytes, got " + std::to_string(bytes.size()) +
+               " (torn write)");
   }
   if (bytes.size() > total) {
-    throw ProtocolError("trailing garbage: " +
-                        std::to_string(bytes.size() - total) +
-                        " bytes beyond the declared frame");
+    reject(ProtocolViolation::kTrailingGarbage,
+           "trailing garbage: " + std::to_string(bytes.size() - total) +
+               " bytes beyond the declared frame");
   }
   return finish_frame(bytes);
 }
@@ -488,6 +669,141 @@ ErrorResponse ErrorResponse::parse(std::string_view payload) {
   ErrorResponse out;
   out.status = parse_status(doc);
   out.message = doc.raw("message");
+  return out;
+}
+
+// --- Volatile scrape channel ----------------------------------------------
+
+std::string MetricsRequest::encode() const {
+  std::string out;
+  // Metric names never contain '-', so "-" safely encodes "no filter".
+  put_field(out, "prefix", prefix.empty() ? "-" : prefix);
+  return out;
+}
+
+MetricsRequest MetricsRequest::parse(std::string_view payload) {
+  const Doc doc(payload, {"prefix"});
+  MetricsRequest out;
+  out.prefix = doc.raw("prefix");
+  if (out.prefix == "-") out.prefix.clear();
+  return out;
+}
+
+std::string MetricsResponse::encode() const {
+  std::string out;
+  put_field(out, "status", to_string(status));
+  put_field(out, "bytes", std::to_string(text.size()));
+  out += text;
+  return out;
+}
+
+MetricsResponse MetricsResponse::parse(std::string_view payload) {
+  LineCursor cursor(payload);
+  MetricsResponse out;
+  out.status = parse_status_value(expect_key(cursor.next_line(), "status"));
+  const std::uint64_t bytes =
+      parse_u64_value(expect_key(cursor.next_line(), "bytes"), "bytes");
+  out.text = std::string(cursor.take(bytes));
+  cursor.expect_done();
+  return out;
+}
+
+std::string ProfileRequest::encode() const { return {}; }
+
+ProfileRequest ProfileRequest::parse(std::string_view payload) {
+  (void)Doc(payload, {});
+  return {};
+}
+
+std::string ProfileResponse::encode() const {
+  std::string out;
+  put_field(out, "status", to_string(status));
+  put_field(out, "profiling", profiling ? "1" : "0");
+  put_field(out, "kernels", std::to_string(kernels.size()));
+  for (const ProfileEntry& k : kernels) {
+    // Kernel names are dotted identifiers without spaces, so the row
+    // tokenizes unambiguously.
+    put_field(out, "kernel",
+              k.kernel + ' ' + std::to_string(k.calls) + ' ' +
+                  std::to_string(k.total_ns));
+  }
+  return out;
+}
+
+ProfileResponse ProfileResponse::parse(std::string_view payload) {
+  LineCursor cursor(payload);
+  ProfileResponse out;
+  out.status = parse_status_value(expect_key(cursor.next_line(), "status"));
+  const std::string_view profiling =
+      expect_key(cursor.next_line(), "profiling");
+  if (profiling != "0" && profiling != "1") {
+    throw ProtocolError("field 'profiling' is not 0/1: '" +
+                        std::string(profiling) + "'");
+  }
+  out.profiling = profiling == "1";
+  const std::uint64_t rows =
+      parse_u64_value(expect_key(cursor.next_line(), "kernels"), "kernels");
+  if (rows > 4096) {
+    throw ProtocolError("hostile kernel row count " + std::to_string(rows));
+  }
+  out.kernels.reserve(rows);
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    std::string_view row = expect_key(cursor.next_line(), "kernel");
+    ProfileEntry entry;
+    const std::size_t s1 = row.find(' ');
+    const std::size_t s2 =
+        s1 == std::string_view::npos ? s1 : row.find(' ', s1 + 1);
+    if (s1 == std::string_view::npos || s1 == 0 ||
+        s2 == std::string_view::npos) {
+      throw ProtocolError("malformed kernel row '" + std::string(row) + "'");
+    }
+    entry.kernel = std::string(row.substr(0, s1));
+    entry.calls = parse_u64_value(row.substr(s1 + 1, s2 - s1 - 1), "calls");
+    entry.total_ns = parse_u64_value(row.substr(s2 + 1), "total_ns");
+    out.kernels.push_back(std::move(entry));
+  }
+  cursor.expect_done();
+  return out;
+}
+
+std::string HealthRequest::encode() const { return {}; }
+
+HealthRequest HealthRequest::parse(std::string_view payload) {
+  (void)Doc(payload, {});
+  return {};
+}
+
+std::string HealthResponse::encode() const {
+  std::string out;
+  put_field(out, "status", to_string(status));
+  put_field(out, "poll_iterations", std::to_string(poll_iterations));
+  put_field(out, "connections", std::to_string(connections));
+  put_field(out, "connections_high_water",
+            std::to_string(connections_high_water));
+  put_field(out, "queue_depth_high_water",
+            std::to_string(queue_depth_high_water));
+  put_field(out, "requests", std::to_string(requests));
+  put_field(out, "shed", std::to_string(shed));
+  put_field(out, "snapshot_lag", std::to_string(snapshot_lag));
+  put_field(out, "draining", draining ? "1" : "0");
+  return out;
+}
+
+HealthResponse HealthResponse::parse(std::string_view payload) {
+  const Doc doc(payload,
+                {"status", "poll_iterations", "connections",
+                 "connections_high_water", "queue_depth_high_water",
+                 "requests", "shed", "snapshot_lag", "draining"});
+  HealthResponse out;
+  out.status = parse_status(doc);
+  out.poll_iterations = doc.get_u64("poll_iterations");
+  out.connections = doc.get_u64("connections");
+  out.connections_high_water = doc.get_u64("connections_high_water");
+  out.queue_depth_high_water = doc.get_u64("queue_depth_high_water");
+  out.requests = doc.get_u64("requests");
+  out.shed = doc.get_u64("shed");
+  out.snapshot_lag = doc.get_u64("snapshot_lag");
+  out.draining = doc.get_bool("draining");
   return out;
 }
 

@@ -1,14 +1,17 @@
 #include "ash/fleet/service.h"
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <sstream>
 #include <stdexcept>
@@ -16,6 +19,8 @@
 
 #include "ash/mc/margin.h"
 #include "ash/obs/metrics.h"
+#include "ash/obs/profile.h"
+#include "ash/obs/trace.h"
 #include "ash/tb/experiment_runner.h"
 #include "ash/util/atomic_file.h"
 #include "ash/util/syscall.h"
@@ -39,6 +44,42 @@ double now_ms() {
 
 volatile std::sig_atomic_t g_stop = 0;
 void handle_stop(int) { g_stop = 1; }
+
+// --- Fatal-signal flight dump --------------------------------------------
+// A crashing daemon tries to leave its flight recorder on disk.  The
+// handler uses only async-signal-safe calls: sigaction/open/close/rename/
+// raise plus FlightRecorder::record/write_fd (atomics and stack buffers).
+// The dump goes to a temp name first and renames over the periodic dump
+// only when every write succeeded — a half-written crash dump must never
+// clobber a complete periodic one.
+
+constexpr int kFatalSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE};
+constexpr int kFatalSignalCount =
+    static_cast<int>(sizeof kFatalSignals / sizeof kFatalSignals[0]);
+
+obs::FlightRecorder* g_fatal_recorder = nullptr;
+char g_fatal_path[512] = {0};
+char g_fatal_tmp[520] = {0};
+struct sigaction g_old_fatal[kFatalSignalCount];
+
+void handle_fatal(int sig) {
+  // Restore the previous dispositions first so a crash inside the handler
+  // cannot recurse.
+  for (int i = 0; i < kFatalSignalCount; ++i) {
+    ::sigaction(kFatalSignals[i], &g_old_fatal[i], nullptr);
+  }
+  if (g_fatal_recorder != nullptr && g_fatal_path[0] != '\0') {
+    g_fatal_recorder->record(obs::FlightEventKind::kFatalSignal,
+                             static_cast<std::uint64_t>(sig));
+    const int fd = ::open(g_fatal_tmp, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      const bool ok = g_fatal_recorder->write_fd(fd);
+      ::close(fd);
+      if (ok) (void)::rename(g_fatal_tmp, g_fatal_path);
+    }
+  }
+  (void)::raise(sig);
+}
 
 std::string errno_message(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
@@ -221,7 +262,8 @@ void ServiceStats::publish(obs::Registry& registry,
 Service::Service(ServiceConfig config)
     : config_(std::move(config)),
       state_store_(config_.state_dir),
-      model_(config_.physics) {
+      model_(config_.physics),
+      recorder_(config_.flight_recorder_capacity) {
   if (config_.devices < 1) {
     throw std::invalid_argument("service: need at least one device");
   }
@@ -235,24 +277,100 @@ Service::Service(ServiceConfig config)
     throw std::invalid_argument("service: bad socket path '" +
                                 config_.socket_path + "'");
   }
-  if (const auto loaded = state_store_.load_newest_valid(kStateShard)) {
+  if (config_.instrument) {
+    // Register once here; the request path only dereferences pointers.
+    // 1 µs .. 100 s covers a unix-socket round trip through a snapshot
+    // write at 4 buckets/decade.
+    const obs::HistogramOptions lat{1e-6, 1e2, 4};
+    auto& reg = obs::registry();
+    const auto slot = [&](MessageType type, const char* name) {
+      latency_[static_cast<std::size_t>(type)] = &reg.histogram(name, lat);
+    };
+    slot(MessageType::kPingRequest, "fleet.service.latency.ping");
+    slot(MessageType::kMarginRequest, "fleet.service.latency.margin");
+    slot(MessageType::kRejuvenationRequest,
+         "fleet.service.latency.rejuvenation");
+    slot(MessageType::kScheduleSleepRequest,
+         "fleet.service.latency.schedule_sleep");
+    slot(MessageType::kStatusRequest, "fleet.service.latency.status");
+    slot(MessageType::kMetricsRequest, "fleet.service.latency.metrics");
+    slot(MessageType::kProfileRequest, "fleet.service.latency.profile");
+    slot(MessageType::kHealthRequest, "fleet.service.latency.health");
+    queue_wait_ = &reg.histogram("fleet.service.queue_wait", lat);
+  }
+  const auto loaded = state_store_.load_newest_valid(kStateShard);
+  if (loaded) {
     // Resume exactly where the last acknowledged mutation left us — the
     // crash-consistency half of the protocol contract.
     state_ = ServiceState::deserialize(loaded->payload);
+    last_snapshot_sequence_ = state_.sequence;
   } else {
     state_ = ServiceState::genesis(config_.devices, config_.margin,
                                    config_.seed);
+  }
+  recorder_.record(obs::FlightEventKind::kDaemonStart, state_.sequence);
+  if (loaded) {
+    recorder_.record(obs::FlightEventKind::kStateLoaded, state_.sequence);
+  } else {
+    recorder_.record(obs::FlightEventKind::kStateGenesis);
     save_state();
   }
 }
 
 void Service::save_state() {
-  state_store_.save(kStateShard, state_.sequence, state_.serialize());
+  const std::string payload = state_.serialize();
+  state_store_.save(kStateShard, state_.sequence, payload);
   state_store_.prune(kStateShard, 16);
   ++stats_.snapshots_saved;
+  last_snapshot_sequence_ = state_.sequence;
+  recorder_.record(obs::FlightEventKind::kSnapshotSaved, state_.sequence,
+                   payload.size());
+  if (obs::tracing()) {
+    obs::instant(obs::EventKind::kFleetSnapshot, "state", "fleet.service",
+                 {{"sequence", std::to_string(state_.sequence)}});
+  }
+  persist_flight();
+}
+
+void Service::persist_flight() {
+  if (config_.flight_recorder_path.empty() || !recorder_.enabled()) return;
+  try {
+    util::atomic_write_file(config_.flight_recorder_path,
+                            recorder_.serialize());
+  } catch (const std::exception&) {
+    // Best-effort telemetry: a full disk must never take the daemon down.
+  }
+}
+
+obs::Histogram* Service::latency_histogram(MessageType type) const {
+  const auto raw = static_cast<std::size_t>(type);
+  return raw < latency_.size() ? latency_[raw] : nullptr;
+}
+
+void Service::publish_volatile(obs::Registry& registry) const {
+  stats_.publish(registry);
+  protocol_tallies().publish(registry);
+  registry.counter("fleet.service.health.poll_iterations")
+      .set(health_.poll_iterations);
+  registry.counter("fleet.service.health.connections")
+      .set(health_.connections);
+  registry.counter("fleet.service.health.connections_high_water")
+      .set(health_.connections_high_water);
+  registry.counter("fleet.service.health.queue_depth_high_water")
+      .set(health_.queue_depth_high_water);
+  registry.counter("fleet.service.health.snapshot_lag").set(snapshot_lag());
+  registry.counter("fleet.service.health.draining").set(draining_ ? 1 : 0);
 }
 
 Frame Service::respond(const Frame& request) {
+  // Uninstrumented, the timer holds a null pointer and performs no clock
+  // read; without a trace sink the span allocates nothing.
+  const obs::ScopedLatencyTimer timer(latency_histogram(request.type));
+  obs::Span span(obs::EventKind::kFleetRequest, to_string(request.type),
+                 "fleet.service");
+  if (span.active()) {
+    span.arg("request_id", std::to_string(request.request_id));
+  }
   try {
     switch (request.type) {
       case MessageType::kPingRequest:
@@ -268,6 +386,12 @@ Frame Service::respond(const Frame& request) {
         return respond_schedule_sleep(request);
       case MessageType::kStatusRequest:
         return respond_status(request);
+      case MessageType::kMetricsRequest:
+        return respond_metrics(request);
+      case MessageType::kProfileRequest:
+        return respond_profile(request);
+      case MessageType::kHealthRequest:
+        return respond_health(request);
       default:
         throw ProtocolError(std::string("not a request type: ") +
                             to_string(request.type));
@@ -366,6 +490,8 @@ Frame Service::respond_schedule_sleep(const Frame& request) {
     // Idempotent replay: the original acknowledgement bytes, rebuilt — a
     // retrying client cannot double-book and cannot tell it retried.
     ++stats_.replays;
+    recorder_.record(obs::FlightEventKind::kMutationReplayed, req.client_id,
+                     request.request_id);
     return ack(m->windows_after);
   }
   if (req.device_id >= state_.devices.size()) {
@@ -383,6 +509,15 @@ Frame Service::respond_schedule_sleep(const Frame& request) {
   ++state_.sequence;
   state_.applied.push_back(AppliedMutation{req.client_id, request.request_id,
                                            device.windows.size()});
+  recorder_.record(obs::FlightEventKind::kMutationApplied, req.device_id,
+                   state_.sequence);
+  if (obs::tracing()) {
+    obs::instant(obs::EventKind::kFleetApply, "schedule_sleep",
+                 "fleet.service",
+                 {{"client_id", std::to_string(req.client_id)},
+                  {"request_id", std::to_string(request.request_id)},
+                  {"device", std::to_string(req.device_id)}});
+  }
   // Write-ahead: the mutation is durable *before* the ack is queued, so a
   // SIGKILL in between replays the same ack instead of double-applying.
   save_state();
@@ -402,6 +537,50 @@ Frame Service::respond_status(const Frame& request) {
                resp.encode()};
 }
 
+Frame Service::respond_metrics(const Frame& request) {
+  const MetricsRequest req = MetricsRequest::parse(request.payload);
+  // Refresh the registry from every volatile tally first, so a scrape is
+  // never staler than the poll tick it landed on.
+  publish_volatile(obs::registry());
+  MetricsResponse resp;
+  resp.status = Status::kOk;
+  resp.text = obs::registry().snapshot().filtered(req.prefix).render();
+  return Frame{MessageType::kMetricsResponse, request.request_id,
+               resp.encode()};
+}
+
+Frame Service::respond_profile(const Frame& request) {
+  (void)ProfileRequest::parse(request.payload);  // validate only
+  ProfileResponse resp;
+  resp.status = Status::kOk;
+  resp.profiling = obs::profiling();
+  for (const obs::KernelProfile& k : obs::profile_snapshot()) {
+    ProfileEntry entry;
+    entry.kernel = obs::to_string(k.kernel);
+    entry.calls = k.calls;
+    entry.total_ns = k.total_ns;
+    resp.kernels.push_back(std::move(entry));
+  }
+  return Frame{MessageType::kProfileResponse, request.request_id,
+               resp.encode()};
+}
+
+Frame Service::respond_health(const Frame& request) {
+  (void)HealthRequest::parse(request.payload);  // validate only
+  HealthResponse resp;
+  resp.status = Status::kOk;
+  resp.poll_iterations = health_.poll_iterations;
+  resp.connections = health_.connections;
+  resp.connections_high_water = health_.connections_high_water;
+  resp.queue_depth_high_water = health_.queue_depth_high_water;
+  resp.requests = stats_.requests;
+  resp.shed = stats_.shed;
+  resp.snapshot_lag = snapshot_lag();
+  resp.draining = draining_;
+  return Frame{MessageType::kHealthResponse, request.request_id,
+               resp.encode()};
+}
+
 std::vector<Frame> Service::process_tick(const std::vector<Frame>& requests) {
   std::vector<Frame> responses;
   responses.reserve(requests.size());
@@ -412,6 +591,8 @@ std::vector<Frame> Service::process_tick(const std::vector<Frame>& requests) {
     } else {
       // Bounded queue: explicit load shed, never silent latency or OOM.
       ++stats_.shed;
+      recorder_.record(obs::FlightEventKind::kRequestShed,
+                       requests[i].request_id);
       ErrorResponse err;
       err.status = Status::kOverloaded;
       err.message = strformat("request queue full (%d admitted per tick)",
@@ -466,11 +647,37 @@ void Service::run() {
   sigemptyset(&ignore_pipe.sa_mask);
   ::sigaction(SIGPIPE, &ignore_pipe, &old_pipe);
 
+  // Fatal-signal best-effort flight dump (restored on return).
+  const bool fatal_dump =
+      recorder_.enabled() && !config_.flight_recorder_path.empty() &&
+      config_.flight_recorder_path.size() + 7 < sizeof g_fatal_path;
+  if (fatal_dump) {
+    g_fatal_recorder = &recorder_;
+    std::snprintf(g_fatal_path, sizeof g_fatal_path, "%s",
+                  config_.flight_recorder_path.c_str());
+    std::snprintf(g_fatal_tmp, sizeof g_fatal_tmp, "%s.fatal",
+                  config_.flight_recorder_path.c_str());
+    struct sigaction fatal_action{};
+    fatal_action.sa_handler = handle_fatal;
+    sigemptyset(&fatal_action.sa_mask);
+    for (int i = 0; i < kFatalSignalCount; ++i) {
+      ::sigaction(kFatalSignals[i], &fatal_action, &g_old_fatal[i]);
+    }
+  }
+
   std::vector<Conn> conns;
   std::vector<pollfd> fds;
   std::vector<std::pair<std::size_t, Frame>> tick_requests;
+  std::vector<double> tick_decode_ms;
 
   while (g_stop == 0) {
+    ++health_.poll_iterations;
+    if (config_.flight_flush_every_polls > 0 &&
+        health_.poll_iterations % static_cast<std::uint64_t>(
+                                      config_.flight_flush_every_polls) ==
+            0) {
+      persist_flight();
+    }
     fds.clear();
     fds.push_back(pollfd{listen_fd, POLLIN, 0});
     for (const Conn& c : conns) {
@@ -496,6 +703,7 @@ void Service::run() {
       if (conns.size() >= static_cast<std::size_t>(config_.max_connections)) {
         ::close(fd);
         ++stats_.connections_rejected;
+        recorder_.record(obs::FlightEventKind::kConnectionRejected);
         continue;
       }
       Conn conn;
@@ -503,12 +711,22 @@ void Service::run() {
       conn.last_io_ms = now;
       conns.push_back(std::move(conn));
       ++stats_.connections_accepted;
+      recorder_.record(obs::FlightEventKind::kConnectionAccepted,
+                       conns.size());
+      if (obs::tracing()) {
+        obs::instant(obs::EventKind::kFleetAccept, "accept", "fleet.service",
+                     {{"connections", std::to_string(conns.size())}});
+      }
     }
+    health_.connections_high_water =
+        std::max(health_.connections_high_water,
+                 static_cast<std::uint64_t>(conns.size()));
 
     // Read: drain every readable connection into its frame reader; a
     // framing violation poisons the reader and the connection dies —
     // resynchronising inside a hostile byte stream is not a thing.
     tick_requests.clear();
+    tick_decode_ms.clear();
     for (std::size_t i = 0; i < conns.size(); ++i) {
       Conn& c = conns[i];
       if (c.dead) continue;
@@ -520,8 +738,11 @@ void Service::run() {
           c.last_io_ms = now;
           try {
             c.reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
-          } catch (const ProtocolError&) {
+          } catch (const ProtocolError& e) {
             ++stats_.frame_errors;
+            recorder_.record(
+                obs::FlightEventKind::kFrameError,
+                static_cast<std::uint64_t>(e.violation()));
             c.dead = true;
             break;
           }
@@ -536,12 +757,18 @@ void Service::run() {
           auto frame = c.reader.next();
           if (!frame) break;
           tick_requests.emplace_back(i, std::move(*frame));
-        } catch (const ProtocolError&) {
+          if (queue_wait_ != nullptr) tick_decode_ms.push_back(now_ms());
+        } catch (const ProtocolError& e) {
           ++stats_.frame_errors;
+          recorder_.record(obs::FlightEventKind::kFrameError,
+                           static_cast<std::uint64_t>(e.violation()));
           c.dead = true;
         }
       }
     }
+    health_.queue_depth_high_water =
+        std::max(health_.queue_depth_high_water,
+                 static_cast<std::uint64_t>(tick_requests.size()));
 
     // Process this tick's admitted requests; shed the overflow.
     if (!tick_requests.empty()) {
@@ -550,12 +777,26 @@ void Service::run() {
       for (auto& [conn_idx, frame] : tick_requests) {
         requests.push_back(std::move(frame));
       }
+      if (queue_wait_ != nullptr) {
+        // Decode-to-dispatch wait, in seconds: how long a decoded frame
+        // sat behind this tick's socket reads before processing began.
+        const double dispatch_ms = now_ms();
+        for (const double decoded_ms : tick_decode_ms) {
+          queue_wait_->observe((dispatch_ms - decoded_ms) * 1e-3);
+        }
+      }
       const std::vector<Frame> responses = process_tick(requests);
       for (std::size_t r = 0; r < responses.size(); ++r) {
         Conn& c = conns[tick_requests[r].first];
         if (c.dead) continue;
         c.outbox += frame_message(responses[r].type, responses[r].request_id,
                                   responses[r].payload);
+        if (obs::tracing()) {
+          obs::instant(
+              obs::EventKind::kFleetAck, to_string(responses[r].type),
+              "fleet.service",
+              {{"request_id", std::to_string(responses[r].request_id)}});
+        }
       }
     }
 
@@ -581,6 +822,7 @@ void Service::run() {
       if (pending && now - c.last_io_ms > config_.io_timeout_ms) {
         c.dead = true;
         ++stats_.evictions;
+        recorder_.record(obs::FlightEventKind::kEviction);
       }
     }
 
@@ -590,10 +832,12 @@ void Service::run() {
         conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
       }
     }
+    health_.connections = conns.size();
   }
 
   // Graceful drain: no new connections, flush what is owed, then persist.
   draining_ = true;
+  recorder_.record(obs::FlightEventKind::kDrainBegin);
   ::close(listen_fd);
   const double drain_deadline = now_ms() + config_.io_timeout_ms;
   for (;;) {
@@ -620,17 +864,29 @@ void Service::run() {
   // The final durable checkpoint of the drain contract.
   save_state();
 
-  stats_.publish(obs::registry());
+  // Crash-consistent metrics dump: every volatile tally published, then
+  // one atomic write — a kill mid-drain leaves the previous complete
+  // file, never a torn one.
+  publish_volatile(obs::registry());
   if (!config_.metrics_path.empty()) {
     std::ostringstream os;
     obs::registry().snapshot().write(os);
     util::atomic_write_file(config_.metrics_path, os.str());
   }
 
+  recorder_.record(obs::FlightEventKind::kDrainEnd);
+  persist_flight();
+
   ::unlink(config_.socket_path.c_str());
   ::sigaction(SIGTERM, &old_term, nullptr);
   ::sigaction(SIGINT, &old_int, nullptr);
   ::sigaction(SIGPIPE, &old_pipe, nullptr);
+  if (fatal_dump) {
+    for (int i = 0; i < kFatalSignalCount; ++i) {
+      ::sigaction(kFatalSignals[i], &g_old_fatal[i], nullptr);
+    }
+    g_fatal_recorder = nullptr;
+  }
 }
 
 }  // namespace ash::fleet

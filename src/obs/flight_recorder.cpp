@@ -1,0 +1,336 @@
+#include "ash/obs/flight_recorder.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "ash/util/table.h"
+
+namespace ash::obs {
+
+namespace {
+
+constexpr char kHeader[] = "ash-flight-recorder v1";
+
+std::uint64_t host_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// --- Async-signal-safe line formatting ----------------------------------
+// The fatal-signal dump path may not allocate or call printf, so every
+// line is built into a caller-owned stack buffer with these helpers; the
+// normal serialize() path reuses them, which is what makes the two dumps
+// byte-identical.
+
+void append_char(char* buf, std::size_t cap, std::size_t& pos, char c) {
+  if (pos + 1 < cap) buf[pos++] = c;
+}
+
+void append_str(char* buf, std::size_t cap, std::size_t& pos,
+                const char* s) {
+  while (*s != '\0') append_char(buf, cap, pos, *s++);
+}
+
+void append_u64(char* buf, std::size_t cap, std::size_t& pos,
+                std::uint64_t v) {
+  char digits[20];
+  int n = 0;
+  do {
+    digits[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (n > 0) append_char(buf, cap, pos, digits[--n]);
+}
+
+/// Milliseconds with fixed three decimals (integer math only).
+void append_ms(char* buf, std::size_t cap, std::size_t& pos, double t_ms) {
+  if (t_ms < 0.0) t_ms = 0.0;
+  const std::uint64_t micros = static_cast<std::uint64_t>(t_ms * 1000.0 + 0.5);
+  append_u64(buf, cap, pos, micros / 1000);
+  append_char(buf, cap, pos, '.');
+  const std::uint64_t frac = micros % 1000;
+  append_char(buf, cap, pos, static_cast<char>('0' + frac / 100));
+  append_char(buf, cap, pos, static_cast<char>('0' + frac / 10 % 10));
+  append_char(buf, cap, pos, static_cast<char>('0' + frac % 10));
+}
+
+/// One "event ..." line; returns its length.
+std::size_t format_event_line(char* buf, std::size_t cap,
+                              const FlightRecord& e) {
+  std::size_t pos = 0;
+  append_str(buf, cap, pos, "event ");
+  append_u64(buf, cap, pos, e.seq);
+  append_char(buf, cap, pos, ' ');
+  append_ms(buf, cap, pos, e.t_ms);
+  append_char(buf, cap, pos, ' ');
+  append_str(buf, cap, pos, to_string(e.kind));
+  append_char(buf, cap, pos, ' ');
+  append_u64(buf, cap, pos, e.a);
+  append_char(buf, cap, pos, ' ');
+  append_u64(buf, cap, pos, e.b);
+  append_char(buf, cap, pos, '\n');
+  buf[pos] = '\0';
+  return pos;
+}
+
+std::size_t format_header(char* buf, std::size_t cap, std::size_t capacity,
+                          std::uint64_t recorded) {
+  std::size_t pos = 0;
+  append_str(buf, cap, pos, kHeader);
+  append_char(buf, cap, pos, '\n');
+  append_str(buf, cap, pos, "capacity ");
+  append_u64(buf, cap, pos, capacity);
+  append_char(buf, cap, pos, '\n');
+  append_str(buf, cap, pos, "recorded ");
+  append_u64(buf, cap, pos, recorded);
+  append_char(buf, cap, pos, '\n');
+  buf[pos] = '\0';
+  return pos;
+}
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+constexpr std::size_t kLineCap = 160;
+
+}  // namespace
+
+const char* to_string(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kDaemonStart: return "daemon-start";
+    case FlightEventKind::kStateGenesis: return "state-genesis";
+    case FlightEventKind::kStateLoaded: return "state-loaded";
+    case FlightEventKind::kSnapshotSaved: return "snapshot-saved";
+    case FlightEventKind::kConnectionAccepted: return "connection-accepted";
+    case FlightEventKind::kConnectionRejected: return "connection-rejected";
+    case FlightEventKind::kEviction: return "eviction";
+    case FlightEventKind::kFrameError: return "frame-error";
+    case FlightEventKind::kRequestShed: return "request-shed";
+    case FlightEventKind::kMutationApplied: return "mutation-applied";
+    case FlightEventKind::kMutationReplayed: return "mutation-replayed";
+    case FlightEventKind::kDrainBegin: return "drain-begin";
+    case FlightEventKind::kDrainEnd: return "drain-end";
+    case FlightEventKind::kFatalSignal: return "fatal-signal";
+    case FlightEventKind::kCount: break;
+  }
+  return "unknown";
+}
+
+FlightEventKind parse_flight_event(std::string_view name) {
+  for (std::uint32_t k = 0;
+       k < static_cast<std::uint32_t>(FlightEventKind::kCount); ++k) {
+    const auto kind = static_cast<FlightEventKind>(k);
+    if (name == to_string(kind)) return kind;
+  }
+  return FlightEventKind::kCount;
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : slots_(capacity), epoch_ns_(host_now_ns()) {}
+
+double FlightRecorder::elapsed_ms() const {
+  return static_cast<double>(host_now_ns() - epoch_ns_) * 1e-6;
+}
+
+void FlightRecorder::record(FlightEventKind kind, std::uint64_t a,
+                            std::uint64_t b) {
+  if (slots_.empty()) return;  // disabled: one branch, no clock read
+  const std::uint64_t seq =
+      next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Slot& slot = slots_[static_cast<std::size_t>((seq - 1) % slots_.size())];
+  // Invalidate, fill, publish: a reader that races the fill sees either
+  // stamp 0 or mismatched stamps and drops the slot instead of tearing.
+  slot.stamp.store(0, std::memory_order_release);
+  slot.t_ms = elapsed_ms();
+  slot.kind = static_cast<std::uint32_t>(kind);
+  slot.a = a;
+  slot.b = b;
+  slot.stamp.store(seq, std::memory_order_release);
+}
+
+std::vector<FlightRecord> FlightRecorder::events() const {
+  std::vector<FlightRecord> out;
+  const std::uint64_t total = next_seq_.load(std::memory_order_acquire);
+  if (slots_.empty() || total == 0) return out;
+  const std::uint64_t cap = slots_.size();
+  const std::uint64_t first = total > cap ? total - cap + 1 : 1;
+  out.reserve(static_cast<std::size_t>(total - first + 1));
+  for (std::uint64_t seq = first; seq <= total; ++seq) {
+    const Slot& slot =
+        slots_[static_cast<std::size_t>((seq - 1) % cap)];
+    const std::uint64_t before = slot.stamp.load(std::memory_order_acquire);
+    FlightRecord rec;
+    rec.seq = before;
+    rec.t_ms = slot.t_ms;
+    rec.kind = static_cast<FlightEventKind>(slot.kind);
+    rec.a = slot.a;
+    rec.b = slot.b;
+    const std::uint64_t after = slot.stamp.load(std::memory_order_acquire);
+    if (before != seq || after != seq) continue;  // torn or overwritten
+    out.push_back(rec);
+  }
+  return out;
+}
+
+std::string FlightRecorder::serialize() const {
+  char line[kLineCap];
+  std::string out;
+  out.append(line, format_header(line, sizeof line, slots_.size(),
+                                 next_seq_.load(std::memory_order_relaxed)));
+  for (const FlightRecord& e : events()) {
+    out.append(line, format_event_line(line, sizeof line, e));
+  }
+  out += "end\n";
+  return out;
+}
+
+bool FlightRecorder::write_fd(int fd) const {
+  char line[kLineCap];
+  std::size_t n = format_header(line, sizeof line, slots_.size(),
+                                next_seq_.load(std::memory_order_relaxed));
+  if (!write_all(fd, line, n)) return false;
+  // Walk the ring oldest-first without allocating (fatal-signal path).
+  const std::uint64_t total = next_seq_.load(std::memory_order_acquire);
+  const std::uint64_t cap = slots_.size();
+  if (cap != 0 && total != 0) {
+    const std::uint64_t first = total > cap ? total - cap + 1 : 1;
+    for (std::uint64_t seq = first; seq <= total; ++seq) {
+      const Slot& slot =
+          slots_[static_cast<std::size_t>((seq - 1) % cap)];
+      if (slot.stamp.load(std::memory_order_acquire) != seq) continue;
+      FlightRecord rec;
+      rec.seq = seq;
+      rec.t_ms = slot.t_ms;
+      rec.kind = static_cast<FlightEventKind>(slot.kind);
+      rec.a = slot.a;
+      rec.b = slot.b;
+      n = format_event_line(line, sizeof line, rec);
+      if (!write_all(fd, line, n)) return false;
+    }
+  }
+  return write_all(fd, "end\n", 4);
+}
+
+namespace {
+
+/// Parse one decimal u64 token; false on empty/malformed.
+bool parse_u64_token(std::string_view token, std::uint64_t& out) {
+  if (token.empty() ||
+      token.find_first_not_of("0123456789") != std::string_view::npos) {
+    return false;
+  }
+  errno = 0;
+  out = std::strtoull(std::string(token).c_str(), nullptr, 10);
+  return errno != ERANGE;
+}
+
+/// Split on single spaces; a torn line yields fewer tokens and fails the
+/// caller's arity check.
+std::vector<std::string_view> split_tokens(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    const std::size_t space = line.find(' ', pos);
+    if (space == std::string_view::npos) {
+      out.push_back(line.substr(pos));
+      break;
+    }
+    out.push_back(line.substr(pos, space - pos));
+    pos = space + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<FlightRecord> FlightRecorder::load(std::string_view bytes) {
+  std::size_t pos = 0;
+  bool terminated = false;
+  const auto next_line = [&](std::string_view& line) {
+    if (pos >= bytes.size()) return false;
+    const std::size_t eol = bytes.find('\n', pos);
+    if (eol == std::string_view::npos) {
+      // No terminator: the write died mid-line.  A torn tail can end
+      // mid-*token* ("... 4096" cut to "... 4") and still look
+      // well-formed, so the missing newline itself is the tear marker.
+      line = bytes.substr(pos);
+      pos = bytes.size();
+      terminated = false;
+      return true;
+    }
+    line = bytes.substr(pos, eol - pos);
+    pos = eol + 1;
+    terminated = true;
+    return true;
+  };
+
+  std::string_view line;
+  if (!next_line(line) || line != kHeader || !terminated) {
+    throw std::runtime_error(
+        "flight recorder: not a dump (missing '" + std::string(kHeader) +
+        "' header)");
+  }
+  std::vector<FlightRecord> out;
+  while (next_line(line)) {
+    if (!terminated) break;  // torn final line: drop it
+    if (line == "end") break;
+    const std::vector<std::string_view> tokens = split_tokens(line);
+    if (tokens.empty()) break;
+    if (tokens[0] == "capacity" || tokens[0] == "recorded") {
+      std::uint64_t ignored = 0;
+      if (tokens.size() != 2 || !parse_u64_token(tokens[1], ignored)) break;
+      continue;
+    }
+    if (tokens[0] != "event" || tokens.size() != 6) break;  // torn tail
+    FlightRecord rec;
+    char* end = nullptr;
+    const std::string t_str(tokens[2]);
+    rec.t_ms = std::strtod(t_str.c_str(), &end);
+    rec.kind = parse_flight_event(tokens[3]);
+    if (!parse_u64_token(tokens[1], rec.seq) ||
+        end != t_str.c_str() + t_str.size() ||
+        rec.kind == FlightEventKind::kCount ||
+        !parse_u64_token(tokens[4], rec.a) ||
+        !parse_u64_token(tokens[5], rec.b)) {
+      break;  // first malformed line: drop it and everything after
+    }
+    out.push_back(rec);
+  }
+  return out;
+}
+
+std::string FlightRecorder::render(const std::vector<FlightRecord>& events) {
+  std::string out = strformat("flight recorder: %zu event(s)\n",
+                              events.size());
+  if (events.empty()) return out;
+  out += "     seq        t_ms  event                            a"
+         "            b\n";
+  for (const FlightRecord& e : events) {
+    out += strformat("%8llu  %10.3f  %-22s %12llu %12llu\n",
+                     static_cast<unsigned long long>(e.seq), e.t_ms,
+                     to_string(e.kind),
+                     static_cast<unsigned long long>(e.a),
+                     static_cast<unsigned long long>(e.b));
+  }
+  return out;
+}
+
+}  // namespace ash::obs

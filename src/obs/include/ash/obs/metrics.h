@@ -17,6 +17,7 @@
 /// are the same integers.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -65,6 +66,17 @@ struct HistogramOptions {
   int buckets_per_decade = 4;
 };
 
+/// Quantile estimate from a log-scale bucket layout: find the bucket where
+/// the cumulative count crosses `p * total`, then interpolate *in log
+/// space* within it (the buckets are log-uniform, so log interpolation is
+/// the layout-consistent choice).  The estimate is clamped to
+/// [options.min, options.max] — the first bucket also holds values below
+/// `min` and the last also holds values at or above `max`, so the edges
+/// are the tightest honest bounds.  Returns NaN when the histogram is
+/// empty or `p` is NaN; `p` itself is clamped to [0, 1].
+double histogram_quantile(const HistogramOptions& options,
+                          const std::vector<std::uint64_t>& buckets, double p);
+
 /// Lock-free histogram with fixed log-scale buckets.
 class Histogram {
  public:
@@ -83,6 +95,12 @@ class Histogram {
   std::vector<std::uint64_t> bucket_counts() const;
   const HistogramOptions& options() const { return options_; }
 
+  /// Log-interpolated quantile estimate of the observed values (NaN when
+  /// empty).  See histogram_quantile for the exact semantics.
+  double quantile(double p) const {
+    return histogram_quantile(options_, bucket_counts(), p);
+  }
+
  private:
   HistogramOptions options_;
   double log10_min_ = 0.0;
@@ -99,6 +117,10 @@ struct MetricsSnapshot {
     double sum = 0.0;
     HistogramOptions options;
     std::vector<std::uint64_t> buckets;
+
+    double quantile(double p) const {
+      return histogram_quantile(options, buckets, p);
+    }
   };
 
   std::vector<std::pair<std::string, std::uint64_t>> counters;  // sorted
@@ -110,10 +132,15 @@ struct MetricsSnapshot {
   /// Gauge value by name (NaN when absent).
   double gauge(std::string_view name) const;
 
+  /// Copy holding only the metrics whose name starts with `prefix` (the
+  /// scrape-channel filter; "" keeps everything).
+  MetricsSnapshot filtered(std::string_view prefix) const;
+
   /// Single-line `k=v k=v ...` dump (sorted), for diffable CI logs.
+  /// Non-empty histograms carry .p50/.p95/.p99 quantile estimates.
   std::string one_line() const;
   /// `key=value` lines, one metric per line (histograms expand to
-  /// .count/.sum/.bucketN lines).
+  /// .count/.sum/.p50/.p95/.p99/.bucketN lines).
   void write(std::ostream& os) const;
   std::string render() const;
 };
@@ -139,5 +166,30 @@ class Registry {
 
 /// The process-wide default registry (what `ash_lab --metrics` snapshots).
 Registry& registry();
+
+/// RAII latency timer feeding a histogram in *seconds*.  The histogram
+/// pointer is the on/off switch: constructed with nullptr the timer does
+/// nothing — no clock read, one branch (enforced by
+/// tests/obs/overhead_test.cpp), which is how uninstrumented request paths
+/// stay free.
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(Histogram* histogram) : histogram_(histogram) {
+    if (histogram_ != nullptr) begin_ = std::chrono::steady_clock::now();
+  }
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+  ~ScopedLatencyTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->observe(std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - begin_)
+                              .count());
+    }
+  }
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point begin_{};
+};
 
 }  // namespace ash::obs

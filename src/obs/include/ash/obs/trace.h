@@ -57,6 +57,12 @@ enum class EventKind {
   kWorkerRestart,       ///< crashed/hung shard worker restarted
   kBackoff,             ///< supervisor waited out a restart backoff
   kWorkerQuarantine,    ///< shard quarantined after repeated strikes
+  // Fleet-daemon request path (emitted by fleet::Service / fleet::Client).
+  kFleetAccept,         ///< daemon accepted a client connection
+  kFleetRequest,        ///< one decoded request, accept→ack (span)
+  kFleetApply,          ///< mutation applied to durable state
+  kFleetSnapshot,       ///< write-ahead durable snapshot persisted
+  kFleetAck,            ///< response frame queued for the client
 };
 
 const char* to_string(EventKind kind);

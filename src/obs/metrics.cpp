@@ -51,6 +51,41 @@ void Histogram::observe(double value) {
   }
 }
 
+double histogram_quantile(const HistogramOptions& options,
+                          const std::vector<std::uint64_t>& buckets,
+                          double p) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : buckets) total += b;
+  if (total == 0 || std::isnan(p)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  // Target rank in [1, total]: p = 0 asks for the smallest observation,
+  // p = 1 for the largest, everything else linear in between.
+  const double target =
+      std::max(1.0, p * static_cast<double>(total));
+  const double log10_min = std::log10(options.min);
+  const double log10_max = std::log10(options.max);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double before = cum;
+    cum += static_cast<double>(buckets[i]);
+    if (cum + 1e-9 < target) continue;
+    // Log-interpolate within the bucket; the first/last buckets clamp to
+    // [min, max] because they also absorb out-of-range observations.
+    const double frac = (target - before) / static_cast<double>(buckets[i]);
+    const double lo = std::min(
+        log10_min + static_cast<double>(i) / options.buckets_per_decade,
+        log10_max);
+    const double hi = std::min(
+        log10_min + static_cast<double>(i + 1) / options.buckets_per_decade,
+        log10_max);
+    return std::pow(10.0, lo + frac * (hi - lo));
+  }
+  return options.max;  // unreachable: cum == total >= target by the end
+}
+
 std::vector<std::uint64_t> Histogram::bucket_counts() const {
   std::vector<std::uint64_t> out;
   out.reserve(buckets_.size());
@@ -131,6 +166,27 @@ double MetricsSnapshot::gauge(std::string_view name) const {
   return std::numeric_limits<double>::quiet_NaN();
 }
 
+MetricsSnapshot MetricsSnapshot::filtered(std::string_view prefix) const {
+  if (prefix.empty()) return *this;
+  MetricsSnapshot out;
+  for (const auto& kv : counters) {
+    if (kv.first.compare(0, prefix.size(), prefix) == 0) {
+      out.counters.push_back(kv);
+    }
+  }
+  for (const auto& kv : gauges) {
+    if (kv.first.compare(0, prefix.size(), prefix) == 0) {
+      out.gauges.push_back(kv);
+    }
+  }
+  for (const auto& h : histograms) {
+    if (h.name.compare(0, prefix.size(), prefix) == 0) {
+      out.histograms.push_back(h);
+    }
+  }
+  return out;
+}
+
 std::string MetricsSnapshot::one_line() const {
   std::ostringstream os;
   bool first = true;
@@ -150,6 +206,11 @@ std::string MetricsSnapshot::one_line() const {
     sep();
     os << h.name << ".count=" << h.count << ' ' << h.name
        << ".sum=" << strformat("%g", h.sum);
+    if (h.count > 0) {
+      os << ' ' << h.name << ".p50=" << strformat("%g", h.quantile(0.50))
+         << ' ' << h.name << ".p95=" << strformat("%g", h.quantile(0.95))
+         << ' ' << h.name << ".p99=" << strformat("%g", h.quantile(0.99));
+    }
   }
   return os.str();
 }
@@ -162,6 +223,11 @@ void MetricsSnapshot::write(std::ostream& os) const {
   for (const auto& h : histograms) {
     os << h.name << ".count=" << h.count << '\n';
     os << h.name << ".sum=" << strformat("%.9g", h.sum) << '\n';
+    if (h.count > 0) {
+      os << h.name << ".p50=" << strformat("%.9g", h.quantile(0.50)) << '\n';
+      os << h.name << ".p95=" << strformat("%.9g", h.quantile(0.95)) << '\n';
+      os << h.name << ".p99=" << strformat("%.9g", h.quantile(0.99)) << '\n';
+    }
     for (std::size_t i = 0; i < h.buckets.size(); ++i) {
       if (h.buckets[i] == 0) continue;  // sparse: only occupied buckets
       os << h.name << ".bucket" << i << '=' << h.buckets[i] << '\n';

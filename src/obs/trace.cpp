@@ -65,6 +65,11 @@ const char* to_string(EventKind kind) {
     case EventKind::kWorkerRestart: return "worker_restart";
     case EventKind::kBackoff: return "backoff";
     case EventKind::kWorkerQuarantine: return "worker_quarantine";
+    case EventKind::kFleetAccept: return "fleet_accept";
+    case EventKind::kFleetRequest: return "fleet_request";
+    case EventKind::kFleetApply: return "fleet_apply";
+    case EventKind::kFleetSnapshot: return "fleet_snapshot";
+    case EventKind::kFleetAck: return "fleet_ack";
   }
   return "unknown";
 }

@@ -1,10 +1,12 @@
 #include "ash/fleet/protocol.h"
 
+#include <array>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "ash/obs/metrics.h"
 #include "ash/util/crc32.h"
 #include "ash/util/units.h"
 
@@ -345,6 +347,179 @@ TEST(PayloadCodec, MessageTypeNamesAreStable) {
   EXPECT_TRUE(known_message_type(11));
   EXPECT_FALSE(known_message_type(0));
   EXPECT_FALSE(known_message_type(12));
+  // The volatile scrape channel: types 13..18.
+  EXPECT_TRUE(known_message_type(13));
+  EXPECT_TRUE(known_message_type(18));
+  EXPECT_FALSE(known_message_type(19));
+  EXPECT_FALSE(volatile_message_type(MessageType::kStatusRequest));
+  EXPECT_TRUE(volatile_message_type(MessageType::kMetricsRequest));
+  EXPECT_TRUE(volatile_message_type(MessageType::kHealthResponse));
+}
+
+TEST(ScrapeCodec, MetricsRoundTripIncludingRawText) {
+  MetricsRequest req;
+  req.prefix = "fleet.service.";
+  const auto req2 = MetricsRequest::parse(req.encode());
+  EXPECT_EQ(req2.prefix, req.prefix);
+  // Empty prefix survives ("" means everything).
+  EXPECT_EQ(MetricsRequest::parse(MetricsRequest{}.encode()).prefix, "");
+
+  MetricsResponse resp;
+  resp.status = Status::kOk;
+  // Metric lines use '=', blank lines and arbitrary text — the response
+  // body is length-prefixed raw text, not a strict document.
+  resp.text = "a.count=3\na.sum=0.25\n\nweird = line\n";
+  const auto resp2 = MetricsResponse::parse(resp.encode());
+  EXPECT_EQ(resp2.status, Status::kOk);
+  EXPECT_EQ(resp2.text, resp.text);
+  // A lying length prefix is rejected, not buffered past the payload.
+  EXPECT_THROW(MetricsResponse::parse("status ok\nbytes 9999\nshort"),
+               ProtocolError);
+}
+
+TEST(ScrapeCodec, ProfileRoundTripWithRepeatedKernelRows) {
+  ProfileResponse resp;
+  resp.status = Status::kOk;
+  resp.profiling = true;
+  resp.kernels.push_back({"bti.trap_ensemble.evolve", 12345, 6789012});
+  resp.kernels.push_back({"mc.interval", 7, 42});
+  const auto resp2 = ProfileResponse::parse(resp.encode());
+  EXPECT_EQ(resp2.status, Status::kOk);
+  EXPECT_TRUE(resp2.profiling);
+  ASSERT_EQ(resp2.kernels.size(), 2u);
+  EXPECT_EQ(resp2.kernels[0].kernel, "bti.trap_ensemble.evolve");
+  EXPECT_EQ(resp2.kernels[0].calls, 12345u);
+  EXPECT_EQ(resp2.kernels[0].total_ns, 6789012u);
+  EXPECT_EQ(resp2.kernels[1].kernel, "mc.interval");
+  // Hostile row counts are rejected.
+  EXPECT_THROW(
+      ProfileResponse::parse("status ok\nprofiling 1\nkernels 4096000000\n"),
+      ProtocolError);
+}
+
+TEST(ScrapeCodec, HealthRoundTrip) {
+  HealthResponse resp;
+  resp.status = Status::kOk;
+  resp.poll_iterations = 4096;
+  resp.connections = 3;
+  resp.connections_high_water = 9;
+  resp.queue_depth_high_water = 8;
+  resp.requests = 512;
+  resp.shed = 4;
+  resp.snapshot_lag = 0;
+  resp.draining = true;
+  const auto resp2 = HealthResponse::parse(resp.encode());
+  EXPECT_EQ(resp2.poll_iterations, 4096u);
+  EXPECT_EQ(resp2.connections, 3u);
+  EXPECT_EQ(resp2.connections_high_water, 9u);
+  EXPECT_EQ(resp2.queue_depth_high_water, 8u);
+  EXPECT_EQ(resp2.requests, 512u);
+  EXPECT_EQ(resp2.shed, 4u);
+  EXPECT_EQ(resp2.snapshot_lag, 0u);
+  EXPECT_TRUE(resp2.draining);
+  // The strict-document grammar still applies: duplicate keys reject.
+  EXPECT_THROW(HealthResponse::parse(resp.encode() + "shed 1\n"),
+               ProtocolError);
+  // Empty-payload requests round-trip and reject junk.
+  EXPECT_NO_THROW(HealthRequest::parse(HealthRequest{}.encode()));
+  EXPECT_THROW(HealthRequest::parse("junk 1\n"), ProtocolError);
+  EXPECT_NO_THROW(ProfileRequest::parse(ProfileRequest{}.encode()));
+}
+
+TEST(ProtocolTalliesTest, SweepRejectionsMatchPublishedMetricsBitForBit) {
+  // Re-run the truncation and bit-flip sweeps keeping this test's OWN
+  // per-class tally (from the violation each ProtocolError carries), then
+  // require the global tallies AND the published fleet.protocol.* counters
+  // to agree with it bit-for-bit.  The wire-level reject choke point and
+  // the metrics view can never drift apart unnoticed.
+  auto& tallies = protocol_tallies();
+  tallies.reset();
+  std::array<std::uint64_t,
+             static_cast<std::size_t>(ProtocolViolation::kCount)>
+      expected{};
+  std::uint64_t expected_decoded = 0;
+  const auto count_rejection = [&](const ProtocolError& e) {
+    ASSERT_NE(e.violation(), ProtocolViolation::kNone)
+        << "wire rejection without a violation class: " << e.what();
+    ++expected[static_cast<std::size_t>(e.violation())];
+  };
+
+  const std::string bytes =
+      frame_message(MessageType::kStatusRequest, 5, "status probe\n");
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    try {
+      (void)decode_frame(bytes.substr(0, cut));
+      FAIL() << "prefix of " << cut << " bytes decoded";
+    } catch (const ProtocolError& e) {
+      count_rejection(e);
+    }
+  }
+  for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+    std::string bad = bytes;
+    bad[bit / 8] = static_cast<char>(bad[bit / 8] ^ (1u << (bit % 8)));
+    try {
+      (void)decode_frame(bad);
+      FAIL() << "bit " << bit << " flip decoded";
+    } catch (const ProtocolError& e) {
+      count_rejection(e);
+    }
+  }
+  try {
+    (void)decode_frame(bytes + 'x');
+    FAIL() << "trailing garbage decoded";
+  } catch (const ProtocolError& e) {
+    count_rejection(e);
+  }
+  (void)decode_frame(bytes);
+  ++expected_decoded;
+
+  // The sweep must have exercised several distinct violation classes.
+  EXPECT_GT(expected[static_cast<std::size_t>(ProtocolViolation::kBadMagic)],
+            0u);
+  EXPECT_GT(expected[static_cast<std::size_t>(ProtocolViolation::kHeaderCrc)],
+            0u);
+  EXPECT_GT(
+      expected[static_cast<std::size_t>(ProtocolViolation::kPayloadCrc)], 0u);
+  EXPECT_GT(expected[static_cast<std::size_t>(ProtocolViolation::kTruncated)],
+            0u);
+
+  std::uint64_t expected_total = 0;
+  for (int v = 1; v < static_cast<int>(ProtocolViolation::kCount); ++v) {
+    const auto violation = static_cast<ProtocolViolation>(v);
+    EXPECT_EQ(tallies.rejected(violation),
+              expected[static_cast<std::size_t>(v)])
+        << to_string(violation);
+    expected_total += expected[static_cast<std::size_t>(v)];
+  }
+  EXPECT_EQ(tallies.rejected_total(), expected_total);
+  EXPECT_EQ(tallies.decoded(), expected_decoded);
+
+  obs::Registry registry;
+  tallies.publish(registry);
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("fleet.protocol.frames_decoded"), expected_decoded);
+  EXPECT_EQ(snap.counter("fleet.protocol.rejected.total"), expected_total);
+  const std::pair<ProtocolViolation, const char*> kSuffixes[] = {
+      {ProtocolViolation::kBadMagic, "fleet.protocol.rejected.bad_magic"},
+      {ProtocolViolation::kBadVersion, "fleet.protocol.rejected.bad_version"},
+      {ProtocolViolation::kHostileLength,
+       "fleet.protocol.rejected.hostile_length"},
+      {ProtocolViolation::kHeaderCrc, "fleet.protocol.rejected.header_crc"},
+      {ProtocolViolation::kPayloadCrc, "fleet.protocol.rejected.payload_crc"},
+      {ProtocolViolation::kUnknownType,
+       "fleet.protocol.rejected.unknown_type"},
+      {ProtocolViolation::kTruncated, "fleet.protocol.rejected.truncated"},
+      {ProtocolViolation::kTrailingGarbage,
+       "fleet.protocol.rejected.trailing_garbage"},
+  };
+  for (const auto& [violation, name] : kSuffixes) {
+    EXPECT_EQ(snap.counter(name),
+              expected[static_cast<std::size_t>(violation)])
+        << name;
+  }
+  tallies.reset();
+  EXPECT_EQ(tallies.rejected_total(), 0u);
+  EXPECT_EQ(tallies.decoded(), 0u);
 }
 
 }  // namespace

@@ -30,6 +30,7 @@ CASES = {
     "raw-double-api": ("raw_double_api", "src/bti/include"),
     "unchecked-io": ("unchecked_io", ""),
     "eintr": ("eintr", "src/fleet"),
+    "metric-name": ("metric_name", ""),
 }
 
 HEADER_RULES = {"raw-double-api"}
@@ -100,6 +101,20 @@ def _add_cases():
 _add_cases()
 
 
+class AshLintMetricHotPathTest(unittest.TestCase):
+    """The metric-name rule's second half: any registration in an
+    instrumented hot-path kernel file is a finding, even a well-named one."""
+
+    def test_hot_kernel_registration(self):
+        root = os.path.join(FIXTURES, "metric_name")
+        rel = os.path.join("src", "mc", "system.cpp")
+        self.assertTrue(os.path.isfile(os.path.join(root, rel)))
+        code, payload = run_lint(root, [rel], "metric-name")
+        self.assertEqual(code, 1)
+        self.assertEqual(len(payload["findings"]), 1)
+        self.assertIn("hot-path", payload["findings"][0]["message"])
+
+
 class AshLintRepoTest(unittest.TestCase):
     """The real tree must be finding-free — CI enforces the same."""
 
@@ -124,7 +139,7 @@ class AshLintRepoTest(unittest.TestCase):
         self.assertEqual(
             proc.stdout.split(),
             ["wall-clock", "rng", "unordered-iter", "float-physics",
-             "raw-double-api", "unchecked-io", "eintr"])
+             "raw-double-api", "unchecked-io", "eintr", "metric-name"])
 
 
 if __name__ == "__main__":

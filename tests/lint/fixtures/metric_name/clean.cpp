@@ -1,0 +1,17 @@
+// Fixture: well-formed names (dots namespace, underscores separate
+// words), plus a computed name the static rule deliberately skips.
+#include <string>
+
+namespace obs {
+struct Registry {
+  int& counter(const std::string&);
+  double& histogram(const std::string&);
+};
+Registry& registry();
+}  // namespace obs
+
+void publish_well(const std::string& prefix) {
+  obs::registry().counter("fleet.service.requests");
+  obs::registry().histogram("fleet.client.rtt_s");
+  obs::registry().counter(prefix + "frames_decoded");
+}

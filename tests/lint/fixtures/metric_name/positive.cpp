@@ -1,0 +1,15 @@
+// Fixture: metric names outside [a-z0-9_.]+.  Uppercase, dashes and
+// spaces break the scrape-prefix filter and the key=value dump grammar
+// (a '=' or ' ' in a name makes the dump unparseable).
+namespace obs {
+struct Registry {
+  int& counter(const char*);
+  double& gauge(const char*);
+};
+Registry& registry();
+}  // namespace obs
+
+void publish_badly() {
+  obs::registry().counter("Fleet.Requests");
+  obs::registry().gauge("fleet latency-ms");
+}

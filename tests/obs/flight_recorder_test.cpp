@@ -1,0 +1,188 @@
+/// Flight recorder: ring semantics, crash-tolerant serialization, and the
+/// async-signal-safe dump path.
+///
+/// The contract under test mirrors CheckpointStore's: a dump written by a
+/// dying process may be torn anywhere, and load() must return the valid
+/// prefix instead of failing — evidence beats completeness.  The torn-tail
+/// sweep below cuts a real dump at *every* byte offset and requires each
+/// cut to either parse to a prefix of the full event list or (only while
+/// the header itself is torn) reject loudly.
+
+#include "ash/obs/flight_recorder.h"
+
+#include <unistd.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace {
+
+using ash::obs::FlightEventKind;
+using ash::obs::FlightRecord;
+using ash::obs::FlightRecorder;
+
+// The recorder holds atomics, so it is neither movable nor copyable;
+// tests populate one in place.
+void record_busy_session(FlightRecorder& rec) {
+  rec.record(FlightEventKind::kDaemonStart, 17);
+  rec.record(FlightEventKind::kStateLoaded, 17);
+  rec.record(FlightEventKind::kConnectionAccepted, 1);
+  rec.record(FlightEventKind::kSnapshotSaved, 18, 4096);
+  rec.record(FlightEventKind::kMutationApplied, 3, 18);
+  rec.record(FlightEventKind::kFrameError, 4);
+  rec.record(FlightEventKind::kDrainBegin);
+  rec.record(FlightEventKind::kDrainEnd, 18);
+}
+
+TEST(FlightRecorder, DisabledRecorderIsInert) {
+  FlightRecorder rec(0);
+  EXPECT_FALSE(rec.enabled());
+  EXPECT_EQ(rec.capacity(), 0u);
+  rec.record(FlightEventKind::kDaemonStart, 1, 2);
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_TRUE(rec.events().empty());
+  // A disabled recorder still serializes a valid (empty) document.
+  const auto loaded = FlightRecorder::load(rec.serialize());
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST(FlightRecorder, RecordsCarrySequenceKindAndDetails) {
+  FlightRecorder rec(16);
+  record_busy_session(rec);
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i + 1);
+    if (i > 0) {
+      EXPECT_GE(events[i].t_ms, events[i - 1].t_ms);
+    }
+  }
+  EXPECT_EQ(events[0].kind, FlightEventKind::kDaemonStart);
+  EXPECT_EQ(events[0].a, 17u);
+  EXPECT_EQ(events[3].kind, FlightEventKind::kSnapshotSaved);
+  EXPECT_EQ(events[3].a, 18u);
+  EXPECT_EQ(events[3].b, 4096u);
+  EXPECT_EQ(events[7].kind, FlightEventKind::kDrainEnd);
+}
+
+TEST(FlightRecorder, RingKeepsNewestEventsAndGlobalSequence) {
+  FlightRecorder rec(4);
+  for (int i = 0; i < 10; ++i) {
+    rec.record(FlightEventKind::kConnectionAccepted,
+               static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(rec.recorded(), 10u);
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 7 + i);  // oldest retained is seq 7
+    EXPECT_EQ(events[i].a, 6 + i);
+  }
+}
+
+TEST(FlightRecorder, SerializeLoadRoundTrip) {
+  FlightRecorder rec(16);
+  record_busy_session(rec);
+  const auto original = rec.events();
+  const auto loaded = FlightRecorder::load(rec.serialize());
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].seq, original[i].seq);
+    EXPECT_EQ(loaded[i].kind, original[i].kind);
+    EXPECT_EQ(loaded[i].a, original[i].a);
+    EXPECT_EQ(loaded[i].b, original[i].b);
+    // t_ms survives with the dump's fixed three-decimal precision.
+    EXPECT_NEAR(loaded[i].t_ms, original[i].t_ms, 1e-3);
+  }
+}
+
+TEST(FlightRecorder, TornDumpSweepYieldsValidPrefixAtEveryCut) {
+  FlightRecorder rec(16);
+  record_busy_session(rec);
+  const std::string dump = rec.serialize();
+  const auto full = FlightRecorder::load(dump);
+  ASSERT_EQ(full.size(), 8u);
+  constexpr std::string_view kHeader = "ash-flight-recorder v1";
+  for (std::size_t cut = 0; cut <= dump.size(); ++cut) {
+    const std::string torn = dump.substr(0, cut);
+    std::vector<FlightRecord> events;
+    try {
+      events = FlightRecorder::load(torn);
+    } catch (const std::runtime_error&) {
+      // Only a torn *header* may reject; any torn body must degrade.
+      EXPECT_LT(cut, kHeader.size() + 1) << "rejected at cut " << cut;
+      continue;
+    }
+    ASSERT_LE(events.size(), full.size()) << "cut " << cut;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      EXPECT_EQ(events[i].seq, full[i].seq) << "cut " << cut;
+      EXPECT_EQ(events[i].kind, full[i].kind) << "cut " << cut;
+      EXPECT_EQ(events[i].a, full[i].a) << "cut " << cut;
+      EXPECT_EQ(events[i].b, full[i].b) << "cut " << cut;
+    }
+  }
+}
+
+TEST(FlightRecorder, TrailingGarbageAfterValidEventsIsDropped) {
+  FlightRecorder rec(16);
+  record_busy_session(rec);
+  std::string dump = rec.serialize();
+  dump += "event not-a-number bogus line\n\x01\x02binary trash";
+  const auto events = FlightRecorder::load(dump);
+  EXPECT_EQ(events.size(), 8u);
+}
+
+TEST(FlightRecorder, LoadRejectsForeignDocuments) {
+  EXPECT_THROW((void)FlightRecorder::load(""), std::runtime_error);
+  EXPECT_THROW((void)FlightRecorder::load("snapshot v3\n"),
+               std::runtime_error);
+}
+
+TEST(FlightRecorder, WriteFdIsByteIdenticalToSerialize) {
+  FlightRecorder rec(16);
+  record_busy_session(rec);
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_TRUE(rec.write_fd(fds[1]));
+  ::close(fds[1]);
+  std::string read_back;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fds[0], buf, sizeof buf);
+    ASSERT_GE(n, 0);
+    if (n == 0) break;
+    read_back.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fds[0]);
+  EXPECT_EQ(read_back, rec.serialize());
+}
+
+TEST(FlightRecorder, WriteFdReportsFailure) {
+  FlightRecorder rec(4);
+  record_busy_session(rec);
+  EXPECT_FALSE(rec.write_fd(-1));
+}
+
+TEST(FlightRecorder, RenderNamesEveryEvent) {
+  FlightRecorder rec(16);
+  record_busy_session(rec);
+  const std::string table = FlightRecorder::render(rec.events());
+  EXPECT_NE(table.find("daemon-start"), std::string::npos);
+  EXPECT_NE(table.find("snapshot-saved"), std::string::npos);
+  EXPECT_NE(table.find("drain-end"), std::string::npos);
+}
+
+TEST(FlightRecorder, EventKindNamesRoundTrip) {
+  const int count = static_cast<int>(FlightEventKind::kCount);
+  for (int i = 0; i < count; ++i) {
+    const auto kind = static_cast<FlightEventKind>(i);
+    EXPECT_EQ(ash::obs::parse_flight_event(ash::obs::to_string(kind)), kind);
+  }
+  EXPECT_EQ(ash::obs::parse_flight_event("no-such-event"),
+            FlightEventKind::kCount);
+}
+
+}  // namespace

@@ -61,6 +61,52 @@ TEST(Histogram, ObserveAccumulatesCountSumAndBuckets) {
   EXPECT_EQ(buckets[static_cast<std::size_t>(h.bucket_index(100.0))], 1u);
 }
 
+TEST(Histogram, QuantileInterpolatesInLogSpace) {
+  obs::HistogramOptions opt;
+  opt.min = 1e-3;
+  opt.max = 1e3;
+  opt.buckets_per_decade = 4;
+  obs::Histogram h(opt);
+  for (int i = 0; i < 100; ++i) h.observe(1.0);
+  // All mass in one bucket: every quantile lands inside that bucket's
+  // log-space range [10^0, 10^0.25).
+  const double p50 = h.quantile(0.50);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LT(p50, std::pow(10.0, 0.25));
+  // Quantiles are monotone in p.
+  EXPECT_LE(h.quantile(0.10), h.quantile(0.50));
+  EXPECT_LE(h.quantile(0.50), h.quantile(0.99));
+}
+
+TEST(Histogram, QuantileBoundariesClampToHonestEdges) {
+  obs::HistogramOptions opt;
+  opt.min = 1e-3;
+  opt.max = 1e3;
+  opt.buckets_per_decade = 4;
+  obs::Histogram h(opt);
+  // Below-min and at/above-max observations live in the clamped edge
+  // buckets; their quantile estimates must not invent values outside
+  // [min, max] — the edges are the tightest honest bounds.
+  for (int i = 0; i < 10; ++i) h.observe(1e-9);
+  for (int i = 0; i < 10; ++i) h.observe(1e9);
+  EXPECT_GE(h.quantile(0.0), opt.min);
+  EXPECT_LE(h.quantile(0.25), std::pow(10.0, -2.75));  // first bucket
+  EXPECT_LE(h.quantile(1.0), opt.max);
+  EXPECT_GE(h.quantile(0.9), std::pow(10.0, 2.75));  // last bucket
+  // p itself is clamped, not trusted.
+  EXPECT_GE(h.quantile(-4.0), opt.min);
+  EXPECT_LE(h.quantile(7.0), opt.max);
+}
+
+TEST(Histogram, QuantileNanPaths) {
+  obs::Histogram empty;
+  EXPECT_TRUE(std::isnan(empty.quantile(0.5)));  // no observations
+  obs::Histogram h;
+  h.observe(1.0);
+  EXPECT_TRUE(std::isnan(h.quantile(std::nan(""))));  // NaN p
+  EXPECT_FALSE(std::isnan(h.quantile(0.5)));
+}
+
 TEST(Registry, SnapshotReadsEverything) {
   obs::Registry reg;
   reg.counter("a").add(3);
@@ -75,6 +121,43 @@ TEST(Registry, SnapshotReadsEverything) {
   ASSERT_EQ(snap.histograms.size(), 1u);
   EXPECT_EQ(snap.histograms[0].count, 1u);
   EXPECT_FALSE(snap.one_line().empty());
+}
+
+TEST(Registry, FilteredKeepsOnlyThePrefix) {
+  obs::Registry reg;
+  reg.counter("fleet.service.requests").add(4);
+  reg.counter("fleet.client.calls").add(2);
+  reg.gauge("fleet.service.backoff").set(0.5);
+  reg.histogram("fleet.service.latency.ping").observe(1e-4);
+  reg.histogram("mc.rel.margin").observe(1.0);
+  const auto snap = reg.snapshot();
+  const auto fleet = snap.filtered("fleet.service.");
+  EXPECT_EQ(fleet.counters.size(), 1u);
+  EXPECT_EQ(fleet.counter("fleet.service.requests"), 4u);
+  EXPECT_EQ(fleet.gauges.size(), 1u);
+  ASSERT_EQ(fleet.histograms.size(), 1u);
+  EXPECT_EQ(fleet.histograms[0].name, "fleet.service.latency.ping");
+  // "" keeps everything; an unmatched prefix keeps nothing.
+  EXPECT_EQ(snap.filtered("").counters.size(), snap.counters.size());
+  EXPECT_TRUE(snap.filtered("nope.").counters.empty());
+  EXPECT_TRUE(snap.filtered("nope.").histograms.empty());
+}
+
+TEST(Registry, RenderedSnapshotsCarryQuantiles) {
+  obs::Registry reg;
+  auto& h = reg.histogram("lat");
+  for (int i = 0; i < 32; ++i) h.observe(1e-3);
+  reg.histogram("empty");  // zero-count: no quantile lines
+  const auto snap = reg.snapshot();
+  const std::string line = snap.one_line();
+  EXPECT_NE(line.find("lat.p50="), std::string::npos);
+  EXPECT_NE(line.find("lat.p95="), std::string::npos);
+  EXPECT_NE(line.find("lat.p99="), std::string::npos);
+  EXPECT_EQ(line.find("empty.p50="), std::string::npos);
+  const std::string full = snap.render();
+  EXPECT_NE(full.find("lat.p50="), std::string::npos);
+  EXPECT_NE(full.find("lat.p99="), std::string::npos);
+  EXPECT_EQ(full.find("empty.p50="), std::string::npos);
 }
 
 TEST(Registry, ReferencesAreStableAcrossRegistrations) {

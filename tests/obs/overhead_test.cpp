@@ -12,6 +12,8 @@
 
 #include "ash/mc/scheduler.h"
 #include "ash/mc/system.h"
+#include "ash/obs/flight_recorder.h"
+#include "ash/obs/metrics.h"
 #include "ash/obs/profile.h"
 #include "ash/obs/trace.h"
 
@@ -107,6 +109,27 @@ TEST(Overhead, DisabledPrimitivesAreBranchCheap) {
   EXPECT_LT(elapsed_s, 0.05) << "100k disabled primitives took " << elapsed_s
                              << " s";
   EXPECT_TRUE(obs::profile_snapshot().empty());
+}
+
+TEST(Overhead, DisabledFlightRecorderAndNullTimersAreBranchCheap) {
+  // The fleet daemon's uninstrumented request path: a capacity-0 flight
+  // recorder and nullptr latency histograms.  Both must cost a branch —
+  // no clock read, no atomic claim, no store.  Same 50 ms budget for 100k
+  // iterations as the trace/profile micro-guard above.
+  obs::FlightRecorder recorder(0);
+  ASSERT_FALSE(recorder.enabled());
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 100000; ++i) {
+    recorder.record(obs::FlightEventKind::kConnectionAccepted,
+                    static_cast<std::uint64_t>(i));
+    const obs::ScopedLatencyTimer timer(nullptr);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double elapsed_s = std::chrono::duration<double>(t1 - t0).count();
+  EXPECT_LT(elapsed_s, 0.05) << "100k disabled recorder+timer iterations "
+                             << "took " << elapsed_s << " s";
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_TRUE(recorder.events().empty());
 }
 
 }  // namespace

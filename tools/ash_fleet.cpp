@@ -26,7 +26,6 @@
 /// Exit status: 0 all shards completed, 1 some shard quarantined, 2 usage.
 
 #include <cstdio>
-#include <fstream>
 #include <string>
 
 #include "ash/fleet/supervisor.h"
@@ -116,13 +115,10 @@ int main(int argc, char** argv) {
     const std::string metrics_path = flags.get("metrics", std::string());
     if (!metrics_path.empty()) {
       report.stats.publish(obs::registry());
-      std::ofstream os(metrics_path);
-      if (!os) {
-        std::fprintf(stderr, "ash_fleet: cannot write %s\n",
-                     metrics_path.c_str());
-        return 1;
-      }
-      obs::registry().snapshot().write(os);
+      // Atomic (tmp + rename): a reader polling the file mid-write — or a
+      // run killed here — must never observe a half-written snapshot.
+      util::atomic_write_file(metrics_path,
+                              obs::registry().snapshot().render());
       std::printf("metrics written to %s\n", metrics_path.c_str());
     }
     if (flags.get("profile", false)) {

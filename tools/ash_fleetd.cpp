@@ -12,16 +12,36 @@
 ///              [--campaign-dir DIR --shards N [--run-fleet --stages N]]
 ///              [--devices N] [--margin-mv F] [--seed N] [--queue N]
 ///              [--io-timeout-ms N] [--max-conns N] [--metrics FILE]
+///              [--flight FILE] [--flight-capacity N] [--no-instrument]
+///              [--profile] [--trace FILE]
 ///     Run the daemon.  --run-fleet first shards the paper campaign across
 ///     supervised worker processes (ash_fleet's machinery) so the
 ///     rejuvenation query has durable shard snapshots to rank.  SIGTERM
 ///     drains gracefully (final durable state snapshot); SIGKILL is safe —
 ///     the next start resumes from the newest snapshot that verifies.
+///     --flight keeps a crash-safe flight recorder that persists across
+///     kills; --profile turns on kernel profiling (served by the profile
+///     scrape); --trace streams request-path spans as JSONL.
 ///
 ///   ash_fleetd query --socket PATH (ping|status|margin|rejuvenation|sleep)
 ///              [--device N] [--duty F] [--vdd F] [--temp F] [--horizon-h F]
 ///              [--start-s F] [--duration-s F] [--client N]
 ///     One-shot client call; prints the response payload.
+///
+///   ash_fleetd top --socket PATH [--interval-ms N] [--iterations N]
+///              [--prefix STR]
+///     Live dashboard: polls the health/metrics/profile scrape channel and
+///     renders uptime, load, per-verb latency quantiles and kernel hot
+///     spots.  Scrapes are volatile — watching a daemon never perturbs its
+///     durable state or transcripts.
+///
+///   ash_fleetd stats --socket PATH [--prefix STR] [--json]
+///     One-shot scrape of the same channel; --json emits a machine-readable
+///     object (health + metrics + profile).
+///
+///   ash_fleetd flight --file PATH
+///     Load and render a flight-recorder dump (tolerates torn tails from
+///     SIGKILLed daemons — everything before the tear is shown).
 ///
 ///   ash_fleetd drill --dir DIR [--requests N] [--devices N] [--shards N]
 ///              [--stages N] [--seed N] [--chaos protocol] [--quiet]
@@ -30,26 +50,38 @@
 ///     undisturbed, once under the protocol chaos preset (dropped
 ///     connections, mid-frame tears, stalled writes, daemon SIGKILL +
 ///     restart between requests) — and require the two transcripts to be
-///     byte-identical.  Exit 0 on identical transcripts, 1 otherwise.
+///     byte-identical.  Both sessions interleave metrics/health scrapes
+///     mid-session, pinning that observation does not perturb the
+///     transcript.  Exit 0 on identical transcripts, 1 otherwise.
 
 #include <signal.h>
 #include <sys/types.h>
 #include <sys/wait.h>
+#include <time.h>
 #include <unistd.h>
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ash/fleet/client.h"
 #include "ash/fleet/service.h"
 #include "ash/fleet/supervisor.h"
+#include "ash/obs/flight_recorder.h"
+#include "ash/obs/metrics.h"
+#include "ash/obs/profile.h"
+#include "ash/obs/trace.h"
 #include "ash/util/atomic_file.h"
 #include "ash/util/crc32.h"
 #include "ash/util/flags.h"
 #include "ash/util/syscall.h"
+#include "ash/util/table.h"
 
 namespace {
 
@@ -65,11 +97,18 @@ int usage() {
       "[--queue N]\n"
       "                  [--io-timeout-ms N] [--max-conns N] "
       "[--metrics FILE]\n"
+      "                  [--flight FILE] [--flight-capacity N] "
+      "[--no-instrument]\n"
+      "                  [--profile] [--trace FILE]\n"
       "       ash_fleetd query --socket PATH "
       "(ping|status|margin|rejuvenation|sleep)\n"
       "                  [--device N] [--duty F] [--vdd F] [--temp F] "
       "[--horizon-h F]\n"
       "                  [--start-s F] [--duration-s F] [--client N]\n"
+      "       ash_fleetd top --socket PATH [--interval-ms N] "
+      "[--iterations N] [--prefix STR]\n"
+      "       ash_fleetd stats --socket PATH [--prefix STR] [--json]\n"
+      "       ash_fleetd flight --file PATH\n"
       "       ash_fleetd drill --dir DIR [--requests N] [--devices N]\n"
       "                  [--shards N] [--stages N] [--seed N] "
       "[--chaos protocol] [--quiet]\n");
@@ -120,6 +159,10 @@ int run_serve(const Flags& flags) {
   config.io_timeout_ms = flags.get("io-timeout-ms", 2000);
   config.max_connections = flags.get("max-conns", 64);
   config.metrics_path = flags.get("metrics", std::string());
+  config.instrument = !flags.get("no-instrument", false);
+  config.flight_recorder_path = flags.get("flight", std::string());
+  config.flight_recorder_capacity =
+      static_cast<std::size_t>(flags.get("flight-capacity", 256));
   if (config.socket_path.empty() || config.state_dir.empty()) {
     std::fprintf(stderr, "ash_fleetd: serve needs --socket and --state-dir\n");
     return usage();
@@ -141,6 +184,18 @@ int run_serve(const Flags& flags) {
                        flags.get("stages", 11),
                        static_cast<std::uint64_t>(flags.get("seed", 0x40A0)));
   }
+  if (flags.get("profile", false)) obs::enable_profiling(true);
+  std::unique_ptr<obs::TraceWriter> trace_writer;
+  const std::string trace_path = flags.get("trace", std::string());
+  if (!trace_path.empty()) {
+    trace_writer = std::make_unique<obs::TraceWriter>(trace_path);
+    if (!trace_writer->ok()) {
+      std::fprintf(stderr, "ash_fleetd: cannot write trace to %s\n",
+                   trace_path.c_str());
+      return 2;
+    }
+    obs::set_trace_sink(trace_writer.get());
+  }
   fleet::Service service(config);
   std::printf("ash_fleetd: serving %llu devices on %s (sequence %llu)\n",
               static_cast<unsigned long long>(service.state().devices.size()),
@@ -149,6 +204,10 @@ int run_serve(const Flags& flags) {
   std::fflush(stdout);
   service.run();
   std::printf("%s", service.stats().render().c_str());
+  if (trace_writer) {
+    obs::set_trace_sink(nullptr);
+    trace_writer->flush();
+  }
   return 0;
 }
 
@@ -213,6 +272,218 @@ int run_query(const Flags& flags) {
                  verb.c_str());
     return usage();
   }
+  return 0;
+}
+
+void sleep_ms(int ms) {
+  if (ms <= 0) return;
+  struct timespec ts;
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = static_cast<long>(ms % 1000) * 1000000L;
+  (void)util::retry_eintr([&] { return ::nanosleep(&ts, &ts); });
+}
+
+/// Parse `key=value` metric lines (MetricsSnapshot::write format) into a
+/// name-sorted map.  Unparseable lines are skipped, not fatal — the
+/// dashboard degrades, it never crashes on a daemon newer than itself.
+std::map<std::string, double> parse_metric_lines(const std::string& text) {
+  std::map<std::string, double> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string_view line(text.data() + pos, eol - pos);
+    pos = eol + 1;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos || eq == 0) continue;
+    const std::string value(line.substr(eq + 1));
+    char* end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (end == value.c_str()) continue;
+    out.emplace(std::string(line.substr(0, eq)), parsed);
+  }
+  return out;
+}
+
+std::string render_health(const fleet::HealthResponse& health) {
+  return strformat(
+      "health: polls %llu conns %llu (hw %llu) queue-hw %llu "
+      "requests %llu shed %llu snapshot-lag %llu%s\n",
+      static_cast<unsigned long long>(health.poll_iterations),
+      static_cast<unsigned long long>(health.connections),
+      static_cast<unsigned long long>(health.connections_high_water),
+      static_cast<unsigned long long>(health.queue_depth_high_water),
+      static_cast<unsigned long long>(health.requests),
+      static_cast<unsigned long long>(health.shed),
+      static_cast<unsigned long long>(health.snapshot_lag),
+      health.draining ? " DRAINING" : "");
+}
+
+/// Histogram rows of a metric map: every `<base>.count` with a matching
+/// `<base>.sum` is a histogram (quantile keys exist only when non-empty).
+std::string render_latency_table(const std::map<std::string, double>& m) {
+  std::string out;
+  for (const auto& [name, value] : m) {
+    constexpr std::string_view kCount = ".count";
+    if (name.size() <= kCount.size() ||
+        name.compare(name.size() - kCount.size(), kCount.size(), kCount) !=
+            0) {
+      continue;
+    }
+    const std::string base = name.substr(0, name.size() - kCount.size());
+    if (m.find(base + ".sum") == m.end()) continue;
+    const auto quantile = [&](const char* q) {
+      const auto it = m.find(base + q);
+      return it == m.end() ? std::string("-")
+                           : strformat("%.3g", it->second);
+    };
+    out += strformat("  %-36s %10llu %10s %10s %10s\n", base.c_str(),
+                           static_cast<unsigned long long>(value),
+                           quantile(".p50").c_str(), quantile(".p95").c_str(),
+                           quantile(".p99").c_str());
+  }
+  if (!out.empty()) {
+    out = strformat("  %-36s %10s %10s %10s %10s\n", "histogram",
+                          "count", "p50", "p95", "p99") +
+          out;
+  }
+  return out;
+}
+
+std::string render_profile(const fleet::ProfileResponse& resp) {
+  if (!resp.profiling) {
+    return "profile: disabled (serve with --profile)\n";
+  }
+  if (resp.kernels.empty()) {
+    return "profile: enabled, no kernel calls yet\n";
+  }
+  std::string out = strformat("  %-24s %12s %14s %10s\n", "kernel",
+                                    "calls", "total_ms", "ns/call");
+  for (const auto& k : resp.kernels) {
+    out += strformat(
+        "  %-24s %12llu %14.3f %10.0f\n", k.kernel.c_str(),
+        static_cast<unsigned long long>(k.calls), k.total_ns / 1e6,
+        k.calls > 0 ? static_cast<double>(k.total_ns) /
+                          static_cast<double>(k.calls)
+                    : 0.0);
+  }
+  return out;
+}
+
+int run_top(const Flags& flags) {
+  const std::string socket_path = flags.get("socket", std::string());
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "ash_fleetd: top needs --socket\n");
+    return usage();
+  }
+  const int interval_ms = flags.get("interval-ms", 500);
+  const int iterations = flags.get("iterations", 0);  // 0 = forever
+  const std::string prefix = flags.get("prefix", std::string("fleet."));
+  fleet::ClientConfig cc;
+  cc.socket_path = socket_path;
+  cc.client_id = 0xA5;  // dashboards are clients too, just volatile ones
+  fleet::Client client(cc);
+  for (int i = 0; iterations <= 0 || i < iterations; ++i) {
+    const auto health = client.health();
+    const auto metrics = client.metrics(prefix);
+    const auto profile = client.profile();
+    std::printf("── ash_fleetd top · tick %d ──\n", i + 1);
+    std::printf("%s", render_health(health).c_str());
+    const auto values = parse_metric_lines(metrics.text);
+    std::printf("%s", render_latency_table(values).c_str());
+    std::printf("%s", render_profile(profile).c_str());
+    std::fflush(stdout);
+    if (iterations > 0 && i + 1 >= iterations) break;
+    sleep_ms(interval_ms);
+  }
+  return 0;
+}
+
+/// JSON string escape for metric/kernel names (conservative).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += strformat("\\u%04x", c);
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+int run_stats(const Flags& flags) {
+  const std::string socket_path = flags.get("socket", std::string());
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "ash_fleetd: stats needs --socket\n");
+    return usage();
+  }
+  const std::string prefix = flags.get("prefix", std::string("fleet."));
+  fleet::ClientConfig cc;
+  cc.socket_path = socket_path;
+  cc.client_id = 0xA5;
+  fleet::Client client(cc);
+  const auto health = client.health();
+  const auto metrics = client.metrics(prefix);
+  const auto profile = client.profile();
+  if (!flags.get("json", false)) {
+    std::printf("%s", render_health(health).c_str());
+    std::printf("%s", metrics.text.c_str());
+    std::printf("%s", render_profile(profile).c_str());
+    return 0;
+  }
+  std::string out = "{\"health\":{";
+  out += strformat(
+      "\"poll_iterations\":%llu,\"connections\":%llu,"
+      "\"connections_high_water\":%llu,\"queue_depth_high_water\":%llu,"
+      "\"requests\":%llu,\"shed\":%llu,\"snapshot_lag\":%llu,"
+      "\"draining\":%s},",
+      static_cast<unsigned long long>(health.poll_iterations),
+      static_cast<unsigned long long>(health.connections),
+      static_cast<unsigned long long>(health.connections_high_water),
+      static_cast<unsigned long long>(health.queue_depth_high_water),
+      static_cast<unsigned long long>(health.requests),
+      static_cast<unsigned long long>(health.shed),
+      static_cast<unsigned long long>(health.snapshot_lag),
+      health.draining ? "true" : "false");
+  out += "\"metrics\":{";
+  bool first = true;
+  for (const auto& [name, value] : parse_metric_lines(metrics.text)) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":";
+    out += std::isfinite(value) ? strformat("%.17g", value)
+                                : std::string("null");
+  }
+  out += strformat("},\"profiling\":%s,\"profile\":[",
+                         profile.profiling ? "true" : "false");
+  first = true;
+  for (const auto& k : profile.kernels) {
+    if (!first) out += ',';
+    first = false;
+    out += strformat(
+        "{\"kernel\":\"%s\",\"calls\":%llu,\"total_ns\":%llu}",
+        json_escape(k.kernel).c_str(),
+        static_cast<unsigned long long>(k.calls),
+        static_cast<unsigned long long>(k.total_ns));
+  }
+  out += "]}\n";
+  std::printf("%s", out.c_str());
+  return 0;
+}
+
+int run_flight(const Flags& flags) {
+  const std::string file = flags.get("file", std::string());
+  if (file.empty()) {
+    std::fprintf(stderr, "ash_fleetd: flight needs --file\n");
+    return usage();
+  }
+  const std::string bytes = util::read_file(file);
+  const auto events = obs::FlightRecorder::load(bytes);
+  std::printf("%s", obs::FlightRecorder::render(events).c_str());
   return 0;
 }
 
@@ -301,6 +572,13 @@ std::string run_session(DrillDaemon& daemon, const std::string& socket_path,
         (void)client.ping();
         break;
     }
+    // Volatile scrapes interleaved mid-session, identically in the clean
+    // and chaos runs: watching the daemon must never show up in the
+    // transcript, and the identity gate pins exactly that.
+    if (i % 3 == 2) {
+      (void)client.health();
+      (void)client.metrics("fleet.service.");
+    }
   }
   (void)client.status();  // final durable-state fingerprint
   if (!quiet) std::printf("%s", client.stats().render().c_str());
@@ -338,6 +616,10 @@ int run_drill(const Flags& flags) {
     // Tight I/O deadline so the chaos stall (400 ms) triggers a real
     // slow-loris eviction; honest requests never park that long.
     config.io_timeout_ms = 150;
+    // Telemetry artifacts: when the drill fails (or is SIGKILLed by the
+    // chaos plan mid-write), these are what CI uploads for diagnosis.
+    config.metrics_path = root + "/metrics.txt";
+    config.flight_recorder_path = root + "/flight.txt";
     run_fleet_campaign(config.campaign_dir, shards, stages, seed);
     DrillDaemon daemon(config);
     daemon.start();
@@ -373,11 +655,15 @@ int main(int argc, char** argv) {
          "stages", "devices", "margin-mv", "seed", "queue", "io-timeout-ms",
          "max-conns", "metrics", "device", "duty", "vdd", "temp", "horizon-h",
          "start-s", "duration-s", "client", "dir", "requests", "chaos",
-         "quiet"});
+         "quiet", "flight", "flight-capacity", "no-instrument", "profile",
+         "trace", "interval-ms", "iterations", "prefix", "json", "file"});
     if (flags.positional().empty()) return usage();
     const std::string& mode = flags.positional()[0];
     if (mode == "serve") return run_serve(flags);
     if (mode == "query") return run_query(flags);
+    if (mode == "top") return run_top(flags);
+    if (mode == "stats") return run_stats(flags);
+    if (mode == "flight") return run_flight(flags);
     if (mode == "drill") return run_drill(flags);
     std::fprintf(stderr, "ash_fleetd: unknown mode '%s'\n", mode.c_str());
     return usage();

@@ -56,6 +56,17 @@ a handful of recognisable source patterns, so we lint for them:
                   ::close is deliberately exempt: retrying close can close
                   a descriptor the kernel already reused.
 
+  metric-name     A metric registered (.counter/.gauge/.histogram) under a
+                  literal name outside `[a-z0-9_.]+`: dots namespace,
+                  underscores separate words; anything else breaks the
+                  scrape-prefix filter and the key=value dump grammar.
+                  Additionally, *any* registration call inside one of the
+                  instrumented hot-path kernel files (the ScopedKernelTimer
+                  sites) is flagged: registration takes the registry mutex
+                  per call — register once at setup and reuse the returned
+                  reference.  Computed names elsewhere are skipped (they
+                  are validated at runtime by what they render into).
+
 Any finding can be suppressed on its line with a trailing
 `// ash-lint: allow(<rule>)` (comma-separate several rules).
 
@@ -88,6 +99,7 @@ RULES = (
     "raw-double-api",
     "unchecked-io",
     "eintr",
+    "metric-name",
 )
 
 
@@ -467,6 +479,55 @@ def rule_eintr(fl: FileLint) -> None:
             "(ash/util/syscall.h).  ::close stays bare by design")
 
 
+# --------------------------------------------------------------------------
+# Rule: metric-name
+# --------------------------------------------------------------------------
+
+METRIC_REG_RE = re.compile(r"[\w)\]>]\s*\.\s*(counter|gauge|histogram)\s*\(")
+METRIC_LITERAL_RE = re.compile(
+    r"\.\s*(?:counter|gauge|histogram)\s*\(\s*\"([^\"]*)\"")
+METRIC_NAME_OK_RE = re.compile(r"^[a-z0-9_.]+$")
+
+# The ScopedKernelTimer sites: per-sample hot paths whose cost is exactly
+# what the profiler measures.  A registration there takes the registry
+# mutex inside the timed region — register at setup, dereference in the
+# kernel (see fleet::Service's latency_ array for the pattern).
+METRIC_HOT_KERNEL_FILES = (
+    "src/bti/trap_ensemble.cpp",
+    "src/fpga/ring_oscillator.cpp",
+    "src/tb/experiment_runner.cpp",
+    "src/mc/system.cpp",
+)
+
+
+def rule_metric_name(fl: FileLint) -> None:
+    hot = fl.rel in METRIC_HOT_KERNEL_FILES
+    for no, line in enumerate(fl.code_lines, start=1):
+        m = METRIC_REG_RE.search(line)
+        if not m:
+            continue
+        if hot:
+            fl.report(
+                "metric-name", no,
+                f".{m.group(1)}() inside an instrumented hot-path kernel: "
+                "registration locks the registry mutex per call and bills "
+                "the kernel being profiled; register once at setup and "
+                "reuse the returned reference")
+            continue
+        src = fl.lines[no - 1] if no - 1 < len(fl.lines) else ""
+        lm = METRIC_LITERAL_RE.search(src)
+        if not lm:
+            continue  # computed name: validated by what it renders into
+        name = lm.group(1)
+        if not METRIC_NAME_OK_RE.match(name):
+            fl.report(
+                "metric-name", no,
+                f"metric name \"{name}\" violates [a-z0-9_.]+: dots "
+                "namespace, underscores separate words; anything else "
+                "breaks the scrape-prefix filter and the key=value dump "
+                "grammar")
+
+
 RULE_FUNCS = {
     "wall-clock": rule_wall_clock,
     "rng": rule_rng,
@@ -475,6 +536,7 @@ RULE_FUNCS = {
     "raw-double-api": rule_raw_double_api,
     "unchecked-io": rule_unchecked_io,
     "eintr": rule_eintr,
+    "metric-name": rule_metric_name,
 }
 
 
