@@ -15,6 +15,7 @@
 #include <fstream>
 #include <string>
 
+#include "ash/bti/batch_ensemble.h"
 #include "ash/bti/closed_form.h"
 #include "ash/bti/trap_ensemble.h"
 #include "ash/fpga/chip.h"
@@ -23,6 +24,7 @@
 #include "ash/tb/experiment_runner.h"
 #include "ash/tb/test_case.h"
 #include "ash/util/constants.h"
+#include "ash/util/random.h"
 
 namespace {
 
@@ -80,6 +82,33 @@ void BM_ChipEvolveDcHour(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ChipEvolveDcHour)->Arg(15)->Arg(75);
+
+void BM_BatchEnsembleEvolveNoisy(benchmark::State& state) {
+  // One batch step of a homogeneous-kinetics population under a drifting
+  // (never-repeating) condition — the regime where the per-chip engine
+  // pays a full rate recomputation per member and the batch engine pays
+  // one per class.
+  const int chips = static_cast<int>(state.range(0));
+  std::vector<bti::BatchMemberSpec> specs;
+  Rng scales(0xC082);
+  for (int m = 0; m < chips; ++m) {
+    bti::TdParameters p = bti::default_td_parameters();
+    p.delta_vth_mean_v *= std::exp(scales.normal(0.0, 0.05));
+    specs.push_back({p, 0xBA7C});
+  }
+  bti::BatchEnsemble batch(specs, {});
+  double temp_k = celsius(110.0);
+  for (auto _ : state) {
+    bti::OperatingCondition cond;
+    cond.voltage_v = 1.2;
+    cond.temperature_k = temp_k;
+    cond.gate_stress_duty = 1.0;
+    batch.evolve(cond, Seconds{60.0});
+    temp_k += 1e-4;  // unique condition every step
+  }
+  benchmark::DoNotOptimize(batch.delta_vth(0));
+}
+BENCHMARK(BM_BatchEnsembleEvolveNoisy)->Arg(256)->Arg(1024);
 
 void BM_ThermalSteadyState(benchmark::State& state) {
   const mc::Floorplan fp;
@@ -198,6 +227,132 @@ int run_json_mode(const std::string& path) {
     benchmark::DoNotOptimize(mc::simulate_system(cfg, scheduler));
   }
 
+  // Population sweep (the acceptance workload): 1024 chips of one
+  // kinetics class (shared seed, per-chip DeltaVth corner scale) driven
+  // through a noisy fleet campaign — drifting chamber temperature (every
+  // interval a fresh condition), periodic AC measurement wakes, a steady
+  // recovery tail, and a whole-fleet margin read every 16 steps.  Three
+  // passes over the identical schedule: 1024 independent TrapEnsembles,
+  // the batch engine in exact mode (asserted bit-identical), and the
+  // batch engine with fast_exp.
+  constexpr int kPopChips = 1024;
+  double pop_independent_ms = 0.0;
+  double pop_batch_ms = 0.0;
+  double pop_fast_ms = 0.0;
+  int pop_steps = 0;
+  {
+    struct PopStep {
+      bti::OperatingCondition condition;
+      double dt_s = 0.0;
+      bool read_fleet = false;
+    };
+    std::vector<PopStep> schedule;
+    for (int s = 0; s < 360; ++s) {
+      PopStep step;
+      step.condition.voltage_v = 1.2;
+      step.condition.temperature_k = celsius(110.0) + 0.011 * s;
+      step.condition.gate_stress_duty = 1.0;
+      step.dt_s = 60.0;
+      step.read_fleet = (s % 16) == 15;
+      schedule.push_back(step);
+      if ((s % 20) == 19) {
+        PopStep wake;
+        wake.condition = bti::ac_stress(Volts{1.2}, Celsius{110.0}, 0.5);
+        wake.dt_s = 2.7;
+        schedule.push_back(wake);
+      }
+    }
+    for (int s = 0; s < 96; ++s) {
+      PopStep step;
+      step.condition = bti::recovery(Volts{-0.3}, Celsius{110.0});
+      step.dt_s = 600.0;
+      step.read_fleet = (s % 16) == 15;
+      schedule.push_back(step);
+    }
+    pop_steps = static_cast<int>(schedule.size());
+
+    std::vector<bti::BatchMemberSpec> specs;
+    Rng scales(0x90F7);
+    for (int m = 0; m < kPopChips; ++m) {
+      bti::TdParameters p = bti::default_td_parameters();
+      p.delta_vth_mean_v *= std::exp(scales.normal(0.0, 0.05));
+      specs.push_back({p, 0xF1EE7});
+    }
+
+    // Pass 1: independent per-chip engines.  Profiling off so the huge
+    // one-shot-condition call count does not skew the
+    // bti.trap_ensemble.evolve row the perf gate compares.
+    std::vector<double> independent_delta(kPopChips, 0.0);
+    obs::enable_profiling(false);
+    {
+      std::vector<bti::TrapEnsemble> fleet;
+      fleet.reserve(kPopChips);
+      for (const auto& spec : specs) fleet.emplace_back(spec.params, spec.seed);
+      const auto t0 = clock::now();
+      double acc = 0.0;
+      for (const auto& step : schedule) {
+        for (auto& chip : fleet) chip.evolve(step.condition, Seconds{step.dt_s});
+        if (step.read_fleet) {
+          for (const auto& chip : fleet) acc += chip.delta_vth();
+        }
+      }
+      pop_independent_ms = wall_ms(t0, clock::now());
+      benchmark::DoNotOptimize(acc);
+      for (int m = 0; m < kPopChips; ++m) {
+        independent_delta[static_cast<std::size_t>(m)] =
+            fleet[static_cast<std::size_t>(m)].delta_vth();
+      }
+    }
+    obs::enable_profiling(true);
+
+    // Pass 2: batch engine, exact mode (this is the bti.batch.evolve row).
+    {
+      bti::BatchEnsemble batch(specs, {});
+      const auto t0 = clock::now();
+      double acc = 0.0;
+      for (const auto& step : schedule) {
+        batch.evolve(step.condition, Seconds{step.dt_s});
+        if (step.read_fleet) {
+          for (int m = 0; m < kPopChips; ++m) acc += batch.delta_vth(m);
+        }
+      }
+      pop_batch_ms = wall_ms(t0, clock::now());
+      benchmark::DoNotOptimize(acc);
+      for (int m = 0; m < kPopChips; ++m) {
+        if (batch.delta_vth(m) != independent_delta[static_cast<std::size_t>(m)]) {
+          std::fprintf(stderr,
+                       "bench_perf_kernels: batch exact mode diverged from "
+                       "independent runs at chip %d\n",
+                       m);
+          return 1;
+        }
+      }
+    }
+
+    // Pass 3: batch engine, fast physics.
+    {
+      bti::BatchConfig fast;
+      fast.fast_exp = true;
+      bti::BatchEnsemble batch(specs, fast);
+      const auto t0 = clock::now();
+      double acc = 0.0;
+      for (const auto& step : schedule) {
+        batch.evolve(step.condition, Seconds{step.dt_s});
+        if (step.read_fleet) {
+          for (int m = 0; m < kPopChips; ++m) acc += batch.delta_vth(m);
+        }
+      }
+      pop_fast_ms = wall_ms(t0, clock::now());
+      benchmark::DoNotOptimize(acc);
+      double worst = 0.0;
+      for (int m = 0; m < kPopChips; ++m) {
+        const double exact = independent_delta[static_cast<std::size_t>(m)];
+        worst = std::max(worst, std::abs(batch.delta_vth(m) - exact) / exact);
+      }
+      std::printf("population fast-exp max relative deviation: %.2e\n", worst);
+    }
+  }
+
   std::ofstream os(path);
   if (!os) {
     std::fprintf(stderr, "bench_perf_kernels: cannot write %s\n",
@@ -220,15 +375,31 @@ int run_json_mode(const std::string& path) {
                   i + 1 < profiles.size() ? "," : "");
     os << line;
   }
-  char tail[160];
+  char tail[560];
   std::snprintf(tail, sizeof(tail),
                 "  ],\n  \"chip5_campaign_wall_ms\": %.1f,\n"
-                "  \"chip5_fixed_drive_wall_ms\": %.1f\n}\n",
-                campaign_ms, fixed_drive_ms);
+                "  \"chip5_fixed_drive_wall_ms\": %.1f,\n"
+                "  \"population_chips\": %d,\n"
+                "  \"population_steps\": %d,\n"
+                "  \"population_independent_wall_ms\": %.1f,\n"
+                "  \"population_batch_wall_ms\": %.1f,\n"
+                "  \"population_batch_fast_wall_ms\": %.1f,\n"
+                "  \"population_speedup_exact\": %.2f,\n"
+                "  \"population_speedup_fast\": %.2f\n}\n",
+                campaign_ms, fixed_drive_ms, kPopChips, pop_steps,
+                pop_independent_ms, pop_batch_ms, pop_fast_ms,
+                pop_independent_ms / pop_batch_ms,
+                pop_independent_ms / pop_fast_ms);
   os << tail;
   std::printf("wrote %s\n%s", path.c_str(), obs::profile_table().c_str());
   std::printf("chip5 campaign: %.1f ms   fixed drive: %.1f ms\n",
               campaign_ms, fixed_drive_ms);
+  std::printf(
+      "population (%d chips, %d steps): independent %.1f ms   batch %.1f ms "
+      "(%.1fx)   fast %.1f ms (%.1fx)\n",
+      kPopChips, pop_steps, pop_independent_ms, pop_batch_ms,
+      pop_independent_ms / pop_batch_ms, pop_fast_ms,
+      pop_independent_ms / pop_fast_ms);
   return 0;
 }
 

@@ -1,0 +1,209 @@
+#pragma once
+
+/// \file batch_ensemble.h
+/// The batch-of-chips SoA engine: one fused aging pass over a whole
+/// population of devices (DESIGN.md Sec. 13).
+///
+/// The paper's fleet-scale story (Fig. 10, Table 5) needs population
+/// sweeps over 10^4..10^6 chips, but a `TrapEnsemble` per chip repays the
+/// full rate computation — two exponentials and two divisions per trap —
+/// once *per chip* whenever the operating condition moves (a drifting
+/// chamber, a noisy campaign).  `BatchEnsemble` restructures the work
+/// *across* devices: members are grouped into **trap classes** (identical
+/// kinetics draws — same seed and same kinetics parameters; members of a
+/// class may still differ in their per-trap DeltaVth contributions, which
+/// is how per-chip corner/mismatch scales enter), and the per-condition
+/// rates, equilibrium occupancies and decay factors are computed once per
+/// (condition, trap-class) instead of once per chip.  What remains per
+/// member is the fused occupancy update
+///
+///     occ[i] = p_inf[i] + (occ[i] - p_inf[i]) * decay[i]
+///
+/// over contiguous per-field arrays — one multiply-add sweep for the whole
+/// population, optionally sharded over disjoint member ranges by a
+/// `util::ThreadPool` (elementwise-independent, so bit-identical under any
+/// scheduling; pinned by the tsan job).
+///
+/// Exactness contract: in the default exact mode every cached value is
+/// computed with the *identical expression order* of
+/// `TrapEnsemble::evolve`, and members are adopted through
+/// `TrapEnsemble::population_view()` — so a batch trajectory is bit-for-bit
+/// equal to N independent `TrapEnsemble` runs (asserted for a seeded
+/// 64-chip population in tests/bti/batch_ensemble_test.cpp, and for the
+/// full 20-chip Table-1 campaign in bench_ablation_chip_variation).
+///
+/// Fast-physics mode (`BatchConfig::fast_exp`, default off) swaps the
+/// per-trap exponentials — the Arrhenius factor arrays and the decay
+/// factors — for `util::fast_exp` (relative error <= kFastExpRelErr,
+/// pinned by tests/util/fast_exp_test.cpp).  Condition-level scalars (a
+/// handful of exp() per condition) stay `std::exp`.  Fast mode is still
+/// fully deterministic, just not bit-equal to exact mode: bit-exactness
+/// becomes a per-run choice.
+
+#include <cstdint>
+#include <vector>
+
+#include "ash/bti/condition.h"
+#include "ash/bti/parameters.h"
+#include "ash/bti/trap_ensemble.h"
+
+namespace ash::util {
+class ThreadPool;
+}
+
+namespace ash::bti {
+
+/// One member of a seeded population: the same (parameters, seed) pair a
+/// solo `TrapEnsemble` would be built from.
+struct BatchMemberSpec {
+  TdParameters params;
+  std::uint64_t seed = 0;
+};
+
+/// Per-batch knobs.
+struct BatchConfig {
+  /// Use util::fast_exp for the per-trap exponentials.  Default off: exact
+  /// mode is bit-identical to the per-chip path.
+  bool fast_exp = false;
+  /// Optional worker pool for the occupancy apply sweep.  Null (or an
+  /// inline pool) runs the sweep on the calling thread; results are
+  /// bit-identical either way.
+  util::ThreadPool* pool = nullptr;
+};
+
+/// A population of trap ensembles evolved in lockstep, one fused pass per
+/// interval.  Value-semantic and deterministic like `TrapEnsemble`.
+class BatchEnsemble {
+ public:
+  /// Build a fresh population.  Equivalent to constructing
+  /// `TrapEnsemble(specs[m].params, specs[m].seed)` for every member (and
+  /// bit-identical to doing so — the members *are* those populations).
+  explicit BatchEnsemble(const std::vector<BatchMemberSpec>& specs,
+                         const BatchConfig& config = {});
+
+  /// Adopt existing ensembles (kinetics arrays and *current* occupancies
+  /// are copied; the sources are not retained).  This is how the
+  /// population runner batches the transistors of N structurally identical
+  /// chips.  Throws std::invalid_argument on an empty list or a null entry.
+  explicit BatchEnsemble(const std::vector<const TrapEnsemble*>& members,
+                         const BatchConfig& config = {});
+
+  /// Advance every member by dt under one shared operating condition.
+  /// Validation (negative dt, breakdown voltage, thermal limit) matches
+  /// `TrapEnsemble::evolve` and runs against every trap class before any
+  /// state changes, so a throwing call leaves the population untouched.
+  void evolve(const OperatingCondition& condition, Seconds dt);
+
+  int member_count() const { return static_cast<int>(member_params_.size()); }
+  /// Number of distinct trap classes (rate computations per condition).
+  /// A homogeneous-kinetics population has class_count() == 1 no matter
+  /// how many members it holds.
+  int class_count() const { return static_cast<int>(classes_.size()); }
+  int trap_count(int member) const {
+    return static_cast<int>(offsets_[static_cast<std::size_t>(member) + 1] -
+                            offsets_[static_cast<std::size_t>(member)]);
+  }
+  const TdParameters& parameters(int member) const {
+    return member_params_[static_cast<std::size_t>(member)];
+  }
+
+  /// Member m's threshold-voltage shift, computed with the exact reduction
+  /// order of `TrapEnsemble::delta_vth` and cached per member between
+  /// state changes.
+  double delta_vth(int member) const;
+  /// All members' shifts, ordered by member index.
+  std::vector<double> delta_vth_all() const;
+
+  /// Snapshot / restore of one member's occupancies (the checkpoint
+  /// currency shared with `TrapEnsemble`).  `set_occupancies` validates
+  /// size and [0, 1] range and bumps the state version.
+  std::vector<double> occupancies(int member) const;
+  void set_occupancies(int member, const std::vector<double>& occ);
+
+  /// Restore the factory-fresh state (all traps of all members empty).
+  void reset();
+
+  /// Monotonic population state version (same contract as
+  /// `TrapEnsemble::state_version`).
+  std::uint64_t state_version() const { return version_; }
+
+  const BatchConfig& config() const { return config_; }
+
+ private:
+  /// Per-(condition, class) memo — the batch-level counterpart of
+  /// `TrapEnsemble::RateEntry`, holding the class's lambda / p_inf arrays
+  /// plus the decay factors for the most recent dt.
+  struct RateEntry {
+    double voltage_v = 0.0;
+    double temperature_k = 0.0;
+    double duty = 0.0;
+    bool valid = false;
+    std::vector<double> lambda;
+    std::vector<double> p_inf;
+    double decay_dt_s = -1.0;
+    std::vector<double> decay;
+  };
+
+  /// Temperature-keyed Arrhenius factor memo (same shape as the solo
+  /// ensemble's).
+  struct FactorCache {
+    struct Slot {
+      double arr_x = 0.0;
+      bool valid = false;
+      std::vector<double> f;
+    };
+    static constexpr int kSlots = 2;
+    Slot slots[kSlots];
+    int next = 0;
+  };
+
+  /// One kinetics equivalence class: members sharing identical kinetics
+  /// draws (tau, Ea, permanence) and kinetics parameters.  The class owns
+  /// the arrays the rate computation reads and every per-condition cache.
+  struct TrapClass {
+    TdParameters params;  // kinetics fields authoritative for the class
+    std::vector<double> tau_capture_s;
+    std::vector<double> tau_emission_s;
+    std::vector<double> capture_ea_ev;
+    std::vector<double> emission_ea_ev;
+    std::vector<std::uint8_t> permanent;
+    std::vector<int> members;
+    FactorCache capture_factors;
+    FactorCache emission_factors;
+    std::vector<RateEntry> rate_cache;
+    int rate_cache_next = 0;
+  };
+
+  /// Conditions recur far more across a population sweep than inside one
+  /// chip's campaign (stress + recovery + measurement wake per phase), so
+  /// the batch cache is deeper than the solo ensemble's 6 slots — and a
+  /// miss is promoted immediately: its cost amortizes over every member of
+  /// the class, so there is no one-shot transient path here.
+  static constexpr int kRateCacheSlots = 16;
+
+  void adopt_member(const TrapEnsemble& source);
+  RateEntry& entry_for(TrapClass& cls, const OperatingCondition& condition,
+                       double duty, double dt_s);
+  void apply_members(int lo, int hi);
+
+  BatchConfig config_;
+
+  std::vector<TrapClass> classes_;
+  std::vector<TdParameters> member_params_;
+
+  // --- population state, structure-of-arrays across members --------------
+  /// Member m's traps live at [offsets_[m], offsets_[m + 1]).
+  std::vector<std::size_t> offsets_{0};
+  std::vector<double> delta_vth_v_;
+  std::vector<double> occupancy_;
+
+  /// Per-member pointers into the active rate entries, rebuilt each evolve
+  /// before the apply sweep (kept as a member to avoid per-call allocs).
+  std::vector<const RateEntry*> active_entry_;
+
+  std::uint64_t version_ = 0;
+  mutable std::vector<double> cached_delta_;
+  mutable std::vector<std::uint64_t> cached_delta_version_;
+};
+
+}  // namespace ash::bti

@@ -82,6 +82,24 @@ class TrapEnsemble {
   /// occupancies — and anything derived from them — are unchanged.
   std::uint64_t state_version() const { return version_; }
 
+  /// Read-only view of the trap population's SoA arrays (trap_count()
+  /// entries each).  `bti::BatchEnsemble` adopts members through this view
+  /// so a batch is constructed from the *same* drawn population a solo
+  /// ensemble would evolve — the foundation of the batch engine's
+  /// bit-exactness contract (DESIGN.md Sec. 13).  Pointers are invalidated
+  /// by destroying or moving the ensemble; the arrays themselves are
+  /// immutable after construction.
+  struct PopulationView {
+    const double* delta_vth_v = nullptr;
+    const double* tau_capture_s = nullptr;
+    const double* tau_emission_s = nullptr;
+    const double* capture_ea_ev = nullptr;
+    const double* emission_ea_ev = nullptr;
+    const std::uint8_t* permanent = nullptr;
+    int trap_count = 0;
+  };
+  PopulationView population_view() const;
+
  private:
   /// Per-condition memo: everything of the exact occupancy update
   ///   p' = p_inf + (p - p_inf) * exp(-lambda * dt)

@@ -320,6 +320,18 @@ void TrapEnsemble::reset() {
 
 std::vector<double> TrapEnsemble::occupancies() const { return occupancy_; }
 
+TrapEnsemble::PopulationView TrapEnsemble::population_view() const {
+  PopulationView v;
+  v.delta_vth_v = delta_vth_v_.data();
+  v.tau_capture_s = tau_capture_s_.data();
+  v.tau_emission_s = tau_emission_s_.data();
+  v.capture_ea_ev = capture_ea_ev_.data();
+  v.emission_ea_ev = emission_ea_ev_.data();
+  v.permanent = permanent_.data();
+  v.trap_count = trap_count();
+  return v;
+}
+
 void TrapEnsemble::set_occupancies(const std::vector<double>& occ) {
   if (occ.size() != occupancy_.size()) {
     throw std::invalid_argument(

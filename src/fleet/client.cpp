@@ -343,6 +343,12 @@ MarginResponse Client::margin(const MarginRequest& request) {
       MessageType::kMarginResponse);
 }
 
+MarginBatchResponse Client::margin_batch(const MarginBatchRequest& request) {
+  return unwrap<MarginBatchResponse>(
+      call(MessageType::kMarginBatchRequest, request.encode()),
+      MessageType::kMarginBatchResponse);
+}
+
 RejuvenationResponse Client::rejuvenation(const RejuvenationRequest& request) {
   return unwrap<RejuvenationResponse>(
       call(MessageType::kRejuvenationRequest, request.encode()),

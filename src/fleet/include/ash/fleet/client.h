@@ -107,6 +107,9 @@ class Client {
   /// use call() to observe those responses directly.
   bool ping();
   MarginResponse margin(const MarginRequest& request);
+  /// Whole-shard margin query; rows are bit-identical to per-device
+  /// margin() calls under the same schedule.
+  MarginBatchResponse margin_batch(const MarginBatchRequest& request);
   RejuvenationResponse rejuvenation(const RejuvenationRequest& request);
   /// Stamps the request with this client's id before sending.
   ScheduleSleepResponse schedule_sleep(ScheduleSleepRequest request);

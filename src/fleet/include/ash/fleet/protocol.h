@@ -131,10 +131,12 @@ class ProtocolTallies {
 ProtocolTallies& protocol_tallies();
 
 /// Message types.  Requests are odd, their responses even (request + 1).
-/// Types 13+ are the *volatile scrape channel*: their responses carry
+/// Types 13..18 are the *volatile scrape channel*: their responses carry
 /// operational telemetry that chaos legitimately perturbs, so clients keep
 /// them out of the replay/idempotency and transcript-identity machinery
-/// (12 is left unassigned to preserve the odd/even pairing).
+/// (12 is left unassigned to preserve the odd/even pairing).  Types 19+
+/// return to the deterministic query space — the margin batch is science
+/// payload, transcript-comparable like its single-device sibling.
 enum class MessageType : std::uint32_t {
   kPingRequest = 1,
   kPingResponse = 2,
@@ -153,6 +155,8 @@ enum class MessageType : std::uint32_t {
   kProfileResponse = 16,
   kHealthRequest = 17,
   kHealthResponse = 18,
+  kMarginBatchRequest = 19,
+  kMarginBatchResponse = 20,
 };
 
 const char* to_string(MessageType type);
@@ -253,6 +257,45 @@ struct MarginResponse {
 
   std::string encode() const;
   static MarginResponse parse(std::string_view payload);
+};
+
+/// Cap on devices per margin-batch request; a hostile count is rejected
+/// before any row is buffered.
+inline constexpr std::uint64_t kMaxMarginBatchDevices = 4096;
+
+/// The whole-shard margin query: one mission schedule, many devices.  The
+/// daemon answers through the batched mc::margin_outlook overload, which
+/// hoists the schedule-dependent work once — each row is still
+/// bit-identical to the corresponding single-device kMarginRequest.
+struct MarginBatchRequest {
+  std::vector<std::uint64_t> device_ids;
+  /// Queried mission schedule, shared by every device of the batch.
+  double duty = 0.5;
+  Volts vdd{1.2};
+  Celsius temp{80.0};
+  Seconds horizon = units::hours(10.0 * 365.25 * 24.0);
+
+  std::string encode() const;
+  static MarginBatchRequest parse(std::string_view payload);
+};
+
+/// One device's answer inside a MarginBatchResponse.
+struct MarginBatchRow {
+  std::uint64_t device_id = 0;
+  bool crosses = false;
+  Seconds time_to_margin{0.0};
+  Volts delta_vth{0.0};
+};
+
+struct MarginBatchResponse {
+  Status status = Status::kOk;
+  /// The fleet-wide aging budget the rows were projected against.
+  Volts margin{0.0};
+  /// Answers in request order (one row per requested device).
+  std::vector<MarginBatchRow> rows;
+
+  std::string encode() const;
+  static MarginBatchResponse parse(std::string_view payload);
 };
 
 /// "Which shard needs rejuvenation next epoch?" — ranked by the fractional

@@ -232,6 +232,7 @@ class Service {
 
  private:
   Frame respond_margin(const Frame& request);
+  Frame respond_margin_batch(const Frame& request);
   Frame respond_rejuvenation(const Frame& request);
   Frame respond_schedule_sleep(const Frame& request);
   Frame respond_status(const Frame& request);
@@ -256,7 +257,7 @@ class Service {
   std::uint64_t last_snapshot_sequence_ = 0;
   /// Registered once at construction, indexed by the raw request type;
   /// the request path only ever dereferences (lock-free).
-  std::array<obs::Histogram*, 19> latency_{};
+  std::array<obs::Histogram*, 21> latency_{};
   obs::Histogram* queue_wait_ = nullptr;
   bool draining_ = false;
 };

@@ -306,6 +306,20 @@ Seconds get_seconds(const Doc& doc, const char* key) {
   return Seconds{doc.get_double_in(key, 0.0, 1e18)};
 }
 
+/// A finite double row token (the Doc::get_double discipline, outside the
+/// strict key/value grammar).
+double parse_double_value(std::string_view v, const char* key) {
+  const std::string text(v);
+  char* end = nullptr;
+  const double out = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size() ||
+      !std::isfinite(out)) {
+    throw ProtocolError("field '" + std::string(key) +
+                        "' is not a finite number: '" + text + "'");
+  }
+  return out;
+}
+
 }  // namespace
 
 const char* to_string(MessageType type) {
@@ -327,6 +341,8 @@ const char* to_string(MessageType type) {
     case MessageType::kProfileResponse: return "profile-response";
     case MessageType::kHealthRequest: return "health-request";
     case MessageType::kHealthResponse: return "health-response";
+    case MessageType::kMarginBatchRequest: return "margin-batch-request";
+    case MessageType::kMarginBatchResponse: return "margin-batch-response";
   }
   return "unknown";
 }
@@ -337,12 +353,16 @@ bool known_message_type(std::uint32_t raw) {
   return (raw >= static_cast<std::uint32_t>(MessageType::kPingRequest) &&
           raw <= static_cast<std::uint32_t>(MessageType::kErrorResponse)) ||
          (raw >= static_cast<std::uint32_t>(MessageType::kMetricsRequest) &&
-          raw <= static_cast<std::uint32_t>(MessageType::kHealthResponse));
+          raw <= static_cast<std::uint32_t>(MessageType::kMarginBatchResponse));
 }
 
 bool volatile_message_type(MessageType type) {
-  return static_cast<std::uint32_t>(type) >=
-         static_cast<std::uint32_t>(MessageType::kMetricsRequest);
+  // The scrape channel is the explicit 13..18 block, not "13 and up":
+  // types past it (the margin batch) are deterministic science queries
+  // again and must stay inside the transcript-identity machinery.
+  const auto raw = static_cast<std::uint32_t>(type);
+  return raw >= static_cast<std::uint32_t>(MessageType::kMetricsRequest) &&
+         raw <= static_cast<std::uint32_t>(MessageType::kHealthResponse);
 }
 
 const char* to_string(ProtocolViolation violation) {
@@ -556,6 +576,127 @@ MarginResponse MarginResponse::parse(std::string_view payload) {
   out.time_to_margin = get_seconds(doc, "time_to_margin_s");
   out.delta_vth = Volts{doc.get_double("delta_vth_v")};
   out.margin = Volts{doc.get_double("margin_v")};
+  return out;
+}
+
+std::string MarginBatchRequest::encode() const {
+  std::string out;
+  put_field(out, "duty", fmt_double(duty));
+  put_field(out, "vdd_v", fmt_double(vdd.value()));
+  put_field(out, "temp_c", fmt_double(temp.value()));
+  put_field(out, "horizon_s", fmt_double(horizon.value()));
+  put_field(out, "devices", std::to_string(device_ids.size()));
+  for (std::uint64_t id : device_ids) {
+    put_field(out, "device", std::to_string(id));
+  }
+  return out;
+}
+
+MarginBatchRequest MarginBatchRequest::parse(std::string_view payload) {
+  // Repeated `device` rows put this payload outside the strict Doc
+  // grammar; the line cursor applies the same fail-on-anything-odd
+  // posture (ProfileResponse's codec shape).
+  LineCursor cursor(payload);
+  MarginBatchRequest out;
+  const double duty =
+      parse_double_value(expect_key(cursor.next_line(), "duty"), "duty");
+  if (duty < 0.0 || duty > 1.0) {
+    throw ProtocolError("field 'duty' = " + fmt_double(duty) +
+                        " outside [0, 1]");
+  }
+  out.duty = duty;
+  const double vdd =
+      parse_double_value(expect_key(cursor.next_line(), "vdd_v"), "vdd_v");
+  if (vdd < -5.0 || vdd > 5.0) {
+    throw ProtocolError("field 'vdd_v' = " + fmt_double(vdd) +
+                        " outside [-5, 5]");
+  }
+  out.vdd = Volts{vdd};
+  const double temp =
+      parse_double_value(expect_key(cursor.next_line(), "temp_c"), "temp_c");
+  if (temp < -273.15 || temp > 300.0) {
+    throw ProtocolError("field 'temp_c' = " + fmt_double(temp) +
+                        " outside [-273.15, 300]");
+  }
+  out.temp = Celsius{temp};
+  const double horizon = parse_double_value(
+      expect_key(cursor.next_line(), "horizon_s"), "horizon_s");
+  if (horizon < 0.0 || horizon > 1e18) {
+    throw ProtocolError("field 'horizon_s' = " + fmt_double(horizon) +
+                        " outside [0, 1e18]");
+  }
+  out.horizon = Seconds{horizon};
+  const std::uint64_t rows =
+      parse_u64_value(expect_key(cursor.next_line(), "devices"), "devices");
+  if (rows > kMaxMarginBatchDevices) {
+    throw ProtocolError("hostile device row count " + std::to_string(rows));
+  }
+  out.device_ids.reserve(rows);
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    out.device_ids.push_back(parse_u64_value(
+        expect_key(cursor.next_line(), "device"), "device"));
+  }
+  cursor.expect_done();
+  return out;
+}
+
+std::string MarginBatchResponse::encode() const {
+  std::string out;
+  put_field(out, "status", to_string(status));
+  put_field(out, "margin_v", fmt_double(margin.value()));
+  put_field(out, "rows", std::to_string(rows.size()));
+  for (const MarginBatchRow& r : rows) {
+    put_field(out, "row",
+              std::to_string(r.device_id) + ' ' + (r.crosses ? "1" : "0") +
+                  ' ' + fmt_double(r.time_to_margin.value()) + ' ' +
+                  fmt_double(r.delta_vth.value()));
+  }
+  return out;
+}
+
+MarginBatchResponse MarginBatchResponse::parse(std::string_view payload) {
+  LineCursor cursor(payload);
+  MarginBatchResponse out;
+  out.status = parse_status_value(expect_key(cursor.next_line(), "status"));
+  out.margin = Volts{parse_double_value(
+      expect_key(cursor.next_line(), "margin_v"), "margin_v")};
+  const std::uint64_t rows =
+      parse_u64_value(expect_key(cursor.next_line(), "rows"), "rows");
+  if (rows > kMaxMarginBatchDevices) {
+    throw ProtocolError("hostile margin row count " + std::to_string(rows));
+  }
+  out.rows.reserve(rows);
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    std::string_view row = expect_key(cursor.next_line(), "row");
+    const std::size_t s1 = row.find(' ');
+    const std::size_t s2 =
+        s1 == std::string_view::npos ? s1 : row.find(' ', s1 + 1);
+    const std::size_t s3 =
+        s2 == std::string_view::npos ? s2 : row.find(' ', s2 + 1);
+    if (s1 == std::string_view::npos || s1 == 0 ||
+        s2 == std::string_view::npos || s3 == std::string_view::npos) {
+      throw ProtocolError("malformed margin row '" + std::string(row) + "'");
+    }
+    MarginBatchRow r;
+    r.device_id = parse_u64_value(row.substr(0, s1), "device");
+    const std::string_view crosses = row.substr(s1 + 1, s2 - s1 - 1);
+    if (crosses != "0" && crosses != "1") {
+      throw ProtocolError("field 'crosses' is not 0/1: '" +
+                          std::string(crosses) + "'");
+    }
+    r.crosses = crosses == "1";
+    const double ttm = parse_double_value(row.substr(s2 + 1, s3 - s2 - 1),
+                                          "time_to_margin_s");
+    if (ttm < 0.0 || ttm > 1e18) {
+      throw ProtocolError("field 'time_to_margin_s' = " + fmt_double(ttm) +
+                          " outside [0, 1e18]");
+    }
+    r.time_to_margin = Seconds{ttm};
+    r.delta_vth =
+        Volts{parse_double_value(row.substr(s3 + 1), "delta_vth_v")};
+    out.rows.push_back(r);
+  }
+  cursor.expect_done();
   return out;
 }
 

@@ -288,6 +288,8 @@ Service::Service(ServiceConfig config)
     };
     slot(MessageType::kPingRequest, "fleet.service.latency.ping");
     slot(MessageType::kMarginRequest, "fleet.service.latency.margin");
+    slot(MessageType::kMarginBatchRequest,
+         "fleet.service.latency.margin_batch");
     slot(MessageType::kRejuvenationRequest,
          "fleet.service.latency.rejuvenation");
     slot(MessageType::kScheduleSleepRequest,
@@ -380,6 +382,8 @@ Frame Service::respond(const Frame& request) {
         return Frame{MessageType::kPingResponse, request.request_id, {}};
       case MessageType::kMarginRequest:
         return respond_margin(request);
+      case MessageType::kMarginBatchRequest:
+        return respond_margin_batch(request);
       case MessageType::kRejuvenationRequest:
         return respond_rejuvenation(request);
       case MessageType::kScheduleSleepRequest:
@@ -438,6 +442,52 @@ Frame Service::respond_margin(const Frame& request) {
   resp.delta_vth = query.delta_vth;
   resp.margin = query.margin;
   return Frame{MessageType::kMarginResponse, request.request_id,
+               resp.encode()};
+}
+
+Frame Service::respond_margin_batch(const Frame& request) {
+  const MarginBatchRequest req = MarginBatchRequest::parse(request.payload);
+  for (std::uint64_t id : req.device_ids) {
+    if (id >= state_.devices.size()) {
+      ErrorResponse err;
+      err.status = Status::kUnknownDevice;
+      err.message = strformat("device %llu not tracked (fleet has %llu)",
+                              static_cast<unsigned long long>(id),
+                              static_cast<unsigned long long>(
+                                  state_.devices.size()));
+      return Frame{MessageType::kErrorResponse, request.request_id,
+                   err.encode()};
+    }
+  }
+  std::vector<mc::MarginQuery> queries;
+  queries.reserve(req.device_ids.size());
+  for (std::uint64_t id : req.device_ids) {
+    mc::MarginQuery query;
+    query.delta_vth = state_.devices[id].delta_vth;
+    query.margin = state_.margin;
+    query.duty = req.duty;
+    query.vdd = req.vdd;
+    query.temp = req.temp;
+    query.horizon = req.horizon;
+    queries.push_back(query);
+  }
+  // The batched overload hoists the shared-schedule work once; each row
+  // stays bit-identical to the single-device respond_margin answer.
+  const std::vector<mc::MarginOutlook> outlooks =
+      mc::margin_outlook(model_, queries);
+  MarginBatchResponse resp;
+  resp.status = Status::kOk;
+  resp.margin = state_.margin;
+  resp.rows.reserve(outlooks.size());
+  for (std::size_t i = 0; i < outlooks.size(); ++i) {
+    MarginBatchRow row;
+    row.device_id = req.device_ids[i];
+    row.crosses = outlooks[i].crosses;
+    row.time_to_margin = outlooks[i].time_to_margin;
+    row.delta_vth = queries[i].delta_vth;
+    resp.rows.push_back(row);
+  }
+  return Frame{MessageType::kMarginBatchResponse, request.request_id,
                resp.encode()};
 }
 

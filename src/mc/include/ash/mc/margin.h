@@ -16,6 +16,8 @@
 /// which is what lets two fleet daemons (one chaos-ridden, one not)
 /// answer the same query with identical bytes.
 
+#include <vector>
+
 #include "ash/bti/closed_form.h"
 #include "ash/util/units.h"
 
@@ -49,5 +51,16 @@ struct MarginOutlook {
 /// duty outside [0, 1], non-finite fields).
 MarginOutlook margin_outlook(const bti::ClosedFormModel& model,
                              const MarginQuery& query);
+
+/// Batched projection — the whole-shard form of the query ("when does
+/// every device of this shard cross, under one mission schedule?").  The
+/// expensive condition-independent work (operating-condition construction
+/// and the kMaxProjectSeconds ceiling evaluation) is hoisted once per
+/// distinct (duty, vdd, temp) triple instead of once per device; the
+/// per-device bisections are untouched, so each element of the result is
+/// bit-identical to margin_outlook(model, queries[i]).  Validates every
+/// query before projecting any (all-or-nothing on malformed input).
+std::vector<MarginOutlook> margin_outlook(
+    const bti::ClosedFormModel& model, const std::vector<MarginQuery>& queries);
 
 }  // namespace ash::mc

@@ -56,35 +56,24 @@ double bisect_first_reach(const bti::ClosedFormModel& model,
   return hi;
 }
 
-}  // namespace
-
-MarginOutlook margin_outlook(const bti::ClosedFormModel& model,
-                             const MarginQuery& query) {
-  validate(query);
-
+/// The query-specific tail of the projection, with the condition and its
+/// kMaxProjectSeconds ceiling supplied by the caller.  Shared by the single
+/// and the batched entry points so a hoisted (condition, ceiling) pair
+/// yields bit-identical answers by construction.
+MarginOutlook project(const bti::ClosedFormModel& model,
+                      const MarginQuery& query,
+                      const bti::OperatingCondition& c, double ceiling) {
   MarginOutlook outlook;
-  if (query.delta_vth.value() >= query.margin.value()) {
-    // Already past budget: the crossing is now.
-    outlook.crosses = true;
-    outlook.time_to_margin = Seconds{0.0};
-    return outlook;
-  }
-
-  const bti::OperatingCondition c =
-      query.duty > 0.0 ? bti::ac_stress(query.vdd, query.temp, query.duty)
-                       : bti::recovery(query.vdd, query.temp);
-
-  // Invert the monotone stress law: find the stress-equivalent age t0 that
-  // reproduces the device's current shift under the queried condition.  If
-  // even kMaxProjectSeconds of this condition cannot reproduce it, the
-  // condition ages the device too slowly for any further growth to matter
-  // within a physical horizon.
-  const double ceiling = model.stress_delta_vth(Seconds{kMaxProjectSeconds}, c);
+  // If even kMaxProjectSeconds of this condition cannot reproduce the
+  // current shift (or reach the margin), the condition ages the device too
+  // slowly for any further growth to matter within a physical horizon.
   if (ceiling < query.margin.value() || ceiling < query.delta_vth.value()) {
     outlook.crosses = false;
     outlook.time_to_margin = query.horizon;
     return outlook;
   }
+  // Invert the monotone stress law: find the stress-equivalent age t0 that
+  // reproduces the device's current shift under the queried condition.
   const double t0 = bisect_first_reach(model, c, query.delta_vth.value(),
                                        kMaxProjectSeconds);
 
@@ -101,6 +90,80 @@ MarginOutlook margin_outlook(const bti::ClosedFormModel& model,
   outlook.crosses = true;
   outlook.time_to_margin = Seconds{std::max(0.0, t_cross - t0)};
   return outlook;
+}
+
+bti::OperatingCondition condition_of(const MarginQuery& query) {
+  return query.duty > 0.0 ? bti::ac_stress(query.vdd, query.temp, query.duty)
+                          : bti::recovery(query.vdd, query.temp);
+}
+
+}  // namespace
+
+MarginOutlook margin_outlook(const bti::ClosedFormModel& model,
+                             const MarginQuery& query) {
+  validate(query);
+
+  if (query.delta_vth.value() >= query.margin.value()) {
+    // Already past budget: the crossing is now.
+    MarginOutlook outlook;
+    outlook.crosses = true;
+    outlook.time_to_margin = Seconds{0.0};
+    return outlook;
+  }
+
+  const bti::OperatingCondition c = condition_of(query);
+  const double ceiling = model.stress_delta_vth(Seconds{kMaxProjectSeconds}, c);
+  return project(model, query, c, ceiling);
+}
+
+std::vector<MarginOutlook> margin_outlook(
+    const bti::ClosedFormModel& model,
+    const std::vector<MarginQuery>& queries) {
+  for (const MarginQuery& q : queries) validate(q);
+
+  // One hoisted (condition, ceiling) per distinct mission schedule.  A
+  // whole-shard query carries one schedule for every device, so the linear
+  // scan stays O(1) per query in practice.
+  struct Hoisted {
+    double duty;
+    double vdd;
+    double temp;
+    bti::OperatingCondition c;
+    double ceiling;
+  };
+  std::vector<Hoisted> hoisted;
+
+  std::vector<MarginOutlook> outlooks;
+  outlooks.reserve(queries.size());
+  for (const MarginQuery& q : queries) {
+    if (q.delta_vth.value() >= q.margin.value()) {
+      MarginOutlook outlook;
+      outlook.crosses = true;
+      outlook.time_to_margin = Seconds{0.0};
+      outlooks.push_back(outlook);
+      continue;
+    }
+    const Hoisted* entry = nullptr;
+    for (const Hoisted& h : hoisted) {
+      if (h.duty == q.duty && h.vdd == q.vdd.value() &&
+          h.temp == q.temp.value()) {
+        entry = &h;
+        break;
+      }
+    }
+    if (entry == nullptr) {
+      Hoisted h;
+      h.duty = q.duty;
+      h.vdd = q.vdd.value();
+      h.temp = q.temp.value();
+      h.c = condition_of(q);
+      h.ceiling = model.stress_delta_vth(Seconds{kMaxProjectSeconds}, h.c);
+      hoisted.push_back(h);
+      entry = &hoisted.back();
+    }
+    outlooks.push_back(project(model, q, entry->c, entry->ceiling));
+  }
+  return outlooks;
 }
 
 }  // namespace ash::mc

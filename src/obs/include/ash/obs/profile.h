@@ -35,6 +35,7 @@ enum class Kernel : int {
   kMcSchedDecide,           ///< mc: one scheduler policy decision
   kMcFaultSample,           ///< mc: fault sampling + telemetry corruption
   kMcTelemetry,             ///< mc: margin bookkeeping + trace recording
+  kBtiBatchEvolve,          ///< bti: one whole-population batch aging step
   kCount,                   // sentinel
 };
 

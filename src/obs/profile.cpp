@@ -14,6 +14,7 @@ const char* to_string(Kernel kernel) {
     case Kernel::kMcSchedDecide: return "mc.sched.decide";
     case Kernel::kMcFaultSample: return "mc.fault.sample";
     case Kernel::kMcTelemetry: return "mc.telemetry";
+    case Kernel::kBtiBatchEvolve: return "bti.batch.evolve";
     case Kernel::kCount: break;
   }
   return "unknown";

@@ -80,7 +80,12 @@ class CampaignEngine {
             tc_.phases[static_cast<std::size_t>(pi)].label, "tb.campaign",
             {{"phase_index", std::to_string(pi)}});
       }
-      if (kill_due() || !run_phase(pi, prev_c)) {
+      // The phase-start snapshot is the boundary checkpoint we already
+      // hold: at the first phase it is the restore source itself, and
+      // checkpoint round-trips are byte-exact (canonical %.17g), so
+      // re-serializing the untouched chip here would produce the same
+      // bytes at ~70 KB of string building per phase.
+      if (kill_due() || !run_phase(pi, prev_c, result.checkpoint.chip_state)) {
         // Killed: roll the chip (and clock) back to the last boundary so
         // the caller's chip matches the resumable checkpoint.
         fpga::restore_checkpoint(result.checkpoint.chip_state, chip_);
@@ -120,10 +125,11 @@ class CampaignEngine {
   /// Run every attempt of one phase.  Returns false when the kill switch
   /// fired (the current attempt's work is discarded; the chip is left
   /// mid-attempt and the caller restores the boundary checkpoint).
-  bool run_phase(int phase_index, double prev_chamber_c) {
+  bool run_phase(int phase_index, double prev_chamber_c,
+                 const std::string& snapshot) {
+    // `snapshot` is the phase-start chip state — the rewind target for
+    // watchdog aborts — supplied by the caller's boundary checkpoint.
     const Phase& phase = tc_.phases[static_cast<std::size_t>(phase_index)];
-    // Phase-start snapshot: the rewind target for watchdog aborts.
-    const std::string snapshot = fpga::checkpoint_string(chip_);
     const double t_phase_start = t_campaign_;
 
     const int max_attempts =
@@ -365,10 +371,18 @@ class CampaignEngine {
 
     // Stabilize the chamber before the phase clock starts; the chip keeps
     // aging in the phase's mode at the instantaneous temperature.  The
-    // ramp is outside the fault-event windows.
+    // ramp is outside the fault-event windows.  The step is adaptive: a
+    // chamber already at target settles in zero steps, a near-target
+    // chamber (or an instant one) takes a single closing step of exactly
+    // seconds_to_target(), and only a long physical ramp subdivides — at
+    // kSettleResolutionS so the aging integral tracks the instantaneous
+    // temperature (one merged step would age at the wrong temperature and
+    // break bit-compatibility with recorded campaigns).
+    constexpr double kSettleResolutionS = 60.0;
     while (!chamber.at_target()) {
       if (kill_due()) return SampleStatus::kKilled;
-      const double step = std::min(60.0, chamber.seconds_to_target());
+      const double step =
+          std::min(kSettleResolutionS, chamber.seconds_to_target());
       age(step, /*in_body=*/false, 0.0);
     }
 

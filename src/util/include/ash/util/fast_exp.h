@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file fast_exp.h
+/// The repo's single approximate exponential — the opt-in "fast physics"
+/// kernel behind `bti::BatchConfig::fast_exp` (DESIGN.md Sec. 13).
+///
+/// Everything physical in this library decays or accelerates through
+/// `exp()`: trap capture/emission rates (Arrhenius), field acceleration and
+/// the per-interval occupancy decay.  The noisy-campaign regime is
+/// exp-bound (ROADMAP: ~1.7x end-to-end), so population sweeps amortize a
+/// cheaper exponential over 10^4..10^6 chips — but only as a *per-run
+/// choice*: exact mode stays `std::exp` and bit-identical to the per-chip
+/// kernels, fast mode trades a documented relative error for throughput.
+///
+/// Contract (pinned by tests/util/fast_exp_test.cpp over the domains the
+/// trap kernels actually use — decay exponents in [-700, 0] and Arrhenius
+/// exponents in [-40, 40]):
+///
+///   * relative error  |fast_exp(x) - exp(x)| / exp(x)  <=  kFastExpRelErr
+///     for every x in [-708, 708];
+///   * x < -708: returns exactly 0.0 (exp(x) < DBL_MIN there; occupancy
+///     decay factors that small are a dead trap either way — the exact
+///     kernel short-circuits x < -700 to 0 itself);
+///   * x > 708: falls back to std::exp (overflow edge, never hot);
+///   * NaN propagates; +/-inf behave like std::exp.
+///
+/// Deterministic: pure integer/double arithmetic, no tables, no platform
+/// intrinsics, no FMA dependence (the repo builds at the SSE2 baseline), so
+/// fast mode is as replayable as exact mode — just not bit-equal to it.
+///
+/// ash-lint `float-physics` enforces that this header stays the *only*
+/// non-`std::exp` exponential implementation in the tree: physics code
+/// either calls std::exp or routes through util::fast_exp.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+namespace ash::util {
+
+/// Documented worst-case relative error of fast_exp over [-708, 708].
+/// Degree-7 Taylor on |r| <= ln(2)/2 after range reduction; the measured
+/// sweep maximum is ~7e-9, pinned with headroom at 2e-8.
+inline constexpr double kFastExpRelErr = 2e-8;
+
+/// Approximate e^x.  See the file comment for the error contract.
+inline double fast_exp(double x) {
+  // Range edges first: keep the hot path branch-predictable (both edges
+  // are cold in every trap-kernel sweep).
+  if (!(x >= -708.0)) {  // catches NaN too (NaN fails every comparison)
+    if (std::isnan(x)) return x;
+    return x <= -708.0 ? 0.0 : std::exp(x);  // -inf lands here -> 0
+  }
+  if (x > 708.0) return std::exp(x);
+
+  // exp(x) = 2^k * exp(r) with k = round(x * log2(e)), r = x - k*ln(2),
+  // |r| <= ln(2)/2.  The rounding uses the shift-by-2^52 trick (exact for
+  // |z| < 2^51, far beyond the clamped domain) so there is no libm call
+  // and no rounding-mode dependence worth worrying about: the default
+  // round-to-nearest is part of the determinism contract.
+  constexpr double kLog2e = 1.4426950408889634074;
+  constexpr double kShift = 6755399441055744.0;  // 1.5 * 2^52
+  constexpr double kLn2Hi = 6.93147180369123816490e-01;
+  constexpr double kLn2Lo = 1.90821492927058770002e-10;
+
+  double kd = x * kLog2e + kShift;
+  std::int64_t k;
+  std::memcpy(&k, &kd, sizeof k);
+  k = static_cast<std::int32_t>(k);  // low word holds the rounded integer
+  kd -= kShift;
+
+  // Two-part ln(2) keeps r accurate to ~1 ulp even for |k| ~ 1000.
+  const double r = (x - kd * kLn2Hi) - kd * kLn2Lo;
+
+  // exp(r) by degree-7 Taylor (Horner).  |r| <= 0.3466 makes the
+  // truncation term r^8/8! < 5.2e-9 relative; coefficients are the exact
+  // rationals so the polynomial is transparent to review.
+  const double p =
+      1.0 +
+      r * (1.0 +
+           r * (1.0 / 2 +
+                r * (1.0 / 6 +
+                     r * (1.0 / 24 +
+                          r * (1.0 / 120 +
+                               r * (1.0 / 720 + r * (1.0 / 5040)))))));
+
+  // Assemble 2^k by exponent-field arithmetic.  |x| <= 708 keeps
+  // k in [-1022, 1022]... almost: k can reach -1022 while p < 1 would
+  // land the product in the subnormals; split the scale in two exact
+  // halves so each factor stays normal.
+  const std::int64_t k1 = k / 2;
+  const std::int64_t k2 = k - k1;
+  const auto pow2 = [](std::int64_t e) {
+    const std::uint64_t bits = static_cast<std::uint64_t>(e + 1023) << 52;
+    double s;
+    std::memcpy(&s, &bits, sizeof s);
+    return s;
+  };
+  return (p * pow2(k1)) * pow2(k2);
+}
+
+}  // namespace ash::util

@@ -350,10 +350,94 @@ TEST(PayloadCodec, MessageTypeNamesAreStable) {
   // The volatile scrape channel: types 13..18.
   EXPECT_TRUE(known_message_type(13));
   EXPECT_TRUE(known_message_type(18));
-  EXPECT_FALSE(known_message_type(19));
+  // The margin batch (19/20) follows the scrape block and is known but
+  // NOT volatile: it is deterministic science payload, transcripted like
+  // its single-device sibling.
+  EXPECT_STREQ(to_string(MessageType::kMarginBatchRequest),
+               "margin-batch-request");
+  EXPECT_TRUE(known_message_type(19));
+  EXPECT_TRUE(known_message_type(20));
+  EXPECT_FALSE(known_message_type(21));
   EXPECT_FALSE(volatile_message_type(MessageType::kStatusRequest));
   EXPECT_TRUE(volatile_message_type(MessageType::kMetricsRequest));
   EXPECT_TRUE(volatile_message_type(MessageType::kHealthResponse));
+  EXPECT_FALSE(volatile_message_type(MessageType::kMarginBatchRequest));
+  EXPECT_FALSE(volatile_message_type(MessageType::kMarginBatchResponse));
+}
+
+TEST(PayloadCodec, MarginBatchRequestRoundTripAndRejection) {
+  MarginBatchRequest req;
+  req.device_ids = {0, 7, 3};
+  req.duty = 0.25;
+  req.vdd = Volts{1.1};
+  req.temp = Celsius{95.0};
+  req.horizon = Seconds{3.15e8};
+  const MarginBatchRequest back = MarginBatchRequest::parse(req.encode());
+  EXPECT_EQ(back.device_ids, req.device_ids);
+  EXPECT_EQ(back.duty, req.duty);
+  EXPECT_EQ(back.vdd.value(), req.vdd.value());
+  EXPECT_EQ(back.temp.value(), req.temp.value());
+  EXPECT_EQ(back.horizon.value(), req.horizon.value());
+
+  // An empty batch is legal on the wire (the service answers zero rows).
+  MarginBatchRequest empty;
+  empty.device_ids = {};
+  EXPECT_TRUE(MarginBatchRequest::parse(empty.encode()).device_ids.empty());
+
+  const auto payload = [&](const char* devices_block) {
+    return std::string("duty 0.5\nvdd_v 1.2\ntemp_c 80\nhorizon_s 1000\n") +
+           devices_block;
+  };
+  // Hostile row count, declared-vs-actual mismatch, junk rows.
+  EXPECT_THROW(MarginBatchRequest::parse(payload("devices 1000000\n")),
+               ProtocolError);
+  EXPECT_THROW(MarginBatchRequest::parse(payload("devices 2\ndevice 1\n")),
+               ProtocolError);
+  EXPECT_THROW(
+      MarginBatchRequest::parse(payload("devices 1\ndevice -3\n")),
+      ProtocolError);
+  EXPECT_THROW(
+      MarginBatchRequest::parse(payload("devices 0\ndevice 1\n")),
+      ProtocolError);  // trailing bytes
+  // Out-of-range schedule fields.
+  EXPECT_THROW(MarginBatchRequest::parse(
+                   "duty 1.5\nvdd_v 1.2\ntemp_c 80\nhorizon_s 1\ndevices 0\n"),
+               ProtocolError);
+  EXPECT_THROW(MarginBatchRequest::parse(
+                   "duty 0.5\nvdd_v 9\ntemp_c 80\nhorizon_s 1\ndevices 0\n"),
+               ProtocolError);
+  EXPECT_THROW(MarginBatchRequest::parse(
+                   "duty 0.5\nvdd_v 1.2\ntemp_c 80\nhorizon_s -1\ndevices 0\n"),
+               ProtocolError);
+}
+
+TEST(PayloadCodec, MarginBatchResponseRoundTripAndRejection) {
+  MarginBatchResponse resp;
+  resp.status = Status::kOk;
+  resp.margin = Volts{12e-3};
+  resp.rows = {{0, true, Seconds{123.25}, Volts{0.011}},
+               {42, false, Seconds{3.15e8}, Volts{0.0005}}};
+  const MarginBatchResponse back = MarginBatchResponse::parse(resp.encode());
+  ASSERT_EQ(back.rows.size(), 2u);
+  EXPECT_EQ(back.margin.value(), resp.margin.value());
+  for (std::size_t i = 0; i < back.rows.size(); ++i) {
+    EXPECT_EQ(back.rows[i].device_id, resp.rows[i].device_id);
+    EXPECT_EQ(back.rows[i].crosses, resp.rows[i].crosses);
+    EXPECT_EQ(back.rows[i].time_to_margin.value(),
+              resp.rows[i].time_to_margin.value());
+    EXPECT_EQ(back.rows[i].delta_vth.value(), resp.rows[i].delta_vth.value());
+  }
+
+  const std::string head = "status ok\nmargin_v 0.012\n";
+  EXPECT_THROW(MarginBatchResponse::parse(head + "rows 1000000\n"),
+               ProtocolError);
+  EXPECT_THROW(MarginBatchResponse::parse(head + "rows 1\nrow 1 2 3\n"),
+               ProtocolError);  // too few tokens
+  EXPECT_THROW(MarginBatchResponse::parse(head + "rows 1\nrow 1 yes 3 4\n"),
+               ProtocolError);  // crosses not 0/1
+  EXPECT_THROW(
+      MarginBatchResponse::parse(head + "rows 1\nrow 1 1 -5 0.01\n"),
+      ProtocolError);  // negative time_to_margin
 }
 
 TEST(ScrapeCodec, MetricsRoundTripIncludingRawText) {

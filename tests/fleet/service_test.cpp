@@ -119,6 +119,54 @@ TEST_F(ServiceTest, MarginQueryMatchesDirectProjection) {
             service.state().devices[2].delta_vth.value());
 }
 
+TEST_F(ServiceTest, MarginBatchRowsMatchSingleMarginAnswersBitExactly) {
+  Service service(small_config());
+  MarginBatchRequest batch;
+  batch.device_ids = {5, 0, 3, 5};  // out of order + repeated: both legal
+  batch.duty = 0.75;
+  batch.vdd = Volts{1.1};
+  batch.temp = Celsius{95.0};
+  const Frame reply = service.respond(
+      request(MessageType::kMarginBatchRequest, 7, batch.encode()));
+  ASSERT_EQ(reply.type, MessageType::kMarginBatchResponse);
+  EXPECT_EQ(reply.request_id, 7u);
+  const MarginBatchResponse resp = MarginBatchResponse::parse(reply.payload);
+  EXPECT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(resp.margin.value(), service.state().margin.value());
+  ASSERT_EQ(resp.rows.size(), batch.device_ids.size());
+  for (std::size_t i = 0; i < batch.device_ids.size(); ++i) {
+    MarginRequest solo;
+    solo.device_id = batch.device_ids[i];
+    solo.duty = batch.duty;
+    solo.vdd = batch.vdd;
+    solo.temp = batch.temp;
+    solo.horizon = batch.horizon;
+    const Frame solo_reply = service.respond(
+        request(MessageType::kMarginRequest, 100 + i, solo.encode()));
+    ASSERT_EQ(solo_reply.type, MessageType::kMarginResponse);
+    const MarginResponse solo_resp = MarginResponse::parse(solo_reply.payload);
+    EXPECT_EQ(resp.rows[i].device_id, batch.device_ids[i]);
+    EXPECT_EQ(resp.rows[i].crosses, solo_resp.crosses) << "row " << i;
+    EXPECT_EQ(resp.rows[i].time_to_margin.value(),
+              solo_resp.time_to_margin.value())
+        << "row " << i;
+    EXPECT_EQ(resp.rows[i].delta_vth.value(), solo_resp.delta_vth.value())
+        << "row " << i;
+  }
+}
+
+TEST_F(ServiceTest, MarginBatchWithUnknownDeviceEarnsUnknownDeviceStatus) {
+  Service service(small_config());
+  MarginBatchRequest batch;
+  batch.device_ids = {1, 999, 2};  // 999 does not exist: whole batch fails
+  const Frame reply = service.respond(
+      request(MessageType::kMarginBatchRequest, 8, batch.encode()));
+  ASSERT_EQ(reply.type, MessageType::kErrorResponse);
+  const ErrorResponse err = ErrorResponse::parse(reply.payload);
+  EXPECT_EQ(err.status, Status::kUnknownDevice);
+  EXPECT_NE(err.message.find("not tracked"), std::string::npos);
+}
+
 TEST_F(ServiceTest, UnknownDeviceEarnsUnknownDeviceStatus) {
   Service service(small_config());
   MarginRequest req;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -130,6 +131,44 @@ TEST(MarginOutlook, ZeroDutyPureRecoveryNeverCrosses) {
   const MarginOutlook outlook = margin_outlook(model(), q);
   EXPECT_FALSE(outlook.crosses);
   EXPECT_EQ(outlook.time_to_margin.value(), q.horizon.value());
+}
+
+TEST(MarginOutlook, BatchedOverloadIsBitIdenticalToSingleCalls) {
+  // A whole-shard query: many devices share a handful of schedules, which
+  // is exactly the (condition, ceiling) hoisting case the overload exists
+  // for.  The contract is bit-identity, not closeness.
+  std::vector<MarginQuery> queries;
+  const double duties[] = {0.0, 0.25, 0.25, 1.0};
+  const double vdds[] = {1.2, 1.2, 2.5, 2.5};
+  for (int i = 0; i < 64; ++i) {
+    MarginQuery q;
+    q.delta_vth = Volts{1e-4 * static_cast<double>(i)};
+    q.margin = Volts{12e-3};
+    q.duty = duties[i % 4];
+    q.vdd = Volts{vdds[i % 4]};
+    q.temp = Celsius{i % 2 == 0 ? 80.0 : 110.0};
+    q.horizon = Seconds{1e15};
+    queries.push_back(q);
+  }
+  const std::vector<MarginOutlook> batched = margin_outlook(model(), queries);
+  ASSERT_EQ(batched.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const MarginOutlook solo = margin_outlook(model(), queries[i]);
+    EXPECT_EQ(batched[i].crosses, solo.crosses) << "query " << i;
+    EXPECT_EQ(batched[i].time_to_margin.value(),
+              solo.time_to_margin.value())
+        << "query " << i;
+  }
+}
+
+TEST(MarginOutlook, BatchedOverloadValidatesEveryQueryUpFront) {
+  MarginQuery good;
+  MarginQuery bad;
+  bad.duty = 1.5;
+  // All-or-nothing: one malformed query rejects the whole batch.
+  EXPECT_THROW(margin_outlook(model(), std::vector<MarginQuery>{good, bad}),
+               std::invalid_argument);
+  EXPECT_TRUE(margin_outlook(model(), std::vector<MarginQuery>{}).empty());
 }
 
 }  // namespace

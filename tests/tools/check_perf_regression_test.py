@@ -122,6 +122,59 @@ class CheckPerfRegressionTest(unittest.TestCase):
         code, _, _ = self.run_gate(cur, base)
         self.assertEqual(code, 1)
 
+    def test_mixed_old_and_new_baseline_kernels(self):
+        # A refreshed bench emits kernels an old baseline has never heard
+        # of (bti.batch.evolve) and may drop retired ones.  Names present
+        # in only one file are reported and skipped; the shared set is
+        # still gated.
+        cur = self.write("cur.json", {"kernels": [
+            {"name": KERNEL, "ns_per_call": 120.0},
+            {"name": "bti.batch.evolve", "ns_per_call": 50.0},
+        ]})
+        base = self.write("base.json", {"kernels": [
+            {"name": KERNEL, "ns_per_call": 100.0},
+            {"name": "retired.kernel", "ns_per_call": 10.0},
+        ]})
+        code, out, _ = self.run_gate(cur, base)
+        self.assertEqual(code, 0, out)
+        self.assertIn("bti.batch.evolve: only in current -> SKIPPED", out)
+        self.assertIn("retired.kernel: only in baseline -> SKIPPED", out)
+
+    def test_shared_secondary_kernel_is_gated_too(self):
+        cur = self.write("cur.json", {"kernels": [
+            {"name": KERNEL, "ns_per_call": 100.0},
+            {"name": "bti.batch.evolve", "ns_per_call": 500.0},
+        ]})
+        base = self.write("base.json", {"kernels": [
+            {"name": KERNEL, "ns_per_call": 100.0},
+            {"name": "bti.batch.evolve", "ns_per_call": 100.0},
+        ]})
+        code, out, _ = self.run_gate(cur, base)
+        self.assertEqual(code, 1, out)
+        self.assertIn("bti.batch.evolve", out)
+        self.assertIn("REGRESSION", out)
+
+    def test_population_speedup_floors(self):
+        # The batch-engine speedups are hard floors, not ratios against
+        # the baseline: below 5x exact / 8x fast the fused sweep has
+        # degenerated and no noise allowance forgives it.
+        base = self.write("base.json", bench_doc(100.0))
+        ok = dict(bench_doc(100.0), population_speedup_exact=6.0,
+                  population_speedup_fast=9.0)
+        code, out, _ = self.run_gate(self.write("ok.json", ok), base)
+        self.assertEqual(code, 0, out)
+        self.assertIn("population_speedup_exact: 6.00x", out)
+        slow = dict(bench_doc(100.0), population_speedup_exact=4.5,
+                    population_speedup_fast=9.0)
+        code, out, _ = self.run_gate(self.write("slow.json", slow), base)
+        self.assertEqual(code, 1, out)
+        self.assertIn("population_speedup_exact: 4.50x", out)
+        self.assertIn("REGRESSION", out)
+        # A run without the summary (old binary) is not penalized.
+        code, _, _ = self.run_gate(self.write("bare.json", bench_doc(100.0)),
+                                   base)
+        self.assertEqual(code, 0)
+
 
 if __name__ == "__main__":
     unittest.main()

@@ -1,0 +1,88 @@
+#include "ash/util/fast_exp.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace ash::util {
+namespace {
+
+double rel_err(double x) {
+  const double exact = std::exp(x);
+  return std::abs(fast_exp(x) - exact) / exact;
+}
+
+// The documented contract: relative error <= kFastExpRelErr everywhere in
+// [-708, 708].  Dense uniform sweep with an irrational-ish step so the
+// samples don't land on the range-reduction grid.
+TEST(FastExp, FullDomainRelativeErrorBound) {
+  double worst = 0.0;
+  for (double x = -708.0; x <= 708.0; x += 0.0317) {
+    worst = std::max(worst, rel_err(x));
+  }
+  EXPECT_LE(worst, kFastExpRelErr) << "sweep max " << worst;
+}
+
+// The decay domain the trap kernels actually evaluate: exp(-lambda * dt)
+// with the kernel short-circuiting x > 700 to zero, so fast_exp sees
+// exponents in [-700, 0].  Finer sweep near zero where decay factors of
+// real campaign steps live (lambda*dt between ~1e-9 and ~10).
+TEST(FastExp, DecayDomainRelativeErrorBound) {
+  double worst = 0.0;
+  for (double x = -700.0; x <= 0.0; x += 0.0071) {
+    worst = std::max(worst, rel_err(x));
+  }
+  for (double x = -10.0; x <= 0.0; x += 1.3e-4) {
+    worst = std::max(worst, rel_err(x));
+  }
+  EXPECT_LE(worst, kFastExpRelErr) << "sweep max " << worst;
+}
+
+// The Arrhenius domain: exponents -Ea * arr_x for Ea in [0, ~0.6] eV and
+// |arr_x| up to ~70 /eV (20 degC vs 110 degC against the reference
+// temperatures), i.e. roughly [-42, 42].
+TEST(FastExp, ArrheniusDomainRelativeErrorBound) {
+  double worst = 0.0;
+  for (double x = -42.0; x <= 42.0; x += 3.3e-4) {
+    worst = std::max(worst, rel_err(x));
+  }
+  EXPECT_LE(worst, kFastExpRelErr) << "sweep max " << worst;
+}
+
+TEST(FastExp, UnderflowEdgeReturnsExactZero) {
+  EXPECT_EQ(fast_exp(-708.0000001), 0.0);
+  EXPECT_EQ(fast_exp(-709.0), 0.0);
+  EXPECT_EQ(fast_exp(-1e6), 0.0);
+  EXPECT_EQ(fast_exp(-std::numeric_limits<double>::infinity()), 0.0);
+}
+
+TEST(FastExp, OverflowEdgeMatchesStdExp) {
+  EXPECT_EQ(fast_exp(709.0), std::exp(709.0));
+  EXPECT_EQ(fast_exp(800.0), std::exp(800.0));  // inf
+  EXPECT_EQ(fast_exp(std::numeric_limits<double>::infinity()),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(FastExp, NanPropagates) {
+  EXPECT_TRUE(std::isnan(fast_exp(std::numeric_limits<double>::quiet_NaN())));
+}
+
+TEST(FastExp, ExactAtZero) { EXPECT_EQ(fast_exp(0.0), 1.0); }
+
+// Results never go negative and stay monotone enough for physics use: a
+// larger decay exponent magnitude never yields a larger factor on the
+// sweep grid (weak monotonicity; the approximation error is far below the
+// grid-to-grid change).
+TEST(FastExp, NonNegativeAndWeaklyMonotoneOnGrid) {
+  double prev = 0.0;
+  for (double x = -740.0; x <= 20.0; x += 0.01) {
+    const double y = fast_exp(x);
+    EXPECT_GE(y, 0.0);
+    EXPECT_GE(y, prev);
+    prev = y;
+  }
+}
+
+}  // namespace
+}  // namespace ash::util

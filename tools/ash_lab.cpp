@@ -11,6 +11,14 @@
 ///                      [--rec-hours 6] [--checkpoint FILE]
 ///   plan      — cheapest sleep conditions for a recovery target
 ///       ash_lab plan [--target 0.9] [--budget-hours 6] [--stress-hours 24]
+///   population — sweep a chip population through the batch engine
+///       ash_lab population [--chips 1024] [--seed N] [--mode exact|fast]
+///                          [--steps 474] [--temp 110] [--jobs N]
+///       N chips with log-normal corner spread aged in lockstep under a
+///       drifting DC-stress chamber (the bench_perf_kernels population
+///       workload); prints the DeltaVth spread and wall time.  --mode fast
+///       opts into util::fast_exp physics (deterministic, but not
+///       bit-equal to exact; see DESIGN.md Sec. 13).
 ///   chipN     — run ONE Table 1 chip of the paper campaign (chip1..chip5)
 ///       ash_lab chip5 [--stages 75] [--out DIR] [--seed N]
 ///                     [--fault-plan none|representative|harsh]
@@ -37,13 +45,17 @@
 /// Everything is deterministic under --seed; exit status is non-zero on
 /// usage errors.
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "ash/bti/batch_ensemble.h"
 #include "ash/core/metrics.h"
 #include "ash/core/planner.h"
 #include "ash/fpga/checkpoint.h"
@@ -58,6 +70,7 @@
 #include "ash/util/atomic_file.h"
 #include "ash/util/constants.h"
 #include "ash/util/flags.h"
+#include "ash/util/random.h"
 #include "ash/util/table.h"
 #include "ash/util/thread_pool.h"
 
@@ -68,8 +81,8 @@ using namespace ash;
 int usage() {
   std::fprintf(
       stderr,
-      "usage: ash_lab <campaign|chip1..chip5|stress|plan|multicore> "
-      "[--flags]\n"
+      "usage: ash_lab <campaign|chip1..chip5|stress|plan|population|"
+      "multicore> [--flags]\n"
       "observability: --trace FILE --metrics FILE --profile\n"
       "see the header of tools/ash_lab.cpp for flag lists\n");
   return 2;
@@ -292,6 +305,90 @@ int cmd_stress(const Flags& flags) {
   return 0;
 }
 
+/// Sweep an N-chip population through the batch-of-chips engine
+/// (DESIGN.md Sec. 13): log-normal corner spread on the per-trap impact
+/// scale, aged in lockstep under a drifting DC-stress chamber — the
+/// never-repeating-condition regime where the per-chip path repays the
+/// full rate computation per chip per step and the batch engine pays it
+/// once per trap class.
+int cmd_population(const Flags& flags) {
+  flags.check_known(
+      with_obs({"chips", "seed", "mode", "steps", "temp", "jobs"}));
+  const int chips = flags.get("chips", 1024);
+  const int steps = flags.get("steps", 360);
+  if (chips < 1 || steps < 1) {
+    std::fprintf(stderr, "ash_lab: --chips and --steps must be >= 1\n");
+    return 2;
+  }
+  const std::string mode = flags.get("mode", std::string("exact"));
+  if (mode != "exact" && mode != "fast") {
+    std::fprintf(stderr, "ash_lab: --mode must be exact or fast\n");
+    return 2;
+  }
+  const auto seed = static_cast<std::uint64_t>(flags.get("seed", 0xF1EE7));
+  const double temp_c = flags.get("temp", 110.0);
+
+  // One kinetics class: every chip shares (seed, kinetics), differing only
+  // in its corner scale on delta_vth_mean_v — exactly the bench workload,
+  // so `--profile` here shows the same bti.batch.evolve kernel the CI
+  // perf gate tracks.
+  std::vector<bti::BatchMemberSpec> specs;
+  Rng scales(seed);
+  for (int m = 0; m < chips; ++m) {
+    bti::TdParameters p = bti::default_td_parameters();
+    p.delta_vth_mean_v *= std::exp(scales.normal(0.0, 0.05));
+    specs.push_back({p, seed + 1});
+  }
+
+  bti::BatchConfig bc;
+  bc.fast_exp = (mode == "fast");
+  const int jobs = flags.get("jobs", 0);
+  std::unique_ptr<util::ThreadPool> pool;
+  if (flags.has("jobs")) {
+    pool = std::make_unique<util::ThreadPool>(
+        jobs != 0 ? jobs : util::recommended_pool_size(chips));
+    bc.pool = pool.get();
+  }
+  bti::BatchEnsemble batch(specs, bc);
+  std::printf("population: %d chip(s), %d class(es), %d trap(s)/chip, "
+              "%s physics\n",
+              batch.member_count(), batch.class_count(), batch.trap_count(0),
+              mode.c_str());
+
+  // Harness wall time around the sweep (reported, never fed back into the
+  // physics) — the same legitimacy as the bench timers.
+  const auto t0 = std::chrono::steady_clock::now();  // ash-lint: allow(wall-clock)
+  for (int s = 0; s < steps; ++s) {
+    bti::OperatingCondition cond;
+    cond.voltage_v = 1.2;
+    cond.temperature_k = celsius(temp_c) + 0.011 * s;  // drifting chamber
+    cond.gate_stress_duty = 1.0;
+    batch.evolve(cond, Seconds{60.0});
+  }
+  const auto t1 = std::chrono::steady_clock::now();  // ash-lint: allow(wall-clock)
+
+  const std::vector<double> shifts = batch.delta_vth_all();
+  double lo = shifts.front(), hi = shifts.front(), sum = 0.0;
+  for (const double v : shifts) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    sum += v;
+  }
+  Table t({"metric", "value"});
+  t.add_row({"stress time", fmt_fixed(steps * 60.0 / 3600.0, 2) + " h @ " +
+                                fmt_fixed(temp_c, 0) + " degC (drifting)"});
+  t.add_row({"mean DeltaVth", fmt_fixed(sum / chips * 1e3, 4) + " mV"});
+  t.add_row({"min DeltaVth", fmt_fixed(lo * 1e3, 4) + " mV"});
+  t.add_row({"max DeltaVth", fmt_fixed(hi * 1e3, 4) + " mV"});
+  t.add_row({"sweep wall time",
+             fmt_fixed(std::chrono::duration<double, std::milli>(t1 - t0)
+                           .count(),
+                       1) +
+                 " ms"});
+  std::printf("%s", t.render().c_str());
+  return 0;
+}
+
 int cmd_plan(const Flags& flags) {
   flags.check_known(with_obs({"target", "budget-hours", "stress-hours"}));
   core::PlannerConfig cfg;
@@ -380,6 +477,7 @@ int dispatch(const std::string& cmd, const Flags& flags) {
   if (cmd == "campaign") return cmd_campaign(flags);
   if (cmd == "stress") return cmd_stress(flags);
   if (cmd == "plan") return cmd_plan(flags);
+  if (cmd == "population") return cmd_population(flags);
   if (cmd == "multicore") return cmd_multicore(flags);
   if (cmd.rfind("chip", 0) == 0) return cmd_chip(flags, cmd);
   return usage();
