@@ -25,8 +25,8 @@ int main() {
            "mean leakage", "availability", "bias state"});
   const auto row = [&](const char* name, const core::AbbArm& a,
                        const char* bias) {
-    t.add_row({name, fmt_fixed(a.end_delta_vth_v * 1e3, 2),
-               fmt_fixed(a.end_residual_vth_v * 1e3, 2),
+    t.add_row({name, fmt_fixed(a.end_delta_vth_v.value() * 1e3, 2),
+               fmt_fixed(a.end_residual_vth_v.value() * 1e3, 2),
                fmt_fixed(a.mean_leakage_ratio, 2) + "x",
                fmt_percent(a.availability, 0), bias});
   };
@@ -44,11 +44,11 @@ int main() {
            "mean leakage"});
   for (double range_mv : {10.0, 20.0, 40.0, 80.0, 450.0}) {
     core::AbbConfig c2;
-    c2.max_body_bias_v = range_mv * 1e-3;
+    c2.max_body_bias_v = Volts{range_mv * 1e-3};
     const auto s2 = core::run_abb_study(c2);
     b.add_row({fmt_fixed(range_mv, 0),
                s2.abb.bias_exhausted ? "yes" : "no",
-               fmt_fixed(s2.abb.end_residual_vth_v * 1e3, 2),
+               fmt_fixed(s2.abb.end_residual_vth_v.value() * 1e3, 2),
                fmt_fixed(s2.abb.mean_leakage_ratio, 2) + "x"});
   }
   std::printf("%s\n", b.render().c_str());

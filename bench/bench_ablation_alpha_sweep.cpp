@@ -62,9 +62,9 @@ int main() {
     cfg.target_recovered_fraction = target;
     const auto plan = core::plan_recovery(cfg);
     p.add_row({fmt_percent(target, 0), plan.feasible ? "yes" : "no",
-               plan.feasible ? fmt_fixed(plan.voltage_v, 2) : "-",
-               plan.feasible ? fmt_fixed(plan.temp_c, 0) : "-",
-               plan.feasible ? fmt_fixed(to_hours(plan.sleep_s), 2) : "-",
+               plan.feasible ? fmt_fixed(plan.voltage_v.value(), 2) : "-",
+               plan.feasible ? fmt_fixed(plan.temp_c.value(), 0) : "-",
+               plan.feasible ? fmt_fixed(to_hours(plan.sleep_s.value()), 2) : "-",
                plan.feasible ? strformat("%.0f", plan.cost) : "-"});
   }
   std::printf("%s\n", p.render().c_str());

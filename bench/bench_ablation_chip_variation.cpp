@@ -71,8 +71,8 @@ struct ChipMetrics {
 };
 
 ChipMetrics chip_metrics(const tb::DataLog& log) {
-  const double fresh_hz = log.records().front().frequency_hz;
-  const double fresh_delay = log.records().front().delay_s;
+  const double fresh_hz = log.records().front().frequency_hz.value();
+  const double fresh_delay = log.records().front().delay_s.value();
   const auto stress_f = log.frequency_series("AS110DC24");
   return ChipMetrics{
       fresh_hz / 1e6,

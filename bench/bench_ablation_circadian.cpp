@@ -24,20 +24,22 @@ int main() {
   Table t({"period (h)", "alpha", "availability", "worst dVth (mV)",
            "mean dVth (mV)", "permanent (mV)"});
   for (const auto& p : points) {
-    t.add_row({fmt_fixed(to_hours(p.cycle_period_s), 0), fmt_fixed(p.alpha, 0),
+    t.add_row({fmt_fixed(to_hours(p.cycle_period_s.value()), 0),
+               fmt_fixed(p.alpha, 0),
                fmt_percent(p.availability, 1),
-               fmt_fixed(p.worst_delta_vth_v * 1e3, 2),
-               fmt_fixed(p.mean_delta_vth_v * 1e3, 2),
-               fmt_fixed(p.end_permanent_v * 1e3, 2)});
+               fmt_fixed(p.worst_delta_vth_v.value() * 1e3, 2),
+               fmt_fixed(p.mean_delta_vth_v.value() * 1e3, 2),
+               fmt_fixed(p.end_permanent_v.value() * 1e3, 2)});
   }
   std::printf("%s\n", t.render().c_str());
 
   std::printf("--- availability vs worst-aging Pareto frontier ---\n");
   Table f({"period (h)", "alpha", "availability", "worst dVth (mV)"});
   for (const auto& p : core::pareto_schedules(points)) {
-    f.add_row({fmt_fixed(to_hours(p.cycle_period_s), 0), fmt_fixed(p.alpha, 0),
+    f.add_row({fmt_fixed(to_hours(p.cycle_period_s.value()), 0),
+               fmt_fixed(p.alpha, 0),
                fmt_percent(p.availability, 1),
-               fmt_fixed(p.worst_delta_vth_v * 1e3, 2)});
+               fmt_fixed(p.worst_delta_vth_v.value() * 1e3, 2)});
   }
   std::printf("%s\n", f.render().c_str());
   std::printf(

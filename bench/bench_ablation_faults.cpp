@@ -47,7 +47,7 @@ double margin_relaxed(const tb::DataLog& log) {
   double fresh_delay = 0.0;
   for (const auto& r : log.records()) {
     if (r.usable()) {
-      fresh_delay = r.delay_s;
+      fresh_delay = r.delay_s.value();
       break;
     }
   }
@@ -58,7 +58,7 @@ double margin_relaxed(const tb::DataLog& log) {
 std::vector<double> usable_delays(const tb::DataLog& log) {
   std::vector<double> out;
   for (const auto& r : log.records()) {
-    if (r.usable()) out.push_back(r.delay_s);
+    if (r.usable()) out.push_back(r.delay_s.value());
   }
   return out;
 }

@@ -25,8 +25,8 @@ int main() {
   Table t({"strategy", "end aging (mV)", "permanent (mV)", "energy ratio",
            "stress duty"});
   const auto row = [&](const char* name, const core::StrategyOutcome& o) {
-    t.add_row({name, fmt_fixed(o.end_delta_vth_v * 1e3, 2),
-               fmt_fixed(o.permanent_v * 1e3, 2), fmt_fixed(o.energy_ratio, 2),
+    t.add_row({name, fmt_fixed(o.end_delta_vth_v.value() * 1e3, 2),
+               fmt_fixed(o.permanent_v.value() * 1e3, 2), fmt_fixed(o.energy_ratio, 2),
                fmt_percent(o.stress_duty, 0)});
   };
   row("always-on nominal", study.nominal);
@@ -52,10 +52,10 @@ int main() {
   Table b({"boost Vdd (V)", "speedup", "GNOMO aging (mV)", "energy ratio"});
   for (double boost : {1.26, 1.32, 1.38, 1.44}) {
     core::GnomoConfig c2;
-    c2.boost_v = boost;
+    c2.boost_v = Volts{boost};
     const auto s2 = core::run_gnomo_study(c2);
     b.add_row({fmt_fixed(boost, 2), fmt_fixed(core::gnomo_speedup(c2), 3),
-               fmt_fixed(s2.gnomo.end_delta_vth_v * 1e3, 2),
+               fmt_fixed(s2.gnomo.end_delta_vth_v.value() * 1e3, 2),
                fmt_fixed(s2.gnomo.energy_ratio, 2)});
   }
   std::printf("%s\n", b.render().c_str());

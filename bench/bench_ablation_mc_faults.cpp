@@ -40,10 +40,10 @@ struct Tally {
 
 ash::mc::SystemConfig study_config() {
   ash::mc::SystemConfig cfg;
-  cfg.horizon_s = 2.0 * kYearS;
+  cfg.horizon_s = ash::Seconds{2.0 * kYearS};
   // 8 mV rather than the ideal-study 9 mV: dead cores are dark silicon,
   // the fleet runs cooler, and even all-active survivors stay under 9 mV.
-  cfg.margin_delta_vth_v = 8e-3;
+  cfg.margin_delta_vth_v = ash::Volts{8e-3};
   return cfg;
 }
 
@@ -86,11 +86,11 @@ int main() {
                                   : static_cast<mc::Scheduler*>(&managed);
       const auto r = simulate_system(cfg, *policy, plan, &report);
       auto& t = tally[v];
-      ttm[v] = r.time_to_first_margin_s;
-      t.ttm_days_sum += r.time_to_first_margin_s / kDayS;
+      ttm[v] = r.time_to_first_margin_s.value();
+      t.ttm_days_sum += r.time_to_first_margin_s.value() / kDayS;
       t.censored += r.margin_exceeded ? 0 : 1;
       t.deaths += report.permanent_deaths;
-      t.deficit_core_days_sum += r.demand_deficit_core_s / kDayS;
+      t.deficit_core_days_sum += r.demand_deficit_core_s.value() / kDayS;
       t.lost_intervals += report.core_intervals_lost;
       t.accounted += report.accounted() ? 1 : 0;
       merged[v].merge(report);

@@ -38,14 +38,14 @@ int main() {
     cc.pbti_amplitude_ratio = r.ratio;
     fpga::FpgaChip dc_chip(cc);
     fpga::FpgaChip ac_chip(cc);
-    const double f_dc = dc_chip.ro_frequency_hz(Volts{1.2}, Kelvin{room});
-    const double f_ac = ac_chip.ro_frequency_hz(Volts{1.2}, Kelvin{room});
+    const double f_dc = dc_chip.ro_frequency_hz(Volts{1.2}, Kelvin{room}).value();
+    const double f_ac = ac_chip.ro_frequency_hz(Volts{1.2}, Kelvin{room}).value();
     dc_chip.evolve(fpga::RoMode::kDcFrozen, bti::dc_stress(Volts{1.2}, Celsius{110.0}),
                    Seconds{hours(24.0)});
     ac_chip.evolve(fpga::RoMode::kAcOscillating, bti::ac_stress(Volts{1.2}, Celsius{110.0}),
                    Seconds{hours(24.0)});
-    const double deg_dc = 1.0 - dc_chip.ro_frequency_hz(Volts{1.2}, Kelvin{room}) / f_dc;
-    const double deg_ac = 1.0 - ac_chip.ro_frequency_hz(Volts{1.2}, Kelvin{room}) / f_ac;
+    const double deg_dc = 1.0 - dc_chip.ro_frequency_hz(Volts{1.2}, Kelvin{room}).value() / f_dc;
+    const double deg_ac = 1.0 - ac_chip.ro_frequency_hz(Volts{1.2}, Kelvin{room}).value() / f_ac;
     t.add_row({fmt_fixed(r.ratio, 1), r.analogue, fmt_fixed(deg_dc * 100, 2),
                fmt_fixed(deg_ac * 100, 2), fmt_fixed(deg_ac / deg_dc, 2)});
   }

@@ -26,20 +26,20 @@ int main() {
         core::Policy::kReactive, core::Policy::kProactive}) {
     core::LifetimeConfig cfg;
     cfg.policy = policy;
-    cfg.horizon_s = 5.0 * 365.25 * 86400.0;
-    cfg.margin_delta_vth_v = 9.5e-3;
+    cfg.horizon_s = Seconds{5.0 * 365.25 * 86400.0};
+    cfg.margin_delta_vth_v = Volts{9.5e-3};
     const auto r = simulate_lifetime(cfg);
     double mean_mv = 0.0;
     for (const auto& s : r.trace.samples()) mean_mv += s.value;
     mean_mv = mean_mv / static_cast<double>(r.trace.size()) * 1e3;
     t.add_row({to_string(policy),
                r.margin_exceeded
-                   ? fmt_fixed(r.time_to_margin_s / 86400.0, 0)
-                   : ">" + fmt_fixed(cfg.horizon_s / 86400.0, 0),
+                   ? fmt_fixed(r.time_to_margin_s.value() / 86400.0, 0)
+                   : ">" + fmt_fixed(cfg.horizon_s.value() / 86400.0, 0),
                fmt_percent(r.availability, 1),
                strformat("%d", r.recovery_events), fmt_fixed(mean_mv, 2),
-               fmt_fixed(r.worst_delta_vth_v * 1e3, 2),
-               fmt_fixed(r.end_permanent_v * 1e3, 2)});
+               fmt_fixed(r.worst_delta_vth_v.value() * 1e3, 2),
+               fmt_fixed(r.end_permanent_v.value() * 1e3, 2)});
   }
   std::printf("%s\n", t.render().c_str());
   std::printf(

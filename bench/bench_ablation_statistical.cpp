@@ -28,11 +28,11 @@ int main() {
     cfg.chips = 200;
     cfg.policy = policy;
     const auto r = core::simulate_population(cfg);
-    if (policy == core::Policy::kNoRecovery) baseline_p99 = r.p99_v;
-    t.add_row({to_string(policy), fmt_fixed(r.p50_v * 1e3, 2),
-               fmt_fixed(r.p95_v * 1e3, 2), fmt_fixed(r.p99_v * 1e3, 2),
-               fmt_fixed(r.worst_v * 1e3, 2),
-               fmt_percent(1.0 - r.p99_v / baseline_p99, 0)});
+    if (policy == core::Policy::kNoRecovery) baseline_p99 = r.p99_v.value();
+    t.add_row({to_string(policy), fmt_fixed(r.p50_v.value() * 1e3, 2),
+               fmt_fixed(r.p95_v.value() * 1e3, 2), fmt_fixed(r.p99_v.value() * 1e3, 2),
+               fmt_fixed(r.worst_v.value() * 1e3, 2),
+               fmt_percent(1.0 - r.p99_v.value() / baseline_p99, 0)});
   }
   std::printf("%s\n", t.render().c_str());
   std::printf(

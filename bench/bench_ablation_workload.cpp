@@ -20,10 +20,10 @@ int main() {
       "night-time demand valleys provide the sleep budget for free");
 
   mc::SystemConfig cfg;
-  cfg.horizon_s = 1.0 * 365.25 * 86400.0;
-  cfg.margin_delta_vth_v = 9e-3;
+  cfg.horizon_s = Seconds{1.0 * 365.25 * 86400.0};
+  cfg.margin_delta_vth_v = Volts{9e-3};
   // Hourly scheduling: resolves the day/night edges of the demand curve.
-  cfg.interval_s = 3600.0;
+  cfg.interval_s = Seconds{3600.0};
 
   const mc::DiurnalWorkload diurnal(/*day=*/8, /*night=*/3);
   const mc::ConstantWorkload peak(8);
@@ -47,11 +47,11 @@ int main() {
     t.add_row({arm.name,
                fmt_fixed(r.throughput_core_s / cfg.horizon_s, 2),
                fmt_percent(r.sleep_share, 1),
-               std::isnan(r.mean_sleep_temp_c)
+               std::isnan(r.mean_sleep_temp_c.value())
                    ? std::string("-")
-                   : fmt_fixed(r.mean_sleep_temp_c, 1),
-               fmt_fixed(r.mean_end_delta_vth_v * 1e3, 2),
-               fmt_fixed(r.worst_end_delta_vth_v * 1e3, 2)});
+                   : fmt_fixed(r.mean_sleep_temp_c.value(), 1),
+               fmt_fixed(r.mean_end_delta_vth_v.value() * 1e3, 2),
+               fmt_fixed(r.worst_end_delta_vth_v.value() * 1e3, 2)});
   }
   std::printf("%s\n", t.render().c_str());
   std::printf(

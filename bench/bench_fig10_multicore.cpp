@@ -21,8 +21,8 @@ int main() {
       "lifetime and respects TDP");
 
   mc::SystemConfig cfg;
-  cfg.horizon_s = 2.0 * 365.25 * 86400.0;
-  cfg.margin_delta_vth_v = 9e-3;
+  cfg.horizon_s = Seconds{2.0 * 365.25 * 86400.0};
+  cfg.margin_delta_vth_v = Volts{9e-3};
 
   mc::AllActiveScheduler all_active;
   mc::RoundRobinSleepScheduler rr_passive(/*rejuvenate=*/false);
@@ -38,20 +38,20 @@ int main() {
   double circadian_ttm = 0.0;
   for (auto* s : schedulers) {
     const auto r = simulate_system(cfg, *s);
-    if (s == &all_active) baseline_ttm = r.time_to_first_margin_s;
-    if (s == &circadian) circadian_ttm = r.time_to_first_margin_s;
+    if (s == &all_active) baseline_ttm = r.time_to_first_margin_s.value();
+    if (s == &circadian) circadian_ttm = r.time_to_first_margin_s.value();
     t.add_row({r.scheduler,
-               std::isnan(r.mean_sleep_temp_c)
+               std::isnan(r.mean_sleep_temp_c.value())
                    ? std::string("-")
-                   : fmt_fixed(r.mean_sleep_temp_c, 1),
-               fmt_fixed(r.mean_end_delta_vth_v * 1e3, 2),
-               fmt_fixed(r.worst_end_delta_vth_v * 1e3, 2),
+                   : fmt_fixed(r.mean_sleep_temp_c.value(), 1),
+               fmt_fixed(r.mean_end_delta_vth_v.value() * 1e3, 2),
+               fmt_fixed(r.worst_end_delta_vth_v.value() * 1e3, 2),
                strformat("%d", r.tdp_violations),
                r.margin_exceeded
-                   ? fmt_fixed(r.time_to_first_margin_s / 86400.0, 0)
-                   : ">" + fmt_fixed(cfg.horizon_s / 86400.0, 0) +
+                   ? fmt_fixed(r.time_to_first_margin_s.value() / 86400.0, 0)
+                   : ">" + fmt_fixed(cfg.horizon_s.value() / 86400.0, 0) +
                          " (censored)",
-               fmt_fixed(r.throughput_core_s / (365.25 * 86400.0), 1)});
+               fmt_fixed(r.throughput_core_s.value() / (365.25 * 86400.0), 1)});
   }
   std::printf("%s\n", t.render().c_str());
 

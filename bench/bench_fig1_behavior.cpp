@@ -23,7 +23,8 @@ int main() {
   // Densified trap population for a smooth single-device illustration
   // (identical mean physics; the RO averages ~1000 such devices).
   bti::TdParameters params = bti::default_td_parameters();
-  params.delta_vth_mean_v *= params.traps_per_device / 4000.0;
+  params.delta_vth_mean_v =
+      params.delta_vth_mean_v * (params.traps_per_device / 4000.0);
   params.traps_per_device = 4000;
   bti::TrapEnsemble device(params, 1);
   const auto stress = bti::dc_stress(Volts{1.2}, Celsius{110.0});

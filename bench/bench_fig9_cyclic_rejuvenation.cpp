@@ -24,7 +24,8 @@ int main() {
   // averages ~1000 devices); densify the population for a smooth
   // illustration at identical mean physics.
   bti::TdParameters params = bti::default_td_parameters();
-  params.delta_vth_mean_v *= params.traps_per_device / 4000.0;
+  params.delta_vth_mean_v =
+      params.delta_vth_mean_v * (params.traps_per_device / 4000.0);
   params.traps_per_device = 4000;
   bti::TrapEnsemble device(params, 9);
   const auto stress = bti::dc_stress(Volts{1.2}, Celsius{110.0});

@@ -67,7 +67,7 @@ void BM_RingOscillatorFrequency(benchmark::State& state) {
   cc.ro_stages = static_cast<int>(state.range(0));
   fpga::FpgaChip chip(cc);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(chip.ro_frequency_hz(Volts{1.2}, Kelvin{celsius(20.0)}));
+    benchmark::DoNotOptimize(chip.ro_frequency_hz(Volts{1.2}, Kelvin{celsius(20.0)}).value());
   }
 }
 BENCHMARK(BM_RingOscillatorFrequency)->Arg(15)->Arg(75);
@@ -93,15 +93,15 @@ void BM_BatchEnsembleEvolveNoisy(benchmark::State& state) {
   Rng scales(0xC082);
   for (int m = 0; m < chips; ++m) {
     bti::TdParameters p = bti::default_td_parameters();
-    p.delta_vth_mean_v *= std::exp(scales.normal(0.0, 0.05));
+    p.delta_vth_mean_v = p.delta_vth_mean_v * std::exp(scales.normal(0.0, 0.05));
     specs.push_back({p, 0xBA7C});
   }
   bti::BatchEnsemble batch(specs, {});
   double temp_k = celsius(110.0);
   for (auto _ : state) {
     bti::OperatingCondition cond;
-    cond.voltage_v = 1.2;
-    cond.temperature_k = temp_k;
+    cond.voltage_v = Volts{1.2};
+    cond.temperature_k = Kelvin{temp_k};
     cond.gate_stress_duty = 1.0;
     batch.evolve(cond, Seconds{60.0});
     temp_k += 1e-4;  // unique condition every step
@@ -122,7 +122,7 @@ BENCHMARK(BM_ThermalSteadyState);
 
 void BM_MulticoreSimMonth(benchmark::State& state) {
   mc::SystemConfig cfg;
-  cfg.horizon_s = 30.0 * 86400.0;
+  cfg.horizon_s = Seconds{30.0 * 86400.0};
   for (auto _ : state) {
     mc::HeaterAwareCircadianScheduler scheduler;
     benchmark::DoNotOptimize(mc::simulate_system(cfg, scheduler));
@@ -163,7 +163,7 @@ int run_json_mode(const std::string& path) {
     fpga::FpgaChip chip(cc);
     double sum = 0.0;
     for (int i = 0; i < 20000; ++i) {
-      sum += chip.ro_frequency_hz(Volts{1.2}, Kelvin{celsius(20.0)});
+      sum += chip.ro_frequency_hz(Volts{1.2}, Kelvin{celsius(20.0)}).value();
     }
     benchmark::DoNotOptimize(sum);
   }
@@ -198,22 +198,22 @@ int run_json_mode(const std::string& path) {
     for (const auto& phase : tc.phases) {
       bti::OperatingCondition cond;
       cond.voltage_v = phase.supply_v;
-      cond.temperature_k = celsius(phase.chamber_c);
+      cond.temperature_k = Kelvin{celsius(phase.chamber_c.value())};
       cond.gate_stress_duty =
           phase.mode == fpga::RoMode::kAcOscillating ? phase.ac_duty
           : phase.mode == fpga::RoMode::kDcFrozen    ? 1.0
                                                      : 0.0;
       const int steps = std::max(
-          1, phase.sample_every_s > 0.0
+          1, phase.sample_every_s > Seconds{0.0}
                  ? static_cast<int>(phase.duration_s / phase.sample_every_s)
                  : 1);
-      const double dt = phase.duration_s / steps;
+      const double dt = phase.duration_s.value() / steps;
       for (int s = 0; s < steps; ++s) {
         chip.evolve(phase.mode, cond, Seconds{dt});
         // Read at the nominal measurement rail (sleep phases bias the
         // core below threshold; the counter always runs at 1.2 V).
         benchmark::DoNotOptimize(
-            chip.ro_frequency_hz(Volts{1.2}, Kelvin{cond.temperature_k}));
+            chip.ro_frequency_hz(Volts{1.2}, cond.temperature_k).value());
       }
     }
     fixed_drive_ms = wall_ms(t0, clock::now());
@@ -222,7 +222,7 @@ int run_json_mode(const std::string& path) {
   // One multicore month exercises the mc.* kernel split.
   {
     mc::SystemConfig cfg;
-    cfg.horizon_s = 30.0 * 86400.0;
+    cfg.horizon_s = Seconds{30.0 * 86400.0};
     mc::HeaterAwareCircadianScheduler scheduler;
     benchmark::DoNotOptimize(mc::simulate_system(cfg, scheduler));
   }
@@ -249,8 +249,8 @@ int run_json_mode(const std::string& path) {
     std::vector<PopStep> schedule;
     for (int s = 0; s < 360; ++s) {
       PopStep step;
-      step.condition.voltage_v = 1.2;
-      step.condition.temperature_k = celsius(110.0) + 0.011 * s;
+      step.condition.voltage_v = Volts{1.2};
+      step.condition.temperature_k = Kelvin{celsius(110.0) + 0.011 * s};
       step.condition.gate_stress_duty = 1.0;
       step.dt_s = 60.0;
       step.read_fleet = (s % 16) == 15;
@@ -275,7 +275,7 @@ int run_json_mode(const std::string& path) {
     Rng scales(0x90F7);
     for (int m = 0; m < kPopChips; ++m) {
       bti::TdParameters p = bti::default_td_parameters();
-      p.delta_vth_mean_v *= std::exp(scales.normal(0.0, 0.05));
+      p.delta_vth_mean_v = p.delta_vth_mean_v * std::exp(scales.normal(0.0, 0.05));
       specs.push_back({p, 0xF1EE7});
     }
 

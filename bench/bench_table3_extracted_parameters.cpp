@@ -35,9 +35,9 @@ int main() {
                             .mapped([](double ns) { return ns * 1e-9; });
     const auto fit = fitter.fit_stress(series);
     t.add_row({r.phase, strformat("%d", r.chip),
-               fmt_fixed(fit.amplitude_s * 1e9, 3),
-               strformat("%.2e", 1.0 / fit.tau_s),
-               fmt_fixed(fit.rmse_s * 1e12, 1), fmt_fixed(fit.r_squared, 4)});
+               fmt_fixed(fit.amplitude_s.value() * 1e9, 3),
+               strformat("%.2e", 1.0 / fit.tau_s.value()),
+               fmt_fixed(fit.rmse_s.value() * 1e12, 1), fmt_fixed(fit.r_squared, 4)});
   }
   std::printf("%s\n", t.render().c_str());
 

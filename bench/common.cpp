@@ -27,8 +27,8 @@ Campaign run_paper_campaign(int stages) {
     ChipRun run;
     run.chip_id = test_case.chip_id;
     run.log = runner.run(chip, test_case);
-    run.fresh_delay_s = run.log.records().front().delay_s;
-    run.fresh_frequency_hz = run.log.records().front().frequency_hz;
+    run.fresh_delay_s = run.log.records().front().delay_s.value();
+    run.fresh_frequency_hz = run.log.records().front().frequency_hz.value();
     campaign.chips.push_back(std::move(run));
   }
   return campaign;

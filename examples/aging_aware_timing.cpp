@@ -31,8 +31,8 @@ std::string path_string(const std::vector<std::string>& path) {
 void report(const char* label, const ash::fpga::Fabric& fab, double fresh_s) {
   const auto t = fab.timing(ash::Volts{1.2}, ash::Kelvin{ash::celsius(60.0)});
   std::printf("%-28s worst arrival %7.3f ns (%+5.2f%%)  critical: %s via %s\n",
-              label, t.worst_arrival_s * 1e9,
-              100.0 * (t.worst_arrival_s / fresh_s - 1.0),
+              label, t.worst_arrival_s.value() * 1e9,
+              100.0 * (t.worst_arrival_s.value() / fresh_s - 1.0),
               t.critical_output.c_str(), path_string(t.critical_path).c_str());
 }
 
@@ -45,7 +45,8 @@ int main(int argc, char** argv) {
   fpga::FabricConfig cfg;
   cfg.seed = 7;
   fpga::Fabric fab(fpga::ripple_carry_adder(4), cfg);
-  const double fresh = fab.timing(Volts{1.2}, Kelvin{celsius(60.0)}).worst_arrival_s;
+  const double fresh =
+      fab.timing(Volts{1.2}, Kelvin{celsius(60.0)}).worst_arrival_s.value();
   report("fresh", fab, fresh);
 
   // A biased mission workload at 60 degC: operand A is a live data path

@@ -47,11 +47,11 @@ int main(int argc, char** argv) {
     std::printf("  wrote %zu samples to %s\n", log.size(), path.c_str());
 
     // Summary metrics.
-    const double fresh_hz = log.records().front().frequency_hz;
-    const double fresh_delay = log.records().front().delay_s;
+    const double fresh_hz = log.records().front().frequency_hz.value();
+    const double fresh_delay = log.records().front().delay_s.value();
     double worst_deg = 0.0;
     for (const auto& r : log.records()) {
-      worst_deg = std::max(worst_deg, 1.0 - r.frequency_hz / fresh_hz);
+      worst_deg = std::max(worst_deg, 1.0 - r.frequency_hz.value() / fresh_hz);
     }
     // Recovery summary: recovered fraction of the last recovery phase, if
     // the schedule has one.

@@ -23,13 +23,13 @@ int main(int argc, char** argv) {
   const int cores_needed = argc > 2 ? std::atoi(argv[2]) : 6;
 
   mc::SystemConfig cfg;
-  cfg.horizon_s = years * 365.25 * 86400.0;
+  cfg.horizon_s = Seconds{years * 365.25 * 86400.0};
   cfg.cores_needed = cores_needed;
-  cfg.margin_delta_vth_v = 9e-3;
+  cfg.margin_delta_vth_v = Volts{9e-3};
 
   std::printf("8-core system, %d cores demanded, %.1f-year horizon, "
               "margin %.1f mV\n\n",
-              cfg.cores_needed, years, cfg.margin_delta_vth_v * 1e3);
+              cfg.cores_needed, years, cfg.margin_delta_vth_v.value() * 1e3);
 
   mc::AllActiveScheduler all_active;
   mc::RoundRobinSleepScheduler rr_passive(false);
@@ -44,21 +44,21 @@ int main(int argc, char** argv) {
     const auto r = simulate_system(cfg, *s);
     double perm_lo = 1e9;
     double perm_hi = 0.0;
-    for (double v : r.end_permanent_v) {
-      perm_lo = std::min(perm_lo, v);
-      perm_hi = std::max(perm_hi, v);
+    for (const Volts v : r.end_permanent_v) {
+      perm_lo = std::min(perm_lo, v.value());
+      perm_hi = std::max(perm_hi, v.value());
     }
     t.add_row({r.scheduler,
-               std::isnan(r.mean_sleep_temp_c)
+               std::isnan(r.mean_sleep_temp_c.value())
                    ? std::string("-")
-                   : fmt_fixed(r.mean_sleep_temp_c, 1),
-               fmt_fixed(r.mean_end_delta_vth_v * 1e3, 2),
-               fmt_fixed(r.worst_end_delta_vth_v * 1e3, 2),
+                   : fmt_fixed(r.mean_sleep_temp_c.value(), 1),
+               fmt_fixed(r.mean_end_delta_vth_v.value() * 1e3, 2),
+               fmt_fixed(r.worst_end_delta_vth_v.value() * 1e3, 2),
                perm_lo > 0.0 ? fmt_fixed(perm_hi / perm_lo, 2) : "-",
                strformat("%d", r.tdp_violations),
                r.margin_exceeded
-                   ? fmt_fixed(r.time_to_first_margin_s / 86400.0, 0)
-                   : ">" + fmt_fixed(cfg.horizon_s / 86400.0, 0)});
+                   ? fmt_fixed(r.time_to_first_margin_s.value() / 86400.0, 0)
+                   : ">" + fmt_fixed(cfg.horizon_s.value() / 86400.0, 0)});
   }
   std::printf("%s\n", t.render().c_str());
 

@@ -27,21 +27,21 @@ int main() {
 
   const double vdd = 1.2;
   const double room = celsius(20.0);
-  const double fresh_hz = chip.ro_frequency_hz(Volts{vdd}, Kelvin{room});
+  const double fresh_hz = chip.ro_frequency_hz(Volts{vdd}, Kelvin{room}).value();
   std::printf("fresh RO frequency      : %.3f MHz (CUT delay %.1f ns)\n",
-              fresh_hz / 1e6, chip.cut_delay_s(Volts{vdd}, Kelvin{room}) * 1e9);
+              fresh_hz / 1e6, chip.cut_delay_s(Volts{vdd}, Kelvin{room}).value() * 1e9);
 
   // Accelerated wearout: freeze the ring (DC stress) in the hot chamber.
   chip.evolve(fpga::RoMode::kDcFrozen, bti::dc_stress(Volts{1.2}, Celsius{110.0}),
               Seconds{hours(24.0)});
-  const double stressed_hz = chip.ro_frequency_hz(Volts{vdd}, Kelvin{room});
+  const double stressed_hz = chip.ro_frequency_hz(Volts{vdd}, Kelvin{room}).value();
   std::printf("after 24 h DC @110 degC : %.3f MHz (degraded %.2f %%)\n",
               stressed_hz / 1e6, 100.0 * (1.0 - stressed_hz / fresh_hz));
 
   // Accelerated self-healing: sleep is an *active* recovery period —
   // negative bias plus heat, for only a quarter of the stress time.
   chip.evolve(fpga::RoMode::kSleep, bti::recovery(Volts{-0.3}, Celsius{110.0}), Seconds{hours(6.0)});
-  const double healed_hz = chip.ro_frequency_hz(Volts{vdd}, Kelvin{room});
+  const double healed_hz = chip.ro_frequency_hz(Volts{vdd}, Kelvin{room}).value();
   const double recovered =
       (healed_hz - stressed_hz) / (fresh_hz - stressed_hz);
   std::printf("after 6 h deep sleep    : %.3f MHz (recovered %.0f %% of the "

@@ -31,7 +31,7 @@ void show_plan(const char* regime, const ash::core::PlannerConfig& cfg) {
   std::printf(
       "  %-22s : sleep %5.2f h at %5.1f degC, %+.2f V  (achieves %.1f%%, "
       "cost %.0f)\n",
-      regime, to_hours(plan.sleep_s), plan.temp_c, plan.voltage_v,
+      regime, to_hours(plan.sleep_s.value()), plan.temp_c.value(), plan.voltage_v.value(),
       plan.achieved_fraction * 100.0, plan.cost);
 }
 
@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
 
   core::PlannerConfig base;
   base.target_recovered_fraction = target;
-  base.max_sleep_s = hours(max_sleep_h);
+  base.max_sleep_s = Seconds{hours(max_sleep_h)};
 
   std::printf("cheapest sleep conditions by cost regime:\n");
   show_plan("balanced costs", base);
@@ -67,15 +67,15 @@ int main(int argc, char** argv) {
         core::Policy::kReactive, core::Policy::kProactive}) {
     core::LifetimeConfig cfg;
     cfg.policy = policy;
-    cfg.horizon_s = 5.0 * 365.25 * 86400.0;
-    cfg.margin_delta_vth_v = 9.5e-3;
+    cfg.horizon_s = Seconds{5.0 * 365.25 * 86400.0};
+    cfg.margin_delta_vth_v = Volts{9.5e-3};
     const auto r = simulate_lifetime(cfg);
     double mean_mv = 0.0;
     for (const auto& s : r.trace.samples()) mean_mv += s.value;
     mean_mv = mean_mv / static_cast<double>(r.trace.size()) * 1e3;
     t.add_row({to_string(policy),
-               r.margin_exceeded ? fmt_fixed(r.time_to_margin_s / 86400.0, 0)
-                                 : ">" + fmt_fixed(cfg.horizon_s / 86400.0, 0),
+               r.margin_exceeded ? fmt_fixed(r.time_to_margin_s.value() / 86400.0, 0)
+                                 : ">" + fmt_fixed(cfg.horizon_s.value() / 86400.0, 0),
                fmt_percent(r.availability, 1), fmt_fixed(mean_mv, 2)});
   }
   std::printf("%s", t.render().c_str());

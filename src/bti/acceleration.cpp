@@ -15,25 +15,25 @@ double arrhenius_factor(double ea_ev, Kelvin temp, Kelvin ref_temp) {
 
 double capture_acceleration(const TdParameters& p, double ea_ev, Volts voltage,
                             Kelvin temp) {
-  const double voltage_v = voltage.value();
-  if (voltage_v < p.capture_threshold_voltage_v) return 0.0;
-  const double field =
-      std::exp(p.capture_field_accel_per_v * (voltage_v - p.stress_ref_voltage_v));
-  return field * arrhenius_factor(ea_ev, temp, Kelvin{p.stress_ref_temp_k});
+  if (voltage < p.capture_threshold_voltage_v) return 0.0;
+  const double field = std::exp(p.capture_field_accel_per_v *
+                                (voltage - p.stress_ref_voltage_v).value());
+  return field * arrhenius_factor(ea_ev, temp, p.stress_ref_temp_k);
 }
 
 double emission_acceleration(const TdParameters& p, double ea_ev,
                              Volts voltage, Kelvin temp) {
   const double neg_overdrive = std::max(0.0, -voltage.value());
   const double bias = std::exp(p.emission_neg_bias_accel_per_v * neg_overdrive);
-  return bias * arrhenius_factor(ea_ev, temp, Kelvin{p.recovery_ref_temp_k});
+  return bias * arrhenius_factor(ea_ev, temp, p.recovery_ref_temp_k);
 }
 
 double occupancy_amplitude(const TdParameters& p, Volts voltage, Kelvin temp) {
   const double effective_barrier_ev =
       p.amp_e0_ev - p.amp_b_ev_per_v * voltage.value();
   const double phi =
-      p.amp_k * std::exp(-effective_barrier_ev / (kBoltzmannEv * temp.value()));
+      p.amp_prefactor *
+      std::exp(-effective_barrier_ev / (kBoltzmannEv * temp.value()));
   return std::clamp(phi, 0.0, 1.0);
 }
 

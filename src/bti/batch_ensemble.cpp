@@ -30,23 +30,23 @@ CondScalars scalars_for(const TdParameters& params,
                         const OperatingCondition& c) {
   CondScalars s;
   s.duty = std::clamp(c.gate_stress_duty, 0.0, 1.0);
-  const double emission_bias_v = s.duty == 0.0 ? c.voltage_v : 0.0;
+  const double emission_bias_v = s.duty == 0.0 ? c.voltage_v.value() : 0.0;
   s.phi = s.duty > 0.0
-              ? occupancy_amplitude(params, Volts{c.voltage_v},
-                                    Kelvin{c.temperature_k})
+              ? occupancy_amplitude(params, c.voltage_v, c.temperature_k)
               : 0.0;
   s.capture_field =
       c.voltage_v >= params.capture_threshold_voltage_v
           ? std::exp(params.capture_field_accel_per_v *
-                     (c.voltage_v - params.stress_ref_voltage_v))
+                     (c.voltage_v - params.stress_ref_voltage_v).value())
           : 0.0;
-  s.capture_arr_x =
-      (1.0 / c.temperature_k - 1.0 / params.stress_ref_temp_k) / kBoltzmannEv;
+  s.capture_arr_x = (1.0 / c.temperature_k.value() -
+                     1.0 / params.stress_ref_temp_k.value()) /
+                    kBoltzmannEv;
   s.emission_bias_boost = std::exp(
       params.emission_neg_bias_accel_per_v * std::max(0.0, -emission_bias_v));
-  s.emission_arr_x =
-      (1.0 / c.temperature_k - 1.0 / params.recovery_ref_temp_k) /
-      kBoltzmannEv;
+  s.emission_arr_x = (1.0 / c.temperature_k.value() -
+                      1.0 / params.recovery_ref_temp_k.value()) /
+                     kBoltzmannEv;
   return s;
 }
 
@@ -67,7 +67,7 @@ bool kinetics_params_equal(const TdParameters& a, const TdParameters& b) {
          a.capture_ea_mean_ev == b.capture_ea_mean_ev &&
          a.capture_ea_sigma_ev == b.capture_ea_sigma_ev &&
          a.capture_threshold_voltage_v == b.capture_threshold_voltage_v &&
-         a.amp_k == b.amp_k && a.amp_e0_ev == b.amp_e0_ev &&
+         a.amp_prefactor == b.amp_prefactor && a.amp_e0_ev == b.amp_e0_ev &&
          a.amp_b_ev_per_v == b.amp_b_ev_per_v &&
          a.recovery_ref_voltage_v == b.recovery_ref_voltage_v &&
          a.recovery_ref_temp_k == b.recovery_ref_temp_k &&

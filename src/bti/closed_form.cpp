@@ -27,12 +27,12 @@ ClosedFormParameters ClosedFormParameters::from_td(const TdParameters& td) {
   // phi * total * ln(t/tau_min) / ln(tau_max/tau_min) for
   // tau_min << t << tau_max, i.e. beta = phi * total / ln(tau_max/tau_min).
   const double total_v =
-      static_cast<double>(td.traps_per_device) * td.delta_vth_mean_v;
+      static_cast<double>(td.traps_per_device) * td.delta_vth_mean_v.value();
   const double spectrum_ln =
       std::log(td.tau_capture_max_s / td.tau_capture_min_s);
-  const double phi_ref = occupancy_amplitude(td, Volts{td.stress_ref_voltage_v},
-                                             Kelvin{td.stress_ref_temp_k});
-  p.beta_ref_v = phi_ref * total_v / spectrum_ln;
+  const double phi_ref = occupancy_amplitude(td, td.stress_ref_voltage_v,
+                                             td.stress_ref_temp_k);
+  p.beta_ref_v = Volts{phi_ref * total_v / spectrum_ln};
   p.tau_stress_s = td.tau_capture_min_s;
   p.e0_ev = td.amp_e0_ev;
   p.b_ev_per_v = td.amp_b_ev_per_v;
@@ -52,14 +52,16 @@ ClosedFormParameters ClosedFormParameters::from_td(const TdParameters& td) {
 }
 
 void ClosedFormParameters::validate() const {
-  require(beta_ref_v > 0.0, "beta_ref_v must be positive");
-  require(tau_stress_s > 0.0, "tau_stress_s must be positive");
-  require(stress_ref_temp_k > 0.0, "stress_ref_temp_k must be positive");
-  require(capture_threshold_voltage_v > 0.0,
+  require(beta_ref_v > Volts{0.0}, "beta_ref_v must be positive");
+  require(tau_stress_s > Seconds{0.0}, "tau_stress_s must be positive");
+  require(stress_ref_temp_k > Kelvin{0.0},
+          "stress_ref_temp_k must be positive");
+  require(capture_threshold_voltage_v > Volts{0.0},
           "capture_threshold_voltage_v must be positive");
   require(emission_time_ratio >= 1.0, "emission_time_ratio must be >= 1");
-  require(tau_recovery_s > 0.0, "tau_recovery_s must be positive");
-  require(recovery_ref_temp_k > 0.0, "recovery_ref_temp_k must be positive");
+  require(tau_recovery_s > Seconds{0.0}, "tau_recovery_s must be positive");
+  require(recovery_ref_temp_k > Kelvin{0.0},
+          "recovery_ref_temp_k must be positive");
   require(permanent_ratio >= 0.0 && permanent_ratio < 1.0,
           "permanent_ratio must be in [0, 1)");
 }
@@ -76,8 +78,9 @@ double ClosedFormModel::beta(Volts voltage, Kelvin temp) const {
     return std::exp(-(params_.e0_ev - params_.b_ev_per_v * v) /
                     (kBoltzmannEv * t));
   };
-  return params_.beta_ref_v * amplitude(voltage_v, temp_k) /
-         amplitude(params_.stress_ref_voltage_v, params_.stress_ref_temp_k);
+  return params_.beta_ref_v.value() * amplitude(voltage_v, temp_k) /
+         amplitude(params_.stress_ref_voltage_v.value(),
+                   params_.stress_ref_temp_k.value());
 }
 
 double ClosedFormModel::emission_acceleration(Volts voltage,
@@ -86,7 +89,7 @@ double ClosedFormModel::emission_acceleration(Volts voltage,
   const double temp_k = temp.value();
   const double arr =
       std::exp(-(params_.emission_ea_ev / kBoltzmannEv) *
-               (1.0 / temp_k - 1.0 / params_.recovery_ref_temp_k));
+               (1.0 / temp_k - 1.0 / params_.recovery_ref_temp_k.value()));
   const double bias = std::exp(params_.emission_neg_bias_accel_per_v *
                                std::max(0.0, -voltage_v));
   return arr * bias;
@@ -96,11 +99,13 @@ double ClosedFormModel::capture_acceleration(Volts voltage,
                                              Kelvin temp) const {
   const double voltage_v = voltage.value();
   const double temp_k = temp.value();
-  if (voltage_v < params_.capture_threshold_voltage_v) return 0.0;
-  const double field = std::exp(params_.capture_field_accel_per_v *
-                                (voltage_v - params_.stress_ref_voltage_v));
-  const double arr = std::exp(-(params_.capture_ea_ev / kBoltzmannEv) *
-                              (1.0 / temp_k - 1.0 / params_.stress_ref_temp_k));
+  if (voltage < params_.capture_threshold_voltage_v) return 0.0;
+  const double field =
+      std::exp(params_.capture_field_accel_per_v *
+               (voltage_v - params_.stress_ref_voltage_v.value()));
+  const double arr =
+      std::exp(-(params_.capture_ea_ev / kBoltzmannEv) *
+               (1.0 / temp_k - 1.0 / params_.stress_ref_temp_k.value()));
   return field * arr;
 }
 
@@ -111,7 +116,8 @@ double ClosedFormModel::ac_amplitude_factor(const OperatingCondition& c) const {
   // During the unbiased fraction of each cycle, fast traps emit at the
   // passive rate accelerated by the (stress) temperature; the equilibrium
   // occupancy is the capture share of the total rate.
-  const double emission_af = emission_acceleration(Volts{0.0}, Kelvin{c.temperature_k});
+  const double emission_af =
+      emission_acceleration(Volts{0.0}, c.temperature_k);
   const double r =
       ((1.0 - duty) / duty) * emission_af / params_.emission_time_ratio;
   return 1.0 / (1.0 + r);
@@ -121,11 +127,12 @@ double ClosedFormModel::stress_delta_vth(Seconds t,
                                          const OperatingCondition& c) const {
   const double t_s = t.value();
   if (t_s <= 0.0 || !c.is_stressing()) return 0.0;
-  const double afc = capture_acceleration(Volts{c.voltage_v}, Kelvin{c.temperature_k});
+  const double afc = capture_acceleration(c.voltage_v, c.temperature_k);
   if (afc <= 0.0) return 0.0;
   const double t_eff = t_s * std::clamp(c.gate_stress_duty, 0.0, 1.0) * afc;
-  const double amp = beta(Volts{c.voltage_v}, Kelvin{c.temperature_k}) * ac_amplitude_factor(c);
-  return amp * std::log1p(t_eff / params_.tau_stress_s);
+  const double amp =
+      beta(c.voltage_v, c.temperature_k) * ac_amplitude_factor(c);
+  return amp * std::log1p(t_eff / params_.tau_stress_s.value());
 }
 
 double ClosedFormModel::remaining_fraction(Seconds t1_equiv, Seconds t2,
@@ -133,12 +140,12 @@ double ClosedFormModel::remaining_fraction(Seconds t1_equiv, Seconds t2,
   const double t1_equiv_s = t1_equiv.value();
   const double t2_s = t2.value();
   if (t1_equiv_s <= 0.0) return 1.0;
-  const double denom = std::log1p(t1_equiv_s / params_.tau_stress_s);
+  const double denom = std::log1p(t1_equiv_s / params_.tau_stress_s.value());
   if (denom <= 0.0) return 1.0;
   const double q =
-      emission_acceleration(Volts{c.voltage_v}, Kelvin{c.temperature_k}) * std::max(0.0, t2_s);
+      emission_acceleration(c.voltage_v, c.temperature_k) * std::max(0.0, t2_s);
   const double recovered =
-      std::min(1.0, std::log1p(q / params_.tau_recovery_s) / denom);
+      std::min(1.0, std::log1p(q / params_.tau_recovery_s.value()) / denom);
   return params_.permanent_ratio + (1.0 - params_.permanent_ratio) *
                                        (1.0 - recovered);
 }
@@ -153,26 +160,26 @@ double ClosedFormAger::equivalent_stress_time(double beta_v) const {
   // Clamp the exponent: damage deep into the spectrum corresponds to
   // astronomically long equivalent times; cap instead of overflowing.
   const double x = std::min(reversible_v_ / scale, 60.0);
-  return model_.parameters().tau_stress_s * std::expm1(x);
+  return model_.parameters().tau_stress_s.value() * std::expm1(x);
 }
 
 void ClosedFormAger::advance_stress(const OperatingCondition& c, double dt_s) {
   in_recovery_episode_ = false;
-  const double afc = model_.capture_acceleration(Volts{c.voltage_v}, Kelvin{c.temperature_k});
+  const double afc = model_.capture_acceleration(c.voltage_v, c.temperature_k);
   if (afc <= 0.0) {
     // Biased below the capture threshold: the stressed fraction does
     // nothing; the unbiased fraction passively recovers at 0 V.
     OperatingCondition passive = c;
-    passive.voltage_v = 0.0;
+    passive.voltage_v = Volts{0.0};
     passive.gate_stress_duty = 0.0;
     advance_recovery(passive, (1.0 - c.gate_stress_duty) * dt_s);
     in_recovery_episode_ = false;
     return;
   }
-  const double amp = model_.beta(Volts{c.voltage_v}, Kelvin{c.temperature_k}) *
+  const double amp = model_.beta(c.voltage_v, c.temperature_k) *
                      model_.ac_amplitude_factor(c);
   if (amp <= 0.0) return;
-  const double tau_s = model_.parameters().tau_stress_s;
+  const double tau_s = model_.parameters().tau_stress_s.value();
   const double perm = model_.parameters().permanent_ratio;
   const double dt_eff =
       dt_s * std::clamp(c.gate_stress_duty, 0.0, 1.0) * afc;
@@ -206,10 +213,12 @@ void ClosedFormAger::advance_recovery(const OperatingCondition& c,
     episode_denom_ln_ = std::max(spectrum_ln_, 1e-12);
   }
   episode_passive_s_ +=
-      dt_s * model_.emission_acceleration(Volts{c.voltage_v}, Kelvin{c.temperature_k});
+      dt_s * model_.emission_acceleration(c.voltage_v, c.temperature_k);
   const double recovered = std::min(
-      1.0, std::log1p(episode_passive_s_ / model_.parameters().tau_recovery_s) /
-               episode_denom_ln_);
+      1.0,
+      std::log1p(episode_passive_s_ /
+                 model_.parameters().tau_recovery_s.value()) /
+          episode_denom_ln_);
   reversible_v_ = episode_start_reversible_v_ * (1.0 - recovered);
 }
 

@@ -6,25 +6,25 @@
 namespace ash::bti {
 
 std::string OperatingCondition::describe() const {
-  return strformat("%.2fV/%.1fC/duty=%.2f", voltage_v,
-                   to_celsius(temperature_k), gate_stress_duty);
+  return strformat("%.2fV/%.1fC/duty=%.2f", voltage_v.value(),
+                   units::to_celsius(temperature_k).value(), gate_stress_duty);
 }
 
 OperatingCondition dc_stress(Volts voltage, Celsius temp) {
-  return {.voltage_v = voltage.value(),
-          .temperature_k = units::to_kelvin(temp).value(),
+  return {.voltage_v = voltage,
+          .temperature_k = units::to_kelvin(temp),
           .gate_stress_duty = 1.0};
 }
 
 OperatingCondition ac_stress(Volts voltage, Celsius temp, double duty) {
-  return {.voltage_v = voltage.value(),
-          .temperature_k = units::to_kelvin(temp).value(),
+  return {.voltage_v = voltage,
+          .temperature_k = units::to_kelvin(temp),
           .gate_stress_duty = duty};
 }
 
 OperatingCondition recovery(Volts voltage, Celsius temp) {
-  return {.voltage_v = voltage.value(),
-          .temperature_k = units::to_kelvin(temp).value(),
+  return {.voltage_v = voltage,
+          .temperature_k = units::to_kelvin(temp),
           .gate_stress_duty = 0.0};
 }
 

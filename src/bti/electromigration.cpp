@@ -9,7 +9,7 @@
 namespace ash::bti {
 
 void EmParameters::validate() const {
-  if (ea_ev < 0.0 || current_exponent <= 0.0 || ref_temp_k <= 0.0 ||
+  if (ea_ev < 0.0 || current_exponent <= 0.0 || ref_temp_k <= Kelvin{0.0} ||
       drift_rate_per_s <= 0.0 || failure_drift <= 0.0) {
     throw std::invalid_argument("EmParameters: out of domain");
   }
@@ -29,8 +29,9 @@ double EmInterconnect::drift_rate(double current_density_ratio,
     throw std::invalid_argument("EmInterconnect: non-positive temperature");
   }
   if (current_density_ratio == 0.0) return 0.0;
-  const double arrhenius = std::exp(
-      -(params_.ea_ev / kBoltzmannEv) * (1.0 / temp_k - 1.0 / params_.ref_temp_k));
+  const double arrhenius =
+      std::exp(-(params_.ea_ev / kBoltzmannEv) *
+               (1.0 / temp_k - 1.0 / params_.ref_temp_k.value()));
   return params_.drift_rate_per_s *
          std::pow(current_density_ratio, params_.current_exponent) *
          arrhenius;

@@ -134,8 +134,8 @@ class BatchEnsemble {
   /// `TrapEnsemble::RateEntry`, holding the class's lambda / p_inf arrays
   /// plus the decay factors for the most recent dt.
   struct RateEntry {
-    double voltage_v = 0.0;
-    double temperature_k = 0.0;
+    Volts voltage_v{0.0};
+    Kelvin temperature_k{0.0};
     double duty = 0.0;
     bool valid = false;
     std::vector<double> lambda;

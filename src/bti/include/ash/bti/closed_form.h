@@ -35,21 +35,21 @@ namespace ash::bti {
 /// paper derives from Eq. (3).
 struct ClosedFormParameters {
   /// Amplitude at the stress reference condition, volts per ln-unit.
-  double beta_ref_v = 5.04e-3;
-  /// Stress onset time constant (1/C of Eq. (1)), seconds.
-  double tau_stress_s = 120.0;
+  Volts beta_ref_v{5.04e-3};
+  /// Stress onset time constant (1/C of Eq. (1)).
+  Seconds tau_stress_s{120.0};
   /// Amplitude activation energy and voltage factor (Eq. (2)).
   double e0_ev = 0.44;
   double b_ev_per_v = 0.10;
   /// Stress reference condition for the amplitude normalization.
-  double stress_ref_voltage_v = 1.2;
-  double stress_ref_temp_k = 383.15;
+  Volts stress_ref_voltage_v{1.2};
+  Kelvin stress_ref_temp_k{383.15};
 
   /// Capture kinetics used to convert wall-clock stress time into
   /// stress-reference-equivalent time: t_eff = t * duty * AFc(V, T).
   double capture_ea_ev = 0.20;
   double capture_field_accel_per_v = 3.5;
-  double capture_threshold_voltage_v = 0.6;
+  Volts capture_threshold_voltage_v{0.6};
 
   /// Median emission/capture time-constant ratio (rho of the TD spectrum);
   /// sets the AC-stress equilibrium amplitude (capture racing concurrent
@@ -59,11 +59,11 @@ struct ClosedFormParameters {
   double emission_time_ratio = 6.8;
 
   /// Recovery onset time constant at the passive reference (20 degC, 0 V).
-  double tau_recovery_s = 816.0;
+  Seconds tau_recovery_s{816.0};
   /// Emission acceleration constants (shared semantics with TdParameters).
   double emission_ea_ev = 0.37;
   double emission_neg_bias_accel_per_v = 10.0;
-  double recovery_ref_temp_k = 293.15;
+  Kelvin recovery_ref_temp_k{293.15};
 
   /// Fraction of accumulated damage that is irreversible.
   double permanent_ratio = 0.04;

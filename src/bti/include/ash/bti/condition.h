@@ -30,12 +30,12 @@ enum class StressType { kNbti, kPbti };
 ///            followed by a recovery half-cycle);
 ///   * 0.0  — recovery / sleep (no stress at all).
 struct OperatingCondition {
-  /// Supply/gate magnitude in volts.  1.2 V is nominal for the 40 nm parts;
+  /// Supply/gate magnitude.  1.2 V is nominal for the 40 nm parts;
   /// recovery uses 0 V (power gated) or -0.3 V (active reverse bias).
-  double voltage_v = 1.2;
+  Volts voltage_v{1.2};
 
-  /// Junction temperature in kelvin.
-  double temperature_k = 293.15;
+  /// Junction temperature.
+  Kelvin temperature_k{293.15};
 
   /// Fraction of time under stress bias within this interval, in [0, 1].
   double gate_stress_duty = 0.0;

@@ -31,7 +31,7 @@ struct EmParameters {
   double current_exponent = 2.0;
   /// Reference conditions at which `drift_rate_per_s` is specified:
   /// nominal switching current density at a typical qual temperature.
-  double ref_temp_k = 378.15;  // 105 degC
+  Kelvin ref_temp_k{378.15};  // 105 degC
   /// Fractional resistance drift per second at reference conditions.
   /// Calibrated for ~10 years to failure at continuous nominal current
   /// and 105 degC: 0.10 / (10 * 3.156e7 s).

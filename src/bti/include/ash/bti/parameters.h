@@ -22,6 +22,8 @@
 
 #include <cstdint>
 
+#include "ash/util/units.h"
+
 namespace ash::bti {
 
 /// All constants of the trap-ensemble model.  A value-semantic bag; pass by
@@ -32,12 +34,12 @@ struct TdParameters {
   /// Enough for a smooth log(1+Ct) aggregate without noisy steps.
   int traps_per_device = 160;
 
-  /// Mean per-trap threshold-voltage contribution in volts (exponentially
+  /// Mean per-trap threshold-voltage contribution (exponentially
   /// distributed).  Sets the overall DeltaVth magnitude:
   /// traps_per_device * delta_vth_mean_v bounds the fully-trapped shift.
   /// Calibrated so 24 h of reference DC stress shifts Vth by ~37 mV, which
   /// the RO delay model maps to the paper's ~2.2 % frequency degradation.
-  double delta_vth_mean_v = 765e-6;
+  Volts delta_vth_mean_v{765e-6};
 
   /// Capture time constants are log-uniform over
   /// [tau_capture_min_s, tau_capture_max_s] *at the stress reference
@@ -46,8 +48,8 @@ struct TdParameters {
   /// (~50 % of the 24 h damage lands in the first hour, ~65 % by 3 h,
   /// Fig. 4); faster traps live in fast equilibrium and are invisible to
   /// gated RO measurements.
-  double tau_capture_min_s = 120.0;
-  double tau_capture_max_s = 1e10;
+  Seconds tau_capture_min_s{120.0};
+  Seconds tau_capture_max_s{1e10};
 
   /// Emission constant: tau_e = rho * tau_c with log10(rho) ~ N(mu, sigma).
   /// rho >> 1 encodes "recovery is slower than degradation" (Sec. 3.1);
@@ -69,8 +71,8 @@ struct TdParameters {
 
   // --- Capture kinetics (stress acceleration) -------------------------------
   /// Reference stress condition at which tau_capture_* are specified.
-  double stress_ref_voltage_v = 1.2;
-  double stress_ref_temp_k = 383.15;  // 110 degC
+  Volts stress_ref_voltage_v{1.2};
+  Kelvin stress_ref_temp_k{383.15};  // 110 degC
 
   /// Oxide-field acceleration of capture: rate *= exp(Bv*(V - Vref)).
   /// 3.5 /V gives ~2x per 200 mV overdrive, typical of 40 nm NBTI data.
@@ -83,25 +85,26 @@ struct TdParameters {
 
   /// Below this gate magnitude no capture occurs at all: recovery at 0 V or
   /// negative bias only emits.
-  double capture_threshold_voltage_v = 0.6;
+  Volts capture_threshold_voltage_v{0.6};
 
   // --- Equilibrium occupancy amplitude (Eq. (2)'s phi) ----------------------
   /// Under stress, the equilibrium trapped fraction is
-  ///   phi(V, T) = clamp(amp_k * exp(-(amp_e0_ev - amp_b_ev_per_v*V)/(k*T)))
+  ///   phi(V, T) =
+  ///     clamp(amp_prefactor * exp(-(amp_e0_ev - amp_b_ev_per_v*V)/(k*T)))
   /// which reproduces the multiplicative exp(-E0/kT)*exp(B*V/kT) amplitude
   /// of Eq. (2): occupancy of a trap level depends on the Fermi-level
   /// alignment set by field and temperature.  Calibrated so
   /// phi(1.2 V, 383 K) ~ 0.75 and phi(1.2 V, 373 K)/phi(1.2 V, 383 K) ~ 0.77
-  /// (the measured 1.7 % / 2.2 % ratio of Table 2).
-  double amp_k = 1.23e4;
+  /// (the measured 1.7 % / 2.2 % ratio of Table 2).  Dimensionless.
+  double amp_prefactor = 1.23e4;
   double amp_e0_ev = 0.44;
   double amp_b_ev_per_v = 0.10;
 
   // --- Emission kinetics (recovery acceleration) ----------------------------
   /// Reference recovery condition at which tau_e is specified: passive
   /// recovery, power gated at room temperature (the R20Z6 baseline case).
-  double recovery_ref_voltage_v = 0.0;
-  double recovery_ref_temp_k = 293.15;  // 20 degC
+  Volts recovery_ref_voltage_v{0.0};
+  Kelvin recovery_ref_temp_k{293.15};  // 20 degC
 
   /// Emission activation energy (eV): 110 degC vs 20 degC accelerates
   /// emission by exp(Ea/k*(1/293-1/383)) ~ 31x at 0.37 eV.  Because the
@@ -122,10 +125,10 @@ struct TdParameters {
   // --- Safety limits ---------------------------------------------------------
   /// Lateral pn-junction breakdown limit (Sec. 6.1 challenge (1)): the
   /// library refuses recovery conditions more negative than this.
-  double min_safe_voltage_v = -0.5;
+  Volts min_safe_voltage_v{-0.5};
   /// Chip ceases to function above this temperature; the paper chose 100
   /// and 110 degC as "above the upper [rated] limit but not too high".
-  double max_safe_temp_k = 273.15 + 125.0;
+  Kelvin max_safe_temp_k{273.15 + 125.0};
 
   /// Throws std::invalid_argument with a descriptive message if any
   /// constant is out of its physical domain.

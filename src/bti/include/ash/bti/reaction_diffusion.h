@@ -25,7 +25,7 @@ namespace ash::bti {
 struct RdParameters {
   /// Amplitude at the stress reference condition: DeltaVth at t = 1 s
   /// would be amplitude_ref_v * 1^n; calibrate/fit against data.
-  double amplitude_ref_v = 3.0e-3;
+  Volts amplitude_ref_v{3.0e-3};
   /// Power-law exponent n; 1/6 for neutral H2 diffusion, 1/4 for atomic H.
   double time_exponent = 1.0 / 6.0;
   /// Universal-recovery shape constant xi (~0.5 in the literature).
@@ -34,8 +34,8 @@ struct RdParameters {
   /// Eq. (2) amplitude so stress-side fits are comparable).
   double e0_ev = 0.44;
   double b_ev_per_v = 0.10;
-  double stress_ref_voltage_v = 1.2;
-  double stress_ref_temp_k = 383.15;
+  Volts stress_ref_voltage_v{1.2};
+  Kelvin stress_ref_temp_k{383.15};
 
   /// Throws std::invalid_argument when out of domain.
   void validate() const;

@@ -18,12 +18,12 @@ namespace ash::bti {
 
 /// Immutable physical identity of one trap plus its mutable occupancy.
 struct Trap {
-  /// Threshold-voltage contribution when occupied (volts).
-  double delta_vth_v = 0.0;
-  /// Capture time constant at the stress reference condition (seconds).
-  double tau_capture_s = 1.0;
-  /// Emission time constant at the passive-recovery reference (seconds).
-  double tau_emission_s = 1.0;
+  /// Threshold-voltage contribution when occupied.
+  Volts delta_vth_v{0.0};
+  /// Capture time constant at the stress reference condition.
+  Seconds tau_capture_s{1.0};
+  /// Emission time constant at the passive-recovery reference.
+  Seconds tau_emission_s{1.0};
   /// Activation energy of the capture process (eV).
   double capture_ea_ev = 0.2;
   /// Activation energy of the emission process (eV).

@@ -108,8 +108,8 @@ class TrapEnsemble {
   /// decay = 1, which leaves their occupancy bit-exactly unchanged —
   /// the branch-free equivalent of the old early return.
   struct RateEntry {
-    double voltage_v = 0.0;
-    double temperature_k = 0.0;
+    Volts voltage_v{0.0};
+    Kelvin temperature_k{0.0};
     double duty = 0.0;
     bool valid = false;
     std::vector<double> lambda;
@@ -189,8 +189,8 @@ class TrapEnsemble {
 
   /// Key of the most recent one-shot miss: a condition missing twice in a
   /// row is recurring and gets promoted into the rate cache.
-  double last_miss_voltage_ = 0.0;
-  double last_miss_temp_ = 0.0;
+  Volts last_miss_voltage_{0.0};
+  Kelvin last_miss_temp_{0.0};
   double last_miss_duty_ = 0.0;
   bool last_miss_valid_ = false;
 

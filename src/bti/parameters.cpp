@@ -17,32 +17,37 @@ void require(bool ok, const char* what) {
 
 void TdParameters::validate() const {
   require(traps_per_device > 0, "traps_per_device must be positive");
-  require(delta_vth_mean_v > 0.0, "delta_vth_mean_v must be positive");
-  require(tau_capture_min_s > 0.0, "tau_capture_min_s must be positive");
+  require(delta_vth_mean_v > Volts{0.0}, "delta_vth_mean_v must be positive");
+  require(tau_capture_min_s > Seconds{0.0},
+          "tau_capture_min_s must be positive");
   require(tau_capture_max_s > tau_capture_min_s,
           "tau_capture_max_s must exceed tau_capture_min_s");
   require(emission_ratio_log10_sigma >= 0.0,
           "emission_ratio_log10_sigma must be non-negative");
   require(permanent_fraction >= 0.0 && permanent_fraction < 1.0,
           "permanent_fraction must be in [0, 1)");
-  require(stress_ref_voltage_v > 0.0, "stress_ref_voltage_v must be positive");
-  require(stress_ref_temp_k > 0.0, "stress_ref_temp_k must be positive");
+  require(stress_ref_voltage_v > Volts{0.0},
+          "stress_ref_voltage_v must be positive");
+  require(stress_ref_temp_k > Kelvin{0.0},
+          "stress_ref_temp_k must be positive");
   require(capture_field_accel_per_v >= 0.0,
           "capture_field_accel_per_v must be non-negative");
   require(capture_ea_mean_ev >= 0.0, "capture_ea_mean_ev must be non-negative");
   require(capture_ea_sigma_ev >= 0.0,
           "capture_ea_sigma_ev must be non-negative");
-  require(capture_threshold_voltage_v > 0.0,
+  require(capture_threshold_voltage_v > Volts{0.0},
           "capture_threshold_voltage_v must be positive");
-  require(amp_k > 0.0, "amp_k must be positive");
-  require(recovery_ref_temp_k > 0.0, "recovery_ref_temp_k must be positive");
+  require(amp_prefactor > 0.0, "amp_prefactor must be positive");
+  require(recovery_ref_temp_k > Kelvin{0.0},
+          "recovery_ref_temp_k must be positive");
   require(emission_ea_mean_ev >= 0.0,
           "emission_ea_mean_ev must be non-negative");
   require(emission_ea_sigma_ev >= 0.0,
           "emission_ea_sigma_ev must be non-negative");
   require(emission_neg_bias_accel_per_v >= 0.0,
           "emission_neg_bias_accel_per_v must be non-negative");
-  require(min_safe_voltage_v < 0.0, "min_safe_voltage_v must be negative");
+  require(min_safe_voltage_v < Volts{0.0},
+          "min_safe_voltage_v must be negative");
   require(max_safe_temp_k > stress_ref_temp_k,
           "max_safe_temp_k must exceed the stress reference temperature");
 }

@@ -12,8 +12,9 @@
 namespace ash::bti {
 
 void RdParameters::validate() const {
-  if (amplitude_ref_v <= 0.0 || time_exponent <= 0.0 || time_exponent >= 1.0 ||
-      xi <= 0.0 || stress_ref_temp_k <= 0.0) {
+  if (amplitude_ref_v <= Volts{0.0} || time_exponent <= 0.0 ||
+      time_exponent >= 1.0 || xi <= 0.0 ||
+      stress_ref_temp_k <= Kelvin{0.0}) {
     throw std::invalid_argument("RdParameters: out of domain");
   }
 }
@@ -29,8 +30,9 @@ double RdModel::amplitude(Volts voltage, Kelvin temp) const {
     return std::exp(-(params_.e0_ev - params_.b_ev_per_v * v) /
                     (kBoltzmannEv * t));
   };
-  return params_.amplitude_ref_v * amp(voltage_v, temp_k) /
-         amp(params_.stress_ref_voltage_v, params_.stress_ref_temp_k);
+  return params_.amplitude_ref_v.value() * amp(voltage_v, temp_k) /
+         amp(params_.stress_ref_voltage_v.value(),
+             params_.stress_ref_temp_k.value());
 }
 
 double RdModel::stress_delta_vth(Seconds t,

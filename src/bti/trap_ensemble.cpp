@@ -26,9 +26,9 @@ TrapEnsemble::TrapEnsemble(const TdParameters& params, std::uint64_t seed)
   // Draw order matches the historical AoS constructor so existing seeds
   // reproduce the same trap populations.
   for (int i = 0; i < params_.traps_per_device; ++i) {
-    delta_vth_v_.push_back(rng.exponential(params_.delta_vth_mean_v));
-    tau_capture_s_.push_back(
-        rng.loguniform(params_.tau_capture_min_s, params_.tau_capture_max_s));
+    delta_vth_v_.push_back(rng.exponential(params_.delta_vth_mean_v.value()));
+    tau_capture_s_.push_back(rng.loguniform(params_.tau_capture_min_s.value(),
+                                            params_.tau_capture_max_s.value()));
     const double rho = std::pow(
         10.0, rng.normal(params_.emission_ratio_log10_mu,
                          params_.emission_ratio_log10_sigma));
@@ -70,26 +70,26 @@ TrapEnsemble::CondScalars TrapEnsemble::scalars_for(
   // Gate bias seen during the *unstressed* fraction of the interval: a
   // recovery interval applies its own (possibly negative) bias; the
   // off-phase of an AC stress interval is simply unbiased.
-  const double emission_bias_v = s.duty == 0.0 ? c.voltage_v : 0.0;
+  const double emission_bias_v = s.duty == 0.0 ? c.voltage_v.value() : 0.0;
 
   // Amplitude and per-Ea Arrhenius exponents are condition-level constants,
   // hoisted out of the per-trap loops.
   s.phi = s.duty > 0.0
-              ? occupancy_amplitude(params_, Volts{c.voltage_v},
-                                    Kelvin{c.temperature_k})
+              ? occupancy_amplitude(params_, c.voltage_v, c.temperature_k)
               : 0.0;
   s.capture_field =
       c.voltage_v >= params_.capture_threshold_voltage_v
           ? std::exp(params_.capture_field_accel_per_v *
-                     (c.voltage_v - params_.stress_ref_voltage_v))
+                     (c.voltage_v - params_.stress_ref_voltage_v).value())
           : 0.0;
-  s.capture_arr_x =
-      (1.0 / c.temperature_k - 1.0 / params_.stress_ref_temp_k) / kBoltzmannEv;
+  s.capture_arr_x = (1.0 / c.temperature_k.value() -
+                     1.0 / params_.stress_ref_temp_k.value()) /
+                    kBoltzmannEv;
   s.emission_bias_boost = std::exp(
       params_.emission_neg_bias_accel_per_v * std::max(0.0, -emission_bias_v));
-  s.emission_arr_x =
-      (1.0 / c.temperature_k - 1.0 / params_.recovery_ref_temp_k) /
-      kBoltzmannEv;
+  s.emission_arr_x = (1.0 / c.temperature_k.value() -
+                      1.0 / params_.recovery_ref_temp_k.value()) /
+                     kBoltzmannEv;
   return s;
 }
 

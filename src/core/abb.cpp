@@ -12,10 +12,10 @@ void validate(const AbbConfig& c) {
   if (c.body_effect <= 0.0 || c.body_effect > 1.0) {
     throw std::invalid_argument("AbbConfig: body_effect must be in (0, 1]");
   }
-  if (c.max_body_bias_v <= 0.0 || c.subthreshold_swing_v <= 0.0) {
+  if (c.max_body_bias_v <= Volts{0.0} || c.subthreshold_swing_v <= Volts{0.0}) {
     throw std::invalid_argument("AbbConfig: non-positive bias/swing");
   }
-  if (c.cycle_period_s <= 0.0 || c.horizon_s <= c.cycle_period_s) {
+  if (c.cycle_period_s <= Seconds{0.0} || c.horizon_s <= c.cycle_period_s) {
     throw std::invalid_argument("AbbConfig: bad period/horizon");
   }
   if (c.alpha <= 0.0) {
@@ -27,15 +27,16 @@ void validate(const AbbConfig& c) {
 
 double leakage_ratio(const AbbConfig& config, double vth_reduction_v) {
   return std::exp(std::max(0.0, vth_reduction_v) /
-                  config.subthreshold_swing_v);
+                  config.subthreshold_swing_v.value());
 }
 
 AbbStudy run_abb_study(const AbbConfig& c) {
   validate(c);
-  const auto active = bti::ac_stress(Volts{c.supply_v}, Celsius{c.temp_c}, c.activity_duty);
-  const auto sleep = bti::recovery(Volts{c.sleep_voltage_v}, Celsius{c.sleep_temp_c});
-  const double active_span = c.cycle_period_s * c.alpha / (1.0 + c.alpha);
-  const double sleep_span = c.cycle_period_s - active_span;
+  const auto active = bti::ac_stress(c.supply_v, c.temp_c, c.activity_duty);
+  const auto sleep = bti::recovery(c.sleep_voltage_v, c.sleep_temp_c);
+  const double active_span =
+      c.cycle_period_s.value() * c.alpha / (1.0 + c.alpha);
+  const double sleep_span = c.cycle_period_s.value() - active_span;
   const auto cycles = static_cast<long>(c.horizon_s / c.cycle_period_s);
 
   bti::ClosedFormAger ager_none(c.model);
@@ -53,20 +54,20 @@ AbbStudy run_abb_study(const AbbConfig& c) {
   double bias = 0.0;
 
   for (long k = 0; k < cycles; ++k) {
-    const double t_end = static_cast<double>(k + 1) * c.cycle_period_s;
+    const double t_end = static_cast<double>(k + 1) * c.cycle_period_s.value();
 
     // Arm 1: no mitigation — full drift hits the timing path.
-    ager_none.evolve(active, Seconds{c.cycle_period_s});
+    ager_none.evolve(active, c.cycle_period_s);
     study.none.residual_trace.append(t_end, ager_none.delta_vth());
     leak_none += 1.0;
 
     // Arm 2: ABB — runs continuously; each cycle the controller re-tunes
     // the body bias to cancel the measured drift (perfect tracking).
-    ager_abb.evolve(active, Seconds{c.cycle_period_s});
+    ager_abb.evolve(active, c.cycle_period_s);
     const double needed_bias =
         ager_abb.delta_vth() / c.body_effect;
-    bias = std::min(needed_bias, c.max_body_bias_v);
-    if (needed_bias > c.max_body_bias_v) study.abb.bias_exhausted = true;
+    bias = std::min(needed_bias, c.max_body_bias_v.value());
+    if (needed_bias > c.max_body_bias_v.value()) study.abb.bias_exhausted = true;
     const double compensated = bias * c.body_effect;
     study.abb.residual_trace.append(t_end,
                                     ager_abb.delta_vth() - compensated);
@@ -80,20 +81,20 @@ AbbStudy run_abb_study(const AbbConfig& c) {
   }
 
   const double n = static_cast<double>(cycles);
-  study.none.end_delta_vth_v = ager_none.delta_vth();
-  study.none.end_residual_vth_v = ager_none.delta_vth();
+  study.none.end_delta_vth_v = Volts{ager_none.delta_vth()};
+  study.none.end_residual_vth_v = Volts{ager_none.delta_vth()};
   study.none.mean_leakage_ratio = leak_none / n;
   study.none.availability = 1.0;
 
-  study.abb.end_delta_vth_v = ager_abb.delta_vth();
-  study.abb.end_body_bias_v = bias;
+  study.abb.end_delta_vth_v = Volts{ager_abb.delta_vth()};
+  study.abb.end_body_bias_v = Volts{bias};
   study.abb.end_residual_vth_v =
-      ager_abb.delta_vth() - bias * c.body_effect;
+      Volts{ager_abb.delta_vth() - bias * c.body_effect};
   study.abb.mean_leakage_ratio = leak_abb / n;
   study.abb.availability = 1.0;
 
-  study.self_healing.end_delta_vth_v = ager_heal.delta_vth();
-  study.self_healing.end_residual_vth_v = ager_heal.delta_vth();
+  study.self_healing.end_delta_vth_v = Volts{ager_heal.delta_vth()};
+  study.self_healing.end_residual_vth_v = Volts{ager_heal.delta_vth()};
   study.self_healing.mean_leakage_ratio = leak_heal / n;
   study.self_healing.availability = c.alpha / (1.0 + c.alpha);
 

@@ -19,22 +19,22 @@ std::vector<CircadianPoint> explore_circadian(
       lc.policy = Policy::kProactive;
       lc.knobs = config.knobs;
       lc.knobs.active_sleep_ratio = alpha;
-      lc.cycle_period_s = period;
+      lc.cycle_period_s = Seconds{period};
       lc.horizon_s = config.horizon_s;
       // A margin far above reach: we want the trajectory, not censoring.
-      lc.margin_delta_vth_v = 1.0;
+      lc.margin_delta_vth_v = Volts{1.0};
       lc.model = config.model;
       const LifetimeResult r = simulate_lifetime(lc);
 
       CircadianPoint p;
-      p.cycle_period_s = period;
+      p.cycle_period_s = Seconds{period};
       p.alpha = alpha;
       p.availability = r.availability;
       p.worst_delta_vth_v = r.worst_delta_vth_v;
       p.end_permanent_v = r.end_permanent_v;
       double mean = 0.0;
       for (const auto& s : r.trace.samples()) mean += s.value;
-      p.mean_delta_vth_v = mean / static_cast<double>(r.trace.size());
+      p.mean_delta_vth_v = Volts{mean / static_cast<double>(r.trace.size())};
       out.push_back(p);
     }
   }

@@ -14,7 +14,7 @@ void validate(const GnomoConfig& c) {
   if (c.utilization <= 0.0 || c.utilization > 1.0) {
     throw std::invalid_argument("GnomoConfig: utilization must be in (0, 1]");
   }
-  if (c.period_s <= 0.0 || c.horizon_s <= c.period_s) {
+  if (c.period_s <= Seconds{0.0} || c.horizon_s <= c.period_s) {
     throw std::invalid_argument("GnomoConfig: bad period/horizon");
   }
   if (c.nominal_v <= c.vth_v) {
@@ -25,61 +25,61 @@ void validate(const GnomoConfig& c) {
 }  // namespace
 
 double gnomo_speedup(const GnomoConfig& c) {
-  const double f_nom = (c.nominal_v - c.vth_v) / c.nominal_v;
-  const double f_boost = (c.boost_v - c.vth_v) / c.boost_v;
+  const double f_nom = (c.nominal_v - c.vth_v).value() / c.nominal_v.value();
+  const double f_boost = (c.boost_v - c.vth_v).value() / c.boost_v.value();
   return f_boost / f_nom;
 }
 
 GnomoStudy run_gnomo_study(const GnomoConfig& c) {
   validate(c);
 
-  const double busy_nominal_s = c.utilization * c.period_s;
+  const double busy_nominal_s = c.utilization * c.period_s.value();
   const double speedup = gnomo_speedup(c);
   const double busy_boost_s = busy_nominal_s / speedup;
 
   // Dynamic energy for fixed work: E ~ C V^2 per operation, so the ratio is
   // (V_boost / V_nominal)^2 independent of how fast the work ran.
-  const double gnomo_energy = (c.boost_v / c.nominal_v) *
-                              (c.boost_v / c.nominal_v);
+  const double gnomo_energy =
+      (c.boost_v / c.nominal_v) * (c.boost_v / c.nominal_v);
 
   bti::ClosedFormAger nominal(c.model);
   bti::ClosedFormAger gnomo(c.model);
   bti::ClosedFormAger heal(c.model);
 
-  const auto busy_nom = bti::ac_stress(Volts{c.nominal_v}, Celsius{c.temp_c});
-  const auto busy_boost = bti::ac_stress(Volts{c.boost_v}, Celsius{c.temp_c});
-  const auto idle = bti::recovery(Volts{0.0}, Celsius{c.idle_temp_c});
+  const auto busy_nom = bti::ac_stress(c.nominal_v, c.temp_c);
+  const auto busy_boost = bti::ac_stress(c.boost_v, c.temp_c);
+  const auto idle = bti::recovery(Volts{0.0}, c.idle_temp_c);
   const auto rejuvenate =
-      bti::recovery(Volts{c.recovery_voltage_v}, Celsius{c.recovery_temp_c});
+      bti::recovery(c.recovery_voltage_v, c.recovery_temp_c);
 
-  const auto cycles = static_cast<long>(c.horizon_s / c.period_s);
+  const auto cycles = static_cast<long>(c.horizon_s / c.period_s);  // ratio
   for (long i = 0; i < cycles; ++i) {
     // Arm 1: always-on — stressed the whole period (spare time still runs
     // background work at nominal, the design-for-EOL assumption).
-    nominal.evolve(busy_nom, Seconds{c.period_s});
+    nominal.evolve(busy_nom, c.period_s);
 
     // Arm 2: GNOMO — same work at boost, then passive idle.
     gnomo.evolve(busy_boost, Seconds{busy_boost_s});
-    gnomo.evolve(idle, Seconds{c.period_s - busy_boost_s});
+    gnomo.evolve(idle, Seconds{c.period_s.value() - busy_boost_s});
 
     // Arm 3: self-healing — same work at nominal, then accelerated sleep.
     heal.evolve(busy_nom, Seconds{busy_nominal_s});
-    heal.evolve(rejuvenate, Seconds{c.period_s - busy_nominal_s});
+    heal.evolve(rejuvenate, Seconds{c.period_s.value() - busy_nominal_s});
   }
 
   GnomoStudy study;
-  study.nominal.end_delta_vth_v = nominal.delta_vth();
-  study.nominal.permanent_v = nominal.permanent_delta_vth();
+  study.nominal.end_delta_vth_v = Volts{nominal.delta_vth()};
+  study.nominal.permanent_v = Volts{nominal.permanent_delta_vth()};
   study.nominal.energy_ratio = 1.0;
   study.nominal.stress_duty = 1.0;
 
-  study.gnomo.end_delta_vth_v = gnomo.delta_vth();
-  study.gnomo.permanent_v = gnomo.permanent_delta_vth();
+  study.gnomo.end_delta_vth_v = Volts{gnomo.delta_vth()};
+  study.gnomo.permanent_v = Volts{gnomo.permanent_delta_vth()};
   study.gnomo.energy_ratio = gnomo_energy;
-  study.gnomo.stress_duty = busy_boost_s / c.period_s;
+  study.gnomo.stress_duty = busy_boost_s / c.period_s.value();
 
-  study.self_healing.end_delta_vth_v = heal.delta_vth();
-  study.self_healing.permanent_v = heal.permanent_delta_vth();
+  study.self_healing.end_delta_vth_v = Volts{heal.delta_vth()};
+  study.self_healing.permanent_v = Volts{heal.permanent_delta_vth()};
   study.self_healing.energy_ratio = 1.0;  // work energy; knob overhead is
                                           // reported by the planner's cost
   study.self_healing.stress_duty = c.utilization;

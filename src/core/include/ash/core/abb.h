@@ -14,31 +14,32 @@
 
 #include "ash/bti/closed_form.h"
 #include "ash/util/series.h"
+#include "ash/util/units.h"
 
 namespace ash::core {
 
 /// Study configuration.
 struct AbbConfig {
   /// Mission operating point.
-  double supply_v = 1.2;
-  double temp_c = 80.0;
+  Volts supply_v{1.2};
+  Celsius temp_c{80.0};
   double activity_duty = 0.5;
   /// Fraction of Vth drift one volt of forward body bias cancels (the
   /// body-effect coefficient), and the available bias range.
   double body_effect = 0.25;
-  double max_body_bias_v = 0.45;
-  /// Subthreshold slope factor n * vT (volts): leakage multiplies by
+  Volts max_body_bias_v{0.45};
+  /// Subthreshold slope factor n * vT: leakage multiplies by
   /// exp(delta_vth_compensated / subthreshold_swing_v).
-  double subthreshold_swing_v = 0.039;
+  Volts subthreshold_swing_v{0.039};
   /// ABB controller period (re-tune cadence) — also the self-healing arm's
   /// cycle period.
-  double cycle_period_s = 30.0 * 3600.0;
+  Seconds cycle_period_s{30.0 * 3600.0};
   /// Self-healing arm: alpha and sleep conditions.
   double alpha = 4.0;
-  double sleep_voltage_v = -0.3;
-  double sleep_temp_c = 110.0;
+  Volts sleep_voltage_v{-0.3};
+  Celsius sleep_temp_c{110.0};
   /// Horizon.
-  double horizon_s = 5.0 * 365.25 * 86400.0;
+  Seconds horizon_s{5.0 * 365.25 * 86400.0};
   /// Device model.
   bti::ClosedFormParameters model =
       bti::ClosedFormParameters::from_td(bti::default_td_parameters());
@@ -46,12 +47,12 @@ struct AbbConfig {
 
 /// One arm's outcome.
 struct AbbArm {
-  /// Uncompensated Vth drift at the end of the horizon (volts).
-  double end_delta_vth_v = 0.0;
+  /// Uncompensated Vth drift at the end of the horizon.
+  Volts end_delta_vth_v{0.0};
   /// Residual (post-compensation) drift the timing path actually sees.
-  double end_residual_vth_v = 0.0;
+  Volts end_residual_vth_v{0.0};
   /// Final applied body bias (ABB arm only).
-  double end_body_bias_v = 0.0;
+  Volts end_body_bias_v{0.0};
   /// True once the controller hit its bias rail (compensation exhausted).
   bool bias_exhausted = false;
   /// Time-average leakage-power multiplier relative to fresh.

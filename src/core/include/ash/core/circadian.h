@@ -23,12 +23,12 @@ namespace ash::core {
 
 /// One candidate schedule's outcome.
 struct CircadianPoint {
-  double cycle_period_s = 0.0;
+  Seconds cycle_period_s{0.0};
   double alpha = 0.0;           ///< active/sleep ratio
   double availability = 0.0;    ///< alpha/(1+alpha)
-  double worst_delta_vth_v = 0.0;
-  double mean_delta_vth_v = 0.0;
-  double end_permanent_v = 0.0;
+  Volts worst_delta_vth_v{0.0};
+  Volts mean_delta_vth_v{0.0};
+  Volts end_permanent_v{0.0};
 };
 
 /// Sweep configuration.
@@ -40,7 +40,7 @@ struct CircadianSweepConfig {
                                    72.0 * 3600.0, 168.0 * 3600.0};
   std::vector<double> alphas = {2.0, 4.0, 8.0, 16.0};
   /// Horizon over which each schedule is evaluated.
-  double horizon_s = 3.0 * 365.25 * 86400.0;
+  Seconds horizon_s{3.0 * 365.25 * 86400.0};
   bti::ClosedFormParameters model =
       bti::ClosedFormParameters::from_td(bti::default_td_parameters());
 };

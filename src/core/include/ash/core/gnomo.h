@@ -14,29 +14,30 @@
 /// over the same work-per-period schedule and horizon.
 
 #include "ash/bti/closed_form.h"
+#include "ash/util/units.h"
 
 namespace ash::core {
 
 /// Study configuration.
 struct GnomoConfig {
-  double nominal_v = 1.2;
+  Volts nominal_v{1.2};
   /// GNOMO's boosted supply (must exceed nominal).
-  double boost_v = 1.32;
+  Volts boost_v{1.32};
   /// Threshold used by the first-order frequency model f ~ (V - Vth)/V.
-  double vth_v = 0.4;
+  Volts vth_v{0.4};
   /// Work period and the fraction of it the workload occupies at nominal
   /// speed (utilization < 1 leaves slack both strategies exploit).
-  double period_s = 30.0 * 3600.0;
+  Seconds period_s{30.0 * 3600.0};
   double utilization = 0.8;
   /// Die temperature while computing.
-  double temp_c = 80.0;
+  Celsius temp_c{80.0};
   /// Idle/ambient temperature (GNOMO idles passively at 0 V).
-  double idle_temp_c = 45.0;
+  Celsius idle_temp_c{45.0};
   /// Accelerated-recovery sleep conditions for the self-healing arm.
-  double recovery_voltage_v = -0.3;
-  double recovery_temp_c = 110.0;
+  Volts recovery_voltage_v{-0.3};
+  Celsius recovery_temp_c{110.0};
   /// Study horizon.
-  double horizon_s = 2.0 * 365.25 * 86400.0;
+  Seconds horizon_s{2.0 * 365.25 * 86400.0};
   /// Device model.
   bti::ClosedFormParameters model =
       bti::ClosedFormParameters::from_td(bti::default_td_parameters());
@@ -44,8 +45,8 @@ struct GnomoConfig {
 
 /// Outcome of one strategy arm.
 struct StrategyOutcome {
-  double end_delta_vth_v = 0.0;
-  double permanent_v = 0.0;
+  Volts end_delta_vth_v{0.0};
+  Volts permanent_v{0.0};
   /// Dynamic energy per period, relative to the always-on nominal arm.
   double energy_ratio = 1.0;
   /// Fraction of each period spent stressed.

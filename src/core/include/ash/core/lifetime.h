@@ -37,16 +37,16 @@ std::string to_string(Policy policy);
 
 /// Accelerated-recovery knob settings (the paper's sleep conditions).
 struct RejuvenationKnobs {
-  double voltage_v = -0.3;
-  double temp_c = 110.0;
+  Volts voltage_v{-0.3};
+  Celsius temp_c{110.0};
   /// alpha — active/sleep time ratio of the proactive schedule.
   double active_sleep_ratio = 4.0;
 };
 
 /// Mission-mode operating point.
 struct MissionProfile {
-  double supply_v = 1.2;
-  double temp_c = 80.0;
+  Volts supply_v{1.2};
+  Celsius temp_c{80.0};
   /// Switching activity of mission workloads.
   double activity_duty = 0.5;
 };
@@ -57,17 +57,17 @@ struct LifetimeConfig {
   Policy policy = Policy::kProactive;
   RejuvenationKnobs knobs;
   /// Ambient (idle) temperature for passive sleep.
-  double passive_sleep_temp_c = 45.0;
-  /// One active+sleep cycle of the proactive/passive schedules (seconds).
-  double cycle_period_s = 30.0 * 3600.0;
+  Celsius passive_sleep_temp_c{45.0};
+  /// One active+sleep cycle of the proactive/passive schedules.
+  Seconds cycle_period_s{30.0 * 3600.0};
   /// Reactive policy: start recovery at this fraction of the margin...
   double reactive_high_water = 0.9;
   /// ...and return to service at this fraction.
   double reactive_low_water = 0.3;
-  /// Aging budget: the DeltaVth the design margins for (volts).
-  double margin_delta_vth_v = 25e-3;
-  /// Simulated horizon (seconds).
-  double horizon_s = 10.0 * 365.25 * 86400.0;
+  /// Aging budget: the DeltaVth the design margins for.
+  Volts margin_delta_vth_v{25e-3};
+  /// Simulated horizon.
+  Seconds horizon_s{10.0 * 365.25 * 86400.0};
   /// Points in the recorded trace.
   int trace_points = 400;
   /// Device model.
@@ -79,15 +79,15 @@ struct LifetimeConfig {
 struct LifetimeResult {
   /// First time the *active* device exceeds the margin; horizon_s + cycle
   /// if never exceeded (right-censored).
-  double time_to_margin_s = 0.0;
+  Seconds time_to_margin_s{0.0};
   bool margin_exceeded = false;
   /// Fraction of the horizon spent active (throughput proxy).
   double availability = 1.0;
   /// Number of recovery episodes taken.
   int recovery_events = 0;
-  double worst_delta_vth_v = 0.0;
-  double end_delta_vth_v = 0.0;
-  double end_permanent_v = 0.0;
+  Volts worst_delta_vth_v{0.0};
+  Volts end_delta_vth_v{0.0};
+  Volts end_permanent_v{0.0};
   /// DeltaVth(t) trace for plotting (Fig. 9 style).
   Series trace;
 };

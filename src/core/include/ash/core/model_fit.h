@@ -8,15 +8,16 @@
 
 #include "ash/bti/closed_form.h"
 #include "ash/util/series.h"
+#include "ash/util/units.h"
 
 namespace ash::core {
 
 /// Fitted stress law: DeltaTd(t) = amplitude * ln(1 + t / tau) — Eq. (10)
 /// with beta*A folded into one amplitude and C = 1/tau.
 struct StressFit {
-  double amplitude_s = 0.0;  ///< beta*A, in seconds of delay per ln-unit
-  double tau_s = 0.0;        ///< 1/C
-  double rmse_s = 0.0;       ///< residual against the fitted series
+  Seconds amplitude_s{0.0};  ///< beta*A, in seconds of delay per ln-unit
+  Seconds tau_s{0.0};        ///< 1/C
+  Seconds rmse_s{0.0};       ///< residual against the fitted series
   double r_squared = 0.0;    ///< goodness of fit
   bool converged = false;
 
@@ -29,9 +30,9 @@ struct StressFit {
 struct RecoveryFit {
   double acceleration = 1.0;   ///< AF — fitted emission acceleration
   double permanent_ratio = 0.0;  ///< unrecoverable share
-  double tau_recovery_s = 1.0;   ///< fixed from the model prior
+  Seconds tau_recovery_s{1.0};   ///< fixed from the model prior
   double denom_ln = 1.0;         ///< ln(1 + t1_equiv/tau_s), fixed from data
-  double rmse_s = 0.0;
+  Seconds rmse_s{0.0};
   double r_squared = 0.0;
   bool converged = false;
 

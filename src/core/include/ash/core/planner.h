@@ -14,28 +14,29 @@
 /// is found by bisection).
 
 #include "ash/bti/closed_form.h"
+#include "ash/util/units.h"
 
 namespace ash::core {
 
 /// Planning inputs.
 struct PlannerConfig {
-  /// Stress exposure to heal, in stress-reference-equivalent seconds.
-  double t1_equiv_s = 24.0 * 3600.0;
+  /// Stress exposure to heal, in stress-reference-equivalent time.
+  Seconds t1_equiv_s{24.0 * 3600.0};
   /// Required recovered fraction of the reversible+permanent damage.
   double target_recovered_fraction = 0.9;
-  /// Longest sleep the schedule tolerates (seconds).
-  double max_sleep_s = 6.0 * 3600.0;
-  /// Shortest schedulable sleep (seconds): thermal ramp time plus
-  /// scheduling granularity.  Without it the log-law physics always picks
-  /// a minutes-long max-knob blast, which no real chamber or power domain
+  /// Longest sleep the schedule tolerates.
+  Seconds max_sleep_s{6.0 * 3600.0};
+  /// Shortest schedulable sleep: thermal ramp time plus scheduling
+  /// granularity.  Without it the log-law physics always picks a
+  /// minutes-long max-knob blast, which no real chamber or power domain
   /// can deliver.
-  double min_sleep_s = 1800.0;
+  Seconds min_sleep_s{1800.0};
 
   /// Knob bounds (safety interlocks of Sec. 6.1).
-  double min_voltage_v = -0.45;
-  double max_voltage_v = 0.0;
-  double ambient_c = 20.0;
-  double max_temp_c = 110.0;
+  Volts min_voltage_v{-0.45};
+  Volts max_voltage_v{0.0};
+  Celsius ambient_c{20.0};
+  Celsius max_temp_c{110.0};
   /// Grid resolution per knob.
   int voltage_steps = 10;
   int temp_steps = 10;
@@ -63,17 +64,17 @@ struct PlannerConfig {
 /// Planner output.
 struct RecoveryPlan {
   bool feasible = false;
-  double voltage_v = 0.0;
-  double temp_c = 0.0;
-  double sleep_s = 0.0;
+  Volts voltage_v{0.0};
+  Celsius temp_c{0.0};
+  Seconds sleep_s{0.0};
   double cost = 0.0;
   /// Recovered fraction the plan achieves (>= target when feasible).
   double achieved_fraction = 0.0;
 };
 
 /// Sleep-cost of a candidate (exposed for tests and ablation benches).
-double plan_cost(const PlannerConfig& config, double voltage_v, double temp_c,
-                 double sleep_s);
+double plan_cost(const PlannerConfig& config, Volts voltage, Celsius temp,
+                 Seconds sleep);
 
 /// Find the cheapest feasible plan; `feasible == false` if no knob setting
 /// within bounds reaches the target inside max_sleep_s.

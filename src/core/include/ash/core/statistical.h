@@ -32,11 +32,11 @@ struct PopulationConfig {
   MissionProfile mission;
   Policy policy = Policy::kProactive;
   RejuvenationKnobs knobs;
-  double cycle_period_s = 30.0 * 3600.0;
-  double horizon_s = 5.0 * 365.25 * 86400.0;
+  Seconds cycle_period_s{30.0 * 3600.0};
+  Seconds horizon_s{5.0 * 365.25 * 86400.0};
   /// Margin the reactive policy triggers against (other policies are
   /// schedule-driven and ignore it).
-  double reactive_margin_v = 9.5e-3;
+  Volts reactive_margin_v{9.5e-3};
 
   /// Base model the per-chip variants jitter around.
   bti::ClosedFormParameters model =
@@ -46,15 +46,15 @@ struct PopulationConfig {
 /// Population outcome: the margin (worst-case DeltaVth over the horizon)
 /// each chip would require, plus summary percentiles.
 struct PopulationResult {
-  std::vector<double> per_chip_margin_v;  ///< sorted ascending
-  double mean_v = 0.0;
-  double p50_v = 0.0;
-  double p95_v = 0.0;
-  double p99_v = 0.0;
-  double worst_v = 0.0;
+  std::vector<Volts> per_chip_margin_v;  ///< sorted ascending
+  Volts mean_v{0.0};
+  Volts p50_v{0.0};
+  Volts p95_v{0.0};
+  Volts p99_v{0.0};
+  Volts worst_v{0.0};
 
   /// Margin at an arbitrary percentile (0..100).
-  double margin_at(double percentile) const;
+  Volts margin_at(double percentile) const;
 };
 
 /// Run the population study.  Deterministic under `seed`.

@@ -11,16 +11,16 @@ namespace ash::core {
 namespace {
 
 void validate(const LifetimeConfig& c) {
-  if (c.cycle_period_s <= 0.0) {
+  if (c.cycle_period_s <= Seconds{0.0}) {
     throw std::invalid_argument("LifetimeConfig: cycle period must be > 0");
   }
   if (c.knobs.active_sleep_ratio <= 0.0) {
     throw std::invalid_argument("LifetimeConfig: alpha must be > 0");
   }
-  if (c.margin_delta_vth_v <= 0.0) {
+  if (c.margin_delta_vth_v <= Volts{0.0}) {
     throw std::invalid_argument("LifetimeConfig: margin must be > 0");
   }
-  if (c.horizon_s <= 0.0) {
+  if (c.horizon_s <= Seconds{0.0}) {
     throw std::invalid_argument("LifetimeConfig: horizon must be > 0");
   }
   if (c.reactive_low_water >= c.reactive_high_water ||
@@ -49,16 +49,17 @@ LifetimeResult simulate_lifetime(const LifetimeConfig& config) {
 
   bti::ClosedFormAger ager(config.model);
   const bti::OperatingCondition active = bti::ac_stress(
-      Volts{config.mission.supply_v}, Celsius{config.mission.temp_c},
+      config.mission.supply_v, config.mission.temp_c,
       config.mission.activity_duty);
-  const bti::OperatingCondition accel_sleep = bti::recovery(
-      Volts{config.knobs.voltage_v}, Celsius{config.knobs.temp_c});
+  const bti::OperatingCondition accel_sleep =
+      bti::recovery(config.knobs.voltage_v, config.knobs.temp_c);
   const bti::OperatingCondition passive_sleep =
-      bti::recovery(Volts{0.0}, Celsius{config.passive_sleep_temp_c});
+      bti::recovery(Volts{0.0}, config.passive_sleep_temp_c);
 
   const double alpha = config.knobs.active_sleep_ratio;
-  const double active_span = config.cycle_period_s * alpha / (1.0 + alpha);
-  const double sleep_span = config.cycle_period_s - active_span;
+  const double active_span =
+      config.cycle_period_s.value() * alpha / (1.0 + alpha);
+  const double sleep_span = config.cycle_period_s.value() - active_span;
 
   LifetimeResult result;
   result.trace.set_name(to_string(config.policy));
@@ -66,33 +67,35 @@ LifetimeResult simulate_lifetime(const LifetimeConfig& config) {
   double t = 0.0;
   double active_time = 0.0;
   const double trace_every =
-      config.horizon_s / static_cast<double>(config.trace_points - 1);
+      config.horizon_s.value() / static_cast<double>(config.trace_points - 1);
   double next_trace = 0.0;
 
   const auto record = [&](double now) {
-    while (next_trace <= now + 1e-9 && next_trace <= config.horizon_s + 1e-9) {
+    while (next_trace <= now + 1e-9 &&
+           next_trace <= config.horizon_s.value() + 1e-9) {
       result.trace.append(next_trace, ager.delta_vth());
       next_trace += trace_every;
     }
     result.worst_delta_vth_v =
-        std::max(result.worst_delta_vth_v, ager.delta_vth());
+        Volts{std::max(result.worst_delta_vth_v.value(), ager.delta_vth())};
     if (!result.margin_exceeded &&
-        ager.delta_vth() >= config.margin_delta_vth_v) {
+        ager.delta_vth() >= config.margin_delta_vth_v.value()) {
       result.margin_exceeded = true;
-      result.time_to_margin_s = now;
+      result.time_to_margin_s = Seconds{now};
     }
   };
 
   // Step granularity: fine enough to catch threshold crossings, coarse
   // enough that decade horizons stay cheap.
-  const double step = std::min(active_span, config.cycle_period_s / 8.0);
+  const double step =
+      std::min(active_span, config.cycle_period_s.value() / 8.0);
 
   bool recovering = false;  // reactive-policy state
   record(0.0);
-  while (t < config.horizon_s) {
+  while (t < config.horizon_s.value()) {
     switch (config.policy) {
       case Policy::kNoRecovery: {
-        const double dt = std::min(step, config.horizon_s - t);
+        const double dt = std::min(step, config.horizon_s.value() - t);
         ager.evolve(active, Seconds{dt});
         t += dt;
         active_time += dt;
@@ -104,13 +107,14 @@ LifetimeResult simulate_lifetime(const LifetimeConfig& config) {
         const auto& sleep_cond = config.policy == Policy::kProactive
                                      ? accel_sleep
                                      : passive_sleep;
-        const double dt_a = std::min(active_span, config.horizon_s - t);
+        const double dt_a =
+            std::min(active_span, config.horizon_s.value() - t);
         ager.evolve(active, Seconds{dt_a});
         t += dt_a;
         active_time += dt_a;
         record(t);
-        if (t >= config.horizon_s) break;
-        const double dt_s = std::min(sleep_span, config.horizon_s - t);
+        if (t >= config.horizon_s.value()) break;
+        const double dt_s = std::min(sleep_span, config.horizon_s.value() - t);
         ager.evolve(sleep_cond, Seconds{dt_s});
         t += dt_s;
         ++result.recovery_events;
@@ -118,14 +122,14 @@ LifetimeResult simulate_lifetime(const LifetimeConfig& config) {
         break;
       }
       case Policy::kReactive: {
-        const double dt = std::min(step, config.horizon_s - t);
+        const double dt = std::min(step, config.horizon_s.value() - t);
         if (!recovering) {
           ager.evolve(active, Seconds{dt});
           active_time += dt;
           t += dt;
           record(t);
           if (ager.delta_vth() >=
-              config.reactive_high_water * config.margin_delta_vth_v) {
+              config.reactive_high_water * config.margin_delta_vth_v.value()) {
             recovering = true;
             ++result.recovery_events;
           }
@@ -135,7 +139,7 @@ LifetimeResult simulate_lifetime(const LifetimeConfig& config) {
           record(t);
           const double floor_v = ager.permanent_delta_vth();
           const double target =
-              config.reactive_low_water * config.margin_delta_vth_v;
+              config.reactive_low_water * config.margin_delta_vth_v.value();
           // Stop recovering at the low-water mark, or when permanent damage
           // makes further sleep pointless.
           if (ager.delta_vth() <= std::max(target, floor_v * 1.02)) {
@@ -151,9 +155,9 @@ LifetimeResult simulate_lifetime(const LifetimeConfig& config) {
     // Right-censored: report one cycle past the horizon.
     result.time_to_margin_s = config.horizon_s + config.cycle_period_s;
   }
-  result.availability = active_time / config.horizon_s;
-  result.end_delta_vth_v = ager.delta_vth();
-  result.end_permanent_v = ager.permanent_delta_vth();
+  result.availability = active_time / config.horizon_s.value();
+  result.end_delta_vth_v = Volts{ager.delta_vth()};
+  result.end_permanent_v = Volts{ager.permanent_delta_vth()};
   return result;
 }
 

@@ -22,14 +22,15 @@ std::vector<double> values_of(const Series& s) {
 }  // namespace
 
 double StressFit::delta_td(double t_s) const {
-  return amplitude_s * std::log1p(t_s / tau_s);
+  return amplitude_s.value() * std::log1p(t_s / tau_s.value());
 }
 
 double RecoveryFit::remaining_fraction(double t2_s) const {
   if (denom_ln <= 0.0) return 1.0;
   const double recovered = std::min(
-      1.0, std::log1p(acceleration * std::max(0.0, t2_s) / tau_recovery_s) /
-               denom_ln);
+      1.0,
+      std::log1p(acceleration * std::max(0.0, t2_s) / tau_recovery_s.value()) /
+          denom_ln);
   return permanent_ratio + (1.0 - permanent_ratio) * (1.0 - recovered);
 }
 
@@ -46,7 +47,7 @@ StressFit ModelFitter::fit_stress(const Series& delay_change) const {
 
   // Linear prefit of the amplitude for the prior tau: DeltaTd is linear in
   // ln(1 + t/tau), so an amplitude-only least squares seeds the simplex.
-  const double tau0 = priors_.tau_stress_s;
+  const double tau0 = priors_.tau_stress_s.value();
   double num = 0.0;
   double den = 0.0;
   for (const auto& s : delay_change.samples()) {
@@ -72,13 +73,13 @@ StressFit ModelFitter::fit_stress(const Series& delay_change) const {
       nelder_mead(cost, {std::max(amp0, 1e-15), std::log10(tau0)});
 
   StressFit fit;
-  fit.amplitude_s = result.x[0];
-  fit.tau_s = std::pow(10.0, result.x[1]);
+  fit.amplitude_s = Seconds{result.x[0]};
+  fit.tau_s = Seconds{std::pow(10.0, result.x[1])};
   fit.converged = result.converged;
   std::vector<double> model;
   model.reserve(delay_change.size());
   for (const auto& s : delay_change.samples()) model.push_back(fit.delta_td(s.t));
-  fit.rmse_s = rmse(observed, model);
+  fit.rmse_s = Seconds{rmse(observed, model)};
   fit.r_squared = r_squared(observed, model);
   return fit;
 }
@@ -99,11 +100,11 @@ RecoveryFit ModelFitter::fit_recovery(const Series& delay_change,
 
   RecoveryFit fit;
   fit.tau_recovery_s = priors_.tau_recovery_s;
-  fit.denom_ln = std::log1p(t1_equiv_s / priors_.tau_stress_s);
+  fit.denom_ln = std::log1p(t1_equiv_s / priors_.tau_stress_s.value());
 
   // Fit (log10 acceleration, permanent ratio) against the normalized
   // remaining fraction.
-  const double tau_r = fit.tau_recovery_s;
+  const double tau_r = fit.tau_recovery_s.value();
   const double denom = fit.denom_ln;
   const Objective cost = [&](const std::vector<double>& p) {
     const double af = std::pow(10.0, p[0]);
@@ -131,7 +132,7 @@ RecoveryFit ModelFitter::fit_recovery(const Series& delay_change,
     observed.push_back(s.value);
     model.push_back(d0 * fit.remaining_fraction(s.t));
   }
-  fit.rmse_s = rmse(observed, model);
+  fit.rmse_s = Seconds{rmse(observed, model)};
   fit.r_squared = r_squared(observed, model);
   return fit;
 }

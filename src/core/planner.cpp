@@ -9,10 +9,10 @@ namespace ash::core {
 namespace {
 
 void validate(const PlannerConfig& c) {
-  if (c.t1_equiv_s <= 0.0 || c.max_sleep_s <= 0.0) {
+  if (c.t1_equiv_s <= Seconds{0.0} || c.max_sleep_s <= Seconds{0.0}) {
     throw std::invalid_argument("PlannerConfig: non-positive times");
   }
-  if (c.min_sleep_s < 0.0 || c.min_sleep_s > c.max_sleep_s) {
+  if (c.min_sleep_s < Seconds{0.0} || c.min_sleep_s > c.max_sleep_s) {
     throw std::invalid_argument("PlannerConfig: bad min_sleep_s");
   }
   if (c.target_recovered_fraction <= 0.0 ||
@@ -29,13 +29,13 @@ void validate(const PlannerConfig& c) {
 
 }  // namespace
 
-double plan_cost(const PlannerConfig& config, double voltage_v, double temp_c,
-                 double sleep_s) {
-  const double lift_c = std::max(0.0, temp_c - config.ambient_c);
-  const double overdrive_v = std::max(0.0, -voltage_v);
+double plan_cost(const PlannerConfig& config, Volts voltage, Celsius temp,
+                 Seconds sleep) {
+  const double lift_c = std::max(0.0, temp.value() - config.ambient_c.value());
+  const double overdrive_v = std::max(0.0, -voltage.value());
   const double running =
-      sleep_s * (config.time_cost + config.heat_cost_per_c * lift_c +
-                 config.bias_cost_per_v * overdrive_v);
+      sleep.value() * (config.time_cost + config.heat_cost_per_c * lift_c +
+                       config.bias_cost_per_v * overdrive_v);
   const double engage =
       config.heat_engage_cost_per_c * lift_c +
       (overdrive_v > 0.0 ? config.bias_engage_cost : 0.0);
@@ -51,42 +51,43 @@ RecoveryPlan plan_recovery(const PlannerConfig& config) {
   best.cost = std::numeric_limits<double>::infinity();
 
   for (int vi = 0; vi <= config.voltage_steps; ++vi) {
-    const double v = config.min_voltage_v +
-                     (config.max_voltage_v - config.min_voltage_v) * vi /
+    const double v = config.min_voltage_v.value() +
+                     (config.max_voltage_v.value() - config.min_voltage_v.value()) * vi /
                          config.voltage_steps;
     for (int ti = 0; ti <= config.temp_steps; ++ti) {
-      const double t_c = config.ambient_c +
-                         (config.max_temp_c - config.ambient_c) * ti /
+      const double t_c = config.ambient_c.value() +
+                         (config.max_temp_c.value() - config.ambient_c.value()) * ti /
                              config.temp_steps;
       const auto cond = bti::recovery(Volts{v}, Celsius{t_c});
       // Feasible at all within the sleep budget?
-      if (model.remaining_fraction(Seconds{config.t1_equiv_s},
-                                   Seconds{config.max_sleep_s}, cond) >
+      if (model.remaining_fraction(config.t1_equiv_s,
+                                   config.max_sleep_s, cond) >
           remaining_target) {
         continue;
       }
       // Minimal sleep by bisection (remaining is monotone non-increasing).
       double lo = 0.0;
-      double hi = config.max_sleep_s;
+      double hi = config.max_sleep_s.value();
       for (int iter = 0; iter < 60; ++iter) {
         const double mid = 0.5 * (lo + hi);
-        if (model.remaining_fraction(Seconds{config.t1_equiv_s},
+        if (model.remaining_fraction(config.t1_equiv_s,
                                      Seconds{mid}, cond) > remaining_target) {
           lo = mid;
         } else {
           hi = mid;
         }
       }
-      const double sleep = std::max(hi, config.min_sleep_s);
-      const double cost = plan_cost(config, v, t_c, sleep);
+      const double sleep = std::max(hi, config.min_sleep_s.value());
+      const double cost =
+          plan_cost(config, Volts{v}, Celsius{t_c}, Seconds{sleep});
       if (cost < best.cost) {
         best.feasible = true;
-        best.voltage_v = v;
-        best.temp_c = t_c;
-        best.sleep_s = sleep;
+        best.voltage_v = Volts{v};
+        best.temp_c = Celsius{t_c};
+        best.sleep_s = Seconds{sleep};
         best.cost = cost;
         best.achieved_fraction =
-            1.0 - model.remaining_fraction(Seconds{config.t1_equiv_s},
+            1.0 - model.remaining_fraction(config.t1_equiv_s,
                                            Seconds{sleep}, cond);
       }
     }

@@ -3,17 +3,21 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "ash/util/random.h"
 #include "ash/util/stats.h"
 
 namespace ash::core {
 
-double PopulationResult::margin_at(double percentile) const {
+Volts PopulationResult::margin_at(double percentile) const {
   if (per_chip_margin_v.empty()) {
     throw std::logic_error("PopulationResult: empty population");
   }
-  return ash::percentile(per_chip_margin_v, percentile);
+  std::vector<double> values;
+  values.reserve(per_chip_margin_v.size());
+  for (const Volts v : per_chip_margin_v) values.push_back(v.value());
+  return Volts{ash::percentile(values, percentile)};
 }
 
 PopulationResult simulate_population(const PopulationConfig& config) {
@@ -29,8 +33,8 @@ PopulationResult simulate_population(const PopulationConfig& config) {
   for (int i = 0; i < config.chips; ++i) {
     Rng rng(derive_seed(config.seed, static_cast<std::uint64_t>(i)));
     bti::ClosedFormParameters chip_model = config.model;
-    chip_model.beta_ref_v *=
-        std::exp(rng.normal(0.0, config.amplitude_sigma));
+    chip_model.beta_ref_v =
+        chip_model.beta_ref_v * std::exp(rng.normal(0.0, config.amplitude_sigma));
     chip_model.permanent_ratio = std::min(
         0.5, chip_model.permanent_ratio *
                  std::exp(rng.normal(0.0, config.permanent_sigma)));
@@ -43,8 +47,9 @@ PopulationResult simulate_population(const PopulationConfig& config) {
     lc.horizon_s = config.horizon_s;
     // Non-reactive policies are schedule-driven: disable the margin so the
     // run is never censored.  Reactive needs a real threshold to react to.
-    lc.margin_delta_vth_v =
-        config.policy == Policy::kReactive ? config.reactive_margin_v : 1.0;
+    lc.margin_delta_vth_v = config.policy == Policy::kReactive
+                                ? config.reactive_margin_v
+                                : Volts{1.0};
     lc.trace_points = 2;          // keep memory flat; worst is tracked anyway
     lc.model = chip_model;
     const LifetimeResult r = simulate_lifetime(lc);
@@ -52,7 +57,12 @@ PopulationResult simulate_population(const PopulationConfig& config) {
   }
 
   std::sort(result.per_chip_margin_v.begin(), result.per_chip_margin_v.end());
-  result.mean_v = mean(result.per_chip_margin_v);
+  std::vector<double> sorted_values;
+  sorted_values.reserve(result.per_chip_margin_v.size());
+  for (const Volts v : result.per_chip_margin_v) {
+    sorted_values.push_back(v.value());
+  }
+  result.mean_v = Volts{mean(sorted_values)};
   result.p50_v = result.margin_at(50.0);
   result.p95_v = result.margin_at(95.0);
   result.p99_v = result.margin_at(99.0);

@@ -333,7 +333,8 @@ Response unwrap(const Frame& frame, MessageType want) {
 }  // namespace
 
 bool Client::ping() {
-  const Frame resp = call(MessageType::kPingRequest, encode_ping());
+  const Frame resp = call(MessageType::kPingRequest,
+                          PingRequest{}.encode());
   return resp.type == MessageType::kPingResponse;
 }
 

@@ -230,6 +230,20 @@ class FrameReader {
 // ProtocolError naming the offender.
 // ---------------------------------------------------------------------------
 
+/// Liveness probe.  Both payloads are empty by definition — the codec
+/// structs exist so a probe carrying data is rejected at parse time like
+/// any other malformed document, and so every wire verb (even the trivial
+/// one) goes through the same encode()/parse() discipline.
+struct PingRequest {
+  std::string encode() const;
+  static PingRequest parse(std::string_view payload);
+};
+
+struct PingResponse {
+  std::string encode() const;
+  static PingResponse parse(std::string_view payload);
+};
+
 /// "Given this duty cycle, when does device X cross its margin?"
 struct MarginRequest {
   std::uint64_t device_id = 0;
@@ -447,8 +461,5 @@ struct HealthResponse {
   std::string encode() const;
   static HealthResponse parse(std::string_view payload);
 };
-
-/// Ping carries no payload; these helpers keep call sites symmetric.
-std::string encode_ping();
 
 }  // namespace ash::fleet

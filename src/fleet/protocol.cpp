@@ -536,6 +536,20 @@ std::optional<Frame> FrameReader::next() {
 // Payload codecs.
 // -------------------------------------------------------------------------
 
+std::string PingRequest::encode() const { return {}; }
+
+PingRequest PingRequest::parse(std::string_view payload) {
+  (void)Doc(payload, {});
+  return {};
+}
+
+std::string PingResponse::encode() const { return {}; }
+
+PingResponse PingResponse::parse(std::string_view payload) {
+  (void)Doc(payload, {});
+  return {};
+}
+
 std::string MarginRequest::encode() const {
   std::string out;
   put_field(out, "device", std::to_string(device_id));
@@ -947,7 +961,5 @@ HealthResponse HealthResponse::parse(std::string_view payload) {
   out.draining = doc.get_bool("draining");
   return out;
 }
-
-std::string encode_ping() { return {}; }
 
 }  // namespace ash::fleet

@@ -376,10 +376,9 @@ Frame Service::respond(const Frame& request) {
   try {
     switch (request.type) {
       case MessageType::kPingRequest:
-        if (!request.payload.empty()) {
-          throw ProtocolError("ping carries no payload");
-        }
-        return Frame{MessageType::kPingResponse, request.request_id, {}};
+        (void)PingRequest::parse(request.payload);
+        return Frame{MessageType::kPingResponse, request.request_id,
+                     PingResponse{}.encode()};
       case MessageType::kMarginRequest:
         return respond_margin(request);
       case MessageType::kMarginBatchRequest:

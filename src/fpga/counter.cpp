@@ -7,18 +7,18 @@ namespace ash::fpga {
 
 FrequencyCounter::FrequencyCounter(const CounterConfig& config, Rng rng)
     : config_(config), rng_(rng) {
-  if (config_.f_ref_hz <= 0.0 || config_.gate_ref_periods <= 0 ||
+  if (config_.f_ref_hz <= Hertz{0.0} || config_.gate_ref_periods <= 0 ||
       config_.bits <= 0 || config_.bits > 31 ||
       config_.noise_counts_sigma < 0.0) {
     throw std::invalid_argument("FrequencyCounter: bad configuration");
   }
 }
 
-double FrequencyCounter::resolution_hz() const {
+Hertz FrequencyCounter::resolution_hz() const {
   return 2.0 * config_.f_ref_hz / static_cast<double>(config_.gate_ref_periods);
 }
 
-double FrequencyCounter::max_unwrapped_frequency_hz() const {
+Hertz FrequencyCounter::max_unwrapped_frequency_hz() const {
   const double max_counts = std::pow(2.0, config_.bits) - 1.0;
   return max_counts * resolution_hz();
 }
@@ -30,7 +30,7 @@ CounterReading FrequencyCounter::measure(Hertz true_frequency) {
   }
   // Ideal accumulated count over the gate: f_osc/(2 f_ref) per ref period.
   const double gate_s =
-      static_cast<double>(config_.gate_ref_periods) / config_.f_ref_hz;
+      static_cast<double>(config_.gate_ref_periods) / config_.f_ref_hz.value();
   const double ideal = true_frequency_hz * gate_s / 2.0;
   const double noisy = ideal + rng_.normal(0.0, config_.noise_counts_sigma);
   const double quantized = std::max(0.0, std::floor(noisy + 0.5));
@@ -40,8 +40,10 @@ CounterReading FrequencyCounter::measure(Hertz true_frequency) {
   const auto mask =
       (std::uint32_t{1} << static_cast<unsigned>(config_.bits)) - 1u;
   r.raw_counts = static_cast<std::uint32_t>(quantized) & mask;
-  r.frequency_hz = quantized / gate_s * 2.0;
-  r.delay_s = r.frequency_hz > 0.0 ? 1.0 / (2.0 * r.frequency_hz) : 0.0;
+  r.frequency_hz = Hertz{quantized / gate_s * 2.0};
+  r.delay_s = r.frequency_hz > Hertz{0.0}
+                  ? Seconds{1.0 / (2.0 * r.frequency_hz.value())}
+                  : Seconds{0.0};
   return r;
 }
 

@@ -145,7 +145,7 @@ void Fabric::age_probabilistic(const NetProbabilities& primary_input_probs,
       bti::OperatingCondition dev_env = env;
       dev_env.gate_stress_duty =
           env.gate_stress_duty * stress_prob[d];
-      if (dev_env.gate_stress_duty == 0.0) dev_env.voltage_v = 0.0;
+      if (dev_env.gate_stress_duty == 0.0) dev_env.voltage_v = Volts{0.0};
       luts_[idx].device(d).evolve(dev_env, dt);
     }
 
@@ -161,7 +161,7 @@ void Fabric::age_probabilistic(const NetProbabilities& primary_input_probs,
     for (int d = 0; d < kRoutingDeviceCount; ++d) {
       bti::OperatingCondition dev_env = env;
       dev_env.gate_stress_duty = env.gate_stress_duty * routing_prob[d];
-      if (dev_env.gate_stress_duty == 0.0) dev_env.voltage_v = 0.0;
+      if (dev_env.gate_stress_duty == 0.0) dev_env.voltage_v = Volts{0.0};
       routings_[idx].device(d).evolve(dev_env, dt);
     }
   }
@@ -208,8 +208,8 @@ TimingReport Fabric::timing(Volts vdd, Kelvin temp) const {
   TimingReport report;
   for (const auto& po : netlist_.primary_outputs) {
     report.arrival_s[po] = arrival.at(po);
-    if (arrival.at(po) >= report.worst_arrival_s) {
-      report.worst_arrival_s = arrival.at(po);
+    if (Seconds{arrival.at(po)} >= report.worst_arrival_s) {
+      report.worst_arrival_s = Seconds{arrival.at(po)};
       report.critical_output = po;
     }
   }

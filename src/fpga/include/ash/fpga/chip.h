@@ -56,12 +56,12 @@ class FpgaChip {
   RingOscillator& ro() { return ro_; }
 
   /// True RO frequency at the given measurement supply/temperature.
-  double ro_frequency_hz(Volts vdd, Kelvin temp) const {
+  Hertz ro_frequency_hz(Volts vdd, Kelvin temp) const {
     return ro_.frequency_hz(vdd, temp);
   }
 
   /// True CUT delay (one-way traversal average), Td = 1/(2 f_osc).
-  double cut_delay_s(Volts vdd, Kelvin temp) const {
+  Seconds cut_delay_s(Volts vdd, Kelvin temp) const {
     return ro_.period_s(vdd, temp) / 2.0;
   }
 

@@ -22,7 +22,7 @@ namespace ash::fpga {
 /// Counter configuration.
 struct CounterConfig {
   /// External reference clock (the paper uses 500 Hz).
-  double f_ref_hz = 500.0;
+  Hertz f_ref_hz{500.0};
   /// Number of reference periods per gated measurement.
   int gate_ref_periods = 16;
   /// Counter width; the hardware wraps past 2^bits - 1.
@@ -40,9 +40,9 @@ struct CounterReading {
   /// Total accumulated counts across the gate (unwrapped estimate).
   double counts = 0.0;
   /// Inferred oscillator frequency, Eq. (14) generalized to the gate span.
-  double frequency_hz = 0.0;
+  Hertz frequency_hz{0.0};
   /// Inferred CUT delay, Eq. (15).
-  double delay_s = 0.0;
+  Seconds delay_s{0.0};
 };
 
 /// Simulated gated frequency counter.  Deterministic given its RNG state.
@@ -57,11 +57,11 @@ class FrequencyCounter {
   /// frequencies.
   CounterReading measure(Hertz true_frequency);
 
-  /// Frequency resolution of one gate step (Hz per count).
-  double resolution_hz() const;
+  /// Frequency resolution of one gate step (per count).
+  Hertz resolution_hz() const;
 
   /// Highest frequency measurable without register wrap at this gate.
-  double max_unwrapped_frequency_hz() const;
+  Hertz max_unwrapped_frequency_hz() const;
 
  private:
   CounterConfig config_;

@@ -23,22 +23,22 @@ namespace ash::fpga {
 /// chip.
 struct DelayParams {
   /// Nominal core supply (the 40 nm parts run at 1.2 V).
-  double vdd_nominal_v = 1.2;
+  Volts vdd_nominal_v{1.2};
   /// Fresh threshold voltage magnitude.
-  double vth0_v = 0.4;
+  Volts vth0_v{0.4};
   /// Optional linear temperature coefficient of delay (fractional per K).
   /// Default 0: the paper's methodology compares readings taken under
   /// identical environmental conditions, so aging is the only delay driver;
   /// enable this to study temperature-sensitive measurement instead.
   double temp_coeff_per_k = 0.0;
   /// Reference temperature for the temperature coefficient.
-  double temp_ref_k = 293.15;
+  Kelvin temp_ref_k{293.15};
 };
 
 /// True if a gate with threshold shift `dvth_v` still switches at supply
 /// `vdd_v` (needs headroom above threshold).
 inline bool is_functional(const DelayParams& p, Volts vdd, Volts dvth) {
-  return vdd.value() - p.vth0_v - dvth.value() > 0.05;
+  return vdd.value() - p.vth0_v.value() - dvth.value() > 0.05;
 }
 
 /// Delay of a segment with fresh delay td0 (measured at nominal supply and
@@ -55,10 +55,11 @@ inline double segment_delay(const DelayParams& p, Seconds td0, Volts dvth,
     throw std::domain_error(
         "segment_delay: no gate overdrive (circuit not functional)");
   }
-  const double fresh_factor = p.vdd_nominal_v / (p.vdd_nominal_v - p.vth0_v);
-  const double aged_factor = vdd_v / (vdd_v - p.vth0_v - dvth_v);
+  const double fresh_factor =
+      p.vdd_nominal_v.value() / (p.vdd_nominal_v - p.vth0_v).value();
+  const double aged_factor = vdd_v / (vdd_v - p.vth0_v.value() - dvth_v);
   const double temp_factor =
-      1.0 + p.temp_coeff_per_k * (temp_k - p.temp_ref_k);
+      1.0 + p.temp_coeff_per_k * (temp_k - p.temp_ref_k.value());
   return td0_s * (aged_factor / fresh_factor) * temp_factor;
 }
 
@@ -70,25 +71,25 @@ inline double segment_delay(const DelayParams& p, Seconds td0, Volts dvth,
 /// A hit returns the previously computed double verbatim, so cached reads
 /// are bit-identical to recomputation.
 struct PathDelayCache {
-  double vdd_nominal_v = 0.0;
-  double vth0_v = 0.0;
+  Volts vdd_nominal_v{0.0};
+  Volts vth0_v{0.0};
   double temp_coeff_per_k = 0.0;
-  double temp_ref_k = 0.0;
-  double vdd_v = 0.0;
-  double temp_k = 0.0;
+  Kelvin temp_ref_k{0.0};
+  Volts vdd_v{0.0};
+  Kelvin temp_k{0.0};
   std::uint64_t stamp = 0;
   bool valid = false;
-  double delay_s = 0.0;
+  Seconds delay_s{0.0};
 
-  bool matches(const DelayParams& p, double vdd, double temp,
+  bool matches(const DelayParams& p, Volts vdd, Kelvin temp,
                std::uint64_t s) const {
     return valid && stamp == s && vdd_v == vdd && temp_k == temp &&
            vdd_nominal_v == p.vdd_nominal_v && vth0_v == p.vth0_v &&
            temp_coeff_per_k == p.temp_coeff_per_k && temp_ref_k == p.temp_ref_k;
   }
 
-  void store(const DelayParams& p, double vdd, double temp, std::uint64_t s,
-             double delay) {
+  void store(const DelayParams& p, Volts vdd, Kelvin temp, std::uint64_t s,
+             Seconds delay) {
     vdd_nominal_v = p.vdd_nominal_v;
     vth0_v = p.vth0_v;
     temp_coeff_per_k = p.temp_coeff_per_k;

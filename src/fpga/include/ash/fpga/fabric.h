@@ -45,8 +45,8 @@ using NetProbabilities = std::unordered_map<std::string, double>;
 
 /// Aging-aware timing report.
 struct TimingReport {
-  /// Worst primary-output arrival time (seconds).
-  double worst_arrival_s = 0.0;
+  /// Worst primary-output arrival time.
+  Seconds worst_arrival_s{0.0};
   /// The primary output that sets it.
   std::string critical_output;
   /// Instance names along the critical path, inputs first.

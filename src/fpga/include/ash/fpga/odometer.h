@@ -39,7 +39,7 @@ struct OdometerConfig {
   DelayParams delay;
   bti::TdParameters td = bti::default_td_parameters();
   /// Supply used for reads.
-  double read_vdd_v = 1.2;
+  Volts read_vdd_v{1.2};
   /// Probability that a read attempt returns no data (scan-chain /
   /// readback bus failure).  The oscillators still wake and age — a
   /// dropped read is never free — but the reading comes back invalid
@@ -51,8 +51,8 @@ struct OdometerConfig {
 
 /// One sensor reading.
 struct OdometerReading {
-  double stressed_hz = 0.0;
-  double reference_hz = 0.0;
+  Hertz stressed_hz{0.0};
+  Hertz reference_hz{0.0};
   /// Estimated fractional frequency degradation of the stressed mirror,
   /// already normalized by the t = 0 calibration.  NaN when the read
   /// dropped.
@@ -94,7 +94,7 @@ class SiliconOdometer {
   FrequencyCounter counter_reference_;
   Rng dropout_rng_;  ///< read-path failure draws, split from config.seed
   double calibration_ratio_ = 1.0;  ///< f_s/f_r at t = 0 (mismatch cancel)
-  double fresh_stressed_hz_ = 0.0;
+  Hertz fresh_stressed_hz_{0.0};
   int reads_ = 0;
 };
 

@@ -52,15 +52,15 @@ class RingOscillator {
 
   int stage_count() const { return static_cast<int>(stages_.size()); }
 
-  /// Delay of one full traversal of the ring for the given input phase
-  /// (seconds).  The static In1 = 1 of Fig. 2's example is applied.
-  double traversal_delay_s(bool in0_phase, Volts vdd, Kelvin temp) const;
+  /// Delay of one full traversal of the ring for the given input phase.
+  /// The static In1 = 1 of Fig. 2's example is applied.
+  Seconds traversal_delay_s(bool in0_phase, Volts vdd, Kelvin temp) const;
 
   /// Oscillation period: rising + falling traversal.
-  double period_s(Volts vdd, Kelvin temp) const;
+  Seconds period_s(Volts vdd, Kelvin temp) const;
 
   /// Oscillation frequency f_osc = 1 / period.
-  double frequency_hz(Volts vdd, Kelvin temp) const;
+  Hertz frequency_hz(Volts vdd, Kelvin temp) const;
 
   /// Age the whole ring for dt seconds.  `env` supplies voltage,
   /// temperature and (for kAcOscillating) the stress duty.

@@ -32,9 +32,9 @@ enum class DeviceType { kNmos, kPmos };
 struct TransistorSpec {
   std::string name;          ///< e.g. "M1", "M5", "R1P"
   DeviceType type = DeviceType::kNmos;
-  /// Fresh delay of the path segment this device drives, at nominal supply
-  /// (seconds).  Zero for devices that never sit on a timed path.
-  double nominal_delay_s = 0.0;
+  /// Fresh delay of the path segment this device drives, at nominal
+  /// supply.  Zero for devices that never sit on a timed path.
+  Seconds nominal_delay_s{0.0};
 };
 
 /// Device-type-specific parameter derivation: PBTI (NMOS) aging amplitude
@@ -49,7 +49,7 @@ inline bti::TdParameters td_for_device(DeviceType type,
                                        double pbti_amplitude_ratio) {
   if (type == DeviceType::kPmos || pbti_amplitude_ratio == 1.0) return base;
   bti::TdParameters scaled = base;
-  scaled.delta_vth_mean_v *= pbti_amplitude_ratio;
+  scaled.delta_vth_mean_v = scaled.delta_vth_mean_v * pbti_amplitude_ratio;
   return scaled;
 }
 
@@ -69,7 +69,7 @@ class Transistor {
   DeviceType type() const { return spec_.type; }
 
   /// Variation-adjusted fresh segment delay.
-  double fresh_delay_s() const { return delay_s_; }
+  Seconds fresh_delay_s() const { return delay_s_; }
 
   /// Current BTI threshold shift magnitude (volts).  O(1) between aging
   /// steps — the ensemble caches the dot product.
@@ -95,7 +95,7 @@ class Transistor {
 
  private:
   TransistorSpec spec_;
-  double delay_s_;
+  Seconds delay_s_;
   bti::TrapEnsemble ensemble_;
 };
 

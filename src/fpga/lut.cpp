@@ -12,8 +12,8 @@ namespace {
 /// Fresh segment delays at nominal supply: two pass segments, two buffer
 /// stages — 1.2 ns per LUT; the routing block adds 0.8 ns for the paper's
 /// ~2 ns/stage, 75-stage, ~3.3 MHz ring oscillator.
-constexpr double kPassDelay = 0.25e-9;
-constexpr double kBufferDelay = 0.35e-9;
+constexpr Seconds kPassDelay{0.25e-9};
+constexpr Seconds kBufferDelay{0.35e-9};
 
 TransistorSpec spec_for(int index) {
   switch (index) {
@@ -27,7 +27,7 @@ TransistorSpec spec_for(int index) {
     case kM8: return {"M8", DeviceType::kPmos, kBufferDelay};
     case kM9: return {"M9", DeviceType::kNmos, kBufferDelay};
     case kM10: return {"M10", DeviceType::kPmos, kBufferDelay};
-    default: return {"?", DeviceType::kNmos, 0.0};
+    default: return {"?", DeviceType::kNmos, Seconds{0.0}};
   }
 }
 
@@ -106,8 +106,7 @@ std::vector<int> PassTransistorLut2::stressed_on_poi(bool in0,
 double PassTransistorLut2::path_delay(bool in0, bool in1,
                                       const DelayParams& dp, Volts vdd,
                                       Kelvin temp) const {
-  const double vdd_v = vdd.value();
-  const double temp_k = temp.value();
+
   const auto path = conducting_path(in0, in1);
   std::uint64_t stamp = 0;
   for (int idx : path) {
@@ -115,15 +114,15 @@ double PassTransistorLut2::path_delay(bool in0, bool in1,
   }
   PathDelayCache& cache =
       path_cache_[static_cast<std::size_t>(2 * (in1 ? 1 : 0) + (in0 ? 1 : 0))];
-  if (cache.matches(dp, vdd_v, temp_k, stamp)) return cache.delay_s;
+  if (cache.matches(dp, vdd, temp, stamp)) return cache.delay_s.value();
 
   double total = 0.0;
   for (int idx : path) {
     const Transistor& d = devices_[static_cast<std::size_t>(idx)];
-    total += segment_delay(dp, Seconds{d.fresh_delay_s()}, Volts{d.delta_vth()}, vdd,
-                          temp);
+    total += segment_delay(dp, d.fresh_delay_s(), Volts{d.delta_vth()}, vdd,
+                           temp);
   }
-  cache.store(dp, vdd_v, temp_k, stamp, total);
+  cache.store(dp, vdd, temp, stamp, Seconds{total});
   return total;
 }
 
@@ -132,7 +131,7 @@ void PassTransistorLut2::age_static(bool in0, bool in1,
                                     Seconds dt) {
   const auto stressed = stressed_devices(in0, in1);
   bti::OperatingCondition anneal = env;
-  anneal.voltage_v = 0.0;
+  anneal.voltage_v = Volts{0.0};
   anneal.gate_stress_duty = 0.0;
   for (int i = 0; i < kLutDeviceCount; ++i) {
     const bool is_stressed =

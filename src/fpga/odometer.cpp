@@ -34,8 +34,8 @@ SiliconOdometer::SiliconOdometer(const OdometerConfig& config)
       dropout_rng_(derive_seed(config.seed, 7)) {
   // Factory calibration: record the fresh frequency ratio so the
   // differential readout cancels the static mismatch.
-  const Kelvin t0{config_.delay.temp_ref_k};
-  const Volts read_vdd{config_.read_vdd_v};
+  const Kelvin t0 = config_.delay.temp_ref_k;
+  const Volts read_vdd = config_.read_vdd_v;
   fresh_stressed_hz_ = stressed_.frequency_hz(read_vdd, t0);
   calibration_ratio_ =
       fresh_stressed_hz_ / reference_.frequency_hz(read_vdd, t0);
@@ -49,7 +49,7 @@ void SiliconOdometer::mission(const bti::OperatingCondition& condition,
   stressed_.evolve(mode, condition, dt);
   // The reference is power-gated: unbiased at die temperature.
   bti::OperatingCondition gated = condition;
-  gated.voltage_v = 0.0;
+  gated.voltage_v = Volts{0.0};
   gated.gate_stress_duty = 0.0;
   reference_.evolve(RoMode::kSleep, gated, dt);
 }
@@ -61,14 +61,13 @@ void SiliconOdometer::sleep(const bti::OperatingCondition& condition,
 }
 
 OdometerReading SiliconOdometer::read(Kelvin temp) {
-  const double temp_k = temp.value();
   // Each read spins both rings for one gate: a tiny, honest AC stress.
   const double gate_s =
       static_cast<double>(config_.counter.gate_ref_periods) /
-      config_.counter.f_ref_hz;
+      config_.counter.f_ref_hz.value();
   bti::OperatingCondition read_env;
   read_env.voltage_v = config_.read_vdd_v;
-  read_env.temperature_k = temp_k;
+  read_env.temperature_k = temp;
   read_env.gate_stress_duty = 0.5;
   stressed_.evolve(RoMode::kAcOscillating, read_env, Seconds{gate_s});
   reference_.evolve(RoMode::kAcOscillating, read_env, Seconds{gate_s});
@@ -86,12 +85,11 @@ OdometerReading SiliconOdometer::read(Kelvin temp) {
 
   OdometerReading r;
   r.stressed_hz =
-      counter_stressed_
-          .measure(Hertz{stressed_.frequency_hz(Volts{config_.read_vdd_v}, temp)})
+      counter_stressed_.measure(stressed_.frequency_hz(config_.read_vdd_v, temp))
           .frequency_hz;
   r.reference_hz =
       counter_reference_
-          .measure(Hertz{reference_.frequency_hz(Volts{config_.read_vdd_v}, temp)})
+          .measure(reference_.frequency_hz(config_.read_vdd_v, temp))
           .frequency_hz;
   // Differential readout: the mismatch-calibrated ratio isolates aging of
   // the stressed mirror relative to the protected reference.
@@ -101,9 +99,8 @@ OdometerReading SiliconOdometer::read(Kelvin temp) {
 }
 
 double SiliconOdometer::true_degradation(Kelvin temp) const {
-  return 1.0 -
-         stressed_.frequency_hz(Volts{config_.read_vdd_v}, temp) /
-             fresh_stressed_hz_;
+  return 1.0 - stressed_.frequency_hz(config_.read_vdd_v, temp) /
+                   fresh_stressed_hz_;
 }
 
 }  // namespace ash::fpga

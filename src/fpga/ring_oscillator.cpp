@@ -36,8 +36,8 @@ RingOscillator::RingOscillator(int stages,
   }
 }
 
-double RingOscillator::traversal_delay_s(bool in0_phase, Volts vdd,
-                                         Kelvin temp) const {
+Seconds RingOscillator::traversal_delay_s(bool in0_phase, Volts vdd,
+                                          Kelvin temp) const {
   // As the edge propagates, consecutive stages see alternating input
   // values; `in0_phase` fixes the value at stage 0.
   double total = 0.0;
@@ -48,17 +48,17 @@ double RingOscillator::traversal_delay_s(bool in0_phase, Volts vdd,
     total += s.routing.path_delay(out, delay_params_, vdd, temp);
     in0 = out;
   }
-  return total;
+  return Seconds{total};
 }
 
-double RingOscillator::period_s(Volts vdd, Kelvin temp) const {
+Seconds RingOscillator::period_s(Volts vdd, Kelvin temp) const {
   const obs::ScopedKernelTimer timer(obs::Kernel::kRoDelayEval);
   return traversal_delay_s(false, vdd, temp) +
          traversal_delay_s(true, vdd, temp);
 }
 
-double RingOscillator::frequency_hz(Volts vdd, Kelvin temp) const {
-  return 1.0 / period_s(vdd, temp);
+Hertz RingOscillator::frequency_hz(Volts vdd, Kelvin temp) const {
+  return units::frequency_of(period_s(vdd, temp));
 }
 
 void RingOscillator::evolve(RoMode mode, const bti::OperatingCondition& env,

@@ -10,7 +10,7 @@ namespace {
 
 /// 0.4 ns per restored interconnect segment: routing dominates LUT delay in
 /// real FPGAs; together with the 1.2 ns LUT this gives ~2 ns per RO stage.
-constexpr double kRoutingDelay = 0.4e-9;
+constexpr Seconds kRoutingDelay{0.4e-9};
 
 TransistorSpec spec_for(int index) {
   switch (index) {
@@ -18,7 +18,7 @@ TransistorSpec spec_for(int index) {
     case kR1P: return {"R1P", DeviceType::kPmos, kRoutingDelay};
     case kR2N: return {"R2N", DeviceType::kNmos, kRoutingDelay};
     case kR2P: return {"R2P", DeviceType::kPmos, kRoutingDelay};
-    default: return {"?", DeviceType::kNmos, 0.0};
+    default: return {"?", DeviceType::kNmos, Seconds{0.0}};
   }
 }
 
@@ -53,23 +53,22 @@ std::vector<int> RoutingBlock::stressed_devices(bool v) const {
 
 double RoutingBlock::path_delay(bool v, const DelayParams& dp, Volts vdd,
                                 Kelvin temp) const {
-  const double vdd_v = vdd.value();
-  const double temp_k = temp.value();
+
   const auto path = conducting_path(v);
   std::uint64_t stamp = 0;
   for (int idx : path) {
     stamp += devices_[static_cast<std::size_t>(idx)].state_version();
   }
   PathDelayCache& cache = path_cache_[v ? 1 : 0];
-  if (cache.matches(dp, vdd_v, temp_k, stamp)) return cache.delay_s;
+  if (cache.matches(dp, vdd, temp, stamp)) return cache.delay_s.value();
 
   double total = 0.0;
   for (int idx : path) {
     const Transistor& d = devices_[static_cast<std::size_t>(idx)];
-    total += segment_delay(dp, Seconds{d.fresh_delay_s()}, Volts{d.delta_vth()}, vdd,
-                          temp);
+    total += segment_delay(dp, d.fresh_delay_s(), Volts{d.delta_vth()}, vdd,
+                           temp);
   }
-  cache.store(dp, vdd_v, temp_k, stamp, total);
+  cache.store(dp, vdd, temp, stamp, Seconds{total});
   return total;
 }
 
@@ -77,7 +76,7 @@ void RoutingBlock::age_static(bool v, const bti::OperatingCondition& env,
                               Seconds dt) {
   const auto stressed = stressed_devices(v);
   bti::OperatingCondition anneal = env;
-  anneal.voltage_v = 0.0;
+  anneal.voltage_v = Volts{0.0};
   anneal.gate_stress_duty = 0.0;
   for (int i = 0; i < kRoutingDeviceCount; ++i) {
     const bool is_stressed = i == stressed[0] || i == stressed[1];

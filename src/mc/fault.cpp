@@ -30,7 +30,7 @@ void trace_core_fault(const char* channel, int core) {
 bool CoreFaultPlan::ideal() const {
   return transient_per_core_day == 0.0 && random_death_per_core_year == 0.0 &&
          wear_death_per_core_year == 0.0 && stuck_rail_per_core_year == 0.0 &&
-         sensor_noise_v == 0.0 && sensor_dropout_probability == 0.0 &&
+         sensor_noise_v == Volts{0.0} && sensor_dropout_probability == 0.0 &&
          sensor_stuck_probability == 0.0;
 }
 
@@ -42,7 +42,7 @@ CoreFaultPlan CoreFaultPlan::representative() {
   p.random_death_per_core_year = 0.2;
   p.wear_death_per_core_year = 0.5;
   p.stuck_rail_per_core_year = 0.08;
-  p.sensor_noise_v = 0.5e-3;
+  p.sensor_noise_v = Volts{0.5e-3};
   p.sensor_dropout_probability = 0.02;
   p.sensor_stuck_probability = 0.002;
   return p;
@@ -54,7 +54,7 @@ CoreFaultPlan CoreFaultPlan::harsh() {
   p.random_death_per_core_year = 0.5;
   p.wear_death_per_core_year = 2.0;
   p.stuck_rail_per_core_year = 0.3;
-  p.sensor_noise_v = 1.5e-3;
+  p.sensor_noise_v = Volts{1.5e-3};
   p.sensor_dropout_probability = 0.08;
   p.sensor_stuck_probability = 0.01;
   p.sensor_stuck_intervals = 16;
@@ -105,9 +105,9 @@ void ReliabilityReport::merge(const ReliabilityReport& other) {
   healthy_margin_exceeded =
       healthy_margin_exceeded || other.healthy_margin_exceeded;
   // 0 means "not recorded"; otherwise the earlier crossing wins.
-  if (other.healthy_time_to_first_margin_s > 0.0) {
+  if (other.healthy_time_to_first_margin_s > Seconds{0.0}) {
     healthy_time_to_first_margin_s =
-        healthy_time_to_first_margin_s > 0.0
+        healthy_time_to_first_margin_s > Seconds{0.0}
             ? std::min(healthy_time_to_first_margin_s,
                        other.healthy_time_to_first_margin_s)
             : other.healthy_time_to_first_margin_s;
@@ -161,7 +161,7 @@ void ReliabilityReport::publish(obs::Registry& registry,
   registry.gauge(prefix + "healthy_margin_exceeded")
       .set(healthy_margin_exceeded ? 1.0 : 0.0);
   registry.gauge(prefix + "healthy_time_to_first_margin_s")
-      .set(healthy_time_to_first_margin_s);
+      .set(healthy_time_to_first_margin_s.value());
 }
 
 CoreFaultModel::CoreFaultModel(const CoreFaultPlan& plan, int core_count,
@@ -200,9 +200,10 @@ void CoreFaultModel::begin_interval(long interval_index,
     const double dv = true_delta_vth[static_cast<std::size_t>(i)];
     double wear_rate = 0.0;
     if (plan_.wear_death_per_core_year > 0.0 && dv > 0.0 &&
-        plan_.wear_death_ref_v > 0.0) {
+        plan_.wear_death_ref_v > Volts{0.0}) {
       wear_rate = plan_.wear_death_per_core_year / kSecondsPerYear *
-                  std::pow(dv / plan_.wear_death_ref_v, plan_.wear_death_shape);
+                  std::pow(dv / plan_.wear_death_ref_v.value(),
+                           plan_.wear_death_shape);
     }
     const double random_rate = plan_.random_death_per_core_year / kSecondsPerYear;
     const double p_death =
@@ -244,7 +245,7 @@ void CoreFaultModel::begin_interval(long interval_index,
     } else if (c.rng.bernoulli(plan_.sensor_stuck_probability)) {
       c.stuck_left = plan_.sensor_stuck_intervals;
       c.stuck_value_v =
-          dv + c.rng.normal(0.0, plan_.sensor_noise_v);  // freeze at entry
+          dv + c.rng.normal(0.0, plan_.sensor_noise_v.value());  // freeze
       if (report_) report_->sensor_stuck_windows++;
       if (obs::tracing()) trace_core_fault("sensor.stuck_window", i);
     }
@@ -287,7 +288,7 @@ double CoreFaultModel::measured_delta_vth(int core, Volts true_delta) {
     return std::nan("");
   }
   if (c.stuck_left > 0) return c.stuck_value_v;
-  return true_v + c.rng.normal(0.0, plan_.sensor_noise_v);
+  return true_v + c.rng.normal(0.0, plan_.sensor_noise_v.value());
 }
 
 CoreMode CoreFaultModel::effective_mode(int core, CoreMode commanded) const {

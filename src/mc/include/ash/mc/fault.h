@@ -56,14 +56,14 @@ struct CoreFaultPlan {
   /// Wearout death hazard at `delta_vth == wear_death_ref_v` (per
   /// core-year); scales as (delta_vth / ref)^shape below and above it.
   double wear_death_per_core_year = 0.0;
-  double wear_death_ref_v = 12e-3;
+  Volts wear_death_ref_v{12e-3};
   double wear_death_shape = 2.0;
   /// Rejuvenation-rail failure hazard (expected failures per core-year).
   double stuck_rail_per_core_year = 0.0;
   /// Aging-sensor corruption: gaussian noise sigma (volts) on every
   /// reading, per-reading dropout probability (NaN), and per-interval
   /// probability of entering a stuck window of `sensor_stuck_intervals`.
-  double sensor_noise_v = 0.0;
+  Volts sensor_noise_v{0.0};
   double sensor_dropout_probability = 0.0;
   double sensor_stuck_probability = 0.0;
   int sensor_stuck_intervals = 8;
@@ -114,7 +114,7 @@ struct ReliabilityReport {
   bool healthy_margin_exceeded = false;
   /// First margin crossing of the *healthy* (alive) fleet; right-censored
   /// at horizon + interval when it never crossed.
-  double healthy_time_to_first_margin_s = 0.0;
+  Seconds healthy_time_to_first_margin_s{0.0};
 
   /// True when nothing was injected and nothing had to be handled.
   bool clean() const;

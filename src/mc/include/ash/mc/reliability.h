@@ -42,9 +42,9 @@ namespace ash::mc {
 struct ReliabilityConfig {
   /// Consecutive missed heartbeats before a core is declared failed.
   int fail_after_intervals = 2;
-  /// Aging budget the margin quarantine protects (volts of DeltaVth);
+  /// Aging budget the margin quarantine protects;
   /// match SystemConfig::margin_delta_vth_v.
-  double margin_delta_vth_v = 12e-3;
+  Volts margin_delta_vth_v{12e-3};
   /// Margin-quarantine hysteresis, as fractions of the margin: enter
   /// above, release below.  The enter fraction sits *above* 1 on purpose:
   /// the manager rescues a core that has already blown its budget (so
@@ -56,7 +56,7 @@ struct ReliabilityConfig {
   double telemetry_ema_alpha = 0.3;
   /// Thermal emergency guard: force-sleep after this many consecutive
   /// intervals above the emergency temperature, for `cooldown` intervals.
-  double emergency_temp_c = 100.0;
+  Celsius emergency_temp_c{100.0};
   int thermal_trip_intervals = 3;
   int thermal_cooldown_intervals = 4;
 };

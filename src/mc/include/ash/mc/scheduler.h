@@ -61,9 +61,9 @@ struct SchedulerContext {
   std::vector<double> delta_vth;
   /// Per-core health observables; empty = assume all healthy.
   std::vector<CoreStatus> status;
-  /// Previous-interval core temperatures (degC); empty on the first
+  /// Previous-interval core temperatures; empty on the first
   /// interval or when the caller has no thermal model.
-  std::vector<double> temp_c;
+  std::vector<Celsius> temp_c;
   const Floorplan* floorplan = nullptr;
 
   /// Record the workload's demand, clamped to [0, core_count]; the

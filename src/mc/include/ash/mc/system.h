@@ -32,17 +32,17 @@ struct SystemConfig {
   double sleep_power_w = 0.5;
   double cache_power_w = 3.0;
   /// Negative rail used by rejuvenating sleep.
-  double rejuvenation_bias_v = -0.3;
+  Volts rejuvenation_bias_v{-0.3};
   /// Mission operating point of active cores.
-  double mission_supply_v = 1.2;
+  Volts mission_supply_v{1.2};
   double activity_duty = 0.5;
   /// Workload demand: active cores required every interval.
   int cores_needed = 6;
-  /// Scheduling interval and study horizon (seconds).
-  double interval_s = 6.0 * 3600.0;
-  double horizon_s = 3.0 * 365.25 * 86400.0;
-  /// Aging budget per core (volts of DeltaVth).
-  double margin_delta_vth_v = 12e-3;
+  /// Scheduling interval and study horizon.
+  Seconds interval_s{6.0 * 3600.0};
+  Seconds horizon_s{3.0 * 365.25 * 86400.0};
+  /// Aging budget per core (DeltaVth).
+  Volts margin_delta_vth_v{12e-3};
   /// Thermal design power cap (watts); violations are counted.
   double tdp_w = 90.0;
   /// Points in the recorded worst-core trace.
@@ -62,28 +62,28 @@ struct SystemResult {
   std::string scheduler;
   /// Core-seconds of work *delivered* (an active assignment on a dead or
   /// transient-faulted core delivers nothing).
-  double throughput_core_s = 0.0;
+  Seconds throughput_core_s{0.0};
   /// Core-seconds of demand the fleet could not deliver: workload demand
   /// beyond the core count, starved assignments, and (under faults) work
   /// dispatched to cores that failed to do it.  The system records the
   /// shortfall instead of aborting the study.
-  double demand_deficit_core_s = 0.0;
+  Seconds demand_deficit_core_s{0.0};
   /// First time any *alive* core's aging crossed the margin
   /// (right-censored at horizon + interval when never).
-  double time_to_first_margin_s = 0.0;
+  Seconds time_to_first_margin_s{0.0};
   bool margin_exceeded = false;
-  /// Per-core end-state aging (volts).
-  std::vector<double> end_delta_vth_v;
+  /// Per-core end-state aging.
+  std::vector<Volts> end_delta_vth_v;
   /// Per-core permanent (unrecoverable) end-state aging — the fairness
   /// observable: rotation should spread irreversible wear evenly.
-  std::vector<double> end_permanent_v;
-  double worst_end_delta_vth_v = 0.0;
-  double mean_end_delta_vth_v = 0.0;
-  /// Time-average temperature of *sleeping* cores (degC) — the heater
+  std::vector<Volts> end_permanent_v;
+  Volts worst_end_delta_vth_v{0.0};
+  Volts mean_end_delta_vth_v{0.0};
+  /// Time-average temperature of *sleeping* cores — the heater
   /// effect's direct observable.  NaN when no core ever slept.
-  double mean_sleep_temp_c = 0.0;
-  /// Hottest node temperature seen (degC).
-  double max_temp_c = 0.0;
+  Celsius mean_sleep_temp_c{0.0};
+  /// Hottest node temperature seen.
+  Celsius max_temp_c{0.0};
   /// Fraction of core-intervals spent sleeping.
   double sleep_share = 0.0;
   /// Number of intervals whose total power exceeded the TDP.

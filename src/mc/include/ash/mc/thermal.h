@@ -23,8 +23,8 @@ namespace ash::mc {
 
 /// Thermal network constants.
 struct ThermalConfig {
-  /// Heat-sink (ambient) temperature, degC.
-  double ambient_c = 45.0;
+  /// Heat-sink (ambient) temperature.
+  Celsius ambient_c{45.0};
   /// Vertical conductance of a core node to the sink (W/K).
   double core_to_sink_w_per_k = 0.25;
   /// Vertical conductance of the L3 node to the sink (W/K).
@@ -54,7 +54,7 @@ class ThermalModel {
                            Seconds dt) const;
 
   /// Largest stable Euler step for this network.
-  double max_stable_dt_s() const;
+  Seconds max_stable_dt_s() const;
 
   const ThermalConfig& config() const { return config_; }
   const Floorplan& floorplan() const { return *floorplan_; }

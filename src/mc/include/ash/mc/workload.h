@@ -54,7 +54,7 @@ class DiurnalWorkload final : public Workload {
     return phase < day_fraction_ * period_s_ ? day_cores_ : night_cores_;
   }
 
-  double period_s() const { return period_s_; }
+  Seconds period_s() const { return Seconds{period_s_}; }
 
  private:
   int day_cores_;

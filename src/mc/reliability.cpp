@@ -25,7 +25,7 @@ ReliabilityManager::ReliabilityManager(Scheduler& inner,
     throw std::invalid_argument(
         "ReliabilityConfig: detection windows must be >= 1 interval");
   }
-  if (config_.margin_delta_vth_v <= 0.0 ||
+  if (config_.margin_delta_vth_v <= Volts{0.0} ||
       config_.quarantine_release_frac >= config_.quarantine_enter_frac) {
     throw std::invalid_argument(
         "ReliabilityConfig: margin hysteresis must satisfy release < enter");
@@ -110,7 +110,8 @@ void ReliabilityManager::update_health(const SchedulerContext& ctx, int n) {
     if (!h.failed) {
       const double f = filtered_[static_cast<std::size_t>(i)];
       if (!h.margin_quarantined &&
-          f >= config_.quarantine_enter_frac * config_.margin_delta_vth_v) {
+          f >= config_.quarantine_enter_frac *
+                   config_.margin_delta_vth_v.value()) {
         h.margin_quarantined = true;
         if (report_) {
           report_->margin_quarantines++;
@@ -121,7 +122,7 @@ void ReliabilityManager::update_health(const SchedulerContext& ctx, int n) {
         }
       } else if (h.margin_quarantined &&
                  f <= config_.quarantine_release_frac *
-                          config_.margin_delta_vth_v) {
+                          config_.margin_delta_vth_v.value()) {
         h.margin_quarantined = false;
         if (report_) report_->quarantine_releases++;
         if (obs::tracing()) {

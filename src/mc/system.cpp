@@ -18,10 +18,10 @@ void validate(const SystemConfig& c) {
   if (c.cores_needed < 0 || c.cores_needed > 2 * c.columns) {
     throw std::invalid_argument("SystemConfig: cores_needed out of range");
   }
-  if (c.interval_s <= 0.0 || c.horizon_s < c.interval_s) {
+  if (c.interval_s <= Seconds{0.0} || c.horizon_s < c.interval_s) {
     throw std::invalid_argument("SystemConfig: bad interval/horizon");
   }
-  if (c.margin_delta_vth_v <= 0.0) {
+  if (c.margin_delta_vth_v <= Volts{0.0}) {
     throw std::invalid_argument("SystemConfig: margin must be positive");
   }
   if (c.active_power_w < c.sleep_power_w) {
@@ -46,7 +46,7 @@ SystemResult run(const SystemConfig& config, Scheduler& scheduler,
 
   std::optional<CoreFaultModel> faults;
   if (plan != nullptr) {
-    faults.emplace(*plan, cores, Seconds{config.interval_s}, report);
+    faults.emplace(*plan, cores, config.interval_s, report);
   }
 
   std::vector<bti::ClosedFormAger> agers(
@@ -82,7 +82,7 @@ SystemResult run(const SystemConfig& config, Scheduler& scheduler,
 
   for (long k = 0; k < intervals; ++k) {
     const obs::ScopedKernelTimer interval_timer(obs::Kernel::kMcInterval);
-    const double t_now = static_cast<double>(k) * config.interval_s;
+    const double t_now = static_cast<double>(k) * config.interval_s.value();
     obs::set_sim_now(t_now);
     const int requested = workload.cores_needed(k, Seconds{t_now});
 
@@ -98,7 +98,8 @@ SystemResult run(const SystemConfig& config, Scheduler& scheduler,
       ctx.interval_index = static_cast<int>(k);
       ctx.floorplan = &floorplan;
       ctx.set_demand(requested);
-      ctx.temp_c = prev_core_temps;
+      ctx.temp_c.reserve(prev_core_temps.size());
+      for (double t : prev_core_temps) ctx.temp_c.push_back(Celsius{t});
       ctx.delta_vth.reserve(static_cast<std::size_t>(cores));
       if (faults) {
         ctx.status.reserve(static_cast<std::size_t>(cores));
@@ -148,7 +149,7 @@ SystemResult run(const SystemConfig& config, Scheduler& scheduler,
     int delivered = 0;
     for (int i = 0; i < cores; ++i) {
       const double t_c = temps[static_cast<std::size_t>(i)];
-      result.max_temp_c = std::max(result.max_temp_c, t_c);
+      result.max_temp_c = Celsius{std::max(result.max_temp_c.value(), t_c)};
       ++core_intervals;
       should_age[static_cast<std::size_t>(i)] = 0;
       if (faults && faults->dead(i)) {
@@ -166,15 +167,16 @@ SystemResult run(const SystemConfig& config, Scheduler& scheduler,
       bti::OperatingCondition cond;
       switch (mode) {
         case CoreMode::kActive:
-          cond = bti::ac_stress(Volts{config.mission_supply_v},
-                                Celsius{t_c}, config.activity_duty);
+          cond = bti::ac_stress(config.mission_supply_v, Celsius{t_c},
+                                config.activity_duty);
           // A transient-faulted core is powered and stressed but does no
           // useful work that interval.
           if (faults && faults->transient_faulted(i)) {
             if (report != nullptr) report->core_intervals_lost++;
           } else {
             ++delivered;
-            result.throughput_core_s += config.interval_s;
+            result.throughput_core_s =
+                result.throughput_core_s + config.interval_s;
           }
           break;
         case CoreMode::kSleepPassive:
@@ -183,7 +185,7 @@ SystemResult run(const SystemConfig& config, Scheduler& scheduler,
           ++sleep_core_intervals;
           break;
         case CoreMode::kSleepRejuvenate:
-          cond = bti::recovery(Volts{config.rejuvenation_bias_v}, Celsius{t_c});
+          cond = bti::recovery(config.rejuvenation_bias_v, Celsius{t_c});
           sleep_temp_sum += t_c;
           ++sleep_core_intervals;
           break;
@@ -195,14 +197,14 @@ SystemResult run(const SystemConfig& config, Scheduler& scheduler,
       for (int i = 0; i < cores; ++i) {
         if (should_age[static_cast<std::size_t>(i)]) {
           agers[static_cast<std::size_t>(i)].evolve(
-              conds[static_cast<std::size_t>(i)], Seconds{config.interval_s});
+              conds[static_cast<std::size_t>(i)], config.interval_s);
         }
       }
     } else {
       aging_pool.parallel_for(cores, [&](int i) {
         if (should_age[static_cast<std::size_t>(i)]) {
           agers[static_cast<std::size_t>(i)].evolve(
-              conds[static_cast<std::size_t>(i)], Seconds{config.interval_s});
+              conds[static_cast<std::size_t>(i)], config.interval_s);
         }
         return 0;
       });
@@ -212,7 +214,7 @@ SystemResult run(const SystemConfig& config, Scheduler& scheduler,
     // actually delivered this interval (overload, starvation, faults).
     const int deficit = std::max(0, requested - delivered);
     if (deficit > 0) {
-      result.demand_deficit_core_s +=
+      result.demand_deficit_core_s = result.demand_deficit_core_s +
           static_cast<double>(deficit) * config.interval_s;
       if (report != nullptr) report->deficit_core_intervals += deficit;
     }
@@ -224,35 +226,35 @@ SystemResult run(const SystemConfig& config, Scheduler& scheduler,
       if (faults && faults->dead(i)) continue;
       worst = std::max(worst, agers[static_cast<std::size_t>(i)].delta_vth());
     }
-    if (!result.margin_exceeded && worst >= config.margin_delta_vth_v) {
+    if (!result.margin_exceeded && worst >= config.margin_delta_vth_v.value()) {
       result.margin_exceeded = true;
       result.time_to_first_margin_s =
-          static_cast<double>(k + 1) * config.interval_s;
+          static_cast<double>(k + 1) * config.interval_s;  // double * Seconds
     }
     if (k % trace_every == 0 || k + 1 == intervals) {
-      result.worst_trace.append(static_cast<double>(k + 1) * config.interval_s,
-                                worst);
+      result.worst_trace.append(
+          static_cast<double>(k + 1) * config.interval_s.value(), worst);
     }
   }
-  obs::set_sim_now(static_cast<double>(intervals) * config.interval_s);
+  obs::set_sim_now(static_cast<double>(intervals) * config.interval_s.value());
 
   if (!result.margin_exceeded) {
     result.time_to_first_margin_s = config.horizon_s + config.interval_s;
   }
   for (const auto& a : agers) {
-    result.end_delta_vth_v.push_back(a.delta_vth());
-    result.end_permanent_v.push_back(a.permanent_delta_vth());
+    result.end_delta_vth_v.push_back(Volts{a.delta_vth()});
+    result.end_permanent_v.push_back(Volts{a.permanent_delta_vth()});
   }
   result.worst_end_delta_vth_v =
       *std::max_element(result.end_delta_vth_v.begin(),
                         result.end_delta_vth_v.end());
   double sum = 0.0;
-  for (double v : result.end_delta_vth_v) sum += v;
-  result.mean_end_delta_vth_v = sum / static_cast<double>(cores);
-  result.mean_sleep_temp_c =
+  for (const Volts v : result.end_delta_vth_v) sum += v.value();
+  result.mean_end_delta_vth_v = Volts{sum / static_cast<double>(cores)};
+  result.mean_sleep_temp_c = Celsius{
       sleep_core_intervals > 0
           ? sleep_temp_sum / static_cast<double>(sleep_core_intervals)
-          : std::nan("");
+          : std::nan("")};
   result.sleep_share = core_intervals > 0
                            ? static_cast<double>(sleep_core_intervals) /
                                  static_cast<double>(core_intervals)

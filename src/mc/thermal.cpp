@@ -41,7 +41,7 @@ std::vector<double> ThermalModel::solve_steady_state(
     g[static_cast<std::size_t>(i * n + i)] = diag;
     rhs[static_cast<std::size_t>(i)] =
         powers[static_cast<std::size_t>(i)] +
-        sink_conductance(i) * config_.ambient_c;
+        sink_conductance(i) * config_.ambient_c.value();
   }
   return solve_linear(std::move(g), std::move(rhs));
 }
@@ -55,14 +55,14 @@ std::vector<double> ThermalModel::step(const std::vector<double>& temps,
       powers.size() != static_cast<std::size_t>(n)) {
     throw std::invalid_argument("step: vector size");
   }
-  if (dt_s <= 0.0 || dt_s > max_stable_dt_s()) {
+  if (dt_s <= 0.0 || dt_s > max_stable_dt_s().value()) {
     throw std::invalid_argument("step: dt outside the stable range");
   }
   std::vector<double> out(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     const double ti = temps[static_cast<std::size_t>(i)];
     double flux = powers[static_cast<std::size_t>(i)] -
-                  sink_conductance(i) * (ti - config_.ambient_c);
+                  sink_conductance(i) * (ti - config_.ambient_c.value());
     for (int j : floorplan_->neighbors(i)) {
       flux -= config_.lateral_w_per_k *
               (ti - temps[static_cast<std::size_t>(j)]);
@@ -73,7 +73,7 @@ std::vector<double> ThermalModel::step(const std::vector<double>& temps,
   return out;
 }
 
-double ThermalModel::max_stable_dt_s() const {
+Seconds ThermalModel::max_stable_dt_s() const {
   // Explicit Euler is stable for dt < 2*C/g_max; use a conservative bound
   // from the worst-case diagonal conductance.
   double g_max = 0.0;
@@ -84,7 +84,7 @@ double ThermalModel::max_stable_dt_s() const {
                          static_cast<double>(floorplan_->neighbors(i).size());
     g_max = std::max(g_max, g);
   }
-  return config_.heat_capacity_j_per_k / g_max;
+  return Seconds{config_.heat_capacity_j_per_k / g_max};
 }
 
 }  // namespace ash::mc

@@ -28,6 +28,8 @@
 
 #include <atomic>
 #include <cstdint>
+
+#include "ash/util/units.h"
 #include <iosfwd>
 #include <memory>
 #include <mutex>
@@ -72,8 +74,8 @@ struct TraceEvent {
   EventKind kind = EventKind::kRun;
   std::string name;      ///< e.g. the phase label or fault channel
   std::string category;  ///< emitting layer, e.g. "tb.phase", "mc.fault"
-  double sim_begin_s = 0.0;
-  double sim_end_s = 0.0;
+  Seconds sim_begin_s{0.0};
+  Seconds sim_end_s{0.0};
   std::uint64_t wall_begin_ns = 0;
   std::uint64_t wall_end_ns = 0;
   bool span = false;

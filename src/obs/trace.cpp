@@ -105,7 +105,7 @@ void instant(EventKind kind, std::string_view name, std::string_view category,
   e.kind = kind;
   e.name.assign(name);
   e.category.assign(category);
-  e.sim_begin_s = e.sim_end_s = sim_now();
+  e.sim_begin_s = e.sim_end_s = Seconds{sim_now()};
   e.wall_begin_ns = e.wall_end_ns = detail::wall_now_ns();
   e.span = false;
   e.depth = detail::g_span_depth;
@@ -123,7 +123,7 @@ Span::Span(EventKind kind, std::string_view name, std::string_view category,
   event_.kind = kind;
   event_.name.assign(name);
   event_.category.assign(category);
-  event_.sim_begin_s = sim_begin_s;
+  event_.sim_begin_s = Seconds{sim_begin_s};
   event_.wall_begin_ns = detail::wall_now_ns();
   event_.span = true;
   event_.depth = detail::g_span_depth++;
@@ -143,7 +143,7 @@ void Span::end_at(double sim_end_s) {
 Span::~Span() {
   if (!active_) return;
   --detail::g_span_depth;
-  event_.sim_end_s = have_end_ ? sim_end_s_ : sim_now();
+  event_.sim_end_s = Seconds{have_end_ ? sim_end_s_ : sim_now()};
   event_.wall_end_ns = detail::wall_now_ns();
   detail::emit(std::move(event_));
 }
@@ -181,10 +181,10 @@ void TraceBuffer::write_chrome_json(std::ostream& os) const {
     first = false;
     os << "\n{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
        << json_escape(e.category) << "\",\"pid\":1,\"tid\":1,\"ts\":"
-       << strformat("%.3f", e.sim_begin_s * 1e6);
+       << strformat("%.3f", e.sim_begin_s.value() * 1e6);
     if (e.span) {
       os << ",\"ph\":\"X\",\"dur\":"
-         << strformat("%.3f", (e.sim_end_s - e.sim_begin_s) * 1e6);
+         << strformat("%.3f", (e.sim_end_s - e.sim_begin_s).value() * 1e6);
     } else {
       os << ",\"ph\":\"i\",\"s\":\"t\"";
     }
@@ -200,8 +200,8 @@ void write_jsonl_line(std::ostream& os, const TraceEvent& e) {
      << json_escape(e.name) << "\",\"cat\":\"" << json_escape(e.category)
      << "\",\"span\":" << (e.span ? "true" : "false")
      << ",\"depth\":" << e.depth
-     << ",\"sim_begin_s\":" << strformat("%.6f", e.sim_begin_s)
-     << ",\"sim_end_s\":" << strformat("%.6f", e.sim_end_s)
+     << ",\"sim_begin_s\":" << strformat("%.6f", e.sim_begin_s.value())
+     << ",\"sim_end_s\":" << strformat("%.6f", e.sim_end_s.value())
      << ",\"wall_begin_ns\":" << strformat("%" PRIu64, e.wall_begin_ns)
      << ",\"wall_end_ns\":" << strformat("%" PRIu64, e.wall_end_ns);
   for (const auto& [k, v] : e.args) {

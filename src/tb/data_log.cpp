@@ -63,7 +63,7 @@ std::size_t DataLog::count_quality(SampleQuality quality) const {
 Series DataLog::delay_series(const std::string& phase) const {
   Series s(phase + ":delay");
   for (const auto& r : phase_records(phase)) {
-    if (r.usable()) s.append(r.t_phase_s, r.delay_s);
+    if (r.usable()) s.append(r.t_phase_s.value(), r.delay_s.value());
   }
   return s;
 }
@@ -71,7 +71,7 @@ Series DataLog::delay_series(const std::string& phase) const {
 Series DataLog::frequency_series(const std::string& phase) const {
   Series s(phase + ":frequency");
   for (const auto& r : phase_records(phase)) {
-    if (r.usable()) s.append(r.t_phase_s, r.frequency_hz);
+    if (r.usable()) s.append(r.t_phase_s.value(), r.frequency_hz.value());
   }
   return s;
 }
@@ -85,7 +85,7 @@ double DataLog::fractional_degradation() const {
     last = &r;
   }
   if (first == nullptr || first == last) return 0.0;
-  if (first->frequency_hz <= 0.0) return 0.0;
+  if (first->frequency_hz <= Hertz{0.0}) return 0.0;
   return (first->frequency_hz - last->frequency_hz) / first->frequency_hz;
 }
 
@@ -95,13 +95,13 @@ void DataLog::write_csv(std::ostream& os) const {
                      "frequency_hz", "delay_s", "quality", "retries"});
   for (const auto& r : records_) {
     write_csv_row(os, {r.test_case, strformat("%d", r.chip_id), r.phase,
-                       strformat("%.6f", r.t_campaign_s),
-                       strformat("%.6f", r.t_phase_s),
-                       strformat("%.6f", r.chamber_c),
-                       strformat("%.6f", r.supply_v),
+                       strformat("%.6f", r.t_campaign_s.value()),
+                       strformat("%.6f", r.t_phase_s.value()),
+                       strformat("%.6f", r.chamber_c.value()),
+                       strformat("%.6f", r.supply_v.value()),
                        strformat("%.6f", r.counts),
-                       strformat("%.6f", r.frequency_hz),
-                       strformat("%.9e", r.delay_s), to_string(r.quality),
+                       strformat("%.6f", r.frequency_hz.value()),
+                       strformat("%.9e", r.delay_s.value()), to_string(r.quality),
                        strformat("%d", r.retries)});
   }
 }
@@ -134,13 +134,13 @@ DataLog DataLog::read_csv(std::istream& is) {
     r.test_case = row[c_case];
     r.chip_id = std::stoi(row[c_chip]);
     r.phase = row[c_phase];
-    r.t_campaign_s = std::stod(row[c_tc]);
-    r.t_phase_s = std::stod(row[c_tp]);
-    r.chamber_c = std::stod(row[c_temp]);
-    r.supply_v = std::stod(row[c_v]);
+    r.t_campaign_s = Seconds{std::stod(row[c_tc])};
+    r.t_phase_s = Seconds{std::stod(row[c_tp])};
+    r.chamber_c = Celsius{std::stod(row[c_temp])};
+    r.supply_v = Volts{std::stod(row[c_v])};
     r.counts = std::stod(row[c_counts]);
-    r.frequency_hz = std::stod(row[c_f]);
-    r.delay_s = std::stod(row[c_d]);
+    r.frequency_hz = Hertz{std::stod(row[c_f])};
+    r.delay_s = Seconds{std::stod(row[c_d])};
     if (c_q >= 0) r.quality = parse_sample_quality(row[c_q]);
     if (c_r >= 0) r.retries = std::stoi(row[c_r]);
     log.add(std::move(r));

@@ -23,11 +23,11 @@ namespace ash::tb {
 namespace {
 
 /// Environment the chip sees for an aging interval.
-bti::OperatingCondition phase_condition(const Phase& phase, double supply_v,
-                                        double temp_k) {
+bti::OperatingCondition phase_condition(const Phase& phase, Volts supply,
+                                        Kelvin temp) {
   bti::OperatingCondition env;
-  env.voltage_v = supply_v;
-  env.temperature_k = temp_k;
+  env.voltage_v = supply;
+  env.temperature_k = temp;
   switch (phase.mode) {
     case fpga::RoMode::kAcOscillating:
       env.gate_stress_duty = phase.ac_duty;
@@ -55,7 +55,7 @@ class CampaignEngine {
 
   CampaignResult run(const CampaignCheckpoint& from, int max_phases = -1) {
     fpga::restore_checkpoint(from.chip_state, chip_);
-    t_campaign_ = from.t_campaign_s;
+    t_campaign_ = from.t_campaign_s.value();
     log_ = from.log;
     report_ = from.faults;
 
@@ -72,7 +72,7 @@ class CampaignEngine {
         max_phases < 0 ? phase_count
                        : std::min(phase_count, from.next_phase + max_phases);
     for (int pi = from.next_phase; pi < stop_after; ++pi) {
-      const double prev_c =
+      const Celsius prev_c =
           pi == from.next_phase ? from.chamber_c : tc_.phases[pi - 1].chamber_c;
       if (obs::tracing()) {
         obs::instant(
@@ -95,7 +95,7 @@ class CampaignEngine {
         return result;
       }
       result.checkpoint.next_phase = pi + 1;
-      result.checkpoint.t_campaign_s = t_campaign_;
+      result.checkpoint.t_campaign_s = Seconds{t_campaign_};
       result.checkpoint.chamber_c = tc_.phases[pi].chamber_c;
       result.checkpoint.chip_state = fpga::checkpoint_string(chip_);
       result.checkpoint.log = log_;
@@ -118,14 +118,14 @@ class CampaignEngine {
 
  private:
   bool kill_due() const {
-    return cfg_.abort_at_campaign_s >= 0.0 &&
-           t_campaign_ >= cfg_.abort_at_campaign_s;
+    return cfg_.abort_at_campaign_s >= Seconds{0.0} &&
+           Seconds{t_campaign_} >= cfg_.abort_at_campaign_s;
   }
 
   /// Run every attempt of one phase.  Returns false when the kill switch
   /// fired (the current attempt's work is discarded; the chip is left
   /// mid-attempt and the caller restores the boundary checkpoint).
-  bool run_phase(int phase_index, double prev_chamber_c,
+  bool run_phase(int phase_index, Celsius prev_chamber_c,
                  const std::string& snapshot) {
     // `snapshot` is the phase-start chip state — the rewind target for
     // watchdog aborts — supplied by the caller's boundary checkpoint.
@@ -161,17 +161,17 @@ class CampaignEngine {
   /// Run one attempt of a phase.  On kAccepted the attempt's samples and
   /// report have been merged into the campaign log/report.
   SampleStatus run_attempt(const Phase& phase, int phase_index, int attempt,
-                           bool allow_trip, double prev_chamber_c) {
+                           bool allow_trip, Celsius prev_chamber_c) {
     const obs::ScopedKernelTimer timer(obs::Kernel::kTbPhaseAttempt);
     obs::set_sim_now(t_campaign_);
     obs::Span phase_span(obs::EventKind::kPhase, phase.label, "tb.phase");
     phase_span.arg("attempt", std::to_string(attempt));
-    phase_span.arg("chamber_c", fmt_fixed(phase.chamber_c, 1));
-    phase_span.arg("supply_v", fmt_fixed(phase.supply_v, 3));
+    phase_span.arg("chamber_c", fmt_fixed(phase.chamber_c.value(), 1));
+    phase_span.arg("supply_v", fmt_fixed(phase.supply_v.value(), 3));
 
     FaultReport attempt_report;
     FaultInjector faults(cfg_.fault_plan, phase_index, attempt,
-                         Seconds{phase.duration_s}, &attempt_report);
+                         phase.duration_s, &attempt_report);
 
     // Instruments are per-attempt: their noise streams derive from
     // (seed, phase, attempt), so a rewound phase re-runs with fresh noise
@@ -185,12 +185,12 @@ class CampaignEngine {
     chamber_cfg.initial_c = prev_chamber_c;
     if (cfg_.instant_chamber) chamber_cfg.ramp_c_per_s = 1e9;
     ThermalChamber chamber(chamber_cfg);
-    chamber.set_target(Celsius{phase.chamber_c});
+    chamber.set_target(phase.chamber_c);
 
     SupplyConfig supply_cfg = cfg_.supply;
     supply_cfg.seed = derive_seed(attempt_stream, 2);
     PowerSupply supply(supply_cfg);
-    supply.set_voltage(Volts{phase.supply_v});
+    supply.set_voltage(phase.supply_v);
 
     MeasurementConfig rig_cfg = cfg_.measurement;
     rig_cfg.seed = derive_seed(attempt_stream, 3);
@@ -206,25 +206,28 @@ class CampaignEngine {
     // Truth corruption saturates at the hardware's own limits: the chamber
     // over-temperature cutout caps an excursion, and the supply interlocks
     // cap a glitched output.
-    const auto faulted_temp_c = [&](double base_c, double t_phase) {
-      const double excursed = base_c + faults.chamber_offset_c(Seconds{t_phase});
+    const auto faulted_temp_c = [&](Celsius base, double t_phase) {
+      const double base_c = base.value();
+      const double excursed =
+          base_c + faults.chamber_offset_c(Seconds{t_phase}).value();
       const double ceiling =
-          std::max(base_c, cfg_.fault_plan.chamber.excursion_ceiling_c);
+          std::max(base_c, cfg_.fault_plan.chamber.excursion_ceiling_c.value());
       return std::min(excursed, ceiling);
     };
-    const auto faulted_supply_v = [&](double base_v, double t_phase) {
-      return std::clamp(base_v + faults.supply_offset_v(Seconds{t_phase}),
-                        cfg_.supply.min_v, cfg_.supply.max_v);
+    const auto faulted_supply_v = [&](Volts base, double t_phase) {
+      return std::clamp(
+          base.value() + faults.supply_offset_v(Seconds{t_phase}).value(),
+          cfg_.supply.min_v.value(), cfg_.supply.max_v.value());
     };
 
     // Age the chip for `step` seconds under the phase's mode.  Fault
     // offsets (excursion, glitch) apply only inside the phase body.
     const auto age = [&](double step, bool in_body, double t_phase) {
-      double temp_k = chamber.temperature_k();
-      double supply_out = supply.output_v();
+      Kelvin temp_k = chamber.temperature_k();
+      Volts supply_out = supply.output_v();
       if (in_body) {
-        temp_k = celsius(faulted_temp_c(chamber.temperature_c(), t_phase));
-        supply_out = faulted_supply_v(supply_out, t_phase);
+        temp_k = Kelvin{celsius(faulted_temp_c(chamber.temperature_c(), t_phase))};
+        supply_out = Volts{faulted_supply_v(supply_out, t_phase)};
       }
       const auto env = phase_condition(phase, supply_out, temp_k);
       chip_.evolve(phase.mode, env, Seconds{step});
@@ -238,7 +241,7 @@ class CampaignEngine {
     // added (possibly flagged); t_phase advances across retry backoffs.
     const auto take_sample = [&](double& t_phase) -> SampleStatus {
       int retries = 0;
-      double backoff = cfg_.retry.backoff_s;
+      double backoff = cfg_.retry.backoff_s.value();
       for (;;) {
         if (kill_due()) return SampleStatus::kKilled;
 
@@ -252,33 +255,33 @@ class CampaignEngine {
         // the measurement supply (the paper's <3 s sampling overhead).  In
         // AC stress mode the ring is already running; the overhead is then
         // just part of the stress.
-        const double overhead = rig.sample_duration_s();
+        const Seconds overhead = rig.sample_duration_s();
         if (phase.mode != fpga::RoMode::kAcOscillating) {
           bti::OperatingCondition meas_env;
-          meas_env.voltage_v = meas_vdd;
-          meas_env.temperature_k = true_temp_k;
+          meas_env.voltage_v = Volts{meas_vdd};
+          meas_env.temperature_k = Kelvin{true_temp_k};
           meas_env.gate_stress_duty = 0.5;
-          chip_.evolve(fpga::RoMode::kAcOscillating, meas_env, Seconds{overhead});
+          chip_.evolve(fpga::RoMode::kAcOscillating, meas_env, overhead);
         }
         Measurement m = rig.measure(
-            Hertz{chip_.ro_frequency_hz(Volts{meas_vdd}, Kelvin{true_temp_k})},
+            chip_.ro_frequency_hz(Volts{meas_vdd}, Kelvin{true_temp_k}),
             &faults);
         const bool comm_ok = !faults.comm_lost();
         const bool valid = comm_ok && m.valid();
-        const double reported_c =
+        const Celsius reported_c =
             faults.reported_chamber_c(Celsius{true_temp_c}, Seconds{t_phase});
 
         bool implausible = false;
         if (cfg_.watchdog.enabled && valid) {
-          if (std::abs(reported_c - phase.chamber_c) >
-              cfg_.watchdog.max_chamber_error_c) {
+          if (std::abs((reported_c - phase.chamber_c).value()) >
+              cfg_.watchdog.max_chamber_error_c.value()) {
             implausible = true;
           }
           if (!recent_freqs.empty()) {
             const double med = median(
                 std::vector<double>(recent_freqs.begin(), recent_freqs.end()));
             if (med > 0.0 &&
-                std::abs(m.frequency_hz - med) / med >
+                std::abs(m.frequency_hz.value() - med) / med >
                     cfg_.watchdog.max_frequency_deviation) {
               implausible = true;
             }
@@ -290,8 +293,8 @@ class CampaignEngine {
           r.test_case = tc_.name;
           r.chip_id = chip_.id();
           r.phase = phase.label;
-          r.t_campaign_s = t_campaign_;
-          r.t_phase_s = t_phase;
+          r.t_campaign_s = Seconds{t_campaign_};
+          r.t_phase_s = Seconds{t_phase};
           r.chamber_c = reported_c;
           r.supply_v = phase.supply_v;
           r.counts = m.counts;
@@ -305,8 +308,8 @@ class CampaignEngine {
                          "tb.sample",
                          {{"quality", to_string(quality)},
                           {"retries", std::to_string(retries)},
-                          {"frequency_hz", strformat("%.6g", m.frequency_hz)},
-                          {"chamber_c", fmt_fixed(reported_c, 2)}});
+                          {"frequency_hz", strformat("%.6g", m.frequency_hz.value())},
+                          {"chamber_c", fmt_fixed(reported_c.value(), 2)}});
           }
         };
 
@@ -314,7 +317,7 @@ class CampaignEngine {
           record(retries == 0 ? SampleQuality::kGood : SampleQuality::kRetried);
           if (retries > 0) attempt_report.samples_retried++;
           consecutive_implausible = 0;
-          recent_freqs.push_back(m.frequency_hz);
+          recent_freqs.push_back(m.frequency_hz.value());
           while (static_cast<int>(recent_freqs.size()) > cfg_.watchdog.window &&
                  !recent_freqs.empty()) {
             recent_freqs.pop_front();
@@ -382,7 +385,7 @@ class CampaignEngine {
     while (!chamber.at_target()) {
       if (kill_due()) return SampleStatus::kKilled;
       const double step =
-          std::min(kSettleResolutionS, chamber.seconds_to_target());
+          std::min(kSettleResolutionS, chamber.seconds_to_target().value());
       age(step, /*in_body=*/false, 0.0);
     }
 
@@ -390,14 +393,15 @@ class CampaignEngine {
     // phase end (retry backoffs shift the grid).
     double t_phase = 0.0;
     SampleStatus status = take_sample(t_phase);
-    while (status == SampleStatus::kAccepted && t_phase < phase.duration_s) {
+    while (status == SampleStatus::kAccepted &&
+           t_phase < phase.duration_s.value()) {
       if (kill_due()) {
         status = SampleStatus::kKilled;
         break;
       }
-      double step = phase.duration_s - t_phase;
-      if (phase.sample_every_s > 0.0) {
-        step = std::min(step, phase.sample_every_s);
+      double step = phase.duration_s.value() - t_phase;
+      if (phase.sample_every_s > Seconds{0.0}) {
+        step = std::min(step, phase.sample_every_s.value());
       }
       age(step, /*in_body=*/true, t_phase);
       t_phase += step;
@@ -442,8 +446,8 @@ void CampaignCheckpoint::save(std::ostream& os) const {
   os << "ash-campaign v2\n";
   os << "next_phase " << next_phase << "\n";
   os.precision(17);
-  os << "t_campaign " << t_campaign_s << "\n";
-  os << "chamber_c " << chamber_c << "\n";
+  os << "t_campaign " << t_campaign_s.value() << "\n";
+  os << "chamber_c " << chamber_c.value() << "\n";
   os << "faults " << faults.serialize() << "\n";
   os << "chip\n" << chip_state;  // the fpga checkpoint ends with "end\n"
   // v2 declares the record count so a stream cut at a CSV row boundary is
@@ -530,8 +534,8 @@ CampaignCheckpoint CampaignCheckpoint::load(std::istream& is) {
   if (ckpt.next_phase < 0) {
     fail_field("next_phase", "is negative: " + std::to_string(ckpt.next_phase));
   }
-  ckpt.t_campaign_s = parse_double("t_campaign");
-  ckpt.chamber_c = parse_double("chamber_c");
+  ckpt.t_campaign_s = Seconds{parse_double("t_campaign")};
+  ckpt.chamber_c = Celsius{parse_double("chamber_c")};
   try {
     ckpt.faults = FaultReport::deserialize(keyed_line("faults"));
   } catch (const std::runtime_error& e) {
@@ -587,7 +591,7 @@ CampaignCheckpoint initial_checkpoint(const fpga::FpgaChip& chip,
                                       const RunnerConfig& config) {
   CampaignCheckpoint start;
   start.next_phase = 0;
-  start.t_campaign_s = 0.0;
+  start.t_campaign_s = Seconds{0.0};
   start.chamber_c = test_case.phases.empty()
                         ? config.chamber.initial_c
                         : test_case.phases.front().chamber_c;

@@ -39,8 +39,8 @@ FaultPlan FaultPlan::none() { return {}; }
 FaultPlan FaultPlan::representative() {
   FaultPlan p;
   p.chamber.excursion_probability = 1.0;
-  p.chamber.excursion_magnitude_c = 30.0;
-  p.chamber.excursion_duration_s = 5400.0;
+  p.chamber.excursion_magnitude_c = Celsius{30.0};
+  p.chamber.excursion_duration_s = Seconds{5400.0};
   p.chamber.sensor_stuck_probability = 0.1;
   p.supply.glitches_per_day = 0.25;
   p.rig.dropped_reading_probability = 0.01;
@@ -52,13 +52,13 @@ FaultPlan FaultPlan::representative() {
 FaultPlan FaultPlan::harsh() {
   FaultPlan p;
   p.chamber.excursion_probability = 1.0;
-  p.chamber.excursion_magnitude_c = 40.0;
-  p.chamber.excursion_duration_s = 10800.0;
+  p.chamber.excursion_magnitude_c = Celsius{40.0};
+  p.chamber.excursion_duration_s = Seconds{10800.0};
   p.chamber.sensor_stuck_probability = 0.5;
   p.chamber.sensor_drift_c_per_hour = 0.5;
   p.supply.glitches_per_day = 2.0;
-  p.supply.glitch_delta_v = -0.25;
-  p.supply.glitch_duration_s = 600.0;
+  p.supply.glitch_delta_v = Volts{-0.25};
+  p.supply.glitch_duration_s = Seconds{600.0};
   p.rig.dropped_reading_probability = 0.05;
   p.rig.outlier_probability = 0.05;
   p.rig.clock_jump_probability = 0.25;
@@ -152,7 +152,8 @@ FaultInjector::FaultInjector(const FaultPlan& plan, int phase_index,
   // schedule says the phase is over, so the samples taken at the end of a
   // phase — the ones the recovery metrics hinge on — are fair game.
   if (rng_.bernoulli(plan_.chamber.excursion_probability * recur)) {
-    const double len = std::min(plan_.chamber.excursion_duration_s, duration);
+    const double len =
+        std::min(plan_.chamber.excursion_duration_s.value(), duration);
     excursion_begin_s_ = rng_.uniform(0.0, duration);
     excursion_end_s_ = excursion_begin_s_ + len;
     excursion_ = len > 0.0;
@@ -162,13 +163,13 @@ FaultInjector::FaultInjector(const FaultPlan& plan, int phase_index,
                       {{"begin_s", fmt_fixed(excursion_begin_s_, 0)},
                        {"end_s", fmt_fixed(excursion_end_s_, 0)},
                        {"magnitude_c",
-                        fmt_fixed(plan_.chamber.excursion_magnitude_c, 1)}});
+                        fmt_fixed(plan_.chamber.excursion_magnitude_c.value(), 1)}});
     }
   }
 
   if (rng_.bernoulli(plan_.chamber.sensor_stuck_probability * recur)) {
     const double len =
-        std::min(plan_.chamber.sensor_stuck_duration_s, duration);
+        std::min(plan_.chamber.sensor_stuck_duration_s.value(), duration);
     stuck_begin_s_ = rng_.uniform(0.0, duration);
     stuck_end_s_ = stuck_begin_s_ + len;
     sensor_stuck_ = len > 0.0;
@@ -184,7 +185,8 @@ FaultInjector::FaultInjector(const FaultPlan& plan, int phase_index,
       std::min(plan_.supply.glitches_per_day * duration / 86400.0, 1.0) *
       recur;
   if (rng_.bernoulli(p_glitch)) {
-    const double len = std::min(plan_.supply.glitch_duration_s, duration);
+    const double len =
+        std::min(plan_.supply.glitch_duration_s.value(), duration);
     glitch_begin_s_ = rng_.uniform(0.0, duration);
     glitch_end_s_ = glitch_begin_s_ + len;
     glitch_ = len > 0.0;
@@ -193,7 +195,7 @@ FaultInjector::FaultInjector(const FaultPlan& plan, int phase_index,
       trace_injection("supply.glitch",
                       {{"begin_s", fmt_fixed(glitch_begin_s_, 0)},
                        {"end_s", fmt_fixed(glitch_end_s_, 0)},
-                       {"delta_v", fmt_fixed(plan_.supply.glitch_delta_v, 3)}});
+                       {"delta_v", fmt_fixed(plan_.supply.glitch_delta_v.value(), 3)}});
     }
   }
 
@@ -208,24 +210,24 @@ FaultInjector::FaultInjector(const FaultPlan& plan, int phase_index,
   }
 }
 
-double FaultInjector::chamber_offset_c(Seconds t_phase) const {
+Celsius FaultInjector::chamber_offset_c(Seconds t_phase) const {
   const double t_phase_s = t_phase.value();
   if (excursion_ && t_phase_s >= excursion_begin_s_ &&
       t_phase_s < excursion_end_s_) {
     return plan_.chamber.excursion_magnitude_c;
   }
-  return 0.0;
+  return Celsius{0.0};
 }
 
-double FaultInjector::supply_offset_v(Seconds t_phase) const {
+Volts FaultInjector::supply_offset_v(Seconds t_phase) const {
   const double t_phase_s = t_phase.value();
   if (glitch_ && t_phase_s >= glitch_begin_s_ && t_phase_s < glitch_end_s_) {
     return plan_.supply.glitch_delta_v;
   }
-  return 0.0;
+  return Volts{0.0};
 }
 
-double FaultInjector::reported_chamber_c(Celsius true_temp, Seconds t_phase) {
+Celsius FaultInjector::reported_chamber_c(Celsius true_temp, Seconds t_phase) {
   const double true_c = true_temp.value();
   const double t_phase_s = t_phase.value();
   const double reported =
@@ -236,11 +238,11 @@ double FaultInjector::reported_chamber_c(Celsius true_temp, Seconds t_phase) {
       stuck_value_c_ = have_last_reported_ ? last_reported_c_ : reported;
       stuck_engaged_ = true;
     }
-    return stuck_value_c_;
+    return Celsius{stuck_value_c_};
   }
   have_last_reported_ = true;
   last_reported_c_ = reported;
-  return reported;
+  return Celsius{reported};
 }
 
 bool FaultInjector::reading_dropped() {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "ash/util/series.h"
+#include "ash/util/units.h"
 
 namespace ash::tb {
 
@@ -34,13 +35,13 @@ struct SampleRecord {
   std::string test_case;   ///< e.g. "chip5"
   int chip_id = 0;
   std::string phase;       ///< Table 1 label, e.g. "AR110N6"
-  double t_campaign_s = 0.0;  ///< time since the campaign started
-  double t_phase_s = 0.0;     ///< time since the current phase started
-  double chamber_c = 0.0;     ///< *reported* chamber temperature (sensor)
-  double supply_v = 0.0;      ///< phase supply setpoint
+  Seconds t_campaign_s{0.0};  ///< time since the campaign started
+  Seconds t_phase_s{0.0};     ///< time since the current phase started
+  Celsius chamber_c{0.0};     ///< *reported* chamber temperature (sensor)
+  Volts supply_v{0.0};        ///< phase supply setpoint
   double counts = 0.0;        ///< averaged counter output
-  double frequency_hz = 0.0;  ///< Eq. (14)
-  double delay_s = 0.0;       ///< Eq. (15)
+  Hertz frequency_hz{0.0};    ///< Eq. (14)
+  Seconds delay_s{0.0};       ///< Eq. (15)
   SampleQuality quality = SampleQuality::kGood;
   int retries = 0;            ///< measurement attempts beyond the first
 

@@ -49,8 +49,8 @@ namespace ash::tb {
 struct RetryPolicy {
   /// Measurement attempts beyond the first (0 = naive single-shot lab).
   int max_sample_retries = 3;
-  /// First backoff (simulated seconds) before a retry.
-  double backoff_s = 30.0;
+  /// First backoff (in simulated time) before a retry.
+  Seconds backoff_s{30.0};
   /// Multiplier on the backoff after each failed retry.
   double backoff_multiplier = 2.0;
 };
@@ -65,8 +65,8 @@ struct RetryPolicy {
 /// have tripped it are kept and flagged kSuspect (graceful degradation).
 struct WatchdogConfig {
   bool enabled = true;
-  /// Max |reported chamber - setpoint| tolerated (degC).
-  double max_chamber_error_c = 5.0;
+  /// Max |reported chamber - setpoint| tolerated.
+  Celsius max_chamber_error_c{5.0};
   /// Max relative deviation of a sample's frequency from the running
   /// median of recently accepted samples of the same phase attempt.
   double max_frequency_deviation = 0.05;
@@ -84,7 +84,7 @@ struct RunnerConfig {
   ChamberConfig chamber;
   SupplyConfig supply;
   /// Supply applied while sampling (the RO cannot oscillate at 0/-0.3 V).
-  double measurement_vdd_v = 1.2;
+  Volts measurement_vdd_v{1.2};
   /// true: chamber reaches each setpoint instantly (idealized, default for
   /// the paper-reproduction benches); false: finite ramp, during which the
   /// chip ages under the phase's mode at the instantaneous temperature.
@@ -100,7 +100,7 @@ struct RunnerConfig {
   /// campaign clock reaches this value (mid-phase work of the current
   /// attempt is discarded) and the result carries completed == false plus a
   /// resumable checkpoint.  Models an operator stopping the lab.
-  double abort_at_campaign_s = -1.0;
+  Seconds abort_at_campaign_s{-1.0};
 };
 
 /// Resumable campaign state at a phase boundary.  Serializes as a versioned
@@ -108,9 +108,9 @@ struct RunnerConfig {
 struct CampaignCheckpoint {
   /// Index of the next phase to run (== phase count when complete).
   int next_phase = 0;
-  double t_campaign_s = 0.0;
+  Seconds t_campaign_s{0.0};
   /// Chamber base temperature at the boundary (the previous setpoint).
-  double chamber_c = 0.0;
+  Celsius chamber_c{0.0};
   /// fpga::checkpoint document of the chip's aging state.
   std::string chip_state;
   DataLog log;

@@ -42,20 +42,20 @@ struct ChamberFaults {
   /// runaway): the *actual* chamber temperature overshoots the phase
   /// setpoint for a window of the phase body.
   double excursion_probability = 0.0;
-  /// Excursion amplitude (degC above setpoint).
-  double excursion_magnitude_c = 30.0;
-  /// Excursion window length (seconds, clipped to the phase duration).
-  double excursion_duration_s = 5400.0;
+  /// Excursion amplitude (above setpoint).
+  Celsius excursion_magnitude_c{30.0};
+  /// Excursion window length (clipped to the phase duration).
+  Seconds excursion_duration_s{5400.0};
   /// Hardware ceiling of the chamber: an excursion saturates here no
   /// matter how far the runaway controller pushes (real chambers have an
   /// over-temperature cutout; the chip model also has a functional limit).
-  double excursion_ceiling_c = 120.0;
+  Celsius excursion_ceiling_c{120.0};
   /// Probability that the chamber's *sensor* sticks for a window of the
   /// phase: the reported temperature freezes at its last value while the
   /// chamber itself keeps regulating.
   double sensor_stuck_probability = 0.0;
-  /// Length of a stuck-sensor window (seconds).
-  double sensor_stuck_duration_s = 3600.0;
+  /// Length of a stuck-sensor window.
+  Seconds sensor_stuck_duration_s{3600.0};
   /// Slow calibration drift of the *reported* temperature (degC per hour
   /// of phase time); the chamber itself is unaffected.
   double sensor_drift_c_per_hour = 0.0;
@@ -66,10 +66,10 @@ struct SupplyFaults {
   /// Expected droop/brownout events per simulated day; each phase draws at
   /// most one event with probability min(1, rate * phase_duration / day).
   double glitches_per_day = 0.0;
-  /// Depth of the droop (volts added to the programmed output; negative).
-  double glitch_delta_v = -0.15;
-  /// Glitch duration (seconds).
-  double glitch_duration_s = 120.0;
+  /// Depth of the droop (added to the programmed output; negative).
+  Volts glitch_delta_v{-0.15};
+  /// Glitch duration.
+  Seconds glitch_duration_s{120.0};
 };
 
 /// Measurement-rig faults.
@@ -176,10 +176,10 @@ class FaultInjector {
                 Seconds phase_duration, FaultReport* report = nullptr);
 
   // --- truth corruption (changes what the chip experiences) ---
-  /// Chamber temperature offset during an excursion (degC; 0 outside).
-  double chamber_offset_c(Seconds t_phase) const;
-  /// Supply voltage offset during a glitch (volts; 0 outside).
-  double supply_offset_v(Seconds t_phase) const;
+  /// Chamber temperature offset during an excursion (zero outside).
+  Celsius chamber_offset_c(Seconds t_phase) const;
+  /// Supply voltage offset during a glitch (zero outside).
+  Volts supply_offset_v(Seconds t_phase) const;
   /// Reference-clock calibration jump for this phase (ppm).
   double clock_offset_ppm() const { return clock_offset_ppm_; }
 
@@ -187,7 +187,7 @@ class FaultInjector {
   /// The chamber temperature the lab writes into the log for a sample at
   /// t_phase, given the true (possibly excursed) temperature.  Stateful:
   /// a stuck-sensor window freezes the last reported value.
-  double reported_chamber_c(Celsius true_c, Seconds t_phase);
+  Celsius reported_chamber_c(Celsius true_c, Seconds t_phase);
 
   // --- per-reading / per-sample stochastic faults (consume RNG state) ---
   bool reading_dropped();

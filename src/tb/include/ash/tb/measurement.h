@@ -24,11 +24,11 @@ class FaultInjector;
 
 /// Reference clock source with a static calibration error.
 struct ClockGenerator {
-  double nominal_hz = 500.0;
+  Hertz nominal_hz{500.0};
   /// Parts-per-million frequency error of this particular instrument.
   double error_ppm = 0.0;
 
-  double actual_hz() const { return nominal_hz * (1.0 + error_ppm * 1e-6); }
+  Hertz actual_hz() const { return nominal_hz * (1.0 + error_ppm * 1e-6); }
 };
 
 /// Rig configuration.
@@ -48,9 +48,9 @@ struct MeasurementConfig {
 
 /// One combined measurement.
 struct Measurement {
-  double counts = 0.0;        ///< robust location of the gated counts
-  double frequency_hz = 0.0;  ///< inferred oscillator frequency (Eq. 14)
-  double delay_s = 0.0;       ///< inferred CUT delay (Eq. 15)
+  double counts = 0.0;         ///< robust location of the gated counts
+  Hertz frequency_hz{0.0};     ///< inferred oscillator frequency (Eq. 14)
+  Seconds delay_s{0.0};        ///< inferred CUT delay (Eq. 15)
   int readings_taken = 0;     ///< gated readings attempted
   int readings_used = 0;      ///< readings that survived (not dropped)
 
@@ -73,9 +73,9 @@ class MeasurementRig {
 
   const MeasurementConfig& config() const { return config_; }
 
-  /// Wall-clock seconds one averaged sample occupies (the RO must run for
+  /// Wall-clock time one averaged sample occupies (the RO must run for
   /// this long — the paper's <3 s "data sampling overhead").
-  double sample_duration_s() const;
+  Seconds sample_duration_s() const;
 
  private:
   MeasurementConfig config_;

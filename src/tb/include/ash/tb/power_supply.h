@@ -17,14 +17,14 @@ namespace ash::tb {
 
 /// Supply construction parameters.
 struct SupplyConfig {
-  double nominal_v = 1.2;
+  Volts nominal_v{1.2};
   /// Most negative programmable output (breakdown interlock).
-  double min_v = -0.5;
+  Volts min_v{-0.5};
   /// Absolute maximum rating of the DUT core rail.
-  double max_v = 1.5;
-  /// Output ripple: stationary sigma (volts) and correlation time.
-  double ripple_sigma_v = 1e-3;
-  double ripple_tau_s = 5.0;
+  Volts max_v{1.5};
+  /// Output ripple: stationary sigma and correlation time.
+  Volts ripple_sigma_v{1e-3};
+  Seconds ripple_tau_s{5.0};
   std::uint64_t seed = default_seed(SeedStream::kSupply);
 };
 
@@ -36,10 +36,10 @@ class PowerSupply {
   /// Program the output.  Throws std::out_of_range outside the interlock
   /// window [min_v, max_v].
   void set_voltage(Volts volts);
-  double setpoint_v() const { return setpoint_v_; }
+  Volts setpoint_v() const { return setpoint_v_; }
 
   /// Instantaneous output including ripple.
-  double output_v() const { return setpoint_v_ + ripple_.value(); }
+  Volts output_v() const { return Volts{setpoint_v_.value() + ripple_.value()}; }
 
   /// Advance ripple state.
   void advance(Seconds dt);
@@ -48,7 +48,7 @@ class PowerSupply {
 
  private:
   SupplyConfig config_;
-  double setpoint_v_;
+  Volts setpoint_v_;
   OrnsteinUhlenbeck ripple_;
 };
 

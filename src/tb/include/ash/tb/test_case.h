@@ -24,15 +24,15 @@ struct Phase {
   std::string label;
   /// RO operating mode during the phase.
   fpga::RoMode mode = fpga::RoMode::kDcFrozen;
-  /// Core supply during the phase (volts).
-  double supply_v = 1.2;
-  /// Chamber setpoint (degC).
-  double chamber_c = 20.0;
-  /// Phase duration (seconds).
-  double duration_s = 0.0;
-  /// Sampling cadence (seconds between logged measurements); 0 disables
+  /// Core supply during the phase.
+  Volts supply_v{1.2};
+  /// Chamber setpoint.
+  Celsius chamber_c{20.0};
+  /// Phase duration.
+  Seconds duration_s{0.0};
+  /// Sampling cadence (time between logged measurements); zero disables
   /// sampling inside the phase (endpoints are always logged).
-  double sample_every_s = 0.0;
+  Seconds sample_every_s{0.0};
   /// AC-stress duty (ignored for DC/sleep).
   double ac_duty = 0.5;
 };
@@ -43,8 +43,8 @@ struct TestCase {
   int chip_id = 1;
   std::vector<Phase> phases;
 
-  /// Total scheduled duration (seconds).
-  double total_duration_s() const;
+  /// Total scheduled duration.
+  Seconds total_duration_s() const;
 };
 
 /// Phase builders mirroring Table 1's vocabulary.  Durations are given as

@@ -19,16 +19,16 @@ namespace ash::tb {
 
 /// Chamber construction parameters.
 struct ChamberConfig {
-  /// Initial temperature (degC).
-  double initial_c = 20.0;
+  /// Initial temperature.
+  Celsius initial_c{20.0};
   /// Ramp rate toward a new setpoint (degC per second).  The default
   /// corresponds to a typical bench chamber (~3 degC/min); set to a huge
   /// value for idealized instant-setpoint experiments.
   double ramp_c_per_s = 3.0 / 60.0;
-  /// Stationary sigma of the fluctuation (degC): 0.1 -> +/-0.3 at 3 sigma.
-  double fluctuation_sigma_c = 0.1;
-  /// Correlation time of the fluctuation (seconds).
-  double fluctuation_tau_s = 120.0;
+  /// Stationary sigma of the fluctuation: 0.1 degC -> +/-0.3 at 3 sigma.
+  Celsius fluctuation_sigma_c{0.1};
+  /// Correlation time of the fluctuation.
+  Seconds fluctuation_tau_s{120.0};
   /// Noise stream seed.
   std::uint64_t seed = default_seed(SeedStream::kChamber);
 };
@@ -40,18 +40,18 @@ class ThermalChamber {
 
   /// Command a new setpoint.  The chamber ramps toward it.
   void set_target(Celsius target) { target_c_ = target.value(); }
-  double target_c() const { return target_c_; }
+  Celsius target_c() const { return Celsius{target_c_}; }
 
-  /// Current chamber temperature (degC), including fluctuation.
-  double temperature_c() const { return base_c_ + noise_.value(); }
+  /// Current chamber temperature, including fluctuation.
+  Celsius temperature_c() const { return Celsius{base_c_ + noise_.value()}; }
   /// Same in kelvin.
-  double temperature_k() const;
+  Kelvin temperature_k() const;
 
   /// True once the ramp has reached the setpoint (fluctuation aside).
   bool at_target() const { return base_c_ == target_c_; }
 
-  /// Seconds of ramping still needed to reach the setpoint.
-  double seconds_to_target() const;
+  /// Ramping time still needed to reach the setpoint.
+  Seconds seconds_to_target() const;
 
   /// Advance chamber state by dt.
   void advance(Seconds dt);

@@ -26,10 +26,10 @@ MeasurementRig::MeasurementRig(const MeasurementConfig& config)
   }
 }
 
-double MeasurementRig::sample_duration_s() const {
+Seconds MeasurementRig::sample_duration_s() const {
   const double gate_s = static_cast<double>(config_.counter.gate_ref_periods) /
-                        config_.clock.actual_hz();
-  return gate_s * static_cast<double>(config_.readings_per_sample);
+                        config_.clock.actual_hz().value();
+  return Seconds{gate_s * static_cast<double>(config_.readings_per_sample)};
 }
 
 Measurement MeasurementRig::measure(Hertz true_frequency,
@@ -58,9 +58,11 @@ Measurement MeasurementRig::measure(Hertz true_frequency,
   // belief), Eq. (14): f_osc = 2 * Cout * f_ref / gate_periods.
   const double gate_s_believed =
       static_cast<double>(config_.counter.gate_ref_periods) /
-      config_.clock.nominal_hz;
-  m.frequency_hz = 2.0 * m.counts / gate_s_believed;
-  m.delay_s = m.frequency_hz > 0.0 ? 1.0 / (2.0 * m.frequency_hz) : 0.0;
+      config_.clock.nominal_hz.value();
+  m.frequency_hz = Hertz{2.0 * m.counts / gate_s_believed};
+  m.delay_s = m.frequency_hz > Hertz{0.0}
+                  ? Seconds{1.0 / (2.0 * m.frequency_hz.value())}
+                  : Seconds{0.0};
   return m;
 }
 

@@ -28,11 +28,11 @@ namespace {
 
 /// Environment the chips see for an aging interval (the solo runner's
 /// phase_condition, replicated — bit-identical env construction).
-bti::OperatingCondition phase_condition(const Phase& phase, double supply_v,
-                                        double temp_k) {
+bti::OperatingCondition phase_condition(const Phase& phase, Volts supply,
+                                        Kelvin temp) {
   bti::OperatingCondition env;
-  env.voltage_v = supply_v;
-  env.temperature_k = temp_k;
+  env.voltage_v = supply;
+  env.temperature_k = temp;
   switch (phase.mode) {
     case fpga::RoMode::kAcOscillating:
       env.gate_stress_duty = phase.ac_duty;
@@ -105,7 +105,7 @@ class PopulationPhysics {
         bti::OperatingCondition dc = env;
         dc.gate_stress_duty = 1.0;
         bti::OperatingCondition anneal = dc;
-        anneal.voltage_v = 0.0;
+        anneal.voltage_v = Volts{0.0};
         anneal.gate_stress_duty = 0.0;
         for (int s = 0; s < stages_; ++s) {
           const auto& stage = structure.stage(s);
@@ -172,7 +172,7 @@ struct ChipLane {
   ChipLane(const RunnerConfig& cfg, const Phase& phase, int phase_index,
            std::uint64_t attempt_stream)
       : faults(cfg.fault_plan, phase_index, /*attempt=*/0,
-               Seconds{phase.duration_s}, &report),
+               phase.duration_s, &report),
         rig(rig_config(cfg, attempt_stream, faults)) {}
 
  private:
@@ -191,7 +191,7 @@ struct ChipLane {
 PopulationRunner::PopulationRunner(const RunnerConfig& config,
                                    const PopulationRunnerConfig& population)
     : config_(config), population_(population) {
-  if (config_.abort_at_campaign_s >= 0.0) {
+  if (config_.abort_at_campaign_s >= Seconds{0.0}) {
     throw std::invalid_argument(
         "PopulationRunner: the abort_at_campaign_s kill switch is not "
         "supported on the lockstep path");
@@ -234,14 +234,14 @@ std::vector<DataLog> PopulationRunner::run(
     // Boundary chamber state as the solo engine sees it: the first phase
     // starts at its own setpoint (initial_checkpoint), later phases at the
     // previous setpoint.
-    const double prev_chamber_c =
+    const Celsius prev_chamber_c =
         pi == 0 ? tc.phases.front().chamber_c
                 : tc.phases[static_cast<std::size_t>(pi - 1)].chamber_c;
 
     obs::set_sim_now(t_campaign);
     obs::Span phase_span(obs::EventKind::kPhase, phase.label, "tb.phase");
     phase_span.arg("chips", std::to_string(n));
-    phase_span.arg("chamber_c", fmt_fixed(phase.chamber_c, 1));
+    phase_span.arg("chamber_c", fmt_fixed(phase.chamber_c.value(), 1));
 
     // Solo instrument streams derive from (seed, phase, attempt) — shared
     // config, attempt pinned to 0 on the lockstep path — so one chamber
@@ -254,12 +254,12 @@ std::vector<DataLog> PopulationRunner::run(
     chamber_cfg.initial_c = prev_chamber_c;
     if (config_.instant_chamber) chamber_cfg.ramp_c_per_s = 1e9;
     ThermalChamber chamber(chamber_cfg);
-    chamber.set_target(Celsius{phase.chamber_c});
+    chamber.set_target(phase.chamber_c);
 
     SupplyConfig supply_cfg = config_.supply;
     supply_cfg.seed = derive_seed(attempt_stream, 2);
     PowerSupply supply(supply_cfg);
-    supply.set_voltage(Volts{phase.supply_v});
+    supply.set_voltage(phase.supply_v);
 
     std::vector<ChipLane> lanes;
     lanes.reserve(static_cast<std::size_t>(n));
@@ -272,24 +272,26 @@ std::vector<DataLog> PopulationRunner::run(
     // derive from (plan, phase, attempt) only — chip-independent — so every
     // lane returns the same offsets and lane 0's values drive the shared
     // environment.
-    const auto faulted_temp_c = [&](ChipLane& lane, double base_c,
+    const auto faulted_temp_c = [&](ChipLane& lane, Celsius base,
                                     double t_phase) {
+      const double base_c = base.value();
       const double excursed =
-          base_c + lane.faults.chamber_offset_c(Seconds{t_phase});
-      const double ceiling =
-          std::max(base_c, config_.fault_plan.chamber.excursion_ceiling_c);
+          base_c + lane.faults.chamber_offset_c(Seconds{t_phase}).value();
+      const double ceiling = std::max(
+          base_c, config_.fault_plan.chamber.excursion_ceiling_c.value());
       return std::min(excursed, ceiling);
     };
-    const auto faulted_supply_v = [&](ChipLane& lane, double base_v,
+    const auto faulted_supply_v = [&](ChipLane& lane, Volts base,
                                       double t_phase) {
-      return std::clamp(base_v + lane.faults.supply_offset_v(Seconds{t_phase}),
-                        config_.supply.min_v, config_.supply.max_v);
+      return std::clamp(
+          base.value() + lane.faults.supply_offset_v(Seconds{t_phase}).value(),
+          config_.supply.min_v.value(), config_.supply.max_v.value());
     };
 
     // Age the whole population for `step` seconds under the phase's mode.
     const auto age = [&](double step, bool in_body, double t_phase) {
-      double temp_k = chamber.temperature_k();
-      double supply_out = supply.output_v();
+      Kelvin temp_k = chamber.temperature_k();
+      Volts supply_out = supply.output_v();
       if (in_body) {
         // Every lane's injector must see the solo call sequence; the
         // returned offsets are identical, so lane 0 supplies the values.
@@ -306,8 +308,8 @@ std::vector<DataLog> PopulationRunner::run(
             supply0 = s_v;
           }
         }
-        temp_k = celsius(temp_c0);
-        supply_out = supply0;
+        temp_k = Kelvin{celsius(temp_c0)};
+        supply_out = Volts{supply0};
       }
       const auto env = phase_condition(phase, supply_out, temp_k);
       physics.evolve(structure, phase.mode, env, Seconds{step});
@@ -331,18 +333,18 @@ std::vector<DataLog> PopulationRunner::run(
         meas_vdd[static_cast<std::size_t>(c)] =
             faulted_supply_v(lane, config_.measurement_vdd_v, t_phase);
       }
-      const double true_temp_k = celsius(true_temp_c[0]);
+      const Kelvin true_temp_k{celsius(true_temp_c[0])};
 
       // Stage 2: outside AC stress the gated count wakes every ring — one
       // short batched AC stress at the measurement supply.
-      const double overhead = lanes[0].rig.sample_duration_s();
+      const Seconds overhead = lanes[0].rig.sample_duration_s();
       if (phase.mode != fpga::RoMode::kAcOscillating) {
         bti::OperatingCondition meas_env;
-        meas_env.voltage_v = meas_vdd[0];
+        meas_env.voltage_v = Volts{meas_vdd[0]};
         meas_env.temperature_k = true_temp_k;
         meas_env.gate_stress_duty = 0.5;
         physics.evolve(structure, fpga::RoMode::kAcOscillating, meas_env,
-                       Seconds{overhead});
+                       overhead);
       }
       physics.write_back();
 
@@ -351,26 +353,26 @@ std::vector<DataLog> PopulationRunner::run(
         auto& lane = lanes[static_cast<std::size_t>(c)];
         const fpga::FpgaChip& chip = *chips[static_cast<std::size_t>(c)];
         Measurement m = lane.rig.measure(
-            Hertz{chip.ro_frequency_hz(Volts{meas_vdd[static_cast<std::size_t>(c)]},
-                                       Kelvin{true_temp_k})},
+            chip.ro_frequency_hz(Volts{meas_vdd[static_cast<std::size_t>(c)]},
+                                 true_temp_k),
             &lane.faults);
         const bool comm_ok = !lane.faults.comm_lost();
         const bool valid = comm_ok && m.valid();
-        const double reported_c = lane.faults.reported_chamber_c(
+        const Celsius reported_c = lane.faults.reported_chamber_c(
             Celsius{true_temp_c[static_cast<std::size_t>(c)]},
             Seconds{t_phase});
 
         bool implausible = false;
         if (config_.watchdog.enabled && valid) {
-          if (std::abs(reported_c - phase.chamber_c) >
-              config_.watchdog.max_chamber_error_c) {
+          if (std::abs((reported_c - phase.chamber_c).value()) >
+              config_.watchdog.max_chamber_error_c.value()) {
             implausible = true;
           }
           if (!lane.recent_freqs.empty()) {
             const double med = median(std::vector<double>(
                 lane.recent_freqs.begin(), lane.recent_freqs.end()));
             if (med > 0.0 &&
-                std::abs(m.frequency_hz - med) / med >
+                std::abs(m.frequency_hz.value() - med) / med >
                     config_.watchdog.max_frequency_deviation) {
               implausible = true;
             }
@@ -390,8 +392,8 @@ std::vector<DataLog> PopulationRunner::run(
         r.test_case = tc.name;
         r.chip_id = chip.id();
         r.phase = phase.label;
-        r.t_campaign_s = t_campaign;
-        r.t_phase_s = t_phase;
+        r.t_campaign_s = Seconds{t_campaign};
+        r.t_phase_s = Seconds{t_phase};
         r.chamber_c = reported_c;
         r.supply_v = phase.supply_v;
         r.counts = m.counts;
@@ -401,7 +403,7 @@ std::vector<DataLog> PopulationRunner::run(
         r.retries = 0;
         lane.log.add(r);
 
-        lane.recent_freqs.push_back(m.frequency_hz);
+        lane.recent_freqs.push_back(m.frequency_hz.value());
         while (static_cast<int>(lane.recent_freqs.size()) >
                    config_.watchdog.window &&
                !lane.recent_freqs.empty()) {
@@ -415,16 +417,16 @@ std::vector<DataLog> PopulationRunner::run(
     constexpr double kSettleResolutionS = 60.0;
     while (!chamber.at_target()) {
       const double step =
-          std::min(kSettleResolutionS, chamber.seconds_to_target());
+          std::min(kSettleResolutionS, chamber.seconds_to_target().value());
       age(step, /*in_body=*/false, 0.0);
     }
 
     double t_phase = 0.0;
     take_sample(t_phase);
-    while (t_phase < phase.duration_s) {
-      double step = phase.duration_s - t_phase;
-      if (phase.sample_every_s > 0.0) {
-        step = std::min(step, phase.sample_every_s);
+    while (t_phase < phase.duration_s.value()) {
+      double step = phase.duration_s.value() - t_phase;
+      if (phase.sample_every_s > Seconds{0.0}) {
+        step = std::min(step, phase.sample_every_s.value());
       }
       age(step, /*in_body=*/true, t_phase);
       t_phase += step;

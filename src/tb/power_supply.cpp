@@ -7,20 +7,20 @@ namespace ash::tb {
 PowerSupply::PowerSupply(const SupplyConfig& config)
     : config_(config),
       setpoint_v_(config.nominal_v),
-      ripple_(config.ripple_sigma_v, config.ripple_tau_s, Rng(config.seed)) {
-  if (config_.min_v >= config_.max_v || config_.ripple_sigma_v < 0.0 ||
-      config_.ripple_tau_s <= 0.0) {
+      ripple_(config.ripple_sigma_v.value(), config.ripple_tau_s.value(),
+              Rng(config.seed)) {
+  if (config_.min_v >= config_.max_v || config_.ripple_sigma_v < Volts{0.0} ||
+      config_.ripple_tau_s <= Seconds{0.0}) {
     throw std::invalid_argument("PowerSupply: bad configuration");
   }
 }
 
 void PowerSupply::set_voltage(Volts volts) {
-  const double v = volts.value();
-  if (v < config_.min_v || v > config_.max_v) {
+  if (volts < config_.min_v || volts > config_.max_v) {
     throw std::out_of_range(
         "PowerSupply::set_voltage: outside interlock window");
   }
-  setpoint_v_ = v;
+  setpoint_v_ = volts;
 }
 
 void PowerSupply::advance(Seconds dt) {

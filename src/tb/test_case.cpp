@@ -6,9 +6,9 @@
 
 namespace ash::tb {
 
-double TestCase::total_duration_s() const {
-  double total = 0.0;
-  for (const auto& p : phases) total += p.duration_s;
+Seconds TestCase::total_duration_s() const {
+  Seconds total{0.0};
+  for (const auto& p : phases) total = total + p.duration_s;
   return total;
 }
 
@@ -18,10 +18,10 @@ Phase burn_in_phase() {
   Phase p;
   p.label = "BURNIN";
   p.mode = fpga::RoMode::kAcOscillating;
-  p.supply_v = 1.2;
-  p.chamber_c = 20.0;
-  p.duration_s = hours(2.0);
-  p.sample_every_s = 20.0 * 60.0;
+  p.supply_v = Volts{1.2};
+  p.chamber_c = Celsius{20.0};
+  p.duration_s = units::hours(2.0);
+  p.sample_every_s = units::minutes(20.0);
   return p;
 }
 
@@ -30,10 +30,10 @@ Phase ac_stress_phase(std::string label, Celsius temp, Seconds duration,
   Phase p;
   p.label = std::move(label);
   p.mode = fpga::RoMode::kAcOscillating;
-  p.supply_v = 1.2;
-  p.chamber_c = temp.value();
-  p.duration_s = duration.value();
-  p.sample_every_s = sample_every.value();
+  p.supply_v = Volts{1.2};
+  p.chamber_c = temp;
+  p.duration_s = duration;
+  p.sample_every_s = sample_every;
   return p;
 }
 
@@ -42,10 +42,10 @@ Phase dc_stress_phase(std::string label, Celsius temp, Seconds duration,
   Phase p;
   p.label = std::move(label);
   p.mode = fpga::RoMode::kDcFrozen;
-  p.supply_v = 1.2;
-  p.chamber_c = temp.value();
-  p.duration_s = duration.value();
-  p.sample_every_s = sample_every.value();
+  p.supply_v = Volts{1.2};
+  p.chamber_c = temp;
+  p.duration_s = duration;
+  p.sample_every_s = sample_every;
   return p;
 }
 
@@ -54,10 +54,10 @@ Phase recovery_phase(std::string label, Volts voltage, Celsius temp,
   Phase p;
   p.label = std::move(label);
   p.mode = fpga::RoMode::kSleep;
-  p.supply_v = voltage.value();
-  p.chamber_c = temp.value();
-  p.duration_s = duration.value();
-  p.sample_every_s = sample_every.value();
+  p.supply_v = voltage;
+  p.chamber_c = temp;
+  p.duration_s = duration;
+  p.sample_every_s = sample_every;
   return p;
 }
 

@@ -10,22 +10,22 @@ namespace ash::tb {
 
 ThermalChamber::ThermalChamber(const ChamberConfig& config)
     : config_(config),
-      base_c_(config.initial_c),
-      target_c_(config.initial_c),
-      noise_(config.fluctuation_sigma_c, config.fluctuation_tau_s,
+      base_c_(config.initial_c.value()),
+      target_c_(config.initial_c.value()),
+      noise_(config.fluctuation_sigma_c.value(), config.fluctuation_tau_s.value(),
              Rng(config.seed)) {
-  if (config_.ramp_c_per_s <= 0.0 || config_.fluctuation_sigma_c < 0.0 ||
-      config_.fluctuation_tau_s <= 0.0) {
+  if (config_.ramp_c_per_s <= 0.0 || config_.fluctuation_sigma_c < Celsius{0.0} ||
+      config_.fluctuation_tau_s <= Seconds{0.0}) {
     throw std::invalid_argument("ThermalChamber: bad configuration");
   }
 }
 
-double ThermalChamber::temperature_k() const {
-  return celsius(temperature_c());
+Kelvin ThermalChamber::temperature_k() const {
+  return units::to_kelvin(temperature_c());
 }
 
-double ThermalChamber::seconds_to_target() const {
-  return std::abs(target_c_ - base_c_) / config_.ramp_c_per_s;
+Seconds ThermalChamber::seconds_to_target() const {
+  return Seconds{std::abs(target_c_ - base_c_) / config_.ramp_c_per_s};
 }
 
 void ThermalChamber::advance(Seconds dt) {

@@ -34,7 +34,7 @@ std::vector<Step> mixed_schedule() {
   // Drifting chamber: every step is a one-shot condition.
   for (int i = 0; i < 12; ++i) {
     OperatingCondition c = stress;
-    c.temperature_k += 0.013 * (i + 1);
+    c.temperature_k = c.temperature_k + Kelvin{0.013 * (i + 1)};
     steps.push_back({c, 60.0});
   }
   steps.push_back({wake, 2.7});
@@ -60,7 +60,7 @@ std::vector<BatchMemberSpec> one_class_population(int n) {
   Rng scales(0x5CA1E5);
   for (int m = 0; m < n; ++m) {
     TdParameters p = default_td_parameters();
-    p.delta_vth_mean_v *= std::exp(scales.normal(0.0, 0.05));
+    p.delta_vth_mean_v = p.delta_vth_mean_v * std::exp(scales.normal(0.0, 0.05));
     specs.push_back({p, 0xF1EE7});
   }
   return specs;
@@ -185,11 +185,11 @@ TEST(BatchEnsemble, ValidationMatchesSoloAndLeavesStateUntouched) {
 
   EXPECT_THROW(batch.evolve(stress, Seconds{-1.0}), std::invalid_argument);
   OperatingCondition too_negative = stress;
-  too_negative.voltage_v = -0.6;  // below min_safe_voltage_v
+  too_negative.voltage_v = Volts{-0.6};  // below min_safe_voltage_v
   EXPECT_THROW(batch.evolve(too_negative, Seconds{60.0}),
                std::invalid_argument);
   OperatingCondition too_hot = stress;
-  too_hot.temperature_k = 273.15 + 126.0;  // above max_safe_temp_k
+  too_hot.temperature_k = Kelvin{273.15 + 126.0};  // above max_safe_temp_k
   EXPECT_THROW(batch.evolve(too_hot, Seconds{60.0}), std::invalid_argument);
 
   // dt == 0 is a no-op, not an error — and not a state change.

@@ -33,8 +33,8 @@ TEST(ClosedFormModel, StressIsLogarithmicInTime) {
 TEST(ClosedFormModel, BetaNormalizedAtReference) {
   const auto p = params();
   const ClosedFormModel m(p);
-  EXPECT_NEAR(m.beta(Volts{p.stress_ref_voltage_v}, Kelvin{p.stress_ref_temp_k}),
-              p.beta_ref_v, 1e-15);
+  EXPECT_NEAR(m.beta(p.stress_ref_voltage_v, p.stress_ref_temp_k),
+              p.beta_ref_v.value(), 1e-15);
 }
 
 TEST(ClosedFormModel, AmplitudeTemperatureRatioMatchesTable2) {
@@ -219,13 +219,13 @@ TEST(ClosedFormAger, ResetRestoresFresh) {
 
 TEST(ClosedFormParameters, ValidateRejectsNonsense) {
   auto p = params();
-  p.beta_ref_v = -1.0;
+  p.beta_ref_v = Volts{-1.0};
   EXPECT_THROW(p.validate(), std::invalid_argument);
   p = params();
   p.permanent_ratio = 1.5;
   EXPECT_THROW(p.validate(), std::invalid_argument);
   p = params();
-  p.tau_stress_s = 0.0;
+  p.tau_stress_s = Seconds{0.0};
   EXPECT_THROW(p.validate(), std::invalid_argument);
 }
 

@@ -9,8 +9,8 @@ namespace {
 
 TEST(Condition, DcStressBuilder) {
   const auto c = dc_stress(Volts{1.2}, Celsius{110.0});
-  EXPECT_DOUBLE_EQ(c.voltage_v, 1.2);
-  EXPECT_DOUBLE_EQ(c.temperature_k, celsius(110.0));
+  EXPECT_DOUBLE_EQ(c.voltage_v.value(), 1.2);
+  EXPECT_DOUBLE_EQ(c.temperature_k.value(), celsius(110.0));
   EXPECT_DOUBLE_EQ(c.gate_stress_duty, 1.0);
   EXPECT_TRUE(c.is_stressing());
 }
@@ -24,7 +24,7 @@ TEST(Condition, AcStressBuilderDefaultsToHalfDuty) {
 
 TEST(Condition, RecoveryBuilderIsUnstressed) {
   const auto c = recovery(Volts{-0.3}, Celsius{110.0});
-  EXPECT_DOUBLE_EQ(c.voltage_v, -0.3);
+  EXPECT_DOUBLE_EQ(c.voltage_v.value(), -0.3);
   EXPECT_DOUBLE_EQ(c.gate_stress_duty, 0.0);
   EXPECT_FALSE(c.is_stressing());
 }

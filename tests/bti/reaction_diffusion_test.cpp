@@ -24,9 +24,10 @@ TEST(RdModel, StressFollowsPowerLaw) {
 TEST(RdModel, AmplitudeNormalizedAtReference) {
   const RdParameters p;
   const RdModel m(p);
-  EXPECT_NEAR(m.amplitude(Volts{p.stress_ref_voltage_v}, Kelvin{p.stress_ref_temp_k}),
-              p.amplitude_ref_v, 1e-15);
-  EXPECT_LT(m.amplitude(Volts{1.2}, Kelvin{celsius(100.0)}), p.amplitude_ref_v);
+  EXPECT_NEAR(m.amplitude(p.stress_ref_voltage_v, p.stress_ref_temp_k),
+              p.amplitude_ref_v.value(), 1e-15);
+  EXPECT_LT(m.amplitude(Volts{1.2}, Kelvin{celsius(100.0)}),
+            p.amplitude_ref_v.value());
 }
 
 TEST(RdModel, RecoveryIsTheUniversalCurve) {

@@ -9,14 +9,14 @@ namespace {
 
 AbbConfig quick() {
   AbbConfig c;
-  c.horizon_s = 2.0 * 365.25 * 86400.0;
+  c.horizon_s = Seconds{2.0 * 365.25 * 86400.0};
   return c;
 }
 
 TEST(Abb, LeakageRatioIsExponentialInCompensation) {
   const AbbConfig c;
   EXPECT_DOUBLE_EQ(leakage_ratio(c, 0.0), 1.0);
-  const double one_swing = leakage_ratio(c, c.subthreshold_swing_v);
+  const double one_swing = leakage_ratio(c, c.subthreshold_swing_v.value());
   EXPECT_NEAR(one_swing, std::exp(1.0), 1e-12);
   // Compensating 10 mV of drift costs ~29 % more leakage.
   EXPECT_NEAR(leakage_ratio(c, 10e-3), std::exp(10e-3 / 0.039), 1e-9);
@@ -27,10 +27,11 @@ TEST(Abb, LeakageRatioIsExponentialInCompensation) {
 TEST(Abb, AbbCancelsTimingDriftWhileBiasLasts) {
   const auto study = run_abb_study(quick());
   // Residual drift seen by timing is ~0 for ABB (perfect tracking)...
-  EXPECT_LT(std::abs(study.abb.end_residual_vth_v), 1e-6);
+  EXPECT_LT(std::abs(study.abb.end_residual_vth_v.value()), 1e-6);
   // ...while the underlying device keeps aging like the baseline.
-  EXPECT_NEAR(study.abb.end_delta_vth_v, study.none.end_delta_vth_v,
-              study.none.end_delta_vth_v * 0.01);
+  EXPECT_NEAR(study.abb.end_delta_vth_v.value(),
+              study.none.end_delta_vth_v.value(),
+              study.none.end_delta_vth_v.value() * 0.01);
 }
 
 TEST(Abb, AdaptationIsNoPanacea) {
@@ -39,8 +40,8 @@ TEST(Abb, AdaptationIsNoPanacea) {
   const auto study = run_abb_study(quick());
   EXPECT_GT(study.abb.mean_leakage_ratio, 1.1);
   EXPECT_DOUBLE_EQ(study.self_healing.mean_leakage_ratio, 1.0);
-  EXPECT_LT(study.self_healing.end_delta_vth_v,
-            0.2 * study.none.end_delta_vth_v);
+  EXPECT_LT(study.self_healing.end_delta_vth_v.value(),
+            0.2 * study.none.end_delta_vth_v.value());
 }
 
 TEST(Abb, SelfHealingPaysInAvailability) {
@@ -51,16 +52,16 @@ TEST(Abb, SelfHealingPaysInAvailability) {
 
 TEST(Abb, BiasRailExhaustsOnLongHorizons) {
   AbbConfig c = quick();
-  c.max_body_bias_v = 0.02;  // tiny range: runs out quickly
+  c.max_body_bias_v = Volts{0.02};  // tiny range: runs out quickly
   const auto study = run_abb_study(c);
   EXPECT_TRUE(study.abb.bias_exhausted);
   // Once exhausted, residual drift leaks through to the timing path.
-  EXPECT_GT(study.abb.end_residual_vth_v, 1e-3);
+  EXPECT_GT(study.abb.end_residual_vth_v.value(), 1e-3);
 }
 
 TEST(Abb, AmpleBiasRangeNeverExhausts) {
   AbbConfig c = quick();
-  c.max_body_bias_v = 1.0;
+  c.max_body_bias_v = Volts{1.0};
   const auto study = run_abb_study(c);
   EXPECT_FALSE(study.abb.bias_exhausted);
 }
@@ -68,8 +69,8 @@ TEST(Abb, AmpleBiasRangeNeverExhausts) {
 TEST(Abb, TracesCoverTheHorizon) {
   const auto c = quick();
   const auto study = run_abb_study(c);
-  EXPECT_NEAR(study.none.residual_trace.t_end(), c.horizon_s,
-              c.cycle_period_s * 1.5);
+  EXPECT_NEAR(study.none.residual_trace.t_end(), c.horizon_s.value(),
+              c.cycle_period_s.value() * 1.5);
   EXPECT_EQ(study.none.residual_trace.size(),
             study.abb.residual_trace.size());
 }

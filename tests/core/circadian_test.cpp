@@ -7,7 +7,7 @@ namespace {
 
 CircadianSweepConfig quick_sweep() {
   CircadianSweepConfig c;
-  c.horizon_s = 1.0 * 365.25 * 86400.0;
+  c.horizon_s = Seconds{1.0 * 365.25 * 86400.0};
   c.periods_s = {6.0 * 3600.0, 24.0 * 3600.0, 72.0 * 3600.0};
   c.alphas = {2.0, 4.0, 8.0};
   return c;
@@ -28,10 +28,10 @@ TEST(Circadian, MoreSleepMeansLessAging) {
   const auto points = explore_circadian(quick_sweep());
   // At fixed period, higher alpha (less sleep) => more mean aging.
   for (std::size_t i = 0; i < points.size(); i += 3) {
-    EXPECT_LE(points[i].mean_delta_vth_v,
-              points[i + 1].mean_delta_vth_v + 1e-9);
-    EXPECT_LE(points[i + 1].mean_delta_vth_v,
-              points[i + 2].mean_delta_vth_v + 1e-9);
+    EXPECT_LE(points[i].mean_delta_vth_v.value(),
+              points[i + 1].mean_delta_vth_v.value() + 1e-9);
+    EXPECT_LE(points[i + 1].mean_delta_vth_v.value(),
+              points[i + 2].mean_delta_vth_v.value() + 1e-9);
   }
 }
 
@@ -52,8 +52,8 @@ TEST(Circadian, PermanentWearIsScheduleInsensitive) {
   double lo = 1e9;
   double hi = 0.0;
   for (const auto& p : points) {
-    lo = std::min(lo, p.end_permanent_v);
-    hi = std::max(hi, p.end_permanent_v);
+    lo = std::min(lo, p.end_permanent_v.value());
+    hi = std::max(hi, p.end_permanent_v.value());
   }
   EXPECT_GT(lo, 0.0);
   EXPECT_LT(hi / lo, 1.5);
@@ -65,8 +65,8 @@ TEST(Circadian, ParetoFrontierIsMonotone) {
   for (std::size_t i = 1; i < frontier.size(); ++i) {
     EXPECT_GE(frontier[i].availability, frontier[i - 1].availability);
     // Along the frontier, buying availability costs worst-case margin.
-    EXPECT_GE(frontier[i].worst_delta_vth_v,
-              frontier[i - 1].worst_delta_vth_v - 1e-12);
+    EXPECT_GE(frontier[i].worst_delta_vth_v.value(),
+              frontier[i - 1].worst_delta_vth_v.value() - 1e-12);
   }
 }
 

@@ -31,16 +31,16 @@ TEST(Gnomo, SelfHealingBeatsGnomoOnAging) {
 
 TEST(Gnomo, EnergyRatioIsVoltageSquared) {
   GnomoConfig c;
-  c.boost_v = 1.32;
+  c.boost_v = Volts{1.32};
   const auto study = run_gnomo_study(c);
   EXPECT_NEAR(study.gnomo.energy_ratio, (1.32 / 1.2) * (1.32 / 1.2), 1e-12);
 }
 
 TEST(Gnomo, HigherBoostAgesGnomoMore) {
   GnomoConfig mild;
-  mild.boost_v = 1.26;
+  mild.boost_v = Volts{1.26};
   GnomoConfig aggressive;
-  aggressive.boost_v = 1.44;
+  aggressive.boost_v = Volts{1.44};
   const auto a = run_gnomo_study(mild);
   const auto b = run_gnomo_study(aggressive);
   // More overdrive: more field acceleration and amplitude, less time — the
@@ -50,7 +50,7 @@ TEST(Gnomo, HigherBoostAgesGnomoMore) {
 
 TEST(Gnomo, ValidatesConfig) {
   GnomoConfig bad;
-  bad.boost_v = 1.1;
+  bad.boost_v = Volts{1.1};
   EXPECT_THROW(run_gnomo_study(bad), std::invalid_argument);
   bad = GnomoConfig{};
   bad.utilization = 0.0;

@@ -10,7 +10,7 @@ namespace {
 LifetimeConfig base_config(Policy policy) {
   LifetimeConfig c;
   c.policy = policy;
-  c.horizon_s = 2.0 * 365.25 * 86400.0;  // 2 years keeps tests quick
+  c.horizon_s = Seconds{2.0 * 365.25 * 86400.0};  // 2 years keeps tests quick
   return c;
 }
 
@@ -58,7 +58,7 @@ TEST(Lifetime, ProactiveExtendsTimeToMargin) {
   auto cfg_pro = base_config(Policy::kProactive);
   // Pick a margin above the proactive per-cycle refill peak but well below
   // the baseline's end-of-horizon aging.
-  cfg_none.margin_delta_vth_v = cfg_pro.margin_delta_vth_v = 9e-3;
+  cfg_none.margin_delta_vth_v = cfg_pro.margin_delta_vth_v = Volts{9e-3};
   const auto none = simulate_lifetime(cfg_none);
   const auto pro = simulate_lifetime(cfg_pro);
   // The baseline trips the margin inside the horizon; the proactive
@@ -71,7 +71,7 @@ TEST(Lifetime, ProactiveExtendsTimeToMargin) {
 
 TEST(Lifetime, ReactiveTriggersOnlyWhenNeeded) {
   auto cfg = base_config(Policy::kReactive);
-  cfg.margin_delta_vth_v = 9e-3;
+  cfg.margin_delta_vth_v = Volts{9e-3};
   const auto r = simulate_lifetime(cfg);
   EXPECT_GT(r.recovery_events, 0);
   // Reactive keeps the worst case near the high-water mark.
@@ -85,7 +85,7 @@ TEST(Lifetime, ReactiveOperatesMoreAgedThanProactive) {
   // average aging level exceeds proactive's.
   auto cfg_r = base_config(Policy::kReactive);
   auto cfg_p = base_config(Policy::kProactive);
-  cfg_r.margin_delta_vth_v = cfg_p.margin_delta_vth_v = 9e-3;
+  cfg_r.margin_delta_vth_v = cfg_p.margin_delta_vth_v = Volts{9e-3};
   const auto reactive = simulate_lifetime(cfg_r);
   const auto proactive = simulate_lifetime(cfg_p);
   double mean_r = 0.0;
@@ -99,7 +99,7 @@ TEST(Lifetime, ReactiveOperatesMoreAgedThanProactive) {
 
 TEST(Lifetime, PermanentDamageSurvivesAllPolicies) {
   const auto pro = simulate_lifetime(base_config(Policy::kProactive));
-  EXPECT_GT(pro.end_permanent_v, 0.0);
+  EXPECT_GT(pro.end_permanent_v.value(), 0.0);
   EXPECT_GE(pro.end_delta_vth_v, pro.end_permanent_v * 0.99);
 }
 
@@ -132,15 +132,15 @@ TEST(Lifetime, LargerAlphaMeansMoreAging) {
 TEST(Lifetime, TraceSpansHorizon) {
   const auto r = simulate_lifetime(base_config(Policy::kProactive));
   EXPECT_NEAR(r.trace.t_begin(), 0.0, 1.0);
-  EXPECT_GT(r.trace.t_end(), 0.95 * base_config(Policy::kProactive).horizon_s);
+  EXPECT_GT(r.trace.t_end(), 0.95 * base_config(Policy::kProactive).horizon_s.value());
 }
 
 TEST(Lifetime, ValidatesConfig) {
   auto bad = base_config(Policy::kProactive);
-  bad.cycle_period_s = 0.0;
+  bad.cycle_period_s = Seconds{0.0};
   EXPECT_THROW(simulate_lifetime(bad), std::invalid_argument);
   bad = base_config(Policy::kProactive);
-  bad.margin_delta_vth_v = -1.0;
+  bad.margin_delta_vth_v = Volts{-1.0};
   EXPECT_THROW(simulate_lifetime(bad), std::invalid_argument);
   bad = base_config(Policy::kReactive);
   bad.reactive_low_water = 0.95;

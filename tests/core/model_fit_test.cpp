@@ -27,16 +27,16 @@ Series synthetic_stress(double amplitude_s, double tau_s, double noise_s,
 TEST(ModelFitter, RecoversKnownStressLawExactly) {
   const ModelFitter fitter;
   const auto fit = fitter.fit_stress(synthetic_stress(2e-9, 1e-3, 0.0));
-  EXPECT_NEAR(fit.amplitude_s, 2e-9, 2e-11);
+  EXPECT_NEAR(fit.amplitude_s.value(), 2e-9, 2e-11);
   EXPECT_GT(fit.r_squared, 0.9999);
-  EXPECT_LT(fit.rmse_s, 1e-12);
+  EXPECT_LT(fit.rmse_s.value(), 1e-12);
 }
 
 TEST(ModelFitter, ToleratesMeasurementNoise) {
   const ModelFitter fitter;
   // Noise comparable to the counter quantization (~0.05 ns).
   const auto fit = fitter.fit_stress(synthetic_stress(2e-9, 1e-3, 5e-11));
-  EXPECT_NEAR(fit.amplitude_s, 2e-9, 1.5e-10);
+  EXPECT_NEAR(fit.amplitude_s.value(), 2e-9, 1.5e-10);
   EXPECT_GT(fit.r_squared, 0.98);
 }
 
@@ -69,7 +69,7 @@ TEST(ModelFitter, FitsEnsembleStressWithGoodR2) {
   }
   const auto fit = ModelFitter().fit_stress(s);
   EXPECT_GT(fit.r_squared, 0.98);
-  EXPECT_GT(fit.amplitude_s, 0.0);
+  EXPECT_GT(fit.amplitude_s.value(), 0.0);
 }
 
 Series synthetic_recovery(double d0, double af, double perm, double tau_r,
@@ -89,9 +89,9 @@ TEST(ModelFitter, RecoversKnownRecoveryLaw) {
   const ModelFitter fitter;
   const auto& priors = fitter.priors();
   const double t1 = hours(24.0);
-  const double denom = std::log1p(t1 / priors.tau_stress_s);
+  const double denom = std::log1p(t1 / priors.tau_stress_s.value());
   const auto series =
-      synthetic_recovery(3e-9, 5.0, 0.06, priors.tau_recovery_s, denom);
+      synthetic_recovery(3e-9, 5.0, 0.06, priors.tau_recovery_s.value(), denom);
   const auto fit = fitter.fit_recovery(series, t1);
   EXPECT_NEAR(std::log10(fit.acceleration), std::log10(5.0), 0.15);
   EXPECT_NEAR(fit.permanent_ratio, 0.06, 0.03);
@@ -102,11 +102,11 @@ TEST(ModelFitter, RecoveryFitOrdersConditionsByAcceleration) {
   const ModelFitter fitter;
   const auto& priors = fitter.priors();
   const double t1 = hours(24.0);
-  const double denom = std::log1p(t1 / priors.tau_stress_s);
+  const double denom = std::log1p(t1 / priors.tau_stress_s.value());
   const auto fast = fitter.fit_recovery(
-      synthetic_recovery(3e-9, 30.0, 0.06, priors.tau_recovery_s, denom), t1);
+      synthetic_recovery(3e-9, 30.0, 0.06, priors.tau_recovery_s.value(), denom), t1);
   const auto slow = fitter.fit_recovery(
-      synthetic_recovery(3e-9, 0.3, 0.06, priors.tau_recovery_s, denom), t1);
+      synthetic_recovery(3e-9, 0.3, 0.06, priors.tau_recovery_s.value(), denom), t1);
   EXPECT_GT(fast.acceleration, slow.acceleration * 10.0);
 }
 
@@ -130,7 +130,7 @@ TEST(ModelFitter, RemainingFractionWithinBounds) {
   RecoveryFit fit;
   fit.acceleration = 1e4;
   fit.permanent_ratio = 0.06;
-  fit.tau_recovery_s = 2.0;
+  fit.tau_recovery_s = Seconds{2.0};
   fit.denom_ln = 18.0;
   EXPECT_NEAR(fit.remaining_fraction(0.0), 1.0, 1e-12);
   EXPECT_GE(fit.remaining_fraction(1e12), 0.06 - 1e-12);

@@ -14,7 +14,7 @@ TEST(Planner, FindsAFeasiblePlanForThePaperScenario) {
   const auto plan = plan_recovery(cfg);
   ASSERT_TRUE(plan.feasible);
   EXPECT_GE(plan.achieved_fraction, 0.9 - 1e-6);
-  EXPECT_LE(plan.sleep_s, cfg.max_sleep_s + 1.0);
+  EXPECT_LE(plan.sleep_s, cfg.max_sleep_s + Seconds{1.0});
   EXPECT_GE(plan.voltage_v, cfg.min_voltage_v);
   EXPECT_LE(plan.temp_c, cfg.max_temp_c);
 }
@@ -22,9 +22,9 @@ TEST(Planner, FindsAFeasiblePlanForThePaperScenario) {
 TEST(Planner, InfeasibleWhenKnobsAreDisabled) {
   // Room temperature, 0 V, short budget: passive recovery cannot reach 90 %.
   PlannerConfig cfg;
-  cfg.min_voltage_v = 0.0;
-  cfg.max_temp_c = 20.0;
-  cfg.max_sleep_s = hours(6.0);
+  cfg.min_voltage_v = Volts{0.0};
+  cfg.max_temp_c = Celsius{20.0};
+  cfg.max_sleep_s = Seconds{hours(6.0)};
   const auto plan = plan_recovery(cfg);
   EXPECT_FALSE(plan.feasible);
 }
@@ -47,34 +47,34 @@ TEST(Planner, ExpensiveHeatShiftsPlanTowardNegativeBias) {
   heat_pricey.bias_cost_per_v = 0.1;
   const auto plan = plan_recovery(heat_pricey);
   ASSERT_TRUE(plan.feasible);
-  EXPECT_LT(plan.voltage_v, -0.1);  // leans on the negative rail
+  EXPECT_LT(plan.voltage_v.value(), -0.1);  // leans on the negative rail
 
   PlannerConfig bias_pricey;
   bias_pricey.heat_cost_per_c = 0.001;
   bias_pricey.bias_cost_per_v = 1000.0;
   const auto plan2 = plan_recovery(bias_pricey);
   ASSERT_TRUE(plan2.feasible);
-  EXPECT_GT(plan2.temp_c, 80.0);  // leans on temperature
+  EXPECT_GT(plan2.temp_c.value(), 80.0);  // leans on temperature
 }
 
 TEST(Planner, PlanCostIsMonotoneInEachKnob) {
   PlannerConfig cfg;
-  EXPECT_LT(plan_cost(cfg, 0.0, 20.0, 100.0),
-            plan_cost(cfg, 0.0, 110.0, 100.0));
-  EXPECT_LT(plan_cost(cfg, 0.0, 20.0, 100.0),
-            plan_cost(cfg, -0.3, 20.0, 100.0));
-  EXPECT_LT(plan_cost(cfg, 0.0, 20.0, 100.0),
-            plan_cost(cfg, 0.0, 20.0, 200.0));
+  EXPECT_LT(plan_cost(cfg, Volts{0.0}, Celsius{20.0}, Seconds{100.0}),
+            plan_cost(cfg, Volts{0.0}, Celsius{110.0}, Seconds{100.0}));
+  EXPECT_LT(plan_cost(cfg, Volts{0.0}, Celsius{20.0}, Seconds{100.0}),
+            plan_cost(cfg, Volts{-0.3}, Celsius{20.0}, Seconds{100.0}));
+  EXPECT_LT(plan_cost(cfg, Volts{0.0}, Celsius{20.0}, Seconds{100.0}),
+            plan_cost(cfg, Volts{0.0}, Celsius{20.0}, Seconds{200.0}));
 }
 
 TEST(Planner, MinimumSleepFloorIsRespected) {
   PlannerConfig cfg;
-  cfg.min_sleep_s = 1800.0;
+  cfg.min_sleep_s = Seconds{1800.0};
   const auto plan = plan_recovery(cfg);
   ASSERT_TRUE(plan.feasible);
-  EXPECT_GE(plan.sleep_s, 1800.0 - 1.0);
+  EXPECT_GE(plan.sleep_s.value(), 1800.0 - 1.0);
   PlannerConfig bad;
-  bad.min_sleep_s = -1.0;
+  bad.min_sleep_s = Seconds{-1.0};
   EXPECT_THROW(plan_recovery(bad), std::invalid_argument);
   bad = PlannerConfig{};
   bad.min_sleep_s = bad.max_sleep_s * 2.0;
@@ -83,14 +83,14 @@ TEST(Planner, MinimumSleepFloorIsRespected) {
 
 TEST(Planner, MinimalSleepMeetsTargetTightly) {
   PlannerConfig cfg;
-  cfg.min_sleep_s = 0.0;  // disable the floor to expose the bisection
+  cfg.min_sleep_s = Seconds{0.0};  // disable the floor to expose the bisection
   const auto plan = plan_recovery(cfg);
   ASSERT_TRUE(plan.feasible);
   // Bisection converges to the minimum: sleeping 10 % less must miss.
   const bti::ClosedFormModel model(cfg.model);
-  const auto cond = bti::recovery(Volts{plan.voltage_v}, Celsius{plan.temp_c});
+  const auto cond = bti::recovery(plan.voltage_v, plan.temp_c);
   const double remaining_short = model.remaining_fraction(
-      Seconds{cfg.t1_equiv_s}, Seconds{plan.sleep_s * 0.9}, cond);
+      cfg.t1_equiv_s, plan.sleep_s * 0.9, cond);
   EXPECT_GT(remaining_short, 1.0 - cfg.target_recovered_fraction - 1e-6);
 }
 
@@ -99,11 +99,11 @@ TEST(Planner, ValidatesConfig) {
   bad.target_recovered_fraction = 1.5;
   EXPECT_THROW(plan_recovery(bad), std::invalid_argument);
   bad = PlannerConfig{};
-  bad.min_voltage_v = 0.5;
-  bad.max_voltage_v = 0.0;
+  bad.min_voltage_v = Volts{0.5};
+  bad.max_voltage_v = Volts{0.0};
   EXPECT_THROW(plan_recovery(bad), std::invalid_argument);
   bad = PlannerConfig{};
-  bad.t1_equiv_s = 0.0;
+  bad.t1_equiv_s = Seconds{0.0};
   EXPECT_THROW(plan_recovery(bad), std::invalid_argument);
 }
 

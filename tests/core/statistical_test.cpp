@@ -9,7 +9,7 @@ PopulationConfig quick(Policy policy) {
   PopulationConfig c;
   c.chips = 40;
   c.policy = policy;
-  c.horizon_s = 1.0 * 365.25 * 86400.0;
+  c.horizon_s = Seconds{1.0 * 365.25 * 86400.0};
   return c;
 }
 
@@ -18,18 +18,18 @@ TEST(Statistical, PercentilesAreOrdered) {
   EXPECT_LE(r.p50_v, r.p95_v);
   EXPECT_LE(r.p95_v, r.p99_v);
   EXPECT_LE(r.p99_v, r.worst_v);
-  EXPECT_GT(r.p50_v, 0.0);
+  EXPECT_GT(r.p50_v.value(), 0.0);
   EXPECT_EQ(r.per_chip_margin_v.size(), 40u);
 }
 
 TEST(Statistical, DeterministicUnderSeed) {
   const auto a = simulate_population(quick(Policy::kNoRecovery));
   const auto b = simulate_population(quick(Policy::kNoRecovery));
-  EXPECT_DOUBLE_EQ(a.p99_v, b.p99_v);
+  EXPECT_DOUBLE_EQ(a.p99_v.value(), b.p99_v.value());
   auto cfg = quick(Policy::kNoRecovery);
   cfg.seed = 999;
   const auto c = simulate_population(cfg);
-  EXPECT_NE(a.p99_v, c.p99_v);
+  EXPECT_NE(a.p99_v.value(), c.p99_v.value());
 }
 
 TEST(Statistical, ZeroSigmaCollapsesTheDistribution) {
@@ -37,7 +37,7 @@ TEST(Statistical, ZeroSigmaCollapsesTheDistribution) {
   cfg.amplitude_sigma = 0.0;
   cfg.permanent_sigma = 0.0;
   const auto r = simulate_population(cfg);
-  EXPECT_NEAR(r.worst_v, r.per_chip_margin_v.front(), 1e-12);
+  EXPECT_NEAR(r.worst_v.value(), r.per_chip_margin_v.front().value(), 1e-12);
 }
 
 TEST(Statistical, HealingCompressesTheTail) {
@@ -64,7 +64,7 @@ TEST(Statistical, WiderAmplitudeSpreadWidensTheTail) {
 TEST(Statistical, MarginAtArbitraryPercentile) {
   const auto r = simulate_population(quick(Policy::kNoRecovery));
   EXPECT_LE(r.margin_at(10.0), r.margin_at(90.0));
-  EXPECT_DOUBLE_EQ(r.margin_at(100.0), r.worst_v);
+  EXPECT_DOUBLE_EQ(r.margin_at(100.0).value(), r.worst_v.value());
 }
 
 TEST(Statistical, ValidatesConfig) {

@@ -152,7 +152,7 @@ TEST_F(CheckpointStoreTest, CorruptNewestFallsBackToPreviousValid) {
   // Tear the newest file mid-payload.
   const std::string bytes = util::read_file(newest);
   // Deliberately torn write; the store must reject it, not us.
-  std::ofstream os(newest,  // ash-lint: allow(unchecked-io)
+  std::ofstream os(newest,  // ash-lint: allow(unchecked-io): torn write is the test
                    std::ios::binary | std::ios::trunc);
   os.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 2));
   os.close();
@@ -168,7 +168,7 @@ TEST_F(CheckpointStoreTest, AllCorruptLoadsNothingAndCountsSkips) {
   for (std::uint64_t seq = 1; seq <= 3; ++seq) {
     const std::string path = store.save(9, seq, "payload");
     // Deliberate corruption; short writes here are the point.
-    std::ofstream os(path,  // ash-lint: allow(unchecked-io)
+    std::ofstream os(path,  // ash-lint: allow(unchecked-io): torn write is the test
                     std::ios::binary | std::ios::trunc);
     os << "garbage";
   }

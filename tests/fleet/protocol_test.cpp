@@ -297,6 +297,74 @@ TEST(PayloadCodec, StrictDocumentRejectsHostileShapes) {
   EXPECT_THROW(StatusRequest::parse("x 1\n"), ProtocolError);
 }
 
+TEST(PayloadCodec, PingPayloadsAreEmptyByDefinition) {
+  EXPECT_TRUE(PingRequest{}.encode().empty());
+  EXPECT_TRUE(PingResponse{}.encode().empty());
+  EXPECT_NO_THROW(PingRequest::parse(""));
+  EXPECT_NO_THROW(PingResponse::parse(""));
+  // A liveness probe carrying data is hostile by definition — the closed
+  // (empty) schema rejects any field, valid grammar or not.
+  EXPECT_THROW(PingRequest::parse("x 1\n"), ProtocolError);
+  EXPECT_THROW(PingResponse::parse("evil 1\n"), ProtocolError);
+  EXPECT_THROW(PingRequest::parse("no terminator"), ProtocolError);
+  // The framing layer carries them as ordinary verbs.
+  const Frame f = decode_frame(frame_message(MessageType::kPingResponse, 7,
+                                             PingResponse{}.encode()));
+  EXPECT_EQ(f.type, MessageType::kPingResponse);
+  EXPECT_TRUE(f.payload.empty());
+}
+
+TEST(PayloadCodec, RejuvenationResponseRejectsHostileDocuments) {
+  // The well-formed kRejuvenationResponse document round-trips.
+  RejuvenationResponse r;
+  r.any = true;
+  r.shard_id = 3;
+  r.degradation = 0.25;
+  const std::string good = r.encode();
+  const RejuvenationResponse r2 = RejuvenationResponse::parse(good);
+  EXPECT_EQ(r2.shard_id, 3);
+  EXPECT_DOUBLE_EQ(r2.degradation, 0.25);
+  // Hostile shapes: missing field, unknown field, non-boolean flag,
+  // out-of-range shard id, non-finite degradation.
+  EXPECT_THROW(RejuvenationResponse::parse("status ok\nany 1\n"),
+               ProtocolError);
+  EXPECT_THROW(RejuvenationResponse::parse(good + "evil 1\n"),
+               ProtocolError);
+  EXPECT_THROW(
+      RejuvenationResponse::parse(
+          "status ok\nany yes\nshard 0\ndegradation 0\n"),
+      ProtocolError);
+  EXPECT_THROW(
+      RejuvenationResponse::parse(
+          "status ok\nany 1\nshard -2\ndegradation 0\n"),
+      ProtocolError);
+  EXPECT_THROW(
+      RejuvenationResponse::parse(
+          "status ok\nany 1\nshard 0\ndegradation nan\n"),
+      ProtocolError);
+}
+
+TEST(PayloadCodec, StatusResponseRejectsHostileDocuments) {
+  // The well-formed kStatusResponse document round-trips (exercised in
+  // PayloadCodec.AllResponseTypesRoundTrip); here every field is attacked.
+  const std::string good = StatusResponse().encode();
+  EXPECT_THROW(StatusResponse::parse(""), ProtocolError);
+  EXPECT_THROW(StatusResponse::parse(good + "evil 1\n"), ProtocolError);
+  EXPECT_THROW(StatusResponse::parse(good + "devices 0\n"), ProtocolError);
+  EXPECT_THROW(
+      StatusResponse::parse("status weird\ndevices 0\nwindows 0\n"
+                            "sequence 0\ndraining 0\n"),
+      ProtocolError);
+  EXPECT_THROW(
+      StatusResponse::parse("status ok\ndevices -1\nwindows 0\n"
+                            "sequence 0\ndraining 0\n"),
+      ProtocolError);
+  EXPECT_THROW(
+      StatusResponse::parse("status ok\ndevices 0\nwindows 0\n"
+                            "sequence 0\ndraining maybe\n"),
+      ProtocolError);
+}
+
 TEST(PayloadCodec, NumericFieldsRejectHostileValues) {
   auto patched = [&](const std::string& key, const std::string& value) {
     // Rebuild the document with one field replaced.

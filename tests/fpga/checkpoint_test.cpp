@@ -19,7 +19,7 @@ ChipConfig small_chip_config(std::uint64_t seed = 77) {
 TEST(Checkpoint, ChipRoundTripsBitExact) {
   FpgaChip chip(small_chip_config());
   chip.evolve(RoMode::kDcFrozen, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(7.0)});
-  const double f_before = chip.ro_frequency_hz(Volts{1.2}, Kelvin{celsius(20.0)});
+  const double f_before = chip.ro_frequency_hz(Volts{1.2}, Kelvin{celsius(20.0)}).value();
 
   std::ostringstream os;
   save_checkpoint(os, chip);
@@ -27,10 +27,10 @@ TEST(Checkpoint, ChipRoundTripsBitExact) {
   // A freshly constructed twin restored from the checkpoint matches
   // exactly.
   FpgaChip twin(small_chip_config());
-  EXPECT_NE(twin.ro_frequency_hz(Volts{1.2}, Kelvin{celsius(20.0)}), f_before);
+  EXPECT_NE(twin.ro_frequency_hz(Volts{1.2}, Kelvin{celsius(20.0)}).value(), f_before);
   std::istringstream is(os.str());
   load_checkpoint(is, twin);
-  EXPECT_DOUBLE_EQ(twin.ro_frequency_hz(Volts{1.2}, Kelvin{celsius(20.0)}), f_before);
+  EXPECT_DOUBLE_EQ(twin.ro_frequency_hz(Volts{1.2}, Kelvin{celsius(20.0)}).value(), f_before);
 }
 
 TEST(Checkpoint, ResumedCampaignMatchesUninterruptedRun) {
@@ -48,8 +48,8 @@ TEST(Checkpoint, ResumedCampaignMatchesUninterruptedRun) {
   load_checkpoint(is, resumed);
   resumed.evolve(RoMode::kDcFrozen, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(5.0)});
 
-  EXPECT_NEAR(resumed.ro_frequency_hz(Volts{1.2}, Kelvin{celsius(20.0)}),
-              straight.ro_frequency_hz(Volts{1.2}, Kelvin{celsius(20.0)}), 1e-3);
+  EXPECT_NEAR(resumed.ro_frequency_hz(Volts{1.2}, Kelvin{celsius(20.0)}).value(),
+              straight.ro_frequency_hz(Volts{1.2}, Kelvin{celsius(20.0)}).value(), 1e-3);
 }
 
 TEST(Checkpoint, FabricRoundTrips) {
@@ -57,14 +57,14 @@ TEST(Checkpoint, FabricRoundTrips) {
   cfg.seed = 5;
   Fabric fab(c17(), cfg);
   fab.age_toggling(bti::ac_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
-  const double t_before = fab.timing(Volts{1.2}, Kelvin{celsius(20.0)}).worst_arrival_s;
+  const double t_before = fab.timing(Volts{1.2}, Kelvin{celsius(20.0)}).worst_arrival_s.value();
 
   std::ostringstream os;
   save_checkpoint(os, fab);
   Fabric twin(c17(), cfg);
   std::istringstream is(os.str());
   load_checkpoint(is, twin);
-  EXPECT_DOUBLE_EQ(twin.timing(Volts{1.2}, Kelvin{celsius(20.0)}).worst_arrival_s, t_before);
+  EXPECT_DOUBLE_EQ(twin.timing(Volts{1.2}, Kelvin{celsius(20.0)}).worst_arrival_s.value(), t_before);
 }
 
 TEST(Checkpoint, RejectsKindMismatch) {
@@ -124,10 +124,10 @@ TEST(Checkpoint, RejectsCorruptedStreams) {
 TEST(Checkpoint, FailedLoadLeavesObjectUntouched) {
   FpgaChip chip(small_chip_config());
   chip.evolve(RoMode::kDcFrozen, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(3.0)});
-  const double f = chip.ro_frequency_hz(Volts{1.2}, Kelvin{celsius(20.0)});
+  const double f = chip.ro_frequency_hz(Volts{1.2}, Kelvin{celsius(20.0)}).value();
   std::istringstream is("ash-checkpoint v1 chip devices=3\nD 1 0.5\n");
   EXPECT_THROW(load_checkpoint(is, chip), std::runtime_error);
-  EXPECT_DOUBLE_EQ(chip.ro_frequency_hz(Volts{1.2}, Kelvin{celsius(20.0)}), f);
+  EXPECT_DOUBLE_EQ(chip.ro_frequency_hz(Volts{1.2}, Kelvin{celsius(20.0)}).value(), f);
 }
 
 }  // namespace

@@ -22,17 +22,17 @@ TEST(Chip, FreshFrequenciesDifferAcrossChips) {
   // due to variations" — motivation for the recovered-delay metric.
   const FpgaChip a(config_for(1));
   const FpgaChip b(config_for(2));
-  EXPECT_NE(a.ro_frequency_hz(Volts{kVdd}, Kelvin{kRoomK}), b.ro_frequency_hz(Volts{kVdd}, Kelvin{kRoomK}));
+  EXPECT_NE(a.ro_frequency_hz(Volts{kVdd}, Kelvin{kRoomK}).value(), b.ro_frequency_hz(Volts{kVdd}, Kelvin{kRoomK}).value());
   // But they are the same part: within a few percent of each other.
-  EXPECT_NEAR(a.ro_frequency_hz(Volts{kVdd}, Kelvin{kRoomK}) / b.ro_frequency_hz(Volts{kVdd}, Kelvin{kRoomK}),
+  EXPECT_NEAR(a.ro_frequency_hz(Volts{kVdd}, Kelvin{kRoomK}).value() / b.ro_frequency_hz(Volts{kVdd}, Kelvin{kRoomK}).value(),
               1.0, 0.2);
 }
 
 TEST(Chip, SameSeedIsSameChip) {
   const FpgaChip a(config_for(1));
   const FpgaChip b(config_for(1));
-  EXPECT_DOUBLE_EQ(a.ro_frequency_hz(Volts{kVdd}, Kelvin{kRoomK}),
-                   b.ro_frequency_hz(Volts{kVdd}, Kelvin{kRoomK}));
+  EXPECT_DOUBLE_EQ(a.ro_frequency_hz(Volts{kVdd}, Kelvin{kRoomK}).value(),
+                   b.ro_frequency_hz(Volts{kVdd}, Kelvin{kRoomK}).value());
 }
 
 TEST(Chip, CornerScaleIsPlausible) {
@@ -43,15 +43,15 @@ TEST(Chip, CornerScaleIsPlausible) {
 
 TEST(Chip, CutDelayMatchesHalfPeriod) {
   const FpgaChip a(config_for(1));
-  EXPECT_DOUBLE_EQ(a.cut_delay_s(Volts{kVdd}, Kelvin{kRoomK}),
-                   0.5 / a.ro_frequency_hz(Volts{kVdd}, Kelvin{kRoomK}));
+  EXPECT_DOUBLE_EQ(a.cut_delay_s(Volts{kVdd}, Kelvin{kRoomK}).value(),
+                   0.5 / a.ro_frequency_hz(Volts{kVdd}, Kelvin{kRoomK}).value());
 }
 
 TEST(Chip, EvolveForwardsToRing) {
   FpgaChip a(config_for(1));
-  const double fresh = a.ro_frequency_hz(Volts{kVdd}, Kelvin{kRoomK});
+  const double fresh = a.ro_frequency_hz(Volts{kVdd}, Kelvin{kRoomK}).value();
   a.evolve(RoMode::kDcFrozen, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
-  EXPECT_LT(a.ro_frequency_hz(Volts{kVdd}, Kelvin{kRoomK}), fresh);
+  EXPECT_LT(a.ro_frequency_hz(Volts{kVdd}, Kelvin{kRoomK}).value(), fresh);
 }
 
 TEST(Chip, AgingIsIndependentOfChipIdentity) {
@@ -59,12 +59,12 @@ TEST(Chip, AgingIsIndependentOfChipIdentity) {
   // absolute frequencies differ.
   FpgaChip a(config_for(1));
   FpgaChip b(config_for(2));
-  const double fa = a.ro_frequency_hz(Volts{kVdd}, Kelvin{kRoomK});
-  const double fb = b.ro_frequency_hz(Volts{kVdd}, Kelvin{kRoomK});
+  const double fa = a.ro_frequency_hz(Volts{kVdd}, Kelvin{kRoomK}).value();
+  const double fb = b.ro_frequency_hz(Volts{kVdd}, Kelvin{kRoomK}).value();
   a.evolve(RoMode::kDcFrozen, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
   b.evolve(RoMode::kDcFrozen, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
-  const double da = 1.0 - a.ro_frequency_hz(Volts{kVdd}, Kelvin{kRoomK}) / fa;
-  const double db = 1.0 - b.ro_frequency_hz(Volts{kVdd}, Kelvin{kRoomK}) / fb;
+  const double da = 1.0 - a.ro_frequency_hz(Volts{kVdd}, Kelvin{kRoomK}).value() / fa;
+  const double db = 1.0 - b.ro_frequency_hz(Volts{kVdd}, Kelvin{kRoomK}).value() / fb;
   EXPECT_NEAR(da / db, 1.0, 0.2);
 }
 
@@ -72,14 +72,14 @@ TEST(Chip, TemperatureCoefficientOptInAffectsFrequency) {
   ChipConfig c = config_for(1);
   c.delay.temp_coeff_per_k = 1.2e-3;
   const FpgaChip chip(c);
-  EXPECT_LT(chip.ro_frequency_hz(Volts{kVdd}, Kelvin{celsius(110.0)}),
-            chip.ro_frequency_hz(Volts{kVdd}, Kelvin{celsius(20.0)}));
+  EXPECT_LT(chip.ro_frequency_hz(Volts{kVdd}, Kelvin{celsius(110.0)}).value(),
+            chip.ro_frequency_hz(Volts{kVdd}, Kelvin{celsius(20.0)}).value());
 }
 
 TEST(Chip, DefaultMeasurementIsTemperatureInsensitive) {
   const FpgaChip chip(config_for(1));
-  EXPECT_DOUBLE_EQ(chip.ro_frequency_hz(Volts{kVdd}, Kelvin{celsius(110.0)}),
-                   chip.ro_frequency_hz(Volts{kVdd}, Kelvin{celsius(20.0)}));
+  EXPECT_DOUBLE_EQ(chip.ro_frequency_hz(Volts{kVdd}, Kelvin{celsius(110.0)}).value(),
+                   chip.ro_frequency_hz(Volts{kVdd}, Kelvin{celsius(20.0)}).value());
 }
 
 }  // namespace

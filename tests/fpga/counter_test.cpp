@@ -15,11 +15,11 @@ FrequencyCounter make_counter(CounterConfig c = {}, std::uint64_t seed = 1) {
 
 TEST(Counter, ResolutionMatchesGateLength) {
   CounterConfig c;
-  c.f_ref_hz = 500.0;
+  c.f_ref_hz = Hertz{500.0};
   c.gate_ref_periods = 16;
   const auto counter = make_counter(c);
   // 2 * 500 / 16 = 62.5 Hz per count.
-  EXPECT_DOUBLE_EQ(counter.resolution_hz(), 62.5);
+  EXPECT_DOUBLE_EQ(counter.resolution_hz().value(), 62.5);
 }
 
 TEST(Counter, Equation14RoundTripsWithoutNoise) {
@@ -29,8 +29,8 @@ TEST(Counter, Equation14RoundTripsWithoutNoise) {
   // Pick a frequency that is an exact multiple of the resolution.
   const double f = 3.3e6;
   const auto r = counter.measure(Hertz{f});
-  EXPECT_NEAR(r.frequency_hz, f, counter.resolution_hz());
-  EXPECT_NEAR(r.delay_s, 1.0 / (2.0 * f), 1e-11);
+  EXPECT_NEAR(r.frequency_hz.value(), f, counter.resolution_hz().value());
+  EXPECT_NEAR(r.delay_s.value(), 1.0 / (2.0 * f), 1e-11);
 }
 
 TEST(Counter, Equation15DelayFromCounts) {
@@ -40,7 +40,7 @@ TEST(Counter, Equation15DelayFromCounts) {
   auto counter = make_counter(c);
   const auto r = counter.measure(Hertz{3.3e6});
   // Td = 1/(4 * Cout * fref), Eq. (15), for a single reference period.
-  EXPECT_NEAR(r.delay_s, 1.0 / (4.0 * r.counts * c.f_ref_hz), 1e-15);
+  EXPECT_NEAR(r.delay_s.value(), 1.0 / (4.0 * r.counts * c.f_ref_hz.value()), 1e-15);
 }
 
 TEST(Counter, PaperOperatingPointFitsIn16Bits) {
@@ -60,7 +60,7 @@ TEST(Counter, WrapsPastSixteenBits) {
   const auto r = counter.measure(Hertz{3.33e6});
   EXPECT_GT(r.counts, 65535.0);
   EXPECT_EQ(r.raw_counts, static_cast<std::uint32_t>(r.counts) & 0xFFFFu);
-  EXPECT_GT(3.33e6, counter.max_unwrapped_frequency_hz());
+  EXPECT_GT(3.33e6, counter.max_unwrapped_frequency_hz().value());
 }
 
 TEST(Counter, NoiseMatchesConfiguredSigma) {
@@ -91,7 +91,7 @@ TEST(Counter, RepeatabilityMatchesPaperBound) {
 
 TEST(Counter, RejectsBadConfigAndInput) {
   CounterConfig bad;
-  bad.f_ref_hz = 0.0;
+  bad.f_ref_hz = Hertz{0.0};
   EXPECT_THROW(make_counter(bad), std::invalid_argument);
   bad = {};
   bad.bits = 40;

@@ -80,8 +80,8 @@ TEST(Fabric, UnknownInstanceLookupThrows) {
 TEST(Fabric, FreshTimingScalesWithLogicDepth) {
   auto shallow = make_fabric(inverter_chain(3), 7);
   auto deep = make_fabric(inverter_chain(9), 7);
-  const double t3 = shallow.timing(Volts{1.2}, Kelvin{kRoom}).worst_arrival_s;
-  const double t9 = deep.timing(Volts{1.2}, Kelvin{kRoom}).worst_arrival_s;
+  const double t3 = shallow.timing(Volts{1.2}, Kelvin{kRoom}).worst_arrival_s.value();
+  const double t9 = deep.timing(Volts{1.2}, Kelvin{kRoom}).worst_arrival_s.value();
   EXPECT_NEAR(t9 / t3, 3.0, 0.4);  // mismatch-limited
 }
 
@@ -108,19 +108,19 @@ TEST(Fabric, AdderCriticalPathIsTheCarryChain) {
 
 TEST(Fabric, AgingSlowsTheDesign) {
   auto fab = make_fabric(c17());
-  const double fresh = fab.timing(Volts{1.2}, Kelvin{kRoom}).worst_arrival_s;
+  const double fresh = fab.timing(Volts{1.2}, Kelvin{kRoom}).worst_arrival_s.value();
   fab.age_toggling(bti::ac_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
-  const double aged = fab.timing(Volts{1.2}, Kelvin{kRoom}).worst_arrival_s;
+  const double aged = fab.timing(Volts{1.2}, Kelvin{kRoom}).worst_arrival_s.value();
   EXPECT_GT(aged, fresh * 1.005);
 }
 
 TEST(Fabric, RejuvenationRestoresTiming) {
   auto fab = make_fabric(c17());
-  const double fresh = fab.timing(Volts{1.2}, Kelvin{kRoom}).worst_arrival_s;
+  const double fresh = fab.timing(Volts{1.2}, Kelvin{kRoom}).worst_arrival_s.value();
   fab.age_toggling(bti::ac_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
-  const double aged = fab.timing(Volts{1.2}, Kelvin{kRoom}).worst_arrival_s;
+  const double aged = fab.timing(Volts{1.2}, Kelvin{kRoom}).worst_arrival_s.value();
   fab.age_sleep(bti::recovery(Volts{-0.3}, Celsius{110.0}), Seconds{hours(6.0)});
-  const double healed = fab.timing(Volts{1.2}, Kelvin{kRoom}).worst_arrival_s;
+  const double healed = fab.timing(Volts{1.2}, Kelvin{kRoom}).worst_arrival_s.value();
   EXPECT_LT(healed, fresh + 0.2 * (aged - fresh));
 }
 
@@ -193,8 +193,8 @@ TEST(Fabric, DeterministicForSameSeed) {
   auto b = make_fabric(c17(), 99);
   a.age_toggling(bti::ac_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(5.0)});
   b.age_toggling(bti::ac_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(5.0)});
-  EXPECT_DOUBLE_EQ(a.timing(Volts{1.2}, Kelvin{kRoom}).worst_arrival_s,
-                   b.timing(Volts{1.2}, Kelvin{kRoom}).worst_arrival_s);
+  EXPECT_DOUBLE_EQ(a.timing(Volts{1.2}, Kelvin{kRoom}).worst_arrival_s.value(),
+                   b.timing(Volts{1.2}, Kelvin{kRoom}).worst_arrival_s.value());
 }
 
 }  // namespace

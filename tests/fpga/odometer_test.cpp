@@ -100,7 +100,7 @@ TEST(Odometer, ReadDropoutsAreInvalidNaNButStillAge) {
     if (!r.valid) {
       ++dropped;
       EXPECT_TRUE(std::isnan(r.degradation_estimate));
-      EXPECT_DOUBLE_EQ(r.stressed_hz, 0.0);
+      EXPECT_DOUBLE_EQ(r.stressed_hz.value(), 0.0);
     } else {
       EXPECT_FALSE(std::isnan(r.degradation_estimate));
     }

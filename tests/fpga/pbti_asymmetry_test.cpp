@@ -17,14 +17,15 @@ TEST(PbtiAsymmetry, RatioScalesNmosParametersOnly) {
   const auto& base = bti::default_td_parameters();
   const auto nmos = td_for_device(DeviceType::kNmos, base, 0.3);
   const auto pmos = td_for_device(DeviceType::kPmos, base, 0.3);
-  EXPECT_NEAR(nmos.delta_vth_mean_v, base.delta_vth_mean_v * 0.3, 1e-12);
-  EXPECT_DOUBLE_EQ(pmos.delta_vth_mean_v, base.delta_vth_mean_v);
+  EXPECT_NEAR(nmos.delta_vth_mean_v.value(), base.delta_vth_mean_v.value() * 0.3,
+              1e-12);
+  EXPECT_DOUBLE_EQ(pmos.delta_vth_mean_v.value(), base.delta_vth_mean_v.value());
 }
 
 TEST(PbtiAsymmetry, UnityRatioIsIdentity) {
   const auto& base = bti::default_td_parameters();
   const auto nmos = td_for_device(DeviceType::kNmos, base, 1.0);
-  EXPECT_DOUBLE_EQ(nmos.delta_vth_mean_v, base.delta_vth_mean_v);
+  EXPECT_DOUBLE_EQ(nmos.delta_vth_mean_v.value(), base.delta_vth_mean_v.value());
 }
 
 TEST(PbtiAsymmetry, WeakPbtiSparesNmosDevices) {
@@ -53,14 +54,14 @@ TEST(PbtiAsymmetry, WeakPbtiReducesRoDegradation) {
   sion.pbti_amplitude_ratio = 0.3;
   FpgaChip chip_hk(hk);
   FpgaChip chip_sion(sion);
-  const double f_hk = chip_hk.ro_frequency_hz(Volts{1.2}, Kelvin{kRoom});
-  const double f_sion = chip_sion.ro_frequency_hz(Volts{1.2}, Kelvin{kRoom});
+  const double f_hk = chip_hk.ro_frequency_hz(Volts{1.2}, Kelvin{kRoom}).value();
+  const double f_sion = chip_sion.ro_frequency_hz(Volts{1.2}, Kelvin{kRoom}).value();
   chip_hk.evolve(RoMode::kDcFrozen, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
   chip_sion.evolve(RoMode::kDcFrozen, bti::dc_stress(Volts{1.2}, Celsius{110.0}),
                    Seconds{hours(24.0)});
-  const double deg_hk = 1.0 - chip_hk.ro_frequency_hz(Volts{1.2}, Kelvin{kRoom}) / f_hk;
+  const double deg_hk = 1.0 - chip_hk.ro_frequency_hz(Volts{1.2}, Kelvin{kRoom}).value() / f_hk;
   const double deg_sion =
-      1.0 - chip_sion.ro_frequency_hz(Volts{1.2}, Kelvin{kRoom}) / f_sion;
+      1.0 - chip_sion.ro_frequency_hz(Volts{1.2}, Kelvin{kRoom}).value() / f_sion;
   EXPECT_LT(deg_sion, 0.75 * deg_hk);
   EXPECT_GT(deg_sion, 0.2 * deg_hk);  // the NBTI share remains
 }

@@ -21,7 +21,7 @@ const double kRoomK = celsius(20.0);
 TEST(RingOscillator, FreshFrequencyNearDesignPoint) {
   const auto ro = make_ro();
   // 75 stages x 2 ns, period 300 ns -> ~3.33 MHz.
-  EXPECT_NEAR(ro.frequency_hz(Volts{kVdd}, Kelvin{kRoomK}), 3.333e6, 0.05e6);
+  EXPECT_NEAR(ro.frequency_hz(Volts{kVdd}, Kelvin{kRoomK}).value(), 3.333e6, 0.05e6);
 }
 
 TEST(RingOscillator, RejectsEvenOrTinyRings) {
@@ -37,22 +37,22 @@ TEST(RingOscillator, RejectsMismatchedScaleVector) {
 
 TEST(RingOscillator, PeriodIsSumOfBothTraversals) {
   const auto ro = make_ro();
-  EXPECT_DOUBLE_EQ(ro.period_s(Volts{kVdd}, Kelvin{kRoomK}),
-                   ro.traversal_delay_s(false, Volts{kVdd}, Kelvin{kRoomK}) +
-                       ro.traversal_delay_s(true, Volts{kVdd}, Kelvin{kRoomK}));
+  EXPECT_DOUBLE_EQ(ro.period_s(Volts{kVdd}, Kelvin{kRoomK}).value(),
+                   ro.traversal_delay_s(false, Volts{kVdd}, Kelvin{kRoomK}).value() +
+                       ro.traversal_delay_s(true, Volts{kVdd}, Kelvin{kRoomK}).value());
 }
 
 TEST(RingOscillator, LowerSupplyOscillatesSlower) {
   const auto ro = make_ro();
-  EXPECT_LT(ro.frequency_hz(Volts{1.0}, Kelvin{kRoomK}), ro.frequency_hz(Volts{1.2}, Kelvin{kRoomK}));
+  EXPECT_LT(ro.frequency_hz(Volts{1.0}, Kelvin{kRoomK}).value(), ro.frequency_hz(Volts{1.2}, Kelvin{kRoomK}).value());
 }
 
 TEST(RingOscillator, DcStress24hDegradesFrequencyLikeThePaper) {
   // Table 2 / Fig. 4: 24 h DC @110 C -> ~2.2 % frequency degradation.
   auto ro = make_ro();
-  const double fresh = ro.frequency_hz(Volts{kVdd}, Kelvin{kRoomK});
+  const double fresh = ro.frequency_hz(Volts{kVdd}, Kelvin{kRoomK}).value();
   ro.evolve(RoMode::kDcFrozen, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
-  const double degradation = 1.0 - ro.frequency_hz(Volts{kVdd}, Kelvin{kRoomK}) / fresh;
+  const double degradation = 1.0 - ro.frequency_hz(Volts{kVdd}, Kelvin{kRoomK}).value() / fresh;
   EXPECT_GT(degradation, 0.015);
   EXPECT_LT(degradation, 0.030);
 }
@@ -61,12 +61,12 @@ TEST(RingOscillator, AcStressIsAboutHalfOfDc) {
   // Fig. 4's headline shape at the circuit level.
   auto dc = make_ro(75, 3);
   auto ac = make_ro(75, 3);
-  const double fresh_dc = dc.frequency_hz(Volts{kVdd}, Kelvin{kRoomK});
-  const double fresh_ac = ac.frequency_hz(Volts{kVdd}, Kelvin{kRoomK});
+  const double fresh_dc = dc.frequency_hz(Volts{kVdd}, Kelvin{kRoomK}).value();
+  const double fresh_ac = ac.frequency_hz(Volts{kVdd}, Kelvin{kRoomK}).value();
   dc.evolve(RoMode::kDcFrozen, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
   ac.evolve(RoMode::kAcOscillating, bti::ac_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
-  const double deg_dc = 1.0 - dc.frequency_hz(Volts{kVdd}, Kelvin{kRoomK}) / fresh_dc;
-  const double deg_ac = 1.0 - ac.frequency_hz(Volts{kVdd}, Kelvin{kRoomK}) / fresh_ac;
+  const double deg_dc = 1.0 - dc.frequency_hz(Volts{kVdd}, Kelvin{kRoomK}).value() / fresh_dc;
+  const double deg_ac = 1.0 - ac.frequency_hz(Volts{kVdd}, Kelvin{kRoomK}).value() / fresh_ac;
   const double ratio = deg_ac / deg_dc;
   EXPECT_GT(ratio, 0.35);
   EXPECT_LT(ratio, 0.70);
@@ -75,11 +75,11 @@ TEST(RingOscillator, AcStressIsAboutHalfOfDc) {
 TEST(RingOscillator, StressAt100CDegradesLessThan110C) {
   auto hot = make_ro(75, 5);
   auto warm = make_ro(75, 5);
-  const double fresh = hot.frequency_hz(Volts{kVdd}, Kelvin{kRoomK});
+  const double fresh = hot.frequency_hz(Volts{kVdd}, Kelvin{kRoomK}).value();
   hot.evolve(RoMode::kDcFrozen, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
   warm.evolve(RoMode::kDcFrozen, bti::dc_stress(Volts{1.2}, Celsius{100.0}), Seconds{hours(24.0)});
-  const double deg_hot = 1.0 - hot.frequency_hz(Volts{kVdd}, Kelvin{kRoomK}) / fresh;
-  const double deg_warm = 1.0 - warm.frequency_hz(Volts{kVdd}, Kelvin{kRoomK}) / fresh;
+  const double deg_hot = 1.0 - hot.frequency_hz(Volts{kVdd}, Kelvin{kRoomK}).value() / fresh;
+  const double deg_warm = 1.0 - warm.frequency_hz(Volts{kVdd}, Kelvin{kRoomK}).value() / fresh;
   EXPECT_LT(deg_warm, deg_hot);
   // Table 2 ratio ~ 1.7 / 2.2 = 0.77.
   EXPECT_NEAR(deg_warm / deg_hot, 0.77, 0.12);
@@ -87,11 +87,11 @@ TEST(RingOscillator, StressAt100CDegradesLessThan110C) {
 
 TEST(RingOscillator, AcceleratedSleepRecoversMostOfTheDegradation) {
   auto ro = make_ro();
-  const double fresh = ro.frequency_hz(Volts{kVdd}, Kelvin{kRoomK});
+  const double fresh = ro.frequency_hz(Volts{kVdd}, Kelvin{kRoomK}).value();
   ro.evolve(RoMode::kDcFrozen, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
-  const double stressed = ro.frequency_hz(Volts{kVdd}, Kelvin{kRoomK});
+  const double stressed = ro.frequency_hz(Volts{kVdd}, Kelvin{kRoomK}).value();
   ro.evolve(RoMode::kSleep, bti::recovery(Volts{-0.3}, Celsius{110.0}), Seconds{hours(6.0)});
-  const double healed = ro.frequency_hz(Volts{kVdd}, Kelvin{kRoomK});
+  const double healed = ro.frequency_hz(Volts{kVdd}, Kelvin{kRoomK}).value();
   const double recovered_share = (healed - stressed) / (fresh - stressed);
   EXPECT_GT(recovered_share, 0.80);
   EXPECT_LT(recovered_share, 1.001);
@@ -104,7 +104,7 @@ TEST(RingOscillator, PassiveSleepRecoversLess) {
                                const bti::OperatingCondition& rec) {
     ro.evolve(RoMode::kDcFrozen, bti::dc_stress(Volts{1.2}, Celsius{110.0}), Seconds{hours(24.0)});
     ro.evolve(RoMode::kSleep, rec, Seconds{hours(6.0)});
-    return ro.frequency_hz(Volts{kVdd}, Kelvin{kRoomK});
+    return ro.frequency_hz(Volts{kVdd}, Kelvin{kRoomK}).value();
   };
   const double f_active = stress_then(active, bti::recovery(Volts{-0.3}, Celsius{110.0}));
   const double f_passive = stress_then(passive, bti::recovery(Volts{0.0}, Celsius{20.0}));
@@ -122,8 +122,8 @@ TEST(RingOscillator, VariationScalesShiftFrequency) {
   const RingOscillator nominal = make_ro(n, 9);
   const RingOscillator slow(n, std::vector<double>(n, 1.05), DelayParams{},
                             bti::default_td_parameters(), 9);
-  EXPECT_NEAR(nominal.frequency_hz(Volts{kVdd}, Kelvin{kRoomK}) /
-                  slow.frequency_hz(Volts{kVdd}, Kelvin{kRoomK}),
+  EXPECT_NEAR(nominal.frequency_hz(Volts{kVdd}, Kelvin{kRoomK}).value() /
+                  slow.frequency_hz(Volts{kVdd}, Kelvin{kRoomK}).value(),
               1.05, 1e-9);
 }
 

@@ -47,10 +47,10 @@ double worst_sample_error(const tb::DataLog& log, const tb::DataLog& ideal) {
   std::vector<double> a;
   std::vector<double> b;
   for (const auto& r : log.records()) {
-    if (r.usable()) a.push_back(r.delay_s);
+    if (r.usable()) a.push_back(r.delay_s.value());
   }
   for (const auto& r : ideal.records()) {
-    if (r.usable()) b.push_back(r.delay_s);
+    if (r.usable()) b.push_back(r.delay_s.value());
   }
   double worst = 0.0;
   for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
@@ -63,7 +63,7 @@ double margin_relaxed(const tb::DataLog& log) {
   double fresh_delay = 0.0;
   for (const auto& r : log.records()) {
     if (r.usable()) {
-      fresh_delay = r.delay_s;
+      fresh_delay = r.delay_s.value();
       break;
     }
   }

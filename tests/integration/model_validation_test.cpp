@@ -31,7 +31,7 @@ Run run_chip(int id, const tb::TestCase& tc) {
   tb::ExperimentRunner runner{tb::RunnerConfig{}};
   Run r;
   r.log = runner.run(chip, tc);
-  r.fresh_delay_s = r.log.records().front().delay_s;
+  r.fresh_delay_s = r.log.records().front().delay_s.value();
   return r;
 }
 

@@ -32,8 +32,8 @@ RunResult run_case(const tb::TestCase& tc, int stages = 15) {
   tb::ExperimentRunner runner{tb::RunnerConfig{}};
   RunResult r;
   r.log = runner.run(chip, tc);
-  r.fresh_delay_s = r.log.records().front().delay_s;
-  r.fresh_frequency_hz = r.log.records().front().frequency_hz;
+  r.fresh_delay_s = r.log.records().front().delay_s.value();
+  r.fresh_frequency_hz = r.log.records().front().frequency_hz.value();
   return r;
 }
 
@@ -160,7 +160,7 @@ TEST_F(PaperCampaign, Table5SameAlphaSameMarginRelaxed) {
 TEST_F(PaperCampaign, RecoverySamplingCadenceIsThirtyMinutes) {
   const auto recs = chip(5).log.phase_records("AR110N6");
   ASSERT_GE(recs.size(), 3u);
-  EXPECT_NEAR(recs[1].t_phase_s - recs[0].t_phase_s, 1800.0, 1.0);
+  EXPECT_NEAR((recs[1].t_phase_s - recs[0].t_phase_s).value(), 1800.0, 1.0);
 }
 
 TEST_F(PaperCampaign, BurnInBarelyAgesTheChips) {

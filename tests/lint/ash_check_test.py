@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/ash_check.py.
+
+Each of the four checkers has positive / suppressed / clean fixtures
+under tests/lint/fixtures/ (the protocol checker's fixtures are whole
+mini-repo roots, since it cross-checks protocol.h, protocol.cpp and
+tests/fleet/).  The suite pins the deterministic fallback frontend
+(`--frontend fallback`) so results do not depend on an optional libclang
+wheel, asserts the real tree scans to zero findings, and covers the exit
+status contract: 0 clean, 1 findings, 2 usage/internal errors.
+
+Run directly or via ctest (`ctest -L lint`).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+CHECK = os.path.join(REPO, "tools", "ash_check.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+
+def run_check(root, paths, check=None, extra=()):
+    cmd = [sys.executable, CHECK, "--root", root, "--json",
+           "--frontend", "fallback"]
+    if check:
+        cmd += ["--check", check]
+    cmd += list(extra) + list(paths)
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    try:
+        payload = json.loads(proc.stdout)
+    except json.JSONDecodeError as err:
+        raise AssertionError(
+            f"ash_check did not emit JSON: {err}\n"
+            f"stdout: {proc.stdout}\nstderr: {proc.stderr}")
+    return proc.returncode, payload
+
+
+class SingleFileCheckerTest(unittest.TestCase):
+    """signal-safety, shard-purity and unit-flow run per fixture file."""
+
+    # check -> (fixture dir, case path template)
+    CASES = {
+        "signal-safety": ("signal_safety", "{case}.cpp"),
+        "shard-purity": ("shard_purity", "{case}.cpp"),
+        # unit-flow only looks under src/, so the fixtures live there.
+        "unit-flow": ("unit_flow", os.path.join("src", "{case}.h")),
+    }
+
+    def run_case(self, check, case):
+        subdir, template = self.CASES[check]
+        rel = template.format(case=case)
+        root = os.path.join(FIXTURES, subdir)
+        self.assertTrue(os.path.isfile(os.path.join(root, rel)),
+                        f"missing fixture {subdir}/{rel}")
+        return run_check(root, [rel], check)
+
+    def assert_positive(self, check, min_findings):
+        code, payload = self.run_case(check, "positive")
+        self.assertEqual(code, 1, payload)
+        self.assertGreaterEqual(len(payload["findings"]), min_findings,
+                                payload)
+        for f in payload["findings"]:
+            self.assertEqual(f["check"], check)
+            self.assertGreater(f["line"], 0)
+            self.assertTrue(f["message"])
+
+    def assert_suppressed(self, check):
+        code, payload = self.run_case(check, "suppressed")
+        self.assertEqual(code, 0, payload)
+        self.assertEqual(payload["findings"], [])
+        self.assertGreater(payload["suppressed"], 0, payload)
+
+    def assert_clean(self, check):
+        code, payload = self.run_case(check, "clean")
+        self.assertEqual(code, 0, payload)
+        self.assertEqual(payload["findings"], [])
+        self.assertEqual(payload["suppressed"], 0, payload)
+
+    def test_signal_safety_positive(self):
+        # printf via a callee plus operator new in the handler itself.
+        self.assert_positive("signal-safety", 2)
+
+    def test_signal_safety_suppressed(self):
+        self.assert_suppressed("signal-safety")
+
+    def test_signal_safety_clean(self):
+        self.assert_clean("signal-safety")
+
+    def test_shard_purity_positive(self):
+        # static local + file-scope global + non-util RNG.
+        self.assert_positive("shard-purity", 3)
+
+    def test_shard_purity_suppressed(self):
+        self.assert_suppressed("shard-purity")
+
+    def test_shard_purity_clean(self):
+        self.assert_clean("shard-purity")
+
+    def test_unit_flow_positive(self):
+        # double member + vector<double> member + double return.
+        self.assert_positive("unit-flow", 3)
+
+    def test_unit_flow_suppressed(self):
+        self.assert_suppressed("unit-flow")
+
+    def test_unit_flow_clean(self):
+        self.assert_clean("unit-flow")
+
+
+class ProtocolCheckerTest(unittest.TestCase):
+    """protocol-exhaustiveness cross-checks a whole mini-repo root."""
+
+    def run_root(self, case):
+        root = os.path.join(FIXTURES, "protocol_exhaustiveness", case)
+        self.assertTrue(os.path.isdir(root), f"missing fixture root {case}")
+        return run_check(root, ["src"], "protocol-exhaustiveness")
+
+    def test_positive(self):
+        code, payload = self.run_root("positive")
+        self.assertEqual(code, 1, payload)
+        messages = [f["message"] for f in payload["findings"]]
+        self.assertTrue(any("kEchoResponse" in m and "codec" in m
+                            for m in messages), messages)
+        self.assertTrue(any("kHostileLength" in m for m in messages),
+                        messages)
+
+    def test_suppressed(self):
+        code, payload = self.run_root("suppressed")
+        self.assertEqual(code, 0, payload)
+        self.assertEqual(payload["findings"], [])
+        self.assertGreaterEqual(payload["suppressed"], 2, payload)
+
+    def test_clean(self):
+        code, payload = self.run_root("clean")
+        self.assertEqual(code, 0, payload)
+        self.assertEqual(payload["findings"], [])
+        self.assertEqual(payload["suppressed"], 0, payload)
+
+
+class BareAllowTest(unittest.TestCase):
+    """An ash-check escape without `: <reason>` does not suppress."""
+
+    def test_bare_escape_reports(self):
+        import tempfile
+        with tempfile.TemporaryDirectory() as tmp:
+            src = os.path.join(tmp, "src")
+            os.makedirs(src)
+            with open(os.path.join(src, "bare.h"), "w") as f:
+                f.write("struct R {\n"
+                        "  double delay_s = 0.0;"
+                        "  // ash-check: allow(unit-flow)\n"
+                        "};\n")
+            code, payload = run_check(tmp, [os.path.join("src", "bare.h")],
+                                      "unit-flow")
+        self.assertEqual(code, 1, payload)
+        self.assertEqual(payload["suppressed"], 0, payload)
+        self.assertTrue(any("carries no reason" in f["message"]
+                            for f in payload["findings"]), payload)
+
+
+class WholeRepoTest(unittest.TestCase):
+    """The real tree must be finding-free — CI enforces the same."""
+
+    def test_repo_is_clean(self):
+        code, payload = run_check(REPO, ["src", "tools", "tests"])
+        self.assertEqual(
+            payload["findings"], [],
+            "ash_check findings on the tree:\n" +
+            "\n".join(f"{f['path']}:{f['line']}: [{f['check']}] "
+                      f"{f['message']}" for f in payload["findings"]))
+        self.assertEqual(code, 0)
+        self.assertGreater(payload["files_scanned"], 150)
+        self.assertEqual(payload["frontend"], "fallback")
+
+
+class ExitCodeTest(unittest.TestCase):
+    """Exit status contract: 0 clean, 1 findings, 2 usage/internal
+    errors — CI must tell \"dirty tree\" from \"broken tool\"."""
+
+    def test_findings_exit_one(self):
+        root = os.path.join(FIXTURES, "unit_flow")
+        code, _ = run_check(root, [os.path.join("src", "positive.h")],
+                            "unit-flow")
+        self.assertEqual(code, 1)
+
+    def test_bad_root_exit_two(self):
+        proc = subprocess.run(
+            [sys.executable, CHECK, "--root", "/nonexistent/xyzzy"],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+        self.assertIn("not a directory", proc.stderr)
+
+    def test_no_files_matched_exit_two(self):
+        root = os.path.join(FIXTURES, "unit_flow")
+        proc = subprocess.run(
+            [sys.executable, CHECK, "--root", root, "no_such_subdir"],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+        self.assertIn("no source files matched", proc.stderr)
+
+    def test_unknown_check_exit_two(self):
+        proc = subprocess.run(
+            [sys.executable, CHECK, "--check", "bogus"],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+
+    def test_unreadable_compile_commands_exit_two(self):
+        import tempfile
+        with tempfile.NamedTemporaryFile("w", suffix=".json") as bad:
+            bad.write("{ not json")
+            bad.flush()
+            proc = subprocess.run(
+                [sys.executable, CHECK, "--root", REPO,
+                 "--compile-commands", bad.name, "tools"],
+                capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+
+    def test_list_checks(self):
+        proc = subprocess.run(
+            [sys.executable, CHECK, "--list-checks"],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0)
+        self.assertEqual(
+            proc.stdout.split(),
+            ["signal-safety", "shard-purity", "unit-flow",
+             "protocol-exhaustiveness"])
+
+
+if __name__ == "__main__":
+    unittest.main()

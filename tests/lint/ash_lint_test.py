@@ -3,9 +3,11 @@
 
 For every rule there are three fixture cases under tests/lint/fixtures/:
 a positive file that must produce exactly that rule's finding, a
-suppressed file whose violation carries an `ash-lint: allow(...)` escape,
-and a clean file that must produce nothing.  The fixtures mirror the repo
-layout where a rule is path-scoped (float-physics, raw-double-api).
+suppressed file whose violation carries a full `ash-lint:
+allow(rule): <reason>` escape, a bare file whose escape omits the
+mandatory reason (and therefore still reports), and a clean file that
+must produce nothing.  The fixtures mirror the repo layout where a rule
+is path-scoped (float-physics, raw-double-api).
 
 Run directly or via ctest (`ctest -L lint`).
 """
@@ -93,9 +95,22 @@ def _add_cases():
             self.check(rule, "clean", want_findings=False,
                        want_suppressed=False)
 
+        def bare(self, rule=rule):
+            # An allow() escape without a `: <reason>` tail does not
+            # suppress; the finding it reports names the missing reason.
+            root, rel = self.case_path(rule, "bare")
+            code, payload = run_lint(root, [rel], rule)
+            self.assertEqual(code, 1, payload)
+            self.assertGreater(len(payload["findings"]), 0)
+            self.assertEqual(payload["suppressed"], 0, payload)
+            self.assertTrue(
+                any("carries no reason" in f["message"]
+                    for f in payload["findings"]), payload)
+
         setattr(AshLintSelfTest, f"test_{safe}_positive", positive)
         setattr(AshLintSelfTest, f"test_{safe}_suppressed", suppressed)
         setattr(AshLintSelfTest, f"test_{safe}_clean", clean)
+        setattr(AshLintSelfTest, f"test_{safe}_bare_allow", bare)
 
 
 _add_cases()
@@ -167,6 +182,47 @@ class AshLintRepoTest(unittest.TestCase):
             proc.stdout.split(),
             ["wall-clock", "rng", "unordered-iter", "float-physics",
              "raw-double-api", "unchecked-io", "eintr", "metric-name"])
+
+
+class AshLintExitCodeTest(unittest.TestCase):
+    """Exit status contract: 0 clean, 1 findings, 2 usage/internal
+    errors — so CI can tell "the tree is dirty" from "the tool is
+    broken"."""
+
+    def test_findings_exit_one(self):
+        root = os.path.join(FIXTURES, "rng")
+        proc = subprocess.run(
+            [sys.executable, LINT, "--root", root, "positive.cpp"],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+
+    def test_clean_exit_zero(self):
+        root = os.path.join(FIXTURES, "rng")
+        proc = subprocess.run(
+            [sys.executable, LINT, "--root", root, "clean.cpp"],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_bad_root_exit_two(self):
+        proc = subprocess.run(
+            [sys.executable, LINT, "--root", "/nonexistent/xyzzy"],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+        self.assertIn("not a directory", proc.stderr)
+
+    def test_no_files_matched_exit_two(self):
+        root = os.path.join(FIXTURES, "rng")
+        proc = subprocess.run(
+            [sys.executable, LINT, "--root", root, "no_such_subdir"],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+        self.assertIn("no source files matched", proc.stderr)
+
+    def test_unknown_rule_exit_two(self):
+        proc = subprocess.run(
+            [sys.executable, LINT, "--rule", "bogus"],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
 
 
 if __name__ == "__main__":

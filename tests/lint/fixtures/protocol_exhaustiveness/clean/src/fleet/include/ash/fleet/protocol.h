@@ -1,0 +1,36 @@
+// Fixture: a complete two-verb protocol — every MessageType has a codec
+// struct, a to_string classification and a hostile-input test; every
+// ProtocolViolation is classified and exercised.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace ash::fleet {
+
+enum class MessageType : unsigned {
+  kEchoRequest = 1,
+  kEchoResponse = 2,
+};
+
+enum class ProtocolViolation : unsigned {
+  kNone = 0,
+  kBadMagic,
+  kCount,
+};
+
+struct EchoRequest {
+  std::string body;
+  std::string encode() const;
+  static EchoRequest parse(std::string_view payload);
+};
+
+struct EchoResponse {
+  std::string body;
+  std::string encode() const;
+  static EchoResponse parse(std::string_view payload);
+};
+
+const char* to_string(MessageType type);
+
+}  // namespace ash::fleet

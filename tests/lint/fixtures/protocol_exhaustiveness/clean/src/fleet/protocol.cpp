@@ -1,0 +1,32 @@
+#include "ash/fleet/protocol.h"
+
+namespace ash::fleet {
+
+const char* to_string(MessageType type) {
+  switch (type) {
+    case MessageType::kEchoRequest: return "echo-request";
+    case MessageType::kEchoResponse: return "echo-response";
+  }
+  return "?";
+}
+
+ProtocolViolation classify_magic(std::string_view bytes) {
+  if (bytes.empty() || bytes[0] != 'A') {
+    return ProtocolViolation::kBadMagic;
+  }
+  return ProtocolViolation::kNone;
+}
+
+std::string EchoRequest::encode() const { return body; }
+
+EchoRequest EchoRequest::parse(std::string_view payload) {
+  return EchoRequest{std::string(payload)};
+}
+
+std::string EchoResponse::encode() const { return body; }
+
+EchoResponse EchoResponse::parse(std::string_view payload) {
+  return EchoResponse{std::string(payload)};
+}
+
+}  // namespace ash::fleet

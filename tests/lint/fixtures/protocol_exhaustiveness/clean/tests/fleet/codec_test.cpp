@@ -1,0 +1,23 @@
+// Fixture hostile-input tests: reference every wire verb and violation.
+#include "ash/fleet/protocol.h"
+
+namespace ash::fleet {
+
+void round_trip_request() {
+  // kEchoRequest round-trips and rejects nothing (free-form body).
+  const EchoRequest r = EchoRequest::parse(EchoRequest{"x"}.encode());
+  (void)r;
+}
+
+void round_trip_response() {
+  // kEchoResponse round-trips likewise.
+  const EchoResponse r = EchoResponse::parse(EchoResponse{"y"}.encode());
+  (void)r;
+}
+
+void hostile_magic() {
+  // A wrong first byte classifies as kBadMagic.
+  (void)classify_magic("Z");
+}
+
+}  // namespace ash::fleet

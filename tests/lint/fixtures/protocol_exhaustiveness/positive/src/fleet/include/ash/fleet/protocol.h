@@ -1,0 +1,31 @@
+// Fixture: kEchoResponse ships with no codec struct, no to_string
+// classification and no test; kHostileLength is declared but never
+// classified or exercised.  Both are findings.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace ash::fleet {
+
+enum class MessageType : unsigned {
+  kEchoRequest = 1,
+  kEchoResponse = 2,
+};
+
+enum class ProtocolViolation : unsigned {
+  kNone = 0,
+  kBadMagic,
+  kHostileLength,
+  kCount,
+};
+
+struct EchoRequest {
+  std::string body;
+  std::string encode() const;
+  static EchoRequest parse(std::string_view payload);
+};
+
+const char* to_string(MessageType type);
+
+}  // namespace ash::fleet

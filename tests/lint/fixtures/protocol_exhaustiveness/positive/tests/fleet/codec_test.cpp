@@ -1,0 +1,17 @@
+// Fixture tests covering only the request half of the protocol:
+// kEchoRequest and kBadMagic are referenced; the response verb and the
+// hostile-length violation are deliberately never mentioned.
+#include "ash/fleet/protocol.h"
+
+namespace ash::fleet {
+
+void round_trip_request() {
+  const EchoRequest r = EchoRequest::parse(EchoRequest{"x"}.encode());
+  (void)r;
+}
+
+void hostile_magic() {
+  (void)classify_magic("Z");
+}
+
+}  // namespace ash::fleet

@@ -1,3 +1,3 @@
 #pragma once
 // Legacy entry point kept raw for ABI stability.
-double free_fn(double temp_k);  // ash-lint: allow(raw-double-api)
+double free_fn(double temp_k);  // ash-lint: allow(raw-double-api): fixture-sanctioned violation

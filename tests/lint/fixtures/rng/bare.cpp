@@ -1,0 +1,5 @@
+#include <random>
+unsigned draw() {
+  std::random_device rd;  // ash-lint: allow(rng)
+  return rd();
+}

@@ -1,0 +1,12 @@
+// Fixture: a pure shard body — writes only the state it owns by index.
+#include <vector>
+
+namespace fix {
+
+void sweep(util::ThreadPool& pool, std::vector<double>& out) {
+  pool.parallel_for(0, static_cast<int>(out.size()), [&](int i) {
+    out[i] = 2.0 * static_cast<double>(i) + 1.0;
+  });
+}
+
+}  // namespace fix

@@ -1,0 +1,19 @@
+// Fixture: a sharded loop body touching every kind of forbidden state —
+// a file-scope mutable, a mutable static local, and a non-util RNG.
+#include <cstdlib>
+#include <vector>
+
+namespace fix {
+
+int g_hits = 0;
+
+void sweep(util::ThreadPool& pool, std::vector<double>& out) {
+  pool.parallel_for(0, static_cast<int>(out.size()), [&](int i) {
+    static int calls = 0;
+    ++calls;
+    g_hits += i;
+    out[i] = static_cast<double>(std::rand());
+  });
+}
+
+}  // namespace fix

@@ -1,0 +1,17 @@
+// Fixture: an AS-safe handler — write(2) into a stack buffer, then _exit.
+#include <csignal>
+#include <unistd.h>
+
+namespace fix {
+
+void handle_fatal(int sig) {
+  char msg[2];
+  msg[0] = '!';
+  msg[1] = static_cast<char>('0' + sig % 10);
+  (void)write(2, msg, 2);
+  _exit(70);
+}
+
+void install() { signal(SIGABRT, handle_fatal); }
+
+}  // namespace fix

@@ -1,0 +1,22 @@
+// Fixture: a fatal-signal handler whose path allocates and hits stdio —
+// both findings for the signal-safety checker.
+#include <csignal>
+#include <cstdio>
+#include <unistd.h>
+
+namespace fix {
+
+void dump_state() {
+  std::printf("state\n");  // stdio on the handler path
+}
+
+void handle_fatal(int sig) {
+  dump_state();
+  char* tail = new char[64];  // operator new on the handler path
+  tail[0] = static_cast<char>(sig);
+  (void)write(2, tail, 1);
+}
+
+void install() { signal(SIGSEGV, handle_fatal); }
+
+}  // namespace fix

@@ -1,0 +1,26 @@
+// Fixture: strong-unit API surface plus the two sanctioned exemptions —
+// rate-named doubles (a rate has no single base unit) and non-public
+// members (implementation detail, not API).
+#pragma once
+
+#include <vector>
+
+namespace fix {
+
+struct Readout {
+  ash::Seconds delay_s{0.0};
+  std::vector<ash::Seconds> periods_s;
+  double ramp_c_per_s = 0.05;
+};
+
+class Integrator {
+ public:
+  ash::Volts level() const;
+
+ private:
+  double accum_v = 0.0;
+};
+
+ash::Seconds settle_time_s(int steps);
+
+}  // namespace fix

@@ -1,0 +1,15 @@
+// Fixture: suffix-named raw doubles as public members and return types.
+#pragma once
+
+#include <vector>
+
+namespace fix {
+
+struct Readout {
+  double delay_s = 0.0;
+  std::vector<double> periods_s;
+};
+
+double settle_time_s(int steps);
+
+}  // namespace fix

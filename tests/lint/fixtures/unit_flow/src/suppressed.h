@@ -1,0 +1,16 @@
+// Fixture: the same raw-double API surface, each line carrying a
+// reasoned ash-check escape.
+#pragma once
+
+#include <vector>
+
+namespace fix {
+
+struct Readout {
+  double delay_s = 0.0;  // ash-check: allow(unit-flow): fixture-sanctioned violation
+  std::vector<double> periods_s;  // ash-check: allow(unit-flow): fixture-sanctioned violation
+};
+
+double settle_time_s(int steps);  // ash-check: allow(unit-flow): fixture-sanctioned violation
+
+}  // namespace fix

@@ -30,7 +30,7 @@ TEST(CoreFaultPlan, PresetsByName) {
 TEST(CoreFaultPlan, DefaultIsIdeal) {
   CoreFaultPlan p;
   EXPECT_TRUE(p.ideal());
-  p.sensor_noise_v = 1e-3;
+  p.sensor_noise_v = Volts{1e-3};
   EXPECT_FALSE(p.ideal());
 }
 
@@ -146,7 +146,7 @@ TEST(CoreFaultModel, WearHazardPrefersAgedCores) {
   // the aged half of the fleet.
   auto plan = CoreFaultPlan::none();
   plan.wear_death_per_core_year = 20.0;
-  plan.wear_death_ref_v = 12e-3;
+  plan.wear_death_ref_v = Volts{12e-3};
   std::vector<double> truth(8, 0.5e-3);
   for (int i = 4; i < 8; ++i) truth[static_cast<std::size_t>(i)] = 15e-3;
   ReliabilityReport report;
@@ -190,7 +190,7 @@ TEST(CoreFaultModel, StuckRailDowngradesRejuvenationOnly) {
 
 TEST(CoreFaultModel, StuckSensorRepeatsBitIdentically) {
   auto plan = CoreFaultPlan::none();
-  plan.sensor_noise_v = 0.5e-3;
+  plan.sensor_noise_v = Volts{0.5e-3};
   plan.sensor_stuck_probability = 1.0;  // freeze immediately
   plan.sensor_stuck_intervals = 4;
   ReliabilityReport report;
@@ -208,7 +208,7 @@ TEST(CoreFaultModel, StuckSensorRepeatsBitIdentically) {
 
 TEST(CoreFaultModel, SensorNoiseIsUnbiased) {
   auto plan = CoreFaultPlan::none();
-  plan.sensor_noise_v = 0.5e-3;
+  plan.sensor_noise_v = Volts{0.5e-3};
   CoreFaultModel m(plan, 8, Seconds{kIntervalS});
   const double truth = 6e-3;
   double sum = 0.0;
@@ -229,20 +229,20 @@ TEST(ReliabilityReport, MergeSumsAndTakesEarliestMargin) {
   a.permanent_deaths = 1;
   a.cores_quarantined = 1;
   a.healthy_margin_exceeded = true;
-  a.healthy_time_to_first_margin_s = 5000.0;
+  a.healthy_time_to_first_margin_s = Seconds{5000.0};
   ReliabilityReport b;
   b.permanent_deaths = 2;
   b.telemetry_rejections = 7;
-  b.healthy_time_to_first_margin_s = 3000.0;
+  b.healthy_time_to_first_margin_s = Seconds{3000.0};
   a.merge(b);
   EXPECT_EQ(a.permanent_deaths, 3);
   EXPECT_EQ(a.telemetry_rejections, 7);
   EXPECT_TRUE(a.healthy_margin_exceeded);
-  EXPECT_DOUBLE_EQ(a.healthy_time_to_first_margin_s, 3000.0);
+  EXPECT_DOUBLE_EQ(a.healthy_time_to_first_margin_s.value(), 3000.0);
   // 0 means "never recorded" and must not clobber a real crossing.
   ReliabilityReport c;
   a.merge(c);
-  EXPECT_DOUBLE_EQ(a.healthy_time_to_first_margin_s, 3000.0);
+  EXPECT_DOUBLE_EQ(a.healthy_time_to_first_margin_s.value(), 3000.0);
 }
 
 TEST(ReliabilityReport, AccountedMatchesResponsesToInjections) {

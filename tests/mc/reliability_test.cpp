@@ -195,24 +195,24 @@ TEST(ReliabilityManager, ThermalGuardTripsAfterSustainedOvertemp) {
   int k = 0;
   for (; k < 2; ++k) {
     auto ctx = context(k);
-    ctx.temp_c.assign(8, 80.0);
-    ctx.temp_c[1] = 110.0;
+    ctx.temp_c.assign(8, Celsius{80.0});
+    ctx.temp_c[1] = Celsius{110.0};
     const auto out = m.assign(ctx);
     EXPECT_EQ(out[1], CoreMode::kActive) << "tripped too early";
   }
   auto ctx = context(k++);
-  ctx.temp_c.assign(8, 80.0);
-  ctx.temp_c[1] = 110.0;
+  ctx.temp_c.assign(8, Celsius{80.0});
+  ctx.temp_c[1] = Celsius{110.0};
   auto out = m.assign(ctx);  // third consecutive over-temp: trip
   EXPECT_EQ(out[1], CoreMode::kSleepPassive);
   EXPECT_EQ(report.thermal_trips, 1);
   // Cooldown holds for the configured window even at normal temperature.
   ctx = context(k++);
-  ctx.temp_c.assign(8, 70.0);
+  ctx.temp_c.assign(8, Celsius{70.0});
   out = m.assign(ctx);
   EXPECT_EQ(out[1], CoreMode::kSleepPassive);
   ctx = context(k++);
-  ctx.temp_c.assign(8, 70.0);
+  ctx.temp_c.assign(8, Celsius{70.0});
   out = m.assign(ctx);
   EXPECT_EQ(out[1], CoreMode::kActive);  // back in service
   EXPECT_EQ(report.thermal_trips, 1);
@@ -249,28 +249,29 @@ TEST(ReliabilityManager, ClampsDemandToHealthyCapacity) {
 // time-to-first-margin ordering is observable.
 SystemConfig fig10_config() {
   SystemConfig cfg;
-  cfg.horizon_s = 2.0 * kYearS;
-  cfg.margin_delta_vth_v = 8e-3;
+  cfg.horizon_s = Seconds{2.0 * kYearS};
+  cfg.margin_delta_vth_v = Volts{8e-3};
   return cfg;
 }
 
 ReliabilityConfig fig10_reliability() {
   ReliabilityConfig cfg;
-  cfg.margin_delta_vth_v = 8e-3;
+  cfg.margin_delta_vth_v = Volts{8e-3};
   return cfg;
 }
 
 TEST(FaultAwareSystem, IdealPlanReproducesTheIdealRun) {
   auto cfg = fig10_config();
-  cfg.horizon_s = 0.25 * kYearS;  // keep it quick
+  cfg.horizon_s = Seconds{0.25 * kYearS};  // keep it quick
   HeaterAwareCircadianScheduler a;
   HeaterAwareCircadianScheduler b;
   const auto ideal = simulate_system(cfg, a);
   ReliabilityReport report;
   const auto faulted = simulate_system(cfg, b, CoreFaultPlan::none(), &report);
-  EXPECT_DOUBLE_EQ(faulted.throughput_core_s, ideal.throughput_core_s);
-  EXPECT_DOUBLE_EQ(faulted.worst_end_delta_vth_v, ideal.worst_end_delta_vth_v);
-  EXPECT_DOUBLE_EQ(faulted.demand_deficit_core_s, 0.0);
+  EXPECT_DOUBLE_EQ(faulted.throughput_core_s.value(), ideal.throughput_core_s.value());
+  EXPECT_DOUBLE_EQ(faulted.worst_end_delta_vth_v.value(),
+                   ideal.worst_end_delta_vth_v.value());
+  EXPECT_DOUBLE_EQ(faulted.demand_deficit_core_s.value(), 0.0);
   EXPECT_TRUE(report.clean());
 }
 
@@ -284,7 +285,8 @@ TEST(FaultAwareSystem, DefaultSeedKillsACoreMidMission) {
   // The whole horizon completed: delivered + deficit == demanded.
   const double demanded = 6.0 * std::floor(2.0 * kYearS / (6.0 * 3600.0)) *
                           6.0 * 3600.0;
-  EXPECT_NEAR(r.throughput_core_s + r.demand_deficit_core_s, demanded, 1.0);
+  EXPECT_NEAR((r.throughput_core_s + r.demand_deficit_core_s).value(), demanded,
+              1.0);
   // Every injected fault was met by a manager response.
   EXPECT_TRUE(report.accounted()) << report.render();
 }

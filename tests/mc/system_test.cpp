@@ -9,7 +9,7 @@ namespace {
 
 SystemConfig quick_config() {
   SystemConfig c;
-  c.horizon_s = 0.5 * 365.25 * 86400.0;  // half a year keeps tests fast
+  c.horizon_s = Seconds{0.5 * 365.25 * 86400.0};  // half a year keeps tests fast
   return c;
 }
 
@@ -17,8 +17,8 @@ TEST(System, AllActiveNeverSleeps) {
   AllActiveScheduler s;
   const auto r = simulate_system(quick_config(), s);
   EXPECT_DOUBLE_EQ(r.sleep_share, 0.0);
-  EXPECT_TRUE(std::isnan(r.mean_sleep_temp_c));
-  EXPECT_GT(r.worst_end_delta_vth_v, 0.0);
+  EXPECT_TRUE(std::isnan(r.mean_sleep_temp_c.value()));
+  EXPECT_GT(r.worst_end_delta_vth_v.value(), 0.0);
 }
 
 TEST(System, ThroughputAccountsActiveCores) {
@@ -37,7 +37,7 @@ TEST(System, SleepingCoresAreHeatedByNeighbors) {
   // ambient because the active neighbours heat them.
   HeaterAwareCircadianScheduler s;
   const auto r = simulate_system(quick_config(), s);
-  EXPECT_GT(r.mean_sleep_temp_c, 62.0);
+  EXPECT_GT(r.mean_sleep_temp_c.value(), 62.0);
   EXPECT_GT(r.sleep_share, 0.2);
   EXPECT_LT(r.sleep_share, 0.3);  // 2 of 8 cores
 }
@@ -66,10 +66,10 @@ TEST(System, RejuvenatingSleepBeatsPassiveSleep) {
 
 TEST(System, CircadianExtendsTimeToMargin) {
   auto cfg = quick_config();
-  cfg.horizon_s = 2.0 * 365.25 * 86400.0;
+  cfg.horizon_s = Seconds{2.0 * 365.25 * 86400.0};
   // Margin above the first-day log-law front-loading but below the
   // baseline's end-of-horizon aging, so only the baseline trips it.
-  cfg.margin_delta_vth_v = 9e-3;
+  cfg.margin_delta_vth_v = Volts{9e-3};
   AllActiveScheduler all;
   HeaterAwareCircadianScheduler circadian;
   const auto r_all = simulate_system(cfg, all);
@@ -100,9 +100,9 @@ TEST(System, PermanentWearIsFairUnderRotation) {
   const auto r = simulate_system(quick_config(), s);
   double lo = 1e9;
   double hi = 0.0;
-  for (double v : r.end_permanent_v) {
-    lo = std::min(lo, v);
-    hi = std::max(hi, v);
+  for (const Volts v : r.end_permanent_v) {
+    lo = std::min(lo, v.value());
+    hi = std::max(hi, v.value());
   }
   EXPECT_GT(lo, 0.0);
   EXPECT_LT(hi / lo, 1.3);
@@ -113,14 +113,14 @@ TEST(System, WorstTraceIsRecorded) {
   const auto cfg = quick_config();
   const auto r = simulate_system(cfg, s);
   EXPECT_GE(r.worst_trace.size(), 50u);
-  EXPECT_LE(r.worst_trace.t_end(), cfg.horizon_s + cfg.interval_s);
+  EXPECT_LE(r.worst_trace.t_end(), (cfg.horizon_s + cfg.interval_s).value());
 }
 
 TEST(System, MaxTempStaysPhysical) {
   AllActiveScheduler s;
   const auto r = simulate_system(quick_config(), s);
-  EXPECT_GT(r.max_temp_c, 60.0);
-  EXPECT_LT(r.max_temp_c, 120.0);
+  EXPECT_GT(r.max_temp_c.value(), 60.0);
+  EXPECT_LT(r.max_temp_c.value(), 120.0);
 }
 
 TEST(System, StarvingSchedulerIsAccountedNotRejected) {
@@ -138,17 +138,17 @@ TEST(System, StarvingSchedulerIsAccountedNotRejected) {
   Starver s;
   const auto cfg = quick_config();
   const auto r = simulate_system(cfg, s);
-  EXPECT_DOUBLE_EQ(r.throughput_core_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.throughput_core_s.value(), 0.0);
   const double demanded =
       static_cast<double>(cfg.cores_needed) *
-      std::floor(cfg.horizon_s / cfg.interval_s) * cfg.interval_s;
-  EXPECT_DOUBLE_EQ(r.demand_deficit_core_s, demanded);
+      std::floor(cfg.horizon_s / cfg.interval_s) * cfg.interval_s.value();
+  EXPECT_DOUBLE_EQ(r.demand_deficit_core_s.value(), demanded);
 }
 
 TEST(System, IdealRunHasNoDeficit) {
   AllActiveScheduler s;
   const auto r = simulate_system(quick_config(), s);
-  EXPECT_DOUBLE_EQ(r.demand_deficit_core_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.demand_deficit_core_s.value(), 0.0);
 }
 
 TEST(System, ValidatesConfig) {
@@ -157,7 +157,7 @@ TEST(System, ValidatesConfig) {
   AllActiveScheduler s;
   EXPECT_THROW(simulate_system(bad, s), std::invalid_argument);
   bad = quick_config();
-  bad.interval_s = 0.0;
+  bad.interval_s = Seconds{0.0};
   EXPECT_THROW(simulate_system(bad, s), std::invalid_argument);
   bad = quick_config();
   bad.active_power_w = 0.1;

@@ -35,7 +35,7 @@ TEST(Thermal, PowerBalanceHolds) {
     const double g = fp().kind(i) == NodeKind::kCache
                          ? cfg.cache_to_sink_w_per_k
                          : cfg.core_to_sink_w_per_k;
-    out_flux += g * (temps[static_cast<std::size_t>(i)] - cfg.ambient_c);
+    out_flux += g * (temps[static_cast<std::size_t>(i)] - cfg.ambient_c.value());
   }
   EXPECT_NEAR(out_flux, 20.0, 1e-9);
 }
@@ -98,7 +98,7 @@ TEST(Thermal, TransientConvergesToSteadyState) {
   powers[6] = 10.0;
   const auto target = m.solve_steady_state(powers);
   std::vector<double> temps(static_cast<std::size_t>(fp().node_count()), 45.0);
-  const double dt = 0.5 * m.max_stable_dt_s();
+  const double dt = 0.5 * m.max_stable_dt_s().value();
   for (int i = 0; i < 20000; ++i) temps = m.step(temps, powers, Seconds{dt});
   for (int i = 0; i < fp().node_count(); ++i) {
     EXPECT_NEAR(temps[static_cast<std::size_t>(i)],

@@ -53,7 +53,7 @@ TEST(Workload, BurstyCoversItsRange) {
 
 SystemConfig quick_config() {
   SystemConfig c;
-  c.horizon_s = 60.0 * 86400.0;  // two months
+  c.horizon_s = Seconds{60.0 * 86400.0};  // two months
   return c;
 }
 
@@ -74,7 +74,7 @@ TEST(WorkloadSystem, ThroughputTracksDemand) {
   HeaterAwareCircadianScheduler s;
   auto cfg = quick_config();
   // Hourly intervals avoid aliasing the 58 % day fraction.
-  cfg.interval_s = 3600.0;
+  cfg.interval_s = Seconds{3600.0};
   const DiurnalWorkload diurnal(8, 3);
   const auto r = simulate_system(cfg, s, diurnal);
   // Expected mean demand: (14 day-hours * 8 + 10 night-hours * 3) / 24.
@@ -97,8 +97,8 @@ TEST(WorkloadSystem, ConstantOverloadMatchesTwoArgOverload) {
   const ConstantWorkload w(cfg.cores_needed);
   const auto a = simulate_system(cfg, s1);
   const auto b = simulate_system(cfg, s2, w);
-  EXPECT_DOUBLE_EQ(a.mean_end_delta_vth_v, b.mean_end_delta_vth_v);
-  EXPECT_DOUBLE_EQ(a.throughput_core_s, b.throughput_core_s);
+  EXPECT_DOUBLE_EQ(a.mean_end_delta_vth_v.value(), b.mean_end_delta_vth_v.value());
+  EXPECT_DOUBLE_EQ(a.throughput_core_s.value(), b.throughput_core_s.value());
 }
 
 }  // namespace

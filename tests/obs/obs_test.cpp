@@ -229,7 +229,7 @@ TEST(Publish, McReliabilityReportMatchesCountersBitForBit) {
   r.failovers = 5;
   r.core_intervals_lost = 1234;
   r.healthy_margin_exceeded = true;
-  r.healthy_time_to_first_margin_s = 86400.0;
+  r.healthy_time_to_first_margin_s = Seconds{86400.0};
 
   obs::Registry reg;
   r.publish(reg);
@@ -267,14 +267,14 @@ TEST(Trace, SpansNestAndCarrySimTime) {
   // Spans close inner-first.
   EXPECT_EQ(events[0].name, "inner");
   EXPECT_EQ(events[0].depth, 1);
-  EXPECT_DOUBLE_EQ(events[0].sim_begin_s, 20.0);
-  EXPECT_DOUBLE_EQ(events[0].sim_end_s, 30.0);
+  EXPECT_DOUBLE_EQ(events[0].sim_begin_s.value(), 20.0);
+  EXPECT_DOUBLE_EQ(events[0].sim_end_s.value(), 30.0);
   ASSERT_EQ(events[0].args.size(), 1u);
   EXPECT_EQ(events[0].args[0].first, "k");
   EXPECT_EQ(events[1].name, "outer");
   EXPECT_EQ(events[1].depth, 0);
-  EXPECT_DOUBLE_EQ(events[1].sim_begin_s, 10.0);
-  EXPECT_DOUBLE_EQ(events[1].sim_end_s, 40.0);
+  EXPECT_DOUBLE_EQ(events[1].sim_begin_s.value(), 10.0);
+  EXPECT_DOUBLE_EQ(events[1].sim_end_s.value(), 40.0);
   EXPECT_GE(events[1].wall_end_ns, events[1].wall_begin_ns);
 }
 
@@ -287,8 +287,8 @@ TEST(Trace, InstantsRecordAtSimNow) {
   const auto events = buffer.events();
   ASSERT_EQ(events.size(), 1u);
   EXPECT_FALSE(events[0].span);
-  EXPECT_DOUBLE_EQ(events[0].sim_begin_s, 5.5);
-  EXPECT_DOUBLE_EQ(events[0].sim_end_s, 5.5);
+  EXPECT_DOUBLE_EQ(events[0].sim_begin_s.value(), 5.5);
+  EXPECT_DOUBLE_EQ(events[0].sim_end_s.value(), 5.5);
   EXPECT_EQ(buffer.count(obs::EventKind::kFaultInjected), 1u);
   EXPECT_EQ(buffer.count(obs::EventKind::kRetry), 0u);
 }

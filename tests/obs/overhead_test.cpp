@@ -23,12 +23,12 @@ using namespace ash;
 
 double run_once_s() {
   mc::SystemConfig cfg;
-  cfg.horizon_s = 60.0 * 86400.0;  // two simulated months
+  cfg.horizon_s = Seconds{60.0 * 86400.0};  // two simulated months
   mc::HeaterAwareCircadianScheduler scheduler;
   const auto t0 = std::chrono::steady_clock::now();
   const auto r = mc::simulate_system(cfg, scheduler);
   const auto t1 = std::chrono::steady_clock::now();
-  EXPECT_GT(r.throughput_core_s, 0.0);
+  EXPECT_GT(r.throughput_core_s.value(), 0.0);
   return std::chrono::duration<double>(t1 - t0).count();
 }
 

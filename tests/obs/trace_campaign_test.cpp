@@ -104,8 +104,8 @@ TEST(TraceMulticore, ManagerResponsesMatchReportAndTrace) {
   SinkGuard guard(&buffer);
 
   mc::SystemConfig cfg;
-  cfg.horizon_s = 0.5 * 365.25 * 86400.0;
-  cfg.margin_delta_vth_v = 8e-3;
+  cfg.horizon_s = Seconds{0.5 * 365.25 * 86400.0};
+  cfg.margin_delta_vth_v = Volts{8e-3};
   auto plan = mc::CoreFaultPlan::harsh();  // plenty of events in half a year
 
   mc::HeaterAwareCircadianScheduler circadian;
@@ -114,7 +114,7 @@ TEST(TraceMulticore, ManagerResponsesMatchReportAndTrace) {
   mc::ReliabilityReport report;
   mc::ReliabilityManager managed(circadian, rel, &report);
   const auto r = mc::simulate_system(cfg, managed, plan, &report);
-  EXPECT_GT(r.throughput_core_s, 0.0);
+  EXPECT_GT(r.throughput_core_s.value(), 0.0);
 
   EXPECT_EQ(buffer.count(obs::EventKind::kRun), 1u);
   const auto injected = static_cast<std::size_t>(

@@ -43,7 +43,7 @@ obs::TraceEvent make_event(int i) {
   e.kind = obs::EventKind::kMeasurement;
   e.name = "sample-" + std::to_string(i);
   e.category = "test";
-  e.sim_begin_s = e.sim_end_s = static_cast<double>(i);
+  e.sim_begin_s = e.sim_end_s = Seconds{static_cast<double>(i)};
   e.args.emplace_back("index", std::to_string(i));
   return e;
 }
@@ -101,7 +101,7 @@ TEST(TraceWriter, LongMcMissionStreamsWithBoundedMemory) {
     SinkGuard guard(&writer);
 
     mc::SystemConfig cfg;
-    cfg.horizon_s = 365.25 * 86400.0;  // one year: 1461 intervals
+    cfg.horizon_s = Seconds{365.25 * 86400.0};  // one year: 1461 intervals
     mc::HeaterAwareCircadianScheduler policy;
     mc::ReliabilityConfig rel;
     rel.margin_delta_vth_v = cfg.margin_delta_vth_v;
@@ -109,7 +109,7 @@ TEST(TraceWriter, LongMcMissionStreamsWithBoundedMemory) {
     mc::ReliabilityManager managed(policy, rel, &report);
     const auto result = mc::simulate_system(
         cfg, managed, mc::CoreFaultPlan::harsh(), &report);
-    ASSERT_GT(result.throughput_core_s, 0.0);
+    ASSERT_GT(result.throughput_core_s.value(), 0.0);
 
     writer.flush();
     written = writer.events_written();

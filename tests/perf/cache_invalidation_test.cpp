@@ -19,8 +19,8 @@ namespace {
 
 bti::OperatingCondition stress_condition() {
   bti::OperatingCondition c;
-  c.voltage_v = 1.2;
-  c.temperature_k = 383.0;
+  c.voltage_v = Volts{1.2};
+  c.temperature_k = Kelvin{383.0};
   c.gate_stress_duty = 1.0;
   return c;
 }
@@ -120,22 +120,22 @@ TEST(CacheInvalidation, CheckpointRewindThenMeasure) {
 
   bti::OperatingCondition env = stress_condition();
   chip.evolve(fpga::RoMode::kDcFrozen, env, Seconds{3600.0});
-  const double f_mid = chip.ro_frequency_hz(Volts{vdd}, Kelvin{temp});
+  const double f_mid = chip.ro_frequency_hz(Volts{vdd}, Kelvin{temp}).value();
   const std::string snapshot = fpga::checkpoint_string(chip);
 
   chip.evolve(fpga::RoMode::kDcFrozen, env, Seconds{48.0 * 3600.0});
-  const double f_late = chip.ro_frequency_hz(Volts{vdd}, Kelvin{temp});
+  const double f_late = chip.ro_frequency_hz(Volts{vdd}, Kelvin{temp}).value();
   EXPECT_LT(f_late, f_mid);
 
   // Rewind to the snapshot and measure immediately: every cached delay on
   // the chip must reflect the restored occupancies, bit-for-bit.
   fpga::restore_checkpoint(snapshot, chip);
-  EXPECT_EQ(chip.ro_frequency_hz(Volts{vdd}, Kelvin{temp}), f_mid);
+  EXPECT_EQ(chip.ro_frequency_hz(Volts{vdd}, Kelvin{temp}).value(), f_mid);
 
   // Aging forward from the restored state diverges again (the caches do
   // not pin the chip to the snapshot).
   chip.evolve(fpga::RoMode::kDcFrozen, env, Seconds{3600.0});
-  EXPECT_LT(chip.ro_frequency_hz(Volts{vdd}, Kelvin{temp}), f_mid);
+  EXPECT_LT(chip.ro_frequency_hz(Volts{vdd}, Kelvin{temp}).value(), f_mid);
 }
 
 }  // namespace

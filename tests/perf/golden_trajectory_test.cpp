@@ -91,10 +91,10 @@ TEST(GoldenTrajectory, Chip5ManualDriveMatchesPreRefactorBits) {
   for (const auto& phase : tc.phases) {
     bti::OperatingCondition cond;
     cond.voltage_v = phase.supply_v;
-    cond.temperature_k = celsius(phase.chamber_c);
+    cond.temperature_k = Kelvin{celsius(phase.chamber_c.value())};
     const int steps =
         std::max(1, static_cast<int>(phase.duration_s / phase.sample_every_s));
-    const double dt = phase.duration_s / steps;
+    const double dt = phase.duration_s.value() / steps;
     for (int s = 0; s < steps; ++s) {
       chip.evolve(phase.mode, cond, Seconds{dt});
       trajectory.push_back(chip_delta_vth(chip));
@@ -118,7 +118,7 @@ TEST(GoldenTrajectory, Chip5RunnerCampaignMatchesPreRefactorBits) {
 
   std::vector<double> log_delays;
   for (const auto& r : result.log.records()) {
-    log_delays.push_back(r.delay_s);
+    log_delays.push_back(r.delay_s.value());
   }
   expect_matches(golden::kChip5LogDelayBits, log_delays, "logged delays");
 }

@@ -71,11 +71,11 @@ TEST(ParallelCampaign, FiveChipFanOutMatchesSerialBitForBit) {
     const auto& p = parallel[c].records();
     ASSERT_EQ(s.size(), p.size()) << "chip " << c + 1;
     for (std::size_t r = 0; r < s.size(); ++r) {
-      EXPECT_TRUE(bit_equal(s[r].delay_s, p[r].delay_s))
+      EXPECT_TRUE(bit_equal(s[r].delay_s.value(), p[r].delay_s.value()))
           << "chip " << c + 1 << " record " << r;
-      EXPECT_TRUE(bit_equal(s[r].frequency_hz, p[r].frequency_hz))
+      EXPECT_TRUE(bit_equal(s[r].frequency_hz.value(), p[r].frequency_hz.value()))
           << "chip " << c + 1 << " record " << r;
-      EXPECT_TRUE(bit_equal(s[r].t_campaign_s, p[r].t_campaign_s))
+      EXPECT_TRUE(bit_equal(s[r].t_campaign_s.value(), p[r].t_campaign_s.value()))
           << "chip " << c + 1 << " record " << r;
     }
   }
@@ -83,7 +83,7 @@ TEST(ParallelCampaign, FiveChipFanOutMatchesSerialBitForBit) {
 
 mc::SystemResult run_mc(int aging_threads) {
   mc::SystemConfig cfg;
-  cfg.horizon_s = 30.0 * 86400.0;  // 30 days: 120 intervals
+  cfg.horizon_s = Seconds{30.0 * 86400.0};  // 30 days: 120 intervals
   cfg.aging_threads = aging_threads;
   mc::HeaterAwareCircadianScheduler sched;
   return mc::simulate_system(cfg, sched);
@@ -96,18 +96,20 @@ TEST(ParallelCampaign, McAgingFanOutMatchesSerialBitForBit) {
   ASSERT_EQ(serial.end_delta_vth_v.size(), parallel.end_delta_vth_v.size());
   for (std::size_t i = 0; i < serial.end_delta_vth_v.size(); ++i) {
     EXPECT_TRUE(
-        bit_equal(serial.end_delta_vth_v[i], parallel.end_delta_vth_v[i]))
+        bit_equal(serial.end_delta_vth_v[i].value(),
+                  parallel.end_delta_vth_v[i].value()))
         << "core " << i;
     EXPECT_TRUE(
-        bit_equal(serial.end_permanent_v[i], parallel.end_permanent_v[i]))
+        bit_equal(serial.end_permanent_v[i].value(),
+                  parallel.end_permanent_v[i].value()))
         << "core " << i;
   }
-  EXPECT_TRUE(bit_equal(serial.worst_end_delta_vth_v,
-                        parallel.worst_end_delta_vth_v));
-  EXPECT_TRUE(bit_equal(serial.mean_end_delta_vth_v,
-                        parallel.mean_end_delta_vth_v));
+  EXPECT_TRUE(bit_equal(serial.worst_end_delta_vth_v.value(),
+                        parallel.worst_end_delta_vth_v.value()));
+  EXPECT_TRUE(bit_equal(serial.mean_end_delta_vth_v.value(),
+                        parallel.mean_end_delta_vth_v.value()));
   EXPECT_TRUE(
-      bit_equal(serial.throughput_core_s, parallel.throughput_core_s));
+      bit_equal(serial.throughput_core_s.value(), parallel.throughput_core_s.value()));
   ASSERT_EQ(serial.worst_trace.size(), parallel.worst_trace.size());
   for (std::size_t i = 0; i < serial.worst_trace.size(); ++i) {
     EXPECT_TRUE(bit_equal(serial.worst_trace[i].value,

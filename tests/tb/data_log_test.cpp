@@ -12,13 +12,13 @@ SampleRecord record(const std::string& phase, double t_phase, double delay) {
   r.test_case = "chip2";
   r.chip_id = 2;
   r.phase = phase;
-  r.t_campaign_s = 1000.0 + t_phase;
-  r.t_phase_s = t_phase;
-  r.chamber_c = 110.0;
-  r.supply_v = 1.2;
+  r.t_campaign_s = Seconds{1000.0 + t_phase};
+  r.t_phase_s = Seconds{t_phase};
+  r.chamber_c = Celsius{110.0};
+  r.supply_v = Volts{1.2};
   r.counts = 3300.0;
-  r.frequency_hz = 1.0 / (2.0 * delay);
-  r.delay_s = delay;
+  r.frequency_hz = Hertz{1.0 / (2.0 * delay)};
+  r.delay_s = Seconds{delay};
   return r;
 }
 
@@ -73,9 +73,10 @@ TEST(DataLog, CsvRoundTrip) {
   for (std::size_t i = 0; i < back.size(); ++i) {
     EXPECT_EQ(back.records()[i].phase, log.records()[i].phase);
     EXPECT_EQ(back.records()[i].chip_id, log.records()[i].chip_id);
-    EXPECT_NEAR(back.records()[i].delay_s, log.records()[i].delay_s, 1e-15);
-    EXPECT_NEAR(back.records()[i].frequency_hz,
-                log.records()[i].frequency_hz, 1e-3);
+    EXPECT_NEAR(back.records()[i].delay_s.value(),
+                log.records()[i].delay_s.value(), 1e-15);
+    EXPECT_NEAR(back.records()[i].frequency_hz.value(),
+                log.records()[i].frequency_hz.value(), 1e-3);
   }
 }
 
@@ -95,7 +96,7 @@ TEST(DataLog, QualityFlagsRoundTripThroughCsv) {
   auto lost = record("R20Z6", 3000.0, 0.0);
   lost.quality = SampleQuality::kLost;
   lost.counts = 0.0;
-  lost.frequency_hz = 0.0;
+  lost.frequency_hz = Hertz{0.0};
   lost.retries = 3;
   log.add(lost);
 
@@ -192,8 +193,8 @@ TEST(DataLog, FractionalDegradationFirstToLastUsable) {
   DataLog log;
   log.add(record("AS110DC24", 0.0, 150e-9));     // f ~ 3.333 MHz
   log.add(record("AS110DC24", 3600.0, 153e-9));  // slower = degraded
-  const double f0 = log.records()[0].frequency_hz;
-  const double f1 = log.records()[1].frequency_hz;
+  const double f0 = log.records()[0].frequency_hz.value();
+  const double f1 = log.records()[1].frequency_hz.value();
   EXPECT_NEAR(log.fractional_degradation(), (f0 - f1) / f0, 1e-12);
   EXPECT_GT(log.fractional_degradation(), 0.0);
 }
@@ -203,11 +204,11 @@ TEST(DataLog, FractionalDegradationSkipsLostRecords) {
   log.add(record("AS110DC24", 0.0, 150e-9));
   auto lost = record("AS110DC24", 1800.0, 0.0);
   lost.quality = SampleQuality::kLost;
-  lost.frequency_hz = 0.0;
+  lost.frequency_hz = Hertz{0.0};
   log.add(lost);
   log.add(record("AS110DC24", 3600.0, 152e-9));
-  const double f0 = log.records()[0].frequency_hz;
-  const double f2 = log.records()[2].frequency_hz;
+  const double f0 = log.records()[0].frequency_hz.value();
+  const double f2 = log.records()[2].frequency_hz.value();
   EXPECT_NEAR(log.fractional_degradation(), (f0 - f2) / f0, 1e-12);
 }
 

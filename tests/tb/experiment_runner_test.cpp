@@ -57,13 +57,14 @@ TEST(ExperimentRunner, PhaseTimeRestartsPerPhase) {
   auto chip = small_chip();
   ExperimentRunner runner{RunnerConfig{}};
   const auto log = runner.run(chip, short_case());
-  EXPECT_DOUBLE_EQ(log.phase_records("STRESS").front().t_phase_s, 0.0);
-  EXPECT_DOUBLE_EQ(log.phase_records("RECOVER").front().t_phase_s, 0.0);
+  EXPECT_DOUBLE_EQ(log.phase_records("STRESS").front().t_phase_s.value(), 0.0);
+  EXPECT_DOUBLE_EQ(log.phase_records("RECOVER").front().t_phase_s.value(),
+                   0.0);
   // Campaign time keeps increasing monotonically.
   double prev = -1.0;
   for (const auto& r : log.records()) {
-    EXPECT_GE(r.t_campaign_s, prev);
-    prev = r.t_campaign_s;
+    EXPECT_GE(r.t_campaign_s.value(), prev);
+    prev = r.t_campaign_s.value();
   }
 }
 
@@ -72,11 +73,11 @@ TEST(ExperimentRunner, RecordsEnvironmentPerSample) {
   ExperimentRunner runner{RunnerConfig{}};
   const auto log = runner.run(chip, short_case());
   for (const auto& r : log.phase_records("STRESS")) {
-    EXPECT_NEAR(r.chamber_c, 110.0, 0.5);
-    EXPECT_DOUBLE_EQ(r.supply_v, 1.2);
+    EXPECT_NEAR(r.chamber_c.value(), 110.0, 0.5);
+    EXPECT_DOUBLE_EQ(r.supply_v.value(), 1.2);
   }
   for (const auto& r : log.phase_records("RECOVER")) {
-    EXPECT_DOUBLE_EQ(r.supply_v, -0.3);
+    EXPECT_DOUBLE_EQ(r.supply_v.value(), -0.3);
   }
 }
 
@@ -89,8 +90,8 @@ TEST(ExperimentRunner, DeterministicForSameSeeds) {
   const auto log_b = runner_b.run(chip_b, short_case());
   ASSERT_EQ(log_a.size(), log_b.size());
   for (std::size_t i = 0; i < log_a.size(); ++i) {
-    EXPECT_DOUBLE_EQ(log_a.records()[i].frequency_hz,
-                     log_b.records()[i].frequency_hz);
+    EXPECT_DOUBLE_EQ(log_a.records()[i].frequency_hz.value(),
+                     log_b.records()[i].frequency_hz.value());
   }
 }
 
@@ -127,9 +128,9 @@ TEST(ExperimentRunner, FiniteChamberRampDelaysTheCampaignClock) {
   const auto log_i = ExperimentRunner(instant).run(instant_chip, tc);
   const auto log_r = ExperimentRunner(ramped).run(ramped_chip, tc);
   EXPECT_GT(log_r.records().back().t_campaign_s,
-            log_i.records().back().t_campaign_s + 1000.0);
+            log_i.records().back().t_campaign_s + Seconds{1000.0});
   // The recovery phase starts only once the chamber reached ~20 degC.
-  EXPECT_NEAR(log_r.phase_records("R20").front().chamber_c, 20.0, 1.0);
+  EXPECT_NEAR(log_r.phase_records("R20").front().chamber_c.value(), 20.0, 1.0);
 }
 
 TEST(ExperimentRunner, FiniteRampAgesChipAtIntermediateTemperatures) {
@@ -159,17 +160,17 @@ TEST(ExperimentRunner, FiniteRampAgesChipAtIntermediateTemperatures) {
                                .run(chip_i, tc)
                                .phase_records("HIGH")
                                .front()
-                               .delay_s;
+                               .delay_s.value();
   const double d_ramped = ExperimentRunner(ramped)
                               .run(chip_r, tc)
                               .phase_records("HIGH")
                               .front()
-                              .delay_s;
+                              .delay_s.value();
   const double d_hold = ExperimentRunner(instant)
                             .run(chip_h, tc_hold)
                             .phase_records("HIGH")
                             .front()
-                            .delay_s;
+                            .delay_s.value();
   EXPECT_LT(d_instant, d_ramped);
   EXPECT_LT(d_ramped, d_hold);
 }
@@ -190,13 +191,13 @@ TEST(ExperimentRunner, UnsampledPhaseStillLogsEndpoints) {
   tc.name = "endpoints";
   tc.chip_id = 1;
   Phase p = dc_stress_phase("NOSAMPLES", Celsius{110.0}, units::hours(1.0));
-  p.sample_every_s = 0.0;
+  p.sample_every_s = Seconds{0.0};
   tc.phases = {p};
   auto chip = small_chip(1);
   const auto log = ExperimentRunner(RunnerConfig{}).run(chip, tc);
   ASSERT_EQ(log.size(), 2u);
-  EXPECT_DOUBLE_EQ(log.records()[0].t_phase_s, 0.0);
-  EXPECT_DOUBLE_EQ(log.records()[1].t_phase_s, hours(1.0));
+  EXPECT_DOUBLE_EQ(log.records()[0].t_phase_s.value(), 0.0);
+  EXPECT_DOUBLE_EQ(log.records()[1].t_phase_s.value(), hours(1.0));
 }
 
 }  // namespace

@@ -100,14 +100,14 @@ TEST(FaultInjector, DeterministicPerPhaseAndAttempt) {
 TEST(FaultInjector, ExcursionGuaranteedAtUnitProbability) {
   FaultPlan plan;
   plan.chamber.excursion_probability = 1.0;
-  plan.chamber.excursion_magnitude_c = 25.0;
-  plan.chamber.excursion_duration_s = 1000.0;
+  plan.chamber.excursion_magnitude_c = Celsius{25.0};
+  plan.chamber.excursion_duration_s = Seconds{1000.0};
   FaultReport report;
   FaultInjector inj(plan, 0, 0, Seconds{7200.0}, &report);
   EXPECT_EQ(report.chamber_excursions, 1);
   double peak = 0.0;
   for (double t = 0.0; t < 7200.0; t += 10.0) {
-    peak = std::max(peak, inj.chamber_offset_c(Seconds{t}));
+    peak = std::max(peak, inj.chamber_offset_c(Seconds{t}).value());
   }
   EXPECT_DOUBLE_EQ(peak, 25.0);
 }
@@ -139,8 +139,8 @@ TEST(FaultTolerantRunner, HarshLabActuallyFlagsSamples) {
 TEST(FaultTolerantRunner, WatchdogAbortsAndRewindsOnPersistentExcursion) {
   FaultPlan plan;
   plan.chamber.excursion_probability = 1.0;
-  plan.chamber.excursion_magnitude_c = 30.0;
-  plan.chamber.excursion_duration_s = 5400.0;
+  plan.chamber.excursion_magnitude_c = Celsius{30.0};
+  plan.chamber.excursion_duration_s = Seconds{5400.0};
   RunnerConfig config = tolerant_runner_config(plan);
   auto chip = small_chip();
   const auto result = ExperimentRunner(config).run_campaign(chip, short_case());
@@ -180,7 +180,7 @@ TEST(FaultTolerantRunner, RetriesRecoverSamplesAndCostSimulatedTime) {
   for (const auto& r : faulty.log.records()) {
     if (r.quality == SampleQuality::kRetried) {
       EXPECT_GT(r.retries, 0);
-      EXPECT_GT(r.frequency_hz, 0.0);
+      EXPECT_GT(r.frequency_hz.value(), 0.0);
     }
   }
   // Backoffs run on the simulated clock, so the dirty campaign finishes
@@ -203,7 +203,7 @@ TEST(CampaignCheckpoint, KillAndResumeReplaysBitIdentically) {
 
   // Kill the campaign mid-way through the second phase...
   RunnerConfig killed_cfg = config;
-  killed_cfg.abort_at_campaign_s = hours(2.0) + 600.0;
+  killed_cfg.abort_at_campaign_s = Seconds{hours(2.0) + 600.0};
   auto chip_kill = small_chip();
   const auto killed =
       ExperimentRunner(killed_cfg).run_campaign(chip_kill, tc);
@@ -223,7 +223,7 @@ TEST(CampaignCheckpoint, KillAndResumeReplaysBitIdentically) {
 
 TEST(CampaignCheckpoint, SaveLoadStreamRoundTrip) {
   RunnerConfig config = tolerant_runner_config(FaultPlan::representative());
-  config.abort_at_campaign_s = hours(1.0);
+  config.abort_at_campaign_s = Seconds{hours(1.0)};
   auto chip = small_chip();
   const auto killed = ExperimentRunner(config).run_campaign(chip, short_case());
   ASSERT_FALSE(killed.completed);
@@ -233,8 +233,10 @@ TEST(CampaignCheckpoint, SaveLoadStreamRoundTrip) {
   const auto loaded = CampaignCheckpoint::load(stream);
 
   EXPECT_EQ(loaded.next_phase, killed.checkpoint.next_phase);
-  EXPECT_DOUBLE_EQ(loaded.t_campaign_s, killed.checkpoint.t_campaign_s);
-  EXPECT_DOUBLE_EQ(loaded.chamber_c, killed.checkpoint.chamber_c);
+  EXPECT_DOUBLE_EQ(loaded.t_campaign_s.value(),
+                   killed.checkpoint.t_campaign_s.value());
+  EXPECT_DOUBLE_EQ(loaded.chamber_c.value(),
+                   killed.checkpoint.chamber_c.value());
   EXPECT_EQ(loaded.chip_state, killed.checkpoint.chip_state);
   EXPECT_EQ(loaded.faults, killed.checkpoint.faults);
   ASSERT_EQ(loaded.log.size(), killed.checkpoint.log.size());
@@ -242,10 +244,10 @@ TEST(CampaignCheckpoint, SaveLoadStreamRoundTrip) {
     EXPECT_EQ(loaded.log.records()[i].quality,
               killed.checkpoint.log.records()[i].quality);
     // CSV keeps 6 decimals on times / 9 significant digits on delays.
-    EXPECT_NEAR(loaded.log.records()[i].t_campaign_s,
-                killed.checkpoint.log.records()[i].t_campaign_s, 1e-5);
-    EXPECT_NEAR(loaded.log.records()[i].delay_s,
-                killed.checkpoint.log.records()[i].delay_s, 1e-15);
+    EXPECT_NEAR(loaded.log.records()[i].t_campaign_s.value(),
+                killed.checkpoint.log.records()[i].t_campaign_s.value(), 1e-5);
+    EXPECT_NEAR(loaded.log.records()[i].delay_s.value(),
+                killed.checkpoint.log.records()[i].delay_s.value(), 1e-15);
   }
 
   std::istringstream garbage("not a checkpoint\n");
@@ -276,7 +278,7 @@ TEST(CampaignCheckpoint, LoadRejectsTruncationEverywhereWithFieldContext) {
   // must carry a field name and a stream offset for diagnosis.
   auto chip = small_chip();
   RunnerConfig config = tolerant_runner_config(FaultPlan::representative());
-  config.abort_at_campaign_s = hours(1.0);
+  config.abort_at_campaign_s = Seconds{hours(1.0)};
   const auto killed = ExperimentRunner(config).run_campaign(chip, short_case());
   const std::string doc = killed.checkpoint.serialize();
 

@@ -14,7 +14,9 @@ TEST(MeasurementRig, RecoversTrueFrequencyOnAverage) {
   MeasurementRig rig(c);
   const double f = 3.3e6;
   std::vector<double> fs;
-  for (int i = 0; i < 2000; ++i) fs.push_back(rig.measure(Hertz{f}).frequency_hz);
+  for (int i = 0; i < 2000; ++i) {
+    fs.push_back(rig.measure(Hertz{f}).frequency_hz.value());
+  }
   EXPECT_NEAR(mean(fs), f, 100.0);
 }
 
@@ -28,8 +30,8 @@ TEST(MeasurementRig, AveragingReducesSpread) {
   std::vector<double> s1;
   std::vector<double> s16;
   for (int i = 0; i < 2000; ++i) {
-    s1.push_back(rig1.measure(Hertz{3.3e6}).frequency_hz);
-    s16.push_back(rig16.measure(Hertz{3.3e6}).frequency_hz);
+    s1.push_back(rig1.measure(Hertz{3.3e6}).frequency_hz.value());
+    s16.push_back(rig16.measure(Hertz{3.3e6}).frequency_hz.value());
   }
   EXPECT_GT(stddev(s1), 2.5 * stddev(s16));
 }
@@ -42,7 +44,7 @@ TEST(MeasurementRig, ClockErrorBiasesInference) {
   const double f = 3.2e6;
   // A fast reference opens the gate for less wall time than believed, so
   // the inferred frequency reads low by ~0.1 %.
-  const double inferred = rig.measure(Hertz{f}).frequency_hz;
+  const double inferred = rig.measure(Hertz{f}).frequency_hz.value();
   EXPECT_NEAR(inferred / f, 1.0 - 1e-3, 2e-4);
 }
 
@@ -51,14 +53,14 @@ TEST(MeasurementRig, DelayIsHalfInversePeriod) {
   c.counter.noise_counts_sigma = 0.0;
   MeasurementRig rig(c);
   const auto m = rig.measure(Hertz{3.3e6});
-  EXPECT_NEAR(m.delay_s, 1.0 / (2.0 * m.frequency_hz), 1e-18);
+  EXPECT_NEAR(m.delay_s.value(), 1.0 / (2.0 * m.frequency_hz.value()), 1e-18);
 }
 
 TEST(MeasurementRig, SampleDurationIsUnderPaperOverheadBudget) {
   // 16 ref periods x 4 readings at 500 Hz = 128 ms << 3 s budget.
   MeasurementRig rig{MeasurementConfig{}};
-  EXPECT_LT(rig.sample_duration_s(), 3.0);
-  EXPECT_GT(rig.sample_duration_s(), 0.0);
+  EXPECT_LT(rig.sample_duration_s().value(), 3.0);
+  EXPECT_GT(rig.sample_duration_s().value(), 0.0);
 }
 
 TEST(MeasurementRig, RejectsNonPositiveReadingCount) {
@@ -69,9 +71,9 @@ TEST(MeasurementRig, RejectsNonPositiveReadingCount) {
 
 TEST(ClockGenerator, ActualFrequencyAppliesPpm) {
   ClockGenerator clk;
-  clk.nominal_hz = 500.0;
+  clk.nominal_hz = Hertz{500.0};
   clk.error_ppm = 2000.0;
-  EXPECT_DOUBLE_EQ(clk.actual_hz(), 501.0);
+  EXPECT_DOUBLE_EQ(clk.actual_hz().value(), 501.0);
 }
 
 }  // namespace

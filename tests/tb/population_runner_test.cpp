@@ -30,26 +30,26 @@ TestCase mini_campaign() {
   Phase burn_in;
   burn_in.label = "BURNIN";
   burn_in.mode = fpga::RoMode::kAcOscillating;
-  burn_in.supply_v = 1.2;
-  burn_in.chamber_c = 30.0;
-  burn_in.duration_s = 600.0;
-  burn_in.sample_every_s = 300.0;
+  burn_in.supply_v = Volts{1.2};
+  burn_in.chamber_c = Celsius{30.0};
+  burn_in.duration_s = Seconds{600.0};
+  burn_in.sample_every_s = Seconds{300.0};
   tc.phases.push_back(burn_in);
   Phase stress;
   stress.label = "AS110DC";
   stress.mode = fpga::RoMode::kDcFrozen;
-  stress.supply_v = 1.2;
-  stress.chamber_c = 110.0;
-  stress.duration_s = 3600.0;
-  stress.sample_every_s = 1200.0;
+  stress.supply_v = Volts{1.2};
+  stress.chamber_c = Celsius{110.0};
+  stress.duration_s = Seconds{3600.0};
+  stress.sample_every_s = Seconds{1200.0};
   tc.phases.push_back(stress);
   Phase recover;
   recover.label = "AR110N";
   recover.mode = fpga::RoMode::kSleep;
-  recover.supply_v = -0.3;
-  recover.chamber_c = 110.0;
-  recover.duration_s = 1800.0;
-  recover.sample_every_s = 900.0;
+  recover.supply_v = Volts{-0.3};
+  recover.chamber_c = Celsius{110.0};
+  recover.duration_s = Seconds{1800.0};
+  recover.sample_every_s = Seconds{900.0};
   tc.phases.push_back(recover);
   return tc;
 }
@@ -156,14 +156,14 @@ TEST(PopulationRunner, FastModeTracksExactClosely) {
     const auto& a = approx.records()[i];
     EXPECT_EQ(e.t_campaign_s, a.t_campaign_s);
     EXPECT_EQ(e.phase, a.phase);
-    ASSERT_GT(e.frequency_hz, 0.0);
+    ASSERT_GT(e.frequency_hz.value(), 0.0);
     EXPECT_NEAR(a.frequency_hz / e.frequency_hz, 1.0, 1e-9) << "record " << i;
   }
 }
 
 TEST(PopulationRunner, RejectsUnsupportedConfigurations) {
   RunnerConfig killed;
-  killed.abort_at_campaign_s = 3600.0;
+  killed.abort_at_campaign_s = Seconds{3600.0};
   EXPECT_THROW(PopulationRunner{killed}, std::invalid_argument);
 
   PopulationRunner runner{RunnerConfig{}};

@@ -11,13 +11,13 @@ namespace {
 
 TEST(PowerSupply, StartsAtNominal) {
   const PowerSupply psu{SupplyConfig{}};
-  EXPECT_DOUBLE_EQ(psu.setpoint_v(), 1.2);
+  EXPECT_DOUBLE_EQ(psu.setpoint_v().value(), 1.2);
 }
 
 TEST(PowerSupply, ProgramsWithinInterlockWindow) {
   PowerSupply psu{SupplyConfig{}};
   EXPECT_NO_THROW(psu.set_voltage(Volts{-0.3}));
-  EXPECT_DOUBLE_EQ(psu.setpoint_v(), -0.3);
+  EXPECT_DOUBLE_EQ(psu.setpoint_v().value(), -0.3);
   EXPECT_NO_THROW(psu.set_voltage(Volts{0.0}));
   EXPECT_NO_THROW(psu.set_voltage(Volts{1.4}));
 }
@@ -28,7 +28,7 @@ TEST(PowerSupply, BreakdownInterlockRejectsDeepNegative) {
   PowerSupply psu{SupplyConfig{}};
   EXPECT_THROW(psu.set_voltage(Volts{-0.6}), std::out_of_range);
   EXPECT_THROW(psu.set_voltage(Volts{2.0}), std::out_of_range);
-  EXPECT_DOUBLE_EQ(psu.setpoint_v(), 1.2);  // unchanged after rejection
+  EXPECT_DOUBLE_EQ(psu.setpoint_v().value(), 1.2);  // unchanged after rejection
 }
 
 TEST(PowerSupply, RippleIsSmallAndZeroMean) {
@@ -36,7 +36,7 @@ TEST(PowerSupply, RippleIsSmallAndZeroMean) {
   std::vector<double> vs;
   for (int i = 0; i < 5000; ++i) {
     psu.advance(Seconds{10.0});
-    vs.push_back(psu.output_v());
+    vs.push_back(psu.output_v().value());
   }
   EXPECT_NEAR(mean(vs), 1.2, 1e-3);
   EXPECT_NEAR(stddev(vs), 1e-3, 3e-4);
@@ -44,8 +44,8 @@ TEST(PowerSupply, RippleIsSmallAndZeroMean) {
 
 TEST(PowerSupply, RejectsBadConfig) {
   SupplyConfig bad;
-  bad.min_v = 2.0;
-  bad.max_v = 1.0;
+  bad.min_v = Volts{2.0};
+  bad.max_v = Volts{1.0};
   EXPECT_THROW(PowerSupply{bad}, std::invalid_argument);
 }
 

@@ -19,9 +19,9 @@ TEST(PaperCampaign, EveryChipStartsWithBurnIn) {
   for (const auto& tc : paper_campaign()) {
     ASSERT_FALSE(tc.phases.empty());
     EXPECT_EQ(tc.phases.front().label, "BURNIN");
-    EXPECT_EQ(tc.phases.front().chamber_c, 20.0);
-    EXPECT_DOUBLE_EQ(tc.phases.front().supply_v, 1.2);
-    EXPECT_DOUBLE_EQ(tc.phases.front().duration_s, hours(2.0));
+    EXPECT_EQ(tc.phases.front().chamber_c, Celsius{20.0});
+    EXPECT_DOUBLE_EQ(tc.phases.front().supply_v.value(), 1.2);
+    EXPECT_DOUBLE_EQ(tc.phases.front().duration_s.value(), hours(2.0));
   }
 }
 
@@ -40,8 +40,8 @@ TEST(PaperCampaign, Chip1IsAcStressOnly) {
   EXPECT_EQ(tc.chip_id, 1);
   ASSERT_EQ(tc.phases.size(), 2u);
   EXPECT_EQ(tc.phases[1].mode, fpga::RoMode::kAcOscillating);
-  EXPECT_EQ(tc.phases[1].chamber_c, 110.0);
-  EXPECT_DOUBLE_EQ(tc.phases[1].duration_s, hours(24.0));
+  EXPECT_EQ(tc.phases[1].chamber_c, Celsius{110.0});
+  EXPECT_DOUBLE_EQ(tc.phases[1].duration_s.value(), hours(24.0));
 }
 
 TEST(PaperCampaign, RecoveryConditionsMatchTable1) {
@@ -63,9 +63,9 @@ TEST(PaperCampaign, RecoveryConditionsMatchTable1) {
       if (p.label != e.label) continue;
       found = true;
       EXPECT_EQ(p.mode, fpga::RoMode::kSleep) << e.label;
-      EXPECT_DOUBLE_EQ(p.supply_v, e.v) << e.label;
-      EXPECT_DOUBLE_EQ(p.chamber_c, e.t_c) << e.label;
-      EXPECT_DOUBLE_EQ(p.duration_s, hours(e.hours_)) << e.label;
+      EXPECT_DOUBLE_EQ(p.supply_v.value(), e.v) << e.label;
+      EXPECT_DOUBLE_EQ(p.chamber_c.value(), e.t_c) << e.label;
+      EXPECT_DOUBLE_EQ(p.duration_s.value(), hours(e.hours_)) << e.label;
     }
     EXPECT_TRUE(found) << e.label;
   }
@@ -78,10 +78,10 @@ TEST(PaperCampaign, ActiveSleepRatioIsFourForBothChip5Rounds) {
   double stress48 = 0.0;
   double rec12 = 0.0;
   for (const auto& p : tc.phases) {
-    if (p.label == "AS110DC24") stress24 = p.duration_s;
-    if (p.label == "AR110N6") rec6 = p.duration_s;
-    if (p.label == "AS110DC48") stress48 = p.duration_s;
-    if (p.label == "AR110N12") rec12 = p.duration_s;
+    if (p.label == "AS110DC24") stress24 = p.duration_s.value();
+    if (p.label == "AR110N6") rec6 = p.duration_s.value();
+    if (p.label == "AS110DC48") stress48 = p.duration_s.value();
+    if (p.label == "AR110N12") rec12 = p.duration_s.value();
   }
   EXPECT_DOUBLE_EQ(stress24 / rec6, 4.0);
   EXPECT_DOUBLE_EQ(stress48 / rec12, 4.0);
@@ -91,22 +91,26 @@ TEST(PaperCampaign, SamplingCadencesMatchSection4) {
   const auto tc = campaign_case("AR110N6");
   for (const auto& p : tc.phases) {
     if (p.label == "AS110DC24") {
-      EXPECT_DOUBLE_EQ(p.sample_every_s, 20.0 * 60.0);  // every 20 minutes
+      EXPECT_DOUBLE_EQ(p.sample_every_s.value(), 20.0 * 60.0);  // 20 minutes
     }
     if (p.label == "AR110N6") {
-      EXPECT_DOUBLE_EQ(p.sample_every_s, 30.0 * 60.0);  // every 30 minutes
+      EXPECT_DOUBLE_EQ(p.sample_every_s.value(), 30.0 * 60.0);  // 30 minutes
     }
   }
 }
 
 TEST(TestCase, TotalDurationSumsPhases) {
   const auto tc = campaign_case("R20Z6");
-  EXPECT_DOUBLE_EQ(tc.total_duration_s(), hours(2.0 + 24.0 + 6.0));
+  EXPECT_DOUBLE_EQ(tc.total_duration_s().value(), hours(2.0 + 24.0 + 6.0));
 }
 
 TEST(PhaseBuilders, StressPhasesUseNominalSupply) {
-  EXPECT_DOUBLE_EQ(dc_stress_phase("x", Celsius{110.0}, units::hours(1.0)).supply_v, 1.2);
-  EXPECT_DOUBLE_EQ(ac_stress_phase("x", Celsius{110.0}, units::hours(1.0)).supply_v, 1.2);
+  EXPECT_DOUBLE_EQ(
+      dc_stress_phase("x", Celsius{110.0}, units::hours(1.0)).supply_v.value(),
+      1.2);
+  EXPECT_DOUBLE_EQ(
+      ac_stress_phase("x", Celsius{110.0}, units::hours(1.0)).supply_v.value(),
+      1.2);
   EXPECT_DOUBLE_EQ(ac_stress_phase("x", Celsius{110.0}, units::hours(1.0)).ac_duty, 0.5);
 }
 

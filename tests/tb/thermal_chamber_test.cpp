@@ -12,30 +12,30 @@ namespace {
 
 TEST(ThermalChamber, StartsAtInitialTemperature) {
   ChamberConfig c;
-  c.initial_c = 20.0;
+  c.initial_c = Celsius{20.0};
   const ThermalChamber chamber(c);
-  EXPECT_NEAR(chamber.temperature_c(), 20.0, 0.5);
+  EXPECT_NEAR(chamber.temperature_c().value(), 20.0, 0.5);
   EXPECT_TRUE(chamber.at_target());
 }
 
 TEST(ThermalChamber, RampsTowardSetpointAtConfiguredRate) {
   ChamberConfig c;
-  c.initial_c = 20.0;
+  c.initial_c = Celsius{20.0};
   c.ramp_c_per_s = 0.05;  // 3 degC/min
   ThermalChamber chamber(c);
   chamber.set_target(Celsius{110.0});
   EXPECT_FALSE(chamber.at_target());
-  EXPECT_NEAR(chamber.seconds_to_target(), 90.0 / 0.05, 1e-9);
+  EXPECT_NEAR(chamber.seconds_to_target().value(), 90.0 / 0.05, 1e-9);
   chamber.advance(Seconds{60.0});
-  EXPECT_NEAR(chamber.temperature_c(), 23.0, 0.5);
+  EXPECT_NEAR(chamber.temperature_c().value(), 23.0, 0.5);
   chamber.advance(Seconds{1e5});
   EXPECT_TRUE(chamber.at_target());
-  EXPECT_NEAR(chamber.temperature_c(), 110.0, 0.5);
+  EXPECT_NEAR(chamber.temperature_c().value(), 110.0, 0.5);
 }
 
 TEST(ThermalChamber, NeverOvershootsSetpointBase) {
   ChamberConfig c;
-  c.initial_c = 20.0;
+  c.initial_c = Celsius{20.0};
   c.ramp_c_per_s = 1.0;
   ThermalChamber chamber(c);
   chamber.set_target(Celsius{25.0});
@@ -43,18 +43,18 @@ TEST(ThermalChamber, NeverOvershootsSetpointBase) {
   EXPECT_TRUE(chamber.at_target());
   chamber.set_target(Celsius{20.0});  // cool back down
   chamber.advance(Seconds{2.0});
-  EXPECT_NEAR(chamber.temperature_c(), 23.0, 0.5);
+  EXPECT_NEAR(chamber.temperature_c().value(), 23.0, 0.5);
 }
 
 TEST(ThermalChamber, FluctuationStaysWithinPaperBand) {
   // +/-0.3 degC: our OU sigma of 0.1 keeps essentially all samples inside.
   ChamberConfig c;
-  c.initial_c = 110.0;
+  c.initial_c = Celsius{110.0};
   ThermalChamber chamber(c);
   std::vector<double> temps;
   for (int i = 0; i < 5000; ++i) {
     chamber.advance(Seconds{60.0});
-    temps.push_back(chamber.temperature_c());
+    temps.push_back(chamber.temperature_c().value());
   }
   EXPECT_NEAR(mean(temps), 110.0, 0.02);
   EXPECT_NEAR(stddev(temps), 0.1, 0.02);
@@ -64,10 +64,10 @@ TEST(ThermalChamber, FluctuationStaysWithinPaperBand) {
 
 TEST(ThermalChamber, KelvinConversion) {
   ChamberConfig c;
-  c.initial_c = 20.0;
-  c.fluctuation_sigma_c = 0.0;
+  c.initial_c = Celsius{20.0};
+  c.fluctuation_sigma_c = Celsius{0.0};
   const ThermalChamber chamber(c);
-  EXPECT_DOUBLE_EQ(chamber.temperature_k(), celsius(20.0));
+  EXPECT_DOUBLE_EQ(chamber.temperature_k().value(), celsius(20.0));
 }
 
 TEST(ThermalChamber, RejectsBadConfigAndNegativeDt) {
@@ -85,7 +85,7 @@ TEST(ThermalChamber, SameSeedSameTrajectory) {
   for (int i = 0; i < 100; ++i) {
     a.advance(Seconds{10.0});
     b.advance(Seconds{10.0});
-    EXPECT_DOUBLE_EQ(a.temperature_c(), b.temperature_c());
+    EXPECT_DOUBLE_EQ(a.temperature_c().value(), b.temperature_c().value());
   }
 }
 

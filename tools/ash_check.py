@@ -1,0 +1,981 @@
+#!/usr/bin/env python3
+"""ash-check: semantic static analysis over compile_commands.json.
+
+`tools/ash_lint.py` polices token-level patterns; this tool checks the
+*call-graph* and *declaration-level* invariants the lab's correctness
+story actually rests on.  Four checkers:
+
+  signal-safety
+      Every function reachable from a registered fatal-signal handler
+      (`sa_handler = f`, `std::signal(SIG..., f)`) must be on the
+      async-signal-safe allowlist: the POSIX AS-safe syscall set plus the
+      pinned, separately-audited project functions
+      (obs::FlightRecorder::record / write_fd — byte-identity and
+      torn-dump tests own their safety proof).  Reaching `malloc`, any
+      iostream, a mutex, `throw` or `new` on that path is a finding: a
+      handler that allocates can deadlock on the heap lock of the very
+      thread it interrupted.
+
+  shard-purity
+      A lambda handed to `util::ThreadPool::parallel_for` (and the
+      project functions it calls, traversed to a bounded depth) must not
+      touch file-scope mutable globals, non-const static locals, `errno`
+      or errno-latching calls (strtod family, strerror), or non-util RNG
+      (rand, drand48, std::random_device, std::mt19937, ...).  This
+      mechanizes the "bit-identical at any thread count" guarantee:
+      shard bodies may only write state they own by index.
+
+  unit-flow
+      A suffix-named raw double (`_s`, `_v`, `_k`, `_c`, `_hz`) appearing
+      as a *public* struct/class data member (`double x_v;`,
+      `std::vector<double> periods_s;`) or as the return type of a
+      suffix-named function (`double period_s(...)`) anywhere under
+      `src/` is a finding: quantities crossing a declaration boundary
+      must use the strong types from ash/util/units.h.  Supersedes
+      ash_lint's narrower parameter-only `raw-double-api` rule.
+
+  protocol-exhaustiveness
+      Every `fleet::MessageType` enumerator must have a payload codec
+      struct (encode() + parse() in protocol.cpp), a to_string
+      classification, and a test under tests/fleet/ referencing it; every
+      `fleet::ProtocolViolation` must be classified in protocol.cpp and
+      exercised by a hostile-input test.  Cross-checks protocol.h,
+      protocol.cpp and tests/fleet/.
+
+Frontend: `clang.cindex` (libclang) is used when importable to resolve
+call targets precisely; otherwise a deterministic, self-contained
+declaration/call-graph parser takes over, so CI never depends on an
+optional wheel.  `--frontend fallback` forces the self-contained parser
+(what the self-tests pin).  The fallback parser resolves calls by name,
+not by overload: its call graph is an over-approximation, and it does
+not see through function pointers other than the signal-registration
+idioms above (see DESIGN.md Sec. 14 for the full limits).
+
+Suppression requires a reason:
+
+    code();  // ash-check: allow(rule): why this is safe
+
+A bare `allow(rule)` with no `: reason` does not suppress — it is
+itself reported.  Exit status: 0 clean, 1 findings, 2 usage or internal
+errors.  `--json` emits machine-readable findings for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, asdict, field
+
+from ash_lint import strip_code  # one source of truth for the lexer
+
+CHECKS = (
+    "signal-safety",
+    "shard-purity",
+    "unit-flow",
+    "protocol-exhaustiveness",
+)
+
+CXX_EXTENSIONS = (".h", ".hpp", ".cpp", ".cc", ".cxx")
+EXCLUDED_PARTS = ("lint/fixtures", "build")
+
+ALLOW_RE = re.compile(
+    r"ash-check:\s*allow\(([a-z0-9_,\- ]+)\)(\s*:\s*(\S.*))?")
+
+# ---------------------------------------------------------------------------
+# Findings & suppression
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Finding:
+    check: str
+    path: str
+    line: int
+    message: str
+    snippet: str
+
+
+class Report:
+    def __init__(self):
+        self.findings: list[Finding] = []
+        self.suppressed: list[Finding] = []
+        self._seen: set = set()
+
+    def add(self, check: str, path: str, line: int, message: str,
+            source_line: str) -> None:
+        key = (check, path, line, message)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        f = Finding(check, path, line, message, source_line.strip()[:160])
+        m = ALLOW_RE.search(source_line)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+            if check in rules:
+                if m.group(3):
+                    self.suppressed.append(f)
+                    return
+                f = Finding(
+                    check, path, line,
+                    f"suppression escape for '{check}' carries no reason: "
+                    "write `// ash-check: allow(" + check + "): <why>`"
+                    " — an unexplained escape is unreviewable",
+                    source_line.strip()[:160])
+        self.findings.append(f)
+
+
+# ---------------------------------------------------------------------------
+# Self-contained fallback parser
+# ---------------------------------------------------------------------------
+
+CONTROL_KEYWORDS = frozenset(
+    "if for while switch catch return do else new delete throw sizeof "
+    "alignof decltype static_assert case goto co_await co_return "
+    "co_yield".split())
+
+CALL_RE = re.compile(r"(?<!\w)([A-Za-z_~][\w]*(?:::[\w~]+)*)\s*\(")
+ACCESS_RE = re.compile(r"\b(public|protected|private)\s*:(?!:)")
+PREPROC_RE = re.compile(r"^[ \t]*#.*$", re.MULTILINE)
+
+MEMBER_DOUBLE_RE = re.compile(
+    r"(?:^|[;{}:\s])double\s+(\w+_(?:s|v|k|c|hz))\s*(?:=[^;]*)?;")
+MEMBER_VECTOR_RE = re.compile(
+    r"(?:^|[;{}:\s])std::vector<\s*double\s*>\s+(\w+_(?:s|v|k|c|hz))"
+    r"\s*(?:=[^;]*)?;")
+RETURN_DOUBLE_RE = re.compile(
+    r"(?:^|[;{}:\s])(?:virtual\s+|static\s+|constexpr\s+|inline\s+)*"
+    r"double\s+((?:\w+::)*\w+_(?:s|v|k|c|hz))\s*\(")
+
+GLOBAL_DECL_RE = re.compile(
+    r"^\s*(?:volatile\s+)?(?:struct\s+|class\s+)?[\w:<>,\*&\s]+?"
+    r"[\s\*&](\w+)\s*(?:\[[^\]]*\])?\s*(?:=[^;]*)?;\s*$")
+GLOBAL_SKIP_RE = re.compile(
+    r"\b(const|constexpr|constinit|using|typedef|namespace|return|"
+    r"friend|template|extern|enum|atomic|thread_local)\b|[()]")
+
+STATIC_LOCAL_RE = re.compile(
+    r"(?<!\w)static\s+(?!const\b|constexpr\b)[\w:<>,\s\*&]+?[\s\*&]"
+    r"(\w+)\s*(?:\[[^\]]*\])?\s*(?:=[^;{]*)?[;{]")
+
+HANDLER_ASSIGN_RE = re.compile(r"\.\s*sa_handler\s*=\s*(\w+)")
+SIGNAL_CALL_RE = re.compile(r"\bsignal\s*\(\s*SIG\w+\s*,\s*&?\s*([\w:]+)")
+
+LAMBDA_START_RE = re.compile(r"\[[^\]]*\]\s*(?:\([^)]*\))?\s*(?:mutable\s*)?"
+                             r"(?:->\s*[\w:<>]+\s*)?\{")
+
+
+@dataclass
+class Func:
+    name: str            # simple name ("handle_fatal", "apply_members")
+    qualified: str       # as written in the head ("BatchEnsemble::evolve")
+    rel: str
+    line: int
+    body: str            # stripped body text, braces excluded
+    body_line: int       # line number of the opening brace
+
+
+@dataclass
+class Member:
+    name: str
+    rel: str
+    line: int
+    kind: str            # "double" | "vector<double>"
+    owner: str           # enclosing class/struct name
+
+
+@dataclass
+class EnumDef:
+    name: str
+    rel: str
+    enumerators: list  # (name, line)
+
+
+class SourceFile:
+    """One parsed translation unit or header (fallback frontend)."""
+
+    def __init__(self, path: str, rel: str):
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            self.text = f.read()
+        self.rel = rel.replace(os.sep, "/")
+        code = strip_code(self.text)
+        # Blank preprocessor lines: their parentheses and angle brackets
+        # would otherwise confuse statement chunking.
+        self.code = PREPROC_RE.sub(lambda m: " " * len(m.group(0)), code)
+        self.lines = self.text.split("\n")
+        self.functions: list[Func] = []
+        self.members: list[Member] = []
+        self.return_decls: list = []      # (name, line)
+        self.enums: list[EnumDef] = []
+        self.globals: dict[str, int] = {}  # mutable file-scope name -> line
+        self._parse()
+
+    def source_line(self, line_no: int) -> str:
+        if 1 <= line_no <= len(self.lines):
+            return self.lines[line_no - 1]
+        return ""
+
+    def _line_of(self, offset: int) -> int:
+        return self.code.count("\n", 0, offset) + 1
+
+    # -- statement-oriented scanner ------------------------------------
+
+    def _parse(self) -> None:
+        code = self.code
+        n = len(code)
+        i = 0
+        chunk_start = 0
+        # scope stack entries: ["namespace"|"class"|"block", name, access]
+        scopes: list[list] = []
+
+        def in_class() -> bool:
+            return bool(scopes) and scopes[-1][0] == "class"
+
+        def at_top() -> bool:
+            return all(s[0] == "namespace" for s in scopes)
+
+        while i < n:
+            ch = code[i]
+            if ch == ";":
+                self._statement(code[chunk_start:i + 1], chunk_start, scopes)
+                chunk_start = i + 1
+            elif ch == "{":
+                head = code[chunk_start:i]
+                kind = self._classify_head(head)
+                if kind[0] == "enum":
+                    end = self._match_brace(i)
+                    self._collect_enum(kind[1], code[i + 1:end], i + 1)
+                    i = code.find(";", end)
+                    if i < 0:
+                        break
+                    chunk_start = i + 1
+                elif kind[0] == "function":
+                    end = self._match_brace(i)
+                    self._flush_access(head, scopes)
+                    self.functions.append(
+                        Func(kind[1].split("::")[-1], kind[1], self.rel,
+                             self._line_of(chunk_start + kind[2]),
+                             code[i + 1:end], self._line_of(i)))
+                    # A suffix-named double-returning *definition* also
+                    # counts for unit-flow (headers with inline bodies).
+                    self._head_return_decl(head, chunk_start)
+                    i = end
+                    chunk_start = i + 1
+                elif kind[0] == "namespace":
+                    scopes.append(["namespace", kind[1], "public", True])
+                    chunk_start = i + 1
+                elif kind[0] == "class":
+                    self._flush_access(head, scopes)
+                    default = "private" if kind[2] == "class" else "public"
+                    # A nested type declared in a non-public section is
+                    # not API surface, nor is anything declared inside a
+                    # function/initializer block.
+                    exposed = True
+                    if scopes:
+                        top = scopes[-1]
+                        if top[0] == "class":
+                            exposed = top[2] == "public" and top[3]
+                        elif top[0] == "block":
+                            exposed = False
+                    scopes.append(["class", kind[1], default, exposed])
+                    chunk_start = i + 1
+                else:
+                    # brace-init, array initializer, lambda at file scope,
+                    # extern "C" block...: treat as a transparent block.
+                    scopes.append(["block", "", "public", False])
+                    chunk_start = i + 1
+            elif ch == "}":
+                self._statement(code[chunk_start:i], chunk_start, scopes)
+                if scopes:
+                    scopes.pop()
+                chunk_start = i + 1
+                if i + 1 < n and code[i + 1] == ";":
+                    chunk_start = i + 2
+                    i += 1
+            i += 1
+
+    def _match_brace(self, open_at: int) -> int:
+        depth = 0
+        for j in range(open_at, len(self.code)):
+            c = self.code[j]
+            if c == "{":
+                depth += 1
+            elif c == "}":
+                depth -= 1
+                if depth == 0:
+                    return j
+        return len(self.code) - 1
+
+    def _classify_head(self, head: str):
+        """Classify the text between the previous statement boundary and
+        an opening brace."""
+        # Trailing access labels belong to the class body, not the head.
+        m = re.search(r"\bnamespace(\s+([\w:]+))?\s*$", head)
+        if m:
+            return ("namespace", m.group(2) or "<anon>")
+        m = re.search(r"\benum\s+(?:class\s+|struct\s+)?(\w+)"
+                      r"(?:\s*:\s*[\w:\s]+)?\s*$", head)
+        if m:
+            return ("enum", m.group(1))
+        m = re.search(r"\b(class|struct|union)\s+(?:\[\[\w+\]\]\s*)?(\w+)"
+                      r"(?:\s+final)?(?:\s*:\s*[^;{]*)?\s*$", head)
+        if m and "(" not in head[m.end():]:
+            return ("class", m.group(2), m.group(1))
+        # Function definition: a call-ish pattern whose name is not a
+        # control keyword, with balanced parens, not an assignment RHS.
+        best = None
+        for cm in CALL_RE.finditer(head):
+            name = cm.group(1)
+            if name.split("::")[-1] in CONTROL_KEYWORDS:
+                continue
+            best = (cm.group(1), cm.start(1))
+        if best and "=" not in head.split("(")[0]:
+            return ("function", best[0], best[1])
+        return ("other",)
+
+    def _flush_access(self, text: str, scopes: list) -> None:
+        for am in ACCESS_RE.finditer(text):
+            for s in reversed(scopes):
+                if s[0] == "class":
+                    s[2] = am.group(1)
+                    break
+
+    def _statement(self, stmt: str, offset: int, scopes: list) -> None:
+        self._flush_access(stmt, scopes)
+        # Text after the last access label is the declaration itself.
+        last = None
+        for am in ACCESS_RE.finditer(stmt):
+            last = am
+        decl = stmt[last.end():] if last else stmt
+        decl_off = offset + (last.end() if last else 0)
+
+        klass = None
+        access = "public"
+        exposed = True
+        for s in reversed(scopes):
+            if s[0] == "class":
+                klass, access, exposed = s[1], s[2], s[3]
+                break
+            if s[0] == "block":
+                return  # inside an initializer or unknown block: skip
+        if klass is not None:
+            if access != "public" or not exposed:
+                return
+            for regex, kind in ((MEMBER_DOUBLE_RE, "double"),
+                                (MEMBER_VECTOR_RE, "vector<double>")):
+                for m in regex.finditer(decl):
+                    self.members.append(
+                        Member(m.group(1), self.rel,
+                               self._line_of(decl_off + m.start(1)),
+                               kind, klass))
+            m = RETURN_DOUBLE_RE.search(decl)
+            if m:
+                self.return_decls.append(
+                    (m.group(1), self._line_of(decl_off + m.start(1))))
+            return
+
+        # Namespace scope: free-function declarations and mutable globals.
+        m = RETURN_DOUBLE_RE.search(decl)
+        if m:
+            self.return_decls.append(
+                (m.group(1), self._line_of(decl_off + m.start(1))))
+            return
+        if "(" in decl or GLOBAL_SKIP_RE.search(decl):
+            return
+        gm = GLOBAL_DECL_RE.match(decl.strip()) or \
+            GLOBAL_DECL_RE.match(" " + decl.replace("\n", " ").strip())
+        if gm:
+            self.globals[gm.group(1)] = self._line_of(decl_off)
+
+    def _head_return_decl(self, head: str, offset: int) -> None:
+        m = RETURN_DOUBLE_RE.search(head)
+        if m:
+            self.return_decls.append(
+                (m.group(1), self._line_of(offset + m.start(1))))
+
+    def _collect_enum(self, name: str, body: str, body_offset: int) -> None:
+        enumerators = []
+        for m in re.finditer(r"(?:^|,)\s*(\w+)", body):
+            enumerators.append(
+                (m.group(1), self._line_of(body_offset + m.start(1))))
+        self.enums.append(EnumDef(name, self.rel, enumerators))
+
+
+def body_calls(body: str) -> list:
+    """(name, offset) call expressions in a stripped body."""
+    calls = []
+    for m in CALL_RE.finditer(body):
+        name = m.group(1)
+        if name.split("::")[-1] in CONTROL_KEYWORDS:
+            continue
+        calls.append((name, m.start(1)))
+    return calls
+
+
+# ---------------------------------------------------------------------------
+# Optional libclang frontend
+# ---------------------------------------------------------------------------
+
+
+def load_libclang():
+    """Return the clang.cindex module, or None when unavailable.
+
+    When present, calls inside handler/shard bodies are resolved through
+    the AST (precise receiver types) instead of by name.  The analysis
+    below only consumes the (function -> callee names) map, so both
+    frontends feed the same checkers.
+    """
+    try:
+        import clang.cindex as cindex  # type: ignore
+        cindex.Index.create()
+        return cindex
+    except Exception:
+        return None
+
+
+def clang_call_graph(cindex, compile_commands, root):
+    """Best-effort (function -> callee simple names) map via libclang."""
+    graph: dict[str, set] = {}
+    try:
+        for entry in compile_commands:
+            path = entry.get("file", "")
+            if not path.startswith(root):
+                continue
+            tu = cindex.Index.create().parse(
+                path, args=[a for a in entry.get("command", "").split()[1:]
+                            if a.startswith(("-I", "-D", "-std"))])
+            stack = [tu.cursor]
+            while stack:
+                cur = stack.pop()
+                if cur.kind.name in ("FUNCTION_DECL", "CXX_METHOD") and \
+                        cur.is_definition():
+                    callees = graph.setdefault(cur.spelling, set())
+                    inner = [cur]
+                    while inner:
+                        c = inner.pop()
+                        if c.kind.name == "CALL_EXPR" and c.spelling:
+                            callees.add(c.spelling)
+                        inner.extend(c.get_children())
+                else:
+                    stack.extend(cur.get_children())
+    except Exception:
+        return None  # fall back silently: the deterministic parser rules
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Checker: signal-safety
+# ---------------------------------------------------------------------------
+
+# The POSIX async-signal-safe set the tree is allowed to lean on, plus
+# project functions whose AS-safety is pinned by their own tests:
+# FlightRecorder::record (atomics + fixed slots) and write_fd (write(2)
+# into a stack buffer, byte-identical to serialize() by test).
+AS_SAFE_CALLS = frozenset("""
+    open close read write rename unlink fsync fdatasync raise kill _exit
+    _Exit abort sigaction sigemptyset sigfillset sigaddset sigdelset
+    sigprocmask signal waitpid getpid gettid dup dup2 pipe poll lseek
+    record write_fd
+""".split())
+
+AS_UNSAFE_CALLS = {
+    "malloc": "allocates on the heap the interrupted thread may hold",
+    "calloc": "allocates on the heap the interrupted thread may hold",
+    "realloc": "allocates on the heap the interrupted thread may hold",
+    "free": "takes the heap lock the interrupted thread may hold",
+    "printf": "stdio buffers are not async-signal-safe",
+    "fprintf": "stdio buffers are not async-signal-safe",
+    "snprintf": "not on the POSIX AS-safe list (may call malloc for %f)",
+    "sprintf": "stdio formatting is not async-signal-safe",
+    "puts": "stdio buffers are not async-signal-safe",
+    "exit": "runs atexit handlers and flushes stdio; use _exit",
+    "lock": "a mutex held by the interrupted thread deadlocks the handler",
+    "unlock": "mutex operations are not async-signal-safe",
+}
+
+UNSAFE_TOKEN_RES = (
+    (re.compile(r"(?<!\w)new\s+[\w:]"), "operator new allocates"),
+    (re.compile(r"(?<!\w)throw\s"), "throw unwinds through foreign frames"),
+    (re.compile(r"std::(cout|cerr|clog)\b"), "iostream locks and allocates"),
+    (re.compile(r"std::string\b"), "std::string allocates"),
+)
+
+
+def find_handler_roots(files):
+    roots = []
+    for sf in files:
+        for func in sf.functions:
+            for regex in (HANDLER_ASSIGN_RE, SIGNAL_CALL_RE):
+                for m in regex.finditer(func.body):
+                    name = m.group(1).split("::")[-1]
+                    if name not in ("SIG_IGN", "SIG_DFL"):
+                        roots.append((name, sf,
+                                      func.body_line +
+                                      func.body.count("\n", 0, m.start())))
+    return roots
+
+
+def check_signal_safety(files, report, call_graph=None):
+    by_name: dict[str, list] = {}
+    for sf in files:
+        for func in sf.functions:
+            by_name.setdefault(func.name, []).append((sf, func))
+
+    roots = find_handler_roots(files)
+    seen = set()
+    queue = [name for name, _, _ in roots]
+    while queue:
+        name = queue.pop(0)
+        if name in seen:
+            continue
+        seen.add(name)
+        for sf, func in by_name.get(name, []):
+            line_base = func.body_line
+            for tok_re, why in UNSAFE_TOKEN_RES:
+                m = tok_re.search(func.body)
+                if m:
+                    line = line_base + func.body.count("\n", 0, m.start())
+                    report.add(
+                        "signal-safety", sf.rel, line,
+                        f"'{func.qualified}' is reachable from a signal "
+                        f"handler but {why}; only AS-safe operations may "
+                        "run on this path", sf.source_line(line))
+            callees = body_calls(func.body)
+            if call_graph is not None and name in call_graph:
+                # libclang resolved this body: drop textual matches it
+                # does not confirm (template/type-name noise), keeping
+                # the textual offsets for line numbers.
+                confirmed = call_graph[name]
+                callees = [(c, o) for c, o in callees
+                           if c.split("::")[-1] in confirmed
+                           or c in confirmed]
+            for callee, off in callees:
+                simple = callee.split("::")[-1]
+                line = line_base + func.body.count("\n", 0, off)
+                if simple in AS_SAFE_CALLS:
+                    continue
+                if simple in AS_UNSAFE_CALLS:
+                    report.add(
+                        "signal-safety", sf.rel, line,
+                        f"'{callee}' called on the signal-handler path "
+                        f"from '{func.qualified}': {AS_UNSAFE_CALLS[simple]}",
+                        sf.source_line(line))
+                elif simple in by_name:
+                    queue.append(simple)
+                else:
+                    report.add(
+                        "signal-safety", sf.rel, line,
+                        f"'{callee}' called on the signal-handler path "
+                        f"from '{func.qualified}' is not on the AS-safe "
+                        "allowlist; prove it safe and pin it, or move the "
+                        "work out of the handler", sf.source_line(line))
+
+
+# ---------------------------------------------------------------------------
+# Checker: shard-purity
+# ---------------------------------------------------------------------------
+
+ERRNO_LATCHING_RE = re.compile(
+    r"(?<![\w:])(?:std::)?(strto(?:d|f|ld|l|ll|ul|ull|imax|umax)|strerror)"
+    r"\s*\(")
+ERRNO_RE = re.compile(r"(?<![\w.])errno\b")
+RNG_IMPURE_RE = re.compile(
+    r"(?<![\w:])(?:std::)?(rand|srand|drand48|lrand48|mrand48)\s*\(|"
+    r"std::(random_device|mt19937(?:_64)?|minstd_rand0?|"
+    r"default_random_engine)\b")
+
+SHARD_BFS_DEPTH = 2
+
+
+def shard_lambda_spans(sf):
+    """(body_text, line) of each lambda passed to parallel_for/submit."""
+    spans = []
+    for func in sf.functions:
+        body = func.body
+        for m in re.finditer(r"\b(?:parallel_for|submit)\s*\(", body):
+            lam = LAMBDA_START_RE.search(body, m.end())
+            if not lam:
+                continue
+            open_at = body.index("{", lam.start())
+            depth = 0
+            end = open_at
+            for j in range(open_at, len(body)):
+                if body[j] == "{":
+                    depth += 1
+                elif body[j] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        end = j
+                        break
+            spans.append((body[open_at + 1:end],
+                          func.body_line + body.count("\n", 0, open_at)))
+    return spans
+
+
+def check_shard_purity(files, report, call_graph=None):
+    by_name: dict[str, list] = {}
+    for sf in files:
+        for func in sf.functions:
+            by_name.setdefault(func.name, []).append((sf, func))
+
+    def scan_body(sf, body, line_base, context):
+        for regex, what in (
+                (ERRNO_RE, "reads/writes errno, which is latched "
+                 "per-thread by unrelated libc calls"),
+                (ERRNO_LATCHING_RE, "calls an errno-latching conversion; "
+                 "use util's locale-free parsers outside the sharded loop"),
+                (RNG_IMPURE_RE, "uses a non-util RNG; all randomness in a "
+                 "sharded loop must come from a pre-derived ash::Rng "
+                 "stream owned by the shard")):
+            for m in regex.finditer(body):
+                line = line_base + body.count("\n", 0, m.start())
+                report.add(
+                    "shard-purity", sf.rel, line,
+                    f"{context} {what} — sharded loops must be "
+                    "bit-identical at any thread count",
+                    sf.source_line(line))
+        for m in STATIC_LOCAL_RE.finditer(body):
+            line = line_base + body.count("\n", 0, m.start())
+            report.add(
+                "shard-purity", sf.rel, line,
+                f"{context} declares mutable static local "
+                f"'{m.group(1)}': shared across shards, ordering is "
+                "scheduler-dependent", sf.source_line(line))
+        for gname, _ in sf.globals.items():
+            gre = re.compile(r"(?<![\w.])" + re.escape(gname) + r"\b")
+            m = gre.search(body)
+            if m:
+                line = line_base + body.count("\n", 0, m.start())
+                report.add(
+                    "shard-purity", sf.rel, line,
+                    f"{context} touches file-scope mutable '{gname}': "
+                    "shard bodies may only write state they own by index",
+                    sf.source_line(line))
+
+    def resolve(callee: str, rel: str) -> list:
+        """Same-file definitions first; across files only when the simple
+        name is project-unique (a name-based resolver cannot pick between
+        the many `run`s and `evolve`s — a documented fallback limit)."""
+        simple = callee.split("::")[-1]
+        cands = by_name.get(simple, [])
+        same_file = [c for c in cands if c[0].rel == rel]
+        if same_file:
+            return same_file
+        if "::" in callee:
+            qualified = [c for c in cands
+                         if c[1].qualified.endswith(callee)]
+            if qualified:
+                return qualified
+        return cands if len(cands) == 1 else []
+
+    for sf in files:
+        for body, line in shard_lambda_spans(sf):
+            scan_body(sf, body, line, "sharded loop body")
+            # Bounded BFS into the project functions the lambda calls.
+            frontier = [(c, sf.rel) for c, _ in body_calls(body)]
+            seen = set()
+            for _ in range(SHARD_BFS_DEPTH):
+                nxt = []
+                for callee, rel in frontier:
+                    simple = callee.split("::")[-1]
+                    if simple in seen:
+                        continue
+                    seen.add(simple)
+                    for csf, cfunc in resolve(callee, rel):
+                        scan_body(csf, cfunc.body, cfunc.body_line,
+                                  f"'{cfunc.qualified}' (reached from a "
+                                  "sharded loop)")
+                        nxt.extend((c, csf.rel)
+                                   for c, _ in body_calls(cfunc.body))
+                frontier = nxt
+
+
+# ---------------------------------------------------------------------------
+# Checker: unit-flow
+# ---------------------------------------------------------------------------
+
+UNIT_TYPE_FOR_SUFFIX = {
+    "s": "Seconds", "v": "Volts", "k": "Kelvin", "c": "Celsius",
+    "hz": "Hertz",
+}
+
+# `x_per_v`, `ramp_c_per_s`, `heat_capacity_j_per_k`... are *rates* —
+# dimensionless in none of the five base units — not quantities carrying
+# the suffix unit; forcing a strong type on them would mis-state their
+# dimension.
+RATE_NAME_RE = re.compile(r"_per_(?:s|v|k|c|hz)$")
+
+UNIT_FLOW_PREFIX = "src/"
+UNIT_FLOW_EXEMPT = ("src/util/include/ash/util/units.h",)
+
+
+def check_unit_flow(files, report):
+    for sf in files:
+        if not sf.rel.startswith(UNIT_FLOW_PREFIX):
+            continue
+        if sf.rel in UNIT_FLOW_EXEMPT:
+            continue
+        for member in sf.members:
+            if RATE_NAME_RE.search(member.name):
+                continue
+            suffix = member.name.rsplit("_", 1)[1]
+            want = UNIT_TYPE_FOR_SUFFIX[suffix]
+            if member.kind == "double":
+                fix = f"ash::{want}"
+            else:
+                fix = f"std::vector<ash::{want}>"
+            report.add(
+                "unit-flow", sf.rel, member.line,
+                f"public member '{member.owner}::{member.name}' is a raw "
+                f"{member.kind}; use {fix} so the unit rides the type "
+                "through serialization and call chains",
+                sf.source_line(member.line))
+        for name, line in sf.return_decls:
+            if RATE_NAME_RE.search(name):
+                continue
+            suffix = name.rsplit("_", 1)[1]
+            want = UNIT_TYPE_FOR_SUFFIX[suffix]
+            report.add(
+                "unit-flow", sf.rel, line,
+                f"'{name}' returns a raw double; return ash::{want} so "
+                "callers cannot mistake the unit",
+                sf.source_line(line))
+
+
+# ---------------------------------------------------------------------------
+# Checker: protocol-exhaustiveness
+# ---------------------------------------------------------------------------
+
+PROTOCOL_HEADER = "src/fleet/include/ash/fleet/protocol.h"
+PROTOCOL_IMPL = "src/fleet/protocol.cpp"
+PROTOCOL_TESTS_DIR = "tests/fleet"
+
+VIOLATION_SENTINELS = ("kNone", "kCount")
+
+
+def check_protocol(files, report, root):
+    header = impl = None
+    for sf in files:
+        if sf.rel == PROTOCOL_HEADER:
+            header = sf
+        elif sf.rel == PROTOCOL_IMPL:
+            impl = sf
+    if header is None or impl is None:
+        return  # nothing to check in this tree (fixture roots)
+
+    tests_text = ""
+    tests_dir = os.path.join(root, PROTOCOL_TESTS_DIR)
+    if os.path.isdir(tests_dir):
+        for name in sorted(os.listdir(tests_dir)):
+            if name.endswith(CXX_EXTENSIONS):
+                with open(os.path.join(tests_dir, name), "r",
+                          encoding="utf-8", errors="replace") as f:
+                    tests_text += f.read()
+
+    struct_names = {m.group(1) for m in re.finditer(
+        r"\bstruct\s+(\w+)", header.code)}
+    impl_code = impl.code
+
+    for enum in header.enums:
+        if enum.name == "MessageType":
+            for name, line in enum.enumerators:
+                struct = name[1:] if name.startswith("k") else name
+                missing = []
+                if struct not in struct_names:
+                    missing.append("a payload codec struct in protocol.h")
+                else:
+                    if not re.search(r"\b%s::encode\b" % struct, impl_code):
+                        missing.append(f"{struct}::encode in protocol.cpp")
+                    if not re.search(r"\b%s::parse\b" % struct, impl_code):
+                        missing.append(f"{struct}::parse in protocol.cpp")
+                if f"MessageType::{name}" not in impl_code:
+                    missing.append("a to_string classification in "
+                                   "protocol.cpp")
+                if name not in tests_text:
+                    missing.append(f"a hostile-input test under "
+                                   f"{PROTOCOL_TESTS_DIR}/ referencing it")
+                if missing:
+                    report.add(
+                        "protocol-exhaustiveness", header.rel, line,
+                        f"MessageType::{name} lacks " + "; ".join(missing) +
+                        " — every wire verb ships with its codec and its "
+                        "hostile-input proof", header.source_line(line))
+        elif enum.name == "ProtocolViolation":
+            for name, line in enum.enumerators:
+                if name in VIOLATION_SENTINELS:
+                    continue
+                missing = []
+                if f"ProtocolViolation::{name}" not in impl_code:
+                    missing.append("a classification site in protocol.cpp")
+                if name not in tests_text:
+                    missing.append(f"a hostile-input test under "
+                                   f"{PROTOCOL_TESTS_DIR}/")
+                if missing:
+                    report.add(
+                        "protocol-exhaustiveness", header.rel, line,
+                        f"ProtocolViolation::{name} lacks " +
+                        "; ".join(missing), header.source_line(line))
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def iter_source_files(root, paths):
+    for base in paths:
+        full = os.path.join(root, base)
+        if os.path.isfile(full):
+            yield full, os.path.relpath(full, root)
+            continue
+        if not os.path.isdir(full):
+            continue
+        for dirpath, dirnames, filenames in os.walk(full):
+            rel_dir = os.path.relpath(dirpath, root).replace(os.sep, "/")
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if not any(part in f"{rel_dir}/{d}"
+                           for part in EXCLUDED_PARTS))
+            for name in sorted(filenames):
+                if name.endswith(CXX_EXTENSIONS):
+                    p = os.path.join(dirpath, name)
+                    yield p, os.path.relpath(p, root)
+
+
+def load_compile_commands(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ash_check",
+        description="semantic static analysis (call graphs, unit flow, "
+        "protocol exhaustiveness) for the ash lab")
+    parser.add_argument("paths", nargs="*", default=["src", "tools"],
+                        help="files or directories relative to --root "
+                        "(default: src tools)")
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument("--compile-commands", default=None,
+                        help="compile_commands.json (default: "
+                        "<root>/build/compile_commands.json when present); "
+                        "restricts analysis to files the build graph knows "
+                        "plus headers")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as JSON on stdout")
+    parser.add_argument("--check", action="append", choices=CHECKS,
+                        help="run only the named check(s)")
+    parser.add_argument("--frontend", choices=("auto", "clang", "fallback"),
+                        default="auto",
+                        help="auto prefers libclang when importable; "
+                        "fallback forces the self-contained parser")
+    parser.add_argument("--list-checks", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_checks:
+        for c in CHECKS:
+            print(c)
+        return 0
+
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(root):
+        print(f"ash_check: --root {args.root} is not a directory",
+              file=sys.stderr)
+        return 2
+
+    cc_path = args.compile_commands
+    if cc_path is None:
+        default_cc = os.path.join(root, "build", "compile_commands.json")
+        cc_path = default_cc if os.path.isfile(default_cc) else ""
+    compile_commands = None
+    if cc_path:
+        try:
+            compile_commands = load_compile_commands(cc_path)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"ash_check: cannot read compile commands {cc_path}: "
+                  f"{err}", file=sys.stderr)
+            return 2
+
+    known_tus = None
+    if compile_commands is not None:
+        known_tus = set()
+        for entry in compile_commands:
+            p = entry.get("file", "")
+            if not os.path.isabs(p):
+                p = os.path.join(entry.get("directory", ""), p)
+            known_tus.add(os.path.realpath(p))
+
+    checks = args.check if args.check else list(CHECKS)
+
+    files = []
+    try:
+        for path, rel in iter_source_files(root, args.paths):
+            # Headers are always parsed (compile_commands never lists
+            # them); TUs are cross-checked against the build graph so a
+            # file the build does not compile cannot silently pass.
+            if known_tus is not None and path.endswith((".cpp", ".cc",
+                                                        ".cxx")):
+                if os.path.realpath(path) not in known_tus and \
+                        rel.replace(os.sep, "/").startswith("src/"):
+                    print(f"ash_check: warning: {rel} not in compile "
+                          "commands; analyzing anyway", file=sys.stderr)
+            files.append(SourceFile(path, rel))
+    except OSError as err:
+        print(f"ash_check: {err}", file=sys.stderr)
+        return 2
+
+    if not files:
+        print("ash_check: no source files matched", file=sys.stderr)
+        return 2
+
+    call_graph = None
+    if args.frontend in ("auto", "clang"):
+        cindex = load_libclang()
+        if cindex is not None and compile_commands is not None:
+            call_graph = clang_call_graph(cindex, compile_commands, root)
+        elif args.frontend == "clang":
+            print("ash_check: --frontend clang requested but clang.cindex "
+                  "is not importable", file=sys.stderr)
+            return 2
+
+    report = Report()
+    if "signal-safety" in checks:
+        check_signal_safety(files, report, call_graph)
+    if "shard-purity" in checks:
+        check_shard_purity(files, report, call_graph)
+    if "unit-flow" in checks:
+        check_unit_flow(files, report)
+    if "protocol-exhaustiveness" in checks:
+        check_protocol(files, report, root)
+
+    report.findings.sort(key=lambda f: (f.path, f.line, f.check))
+
+    if args.json:
+        counts: dict[str, int] = {}
+        for f in report.findings:
+            counts[f.check] = counts.get(f.check, 0) + 1
+        print(json.dumps({
+            "findings": [asdict(f) for f in report.findings],
+            "counts": counts,
+            "files_scanned": len(files),
+            "suppressed": len(report.suppressed),
+            "frontend": "clang" if call_graph is not None else "fallback",
+        }, indent=2))
+    else:
+        for f in report.findings:
+            print(f"{f.path}:{f.line}: [{f.check}] {f.message}")
+            if f.snippet:
+                print(f"    {f.snippet}")
+        tail = (f"{len(files)} files scanned, "
+                f"{len(report.findings)} finding(s)")
+        if report.suppressed:
+            tail += f", {len(report.suppressed)} suppressed"
+        print(tail, file=sys.stderr)
+
+    return 1 if report.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -161,14 +161,14 @@ int cmd_campaign(const Flags& flags) {
     double fresh = 0.0;
     for (const auto& r : log.records()) {
       if (r.usable()) {
-        fresh = r.frequency_hz;
+        fresh = r.frequency_hz.value();
         break;
       }
     }
     double worst = 0.0;
     for (const auto& r : log.records()) {
       if (!r.usable() || fresh <= 0.0) continue;
-      worst = std::max(worst, 1.0 - r.frequency_hz / fresh);
+      worst = std::max(worst, 1.0 - r.frequency_hz.value() / fresh);
     }
     const auto yield = core::campaign_yield(log);
     summary.add_row({strformat("%d", tc.chip_id),
@@ -254,7 +254,7 @@ int cmd_stress(const Flags& flags) {
   fpga::FpgaChip chip(cc);
 
   const double room = celsius(20.0);
-  const double fresh = chip.ro_frequency_hz(Volts{1.2}, Kelvin{room});
+  const double fresh = chip.ro_frequency_hz(Volts{1.2}, Kelvin{room}).value();
   std::printf("fresh: %.4f MHz\n", fresh / 1e6);
 
   const std::string mode = flags.get("mode", std::string("dc"));
@@ -269,7 +269,7 @@ int cmd_stress(const Flags& flags) {
               mode == "dc" ? bti::dc_stress(Volts{1.2}, Celsius{stress_temp})
                            : bti::ac_stress(Volts{1.2}, Celsius{stress_temp}),
               Seconds{hours(stress_h)});
-  const double stressed = chip.ro_frequency_hz(Volts{1.2}, Kelvin{room});
+  const double stressed = chip.ro_frequency_hz(Volts{1.2}, Kelvin{room}).value();
   std::printf("after %.1f h %s stress @%.0f degC: %.4f MHz (-%.2f%%)\n",
               stress_h, mode.c_str(), stress_temp, stressed / 1e6,
               100.0 * (1.0 - stressed / fresh));
@@ -280,7 +280,7 @@ int cmd_stress(const Flags& flags) {
     const double rec_t = flags.get("rec-temp", 110.0);
     chip.evolve(fpga::RoMode::kSleep, bti::recovery(Volts{rec_v}, Celsius{rec_t}),
                 Seconds{hours(rec_h)});
-    const double healed = chip.ro_frequency_hz(Volts{1.2}, Kelvin{room});
+    const double healed = chip.ro_frequency_hz(Volts{1.2}, Kelvin{room}).value();
     std::printf(
         "after %.1f h recovery @%+.2f V/%.0f degC: %.4f MHz (recovered "
         "%.0f%%)\n",
@@ -336,7 +336,7 @@ int cmd_population(const Flags& flags) {
   Rng scales(seed);
   for (int m = 0; m < chips; ++m) {
     bti::TdParameters p = bti::default_td_parameters();
-    p.delta_vth_mean_v *= std::exp(scales.normal(0.0, 0.05));
+    p.delta_vth_mean_v = p.delta_vth_mean_v * std::exp(scales.normal(0.0, 0.05));
     specs.push_back({p, seed + 1});
   }
 
@@ -357,15 +357,15 @@ int cmd_population(const Flags& flags) {
 
   // Harness wall time around the sweep (reported, never fed back into the
   // physics) — the same legitimacy as the bench timers.
-  const auto t0 = std::chrono::steady_clock::now();  // ash-lint: allow(wall-clock)
+  const auto t0 = std::chrono::steady_clock::now();  // ash-lint: allow(wall-clock): harness timer, never feeds physics
   for (int s = 0; s < steps; ++s) {
     bti::OperatingCondition cond;
-    cond.voltage_v = 1.2;
-    cond.temperature_k = celsius(temp_c) + 0.011 * s;  // drifting chamber
+    cond.voltage_v = Volts{1.2};
+    cond.temperature_k = Kelvin{celsius(temp_c) + 0.011 * s};  // drifting chamber
     cond.gate_stress_duty = 1.0;
     batch.evolve(cond, Seconds{60.0});
   }
-  const auto t1 = std::chrono::steady_clock::now();  // ash-lint: allow(wall-clock)
+  const auto t1 = std::chrono::steady_clock::now();  // ash-lint: allow(wall-clock): harness timer, never feeds physics
 
   const std::vector<double> shifts = batch.delta_vth_all();
   double lo = shifts.front(), hi = shifts.front(), sum = 0.0;
@@ -393,18 +393,18 @@ int cmd_plan(const Flags& flags) {
   flags.check_known(with_obs({"target", "budget-hours", "stress-hours"}));
   core::PlannerConfig cfg;
   cfg.target_recovered_fraction = flags.get("target", 0.9);
-  cfg.max_sleep_s = hours(flags.get("budget-hours", 6.0));
-  cfg.t1_equiv_s = hours(flags.get("stress-hours", 24.0));
+  cfg.max_sleep_s = Seconds{hours(flags.get("budget-hours", 6.0))};
+  cfg.t1_equiv_s = Seconds{hours(flags.get("stress-hours", 24.0))};
   const auto plan = core::plan_recovery(cfg);
   if (!plan.feasible) {
     std::printf("no feasible plan: target %.0f%% within %.1f h\n",
                 cfg.target_recovered_fraction * 100.0,
-                to_hours(cfg.max_sleep_s));
+                to_hours(cfg.max_sleep_s.value()));
     return 1;
   }
   std::printf(
       "cheapest plan: sleep %.2f h at %.1f degC, %+.2f V (achieves %.1f%%)\n",
-      to_hours(plan.sleep_s), plan.temp_c, plan.voltage_v,
+      to_hours(plan.sleep_s.value()), plan.temp_c.value(), plan.voltage_v.value(),
       plan.achieved_fraction * 100.0);
   return 0;
 }
@@ -413,9 +413,9 @@ int cmd_multicore(const Flags& flags) {
   flags.check_known(with_obs({"years", "cores", "margin-mv", "fault-plan",
                               "fault-seed", "raw", "jobs"}));
   mc::SystemConfig cfg;
-  cfg.horizon_s = flags.get("years", 2.0) * 365.25 * 86400.0;
+  cfg.horizon_s = Seconds{flags.get("years", 2.0) * 365.25 * 86400.0};
   cfg.cores_needed = flags.get("cores", 6);
-  cfg.margin_delta_vth_v = flags.get("margin-mv", 9.0) * 1e-3;
+  cfg.margin_delta_vth_v = Volts{flags.get("margin-mv", 9.0) * 1e-3};
   // --jobs reaches the per-core aging fan-out inside simulate_system too:
   // N workers per policy (0 = one per hardware core).  Absent keeps the
   // serial default; results are bit-identical at any setting.
@@ -459,11 +459,12 @@ int cmd_multicore(const Flags& flags) {
            "deficit (core-days)", "core deaths"});
   for (const auto& out : outcomes) {
     const auto& r = out.result;
-    t.add_row({r.scheduler, fmt_fixed(r.mean_end_delta_vth_v * 1e3, 2),
+    t.add_row({r.scheduler,
+               fmt_fixed(r.mean_end_delta_vth_v.value() * 1e3, 2),
                r.margin_exceeded
-                   ? fmt_fixed(r.time_to_first_margin_s / 86400.0, 0)
-                   : ">" + fmt_fixed(cfg.horizon_s / 86400.0, 0),
-               fmt_fixed(r.demand_deficit_core_s / 86400.0, 1),
+                   ? fmt_fixed(r.time_to_first_margin_s.value() / 86400.0, 0)
+                   : ">" + fmt_fixed(cfg.horizon_s.value() / 86400.0, 0),
+               fmt_fixed(r.demand_deficit_core_s.value() / 86400.0, 1),
                strformat("%d", out.report.permanent_deaths)});
     total.merge(out.report);
   }

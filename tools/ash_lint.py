@@ -75,10 +75,14 @@ a handful of recognisable source patterns, so we lint for them:
                   are validated at runtime by what they render into).
 
 Any finding can be suppressed on its line with a trailing
-`// ash-lint: allow(<rule>)` (comma-separate several rules).
+`// ash-lint: allow(<rule>): <reason>` (comma-separate several rules).
+The reason is mandatory: a bare `allow(<rule>)` does not suppress — it is
+itself reported, because an unexplained escape is unreviewable.
 
-Exit status is 0 when no findings survive suppression, 1 otherwise,
-2 on usage errors.  `--json` emits machine-readable findings for CI.
+Exit status is 0 when no findings survive suppression, 1 when any
+finding does, and 2 on usage/internal errors (bad --root, no files
+matched, unknown flags).  `--json` emits machine-readable findings
+for CI.
 """
 
 from __future__ import annotations
@@ -96,7 +100,8 @@ DEFAULT_PATHS = ("src", "tools", "bench", "tests")
 # The linter's own test fixtures intentionally violate every rule.
 EXCLUDED_PARTS = ("lint/fixtures", "build")
 
-ALLOW_RE = re.compile(r"ash-lint:\s*allow\(([a-z0-9_,\- ]+)\)")
+ALLOW_RE = re.compile(
+    r"ash-lint:\s*allow\(([a-z0-9_,\- ]+)\)(\s*:\s*(\S.*))?")
 
 RULES = (
     "wall-clock",
@@ -180,11 +185,14 @@ def strip_code(text: str) -> str:
     return "".join(out)
 
 
-def allowed_rules(source_line: str) -> set[str]:
+def allowed_rules(source_line: str) -> tuple[set[str], bool]:
+    """Rules named by an allow() escape on the line, and whether the
+    escape carries the mandatory `: <reason>` tail."""
     m = ALLOW_RE.search(source_line)
     if not m:
-        return set()
-    return {r.strip() for r in m.group(1).split(",") if r.strip()}
+        return set(), False
+    rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+    return rules, bool(m.group(3))
 
 
 class FileLint:
@@ -203,10 +211,18 @@ class FileLint:
     def report(self, rule: str, line_no: int, message: str) -> None:
         src = self.lines[line_no - 1] if line_no - 1 < len(self.lines) else ""
         f = Finding(rule, self.rel, line_no, message, src.strip()[:160])
-        if rule in allowed_rules(src):
-            self.suppressed.append(f)
-        else:
-            self.findings.append(f)
+        rules, has_reason = allowed_rules(src)
+        if rule in rules:
+            if has_reason:
+                self.suppressed.append(f)
+                return
+            f = Finding(
+                rule, self.rel, line_no,
+                f"suppression escape for '{rule}' carries no reason: "
+                f"write `// ash-lint: allow({rule}): <why>` — an "
+                "unexplained escape is unreviewable",
+                src.strip()[:160])
+        self.findings.append(f)
 
 
 # --------------------------------------------------------------------------
@@ -627,6 +643,11 @@ def main(argv=None) -> int:
             print(r)
         return 0
 
+    if not os.path.isdir(args.root):
+        print(f"ash_lint: --root {args.root} is not a directory",
+              file=sys.stderr)
+        return 2
+
     rules = args.rule if args.rule else list(RULES)
     findings: list[Finding] = []
     suppressed = 0
@@ -636,6 +657,10 @@ def main(argv=None) -> int:
         fl = lint_file(path, rel, rules)
         findings.extend(fl.findings)
         suppressed += len(fl.suppressed)
+
+    if files == 0:
+        print("ash_lint: no source files matched", file=sys.stderr)
+        return 2
 
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
 
